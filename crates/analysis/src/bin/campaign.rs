@@ -1,0 +1,149 @@
+//! The `campaign` binary: run a custom fault-injection campaign, described
+//! as JSON, against the arrestment target.
+//!
+//! ```text
+//! campaign --example-spec                 # print a template spec and exit
+//! campaign --spec spec.json [options]    # run it
+//!
+//! options:
+//!   --grid MxV       workload grid (default 3x3)
+//!   --horizon MS     comparison horizon in ms (default 9000)
+//!   --seed S         master seed (default 0x5EED)
+//!   --out FILE       write the full CampaignResult as JSON
+//! ```
+
+use permea_analysis::factory::ArrestmentFactory;
+use permea_arrestment::testcase::TestCase;
+use permea_fi::campaign::{Campaign, CampaignConfig};
+use permea_fi::latency::{latency_summaries, render_latencies};
+use permea_fi::model::ErrorModel;
+use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
+use std::process::ExitCode;
+
+fn example_spec() -> CampaignSpec {
+    CampaignSpec {
+        targets: vec![
+            PortTarget::new("V_REG", "SetValue"),
+            PortTarget::new("DIST_S", "PACNT"),
+        ],
+        models: vec![
+            ErrorModel::BitFlip { bit: 0 },
+            ErrorModel::BitFlip { bit: 8 },
+            ErrorModel::Offset { delta: 100 },
+            ErrorModel::Zero,
+        ],
+        times_ms: vec![800, 2400, 4000],
+        cases: 9,
+        scope: InjectionScope::Port,
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign --example-spec | campaign --spec FILE \
+         [--grid MxV] [--horizon MS] [--seed S] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut spec_path = None;
+    let mut out_path = None;
+    let mut grid = (3usize, 3usize);
+    let mut horizon = 9_000u64;
+    let mut seed = 0x5EEDu64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--example-spec" => {
+                println!(
+                    "{}",
+                    serde_json::to_string_pretty(&example_spec()).expect("spec serialises")
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--spec" => spec_path = args.next(),
+            "--out" => out_path = args.next(),
+            "--grid" => match args.next().and_then(|v| {
+                let (m, vel) = v.split_once('x')?;
+                Some((m.parse().ok()?, vel.parse().ok()?))
+            }) {
+                Some(g) => grid = g,
+                None => usage(),
+            },
+            "--horizon" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(h) => horizon = h,
+                None => usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => seed = s,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+    let Some(spec_path) = spec_path else { usage() };
+    let spec_text = match std::fs::read_to_string(&spec_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {spec_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut spec: CampaignSpec = match serde_json::from_str(&spec_text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("invalid spec: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let cases = TestCase::grid(grid.0, grid.1);
+    spec.cases = cases.len();
+    let factory = ArrestmentFactory::with_cases(cases);
+    let campaign = Campaign::new(
+        &factory,
+        CampaignConfig {
+            threads: 0,
+            master_seed: seed,
+            keep_records: true,
+            horizon_ms: Some(horizon),
+        },
+    );
+    eprintln!("running {} injection runs...", spec.run_count());
+    let started = std::time::Instant::now();
+    let result = match campaign.run(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+
+    println!("{:<8} {:<14} {:<14} {:>8} {:>8} {:>8}", "Module", "Input", "Output", "n", "errors", "P");
+    for p in &result.pairs {
+        println!(
+            "{:<8} {:<14} {:<14} {:>8} {:>8} {:>8.3}",
+            p.module, p.input_signal, p.output_signal, p.injections, p.errors, p.estimate()
+        );
+    }
+    println!();
+    print!("{}", render_latencies(&latency_summaries(&result)));
+
+    if let Some(out_path) = out_path {
+        match serde_json::to_string(&result) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&out_path, json) {
+                    eprintln!("cannot write {out_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("results written to {out_path}");
+            }
+            Err(e) => {
+                eprintln!("serialisation failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

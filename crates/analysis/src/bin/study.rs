@@ -1,0 +1,78 @@
+//! The `study` binary: runs the paper's experiment end to end and writes
+//! every table, figure and shape check to an artifact directory.
+//!
+//! ```text
+//! study [--quick | --full] [--out DIR] [--threads N] [--seed S]
+//! ```
+//!
+//! `--quick` (default) runs the reduced configuration (seconds);
+//! `--full` runs the paper's 52 000-injection campaign (minutes).
+
+use permea_analysis::report::Report;
+use permea_analysis::study::{Study, StudyConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: study [--quick | --full] [--out DIR] [--threads N] [--seed S]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut config = StudyConfig::quick();
+    let mut out_dir = PathBuf::from("artifacts/study");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => config = StudyConfig::quick(),
+            "--full" => config = StudyConfig::paper(),
+            "--out" => match args.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => usage(),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => config.threads = n,
+                None => usage(),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(s) => config.seed = s,
+                None => usage(),
+            },
+            _ => usage(),
+        }
+    }
+
+    let spec_preview = config.spec(&permea_arrestment::system::ArrestmentSystem::topology());
+    eprintln!(
+        "running study: {} targets x {} models x {} times x {} cases = {} injection runs",
+        spec_preview.targets.len(),
+        spec_preview.models.len(),
+        spec_preview.times_ms.len(),
+        spec_preview.cases,
+        spec_preview.run_count()
+    );
+
+    let started = std::time::Instant::now();
+    let output = match Study::new(config).run() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("study failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("campaign finished in {:.1}s", started.elapsed().as_secs_f64());
+
+    let report = Report::from_study(&output);
+    print!("{}", report.summary());
+    if let Err(e) = report.write_to(&out_dir) {
+        eprintln!("failed to write artifacts to {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("artifacts written to {}", out_dir.display());
+
+    let failed = report.checks.iter().filter(|c| !c.pass).count();
+    if failed > 0 {
+        eprintln!("{failed} shape check(s) did not reproduce");
+    }
+    ExitCode::SUCCESS
+}

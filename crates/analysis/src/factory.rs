@@ -1,0 +1,75 @@
+//! Adapter: the arrestment system as a fault-injection target.
+
+use permea_arrestment::constants::SCENARIO_CAP_MS;
+use permea_arrestment::system::ArrestmentSystem;
+use permea_arrestment::testcase::TestCase;
+use permea_fi::campaign::SystemFactory;
+use permea_runtime::sim::Simulation;
+
+/// Builds one [`ArrestmentSystem`] simulation per workload case.
+#[derive(Debug, Clone)]
+pub struct ArrestmentFactory {
+    cases: Vec<TestCase>,
+}
+
+impl ArrestmentFactory {
+    /// Uses the paper's 25-case grid.
+    pub fn paper() -> Self {
+        ArrestmentFactory { cases: TestCase::paper_grid() }
+    }
+
+    /// Uses an explicit case list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cases` is empty.
+    pub fn with_cases(cases: Vec<TestCase>) -> Self {
+        assert!(!cases.is_empty(), "factory needs at least one case");
+        ArrestmentFactory { cases }
+    }
+
+    /// The workload cases.
+    pub fn cases(&self) -> &[TestCase] {
+        &self.cases
+    }
+}
+
+impl SystemFactory for ArrestmentFactory {
+    fn build(&self, case: usize) -> Simulation {
+        ArrestmentSystem::new(self.cases[case]).into_sim()
+    }
+
+    fn case_count(&self) -> usize {
+        self.cases.len()
+    }
+
+    fn max_run_ms(&self) -> u64 {
+        SCENARIO_CAP_MS + 300
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_factory_has_25_cases() {
+        let f = ArrestmentFactory::paper();
+        assert_eq!(f.case_count(), 25);
+        assert!(f.max_run_ms() > SCENARIO_CAP_MS);
+    }
+
+    #[test]
+    fn built_simulations_have_the_six_modules() {
+        let f = ArrestmentFactory::with_cases(vec![TestCase::new(14_000.0, 60.0)]);
+        let sim = f.build(0);
+        assert_eq!(sim.module_count(), 6);
+        assert!(sim.module_by_name("CALC").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one case")]
+    fn empty_cases_panics() {
+        ArrestmentFactory::with_cases(vec![]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Renderers for the paper's figures.
+//!
+//! | Figure | Content | Renderer |
+//! |--------|---------|----------|
+//! | Fig. 3 | permeability graph of the A–E example | [`fig3_example_graph_dot`] |
+//! | Fig. 4 | backtrack tree of the example output | [`fig4_example_backtrack`] |
+//! | Fig. 5 | trace tree of the example input `extA` | [`fig5_example_trace`] |
+//! | Fig. 9 | permeability graph of the target system | [`fig9_graph_dot`] |
+//! | Fig. 10 | backtrack tree of `TOC2` | [`fig10_backtrack`] |
+//! | Fig. 11 | trace tree of `ADC` | [`fig11_trace_adc`] |
+//! | Fig. 12 | trace tree of `PACNT` | [`fig12_trace_pacnt`] |
+
+use crate::fivemod::five_module_system;
+use permea_core::backtrack::BacktrackTree;
+use permea_core::dot;
+use permea_core::graph::PermeabilityGraph;
+use permea_core::trace::TraceTree;
+
+/// Fig. 3: DOT rendering of the five-module example's permeability graph.
+pub fn fig3_example_graph_dot() -> String {
+    let (t, pm) = five_module_system();
+    let g = PermeabilityGraph::new(&t, &pm).expect("example graph");
+    dot::graph_to_dot(&g)
+}
+
+/// Fig. 4: ASCII backtrack tree of the example system output `OUT`.
+pub fn fig4_example_backtrack() -> String {
+    let (t, pm) = five_module_system();
+    let g = PermeabilityGraph::new(&t, &pm).expect("example graph");
+    let out = t.signal_by_name("OUT").expect("OUT exists");
+    let tree = BacktrackTree::build(&g, out).expect("tree builds");
+    dot::backtrack_to_ascii(&g, &tree)
+}
+
+/// Fig. 5: ASCII trace tree of the example system input `extA`.
+pub fn fig5_example_trace() -> String {
+    let (t, pm) = five_module_system();
+    let g = PermeabilityGraph::new(&t, &pm).expect("example graph");
+    let ext_a = t.signal_by_name("extA").expect("extA exists");
+    let tree = TraceTree::build(&g, ext_a).expect("tree builds");
+    dot::trace_to_ascii(&g, &tree)
+}
+
+/// Fig. 9: DOT rendering of the target system's permeability graph.
+pub fn fig9_graph_dot(graph: &PermeabilityGraph) -> String {
+    dot::graph_to_dot(graph)
+}
+
+/// Fig. 10: ASCII backtrack tree for `TOC2`.
+pub fn fig10_backtrack(graph: &PermeabilityGraph) -> String {
+    let toc2 = graph.topology().signal_by_name("TOC2").expect("TOC2 exists");
+    let tree = BacktrackTree::build(graph, toc2).expect("tree builds");
+    dot::backtrack_to_ascii(graph, &tree)
+}
+
+/// Fig. 10 (DOT variant) for graph viewers.
+pub fn fig10_backtrack_dot(graph: &PermeabilityGraph) -> String {
+    let toc2 = graph.topology().signal_by_name("TOC2").expect("TOC2 exists");
+    let tree = BacktrackTree::build(graph, toc2).expect("tree builds");
+    dot::backtrack_to_dot(graph, &tree)
+}
+
+fn trace_ascii(graph: &PermeabilityGraph, signal: &str) -> String {
+    let s = graph.topology().signal_by_name(signal).expect("signal exists");
+    let tree = TraceTree::build(graph, s).expect("tree builds");
+    dot::trace_to_ascii(graph, &tree)
+}
+
+/// Fig. 11: ASCII trace tree for system input `ADC`.
+pub fn fig11_trace_adc(graph: &PermeabilityGraph) -> String {
+    trace_ascii(graph, "ADC")
+}
+
+/// Fig. 12: ASCII trace tree for system input `PACNT`.
+pub fn fig12_trace_pacnt(graph: &PermeabilityGraph) -> String {
+    trace_ascii(graph, "PACNT")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permea_arrestment::system::ArrestmentSystem;
+    use permea_core::matrix::PermeabilityMatrix;
+
+    fn target_graph() -> PermeabilityGraph {
+        let t = ArrestmentSystem::topology();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        // Minimal non-zero texture.
+        pm.set_named(&t, "PREG", "OutValue", "TOC2", 0.9).unwrap();
+        pm.set_named(&t, "V_REG", "SetValue", "OutValue", 0.8).unwrap();
+        PermeabilityGraph::new(&t, &pm).unwrap()
+    }
+
+    #[test]
+    fn example_figures_render() {
+        assert!(fig3_example_graph_dot().starts_with("digraph"));
+        assert!(fig4_example_backtrack().contains("(root)"));
+        assert!(fig5_example_trace().contains("extA"));
+    }
+
+    #[test]
+    fn target_figures_render() {
+        let g = target_graph();
+        let f9 = fig9_graph_dot(&g);
+        assert!(f9.contains("CALC") && f9.contains("P^PREG_{1,1}=0.900"));
+        let f10 = fig10_backtrack(&g);
+        assert!(f10.contains("TOC2 (root)"));
+        assert!(f10.contains("[feedback]"), "i / ms_slot_nbr feedback leaves");
+        assert!(fig10_backtrack_dot(&g).starts_with("digraph"));
+        assert!(fig11_trace_adc(&g).contains("ADC (root)"));
+        assert!(fig12_trace_pacnt(&g).contains("PACNT (root)"));
+    }
+
+    #[test]
+    fn fig10_has_22_paths() {
+        let g = target_graph();
+        let toc2 = g.topology().signal_by_name("TOC2").unwrap();
+        let tree = BacktrackTree::build(&g, toc2).unwrap();
+        assert_eq!(tree.leaf_count(), 22, "the paper's 22 propagation paths");
+    }
+}

@@ -1,0 +1,42 @@
+//! # permea-analysis — the paper's experimental study, end to end
+//!
+//! Orchestrates the full reproduction of Sections 7–8:
+//!
+//! * [`factory`] — adapts the arrestment system to the fault-injection
+//!   campaign executor,
+//! * [`study`] — runs the campaign (4 000 injections per input signal in the
+//!   full configuration), estimates the permeability matrix, computes every
+//!   derived measure, builds all trees and paths,
+//! * [`tables`] — renders Tables 1–4,
+//! * [`figures`] — renders Figs. 9–12 (and the Fig. 2–5 five-module example
+//!   via [`fivemod`]),
+//! * [`checks`] — machine-checkable versions of observations OB1–OB6 and
+//!   the path census, comparing this reproduction's *shape* against the
+//!   paper,
+//! * [`report`] — writes everything to an artifact directory.
+//!
+//! The `study` binary (`cargo run -p permea-analysis --bin study`) runs the
+//! whole pipeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod factory;
+pub mod figures;
+pub mod fivemod;
+pub mod placement_experiment;
+pub mod report;
+pub mod sensitivity;
+pub mod study;
+pub mod validation;
+pub mod tables;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::checks::{run_shape_checks, ShapeCheck};
+    pub use crate::factory::ArrestmentFactory;
+    pub use crate::study::{Study, StudyConfig, StudyOutput};
+}
+
+pub use prelude::*;

@@ -1,0 +1,246 @@
+//! The full experimental study: campaign → estimates → measures → trees →
+//! paths → placement.
+
+use crate::factory::ArrestmentFactory;
+use permea_arrestment::system::ArrestmentSystem;
+use permea_arrestment::testcase::TestCase;
+use permea_core::backtrack::BacktrackForest;
+use permea_core::graph::PermeabilityGraph;
+use permea_core::matrix::PermeabilityMatrix;
+use permea_core::measures::SystemMeasures;
+use permea_core::paths::PathSet;
+use permea_core::placement::{PlacementAdvisor, PlacementPlan};
+use permea_core::topology::SystemTopology;
+use permea_core::trace::TraceForest;
+use permea_fi::campaign::{Campaign, CampaignConfig};
+use permea_fi::error::FiError;
+use permea_fi::results::CampaignResult;
+use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the reproduction study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Mass grid size.
+    pub masses: usize,
+    /// Velocity grid size.
+    pub velocities: usize,
+    /// Injection instants in ms.
+    pub times_ms: Vec<u64>,
+    /// Bit positions to flip.
+    pub bits: Vec<u8>,
+    /// Comparison horizon in ms (`None` = full scenario, as in the paper).
+    pub horizon_ms: Option<u64>,
+    /// Worker threads (0 = all cores).
+    pub threads: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Keep per-run records (needed for latency/uniformity analyses).
+    pub keep_records: bool,
+    /// Injection scope.
+    pub scope: InjectionScope,
+}
+
+impl StudyConfig {
+    /// The paper's full configuration: 25 cases × 16 bits × 10 times per
+    /// input signal (4 000 injections each; 52 000 runs over the 13 input
+    /// ports), full-trace comparison.
+    pub fn paper() -> Self {
+        StudyConfig {
+            masses: 5,
+            velocities: 5,
+            times_ms: (1..=10).map(|k| k * 500).collect(),
+            bits: (0..16).collect(),
+            horizon_ms: None,
+            threads: 0,
+            seed: 0x5EED,
+            keep_records: true,
+            scope: InjectionScope::Port,
+        }
+    }
+
+    /// A reduced configuration with the same structure (all 12 ports, all
+    /// 16 bits) but a 3×3 workload grid, 5 instants and a 9 s horizon —
+    /// minutes become seconds while preserving every qualitative result.
+    pub fn quick() -> Self {
+        StudyConfig {
+            masses: 3,
+            velocities: 3,
+            times_ms: vec![500, 1500, 2500, 3500, 4500],
+            bits: (0..16).collect(),
+            horizon_ms: Some(9_000),
+            threads: 0,
+            seed: 0x5EED,
+            keep_records: true,
+            scope: InjectionScope::Port,
+        }
+    }
+
+    /// A tiny smoke configuration for unit tests.
+    pub fn smoke() -> Self {
+        StudyConfig {
+            masses: 1,
+            velocities: 1,
+            times_ms: vec![700, 2100],
+            bits: vec![0, 3, 9, 14],
+            horizon_ms: Some(4_000),
+            threads: 0,
+            seed: 0x5EED,
+            keep_records: true,
+            scope: InjectionScope::Port,
+        }
+    }
+
+    /// Expands the campaign spec: every input port of every module is a
+    /// target (the 13 input ports across the 6 modules).
+    pub fn spec(&self, topology: &SystemTopology) -> CampaignSpec {
+        let mut targets = Vec::new();
+        for m in topology.modules() {
+            for &sig in topology.inputs_of(m) {
+                targets.push(PortTarget::new(
+                    topology.module_name(m),
+                    topology.signal_name(sig),
+                ));
+            }
+        }
+        CampaignSpec {
+            targets,
+            models: self.bits.iter().map(|&bit| permea_fi::model::ErrorModel::BitFlip { bit }).collect(),
+            times_ms: self.times_ms.clone(),
+            cases: self.masses * self.velocities,
+            scope: self.scope,
+        }
+    }
+}
+
+/// Everything the study produces.
+pub struct StudyOutput {
+    /// The analysed topology.
+    pub topology: SystemTopology,
+    /// The expanded campaign spec.
+    pub spec: CampaignSpec,
+    /// Raw campaign counts and records.
+    pub result: CampaignResult,
+    /// The estimated permeability matrix (Table 1).
+    pub matrix: PermeabilityMatrix,
+    /// The permeability graph (Fig. 9).
+    pub graph: PermeabilityGraph,
+    /// All derived measures (Tables 2–3).
+    pub measures: SystemMeasures,
+    /// Backtrack trees per system output (Fig. 10).
+    pub backtrack: BacktrackForest,
+    /// Trace trees per system input (Figs. 11–12).
+    pub trace: TraceForest,
+    /// All TOC2 propagation paths, sorted by weight (Table 4).
+    pub toc2_paths: PathSet,
+    /// EDM/ERM placement plan (Section 5).
+    pub placement: PlacementPlan,
+}
+
+/// The study runner.
+#[derive(Debug, Clone)]
+pub struct Study {
+    config: StudyConfig,
+}
+
+impl Study {
+    /// Creates a study from a configuration.
+    pub fn new(config: StudyConfig) -> Self {
+        Study { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &StudyConfig {
+        &self.config
+    }
+
+    /// Runs the complete pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign and analysis failures ([`FiError`] rendered into
+    /// a boxed error for the analysis stages, which cannot fail for a valid
+    /// topology).
+    pub fn run(&self) -> Result<StudyOutput, FiError> {
+        let topology = ArrestmentSystem::topology();
+        let spec = self.config.spec(&topology);
+        let factory = ArrestmentFactory::with_cases(TestCase::grid(
+            self.config.masses,
+            self.config.velocities,
+        ));
+        let campaign = Campaign::new(
+            &factory,
+            CampaignConfig {
+                threads: self.config.threads,
+                master_seed: self.config.seed,
+                keep_records: self.config.keep_records,
+                horizon_ms: self.config.horizon_ms,
+            },
+        );
+        let result = campaign.run(&spec)?;
+        let matrix = permea_fi::estimate::estimate_matrix(&topology, &result)?;
+        let graph = PermeabilityGraph::new(&topology, &matrix)
+            .expect("matrix was shaped from this topology");
+        let measures =
+            SystemMeasures::compute(&graph).expect("validated topology yields measures");
+        let backtrack =
+            BacktrackForest::build(&graph).expect("validated topology yields backtrack trees");
+        let trace = TraceForest::build(&graph).expect("validated topology yields trace trees");
+        let toc2 = topology.signal_by_name("TOC2").expect("TOC2 exists");
+        let toc2_paths = backtrack
+            .tree_for(toc2)
+            .expect("TOC2 is a system output")
+            .clone()
+            .into_path_set()
+            .sorted_by_weight();
+        let placement = PlacementAdvisor::new(&graph)
+            .expect("validated topology yields placement")
+            .plan();
+        Ok(StudyOutput {
+            topology,
+            spec,
+            result,
+            matrix,
+            graph,
+            measures,
+            backtrack,
+            trace,
+            toc2_paths,
+            placement,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_targets_all_13_input_ports() {
+        let topo = ArrestmentSystem::topology();
+        let spec = StudyConfig::paper().spec(&topo);
+        // CLOCK 1 + DIST_S 3 + PRES_S 1 + CALC 5 + V_REG 2 + PREG 1
+        assert_eq!(spec.targets.len(), 13);
+    }
+
+    #[test]
+    fn paper_config_matches_section_7_3() {
+        let topo = ArrestmentSystem::topology();
+        let spec = StudyConfig::paper().spec(&topo);
+        assert_eq!(spec.injections_per_target(), 4_000);
+        assert_eq!(spec.models.len(), 16);
+        assert_eq!(spec.times_ms.len(), 10);
+        assert_eq!(spec.cases, 25);
+    }
+
+    #[test]
+    fn smoke_study_runs_end_to_end() {
+        let out = Study::new(StudyConfig::smoke()).run().unwrap();
+        assert_eq!(out.matrix.pair_count(), 25);
+        assert_eq!(out.toc2_paths.len(), 22, "the paper's 22 propagation paths");
+        assert_eq!(out.backtrack.trees().len(), 1);
+        assert_eq!(out.trace.trees().len(), 4);
+        assert!(!out.placement.edm.is_empty());
+        assert!(!out.placement.erm.is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! Physical and software constants of the arrestment system.
+//!
+//! Values are reconstructed from the paper's description (Section 7.1) and
+//! the MIL-spec style of land-based aircraft arresting gear: masses of
+//! 8 000–20 000 kg engaging at 40–80 m/s, brought to rest over a few hundred
+//! metres by cable tension from hydraulically braked drums.
+//!
+//! Signal encodings (all signals are 16-bit):
+//!
+//! | Signal | Unit | Range |
+//! |--------|------|-------|
+//! | `PACNT` | pulses (wrapping) | 0..=65535 |
+//! | `TIC1`, `TCNT` | timer counts (wrapping, [`TCNT_COUNTS_PER_MS`]/ms) | 0..=65535 |
+//! | `ADC` | 12-bit code, full scale [`ADC_FULL_SCALE_BAR`] | 0..=4095 |
+//! | `pulscnt` | pulses since engagement | 0..=65535 |
+//! | `mscnt` | milliseconds (wrapping) | 0..=65535 |
+//! | `ms_slot_nbr` | slot number | 0..=6 |
+//! | `slow_speed`, `stopped` | boolean | 0/1 |
+//! | `i` | checkpoint index | 0..=6 |
+//! | `SetValue`, `IsValue` | centibar | 0..=[`SET_VALUE_MAX_CBAR`] |
+//! | `OutValue`, `TOC2` | valve command | 0..=[`VALVE_CMD_MAX`] |
+
+/// Slots per scheduling cycle (seven 1-ms slots).
+pub const SLOTS_PER_CYCLE: u16 = 7;
+
+/// Free-running counter rate: counts per millisecond (a 2 MHz timer clock).
+pub const TCNT_COUNTS_PER_MS: u16 = 2000;
+
+/// Cable metres paid out per tooth-wheel pulse (a 50-tooth wheel on a drum
+/// with a 2.5 m cable circumference ⇒ 20 pulses per metre).
+pub const PULSES_PER_METRE: f64 = 20.0;
+
+/// ADC resolution in bits.
+pub const ADC_BITS: u8 = 12;
+
+/// ADC full-scale pressure in bar.
+pub const ADC_FULL_SCALE_BAR: f64 = 250.0;
+
+/// Maximum brake pressure the valve can command, in bar.
+pub const PRESSURE_MAX_BAR: f64 = 200.0;
+
+/// Valve first-order time constant in milliseconds.
+pub const VALVE_TAU_MS: f64 = 50.0;
+
+/// Brake gain: cable retarding force per bar of applied pressure (N/bar).
+/// Tuned so the 25-case grid produces arrestments of roughly 8–35 s —
+/// comfortably longer than the paper's 0.5–5.0 s injection window.
+pub const BRAKE_FORCE_PER_BAR: f64 = 400.0;
+
+/// Maximum valve command / `TOC2` register value (PWM full scale).
+pub const VALVE_CMD_MAX: u16 = 10_000;
+
+/// Maximum `SetValue`/`IsValue` encoding, in centibar (200.00 bar).
+pub const SET_VALUE_MAX_CBAR: u16 = 20_000;
+
+/// Checkpoint positions along the runway, in pulses (the paper's six
+/// pre-defined `pulscnt` checkpoints).
+pub const CHECKPOINT_PULSES: [u16; 6] = [50, 1500, 3500, 6000, 9000, 12000];
+
+/// Base pressure set-point per checkpoint, in centibar, before velocity
+/// scaling. The profile ramps up through the stroke then eases off.
+pub const CHECKPOINT_PRESSURE_CBAR: [u16; 6] = [3000, 6500, 9500, 12000, 13000, 11000];
+
+/// Reference engagement velocity for set-point scaling, in pulses/second
+/// (60 m/s × 20 pulses/m).
+pub const VEL_REF_PULSES_PER_S: u32 = 1200;
+
+/// `DIST_S`: largest plausible pulse-count delta per millisecond (80 m/s is
+/// 1.6 pulses/ms; anything above this is rejected as a sensor glitch).
+pub const MAX_PLAUSIBLE_DELTA: u16 = 8;
+
+/// `DIST_S`: speed estimate threshold for `slow_speed`, in pulses/second
+/// (100 pulses/s = 5 m/s).
+pub const SLOW_SPEED_PULSES_PER_S: u16 = 100;
+
+/// `DIST_S`: consecutive pulse-free milliseconds before `stopped` asserts.
+pub const STOPPED_DEBOUNCE_MS: u16 = 300;
+
+/// `PRES_S`: largest plausible pressure change between two 7 ms samples, in
+/// centibar. The 50 ms valve slews at most ~28 bar per 7 ms sample, so
+/// 30 bar rejects every ≥bit-9 corruption while never rejecting a genuine
+/// sample.
+pub const MAX_PLAUSIBLE_PRESSURE_STEP_CBAR: u16 = 3000;
+
+/// `PRES_S`: output quantisation, in centibar (1 bar steps — much coarser
+/// than one ADC code, so low-order-bit corruption vanishes in rounding).
+pub const IS_VALUE_QUANTUM_CBAR: u16 = 100;
+
+/// `CALC`: decay shift applied to `SetValue` while `slow_speed` holds
+/// (`SetValue -= SetValue >> SLOW_DECAY_SHIFT` every 8 ms).
+pub const SLOW_DECAY_SHIFT: u16 = 4;
+
+/// `V_REG`: proportional gain numerator (gain = KP_NUM / 256).
+pub const VREG_KP_NUM: i32 = 160;
+
+/// `V_REG`: integral gain numerator (gain = KI_NUM / 4096 per 7 ms sample).
+pub const VREG_KI_NUM: i32 = 48;
+
+/// `V_REG`: integrator clamp (anti-windup).
+pub const VREG_INTEG_CLAMP: i32 = 1 << 20;
+
+/// `V_REG`: output command quantisation (valve-driver resolution, 50/10 000
+/// = 1 bar). Keeps `OutValue` constant through small regulation wobbles, so
+/// redundant writes are skipped during steady tracking. Divides
+/// [`VALVE_CMD_MAX`] exactly so full scale stays reachable.
+pub const VREG_CMD_QUANTUM: i32 = 50;
+
+/// `PREG`: maximum `TOC2` change per 7 ms invocation (valve-driver slew
+/// limit).
+pub const PREG_SLEW_PER_STEP: u16 = 600;
+
+/// Environment: aircraft is considered stopped below this speed (m/s).
+pub const STOP_SPEED_MS: f64 = 0.05;
+
+/// Environment: rolling/aerodynamic drag decelerating the aircraft even
+/// without brake pressure (m/s² — keeps scenarios finite).
+pub const BASE_DRAG_DECEL: f64 = 0.20;
+
+/// Hard cap on scenario length, in milliseconds (below the 65 535 ms wrap of
+/// `mscnt`).
+pub const SCENARIO_CAP_MS: u64 = 50_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checkpoints_are_strictly_increasing() {
+        for w in CHECKPOINT_PULSES.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn pressure_table_within_encoding() {
+        for &p in &CHECKPOINT_PRESSURE_CBAR {
+            assert!(p <= SET_VALUE_MAX_CBAR);
+        }
+    }
+
+    #[test]
+    fn max_pulse_rate_is_plausible() {
+        // Fastest engagement: 80 m/s ⇒ 1.6 pulses/ms, far below the gate.
+        let fastest = 80.0 * PULSES_PER_METRE / 1000.0;
+        assert!(fastest < MAX_PLAUSIBLE_DELTA as f64);
+    }
+
+    #[test]
+    fn scenario_cap_fits_16_bit_millisecond_counter() {
+        assert!(SCENARIO_CAP_MS < u16::MAX as u64);
+    }
+
+    #[test]
+    fn adc_covers_max_pressure() {
+        assert!(ADC_FULL_SCALE_BAR > PRESSURE_MAX_BAR);
+    }
+}

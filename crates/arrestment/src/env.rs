@@ -1,0 +1,255 @@
+//! The environment simulator: aircraft, cable/drum, valve and sensors.
+//!
+//! The paper ported the authors' environment simulator alongside the control
+//! software so that the desktop system experienced the same world as the real
+//! rig. This module plays that role: a point-mass aircraft engages the cable
+//! at `t = 0`; cable tension is proportional to the hydraulic brake pressure,
+//! which follows the valve command through a first-order lag; drum rotation
+//! drives a tooth wheel whose pulses feed the rotation sensors.
+//!
+//! Per tick (1 ms):
+//!
+//! * `pre_tick` — sensor registers (`PACNT`, `TIC1`, `TCNT`, `ADC`) are
+//!   refreshed onto the signal bus,
+//! * `post_tick` — the valve command (`TOC2`) is read back, the hydraulics
+//!   and the aircraft state advance 1 ms, and the counters accumulate.
+
+use crate::constants::*;
+use crate::testcase::TestCase;
+use permea_runtime::hw::{AdcChannel, FreeRunningCounter, InputCapture, PulseAccumulator, PwmOut};
+use permea_runtime::signals::{SignalBus, SignalRef};
+use permea_runtime::sim::Environment;
+use permea_runtime::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::sync::{Arc, Mutex};
+
+/// Telemetry snapshot of the physical state, updated every tick; readable
+/// from outside the simulation via [`ArrestmentEnv::snapshot_handle`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnvSnapshot {
+    /// Aircraft velocity in m/s.
+    pub velocity_ms: f64,
+    /// Distance travelled since engagement, in metres.
+    pub position_m: f64,
+    /// Applied brake pressure in bar.
+    pub pressure_bar: f64,
+    /// Milliseconds elapsed.
+    pub elapsed_ms: u64,
+    /// `true` once the aircraft has come to rest.
+    pub arrested: bool,
+}
+
+/// The signal references the environment reads and writes.
+#[derive(Debug, Clone, Copy)]
+pub struct EnvSignals {
+    /// Pulse-accumulator register signal.
+    pub pacnt: SignalRef,
+    /// Input-capture register signal.
+    pub tic1: SignalRef,
+    /// Free-running counter register signal.
+    pub tcnt: SignalRef,
+    /// Pressure ADC register signal.
+    pub adc: SignalRef,
+    /// Valve command register signal (system output).
+    pub toc2: SignalRef,
+}
+
+/// The arrestment world: physics plus simulated sensor/actuator hardware.
+#[derive(Debug)]
+pub struct ArrestmentEnv {
+    case: TestCase,
+    velocity: f64,
+    position: f64,
+    pressure_bar: f64,
+    stopped_for_ms: u64,
+    tcnt: FreeRunningCounter,
+    pacnt: PulseAccumulator,
+    tic1: InputCapture,
+    adc: AdcChannel,
+    pwm: PwmOut,
+    signals: EnvSignals,
+    snapshot: Arc<Mutex<EnvSnapshot>>,
+}
+
+impl ArrestmentEnv {
+    /// Creates the environment for one test case, bound to the given bus
+    /// signals.
+    pub fn new(case: TestCase, signals: EnvSignals) -> Self {
+        ArrestmentEnv {
+            case,
+            velocity: case.velocity_ms,
+            position: 0.0,
+            pressure_bar: 0.0,
+            stopped_for_ms: 0,
+            tcnt: FreeRunningCounter::new(TCNT_COUNTS_PER_MS),
+            pacnt: PulseAccumulator::new(),
+            tic1: InputCapture::new(),
+            adc: AdcChannel::new(ADC_BITS, ADC_FULL_SCALE_BAR),
+            pwm: PwmOut::new(VALVE_CMD_MAX),
+            signals,
+            snapshot: Arc::new(Mutex::new(EnvSnapshot {
+                velocity_ms: case.velocity_ms,
+                ..EnvSnapshot::default()
+            })),
+        }
+    }
+
+    /// The test case this environment runs.
+    pub fn case(&self) -> TestCase {
+        self.case
+    }
+
+    /// A shared handle to per-tick telemetry; clone it before moving the
+    /// environment into a simulation.
+    pub fn snapshot_handle(&self) -> Arc<Mutex<EnvSnapshot>> {
+        Arc::clone(&self.snapshot)
+    }
+
+    fn publish_snapshot(&self, now: SimTime) {
+        if let Ok(mut s) = self.snapshot.lock() {
+            *s = EnvSnapshot {
+                velocity_ms: self.velocity,
+                position_m: self.position,
+                pressure_bar: self.pressure_bar,
+                elapsed_ms: now.as_millis() + 1,
+                arrested: self.velocity <= STOP_SPEED_MS,
+            };
+        }
+    }
+}
+
+impl Environment for ArrestmentEnv {
+    fn pre_tick(&mut self, _now: SimTime, bus: &mut SignalBus) {
+        bus.write(self.signals.pacnt, self.pacnt.value());
+        bus.write(self.signals.tic1, self.tic1.value());
+        bus.write(self.signals.tcnt, self.tcnt.value());
+        bus.write(self.signals.adc, self.adc.convert(self.pressure_bar));
+    }
+
+    fn post_tick(&mut self, now: SimTime, bus: &mut SignalBus) {
+        let dt = 1.0e-3; // one millisecond
+
+        // Valve hydraulics: first-order lag towards the commanded pressure.
+        let cmd_bar = self.pwm.duty(bus.read(self.signals.toc2)) * PRESSURE_MAX_BAR;
+        self.pressure_bar += (cmd_bar - self.pressure_bar) * (1.0 / VALVE_TAU_MS);
+
+        // Aircraft dynamics.
+        if self.velocity > 0.0 {
+            let decel =
+                BRAKE_FORCE_PER_BAR * self.pressure_bar / self.case.mass_kg + BASE_DRAG_DECEL;
+            self.velocity = (self.velocity - decel * dt).max(0.0);
+            self.position += self.velocity * dt;
+        }
+
+        // Rotation sensing: tooth-wheel pulses at v * 20 pulses/m.
+        let whole = self.pacnt.add_rate(self.velocity * PULSES_PER_METRE * dt);
+        if whole > 0 {
+            self.tic1.capture(self.tcnt.value());
+        }
+        self.tcnt.tick_ms();
+
+        if self.velocity <= STOP_SPEED_MS {
+            self.stopped_for_ms += 1;
+        }
+        self.publish_snapshot(now);
+    }
+
+    fn finished(&self, now: SimTime) -> bool {
+        self.stopped_for_ms > 200 || now.as_millis() >= SCENARIO_CAP_MS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_with_bus() -> (ArrestmentEnv, SignalBus) {
+        let mut bus = SignalBus::new();
+        let signals = EnvSignals {
+            pacnt: bus.define("PACNT"),
+            tic1: bus.define("TIC1"),
+            tcnt: bus.define("TCNT"),
+            adc: bus.define("ADC"),
+            toc2: bus.define("TOC2"),
+        };
+        let env = ArrestmentEnv::new(TestCase::new(14_000.0, 60.0), signals);
+        (env, bus)
+    }
+
+    #[test]
+    fn sensors_are_refreshed_each_tick() {
+        let (mut env, mut bus) = env_with_bus();
+        let signals = env.signals;
+        env.pre_tick(SimTime::ZERO, &mut bus);
+        assert_eq!(bus.read(signals.tcnt), 0);
+        env.post_tick(SimTime::ZERO, &mut bus);
+        env.pre_tick(SimTime::from_millis(1), &mut bus);
+        assert_eq!(bus.read(signals.tcnt), TCNT_COUNTS_PER_MS);
+        // 60 m/s * 20 p/m * 1 ms = 1.2 pulses -> 1 whole pulse after one tick
+        assert_eq!(bus.read(signals.pacnt), 1);
+    }
+
+    #[test]
+    fn full_valve_command_decelerates_aircraft() {
+        let (mut env, mut bus) = env_with_bus();
+        let signals = env.signals;
+        bus.write(signals.toc2, VALVE_CMD_MAX);
+        for t in 0..5_000 {
+            env.pre_tick(SimTime::from_millis(t), &mut bus);
+            env.post_tick(SimTime::from_millis(t), &mut bus);
+        }
+        let snap = *env.snapshot_handle().lock().unwrap();
+        assert!(snap.pressure_bar > 0.9 * PRESSURE_MAX_BAR);
+        assert!(snap.velocity_ms < 60.0 - 10.0, "velocity was {}", snap.velocity_ms);
+        assert!(snap.position_m > 0.0);
+    }
+
+    #[test]
+    fn zero_command_still_crawls_to_stop_via_drag() {
+        let (mut env, mut bus) = env_with_bus();
+        // No brake pressure at all: base drag alone must eventually finish
+        // the scenario (before the hard cap).
+        let mut t = 0;
+        while !env.finished(SimTime::from_millis(t)) && t < SCENARIO_CAP_MS + 300 {
+            env.pre_tick(SimTime::from_millis(t), &mut bus);
+            env.post_tick(SimTime::from_millis(t), &mut bus);
+            t += 1;
+        }
+        assert!(t <= SCENARIO_CAP_MS + 300);
+    }
+
+    #[test]
+    fn snapshot_tracks_arrest() {
+        let (mut env, mut bus) = env_with_bus();
+        let signals = env.signals;
+        let handle = env.snapshot_handle();
+        bus.write(signals.toc2, VALVE_CMD_MAX);
+        let mut t = 0u64;
+        while !env.finished(SimTime::from_millis(t)) {
+            env.pre_tick(SimTime::from_millis(t), &mut bus);
+            env.post_tick(SimTime::from_millis(t), &mut bus);
+            t += 1;
+        }
+        let snap = *handle.lock().unwrap();
+        assert!(snap.arrested);
+        assert!(snap.velocity_ms <= STOP_SPEED_MS);
+        // 14 t at 60 m/s with ~5.7 m/s² peak decel stops in 10-25 s.
+        assert!(t > 5_000 && t < SCENARIO_CAP_MS, "stopped after {t} ms");
+    }
+
+    #[test]
+    fn tic1_latches_only_on_pulses() {
+        let (mut env, mut bus) = env_with_bus();
+        let signals = env.signals;
+        // Two ticks at 60 m/s: 1.2 then 2.4 pulses accumulated -> both ticks
+        // register a pulse; capture equals TCNT value at capture time.
+        env.pre_tick(SimTime::ZERO, &mut bus);
+        env.post_tick(SimTime::ZERO, &mut bus);
+        env.pre_tick(SimTime::from_millis(1), &mut bus);
+        let first_capture = bus.read(signals.tic1);
+        assert_eq!(first_capture, 0); // captured before tcnt ticked
+        env.post_tick(SimTime::from_millis(1), &mut bus);
+        env.pre_tick(SimTime::from_millis(2), &mut bus);
+        assert_eq!(bus.read(signals.tic1), TCNT_COUNTS_PER_MS);
+    }
+}

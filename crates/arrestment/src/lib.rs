@@ -1,0 +1,45 @@
+//! # permea-arrestment — the paper's target embedded control system
+//!
+//! A reconstruction of the aircraft-arrestment controller analysed in
+//! Section 7 of the paper: a medium-sized embedded control system that
+//! arrests incoming aircraft on short runways by paying out a cable from a
+//! rotating drum braked with hydraulic pressure.
+//!
+//! The software consists of six modules scheduled in seven 1-ms slots:
+//!
+//! | Module | Inputs | Outputs | Schedule |
+//! |--------|--------|---------|----------|
+//! | `CLOCK` | ms_slot_nbr (self) | mscnt, ms_slot_nbr | every ms |
+//! | `DIST_S` | PACNT, TIC1, TCNT | pulscnt, slow_speed, stopped | every ms |
+//! | `PRES_S` | ADC | IsValue | slot 2, every 7 ms |
+//! | `CALC` | pulscnt, mscnt, slow_speed, stopped, i (self) | i, SetValue | background |
+//! | `V_REG` | SetValue, IsValue | OutValue | slot 4, every 7 ms |
+//! | `PREG` | OutValue | TOC2 | slot 5, every 7 ms |
+//!
+//! System inputs: `PACNT`, `TIC1`, `TCNT` (rotation sensing) and `ADC`
+//! (pressure sensing). System output: `TOC2` (valve command register).
+//! This gives the paper's 25 (input, output) permeability pairs.
+//!
+//! [`system::ArrestmentSystem`] wires the modules onto a
+//! [`permea_runtime::sim::Simulation`] and exposes the matching
+//! [`permea_core::topology::SystemTopology`], generated from one shared
+//! [`system::SYSTEM_SPEC`] so runtime port numbering and analysis port
+//! numbering can never drift apart.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod constants;
+pub mod env;
+pub mod modules;
+pub mod system;
+pub mod testcase;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::env::{ArrestmentEnv, EnvSnapshot};
+    pub use crate::system::{ArrestmentSystem, ModuleSpec, SYSTEM_SPEC};
+    pub use crate::testcase::TestCase;
+}
+
+pub use prelude::*;

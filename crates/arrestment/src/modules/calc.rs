@@ -1,0 +1,260 @@
+//! `CALC` — set-point calculation (the background task).
+//!
+//! Computes the pressure set-point `SetValue` at six pre-defined checkpoints
+//! along the runway, detected by comparing the current `pulscnt` against the
+//! checkpoint table. The current checkpoint index lives in the signal `i`,
+//! which is both an output and an input of `CALC` (a genuine self-feedback
+//! loop: the module trusts the fed-back index rather than re-deriving it, so
+//! a corrupted `i` persists — the paper's `P(i→i) = 1.000`).
+//!
+//! At a checkpoint crossing, the set-point is the per-checkpoint base scaled
+//! by the velocity estimated from pulse and millisecond counts since the
+//! previous crossing. While `slow_speed` holds, the set-point decays every
+//! 8 ms; when `stopped` holds, it is forced to zero.
+//!
+//! `SetValue` is written **only when an event occurs** (crossing, decay,
+//! stop) — between checkpoints the signal stays untouched, which is why
+//! errors injected into `SetValue` at `V_REG`'s input persist so long and
+//! make `P(SetValue→OutValue)` one of the largest permeabilities in the
+//! system.
+
+use crate::constants::{
+    CHECKPOINT_PRESSURE_CBAR, CHECKPOINT_PULSES, SET_VALUE_MAX_CBAR, SLOW_DECAY_SHIFT,
+    VEL_REF_PULSES_PER_S,
+};
+use permea_runtime::module::{ModuleCtx, SoftwareModule};
+
+/// Number of checkpoints.
+pub const CHECKPOINTS: u16 = CHECKPOINT_PULSES.len() as u16;
+
+/// The `CALC` module. Inputs:
+/// `[pulscnt, mscnt, slow_speed, stopped, i]`. Outputs: `[i, SetValue]`.
+#[derive(Debug, Clone)]
+pub struct Calc {
+    /// `pulscnt` at the previous checkpoint crossing.
+    pulscnt_at_cp: u16,
+    /// `mscnt` at the previous checkpoint crossing.
+    mscnt_at_cp: u16,
+    /// Current set-point (mirrors the `SetValue` signal).
+    set_cbar: u16,
+    /// Whether the set-point has ever been written.
+    engaged: bool,
+}
+
+impl Calc {
+    /// Creates the calculator in its pre-engagement state.
+    pub fn new() -> Self {
+        Calc { pulscnt_at_cp: 0, mscnt_at_cp: 0, set_cbar: 0, engaged: false }
+    }
+
+    /// Velocity-scaled set-point for checkpoint `cp` given pulses/second.
+    fn scaled_setpoint(cp: usize, vel_pulses_per_s: u32) -> u16 {
+        let base = CHECKPOINT_PRESSURE_CBAR[cp] as u32;
+        let scaled = base * vel_pulses_per_s / VEL_REF_PULSES_PER_S;
+        scaled.min(SET_VALUE_MAX_CBAR as u32) as u16
+    }
+}
+
+impl Default for Calc {
+    fn default() -> Self {
+        Calc::new()
+    }
+}
+
+impl SoftwareModule for Calc {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let pulscnt = ctx.read(0);
+        let mscnt = ctx.read(1);
+        let slow = ctx.read_bool(2);
+        let stopped = ctx.read_bool(3);
+        // Trust the fed-back checkpoint index (clamped into range).
+        let i_in = ctx.read(4).min(CHECKPOINTS);
+        let mut i = i_in;
+
+        if stopped {
+            // Arrestment complete: release pressure, freeze the index.
+            self.set_cbar = 0;
+            self.engaged = true;
+            ctx.write_on_change(0, i);
+            ctx.write_on_change(1, 0);
+            return;
+        }
+
+        // Checkpoint detection: advance at most one checkpoint per pass.
+        if i < CHECKPOINTS && pulscnt >= CHECKPOINT_PULSES[i as usize] {
+            let dp = pulscnt.wrapping_sub(self.pulscnt_at_cp) as u32;
+            let dt_ms = mscnt.wrapping_sub(self.mscnt_at_cp) as u32;
+            // Velocity estimate in pulses/second; first checkpoint uses the
+            // reference (too little history to divide by).
+            let vel = if i == 0 || dt_ms == 0 {
+                VEL_REF_PULSES_PER_S
+            } else {
+                dp * 1000 / dt_ms
+            };
+            self.set_cbar = Self::scaled_setpoint(i as usize, vel);
+            self.pulscnt_at_cp = pulscnt;
+            self.mscnt_at_cp = mscnt;
+            self.engaged = true;
+            i += 1;
+            ctx.write_on_change(1, self.set_cbar);
+        } else if slow && self.engaged && mscnt & 0x7 == 0 {
+            // Taper off the pressure while creeping (every 8th millisecond).
+            self.set_cbar -= self.set_cbar >> SLOW_DECAY_SHIFT;
+            ctx.write_on_change(1, self.set_cbar);
+        }
+
+        // The checkpoint index changes a handful of times per scenario:
+        // written on change only, so the fed-back signal keeps its version
+        // (and any injected corruption of a consumer port its visibility).
+        ctx.write_on_change(0, i);
+    }
+
+    fn reset(&mut self) {
+        *self = Calc::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::harness::SingleModuleHarness;
+
+    const P_IN: usize = 0;
+    const MS_IN: usize = 1;
+    const SLOW_IN: usize = 2;
+    const STOP_IN: usize = 3;
+    const I_IN: usize = 4;
+    const I_OUT: usize = 0;
+    const SET_OUT: usize = 1;
+
+    fn harness() -> SingleModuleHarness {
+        SingleModuleHarness::new(
+            &["pulscnt", "mscnt", "slow_speed", "stopped", "i_fb"],
+            &["i", "SetValue"],
+        )
+    }
+
+    /// Runs one CALC pass with the i-feedback wired.
+    fn pass(h: &mut SingleModuleHarness, m: &mut Calc, pulscnt: u16, mscnt: u16) {
+        h.set_input(P_IN, pulscnt);
+        h.set_input(MS_IN, mscnt);
+        h.step(m, 1);
+        let i = h.out(I_OUT);
+        h.set_input(I_IN, i);
+    }
+
+    #[test]
+    fn advances_one_checkpoint_per_pass() {
+        let mut h = harness();
+        let mut m = Calc::new();
+        // pulscnt already beyond checkpoints 0 and 1: advances once per pass.
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[1] + 10, 1000);
+        assert_eq!(h.out(I_OUT), 1);
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[1] + 12, 1001);
+        assert_eq!(h.out(I_OUT), 2);
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[1] + 14, 1002);
+        assert_eq!(h.out(I_OUT), 2, "stays until the next checkpoint");
+    }
+
+    #[test]
+    fn first_checkpoint_sets_reference_pressure() {
+        let mut h = harness();
+        let mut m = Calc::new();
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[0], 200);
+        assert_eq!(h.out(SET_OUT), CHECKPOINT_PRESSURE_CBAR[0]);
+    }
+
+    #[test]
+    fn setpoint_scales_with_velocity() {
+        // Cross checkpoint 1 fast vs slow: the fast crossing gets a higher
+        // set-point.
+        let run = |dt_ms: u16| {
+            let mut h = harness();
+            let mut m = Calc::new();
+            pass(&mut h, &mut m, CHECKPOINT_PULSES[0], 100);
+            pass(&mut h, &mut m, CHECKPOINT_PULSES[1], 100 + dt_ms);
+            h.out(SET_OUT)
+        };
+        let fast = run(800); // ~1813 pulses/s
+        let slow = run(2000); // ~725 pulses/s
+        assert!(fast > slow, "fast {fast} should exceed slow {slow}");
+    }
+
+    #[test]
+    fn stopped_forces_zero_setpoint() {
+        let mut h = harness();
+        let mut m = Calc::new();
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[0], 100);
+        assert!(h.out(SET_OUT) > 0);
+        h.set_input(STOP_IN, 1);
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[0] + 1, 101);
+        assert_eq!(h.out(SET_OUT), 0);
+    }
+
+    #[test]
+    fn slow_speed_decays_setpoint_every_8ms() {
+        let mut h = harness();
+        let mut m = Calc::new();
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[0], 96);
+        let start = h.out(SET_OUT);
+        h.set_input(SLOW_IN, 1);
+        // mscnt = 104: decay fires (104 & 7 == 0).
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[0] + 1, 104);
+        let after = h.out(SET_OUT);
+        assert!(after < start);
+        // mscnt = 105: no decay.
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[0] + 1, 105);
+        assert_eq!(h.out(SET_OUT), after);
+    }
+
+    #[test]
+    fn corrupted_high_index_freezes_progress() {
+        let mut h = harness();
+        let mut m = Calc::new();
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[0], 100);
+        assert_eq!(h.out(I_OUT), 1);
+        // Corrupt the fed-back index upwards: CALC trusts it.
+        h.set_input(I_IN, 5);
+        h.set_input(P_IN, CHECKPOINT_PULSES[1]);
+        h.set_input(MS_IN, 101);
+        h.step(&mut m, 1);
+        assert_eq!(h.out(I_OUT), 5, "corrupted index persists");
+    }
+
+    #[test]
+    fn out_of_range_index_is_clamped() {
+        let mut h = harness();
+        let mut m = Calc::new();
+        h.set_input(I_IN, 999);
+        pass(&mut h, &mut m, 0, 1);
+        assert_eq!(h.out(I_OUT), CHECKPOINTS);
+    }
+
+    #[test]
+    fn setvalue_untouched_between_events() {
+        let mut h = harness();
+        let mut m = Calc::new();
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[0], 100);
+        let set = h.out(SET_OUT);
+        // Overwrite the SetValue *signal* externally; CALC must not rewrite
+        // it while no event occurs (this is what makes injected SetValue
+        // errors persistent).
+        let sig = h.output(SET_OUT);
+        h.bus.write(sig, set + 123);
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[0] + 5, 110);
+        assert_eq!(h.out(SET_OUT), set + 123);
+    }
+
+    #[test]
+    fn reset_restores_pre_engagement() {
+        let mut h = harness();
+        let mut m = Calc::new();
+        pass(&mut h, &mut m, CHECKPOINT_PULSES[0], 100);
+        m.reset();
+        h.set_input(I_IN, 0);
+        // Slow decay must not fire pre-engagement even with slow set.
+        h.set_input(SLOW_IN, 1);
+        pass(&mut h, &mut m, 0, 8);
+        assert_eq!(h.out(I_OUT), 0);
+    }
+}

@@ -1,0 +1,127 @@
+//! `CLOCK` — the millisecond clock and slot counter.
+//!
+//! Provides the millisecond counter `mscnt` (output 1) and the scheduler
+//! slot number `ms_slot_nbr` (output 2). The slot number is computed from
+//! its own previous value read back through input 1 — a genuine self-feedback
+//! signal — while `mscnt` comes from an internal counter.
+//!
+//! Permeability consequences (matching the paper's Table 1 structure):
+//! `P(ms_slot_nbr → ms_slot_nbr) ≈ 1` (a corrupted slot value is carried
+//! around the loop forever) and `P(ms_slot_nbr → mscnt) = 0` (`mscnt` never
+//! depends on the slot signal).
+
+use crate::constants::SLOTS_PER_CYCLE;
+use permea_runtime::module::{ModuleCtx, SoftwareModule};
+
+/// The `CLOCK` module. Inputs: `[ms_slot_nbr]`. Outputs:
+/// `[mscnt, ms_slot_nbr]`.
+#[derive(Debug, Clone, Default)]
+pub struct Clock {
+    mscnt: u16,
+}
+
+impl Clock {
+    /// Creates a clock at millisecond zero.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+}
+
+impl SoftwareModule for Clock {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        // Slot number advances from its fed-back previous value.
+        let slot = ctx.read(0);
+        let next_slot = if slot >= SLOTS_PER_CYCLE - 1 { 0 } else { slot + 1 };
+        // Millisecond counter is internal state, independent of the slot.
+        self.mscnt = self.mscnt.wrapping_add(1);
+        ctx.write(0, self.mscnt);
+        ctx.write(1, next_slot);
+    }
+
+    fn reset(&mut self) {
+        self.mscnt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::harness::SingleModuleHarness;
+
+    fn harness() -> SingleModuleHarness {
+        SingleModuleHarness::new(&["ms_slot_nbr_in"], &["mscnt", "ms_slot_nbr"])
+    }
+
+    #[test]
+    fn mscnt_counts_invocations() {
+        let mut h = harness();
+        let mut clock = Clock::new();
+        for expected in 1..=10u16 {
+            h.step(&mut clock, 1);
+            assert_eq!(h.out(0), expected);
+            // feed the slot back as the system wiring would
+            let slot = h.out(1);
+            h.set_input(0, slot);
+        }
+    }
+
+    #[test]
+    fn slot_cycles_mod_seven() {
+        let mut h = harness();
+        let mut clock = Clock::new();
+        let mut slots = Vec::new();
+        for _ in 0..15 {
+            h.step(&mut clock, 1);
+            let slot = h.out(1);
+            slots.push(slot);
+            h.set_input(0, slot);
+        }
+        assert_eq!(slots[..8], [1, 2, 3, 4, 5, 6, 0, 1]);
+        assert!(slots.iter().all(|&s| s < SLOTS_PER_CYCLE));
+    }
+
+    #[test]
+    fn corrupted_slot_feedback_propagates_forever() {
+        let mut h = harness();
+        let mut clock = Clock::new();
+        // Steady state: slot 3 -> writes 4.
+        h.set_input(0, 3);
+        h.step(&mut clock, 1);
+        assert_eq!(h.out(1), 4);
+        // Corrupted feedback: 6 instead of 4 -> wraps to 0, not 5.
+        h.set_input(0, 6);
+        h.step(&mut clock, 1);
+        assert_eq!(h.out(1), 0);
+    }
+
+    #[test]
+    fn out_of_range_slot_recovers_to_zero() {
+        let mut h = harness();
+        let mut clock = Clock::new();
+        h.set_input(0, 999); // corrupted beyond the cycle
+        h.step(&mut clock, 1);
+        assert_eq!(h.out(1), 0);
+    }
+
+    #[test]
+    fn mscnt_is_independent_of_slot_input() {
+        let mut h1 = harness();
+        let mut h2 = harness();
+        let mut c1 = Clock::new();
+        let mut c2 = Clock::new();
+        h2.set_input(0, 5); // different slot input
+        h1.step(&mut c1, 1);
+        h2.step(&mut c2, 1);
+        assert_eq!(h1.out(0), h2.out(0)); // mscnt identical
+    }
+
+    #[test]
+    fn reset_restarts_counter() {
+        let mut h = harness();
+        let mut clock = Clock::new();
+        h.step(&mut clock, 1);
+        clock.reset();
+        h.step(&mut clock, 1);
+        assert_eq!(h.out(0), 1);
+    }
+}

@@ -1,0 +1,281 @@
+//! `DIST_S` — distance/rotation sensing.
+//!
+//! Reads the rotation-sensor registers every millisecond and publishes:
+//!
+//! * `pulscnt` (output 1) — total tooth-wheel pulses since engagement,
+//! * `slow_speed` (output 2) — the last pulse is stale: the drum is creeping,
+//! * `stopped` (output 3) — drum at rest.
+//!
+//! Outputs are written **on change only** (the embedded idiom of skipping
+//! redundant register writes); `slow_speed` and `stopped` change a handful
+//! of times per scenario, so errors injected on their consumers' inputs
+//! stay exposed for a long time.
+//!
+//! Defensive patterns shaping the permeability texture (observation OB2):
+//!
+//! * the per-millisecond `PACNT` delta is gated by a plausibility check
+//!   (`<=` [`MAX_PLAUSIBLE_DELTA`]); an implausible sample is skipped
+//!   *without* resynchronising, so a one-tick glitch is absorbed exactly —
+//!   only small in-range corruptions reach `pulscnt`;
+//! * `stopped` requires [`STOPPED_DEBOUNCE_MS`] consecutive pulse-free
+//!   milliseconds, which a single transient corruption can never fabricate —
+//!   its permeability is structurally zero while the aircraft moves;
+//! * `slow_speed` derives from the age of the last tooth pulse
+//!   (`TCNT - TIC1` capture gap, backed by a committed-pulse age counter to
+//!   mask the 32.8 ms timer wrap), so corrupted timer registers *can* flip
+//!   it — this is the permeable part of `DIST_S`.
+
+use crate::constants::{MAX_PLAUSIBLE_DELTA, STOPPED_DEBOUNCE_MS, TCNT_COUNTS_PER_MS};
+use permea_runtime::module::{ModuleCtx, SoftwareModule};
+
+/// Pulse age (in ms) above which the drum counts as creeping: 10 ms between
+/// pulses is 2 pulses/s short of 5 m/s.
+const SLOW_GAP_MS: u16 = 10;
+
+/// The `DIST_S` module. Inputs: `[PACNT, TIC1, TCNT]`. Outputs:
+/// `[pulscnt, slow_speed, stopped]`.
+#[derive(Debug, Clone, Default)]
+pub struct DistS {
+    last_pacnt: u16,
+    pulscnt: u16,
+    /// Consecutive milliseconds without a committed pulse.
+    quiet_ms: u16,
+}
+
+impl DistS {
+    /// Creates the sensor module at rest.
+    pub fn new() -> Self {
+        DistS::default()
+    }
+}
+
+impl SoftwareModule for DistS {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let pacnt = ctx.read(0);
+        let tic1 = ctx.read(1);
+        let tcnt = ctx.read(2);
+
+        // --- pulse counting with plausibility gate ---
+        let delta = pacnt.wrapping_sub(self.last_pacnt);
+        if delta <= MAX_PLAUSIBLE_DELTA {
+            // Plausible progression: commit. (On a skipped glitch the delta
+            // accumulates and is committed next tick, so transients heal.)
+            self.pulscnt = self.pulscnt.wrapping_add(delta);
+            self.last_pacnt = pacnt;
+            if delta > 0 {
+                self.quiet_ms = 0;
+            } else {
+                self.quiet_ms = self.quiet_ms.saturating_add(1);
+            }
+        } else {
+            // Sensor glitch: skip the sample entirely.
+            self.quiet_ms = self.quiet_ms.saturating_add(1);
+        }
+
+        // --- slow-speed: the last captured pulse is stale ---
+        // Hardware gap (wraps every 32.8 ms), backed by the committed-pulse
+        // age so the wrap cannot clear a genuine staleness.
+        let gap_counts = tcnt.wrapping_sub(tic1);
+        let slow = gap_counts > SLOW_GAP_MS * TCNT_COUNTS_PER_MS || self.quiet_ms > SLOW_GAP_MS;
+
+        // --- stopped: long debounce on committed pulses ---
+        let stopped = self.quiet_ms >= STOPPED_DEBOUNCE_MS;
+
+        ctx.write_on_change(0, self.pulscnt);
+        ctx.write_bool_on_change(1, slow);
+        ctx.write_bool_on_change(2, stopped);
+    }
+
+    fn reset(&mut self) {
+        *self = DistS::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::harness::SingleModuleHarness;
+
+    fn harness() -> SingleModuleHarness {
+        SingleModuleHarness::new(&["PACNT", "TIC1", "TCNT"], &["pulscnt", "slow_speed", "stopped"])
+    }
+
+    /// Drives `ms` ticks at a constant pulse rate (pulses per ms as num/den).
+    fn drive(
+        h: &mut SingleModuleHarness,
+        m: &mut DistS,
+        ms: u64,
+        num: u32,
+        den: u32,
+        start_tick: u64,
+    ) -> u64 {
+        let mut acc = 0u32;
+        let mut pacnt = h.bus.read(h.input(0));
+        let mut tcnt_val = (start_tick as u32).wrapping_mul(TCNT_COUNTS_PER_MS as u32) as u16;
+        for _ in 0..ms {
+            acc += num;
+            let pulses = acc / den;
+            acc %= den;
+            pacnt = pacnt.wrapping_add(pulses as u16);
+            if pulses > 0 {
+                h.set_input(1, tcnt_val); // TIC1 := TCNT at pulse
+            }
+            h.set_input(0, pacnt);
+            h.set_input(2, tcnt_val);
+            h.step(m, 1);
+            tcnt_val = tcnt_val.wrapping_add(TCNT_COUNTS_PER_MS);
+        }
+        start_tick + ms
+    }
+
+    #[test]
+    fn counts_pulses_at_cruise() {
+        let mut h = harness();
+        let mut m = DistS::new();
+        // 1.5 pulses/ms for 1000 ms = 1500 pulses
+        drive(&mut h, &mut m, 1000, 3, 2, 0);
+        assert_eq!(h.out(0), 1500);
+        assert_eq!(h.out(1), 0, "fast aircraft is not slow_speed");
+        assert_eq!(h.out(2), 0, "moving aircraft is not stopped");
+    }
+
+    #[test]
+    fn implausible_glitch_is_fully_absorbed() {
+        let mut h = harness();
+        let mut m = DistS::new();
+        drive(&mut h, &mut m, 500, 3, 2, 0);
+        let clean = h.out(0);
+        // One corrupted PACNT read: bit 14 flipped.
+        let good = h.bus.read(h.input(0));
+        h.set_input(0, good ^ 0x4000);
+        h.set_input(2, 1000);
+        h.step(&mut m, 1);
+        assert_eq!(h.out(0), clean, "glitch sample must be skipped");
+        // Restore the true register; the skipped delta is committed now.
+        h.set_input(0, good.wrapping_add(2));
+        h.step(&mut m, 1);
+        assert_eq!(h.out(0), clean + 2, "pulse count heals exactly");
+    }
+
+    #[test]
+    fn small_corruption_within_gate_reaches_pulscnt() {
+        let mut h = harness();
+        let mut m = DistS::new();
+        drive(&mut h, &mut m, 500, 3, 2, 0);
+        let clean = h.out(0);
+        let good = h.bus.read(h.input(0));
+        // +4 pulses is within the plausibility gate: committed.
+        h.set_input(0, good.wrapping_add(4));
+        h.step(&mut m, 1);
+        assert_eq!(h.out(0), clean + 4);
+    }
+
+    #[test]
+    fn stopped_requires_long_quiet_period() {
+        let mut h = harness();
+        let mut m = DistS::new();
+        let t = drive(&mut h, &mut m, 100, 3, 2, 0);
+        // Aircraft stops: no more pulses.
+        drive(&mut h, &mut m, (STOPPED_DEBOUNCE_MS - 1) as u64, 0, 1, t);
+        assert_eq!(h.out(2), 0, "not yet debounced");
+        drive(&mut h, &mut m, 2, 0, 1, t + STOPPED_DEBOUNCE_MS as u64);
+        assert_eq!(h.out(2), 1, "stopped after debounce");
+    }
+
+    #[test]
+    fn transient_corruption_cannot_assert_stopped() {
+        let mut h = harness();
+        let mut m = DistS::new();
+        drive(&mut h, &mut m, 1000, 3, 2, 0);
+        // Whatever a single corrupted read shows, `stopped` needs 300
+        // consecutive quiet ms — one glitch only increments quiet_ms once.
+        let good = h.bus.read(h.input(0));
+        h.set_input(0, good ^ 0xFFFF);
+        h.step(&mut m, 1);
+        assert_eq!(h.out(2), 0);
+    }
+
+    #[test]
+    fn slow_speed_tracks_pulse_gap() {
+        let mut h = harness();
+        let mut m = DistS::new();
+        // Creeping: 1 pulse every 25 ms — gaps exceed 10 ms.
+        let t = drive(&mut h, &mut m, 2012, 1, 25, 0);
+        assert_eq!(h.out(1), 1, "creeping drum is slow");
+        // Speed back up: gap drops below the threshold again.
+        drive(&mut h, &mut m, 500, 2, 1, t);
+        assert_eq!(h.out(1), 0);
+    }
+
+    #[test]
+    fn corrupted_capture_gap_flips_slow_speed() {
+        let mut h = harness();
+        let mut m = DistS::new();
+        drive(&mut h, &mut m, 500, 3, 2, 0);
+        assert_eq!(h.out(1), 0);
+        // Corrupt TIC1 so the apparent gap explodes for one read.
+        let tic1 = h.bus.read(h.input(1));
+        h.set_input(1, tic1.wrapping_sub(30_000));
+        h.step(&mut m, 1);
+        assert_eq!(h.out(1), 1, "corrupted gap reads as creeping");
+    }
+
+    #[test]
+    fn quiet_age_masks_timer_wrap() {
+        let mut h = harness();
+        let mut m = DistS::new();
+        let t = drive(&mut h, &mut m, 100, 3, 2, 0);
+        // 40 pulse-free ms: the hardware gap may alias after the 32.8 ms
+        // wrap, but the committed-pulse age keeps slow_speed asserted.
+        drive(&mut h, &mut m, 40, 0, 1, t);
+        assert_eq!(h.out(1), 1);
+    }
+
+    #[test]
+    fn outputs_are_written_on_change_only() {
+        let mut h = harness();
+        let mut m = DistS::new();
+        let t = drive(&mut h, &mut m, 10, 3, 2, 0);
+        // A downstream consumer (fake module 5) carries a corruption of
+        // pulscnt. While no pulses arrive, DIST_S recomputes the same value
+        // and must *skip* the write, leaving the corruption observable.
+        let sig = h.output(0);
+        h.bus.corrupt_port((5, 0), sig, 9999);
+        drive(&mut h, &mut m, 3, 0, 1, t);
+        assert_eq!(h.bus.read_port((5, 0), sig), 9999, "redundant write skipped");
+        // New pulses change pulscnt: the write expires the corruption.
+        drive(&mut h, &mut m, 3, 3, 2, t + 3);
+        assert_eq!(h.bus.read_port((5, 0), sig), h.out(0));
+    }
+
+    #[test]
+    fn pacnt_wraparound_is_handled() {
+        let mut h = harness();
+        let mut m = DistS::new();
+        // Walk the register across the 16-bit wrap in plausible steps: the
+        // committed pulse count must agree with the register afterwards.
+        let mut pacnt = 0u16;
+        for _ in 0..11_000 {
+            pacnt = pacnt.wrapping_add(6);
+            h.set_input(0, pacnt);
+            h.step(&mut m, 1);
+        }
+        // 66 000 pulses wraps to 464; pulscnt tracked through the wrap.
+        assert_eq!(h.out(0), pacnt);
+        assert_eq!(h.out(0), 66_000u32 as u16);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut h = harness();
+        let mut m = DistS::new();
+        drive(&mut h, &mut m, 100, 3, 2, 0);
+        m.reset();
+        h.step(&mut m, 1);
+        // last_pacnt reset to 0 -> delta = register value (large) -> skipped.
+        assert_eq!(h.out(0), h.out(0) & 0xFFFF);
+        let mut fresh = DistS::new();
+        fresh.reset();
+        assert_eq!(format!("{fresh:?}"), format!("{:?}", DistS::new()));
+    }
+}

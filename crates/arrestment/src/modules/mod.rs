@@ -1,0 +1,81 @@
+//! The six software modules of the arrestment controller (Section 7.1).
+//!
+//! Port numbering in each module matches the system spec in
+//! [`crate::system`]; see the crate-level table. Each module is written the
+//! way the era's defensive embedded C would be: integer arithmetic,
+//! plausibility gates on sensor data, debouncing on safety-critical
+//! booleans.
+
+pub mod calc;
+pub mod clock;
+pub mod dist_s;
+pub mod preg;
+pub mod pres_s;
+pub mod v_reg;
+
+pub use calc::Calc;
+pub use clock::Clock;
+pub use dist_s::DistS;
+pub use preg::Preg;
+pub use pres_s::PresS;
+pub use v_reg::VReg;
+
+#[cfg(test)]
+pub(crate) mod harness {
+    //! A tiny single-module harness for unit-testing modules in isolation.
+
+    use permea_runtime::module::{ModuleCtx, SoftwareModule};
+    use permea_runtime::signals::{SignalBus, SignalRef};
+    use permea_runtime::time::SimTime;
+
+    pub struct SingleModuleHarness {
+        pub bus: SignalBus,
+        inputs: Vec<SignalRef>,
+        outputs: Vec<SignalRef>,
+        out_cache: Vec<Option<u16>>,
+        now: u64,
+    }
+
+    impl SingleModuleHarness {
+        pub fn new(input_names: &[&str], output_names: &[&str]) -> Self {
+            let mut bus = SignalBus::new();
+            let inputs = input_names.iter().map(|n| bus.define(*n)).collect();
+            let outputs: Vec<SignalRef> =
+                output_names.iter().map(|n| bus.define(*n)).collect();
+            let out_cache = vec![None; output_names.len()];
+            SingleModuleHarness { bus, inputs, outputs, out_cache, now: 0 }
+        }
+
+        pub fn input(&self, i: usize) -> SignalRef {
+            self.inputs[i]
+        }
+
+        pub fn output(&self, k: usize) -> SignalRef {
+            self.outputs[k]
+        }
+
+        pub fn set_input(&mut self, i: usize, v: u16) {
+            let sig = self.inputs[i];
+            self.bus.write(sig, v);
+        }
+
+        pub fn out(&self, k: usize) -> u16 {
+            self.bus.read(self.outputs[k])
+        }
+
+        /// Runs one invocation of the module at the current time, then
+        /// advances time by `advance_ms`.
+        pub fn step(&mut self, module: &mut dyn SoftwareModule, advance_ms: u64) {
+            let mut ctx = ModuleCtx::detached(
+                &mut self.bus,
+                0,
+                SimTime::from_millis(self.now),
+                &self.inputs,
+                &self.outputs,
+                &mut self.out_cache,
+            );
+            module.step(&mut ctx);
+            self.now += advance_ms;
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! `PREG` — the valve output driver.
+//!
+//! Every 7 ms, moves the hardware output-compare register `TOC2` towards the
+//! regulator command `OutValue`, limited to [`PREG_SLEW_PER_STEP`] per
+//! invocation (valve drivers slew-limit to protect the solenoid). During
+//! saturated ramps a moderately corrupted `OutValue` is masked — both the
+//! clean and the corrupted target are beyond the slew limit — which is what
+//! keeps `P(OutValue→TOC2)` below one (the paper measures 0.860).
+
+use crate::constants::{PREG_SLEW_PER_STEP, VALVE_CMD_MAX};
+use permea_runtime::module::{ModuleCtx, SoftwareModule};
+
+/// The `PREG` module. Inputs: `[OutValue]`. Outputs: `[TOC2]`.
+#[derive(Debug, Clone, Default)]
+pub struct Preg {
+    toc2: u16,
+}
+
+impl Preg {
+    /// Creates the driver with the valve closed.
+    pub fn new() -> Self {
+        Preg::default()
+    }
+}
+
+impl SoftwareModule for Preg {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let target = ctx.read(0).min(VALVE_CMD_MAX);
+        let current = self.toc2;
+        self.toc2 = if target > current {
+            current + (target - current).min(PREG_SLEW_PER_STEP)
+        } else {
+            current - (current - target).min(PREG_SLEW_PER_STEP)
+        };
+        ctx.write_on_change(0, self.toc2);
+    }
+
+    fn reset(&mut self) {
+        self.toc2 = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::harness::SingleModuleHarness;
+
+    fn harness() -> SingleModuleHarness {
+        SingleModuleHarness::new(&["OutValue"], &["TOC2"])
+    }
+
+    #[test]
+    fn slews_towards_target() {
+        let mut h = harness();
+        let mut m = Preg::new();
+        h.set_input(0, 2 * PREG_SLEW_PER_STEP + 100);
+        h.step(&mut m, 7);
+        assert_eq!(h.out(0), PREG_SLEW_PER_STEP);
+        h.step(&mut m, 7);
+        assert_eq!(h.out(0), 2 * PREG_SLEW_PER_STEP);
+        h.step(&mut m, 7);
+        assert_eq!(h.out(0), 2 * PREG_SLEW_PER_STEP + 100);
+        h.step(&mut m, 7);
+        assert_eq!(h.out(0), 2 * PREG_SLEW_PER_STEP + 100, "holds at target");
+    }
+
+    #[test]
+    fn slews_down_too() {
+        let mut h = harness();
+        let mut m = Preg::new();
+        h.set_input(0, 5000);
+        for _ in 0..20 {
+            h.step(&mut m, 7);
+        }
+        assert_eq!(h.out(0), 5000);
+        h.set_input(0, 4800);
+        h.step(&mut m, 7);
+        assert_eq!(h.out(0), 4800);
+    }
+
+    #[test]
+    fn command_above_full_scale_is_clamped() {
+        let mut h = harness();
+        let mut m = Preg::new();
+        h.set_input(0, u16::MAX);
+        for _ in 0..50 {
+            h.step(&mut m, 7);
+        }
+        assert_eq!(h.out(0), VALVE_CMD_MAX);
+    }
+
+    #[test]
+    fn corruption_masked_while_ramp_saturates() {
+        // Both clean and corrupted targets far above current: identical step.
+        let run = |target: u16| {
+            let mut h = harness();
+            let mut m = Preg::new();
+            h.set_input(0, target);
+            h.step(&mut m, 7);
+            h.out(0)
+        };
+        assert_eq!(run(9000), run(9000 ^ 0x0200)); // 9000 vs 8488: both >> slew
+    }
+
+    #[test]
+    fn corruption_visible_at_steady_state() {
+        let mut h = harness();
+        let mut m = Preg::new();
+        h.set_input(0, 1000);
+        for _ in 0..10 {
+            h.step(&mut m, 7);
+        }
+        assert_eq!(h.out(0), 1000);
+        h.set_input(0, 1000 ^ 0x0010);
+        h.step(&mut m, 7);
+        assert_ne!(h.out(0), 1000);
+    }
+
+    #[test]
+    fn reset_closes_valve() {
+        let mut h = harness();
+        let mut m = Preg::new();
+        h.set_input(0, 3000);
+        for _ in 0..10 {
+            h.step(&mut m, 7);
+        }
+        m.reset();
+        h.set_input(0, 0);
+        h.step(&mut m, 7);
+        assert_eq!(h.out(0), 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! `PRES_S` — pressure sensing.
+//!
+//! Reads the pressure ADC every 7 ms and publishes `IsValue` (the applied
+//! brake pressure in centibar). Two defensive patterns give it the
+//! near-impermeability the paper observes (OB3):
+//!
+//! * a plausibility gate — a sample implying a pressure step the 50 ms valve
+//!   physically cannot produce in 7 ms is discarded and the previous output
+//!   held (the gate compares against the last *accepted* sample so one
+//!   glitch cannot poison the reference);
+//! * output quantisation to 0.25 bar — coarser than one ADC code, so
+//!   low-order-bit corruption vanishes in rounding.
+
+use crate::constants::{
+    ADC_BITS, ADC_FULL_SCALE_BAR, IS_VALUE_QUANTUM_CBAR, MAX_PLAUSIBLE_PRESSURE_STEP_CBAR,
+};
+use permea_runtime::module::{ModuleCtx, SoftwareModule};
+
+/// The `PRES_S` module. Inputs: `[ADC]`. Outputs: `[IsValue]`.
+#[derive(Debug, Clone, Default)]
+pub struct PresS {
+    /// Last accepted pressure in centibar.
+    last_accepted_cbar: u16,
+    /// Whether at least one sample has been accepted.
+    primed: bool,
+}
+
+impl PresS {
+    /// Creates the sensor module.
+    pub fn new() -> Self {
+        PresS::default()
+    }
+
+    /// Converts a raw ADC code to centibar.
+    fn code_to_cbar(code: u16) -> u16 {
+        let max_code = ((1u32 << ADC_BITS) - 1) as u32;
+        let clamped = (code as u32).min(max_code);
+        (clamped * (ADC_FULL_SCALE_BAR * 100.0) as u32 / max_code) as u16
+    }
+}
+
+impl SoftwareModule for PresS {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let sample_cbar = Self::code_to_cbar(ctx.read(0));
+        let accept = if !self.primed {
+            true
+        } else {
+            let diff = sample_cbar.abs_diff(self.last_accepted_cbar);
+            diff <= MAX_PLAUSIBLE_PRESSURE_STEP_CBAR
+        };
+        if accept {
+            self.last_accepted_cbar = sample_cbar;
+            self.primed = true;
+        }
+        // Quantised output of the last accepted sample, written only when it
+        // actually changes (skipping redundant register writes).
+        let q = IS_VALUE_QUANTUM_CBAR;
+        let quantised = (self.last_accepted_cbar + q / 2) / q * q;
+        ctx.write_on_change(0, quantised);
+    }
+
+    fn reset(&mut self) {
+        *self = PresS::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::harness::SingleModuleHarness;
+
+    fn harness() -> SingleModuleHarness {
+        SingleModuleHarness::new(&["ADC"], &["IsValue"])
+    }
+
+    /// ADC code for a pressure in bar.
+    fn code(bar: f64) -> u16 {
+        (bar / ADC_FULL_SCALE_BAR * 4095.0).round() as u16
+    }
+
+    #[test]
+    fn converts_pressure_to_quantised_centibar() {
+        let mut h = harness();
+        let mut m = PresS::new();
+        h.set_input(0, code(100.0));
+        h.step(&mut m, 7);
+        let out = h.out(0);
+        assert_eq!(out % IS_VALUE_QUANTUM_CBAR, 0);
+        assert!((out as i32 - 10_000).unsigned_abs() <= IS_VALUE_QUANTUM_CBAR as u32);
+    }
+
+    #[test]
+    fn implausible_jump_is_held() {
+        let mut h = harness();
+        let mut m = PresS::new();
+        h.set_input(0, code(80.0));
+        h.step(&mut m, 7);
+        let before = h.out(0);
+        // A 120-bar step in 7 ms is physically impossible: reject.
+        h.set_input(0, code(200.0));
+        h.step(&mut m, 7);
+        assert_eq!(h.out(0), before);
+        // Plausible follow-up relative to the last *accepted* sample heals.
+        h.set_input(0, code(85.0));
+        h.step(&mut m, 7);
+        assert!(h.out(0) > before);
+    }
+
+    #[test]
+    fn lsb_corruption_vanishes_in_quantisation() {
+        let mut h = harness();
+        let mut m1 = PresS::new();
+        let c = code(100.0);
+        h.set_input(0, c);
+        h.step(&mut m1, 7);
+        let clean = h.out(0);
+        let mut h2 = harness();
+        let mut m2 = PresS::new();
+        h2.set_input(0, c ^ 1); // LSB flip: 0.061 bar
+        h2.step(&mut m2, 7);
+        assert_eq!(h2.out(0), clean);
+    }
+
+    #[test]
+    fn gradual_ramp_tracks() {
+        let mut h = harness();
+        let mut m = PresS::new();
+        let mut last = 0;
+        for step in 0..20 {
+            h.set_input(0, code(10.0 * step as f64));
+            h.step(&mut m, 7);
+            let out = h.out(0);
+            assert!(out >= last, "ramp must be monotone");
+            last = out;
+        }
+        assert!(last >= 18_000);
+    }
+
+    #[test]
+    fn first_sample_is_always_accepted() {
+        let mut h = harness();
+        let mut m = PresS::new();
+        h.set_input(0, code(150.0));
+        h.step(&mut m, 7);
+        assert!(h.out(0) > 14_000);
+    }
+
+    #[test]
+    fn reset_unprimes() {
+        let mut h = harness();
+        let mut m = PresS::new();
+        h.set_input(0, code(150.0));
+        h.step(&mut m, 7);
+        m.reset();
+        h.set_input(0, code(10.0));
+        h.step(&mut m, 7);
+        // After reset, the 10-bar sample is a fresh first sample.
+        assert!(h.out(0) < 1100);
+    }
+}

@@ -1,0 +1,141 @@
+//! `V_REG` — the pressure regulator (PI control law).
+//!
+//! Every 7 ms, compares the set-point `SetValue` with the measured pressure
+//! `IsValue` and computes the valve command `OutValue` with a clamped PI
+//! controller. The integrator is module state: a single corrupted error
+//! sample shifts it permanently, which is why even the short-lived `IsValue`
+//! corruption shows the high permeability the paper reports (0.920), and the
+//! long-lived `SetValue` corruption (rewritten only at checkpoints) shows
+//! 0.884.
+
+use crate::constants::{
+    VALVE_CMD_MAX, VREG_CMD_QUANTUM, VREG_INTEG_CLAMP, VREG_KI_NUM, VREG_KP_NUM,
+};
+use permea_runtime::module::{ModuleCtx, SoftwareModule};
+
+/// The `V_REG` module. Inputs: `[SetValue, IsValue]`. Outputs: `[OutValue]`.
+#[derive(Debug, Clone, Default)]
+pub struct VReg {
+    /// PI integrator, in centibar·samples.
+    integ: i32,
+}
+
+impl VReg {
+    /// Creates the regulator with an empty integrator.
+    pub fn new() -> Self {
+        VReg::default()
+    }
+}
+
+impl SoftwareModule for VReg {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let set = ctx.read(0) as i32;
+        let is = ctx.read(1) as i32;
+        let err = set - is;
+        self.integ = (self.integ + err).clamp(-VREG_INTEG_CLAMP, VREG_INTEG_CLAMP);
+        let cmd = (VREG_KP_NUM * err) / 256 + (VREG_KI_NUM * self.integ) / 4096;
+        // Quantise to the valve driver's resolution and skip redundant
+        // writes: during steady tracking OutValue stays untouched.
+        let quantised = cmd.clamp(0, VALVE_CMD_MAX as i32) / VREG_CMD_QUANTUM * VREG_CMD_QUANTUM;
+        ctx.write_on_change(0, quantised as u16);
+    }
+
+    fn reset(&mut self) {
+        self.integ = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::modules::harness::SingleModuleHarness;
+
+    fn harness() -> SingleModuleHarness {
+        SingleModuleHarness::new(&["SetValue", "IsValue"], &["OutValue"])
+    }
+
+    #[test]
+    fn zero_error_zero_command() {
+        let mut h = harness();
+        let mut m = VReg::new();
+        h.set_input(0, 5000);
+        h.set_input(1, 5000);
+        h.step(&mut m, 7);
+        assert_eq!(h.out(0), 0);
+    }
+
+    #[test]
+    fn positive_error_opens_valve() {
+        let mut h = harness();
+        let mut m = VReg::new();
+        h.set_input(0, 8000); // want 80 bar
+        h.set_input(1, 0); // have none
+        h.step(&mut m, 7);
+        let first = h.out(0);
+        assert!(first > 0);
+        // Integrator keeps pushing while the error persists.
+        h.step(&mut m, 7);
+        assert!(h.out(0) > first);
+    }
+
+    #[test]
+    fn command_clamps_at_limits() {
+        let mut h = harness();
+        let mut m = VReg::new();
+        h.set_input(0, 20_000);
+        h.set_input(1, 0);
+        for _ in 0..200 {
+            h.step(&mut m, 7);
+        }
+        assert_eq!(h.out(0), VALVE_CMD_MAX);
+        // Overshoot: measured far above set-point -> command clamps to zero.
+        h.set_input(0, 0);
+        h.set_input(1, 20_000);
+        for _ in 0..400 {
+            h.step(&mut m, 7);
+        }
+        assert_eq!(h.out(0), 0);
+    }
+
+    #[test]
+    fn integrator_is_clamped() {
+        let mut h = harness();
+        let mut m = VReg::new();
+        h.set_input(0, 20_000);
+        h.set_input(1, 0);
+        for _ in 0..10_000 {
+            h.step(&mut m, 7);
+        }
+        assert!(m.integ <= VREG_INTEG_CLAMP);
+    }
+
+    #[test]
+    fn single_corrupted_sample_shifts_integrator_permanently() {
+        let run = |corrupt_once: bool| {
+            let mut h = harness();
+            let mut m = VReg::new();
+            h.set_input(0, 6000);
+            h.set_input(1, 5500);
+            for k in 0..50 {
+                if corrupt_once && k == 20 {
+                    h.set_input(1, 5500 ^ 0x2000);
+                } else {
+                    h.set_input(1, 5500);
+                }
+                h.step(&mut m, 7);
+            }
+            h.out(0)
+        };
+        assert_ne!(run(true), run(false));
+    }
+
+    #[test]
+    fn reset_clears_integrator() {
+        let mut h = harness();
+        let mut m = VReg::new();
+        h.set_input(0, 9000);
+        h.step(&mut m, 7);
+        m.reset();
+        assert_eq!(m.integ, 0);
+    }
+}

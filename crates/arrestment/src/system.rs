@@ -1,0 +1,374 @@
+//! System wiring: one spec drives both the runtime simulation and the
+//! analysis topology.
+//!
+//! [`SYSTEM_SPEC`] is the single source of truth for module names, port
+//! order and schedules. [`ArrestmentSystem::topology`] derives the
+//! [`SystemTopology`] used by `permea-core`, and [`ArrestmentSystem::new`]
+//! builds the executable [`Simulation`] — so a permeability pair `(i, k)`
+//! estimated on the simulation always refers to the same ports in the
+//! analysis.
+
+use crate::constants::SCENARIO_CAP_MS;
+use crate::env::{ArrestmentEnv, EnvSignals, EnvSnapshot};
+use crate::modules::{Calc, Clock, DistS, Preg, PresS, VReg};
+use crate::testcase::TestCase;
+use permea_core::topology::{SystemTopology, TopologyBuilder};
+use permea_runtime::module::SoftwareModule;
+use permea_runtime::scheduler::Schedule;
+use permea_runtime::signals::SignalRef;
+use permea_runtime::sim::{Simulation, SimulationBuilder};
+use permea_runtime::time::SimTime;
+use permea_runtime::tracing::TraceSet;
+use std::sync::{Arc, Mutex};
+
+/// Static description of one module: name, port order and schedule.
+#[derive(Debug, Clone, Copy)]
+pub struct ModuleSpec {
+    /// Module name (also the registration name in the simulation).
+    pub name: &'static str,
+    /// Signals bound to the input ports, in port order.
+    pub inputs: &'static [&'static str],
+    /// Signals produced at the output ports, in port order.
+    pub outputs: &'static [&'static str],
+    /// When the module runs.
+    pub schedule: Schedule,
+}
+
+/// The four external (system input) signals.
+pub const EXTERNAL_SIGNALS: &[&str] = &["PACNT", "TIC1", "TCNT", "ADC"];
+
+/// The system output signal (the valve command register).
+pub const SYSTEM_OUTPUTS: &[&str] = &["TOC2"];
+
+/// The six modules of the target system, with the paper's port numbering
+/// (25 permeability pairs in total).
+pub const SYSTEM_SPEC: &[ModuleSpec] = &[
+    ModuleSpec {
+        name: "CLOCK",
+        inputs: &["ms_slot_nbr"],
+        outputs: &["mscnt", "ms_slot_nbr"],
+        schedule: Schedule::Periodic { phase_ms: 0, period_ms: 1 },
+    },
+    ModuleSpec {
+        name: "DIST_S",
+        inputs: &["PACNT", "TIC1", "TCNT"],
+        outputs: &["pulscnt", "slow_speed", "stopped"],
+        schedule: Schedule::Periodic { phase_ms: 0, period_ms: 1 },
+    },
+    ModuleSpec {
+        name: "PRES_S",
+        inputs: &["ADC"],
+        outputs: &["IsValue"],
+        schedule: Schedule::Periodic { phase_ms: 2, period_ms: 7 },
+    },
+    ModuleSpec {
+        name: "CALC",
+        inputs: &["pulscnt", "mscnt", "slow_speed", "stopped", "i"],
+        outputs: &["i", "SetValue"],
+        schedule: Schedule::Background,
+    },
+    ModuleSpec {
+        name: "V_REG",
+        inputs: &["SetValue", "IsValue"],
+        outputs: &["OutValue"],
+        schedule: Schedule::Periodic { phase_ms: 4, period_ms: 7 },
+    },
+    ModuleSpec {
+        name: "PREG",
+        inputs: &["OutValue"],
+        outputs: &["TOC2"],
+        schedule: Schedule::Periodic { phase_ms: 5, period_ms: 7 },
+    },
+];
+
+fn make_module(name: &str) -> Box<dyn SoftwareModule> {
+    match name {
+        "CLOCK" => Box::new(Clock::new()),
+        "DIST_S" => Box::new(DistS::new()),
+        "PRES_S" => Box::new(PresS::new()),
+        "CALC" => Box::new(Calc::new()),
+        "V_REG" => Box::new(VReg::new()),
+        "PREG" => Box::new(Preg::new()),
+        other => unreachable!("unknown module in SYSTEM_SPEC: {other}"),
+    }
+}
+
+/// An additional module spliced into the system at construction time —
+/// typically an error-detection/recovery guard that re-writes an existing
+/// signal. Input and output names must refer to signals that exist in
+/// [`SYSTEM_SPEC`]; outputs may name signals produced by another module
+/// (the guard then acts as a corrective co-writer).
+pub struct ExtraModule {
+    /// Registration name (must not collide with the six target modules).
+    pub name: String,
+    /// The module implementation.
+    pub module: Box<dyn SoftwareModule>,
+    /// When it runs.
+    pub schedule: Schedule,
+    /// Input signal names, in port order.
+    pub inputs: Vec<String>,
+    /// Output signal names, in port order.
+    pub outputs: Vec<String>,
+}
+
+impl std::fmt::Debug for ExtraModule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExtraModule")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .finish()
+    }
+}
+
+/// An executable instance of the target system for one test case.
+pub struct ArrestmentSystem {
+    sim: Simulation,
+    snapshot: Arc<Mutex<EnvSnapshot>>,
+    case: TestCase,
+}
+
+impl std::fmt::Debug for ArrestmentSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArrestmentSystem").field("case", &self.case).finish()
+    }
+}
+
+impl ArrestmentSystem {
+    /// Builds the full system — bus signals, six modules, environment — for
+    /// one test case. Tracing of **all** signals is enabled from tick zero.
+    pub fn new(case: TestCase) -> Self {
+        Self::with_extras(case, Vec::new())
+    }
+
+    /// Builds the system with additional spliced-in modules (e.g.
+    /// error-detection/recovery guards). Extras are registered *after* the
+    /// six target modules, so periodic extras run after the periodic target
+    /// tasks of the same tick and before the background `CALC` pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an extra references a signal name that does not exist.
+    pub fn with_extras(case: TestCase, extras: Vec<ExtraModule>) -> Self {
+        let mut b = SimulationBuilder::new();
+        // External signals first, then every module output (spec order):
+        // this fixes signal definition order across runs.
+        for name in EXTERNAL_SIGNALS {
+            b.define_signal(*name);
+        }
+        for spec in SYSTEM_SPEC {
+            for out in spec.outputs {
+                b.define_signal(*out);
+            }
+        }
+        // Register modules; registration order == SYSTEM_SPEC order, so
+        // runtime module indices equal topology module indices.
+        for spec in SYSTEM_SPEC {
+            let inputs: Vec<SignalRef> = spec
+                .inputs
+                .iter()
+                .map(|n| b.signal_ref(n).expect("spec input signal defined"))
+                .collect();
+            let outputs: Vec<SignalRef> = spec
+                .outputs
+                .iter()
+                .map(|n| b.signal_ref(n).expect("spec output signal defined"))
+                .collect();
+            b.add_module(spec.name, make_module(spec.name), spec.schedule, &inputs, &outputs);
+        }
+        for extra in extras {
+            let inputs: Vec<SignalRef> = extra
+                .inputs
+                .iter()
+                .map(|n| b.signal_ref(n).unwrap_or_else(|| panic!("unknown extra input `{n}`")))
+                .collect();
+            let outputs: Vec<SignalRef> = extra
+                .outputs
+                .iter()
+                .map(|n| b.signal_ref(n).unwrap_or_else(|| panic!("unknown extra output `{n}`")))
+                .collect();
+            b.add_module(extra.name, extra.module, extra.schedule, &inputs, &outputs);
+        }
+        let env_signals = EnvSignals {
+            pacnt: b.signal_ref("PACNT").expect("PACNT defined"),
+            tic1: b.signal_ref("TIC1").expect("TIC1 defined"),
+            tcnt: b.signal_ref("TCNT").expect("TCNT defined"),
+            adc: b.signal_ref("ADC").expect("ADC defined"),
+            toc2: b.signal_ref("TOC2").expect("TOC2 defined"),
+        };
+        let env = ArrestmentEnv::new(case, env_signals);
+        let snapshot = env.snapshot_handle();
+        let mut sim = b.build(Box::new(env));
+        sim.enable_tracing_all();
+        ArrestmentSystem { sim, snapshot, case }
+    }
+
+    /// The analysis topology matching [`SYSTEM_SPEC`].
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the static spec were inconsistent (covered by tests).
+    pub fn topology() -> SystemTopology {
+        let mut b = TopologyBuilder::new("arrestment");
+        let mut sig = std::collections::HashMap::new();
+        for name in EXTERNAL_SIGNALS {
+            sig.insert(*name, b.external(*name));
+        }
+        // Pass 1: modules and their outputs.
+        let mut mods = Vec::new();
+        for spec in SYSTEM_SPEC {
+            let m = b.add_module(spec.name);
+            mods.push(m);
+            for out in spec.outputs {
+                sig.insert(*out, b.add_output(m, *out));
+            }
+        }
+        // Pass 2: bind inputs (self-feedback signals now exist).
+        for (spec, &m) in SYSTEM_SPEC.iter().zip(&mods) {
+            for input in spec.inputs {
+                let s = *sig.get(*input).expect("spec input resolves to a declared signal");
+                b.bind_input(m, s);
+            }
+        }
+        for out in SYSTEM_OUTPUTS {
+            b.mark_system_output(*sig.get(*out).expect("system output declared"));
+        }
+        b.build().expect("SYSTEM_SPEC produces a valid topology")
+    }
+
+    /// The test case this instance runs.
+    pub fn case(&self) -> TestCase {
+        self.case
+    }
+
+    /// The underlying simulation (for fault injectors).
+    pub fn sim_mut(&mut self) -> &mut Simulation {
+        &mut self.sim
+    }
+
+    /// Read-only access to the simulation.
+    pub fn sim(&self) -> &Simulation {
+        &self.sim
+    }
+
+    /// Latest physics telemetry.
+    pub fn snapshot(&self) -> EnvSnapshot {
+        *self.snapshot.lock().expect("snapshot mutex poisoned")
+    }
+
+    /// Runs the scenario to completion (arrest or cap) and returns the full
+    /// trace set — a Golden Run when no injection was performed.
+    pub fn run_to_completion(&mut self) -> TraceSet {
+        self.sim.run_until(SimTime::from_millis(SCENARIO_CAP_MS + 300));
+        self.sim.take_traces().expect("tracing enabled at construction")
+    }
+
+    /// Runs exactly `ticks` ticks (used for injection runs that must match a
+    /// Golden Run's length) and returns the traces.
+    pub fn run_ticks(&mut self, ticks: u64) -> TraceSet {
+        for _ in 0..ticks {
+            self.sim.step();
+        }
+        self.sim.take_traces().expect("tracing enabled at construction")
+    }
+
+    /// Unwraps the bare simulation (for fault-injection factories that only
+    /// need the [`Simulation`] interface).
+    pub fn into_sim(self) -> Simulation {
+        self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topology_matches_paper_shape() {
+        let t = ArrestmentSystem::topology();
+        assert_eq!(t.module_count(), 6);
+        assert_eq!(t.pair_count(), 25, "the paper's 25 input/output pairs");
+        assert_eq!(t.system_inputs().len(), 4);
+        assert_eq!(t.system_outputs().len(), 1);
+        // Barrier modules: the two reading external sensors (OB6/OB1).
+        let barriers: Vec<&str> = t
+            .barrier_modules()
+            .into_iter()
+            .map(|m| t.module_name(m))
+            .collect();
+        assert_eq!(barriers, vec!["DIST_S", "PRES_S"]);
+    }
+
+    #[test]
+    fn topology_module_indices_match_simulation_indices() {
+        let t = ArrestmentSystem::topology();
+        let sys = ArrestmentSystem::new(TestCase::new(14_000.0, 60.0));
+        for (i, spec) in SYSTEM_SPEC.iter().enumerate() {
+            assert_eq!(t.module_name(t.modules().nth(i).unwrap()), spec.name);
+            let m = sys.sim().module_by_name(spec.name).unwrap();
+            assert_eq!(m.index(), i);
+            // Port order agrees signal-by-signal.
+            let sim_inputs = sys.sim().module_inputs(m);
+            for (p, in_name) in spec.inputs.iter().enumerate() {
+                assert_eq!(sys.sim().bus().name(sim_inputs[p]), *in_name);
+                let topo_sig = t.inputs_of(t.modules().nth(i).unwrap())[p];
+                assert_eq!(t.signal_name(topo_sig), *in_name);
+            }
+        }
+    }
+
+    #[test]
+    fn golden_run_arrests_the_aircraft() {
+        let mut sys = ArrestmentSystem::new(TestCase::new(14_000.0, 60.0));
+        let traces = sys.run_to_completion();
+        let snap = sys.snapshot();
+        assert!(snap.arrested, "aircraft must stop, reached {:?}", snap);
+        assert!(snap.elapsed_ms > 5_000, "arrestment outlasts the injection window");
+        assert!(traces.ticks() > 5_000);
+        // The controller actually applied pressure.
+        let toc2 = traces.trace("TOC2").unwrap();
+        assert!(toc2.samples.iter().any(|&v| v > 0));
+        // Checkpoints were crossed.
+        let i_trace = traces.trace("i").unwrap();
+        assert!(*i_trace.samples.last().unwrap() >= 2);
+    }
+
+    #[test]
+    fn golden_runs_are_deterministic() {
+        let case = TestCase::new(11_000.0, 50.0);
+        let t1 = ArrestmentSystem::new(case).run_to_completion();
+        let t2 = ArrestmentSystem::new(case).run_to_completion();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn different_cases_produce_different_traces() {
+        let t1 = ArrestmentSystem::new(TestCase::new(8_000.0, 40.0)).run_to_completion();
+        let t2 = ArrestmentSystem::new(TestCase::new(20_000.0, 80.0)).run_to_completion();
+        assert_ne!(
+            t1.trace("pulscnt").unwrap().samples,
+            t2.trace("pulscnt").unwrap().samples
+        );
+    }
+
+    #[test]
+    fn run_ticks_runs_exactly_n() {
+        let mut sys = ArrestmentSystem::new(TestCase::new(14_000.0, 60.0));
+        let traces = sys.run_ticks(100);
+        assert_eq!(traces.ticks(), 100);
+    }
+
+    #[test]
+    fn every_case_in_paper_grid_arrests_before_cap() {
+        // Coarse corner check (full grid covered by integration tests).
+        for case in [TestCase::new(8_000.0, 80.0), TestCase::new(20_000.0, 80.0)] {
+            let mut sys = ArrestmentSystem::new(case);
+            sys.run_to_completion();
+            let snap = sys.snapshot();
+            assert!(
+                snap.arrested,
+                "case {case:?} failed to arrest: {snap:?} (tune constants)"
+            );
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Workload test cases: the mass/velocity grid of Section 7.3.
+//!
+//! The paper subjects the system to 25 test cases — 5 masses and 5
+//! velocities uniformly distributed over 8 000–20 000 kg and 40–80 m/s — so
+//! that permeability estimates reflect a realistic workload spread rather
+//! than a single trajectory.
+
+use serde::{Deserialize, Serialize};
+
+/// One arrestment scenario: an aircraft of a given mass engaging the cable
+/// at a given velocity.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestCase {
+    /// Aircraft mass in kilograms.
+    pub mass_kg: f64,
+    /// Engagement velocity in metres/second.
+    pub velocity_ms: f64,
+}
+
+impl TestCase {
+    /// Creates a test case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either value is non-positive or not finite.
+    pub fn new(mass_kg: f64, velocity_ms: f64) -> Self {
+        assert!(mass_kg.is_finite() && mass_kg > 0.0, "mass must be positive");
+        assert!(velocity_ms.is_finite() && velocity_ms > 0.0, "velocity must be positive");
+        TestCase { mass_kg, velocity_ms }
+    }
+
+    /// The paper's 25-case grid: 5 masses × 5 velocities, uniformly spaced
+    /// over 8 000–20 000 kg and 40–80 m/s.
+    pub fn paper_grid() -> Vec<TestCase> {
+        Self::grid(5, 5)
+    }
+
+    /// A uniform `masses × velocities` grid over the paper's ranges.
+    /// Useful for quicker (coarser) or denser workload sweeps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn grid(masses: usize, velocities: usize) -> Vec<TestCase> {
+        assert!(masses > 0 && velocities > 0, "grid dimensions must be positive");
+        let mass_at = |i: usize| {
+            if masses == 1 {
+                14_000.0
+            } else {
+                8_000.0 + 12_000.0 * i as f64 / (masses - 1) as f64
+            }
+        };
+        let vel_at = |j: usize| {
+            if velocities == 1 {
+                60.0
+            } else {
+                40.0 + 40.0 * j as f64 / (velocities - 1) as f64
+            }
+        };
+        let mut out = Vec::with_capacity(masses * velocities);
+        for i in 0..masses {
+            for j in 0..velocities {
+                out.push(TestCase::new(mass_at(i), vel_at(j)));
+            }
+        }
+        out
+    }
+
+    /// Deterministic label, e.g. `m14000_v60`.
+    pub fn label(&self) -> String {
+        format!("m{:.0}_v{:.0}", self.mass_kg, self.velocity_ms)
+    }
+}
+
+/// The paper's injection instants: ten times in half-second intervals from
+/// 0.5 s to 5.0 s after the start of the arrestment, in milliseconds.
+pub fn paper_injection_times_ms() -> Vec<u64> {
+    (1..=10).map(|k| k * 500).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_grid_is_5_by_5_uniform() {
+        let g = TestCase::paper_grid();
+        assert_eq!(g.len(), 25);
+        assert_eq!(g[0], TestCase::new(8_000.0, 40.0));
+        assert_eq!(g[24], TestCase::new(20_000.0, 80.0));
+        // Uniform spacing in both axes.
+        assert_eq!(g[5].mass_kg, 11_000.0);
+        assert_eq!(g[1].velocity_ms, 50.0);
+    }
+
+    #[test]
+    fn degenerate_grids_use_midpoints() {
+        let g = TestCase::grid(1, 1);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0], TestCase::new(14_000.0, 60.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_grid_panics() {
+        TestCase::grid(0, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "mass must be positive")]
+    fn bad_mass_panics() {
+        TestCase::new(-1.0, 50.0);
+    }
+
+    #[test]
+    fn injection_times_are_half_second_spaced() {
+        let t = paper_injection_times_ms();
+        assert_eq!(t.len(), 10);
+        assert_eq!(t[0], 500);
+        assert_eq!(t[9], 5000);
+        for w in t.windows(2) {
+            assert_eq!(w[1] - w[0], 500);
+        }
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(TestCase::new(8000.0, 40.0).label(), "m8000_v40");
+    }
+}

@@ -1,0 +1,76 @@
+//! Campaign throughput: the cost of the experimental method itself —
+//! simulation ticks, golden runs, injected runs and parallel scaling.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use permea_analysis::factory::ArrestmentFactory;
+use permea_arrestment::system::ArrestmentSystem;
+use permea_arrestment::testcase::TestCase;
+use permea_fi::campaign::{Campaign, CampaignConfig, SystemFactory};
+use permea_fi::model::ErrorModel;
+use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Raw simulation speed: ticks per second of the six-module system.
+    let mut group = c.benchmark_group("campaign/simulation");
+    group.throughput(Throughput::Elements(1_000));
+    group.bench_function("1000_ticks", |b| {
+        b.iter_batched(
+            || ArrestmentSystem::new(TestCase::new(14_000.0, 60.0)).into_sim(),
+            |mut sim| {
+                for _ in 0..1_000 {
+                    sim.step();
+                }
+                black_box(sim.now())
+            },
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+
+    let factory = ArrestmentFactory::with_cases(vec![TestCase::new(14_000.0, 60.0)]);
+    let mut group = c.benchmark_group("campaign/golden_run");
+    group.sample_size(10);
+    group.bench_function("3s_horizon", |b| {
+        let campaign = Campaign::new(
+            &factory,
+            CampaignConfig { threads: 1, horizon_ms: Some(3_000), ..Default::default() },
+        );
+        b.iter(|| black_box(campaign.golden(0).unwrap()))
+    });
+    group.finish();
+
+    // Parallel scaling of a small campaign.
+    let spec = CampaignSpec {
+        targets: vec![PortTarget::new("V_REG", "SetValue")],
+        models: ErrorModel::all_bit_flips(),
+        times_ms: vec![800, 1900],
+        cases: 1,
+        scope: InjectionScope::Port,
+    };
+    let mut group = c.benchmark_group("campaign/32_runs");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            let campaign = Campaign::new(
+                &factory,
+                CampaignConfig {
+                    threads,
+                    horizon_ms: Some(3_000),
+                    keep_records: false,
+                    ..Default::default()
+                },
+            );
+            b.iter(|| black_box(campaign.run(&spec).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Factory construction overhead (per-run allocation cost).
+    c.bench_function("campaign/factory_build", |b| {
+        b.iter(|| black_box(factory.build(0)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

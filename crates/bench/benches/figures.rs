@@ -1,0 +1,47 @@
+//! Figures 3–5 and 9–12 — permeability graphs and propagation trees.
+//!
+//! Prints every reproduced figure (DOT or ASCII), then benchmarks the
+//! renderers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use permea_analysis::figures;
+use permea_bench::shared_study;
+use permea_core::dot;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = shared_study();
+
+    println!("\n=== Reproduced Fig. 3 (five-module example graph, DOT) ===");
+    print!("{}", figures::fig3_example_graph_dot());
+    println!("\n=== Reproduced Fig. 4 (example backtrack tree) ===");
+    print!("{}", figures::fig4_example_backtrack());
+    println!("\n=== Reproduced Fig. 5 (example trace tree) ===");
+    print!("{}", figures::fig5_example_trace());
+    println!("\n=== Reproduced Fig. 9 (target permeability graph, DOT) ===");
+    print!("{}", figures::fig9_graph_dot(&out.graph));
+    println!("\n=== Reproduced Fig. 10 (backtrack tree of TOC2) ===");
+    print!("{}", figures::fig10_backtrack(&out.graph));
+    println!("\n=== Reproduced Fig. 11 (trace tree of ADC) ===");
+    print!("{}", figures::fig11_trace_adc(&out.graph));
+    println!("\n=== Reproduced Fig. 12 (trace tree of PACNT) ===");
+    print!("{}", figures::fig12_trace_pacnt(&out.graph));
+
+    c.bench_function("figures/graph_to_dot", |b| {
+        b.iter(|| black_box(dot::graph_to_dot(&out.graph)))
+    });
+    c.bench_function("figures/fig10_backtrack_ascii", |b| {
+        b.iter(|| black_box(figures::fig10_backtrack(&out.graph)))
+    });
+    c.bench_function("figures/trace_trees_all_inputs", |b| {
+        b.iter(|| {
+            (
+                black_box(figures::fig11_trace_adc(&out.graph)),
+                black_box(figures::fig12_trace_pacnt(&out.graph)),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

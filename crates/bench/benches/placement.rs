@@ -1,0 +1,59 @@
+//! EDM/ERM placement experiments (Section 5, OB3–OB6).
+//!
+//! Prints the detector-placement coverage table and the recovery
+//! comparison, then benchmarks detector throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use permea_analysis::placement_experiment::{
+    detection_comparison, recovery_comparison, render_coverage, PlacementConfig,
+};
+use permea_mech::detectors::{CompositeDetector, Detector};
+use permea_runtime::tracing::SignalTrace;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let config = PlacementConfig::smoke();
+
+    println!("\n=== Reproduced placement study (OB3): detector coverage by location ===");
+    let coverage = detection_comparison(
+        &config,
+        &["SetValue", "OutValue", "i", "pulscnt", "IsValue"],
+    )
+    .expect("detection comparison runs");
+    print!("{}", render_coverage(&coverage));
+
+    println!("\n=== Reproduced placement study (OB5): recovery guard comparison ===");
+    let guided = recovery_comparison(&config, &["SetValue", "OutValue"]).expect("guided runs");
+    let naive = recovery_comparison(&config, &["IsValue"]).expect("naive runs");
+    println!(
+        "guided (SetValue+OutValue): {} -> {} failures ({:.0}% eliminated)",
+        guided.baseline_failures,
+        guided.guarded_failures,
+        guided.failure_reduction() * 100.0
+    );
+    println!(
+        "naive  (IsValue):           {} -> {} failures ({:.0}% eliminated)",
+        naive.baseline_failures,
+        naive.guarded_failures,
+        naive.failure_reduction() * 100.0
+    );
+
+    // Detector throughput on a long trace.
+    let golden = SignalTrace {
+        name: "s".into(),
+        samples: (0..30_000u32).map(|i| (1000 + (i % 97) * 3) as u16).collect(),
+    };
+    c.bench_function("placement/detector_stack_30k_samples", |b| {
+        b.iter(|| {
+            let mut d = CompositeDetector::calibrated_standard(&golden);
+            let mut hits = 0u32;
+            for &v in &golden.samples {
+                hits += d.observe(black_box(v)) as u32;
+            }
+            black_box(hits)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

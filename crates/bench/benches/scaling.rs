@@ -1,0 +1,61 @@
+//! Scaling of the analytical core on synthetic systems: how tree
+//! construction, path enumeration and measures behave as the module chain
+//! grows in length and width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use permea_bench::chain_system;
+use permea_core::backtrack::BacktrackForest;
+use permea_core::graph::PermeabilityGraph;
+use permea_core::measures::SystemMeasures;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Width-2 chains square the branching per level, so the tree size is
+    // exponential in the chain length — exactly the blow-up propagation
+    // trees exhibit on densely coupled systems. Keep n modest.
+    println!("\n=== Scaling series: chain length n, width 2 (trees grow as 2^n) ===");
+    for n in [4usize, 8, 12] {
+        let (topo, pm) = chain_system(n, 2);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        let forest = BacktrackForest::build(&graph).unwrap();
+        println!(
+            "n={n:>3}: pairs={:>4} paths={:>8} max_depth={}",
+            topo.pair_count(),
+            forest.all_paths().len(),
+            forest.trees().iter().map(|t| t.depth()).max().unwrap_or(0),
+        );
+    }
+
+    let mut group = c.benchmark_group("scaling/backtrack_forest_width2");
+    for n in [4usize, 8, 12] {
+        let (topo, pm) = chain_system(n, 2);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| black_box(BacktrackForest::build(g).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Width-1 chains stay linear: measures scale to hundreds of modules.
+    let mut group = c.benchmark_group("scaling/measures_width1");
+    for n in [32usize, 128, 512] {
+        let (topo, pm) = chain_system(n, 1);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &graph, |b, g| {
+            b.iter(|| black_box(SystemMeasures::compute(g).unwrap()))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scaling/graph_construction");
+    for n in [8usize, 64, 256] {
+        let (topo, pm) = chain_system(n, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(topo, pm), |b, (t, m)| {
+            b.iter(|| black_box(PermeabilityGraph::new(t, m).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

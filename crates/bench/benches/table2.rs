@@ -1,0 +1,30 @@
+//! Table 2 — relative permeability and error exposure per module.
+//!
+//! Prints the reproduced table, then benchmarks measure computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use permea_analysis::tables;
+use permea_bench::shared_study;
+use permea_core::measures::SystemMeasures;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = shared_study();
+    println!("\n=== Reproduced Table 2 ===");
+    print!("{}", tables::render_table2(&out.topology, &out.measures));
+
+    c.bench_function("table2/system_measures", |b| {
+        b.iter(|| SystemMeasures::compute(black_box(&out.graph)).unwrap())
+    });
+
+    c.bench_function("table2/rankings", |b| {
+        b.iter(|| {
+            let by_exp = out.measures.ranked_by_exposure();
+            let by_perm = out.measures.ranked_by_permeability();
+            black_box((by_exp, by_perm))
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

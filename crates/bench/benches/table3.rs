@@ -1,0 +1,36 @@
+//! Table 3 — signal error exposures.
+//!
+//! Prints the reproduced table, then benchmarks the signal-exposure kernel
+//! (backtrack forest + unique-arc aggregation, Eq. 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use permea_analysis::tables;
+use permea_bench::shared_study;
+use permea_core::backtrack::BacktrackForest;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = shared_study();
+    println!("\n=== Reproduced Table 3 ===");
+    print!("{}", tables::render_table3(&out.topology, &out.measures));
+
+    c.bench_function("table3/backtrack_forest", |b| {
+        b.iter(|| BacktrackForest::build(black_box(&out.graph)).unwrap())
+    });
+
+    let forest = BacktrackForest::build(&out.graph).unwrap();
+    c.bench_function("table3/unique_child_arcs_all_signals", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for s in out.topology.signals() {
+                for (_, w) in forest.unique_child_arcs_of_signal(s) {
+                    total += w;
+                }
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 4 — propagation paths from the system output, ordered by weight.
+//!
+//! Prints the reproduced table (non-zero paths, as in the paper, plus the
+//! full 22-path census), then benchmarks path enumeration and ranking.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use permea_analysis::tables;
+use permea_bench::shared_study;
+use permea_core::backtrack::BacktrackTree;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let out = shared_study();
+    println!("\n=== Reproduced Table 4 ===");
+    print!("{}", tables::render_table4(&out.topology, &out.toc2_paths, true));
+    println!(
+        "(census: {} paths total, {} non-zero; paper: 22 / 13)",
+        out.toc2_paths.len(),
+        out.toc2_paths.non_zero().len()
+    );
+
+    let toc2 = out.topology.signal_by_name("TOC2").unwrap();
+    c.bench_function("table4/backtrack_tree_toc2", |b| {
+        b.iter(|| BacktrackTree::build(black_box(&out.graph), toc2).unwrap())
+    });
+
+    let tree = BacktrackTree::build(&out.graph, toc2).unwrap();
+    c.bench_function("table4/enumerate_and_rank_paths", |b| {
+        b.iter(|| {
+            let set = permea_core::paths::PathSet::from_paths(tree.paths());
+            black_box(set.sorted_by_weight())
+        })
+    });
+
+    c.bench_function("table4/signals_on_all_nonzero_paths", |b| {
+        b.iter(|| black_box(out.toc2_paths.signals_on_all_non_zero_paths()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every bench regenerates its table/figure once (printed to stdout so that
+//! `cargo bench | tee` captures the reproduced series) and then measures the
+//! computational kernel behind it with Criterion.
+
+use permea_analysis::study::{Study, StudyConfig, StudyOutput};
+use permea_core::matrix::PermeabilityMatrix;
+use permea_core::topology::{SystemTopology, TopologyBuilder};
+use std::sync::OnceLock;
+
+/// The study output shared by the table benches: computed once per `cargo
+/// bench` process. Uses the `smoke`-sized campaign so benches stay fast; run
+/// the `study` binary with `--full` for paper-scale numbers.
+pub fn shared_study() -> &'static StudyOutput {
+    static STUDY: OnceLock<StudyOutput> = OnceLock::new();
+    STUDY.get_or_init(|| {
+        Study::new(StudyConfig::smoke()).run().expect("smoke study runs")
+    })
+}
+
+/// A synthetic chain system: `ext -> M0 -> M1 -> ... -> M(n-1) -> out`, with
+/// `width` parallel signals between consecutive modules (so each module has
+/// `width × width` permeability pairs).
+pub fn chain_system(n: usize, width: usize) -> (SystemTopology, PermeabilityMatrix) {
+    assert!(n >= 1 && width >= 1);
+    let mut b = TopologyBuilder::new(format!("chain{n}x{width}"));
+    let mut prev: Vec<_> = (0..width).map(|w| b.external(format!("ext{w}"))).collect();
+    for i in 0..n {
+        let m = b.add_module(format!("M{i}"));
+        for &sig in &prev {
+            b.bind_input(m, sig);
+        }
+        prev = (0..width).map(|w| b.add_output(m, format!("s{i}_{w}"))).collect();
+    }
+    for &sig in &prev {
+        b.mark_system_output(sig);
+    }
+    let topo = b.build().expect("chain is valid");
+    let mut pm = PermeabilityMatrix::zeroed(&topo);
+    for m in topo.modules() {
+        for i in 0..topo.input_count(m) {
+            for k in 0..topo.output_count(m) {
+                // Deterministic, varied texture.
+                let v = (((i * 7 + k * 13 + m.index() * 3) % 10) as f64) / 10.0;
+                pm.set(m, i, k, v).expect("valid probability");
+            }
+        }
+    }
+    (topo, pm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_builder_shapes() {
+        let (t, pm) = chain_system(4, 2);
+        assert_eq!(t.module_count(), 4);
+        assert_eq!(t.pair_count(), 16);
+        assert_eq!(pm.pair_count(), 16);
+        assert_eq!(t.system_inputs().len(), 2);
+        assert_eq!(t.system_outputs().len(), 2);
+    }
+}

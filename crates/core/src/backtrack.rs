@@ -1,0 +1,458 @@
+//! Output Error Tracing: backtrack trees (steps A1–A4, Figs. 4 and 10).
+//!
+//! A backtrack tree answers *"along which paths, and with what probability,
+//! do errors reach this system output?"*. The root is a system output signal;
+//! every expansion walks backwards through the module producing the node's
+//! signal, creating one child per input port of that module, weighted with
+//! the corresponding error permeability.
+//!
+//! Feedback is cut after a single pass: when a child's signal already occurs
+//! on the root path, the child becomes a *feedback leaf* (rendered with a
+//! double line in the paper). Since all permeability values are ≤ 1, the
+//! single-pass path dominates all multi-pass unrollings, so nothing of
+//! analytical value is lost.
+
+use crate::error::TopologyError;
+use crate::graph::{ArcId, PermeabilityGraph};
+use crate::ids::SignalId;
+use crate::paths::{PathSet, PathTerminal, PropagationPath};
+use crate::topology::SignalSource;
+use serde::{Deserialize, Serialize};
+
+/// The role a node plays in a backtrack tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BacktrackNodeKind {
+    /// The tree root (a system output signal).
+    Root,
+    /// An internal node: an internal signal that will be expanded further.
+    Internal,
+    /// A leaf bound to a system input signal.
+    SystemInputLeaf,
+    /// A leaf that closes a feedback loop (signal already on the root path).
+    FeedbackLeaf,
+}
+
+/// One node of a backtrack tree, stored in an arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BacktrackNode {
+    /// The signal this node is associated with.
+    pub signal: SignalId,
+    /// The arc connecting this node to its parent (`None` for the root),
+    /// together with its permeability weight.
+    pub arc_from_parent: Option<(ArcId, f64)>,
+    /// Structural role.
+    pub kind: BacktrackNodeKind,
+    /// Arena index of the parent (`None` for the root).
+    pub parent: Option<usize>,
+    /// Arena indices of the children, in input-port order.
+    pub children: Vec<usize>,
+    /// Depth from the root (root = 0).
+    pub depth: usize,
+}
+
+/// A backtrack tree for one system output (Output Error Tracing).
+///
+/// # Examples
+///
+/// ```
+/// use permea_core::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TopologyBuilder::new("t");
+/// let x = b.external("x");
+/// let m = b.add_module("M");
+/// b.bind_input(m, x);
+/// let y = b.add_output(m, "y");
+/// b.mark_system_output(y);
+/// let topo = b.build()?;
+/// let mut pm = PermeabilityMatrix::zeroed(&topo);
+/// pm.set(m, 0, 0, 0.7)?;
+/// let g = PermeabilityGraph::new(&topo, &pm)?;
+///
+/// let tree = BacktrackTree::build(&g, y)?;
+/// assert_eq!(tree.leaf_count(), 1);
+/// assert_eq!(tree.paths()[0].weight, 0.7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BacktrackTree {
+    root_signal: SignalId,
+    nodes: Vec<BacktrackNode>,
+}
+
+impl BacktrackTree {
+    /// Builds the backtrack tree rooted at system output `output` (step A1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownSignal`] if `output` is not a signal
+    /// of the graph's topology. Building from a signal that is not marked as
+    /// a system output is permitted (useful for exploring internal signals).
+    pub fn build(graph: &PermeabilityGraph, output: SignalId) -> Result<Self, TopologyError> {
+        graph.topology().check_signal(output)?;
+        let mut tree = BacktrackTree {
+            root_signal: output,
+            nodes: vec![BacktrackNode {
+                signal: output,
+                arc_from_parent: None,
+                kind: BacktrackNodeKind::Root,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            }],
+        };
+        // Path of signals from the root to the node being expanded, used for
+        // the single-pass feedback cut.
+        let mut path: Vec<SignalId> = vec![output];
+        tree.expand(graph, 0, &mut path);
+        Ok(tree)
+    }
+
+    /// Recursive expansion implementing steps A2/A3.
+    fn expand(&mut self, graph: &PermeabilityGraph, node_idx: usize, path: &mut Vec<SignalId>) {
+        let signal = self.nodes[node_idx].signal;
+        let producer = match graph.topology().source_of(signal) {
+            SignalSource::External => {
+                if self.nodes[node_idx].kind != BacktrackNodeKind::Root {
+                    self.nodes[node_idx].kind = BacktrackNodeKind::SystemInputLeaf;
+                }
+                return;
+            }
+            SignalSource::Produced(p) => p,
+        };
+        let depth = self.nodes[node_idx].depth;
+        // A2: one child per permeability value associated with this signal,
+        // i.e. one per input port of the producing module.
+        let arcs: Vec<(ArcId, f64, SignalId)> = graph
+            .arcs_into_signal(signal)
+            .into_iter()
+            .filter(|a| a.id.module == producer.module && a.id.output == producer.output)
+            .map(|a| (a.id, a.weight, a.input_signal))
+            .collect();
+        for (arc, weight, child_signal) in arcs {
+            let feedback = path.contains(&child_signal);
+            let child_idx = self.nodes.len();
+            self.nodes.push(BacktrackNode {
+                signal: child_signal,
+                arc_from_parent: Some((arc, weight)),
+                kind: if feedback {
+                    BacktrackNodeKind::FeedbackLeaf
+                } else {
+                    BacktrackNodeKind::Internal
+                },
+                parent: Some(node_idx),
+                children: Vec::new(),
+                depth: depth + 1,
+            });
+            self.nodes[node_idx].children.push(child_idx);
+            if !feedback {
+                // A3: recurse unless the signal is a system input (handled at
+                // the top of `expand`).
+                path.push(child_signal);
+                self.expand(graph, child_idx, path);
+                path.pop();
+            }
+        }
+    }
+
+    /// The system output signal at the root.
+    pub fn root_signal(&self) -> SignalId {
+        self.root_signal
+    }
+
+    /// All nodes in the arena; index 0 is the root.
+    pub fn nodes(&self) -> &[BacktrackNode] {
+        &self.nodes
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves — equivalently, the number of propagation paths.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| self.is_leaf(n)).count()
+    }
+
+    /// Maximum depth of any node.
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    fn is_leaf(&self, n: &BacktrackNode) -> bool {
+        n.children.is_empty() && n.parent.is_some()
+            || (n.parent.is_none() && n.children.is_empty())
+    }
+
+    /// Enumerates every root-to-leaf propagation path (the input to Table 4).
+    pub fn paths(&self) -> Vec<PropagationPath> {
+        let mut out = Vec::new();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if !self.is_leaf(node) {
+                continue;
+            }
+            // Walk up to the root collecting arcs.
+            let mut signals = Vec::new();
+            let mut arcs = Vec::new();
+            let mut cur = Some(idx);
+            while let Some(i) = cur {
+                let n = &self.nodes[i];
+                signals.push(n.signal);
+                if let Some(arc) = n.arc_from_parent {
+                    arcs.push(arc);
+                }
+                cur = n.parent;
+            }
+            signals.reverse();
+            arcs.reverse();
+            let weight = arcs.iter().map(|&(_, w)| w).product();
+            let terminal = match node.kind {
+                BacktrackNodeKind::FeedbackLeaf => PathTerminal::Feedback,
+                BacktrackNodeKind::SystemInputLeaf => PathTerminal::SystemInput,
+                // Root-only tree (output directly external) or an unexpanded
+                // internal node cannot occur after build(); treat defensively.
+                _ => PathTerminal::SystemInput,
+            };
+            out.push(PropagationPath { signals, arcs, weight, terminal });
+        }
+        out
+    }
+
+    /// Convenience: wraps [`BacktrackTree::paths`] in a [`PathSet`].
+    pub fn into_path_set(self) -> PathSet {
+        PathSet::from_paths(self.paths())
+    }
+
+    /// Arena indices of all nodes associated with signal `s` ("a signal may
+    /// generate multiple nodes in a backtrack tree").
+    pub fn nodes_for_signal(&self, s: SignalId) -> Vec<usize> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.signal == s)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The unique arcs (by [`ArcId`]) going to the children of all nodes
+    /// generated by signal `s` — the paper's set `S_p` used by the signal
+    /// error exposure (Eq. 6).
+    pub fn unique_child_arcs_of_signal(&self, s: SignalId) -> Vec<(ArcId, f64)> {
+        let mut seen = std::collections::BTreeMap::new();
+        for idx in self.nodes_for_signal(s) {
+            for &c in &self.nodes[idx].children {
+                if let Some((arc, w)) = self.nodes[c].arc_from_parent {
+                    seen.entry(arc).or_insert(w);
+                }
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+/// The set of backtrack trees for every system output (step A4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BacktrackForest {
+    trees: Vec<BacktrackTree>,
+}
+
+impl BacktrackForest {
+    /// Builds one tree per system output of the graph's topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError`] from tree construction (cannot happen for
+    /// a validated topology, but kept fallible for API consistency).
+    pub fn build(graph: &PermeabilityGraph) -> Result<Self, TopologyError> {
+        let mut trees = Vec::new();
+        for &out in graph.topology().system_outputs() {
+            trees.push(BacktrackTree::build(graph, out)?);
+        }
+        Ok(BacktrackForest { trees })
+    }
+
+    /// The trees, in system-output order.
+    pub fn trees(&self) -> &[BacktrackTree] {
+        &self.trees
+    }
+
+    /// The tree rooted at `output`, if any.
+    pub fn tree_for(&self, output: SignalId) -> Option<&BacktrackTree> {
+        self.trees.iter().find(|t| t.root_signal() == output)
+    }
+
+    /// All propagation paths of all trees.
+    pub fn all_paths(&self) -> PathSet {
+        let mut set = PathSet::new();
+        for t in &self.trees {
+            set.extend(t.paths());
+        }
+        set
+    }
+
+    /// Union of `unique_child_arcs_of_signal` across trees, still unique by
+    /// [`ArcId`] (the basis of Eq. 6 when a system has several outputs).
+    pub fn unique_child_arcs_of_signal(&self, s: SignalId) -> Vec<(ArcId, f64)> {
+        let mut seen = std::collections::BTreeMap::new();
+        for t in &self.trees {
+            for (arc, w) in t.unique_child_arcs_of_signal(s) {
+                seen.entry(arc).or_insert(w);
+            }
+        }
+        seen.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::PermeabilityMatrix;
+    use crate::topology::TopologyBuilder;
+
+    /// ext -> [A] -> s -> [B(self-feedback fb)] -> out
+    fn feedback_graph() -> PermeabilityGraph {
+        let mut b = TopologyBuilder::new("fb");
+        let ext = b.external("ext");
+        let a = b.add_module("A");
+        b.bind_input(a, ext);
+        let s = b.add_output(a, "s");
+        let bm = b.add_module("B");
+        b.bind_input(bm, s);
+        let fb = b.add_output(bm, "fb");
+        let out = b.add_output(bm, "out");
+        b.bind_input(bm, fb);
+        b.mark_system_output(out);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        let a = t.module_by_name("A").unwrap();
+        let bm = t.module_by_name("B").unwrap();
+        pm.set(a, 0, 0, 0.5).unwrap();
+        pm.set(bm, 0, 0, 0.1).unwrap(); // s -> fb
+        pm.set(bm, 0, 1, 0.2).unwrap(); // s -> out
+        pm.set(bm, 1, 0, 0.3).unwrap(); // fb -> fb
+        pm.set(bm, 1, 1, 0.4).unwrap(); // fb -> out
+        PermeabilityGraph::new(&t, &pm).unwrap()
+    }
+
+    #[test]
+    fn simple_chain_tree() {
+        let mut b = TopologyBuilder::new("chain");
+        let ext = b.external("ext");
+        let a = b.add_module("A");
+        b.bind_input(a, ext);
+        let s = b.add_output(a, "s");
+        let c = b.add_module("C");
+        b.bind_input(c, s);
+        let out = b.add_output(c, "out");
+        b.mark_system_output(out);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        pm.set(t.module_by_name("A").unwrap(), 0, 0, 0.5).unwrap();
+        pm.set(t.module_by_name("C").unwrap(), 0, 0, 0.8).unwrap();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let tree = BacktrackTree::build(&g, out).unwrap();
+        assert_eq!(tree.node_count(), 3);
+        assert_eq!(tree.leaf_count(), 1);
+        assert_eq!(tree.depth(), 2);
+        let paths = tree.paths();
+        assert_eq!(paths.len(), 1);
+        assert!((paths[0].weight - 0.4).abs() < 1e-12);
+        assert_eq!(paths[0].terminal, PathTerminal::SystemInput);
+        assert_eq!(paths[0].root(), out);
+        assert_eq!(paths[0].leaf(), ext);
+    }
+
+    #[test]
+    fn feedback_is_cut_after_one_pass() {
+        let g = feedback_graph();
+        let t = g.topology();
+        let out = t.signal_by_name("out").unwrap();
+        let tree = BacktrackTree::build(&g, out).unwrap();
+        // Expansion of `out` (module B): children s, fb.
+        //   s  -> ext leaf.
+        //   fb -> children s (-> ext leaf), fb (feedback leaf).
+        // Total paths: out<-s<-ext, out<-fb<-s<-ext, out<-fb<-fb(double line).
+        let paths = tree.paths();
+        assert_eq!(paths.len(), 3);
+        let fb_paths: Vec<_> =
+            paths.iter().filter(|p| p.terminal == PathTerminal::Feedback).collect();
+        assert_eq!(fb_paths.len(), 1);
+        assert!((fb_paths[0].weight - 0.4 * 0.3).abs() < 1e-12);
+        // weights: 0.2*0.5, 0.4*0.1*0.5, 0.4*0.3
+        let mut w: Vec<f64> = paths.iter().map(|p| p.weight).collect();
+        w.sort_by(f64::total_cmp);
+        assert!((w[0] - 0.02).abs() < 1e-12);
+        assert!((w[1] - 0.1).abs() < 1e-12);
+        assert!((w[2] - 0.12).abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_root_is_single_node() {
+        let g = feedback_graph();
+        let ext = g.topology().signal_by_name("ext").unwrap();
+        let tree = BacktrackTree::build(&g, ext).unwrap();
+        assert_eq!(tree.node_count(), 1);
+        assert_eq!(tree.leaf_count(), 1);
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let g = feedback_graph();
+        assert!(BacktrackTree::build(&g, SignalId(99)).is_err());
+    }
+
+    #[test]
+    fn nodes_for_signal_and_unique_arcs() {
+        let g = feedback_graph();
+        let t = g.topology();
+        let out = t.signal_by_name("out").unwrap();
+        let s = t.signal_by_name("s").unwrap();
+        let fb = t.signal_by_name("fb").unwrap();
+        let tree = BacktrackTree::build(&g, out).unwrap();
+        // `s` generates two nodes (under out, under fb), both expanding with
+        // the single arc of module A — counted once.
+        assert_eq!(tree.nodes_for_signal(s).len(), 2);
+        let arcs = tree.unique_child_arcs_of_signal(s);
+        assert_eq!(arcs.len(), 1);
+        assert_eq!(arcs[0].1, 0.5);
+        // `fb` generates one expanded node with two child arcs.
+        let arcs = tree.unique_child_arcs_of_signal(fb);
+        assert_eq!(arcs.len(), 2);
+    }
+
+    #[test]
+    fn forest_covers_all_system_outputs() {
+        let mut b = TopologyBuilder::new("multi");
+        let x = b.external("x");
+        let m = b.add_module("M");
+        b.bind_input(m, x);
+        let o1 = b.add_output(m, "o1");
+        let o2 = b.add_output(m, "o2");
+        b.mark_system_output(o1);
+        b.mark_system_output(o2);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        let m = t.module_by_name("M").unwrap();
+        pm.set(m, 0, 0, 0.5).unwrap();
+        pm.set(m, 0, 1, 0.25).unwrap();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let forest = BacktrackForest::build(&g).unwrap();
+        assert_eq!(forest.trees().len(), 2);
+        assert!(forest.tree_for(o1).is_some());
+        assert!(forest.tree_for(SignalId(99)).is_none());
+        assert_eq!(forest.all_paths().len(), 2);
+    }
+
+    #[test]
+    fn paths_weights_are_products_of_arcs() {
+        let g = feedback_graph();
+        let out = g.topology().signal_by_name("out").unwrap();
+        for p in BacktrackTree::build(&g, out).unwrap().paths() {
+            let prod: f64 = p.arcs.iter().map(|&(_, w)| w).product();
+            assert!((p.weight - prod).abs() < 1e-12);
+            assert_eq!(p.signals.len(), p.arcs.len() + 1);
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! Rendering: GraphViz DOT output for permeability graphs and ASCII/DOT
+//! rendering for backtrack and trace trees (Figs. 3–5 and 9–12).
+
+use crate::backtrack::{BacktrackNodeKind, BacktrackTree};
+use crate::graph::PermeabilityGraph;
+use crate::trace::{TraceNodeKind, TraceTree};
+use std::fmt::Write as _;
+
+/// Renders the permeability graph as GraphViz DOT (Fig. 3 / Fig. 9).
+///
+/// Modules become nodes; each permeability pair becomes one labelled edge
+/// from the producer of the input signal (or an external source node) to the
+/// module. Zero-weight arcs are drawn dashed rather than omitted so that the
+/// full pair structure stays visible.
+pub fn graph_to_dot(graph: &PermeabilityGraph) -> String {
+    let topo = graph.topology();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", topo.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=box];");
+    for m in topo.modules() {
+        let _ = writeln!(out, "  m{} [label=\"{}\"];", m.index(), topo.module_name(m));
+    }
+    for &s in topo.system_inputs() {
+        let _ = writeln!(
+            out,
+            "  in{} [label=\"{}\", shape=plaintext];",
+            s.index(),
+            topo.signal_name(s)
+        );
+    }
+    for &s in topo.system_outputs() {
+        let _ = writeln!(
+            out,
+            "  out{} [label=\"{}\", shape=plaintext];",
+            s.index(),
+            topo.signal_name(s)
+        );
+    }
+    for arc in graph.arcs() {
+        let style = if arc.weight == 0.0 { ", style=dashed" } else { "" };
+        let label = format!("{}={:.3}", graph.arc_label(arc.id), arc.weight);
+        // Edge tail: producer of the input signal, or external source.
+        let tail = match topo.source_of(arc.input_signal) {
+            crate::topology::SignalSource::External => format!("in{}", arc.input_signal.index()),
+            crate::topology::SignalSource::Produced(p) => format!("m{}", p.module.index()),
+        };
+        let _ = writeln!(
+            out,
+            "  {tail} -> m{} [label=\"{label}\"{style}];",
+            arc.id.module.index()
+        );
+        if topo.is_system_output(arc.output_signal) {
+            let _ = writeln!(
+                out,
+                "  m{} -> out{} [style=bold];",
+                arc.id.module.index(),
+                arc.output_signal.index()
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a backtrack tree as indented ASCII (Fig. 4 / Fig. 10).
+///
+/// Feedback leaves are marked `[feedback]` (the paper's double line) and
+/// system-input leaves `[system input]`.
+pub fn backtrack_to_ascii(graph: &PermeabilityGraph, tree: &BacktrackTree) -> String {
+    let topo = graph.topology();
+    let mut out = String::new();
+    let mut stack = vec![(0usize, 0usize)];
+    while let Some((idx, indent)) = stack.pop() {
+        let node = &tree.nodes()[idx];
+        let pad = "  ".repeat(indent);
+        let arc = match node.arc_from_parent {
+            Some((id, w)) => format!(" <-[{} = {:.3}]", graph.arc_label(id), w),
+            None => String::new(),
+        };
+        let marker = match node.kind {
+            BacktrackNodeKind::Root => " (root)",
+            BacktrackNodeKind::SystemInputLeaf => " [system input]",
+            BacktrackNodeKind::FeedbackLeaf => " [feedback]",
+            BacktrackNodeKind::Internal => "",
+        };
+        let _ = writeln!(out, "{pad}{}{arc}{marker}", topo.signal_name(node.signal));
+        for &c in node.children.iter().rev() {
+            stack.push((c, indent + 1));
+        }
+    }
+    out
+}
+
+/// Renders a trace tree as indented ASCII (Fig. 5 / Figs. 11–12).
+pub fn trace_to_ascii(graph: &PermeabilityGraph, tree: &TraceTree) -> String {
+    let topo = graph.topology();
+    let mut out = String::new();
+    let mut stack = vec![(0usize, 0usize)];
+    while let Some((idx, indent)) = stack.pop() {
+        let node = &tree.nodes()[idx];
+        let pad = "  ".repeat(indent);
+        let arc = match node.arc_from_parent {
+            Some((id, w)) => format!(" ->[{} = {:.3}]", graph.arc_label(id), w),
+            None => String::new(),
+        };
+        let marker = match node.kind {
+            TraceNodeKind::Root => " (root)",
+            TraceNodeKind::SystemOutputLeaf => " [system output]",
+            TraceNodeKind::FeedbackLeaf => " [feedback]",
+            TraceNodeKind::DeadEndLeaf => " [dead end]",
+            TraceNodeKind::Internal => "",
+        };
+        let _ = writeln!(out, "{pad}{}{arc}{marker}", topo.signal_name(node.signal));
+        for &c in node.children.iter().rev() {
+            stack.push((c, indent + 1));
+        }
+    }
+    out
+}
+
+/// Renders a backtrack tree as GraphViz DOT. Feedback leaves use a double
+/// (peripheries=2) border like the paper's double line.
+pub fn backtrack_to_dot(graph: &PermeabilityGraph, tree: &BacktrackTree) -> String {
+    let topo = graph.topology();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "digraph \"backtrack_{}\" {{",
+        topo.signal_name(tree.root_signal())
+    );
+    for (idx, node) in tree.nodes().iter().enumerate() {
+        let shape = match node.kind {
+            BacktrackNodeKind::Root => ", shape=doubleoctagon",
+            BacktrackNodeKind::FeedbackLeaf => ", peripheries=2",
+            BacktrackNodeKind::SystemInputLeaf => ", shape=box",
+            BacktrackNodeKind::Internal => "",
+        };
+        let _ = writeln!(
+            out,
+            "  n{idx} [label=\"{}\"{shape}];",
+            topo.signal_name(node.signal)
+        );
+        if let (Some(parent), Some((id, w))) = (node.parent, node.arc_from_parent) {
+            let _ = writeln!(
+                out,
+                "  n{parent} -> n{idx} [label=\"{}={:.3}\"];",
+                graph.arc_label(id),
+                w
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a trace tree as GraphViz DOT.
+pub fn trace_to_dot(graph: &PermeabilityGraph, tree: &TraceTree) -> String {
+    let topo = graph.topology();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"trace_{}\" {{", topo.signal_name(tree.root_signal()));
+    for (idx, node) in tree.nodes().iter().enumerate() {
+        let shape = match node.kind {
+            TraceNodeKind::Root => ", shape=doubleoctagon",
+            TraceNodeKind::FeedbackLeaf => ", peripheries=2",
+            TraceNodeKind::SystemOutputLeaf => ", shape=box",
+            TraceNodeKind::DeadEndLeaf => ", shape=diamond",
+            TraceNodeKind::Internal => "",
+        };
+        let _ = writeln!(
+            out,
+            "  n{idx} [label=\"{}\"{shape}];",
+            topo.signal_name(node.signal)
+        );
+        if let (Some(parent), Some((id, w))) = (node.parent, node.arc_from_parent) {
+            let _ = writeln!(
+                out,
+                "  n{parent} -> n{idx} [label=\"{}={:.3}\"];",
+                graph.arc_label(id),
+                w
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::PermeabilityMatrix;
+    use crate::topology::TopologyBuilder;
+    use crate::trace::TraceTree;
+
+    fn graph() -> PermeabilityGraph {
+        let mut b = TopologyBuilder::new("dot");
+        let ext = b.external("ext");
+        let a = b.add_module("A");
+        b.bind_input(a, ext);
+        let s = b.add_output(a, "s");
+        let c = b.add_module("C");
+        b.bind_input(c, s);
+        let out = b.add_output(c, "out");
+        b.mark_system_output(out);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        pm.set(t.module_by_name("A").unwrap(), 0, 0, 0.5).unwrap();
+        pm.set(t.module_by_name("C").unwrap(), 0, 0, 0.0).unwrap();
+        PermeabilityGraph::new(&t, &pm).unwrap()
+    }
+
+    #[test]
+    fn graph_dot_contains_modules_and_weights() {
+        let g = graph();
+        let dot = graph_to_dot(&g);
+        assert!(dot.starts_with("digraph"));
+        assert!(dot.contains("label=\"A\""));
+        assert!(dot.contains("P^A_{1,1}=0.500"));
+        // zero arc rendered dashed
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn backtrack_ascii_marks_leaves() {
+        let g = graph();
+        let out = g.topology().signal_by_name("out").unwrap();
+        let tree = BacktrackTree::build(&g, out).unwrap();
+        let ascii = backtrack_to_ascii(&g, &tree);
+        assert!(ascii.contains("(root)"));
+        assert!(ascii.contains("[system input]"));
+        assert!(ascii.lines().count() >= 3);
+    }
+
+    #[test]
+    fn trace_ascii_marks_leaves() {
+        let g = graph();
+        let ext = g.topology().signal_by_name("ext").unwrap();
+        let tree = TraceTree::build(&g, ext).unwrap();
+        let ascii = trace_to_ascii(&g, &tree);
+        assert!(ascii.contains("(root)"));
+        assert!(ascii.contains("[system output]"));
+    }
+
+    #[test]
+    fn tree_dot_renders_every_node_once() {
+        let g = graph();
+        let out = g.topology().signal_by_name("out").unwrap();
+        let tree = BacktrackTree::build(&g, out).unwrap();
+        let dot = backtrack_to_dot(&g, &tree);
+        assert_eq!(
+            dot.matches("label=").count(),
+            tree.node_count() * 2 - 1 // each node + each edge label
+        );
+        let ext = g.topology().signal_by_name("ext").unwrap();
+        let tt = TraceTree::build(&g, ext).unwrap();
+        let dot = trace_to_dot(&g, &tt);
+        assert!(dot.contains("digraph \"trace_ext\""));
+    }
+}

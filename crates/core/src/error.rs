@@ -1,0 +1,147 @@
+//! Error types for topology construction and matrix manipulation.
+
+use crate::ids::{ModuleId, SignalId};
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or validating a
+/// [`crate::topology::SystemTopology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// Two modules share the same name.
+    DuplicateModuleName(String),
+    /// Two signals share the same name.
+    DuplicateSignalName(String),
+    /// A module was declared without any input port.
+    ModuleWithoutInputs(String),
+    /// A module was declared without any output port.
+    ModuleWithoutOutputs(String),
+    /// No signal was marked as a system output.
+    NoSystemOutputs,
+    /// A [`ModuleId`] does not belong to the topology under construction.
+    UnknownModule(ModuleId),
+    /// A [`SignalId`] does not belong to the topology under construction.
+    UnknownSignal(SignalId),
+    /// A name lookup failed.
+    NameNotFound(String),
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::DuplicateModuleName(n) => {
+                write!(f, "duplicate module name `{n}`")
+            }
+            TopologyError::DuplicateSignalName(n) => {
+                write!(f, "duplicate signal name `{n}`")
+            }
+            TopologyError::ModuleWithoutInputs(n) => {
+                write!(f, "module `{n}` has no input ports")
+            }
+            TopologyError::ModuleWithoutOutputs(n) => {
+                write!(f, "module `{n}` has no output ports")
+            }
+            TopologyError::NoSystemOutputs => {
+                write!(f, "topology has no system output signals")
+            }
+            TopologyError::UnknownModule(m) => {
+                write!(f, "module id {m} does not belong to this topology")
+            }
+            TopologyError::UnknownSignal(s) => {
+                write!(f, "signal id {s} does not belong to this topology")
+            }
+            TopologyError::NameNotFound(n) => write!(f, "no module or signal named `{n}`"),
+        }
+    }
+}
+
+impl Error for TopologyError {}
+
+/// Error produced while manipulating a [`crate::matrix::PermeabilityMatrix`].
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MatrixError {
+    /// The permeability value lies outside `[0, 1]` or is not finite.
+    OutOfRange {
+        /// The offending value.
+        value: f64,
+    },
+    /// The referenced module does not exist in the matrix.
+    UnknownModule(ModuleId),
+    /// The referenced input index exceeds the module's input count.
+    InputOutOfBounds {
+        /// The module.
+        module: ModuleId,
+        /// The requested zero-based input index.
+        input: usize,
+        /// The number of inputs the module actually has.
+        inputs: usize,
+    },
+    /// The referenced output index exceeds the module's output count.
+    OutputOutOfBounds {
+        /// The module.
+        module: ModuleId,
+        /// The requested zero-based output index.
+        output: usize,
+        /// The number of outputs the module actually has.
+        outputs: usize,
+    },
+    /// A name lookup failed.
+    NameNotFound(String),
+    /// The matrix was built for a topology with a different shape.
+    ShapeMismatch {
+        /// Name of the topology the matrix was built for.
+        expected: String,
+        /// Name of the topology supplied.
+        found: String,
+    },
+}
+
+impl fmt::Display for MatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MatrixError::OutOfRange { value } => {
+                write!(f, "permeability {value} is not a probability in [0, 1]")
+            }
+            MatrixError::UnknownModule(m) => {
+                write!(f, "module id {m} does not belong to this matrix")
+            }
+            MatrixError::InputOutOfBounds { module, input, inputs } => write!(
+                f,
+                "input index {input} out of bounds for module {module} with {inputs} inputs"
+            ),
+            MatrixError::OutputOutOfBounds { module, output, outputs } => write!(
+                f,
+                "output index {output} out of bounds for module {module} with {outputs} outputs"
+            ),
+            MatrixError::NameNotFound(n) => write!(f, "no module/signal named `{n}`"),
+            MatrixError::ShapeMismatch { expected, found } => write!(
+                f,
+                "matrix was built for topology `{expected}` but used with `{found}`"
+            ),
+        }
+    }
+}
+
+impl Error for MatrixError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TopologyError::DuplicateModuleName("CALC".into());
+        assert_eq!(e.to_string(), "duplicate module name `CALC`");
+        let e = MatrixError::OutOfRange { value: 1.5 };
+        assert!(e.to_string().contains("1.5"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<TopologyError>();
+        assert_err::<MatrixError>();
+    }
+}

@@ -1,0 +1,348 @@
+//! The permeability graph (Section 4.2, Fig. 3 of the paper).
+//!
+//! Each node corresponds to a module. For every (input `i`, output `k`) pair
+//! of a module `M` there is one arc weighted `P^M_{i,k}`; the arc conceptually
+//! runs *through* `M` from the signal bound at input `i` to the signal
+//! produced at output `k`. Because every pair carries an arc, there may be
+//! more arcs between two nodes than there are signals between the
+//! corresponding modules.
+//!
+//! The graph keeps zero-weight arcs: the paper's Table 4 counts propagation
+//! paths including those with zero weight (22 paths, 13 non-zero), so pruning
+//! is left to [`crate::paths::PathSet`] consumers.
+
+use crate::error::MatrixError;
+use crate::ids::{InPortRef, ModuleId, SignalId};
+use crate::matrix::PermeabilityMatrix;
+use crate::topology::{SignalSource, SystemTopology};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Stable identity of a permeability arc: the (module, input, output) pair it
+/// belongs to.
+///
+/// Two occurrences of the same pair in different trees are the *same* arc —
+/// the paper's signal-exposure measure (Eq. 6) counts them once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ArcId {
+    /// Module the pair belongs to.
+    pub module: ModuleId,
+    /// Zero-based input port index.
+    pub input: usize,
+    /// Zero-based output port index.
+    pub output: usize,
+}
+
+/// A weighted arc of the permeability graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Arc {
+    /// Which (module, input, output) pair this arc represents.
+    pub id: ArcId,
+    /// The error permeability `P^M_{i,k}`.
+    pub weight: f64,
+    /// Signal bound at the input side of the pair.
+    pub input_signal: SignalId,
+    /// Signal produced at the output side of the pair.
+    pub output_signal: SignalId,
+}
+
+/// A [`SystemTopology`] joined with a [`PermeabilityMatrix`]: the weighted
+/// permeability graph on which all propagation analyses run.
+///
+/// The graph owns clones of both inputs so it can be freely moved into
+/// analyses and threads.
+///
+/// # Examples
+///
+/// ```
+/// use permea_core::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TopologyBuilder::new("t");
+/// let x = b.external("x");
+/// let m = b.add_module("M");
+/// b.bind_input(m, x);
+/// let y = b.add_output(m, "y");
+/// b.mark_system_output(y);
+/// let topo = b.build()?;
+/// let mut pm = PermeabilityMatrix::zeroed(&topo);
+/// pm.set(m, 0, 0, 0.7)?;
+///
+/// let g = PermeabilityGraph::new(&topo, &pm)?;
+/// assert_eq!(g.arcs().count(), 1);
+/// assert_eq!(g.arcs_into_signal(y).len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PermeabilityGraph {
+    topology: SystemTopology,
+    matrix: PermeabilityMatrix,
+    arcs: Vec<Arc>,
+    /// Indices into `arcs`, keyed by the produced (output-side) signal.
+    #[serde(skip)]
+    by_output_signal: HashMap<SignalId, Vec<usize>>,
+    /// Indices into `arcs`, keyed by (module, input) port.
+    #[serde(skip)]
+    by_input_port: HashMap<(ModuleId, usize), Vec<usize>>,
+}
+
+impl PermeabilityGraph {
+    /// Joins a topology with its permeability matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MatrixError::ShapeMismatch`] if the matrix was built for a
+    /// different topology (matched by name and pair count).
+    pub fn new(
+        topology: &SystemTopology,
+        matrix: &PermeabilityMatrix,
+    ) -> Result<Self, MatrixError> {
+        if topology.name() != matrix.topology_name()
+            || topology.pair_count() != matrix.pair_count()
+        {
+            return Err(MatrixError::ShapeMismatch {
+                expected: matrix.topology_name().to_owned(),
+                found: topology.name().to_owned(),
+            });
+        }
+        let mut arcs = Vec::with_capacity(topology.pair_count());
+        for m in topology.modules() {
+            let inputs = topology.inputs_of(m).to_vec();
+            let outputs = topology.outputs_of(m).to_vec();
+            for (i, &input_signal) in inputs.iter().enumerate() {
+                for (k, &output_signal) in outputs.iter().enumerate() {
+                    arcs.push(Arc {
+                        id: ArcId { module: m, input: i, output: k },
+                        weight: matrix.get(m, i, k),
+                        input_signal,
+                        output_signal,
+                    });
+                }
+            }
+        }
+        let mut graph = PermeabilityGraph {
+            topology: topology.clone(),
+            matrix: matrix.clone(),
+            arcs,
+            by_output_signal: HashMap::new(),
+            by_input_port: HashMap::new(),
+        };
+        graph.rebuild_indexes();
+        Ok(graph)
+    }
+
+    /// Rebuilds the adjacency indexes (needed after deserialisation).
+    pub fn rebuild_indexes(&mut self) {
+        self.topology.rebuild_indexes();
+        self.by_output_signal.clear();
+        self.by_input_port.clear();
+        for (idx, arc) in self.arcs.iter().enumerate() {
+            self.by_output_signal.entry(arc.output_signal).or_default().push(idx);
+            self.by_input_port.entry((arc.id.module, arc.id.input)).or_default().push(idx);
+        }
+    }
+
+    /// The topology the graph was built from.
+    pub fn topology(&self) -> &SystemTopology {
+        &self.topology
+    }
+
+    /// The permeability matrix the graph was built from.
+    pub fn matrix(&self) -> &PermeabilityMatrix {
+        &self.matrix
+    }
+
+    /// All arcs, in deterministic (module, input, output) order.
+    pub fn arcs(&self) -> impl ExactSizeIterator<Item = &Arc> + '_ {
+        self.arcs.iter()
+    }
+
+    /// Arcs whose output side produces signal `s` — i.e. the arcs a backtrack
+    /// tree follows when expanding a node for `s`. Empty for external signals.
+    pub fn arcs_into_signal(&self, s: SignalId) -> Vec<&Arc> {
+        match self.by_output_signal.get(&s) {
+            Some(v) => v.iter().map(|&i| &self.arcs[i]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Arcs leaving the input port `(module, input)` — i.e. the arcs a trace
+    /// tree follows when an error enters that port.
+    pub fn arcs_from_input_port(&self, module: ModuleId, input: usize) -> Vec<&Arc> {
+        match self.by_input_port.get(&(module, input)) {
+            Some(v) => v.iter().map(|&i| &self.arcs[i]).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// The *incoming* arcs of module `m`: for every input port of `m` bound
+    /// to a signal produced by some module `W`, all of `W`'s arcs into that
+    /// signal. These are the arcs whose weights define the error exposure
+    /// `X^M` (Eq. 4). Input ports bound to external signals contribute no
+    /// arcs (observation OB1).
+    pub fn incoming_arcs(&self, m: ModuleId) -> Vec<&Arc> {
+        let mut out = Vec::new();
+        for &sig in self.topology.inputs_of(m) {
+            if let SignalSource::Produced(_) = self.topology.source_of(sig) {
+                out.extend(self.arcs_into_signal(sig));
+            }
+        }
+        out
+    }
+
+    /// The *outgoing* arcs of module `m`: its own permeability pairs. Their
+    /// sum is the non-weighted relative permeability `P̄^M` (Eq. 3).
+    pub fn outgoing_arcs(&self, m: ModuleId) -> Vec<&Arc> {
+        self.arcs.iter().filter(|a| a.id.module == m).collect()
+    }
+
+    /// Looks up the weight of a specific arc.
+    pub fn weight(&self, id: ArcId) -> Option<f64> {
+        self.matrix.try_get(id.module, id.input, id.output).ok()
+    }
+
+    /// Resolves the consumers that an arc's output signal fans out to.
+    pub fn arc_destinations(&self, arc: &Arc) -> &[InPortRef] {
+        self.topology.consumers_of(arc.output_signal)
+    }
+
+    /// Human-readable label for an arc, matching the paper's
+    /// `P^MODULE_{i,k}` notation with one-based indices.
+    pub fn arc_label(&self, id: ArcId) -> String {
+        format!(
+            "P^{}_{{{},{}}}",
+            self.topology.module_name(id.module),
+            id.input + 1,
+            id.output + 1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    /// ext -> [A] -> s -> [B] -> out, where B also has self-feedback fb.
+    fn fixture() -> (SystemTopology, PermeabilityMatrix) {
+        let mut b = TopologyBuilder::new("g");
+        let ext = b.external("ext");
+        let a = b.add_module("A");
+        b.bind_input(a, ext);
+        let s = b.add_output(a, "s");
+        let bm = b.add_module("B");
+        b.bind_input(bm, s);
+        let fb = b.add_output(bm, "fb");
+        let out = b.add_output(bm, "out");
+        b.bind_input(bm, fb);
+        b.mark_system_output(out);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        let a = t.module_by_name("A").unwrap();
+        let bm = t.module_by_name("B").unwrap();
+        pm.set(a, 0, 0, 0.5).unwrap();
+        pm.set(bm, 0, 0, 0.1).unwrap(); // s -> fb
+        pm.set(bm, 0, 1, 0.2).unwrap(); // s -> out
+        pm.set(bm, 1, 0, 0.3).unwrap(); // fb -> fb
+        pm.set(bm, 1, 1, 0.4).unwrap(); // fb -> out
+        (t, pm)
+    }
+
+    #[test]
+    fn arc_count_equals_pair_count() {
+        let (t, pm) = fixture();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        assert_eq!(g.arcs().count(), t.pair_count());
+        assert_eq!(g.arcs().count(), 5);
+    }
+
+    #[test]
+    fn arcs_into_signal_follow_producer_pairs() {
+        let (t, pm) = fixture();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let out = t.signal_by_name("out").unwrap();
+        let arcs = g.arcs_into_signal(out);
+        assert_eq!(arcs.len(), 2);
+        let weights: Vec<f64> = arcs.iter().map(|a| a.weight).collect();
+        assert_eq!(weights, vec![0.2, 0.4]);
+        let ext = t.signal_by_name("ext").unwrap();
+        assert!(g.arcs_into_signal(ext).is_empty());
+    }
+
+    #[test]
+    fn arcs_from_input_port_cover_all_outputs() {
+        let (t, pm) = fixture();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let bm = t.module_by_name("B").unwrap();
+        let arcs = g.arcs_from_input_port(bm, 1);
+        assert_eq!(arcs.len(), 2);
+        assert_eq!(arcs[0].weight, 0.3);
+        assert_eq!(arcs[1].weight, 0.4);
+    }
+
+    #[test]
+    fn incoming_arcs_include_self_feedback_and_skip_external() {
+        let (t, pm) = fixture();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let a = t.module_by_name("A").unwrap();
+        let bm = t.module_by_name("B").unwrap();
+        // A reads only the external signal: no exposure arcs (OB1).
+        assert!(g.incoming_arcs(a).is_empty());
+        // B reads s (produced by A, 1 arc) and fb (produced by B, 2 arcs).
+        let incoming = g.incoming_arcs(bm);
+        assert_eq!(incoming.len(), 3);
+        let sum: f64 = incoming.iter().map(|x| x.weight).sum();
+        assert!((sum - (0.5 + 0.1 + 0.3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outgoing_arcs_sum_to_module_sum() {
+        let (t, pm) = fixture();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let bm = t.module_by_name("B").unwrap();
+        let sum: f64 = g.outgoing_arcs(bm).iter().map(|a| a.weight).sum();
+        assert!((sum - pm.module_sum(bm)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shape_mismatch_detected() {
+        let (t, _) = fixture();
+        let mut b2 = TopologyBuilder::new("other");
+        let x = b2.external("x");
+        let m = b2.add_module("M");
+        b2.bind_input(m, x);
+        let o = b2.add_output(m, "o");
+        b2.mark_system_output(o);
+        let t2 = b2.build().unwrap();
+        let pm2 = PermeabilityMatrix::zeroed(&t2);
+        assert!(matches!(
+            PermeabilityGraph::new(&t, &pm2),
+            Err(MatrixError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn arc_label_uses_one_based_paper_notation() {
+        let (t, pm) = fixture();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let bm = t.module_by_name("B").unwrap();
+        let label = g.arc_label(ArcId { module: bm, input: 1, output: 0 });
+        assert_eq!(label, "P^B_{2,1}");
+    }
+
+    #[test]
+    fn arc_destinations_resolve_fanout() {
+        let (t, pm) = fixture();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let bm = t.module_by_name("B").unwrap();
+        let fb_arc = *g
+            .arcs()
+            .find(|a| a.id == ArcId { module: bm, input: 0, output: 0 })
+            .unwrap();
+        let dests = g.arc_destinations(&fb_arc);
+        assert_eq!(dests.len(), 1);
+        assert_eq!(dests[0].module, bm);
+        assert_eq!(dests[0].input, 1);
+    }
+}

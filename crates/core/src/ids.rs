@@ -1,0 +1,126 @@
+//! Strongly-typed identifiers for modules, signals and ports.
+//!
+//! All identifiers are cheap `Copy` newtypes over dense indices into a
+//! [`crate::topology::SystemTopology`]. They are only meaningful together with
+//! the topology that produced them ([C-NEWTYPE]).
+//!
+//! [C-NEWTYPE]: https://rust-lang.github.io/api-guidelines/type-safety.html
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a software module within a [`crate::topology::SystemTopology`].
+///
+/// # Examples
+///
+/// ```
+/// use permea_core::prelude::*;
+/// let mut b = TopologyBuilder::new("sys");
+/// let m: ModuleId = b.add_module("M");
+/// assert_eq!(m.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ModuleId(pub(crate) usize);
+
+impl ModuleId {
+    /// Returns the dense index of this module.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ModuleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M{}", self.0)
+    }
+}
+
+/// Identifier of a signal within a [`crate::topology::SystemTopology`].
+///
+/// A signal has exactly one source — either the external environment or a
+/// single module output port — and any number of consumers.
+///
+/// # Examples
+///
+/// ```
+/// use permea_core::prelude::*;
+/// let mut b = TopologyBuilder::new("sys");
+/// let s: SignalId = b.external("sensor");
+/// assert_eq!(s.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SignalId(pub(crate) usize);
+
+impl SignalId {
+    /// Returns the dense index of this signal.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SignalId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// Reference to an input port: the `input`-th input of module `module`.
+///
+/// Input ports are numbered from zero in the order they were bound with
+/// [`crate::topology::TopologyBuilder::bind_input`]. The paper numbers the
+/// same ports from one; rendering helpers add one for display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InPortRef {
+    /// The module owning the port.
+    pub module: ModuleId,
+    /// Zero-based input index within the module.
+    pub input: usize,
+}
+
+impl fmt::Display for InPortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "I{}^{}", self.input + 1, self.module)
+    }
+}
+
+/// Reference to an output port: the `output`-th output of module `module`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OutPortRef {
+    /// The module owning the port.
+    pub module: ModuleId,
+    /// Zero-based output index within the module.
+    pub output: usize,
+}
+
+impl fmt::Display for OutPortRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "O{}^{}", self.output + 1, self.module)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ModuleId(0) < ModuleId(1));
+        assert!(SignalId(3) > SignalId(2));
+    }
+
+    #[test]
+    fn display_is_one_based_for_ports() {
+        let p = InPortRef { module: ModuleId(2), input: 0 };
+        assert_eq!(p.to_string(), "I1^M2");
+        let o = OutPortRef { module: ModuleId(0), output: 1 };
+        assert_eq!(o.to_string(), "O2^M0");
+    }
+
+    #[test]
+    fn ids_roundtrip_serde() {
+        let m = ModuleId(7);
+        let json = serde_json::to_string(&m).unwrap();
+        let back: ModuleId = serde_json::from_str(&json).unwrap();
+        assert_eq!(m, back);
+    }
+}

@@ -1,0 +1,88 @@
+//! # permea-core — error-propagation analysis for modular software
+//!
+//! This crate implements the analytical framework of Hiller, Jhumka & Suri,
+//! *"An Approach for Analysing the Propagation of Data Errors in Software"*
+//! (DSN 2001): the **error permeability** measure and everything built on it.
+//!
+//! A software system is modelled as a set of black-box [`topology::SystemTopology`]
+//! modules inter-linked by signals. For each (input, output) pair of each module
+//! the *error permeability* `P_{i,k} = Pr{error on output k | error on input i}`
+//! is stored in a [`matrix::PermeabilityMatrix`]. From the topology and the matrix
+//! the crate derives:
+//!
+//! * module-level measures (relative permeability, error exposure, …) —
+//!   [`measures`],
+//! * the **permeability graph** — [`graph`],
+//! * **backtrack trees** (output error tracing) — [`backtrack`],
+//! * **trace trees** (input error tracing) — [`trace`],
+//! * ranked **propagation paths** — [`paths`],
+//! * EDM/ERM **placement recommendations** — [`placement`],
+//! * GraphViz/ASCII rendering — [`dot`].
+//!
+//! # Quick example
+//!
+//! ```
+//! use permea_core::prelude::*;
+//!
+//! # fn main() -> Result<(), TopologyError> {
+//! // A two-module pipeline:  ext --> [F] --> s --> [G] --> out
+//! let mut b = TopologyBuilder::new("pipeline");
+//! let ext = b.external("ext");
+//! let f = b.add_module("F");
+//! b.bind_input(f, ext);
+//! let s = b.add_output(f, "s");
+//! let g = b.add_module("G");
+//! b.bind_input(g, s);
+//! let out = b.add_output(g, "out");
+//! b.mark_system_output(out);
+//! let topo = b.build()?;
+//!
+//! let mut pm = PermeabilityMatrix::zeroed(&topo);
+//! pm.set_named(&topo, "F", "ext", "s", 0.5).unwrap();
+//! pm.set_named(&topo, "G", "s", "out", 0.8).unwrap();
+//!
+//! let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+//! let tree = BacktrackTree::build(&graph, out).unwrap();
+//! let paths = tree.paths();
+//! assert_eq!(paths.len(), 1);
+//! assert!((paths[0].weight - 0.4).abs() < 1e-12);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backtrack;
+pub mod coverage;
+pub mod dot;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod matrix;
+pub mod measures;
+pub mod occurrence;
+pub mod paths;
+pub mod placement;
+pub mod topology;
+pub mod trace;
+pub mod whatif;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::backtrack::{BacktrackForest, BacktrackTree};
+    pub use crate::coverage::{greedy_cover, CoverStep};
+    pub use crate::error::{MatrixError, TopologyError};
+    pub use crate::graph::{Arc, ArcId, PermeabilityGraph};
+    pub use crate::ids::{InPortRef, ModuleId, OutPortRef, SignalId};
+    pub use crate::matrix::PermeabilityMatrix;
+    pub use crate::measures::{ModuleMeasures, SignalExposure, SystemMeasures};
+    pub use crate::occurrence::{risk_analysis, OccurrenceProfile, RiskRow};
+    pub use crate::paths::{PathSet, PropagationPath};
+    pub use crate::placement::{PlacementAdvisor, PlacementPlan, Rationale, Recommendation};
+    pub use crate::topology::{SignalSource, SystemTopology, TopologyBuilder};
+    pub use crate::trace::{TraceForest, TraceTree};
+    pub use crate::whatif::{containment_effects, rank_containment_candidates, Containment, WhatIfEffect};
+}
+
+pub use prelude::*;

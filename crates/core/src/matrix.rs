@@ -1,0 +1,367 @@
+//! The error-permeability matrix: one probability per (input, output) pair.
+//!
+//! Implements Eq. 1 of the paper:
+//!
+//! ```text
+//! 0 <= P^M_{i,k} = Pr{ err in output k | err in input i } <= 1
+//! ```
+//!
+//! The matrix is shaped by a [`SystemTopology`]: for every module `M` with
+//! `m` inputs and `n` outputs it stores `m * n` values. Values may be set
+//! analytically (design estimates) or estimated experimentally via fault
+//! injection (see the `permea-fi` crate).
+
+use crate::error::MatrixError;
+use crate::ids::ModuleId;
+use crate::topology::SystemTopology;
+use serde::{Deserialize, Serialize};
+
+/// Per-module storage of permeability values, row-major `[input][output]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ModuleBlock {
+    inputs: usize,
+    outputs: usize,
+    /// `values[i * outputs + k]` is `P_{i,k}`.
+    values: Vec<f64>,
+}
+
+impl ModuleBlock {
+    fn idx(&self, input: usize, output: usize) -> usize {
+        input * self.outputs + output
+    }
+}
+
+/// Error-permeability values for every (input, output) pair of every module
+/// in a topology.
+///
+/// # Examples
+///
+/// ```
+/// use permea_core::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TopologyBuilder::new("t");
+/// let x = b.external("x");
+/// let m = b.add_module("M");
+/// b.bind_input(m, x);
+/// let y = b.add_output(m, "y");
+/// b.mark_system_output(y);
+/// let topo = b.build()?;
+///
+/// let mut pm = PermeabilityMatrix::zeroed(&topo);
+/// pm.set(m, 0, 0, 0.25)?;
+/// assert_eq!(pm.get(m, 0, 0), 0.25);
+/// assert!(pm.set(m, 0, 0, 1.5).is_err()); // not a probability
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PermeabilityMatrix {
+    topology_name: String,
+    blocks: Vec<ModuleBlock>,
+}
+
+impl PermeabilityMatrix {
+    /// Creates a matrix shaped for `topology` with every permeability zero.
+    pub fn zeroed(topology: &SystemTopology) -> Self {
+        let blocks = topology
+            .modules()
+            .map(|m| {
+                let inputs = topology.input_count(m);
+                let outputs = topology.output_count(m);
+                ModuleBlock { inputs, outputs, values: vec![0.0; inputs * outputs] }
+            })
+            .collect();
+        PermeabilityMatrix { topology_name: topology.name().to_owned(), blocks }
+    }
+
+    /// Name of the topology this matrix was shaped for.
+    pub fn topology_name(&self) -> &str {
+        &self.topology_name
+    }
+
+    /// Number of modules covered by this matrix.
+    pub fn module_count(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Total number of (input, output) pairs stored.
+    pub fn pair_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.values.len()).sum()
+    }
+
+    fn block(&self, m: ModuleId) -> Result<&ModuleBlock, MatrixError> {
+        self.blocks.get(m.index()).ok_or(MatrixError::UnknownModule(m))
+    }
+
+    /// Sets `P^M_{input,output}` (zero-based indices).
+    ///
+    /// # Errors
+    ///
+    /// * [`MatrixError::OutOfRange`] if `p` is not a finite probability,
+    /// * [`MatrixError::UnknownModule`] / [`MatrixError::InputOutOfBounds`] /
+    ///   [`MatrixError::OutputOutOfBounds`] on bad indices.
+    pub fn set(
+        &mut self,
+        m: ModuleId,
+        input: usize,
+        output: usize,
+        p: f64,
+    ) -> Result<(), MatrixError> {
+        if !p.is_finite() || !(0.0..=1.0).contains(&p) {
+            return Err(MatrixError::OutOfRange { value: p });
+        }
+        let block = self.blocks.get_mut(m.index()).ok_or(MatrixError::UnknownModule(m))?;
+        if input >= block.inputs {
+            return Err(MatrixError::InputOutOfBounds { module: m, input, inputs: block.inputs });
+        }
+        if output >= block.outputs {
+            return Err(MatrixError::OutputOutOfBounds {
+                module: m,
+                output,
+                outputs: block.outputs,
+            });
+        }
+        let idx = block.idx(input, output);
+        block.values[idx] = p;
+        Ok(())
+    }
+
+    /// Reads `P^M_{input,output}` (zero-based indices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds; use [`PermeabilityMatrix::try_get`]
+    /// for a fallible variant.
+    pub fn get(&self, m: ModuleId, input: usize, output: usize) -> f64 {
+        self.try_get(m, input, output).expect("permeability indices out of bounds")
+    }
+
+    /// Fallible variant of [`PermeabilityMatrix::get`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the same index errors as [`PermeabilityMatrix::set`].
+    pub fn try_get(&self, m: ModuleId, input: usize, output: usize) -> Result<f64, MatrixError> {
+        let block = self.block(m)?;
+        if input >= block.inputs {
+            return Err(MatrixError::InputOutOfBounds { module: m, input, inputs: block.inputs });
+        }
+        if output >= block.outputs {
+            return Err(MatrixError::OutputOutOfBounds {
+                module: m,
+                output,
+                outputs: block.outputs,
+            });
+        }
+        Ok(block.values[block.idx(input, output)])
+    }
+
+    /// Sets a permeability value addressing the pair by module name and the
+    /// names of the signals bound to the input/output ports.
+    ///
+    /// The `topology` must be the one the matrix was created from (matched by
+    /// name).
+    ///
+    /// # Errors
+    ///
+    /// [`MatrixError::NameNotFound`] if any name does not resolve;
+    /// [`MatrixError::ShapeMismatch`] if `topology` is a different system;
+    /// plus the range errors of [`PermeabilityMatrix::set`].
+    ///
+    /// Note: `set_by_name` needs the topology to resolve names, so it lives on
+    /// a helper taking the topology explicitly.
+    pub fn set_named(
+        &mut self,
+        topology: &SystemTopology,
+        module: &str,
+        input_signal: &str,
+        output_signal: &str,
+        p: f64,
+    ) -> Result<(), MatrixError> {
+        if topology.name() != self.topology_name {
+            return Err(MatrixError::ShapeMismatch {
+                expected: self.topology_name.clone(),
+                found: topology.name().to_owned(),
+            });
+        }
+        let m = topology
+            .module_by_name(module)
+            .ok_or_else(|| MatrixError::NameNotFound(module.to_owned()))?;
+        let in_sig = topology
+            .signal_by_name(input_signal)
+            .ok_or_else(|| MatrixError::NameNotFound(input_signal.to_owned()))?;
+        let out_sig = topology
+            .signal_by_name(output_signal)
+            .ok_or_else(|| MatrixError::NameNotFound(output_signal.to_owned()))?;
+        let input = topology
+            .inputs_of(m)
+            .iter()
+            .position(|&s| s == in_sig)
+            .ok_or_else(|| MatrixError::NameNotFound(format!("{module}:{input_signal}")))?;
+        let output = topology
+            .outputs_of(m)
+            .iter()
+            .position(|&s| s == out_sig)
+            .ok_or_else(|| MatrixError::NameNotFound(format!("{module}:{output_signal}")))?;
+        self.set(m, input, output, p)
+    }
+
+    /// Iterates over every `(module, input, output, value)` quadruple in a
+    /// deterministic order (modules by id, inputs major, outputs minor).
+    pub fn iter(&self) -> impl Iterator<Item = (ModuleId, usize, usize, f64)> + '_ {
+        self.blocks.iter().enumerate().flat_map(|(mi, b)| {
+            (0..b.inputs).flat_map(move |i| {
+                (0..b.outputs).map(move |k| (ModuleId(mi), i, k, b.values[b.idx(i, k)]))
+            })
+        })
+    }
+
+    /// Sum of all permeability values of module `m` — the paper's
+    /// non-weighted relative permeability (Eq. 3) numerator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` does not belong to the matrix.
+    pub fn module_sum(&self, m: ModuleId) -> f64 {
+        self.blocks[m.index()].values.iter().sum()
+    }
+
+    /// Permeability values of module `m` for a fixed output port, over all
+    /// inputs (the arcs entering a backtrack-tree node for that output).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn column(&self, m: ModuleId, output: usize) -> Vec<f64> {
+        let b = &self.blocks[m.index()];
+        assert!(output < b.outputs, "output index out of bounds");
+        (0..b.inputs).map(|i| b.values[b.idx(i, output)]).collect()
+    }
+
+    /// Permeability values of module `m` for a fixed input port, over all
+    /// outputs (the arcs leaving a trace-tree node for that input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of bounds.
+    pub fn row(&self, m: ModuleId, input: usize) -> Vec<f64> {
+        let b = &self.blocks[m.index()];
+        assert!(input < b.inputs, "input index out of bounds");
+        (0..b.outputs).map(|k| b.values[b.idx(input, k)]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    fn two_by_two() -> (SystemTopology, ModuleId) {
+        let mut b = TopologyBuilder::new("t");
+        let x = b.external("x");
+        let y = b.external("y");
+        let m = b.add_module("M");
+        b.bind_input(m, x);
+        b.bind_input(m, y);
+        let o1 = b.add_output(m, "o1");
+        let _o2 = b.add_output(m, "o2");
+        b.mark_system_output(o1);
+        let t = b.build().unwrap();
+        let m = t.module_by_name("M").unwrap();
+        (t, m)
+    }
+
+    #[test]
+    fn zeroed_matrix_has_right_shape() {
+        let (t, _) = two_by_two();
+        let pm = PermeabilityMatrix::zeroed(&t);
+        assert_eq!(pm.pair_count(), 4);
+        assert_eq!(pm.module_count(), 1);
+        assert!(pm.iter().all(|(_, _, _, v)| v == 0.0));
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let (t, m) = two_by_two();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        pm.set(m, 1, 0, 0.75).unwrap();
+        assert_eq!(pm.get(m, 1, 0), 0.75);
+        assert_eq!(pm.get(m, 0, 0), 0.0);
+    }
+
+    #[test]
+    fn rejects_non_probabilities() {
+        let (t, m) = two_by_two();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        assert!(pm.set(m, 0, 0, -0.1).is_err());
+        assert!(pm.set(m, 0, 0, 1.1).is_err());
+        assert!(pm.set(m, 0, 0, f64::NAN).is_err());
+        assert!(pm.set(m, 0, 0, f64::INFINITY).is_err());
+        assert!(pm.set(m, 0, 0, 1.0).is_ok());
+        assert!(pm.set(m, 0, 0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_indices() {
+        let (t, m) = two_by_two();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        assert!(matches!(
+            pm.set(m, 2, 0, 0.5),
+            Err(MatrixError::InputOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            pm.set(m, 0, 2, 0.5),
+            Err(MatrixError::OutputOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            pm.try_get(ModuleId(9), 0, 0),
+            Err(MatrixError::UnknownModule(_))
+        ));
+    }
+
+    #[test]
+    fn set_named_resolves_ports() {
+        let (t, m) = two_by_two();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        pm.set_named(&t, "M", "y", "o2", 0.5).unwrap();
+        assert_eq!(pm.get(m, 1, 1), 0.5);
+        assert!(pm.set_named(&t, "M", "nope", "o2", 0.5).is_err());
+        assert!(pm.set_named(&t, "NOPE", "y", "o2", 0.5).is_err());
+        // signal exists but is not a port of M on that side
+        assert!(pm.set_named(&t, "M", "o1", "o2", 0.5).is_err());
+    }
+
+    #[test]
+    fn row_and_column_views() {
+        let (t, m) = two_by_two();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        pm.set(m, 0, 0, 0.1).unwrap();
+        pm.set(m, 0, 1, 0.2).unwrap();
+        pm.set(m, 1, 0, 0.3).unwrap();
+        pm.set(m, 1, 1, 0.4).unwrap();
+        assert_eq!(pm.row(m, 0), vec![0.1, 0.2]);
+        assert_eq!(pm.column(m, 1), vec![0.2, 0.4]);
+        assert!((pm.module_sum(m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iter_is_deterministic_and_complete() {
+        let (t, m) = two_by_two();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        pm.set(m, 1, 1, 0.9).unwrap();
+        let all: Vec<_> = pm.iter().collect();
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3], (m, 1, 1, 0.9));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let (t, m) = two_by_two();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        pm.set(m, 0, 1, 0.33).unwrap();
+        let json = serde_json::to_string(&pm).unwrap();
+        let back: PermeabilityMatrix = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, pm);
+    }
+}

@@ -1,0 +1,252 @@
+//! Error-occurrence weighting: from conditional permeability to risk.
+//!
+//! Section 4 notes that the analysis is useful "even with minimal knowledge
+//! of the distribution of the occurring errors", but that knowing it
+//! improves the results: a path's conditional weight can be scaled by the
+//! probability of an error appearing at its origin (`P' = Pr(A_1) · P` in
+//! the paper). This module packages that adjustment: an
+//! [`OccurrenceProfile`] assigns per-signal error-occurrence rates, and
+//! [`risk_analysis`] turns backtrack trees into a ranked list of
+//! (origin, output) risks.
+
+use crate::backtrack::BacktrackForest;
+use crate::error::TopologyError;
+use crate::graph::PermeabilityGraph;
+use crate::ids::SignalId;
+use crate::paths::PathTerminal;
+use crate::topology::SystemTopology;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-signal error-occurrence probabilities (per mission / per scenario —
+/// any consistent unit works, since results are used as relative orderings).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct OccurrenceProfile {
+    rates: HashMap<SignalId, f64>,
+}
+
+impl OccurrenceProfile {
+    /// An empty profile (every signal at rate zero).
+    pub fn new() -> Self {
+        OccurrenceProfile::default()
+    }
+
+    /// A uniform profile over the system inputs of `topology` — the
+    /// "minimal knowledge" baseline.
+    pub fn uniform_inputs(topology: &SystemTopology, rate: f64) -> Self {
+        let mut p = OccurrenceProfile::new();
+        for &s in topology.system_inputs() {
+            p.set(s, rate);
+        }
+        p
+    }
+
+    /// Sets the rate for one signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is negative or not finite.
+    pub fn set(&mut self, signal: SignalId, rate: f64) -> &mut Self {
+        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and non-negative");
+        self.rates.insert(signal, rate);
+        self
+    }
+
+    /// The rate for a signal (zero when unset).
+    pub fn rate(&self, signal: SignalId) -> f64 {
+        self.rates.get(&signal).copied().unwrap_or(0.0)
+    }
+}
+
+/// One row of the risk analysis: errors occurring at `origin` reaching
+/// `output`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RiskRow {
+    /// Where errors occur (a system input, per the profile).
+    pub origin: SignalId,
+    /// The system output at risk.
+    pub output: SignalId,
+    /// Occurrence rate at the origin.
+    pub occurrence: f64,
+    /// Combined conditional propagation probability over all parallel paths
+    /// (`1 − Π(1 − w)`).
+    pub propagation: f64,
+    /// The product — the paper's `P'`, aggregated over paths.
+    pub risk: f64,
+}
+
+/// Computes occurrence-weighted risks for every (origin, system output)
+/// pair with a non-zero occurrence rate, ranked by risk descending.
+///
+/// # Errors
+///
+/// Propagates [`TopologyError`] from tree construction.
+pub fn risk_analysis(
+    graph: &PermeabilityGraph,
+    profile: &OccurrenceProfile,
+) -> Result<Vec<RiskRow>, TopologyError> {
+    let topo = graph.topology();
+    let forest = BacktrackForest::build(graph)?;
+    let mut rows = Vec::new();
+    for tree in forest.trees() {
+        let output = tree.root_signal();
+        let paths = tree.clone().into_path_set();
+        for &origin in topo.system_inputs() {
+            let occurrence = profile.rate(origin);
+            if occurrence <= 0.0 {
+                continue;
+            }
+            let propagation = paths.end_to_end_estimate(origin);
+            rows.push(RiskRow {
+                origin,
+                output,
+                occurrence,
+                propagation,
+                risk: occurrence * propagation,
+            });
+        }
+    }
+    rows.sort_by(|a, b| {
+        b.risk
+            .total_cmp(&a.risk)
+            .then_with(|| a.origin.cmp(&b.origin))
+            .then_with(|| a.output.cmp(&b.output))
+    });
+    Ok(rows)
+}
+
+/// The total risk reaching each system output (sum over origins) — a
+/// one-number-per-output vulnerability summary.
+pub fn output_risk(rows: &[RiskRow]) -> Vec<(SignalId, f64)> {
+    let mut acc: HashMap<SignalId, f64> = HashMap::new();
+    for r in rows {
+        *acc.entry(r.output).or_insert(0.0) += r.risk;
+    }
+    let mut v: Vec<(SignalId, f64)> = acc.into_iter().collect();
+    v.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    v
+}
+
+/// A leaf-terminal-aware variant: risk restricted to paths actually rooted
+/// in externally-entering errors (excludes feedback leaves), matching the
+/// paper's remark that feedback branches "can be disregarded" when errors
+/// only enter via main inputs.
+pub fn external_only_propagation(
+    graph: &PermeabilityGraph,
+    origin: SignalId,
+    output: SignalId,
+) -> Result<f64, TopologyError> {
+    let forest = BacktrackForest::build(graph)?;
+    let tree = forest
+        .tree_for(output)
+        .ok_or(TopologyError::UnknownSignal(output))?;
+    let mut survive = 1.0;
+    for p in tree.paths() {
+        if p.terminal == PathTerminal::SystemInput && p.leaf() == origin {
+            survive *= 1.0 - p.weight;
+        }
+    }
+    Ok(1.0 - survive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::PermeabilityMatrix;
+    use crate::topology::TopologyBuilder;
+
+    /// Two inputs, one output:
+    ///   e1 -> [A] -> s -> [C] -> out   (0.5 * 0.8)
+    ///   e2 -> [B] -> t -> [C] -> out   (0.9 * 0.6)
+    fn fixture() -> PermeabilityGraph {
+        let mut b = TopologyBuilder::new("risk");
+        let e1 = b.external("e1");
+        let e2 = b.external("e2");
+        let a = b.add_module("A");
+        b.bind_input(a, e1);
+        let s = b.add_output(a, "s");
+        let bm = b.add_module("B");
+        b.bind_input(bm, e2);
+        let t = b.add_output(bm, "t");
+        let c = b.add_module("C");
+        b.bind_input(c, s);
+        b.bind_input(c, t);
+        let out = b.add_output(c, "out");
+        b.mark_system_output(out);
+        let topo = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&topo);
+        pm.set_named(&topo, "A", "e1", "s", 0.5).unwrap();
+        pm.set_named(&topo, "B", "e2", "t", 0.9).unwrap();
+        pm.set_named(&topo, "C", "s", "out", 0.8).unwrap();
+        pm.set_named(&topo, "C", "t", "out", 0.6).unwrap();
+        PermeabilityGraph::new(&topo, &pm).unwrap()
+    }
+
+    #[test]
+    fn uniform_profile_ranks_by_propagation() {
+        let g = fixture();
+        let topo = g.topology();
+        let profile = OccurrenceProfile::uniform_inputs(topo, 0.01);
+        let rows = risk_analysis(&g, &profile).unwrap();
+        assert_eq!(rows.len(), 2);
+        // e2's chain: 0.54 > e1's 0.40.
+        assert_eq!(rows[0].origin, topo.signal_by_name("e2").unwrap());
+        assert!((rows[0].propagation - 0.54).abs() < 1e-12);
+        assert!((rows[0].risk - 0.0054).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occurrence_rates_can_invert_the_ranking() {
+        let g = fixture();
+        let topo = g.topology();
+        let e1 = topo.signal_by_name("e1").unwrap();
+        let e2 = topo.signal_by_name("e2").unwrap();
+        let mut profile = OccurrenceProfile::new();
+        profile.set(e1, 0.10).set(e2, 0.01);
+        let rows = risk_analysis(&g, &profile).unwrap();
+        // e1: 0.10 * 0.40 = 0.040 > e2: 0.01 * 0.54 = 0.0054.
+        assert_eq!(rows[0].origin, e1);
+        assert!(rows[0].risk > rows[1].risk);
+    }
+
+    #[test]
+    fn zero_rate_origins_are_omitted() {
+        let g = fixture();
+        let topo = g.topology();
+        let e1 = topo.signal_by_name("e1").unwrap();
+        let mut profile = OccurrenceProfile::new();
+        profile.set(e1, 0.5);
+        let rows = risk_analysis(&g, &profile).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].origin, e1);
+    }
+
+    #[test]
+    fn output_risk_sums_over_origins() {
+        let g = fixture();
+        let topo = g.topology();
+        let profile = OccurrenceProfile::uniform_inputs(topo, 1.0);
+        let rows = risk_analysis(&g, &profile).unwrap();
+        let totals = output_risk(&rows);
+        assert_eq!(totals.len(), 1);
+        assert!((totals[0].1 - (0.40 + 0.54)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn external_only_matches_end_to_end_without_feedback() {
+        let g = fixture();
+        let topo = g.topology();
+        let e1 = topo.signal_by_name("e1").unwrap();
+        let out = topo.signal_by_name("out").unwrap();
+        let p = external_only_propagation(&g, e1, out).unwrap();
+        assert!((p - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_rate_panics() {
+        let g = fixture();
+        let e1 = g.topology().signal_by_name("e1").unwrap();
+        OccurrenceProfile::new().set(e1, -0.1);
+    }
+}

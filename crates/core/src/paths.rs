@@ -1,0 +1,380 @@
+//! Propagation paths and ranked path sets (Section 4.2 and Table 4).
+//!
+//! A propagation path is a root-to-leaf walk in a backtrack or trace tree.
+//! Its weight is the product of the error-permeability values along the walk:
+//! for a backtrack path this is the conditional probability that, given an
+//! error on the system output (the root), the error originated at the leaf
+//! and propagated along exactly this path.
+
+use crate::graph::ArcId;
+use crate::ids::SignalId;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// How a path terminates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PathTerminal {
+    /// The leaf is a system input (backtrack trees) — the error entered the
+    /// system from the environment.
+    SystemInput,
+    /// The leaf is a system output (trace trees) — the error left the system.
+    SystemOutput,
+    /// The leaf closes a feedback loop: the leaf signal already occurs
+    /// earlier on the path and the recursion was cut after one pass.
+    Feedback,
+    /// The leaf signal has no consumers and is not a system output (trace
+    /// trees only): the error is absorbed.
+    DeadEnd,
+}
+
+/// One propagation path: an ordered walk through signals and arcs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PropagationPath {
+    /// Signals visited, starting at the tree root.
+    pub signals: Vec<SignalId>,
+    /// Arcs traversed between consecutive signals (`signals.len() - 1` of
+    /// them), each with its permeability weight.
+    pub arcs: Vec<(ArcId, f64)>,
+    /// Product of the arc weights.
+    pub weight: f64,
+    /// How the path terminates.
+    pub terminal: PathTerminal,
+}
+
+impl PropagationPath {
+    /// The signal at the root of the tree this path came from.
+    pub fn root(&self) -> SignalId {
+        self.signals[0]
+    }
+
+    /// The signal at the leaf.
+    pub fn leaf(&self) -> SignalId {
+        *self.signals.last().expect("paths have at least one signal")
+    }
+
+    /// Number of arcs in the path.
+    pub fn len(&self) -> usize {
+        self.arcs.len()
+    }
+
+    /// `true` when the path is just the root (no arcs).
+    pub fn is_empty(&self) -> bool {
+        self.arcs.is_empty()
+    }
+
+    /// `true` if the path visits signal `s` anywhere.
+    pub fn visits(&self, s: SignalId) -> bool {
+        self.signals.contains(&s)
+    }
+
+    /// The paper's `P'` adjustment: scales the path weight by the probability
+    /// of an error appearing on the leaf/root signal (whichever is the system
+    /// boundary), yielding an unconditional propagation probability.
+    pub fn weighted_by(&self, boundary_error_probability: f64) -> f64 {
+        self.weight * boundary_error_probability
+    }
+}
+
+/// An owned collection of propagation paths with ranking and filtering
+/// helpers — the machinery behind Table 4.
+///
+/// # Examples
+///
+/// ```
+/// use permea_core::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TopologyBuilder::new("t");
+/// let x = b.external("x");
+/// let m = b.add_module("M");
+/// b.bind_input(m, x);
+/// let y = b.add_output(m, "y");
+/// b.mark_system_output(y);
+/// let topo = b.build()?;
+/// let mut pm = PermeabilityMatrix::zeroed(&topo);
+/// pm.set(m, 0, 0, 0.7)?;
+/// let g = PermeabilityGraph::new(&topo, &pm)?;
+///
+/// let set = BacktrackTree::build(&g, y)?.into_path_set();
+/// assert_eq!(set.len(), 1);
+/// assert_eq!(set.non_zero().len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PathSet {
+    paths: Vec<PropagationPath>,
+}
+
+impl PathSet {
+    /// Creates an empty path set.
+    pub fn new() -> Self {
+        PathSet::default()
+    }
+
+    /// Wraps a vector of paths.
+    pub fn from_paths(paths: Vec<PropagationPath>) -> Self {
+        PathSet { paths }
+    }
+
+    /// Number of paths.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// `true` if the set holds no paths.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// Borrowing iterator over the paths.
+    pub fn iter(&self) -> std::slice::Iter<'_, PropagationPath> {
+        self.paths.iter()
+    }
+
+    /// Access the underlying slice.
+    pub fn as_slice(&self) -> &[PropagationPath] {
+        &self.paths
+    }
+
+    /// Consumes the set, returning the paths.
+    pub fn into_vec(self) -> Vec<PropagationPath> {
+        self.paths
+    }
+
+    /// Appends the paths of `other`.
+    pub fn extend_from(&mut self, other: PathSet) {
+        self.paths.extend(other.paths);
+    }
+
+    /// Returns a new set sorted by weight, highest first. Ties are broken by
+    /// shorter paths first, then lexicographically by signal ids, so the
+    /// order is fully deterministic.
+    pub fn sorted_by_weight(&self) -> PathSet {
+        let mut paths = self.paths.clone();
+        paths.sort_by(|a, b| {
+            b.weight
+                .total_cmp(&a.weight)
+                .then_with(|| a.len().cmp(&b.len()))
+                .then_with(|| a.signals.cmp(&b.signals))
+        });
+        PathSet { paths }
+    }
+
+    /// Returns only the paths with strictly positive weight — the paths along
+    /// which errors *can* propagate (Table 4 keeps 13 of 22).
+    pub fn non_zero(&self) -> PathSet {
+        PathSet {
+            paths: self.paths.iter().filter(|p| p.weight > 0.0).cloned().collect(),
+        }
+    }
+
+    /// The `n` heaviest paths (after deterministic sorting).
+    pub fn top(&self, n: usize) -> PathSet {
+        let sorted = self.sorted_by_weight();
+        PathSet { paths: sorted.paths.into_iter().take(n).collect() }
+    }
+
+    /// Paths whose leaf is `s`.
+    pub fn ending_at(&self, s: SignalId) -> PathSet {
+        PathSet {
+            paths: self.paths.iter().filter(|p| p.leaf() == s).cloned().collect(),
+        }
+    }
+
+    /// Paths that visit `s` anywhere.
+    pub fn through(&self, s: SignalId) -> PathSet {
+        PathSet {
+            paths: self.paths.iter().filter(|p| p.visits(s)).cloned().collect(),
+        }
+    }
+
+    /// Signals that occur on *every* non-zero path in the set (excluding
+    /// paths' roots). These are the strongest EDM/ERM candidates of
+    /// observation OB5: eliminating errors there shields the root.
+    pub fn signals_on_all_non_zero_paths(&self) -> Vec<SignalId> {
+        let nz = self.non_zero();
+        let mut counts: HashMap<SignalId, usize> = HashMap::new();
+        for p in nz.iter() {
+            for &s in p.signals.iter().skip(1) {
+                *counts.entry(s).or_insert(0) += 1;
+            }
+        }
+        let total = nz.len();
+        let mut out: Vec<SignalId> = counts
+            .into_iter()
+            .filter(|&(_, c)| total > 0 && c >= total)
+            .map(|(s, _)| s)
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// Scales each path by the error-occurrence probability of its *leaf*
+    /// signal (the paper's `P' = Pr(input) · P`), returning
+    /// `(path index, adjusted weight)` pairs sorted descending.
+    /// Leaves missing from `probabilities` are treated as probability zero.
+    pub fn adjusted_by_input_probability(
+        &self,
+        probabilities: &HashMap<SignalId, f64>,
+    ) -> Vec<(usize, f64)> {
+        let mut out: Vec<(usize, f64)> = self
+            .paths
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (i, p.weight * probabilities.get(&p.leaf()).copied().unwrap_or(0.0)))
+            .collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Estimates the end-to-end probability that an error on signal `from`
+    /// (a leaf) reaches the root of these paths, combining all parallel paths
+    /// `from → root` under an independence assumption:
+    /// `1 - Π (1 - w_p)`.
+    ///
+    /// This is an *extension* of the paper (which ranks paths individually);
+    /// it is useful as a single vulnerability number per (input, output).
+    pub fn end_to_end_estimate(&self, from: SignalId) -> f64 {
+        let mut survive = 1.0;
+        for p in self.paths.iter().filter(|p| p.leaf() == from) {
+            survive *= 1.0 - p.weight;
+        }
+        1.0 - survive
+    }
+}
+
+impl FromIterator<PropagationPath> for PathSet {
+    fn from_iter<T: IntoIterator<Item = PropagationPath>>(iter: T) -> Self {
+        PathSet { paths: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<PropagationPath> for PathSet {
+    fn extend<T: IntoIterator<Item = PropagationPath>>(&mut self, iter: T) {
+        self.paths.extend(iter);
+    }
+}
+
+impl IntoIterator for PathSet {
+    type Item = PropagationPath;
+    type IntoIter = std::vec::IntoIter<PropagationPath>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.paths.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a PathSet {
+    type Item = &'a PropagationPath;
+    type IntoIter = std::slice::Iter<'a, PropagationPath>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.paths.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ModuleId;
+
+    fn path(signals: Vec<usize>, weights: Vec<f64>, terminal: PathTerminal) -> PropagationPath {
+        let weight = weights.iter().product();
+        PropagationPath {
+            signals: signals.into_iter().map(SignalId).collect(),
+            arcs: weights
+                .into_iter()
+                .enumerate()
+                .map(|(i, w)| (ArcId { module: ModuleId(0), input: i, output: 0 }, w))
+                .collect(),
+            weight,
+            terminal,
+        }
+    }
+
+    fn sample() -> PathSet {
+        PathSet::from_paths(vec![
+            path(vec![0, 1, 2], vec![0.5, 0.5], PathTerminal::SystemInput), // 0.25
+            path(vec![0, 1, 3], vec![0.5, 0.0], PathTerminal::SystemInput), // 0.0
+            path(vec![0, 4], vec![0.9], PathTerminal::SystemInput),         // 0.9
+            path(vec![0, 1, 1], vec![0.5, 0.3], PathTerminal::Feedback),    // 0.15
+        ])
+    }
+
+    #[test]
+    fn sorting_is_descending_and_deterministic() {
+        let s = sample().sorted_by_weight();
+        let w: Vec<f64> = s.iter().map(|p| p.weight).collect();
+        assert_eq!(w, vec![0.9, 0.25, 0.15, 0.0]);
+    }
+
+    #[test]
+    fn non_zero_filters_zero_weight() {
+        assert_eq!(sample().non_zero().len(), 3);
+    }
+
+    #[test]
+    fn top_takes_heaviest() {
+        let top = sample().top(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top.as_slice()[0].weight, 0.9);
+    }
+
+    #[test]
+    fn ending_at_and_through() {
+        let s = sample();
+        assert_eq!(s.ending_at(SignalId(2)).len(), 1);
+        assert_eq!(s.through(SignalId(1)).len(), 3);
+    }
+
+    #[test]
+    fn signals_on_all_non_zero_paths_finds_common_signal() {
+        let s = PathSet::from_paths(vec![
+            path(vec![0, 1, 2], vec![0.5, 0.5], PathTerminal::SystemInput),
+            path(vec![0, 1, 3], vec![0.5, 0.2], PathTerminal::SystemInput),
+        ]);
+        assert_eq!(s.signals_on_all_non_zero_paths(), vec![SignalId(1)]);
+    }
+
+    #[test]
+    fn adjusted_by_input_probability_scales_and_sorts() {
+        let s = sample();
+        let mut probs = HashMap::new();
+        probs.insert(SignalId(2), 1.0);
+        probs.insert(SignalId(4), 0.1); // 0.9 * 0.1 = 0.09 < 0.25
+        let adj = s.adjusted_by_input_probability(&probs);
+        assert_eq!(adj[0].1, 0.25);
+        assert!((adj[1].1 - 0.09).abs() < 1e-12);
+        assert_eq!(adj[3].1, 0.0);
+    }
+
+    #[test]
+    fn end_to_end_combines_parallel_paths() {
+        let s = PathSet::from_paths(vec![
+            path(vec![0, 2], vec![0.5], PathTerminal::SystemInput),
+            path(vec![0, 1, 2], vec![0.5, 0.8], PathTerminal::SystemInput),
+        ]);
+        let e = s.end_to_end_estimate(SignalId(2));
+        assert!((e - (1.0 - 0.5 * 0.6)).abs() < 1e-12);
+        assert_eq!(s.end_to_end_estimate(SignalId(9)), 0.0);
+    }
+
+    #[test]
+    fn path_accessors() {
+        let p = path(vec![0, 1, 2], vec![0.5, 0.5], PathTerminal::SystemInput);
+        assert_eq!(p.root(), SignalId(0));
+        assert_eq!(p.leaf(), SignalId(2));
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+        assert!(p.visits(SignalId(1)));
+        assert!(!p.visits(SignalId(7)));
+        assert!((p.weighted_by(0.5) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let mut s: PathSet = sample().into_iter().collect();
+        let more = sample();
+        s.extend(more.into_iter());
+        assert_eq!(s.len(), 8);
+    }
+}

@@ -1,0 +1,388 @@
+//! EDM/ERM placement recommendations (Section 5 and observations OB1–OB6).
+//!
+//! The paper gives rules of thumb rather than an optimisation procedure:
+//!
+//! * the higher a module's (or signal's) **error exposure**, the more cost
+//!   effective an **error detection mechanism** (EDM) is there;
+//! * the higher a module's **error permeability**, the more cost effective an
+//!   **error recovery mechanism** (ERM) is there;
+//! * signals lying on *all* non-zero propagation paths shield the system
+//!   output completely if recovery succeeds there (OB5);
+//! * modules reading system inputs form a *barrier* against external errors
+//!   (OB6);
+//! * signals that are hardware registers or independent of all other signals
+//!   are poor candidates regardless of their metrics (OB4).
+//!
+//! [`PlacementAdvisor`] encodes these rules and produces a ranked
+//! [`PlacementPlan`] whose entries carry machine-readable [`Rationale`]s.
+
+use crate::backtrack::BacktrackForest;
+use crate::error::TopologyError;
+use crate::graph::PermeabilityGraph;
+use crate::ids::{ModuleId, SignalId};
+use crate::measures::SystemMeasures;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Why a location was recommended.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Rationale {
+    /// The signal has one of the highest signal error exposures `X^S`.
+    HighSignalExposure {
+        /// The exposure value.
+        value: f64,
+    },
+    /// The module has one of the highest non-weighted error exposures `X̄^M`.
+    HighModuleExposure {
+        /// The exposure value.
+        value: f64,
+    },
+    /// The module has one of the highest non-weighted relative
+    /// permeabilities `P̄^M`.
+    HighPermeability {
+        /// The permeability value.
+        value: f64,
+    },
+    /// The signal occurs on every non-zero propagation path to a system
+    /// output (OB5).
+    OnAllNonZeroPaths,
+    /// The module reads system inputs and so acts as a barrier against
+    /// external errors (OB6).
+    BarrierModule,
+}
+
+/// Whether a recommendation targets a module or a signal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Location {
+    /// Place the mechanism inside a module.
+    Module(ModuleId),
+    /// Place the mechanism on a signal (e.g. an executable assertion on the
+    /// value).
+    Signal(SignalId),
+}
+
+/// One placement recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Recommendation {
+    /// Where to place the mechanism.
+    pub location: Location,
+    /// Ranking score (higher is better); the meaning depends on the
+    /// rationale but scores within one list are comparable.
+    pub score: f64,
+    /// Every rule that fired for this location.
+    pub rationales: Vec<Rationale>,
+}
+
+/// A complete placement plan: ranked EDM and ERM candidate lists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementPlan {
+    /// Error-detection candidates, best first. Mixes signal-level and
+    /// module-level locations; signal entries are ordered by `X^S`, module
+    /// entries by `X̄^M`.
+    pub edm: Vec<Recommendation>,
+    /// Error-recovery candidates, best first (modules by `P̄^M`, then barrier
+    /// modules).
+    pub erm: Vec<Recommendation>,
+}
+
+impl PlacementPlan {
+    /// The signal EDM candidates only, in rank order.
+    pub fn edm_signals(&self) -> Vec<SignalId> {
+        self.edm
+            .iter()
+            .filter_map(|r| match r.location {
+                Location::Signal(s) => Some(s),
+                Location::Module(_) => None,
+            })
+            .collect()
+    }
+
+    /// The module ERM candidates only, in rank order.
+    pub fn erm_modules(&self) -> Vec<ModuleId> {
+        self.erm
+            .iter()
+            .filter_map(|r| match r.location {
+                Location::Module(m) => Some(m),
+                Location::Signal(_) => None,
+            })
+            .collect()
+    }
+}
+
+/// Configuration of the advisor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdvisorOptions {
+    /// Maximum number of signal-level EDM candidates (default 3, matching
+    /// the paper's selection in OB4).
+    pub max_edm_signals: usize,
+    /// Maximum number of module-level candidates per list (default 3).
+    pub max_modules: usize,
+    /// Exclude system outputs from signal candidates (hardware registers —
+    /// OB4 rejects TOC2 because errors there come from OutValue anyway).
+    pub exclude_system_outputs: bool,
+    /// Exclude signals whose exposure is zero (independent signals — OB4
+    /// rejects signals errors cannot reach).
+    pub exclude_zero_exposure: bool,
+}
+
+impl Default for AdvisorOptions {
+    fn default() -> Self {
+        AdvisorOptions {
+            max_edm_signals: 3,
+            max_modules: 3,
+            exclude_system_outputs: true,
+            exclude_zero_exposure: true,
+        }
+    }
+}
+
+/// Derives a [`PlacementPlan`] from a permeability graph by applying the
+/// paper's placement rules.
+///
+/// # Examples
+///
+/// ```
+/// use permea_core::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TopologyBuilder::new("t");
+/// let x = b.external("x");
+/// let a = b.add_module("A");
+/// b.bind_input(a, x);
+/// let s = b.add_output(a, "s");
+/// let c = b.add_module("C");
+/// b.bind_input(c, s);
+/// let out = b.add_output(c, "out");
+/// b.mark_system_output(out);
+/// let topo = b.build()?;
+/// let mut pm = PermeabilityMatrix::zeroed(&topo);
+/// pm.set(a, 0, 0, 0.9)?;
+/// pm.set(c, 0, 0, 0.5)?;
+/// let g = PermeabilityGraph::new(&topo, &pm)?;
+///
+/// let plan = PlacementAdvisor::new(&g)?.plan();
+/// assert_eq!(plan.edm_signals(), vec![s]); // the only exposed signal
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct PlacementAdvisor<'g> {
+    graph: &'g PermeabilityGraph,
+    measures: SystemMeasures,
+    options: AdvisorOptions,
+}
+
+impl<'g> PlacementAdvisor<'g> {
+    /// Creates an advisor with default options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError`] from measure computation.
+    pub fn new(graph: &'g PermeabilityGraph) -> Result<Self, TopologyError> {
+        Self::with_options(graph, AdvisorOptions::default())
+    }
+
+    /// Creates an advisor with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError`] from measure computation.
+    pub fn with_options(
+        graph: &'g PermeabilityGraph,
+        options: AdvisorOptions,
+    ) -> Result<Self, TopologyError> {
+        Ok(PlacementAdvisor { graph, measures: SystemMeasures::compute(graph)?, options })
+    }
+
+    /// The measures backing the recommendations.
+    pub fn measures(&self) -> &SystemMeasures {
+        &self.measures
+    }
+
+    /// Produces the ranked placement plan.
+    pub fn plan(&self) -> PlacementPlan {
+        let topo = self.graph.topology();
+        // OB5: signals on every non-zero path to any system output.
+        let shield_signals: BTreeSet<SignalId> = BacktrackForest::build(self.graph)
+            .map(|f| {
+                f.trees()
+                    .iter()
+                    .flat_map(|t| {
+                        crate::paths::PathSet::from_paths(t.paths())
+                            .signals_on_all_non_zero_paths()
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        // --- EDM candidates: signals by X^S ---
+        let mut edm = Vec::new();
+        for se in self.measures.ranked_by_signal_exposure() {
+            if edm.len() >= self.options.max_edm_signals {
+                break;
+            }
+            if self.options.exclude_system_outputs && topo.is_system_output(se.signal) {
+                continue;
+            }
+            if self.options.exclude_zero_exposure && se.exposure <= 0.0 {
+                continue;
+            }
+            let mut rationales = vec![Rationale::HighSignalExposure { value: se.exposure }];
+            if shield_signals.contains(&se.signal) {
+                rationales.push(Rationale::OnAllNonZeroPaths);
+            }
+            edm.push(Recommendation {
+                location: Location::Signal(se.signal),
+                score: se.exposure,
+                rationales,
+            });
+        }
+        // EDM module candidates by X̄^M.
+        for mm in self.measures.ranked_by_exposure().into_iter().take(self.options.max_modules) {
+            if self.options.exclude_zero_exposure && mm.non_weighted_exposure <= 0.0 {
+                continue;
+            }
+            edm.push(Recommendation {
+                location: Location::Module(mm.module),
+                score: mm.non_weighted_exposure,
+                rationales: vec![Rationale::HighModuleExposure {
+                    value: mm.non_weighted_exposure,
+                }],
+            });
+        }
+
+        // --- ERM candidates: modules by P̄^M, then barriers ---
+        let mut erm = Vec::new();
+        for mm in
+            self.measures.ranked_by_permeability().into_iter().take(self.options.max_modules)
+        {
+            if mm.non_weighted_relative_permeability <= 0.0 {
+                continue;
+            }
+            let mut rationales = vec![Rationale::HighPermeability {
+                value: mm.non_weighted_relative_permeability,
+            }];
+            if topo.barrier_modules().contains(&mm.module) {
+                rationales.push(Rationale::BarrierModule);
+            }
+            erm.push(Recommendation {
+                location: Location::Module(mm.module),
+                score: mm.non_weighted_relative_permeability,
+                rationales,
+            });
+        }
+        for m in topo.barrier_modules() {
+            if erm.iter().any(|r| r.location == Location::Module(m)) {
+                continue;
+            }
+            let mm = self.measures.module(m);
+            erm.push(Recommendation {
+                location: Location::Module(m),
+                score: mm.non_weighted_relative_permeability,
+                rationales: vec![Rationale::BarrierModule],
+            });
+        }
+
+        PlacementPlan { edm, erm }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::PermeabilityMatrix;
+    use crate::topology::TopologyBuilder;
+
+    /// ext -> [A] -> s -> [B] -> mid -> [C] -> out
+    fn chain_graph() -> PermeabilityGraph {
+        let mut b = TopologyBuilder::new("chain");
+        let ext = b.external("ext");
+        let a = b.add_module("A");
+        b.bind_input(a, ext);
+        let s = b.add_output(a, "s");
+        let bm = b.add_module("B");
+        b.bind_input(bm, s);
+        let mid = b.add_output(bm, "mid");
+        let c = b.add_module("C");
+        b.bind_input(c, mid);
+        let out = b.add_output(c, "out");
+        b.mark_system_output(out);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        pm.set(t.module_by_name("A").unwrap(), 0, 0, 0.9).unwrap();
+        pm.set(t.module_by_name("B").unwrap(), 0, 0, 0.6).unwrap();
+        pm.set(t.module_by_name("C").unwrap(), 0, 0, 0.3).unwrap();
+        PermeabilityGraph::new(&t, &pm).unwrap()
+    }
+
+    #[test]
+    fn edm_signals_ranked_by_exposure() {
+        let g = chain_graph();
+        let plan = PlacementAdvisor::new(&g).unwrap().plan();
+        let t = g.topology();
+        let s = t.signal_by_name("s").unwrap();
+        let mid = t.signal_by_name("mid").unwrap();
+        // X^s = 0.9 (arc of A), X^mid = 0.6 (arc of B); out excluded (system output).
+        assert_eq!(plan.edm_signals(), vec![s, mid]);
+    }
+
+    #[test]
+    fn shield_signals_get_ob5_rationale() {
+        let g = chain_graph();
+        let plan = PlacementAdvisor::new(&g).unwrap().plan();
+        // Both s and mid lie on the single non-zero path: both get OB5.
+        for rec in plan.edm.iter().filter(|r| matches!(r.location, Location::Signal(_))) {
+            assert!(rec.rationales.contains(&Rationale::OnAllNonZeroPaths));
+        }
+    }
+
+    #[test]
+    fn erm_modules_ranked_by_permeability_with_barrier() {
+        let g = chain_graph();
+        let plan = PlacementAdvisor::new(&g).unwrap().plan();
+        let t = g.topology();
+        let a = t.module_by_name("A").unwrap();
+        let modules = plan.erm_modules();
+        // A has highest permeability AND is the barrier module.
+        assert_eq!(modules[0], a);
+        let rec = &plan.erm[0];
+        assert!(rec.rationales.iter().any(|r| matches!(r, Rationale::HighPermeability { .. })));
+        assert!(rec.rationales.contains(&Rationale::BarrierModule));
+    }
+
+    #[test]
+    fn options_limit_candidates() {
+        let g = chain_graph();
+        let plan = PlacementAdvisor::with_options(
+            &g,
+            AdvisorOptions { max_edm_signals: 1, max_modules: 1, ..Default::default() },
+        )
+        .unwrap()
+        .plan();
+        assert_eq!(plan.edm_signals().len(), 1);
+        // max_modules=1 for ranked list; barriers may append.
+        assert!(!plan.erm.is_empty());
+    }
+
+    #[test]
+    fn system_outputs_can_be_included_when_asked() {
+        let g = chain_graph();
+        let plan = PlacementAdvisor::with_options(
+            &g,
+            AdvisorOptions { exclude_system_outputs: false, max_edm_signals: 10, ..Default::default() },
+        )
+        .unwrap()
+        .plan();
+        let out = g.topology().signal_by_name("out").unwrap();
+        assert!(plan.edm_signals().contains(&out));
+    }
+
+    #[test]
+    fn zero_exposure_signals_excluded_by_default() {
+        let g = chain_graph();
+        let plan = PlacementAdvisor::new(&g).unwrap().plan();
+        let ext = g.topology().signal_by_name("ext").unwrap();
+        assert!(!plan.edm_signals().contains(&ext));
+    }
+}

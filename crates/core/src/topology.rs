@@ -1,0 +1,570 @@
+//! Software system model: black-box modules inter-linked by signals.
+//!
+//! This implements the system model of Section 3 of the paper: *modular
+//! software*, i.e. discrete software functions interacting through signals.
+//! A module is a black box with `m` input ports and `n` output ports. Signals
+//! originate either externally (sensor registers, environment) or from exactly
+//! one module output, and may be consumed by any number of module inputs.
+//! Signals can additionally be designated *system outputs* (e.g. a value
+//! placed in a hardware register).
+
+use crate::error::TopologyError;
+use crate::ids::{InPortRef, ModuleId, OutPortRef, SignalId};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Where a signal's value comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SignalSource {
+    /// The signal enters the system from the environment (a *system input*).
+    External,
+    /// The signal is produced by a module output port.
+    Produced(OutPortRef),
+}
+
+impl SignalSource {
+    /// Returns `true` if the signal is a system input.
+    pub fn is_external(self) -> bool {
+        matches!(self, SignalSource::External)
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct ModuleNode {
+    pub(crate) name: String,
+    /// Signal bound to each input port, in port order.
+    pub(crate) inputs: Vec<SignalId>,
+    /// Signal produced at each output port, in port order.
+    pub(crate) outputs: Vec<SignalId>,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub(crate) struct SignalNode {
+    pub(crate) name: String,
+    pub(crate) source: SignalSource,
+    /// Every input port that reads this signal.
+    pub(crate) consumers: Vec<InPortRef>,
+}
+
+/// An immutable, validated description of a modular software system.
+///
+/// Build one with [`TopologyBuilder`]. The topology is the structural half of
+/// the analysis; the quantitative half is a
+/// [`crate::matrix::PermeabilityMatrix`] with one entry per (input, output)
+/// pair of each module.
+///
+/// # Examples
+///
+/// ```
+/// use permea_core::prelude::*;
+///
+/// # fn main() -> Result<(), TopologyError> {
+/// let mut b = TopologyBuilder::new("tiny");
+/// let x = b.external("x");
+/// let m = b.add_module("M");
+/// b.bind_input(m, x);
+/// let y = b.add_output(m, "y");
+/// b.mark_system_output(y);
+/// let topo = b.build()?;
+/// assert_eq!(topo.module_count(), 1);
+/// assert_eq!(topo.system_inputs(), &[x]);
+/// assert_eq!(topo.system_outputs(), &[y]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemTopology {
+    name: String,
+    modules: Vec<ModuleNode>,
+    signals: Vec<SignalNode>,
+    system_inputs: Vec<SignalId>,
+    system_outputs: Vec<SignalId>,
+    #[serde(skip)]
+    module_by_name: HashMap<String, ModuleId>,
+    #[serde(skip)]
+    signal_by_name: HashMap<String, SignalId>,
+}
+
+impl SystemTopology {
+    /// The name given to the system at construction time.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of modules in the system.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Number of signals (external and internal) in the system.
+    pub fn signal_count(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// Iterator over all module ids in index order.
+    pub fn modules(&self) -> impl ExactSizeIterator<Item = ModuleId> + '_ {
+        (0..self.modules.len()).map(ModuleId)
+    }
+
+    /// Iterator over all signal ids in index order.
+    pub fn signals(&self) -> impl ExactSizeIterator<Item = SignalId> + '_ {
+        (0..self.signals.len()).map(SignalId)
+    }
+
+    /// Name of a module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` does not belong to this topology.
+    pub fn module_name(&self, m: ModuleId) -> &str {
+        &self.modules[m.0].name
+    }
+
+    /// Name of a signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not belong to this topology.
+    pub fn signal_name(&self, s: SignalId) -> &str {
+        &self.signals[s.0].name
+    }
+
+    /// Looks up a module by name.
+    pub fn module_by_name(&self, name: &str) -> Option<ModuleId> {
+        self.module_by_name.get(name).copied()
+    }
+
+    /// Looks up a signal by name.
+    pub fn signal_by_name(&self, name: &str) -> Option<SignalId> {
+        self.signal_by_name.get(name).copied()
+    }
+
+    /// Signals bound to the input ports of `m`, in port order.
+    pub fn inputs_of(&self, m: ModuleId) -> &[SignalId] {
+        &self.modules[m.0].inputs
+    }
+
+    /// Signals produced at the output ports of `m`, in port order.
+    pub fn outputs_of(&self, m: ModuleId) -> &[SignalId] {
+        &self.modules[m.0].outputs
+    }
+
+    /// Number of input ports of `m` (the paper's `m` in Eq. 2/3).
+    pub fn input_count(&self, m: ModuleId) -> usize {
+        self.modules[m.0].inputs.len()
+    }
+
+    /// Number of output ports of `m` (the paper's `n` in Eq. 2/3).
+    pub fn output_count(&self, m: ModuleId) -> usize {
+        self.modules[m.0].outputs.len()
+    }
+
+    /// The source of a signal: external or a module output port.
+    pub fn source_of(&self, s: SignalId) -> SignalSource {
+        self.signals[s.0].source
+    }
+
+    /// All input ports consuming signal `s`.
+    pub fn consumers_of(&self, s: SignalId) -> &[InPortRef] {
+        &self.signals[s.0].consumers
+    }
+
+    /// System input signals (external sources), in creation order.
+    pub fn system_inputs(&self) -> &[SignalId] {
+        &self.system_inputs
+    }
+
+    /// Signals designated as system outputs, in designation order.
+    pub fn system_outputs(&self) -> &[SignalId] {
+        &self.system_outputs
+    }
+
+    /// Returns `true` if `s` is a system input.
+    pub fn is_system_input(&self, s: SignalId) -> bool {
+        self.signals[s.0].source.is_external()
+    }
+
+    /// Returns `true` if `s` is designated as a system output.
+    pub fn is_system_output(&self, s: SignalId) -> bool {
+        self.system_outputs.contains(&s)
+    }
+
+    /// Total number of (input, output) pairs over all modules — the number of
+    /// error-permeability values that characterise the system.
+    ///
+    /// For the paper's arrestment target this is 25.
+    pub fn pair_count(&self) -> usize {
+        self.modules.iter().map(|m| m.inputs.len() * m.outputs.len()).sum()
+    }
+
+    /// Returns the modules that read at least one system input — the
+    /// *barrier* modules of observation OB6.
+    pub fn barrier_modules(&self) -> Vec<ModuleId> {
+        let mut out: Vec<ModuleId> = Vec::new();
+        for (idx, module) in self.modules.iter().enumerate() {
+            if module.inputs.iter().any(|&s| self.is_system_input(s)) {
+                out.push(ModuleId(idx));
+            }
+        }
+        out
+    }
+
+    /// Validates that `m` belongs to this topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownModule`] otherwise.
+    pub fn check_module(&self, m: ModuleId) -> Result<(), TopologyError> {
+        if m.0 < self.modules.len() {
+            Ok(())
+        } else {
+            Err(TopologyError::UnknownModule(m))
+        }
+    }
+
+    /// Validates that `s` belongs to this topology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownSignal`] otherwise.
+    pub fn check_signal(&self, s: SignalId) -> Result<(), TopologyError> {
+        if s.0 < self.signals.len() {
+            Ok(())
+        } else {
+            Err(TopologyError::UnknownSignal(s))
+        }
+    }
+
+    /// Rebuilds the name lookup tables (needed after deserialisation).
+    pub fn rebuild_indexes(&mut self) {
+        self.module_by_name = self
+            .modules
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (m.name.clone(), ModuleId(i)))
+            .collect();
+        self.signal_by_name = self
+            .signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.name.clone(), SignalId(i)))
+            .collect();
+    }
+}
+
+/// Incrementally constructs a [`SystemTopology`] ([C-BUILDER]).
+///
+/// The builder is non-consuming: configuration methods take `&mut self`, and
+/// [`TopologyBuilder::build`] takes `&self`, so a builder can be reused.
+///
+/// Ports are numbered in the order they are bound/declared; the paper's
+/// one-based port numbering maps to these indices plus one.
+///
+/// [C-BUILDER]: https://rust-lang.github.io/api-guidelines/type-safety.html#c-builder
+#[derive(Debug, Clone, Default)]
+pub struct TopologyBuilder {
+    name: String,
+    modules: Vec<ModuleNode>,
+    signals: Vec<SignalNode>,
+    system_outputs: Vec<SignalId>,
+}
+
+impl TopologyBuilder {
+    /// Creates a builder for a system called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        TopologyBuilder { name: name.into(), ..Default::default() }
+    }
+
+    /// Declares an external (system input) signal and returns its id.
+    pub fn external(&mut self, name: impl Into<String>) -> SignalId {
+        let id = SignalId(self.signals.len());
+        self.signals.push(SignalNode {
+            name: name.into(),
+            source: SignalSource::External,
+            consumers: Vec::new(),
+        });
+        id
+    }
+
+    /// Declares a module and returns its id.
+    pub fn add_module(&mut self, name: impl Into<String>) -> ModuleId {
+        let id = ModuleId(self.modules.len());
+        self.modules.push(ModuleNode {
+            name: name.into(),
+            inputs: Vec::new(),
+            outputs: Vec::new(),
+        });
+        id
+    }
+
+    /// Binds signal `s` to the next input port of module `m` and returns the
+    /// port reference.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` or `s` were not created by this builder. (The ids are
+    /// only obtainable from builder methods, so this indicates misuse across
+    /// builders.)
+    pub fn bind_input(&mut self, m: ModuleId, s: SignalId) -> InPortRef {
+        assert!(m.0 < self.modules.len(), "module id from a different builder");
+        assert!(s.0 < self.signals.len(), "signal id from a different builder");
+        let input = self.modules[m.0].inputs.len();
+        self.modules[m.0].inputs.push(s);
+        let port = InPortRef { module: m, input };
+        self.signals[s.0].consumers.push(port);
+        port
+    }
+
+    /// Declares the next output port of module `m`, producing a new signal
+    /// called `name`, and returns the signal id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` was not created by this builder.
+    pub fn add_output(&mut self, m: ModuleId, name: impl Into<String>) -> SignalId {
+        assert!(m.0 < self.modules.len(), "module id from a different builder");
+        let output = self.modules[m.0].outputs.len();
+        let id = SignalId(self.signals.len());
+        self.signals.push(SignalNode {
+            name: name.into(),
+            source: SignalSource::Produced(OutPortRef { module: m, output }),
+            consumers: Vec::new(),
+        });
+        self.modules[m.0].outputs.push(id);
+        id
+    }
+
+    /// Designates `s` as a system output. A signal may be both consumed
+    /// internally and be a system output. Designating the same signal twice
+    /// is idempotent.
+    pub fn mark_system_output(&mut self, s: SignalId) {
+        assert!(s.0 < self.signals.len(), "signal id from a different builder");
+        if !self.system_outputs.contains(&s) {
+            self.system_outputs.push(s);
+        }
+    }
+
+    /// Validates and produces the immutable [`SystemTopology`].
+    ///
+    /// # Errors
+    ///
+    /// * [`TopologyError::DuplicateModuleName`] / [`TopologyError::DuplicateSignalName`]
+    ///   if names collide,
+    /// * [`TopologyError::ModuleWithoutInputs`] / [`TopologyError::ModuleWithoutOutputs`]
+    ///   if a module has no ports on one side (such a module has no
+    ///   permeability pairs and cannot participate in the analysis),
+    /// * [`TopologyError::NoSystemOutputs`] if no signal was marked as a
+    ///   system output.
+    pub fn build(&self) -> Result<SystemTopology, TopologyError> {
+        let mut module_by_name = HashMap::with_capacity(self.modules.len());
+        for (i, m) in self.modules.iter().enumerate() {
+            if module_by_name.insert(m.name.clone(), ModuleId(i)).is_some() {
+                return Err(TopologyError::DuplicateModuleName(m.name.clone()));
+            }
+            if m.inputs.is_empty() {
+                return Err(TopologyError::ModuleWithoutInputs(m.name.clone()));
+            }
+            if m.outputs.is_empty() {
+                return Err(TopologyError::ModuleWithoutOutputs(m.name.clone()));
+            }
+        }
+        let mut signal_by_name = HashMap::with_capacity(self.signals.len());
+        for (i, s) in self.signals.iter().enumerate() {
+            if signal_by_name.insert(s.name.clone(), SignalId(i)).is_some() {
+                return Err(TopologyError::DuplicateSignalName(s.name.clone()));
+            }
+        }
+        if self.system_outputs.is_empty() {
+            return Err(TopologyError::NoSystemOutputs);
+        }
+        let system_inputs = self
+            .signals
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.source.is_external())
+            .map(|(i, _)| SignalId(i))
+            .collect();
+        Ok(SystemTopology {
+            name: self.name.clone(),
+            modules: self.modules.clone(),
+            signals: self.signals.clone(),
+            system_inputs,
+            system_outputs: self.system_outputs.clone(),
+            module_by_name,
+            signal_by_name,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline() -> SystemTopology {
+        let mut b = TopologyBuilder::new("pipeline");
+        let ext = b.external("ext");
+        let f = b.add_module("F");
+        b.bind_input(f, ext);
+        let s = b.add_output(f, "s");
+        let g = b.add_module("G");
+        b.bind_input(g, s);
+        let out = b.add_output(g, "out");
+        b.mark_system_output(out);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builds_simple_pipeline() {
+        let t = pipeline();
+        assert_eq!(t.module_count(), 2);
+        assert_eq!(t.signal_count(), 3);
+        assert_eq!(t.pair_count(), 2);
+        assert_eq!(t.system_inputs().len(), 1);
+        assert_eq!(t.system_outputs().len(), 1);
+    }
+
+    #[test]
+    fn name_lookups_work() {
+        let t = pipeline();
+        let f = t.module_by_name("F").unwrap();
+        assert_eq!(t.module_name(f), "F");
+        let s = t.signal_by_name("s").unwrap();
+        assert_eq!(t.signal_name(s), "s");
+        assert!(t.module_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn signal_sources_and_consumers() {
+        let t = pipeline();
+        let ext = t.signal_by_name("ext").unwrap();
+        let s = t.signal_by_name("s").unwrap();
+        assert!(t.is_system_input(ext));
+        assert!(!t.is_system_input(s));
+        match t.source_of(s) {
+            SignalSource::Produced(p) => {
+                assert_eq!(t.module_name(p.module), "F");
+                assert_eq!(p.output, 0);
+            }
+            SignalSource::External => panic!("s should be produced"),
+        }
+        assert_eq!(t.consumers_of(s).len(), 1);
+        assert_eq!(t.consumers_of(s)[0].module, t.module_by_name("G").unwrap());
+    }
+
+    #[test]
+    fn duplicate_module_name_rejected() {
+        let mut b = TopologyBuilder::new("dup");
+        let x = b.external("x");
+        let a = b.add_module("A");
+        b.bind_input(a, x);
+        let s1 = b.add_output(a, "s1");
+        let a2 = b.add_module("A");
+        b.bind_input(a2, s1);
+        let s2 = b.add_output(a2, "s2");
+        b.mark_system_output(s2);
+        assert_eq!(b.build().unwrap_err(), TopologyError::DuplicateModuleName("A".into()));
+    }
+
+    #[test]
+    fn duplicate_signal_name_rejected() {
+        let mut b = TopologyBuilder::new("dup");
+        let x = b.external("x");
+        let a = b.add_module("A");
+        b.bind_input(a, x);
+        let s = b.add_output(a, "x"); // collides with external
+        b.mark_system_output(s);
+        assert_eq!(b.build().unwrap_err(), TopologyError::DuplicateSignalName("x".into()));
+    }
+
+    #[test]
+    fn module_without_ports_rejected() {
+        let mut b = TopologyBuilder::new("noports");
+        let x = b.external("x");
+        let a = b.add_module("A");
+        b.bind_input(a, x);
+        let out = b.add_output(a, "out");
+        b.mark_system_output(out);
+        let _lonely = b.add_module("LONELY");
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::ModuleWithoutInputs("LONELY".into())
+        );
+    }
+
+    #[test]
+    fn no_system_output_rejected() {
+        let mut b = TopologyBuilder::new("noout");
+        let x = b.external("x");
+        let a = b.add_module("A");
+        b.bind_input(a, x);
+        let _out = b.add_output(a, "out");
+        assert_eq!(b.build().unwrap_err(), TopologyError::NoSystemOutputs);
+    }
+
+    #[test]
+    fn mark_system_output_is_idempotent() {
+        let mut b = TopologyBuilder::new("idem");
+        let x = b.external("x");
+        let a = b.add_module("A");
+        b.bind_input(a, x);
+        let out = b.add_output(a, "out");
+        b.mark_system_output(out);
+        b.mark_system_output(out);
+        let t = b.build().unwrap();
+        assert_eq!(t.system_outputs().len(), 1);
+    }
+
+    #[test]
+    fn barrier_modules_read_system_inputs() {
+        let t = pipeline();
+        let barriers = t.barrier_modules();
+        assert_eq!(barriers.len(), 1);
+        assert_eq!(t.module_name(barriers[0]), "F");
+    }
+
+    #[test]
+    fn fan_out_signal_has_multiple_consumers() {
+        let mut b = TopologyBuilder::new("fanout");
+        let x = b.external("x");
+        let a = b.add_module("A");
+        b.bind_input(a, x);
+        let s = b.add_output(a, "s");
+        let c = b.add_module("C");
+        b.bind_input(c, s);
+        let d = b.add_module("D");
+        b.bind_input(d, s);
+        let oc = b.add_output(c, "oc");
+        let od = b.add_output(d, "od");
+        b.mark_system_output(oc);
+        b.mark_system_output(od);
+        let t = b.build().unwrap();
+        assert_eq!(t.consumers_of(s).len(), 2);
+        assert_eq!(t.pair_count(), 3);
+    }
+
+    #[test]
+    fn self_feedback_is_representable() {
+        // CLOCK-style module: output feeds its own input.
+        let mut b = TopologyBuilder::new("fb");
+        let m = b.add_module("CLOCK");
+        // declare output first, then bind it back as input
+        let slot = b.add_output(m, "ms_slot_nbr");
+        let mscnt = b.add_output(m, "mscnt");
+        b.bind_input(m, slot);
+        b.mark_system_output(mscnt);
+        let t = b.build().unwrap();
+        assert_eq!(t.inputs_of(m), &[slot]);
+        assert_eq!(t.consumers_of(slot)[0].module, m);
+        assert!(t.barrier_modules().is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip_with_index_rebuild() {
+        let t = pipeline();
+        let json = serde_json::to_string(&t).unwrap();
+        let mut back: SystemTopology = serde_json::from_str(&json).unwrap();
+        back.rebuild_indexes();
+        assert_eq!(back.module_by_name("F"), t.module_by_name("F"));
+        assert_eq!(back.signal_count(), t.signal_count());
+    }
+}

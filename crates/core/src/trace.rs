@@ -1,0 +1,475 @@
+//! Input Error Tracing: trace trees (steps B1–B4, Figs. 5, 11 and 12).
+//!
+//! A trace tree answers *"where will an error on this system input end up?"*.
+//! The root is a system input signal; every expansion walks forwards through
+//! each module consuming the node's signal, creating one child per output
+//! port of that module, weighted with the corresponding error permeability.
+//!
+//! As in the paper, module feedback is followed exactly once and the
+//! recursion it would generate is cut: a child whose signal already occurs on
+//! the root path is **omitted** (Fig. 12 shows no `i` child under `i`). Set
+//! [`TraceOptions::keep_feedback_leaves`] to keep them as explicit leaves
+//! instead, which makes trace trees symmetric with backtrack trees.
+
+use crate::error::TopologyError;
+use crate::graph::{ArcId, PermeabilityGraph};
+use crate::ids::SignalId;
+use crate::paths::{PathSet, PathTerminal, PropagationPath};
+use serde::{Deserialize, Serialize};
+
+/// The role a node plays in a trace tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TraceNodeKind {
+    /// The tree root (a system input signal).
+    Root,
+    /// An internal node: an internal signal consumed further downstream.
+    Internal,
+    /// A leaf bound to a system output signal.
+    SystemOutputLeaf,
+    /// A leaf that closes a feedback loop (only present with
+    /// [`TraceOptions::keep_feedback_leaves`]).
+    FeedbackLeaf,
+    /// A leaf whose signal has no consumers and is not a system output: the
+    /// error is absorbed inside the system.
+    DeadEndLeaf,
+}
+
+/// Construction options for [`TraceTree`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceOptions {
+    /// Keep feedback-closing children as explicit leaves instead of omitting
+    /// them (the paper omits them in trace trees; see Fig. 12).
+    pub keep_feedback_leaves: bool,
+}
+
+/// One node of a trace tree, stored in an arena.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceNode {
+    /// The signal this node is associated with.
+    pub signal: SignalId,
+    /// The arc connecting the parent to this node (`None` for the root).
+    pub arc_from_parent: Option<(ArcId, f64)>,
+    /// Structural role.
+    pub kind: TraceNodeKind,
+    /// Arena index of the parent (`None` for the root).
+    pub parent: Option<usize>,
+    /// Arena indices of the children.
+    pub children: Vec<usize>,
+    /// Depth from the root (root = 0).
+    pub depth: usize,
+}
+
+/// A trace tree for one system input (Input Error Tracing).
+///
+/// # Examples
+///
+/// ```
+/// use permea_core::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TopologyBuilder::new("t");
+/// let x = b.external("x");
+/// let m = b.add_module("M");
+/// b.bind_input(m, x);
+/// let y = b.add_output(m, "y");
+/// b.mark_system_output(y);
+/// let topo = b.build()?;
+/// let mut pm = PermeabilityMatrix::zeroed(&topo);
+/// pm.set(m, 0, 0, 0.7)?;
+/// let g = PermeabilityGraph::new(&topo, &pm)?;
+///
+/// let tree = TraceTree::build(&g, x)?;
+/// let paths = tree.paths();
+/// assert_eq!(paths.len(), 1);
+/// assert_eq!(paths[0].weight, 0.7);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceTree {
+    root_signal: SignalId,
+    nodes: Vec<TraceNode>,
+    options: TraceOptions,
+}
+
+impl TraceTree {
+    /// Builds the trace tree rooted at system input `input` with default
+    /// options (feedback children omitted, as in the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownSignal`] if `input` is not a signal of
+    /// the graph's topology.
+    pub fn build(graph: &PermeabilityGraph, input: SignalId) -> Result<Self, TopologyError> {
+        Self::build_with(graph, input, TraceOptions::default())
+    }
+
+    /// Builds the trace tree with explicit [`TraceOptions`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::UnknownSignal`] if `input` is not a signal of
+    /// the graph's topology.
+    pub fn build_with(
+        graph: &PermeabilityGraph,
+        input: SignalId,
+        options: TraceOptions,
+    ) -> Result<Self, TopologyError> {
+        graph.topology().check_signal(input)?;
+        let mut tree = TraceTree {
+            root_signal: input,
+            nodes: vec![TraceNode {
+                signal: input,
+                arc_from_parent: None,
+                kind: TraceNodeKind::Root,
+                parent: None,
+                children: Vec::new(),
+                depth: 0,
+            }],
+            options,
+        };
+        let mut path = vec![input];
+        tree.expand(graph, 0, &mut path);
+        Ok(tree)
+    }
+
+    /// Recursive expansion implementing steps B2/B3.
+    fn expand(&mut self, graph: &PermeabilityGraph, node_idx: usize, path: &mut Vec<SignalId>) {
+        let signal = self.nodes[node_idx].signal;
+        let topo = graph.topology();
+        // B3 leaf conditions for non-root nodes.
+        if self.nodes[node_idx].kind != TraceNodeKind::Root {
+            if topo.is_system_output(signal) {
+                self.nodes[node_idx].kind = TraceNodeKind::SystemOutputLeaf;
+                return;
+            }
+            if topo.consumers_of(signal).is_empty() {
+                self.nodes[node_idx].kind = TraceNodeKind::DeadEndLeaf;
+                return;
+            }
+        }
+        let depth = self.nodes[node_idx].depth;
+        // B2: for each consumer port of this signal, one child per output of
+        // the consuming module.
+        let consumers: Vec<_> = topo.consumers_of(signal).to_vec();
+        for port in consumers {
+            let arcs: Vec<(ArcId, f64, SignalId)> = graph
+                .arcs_from_input_port(port.module, port.input)
+                .into_iter()
+                .map(|a| (a.id, a.weight, a.output_signal))
+                .collect();
+            for (arc, weight, child_signal) in arcs {
+                let feedback = path.contains(&child_signal);
+                if feedback && !self.options.keep_feedback_leaves {
+                    continue; // the paper omits feedback children in trace trees
+                }
+                let child_idx = self.nodes.len();
+                self.nodes.push(TraceNode {
+                    signal: child_signal,
+                    arc_from_parent: Some((arc, weight)),
+                    kind: if feedback {
+                        TraceNodeKind::FeedbackLeaf
+                    } else {
+                        TraceNodeKind::Internal
+                    },
+                    parent: Some(node_idx),
+                    children: Vec::new(),
+                    depth: depth + 1,
+                });
+                self.nodes[node_idx].children.push(child_idx);
+                if !feedback {
+                    path.push(child_signal);
+                    self.expand(graph, child_idx, path);
+                    path.pop();
+                }
+            }
+        }
+        // A root whose signal nobody consumes: it stays a childless root.
+    }
+
+    /// The system input signal at the root.
+    pub fn root_signal(&self) -> SignalId {
+        self.root_signal
+    }
+
+    /// The options the tree was built with.
+    pub fn options(&self) -> TraceOptions {
+        self.options
+    }
+
+    /// All nodes in the arena; index 0 is the root.
+    pub fn nodes(&self) -> &[TraceNode] {
+        &self.nodes
+    }
+
+    /// Total number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.children.is_empty()).count()
+    }
+
+    /// Maximum depth of any node.
+    pub fn depth(&self) -> usize {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(0)
+    }
+
+    /// Enumerates every root-to-leaf propagation path — "the propagation
+    /// pathways that errors on system inputs would most likely take".
+    pub fn paths(&self) -> Vec<PropagationPath> {
+        let mut out = Vec::new();
+        for (idx, node) in self.nodes.iter().enumerate() {
+            if !node.children.is_empty() {
+                continue;
+            }
+            let mut signals = Vec::new();
+            let mut arcs = Vec::new();
+            let mut cur = Some(idx);
+            while let Some(i) = cur {
+                let n = &self.nodes[i];
+                signals.push(n.signal);
+                if let Some(arc) = n.arc_from_parent {
+                    arcs.push(arc);
+                }
+                cur = n.parent;
+            }
+            signals.reverse();
+            arcs.reverse();
+            let weight = arcs.iter().map(|&(_, w)| w).product();
+            let terminal = match node.kind {
+                TraceNodeKind::SystemOutputLeaf => PathTerminal::SystemOutput,
+                TraceNodeKind::FeedbackLeaf => PathTerminal::Feedback,
+                TraceNodeKind::DeadEndLeaf => PathTerminal::DeadEnd,
+                _ => PathTerminal::DeadEnd,
+            };
+            out.push(PropagationPath { signals, arcs, weight, terminal });
+        }
+        out
+    }
+
+    /// Convenience: wraps [`TraceTree::paths`] in a [`PathSet`].
+    pub fn into_path_set(self) -> PathSet {
+        PathSet::from_paths(self.paths())
+    }
+}
+
+/// The set of trace trees for every system input (step B4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceForest {
+    trees: Vec<TraceTree>,
+}
+
+impl TraceForest {
+    /// Builds one tree per system input of the graph's topology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError`] from tree construction.
+    pub fn build(graph: &PermeabilityGraph) -> Result<Self, TopologyError> {
+        Self::build_with(graph, TraceOptions::default())
+    }
+
+    /// Builds one tree per system input with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyError`] from tree construction.
+    pub fn build_with(
+        graph: &PermeabilityGraph,
+        options: TraceOptions,
+    ) -> Result<Self, TopologyError> {
+        let mut trees = Vec::new();
+        for &input in graph.topology().system_inputs() {
+            trees.push(TraceTree::build_with(graph, input, options)?);
+        }
+        Ok(TraceForest { trees })
+    }
+
+    /// The trees, in system-input order.
+    pub fn trees(&self) -> &[TraceTree] {
+        &self.trees
+    }
+
+    /// The tree rooted at `input`, if any.
+    pub fn tree_for(&self, input: SignalId) -> Option<&TraceTree> {
+        self.trees.iter().find(|t| t.root_signal() == input)
+    }
+
+    /// All propagation paths of all trees.
+    pub fn all_paths(&self) -> PathSet {
+        let mut set = PathSet::new();
+        for t in &self.trees {
+            set.extend(t.paths());
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::PermeabilityMatrix;
+    use crate::topology::{SystemTopology, TopologyBuilder};
+
+    /// ext -> [A] -> s -> [B(self-feedback fb)] -> out(system output)
+    fn feedback_system() -> (SystemTopology, PermeabilityMatrix) {
+        let mut b = TopologyBuilder::new("fb");
+        let ext = b.external("ext");
+        let a = b.add_module("A");
+        b.bind_input(a, ext);
+        let s = b.add_output(a, "s");
+        let bm = b.add_module("B");
+        b.bind_input(bm, s);
+        let fb = b.add_output(bm, "fb");
+        let out = b.add_output(bm, "out");
+        b.bind_input(bm, fb);
+        b.mark_system_output(out);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        let a = t.module_by_name("A").unwrap();
+        let bm = t.module_by_name("B").unwrap();
+        pm.set(a, 0, 0, 0.5).unwrap();
+        pm.set(bm, 0, 0, 0.1).unwrap(); // s -> fb
+        pm.set(bm, 0, 1, 0.2).unwrap(); // s -> out
+        pm.set(bm, 1, 0, 0.3).unwrap(); // fb -> fb
+        pm.set(bm, 1, 1, 0.4).unwrap(); // fb -> out
+        (t, pm)
+    }
+
+    #[test]
+    fn trace_tree_follows_feedback_once_and_omits_closing_child() {
+        let (t, pm) = feedback_system();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let ext = t.signal_by_name("ext").unwrap();
+        let tree = TraceTree::build(&g, ext).unwrap();
+        // ext -> s -> {fb, out}; fb -> {fb omitted, out}; leaves: out, out.
+        let paths = tree.paths();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().all(|p| p.terminal == PathTerminal::SystemOutput));
+        let mut w: Vec<f64> = paths.iter().map(|p| p.weight).collect();
+        w.sort_by(f64::total_cmp);
+        // ext->s->out: 0.5*0.2 = 0.10; ext->s->fb->out: 0.5*0.1*0.4 = 0.02
+        assert!((w[0] - 0.02).abs() < 1e-12);
+        assert!((w[1] - 0.10).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keep_feedback_leaves_option() {
+        let (t, pm) = feedback_system();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let ext = t.signal_by_name("ext").unwrap();
+        let tree = TraceTree::build_with(
+            &g,
+            ext,
+            TraceOptions { keep_feedback_leaves: true },
+        )
+        .unwrap();
+        let paths = tree.paths();
+        assert_eq!(paths.len(), 3);
+        assert_eq!(
+            paths.iter().filter(|p| p.terminal == PathTerminal::Feedback).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn dead_end_signals_become_dead_end_leaves() {
+        let mut b = TopologyBuilder::new("dead");
+        let x = b.external("x");
+        let m = b.add_module("M");
+        b.bind_input(m, x);
+        let unused = b.add_output(m, "unused");
+        let out = b.add_output(m, "out");
+        b.mark_system_output(out);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        let m = t.module_by_name("M").unwrap();
+        pm.set(m, 0, 0, 0.9).unwrap();
+        pm.set(m, 0, 1, 0.2).unwrap();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let tree = TraceTree::build(&g, x).unwrap();
+        let paths = tree.paths();
+        assert_eq!(paths.len(), 2);
+        let dead: Vec<_> =
+            paths.iter().filter(|p| p.terminal == PathTerminal::DeadEnd).collect();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].leaf(), unused);
+    }
+
+    #[test]
+    fn unconsumed_root_is_single_node() {
+        let mut b = TopologyBuilder::new("lonely");
+        let x = b.external("x");
+        let lonely = b.external("lonely");
+        let m = b.add_module("M");
+        b.bind_input(m, x);
+        let out = b.add_output(m, "out");
+        b.mark_system_output(out);
+        let t = b.build().unwrap();
+        let pm = PermeabilityMatrix::zeroed(&t);
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let tree = TraceTree::build(&g, lonely).unwrap();
+        assert_eq!(tree.node_count(), 1);
+    }
+
+    #[test]
+    fn forest_covers_all_system_inputs() {
+        let (t, pm) = feedback_system();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let forest = TraceForest::build(&g).unwrap();
+        assert_eq!(forest.trees().len(), 1);
+        let ext = t.signal_by_name("ext").unwrap();
+        assert!(forest.tree_for(ext).is_some());
+        assert_eq!(forest.all_paths().len(), 2);
+    }
+
+    #[test]
+    fn fanout_signal_generates_children_for_each_consumer() {
+        let mut b = TopologyBuilder::new("fanout");
+        let x = b.external("x");
+        let a = b.add_module("A");
+        b.bind_input(a, x);
+        let s = b.add_output(a, "s");
+        let c = b.add_module("C");
+        b.bind_input(c, s);
+        let d = b.add_module("D");
+        b.bind_input(d, s);
+        let oc = b.add_output(c, "oc");
+        let od = b.add_output(d, "od");
+        b.mark_system_output(oc);
+        b.mark_system_output(od);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        pm.set(t.module_by_name("A").unwrap(), 0, 0, 1.0).unwrap();
+        pm.set(t.module_by_name("C").unwrap(), 0, 0, 0.5).unwrap();
+        pm.set(t.module_by_name("D").unwrap(), 0, 0, 0.25).unwrap();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let tree = TraceTree::build(&g, x).unwrap();
+        let paths = tree.paths();
+        assert_eq!(paths.len(), 2);
+        let mut w: Vec<f64> = paths.iter().map(|p| p.weight).collect();
+        w.sort_by(f64::total_cmp);
+        assert_eq!(w, vec![0.25, 0.5]);
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let (t, pm) = feedback_system();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        assert!(TraceTree::build(&g, SignalId(99)).is_err());
+    }
+
+    #[test]
+    fn trace_paths_weights_are_products() {
+        let (t, pm) = feedback_system();
+        let g = PermeabilityGraph::new(&t, &pm).unwrap();
+        let ext = t.signal_by_name("ext").unwrap();
+        for p in TraceTree::build(&g, ext).unwrap().paths() {
+            let prod: f64 = p.arcs.iter().map(|&(_, w)| w).product();
+            assert!((p.weight - prod).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,261 @@
+//! What-if analysis: the design-stage payoff of the framework.
+//!
+//! Section 5 argues that a module with high permeability should receive
+//! containment effort ("decreasing the error permeability of the module,
+//! for instance by using wrappers"). This module quantifies the payoff
+//! *before* any wrapper is built: scale a module's permeabilities by a
+//! containment factor and recompute the system-level quantities — end-to-end
+//! propagation probabilities and signal exposures — to see how much a given
+//! intervention buys.
+
+use crate::backtrack::BacktrackForest;
+use crate::error::TopologyError;
+use crate::graph::PermeabilityGraph;
+use crate::ids::{ModuleId, SignalId};
+use crate::matrix::PermeabilityMatrix;
+use crate::topology::SystemTopology;
+use serde::{Deserialize, Serialize};
+
+/// A hypothetical containment intervention: scale every permeability of
+/// `module` by `factor` (0 = perfect containment, 1 = no change).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Containment {
+    /// The module receiving the wrapper.
+    pub module: ModuleId,
+    /// Multiplier applied to each of its permeability values.
+    pub factor: f64,
+}
+
+/// The system-level effect of an intervention on one (input, output) pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfEffect {
+    /// System input.
+    pub input: SignalId,
+    /// System output.
+    pub output: SignalId,
+    /// End-to-end propagation estimate before the intervention.
+    pub before: f64,
+    /// End-to-end propagation estimate after the intervention.
+    pub after: f64,
+}
+
+impl WhatIfEffect {
+    /// Relative reduction achieved (0 when `before` is zero).
+    pub fn reduction(&self) -> f64 {
+        if self.before <= 0.0 {
+            0.0
+        } else {
+            1.0 - self.after / self.before
+        }
+    }
+}
+
+/// Applies a containment to a matrix, returning the modified copy.
+///
+/// # Errors
+///
+/// Returns [`TopologyError::UnknownModule`] if the module is not part of the
+/// topology.
+///
+/// # Panics
+///
+/// Panics if `factor` is not in `[0, 1]`.
+pub fn contained_matrix(
+    topology: &SystemTopology,
+    matrix: &PermeabilityMatrix,
+    containment: Containment,
+) -> Result<PermeabilityMatrix, TopologyError> {
+    assert!(
+        (0.0..=1.0).contains(&containment.factor),
+        "containment factor must be in [0, 1]"
+    );
+    topology.check_module(containment.module)?;
+    let mut out = matrix.clone();
+    for i in 0..topology.input_count(containment.module) {
+        for k in 0..topology.output_count(containment.module) {
+            let v = matrix.get(containment.module, i, k) * containment.factor;
+            out.set(containment.module, i, k, v).expect("scaled value stays a probability");
+        }
+    }
+    Ok(out)
+}
+
+/// Computes end-to-end effects of a containment for every (system input,
+/// system output) pair.
+///
+/// # Errors
+///
+/// Propagates topology errors from graph/tree construction.
+pub fn containment_effects(
+    topology: &SystemTopology,
+    matrix: &PermeabilityMatrix,
+    containment: Containment,
+) -> Result<Vec<WhatIfEffect>, TopologyError> {
+    let after_matrix = contained_matrix(topology, matrix, containment)?;
+    let before_graph = PermeabilityGraph::new(topology, matrix)
+        .map_err(|_| TopologyError::UnknownModule(containment.module))?;
+    let after_graph = PermeabilityGraph::new(topology, &after_matrix)
+        .map_err(|_| TopologyError::UnknownModule(containment.module))?;
+    let before_forest = BacktrackForest::build(&before_graph)?;
+    let after_forest = BacktrackForest::build(&after_graph)?;
+    let mut out = Vec::new();
+    for &output in topology.system_outputs() {
+        let before_paths = before_forest
+            .tree_for(output)
+            .expect("forest covers outputs")
+            .clone()
+            .into_path_set();
+        let after_paths = after_forest
+            .tree_for(output)
+            .expect("forest covers outputs")
+            .clone()
+            .into_path_set();
+        for &input in topology.system_inputs() {
+            out.push(WhatIfEffect {
+                input,
+                output,
+                before: before_paths.end_to_end_estimate(input),
+                after: after_paths.end_to_end_estimate(input),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Ranks every module by how much containing it (with the given factor)
+/// reduces the summed end-to-end propagation — "where would a wrapper help
+/// most?". Returns `(module, total_reduction)` sorted descending.
+///
+/// # Errors
+///
+/// Propagates topology errors.
+pub fn rank_containment_candidates(
+    topology: &SystemTopology,
+    matrix: &PermeabilityMatrix,
+    factor: f64,
+) -> Result<Vec<(ModuleId, f64)>, TopologyError> {
+    let mut ranked = Vec::new();
+    for m in topology.modules() {
+        let effects = containment_effects(topology, matrix, Containment { module: m, factor })?;
+        let total: f64 = effects.iter().map(|e| e.before - e.after).sum();
+        ranked.push((m, total));
+    }
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(ranked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::TopologyBuilder;
+
+    /// ext -> [A] -> s -> [B] -> out, P(A)=0.8, P(B)=0.5.
+    fn fixture() -> (SystemTopology, PermeabilityMatrix) {
+        let mut b = TopologyBuilder::new("w");
+        let ext = b.external("ext");
+        let a = b.add_module("A");
+        b.bind_input(a, ext);
+        let s = b.add_output(a, "s");
+        let bm = b.add_module("B");
+        b.bind_input(bm, s);
+        let out = b.add_output(bm, "out");
+        b.mark_system_output(out);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        pm.set(t.module_by_name("A").unwrap(), 0, 0, 0.8).unwrap();
+        pm.set(t.module_by_name("B").unwrap(), 0, 0, 0.5).unwrap();
+        (t, pm)
+    }
+
+    #[test]
+    fn contained_matrix_scales_one_module_only() {
+        let (t, pm) = fixture();
+        let a = t.module_by_name("A").unwrap();
+        let bm = t.module_by_name("B").unwrap();
+        let scaled = contained_matrix(&t, &pm, Containment { module: a, factor: 0.25 }).unwrap();
+        assert_eq!(scaled.get(a, 0, 0), 0.2);
+        assert_eq!(scaled.get(bm, 0, 0), 0.5);
+    }
+
+    #[test]
+    fn effects_report_reduction() {
+        let (t, pm) = fixture();
+        let a = t.module_by_name("A").unwrap();
+        let effects =
+            containment_effects(&t, &pm, Containment { module: a, factor: 0.5 }).unwrap();
+        assert_eq!(effects.len(), 1);
+        let e = effects[0];
+        assert!((e.before - 0.4).abs() < 1e-12);
+        assert!((e.after - 0.2).abs() < 1e-12);
+        assert!((e.reduction() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_containment_blocks_everything() {
+        let (t, pm) = fixture();
+        let bm = t.module_by_name("B").unwrap();
+        let effects =
+            containment_effects(&t, &pm, Containment { module: bm, factor: 0.0 }).unwrap();
+        assert_eq!(effects[0].after, 0.0);
+        assert_eq!(effects[0].reduction(), 1.0);
+    }
+
+    #[test]
+    fn ranking_prefers_the_more_permeable_module_in_a_chain() {
+        let (t, pm) = fixture();
+        let ranked = rank_containment_candidates(&t, &pm, 0.0).unwrap();
+        // In a pure chain both modules block the single path completely, so
+        // they tie; ties break by id.
+        assert_eq!(ranked.len(), 2);
+        assert!((ranked[0].1 - ranked[1].1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_separates_modules_off_the_main_path() {
+        // Two parallel paths: ext -> A -> out1 weight 0.9; ext2 -> C -> out1?
+        let mut b = TopologyBuilder::new("par");
+        let e1 = b.external("e1");
+        let e2 = b.external("e2");
+        let a = b.add_module("A");
+        b.bind_input(a, e1);
+        let sa = b.add_output(a, "sa");
+        let c = b.add_module("C");
+        b.bind_input(c, e2);
+        let sc = b.add_output(c, "sc");
+        let d = b.add_module("D");
+        b.bind_input(d, sa);
+        b.bind_input(d, sc);
+        let out = b.add_output(d, "out");
+        b.mark_system_output(out);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        pm.set(t.module_by_name("A").unwrap(), 0, 0, 0.9).unwrap();
+        pm.set(t.module_by_name("C").unwrap(), 0, 0, 0.1).unwrap();
+        pm.set(t.module_by_name("D").unwrap(), 0, 0, 0.8).unwrap();
+        pm.set(t.module_by_name("D").unwrap(), 1, 0, 0.8).unwrap();
+        let ranked = rank_containment_candidates(&t, &pm, 0.0).unwrap();
+        // D blocks both paths: best. A blocks the heavy path: second.
+        assert_eq!(t.module_name(ranked[0].0), "D");
+        assert_eq!(t.module_name(ranked[1].0), "A");
+        assert_eq!(t.module_name(ranked[2].0), "C");
+    }
+
+    #[test]
+    #[should_panic(expected = "factor must be in")]
+    fn bad_factor_panics() {
+        let (t, pm) = fixture();
+        let a = t.module_by_name("A").unwrap();
+        let _ = contained_matrix(&t, &pm, Containment { module: a, factor: 1.5 });
+    }
+
+    #[test]
+    fn unknown_module_rejected() {
+        let (t, pm) = fixture();
+        assert!(contained_matrix(
+            &t,
+            &pm,
+            Containment { module: ModuleId(9), factor: 0.5 }
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,552 @@
+//! The campaign executor: Golden Runs, injection runs, Golden Run
+//! Comparison, parallel orchestration.
+//!
+//! For every workload case the executor records one [`GoldenRun`]. Every
+//! injection run then replays the case for exactly the Golden Run's tick
+//! count, installs one error at the configured instant — *after* the
+//! environment refreshed the sensors for that tick, *before* any module
+//! reads them — and afterwards compares each output trace of the targeted
+//! module against the Golden Run. One error per run, as in the paper.
+
+use crate::error::FiError;
+use crate::golden::GoldenRun;
+use crate::results::{CampaignResult, PairStat, RunRecord};
+use crate::spec::{CampaignSpec, InjectionScope};
+use permea_runtime::sim::Simulation;
+use permea_runtime::time::SimTime;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Builds fresh simulations of the system under test, one per run.
+///
+/// Contract: `build(case)` must return a deterministic simulation with
+/// tracing already enabled for every signal the comparison should monitor,
+/// and identical module/signal naming across cases.
+pub trait SystemFactory: Sync {
+    /// Builds the simulation for workload case `case`.
+    fn build(&self, case: usize) -> Simulation;
+
+    /// Number of workload cases available.
+    fn case_count(&self) -> usize;
+
+    /// Upper bound on any scenario's natural length, in milliseconds.
+    fn max_run_ms(&self) -> u64 {
+        60_000
+    }
+}
+
+/// Adapts a closure into a [`SystemFactory`].
+///
+/// # Examples
+///
+/// ```no_run
+/// use permea_fi::campaign::{FnSystemFactory, SystemFactory};
+/// # fn make_sim(_case: usize) -> permea_runtime::sim::Simulation { unimplemented!() }
+/// let factory = FnSystemFactory::new(25, 60_000, make_sim);
+/// assert_eq!(factory.case_count(), 25);
+/// ```
+pub struct FnSystemFactory<F> {
+    cases: usize,
+    max_run_ms: u64,
+    build: F,
+}
+
+impl<F> FnSystemFactory<F>
+where
+    F: Fn(usize) -> Simulation + Sync,
+{
+    /// Wraps `build` with the given case count and run-length cap.
+    pub fn new(cases: usize, max_run_ms: u64, build: F) -> Self {
+        FnSystemFactory { cases, max_run_ms, build }
+    }
+}
+
+impl<F> SystemFactory for FnSystemFactory<F>
+where
+    F: Fn(usize) -> Simulation + Sync,
+{
+    fn build(&self, case: usize) -> Simulation {
+        (self.build)(case)
+    }
+    fn case_count(&self) -> usize {
+        self.cases
+    }
+    fn max_run_ms(&self) -> u64 {
+        self.max_run_ms
+    }
+}
+
+/// Execution options for a campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CampaignConfig {
+    /// Worker threads (0 ⇒ use available parallelism).
+    pub threads: usize,
+    /// Master seed from which every per-run RNG is derived.
+    pub master_seed: u64,
+    /// Keep a detailed [`RunRecord`] per injection run.
+    pub keep_records: bool,
+    /// Optional horizon: truncate every run (golden and injected) to this
+    /// many milliseconds. The paper compares full traces; a horizon
+    /// comfortably past the last injection (e.g. 15 000 ms for injections
+    /// ending at 5 000 ms) gives the same divergence verdicts at a fraction
+    /// of the cost and is used by the fast configurations.
+    pub horizon_ms: Option<u64>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { threads: 0, master_seed: 0x5EED, keep_records: true, horizon_ms: None }
+    }
+}
+
+/// Resolved, immutable description of one target (probe-validated once).
+#[derive(Debug, Clone)]
+struct ResolvedTarget {
+    module_name: String,
+    input_signal: String,
+    module_idx: permea_runtime::sim::ModuleIdx,
+    input_port: usize,
+    output_signals: Vec<String>,
+}
+
+/// A ready-to-run campaign binding a factory to a configuration.
+pub struct Campaign<'f> {
+    factory: &'f dyn SystemFactory,
+    config: CampaignConfig,
+}
+
+impl<'f> Campaign<'f> {
+    /// Creates a campaign.
+    pub fn new(factory: &'f dyn SystemFactory, config: CampaignConfig) -> Self {
+        Campaign { factory, config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
+    /// Records the Golden Run for one case.
+    ///
+    /// # Errors
+    ///
+    /// [`FiError::GoldenRunDidNotTerminate`] if the scenario neither
+    /// finishes nor hits the configured horizon within the factory's cap.
+    pub fn golden(&self, case: usize) -> Result<GoldenRun, FiError> {
+        let mut sim = self.factory.build(case);
+        let cap = self
+            .config
+            .horizon_ms
+            .map_or(self.factory.max_run_ms(), |h| h.min(self.factory.max_run_ms()));
+        sim.run_until(SimTime::from_millis(cap));
+        if !sim.finished() && self.config.horizon_ms.is_none() {
+            return Err(FiError::GoldenRunDidNotTerminate { case });
+        }
+        let ticks = sim.now().as_millis();
+        let traces = sim.take_traces().expect("factory must enable tracing");
+        Ok(GoldenRun { case, ticks, traces })
+    }
+
+    /// Records Golden Runs for all cases of a spec.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first golden-run failure.
+    pub fn goldens(&self, cases: usize) -> Result<Vec<GoldenRun>, FiError> {
+        (0..cases).map(|c| self.golden(c)).collect()
+    }
+
+    /// Validates every target of `spec` against a probe simulation.
+    fn resolve_targets(&self, spec: &CampaignSpec) -> Result<Vec<ResolvedTarget>, FiError> {
+        let probe = self.factory.build(0);
+        spec.targets
+            .iter()
+            .map(|t| {
+                let module_idx = probe
+                    .module_by_name(&t.module)
+                    .ok_or_else(|| FiError::UnknownModule(t.module.clone()))?;
+                let (module_idx, input_port) = probe
+                    .find_input_port(&t.module, &t.input_signal)
+                    .map(|(m, p)| (m, p))
+                    .ok_or_else(|| FiError::UnknownInputPort {
+                        module: t.module.clone(),
+                        signal: t.input_signal.clone(),
+                    })
+                    .map(|(m, p)| {
+                        debug_assert_eq!(m, module_idx);
+                        (m, p)
+                    })?;
+                let output_signals = probe
+                    .module_outputs(module_idx)
+                    .iter()
+                    .map(|&s| probe.bus().name(s).to_owned())
+                    .collect();
+                Ok(ResolvedTarget {
+                    module_name: t.module.clone(),
+                    input_signal: t.input_signal.clone(),
+                    module_idx,
+                    input_port,
+                    output_signals,
+                })
+            })
+            .collect()
+    }
+
+    /// Executes one injection run and returns the per-output first
+    /// divergences.
+    fn run_one(
+        &self,
+        spec: &CampaignSpec,
+        target: &ResolvedTarget,
+        model: crate::model::ErrorModel,
+        time_ms: u64,
+        golden: &GoldenRun,
+        seed: u64,
+    ) -> (u16, u16, Vec<Option<u32>>) {
+        let mut sim = self.factory.build(golden.case);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut original = 0u16;
+        let mut corrupted = 0u16;
+        for _ in 0..golden.ticks {
+            sim.begin_tick();
+            if sim.now().as_millis() == time_ms {
+                original = sim.peek_module_input(target.module_idx, target.input_port);
+                corrupted = model.apply(original, &mut rng);
+                match spec.scope {
+                    InjectionScope::Port => {
+                        sim.corrupt_module_input(target.module_idx, target.input_port, corrupted);
+                    }
+                    InjectionScope::Signal => {
+                        let sig = sim.module_inputs(target.module_idx)[target.input_port];
+                        sim.bus_mut().corrupt_signal(sig, corrupted);
+                    }
+                }
+            }
+            sim.run_modules();
+        }
+        let traces = sim.take_traces().expect("factory must enable tracing");
+        let divergences = target
+            .output_signals
+            .iter()
+            .map(|name| golden.first_divergence(&traces, name).map(|t| t as u32))
+            .collect();
+        (original, corrupted, divergences)
+    }
+
+    /// Runs a single injection and returns the **full trace set** of the
+    /// injected run alongside the (original, corrupted) values — the hook
+    /// used by detector-placement studies that need to replay assertions
+    /// over injected traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns target-resolution errors.
+    pub fn run_traced(
+        &self,
+        target: &crate::spec::PortTarget,
+        scope: InjectionScope,
+        model: crate::model::ErrorModel,
+        time_ms: u64,
+        golden: &GoldenRun,
+        seed: u64,
+    ) -> Result<(permea_runtime::tracing::TraceSet, u16, u16), FiError> {
+        let spec = CampaignSpec {
+            targets: vec![target.clone()],
+            models: vec![model],
+            times_ms: vec![time_ms],
+            cases: golden.case + 1,
+            scope,
+        };
+        let resolved = self.resolve_targets(&spec)?;
+        let target = &resolved[0];
+        let mut sim = self.factory.build(golden.case);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut original = 0u16;
+        let mut corrupted = 0u16;
+        for _ in 0..golden.ticks {
+            sim.begin_tick();
+            if sim.now().as_millis() == time_ms {
+                original = sim.peek_module_input(target.module_idx, target.input_port);
+                corrupted = model.apply(original, &mut rng);
+                match scope {
+                    InjectionScope::Port => {
+                        sim.corrupt_module_input(target.module_idx, target.input_port, corrupted);
+                    }
+                    InjectionScope::Signal => {
+                        let sig = sim.module_inputs(target.module_idx)[target.input_port];
+                        sim.bus_mut().corrupt_signal(sig, corrupted);
+                    }
+                }
+            }
+            sim.run_modules();
+        }
+        let traces = sim.take_traces().expect("factory must enable tracing");
+        Ok((traces, original, corrupted))
+    }
+
+    /// Runs the full campaign.
+    ///
+    /// # Errors
+    ///
+    /// Fails fast on spec validation, target resolution or golden-run
+    /// problems; [`FiError::WorkerPanicked`] if an injection worker dies.
+    pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignResult, FiError> {
+        spec.validate()?;
+        let targets = self.resolve_targets(spec)?;
+        let goldens = self.goldens(spec.cases)?;
+
+        let run_count = spec.run_count();
+        let threads = if self.config.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.config.threads
+        };
+
+        // Shared work queue over coordinate indices.
+        let next = AtomicUsize::new(0);
+        let coords: Vec<(usize, usize, usize, usize)> = spec.coordinates().collect();
+        // Per-pair error counters, indexed [target][output].
+        let counters: Vec<Vec<AtomicUsize>> = targets
+            .iter()
+            .map(|t| (0..t.output_signals.len()).map(|_| AtomicUsize::new(0)).collect())
+            .collect();
+        let records: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::new());
+        let panicked = AtomicUsize::new(0);
+
+        let worker = |_: usize| loop {
+            let k = next.fetch_add(1, Ordering::Relaxed);
+            if k >= run_count {
+                break;
+            }
+            let (ti, mi, wi, ci) = coords[k];
+            let target = &targets[ti];
+            let model = spec.models[mi];
+            let time_ms = spec.times_ms[wi];
+            let seed =
+                self.config.master_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let (original, corrupted, divergences) =
+                self.run_one(spec, target, model, time_ms, &goldens[ci], seed);
+            for (out_idx, div) in divergences.iter().enumerate() {
+                if div.is_some() {
+                    counters[ti][out_idx].fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if self.config.keep_records {
+                let record = RunRecord {
+                    module: target.module_name.clone(),
+                    input_signal: target.input_signal.clone(),
+                    model,
+                    time_ms,
+                    case: ci,
+                    original_value: original,
+                    corrupted_value: corrupted,
+                    first_divergence: divergences,
+                };
+                records.lock().expect("records mutex poisoned").push((k, record));
+            }
+        };
+
+        if threads <= 1 {
+            worker(0);
+        } else {
+            let worker_ref = &worker;
+            let ok = crossbeam::thread::scope(|s| {
+                for w in 0..threads {
+                    s.spawn(move |_| worker_ref(w));
+                }
+            })
+            .is_ok();
+            if !ok || panicked.load(Ordering::Relaxed) > 0 {
+                return Err(FiError::WorkerPanicked);
+            }
+        }
+
+        // Assemble deterministic output.
+        let per_target_inj = spec.injections_per_target() as u64;
+        let mut pairs = Vec::new();
+        for (ti, target) in targets.iter().enumerate() {
+            for (out_idx, out_name) in target.output_signals.iter().enumerate() {
+                pairs.push(PairStat {
+                    module: target.module_name.clone(),
+                    input_signal: target.input_signal.clone(),
+                    output_signal: out_name.clone(),
+                    input: target.input_port,
+                    output: out_idx,
+                    injections: per_target_inj,
+                    errors: counters[ti][out_idx].load(Ordering::Relaxed) as u64,
+                });
+            }
+        }
+        let mut recs = records.into_inner().expect("records mutex poisoned");
+        recs.sort_by_key(|&(k, _)| k);
+        Ok(CampaignResult {
+            pairs,
+            records: recs.into_iter().map(|(_, r)| r).collect(),
+            golden_ticks: goldens.iter().map(|g| g.ticks).collect(),
+            total_runs: run_count as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ErrorModel;
+    use crate::spec::PortTarget;
+    use permea_runtime::module::{ModuleCtx, SoftwareModule};
+    use permea_runtime::scheduler::Schedule;
+    use permea_runtime::signals::SignalBus;
+    use permea_runtime::sim::{Environment, SimulationBuilder};
+
+    /// Copies input to output; a second output stays constant (zero
+    /// permeability) — a minimal system with known ground truth.
+    struct CopyAndConst;
+    impl SoftwareModule for CopyAndConst {
+        fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+            let v = ctx.read(0);
+            ctx.write(0, v);
+            ctx.write(1, 42);
+        }
+    }
+
+    struct RampEnv {
+        sensor: permea_runtime::signals::SignalRef,
+        limit: u64,
+    }
+    impl Environment for RampEnv {
+        fn pre_tick(&mut self, now: SimTime, bus: &mut SignalBus) {
+            bus.write(self.sensor, (now.as_millis() % 1000) as u16);
+        }
+        fn post_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
+        fn finished(&self, now: SimTime) -> bool {
+            now.as_millis() >= self.limit
+        }
+    }
+
+    fn build_sim(case: usize) -> Simulation {
+        let mut b = SimulationBuilder::new();
+        let sensor = b.define_signal("sensor");
+        let out = b.define_signal("out");
+        let konst = b.define_signal("konst");
+        b.add_module(
+            "COPY",
+            Box::new(CopyAndConst),
+            Schedule::every_ms(),
+            &[sensor],
+            &[out, konst],
+        );
+        let mut sim = b.build(Box::new(RampEnv { sensor, limit: 100 + case as u64 }));
+        sim.enable_tracing_all();
+        sim
+    }
+
+    fn factory() -> FnSystemFactory<fn(usize) -> Simulation> {
+        FnSystemFactory::new(2, 10_000, build_sim as fn(usize) -> Simulation)
+    }
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec {
+            targets: vec![PortTarget::new("COPY", "sensor")],
+            models: ErrorModel::all_bit_flips(),
+            times_ms: vec![10, 50],
+            cases: 2,
+            scope: InjectionScope::Port,
+        }
+    }
+
+    #[test]
+    fn golden_run_has_expected_length() {
+        let f = factory();
+        let c = Campaign::new(&f, CampaignConfig { threads: 1, ..Default::default() });
+        let g = c.golden(0).unwrap();
+        assert_eq!(g.ticks, 100);
+        let g1 = c.golden(1).unwrap();
+        assert_eq!(g1.ticks, 101);
+    }
+
+    #[test]
+    fn copy_module_has_full_permeability_on_copy_and_zero_on_const() {
+        let f = factory();
+        let c = Campaign::new(&f, CampaignConfig { threads: 1, ..Default::default() });
+        let res = c.run(&spec()).unwrap();
+        let copy = res.pair("COPY", "sensor", "out").unwrap();
+        assert_eq!(copy.injections, 16 * 2 * 2);
+        assert_eq!(copy.estimate(), 1.0, "every flip reaches the copied output");
+        let konst = res.pair("COPY", "sensor", "konst").unwrap();
+        assert_eq!(konst.estimate(), 0.0, "constant output never diverges");
+        assert_eq!(res.total_runs, 64);
+        assert_eq!(res.records.len(), 64);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let f = factory();
+        let seq = Campaign::new(&f, CampaignConfig { threads: 1, ..Default::default() })
+            .run(&spec())
+            .unwrap();
+        let par = Campaign::new(&f, CampaignConfig { threads: 4, ..Default::default() })
+            .run(&spec())
+            .unwrap();
+        assert_eq!(seq, par, "campaigns must be deterministic regardless of threads");
+    }
+
+    #[test]
+    fn horizon_truncates_runs() {
+        let f = factory();
+        let c = Campaign::new(
+            &f,
+            CampaignConfig { threads: 1, horizon_ms: Some(30), ..Default::default() },
+        );
+        let g = c.golden(0).unwrap();
+        assert_eq!(g.ticks, 30);
+    }
+
+    #[test]
+    fn unknown_targets_are_rejected() {
+        let f = factory();
+        let c = Campaign::new(&f, CampaignConfig { threads: 1, ..Default::default() });
+        let mut s = spec();
+        s.targets = vec![PortTarget::new("NOPE", "sensor")];
+        assert_eq!(c.run(&s).unwrap_err(), FiError::UnknownModule("NOPE".into()));
+        let mut s = spec();
+        s.targets = vec![PortTarget::new("COPY", "nope")];
+        assert!(matches!(c.run(&s).unwrap_err(), FiError::UnknownInputPort { .. }));
+    }
+
+    #[test]
+    fn signal_scope_also_corrupts() {
+        let f = factory();
+        let c = Campaign::new(&f, CampaignConfig { threads: 1, ..Default::default() });
+        let mut s = spec();
+        s.scope = InjectionScope::Signal;
+        let res = c.run(&s).unwrap();
+        assert_eq!(res.pair("COPY", "sensor", "out").unwrap().estimate(), 1.0);
+    }
+
+    #[test]
+    fn records_capture_injection_details() {
+        let f = factory();
+        let c = Campaign::new(&f, CampaignConfig { threads: 1, ..Default::default() });
+        let res = c.run(&spec()).unwrap();
+        let r = &res.records[0];
+        assert_eq!(r.module, "COPY");
+        assert_eq!(r.corrupted_value, r.original_value ^ 1); // bit 0 first
+        assert!(r.any_error());
+        // The copied output diverges at the injection tick itself.
+        assert_eq!(r.first_divergence[0], Some(r.time_ms as u32));
+    }
+
+    #[test]
+    fn keep_records_false_drops_details() {
+        let f = factory();
+        let c = Campaign::new(
+            &f,
+            CampaignConfig { threads: 1, keep_records: false, ..Default::default() },
+        );
+        let res = c.run(&spec()).unwrap();
+        assert!(res.records.is_empty());
+        assert_eq!(res.pairs.len(), 2);
+    }
+}

@@ -1,0 +1,69 @@
+//! Error types for campaign specification and execution.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while preparing or executing an injection campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FiError {
+    /// A target's module name did not resolve in the simulation.
+    UnknownModule(String),
+    /// A target's input-signal name is not an input of the module.
+    UnknownInputPort {
+        /// Module name.
+        module: String,
+        /// Signal name that failed to resolve as an input port.
+        signal: String,
+    },
+    /// A signal-scoped target did not resolve on the bus.
+    UnknownSignal(String),
+    /// The campaign spec is empty along some axis.
+    EmptySpec(&'static str),
+    /// The Golden Run never terminated within the configured cap.
+    GoldenRunDidNotTerminate {
+        /// Workload case index.
+        case: usize,
+    },
+    /// A worker thread panicked.
+    WorkerPanicked,
+}
+
+impl fmt::Display for FiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FiError::UnknownModule(m) => write!(f, "no module named `{m}` in the simulation"),
+            FiError::UnknownInputPort { module, signal } => {
+                write!(f, "`{signal}` is not an input signal of module `{module}`")
+            }
+            FiError::UnknownSignal(s) => write!(f, "no signal named `{s}` on the bus"),
+            FiError::EmptySpec(axis) => write!(f, "campaign spec has no {axis}"),
+            FiError::GoldenRunDidNotTerminate { case } => {
+                write!(f, "golden run for case {case} did not terminate within the cap")
+            }
+            FiError::WorkerPanicked => write!(f, "an injection worker thread panicked"),
+        }
+    }
+}
+
+impl Error for FiError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        assert!(FiError::UnknownModule("CALC".into()).to_string().contains("CALC"));
+        assert!(FiError::UnknownInputPort { module: "A".into(), signal: "s".into() }
+            .to_string()
+            .contains("input signal"));
+        assert!(FiError::EmptySpec("targets").to_string().contains("targets"));
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<FiError>();
+    }
+}

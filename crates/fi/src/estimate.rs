@@ -1,0 +1,199 @@
+//! Turning campaign counts into a permeability matrix with confidence
+//! bounds.
+//!
+//! The point estimate is the paper's `P̂_{i,k} = n_err / n_inj`. On top of
+//! it this module provides Wilson score intervals — with 4 000 injections
+//! per input the intervals are tight (±1.5 % at worst), which justifies the
+//! paper's use of the point estimates as relative orderings.
+
+use crate::error::FiError;
+use crate::results::CampaignResult;
+use permea_core::matrix::PermeabilityMatrix;
+use permea_core::topology::SystemTopology;
+use serde::{Deserialize, Serialize};
+
+/// A permeability estimate with its confidence interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairEstimate {
+    /// Module name.
+    pub module: String,
+    /// Input-port signal name.
+    pub input_signal: String,
+    /// Output-port signal name.
+    pub output_signal: String,
+    /// Point estimate `n_err / n_inj`.
+    pub estimate: f64,
+    /// Wilson lower bound.
+    pub lower: f64,
+    /// Wilson upper bound.
+    pub upper: f64,
+    /// Number of injections.
+    pub injections: u64,
+}
+
+/// Wilson score interval for a binomial proportion.
+///
+/// Returns `(lower, upper)`; both are probabilities. `z` is the standard
+/// normal quantile (1.96 for 95 %).
+///
+/// # Panics
+///
+/// Panics if `errors > trials` or `z` is not finite/positive.
+///
+/// # Examples
+///
+/// ```
+/// use permea_fi::estimate::wilson_interval;
+/// let (lo, hi) = wilson_interval(500, 4000, 1.96);
+/// assert!(lo < 0.125 && 0.125 < hi);
+/// assert!(hi - lo < 0.025, "4000 trials give a tight interval");
+/// ```
+pub fn wilson_interval(errors: u64, trials: u64, z: f64) -> (f64, f64) {
+    assert!(errors <= trials, "errors cannot exceed trials");
+    assert!(z.is_finite() && z > 0.0, "z must be positive and finite");
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = errors as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let centre = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
+    ((centre - half).max(0.0), (centre + half).min(1.0))
+}
+
+/// Builds a [`PermeabilityMatrix`] for `topology` from campaign results.
+///
+/// Pairs never targeted by the campaign stay at zero. Pair resolution is by
+/// (module name, input-signal name, output-signal name), so the campaign's
+/// simulation and the topology must use the same naming — guaranteed when
+/// both derive from one spec.
+///
+/// # Errors
+///
+/// Returns [`FiError::UnknownModule`] / [`FiError::UnknownSignal`] if a
+/// result row names entities missing from the topology.
+pub fn estimate_matrix(
+    topology: &SystemTopology,
+    result: &CampaignResult,
+) -> Result<PermeabilityMatrix, FiError> {
+    let mut pm = PermeabilityMatrix::zeroed(topology);
+    for pair in &result.pairs {
+        pm.set_named(
+            topology,
+            &pair.module,
+            &pair.input_signal,
+            &pair.output_signal,
+            pair.estimate(),
+        )
+        .map_err(|_| FiError::UnknownModule(format!(
+            "{}:{}→{}",
+            pair.module, pair.input_signal, pair.output_signal
+        )))?;
+    }
+    Ok(pm)
+}
+
+/// Per-pair estimates with Wilson intervals (z = 1.96).
+pub fn estimates_with_ci(result: &CampaignResult) -> Vec<PairEstimate> {
+    result
+        .pairs
+        .iter()
+        .map(|p| {
+            let (lower, upper) = wilson_interval(p.errors, p.injections, 1.96);
+            PairEstimate {
+                module: p.module.clone(),
+                input_signal: p.input_signal.clone(),
+                output_signal: p.output_signal.clone(),
+                estimate: p.estimate(),
+                lower,
+                upper,
+                injections: p.injections,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::results::PairStat;
+    use permea_core::topology::TopologyBuilder;
+
+    fn topo() -> SystemTopology {
+        let mut b = TopologyBuilder::new("t");
+        let x = b.external("x");
+        let m = b.add_module("M");
+        b.bind_input(m, x);
+        let y = b.add_output(m, "y");
+        b.mark_system_output(y);
+        b.build().unwrap()
+    }
+
+    fn result(errors: u64) -> CampaignResult {
+        CampaignResult {
+            pairs: vec![PairStat {
+                module: "M".into(),
+                input_signal: "x".into(),
+                output_signal: "y".into(),
+                input: 0,
+                output: 0,
+                injections: 4000,
+                errors,
+            }],
+            records: vec![],
+            golden_ticks: vec![],
+            total_runs: 4000,
+        }
+    }
+
+    #[test]
+    fn matrix_from_results() {
+        let t = topo();
+        let pm = estimate_matrix(&t, &result(1000)).unwrap();
+        let m = t.module_by_name("M").unwrap();
+        assert_eq!(pm.get(m, 0, 0), 0.25);
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let t = topo();
+        let mut r = result(0);
+        r.pairs[0].module = "NOPE".into();
+        assert!(estimate_matrix(&t, &r).is_err());
+    }
+
+    #[test]
+    fn wilson_basic_properties() {
+        let (lo, hi) = wilson_interval(0, 100, 1.96);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.05);
+        let (lo, hi) = wilson_interval(100, 100, 1.96);
+        assert!(lo > 0.95);
+        assert!(hi > 0.999 && hi <= 1.0);
+        let (lo, hi) = wilson_interval(0, 0, 1.96);
+        assert_eq!((lo, hi), (0.0, 1.0));
+    }
+
+    #[test]
+    fn wilson_shrinks_with_trials() {
+        let (lo1, hi1) = wilson_interval(10, 40, 1.96);
+        let (lo2, hi2) = wilson_interval(1000, 4000, 1.96);
+        assert!(hi2 - lo2 < hi1 - lo1);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn wilson_rejects_impossible_counts() {
+        wilson_interval(5, 4, 1.96);
+    }
+
+    #[test]
+    fn ci_rows_match_pairs() {
+        let est = estimates_with_ci(&result(2000));
+        assert_eq!(est.len(), 1);
+        assert_eq!(est[0].estimate, 0.5);
+        assert!(est[0].lower < 0.5 && 0.5 < est[0].upper);
+    }
+}

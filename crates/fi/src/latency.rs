@@ -1,0 +1,173 @@
+//! Propagation-latency analysis: how long an injected error takes to reach
+//! a module output.
+//!
+//! Latency matters for EDM design — a detector must fire before the error
+//! leaves the module if recovery is to contain it. This module aggregates
+//! per-run first-divergence records into per-pair latency distributions.
+
+use crate::results::{CampaignResult, RunRecord};
+use serde::{Deserialize, Serialize};
+
+/// Latency distribution summary for one (module, input, output) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Module name.
+    pub module: String,
+    /// Input-port signal name.
+    pub input_signal: String,
+    /// Output port index.
+    pub output: usize,
+    /// Number of runs with an observed propagation.
+    pub samples: u64,
+    /// Minimum latency in ticks.
+    pub min: u64,
+    /// Median latency in ticks.
+    pub median: u64,
+    /// 95th-percentile latency in ticks.
+    pub p95: u64,
+    /// Maximum latency in ticks.
+    pub max: u64,
+    /// Mean latency in ticks.
+    pub mean: f64,
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+/// Computes latency summaries for every (targeted input, output) pair that
+/// produced at least one propagation. Requires the campaign to have kept
+/// records.
+pub fn latency_summaries(result: &CampaignResult) -> Vec<LatencySummary> {
+    use std::collections::BTreeMap;
+    let mut buckets: BTreeMap<(String, String, usize), Vec<u64>> = BTreeMap::new();
+    for r in &result.records {
+        collect(r, &mut buckets);
+    }
+    buckets
+        .into_iter()
+        .filter(|(_, v)| !v.is_empty())
+        .map(|((module, input_signal, output), mut lat)| {
+            lat.sort_unstable();
+            let samples = lat.len() as u64;
+            let mean = lat.iter().sum::<u64>() as f64 / samples as f64;
+            LatencySummary {
+                module,
+                input_signal,
+                output,
+                samples,
+                min: lat[0],
+                median: percentile(&lat, 0.5),
+                p95: percentile(&lat, 0.95),
+                max: *lat.last().expect("non-empty"),
+                mean,
+            }
+        })
+        .collect()
+}
+
+fn collect(r: &RunRecord, buckets: &mut std::collections::BTreeMap<(String, String, usize), Vec<u64>>) {
+    for (output, div) in r.first_divergence.iter().enumerate() {
+        let key = (r.module.clone(), r.input_signal.clone(), output);
+        let bucket = buckets.entry(key).or_default();
+        if let Some(tick) = div {
+            bucket.push((*tick as u64).saturating_sub(r.time_ms));
+        }
+    }
+}
+
+/// Renders the latency table, slowest (by median) first.
+pub fn render_latencies(summaries: &[LatencySummary]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let _ = writeln!(s, "Propagation latency from injection to first output divergence (ticks)");
+    let _ = writeln!(
+        s,
+        "{:<8} {:<12} {:>4} {:>7} {:>6} {:>7} {:>6} {:>7} {:>8}",
+        "Module", "Input", "out", "samples", "min", "median", "p95", "max", "mean"
+    );
+    let mut rows = summaries.to_vec();
+    rows.sort_by(|a, b| b.median.cmp(&a.median));
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<8} {:<12} {:>4} {:>7} {:>6} {:>7} {:>6} {:>7} {:>8.1}",
+            r.module, r.input_signal, r.output + 1, r.samples, r.min, r.median, r.p95, r.max, r.mean
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ErrorModel;
+
+    fn record(time: u64, divs: Vec<Option<u32>>) -> RunRecord {
+        RunRecord {
+            module: "M".into(),
+            input_signal: "in".into(),
+            model: ErrorModel::BitFlip { bit: 0 },
+            time_ms: time,
+            case: 0,
+            original_value: 0,
+            corrupted_value: 1,
+            first_divergence: divs,
+        }
+    }
+
+    fn result(records: Vec<RunRecord>) -> CampaignResult {
+        CampaignResult { pairs: vec![], records, golden_ticks: vec![], total_runs: 0 }
+    }
+
+    #[test]
+    fn summaries_aggregate_latencies() {
+        let res = result(vec![
+            record(100, vec![Some(100), None]),
+            record(100, vec![Some(110), None]),
+            record(100, vec![Some(150), Some(130)]),
+        ]);
+        let s = latency_summaries(&res);
+        assert_eq!(s.len(), 2);
+        let out0 = s.iter().find(|x| x.output == 0).unwrap();
+        assert_eq!(out0.samples, 3);
+        assert_eq!(out0.min, 0);
+        assert_eq!(out0.median, 10);
+        assert_eq!(out0.max, 50);
+        assert!((out0.mean - 20.0).abs() < 1e-12);
+        let out1 = s.iter().find(|x| x.output == 1).unwrap();
+        assert_eq!(out1.samples, 1);
+        assert_eq!(out1.median, 30);
+    }
+
+    #[test]
+    fn pairs_without_propagation_are_omitted() {
+        let res = result(vec![record(100, vec![None, None])]);
+        assert!(latency_summaries(&res).is_empty());
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let v = vec![1, 2, 3, 4, 100];
+        assert_eq!(percentile(&v, 0.0), 1);
+        assert_eq!(percentile(&v, 1.0), 100);
+        assert_eq!(percentile(&v, 0.5), 3);
+        assert_eq!(percentile(&[], 0.5), 0);
+    }
+
+    #[test]
+    fn render_orders_by_median() {
+        let res = result(vec![
+            record(0, vec![Some(5), Some(500)]),
+            record(0, vec![Some(6), Some(600)]),
+        ]);
+        let s = latency_summaries(&res);
+        let table = render_latencies(&s);
+        let first_data = table.lines().nth(2).unwrap();
+        assert!(first_data.contains(" 2 "), "slowest output (index 2, 1-based) first: {first_data}");
+    }
+}

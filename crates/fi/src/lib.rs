@@ -1,0 +1,48 @@
+//! # permea-fi — SWIFI fault injection and permeability estimation
+//!
+//! A reimplementation of the experimental method of Section 6 of the paper
+//! (and of the PROPANE tool it uses): software-implemented fault injection
+//! with **Golden Run Comparison**.
+//!
+//! The workflow:
+//!
+//! 1. describe the experiment with a [`spec::CampaignSpec`] — which module
+//!    input ports to target, which [`model::ErrorModel`]s to apply (the
+//!    paper flips each of the 16 bits), at which times, over which workload
+//!    cases;
+//! 2. run it with [`campaign::Campaign`], which records a Golden Run per
+//!    case and then executes one injection run per (target, model, time,
+//!    case), comparing every output trace of the targeted module against
+//!    the Golden Run;
+//! 3. feed the [`results::CampaignResult`] to [`estimate`] to obtain a
+//!    [`permea_core::matrix::PermeabilityMatrix`] (`P̂ = n_err / n_inj`)
+//!    with Wilson confidence intervals.
+//!
+//! Everything is deterministic: per-run RNGs are derived from the campaign
+//! master seed and the run coordinates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod error;
+pub mod estimate;
+pub mod golden;
+pub mod latency;
+pub mod model;
+pub mod results;
+pub mod spec;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::campaign::{Campaign, CampaignConfig, FnSystemFactory, SystemFactory};
+    pub use crate::error::FiError;
+    pub use crate::estimate::{estimate_matrix, wilson_interval, PairEstimate};
+    pub use crate::golden::GoldenRun;
+    pub use crate::latency::{latency_summaries, render_latencies, LatencySummary};
+    pub use crate::model::ErrorModel;
+    pub use crate::results::{CampaignResult, PairStat, RunRecord};
+    pub use crate::spec::{CampaignSpec, InjectionScope, PortTarget};
+}
+
+pub use prelude::*;

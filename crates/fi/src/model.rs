@@ -1,0 +1,174 @@
+//! Error models: how an injected error transforms a 16-bit signal value.
+//!
+//! The paper's experiment uses single bit-flips in each of the 16 bit
+//! positions. The other models are standard SWIFI repertoire (stuck-at,
+//! offsets, random replacement, zeroing) kept for the workload/error-model
+//! sensitivity studies the paper lists as future work.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A transformation applied to the current value of a signal at injection
+/// time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ErrorModel {
+    /// Flip one bit (0 = least significant).
+    BitFlip {
+        /// Bit position, `0..16`.
+        bit: u8,
+    },
+    /// Force one bit to one.
+    StuckAtOne {
+        /// Bit position, `0..16`.
+        bit: u8,
+    },
+    /// Force one bit to zero.
+    StuckAtZero {
+        /// Bit position, `0..16`.
+        bit: u8,
+    },
+    /// Add a signed offset with wrapping arithmetic.
+    Offset {
+        /// The offset to add.
+        delta: i16,
+    },
+    /// Replace the value with a uniformly random 16-bit value.
+    RandomValue,
+    /// Replace the value with zero.
+    Zero,
+    /// Replace the value with all ones (0xFFFF).
+    Saturate,
+}
+
+impl ErrorModel {
+    /// All sixteen single-bit flips — the paper's model set.
+    pub fn all_bit_flips() -> Vec<ErrorModel> {
+        (0..16).map(|bit| ErrorModel::BitFlip { bit }).collect()
+    }
+
+    /// Applies the model to `value`. `rng` is only consulted by
+    /// [`ErrorModel::RandomValue`]; pass a deterministic, per-run seeded RNG
+    /// for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a bit position is 16 or larger.
+    pub fn apply<R: Rng>(self, value: u16, rng: &mut R) -> u16 {
+        match self {
+            ErrorModel::BitFlip { bit } => {
+                assert!(bit < 16, "bit position out of range");
+                value ^ (1 << bit)
+            }
+            ErrorModel::StuckAtOne { bit } => {
+                assert!(bit < 16, "bit position out of range");
+                value | (1 << bit)
+            }
+            ErrorModel::StuckAtZero { bit } => {
+                assert!(bit < 16, "bit position out of range");
+                value & !(1 << bit)
+            }
+            ErrorModel::Offset { delta } => value.wrapping_add(delta as u16),
+            ErrorModel::RandomValue => rng.gen(),
+            ErrorModel::Zero => 0,
+            ErrorModel::Saturate => u16::MAX,
+        }
+    }
+
+    /// `true` if the model can leave the value unchanged (stuck-at on an
+    /// already-matching bit, zero offset, random collision, …). Bit flips
+    /// always change the value.
+    pub fn may_be_identity(self) -> bool {
+        !matches!(self, ErrorModel::BitFlip { .. })
+    }
+}
+
+impl fmt::Display for ErrorModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErrorModel::BitFlip { bit } => write!(f, "flip{bit}"),
+            ErrorModel::StuckAtOne { bit } => write!(f, "stuck1@{bit}"),
+            ErrorModel::StuckAtZero { bit } => write!(f, "stuck0@{bit}"),
+            ErrorModel::Offset { delta } => write!(f, "offset{delta:+}"),
+            ErrorModel::RandomValue => write!(f, "random"),
+            ErrorModel::Zero => write!(f, "zero"),
+            ErrorModel::Saturate => write!(f, "saturate"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn bit_flip_flips_exactly_one_bit() {
+        let mut r = rng();
+        for bit in 0..16u8 {
+            let v = 0b1010_1010_1010_1010;
+            let out = ErrorModel::BitFlip { bit }.apply(v, &mut r);
+            assert_eq!((out ^ v).count_ones(), 1);
+            assert_eq!(out ^ v, 1 << bit);
+        }
+    }
+
+    #[test]
+    fn all_bit_flips_covers_16_positions() {
+        let flips = ErrorModel::all_bit_flips();
+        assert_eq!(flips.len(), 16);
+        let mut r = rng();
+        let distinct: std::collections::HashSet<u16> =
+            flips.iter().map(|m| m.apply(0, &mut r)).collect();
+        assert_eq!(distinct.len(), 16);
+    }
+
+    #[test]
+    fn stuck_at_models() {
+        let mut r = rng();
+        assert_eq!(ErrorModel::StuckAtOne { bit: 3 }.apply(0, &mut r), 8);
+        assert_eq!(ErrorModel::StuckAtOne { bit: 3 }.apply(8, &mut r), 8); // identity
+        assert_eq!(ErrorModel::StuckAtZero { bit: 3 }.apply(8, &mut r), 0);
+        assert!(ErrorModel::StuckAtOne { bit: 3 }.may_be_identity());
+        assert!(!ErrorModel::BitFlip { bit: 3 }.may_be_identity());
+    }
+
+    #[test]
+    fn offset_wraps() {
+        let mut r = rng();
+        assert_eq!(ErrorModel::Offset { delta: -1 }.apply(0, &mut r), u16::MAX);
+        assert_eq!(ErrorModel::Offset { delta: 10 }.apply(u16::MAX, &mut r), 9);
+    }
+
+    #[test]
+    fn replacement_models() {
+        let mut r = rng();
+        assert_eq!(ErrorModel::Zero.apply(1234, &mut r), 0);
+        assert_eq!(ErrorModel::Saturate.apply(1234, &mut r), u16::MAX);
+    }
+
+    #[test]
+    fn random_is_deterministic_under_seed() {
+        let a = ErrorModel::RandomValue.apply(7, &mut rng());
+        let b = ErrorModel::RandomValue.apply(7, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_out_of_range_panics() {
+        ErrorModel::BitFlip { bit: 16 }.apply(0, &mut rng());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(ErrorModel::BitFlip { bit: 5 }.to_string(), "flip5");
+        assert_eq!(ErrorModel::Offset { delta: -4 }.to_string(), "offset-4");
+    }
+}

@@ -1,0 +1,184 @@
+//! Campaign specification: what to inject, where, and when.
+
+use crate::error::FiError;
+use crate::model::ErrorModel;
+use serde::{Deserialize, Serialize};
+
+/// Where a single injection lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InjectionScope {
+    /// Corrupt the value as seen by one module input port only (the default;
+    /// implements the paper's "direct errors only" accounting exactly).
+    Port,
+    /// Corrupt the stored signal value so every consumer observes it (kept
+    /// as an ablation mode).
+    Signal,
+}
+
+impl Default for InjectionScope {
+    fn default() -> Self {
+        InjectionScope::Port
+    }
+}
+
+/// One injection target: a module input port, addressed by names.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PortTarget {
+    /// Module name as registered in the simulation.
+    pub module: String,
+    /// Name of the signal bound to the targeted input port.
+    pub input_signal: String,
+}
+
+impl PortTarget {
+    /// Creates a target from names.
+    pub fn new(module: impl Into<String>, input_signal: impl Into<String>) -> Self {
+        PortTarget { module: module.into(), input_signal: input_signal.into() }
+    }
+}
+
+/// A full campaign: the cartesian product
+/// `targets × models × times × cases` defines the injection runs.
+///
+/// The paper's experiment: every module input port, all 16 bit flips, ten
+/// times (0.5–5.0 s in 0.5 s steps), 25 workload cases — 4 000 injections
+/// per input signal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignSpec {
+    /// Module input ports to inject into.
+    pub targets: Vec<PortTarget>,
+    /// Error models applied at each injection (one model per run).
+    pub models: Vec<ErrorModel>,
+    /// Injection instants in milliseconds from scenario start.
+    pub times_ms: Vec<u64>,
+    /// Number of workload cases (indices `0..cases` are passed to the
+    /// system factory).
+    pub cases: usize,
+    /// Injection scope (port by default).
+    pub scope: InjectionScope,
+}
+
+impl CampaignSpec {
+    /// Creates a spec with the paper's model set (16 bit flips) and times
+    /// (0.5–5.0 s), over the given targets and case count.
+    pub fn paper_style(targets: Vec<PortTarget>, cases: usize) -> Self {
+        CampaignSpec {
+            targets,
+            models: ErrorModel::all_bit_flips(),
+            times_ms: (1..=10).map(|k| k * 500).collect(),
+            cases,
+            scope: InjectionScope::Port,
+        }
+    }
+
+    /// Total number of injection runs the spec expands to.
+    pub fn run_count(&self) -> usize {
+        self.targets.len() * self.models.len() * self.times_ms.len() * self.cases
+    }
+
+    /// Injections per target — the paper's `n_inj` (4 000 for the full
+    /// experiment).
+    pub fn injections_per_target(&self) -> usize {
+        self.models.len() * self.times_ms.len() * self.cases
+    }
+
+    /// Validates that every axis is non-empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError::EmptySpec`] naming the empty axis.
+    pub fn validate(&self) -> Result<(), FiError> {
+        if self.targets.is_empty() {
+            return Err(FiError::EmptySpec("targets"));
+        }
+        if self.models.is_empty() {
+            return Err(FiError::EmptySpec("models"));
+        }
+        if self.times_ms.is_empty() {
+            return Err(FiError::EmptySpec("times"));
+        }
+        if self.cases == 0 {
+            return Err(FiError::EmptySpec("cases"));
+        }
+        Ok(())
+    }
+
+    /// Enumerates all run coordinates in a deterministic order:
+    /// `(target_idx, model_idx, time_idx, case_idx)`.
+    pub fn coordinates(&self) -> impl Iterator<Item = (usize, usize, usize, usize)> + '_ {
+        let (nm, nt, nc) = (self.models.len(), self.times_ms.len(), self.cases);
+        (0..self.run_count()).map(move |k| {
+            let case = k % nc;
+            let time = (k / nc) % nt;
+            let model = (k / (nc * nt)) % nm;
+            let target = k / (nc * nt * nm);
+            (target, model, time, case)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> CampaignSpec {
+        CampaignSpec::paper_style(
+            vec![PortTarget::new("CALC", "pulscnt"), PortTarget::new("V_REG", "SetValue")],
+            25,
+        )
+    }
+
+    #[test]
+    fn paper_style_matches_section_7_3() {
+        let s = spec();
+        assert_eq!(s.models.len(), 16);
+        assert_eq!(s.times_ms.len(), 10);
+        assert_eq!(s.injections_per_target(), 4_000, "16 × 10 × 25");
+        assert_eq!(s.run_count(), 8_000);
+        assert_eq!(s.times_ms[0], 500);
+        assert_eq!(*s.times_ms.last().unwrap(), 5_000);
+        assert_eq!(s.scope, InjectionScope::Port);
+    }
+
+    #[test]
+    fn validation_catches_empty_axes() {
+        let mut s = spec();
+        s.models.clear();
+        assert_eq!(s.validate(), Err(FiError::EmptySpec("models")));
+        let mut s = spec();
+        s.targets.clear();
+        assert_eq!(s.validate(), Err(FiError::EmptySpec("targets")));
+        let mut s = spec();
+        s.times_ms.clear();
+        assert_eq!(s.validate(), Err(FiError::EmptySpec("times")));
+        let mut s = spec();
+        s.cases = 0;
+        assert_eq!(s.validate(), Err(FiError::EmptySpec("cases")));
+        assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn coordinates_cover_product_exactly_once() {
+        let s = spec();
+        let coords: std::collections::HashSet<_> = s.coordinates().collect();
+        assert_eq!(coords.len(), s.run_count());
+        assert!(coords.contains(&(0, 0, 0, 0)));
+        assert!(coords.contains(&(1, 15, 9, 24)));
+    }
+
+    #[test]
+    fn coordinates_are_deterministic() {
+        let s = spec();
+        let a: Vec<_> = s.coordinates().collect();
+        let b: Vec<_> = s.coordinates().collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = spec();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: CampaignSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,345 @@
+//! Executable assertions over 16-bit signal streams.
+//!
+//! These are the classic EDM building blocks the paper references ([7, 11,
+//! 16]): per-sample checks derived from what the signal is *supposed* to
+//! look like. To keep evaluations honest, every detector can be calibrated
+//! from Golden Run traces — the calibration picks the tightest bounds the
+//! golden behaviour permits (plus a configurable margin), making the
+//! detector false-positive-free on golden data by construction.
+
+use permea_runtime::tracing::SignalTrace;
+use serde::{Deserialize, Serialize};
+
+/// A streaming detector: observes one sample per tick and reports whether
+/// the sample violates the assertion.
+pub trait Detector: Send {
+    /// Observes the next sample; `true` means *error detected*.
+    fn observe(&mut self, value: u16) -> bool;
+
+    /// Resets internal state between runs.
+    fn reset(&mut self);
+}
+
+/// Asserts `min <= value <= max`.
+///
+/// # Examples
+///
+/// ```
+/// use permea_mech::detectors::{Detector, RangeDetector};
+/// let mut d = RangeDetector::new(10, 20);
+/// assert!(!d.observe(15));
+/// assert!(d.observe(25));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RangeDetector {
+    min: u16,
+    max: u16,
+}
+
+impl RangeDetector {
+    /// Creates a range assertion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: u16, max: u16) -> Self {
+        assert!(min <= max, "empty range");
+        RangeDetector { min, max }
+    }
+
+    /// Calibrates from a golden trace: `[min - margin, max + margin]`
+    /// (saturating).
+    pub fn calibrated(golden: &SignalTrace, margin: u16) -> Self {
+        let lo = golden.samples.iter().copied().min().unwrap_or(0);
+        let hi = golden.samples.iter().copied().max().unwrap_or(u16::MAX);
+        RangeDetector { min: lo.saturating_sub(margin), max: hi.saturating_add(margin) }
+    }
+
+    /// The asserted bounds.
+    pub fn bounds(&self) -> (u16, u16) {
+        (self.min, self.max)
+    }
+}
+
+impl Detector for RangeDetector {
+    fn observe(&mut self, value: u16) -> bool {
+        value < self.min || value > self.max
+    }
+    fn reset(&mut self) {}
+}
+
+/// Asserts `|value - previous| <= max_delta` (first sample always passes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RateDetector {
+    max_delta: u16,
+    #[serde(skip)]
+    previous: Option<u16>,
+}
+
+impl RateDetector {
+    /// Creates a rate-of-change assertion.
+    pub fn new(max_delta: u16) -> Self {
+        RateDetector { max_delta, previous: None }
+    }
+
+    /// Calibrates from a golden trace: the largest golden step plus margin.
+    pub fn calibrated(golden: &SignalTrace, margin: u16) -> Self {
+        let max_step = golden
+            .samples
+            .windows(2)
+            .map(|w| w[0].abs_diff(w[1]))
+            .max()
+            .unwrap_or(0);
+        RateDetector::new(max_step.saturating_add(margin))
+    }
+
+    /// The asserted maximum step.
+    pub fn max_delta(&self) -> u16 {
+        self.max_delta
+    }
+}
+
+impl Detector for RateDetector {
+    fn observe(&mut self, value: u16) -> bool {
+        let violated = match self.previous {
+            Some(prev) => prev.abs_diff(value) > self.max_delta,
+            None => false,
+        };
+        self.previous = Some(value);
+        violated
+    }
+    fn reset(&mut self) {
+        self.previous = None;
+    }
+}
+
+/// Asserts the signal does not stay bit-identical for more than
+/// `max_unchanged` consecutive samples — a stuck-at/frozen-value watchdog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrozenDetector {
+    max_unchanged: u32,
+    #[serde(skip)]
+    previous: Option<u16>,
+    #[serde(skip)]
+    unchanged: u32,
+}
+
+impl FrozenDetector {
+    /// Creates a frozen-value watchdog.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_unchanged` is zero.
+    pub fn new(max_unchanged: u32) -> Self {
+        assert!(max_unchanged > 0, "watchdog window must be positive");
+        FrozenDetector { max_unchanged, previous: None, unchanged: 0 }
+    }
+
+    /// Calibrates from a golden trace: the longest golden plateau plus
+    /// margin.
+    pub fn calibrated(golden: &SignalTrace, margin: u32) -> Self {
+        let mut longest = 0u32;
+        let mut run = 0u32;
+        for w in golden.samples.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+                longest = longest.max(run);
+            } else {
+                run = 0;
+            }
+        }
+        FrozenDetector::new(longest.saturating_add(margin).max(1))
+    }
+}
+
+impl Detector for FrozenDetector {
+    fn observe(&mut self, value: u16) -> bool {
+        match self.previous {
+            Some(prev) if prev == value => {
+                self.unchanged += 1;
+            }
+            _ => self.unchanged = 0,
+        }
+        self.previous = Some(value);
+        self.unchanged > self.max_unchanged
+    }
+    fn reset(&mut self) {
+        self.previous = None;
+        self.unchanged = 0;
+    }
+}
+
+/// Combines several detectors; triggers when any member triggers.
+#[derive(Default)]
+pub struct CompositeDetector {
+    members: Vec<Box<dyn Detector>>,
+}
+
+impl std::fmt::Debug for CompositeDetector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompositeDetector").field("members", &self.members.len()).finish()
+    }
+}
+
+impl CompositeDetector {
+    /// Creates an empty composite (never triggers).
+    pub fn new() -> Self {
+        CompositeDetector::default()
+    }
+
+    /// Adds a member detector.
+    #[must_use]
+    pub fn with(mut self, d: Box<dyn Detector>) -> Self {
+        self.members.push(d);
+        self
+    }
+
+    /// The standard calibrated assertion stack for a signal: range + rate +
+    /// frozen watchdog, each derived from the golden trace.
+    pub fn calibrated_standard(golden: &SignalTrace) -> Self {
+        CompositeDetector::new()
+            .with(Box::new(RangeDetector::calibrated(golden, 1)))
+            .with(Box::new(RateDetector::calibrated(golden, 1)))
+            .with(Box::new(FrozenDetector::calibrated(golden, 500)))
+    }
+
+    /// Number of member detectors.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// `true` when no members are present.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+}
+
+impl Detector for CompositeDetector {
+    fn observe(&mut self, value: u16) -> bool {
+        // Every member must observe each sample (stateful detectors), so no
+        // short-circuiting.
+        let mut detected = false;
+        for d in &mut self.members {
+            detected |= d.observe(value);
+        }
+        detected
+    }
+    fn reset(&mut self) {
+        for d in &mut self.members {
+            d.reset();
+        }
+    }
+}
+
+/// Replays a detector over a full trace, returning the first detection tick.
+pub fn first_detection(detector: &mut dyn Detector, trace: &SignalTrace) -> Option<usize> {
+    detector.reset();
+    for (tick, &v) in trace.samples.iter().enumerate() {
+        if detector.observe(v) {
+            return Some(tick);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(samples: Vec<u16>) -> SignalTrace {
+        SignalTrace { name: "s".into(), samples }
+    }
+
+    #[test]
+    fn range_detector_bounds() {
+        let mut d = RangeDetector::new(5, 10);
+        assert!(!d.observe(5));
+        assert!(!d.observe(10));
+        assert!(d.observe(4));
+        assert!(d.observe(11));
+    }
+
+    #[test]
+    fn range_calibration_never_fires_on_golden() {
+        let g = trace(vec![3, 9, 7, 12, 5]);
+        let mut d = RangeDetector::calibrated(&g, 0);
+        assert_eq!(first_detection(&mut d, &g), None);
+        assert!(d.observe(13));
+        assert!(d.observe(2));
+    }
+
+    #[test]
+    fn rate_detector_tracks_steps() {
+        let mut d = RateDetector::new(3);
+        assert!(!d.observe(10)); // first sample free
+        assert!(!d.observe(13));
+        assert!(d.observe(20));
+        d.reset();
+        assert!(!d.observe(100));
+    }
+
+    #[test]
+    fn rate_calibration_allows_golden_steps() {
+        let g = trace(vec![0, 5, 10, 14]);
+        let mut d = RateDetector::calibrated(&g, 0);
+        assert_eq!(d.max_delta(), 5);
+        assert_eq!(first_detection(&mut d, &g), None);
+    }
+
+    #[test]
+    fn frozen_detector_fires_after_window() {
+        let mut d = FrozenDetector::new(2);
+        assert!(!d.observe(7));
+        assert!(!d.observe(7)); // 1 unchanged
+        assert!(!d.observe(7)); // 2 unchanged
+        assert!(d.observe(7)); // 3 > 2
+        assert!(!d.observe(8)); // change resets
+    }
+
+    #[test]
+    fn frozen_calibration_covers_golden_plateaus() {
+        let g = trace(vec![1, 1, 1, 2, 2, 3]);
+        let mut d = FrozenDetector::calibrated(&g, 0);
+        assert_eq!(first_detection(&mut d, &g), None);
+    }
+
+    #[test]
+    fn composite_combines_and_counts() {
+        let mut c = CompositeDetector::new()
+            .with(Box::new(RangeDetector::new(0, 10)))
+            .with(Box::new(RateDetector::new(2)));
+        assert_eq!(c.len(), 2);
+        assert!(!c.is_empty());
+        assert!(!c.observe(1));
+        assert!(c.observe(4)); // rate violation (3 > 2)
+        assert!(c.observe(50)); // both
+        c.reset();
+        assert!(!c.observe(5));
+    }
+
+    #[test]
+    fn standard_stack_is_silent_on_golden_and_loud_on_flips() {
+        let g = trace((0..100u16).map(|i| 1000 + i * 3).collect());
+        let mut d = CompositeDetector::calibrated_standard(&g);
+        assert_eq!(first_detection(&mut d, &g), None, "no false positives");
+        let mut corrupted = g.clone();
+        corrupted.samples[50] ^= 0x2000;
+        let mut d = CompositeDetector::calibrated_standard(&g);
+        assert_eq!(first_detection(&mut d, &corrupted), Some(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_panics() {
+        RangeDetector::new(10, 5);
+    }
+
+    #[test]
+    fn empty_trace_calibrations_are_safe() {
+        let g = trace(vec![]);
+        let mut r = RangeDetector::calibrated(&g, 0);
+        let _ = r.observe(0);
+        let mut f = FrozenDetector::calibrated(&g, 0);
+        let _ = f.observe(0);
+    }
+}

@@ -1,0 +1,402 @@
+//! Placement evaluation: how much system-level protection a mechanism at a
+//! given location actually buys.
+//!
+//! [`DetectionStudy`] quantifies observation OB3: it runs an injection
+//! campaign and, for every candidate signal, replays a golden-calibrated
+//! assertion stack over the injected traces. The result separates a
+//! detector's *local* quality from its *placement* quality — a perfect
+//! detector on a low-exposure signal covers almost none of the runs that
+//! actually corrupt the system output.
+//!
+//! [`RecoveryStudy`] quantifies OB5: it compares the system-output failure
+//! rate of a baseline system against the same system with recovery guards
+//! spliced in, under an identical signal-scoped injection campaign.
+
+use crate::detectors::{first_detection, CompositeDetector};
+use permea_fi::campaign::{Campaign, CampaignConfig, SystemFactory};
+use permea_fi::error::FiError;
+use permea_fi::golden::GoldenRun;
+use permea_fi::spec::{CampaignSpec, InjectionScope};
+use serde::{Deserialize, Serialize};
+
+/// Coverage results for one candidate detector placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementCoverage {
+    /// The monitored signal.
+    pub signal: String,
+    /// Total injection runs evaluated.
+    pub runs: u64,
+    /// Runs in which at least one system output trace deviated from the
+    /// Golden Run (the failures worth detecting).
+    pub system_failures: u64,
+    /// Runs in which the detector fired at all.
+    pub detected: u64,
+    /// Runs in which the detector fired *and* the system output failed —
+    /// the useful detections.
+    pub detected_failures: u64,
+    /// Failed runs in which the detector fired **no later than** the first
+    /// system-output divergence — detections early enough for recovery to
+    /// shield the output. In a closed control loop every signal eventually
+    /// reflects a failure, so this is the metric that separates placements.
+    pub preemptive_failures: u64,
+    /// Sum and count of detection latencies (ticks from injection to first
+    /// detection) over detected runs.
+    pub latency_sum: u64,
+    /// Number of latency observations.
+    pub latency_count: u64,
+}
+
+impl PlacementCoverage {
+    /// Fraction of system failures the placement detects (0 when there were
+    /// no failures).
+    pub fn coverage(&self) -> f64 {
+        if self.system_failures == 0 {
+            0.0
+        } else {
+            self.detected_failures as f64 / self.system_failures as f64
+        }
+    }
+
+    /// Fraction of system failures detected before (or exactly when) the
+    /// system output first deviated.
+    pub fn preemptive_coverage(&self) -> f64 {
+        if self.system_failures == 0 {
+            0.0
+        } else {
+            self.preemptive_failures as f64 / self.system_failures as f64
+        }
+    }
+
+    /// Mean detection latency in ticks (`None` without detections).
+    pub fn mean_latency(&self) -> Option<f64> {
+        if self.latency_count == 0 {
+            None
+        } else {
+            Some(self.latency_sum as f64 / self.latency_count as f64)
+        }
+    }
+}
+
+/// Evaluates detector placements against an injection campaign.
+pub struct DetectionStudy<'f> {
+    factory: &'f dyn SystemFactory,
+    config: CampaignConfig,
+}
+
+impl<'f> DetectionStudy<'f> {
+    /// Creates a study over the given system.
+    pub fn new(factory: &'f dyn SystemFactory, config: CampaignConfig) -> Self {
+        DetectionStudy { factory, config }
+    }
+
+    /// Runs the campaign described by `spec`, evaluating a calibrated
+    /// standard assertion stack on each signal in `placements`.
+    /// `system_outputs` names the signals whose divergence counts as system
+    /// failure.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign errors.
+    pub fn run(
+        &self,
+        spec: &CampaignSpec,
+        placements: &[String],
+        system_outputs: &[String],
+    ) -> Result<Vec<PlacementCoverage>, FiError> {
+        spec.validate()?;
+        let campaign = Campaign::new(self.factory, self.config.clone());
+        let goldens: Vec<GoldenRun> = campaign.goldens(spec.cases)?;
+        let mut coverages: Vec<PlacementCoverage> = placements
+            .iter()
+            .map(|s| PlacementCoverage {
+                signal: s.clone(),
+                runs: 0,
+                system_failures: 0,
+                detected: 0,
+                detected_failures: 0,
+                preemptive_failures: 0,
+                latency_sum: 0,
+                latency_count: 0,
+            })
+            .collect();
+
+        for (k, (ti, mi, wi, ci)) in spec.coordinates().enumerate() {
+            let target = &spec.targets[ti];
+            let model = spec.models[mi];
+            let time_ms = spec.times_ms[wi];
+            let golden = &goldens[ci];
+            let seed = self.config.master_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let (traces, _, _) =
+                campaign.run_traced(target, spec.scope, model, time_ms, golden, seed)?;
+            let failure_tick = system_outputs
+                .iter()
+                .filter_map(|out| golden.first_divergence(&traces, out))
+                .min();
+            for cov in coverages.iter_mut() {
+                cov.runs += 1;
+                if failure_tick.is_some() {
+                    cov.system_failures += 1;
+                }
+                let golden_trace = match golden.traces.trace(&cov.signal) {
+                    Some(t) => t,
+                    None => continue,
+                };
+                let ir_trace = match traces.trace(&cov.signal) {
+                    Some(t) => t,
+                    None => continue,
+                };
+                let mut det = CompositeDetector::calibrated_standard(golden_trace);
+                if let Some(tick) = first_detection(&mut det, ir_trace) {
+                    cov.detected += 1;
+                    if let Some(fail_at) = failure_tick {
+                        cov.detected_failures += 1;
+                        if tick <= fail_at {
+                            cov.preemptive_failures += 1;
+                        }
+                    }
+                    cov.latency_sum += (tick as u64).saturating_sub(time_ms);
+                    cov.latency_count += 1;
+                }
+            }
+        }
+        Ok(coverages)
+    }
+}
+
+/// Outcome of a baseline-vs-guarded comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RecoveryOutcome {
+    /// Injection runs per variant.
+    pub runs: u64,
+    /// System-output failures without guards.
+    pub baseline_failures: u64,
+    /// System-output failures with guards spliced in.
+    pub guarded_failures: u64,
+}
+
+impl RecoveryOutcome {
+    /// Fraction of baseline failures eliminated by the guards.
+    pub fn failure_reduction(&self) -> f64 {
+        if self.baseline_failures == 0 {
+            0.0
+        } else {
+            1.0 - self.guarded_failures as f64 / self.baseline_failures as f64
+        }
+    }
+}
+
+/// Compares a baseline system against a guard-augmented variant under the
+/// same (signal-scoped) injection campaign.
+pub struct RecoveryStudy<'a> {
+    baseline: &'a dyn SystemFactory,
+    guarded: &'a dyn SystemFactory,
+    config: CampaignConfig,
+}
+
+impl<'a> RecoveryStudy<'a> {
+    /// Creates the comparison. Both factories must expose identical signal
+    /// and module naming (the guarded one adds guard modules).
+    pub fn new(
+        baseline: &'a dyn SystemFactory,
+        guarded: &'a dyn SystemFactory,
+        config: CampaignConfig,
+    ) -> Self {
+        RecoveryStudy { baseline, guarded, config }
+    }
+
+    fn failures(
+        factory: &dyn SystemFactory,
+        config: &CampaignConfig,
+        spec: &CampaignSpec,
+        system_outputs: &[String],
+    ) -> Result<u64, FiError> {
+        let campaign = Campaign::new(factory, config.clone());
+        let goldens = campaign.goldens(spec.cases)?;
+        let mut failures = 0;
+        for (k, (ti, mi, wi, ci)) in spec.coordinates().enumerate() {
+            let seed = config.master_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let (traces, _, _) = campaign.run_traced(
+                &spec.targets[ti],
+                spec.scope,
+                spec.models[mi],
+                spec.times_ms[wi],
+                &goldens[ci],
+                seed,
+            )?;
+            if system_outputs
+                .iter()
+                .any(|out| goldens[ci].first_divergence(&traces, out).is_some())
+            {
+                failures += 1;
+            }
+        }
+        Ok(failures)
+    }
+
+    /// Runs both variants. Recovery guards correct the stored signal value,
+    /// so the spec should use [`InjectionScope::Signal`] — with port-scoped
+    /// corruption the guard never sees what the victim module sees.
+    ///
+    /// # Errors
+    ///
+    /// Propagates campaign errors.
+    pub fn run(
+        &self,
+        spec: &CampaignSpec,
+        system_outputs: &[String],
+    ) -> Result<RecoveryOutcome, FiError> {
+        debug_assert_eq!(
+            spec.scope,
+            InjectionScope::Signal,
+            "recovery guards act on stored signals"
+        );
+        let baseline_failures =
+            Self::failures(self.baseline, &self.config, spec, system_outputs)?;
+        let guarded_failures = Self::failures(self.guarded, &self.config, spec, system_outputs)?;
+        Ok(RecoveryOutcome {
+            runs: spec.run_count() as u64,
+            baseline_failures,
+            guarded_failures,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guard::{GuardModule, SignalGuard};
+    use crate::recovery::HoldLastGood;
+    use permea_fi::campaign::FnSystemFactory;
+    use permea_fi::model::ErrorModel;
+    use permea_fi::spec::PortTarget;
+    use permea_runtime::module::{ModuleCtx, SoftwareModule};
+    use permea_runtime::scheduler::Schedule;
+    use permea_runtime::signals::SignalBus;
+    use permea_runtime::sim::{Environment, Simulation, SimulationBuilder};
+    use permea_runtime::time::SimTime;
+
+    /// in -> [SCALE] -> mid -> [SCALE2] -> out
+    struct Scale;
+    impl SoftwareModule for Scale {
+        fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+            let v = ctx.read(0);
+            ctx.write_on_change(0, v.wrapping_mul(2) & 0x0FFF);
+        }
+    }
+
+    struct ConstEnv {
+        sensor: permea_runtime::signals::SignalRef,
+        limit: u64,
+    }
+    impl Environment for ConstEnv {
+        fn pre_tick(&mut self, _: SimTime, bus: &mut SignalBus) {
+            bus.write(self.sensor, 100);
+        }
+        fn post_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
+        fn finished(&self, now: SimTime) -> bool {
+            now.as_millis() >= self.limit
+        }
+    }
+
+    fn build(guarded: bool) -> impl Fn(usize) -> Simulation + Sync {
+        move |_case| {
+            let mut b = SimulationBuilder::new();
+            let sensor = b.define_signal("sensor");
+            let mid = b.define_signal("mid");
+            let out = b.define_signal("out");
+            b.add_module("S1", Box::new(Scale), Schedule::every_ms(), &[sensor], &[mid]);
+            if guarded {
+                // Guard corrects `mid` in place before S2 consumes it. The
+                // assertion window is tight around the golden value (200).
+                let guard = SignalGuard::new(
+                    Box::new(crate::detectors::RangeDetector::new(150, 250)),
+                    Box::new(HoldLastGood::new()),
+                );
+                b.add_module(
+                    "GUARD_mid",
+                    Box::new(GuardModule::new(guard)),
+                    Schedule::every_ms(),
+                    &[mid],
+                    &[mid],
+                );
+            }
+            b.add_module("S2", Box::new(Scale), Schedule::every_ms(), &[mid], &[out]);
+            let mut sim = b.build(Box::new(ConstEnv { sensor, limit: 60 }));
+            sim.enable_tracing_all();
+            sim
+        }
+    }
+
+    fn spec(scope: InjectionScope) -> CampaignSpec {
+        CampaignSpec {
+            targets: vec![PortTarget::new("S2", "mid")],
+            models: ErrorModel::all_bit_flips(),
+            times_ms: vec![20, 40],
+            cases: 1,
+            scope,
+        }
+    }
+
+    #[test]
+    fn detection_study_separates_exposed_and_quiet_signals() {
+        let f = FnSystemFactory::new(1, 10_000, build(false));
+        let study = DetectionStudy::new(
+            &f,
+            CampaignConfig { threads: 1, ..Default::default() },
+        );
+        let cov = study
+            .run(
+                &spec(InjectionScope::Signal),
+                &["mid".to_owned(), "sensor".to_owned()],
+                &["out".to_owned()],
+            )
+            .unwrap();
+        let mid = cov.iter().find(|c| c.signal == "mid").unwrap();
+        let sensor = cov.iter().find(|c| c.signal == "sensor").unwrap();
+        assert_eq!(mid.runs, 32);
+        assert!(mid.system_failures > 0, "flips on mid corrupt out");
+        // mid is where the errors live: high coverage. sensor never sees
+        // them: zero coverage.
+        assert!(mid.coverage() > 0.5, "coverage {}", mid.coverage());
+        assert_eq!(sensor.detected, 0);
+        assert_eq!(sensor.coverage(), 0.0);
+        assert!(mid.mean_latency().unwrap() < 5.0);
+    }
+
+    #[test]
+    fn recovery_guard_reduces_failures() {
+        let baseline = FnSystemFactory::new(1, 10_000, build(false));
+        let guarded = FnSystemFactory::new(1, 10_000, build(true));
+        let study = RecoveryStudy::new(
+            &baseline,
+            &guarded,
+            CampaignConfig { threads: 1, ..Default::default() },
+        );
+        let outcome = study.run(&spec(InjectionScope::Signal), &["out".to_owned()]).unwrap();
+        assert!(outcome.baseline_failures > 0);
+        assert!(
+            outcome.guarded_failures < outcome.baseline_failures,
+            "guard must remove failures: {outcome:?}"
+        );
+        assert!(outcome.failure_reduction() > 0.3, "{outcome:?}");
+    }
+
+    #[test]
+    fn coverage_accessors_handle_empty() {
+        let c = PlacementCoverage {
+            signal: "s".into(),
+            runs: 0,
+            system_failures: 0,
+            detected: 0,
+            detected_failures: 0,
+            preemptive_failures: 0,
+            latency_sum: 0,
+            latency_count: 0,
+        };
+        assert_eq!(c.coverage(), 0.0);
+        assert_eq!(c.preemptive_coverage(), 0.0);
+        assert!(c.mean_latency().is_none());
+        let o = RecoveryOutcome { runs: 0, baseline_failures: 0, guarded_failures: 0 };
+        assert_eq!(o.failure_reduction(), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Signal guards: detector + recovery fused into one mechanism.
+//!
+//! [`SignalGuard`] is the pure stream-level mechanism; [`GuardModule`]
+//! adapts it to a [`SoftwareModule`] so it can be spliced into a running
+//! simulation as a *corrective co-writer*: each invocation it reads a
+//! signal, and if the detector fires it writes the recovered value back —
+//! which is exactly what expires a signal-scoped injected corruption.
+
+use crate::detectors::Detector;
+use crate::recovery::Recovery;
+use permea_runtime::module::{ModuleCtx, SoftwareModule};
+
+/// A detector paired with a recovery policy.
+pub struct SignalGuard {
+    detector: Box<dyn Detector>,
+    recovery: Box<dyn Recovery>,
+    detections: u64,
+}
+
+impl std::fmt::Debug for SignalGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SignalGuard").field("detections", &self.detections).finish()
+    }
+}
+
+impl SignalGuard {
+    /// Creates a guard.
+    pub fn new(detector: Box<dyn Detector>, recovery: Box<dyn Recovery>) -> Self {
+        SignalGuard { detector, recovery, detections: 0 }
+    }
+
+    /// Processes one sample: returns `(output, detected)`. On detection the
+    /// output is the recovered value, otherwise the sample itself.
+    pub fn process(&mut self, value: u16) -> (u16, bool) {
+        if self.detector.observe(value) {
+            self.detections += 1;
+            (self.recovery.recover(value), true)
+        } else {
+            self.recovery.observe_good(value);
+            (value, false)
+        }
+    }
+
+    /// Total detections so far.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    /// Resets detector, recovery and counters.
+    pub fn reset(&mut self) {
+        self.detector.reset();
+        self.recovery.reset();
+        self.detections = 0;
+    }
+}
+
+/// A [`SignalGuard`] as a runtime module with one input and one output —
+/// typically both bound to the *same* signal, making the guard an in-place
+/// corrector (an ERM in the paper's sense).
+#[derive(Debug)]
+pub struct GuardModule {
+    guard: SignalGuard,
+}
+
+impl GuardModule {
+    /// Wraps a guard.
+    pub fn new(guard: SignalGuard) -> Self {
+        GuardModule { guard }
+    }
+}
+
+impl SoftwareModule for GuardModule {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let value = ctx.read(0);
+        let (out, detected) = self.guard.process(value);
+        if detected {
+            // Only write on detection: a silent guard must not perturb the
+            // producer's write pattern (and the corrective write is what
+            // expires a corruption).
+            ctx.write(0, out);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.guard.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detectors::RangeDetector;
+    use crate::recovery::HoldLastGood;
+    use permea_runtime::signals::SignalBus;
+    use permea_runtime::time::SimTime;
+
+    fn guard(max: u16) -> SignalGuard {
+        SignalGuard::new(Box::new(RangeDetector::new(0, max)), Box::new(HoldLastGood::new()))
+    }
+
+    #[test]
+    fn guard_passes_good_and_recovers_bad() {
+        let mut g = guard(100);
+        assert_eq!(g.process(50), (50, false));
+        assert_eq!(g.process(60), (60, false));
+        assert_eq!(g.process(500), (60, true), "recovered to last good");
+        assert_eq!(g.detections(), 1);
+        g.reset();
+        assert_eq!(g.detections(), 0);
+    }
+
+    #[test]
+    fn guard_module_corrects_signal_in_place() {
+        let mut bus = SignalBus::new();
+        let s = bus.define("s");
+        bus.write(s, 42);
+        let mut m = GuardModule::new(guard(100));
+        let ports = [s];
+        let mut cache = vec![None; 1];
+        // Good sample: no write (version preserved).
+        bus.corrupt_port((9, 0), s, 7); // witness corruption on another consumer
+        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &ports, &ports, &mut cache);
+        m.step(&mut ctx);
+        drop(ctx);
+        assert!(bus.port_corruption_active((9, 0)), "silent guard must not write");
+        // Bad sample: corrected in place.
+        bus.corrupt_signal(s, 5000);
+        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &ports, &ports, &mut cache);
+        m.step(&mut ctx);
+        drop(ctx);
+        assert_eq!(bus.read(s), 42, "corrupted signal restored to last good");
+    }
+
+    #[test]
+    fn guard_module_reset_propagates() {
+        let mut m = GuardModule::new(guard(10));
+        let mut bus = SignalBus::new();
+        let s = bus.define("s");
+        bus.write(s, 99);
+        let ports = [s];
+        let mut cache = vec![None; 1];
+        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &ports, &ports, &mut cache);
+        m.step(&mut ctx); // detection (99 > 10)
+        drop(ctx);
+        m.reset();
+        assert_eq!(m.guard.detections(), 0);
+    }
+}

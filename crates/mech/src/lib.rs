@@ -1,0 +1,37 @@
+//! # permea-mech — error detection and recovery mechanisms
+//!
+//! The paper's Section 5 argues that *where* an EDM/ERM sits matters as much
+//! as *how good* it is (observation OB3: a near-perfect detector on a
+//! signal with low error exposure is not cost effective). This crate
+//! provides the mechanisms and the evaluation harness to quantify that
+//! claim on any system driven by `permea-fi`:
+//!
+//! * [`detectors`] — executable assertions over 16-bit signal streams
+//!   (range, rate, frozen-value), calibrated from Golden Run traces so they
+//!   are false-positive-free by construction;
+//! * [`recovery`] — recovery policies (hold last good, clamp, substitute);
+//! * [`guard`] — [`guard::SignalGuard`] combining a detector with a
+//!   recovery policy, plus [`guard::GuardModule`] which splices a guard
+//!   into a running simulation as a corrective co-writer;
+//! * [`eval`] — [`eval::DetectionStudy`], measuring per-placement detection
+//!   coverage and latency against a fault-injection campaign.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod detectors;
+pub mod eval;
+pub mod guard;
+pub mod recovery;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::detectors::{
+        CompositeDetector, Detector, FrozenDetector, RangeDetector, RateDetector,
+    };
+    pub use crate::eval::{DetectionStudy, PlacementCoverage};
+    pub use crate::guard::{GuardModule, SignalGuard};
+    pub use crate::recovery::{ClampRecovery, HoldLastGood, Recovery, SubstituteRecovery};
+}
+
+pub use prelude::*;

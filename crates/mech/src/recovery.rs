@@ -1,0 +1,136 @@
+//! Recovery policies: what an ERM writes back once an error is detected.
+
+use serde::{Deserialize, Serialize};
+
+/// A recovery policy: given a detected-bad sample, produce a replacement.
+pub trait Recovery: Send {
+    /// Observes a sample that passed detection (kept as recovery context).
+    fn observe_good(&mut self, value: u16);
+
+    /// Produces the replacement for a detected-bad sample.
+    fn recover(&mut self, bad: u16) -> u16;
+
+    /// Resets internal state between runs.
+    fn reset(&mut self);
+}
+
+/// Replaces a bad sample with the last known-good one (zero before any good
+/// sample was seen).
+///
+/// # Examples
+///
+/// ```
+/// use permea_mech::recovery::{HoldLastGood, Recovery};
+/// let mut r = HoldLastGood::new();
+/// r.observe_good(42);
+/// assert_eq!(r.recover(9999), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct HoldLastGood {
+    last: u16,
+}
+
+impl HoldLastGood {
+    /// Creates the policy with an initial last-good of zero.
+    pub fn new() -> Self {
+        HoldLastGood::default()
+    }
+}
+
+impl Recovery for HoldLastGood {
+    fn observe_good(&mut self, value: u16) {
+        self.last = value;
+    }
+    fn recover(&mut self, _bad: u16) -> u16 {
+        self.last
+    }
+    fn reset(&mut self) {
+        self.last = 0;
+    }
+}
+
+/// Clamps a bad sample into a plausible range (best-effort correction that
+/// preserves magnitude information).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClampRecovery {
+    min: u16,
+    max: u16,
+}
+
+impl ClampRecovery {
+    /// Creates the policy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn new(min: u16, max: u16) -> Self {
+        assert!(min <= max, "empty clamp range");
+        ClampRecovery { min, max }
+    }
+}
+
+impl Recovery for ClampRecovery {
+    fn observe_good(&mut self, _value: u16) {}
+    fn recover(&mut self, bad: u16) -> u16 {
+        bad.clamp(self.min, self.max)
+    }
+    fn reset(&mut self) {}
+}
+
+/// Replaces a bad sample with a fixed fail-safe value (e.g. zero pressure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubstituteRecovery {
+    value: u16,
+}
+
+impl SubstituteRecovery {
+    /// Creates the policy with the given fail-safe value.
+    pub fn new(value: u16) -> Self {
+        SubstituteRecovery { value }
+    }
+}
+
+impl Recovery for SubstituteRecovery {
+    fn observe_good(&mut self, _value: u16) {}
+    fn recover(&mut self, _bad: u16) -> u16 {
+        self.value
+    }
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hold_last_good_tracks() {
+        let mut r = HoldLastGood::new();
+        assert_eq!(r.recover(500), 0, "no good sample yet");
+        r.observe_good(10);
+        r.observe_good(11);
+        assert_eq!(r.recover(500), 11);
+        r.reset();
+        assert_eq!(r.recover(500), 0);
+    }
+
+    #[test]
+    fn clamp_recovers_into_range() {
+        let mut r = ClampRecovery::new(100, 200);
+        assert_eq!(r.recover(5), 100);
+        assert_eq!(r.recover(150), 150);
+        assert_eq!(r.recover(9999), 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty clamp range")]
+    fn inverted_clamp_panics() {
+        ClampRecovery::new(5, 1);
+    }
+
+    #[test]
+    fn substitute_is_constant() {
+        let mut r = SubstituteRecovery::new(7);
+        r.observe_good(1000);
+        assert_eq!(r.recover(55), 7);
+    }
+}

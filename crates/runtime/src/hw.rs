@@ -1,0 +1,312 @@
+//! Simulated 16-bit hardware: the "glue software" of Section 7.1.
+//!
+//! The paper ported the target software to a desktop by simulating the
+//! registers it accesses: A/D converters, timers and counter registers. This
+//! module provides those register models. They are driven by the environment
+//! simulator (which knows the physics) and expose 16-bit register values that
+//! the environment copies onto the signal bus each tick.
+//!
+//! All counters wrap modulo 2¹⁶ exactly like the real free-running counters
+//! of the era's microcontrollers.
+
+use serde::{Deserialize, Serialize};
+
+/// A free-running 16-bit counter (the target's `TCNT`): increments by a fixed
+/// number of counts per millisecond and wraps.
+///
+/// # Examples
+///
+/// ```
+/// use permea_runtime::hw::FreeRunningCounter;
+///
+/// let mut tcnt = FreeRunningCounter::new(2000); // 2 MHz E-clock / 1 ms
+/// tcnt.tick_ms();
+/// assert_eq!(tcnt.value(), 2000);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FreeRunningCounter {
+    counts_per_ms: u16,
+    value: u16,
+}
+
+impl FreeRunningCounter {
+    /// Creates a counter advancing `counts_per_ms` per millisecond.
+    pub fn new(counts_per_ms: u16) -> Self {
+        FreeRunningCounter { counts_per_ms, value: 0 }
+    }
+
+    /// Advances one millisecond.
+    pub fn tick_ms(&mut self) {
+        self.value = self.value.wrapping_add(self.counts_per_ms);
+    }
+
+    /// Current register value.
+    pub fn value(&self) -> u16 {
+        self.value
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// A 16-bit pulse accumulator (the target's `PACNT`): counts external pulses,
+/// wrapping modulo 2¹⁶.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PulseAccumulator {
+    value: u16,
+    /// Fractional pulse carried between ticks (pulse rates are not integral
+    /// per millisecond).
+    carry: f64,
+}
+
+impl PulseAccumulator {
+    /// Creates an accumulator at zero.
+    pub fn new() -> Self {
+        PulseAccumulator::default()
+    }
+
+    /// Accumulates `pulses` whole pulses.
+    pub fn add_pulses(&mut self, pulses: u16) {
+        self.value = self.value.wrapping_add(pulses);
+    }
+
+    /// Accumulates a fractional pulse count (e.g. from a physical pulse rate
+    /// integrated over one tick), carrying the remainder. Returns the number
+    /// of whole pulses registered this call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pulses` is negative or not finite.
+    pub fn add_rate(&mut self, pulses: f64) -> u16 {
+        assert!(pulses.is_finite() && pulses >= 0.0, "pulse count must be non-negative");
+        self.carry += pulses;
+        let whole = self.carry.floor();
+        self.carry -= whole;
+        let whole = whole as u16;
+        self.value = self.value.wrapping_add(whole);
+        whole
+    }
+
+    /// Current register value.
+    pub fn value(&self) -> u16 {
+        self.value
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+        self.carry = 0.0;
+    }
+}
+
+/// An input-capture register (the target's `TIC1`): latches the value of the
+/// free-running counter at the instant of the most recent pulse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct InputCapture {
+    value: u16,
+}
+
+impl InputCapture {
+    /// Creates a capture register at zero.
+    pub fn new() -> Self {
+        InputCapture::default()
+    }
+
+    /// Latches the counter value on a pulse edge.
+    pub fn capture(&mut self, counter_value: u16) {
+        self.value = counter_value;
+    }
+
+    /// The last captured value.
+    pub fn value(&self) -> u16 {
+        self.value
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+/// An A/D converter channel: maps a physical quantity in
+/// `[0, full_scale]` linearly onto `[0, 2^bits - 1]`, clamping out-of-range
+/// values (converter saturation).
+///
+/// # Examples
+///
+/// ```
+/// use permea_runtime::hw::AdcChannel;
+///
+/// let adc = AdcChannel::new(12, 250.0); // 12-bit, 250 bar full scale
+/// assert_eq!(adc.convert(0.0), 0);
+/// assert_eq!(adc.convert(250.0), 4095);
+/// assert_eq!(adc.convert(-5.0), 0);     // saturates low
+/// assert_eq!(adc.convert(999.0), 4095); // saturates high
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdcChannel {
+    bits: u8,
+    full_scale: f64,
+}
+
+impl AdcChannel {
+    /// Creates a channel with `bits` resolution (1–16) and the physical
+    /// `full_scale` value mapping to the maximum code.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is 0 or greater than 16, or `full_scale` is not a
+    /// positive finite number.
+    pub fn new(bits: u8, full_scale: f64) -> Self {
+        assert!((1..=16).contains(&bits), "ADC resolution must be 1..=16 bits");
+        assert!(
+            full_scale.is_finite() && full_scale > 0.0,
+            "full scale must be positive and finite"
+        );
+        AdcChannel { bits, full_scale }
+    }
+
+    /// The maximum code (`2^bits - 1`).
+    pub fn max_code(&self) -> u16 {
+        ((1u32 << self.bits) - 1) as u16
+    }
+
+    /// Converts a physical value to a register code.
+    pub fn convert(&self, physical: f64) -> u16 {
+        if !physical.is_finite() || physical <= 0.0 {
+            return 0;
+        }
+        let code = (physical / self.full_scale * self.max_code() as f64).round();
+        if code >= self.max_code() as f64 {
+            self.max_code()
+        } else {
+            code as u16
+        }
+    }
+
+    /// Converts a register code back to a physical value (what the software
+    /// believes the quantity is).
+    pub fn to_physical(&self, code: u16) -> f64 {
+        code.min(self.max_code()) as f64 / self.max_code() as f64 * self.full_scale
+    }
+}
+
+/// A PWM/output-compare stage (the target's `TOC2`): the software writes a
+/// 16-bit command; the actuator interprets it as a duty fraction of
+/// `[0, max_command]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PwmOut {
+    max_command: u16,
+}
+
+impl PwmOut {
+    /// Creates a stage with the given maximum command value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_command` is zero.
+    pub fn new(max_command: u16) -> Self {
+        assert!(max_command > 0, "max command must be positive");
+        PwmOut { max_command }
+    }
+
+    /// The duty fraction (`0.0..=1.0`) encoded by `command`.
+    pub fn duty(&self, command: u16) -> f64 {
+        command.min(self.max_command) as f64 / self.max_command as f64
+    }
+
+    /// Encodes a duty fraction as a command, clamping to `[0, 1]`.
+    pub fn encode(&self, duty: f64) -> u16 {
+        let d = duty.clamp(0.0, 1.0);
+        (d * self.max_command as f64).round() as u16
+    }
+
+    /// The maximum command value.
+    pub fn max_command(&self) -> u16 {
+        self.max_command
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn free_running_counter_wraps() {
+        let mut c = FreeRunningCounter::new(40000);
+        c.tick_ms();
+        c.tick_ms();
+        assert_eq!(c.value(), 80000u32 as u16); // wrapped
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn pulse_accumulator_carries_fractions() {
+        let mut p = PulseAccumulator::new();
+        assert_eq!(p.add_rate(0.4), 0);
+        assert_eq!(p.add_rate(0.4), 0);
+        assert_eq!(p.add_rate(0.4), 1); // 1.2 accumulated
+        assert_eq!(p.value(), 1);
+        p.add_pulses(10);
+        assert_eq!(p.value(), 11);
+        p.reset();
+        assert_eq!(p.value(), 0);
+    }
+
+    #[test]
+    fn pulse_accumulator_wraps_16_bits() {
+        let mut p = PulseAccumulator::new();
+        p.add_pulses(u16::MAX);
+        p.add_pulses(2);
+        assert_eq!(p.value(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn pulse_rate_rejects_negative() {
+        PulseAccumulator::new().add_rate(-1.0);
+    }
+
+    #[test]
+    fn input_capture_latches() {
+        let mut ic = InputCapture::new();
+        ic.capture(1234);
+        assert_eq!(ic.value(), 1234);
+        ic.capture(5);
+        assert_eq!(ic.value(), 5);
+        ic.reset();
+        assert_eq!(ic.value(), 0);
+    }
+
+    #[test]
+    fn adc_linear_and_saturating() {
+        let adc = AdcChannel::new(12, 200.0);
+        assert_eq!(adc.max_code(), 4095);
+        assert_eq!(adc.convert(100.0), 2048); // rounds
+        assert_eq!(adc.convert(f64::NAN), 0);
+        let roundtrip = adc.to_physical(adc.convert(123.4));
+        assert!((roundtrip - 123.4).abs() < 200.0 / 4095.0);
+        // code above max clamps in to_physical
+        assert_eq!(AdcChannel::new(8, 1.0).to_physical(65535), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn adc_rejects_zero_bits() {
+        AdcChannel::new(0, 1.0);
+    }
+
+    #[test]
+    fn pwm_duty_roundtrip() {
+        let pwm = PwmOut::new(10000);
+        assert_eq!(pwm.duty(5000), 0.5);
+        assert_eq!(pwm.duty(65535), 1.0); // clamps
+        assert_eq!(pwm.encode(0.25), 2500);
+        assert_eq!(pwm.encode(-3.0), 0);
+        assert_eq!(pwm.encode(7.0), 10000);
+        assert_eq!(pwm.max_command(), 10000);
+    }
+}

@@ -1,0 +1,48 @@
+//! # permea-runtime — deterministic embedded-system simulation runtime
+//!
+//! The runtime reproduces the experimental platform of the paper's Section 7:
+//! real control software running **in simulated time, in a simulated
+//! environment, on simulated hardware**, so that instrumentation (logging and
+//! fault-injection traps) is completely non-intrusive.
+//!
+//! Building blocks:
+//!
+//! * [`time`] — millisecond-resolution simulated time,
+//! * [`signals`] — a single-writer/multi-reader 16-bit signal bus with
+//!   per-consumer *sticky corruption* ports used by SWIFI injection,
+//! * [`module`] — the [`module::SoftwareModule`] trait implemented by
+//!   application tasks,
+//! * [`scheduler`] — slot-based, non-preemptive scheduling (the target runs
+//!   seven 1-ms slots plus a background task),
+//! * [`hw`] — simulated 16-bit hardware: free-running counters, pulse
+//!   accumulators, input capture, A/D converters, PWM output compare,
+//! * [`tracing`] — per-tick signal traces, the raw material of Golden Run
+//!   Comparison,
+//! * [`sim`] — [`sim::Simulation`], which wires everything together.
+//!
+//! The runtime contains no randomness and no wall-clock access: a simulation
+//! stepped twice from the same initial state produces bit-identical traces.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hw;
+pub mod module;
+pub mod scheduler;
+pub mod signals;
+pub mod sim;
+pub mod time;
+pub mod tracing;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::hw::{AdcChannel, FreeRunningCounter, InputCapture, PulseAccumulator, PwmOut};
+    pub use crate::module::{ModuleCtx, SoftwareModule};
+    pub use crate::scheduler::{Schedule, SlotPlan};
+    pub use crate::signals::{SignalBus, SignalRef};
+    pub use crate::sim::{Environment, ModuleIdx, Simulation, SimulationBuilder};
+    pub use crate::time::SimTime;
+    pub use crate::tracing::{SignalTrace, TraceSet};
+}
+
+pub use prelude::*;

@@ -1,0 +1,309 @@
+//! The software-module trait and its execution context.
+//!
+//! Application tasks implement [`SoftwareModule`] and interact with the world
+//! only through a [`ModuleCtx`]: reads go through the module's registered
+//! input ports (where injection traps sit) and writes go to its registered
+//! output signals. This is exactly the paper's black-box module model — the
+//! analysis never looks inside `step`.
+
+use crate::signals::{SignalBus, SignalRef};
+use crate::time::SimTime;
+
+/// Execution context handed to a module on each invocation.
+///
+/// Port indices are zero-based and follow the order the module's signals were
+/// registered with
+/// [`crate::sim::SimulationBuilder::add_module`].
+#[derive(Debug)]
+pub struct ModuleCtx<'a> {
+    pub(crate) bus: &'a mut SignalBus,
+    pub(crate) module_idx: usize,
+    pub(crate) now: SimTime,
+    pub(crate) inputs: &'a [SignalRef],
+    pub(crate) outputs: &'a [SignalRef],
+    /// Last value written per output port, owned by the module's runtime
+    /// entry. [`ModuleCtx::write_on_change`] compares against this cache —
+    /// like the local `static` a C driver keeps — NOT against the stored
+    /// signal, so an externally corrupted signal is never silently
+    /// "repaired" by a skipped write.
+    pub(crate) out_cache: &'a mut [Option<u16>],
+}
+
+impl<'a> ModuleCtx<'a> {
+    /// Creates a detached context, outside any [`crate::sim::Simulation`].
+    ///
+    /// Useful for unit-testing a module in isolation: bind it to a bus and
+    /// explicit port lists and call [`SoftwareModule::step`] directly.
+    /// `module_idx` selects which port-corruption namespace reads go
+    /// through. `out_cache` must have one slot per output port and persist
+    /// across invocations for [`ModuleCtx::write_on_change`] to be
+    /// meaningful.
+    pub fn detached(
+        bus: &'a mut SignalBus,
+        module_idx: usize,
+        now: SimTime,
+        inputs: &'a [SignalRef],
+        outputs: &'a [SignalRef],
+        out_cache: &'a mut [Option<u16>],
+    ) -> Self {
+        assert_eq!(out_cache.len(), outputs.len(), "one cache slot per output port");
+        ModuleCtx { bus, module_idx, now, inputs, outputs, out_cache }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of input ports.
+    pub fn input_count(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Number of output ports.
+    pub fn output_count(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Reads input port `i` (through the injection trap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn read(&self, i: usize) -> u16 {
+        let sig = self.inputs[i];
+        self.bus.read_port((self.module_idx, i), sig)
+    }
+
+    /// Reads input port `i` as a boolean (non-zero ⇒ `true`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn read_bool(&self, i: usize) -> bool {
+        self.read(i) != 0
+    }
+
+    /// Reads input port `i` as a signed 16-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn read_i16(&self, i: usize) -> i16 {
+        self.read(i) as i16
+    }
+
+    /// Writes output port `k` unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn write(&mut self, k: usize, value: u16) {
+        let sig = self.outputs[k];
+        self.bus.write(sig, value);
+        self.out_cache[k] = Some(value);
+    }
+
+    /// Writes output port `k` from a boolean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn write_bool(&mut self, k: usize, value: bool) {
+        self.write(k, value as u16);
+    }
+
+    /// Writes output port `k` from a signed 16-bit value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn write_i16(&mut self, k: usize, value: i16) {
+        self.write(k, value as u16);
+    }
+
+    /// Writes output port `k` only if it differs from the module's own
+    /// last-written value — the embedded idiom of skipping redundant
+    /// register writes (`if (new != cached) reg = new;`). Returns whether a
+    /// write happened.
+    ///
+    /// This matters for fault injection: an injected corruption expires on
+    /// the producer's next *write*, so producers that skip redundant writes
+    /// leave errors on their consumers' inputs exposed for longer — exactly
+    /// the behaviour of the paper's target software. The comparison uses the
+    /// module-local cache rather than a register read-back, so a corrupted
+    /// *stored* signal is not silently repaired by a skipped write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn write_on_change(&mut self, k: usize, value: u16) -> bool {
+        if self.out_cache[k] == Some(value) {
+            false
+        } else {
+            let sig = self.outputs[k];
+            self.bus.write(sig, value);
+            self.out_cache[k] = Some(value);
+            true
+        }
+    }
+
+    /// Boolean variant of [`ModuleCtx::write_on_change`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn write_bool_on_change(&mut self, k: usize, value: bool) -> bool {
+        self.write_on_change(k, value as u16)
+    }
+}
+
+/// A black-box software module: the runtime invokes [`SoftwareModule::step`]
+/// according to its schedule; the module reads its inputs, computes, and
+/// writes its outputs.
+///
+/// # Examples
+///
+/// ```
+/// use permea_runtime::module::{ModuleCtx, SoftwareModule};
+///
+/// /// Doubles its input, saturating.
+/// struct Doubler;
+///
+/// impl SoftwareModule for Doubler {
+///     fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+///         let x = ctx.read(0);
+///         ctx.write(0, x.saturating_mul(2));
+///     }
+/// }
+/// ```
+pub trait SoftwareModule: Send {
+    /// Executes one invocation of the module.
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>);
+
+    /// Resets internal state to its power-on value (called between injection
+    /// runs when a module instance is reused). The default is a no-op for
+    /// stateless modules.
+    fn reset(&mut self) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl SoftwareModule for Echo {
+        fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+            let v = ctx.read(0);
+            let b = ctx.read_bool(1);
+            let s = ctx.read_i16(2);
+            ctx.write(0, v);
+            ctx.write_bool(1, b);
+            ctx.write_i16(2, s);
+        }
+    }
+
+    #[test]
+    fn ctx_reads_through_ports_and_writes_signals() {
+        let mut bus = SignalBus::new();
+        let in0 = bus.define("in0");
+        let in1 = bus.define("in1");
+        let in2 = bus.define("in2");
+        let out0 = bus.define("out0");
+        let out1 = bus.define("out1");
+        let out2 = bus.define("out2");
+        bus.write(in0, 7);
+        bus.write(in1, 1);
+        bus.write(in2, (-5i16) as u16);
+        let inputs = [in0, in1, in2];
+        let outputs = [out0, out1, out2];
+        let mut cache = vec![None; 3];
+        let mut ctx = ModuleCtx::detached(
+            &mut bus,
+            0,
+            SimTime::from_millis(3),
+            &inputs,
+            &outputs,
+            &mut cache,
+        );
+        assert_eq!(ctx.now().as_millis(), 3);
+        assert_eq!(ctx.input_count(), 3);
+        assert_eq!(ctx.output_count(), 3);
+        Echo.step(&mut ctx);
+        assert_eq!(bus.read(out0), 7);
+        assert_eq!(bus.read(out1), 1);
+        assert_eq!(bus.read(out2) as i16, -5);
+    }
+
+    #[test]
+    fn ctx_read_sees_port_corruption() {
+        let mut bus = SignalBus::new();
+        let i = bus.define("i");
+        let o = bus.define("o");
+        bus.write(i, 10);
+        bus.corrupt_port((5, 0), i, 1000);
+        let inputs = [i];
+        let outputs = [o];
+        let mut cache = vec![None; 1];
+        // Module index 5 sees the corruption...
+        let ctx = ModuleCtx::detached(&mut bus, 5, SimTime::ZERO, &inputs, &outputs, &mut cache);
+        assert_eq!(ctx.read(0), 1000);
+        drop(ctx);
+        // ...module index 4 does not.
+        let ctx = ModuleCtx::detached(&mut bus, 4, SimTime::ZERO, &inputs, &outputs, &mut cache);
+        assert_eq!(ctx.read(0), 10);
+    }
+
+    #[test]
+    fn default_reset_is_noop() {
+        let mut e = Echo;
+        e.reset(); // must compile and do nothing
+    }
+
+    #[test]
+    fn write_on_change_skips_redundant_writes() {
+        let mut bus = SignalBus::new();
+        let i = bus.define("i");
+        let o = bus.define("o");
+        let inputs = [i];
+        let outputs = [o];
+        let mut cache = vec![None; 1];
+        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
+        assert!(ctx.write_on_change(0, 5), "first write always happens");
+        drop(ctx);
+        // A consumer of `o` carries a corruption; a redundant write must not
+        // expire it, a real write must.
+        bus.corrupt_port((9, 0), o, 77);
+        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
+        assert!(!ctx.write_on_change(0, 5), "same value: skipped");
+        drop(ctx);
+        assert_eq!(bus.read_port((9, 0), o), 77, "corruption survives the skipped write");
+        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
+        assert!(ctx.write_on_change(0, 6), "new value: written");
+        assert!(ctx.write_bool_on_change(0, true), "6 != 1: written");
+        drop(ctx);
+        assert_eq!(bus.read(o), 1, "write_bool_on_change(true) wrote 1");
+        assert_eq!(bus.read_port((9, 0), o), 1, "real write expired the corruption");
+    }
+
+    #[test]
+    fn skipped_write_never_repairs_a_corrupted_stored_signal() {
+        // The cache comparison must NOT look at the stored value: after a
+        // signal-scoped corruption, recomputing the same value skips the
+        // write and leaves the corruption in place (no silent repair).
+        let mut bus = SignalBus::new();
+        let i = bus.define("i");
+        let o = bus.define("o");
+        let inputs = [i];
+        let outputs = [o];
+        let mut cache = vec![None; 1];
+        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
+        ctx.write_on_change(0, 200);
+        drop(ctx);
+        bus.corrupt_signal(o, 999);
+        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
+        assert!(!ctx.write_on_change(0, 200), "cache says unchanged");
+        drop(ctx);
+        assert_eq!(bus.read(o), 999, "corruption not silently repaired");
+    }
+}

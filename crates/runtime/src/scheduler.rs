@@ -1,0 +1,128 @@
+//! Slot-based, non-preemptive scheduling (Section 7.1).
+//!
+//! The target system operates in a cycle of seven 1-ms slots. In each slot
+//! one or more modules are invoked; the `CALC` module is a background task
+//! that runs when the other modules are dormant — in the simulation, after
+//! the slot tasks of every tick.
+//!
+//! A [`Schedule`] is a declarative plan attached to each module: *periodic*
+//! (run when `t ≡ phase (mod period)`) or *background* (run every tick, after
+//! all periodic tasks).
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// When a module runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Run when `time ≡ phase_ms (mod period_ms)`.
+    Periodic {
+        /// Offset within the period, in ms — the slot number for 1-ms slots.
+        phase_ms: u64,
+        /// Period in ms (e.g. 7 for once per cycle of seven slots).
+        period_ms: u64,
+    },
+    /// Run on every tick, after all periodic tasks (the paper's `CALC`).
+    Background,
+}
+
+impl Schedule {
+    /// A task running every millisecond.
+    pub const fn every_ms() -> Self {
+        Schedule::Periodic { phase_ms: 0, period_ms: 1 }
+    }
+
+    /// A task running once per `period_ms`, in slot `phase_ms`.
+    pub const fn in_slot(phase_ms: u64, period_ms: u64) -> Self {
+        Schedule::Periodic { phase_ms, period_ms }
+    }
+
+    /// `true` if the task fires at `t` during the periodic phase.
+    pub fn fires_at(self, t: SimTime) -> bool {
+        match self {
+            Schedule::Periodic { phase_ms, period_ms } => t.matches(phase_ms, period_ms),
+            Schedule::Background => false,
+        }
+    }
+
+    /// `true` for background tasks.
+    pub fn is_background(self) -> bool {
+        matches!(self, Schedule::Background)
+    }
+}
+
+/// The full execution plan of one tick: which registered modules (by index)
+/// run, in order. Computed by [`SlotPlan::for_tick`] from the per-module
+/// schedules; periodic tasks keep registration order, background tasks run
+/// last (also in registration order).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SlotPlan {
+    order: Vec<usize>,
+}
+
+impl SlotPlan {
+    /// Computes the invocation order for tick `t` given each module's
+    /// schedule (indexed by registration order).
+    pub fn for_tick(t: SimTime, schedules: &[Schedule]) -> Self {
+        let mut order = Vec::new();
+        for (i, s) in schedules.iter().enumerate() {
+            if s.fires_at(t) {
+                order.push(i);
+            }
+        }
+        for (i, s) in schedules.iter().enumerate() {
+            if s.is_background() {
+                order.push(i);
+            }
+        }
+        SlotPlan { order }
+    }
+
+    /// Module indices in invocation order.
+    pub fn order(&self) -> &[usize] {
+        &self.order
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn periodic_fires_on_phase() {
+        let s = Schedule::in_slot(2, 7);
+        assert!(s.fires_at(SimTime::from_millis(2)));
+        assert!(s.fires_at(SimTime::from_millis(9)));
+        assert!(!s.fires_at(SimTime::from_millis(3)));
+        assert!(Schedule::every_ms().fires_at(SimTime::from_millis(123)));
+    }
+
+    #[test]
+    fn background_never_fires_periodically() {
+        assert!(!Schedule::Background.fires_at(SimTime::ZERO));
+        assert!(Schedule::Background.is_background());
+        assert!(!Schedule::every_ms().is_background());
+    }
+
+    #[test]
+    fn plan_orders_periodic_then_background() {
+        let schedules = vec![
+            Schedule::Background,       // 0 (CALC-like)
+            Schedule::every_ms(),       // 1 (CLOCK-like)
+            Schedule::in_slot(0, 7),    // 2 (fires at t=0, 7, ...)
+            Schedule::in_slot(3, 7),    // 3
+        ];
+        let plan = SlotPlan::for_tick(SimTime::ZERO, &schedules);
+        assert_eq!(plan.order(), &[1, 2, 0]);
+        let plan = SlotPlan::for_tick(SimTime::from_millis(3), &schedules);
+        assert_eq!(plan.order(), &[1, 3, 0]);
+        let plan = SlotPlan::for_tick(SimTime::from_millis(5), &schedules);
+        assert_eq!(plan.order(), &[1, 0]);
+    }
+
+    #[test]
+    fn empty_schedule_produces_empty_plan() {
+        let plan = SlotPlan::for_tick(SimTime::ZERO, &[]);
+        assert!(plan.order().is_empty());
+    }
+}

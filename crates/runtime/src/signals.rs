@@ -1,0 +1,326 @@
+//! The signal bus: named 16-bit signals with injection-capable read ports.
+//!
+//! All signals are 16 bits wide, as in the paper's target ("the input signals
+//! were all 16 bits wide"). Booleans are encoded as 0/1 and analogue values
+//! are scaled to the 16-bit range by the hardware models in [`crate::hw`].
+//!
+//! # Injection semantics
+//!
+//! The paper injects a bit-flip into a module's *input signal* at one time
+//! instant; the corrupted value persists until the producer next rewrites the
+//! signal. Two injection scopes are supported:
+//!
+//! * [`SignalBus::corrupt_port`] — **port-scoped** (the default used for
+//!   permeability estimation): only the chosen consumer port observes the
+//!   corrupted value. This implements the paper's "we only took into account
+//!   the direct errors on the outputs" rule exactly, because the corrupted
+//!   value cannot take any detour through other modules.
+//! * [`SignalBus::corrupt_signal`] — **signal-scoped**: the stored value
+//!   itself is overwritten, so every consumer observes it. Kept as an
+//!   ablation mode.
+//!
+//! Both corruptions are *sticky until overwrite*: each signal carries a
+//! version counter bumped on every write, and a corruption remembers the
+//! version it was applied on; as soon as the producer writes, the corruption
+//! expires.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Reference to a signal registered on a [`SignalBus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SignalRef(pub(crate) usize);
+
+impl SignalRef {
+    /// Dense index of the signal on its bus.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for SignalRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sig{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct SignalState {
+    name: String,
+    value: u16,
+    /// Bumped on every write; corruptions expire when it changes.
+    version: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PortCorruption {
+    signal: SignalRef,
+    applied_version: u64,
+    corrupted_value: u16,
+}
+
+/// Identity of a consumer port used for port-scoped corruption: the reading
+/// module's registration index and the zero-based input index.
+pub type PortKey = (usize, usize);
+
+/// A single-writer/multi-reader bus of named 16-bit signals.
+///
+/// # Examples
+///
+/// ```
+/// use permea_runtime::signals::SignalBus;
+///
+/// let mut bus = SignalBus::new();
+/// let s = bus.define("pulscnt");
+/// bus.write(s, 41);
+/// assert_eq!(bus.read(s), 41);
+///
+/// // Port-scoped corruption: only module 0's input 2 sees the flip.
+/// bus.corrupt_port((0, 2), s, 41 ^ 0x8000);
+/// assert_eq!(bus.read_port((0, 2), s), 41 ^ 0x8000);
+/// assert_eq!(bus.read_port((1, 0), s), 41);
+/// // ... until the producer rewrites the signal.
+/// bus.write(s, 42);
+/// assert_eq!(bus.read_port((0, 2), s), 42);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SignalBus {
+    signals: Vec<SignalState>,
+    by_name: HashMap<String, SignalRef>,
+    port_corruptions: HashMap<PortKey, PortCorruption>,
+}
+
+impl SignalBus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        SignalBus::default()
+    }
+
+    /// Registers a signal, initialised to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken — signal names are the contract
+    /// between the application, the topology and the injection plans.
+    pub fn define(&mut self, name: impl Into<String>) -> SignalRef {
+        let name = name.into();
+        assert!(
+            !self.by_name.contains_key(&name),
+            "signal `{name}` defined twice"
+        );
+        let r = SignalRef(self.signals.len());
+        self.signals.push(SignalState { name: name.clone(), value: 0, version: 0 });
+        self.by_name.insert(name, r);
+        r
+    }
+
+    /// Number of registered signals.
+    pub fn len(&self) -> usize {
+        self.signals.len()
+    }
+
+    /// `true` when no signals are registered.
+    pub fn is_empty(&self) -> bool {
+        self.signals.is_empty()
+    }
+
+    /// Looks a signal up by name.
+    pub fn by_name(&self, name: &str) -> Option<SignalRef> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name a signal was registered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not belong to this bus.
+    pub fn name(&self, s: SignalRef) -> &str {
+        &self.signals[s.0].name
+    }
+
+    /// Reads the *stored* value of a signal, ignoring port corruptions.
+    /// Signal-scoped corruption (which overwrites the stored value) is
+    /// visible here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not belong to this bus.
+    pub fn read(&self, s: SignalRef) -> u16 {
+        self.signals[s.0].value
+    }
+
+    /// Reads a signal through a consumer port, applying any active
+    /// port-scoped corruption.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not belong to this bus.
+    pub fn read_port(&self, port: PortKey, s: SignalRef) -> u16 {
+        if let Some(c) = self.port_corruptions.get(&port) {
+            if c.signal == s && c.applied_version == self.signals[s.0].version {
+                return c.corrupted_value;
+            }
+        }
+        self.signals[s.0].value
+    }
+
+    /// Writes a signal, bumping its version (which expires corruptions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not belong to this bus.
+    pub fn write(&mut self, s: SignalRef, value: u16) {
+        let st = &mut self.signals[s.0];
+        st.value = value;
+        st.version += 1;
+    }
+
+    /// Applies a port-scoped sticky corruption: until the producer next
+    /// writes `s`, reads of `s` through `port` return `corrupted_value`.
+    /// A port holds at most one corruption; a new one replaces the old.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not belong to this bus.
+    pub fn corrupt_port(&mut self, port: PortKey, s: SignalRef, corrupted_value: u16) {
+        let version = self.signals[s.0].version;
+        self.port_corruptions
+            .insert(port, PortCorruption { signal: s, applied_version: version, corrupted_value });
+    }
+
+    /// Applies a signal-scoped corruption: the stored value itself is
+    /// replaced, so every consumer observes it until the producer rewrites
+    /// the signal. The version is *not* bumped (the producer's next write
+    /// still counts as the first legitimate write).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` does not belong to this bus.
+    pub fn corrupt_signal(&mut self, s: SignalRef, corrupted_value: u16) {
+        self.signals[s.0].value = corrupted_value;
+    }
+
+    /// Removes all port corruptions (used between injection runs when a bus
+    /// is reused).
+    pub fn clear_corruptions(&mut self) {
+        self.port_corruptions.clear();
+    }
+
+    /// `true` while the corruption installed on `port` is still observable.
+    pub fn port_corruption_active(&self, port: PortKey) -> bool {
+        self.port_corruptions
+            .get(&port)
+            .map(|c| c.applied_version == self.signals[c.signal.0].version)
+            .unwrap_or(false)
+    }
+
+    /// Iterates `(ref, name, value)` over all signals in definition order.
+    pub fn iter(&self) -> impl Iterator<Item = (SignalRef, &str, u16)> + '_ {
+        self.signals
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (SignalRef(i), s.name.as_str(), s.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn define_read_write() {
+        let mut bus = SignalBus::new();
+        let a = bus.define("a");
+        let b = bus.define("b");
+        assert_eq!(bus.len(), 2);
+        assert_eq!(bus.read(a), 0);
+        bus.write(a, 100);
+        bus.write(b, 200);
+        assert_eq!(bus.read(a), 100);
+        assert_eq!(bus.read(b), 200);
+        assert_eq!(bus.by_name("a"), Some(a));
+        assert_eq!(bus.name(b), "b");
+        assert!(bus.by_name("c").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_name_panics() {
+        let mut bus = SignalBus::new();
+        bus.define("x");
+        bus.define("x");
+    }
+
+    #[test]
+    fn port_corruption_is_scoped_and_sticky_until_write() {
+        let mut bus = SignalBus::new();
+        let s = bus.define("s");
+        bus.write(s, 10);
+        bus.corrupt_port((3, 1), s, 999);
+        // Only the corrupted port sees it; repeatedly.
+        assert_eq!(bus.read_port((3, 1), s), 999);
+        assert_eq!(bus.read_port((3, 1), s), 999);
+        assert_eq!(bus.read_port((3, 0), s), 10);
+        assert_eq!(bus.read_port((0, 1), s), 10);
+        assert_eq!(bus.read(s), 10);
+        assert!(bus.port_corruption_active((3, 1)));
+        // Producer rewrite expires it, even with the same value.
+        bus.write(s, 10);
+        assert_eq!(bus.read_port((3, 1), s), 10);
+        assert!(!bus.port_corruption_active((3, 1)));
+    }
+
+    #[test]
+    fn port_corruption_targets_one_signal() {
+        let mut bus = SignalBus::new();
+        let s = bus.define("s");
+        let t = bus.define("t");
+        bus.write(s, 1);
+        bus.write(t, 2);
+        bus.corrupt_port((0, 0), s, 77);
+        // Same port reading a different signal is unaffected.
+        assert_eq!(bus.read_port((0, 0), t), 2);
+        assert_eq!(bus.read_port((0, 0), s), 77);
+    }
+
+    #[test]
+    fn new_corruption_replaces_old() {
+        let mut bus = SignalBus::new();
+        let s = bus.define("s");
+        bus.corrupt_port((0, 0), s, 1);
+        bus.corrupt_port((0, 0), s, 2);
+        assert_eq!(bus.read_port((0, 0), s), 2);
+    }
+
+    #[test]
+    fn signal_corruption_affects_everyone_until_rewrite() {
+        let mut bus = SignalBus::new();
+        let s = bus.define("s");
+        bus.write(s, 5);
+        bus.corrupt_signal(s, 500);
+        assert_eq!(bus.read(s), 500);
+        assert_eq!(bus.read_port((7, 7), s), 500);
+        bus.write(s, 6);
+        assert_eq!(bus.read(s), 6);
+    }
+
+    #[test]
+    fn clear_corruptions_resets_ports() {
+        let mut bus = SignalBus::new();
+        let s = bus.define("s");
+        bus.write(s, 1);
+        bus.corrupt_port((0, 0), s, 9);
+        bus.clear_corruptions();
+        assert_eq!(bus.read_port((0, 0), s), 1);
+    }
+
+    #[test]
+    fn iter_in_definition_order() {
+        let mut bus = SignalBus::new();
+        bus.define("first");
+        bus.define("second");
+        let names: Vec<&str> = bus.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["first", "second"]);
+    }
+}

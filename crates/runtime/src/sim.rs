@@ -1,0 +1,500 @@
+//! The simulation engine: environment + scheduler + modules + traces.
+//!
+//! One tick of simulated time runs three phases:
+//!
+//! 1. **begin** — the [`Environment`] writes sensor registers onto the bus
+//!    (`pre_tick`),
+//! 2. **modules** — the scheduled software modules execute in slot order
+//!    (background tasks last),
+//! 3. **end** — the environment reads actuator signals and advances the
+//!    physics (`post_tick`), traces are recorded, time advances.
+//!
+//! Fault injectors drive the phases manually so they can corrupt signals
+//! *after* the sensors are refreshed but *before* any module reads them —
+//! matching the paper's "inject into the module's input signal at time `t`"
+//! semantics.
+
+use crate::module::{ModuleCtx, SoftwareModule};
+use crate::scheduler::{Schedule, SlotPlan};
+use crate::signals::{SignalBus, SignalRef};
+use crate::time::SimTime;
+use crate::tracing::TraceSet;
+
+/// The world outside the software: sensors, actuators and physics.
+pub trait Environment: Send {
+    /// Called at the start of every tick; writes sensor signals.
+    fn pre_tick(&mut self, now: SimTime, bus: &mut SignalBus);
+
+    /// Called at the end of every tick; reads actuator signals and advances
+    /// the physical state by one millisecond.
+    fn post_tick(&mut self, now: SimTime, bus: &mut SignalBus);
+
+    /// `true` once the scenario is over (e.g. the aircraft has stopped).
+    fn finished(&self, _now: SimTime) -> bool {
+        false
+    }
+}
+
+/// Index of a registered module within a [`Simulation`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModuleIdx(pub(crate) usize);
+
+impl ModuleIdx {
+    /// Dense registration index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+struct ModuleEntry {
+    name: String,
+    module: Box<dyn SoftwareModule>,
+    inputs: Vec<SignalRef>,
+    outputs: Vec<SignalRef>,
+    schedule: Schedule,
+    /// Per-output last-written cache backing `ModuleCtx::write_on_change`.
+    out_cache: Vec<Option<u16>>,
+}
+
+impl std::fmt::Debug for ModuleEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModuleEntry")
+            .field("name", &self.name)
+            .field("inputs", &self.inputs)
+            .field("outputs", &self.outputs)
+            .field("schedule", &self.schedule)
+            .finish()
+    }
+}
+
+/// Builds a [`Simulation`]: define signals, register modules, then attach an
+/// environment.
+///
+/// # Examples
+///
+/// ```
+/// use permea_runtime::prelude::*;
+///
+/// struct Inc;
+/// impl SoftwareModule for Inc {
+///     fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+///         let x = ctx.read(0);
+///         ctx.write(0, x.wrapping_add(1));
+///     }
+/// }
+///
+/// struct NullEnv;
+/// impl Environment for NullEnv {
+///     fn pre_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
+///     fn post_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
+/// }
+///
+/// let mut b = SimulationBuilder::new();
+/// let x = b.define_signal("x");
+/// let y = b.define_signal("y");
+/// b.add_module("INC", Box::new(Inc), Schedule::every_ms(), &[x], &[y]);
+/// let mut sim = b.build(Box::new(NullEnv));
+/// sim.step();
+/// assert_eq!(sim.bus().read(y), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct SimulationBuilder {
+    bus: SignalBus,
+    modules: Vec<ModuleEntry>,
+}
+
+impl SimulationBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        SimulationBuilder::default()
+    }
+
+    /// Defines a bus signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the name is already taken.
+    pub fn define_signal(&mut self, name: impl Into<String>) -> SignalRef {
+        self.bus.define(name)
+    }
+
+    /// Looks up a previously defined signal by name.
+    pub fn signal_ref(&self, name: &str) -> Option<SignalRef> {
+        self.bus.by_name(name)
+    }
+
+    /// Registers a module with its schedule and port bindings; ports are
+    /// numbered by position in `inputs`/`outputs`.
+    pub fn add_module(
+        &mut self,
+        name: impl Into<String>,
+        module: Box<dyn SoftwareModule>,
+        schedule: Schedule,
+        inputs: &[SignalRef],
+        outputs: &[SignalRef],
+    ) -> ModuleIdx {
+        let idx = ModuleIdx(self.modules.len());
+        self.modules.push(ModuleEntry {
+            name: name.into(),
+            module,
+            inputs: inputs.to_vec(),
+            outputs: outputs.to_vec(),
+            schedule,
+            out_cache: vec![None; outputs.len()],
+        });
+        idx
+    }
+
+    /// Finalises the simulation with its environment.
+    pub fn build(self, env: Box<dyn Environment>) -> Simulation {
+        Simulation {
+            bus: self.bus,
+            modules: self.modules,
+            env,
+            now: SimTime::ZERO,
+            traces: None,
+            phase: Phase::BeforeBegin,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    BeforeBegin,
+    AfterBegin,
+}
+
+/// A running simulation.
+pub struct Simulation {
+    bus: SignalBus,
+    modules: Vec<ModuleEntry>,
+    env: Box<dyn Environment>,
+    now: SimTime,
+    traces: Option<TraceSet>,
+    phase: Phase,
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("now", &self.now)
+            .field("modules", &self.modules)
+            .field("tracing", &self.traces.is_some())
+            .finish()
+    }
+}
+
+impl Simulation {
+    /// Current simulated time (the tick about to execute).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Shared access to the signal bus.
+    pub fn bus(&self) -> &SignalBus {
+        &self.bus
+    }
+
+    /// Mutable access to the signal bus (used by fault injectors between
+    /// [`Simulation::begin_tick`] and [`Simulation::run_modules`]).
+    pub fn bus_mut(&mut self) -> &mut SignalBus {
+        &mut self.bus
+    }
+
+    /// Starts recording traces of the given signals from the next tick on.
+    pub fn enable_tracing(&mut self, signals: &[SignalRef]) {
+        self.traces = Some(TraceSet::for_signals(&self.bus, signals));
+    }
+
+    /// Starts recording traces of every signal from the next tick on.
+    pub fn enable_tracing_all(&mut self) {
+        self.traces = Some(TraceSet::for_all(&self.bus));
+    }
+
+    /// Takes the recorded traces, leaving tracing disabled.
+    pub fn take_traces(&mut self) -> Option<TraceSet> {
+        self.traces.take()
+    }
+
+    /// `true` once the environment reports the scenario finished.
+    pub fn finished(&self) -> bool {
+        self.env.finished(self.now)
+    }
+
+    /// Phase 1: the environment refreshes sensor signals for this tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice without [`Simulation::run_modules`] /
+    /// [`Simulation::run_modules`] in between.
+    pub fn begin_tick(&mut self) {
+        assert_eq!(self.phase, Phase::BeforeBegin, "begin_tick called out of order");
+        self.env.pre_tick(self.now, &mut self.bus);
+        self.phase = Phase::AfterBegin;
+    }
+
+    /// Phases 2+3: runs the scheduled modules, lets the environment advance,
+    /// records traces, and advances time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Simulation::begin_tick`].
+    pub fn run_modules(&mut self) {
+        assert_eq!(self.phase, Phase::AfterBegin, "run_modules before begin_tick");
+        let schedules: Vec<Schedule> = self.modules.iter().map(|m| m.schedule).collect();
+        let plan = SlotPlan::for_tick(self.now, &schedules);
+        for &idx in plan.order() {
+            let entry = &mut self.modules[idx];
+            let mut ctx = ModuleCtx::detached(
+                &mut self.bus,
+                idx,
+                self.now,
+                &entry.inputs,
+                &entry.outputs,
+                &mut entry.out_cache,
+            );
+            entry.module.step(&mut ctx);
+        }
+        self.env.post_tick(self.now, &mut self.bus);
+        if let Some(t) = self.traces.as_mut() {
+            t.record(&self.bus);
+        }
+        self.now = self.now.next();
+        self.phase = Phase::BeforeBegin;
+    }
+
+    /// Runs one complete tick (both phases, no injection window).
+    pub fn step(&mut self) {
+        self.begin_tick();
+        self.run_modules();
+    }
+
+    /// Runs until the environment reports completion or `max` time is
+    /// reached; returns the number of ticks executed.
+    pub fn run_until(&mut self, max: SimTime) -> u64 {
+        let mut ticks = 0;
+        while self.now < max && !self.finished() {
+            self.step();
+            ticks += 1;
+        }
+        ticks
+    }
+
+    /// Number of registered modules.
+    pub fn module_count(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// Looks a module up by name.
+    pub fn module_by_name(&self, name: &str) -> Option<ModuleIdx> {
+        self.modules.iter().position(|m| m.name == name).map(ModuleIdx)
+    }
+
+    /// The registered name of a module.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn module_name(&self, m: ModuleIdx) -> &str {
+        &self.modules[m.0].name
+    }
+
+    /// Input signals of a module, in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn module_inputs(&self, m: ModuleIdx) -> &[SignalRef] {
+        &self.modules[m.0].inputs
+    }
+
+    /// Output signals of a module, in port order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is out of range.
+    pub fn module_outputs(&self, m: ModuleIdx) -> &[SignalRef] {
+        &self.modules[m.0].outputs
+    }
+
+    /// Resolves `(module, input port)` from a module name and the name of the
+    /// signal bound to the port.
+    pub fn find_input_port(&self, module: &str, signal: &str) -> Option<(ModuleIdx, usize)> {
+        let m = self.module_by_name(module)?;
+        let sig = self.bus.by_name(signal)?;
+        let port = self.modules[m.0].inputs.iter().position(|&s| s == sig)?;
+        Some((m, port))
+    }
+
+    /// Corrupts the value seen by one module input port, sticky until the
+    /// producer next writes the signal (the paper's injection trap).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` or `input` is out of range.
+    pub fn corrupt_module_input(&mut self, m: ModuleIdx, input: usize, value: u16) {
+        let sig = self.modules[m.0].inputs[input];
+        self.bus.corrupt_port((m.0, input), sig, value);
+    }
+
+    /// Reads the value a module input port currently observes (including any
+    /// active corruption) — used to compute `model.apply(current)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` or `input` is out of range.
+    pub fn peek_module_input(&self, m: ModuleIdx, input: usize) -> u16 {
+        let sig = self.modules[m.0].inputs[input];
+        self.bus.read_port((m.0, input), sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts its own invocations into output 0.
+    struct Counter {
+        n: u16,
+    }
+    impl SoftwareModule for Counter {
+        fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+            self.n = self.n.wrapping_add(1);
+            ctx.write(0, self.n);
+        }
+        fn reset(&mut self) {
+            self.n = 0;
+        }
+    }
+
+    /// Copies input 0 to output 0.
+    struct Copy;
+    impl SoftwareModule for Copy {
+        fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+            let v = ctx.read(0);
+            ctx.write(0, v);
+        }
+    }
+
+    struct NullEnv;
+    impl Environment for NullEnv {
+        fn pre_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
+        fn post_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
+    }
+
+    /// Environment that stops after `limit` ms and refreshes a sensor.
+    struct TimedEnv {
+        limit: u64,
+        sensor: SignalRef,
+    }
+    impl Environment for TimedEnv {
+        fn pre_tick(&mut self, now: SimTime, bus: &mut SignalBus) {
+            bus.write(self.sensor, now.as_millis() as u16);
+        }
+        fn post_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
+        fn finished(&self, now: SimTime) -> bool {
+            now.as_millis() >= self.limit
+        }
+    }
+
+    fn counter_sim() -> (Simulation, SignalRef, SignalRef) {
+        let mut b = SimulationBuilder::new();
+        let dummy = b.define_signal("dummy");
+        let c = b.define_signal("count");
+        let copied = b.define_signal("copied");
+        b.add_module("CNT", Box::new(Counter { n: 0 }), Schedule::every_ms(), &[dummy], &[c]);
+        b.add_module("CPY", Box::new(Copy), Schedule::in_slot(0, 2), &[c], &[copied]);
+        let sim = b.build(Box::new(NullEnv));
+        (sim, c, copied)
+    }
+
+    #[test]
+    fn scheduling_runs_modules_at_their_period() {
+        let (mut sim, c, copied) = counter_sim();
+        sim.step(); // t=0: CNT -> 1, CPY copies 1
+        assert_eq!(sim.bus().read(c), 1);
+        assert_eq!(sim.bus().read(copied), 1);
+        sim.step(); // t=1: CNT -> 2, CPY idle
+        assert_eq!(sim.bus().read(c), 2);
+        assert_eq!(sim.bus().read(copied), 1);
+        sim.step(); // t=2: CNT -> 3, CPY copies 3
+        assert_eq!(sim.bus().read(copied), 3);
+        assert_eq!(sim.now().as_millis(), 3);
+    }
+
+    #[test]
+    fn run_until_respects_environment_finish() {
+        let mut b = SimulationBuilder::new();
+        let sensor = b.define_signal("sensor");
+        let out = b.define_signal("out");
+        b.add_module("CPY", Box::new(Copy), Schedule::every_ms(), &[sensor], &[out]);
+        let mut sim = b.build(Box::new(TimedEnv { limit: 5, sensor }));
+        let ticks = sim.run_until(SimTime::from_millis(100));
+        assert_eq!(ticks, 5);
+        assert!(sim.finished());
+    }
+
+    #[test]
+    fn tracing_records_each_tick() {
+        let (mut sim, c, _) = counter_sim();
+        sim.enable_tracing(&[c]);
+        sim.run_until(SimTime::from_millis(3));
+        let traces = sim.take_traces().unwrap();
+        assert_eq!(traces.trace("count").unwrap().samples, vec![1, 2, 3]);
+        assert!(sim.take_traces().is_none());
+    }
+
+    #[test]
+    fn injection_window_corrupts_before_module_reads() {
+        let mut b = SimulationBuilder::new();
+        let sensor = b.define_signal("sensor");
+        let out = b.define_signal("out");
+        let m = b.add_module("CPY", Box::new(Copy), Schedule::every_ms(), &[sensor], &[out]);
+        let mut sim = b.build(Box::new(TimedEnv { limit: 10, sensor }));
+        // tick 0-2 clean
+        for _ in 0..3 {
+            sim.step();
+        }
+        assert_eq!(sim.bus().read(out), 2);
+        // tick 3: corrupt CPY's view of sensor inside the injection window
+        sim.begin_tick(); // env wrote sensor=3
+        let seen = sim.peek_module_input(m, 0);
+        assert_eq!(seen, 3);
+        sim.corrupt_module_input(m, 0, seen ^ 0x0008);
+        sim.run_modules();
+        assert_eq!(sim.bus().read(out), 3 ^ 0x0008);
+        // tick 4: env rewrote sensor -> corruption expired
+        sim.step();
+        assert_eq!(sim.bus().read(out), 4);
+    }
+
+    #[test]
+    fn name_lookups() {
+        let (sim, _, _) = counter_sim();
+        let cnt = sim.module_by_name("CNT").unwrap();
+        assert_eq!(sim.module_name(cnt), "CNT");
+        assert_eq!(sim.module_count(), 2);
+        assert!(sim.module_by_name("NOPE").is_none());
+        let (m, port) = sim.find_input_port("CPY", "count").unwrap();
+        assert_eq!(sim.module_name(m), "CPY");
+        assert_eq!(port, 0);
+        assert!(sim.find_input_port("CPY", "dummy").is_none());
+        assert_eq!(sim.module_inputs(cnt).len(), 1);
+        assert_eq!(sim.module_outputs(cnt).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn begin_tick_twice_panics() {
+        let (mut sim, _, _) = counter_sim();
+        sim.begin_tick();
+        sim.begin_tick();
+    }
+
+    #[test]
+    #[should_panic(expected = "before begin_tick")]
+    fn run_modules_first_panics() {
+        let (mut sim, _, _) = counter_sim();
+        sim.run_modules();
+    }
+}

@@ -1,0 +1,147 @@
+//! Simulated time with millisecond resolution.
+//!
+//! The paper's traces have 1 ms resolution and the target's scheduler runs in
+//! 1 ms slots, so the runtime's base tick is one millisecond. Time never
+//! comes from the host clock — it only advances when the simulation steps.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, counted in milliseconds since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use permea_runtime::time::SimTime;
+///
+/// let t = SimTime::ZERO + SimTime::from_millis(500);
+/// assert_eq!(t.as_millis(), 500);
+/// assert_eq!(t.as_secs_f64(), 0.5);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from whole milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms)
+    }
+
+    /// Creates a time from seconds, rounding to the nearest millisecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "time must be finite and non-negative");
+        SimTime((secs * 1000.0).round() as u64)
+    }
+
+    /// The time as whole milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0
+    }
+
+    /// The time as (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1000.0
+    }
+
+    /// Advances by one millisecond tick.
+    #[must_use]
+    pub const fn next(self) -> Self {
+        SimTime(self.0 + 1)
+    }
+
+    /// `true` when `self` is an integer multiple of `period_ms` offset by
+    /// `phase_ms` — the slot-scheduler activation test.
+    pub const fn matches(self, phase_ms: u64, period_ms: u64) -> bool {
+        period_ms != 0 && self.0 % period_ms == phase_ms % period_ms
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ms", self.0)
+    }
+}
+
+impl From<u64> for SimTime {
+    fn from(ms: u64) -> Self {
+        SimTime(ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_accessors() {
+        assert_eq!(SimTime::ZERO.as_millis(), 0);
+        assert_eq!(SimTime::from_millis(1500).as_secs_f64(), 1.5);
+        assert_eq!(SimTime::from_secs_f64(2.0004).as_millis(), 2000);
+        assert_eq!(SimTime::from(42u64).as_millis(), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn negative_seconds_panics() {
+        let _ = SimTime::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimTime::from_millis(10);
+        let b = SimTime::from_millis(4);
+        assert_eq!((a + b).as_millis(), 14);
+        assert_eq!((a - b).as_millis(), 6);
+        assert_eq!((b - a).as_millis(), 0); // saturating
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_millis(), 14);
+        assert_eq!(a.next().as_millis(), 11);
+    }
+
+    #[test]
+    fn slot_matching() {
+        let t = SimTime::from_millis(9);
+        assert!(t.matches(2, 7)); // 9 % 7 == 2
+        assert!(!t.matches(3, 7));
+        assert!(t.matches(0, 1)); // every tick
+        assert!(!t.matches(0, 0)); // zero period never fires
+        assert!(SimTime::from_millis(16).matches(9, 7)); // phase wraps mod period
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(SimTime::from_millis(1) < SimTime::from_millis(2));
+        assert_eq!(SimTime::from_millis(7).to_string(), "7ms");
+    }
+}

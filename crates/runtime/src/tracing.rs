@@ -1,0 +1,200 @@
+//! Per-tick signal traces — the raw material of Golden Run Comparison.
+//!
+//! The paper's PROPANE tool records a trace of every monitored variable with
+//! millisecond resolution; an injection run's traces are compared to the
+//! Golden Run's, and the comparison stops at the first difference. The
+//! [`TraceSet`] here records one `u16` sample per signal per tick and offers
+//! exactly that first-divergence query.
+
+use crate::signals::{SignalBus, SignalRef};
+use serde::{Deserialize, Serialize};
+
+/// The recorded samples of one signal.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SignalTrace {
+    /// Signal name (names, not bus indices, survive across runs).
+    pub name: String,
+    /// One sample per tick, recorded at end of tick.
+    pub samples: Vec<u16>,
+}
+
+impl SignalTrace {
+    /// Index of the first tick where `self` and `other` differ, also
+    /// reporting a divergence if one trace is a prefix of the other.
+    pub fn first_divergence(&self, other: &SignalTrace) -> Option<usize> {
+        let n = self.samples.len().min(other.samples.len());
+        for i in 0..n {
+            if self.samples[i] != other.samples[i] {
+                return Some(i);
+            }
+        }
+        if self.samples.len() != other.samples.len() {
+            Some(n)
+        } else {
+            None
+        }
+    }
+}
+
+/// A set of signal traces recorded over one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use permea_runtime::signals::SignalBus;
+/// use permea_runtime::tracing::TraceSet;
+///
+/// let mut bus = SignalBus::new();
+/// let s = bus.define("s");
+/// let mut traces = TraceSet::for_signals(&bus, &[s]);
+/// bus.write(s, 1);
+/// traces.record(&bus);
+/// bus.write(s, 2);
+/// traces.record(&bus);
+/// assert_eq!(traces.trace("s").unwrap().samples, vec![1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TraceSet {
+    #[serde(skip)]
+    refs: Vec<SignalRef>,
+    traces: Vec<SignalTrace>,
+    ticks: usize,
+}
+
+impl TraceSet {
+    /// Creates a trace set monitoring the given signals of `bus`.
+    pub fn for_signals(bus: &SignalBus, signals: &[SignalRef]) -> Self {
+        TraceSet {
+            refs: signals.to_vec(),
+            traces: signals
+                .iter()
+                .map(|&s| SignalTrace { name: bus.name(s).to_owned(), samples: Vec::new() })
+                .collect(),
+            ticks: 0,
+        }
+    }
+
+    /// Creates a trace set monitoring every signal of `bus`.
+    pub fn for_all(bus: &SignalBus) -> Self {
+        let refs: Vec<SignalRef> = bus.iter().map(|(r, _, _)| r).collect();
+        Self::for_signals(bus, &refs)
+    }
+
+    /// Records the current value of every monitored signal (call once per
+    /// tick).
+    pub fn record(&mut self, bus: &SignalBus) {
+        for (i, &r) in self.refs.iter().enumerate() {
+            self.traces[i].samples.push(bus.read(r));
+        }
+        self.ticks += 1;
+    }
+
+    /// Number of recorded ticks.
+    pub fn ticks(&self) -> usize {
+        self.ticks
+    }
+
+    /// Number of monitored signals.
+    pub fn signal_count(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// All traces, in monitoring order.
+    pub fn traces(&self) -> &[SignalTrace] {
+        &self.traces
+    }
+
+    /// The trace of the signal named `name`, if monitored.
+    pub fn trace(&self, name: &str) -> Option<&SignalTrace> {
+        self.traces.iter().find(|t| t.name == name)
+    }
+
+    /// First tick at which the named signal diverges from the same signal in
+    /// `golden`. Returns `None` when the traces agree (or the signal is not
+    /// monitored in both sets).
+    pub fn first_divergence(&self, golden: &TraceSet, name: &str) -> Option<usize> {
+        let mine = self.trace(name)?;
+        let theirs = golden.trace(name)?;
+        mine.first_divergence(theirs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bus3() -> (SignalBus, Vec<SignalRef>) {
+        let mut bus = SignalBus::new();
+        let a = bus.define("a");
+        let b = bus.define("b");
+        let c = bus.define("c");
+        (bus, vec![a, b, c])
+    }
+
+    #[test]
+    fn records_selected_signals_per_tick() {
+        let (mut bus, refs) = bus3();
+        let mut ts = TraceSet::for_signals(&bus, &refs[..2]);
+        bus.write(refs[0], 1);
+        bus.write(refs[2], 99); // not monitored
+        ts.record(&bus);
+        bus.write(refs[0], 2);
+        ts.record(&bus);
+        assert_eq!(ts.ticks(), 2);
+        assert_eq!(ts.signal_count(), 2);
+        assert_eq!(ts.trace("a").unwrap().samples, vec![1, 2]);
+        assert_eq!(ts.trace("b").unwrap().samples, vec![0, 0]);
+        assert!(ts.trace("c").is_none());
+    }
+
+    #[test]
+    fn for_all_monitors_everything() {
+        let (bus, _) = bus3();
+        let ts = TraceSet::for_all(&bus);
+        assert_eq!(ts.signal_count(), 3);
+    }
+
+    #[test]
+    fn first_divergence_finds_first_difference() {
+        let x = SignalTrace { name: "x".into(), samples: vec![1, 2, 3, 4] };
+        let y = SignalTrace { name: "x".into(), samples: vec![1, 2, 9, 4] };
+        assert_eq!(x.first_divergence(&y), Some(2));
+        assert_eq!(x.first_divergence(&x.clone()), None);
+    }
+
+    #[test]
+    fn length_mismatch_is_divergence_at_shorter_end() {
+        let x = SignalTrace { name: "x".into(), samples: vec![1, 2] };
+        let y = SignalTrace { name: "x".into(), samples: vec![1, 2, 3] };
+        assert_eq!(x.first_divergence(&y), Some(2));
+        assert_eq!(y.first_divergence(&x), Some(2));
+    }
+
+    #[test]
+    fn set_level_divergence_by_name() {
+        let (mut bus, refs) = bus3();
+        let mut golden = TraceSet::for_signals(&bus, &refs);
+        bus.write(refs[0], 1);
+        golden.record(&bus);
+        golden.record(&bus);
+
+        let mut ir = TraceSet::for_signals(&bus, &refs);
+        ir.record(&bus);
+        bus.write(refs[0], 5);
+        ir.record(&bus);
+        assert_eq!(ir.first_divergence(&golden, "a"), Some(1));
+        assert_eq!(ir.first_divergence(&golden, "b"), None);
+        assert_eq!(ir.first_divergence(&golden, "zz"), None);
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_samples() {
+        let (mut bus, refs) = bus3();
+        let mut ts = TraceSet::for_signals(&bus, &refs);
+        bus.write(refs[1], 7);
+        ts.record(&bus);
+        let json = serde_json::to_string(&ts).unwrap();
+        let back: TraceSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.trace("b").unwrap().samples, vec![7]);
+    }
+}

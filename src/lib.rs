@@ -1,0 +1,69 @@
+//! # permea — error-propagation analysis for modular software
+//!
+//! A full reproduction of Hiller, Jhumka & Suri, *"An Approach for Analysing
+//! the Propagation of Data Errors in Software"* (DSN 2001), packaged as a
+//! reusable library family:
+//!
+//! | Crate | Contents |
+//! |-------|----------|
+//! | [`core`] (`permea-core`) | error permeability, exposure, permeability graphs, backtrack/trace trees, propagation paths, EDM/ERM placement |
+//! | [`runtime`] (`permea-runtime`) | deterministic slot-scheduled embedded simulation runtime with injection traps |
+//! | [`fi`] (`permea-fi`) | SWIFI fault injection, Golden Run Comparison, permeability estimation |
+//! | [`arrestment`] (`permea-arrestment`) | the paper's aircraft-arrestment target system and its environment physics |
+//! | [`mech`] (`permea-mech`) | executable assertions, recovery guards, placement evaluation |
+//! | [`analysis`] (`permea-analysis`) | the end-to-end study regenerating every table and figure |
+//!
+//! # Quick start
+//!
+//! Analyse a hand-specified system:
+//!
+//! ```
+//! use permea::core::prelude::*;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = TopologyBuilder::new("demo");
+//! let sensor = b.external("sensor");
+//! let filt = b.add_module("FILTER");
+//! b.bind_input(filt, sensor);
+//! let clean = b.add_output(filt, "clean");
+//! let ctl = b.add_module("CONTROL");
+//! b.bind_input(ctl, clean);
+//! let actuator = b.add_output(ctl, "actuator");
+//! b.mark_system_output(actuator);
+//! let topo = b.build()?;
+//!
+//! let mut pm = PermeabilityMatrix::zeroed(&topo);
+//! pm.set_named(&topo, "FILTER", "sensor", "clean", 0.2)?;
+//! pm.set_named(&topo, "CONTROL", "clean", "actuator", 0.9)?;
+//!
+//! let graph = PermeabilityGraph::new(&topo, &pm)?;
+//! let measures = SystemMeasures::compute(&graph)?;
+//! let plan = PlacementAdvisor::new(&graph)?.plan();
+//! assert_eq!(plan.edm_signals(), vec![clean]);
+//! # let _ = measures;
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! Or estimate permeability experimentally — see the `arrestment_study`
+//! example and the `study` binary in `permea-analysis`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use permea_analysis as analysis;
+pub use permea_arrestment as arrestment;
+pub use permea_core as core;
+pub use permea_fi as fi;
+pub use permea_mech as mech;
+pub use permea_runtime as runtime;
+
+/// One-stop prelude re-exporting each crate's prelude.
+pub mod prelude {
+    pub use permea_analysis::prelude::*;
+    pub use permea_arrestment::prelude::*;
+    pub use permea_core::prelude::*;
+    pub use permea_fi::prelude::*;
+    pub use permea_mech::prelude::*;
+    pub use permea_runtime::prelude::*;
+}

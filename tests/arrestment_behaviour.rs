@@ -1,0 +1,160 @@
+//! System-level behavioural tests of the arrestment controller: the target
+//! must be a *credible control system*, not just an injection vehicle —
+//! otherwise its permeability texture means nothing.
+
+use permea::arrestment::constants::*;
+use permea::arrestment::prelude::*;
+
+fn run(case: TestCase) -> (permea::runtime::tracing::TraceSet, EnvSnapshot) {
+    let mut sys = ArrestmentSystem::new(case);
+    let traces = sys.run_to_completion();
+    let snap = sys.snapshot();
+    (traces, snap)
+}
+
+#[test]
+fn arrests_every_grid_corner_inside_the_cap() {
+    for case in [
+        TestCase::new(8_000.0, 40.0),
+        TestCase::new(8_000.0, 80.0),
+        TestCase::new(20_000.0, 40.0),
+        TestCase::new(20_000.0, 80.0),
+    ] {
+        let (_, snap) = run(case);
+        assert!(snap.arrested, "{case:?} did not arrest: {snap:?}");
+        assert!(snap.elapsed_ms < SCENARIO_CAP_MS);
+        assert!(
+            snap.elapsed_ms > 5_000,
+            "{case:?} stopped inside the injection window: {snap:?}"
+        );
+    }
+}
+
+#[test]
+fn pulscnt_is_monotone_and_matches_distance() {
+    let (traces, snap) = run(TestCase::new(14_000.0, 60.0));
+    let pulscnt = &traces.trace("pulscnt").unwrap().samples;
+    for w in pulscnt.windows(2) {
+        assert!(w[1] >= w[0], "pulse count must be monotone (no wrap expected here)");
+    }
+    let final_pulses = *pulscnt.last().unwrap() as f64;
+    let expected = snap.position_m * PULSES_PER_METRE;
+    let err = (final_pulses - expected).abs() / expected;
+    assert!(err < 0.02, "pulse count {final_pulses} vs distance-derived {expected}");
+}
+
+#[test]
+fn checkpoint_index_is_monotone_and_setvalue_follows_table() {
+    let (traces, _) = run(TestCase::new(11_000.0, 70.0));
+    let i = &traces.trace("i").unwrap().samples;
+    for w in i.windows(2) {
+        assert!(w[1] >= w[0] && w[1] - w[0] <= 1, "i advances one checkpoint at a time");
+    }
+    assert!(*i.last().unwrap() >= 3, "several checkpoints crossed");
+    // SetValue stays within encoding bounds and is non-zero mid-arrestment.
+    let set = &traces.trace("SetValue").unwrap().samples;
+    assert!(set.iter().all(|&v| v <= SET_VALUE_MAX_CBAR));
+    assert!(set[3_000] > 0, "pressure commanded during the stroke");
+}
+
+#[test]
+fn pressure_tracking_is_sane() {
+    let (traces, _) = run(TestCase::new(14_000.0, 60.0));
+    let set = &traces.trace("SetValue").unwrap().samples;
+    let is = &traces.trace("IsValue").unwrap().samples;
+    // Mid-stroke, measured pressure should track the set-point within 20%.
+    for &t in &[6_000usize, 10_000, 14_000] {
+        let (s, m) = (set[t] as f64, is[t] as f64);
+        if s > 1_000.0 {
+            assert!(
+                (m - s).abs() / s < 0.2,
+                "tracking error at {t} ms: set {s} vs measured {m}"
+            );
+        }
+    }
+}
+
+#[test]
+fn slot_counter_cycles_through_all_slots() {
+    let (traces, _) = run(TestCase::new(8_000.0, 40.0));
+    let slots = &traces.trace("ms_slot_nbr").unwrap().samples;
+    let distinct: std::collections::HashSet<u16> = slots.iter().copied().collect();
+    assert_eq!(distinct.len(), SLOTS_PER_CYCLE as usize);
+    // The cycle is exact: slot(t+7) == slot(t).
+    for t in 0..(slots.len() - 7).min(2_000) {
+        assert_eq!(slots[t], slots[t + 7]);
+    }
+}
+
+#[test]
+fn stopped_asserts_only_at_the_end() {
+    let (traces, snap) = run(TestCase::new(14_000.0, 60.0));
+    let stopped = &traces.trace("stopped").unwrap().samples;
+    let first_true = stopped.iter().position(|&v| v != 0);
+    let t = first_true.expect("stopped eventually asserts");
+    assert!(
+        (t as u64) > snap.elapsed_ms - 2_000,
+        "stopped asserted at {t} ms, long before arrest at {} ms",
+        snap.elapsed_ms
+    );
+    // It ends asserted and holds for a sustained total. (A final creep
+    // pulse below the 0.05 m/s arrest threshold may reset the debounce once
+    // shortly after the first assertion.)
+    assert_ne!(*stopped.last().unwrap(), 0, "stopped holds at scenario end");
+    let total_true = stopped[t..].iter().filter(|&&v| v != 0).count();
+    assert!(total_true >= 250, "stopped asserted for only {total_true} ms");
+}
+
+#[test]
+fn slow_speed_precedes_stopped() {
+    let (traces, _) = run(TestCase::new(8_000.0, 40.0));
+    let slow = &traces.trace("slow_speed").unwrap().samples;
+    let stopped = &traces.trace("stopped").unwrap().samples;
+    let slow_at = slow.iter().position(|&v| v != 0).expect("slow_speed asserts");
+    let stop_at = stopped.iter().position(|&v| v != 0).expect("stopped asserts");
+    assert!(slow_at < stop_at, "slow_speed ({slow_at}) before stopped ({stop_at})");
+}
+
+#[test]
+fn toc2_never_exceeds_command_range_and_slews_gently() {
+    let (traces, _) = run(TestCase::new(20_000.0, 80.0));
+    let toc2 = &traces.trace("TOC2").unwrap().samples;
+    assert!(toc2.iter().all(|&v| v <= VALVE_CMD_MAX));
+    for w in toc2.windows(2) {
+        let step = w[0].abs_diff(w[1]);
+        assert!(step <= PREG_SLEW_PER_STEP, "slew violation: {} -> {}", w[0], w[1]);
+    }
+}
+
+#[test]
+fn kinetic_energy_is_dissipated_not_created() {
+    let (_, snap) = run(TestCase::new(14_000.0, 60.0));
+    // The aircraft never speeds up: final velocity ~0, and stopping distance
+    // is consistent with monotone deceleration (d <= v0 * t).
+    assert!(snap.velocity_ms <= 60.0);
+    assert!(snap.position_m <= 60.0 * snap.elapsed_ms as f64 / 1_000.0);
+    assert!(snap.pressure_bar >= 0.0 && snap.pressure_bar <= PRESSURE_MAX_BAR + 1.0);
+}
+
+#[test]
+fn heavier_aircraft_needs_longer_distance_at_same_speed() {
+    let (_, light) = run(TestCase::new(8_000.0, 60.0));
+    let (_, heavy) = run(TestCase::new(20_000.0, 60.0));
+    assert!(
+        heavy.position_m > light.position_m,
+        "heavy {} m vs light {} m",
+        heavy.position_m,
+        light.position_m
+    );
+}
+
+#[test]
+fn faster_engagement_commands_higher_pressure() {
+    let peak = |case| {
+        let (traces, _) = run(case);
+        traces.trace("SetValue").unwrap().samples.iter().copied().max().unwrap()
+    };
+    let slow = peak(TestCase::new(14_000.0, 40.0));
+    let fast = peak(TestCase::new(14_000.0, 80.0));
+    assert!(fast > slow, "velocity scaling: fast {fast} vs slow {slow}");
+}

@@ -1,0 +1,101 @@
+//! End-to-end integration: the full pipeline from fault injection to
+//! placement recommendations, through the facade crate.
+
+use permea::analysis::checks::run_shape_checks;
+use permea::analysis::report::Report;
+use permea::analysis::study::{Study, StudyConfig};
+
+#[test]
+fn smoke_study_produces_complete_output() {
+    let out = Study::new(StudyConfig::smoke()).run().expect("study runs");
+    // Structure of the paper's target system.
+    assert_eq!(out.topology.module_count(), 6);
+    assert_eq!(out.topology.pair_count(), 25);
+    assert_eq!(out.matrix.pair_count(), 25);
+    assert_eq!(out.toc2_paths.len(), 22);
+    assert_eq!(out.backtrack.trees().len(), 1);
+    assert_eq!(out.trace.trees().len(), 4);
+    // Campaign bookkeeping is consistent.
+    let expected_runs =
+        out.spec.targets.len() * out.spec.models.len() * out.spec.times_ms.len() * out.spec.cases;
+    assert_eq!(out.result.total_runs, expected_runs as u64);
+    assert_eq!(out.result.records.len(), expected_runs);
+    // Every estimate is a probability.
+    for (_, _, _, v) in out.matrix.iter() {
+        assert!((0.0..=1.0).contains(&v));
+    }
+}
+
+#[test]
+fn study_is_deterministic() {
+    let a = Study::new(StudyConfig::smoke()).run().unwrap();
+    let b = Study::new(StudyConfig::smoke()).run().unwrap();
+    assert_eq!(a.matrix, b.matrix);
+    assert_eq!(a.result.pairs, b.result.pairs);
+    assert_eq!(
+        a.toc2_paths.iter().map(|p| p.weight).collect::<Vec<_>>(),
+        b.toc2_paths.iter().map(|p| p.weight).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn different_seed_changes_nothing_for_bit_flips() {
+    // Bit flips are deterministic transformations; the RNG only matters for
+    // the RandomValue model, so two seeds must agree.
+    let mut cfg = StudyConfig::smoke();
+    cfg.seed = 1;
+    let a = Study::new(cfg.clone()).run().unwrap();
+    cfg.seed = 2;
+    let b = Study::new(cfg).run().unwrap();
+    assert_eq!(a.matrix, b.matrix);
+}
+
+#[test]
+fn structural_shape_checks_hold_even_in_smoke_config() {
+    let out = Study::new(StudyConfig::smoke()).run().unwrap();
+    let checks = run_shape_checks(&out);
+    for id in ["PAIRS", "PATHS22", "OB1a", "OB2", "CALC_I"] {
+        let c = checks.iter().find(|c| c.id == id).unwrap();
+        assert!(c.pass, "{id} failed: {}", c.details);
+    }
+}
+
+#[test]
+fn report_covers_every_table_and_figure() {
+    let out = Study::new(StudyConfig::smoke()).run().unwrap();
+    let report = Report::from_study(&out);
+    let names: Vec<&str> = report.files.iter().map(|(n, _)| n.as_str()).collect();
+    for expected in [
+        "table1.txt",
+        "table1_ci.txt",
+        "table2.txt",
+        "table3.txt",
+        "table4.txt",
+        "table4_all.txt",
+        "fig3_example_graph.dot",
+        "fig4_example_backtrack.txt",
+        "fig5_example_trace.txt",
+        "fig9_graph.dot",
+        "fig10_backtrack_toc2.txt",
+        "fig11_trace_adc.txt",
+        "fig12_trace_pacnt.txt",
+        "checks.txt",
+        "placement.txt",
+        "matrix.json",
+    ] {
+        assert!(names.contains(&expected), "missing artifact {expected}");
+    }
+    // Table 4 lists 22 paths in the unfiltered variant.
+    let t4 = &report.files.iter().find(|(n, _)| n == "table4_all.txt").unwrap().1;
+    assert!(t4.contains("22 of 22"));
+}
+
+#[test]
+fn golden_ticks_match_environment_termination() {
+    let out = Study::new(StudyConfig::smoke()).run().unwrap();
+    for &ticks in &out.result.golden_ticks {
+        // The smoke horizon is 4 s; arrestments outlast it, so every golden
+        // run is cut at the horizon exactly.
+        assert_eq!(ticks, 4_000);
+    }
+}

@@ -1,0 +1,146 @@
+//! Hand-checked analysis of the five-module example (the paper's Fig. 2–5
+//! walk-through): every number here was computed manually from the wiring
+//! and permeability values in `permea_analysis::fivemod`.
+
+use permea::analysis::fivemod::five_module_system;
+use permea::core::prelude::*;
+
+fn graph() -> (SystemTopology, PermeabilityGraph) {
+    let (topo, pm) = five_module_system();
+    let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+    (topo, graph)
+}
+
+#[test]
+fn backtrack_tree_path_inventory() {
+    let (topo, graph) = graph();
+    let out = topo.signal_by_name("OUT").unwrap();
+    let tree = BacktrackTree::build(&graph, out).unwrap();
+    let paths = tree.into_path_set();
+    // Hand enumeration:
+    //   OUT <- extE                                  0.25
+    //   OUT <- sD <- sB <- sA <- extA                0.9*0.7*0.5*0.6 = 0.189
+    //   OUT <- sD <- sB <- fbB <- sA <- extA         0.9*0.7*0.4*0.2*0.6 = 0.03024
+    //   OUT <- sD <- sB <- fbB <- fbB (feedback)     0.9*0.7*0.4*0.3 = 0.0756
+    //   OUT <- sD <- sC <- extC                      0.9*0.1*0.8 = 0.072
+    //   OUT <- sB <- sA <- extA                      0.35*0.5*0.6 = 0.105
+    //   OUT <- sB <- fbB <- sA <- extA               0.35*0.4*0.2*0.6 = 0.0168
+    //   OUT <- sB <- fbB <- fbB (feedback)           0.35*0.4*0.3 = 0.042
+    assert_eq!(paths.len(), 8);
+    let sorted = paths.sorted_by_weight();
+    let expected = [0.25, 0.189, 0.105, 0.0756, 0.072, 0.042, 0.03024, 0.0168];
+    for (p, e) in sorted.iter().zip(expected) {
+        assert!((p.weight - e).abs() < 1e-12, "expected {e}, got {}", p.weight);
+    }
+    assert_eq!(
+        sorted.iter().filter(|p| p.terminal == permea::core::paths::PathTerminal::Feedback).count(),
+        2
+    );
+}
+
+#[test]
+fn module_measures_by_hand() {
+    let (topo, graph) = graph();
+    let sm = SystemMeasures::compute(&graph).unwrap();
+    let get = |name: &str| *sm.module(topo.module_by_name(name).unwrap());
+    // A: one pair (0.6).
+    let a = get("A");
+    assert!((a.relative_permeability - 0.6).abs() < 1e-12);
+    assert!((a.non_weighted_relative_permeability - 0.6).abs() < 1e-12);
+    assert_eq!(a.incoming_arcs, 0, "A reads only extA");
+    // B: pairs 0.2, 0.5, 0.3, 0.4 -> sum 1.4, mean 0.35.
+    let b = get("B");
+    assert!((b.non_weighted_relative_permeability - 1.4).abs() < 1e-12);
+    assert!((b.relative_permeability - 0.35).abs() < 1e-12);
+    // B's incoming arcs: A's pair into sA (0.6) + own fbB column (0.2, 0.3).
+    assert_eq!(b.incoming_arcs, 3);
+    assert!((b.non_weighted_exposure - 1.1).abs() < 1e-12);
+    // D: inputs sB (from B: arcs 0.5, 0.4) and sC (from C: 0.8).
+    let d = get("D");
+    assert_eq!(d.incoming_arcs, 3);
+    assert!((d.non_weighted_exposure - 1.7).abs() < 1e-12);
+    // E: inputs extE (none), sD (from D: 0.7, 0.1), sB (from B: 0.5, 0.4).
+    let e = get("E");
+    assert_eq!(e.incoming_arcs, 4);
+    assert!((e.non_weighted_exposure - 1.7).abs() < 1e-12);
+}
+
+#[test]
+fn signal_exposures_by_hand() {
+    let (topo, graph) = graph();
+    let sm = SystemMeasures::compute(&graph).unwrap();
+    let x = |name: &str| sm.signal(topo.signal_by_name(name).unwrap()).exposure;
+    // X^OUT: arcs to children of the OUT node = E's column into OUT
+    // (0.25, 0.9, 0.35).
+    assert!((x("OUT") - 1.5).abs() < 1e-12);
+    // X^sD: D's column into sD = (0.7, 0.1).
+    assert!((x("sD") - 0.8).abs() < 1e-12);
+    // X^sB: B's column into sB = (0.5, 0.4) — sB appears twice in the tree
+    // (under sD and under OUT) but arcs count once.
+    assert!((x("sB") - 0.9).abs() < 1e-12);
+    // X^fbB: B's column into fbB = (0.2, 0.3).
+    assert!((x("fbB") - 0.5).abs() < 1e-12);
+    // X^sA: A's single arc, counted once despite three occurrences.
+    assert!((x("sA") - 0.6).abs() < 1e-12);
+    // X^sC: C's single arc.
+    assert!((x("sC") - 0.8).abs() < 1e-12);
+    // External leaves have no children.
+    assert_eq!(x("extA"), 0.0);
+    assert_eq!(x("extE"), 0.0);
+}
+
+#[test]
+fn end_to_end_estimates_by_hand() {
+    let (topo, graph) = graph();
+    let out = topo.signal_by_name("OUT").unwrap();
+    let tree = BacktrackTree::build(&graph, out).unwrap();
+    let set = tree.into_path_set();
+    // extA: four parallel paths 0.189, 0.03024, 0.105, 0.0168.
+    let ext_a = topo.signal_by_name("extA").unwrap();
+    let expected =
+        1.0 - (1.0 - 0.189) * (1.0 - 0.03024) * (1.0 - 0.105) * (1.0 - 0.0168);
+    assert!((set.end_to_end_estimate(ext_a) - expected).abs() < 1e-12);
+    // extE: single path 0.25.
+    let ext_e = topo.signal_by_name("extE").unwrap();
+    assert!((set.end_to_end_estimate(ext_e) - 0.25).abs() < 1e-12);
+    // extC: single path 0.072.
+    let ext_c = topo.signal_by_name("extC").unwrap();
+    assert!((set.end_to_end_estimate(ext_c) - 0.072).abs() < 1e-12);
+}
+
+#[test]
+fn whatif_containment_of_b_blocks_exta_paths() {
+    let (topo, pm) = five_module_system();
+    let b = topo.module_by_name("B").unwrap();
+    let effects = containment_effects(&topo, &pm, Containment { module: b, factor: 0.0 }).unwrap();
+    let ext_a = topo.signal_by_name("extA").unwrap();
+    let ext_e = topo.signal_by_name("extE").unwrap();
+    let ea = effects.iter().find(|e| e.input == ext_a).unwrap();
+    // Every extA path crosses B: perfect containment blocks them all.
+    assert_eq!(ea.after, 0.0);
+    assert!(ea.before > 0.0);
+    // extE bypasses B entirely: unaffected.
+    let ee = effects.iter().find(|e| e.input == ext_e).unwrap();
+    assert!((ee.after - ee.before).abs() < 1e-12);
+}
+
+#[test]
+fn containment_ranking_identifies_e_then_b() {
+    let (topo, pm) = five_module_system();
+    let ranked = rank_containment_candidates(&topo, &pm, 0.0).unwrap();
+    // E sits on every path (total blocked = sum of all end-to-end values);
+    // it must rank first.
+    assert_eq!(topo.module_name(ranked[0].0), "E");
+    assert!(ranked[0].1 > ranked[1].1);
+}
+
+#[test]
+fn trace_tree_of_extc_reaches_out_once() {
+    let (topo, graph) = graph();
+    let ext_c = topo.signal_by_name("extC").unwrap();
+    let tree = TraceTree::build(&graph, ext_c).unwrap();
+    let paths = tree.paths();
+    // extC -> sC -> sD -> OUT, single route.
+    assert_eq!(paths.len(), 1);
+    assert!((paths[0].weight - 0.8 * 0.1 * 0.9).abs() < 1e-12);
+}

@@ -1,0 +1,133 @@
+//! Integration: recovery guards spliced into the real arrestment system.
+
+use permea::analysis::placement_experiment::{
+    detection_comparison, guarded_factory, recovery_comparison, PlacementConfig,
+};
+use permea::arrestment::system::{ArrestmentSystem, ExtraModule};
+use permea::arrestment::testcase::TestCase;
+use permea::fi::campaign::SystemFactory;
+use permea::mech::detectors::RangeDetector;
+use permea::mech::guard::{GuardModule, SignalGuard};
+use permea::mech::recovery::HoldLastGood;
+use permea::runtime::scheduler::Schedule;
+use permea::runtime::time::SimTime;
+
+#[test]
+fn extras_are_registered_after_target_modules() {
+    let guard = SignalGuard::new(
+        Box::new(RangeDetector::new(0, u16::MAX)),
+        Box::new(HoldLastGood::new()),
+    );
+    let sys = ArrestmentSystem::with_extras(
+        TestCase::new(14_000.0, 60.0),
+        vec![ExtraModule {
+            name: "GUARD_SetValue".into(),
+            module: Box::new(GuardModule::new(guard)),
+            schedule: Schedule::every_ms(),
+            inputs: vec!["SetValue".into()],
+            outputs: vec!["SetValue".into()],
+        }],
+    );
+    assert_eq!(sys.sim().module_count(), 7);
+    let idx = sys.sim().module_by_name("GUARD_SetValue").unwrap();
+    assert_eq!(idx.index(), 6, "extras come after the six target modules");
+}
+
+#[test]
+#[should_panic(expected = "unknown extra input")]
+fn extras_with_unknown_signals_panic() {
+    let guard = SignalGuard::new(
+        Box::new(RangeDetector::new(0, 1)),
+        Box::new(HoldLastGood::new()),
+    );
+    let _ = ArrestmentSystem::with_extras(
+        TestCase::new(14_000.0, 60.0),
+        vec![ExtraModule {
+            name: "G".into(),
+            module: Box::new(GuardModule::new(guard)),
+            schedule: Schedule::every_ms(),
+            inputs: vec!["nope".into()],
+            outputs: vec!["SetValue".into()],
+        }],
+    );
+}
+
+#[test]
+fn silent_guard_does_not_perturb_golden_behaviour() {
+    // A guard with an all-accepting assertion must leave the golden traces
+    // bit-identical: it never writes.
+    let baseline = ArrestmentSystem::new(TestCase::new(11_000.0, 50.0)).run_to_completion();
+    let guard = SignalGuard::new(
+        Box::new(RangeDetector::new(0, u16::MAX)),
+        Box::new(HoldLastGood::new()),
+    );
+    let mut guarded_sys = ArrestmentSystem::with_extras(
+        TestCase::new(11_000.0, 50.0),
+        vec![ExtraModule {
+            name: "GUARD_SetValue".into(),
+            module: Box::new(GuardModule::new(guard)),
+            schedule: Schedule::every_ms(),
+            inputs: vec!["SetValue".into()],
+            outputs: vec!["SetValue".into()],
+        }],
+    );
+    let guarded = guarded_sys.run_to_completion();
+    for name in ["SetValue", "OutValue", "TOC2", "pulscnt", "i"] {
+        assert_eq!(
+            baseline.trace(name).unwrap().samples,
+            guarded.trace(name).unwrap().samples,
+            "guard must be transparent on {name}"
+        );
+    }
+}
+
+#[test]
+fn guarded_factory_builds_sims_with_guards() {
+    let cfg = PlacementConfig::smoke();
+    let factory = guarded_factory(&cfg, &["SetValue"]).unwrap();
+    let sim = factory.build(0);
+    assert!(sim.module_by_name("GUARD_SetValue").is_some());
+    assert_eq!(factory.case_count(), 1);
+}
+
+#[test]
+fn guarded_golden_equals_baseline_golden() {
+    // Calibrated guards are silent on golden behaviour, so the guarded
+    // system's golden run matches the baseline's over the horizon.
+    let cfg = PlacementConfig::smoke();
+    let factory = guarded_factory(&cfg, &["SetValue", "OutValue"]).unwrap();
+    let mut guarded = factory.build(0);
+    guarded.run_until(SimTime::from_millis(cfg.horizon_ms));
+    let guarded_traces = guarded.take_traces().unwrap();
+
+    let mut baseline = ArrestmentSystem::new(TestCase::grid(1, 1)[0]);
+    let base_traces = baseline.run_ticks(cfg.horizon_ms);
+    assert_eq!(
+        base_traces.trace("TOC2").unwrap().samples,
+        guarded_traces.trace("TOC2").unwrap().samples
+    );
+}
+
+#[test]
+fn guided_placement_beats_naive_placement() {
+    let cfg = PlacementConfig::smoke();
+    let guided = recovery_comparison(&cfg, &["SetValue", "OutValue"]).unwrap();
+    let naive = recovery_comparison(&cfg, &["mscnt"]).unwrap();
+    assert_eq!(guided.baseline_failures, naive.baseline_failures);
+    assert!(
+        guided.guarded_failures < naive.guarded_failures,
+        "guided {guided:?} vs naive {naive:?}"
+    );
+}
+
+#[test]
+fn detection_study_reports_for_every_candidate() {
+    let cfg = PlacementConfig::smoke();
+    let cov = detection_comparison(&cfg, &["SetValue", "TOC2", "mscnt"]).unwrap();
+    assert_eq!(cov.len(), 3);
+    let runs = cov[0].runs;
+    assert!(cov.iter().all(|c| c.runs == runs));
+    // mscnt is independent of everything: it never shows anomalies.
+    let mscnt = cov.iter().find(|c| c.signal == "mscnt").unwrap();
+    assert_eq!(mscnt.detected, 0);
+}

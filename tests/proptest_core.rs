@@ -1,0 +1,269 @@
+//! Property-based tests for the analytical core: random system topologies
+//! with random permeability values must satisfy every documented invariant.
+
+use permea::core::prelude::*;
+use proptest::prelude::*;
+
+/// A compact description from which a valid random system is built:
+/// per-module port counts and, per input port, an index choosing the source
+/// signal among those available (externals + all outputs).
+#[derive(Debug, Clone)]
+struct SystemDescription {
+    externals: usize,
+    /// (input_count, output_count) per module.
+    shapes: Vec<(usize, usize)>,
+    /// Raw selectors, reduced modulo the available signal count.
+    input_selectors: Vec<usize>,
+    /// Permeability values in [0, 1], consumed in order.
+    values: Vec<u32>,
+}
+
+fn description() -> impl Strategy<Value = SystemDescription> {
+    (
+        1usize..4,
+        prop::collection::vec((1usize..4, 1usize..3), 1..6),
+        prop::collection::vec(0usize..1000, 20),
+        prop::collection::vec(0u32..=1000, 40),
+    )
+        .prop_map(|(externals, shapes, input_selectors, values)| SystemDescription {
+            externals,
+            shapes,
+            input_selectors,
+            values,
+        })
+}
+
+/// Builds a valid topology + matrix from a description. Outputs are declared
+/// before inputs are bound, so feedback (including self-feedback) can occur.
+fn build(desc: &SystemDescription) -> (SystemTopology, PermeabilityMatrix) {
+    let mut b = TopologyBuilder::new("prop");
+    let mut signals = Vec::new();
+    for e in 0..desc.externals {
+        signals.push(b.external(format!("ext{e}")));
+    }
+    let mut modules = Vec::new();
+    for (mi, &(_, outs)) in desc.shapes.iter().enumerate() {
+        let m = b.add_module(format!("M{mi}"));
+        modules.push(m);
+        for k in 0..outs {
+            signals.push(b.add_output(m, format!("s{mi}_{k}")));
+        }
+    }
+    let mut sel = desc.input_selectors.iter().cycle();
+    for (mi, &(ins, _)) in desc.shapes.iter().enumerate() {
+        for _ in 0..ins {
+            let pick = sel.next().unwrap() % signals.len();
+            b.bind_input(modules[mi], signals[pick]);
+        }
+    }
+    // The last module's outputs are the system outputs.
+    let _last = *modules.last().unwrap();
+    let m_count = desc.shapes.last().unwrap().1;
+    let total: usize = desc.shapes.iter().map(|&(_, o)| o).sum();
+    let first_last_out = desc.externals + total - m_count;
+    for k in 0..m_count {
+        b.mark_system_output(signals[first_last_out + k]);
+    }
+    let topo = b.build().expect("generated topology is valid");
+    let mut pm = PermeabilityMatrix::zeroed(&topo);
+    let mut vals = desc.values.iter().cycle();
+    for m in topo.modules() {
+        for i in 0..topo.input_count(m) {
+            for k in 0..topo.output_count(m) {
+                let v = *vals.next().unwrap() as f64 / 1000.0;
+                pm.set(m, i, k, v).unwrap();
+            }
+        }
+    }
+    (topo, pm)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn path_weights_are_products_and_probabilities(desc in description()) {
+        let (topo, pm) = build(&desc);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        let forest = BacktrackForest::build(&graph).unwrap();
+        for p in forest.all_paths().iter() {
+            let prod: f64 = p.arcs.iter().map(|&(_, w)| w).product();
+            prop_assert!((p.weight - prod).abs() < 1e-9);
+            prop_assert!((0.0..=1.0).contains(&p.weight));
+            prop_assert_eq!(p.signals.len(), p.arcs.len() + 1);
+        }
+    }
+
+    #[test]
+    fn backtrack_leaves_are_inputs_or_feedback(desc in description()) {
+        let (topo, pm) = build(&desc);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        let forest = BacktrackForest::build(&graph).unwrap();
+        for p in forest.all_paths().iter() {
+            match p.terminal {
+                permea::core::paths::PathTerminal::SystemInput => {
+                    prop_assert!(topo.is_system_input(p.leaf()));
+                }
+                permea::core::paths::PathTerminal::Feedback => {
+                    // The leaf signal occurs earlier on the path.
+                    let leaf = p.leaf();
+                    prop_assert!(p.signals[..p.signals.len() - 1].contains(&leaf));
+                }
+                other => prop_assert!(false, "unexpected terminal {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn trees_terminate_and_are_bounded(desc in description()) {
+        let (topo, pm) = build(&desc);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        let forest = BacktrackForest::build(&graph).unwrap();
+        for tree in forest.trees() {
+            // Feedback cutting bounds the depth by the number of signals + 1.
+            prop_assert!(tree.depth() <= topo.signal_count() + 1);
+        }
+        let tf = TraceForest::build(&graph).unwrap();
+        for tree in tf.trees() {
+            prop_assert!(tree.depth() <= topo.signal_count() + 1);
+        }
+    }
+
+    #[test]
+    fn measures_respect_bounds(desc in description()) {
+        let (topo, pm) = build(&desc);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        let sm = SystemMeasures::compute(&graph).unwrap();
+        for mm in sm.modules() {
+            let pairs = (mm.inputs * mm.outputs) as f64;
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&mm.relative_permeability));
+            prop_assert!(mm.non_weighted_relative_permeability <= pairs + 1e-9);
+            prop_assert!(mm.exposure >= 0.0);
+            prop_assert!(mm.exposure <= 1.0 + 1e-9, "mean of probabilities");
+            prop_assert!(mm.non_weighted_exposure <= mm.incoming_arcs as f64 + 1e-9);
+        }
+        for se in sm.signals() {
+            prop_assert!(se.exposure >= 0.0);
+            prop_assert!(se.exposure <= se.arcs as f64 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn relative_ordering_of_eq2_eq3_is_consistent_for_equal_shapes(desc in description()) {
+        // For two modules with the same (inputs, outputs) shape, the two
+        // permeability measures must rank them identically.
+        let (topo, pm) = build(&desc);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        let sm = SystemMeasures::compute(&graph).unwrap();
+        let ms = sm.modules();
+        for a in ms {
+            for b in ms {
+                if a.inputs == b.inputs && a.outputs == b.outputs {
+                    let weighted = a.relative_permeability.partial_cmp(&b.relative_permeability);
+                    let nonweighted = a
+                        .non_weighted_relative_permeability
+                        .partial_cmp(&b.non_weighted_relative_permeability);
+                    prop_assert_eq!(weighted, nonweighted);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn path_set_operations_are_consistent(desc in description()) {
+        let (topo, pm) = build(&desc);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        let forest = BacktrackForest::build(&graph).unwrap();
+        let set = forest.all_paths();
+        let sorted = set.sorted_by_weight();
+        prop_assert_eq!(sorted.len(), set.len());
+        for w in sorted.as_slice().windows(2) {
+            prop_assert!(w[0].weight >= w[1].weight);
+        }
+        let nz = set.non_zero();
+        prop_assert!(nz.len() <= set.len());
+        prop_assert!(nz.iter().all(|p| p.weight > 0.0));
+        let top = set.top(3);
+        prop_assert!(top.len() <= 3);
+        for input in topo.system_inputs() {
+            let e = set.end_to_end_estimate(*input);
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&e));
+        }
+    }
+
+    #[test]
+    fn signal_exposure_equals_manual_unique_arc_sum(desc in description()) {
+        let (topo, pm) = build(&desc);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        let sm = SystemMeasures::compute(&graph).unwrap();
+        let forest = BacktrackForest::build(&graph).unwrap();
+        for s in topo.signals() {
+            let arcs = forest.unique_child_arcs_of_signal(s);
+            let manual: f64 = arcs.iter().map(|&(_, w)| w).sum();
+            prop_assert!((sm.signal(s).exposure - manual).abs() < 1e-9);
+            // Unique arcs: no duplicate ArcIds.
+            let mut ids: Vec<_> = arcs.iter().map(|&(id, _)| id).collect();
+            ids.dedup();
+            prop_assert_eq!(ids.len(), arcs.len());
+        }
+    }
+
+    #[test]
+    fn placement_plan_is_well_formed(desc in description()) {
+        let (topo, pm) = build(&desc);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        let plan = PlacementAdvisor::new(&graph).unwrap().plan();
+        for rec in plan.edm.iter().chain(plan.erm.iter()) {
+            prop_assert!(rec.score >= 0.0);
+            prop_assert!(!rec.rationales.is_empty());
+        }
+        // Default options exclude system outputs from EDM signal slots.
+        for s in plan.edm_signals() {
+            prop_assert!(!topo.is_system_output(s));
+        }
+    }
+
+    #[test]
+    fn containment_never_increases_propagation(desc in description(), factor_raw in 0u32..=100) {
+        use permea::core::whatif::{containment_effects, Containment};
+        let factor = factor_raw as f64 / 100.0;
+        let (topo, pm) = build(&desc);
+        for m in topo.modules() {
+            let effects =
+                containment_effects(&topo, &pm, Containment { module: m, factor }).unwrap();
+            for e in &effects {
+                prop_assert!(e.after <= e.before + 1e-9, "containment must not increase risk");
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&e.after));
+                if factor == 1.0 {
+                    prop_assert!((e.after - e.before).abs() < 1e-9, "factor 1 is identity");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn risk_analysis_scales_linearly_with_occurrence(desc in description(), rate_raw in 1u32..1000) {
+        use permea::core::occurrence::{risk_analysis, OccurrenceProfile};
+        let rate = rate_raw as f64 / 1000.0;
+        let (topo, pm) = build(&desc);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        let base = risk_analysis(&graph, &OccurrenceProfile::uniform_inputs(&topo, 1.0)).unwrap();
+        let scaled =
+            risk_analysis(&graph, &OccurrenceProfile::uniform_inputs(&topo, rate)).unwrap();
+        prop_assert_eq!(base.len(), scaled.len());
+        for (b, s) in base.iter().zip(&scaled) {
+            prop_assert!((s.risk - b.risk * rate).abs() < 1e-9);
+            prop_assert!((s.propagation - b.propagation).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dot_renderings_are_parseable_shapes(desc in description()) {
+        let (topo, pm) = build(&desc);
+        let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+        let dot = permea::core::dot::graph_to_dot(&graph);
+        prop_assert!(dot.starts_with("digraph"));
+        prop_assert_eq!(dot.ends_with("}\n"), true);
+        prop_assert!(dot.matches(" -> ").count() >= topo.pair_count());
+    }
+}

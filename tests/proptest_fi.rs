@@ -1,0 +1,116 @@
+//! Property-based tests for the fault-injection machinery.
+
+use permea::fi::prelude::*;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn arbitrary_model() -> impl Strategy<Value = ErrorModel> {
+    prop_oneof![
+        (0u8..16).prop_map(|bit| ErrorModel::BitFlip { bit }),
+        (0u8..16).prop_map(|bit| ErrorModel::StuckAtOne { bit }),
+        (0u8..16).prop_map(|bit| ErrorModel::StuckAtZero { bit }),
+        any::<i16>().prop_map(|delta| ErrorModel::Offset { delta }),
+        Just(ErrorModel::RandomValue),
+        Just(ErrorModel::Zero),
+        Just(ErrorModel::Saturate),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn models_are_deterministic_under_seed(model in arbitrary_model(), value in any::<u16>(), seed in any::<u64>()) {
+        let a = model.apply(value, &mut SmallRng::seed_from_u64(seed));
+        let b = model.apply(value, &mut SmallRng::seed_from_u64(seed));
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bit_flips_are_involutions(bit in 0u8..16, value in any::<u16>()) {
+        let m = ErrorModel::BitFlip { bit };
+        let mut rng = SmallRng::seed_from_u64(0);
+        let once = m.apply(value, &mut rng);
+        prop_assert_ne!(once, value);
+        prop_assert_eq!(m.apply(once, &mut rng), value);
+    }
+
+    #[test]
+    fn stuck_at_models_are_idempotent(bit in 0u8..16, value in any::<u16>()) {
+        let mut rng = SmallRng::seed_from_u64(0);
+        for m in [ErrorModel::StuckAtOne { bit }, ErrorModel::StuckAtZero { bit }] {
+            let once = m.apply(value, &mut rng);
+            prop_assert_eq!(m.apply(once, &mut rng), once);
+        }
+    }
+
+    #[test]
+    fn offsets_compose_additively(a in any::<i16>(), b in any::<i16>(), value in any::<u16>()) {
+        let mut rng = SmallRng::seed_from_u64(0);
+        let via_two = ErrorModel::Offset { delta: b }
+            .apply(ErrorModel::Offset { delta: a }.apply(value, &mut rng), &mut rng);
+        let direct = value
+            .wrapping_add(a as u16)
+            .wrapping_add(b as u16);
+        prop_assert_eq!(via_two, direct);
+    }
+
+    #[test]
+    fn spec_coordinates_form_an_exact_bijection(
+        targets in 1usize..4,
+        models in 1usize..5,
+        times in 1usize..4,
+        cases in 1usize..5,
+    ) {
+        let spec = CampaignSpec {
+            targets: (0..targets).map(|i| PortTarget::new(format!("M{i}"), "s")).collect(),
+            models: (0..models as u8).map(|bit| ErrorModel::BitFlip { bit }).collect(),
+            times_ms: (0..times as u64).map(|k| 100 * (k + 1)).collect(),
+            cases,
+            scope: InjectionScope::Port,
+        };
+        let coords: Vec<_> = spec.coordinates().collect();
+        prop_assert_eq!(coords.len(), spec.run_count());
+        let unique: std::collections::HashSet<_> = coords.iter().collect();
+        prop_assert_eq!(unique.len(), coords.len());
+        for &(t, m, w, c) in &coords {
+            prop_assert!(t < targets && m < models && w < times && c < cases);
+        }
+    }
+
+    #[test]
+    fn wilson_contains_the_point_estimate(errors_raw in 0u64..5000, trials in 1u64..5000) {
+        let errors = errors_raw % (trials + 1);
+        let p = errors as f64 / trials as f64;
+        let (lo, hi) = wilson_interval(errors, trials, 1.96);
+        prop_assert!(lo <= p + 1e-12, "lo {lo} > p {p}");
+        prop_assert!(hi >= p - 1e-12, "hi {hi} < p {p}");
+        prop_assert!((0.0..=1.0).contains(&lo));
+        prop_assert!((0.0..=1.0).contains(&hi));
+        prop_assert!(lo <= hi);
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials(errors in 0u64..100, scale in 2u64..50) {
+        let trials = 100u64;
+        let (lo1, hi1) = wilson_interval(errors, trials, 1.96);
+        let (lo2, hi2) = wilson_interval(errors * scale, trials * scale, 1.96);
+        prop_assert!(hi2 - lo2 <= hi1 - lo1 + 1e-12);
+    }
+
+    #[test]
+    fn pair_stat_estimate_is_a_probability(errors_raw in any::<u64>(), injections in 1u64..1_000_000) {
+        let errors = errors_raw % (injections + 1);
+        let stat = PairStat {
+            module: "M".into(),
+            input_signal: "i".into(),
+            output_signal: "o".into(),
+            input: 0,
+            output: 0,
+            injections,
+            errors,
+        };
+        prop_assert!((0.0..=1.0).contains(&stat.estimate()));
+    }
+}

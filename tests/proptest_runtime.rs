@@ -1,0 +1,153 @@
+//! Property-based tests for the simulation runtime: bus corruption
+//! semantics, hardware models and scheduling.
+
+use permea::runtime::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn port_corruption_is_invisible_to_other_ports(
+        value in any::<u16>(),
+        corrupt in any::<u16>(),
+        port_m in 0usize..8,
+        port_i in 0usize..4,
+        other_m in 0usize..8,
+        other_i in 0usize..4,
+    ) {
+        let mut bus = SignalBus::new();
+        let s = bus.define("s");
+        bus.write(s, value);
+        bus.corrupt_port((port_m, port_i), s, corrupt);
+        prop_assert_eq!(bus.read_port((port_m, port_i), s), corrupt);
+        prop_assert_eq!(bus.read(s), value);
+        if (other_m, other_i) != (port_m, port_i) {
+            prop_assert_eq!(bus.read_port((other_m, other_i), s), value);
+        }
+    }
+
+    #[test]
+    fn any_write_expires_port_corruption(
+        value in any::<u16>(),
+        corrupt in any::<u16>(),
+        rewrite in any::<u16>(),
+    ) {
+        let mut bus = SignalBus::new();
+        let s = bus.define("s");
+        bus.write(s, value);
+        bus.corrupt_port((0, 0), s, corrupt);
+        bus.write(s, rewrite);
+        prop_assert_eq!(bus.read_port((0, 0), s), rewrite);
+        prop_assert!(!bus.port_corruption_active((0, 0)));
+    }
+
+    #[test]
+    fn signal_corruption_lasts_until_write(
+        value in any::<u16>(),
+        corrupt in any::<u16>(),
+        rewrite in any::<u16>(),
+    ) {
+        let mut bus = SignalBus::new();
+        let s = bus.define("s");
+        bus.write(s, value);
+        bus.corrupt_signal(s, corrupt);
+        prop_assert_eq!(bus.read(s), corrupt);
+        bus.write(s, rewrite);
+        prop_assert_eq!(bus.read(s), rewrite);
+    }
+
+    #[test]
+    fn free_running_counter_is_linear_mod_2_16(rate in 1u16..=u16::MAX, ticks in 0u32..200) {
+        let mut c = permea::runtime::hw::FreeRunningCounter::new(rate);
+        for _ in 0..ticks {
+            c.tick_ms();
+        }
+        prop_assert_eq!(c.value(), (rate as u32).wrapping_mul(ticks) as u16);
+    }
+
+    #[test]
+    fn pulse_accumulator_totals_whole_pulses(rates in prop::collection::vec(0.0f64..5.0, 1..100)) {
+        let mut p = permea::runtime::hw::PulseAccumulator::new();
+        let mut whole_total = 0u32;
+        for &r in &rates {
+            whole_total += p.add_rate(r) as u32;
+        }
+        let exact: f64 = rates.iter().sum();
+        // The accumulator never loses more than one pulse of carry.
+        prop_assert!(whole_total as f64 <= exact + 1e-9);
+        prop_assert!(whole_total as f64 > exact - 1.0 - 1e-9);
+        prop_assert_eq!(p.value() as u32, whole_total & 0xFFFF);
+    }
+
+    #[test]
+    fn adc_is_monotone_and_saturating(a in 0.0f64..400.0, b in 0.0f64..400.0) {
+        let adc = AdcChannel::new(12, 250.0);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(adc.convert(lo) <= adc.convert(hi));
+        prop_assert!(adc.convert(hi) <= adc.max_code());
+    }
+
+    #[test]
+    fn adc_roundtrip_error_is_below_one_lsb(x in 0.0f64..250.0) {
+        let adc = AdcChannel::new(12, 250.0);
+        let lsb = 250.0 / 4095.0;
+        let rt = adc.to_physical(adc.convert(x));
+        prop_assert!((rt - x).abs() <= lsb, "x={x}, rt={rt}");
+    }
+
+    #[test]
+    fn pwm_encode_duty_roundtrip(d in 0.0f64..=1.0) {
+        let pwm = PwmOut::new(10_000);
+        let rt = pwm.duty(pwm.encode(d));
+        prop_assert!((rt - d).abs() <= 1.0 / 10_000.0 + 1e-12);
+    }
+
+    #[test]
+    fn slot_plan_is_deterministic_and_ordered(
+        t in 0u64..10_000,
+        periods in prop::collection::vec((0u64..7, 1u64..9), 1..6),
+    ) {
+        use permea::runtime::scheduler::{Schedule, SlotPlan};
+        let schedules: Vec<Schedule> = periods
+            .iter()
+            .map(|&(phase, period)| Schedule::in_slot(phase, period))
+            .collect();
+        let now = SimTime::from_millis(t);
+        let p1 = SlotPlan::for_tick(now, &schedules);
+        let p2 = SlotPlan::for_tick(now, &schedules);
+        prop_assert_eq!(p1.order(), p2.order());
+        // Plan preserves registration order among periodic tasks.
+        for w in p1.order().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn traces_record_exact_values(values in prop::collection::vec(any::<u16>(), 1..60)) {
+        let mut bus = SignalBus::new();
+        let s = bus.define("s");
+        let mut ts = TraceSet::for_signals(&bus, &[s]);
+        for &v in &values {
+            bus.write(s, v);
+            ts.record(&bus);
+        }
+        prop_assert_eq!(&ts.trace("s").unwrap().samples, &values);
+        prop_assert_eq!(ts.ticks(), values.len());
+    }
+
+    #[test]
+    fn trace_divergence_is_symmetric_in_position(
+        base in prop::collection::vec(any::<u16>(), 2..50),
+        pos_raw in 0usize..50,
+        delta in 1u16..=u16::MAX,
+    ) {
+        let pos = pos_raw % base.len();
+        let mut other = base.clone();
+        other[pos] = other[pos].wrapping_add(delta);
+        let a = permea::runtime::tracing::SignalTrace { name: "x".into(), samples: base };
+        let b = permea::runtime::tracing::SignalTrace { name: "x".into(), samples: other };
+        prop_assert_eq!(a.first_divergence(&b), Some(pos));
+        prop_assert_eq!(b.first_divergence(&a), Some(pos));
+    }
+}
