@@ -107,6 +107,7 @@ fn main() -> ExitCode {
             master_seed: seed,
             keep_records: true,
             horizon_ms: Some(horizon),
+            fast_forward: true,
         },
     );
     eprintln!("running {} injection runs...", spec.run_count());
@@ -120,11 +121,19 @@ fn main() -> ExitCode {
     };
     eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
 
-    println!("{:<8} {:<14} {:<14} {:>8} {:>8} {:>8}", "Module", "Input", "Output", "n", "errors", "P");
+    println!(
+        "{:<8} {:<14} {:<14} {:>8} {:>8} {:>8}",
+        "Module", "Input", "Output", "n", "errors", "P"
+    );
     for p in &result.pairs {
         println!(
             "{:<8} {:<14} {:<14} {:>8} {:>8} {:>8.3}",
-            p.module, p.input_signal, p.output_signal, p.injections, p.errors, p.estimate()
+            p.module,
+            p.input_signal,
+            p.output_signal,
+            p.injections,
+            p.errors,
+            p.estimate()
         );
     }
     println!();

@@ -3,10 +3,13 @@
 //!
 //! ```text
 //! study [--quick | --full] [--out DIR] [--threads N] [--seed S]
+//!       [--replay] [--compare-paths]
 //! ```
 //!
 //! `--quick` (default) runs the reduced configuration (seconds);
 //! `--full` runs the paper's 52 000-injection campaign (minutes).
+//! `--replay` disables snapshot fast-forward (replay every run from tick 0);
+//! `--compare-paths` times the campaign both ways and reports the speedup.
 
 use permea_analysis::report::Report;
 use permea_analysis::study::{Study, StudyConfig};
@@ -14,18 +17,25 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn usage() -> ! {
-    eprintln!("usage: study [--quick | --full] [--out DIR] [--threads N] [--seed S]");
+    eprintln!(
+        "usage: study [--quick | --full] [--out DIR] [--threads N] [--seed S] \
+         [--replay] [--compare-paths]"
+    );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut config = StudyConfig::quick();
     let mut out_dir = PathBuf::from("artifacts/study");
+    let mut replay = false;
+    let mut compare_paths = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => config = StudyConfig::quick(),
             "--full" => config = StudyConfig::paper(),
+            "--replay" => replay = true,
+            "--compare-paths" => compare_paths = true,
             "--out" => match args.next() {
                 Some(d) => out_dir = PathBuf::from(d),
                 None => usage(),
@@ -41,6 +51,7 @@ fn main() -> ExitCode {
             _ => usage(),
         }
     }
+    config.fast_forward = !replay;
 
     let spec_preview = config.spec(&permea_arrestment::system::ArrestmentSystem::topology());
     eprintln!(
@@ -53,14 +64,43 @@ fn main() -> ExitCode {
     );
 
     let started = std::time::Instant::now();
-    let output = match Study::new(config).run() {
+    let output = match Study::new(config.clone()).run() {
         Ok(o) => o,
         Err(e) => {
             eprintln!("study failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("campaign finished in {:.1}s", started.elapsed().as_secs_f64());
+    let first_secs = started.elapsed().as_secs_f64();
+    eprintln!(
+        "campaign finished in {first_secs:.1}s ({})",
+        if config.fast_forward {
+            "fast-forward"
+        } else {
+            "replay-from-zero"
+        }
+    );
+
+    if compare_paths {
+        let mut other = config.clone();
+        other.fast_forward = !config.fast_forward;
+        let started = std::time::Instant::now();
+        if let Err(e) = Study::new(other).run() {
+            eprintln!("comparison path failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        let other_secs = started.elapsed().as_secs_f64();
+        let (fast, slow) = if config.fast_forward {
+            (first_secs, other_secs)
+        } else {
+            (other_secs, first_secs)
+        };
+        eprintln!(
+            "path comparison: fast-forward {fast:.1}s vs replay-from-zero {slow:.1}s \
+             ({:.1}x speedup)",
+            slow / fast
+        );
+    }
 
     let report = Report::from_study(&output);
     print!("{}", report.summary());

@@ -25,7 +25,12 @@ pub struct ShapeCheck {
 
 impl ShapeCheck {
     fn new(id: &str, claim: &str, pass: bool, details: String) -> Self {
-        ShapeCheck { id: id.into(), claim: claim.into(), pass, details }
+        ShapeCheck {
+            id: id.into(),
+            claim: claim.into(),
+            pass,
+            details,
+        }
     }
 }
 
@@ -238,9 +243,19 @@ pub fn render_checks(checks: &[ShapeCheck]) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
     let passed = checks.iter().filter(|c| c.pass).count();
-    let _ = writeln!(s, "Shape checks vs. the paper: {passed}/{} reproduced", checks.len());
+    let _ = writeln!(
+        s,
+        "Shape checks vs. the paper: {passed}/{} reproduced",
+        checks.len()
+    );
     for c in checks {
-        let _ = writeln!(s, "[{}] {:<10} {}", if c.pass { "PASS" } else { "FAIL" }, c.id, c.claim);
+        let _ = writeln!(
+            s,
+            "[{}] {:<10} {}",
+            if c.pass { "PASS" } else { "FAIL" },
+            c.id,
+            c.claim
+        );
         let _ = writeln!(s, "       {:<10} {}", "", c.details);
     }
     s

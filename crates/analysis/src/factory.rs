@@ -15,7 +15,9 @@ pub struct ArrestmentFactory {
 impl ArrestmentFactory {
     /// Uses the paper's 25-case grid.
     pub fn paper() -> Self {
-        ArrestmentFactory { cases: TestCase::paper_grid() }
+        ArrestmentFactory {
+            cases: TestCase::paper_grid(),
+        }
     }
 
     /// Uses an explicit case list.

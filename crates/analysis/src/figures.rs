@@ -48,20 +48,29 @@ pub fn fig9_graph_dot(graph: &PermeabilityGraph) -> String {
 
 /// Fig. 10: ASCII backtrack tree for `TOC2`.
 pub fn fig10_backtrack(graph: &PermeabilityGraph) -> String {
-    let toc2 = graph.topology().signal_by_name("TOC2").expect("TOC2 exists");
+    let toc2 = graph
+        .topology()
+        .signal_by_name("TOC2")
+        .expect("TOC2 exists");
     let tree = BacktrackTree::build(graph, toc2).expect("tree builds");
     dot::backtrack_to_ascii(graph, &tree)
 }
 
 /// Fig. 10 (DOT variant) for graph viewers.
 pub fn fig10_backtrack_dot(graph: &PermeabilityGraph) -> String {
-    let toc2 = graph.topology().signal_by_name("TOC2").expect("TOC2 exists");
+    let toc2 = graph
+        .topology()
+        .signal_by_name("TOC2")
+        .expect("TOC2 exists");
     let tree = BacktrackTree::build(graph, toc2).expect("tree builds");
     dot::backtrack_to_dot(graph, &tree)
 }
 
 fn trace_ascii(graph: &PermeabilityGraph, signal: &str) -> String {
-    let s = graph.topology().signal_by_name(signal).expect("signal exists");
+    let s = graph
+        .topology()
+        .signal_by_name(signal)
+        .expect("signal exists");
     let tree = TraceTree::build(graph, s).expect("tree builds");
     dot::trace_to_ascii(graph, &tree)
 }
@@ -87,7 +96,8 @@ mod tests {
         let mut pm = PermeabilityMatrix::zeroed(&t);
         // Minimal non-zero texture.
         pm.set_named(&t, "PREG", "OutValue", "TOC2", 0.9).unwrap();
-        pm.set_named(&t, "V_REG", "SetValue", "OutValue", 0.8).unwrap();
+        pm.set_named(&t, "V_REG", "SetValue", "OutValue", 0.8)
+            .unwrap();
         PermeabilityGraph::new(&t, &pm).unwrap()
     }
 
@@ -105,7 +115,10 @@ mod tests {
         assert!(f9.contains("CALC") && f9.contains("P^PREG_{1,1}=0.900"));
         let f10 = fig10_backtrack(&g);
         assert!(f10.contains("TOC2 (root)"));
-        assert!(f10.contains("[feedback]"), "i / ms_slot_nbr feedback leaves");
+        assert!(
+            f10.contains("[feedback]"),
+            "i / ms_slot_nbr feedback leaves"
+        );
         assert!(fig10_backtrack_dot(&g).starts_with("digraph"));
         assert!(fig11_trace_adc(&g).contains("ADC (root)"));
         assert!(fig12_trace_pacnt(&g).contains("PACNT (root)"));

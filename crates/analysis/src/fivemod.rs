@@ -54,7 +54,8 @@ pub fn five_module_system() -> (SystemTopology, PermeabilityMatrix) {
     let topo = b.build().expect("example wiring is valid");
     let mut pm = PermeabilityMatrix::zeroed(&topo);
     let set = |pm: &mut PermeabilityMatrix, m: &str, i: &str, o: &str, p: f64| {
-        pm.set_named(&topo, m, i, o, p).expect("example pair exists");
+        pm.set_named(&topo, m, i, o, p)
+            .expect("example pair exists");
     };
     set(&mut pm, "A", "extA", "sA", 0.60);
     set(&mut pm, "B", "sA", "fbB", 0.20);
@@ -117,8 +118,10 @@ mod tests {
         let paths = tree.paths();
         // sB fans out to both D and E: at least 2 distinct OUT routes plus
         // the fbB loop pass.
-        let to_out =
-            paths.iter().filter(|p| p.terminal == PathTerminal::SystemOutput).count();
+        let to_out = paths
+            .iter()
+            .filter(|p| p.terminal == PathTerminal::SystemOutput)
+            .count();
         assert!(to_out >= 3, "found {to_out} routes to OUT");
     }
 }

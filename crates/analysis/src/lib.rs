@@ -29,8 +29,8 @@ pub mod placement_experiment;
 pub mod report;
 pub mod sensitivity;
 pub mod study;
-pub mod validation;
 pub mod tables;
+pub mod validation;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {

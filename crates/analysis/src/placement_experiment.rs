@@ -79,6 +79,7 @@ impl PlacementConfig {
             master_seed: self.seed,
             keep_records: false,
             horizon_ms: Some(self.horizon_ms),
+            fast_forward: true,
         }
     }
 
@@ -94,7 +95,11 @@ impl PlacementConfig {
         }
         CampaignSpec {
             targets,
-            models: self.bits.iter().map(|&bit| ErrorModel::BitFlip { bit }).collect(),
+            models: self
+                .bits
+                .iter()
+                .map(|&bit| ErrorModel::BitFlip { bit })
+                .collect(),
             times_ms: self.times_ms.clone(),
             cases: self.masses * self.velocities,
             scope: InjectionScope::Signal,
@@ -115,7 +120,10 @@ pub fn detection_comparison(
     let study = DetectionStudy::new(&factory, config.campaign_config());
     study.run(
         &config.spec(),
-        &candidate_signals.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &candidate_signals
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>(),
         &["TOC2".to_owned()],
     )
 }
@@ -204,7 +212,8 @@ pub fn render_coverage(coverages: &[PlacementCoverage]) -> String {
             c.detected_failures,
             c.coverage() * 100.0,
             c.preemptive_coverage() * 100.0,
-            c.mean_latency().map_or("n/a".to_owned(), |l| format!("{l:.0}ms"))
+            c.mean_latency()
+                .map_or("n/a".to_owned(), |l| format!("{l:.0}ms"))
         );
     }
     s
@@ -252,11 +261,8 @@ mod tests {
 
     #[test]
     fn recovery_comparison_reproduces_ob5() {
-        let outcome = recovery_comparison(
-            &PlacementConfig::smoke(),
-            &["SetValue", "OutValue"],
-        )
-        .unwrap();
+        let outcome =
+            recovery_comparison(&PlacementConfig::smoke(), &["SetValue", "OutValue"]).unwrap();
         assert!(outcome.baseline_failures > 0);
         assert!(
             outcome.guarded_failures < outcome.baseline_failures,

@@ -22,55 +22,77 @@ impl Report {
     /// Renders all artifacts from a study output.
     pub fn from_study(out: &StudyOutput) -> Report {
         let checks = run_shape_checks(out);
-        let mut files = Vec::new();
-        files.push((
-            "table1.txt".to_owned(),
-            tables::render_table1(&out.topology, &out.matrix),
-        ));
-        files.push((
-            "table1_ci.txt".to_owned(),
-            tables::render_table1_ci(&out.graph, &out.result),
-        ));
-        files.push((
-            "table2.txt".to_owned(),
-            tables::render_table2(&out.topology, &out.measures),
-        ));
-        files.push((
-            "table3.txt".to_owned(),
-            tables::render_table3(&out.topology, &out.measures),
-        ));
-        files.push((
-            "table4.txt".to_owned(),
-            tables::render_table4(&out.topology, &out.toc2_paths, true),
-        ));
-        files.push((
-            "table4_all.txt".to_owned(),
-            tables::render_table4(&out.topology, &out.toc2_paths, false),
-        ));
-        files.push(("fig3_example_graph.dot".to_owned(), figures::fig3_example_graph_dot()));
-        files.push(("fig4_example_backtrack.txt".to_owned(), figures::fig4_example_backtrack()));
-        files.push(("fig5_example_trace.txt".to_owned(), figures::fig5_example_trace()));
-        files.push(("fig9_graph.dot".to_owned(), figures::fig9_graph_dot(&out.graph)));
-        files.push(("fig10_backtrack_toc2.txt".to_owned(), figures::fig10_backtrack(&out.graph)));
-        files.push((
-            "fig10_backtrack_toc2.dot".to_owned(),
-            figures::fig10_backtrack_dot(&out.graph),
-        ));
-        files.push(("fig11_trace_adc.txt".to_owned(), figures::fig11_trace_adc(&out.graph)));
-        files.push(("fig12_trace_pacnt.txt".to_owned(), figures::fig12_trace_pacnt(&out.graph)));
-        files.push((
-            "input_tracing.txt".to_owned(),
-            tables::render_input_tracing(&out.graph),
-        ));
-        files.push((
-            "whatif.txt".to_owned(),
-            tables::render_whatif(&out.topology, &out.matrix, 0.5),
-        ));
-        files.push(("risk.txt".to_owned(), tables::render_risk(&out.graph)));
-        files.push((
-            "edm_cover.txt".to_owned(),
-            tables::render_edm_cover(&out.topology, &out.toc2_paths, 4),
-        ));
+        let mut files = vec![
+            (
+                "table1.txt".to_owned(),
+                tables::render_table1(&out.topology, &out.matrix),
+            ),
+            (
+                "table1_ci.txt".to_owned(),
+                tables::render_table1_ci(&out.graph, &out.result),
+            ),
+            (
+                "table2.txt".to_owned(),
+                tables::render_table2(&out.topology, &out.measures),
+            ),
+            (
+                "table3.txt".to_owned(),
+                tables::render_table3(&out.topology, &out.measures),
+            ),
+            (
+                "table4.txt".to_owned(),
+                tables::render_table4(&out.topology, &out.toc2_paths, true),
+            ),
+            (
+                "table4_all.txt".to_owned(),
+                tables::render_table4(&out.topology, &out.toc2_paths, false),
+            ),
+            (
+                "fig3_example_graph.dot".to_owned(),
+                figures::fig3_example_graph_dot(),
+            ),
+            (
+                "fig4_example_backtrack.txt".to_owned(),
+                figures::fig4_example_backtrack(),
+            ),
+            (
+                "fig5_example_trace.txt".to_owned(),
+                figures::fig5_example_trace(),
+            ),
+            (
+                "fig9_graph.dot".to_owned(),
+                figures::fig9_graph_dot(&out.graph),
+            ),
+            (
+                "fig10_backtrack_toc2.txt".to_owned(),
+                figures::fig10_backtrack(&out.graph),
+            ),
+            (
+                "fig10_backtrack_toc2.dot".to_owned(),
+                figures::fig10_backtrack_dot(&out.graph),
+            ),
+            (
+                "fig11_trace_adc.txt".to_owned(),
+                figures::fig11_trace_adc(&out.graph),
+            ),
+            (
+                "fig12_trace_pacnt.txt".to_owned(),
+                figures::fig12_trace_pacnt(&out.graph),
+            ),
+            (
+                "input_tracing.txt".to_owned(),
+                tables::render_input_tracing(&out.graph),
+            ),
+            (
+                "whatif.txt".to_owned(),
+                tables::render_whatif(&out.topology, &out.matrix, 0.5),
+            ),
+            ("risk.txt".to_owned(), tables::render_risk(&out.graph)),
+            (
+                "edm_cover.txt".to_owned(),
+                tables::render_edm_cover(&out.topology, &out.toc2_paths, 4),
+            ),
+        ];
         if !out.result.records.is_empty() {
             files.push((
                 "latency.txt".to_owned(),
@@ -80,10 +102,7 @@ impl Report {
             ));
         }
         files.push(("checks.txt".to_owned(), render_checks(&checks)));
-        files.push((
-            "placement.txt".to_owned(),
-            render_placement(out),
-        ));
+        files.push(("placement.txt".to_owned(), render_placement(out)));
         files.push((
             "matrix.json".to_owned(),
             serde_json::to_string_pretty(&out.matrix).expect("matrix serialises"),
@@ -139,12 +158,24 @@ pub fn render_placement(out: &StudyOutput) -> String {
     let _ = writeln!(s, "-- Error Detection Mechanisms --");
     for rec in &out.placement.edm {
         let reasons: Vec<String> = rec.rationales.iter().map(why).collect();
-        let _ = writeln!(s, "  {:<22} score {:.3}  [{}]", name(rec.location), rec.score, reasons.join("; "));
+        let _ = writeln!(
+            s,
+            "  {:<22} score {:.3}  [{}]",
+            name(rec.location),
+            rec.score,
+            reasons.join("; ")
+        );
     }
     let _ = writeln!(s, "-- Error Recovery Mechanisms --");
     for rec in &out.placement.erm {
         let reasons: Vec<String> = rec.rationales.iter().map(why).collect();
-        let _ = writeln!(s, "  {:<22} score {:.3}  [{}]", name(rec.location), rec.score, reasons.join("; "));
+        let _ = writeln!(
+            s,
+            "  {:<22} score {:.3}  [{}]",
+            name(rec.location),
+            rec.score,
+            reasons.join("; ")
+        );
     }
     s
 }

@@ -73,7 +73,10 @@ pub fn workload_sweep(
     let mut targets = Vec::new();
     for m in topology.modules() {
         for &sig in topology.inputs_of(m) {
-            targets.push(PortTarget::new(topology.module_name(m), topology.signal_name(sig)));
+            targets.push(PortTarget::new(
+                topology.module_name(m),
+                topology.signal_name(sig),
+            ));
         }
     }
     let mut out = Vec::new();
@@ -86,26 +89,36 @@ pub fn workload_sweep(
                 master_seed: config.seed,
                 keep_records: false,
                 horizon_ms: Some(config.horizon_ms),
+                fast_forward: true,
             },
         );
         let spec = CampaignSpec {
             targets: targets.clone(),
-            models: config.bits.iter().map(|&bit| ErrorModel::BitFlip { bit }).collect(),
+            models: config
+                .bits
+                .iter()
+                .map(|&bit| ErrorModel::BitFlip { bit })
+                .collect(),
             times_ms: config.times_ms.clone(),
             cases: 1,
             scope: InjectionScope::Port,
         };
         let result = campaign.run(&spec)?;
         let matrix = estimate_matrix(&topology, &result)?;
-        let graph = PermeabilityGraph::new(&topology, &matrix)
-            .expect("matrix shaped from this topology");
+        let graph =
+            PermeabilityGraph::new(&topology, &matrix).expect("matrix shaped from this topology");
         let measures = SystemMeasures::compute(&graph).expect("valid topology");
         let module_order = measures
             .ranked_by_permeability()
             .into_iter()
             .map(|mm| topology.module_name(mm.module).to_owned())
             .collect();
-        out.push(WorkloadPoint { label: case.label(), case, matrix, module_order });
+        out.push(WorkloadPoint {
+            label: case.label(),
+            case,
+            matrix,
+            module_order,
+        });
     }
     Ok(out)
 }
@@ -140,7 +153,10 @@ pub fn ordering_stability(a: &WorkloadPoint, b: &WorkloadPoint) -> f64 {
 pub fn render_sweep(points: &[WorkloadPoint]) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
-    let _ = writeln!(s, "Workload sensitivity: module ordering by non-weighted permeability");
+    let _ = writeln!(
+        s,
+        "Workload sensitivity: module ordering by non-weighted permeability"
+    );
     for p in points {
         let stability = ordering_stability(&points[0], p);
         let _ = writeln!(

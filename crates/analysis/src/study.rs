@@ -39,6 +39,10 @@ pub struct StudyConfig {
     pub keep_records: bool,
     /// Injection scope.
     pub scope: InjectionScope,
+    /// Fork injection runs from golden snapshots and early-exit on
+    /// reconvergence (bit-identical results; off only for differential
+    /// timing).
+    pub fast_forward: bool,
 }
 
 impl StudyConfig {
@@ -56,6 +60,7 @@ impl StudyConfig {
             seed: 0x5EED,
             keep_records: true,
             scope: InjectionScope::Port,
+            fast_forward: true,
         }
     }
 
@@ -73,6 +78,7 @@ impl StudyConfig {
             seed: 0x5EED,
             keep_records: true,
             scope: InjectionScope::Port,
+            fast_forward: true,
         }
     }
 
@@ -88,6 +94,7 @@ impl StudyConfig {
             seed: 0x5EED,
             keep_records: true,
             scope: InjectionScope::Port,
+            fast_forward: true,
         }
     }
 
@@ -105,7 +112,11 @@ impl StudyConfig {
         }
         CampaignSpec {
             targets,
-            models: self.bits.iter().map(|&bit| permea_fi::model::ErrorModel::BitFlip { bit }).collect(),
+            models: self
+                .bits
+                .iter()
+                .map(|&bit| permea_fi::model::ErrorModel::BitFlip { bit })
+                .collect(),
             times_ms: self.times_ms.clone(),
             cases: self.masses * self.velocities,
             scope: self.scope,
@@ -175,14 +186,14 @@ impl Study {
                 master_seed: self.config.seed,
                 keep_records: self.config.keep_records,
                 horizon_ms: self.config.horizon_ms,
+                fast_forward: self.config.fast_forward,
             },
         );
         let result = campaign.run(&spec)?;
         let matrix = permea_fi::estimate::estimate_matrix(&topology, &result)?;
         let graph = PermeabilityGraph::new(&topology, &matrix)
             .expect("matrix was shaped from this topology");
-        let measures =
-            SystemMeasures::compute(&graph).expect("validated topology yields measures");
+        let measures = SystemMeasures::compute(&graph).expect("validated topology yields measures");
         let backtrack =
             BacktrackForest::build(&graph).expect("validated topology yields backtrack trees");
         let trace = TraceForest::build(&graph).expect("validated topology yields trace trees");

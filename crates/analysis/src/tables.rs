@@ -10,8 +10,15 @@ use std::fmt::Write as _;
 /// Table 1: estimated error permeability of every (input, output) pair.
 pub fn render_table1(topology: &SystemTopology, matrix: &PermeabilityMatrix) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 1. Estimated error permeability values of the input/output pairs");
-    let _ = writeln!(out, "{:<8} {:<24} {:<14} {:>7}", "Module", "Input -> Output", "Name", "Value");
+    let _ = writeln!(
+        out,
+        "Table 1. Estimated error permeability values of the input/output pairs"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:<24} {:<14} {:>7}",
+        "Module", "Input -> Output", "Name", "Value"
+    );
     for (m, i, k, v) in matrix.iter() {
         let in_sig = topology.inputs_of(m)[i];
         let out_sig = topology.outputs_of(m)[k];
@@ -19,7 +26,11 @@ pub fn render_table1(topology: &SystemTopology, matrix: &PermeabilityMatrix) -> 
             out,
             "{:<8} {:<24} {:<14} {:>7.3}",
             topology.module_name(m),
-            format!("{} -> {}", topology.signal_name(in_sig), topology.signal_name(out_sig)),
+            format!(
+                "{} -> {}",
+                topology.signal_name(in_sig),
+                topology.signal_name(out_sig)
+            ),
             format!("P^{}_{{{},{}}}", topology.module_name(m), i + 1, k + 1),
             v
         );
@@ -30,7 +41,10 @@ pub fn render_table1(topology: &SystemTopology, matrix: &PermeabilityMatrix) -> 
 /// Table 2: relative permeability and error exposure values per module.
 pub fn render_table2(topology: &SystemTopology, measures: &SystemMeasures) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 2. Estimated relative permeability and error exposure values of the modules");
+    let _ = writeln!(
+        out,
+        "Table 2. Estimated relative permeability and error exposure values of the modules"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:>8} {:>8} {:>8} {:>8}",
@@ -69,13 +83,13 @@ pub fn render_table3(topology: &SystemTopology, measures: &SystemMeasures) -> St
 /// Table 4: propagation paths from the system output, ordered by weight.
 /// `non_zero_only` reproduces the paper's 13-row table; with `false` all 22
 /// paths are listed.
-pub fn render_table4(
-    topology: &SystemTopology,
-    paths: &PathSet,
-    non_zero_only: bool,
-) -> String {
+pub fn render_table4(topology: &SystemTopology, paths: &PathSet, non_zero_only: bool) -> String {
     let mut out = String::new();
-    let shown = if non_zero_only { paths.non_zero() } else { paths.clone() };
+    let shown = if non_zero_only {
+        paths.non_zero()
+    } else {
+        paths.clone()
+    };
     let shown = shown.sorted_by_weight();
     let _ = writeln!(
         out,
@@ -84,20 +98,35 @@ pub fn render_table4(
         paths.len(),
         if non_zero_only { ", weight > 0" } else { "" }
     );
-    let _ = writeln!(out, "{:<4} {:>9}  Path (output <- ... <- origin)", "#", "Weight");
+    let _ = writeln!(
+        out,
+        "{:<4} {:>9}  Path (output <- ... <- origin)",
+        "#", "Weight"
+    );
     for (idx, p) in shown.iter().enumerate() {
-        let names: Vec<&str> =
-            p.signals.iter().map(|&s| topology.signal_name(s)).collect();
-        let _ = writeln!(out, "{:<4} {:>9.5}  {}", idx + 1, p.weight, names.join(" <- "));
+        let names: Vec<&str> = p.signals.iter().map(|&s| topology.signal_name(s)).collect();
+        let _ = writeln!(
+            out,
+            "{:<4} {:>9.5}  {}",
+            idx + 1,
+            p.weight,
+            names.join(" <- ")
+        );
     }
     out
 }
 
 /// Renders all pair estimates with Wilson confidence intervals (an
 /// extension of Table 1 showing the estimates are statistically stable).
-pub fn render_table1_ci(graph: &PermeabilityGraph, result: &permea_fi::results::CampaignResult) -> String {
+pub fn render_table1_ci(
+    graph: &PermeabilityGraph,
+    result: &permea_fi::results::CampaignResult,
+) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Table 1 (extended): permeability estimates with 95% Wilson intervals");
+    let _ = writeln!(
+        out,
+        "Table 1 (extended): permeability estimates with 95% Wilson intervals"
+    );
     let _ = writeln!(
         out,
         "{:<8} {:<24} {:>7} {:>9} {:>9} {:>7}",
@@ -125,15 +154,17 @@ pub fn render_input_tracing(graph: &PermeabilityGraph) -> String {
     use permea_core::trace::TraceForest;
     let topo = graph.topology();
     let mut out = String::new();
-    let _ = writeln!(out, "Input Error Tracing: likeliest pathways per system input");
+    let _ = writeln!(
+        out,
+        "Input Error Tracing: likeliest pathways per system input"
+    );
     let forest = TraceForest::build(graph).expect("validated topology yields trace trees");
     for tree in forest.trees() {
         let root = tree.root_signal();
         let set = tree.clone().into_path_set().sorted_by_weight();
         let _ = writeln!(out, "{} ({} pathways):", topo.signal_name(root), set.len());
         for p in set.iter().take(5) {
-            let names: Vec<&str> =
-                p.signals.iter().map(|&s| topo.signal_name(s)).collect();
+            let names: Vec<&str> = p.signals.iter().map(|&s| topo.signal_name(s)).collect();
             let _ = writeln!(out, "  {:>9.5}  {}", p.weight, names.join(" -> "));
         }
     }
@@ -203,7 +234,11 @@ pub fn render_risk(graph: &PermeabilityGraph) -> String {
         out,
         "Occurrence-weighted risk (uniform unit rates on system inputs)"
     );
-    let _ = writeln!(out, "{:<8} {:<8} {:>12} {:>8}", "Origin", "Output", "propagation", "risk");
+    let _ = writeln!(
+        out,
+        "{:<8} {:<8} {:>12} {:>8}",
+        "Origin", "Output", "propagation", "risk"
+    );
     let profile = OccurrenceProfile::uniform_inputs(topo, 1.0);
     match risk_analysis(graph, &profile) {
         Ok(rows) => {
@@ -277,7 +312,10 @@ mod tests {
         let s = render_table3(&t, &m);
         // X^s = 0.5 (A's arc), X^out = 0.25 (C's arc): `s` ranks first.
         let first_data_line = s.lines().nth(2).unwrap();
-        assert!(first_data_line.starts_with('s'), "highest exposure first: {first_data_line}");
+        assert!(
+            first_data_line.starts_with('s'),
+            "highest exposure first: {first_data_line}"
+        );
     }
 
     #[test]

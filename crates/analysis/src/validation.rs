@@ -80,10 +80,8 @@ pub fn validate_composition(
     config: &ValidationConfig,
 ) -> Result<Vec<ValidationRow>, FiError> {
     let topo = &study.topology;
-    let factory = ArrestmentFactory::with_cases(vec![TestCase::new(
-        config.mass_kg,
-        config.velocity_ms,
-    )]);
+    let factory =
+        ArrestmentFactory::with_cases(vec![TestCase::new(config.mass_kg, config.velocity_ms)]);
     let campaign = Campaign::new(
         &factory,
         CampaignConfig {
@@ -91,9 +89,10 @@ pub fn validate_composition(
             master_seed: 0xDA7A,
             keep_records: false,
             horizon_ms: Some(config.horizon_ms),
+            fast_forward: true,
         },
     );
-    let golden = campaign.golden(0)?;
+    let golden = campaign.golden_bundle(0, &config.times_ms)?;
 
     let mut rows = Vec::new();
     for &input in topo.system_inputs() {
@@ -120,7 +119,7 @@ pub fn validate_composition(
                     seed,
                 )?;
                 injections += 1;
-                if golden.first_divergence(&traces, "TOC2").is_some() {
+                if golden.run.first_divergence(&traces, "TOC2").is_some() {
                     diverged += 1;
                 }
             }
@@ -157,8 +156,15 @@ pub fn orderings_agree(rows: &[ValidationRow], tolerance: f64) -> bool {
 pub fn render_validation(rows: &[ValidationRow]) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
-    let _ = writeln!(s, "Composition validation: predicted vs measured P(input -> TOC2)");
-    let _ = writeln!(s, "{:<8} {:>10} {:>10} {:>6}", "Input", "predicted", "measured", "n");
+    let _ = writeln!(
+        s,
+        "Composition validation: predicted vs measured P(input -> TOC2)"
+    );
+    let _ = writeln!(
+        s,
+        "{:<8} {:>10} {:>10} {:>6}",
+        "Input", "predicted", "measured", "n"
+    );
     for r in rows {
         let _ = writeln!(
             s,
@@ -203,13 +209,33 @@ mod tests {
     #[test]
     fn orderings_agree_detects_contradiction() {
         let rows = vec![
-            ValidationRow { input: "a".into(), predicted: 0.9, measured: 0.1, injections: 1 },
-            ValidationRow { input: "b".into(), predicted: 0.1, measured: 0.9, injections: 1 },
+            ValidationRow {
+                input: "a".into(),
+                predicted: 0.9,
+                measured: 0.1,
+                injections: 1,
+            },
+            ValidationRow {
+                input: "b".into(),
+                predicted: 0.1,
+                measured: 0.9,
+                injections: 1,
+            },
         ];
         assert!(!orderings_agree(&rows, 0.05));
         let rows = vec![
-            ValidationRow { input: "a".into(), predicted: 0.9, measured: 0.8, injections: 1 },
-            ValidationRow { input: "b".into(), predicted: 0.1, measured: 0.2, injections: 1 },
+            ValidationRow {
+                input: "a".into(),
+                predicted: 0.9,
+                measured: 0.8,
+                injections: 1,
+            },
+            ValidationRow {
+                input: "b".into(),
+                predicted: 0.1,
+                measured: 0.2,
+                injections: 1,
+            },
         ];
         assert!(orderings_agree(&rows, 0.05));
     }

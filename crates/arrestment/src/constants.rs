@@ -152,6 +152,6 @@ mod tests {
 
     #[test]
     fn adc_covers_max_pressure() {
-        assert!(ADC_FULL_SCALE_BAR > PRESSURE_MAX_BAR);
+        const { assert!(ADC_FULL_SCALE_BAR > PRESSURE_MAX_BAR) };
     }
 }

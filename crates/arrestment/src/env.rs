@@ -19,6 +19,7 @@ use crate::testcase::TestCase;
 use permea_runtime::hw::{AdcChannel, FreeRunningCounter, InputCapture, PulseAccumulator, PwmOut};
 use permea_runtime::signals::{SignalBus, SignalRef};
 use permea_runtime::sim::Environment;
+use permea_runtime::state::{StateReader, StateWriter};
 use permea_runtime::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::sync::{Arc, Mutex};
@@ -157,6 +158,34 @@ impl Environment for ArrestmentEnv {
     fn finished(&self, now: SimTime) -> bool {
         self.stopped_for_ms > 200 || now.as_millis() >= SCENARIO_CAP_MS
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        // Physics as exact f64 bit patterns, hardware registers through their
+        // own codecs. `case`, the converters (adc/pwm) and the signal
+        // bindings are construction config and deliberately not captured;
+        // the telemetry snapshot is derived state, refreshed each post_tick.
+        let mut w = StateWriter::new();
+        w.put_f64(self.velocity)
+            .put_f64(self.position)
+            .put_f64(self.pressure_bar)
+            .put_u64(self.stopped_for_ms);
+        self.tcnt.save_state(&mut w);
+        self.pacnt.save_state(&mut w);
+        self.tic1.save_state(&mut w);
+        w.finish()
+    }
+
+    fn load_state(&mut self, state: &[u8]) {
+        let mut r = StateReader::new(state);
+        self.velocity = r.f64();
+        self.position = r.f64();
+        self.pressure_bar = r.f64();
+        self.stopped_for_ms = r.u64();
+        self.tcnt.load_state(&mut r);
+        self.pacnt.load_state(&mut r);
+        self.tic1.load_state(&mut r);
+        r.finish();
+    }
 }
 
 #[cfg(test)]
@@ -200,7 +229,11 @@ mod tests {
         }
         let snap = *env.snapshot_handle().lock().unwrap();
         assert!(snap.pressure_bar > 0.9 * PRESSURE_MAX_BAR);
-        assert!(snap.velocity_ms < 60.0 - 10.0, "velocity was {}", snap.velocity_ms);
+        assert!(
+            snap.velocity_ms < 60.0 - 10.0,
+            "velocity was {}",
+            snap.velocity_ms
+        );
         assert!(snap.position_m > 0.0);
     }
 

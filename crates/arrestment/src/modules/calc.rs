@@ -23,6 +23,7 @@ use crate::constants::{
     VEL_REF_PULSES_PER_S,
 };
 use permea_runtime::module::{ModuleCtx, SoftwareModule};
+use permea_runtime::state::{StateReader, StateWriter};
 
 /// Number of checkpoints.
 pub const CHECKPOINTS: u16 = CHECKPOINT_PULSES.len() as u16;
@@ -44,7 +45,12 @@ pub struct Calc {
 impl Calc {
     /// Creates the calculator in its pre-engagement state.
     pub fn new() -> Self {
-        Calc { pulscnt_at_cp: 0, mscnt_at_cp: 0, set_cbar: 0, engaged: false }
+        Calc {
+            pulscnt_at_cp: 0,
+            mscnt_at_cp: 0,
+            set_cbar: 0,
+            engaged: false,
+        }
     }
 
     /// Velocity-scaled set-point for checkpoint `cp` given pulses/second.
@@ -111,6 +117,24 @@ impl SoftwareModule for Calc {
 
     fn reset(&mut self) {
         *self = Calc::new();
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_u16(self.pulscnt_at_cp)
+            .put_u16(self.mscnt_at_cp)
+            .put_u16(self.set_cbar)
+            .put_bool(self.engaged);
+        w.finish()
+    }
+
+    fn load_state(&mut self, state: &[u8]) {
+        let mut r = StateReader::new(state);
+        self.pulscnt_at_cp = r.u16();
+        self.mscnt_at_cp = r.u16();
+        self.set_cbar = r.u16();
+        self.engaged = r.bool();
+        r.finish();
     }
 }
 

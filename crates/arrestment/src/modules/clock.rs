@@ -12,6 +12,7 @@
 
 use crate::constants::SLOTS_PER_CYCLE;
 use permea_runtime::module::{ModuleCtx, SoftwareModule};
+use permea_runtime::state::{StateReader, StateWriter};
 
 /// The `CLOCK` module. Inputs: `[ms_slot_nbr]`. Outputs:
 /// `[mscnt, ms_slot_nbr]`.
@@ -31,7 +32,11 @@ impl SoftwareModule for Clock {
     fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
         // Slot number advances from its fed-back previous value.
         let slot = ctx.read(0);
-        let next_slot = if slot >= SLOTS_PER_CYCLE - 1 { 0 } else { slot + 1 };
+        let next_slot = if slot >= SLOTS_PER_CYCLE - 1 {
+            0
+        } else {
+            slot + 1
+        };
         // Millisecond counter is internal state, independent of the slot.
         self.mscnt = self.mscnt.wrapping_add(1);
         ctx.write(0, self.mscnt);
@@ -40,6 +45,18 @@ impl SoftwareModule for Clock {
 
     fn reset(&mut self) {
         self.mscnt = 0;
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_u16(self.mscnt);
+        w.finish()
+    }
+
+    fn load_state(&mut self, state: &[u8]) {
+        let mut r = StateReader::new(state);
+        self.mscnt = r.u16();
+        r.finish();
     }
 }
 

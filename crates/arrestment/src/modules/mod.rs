@@ -40,10 +40,15 @@ pub(crate) mod harness {
         pub fn new(input_names: &[&str], output_names: &[&str]) -> Self {
             let mut bus = SignalBus::new();
             let inputs = input_names.iter().map(|n| bus.define(*n)).collect();
-            let outputs: Vec<SignalRef> =
-                output_names.iter().map(|n| bus.define(*n)).collect();
+            let outputs: Vec<SignalRef> = output_names.iter().map(|n| bus.define(*n)).collect();
             let out_cache = vec![None; output_names.len()];
-            SingleModuleHarness { bus, inputs, outputs, out_cache, now: 0 }
+            SingleModuleHarness {
+                bus,
+                inputs,
+                outputs,
+                out_cache,
+                now: 0,
+            }
         }
 
         pub fn input(&self, i: usize) -> SignalRef {

@@ -9,6 +9,7 @@
 
 use crate::constants::{PREG_SLEW_PER_STEP, VALVE_CMD_MAX};
 use permea_runtime::module::{ModuleCtx, SoftwareModule};
+use permea_runtime::state::{StateReader, StateWriter};
 
 /// The `PREG` module. Inputs: `[OutValue]`. Outputs: `[TOC2]`.
 #[derive(Debug, Clone, Default)]
@@ -37,6 +38,18 @@ impl SoftwareModule for Preg {
 
     fn reset(&mut self) {
         self.toc2 = 0;
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_u16(self.toc2);
+        w.finish()
+    }
+
+    fn load_state(&mut self, state: &[u8]) {
+        let mut r = StateReader::new(state);
+        self.toc2 = r.u16();
+        r.finish();
     }
 }
 

@@ -15,6 +15,7 @@ use crate::constants::{
     ADC_BITS, ADC_FULL_SCALE_BAR, IS_VALUE_QUANTUM_CBAR, MAX_PLAUSIBLE_PRESSURE_STEP_CBAR,
 };
 use permea_runtime::module::{ModuleCtx, SoftwareModule};
+use permea_runtime::state::{StateReader, StateWriter};
 
 /// The `PRES_S` module. Inputs: `[ADC]`. Outputs: `[IsValue]`.
 #[derive(Debug, Clone, Default)]
@@ -33,7 +34,7 @@ impl PresS {
 
     /// Converts a raw ADC code to centibar.
     fn code_to_cbar(code: u16) -> u16 {
-        let max_code = ((1u32 << ADC_BITS) - 1) as u32;
+        let max_code = (1u32 << ADC_BITS) - 1;
         let clamped = (code as u32).min(max_code);
         (clamped * (ADC_FULL_SCALE_BAR * 100.0) as u32 / max_code) as u16
     }
@@ -61,6 +62,19 @@ impl SoftwareModule for PresS {
 
     fn reset(&mut self) {
         *self = PresS::default();
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_u16(self.last_accepted_cbar).put_bool(self.primed);
+        w.finish()
+    }
+
+    fn load_state(&mut self, state: &[u8]) {
+        let mut r = StateReader::new(state);
+        self.last_accepted_cbar = r.u16();
+        self.primed = r.bool();
+        r.finish();
     }
 }
 

@@ -12,6 +12,7 @@ use crate::constants::{
     VALVE_CMD_MAX, VREG_CMD_QUANTUM, VREG_INTEG_CLAMP, VREG_KI_NUM, VREG_KP_NUM,
 };
 use permea_runtime::module::{ModuleCtx, SoftwareModule};
+use permea_runtime::state::{StateReader, StateWriter};
 
 /// The `V_REG` module. Inputs: `[SetValue, IsValue]`. Outputs: `[OutValue]`.
 #[derive(Debug, Clone, Default)]
@@ -42,6 +43,18 @@ impl SoftwareModule for VReg {
 
     fn reset(&mut self) {
         self.integ = 0;
+    }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_i32(self.integ);
+        w.finish()
+    }
+
+    fn load_state(&mut self, state: &[u8]) {
+        let mut r = StateReader::new(state);
+        self.integ = r.i32();
+        r.finish();
     }
 }
 

@@ -47,19 +47,28 @@ pub const SYSTEM_SPEC: &[ModuleSpec] = &[
         name: "CLOCK",
         inputs: &["ms_slot_nbr"],
         outputs: &["mscnt", "ms_slot_nbr"],
-        schedule: Schedule::Periodic { phase_ms: 0, period_ms: 1 },
+        schedule: Schedule::Periodic {
+            phase_ms: 0,
+            period_ms: 1,
+        },
     },
     ModuleSpec {
         name: "DIST_S",
         inputs: &["PACNT", "TIC1", "TCNT"],
         outputs: &["pulscnt", "slow_speed", "stopped"],
-        schedule: Schedule::Periodic { phase_ms: 0, period_ms: 1 },
+        schedule: Schedule::Periodic {
+            phase_ms: 0,
+            period_ms: 1,
+        },
     },
     ModuleSpec {
         name: "PRES_S",
         inputs: &["ADC"],
         outputs: &["IsValue"],
-        schedule: Schedule::Periodic { phase_ms: 2, period_ms: 7 },
+        schedule: Schedule::Periodic {
+            phase_ms: 2,
+            period_ms: 7,
+        },
     },
     ModuleSpec {
         name: "CALC",
@@ -71,13 +80,19 @@ pub const SYSTEM_SPEC: &[ModuleSpec] = &[
         name: "V_REG",
         inputs: &["SetValue", "IsValue"],
         outputs: &["OutValue"],
-        schedule: Schedule::Periodic { phase_ms: 4, period_ms: 7 },
+        schedule: Schedule::Periodic {
+            phase_ms: 4,
+            period_ms: 7,
+        },
     },
     ModuleSpec {
         name: "PREG",
         inputs: &["OutValue"],
         outputs: &["TOC2"],
-        schedule: Schedule::Periodic { phase_ms: 5, period_ms: 7 },
+        schedule: Schedule::Periodic {
+            phase_ms: 5,
+            period_ms: 7,
+        },
     },
 ];
 
@@ -130,7 +145,9 @@ pub struct ArrestmentSystem {
 
 impl std::fmt::Debug for ArrestmentSystem {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ArrestmentSystem").field("case", &self.case).finish()
+        f.debug_struct("ArrestmentSystem")
+            .field("case", &self.case)
+            .finish()
     }
 }
 
@@ -174,18 +191,30 @@ impl ArrestmentSystem {
                 .iter()
                 .map(|n| b.signal_ref(n).expect("spec output signal defined"))
                 .collect();
-            b.add_module(spec.name, make_module(spec.name), spec.schedule, &inputs, &outputs);
+            b.add_module(
+                spec.name,
+                make_module(spec.name),
+                spec.schedule,
+                &inputs,
+                &outputs,
+            );
         }
         for extra in extras {
             let inputs: Vec<SignalRef> = extra
                 .inputs
                 .iter()
-                .map(|n| b.signal_ref(n).unwrap_or_else(|| panic!("unknown extra input `{n}`")))
+                .map(|n| {
+                    b.signal_ref(n)
+                        .unwrap_or_else(|| panic!("unknown extra input `{n}`"))
+                })
                 .collect();
             let outputs: Vec<SignalRef> = extra
                 .outputs
                 .iter()
-                .map(|n| b.signal_ref(n).unwrap_or_else(|| panic!("unknown extra output `{n}`")))
+                .map(|n| {
+                    b.signal_ref(n)
+                        .unwrap_or_else(|| panic!("unknown extra output `{n}`"))
+                })
                 .collect();
             b.add_module(extra.name, extra.module, extra.schedule, &inputs, &outputs);
         }
@@ -200,7 +229,11 @@ impl ArrestmentSystem {
         let snapshot = env.snapshot_handle();
         let mut sim = b.build(Box::new(env));
         sim.enable_tracing_all();
-        ArrestmentSystem { sim, snapshot, case }
+        ArrestmentSystem {
+            sim,
+            snapshot,
+            case,
+        }
     }
 
     /// The analysis topology matching [`SYSTEM_SPEC`].
@@ -226,7 +259,9 @@ impl ArrestmentSystem {
         // Pass 2: bind inputs (self-feedback signals now exist).
         for (spec, &m) in SYSTEM_SPEC.iter().zip(&mods) {
             for input in spec.inputs {
-                let s = *sig.get(*input).expect("spec input resolves to a declared signal");
+                let s = *sig
+                    .get(*input)
+                    .expect("spec input resolves to a declared signal");
                 b.bind_input(m, s);
             }
         }
@@ -259,8 +294,11 @@ impl ArrestmentSystem {
     /// Runs the scenario to completion (arrest or cap) and returns the full
     /// trace set — a Golden Run when no injection was performed.
     pub fn run_to_completion(&mut self) -> TraceSet {
-        self.sim.run_until(SimTime::from_millis(SCENARIO_CAP_MS + 300));
-        self.sim.take_traces().expect("tracing enabled at construction")
+        self.sim
+            .run_until(SimTime::from_millis(SCENARIO_CAP_MS + 300));
+        self.sim
+            .take_traces()
+            .expect("tracing enabled at construction")
     }
 
     /// Runs exactly `ticks` ticks (used for injection runs that must match a
@@ -269,7 +307,9 @@ impl ArrestmentSystem {
         for _ in 0..ticks {
             self.sim.step();
         }
-        self.sim.take_traces().expect("tracing enabled at construction")
+        self.sim
+            .take_traces()
+            .expect("tracing enabled at construction")
     }
 
     /// Unwraps the bare simulation (for fault-injection factories that only
@@ -323,7 +363,10 @@ mod tests {
         let traces = sys.run_to_completion();
         let snap = sys.snapshot();
         assert!(snap.arrested, "aircraft must stop, reached {:?}", snap);
-        assert!(snap.elapsed_ms > 5_000, "arrestment outlasts the injection window");
+        assert!(
+            snap.elapsed_ms > 5_000,
+            "arrestment outlasts the injection window"
+        );
         assert!(traces.ticks() > 5_000);
         // The controller actually applied pressure.
         let toc2 = traces.trace("TOC2").unwrap();

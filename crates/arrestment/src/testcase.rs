@@ -24,9 +24,18 @@ impl TestCase {
     ///
     /// Panics if either value is non-positive or not finite.
     pub fn new(mass_kg: f64, velocity_ms: f64) -> Self {
-        assert!(mass_kg.is_finite() && mass_kg > 0.0, "mass must be positive");
-        assert!(velocity_ms.is_finite() && velocity_ms > 0.0, "velocity must be positive");
-        TestCase { mass_kg, velocity_ms }
+        assert!(
+            mass_kg.is_finite() && mass_kg > 0.0,
+            "mass must be positive"
+        );
+        assert!(
+            velocity_ms.is_finite() && velocity_ms > 0.0,
+            "velocity must be positive"
+        );
+        TestCase {
+            mass_kg,
+            velocity_ms,
+        }
     }
 
     /// The paper's 25-case grid: 5 masses × 5 velocities, uniformly spaced
@@ -42,7 +51,10 @@ impl TestCase {
     ///
     /// Panics if either count is zero.
     pub fn grid(masses: usize, velocities: usize) -> Vec<TestCase> {
-        assert!(masses > 0 && velocities > 0, "grid dimensions must be positive");
+        assert!(
+            masses > 0 && velocities > 0,
+            "grid dimensions must be positive"
+        );
         let mass_at = |i: usize| {
             if masses == 1 {
                 14_000.0

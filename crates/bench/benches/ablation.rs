@@ -25,7 +25,12 @@ fn targets() -> Vec<PortTarget> {
     ]
 }
 
-fn run(cases: Vec<TestCase>, scope: InjectionScope, models: Vec<ErrorModel>, horizon: u64) -> CampaignResult {
+fn run(
+    cases: Vec<TestCase>,
+    scope: InjectionScope,
+    models: Vec<ErrorModel>,
+    horizon: u64,
+) -> CampaignResult {
     let factory = ArrestmentFactory::with_cases(cases);
     let campaign = Campaign::new(
         &factory,
@@ -34,6 +39,7 @@ fn run(cases: Vec<TestCase>, scope: InjectionScope, models: Vec<ErrorModel>, hor
             master_seed: 0x5EED,
             keep_records: false,
             horizon_ms: Some(horizon),
+            fast_forward: true,
         },
     );
     let spec = CampaignSpec {
@@ -54,7 +60,10 @@ fn summary(label: &str, res: &CampaignResult) {
         ("PREG", "OutValue", "TOC2"),
         ("DIST_S", "PACNT", "pulscnt"),
     ] {
-        let p = res.pair(pair.0, pair.1, pair.2).map(|p| p.estimate()).unwrap_or(0.0);
+        let p = res
+            .pair(pair.0, pair.1, pair.2)
+            .map(|p| p.estimate())
+            .unwrap_or(0.0);
         print!("  {}→{}={:.3}", pair.1, pair.2, p);
     }
     println!();
@@ -65,25 +74,50 @@ fn bench(c: &mut Criterion) {
     let case = vec![TestCase::new(14_000.0, 60.0)];
 
     println!("\n=== Ablation: injection scope (port = paper's direct-error accounting) ===");
-    summary("port scope", &run(case.clone(), InjectionScope::Port, flips.clone(), 6_000));
-    summary("signal scope", &run(case.clone(), InjectionScope::Signal, flips.clone(), 6_000));
+    summary(
+        "port scope",
+        &run(case.clone(), InjectionScope::Port, flips.clone(), 6_000),
+    );
+    summary(
+        "signal scope",
+        &run(case.clone(), InjectionScope::Signal, flips.clone(), 6_000),
+    );
 
     println!("\n=== Ablation: comparison horizon ===");
-    summary("horizon 4s", &run(case.clone(), InjectionScope::Port, flips.clone(), 4_000));
-    summary("horizon 8s", &run(case.clone(), InjectionScope::Port, flips.clone(), 8_000));
+    summary(
+        "horizon 4s",
+        &run(case.clone(), InjectionScope::Port, flips.clone(), 4_000),
+    );
+    summary(
+        "horizon 8s",
+        &run(case.clone(), InjectionScope::Port, flips.clone(), 8_000),
+    );
 
     println!("\n=== Ablation: workload sensitivity (paper's future work) ===");
     summary(
         "light & fast (8t, 80m/s)",
-        &run(vec![TestCase::new(8_000.0, 80.0)], InjectionScope::Port, flips.clone(), 6_000),
+        &run(
+            vec![TestCase::new(8_000.0, 80.0)],
+            InjectionScope::Port,
+            flips.clone(),
+            6_000,
+        ),
     );
     summary(
         "heavy & slow (20t, 40m/s)",
-        &run(vec![TestCase::new(20_000.0, 40.0)], InjectionScope::Port, flips.clone(), 6_000),
+        &run(
+            vec![TestCase::new(20_000.0, 40.0)],
+            InjectionScope::Port,
+            flips.clone(),
+            6_000,
+        ),
     );
 
     println!("\n=== Ablation: error model sensitivity ===");
-    summary("bit flips (16)", &run(case.clone(), InjectionScope::Port, flips, 6_000));
+    summary(
+        "bit flips (16)",
+        &run(case.clone(), InjectionScope::Port, flips, 6_000),
+    );
     summary(
         "stuck-at-1 (16)",
         &run(

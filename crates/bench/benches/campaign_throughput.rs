@@ -34,7 +34,11 @@ fn bench(c: &mut Criterion) {
     group.bench_function("3s_horizon", |b| {
         let campaign = Campaign::new(
             &factory,
-            CampaignConfig { threads: 1, horizon_ms: Some(3_000), ..Default::default() },
+            CampaignConfig {
+                threads: 1,
+                horizon_ms: Some(3_000),
+                ..Default::default()
+            },
         );
         b.iter(|| black_box(campaign.golden(0).unwrap()))
     });
@@ -58,6 +62,26 @@ fn bench(c: &mut Criterion) {
                     threads,
                     horizon_ms: Some(3_000),
                     keep_records: false,
+                    ..Default::default()
+                },
+            );
+            b.iter(|| black_box(campaign.run(&spec).unwrap()))
+        });
+    }
+    group.finish();
+
+    // Fast-forward vs replay: the same 32-run campaign, wall-clock.
+    let mut group = c.benchmark_group("campaign/fast_forward");
+    group.sample_size(10);
+    for (label, fast_forward) in [("on", true), ("off", false)] {
+        group.bench_function(label, |b| {
+            let campaign = Campaign::new(
+                &factory,
+                CampaignConfig {
+                    threads: 1,
+                    horizon_ms: Some(3_000),
+                    keep_records: false,
+                    fast_forward,
                     ..Default::default()
                 },
             );

@@ -41,7 +41,9 @@ fn bench(c: &mut Criterion) {
     // Detector throughput on a long trace.
     let golden = SignalTrace {
         name: "s".into(),
-        samples: (0..30_000u32).map(|i| (1000 + (i % 97) * 3) as u16).collect(),
+        samples: (0..30_000u32)
+            .map(|i| (1000 + (i % 97) * 3) as u16)
+            .collect(),
     };
     c.bench_function("placement/detector_stack_30k_samples", |b| {
         b.iter(|| {

@@ -26,26 +26,47 @@ fn bench(c: &mut Criterion) {
     let factory = ArrestmentFactory::with_cases(vec![TestCase::new(14_000.0, 60.0)]);
     let campaign = Campaign::new(
         &factory,
-        CampaignConfig { threads: 1, horizon_ms: Some(3_000), ..Default::default() },
+        CampaignConfig {
+            threads: 1,
+            horizon_ms: Some(3_000),
+            ..Default::default()
+        },
     );
-    let golden = campaign.golden(0).expect("golden runs");
+    let golden = campaign.golden_bundle(0, &[1_500]).expect("golden runs");
+    let replay_campaign = Campaign::new(
+        &factory,
+        CampaignConfig {
+            threads: 1,
+            horizon_ms: Some(3_000),
+            fast_forward: false,
+            ..Default::default()
+        },
+    );
+    let replay_golden = replay_campaign
+        .golden_bundle(0, &[1_500])
+        .expect("golden runs");
     let target = PortTarget::new("V_REG", "SetValue");
     let mut group = c.benchmark_group("table1/injection_run");
     group.sample_size(10);
-    group.bench_function("3s_horizon", |b| {
-        b.iter(|| {
-            campaign
-                .run_traced(
-                    black_box(&target),
-                    InjectionScope::Port,
-                    ErrorModel::BitFlip { bit: 9 },
-                    1_500,
-                    &golden,
-                    42,
-                )
-                .unwrap()
-        })
-    });
+    for (label, campaign, golden) in [
+        ("3s_horizon_fast_forward", &campaign, &golden),
+        ("3s_horizon_replay", &replay_campaign, &replay_golden),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                campaign
+                    .run_traced(
+                        black_box(&target),
+                        InjectionScope::Port,
+                        ErrorModel::BitFlip { bit: 9 },
+                        1_500,
+                        golden,
+                        42,
+                    )
+                    .unwrap()
+            })
+        });
+    }
     group.finish();
 }
 

@@ -12,7 +12,10 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     let out = shared_study();
     println!("\n=== Reproduced Table 4 ===");
-    print!("{}", tables::render_table4(&out.topology, &out.toc2_paths, true));
+    print!(
+        "{}",
+        tables::render_table4(&out.topology, &out.toc2_paths, true)
+    );
     println!(
         "(census: {} paths total, {} non-zero; paper: 22 / 13)",
         out.toc2_paths.len(),

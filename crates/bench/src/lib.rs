@@ -15,7 +15,9 @@ use std::sync::OnceLock;
 pub fn shared_study() -> &'static StudyOutput {
     static STUDY: OnceLock<StudyOutput> = OnceLock::new();
     STUDY.get_or_init(|| {
-        Study::new(StudyConfig::smoke()).run().expect("smoke study runs")
+        Study::new(StudyConfig::smoke())
+            .run()
+            .expect("smoke study runs")
     })
 }
 
@@ -31,7 +33,9 @@ pub fn chain_system(n: usize, width: usize) -> (SystemTopology, PermeabilityMatr
         for &sig in &prev {
             b.bind_input(m, sig);
         }
-        prev = (0..width).map(|w| b.add_output(m, format!("s{i}_{w}"))).collect();
+        prev = (0..width)
+            .map(|w| b.add_output(m, format!("s{i}_{w}")))
+            .collect();
     }
     for &sig in &prev {
         b.mark_system_output(sig);

@@ -182,8 +182,7 @@ impl BacktrackTree {
     }
 
     fn is_leaf(&self, n: &BacktrackNode) -> bool {
-        n.children.is_empty() && n.parent.is_some()
-            || (n.parent.is_none() && n.children.is_empty())
+        n.children.is_empty() && n.parent.is_some() || (n.parent.is_none() && n.children.is_empty())
     }
 
     /// Enumerates every root-to-leaf propagation path (the input to Table 4).
@@ -215,7 +214,12 @@ impl BacktrackTree {
                 // internal node cannot occur after build(); treat defensively.
                 _ => PathTerminal::SystemInput,
             };
-            out.push(PropagationPath { signals, arcs, weight, terminal });
+            out.push(PropagationPath {
+                signals,
+                arcs,
+                weight,
+                terminal,
+            });
         }
         out
     }
@@ -376,8 +380,10 @@ mod tests {
         // Total paths: out<-s<-ext, out<-fb<-s<-ext, out<-fb<-fb(double line).
         let paths = tree.paths();
         assert_eq!(paths.len(), 3);
-        let fb_paths: Vec<_> =
-            paths.iter().filter(|p| p.terminal == PathTerminal::Feedback).collect();
+        let fb_paths: Vec<_> = paths
+            .iter()
+            .filter(|p| p.terminal == PathTerminal::Feedback)
+            .collect();
         assert_eq!(fb_paths.len(), 1);
         assert!((fb_paths[0].weight - 0.4 * 0.3).abs() < 1e-12);
         // weights: 0.2*0.5, 0.4*0.1*0.5, 0.4*0.3

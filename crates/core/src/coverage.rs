@@ -65,11 +65,7 @@ pub struct CoverStep {
 /// # Ok(())
 /// # }
 /// ```
-pub fn greedy_cover(
-    paths: &PathSet,
-    candidates: Option<&[SignalId]>,
-    k: usize,
-) -> Vec<CoverStep> {
+pub fn greedy_cover(paths: &PathSet, candidates: Option<&[SignalId]>, k: usize) -> Vec<CoverStep> {
     let live = paths.non_zero();
     let total: f64 = live.iter().map(|p| p.weight).sum();
     if total <= 0.0 || k == 0 {
@@ -77,13 +73,12 @@ pub fn greedy_cover(
     }
     // Candidate signals: interior path signals (not the root, not the leaf
     // when the leaf is a boundary terminal).
-    let allowed: Option<HashSet<SignalId>> =
-        candidates.map(|c| c.iter().copied().collect());
+    let allowed: Option<HashSet<SignalId>> = candidates.map(|c| c.iter().copied().collect());
     let mut candidate_set: HashSet<SignalId> = HashSet::new();
     for p in live.iter() {
         let interior = &p.signals[1..p.signals.len().saturating_sub(1)];
         for &s in interior {
-            if allowed.as_ref().map_or(true, |a| a.contains(&s)) {
+            if allowed.as_ref().is_none_or(|a| a.contains(&s)) {
                 candidate_set.insert(s);
             }
         }

@@ -38,7 +38,11 @@ pub fn graph_to_dot(graph: &PermeabilityGraph) -> String {
         );
     }
     for arc in graph.arcs() {
-        let style = if arc.weight == 0.0 { ", style=dashed" } else { "" };
+        let style = if arc.weight == 0.0 {
+            ", style=dashed"
+        } else {
+            ""
+        };
         let label = format!("{}={:.3}", graph.arc_label(arc.id), arc.weight);
         // Edge tail: producer of the input signal, or external source.
         let tail = match topo.source_of(arc.input_signal) {
@@ -158,7 +162,11 @@ pub fn backtrack_to_dot(graph: &PermeabilityGraph, tree: &BacktrackTree) -> Stri
 pub fn trace_to_dot(graph: &PermeabilityGraph, tree: &TraceTree) -> String {
     let topo = graph.topology();
     let mut out = String::new();
-    let _ = writeln!(out, "digraph \"trace_{}\" {{", topo.signal_name(tree.root_signal()));
+    let _ = writeln!(
+        out,
+        "digraph \"trace_{}\" {{",
+        topo.signal_name(tree.root_signal())
+    );
     for (idx, node) in tree.nodes().iter().enumerate() {
         let shape = match node.kind {
             TraceNodeKind::Root => ", shape=doubleoctagon",

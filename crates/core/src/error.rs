@@ -107,11 +107,19 @@ impl fmt::Display for MatrixError {
             MatrixError::UnknownModule(m) => {
                 write!(f, "module id {m} does not belong to this matrix")
             }
-            MatrixError::InputOutOfBounds { module, input, inputs } => write!(
+            MatrixError::InputOutOfBounds {
+                module,
+                input,
+                inputs,
+            } => write!(
                 f,
                 "input index {input} out of bounds for module {module} with {inputs} inputs"
             ),
-            MatrixError::OutputOutOfBounds { module, output, outputs } => write!(
+            MatrixError::OutputOutOfBounds {
+                module,
+                output,
+                outputs,
+            } => write!(
                 f,
                 "output index {output} out of bounds for module {module} with {outputs} outputs"
             ),

@@ -98,8 +98,7 @@ impl PermeabilityGraph {
         topology: &SystemTopology,
         matrix: &PermeabilityMatrix,
     ) -> Result<Self, MatrixError> {
-        if topology.name() != matrix.topology_name()
-            || topology.pair_count() != matrix.pair_count()
+        if topology.name() != matrix.topology_name() || topology.pair_count() != matrix.pair_count()
         {
             return Err(MatrixError::ShapeMismatch {
                 expected: matrix.topology_name().to_owned(),
@@ -113,7 +112,11 @@ impl PermeabilityGraph {
             for (i, &input_signal) in inputs.iter().enumerate() {
                 for (k, &output_signal) in outputs.iter().enumerate() {
                     arcs.push(Arc {
-                        id: ArcId { module: m, input: i, output: k },
+                        id: ArcId {
+                            module: m,
+                            input: i,
+                            output: k,
+                        },
                         weight: matrix.get(m, i, k),
                         input_signal,
                         output_signal,
@@ -138,8 +141,14 @@ impl PermeabilityGraph {
         self.by_output_signal.clear();
         self.by_input_port.clear();
         for (idx, arc) in self.arcs.iter().enumerate() {
-            self.by_output_signal.entry(arc.output_signal).or_default().push(idx);
-            self.by_input_port.entry((arc.id.module, arc.id.input)).or_default().push(idx);
+            self.by_output_signal
+                .entry(arc.output_signal)
+                .or_default()
+                .push(idx);
+            self.by_input_port
+                .entry((arc.id.module, arc.id.input))
+                .or_default()
+                .push(idx);
         }
     }
 
@@ -327,7 +336,11 @@ mod tests {
         let (t, pm) = fixture();
         let g = PermeabilityGraph::new(&t, &pm).unwrap();
         let bm = t.module_by_name("B").unwrap();
-        let label = g.arc_label(ArcId { module: bm, input: 1, output: 0 });
+        let label = g.arc_label(ArcId {
+            module: bm,
+            input: 1,
+            output: 0,
+        });
         assert_eq!(label, "P^B_{2,1}");
     }
 
@@ -338,7 +351,13 @@ mod tests {
         let bm = t.module_by_name("B").unwrap();
         let fb_arc = *g
             .arcs()
-            .find(|a| a.id == ArcId { module: bm, input: 0, output: 0 })
+            .find(|a| {
+                a.id == ArcId {
+                    module: bm,
+                    input: 0,
+                    output: 0,
+                }
+            })
             .unwrap();
         let dests = g.arc_destinations(&fb_arc);
         assert_eq!(dests.len(), 1);

@@ -110,9 +110,15 @@ mod tests {
 
     #[test]
     fn display_is_one_based_for_ports() {
-        let p = InPortRef { module: ModuleId(2), input: 0 };
+        let p = InPortRef {
+            module: ModuleId(2),
+            input: 0,
+        };
         assert_eq!(p.to_string(), "I1^M2");
-        let o = OutPortRef { module: ModuleId(0), output: 1 };
+        let o = OutPortRef {
+            module: ModuleId(0),
+            output: 1,
+        };
         assert_eq!(o.to_string(), "O2^M0");
     }
 

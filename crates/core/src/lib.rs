@@ -82,7 +82,9 @@ pub mod prelude {
     pub use crate::placement::{PlacementAdvisor, PlacementPlan, Rationale, Recommendation};
     pub use crate::topology::{SignalSource, SystemTopology, TopologyBuilder};
     pub use crate::trace::{TraceForest, TraceTree};
-    pub use crate::whatif::{containment_effects, rank_containment_candidates, Containment, WhatIfEffect};
+    pub use crate::whatif::{
+        containment_effects, rank_containment_candidates, Containment, WhatIfEffect,
+    };
 }
 
 pub use prelude::*;

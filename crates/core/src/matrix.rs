@@ -69,10 +69,17 @@ impl PermeabilityMatrix {
             .map(|m| {
                 let inputs = topology.input_count(m);
                 let outputs = topology.output_count(m);
-                ModuleBlock { inputs, outputs, values: vec![0.0; inputs * outputs] }
+                ModuleBlock {
+                    inputs,
+                    outputs,
+                    values: vec![0.0; inputs * outputs],
+                }
             })
             .collect();
-        PermeabilityMatrix { topology_name: topology.name().to_owned(), blocks }
+        PermeabilityMatrix {
+            topology_name: topology.name().to_owned(),
+            blocks,
+        }
     }
 
     /// Name of the topology this matrix was shaped for.
@@ -91,7 +98,9 @@ impl PermeabilityMatrix {
     }
 
     fn block(&self, m: ModuleId) -> Result<&ModuleBlock, MatrixError> {
-        self.blocks.get(m.index()).ok_or(MatrixError::UnknownModule(m))
+        self.blocks
+            .get(m.index())
+            .ok_or(MatrixError::UnknownModule(m))
     }
 
     /// Sets `P^M_{input,output}` (zero-based indices).
@@ -111,9 +120,16 @@ impl PermeabilityMatrix {
         if !p.is_finite() || !(0.0..=1.0).contains(&p) {
             return Err(MatrixError::OutOfRange { value: p });
         }
-        let block = self.blocks.get_mut(m.index()).ok_or(MatrixError::UnknownModule(m))?;
+        let block = self
+            .blocks
+            .get_mut(m.index())
+            .ok_or(MatrixError::UnknownModule(m))?;
         if input >= block.inputs {
-            return Err(MatrixError::InputOutOfBounds { module: m, input, inputs: block.inputs });
+            return Err(MatrixError::InputOutOfBounds {
+                module: m,
+                input,
+                inputs: block.inputs,
+            });
         }
         if output >= block.outputs {
             return Err(MatrixError::OutputOutOfBounds {
@@ -134,7 +150,8 @@ impl PermeabilityMatrix {
     /// Panics if the indices are out of bounds; use [`PermeabilityMatrix::try_get`]
     /// for a fallible variant.
     pub fn get(&self, m: ModuleId, input: usize, output: usize) -> f64 {
-        self.try_get(m, input, output).expect("permeability indices out of bounds")
+        self.try_get(m, input, output)
+            .expect("permeability indices out of bounds")
     }
 
     /// Fallible variant of [`PermeabilityMatrix::get`].
@@ -145,7 +162,11 @@ impl PermeabilityMatrix {
     pub fn try_get(&self, m: ModuleId, input: usize, output: usize) -> Result<f64, MatrixError> {
         let block = self.block(m)?;
         if input >= block.inputs {
-            return Err(MatrixError::InputOutOfBounds { module: m, input, inputs: block.inputs });
+            return Err(MatrixError::InputOutOfBounds {
+                module: m,
+                input,
+                inputs: block.inputs,
+            });
         }
         if output >= block.outputs {
             return Err(MatrixError::OutputOutOfBounds {

@@ -47,7 +47,10 @@ impl OccurrenceProfile {
     ///
     /// Panics if `rate` is negative or not finite.
     pub fn set(&mut self, signal: SignalId, rate: f64) -> &mut Self {
-        assert!(rate.is_finite() && rate >= 0.0, "rate must be finite and non-negative");
+        assert!(
+            rate.is_finite() && rate >= 0.0,
+            "rate must be finite and non-negative"
+        );
         self.rates.insert(signal, rate);
         self
     }

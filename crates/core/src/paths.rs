@@ -165,20 +165,32 @@ impl PathSet {
     /// which errors *can* propagate (Table 4 keeps 13 of 22).
     pub fn non_zero(&self) -> PathSet {
         PathSet {
-            paths: self.paths.iter().filter(|p| p.weight > 0.0).cloned().collect(),
+            paths: self
+                .paths
+                .iter()
+                .filter(|p| p.weight > 0.0)
+                .cloned()
+                .collect(),
         }
     }
 
     /// The `n` heaviest paths (after deterministic sorting).
     pub fn top(&self, n: usize) -> PathSet {
         let sorted = self.sorted_by_weight();
-        PathSet { paths: sorted.paths.into_iter().take(n).collect() }
+        PathSet {
+            paths: sorted.paths.into_iter().take(n).collect(),
+        }
     }
 
     /// Paths whose leaf is `s`.
     pub fn ending_at(&self, s: SignalId) -> PathSet {
         PathSet {
-            paths: self.paths.iter().filter(|p| p.leaf() == s).cloned().collect(),
+            paths: self
+                .paths
+                .iter()
+                .filter(|p| p.leaf() == s)
+                .cloned()
+                .collect(),
         }
     }
 
@@ -222,7 +234,12 @@ impl PathSet {
             .paths
             .iter()
             .enumerate()
-            .map(|(i, p)| (i, p.weight * probabilities.get(&p.leaf()).copied().unwrap_or(0.0)))
+            .map(|(i, p)| {
+                (
+                    i,
+                    p.weight * probabilities.get(&p.leaf()).copied().unwrap_or(0.0),
+                )
+            })
             .collect();
         out.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         out
@@ -246,7 +263,9 @@ impl PathSet {
 
 impl FromIterator<PropagationPath> for PathSet {
     fn from_iter<T: IntoIterator<Item = PropagationPath>>(iter: T) -> Self {
-        PathSet { paths: iter.into_iter().collect() }
+        PathSet {
+            paths: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -284,7 +303,16 @@ mod tests {
             arcs: weights
                 .into_iter()
                 .enumerate()
-                .map(|(i, w)| (ArcId { module: ModuleId(0), input: i, output: 0 }, w))
+                .map(|(i, w)| {
+                    (
+                        ArcId {
+                            module: ModuleId(0),
+                            input: i,
+                            output: 0,
+                        },
+                        w,
+                    )
+                })
                 .collect(),
             weight,
             terminal,
@@ -374,7 +402,7 @@ mod tests {
     fn collect_and_extend() {
         let mut s: PathSet = sample().into_iter().collect();
         let more = sample();
-        s.extend(more.into_iter());
+        s.extend(more);
         assert_eq!(s.len(), 8);
     }
 }

@@ -192,7 +192,11 @@ impl<'g> PlacementAdvisor<'g> {
         graph: &'g PermeabilityGraph,
         options: AdvisorOptions,
     ) -> Result<Self, TopologyError> {
-        Ok(PlacementAdvisor { graph, measures: SystemMeasures::compute(graph)?, options })
+        Ok(PlacementAdvisor {
+            graph,
+            measures: SystemMeasures::compute(graph)?,
+            options,
+        })
     }
 
     /// The measures backing the recommendations.
@@ -209,8 +213,7 @@ impl<'g> PlacementAdvisor<'g> {
                 f.trees()
                     .iter()
                     .flat_map(|t| {
-                        crate::paths::PathSet::from_paths(t.paths())
-                            .signals_on_all_non_zero_paths()
+                        crate::paths::PathSet::from_paths(t.paths()).signals_on_all_non_zero_paths()
                     })
                     .collect()
             })
@@ -239,7 +242,12 @@ impl<'g> PlacementAdvisor<'g> {
             });
         }
         // EDM module candidates by X̄^M.
-        for mm in self.measures.ranked_by_exposure().into_iter().take(self.options.max_modules) {
+        for mm in self
+            .measures
+            .ranked_by_exposure()
+            .into_iter()
+            .take(self.options.max_modules)
+        {
             if self.options.exclude_zero_exposure && mm.non_weighted_exposure <= 0.0 {
                 continue;
             }
@@ -254,8 +262,11 @@ impl<'g> PlacementAdvisor<'g> {
 
         // --- ERM candidates: modules by P̄^M, then barriers ---
         let mut erm = Vec::new();
-        for mm in
-            self.measures.ranked_by_permeability().into_iter().take(self.options.max_modules)
+        for mm in self
+            .measures
+            .ranked_by_permeability()
+            .into_iter()
+            .take(self.options.max_modules)
         {
             if mm.non_weighted_relative_permeability <= 0.0 {
                 continue;
@@ -332,7 +343,11 @@ mod tests {
         let g = chain_graph();
         let plan = PlacementAdvisor::new(&g).unwrap().plan();
         // Both s and mid lie on the single non-zero path: both get OB5.
-        for rec in plan.edm.iter().filter(|r| matches!(r.location, Location::Signal(_))) {
+        for rec in plan
+            .edm
+            .iter()
+            .filter(|r| matches!(r.location, Location::Signal(_)))
+        {
             assert!(rec.rationales.contains(&Rationale::OnAllNonZeroPaths));
         }
     }
@@ -347,7 +362,10 @@ mod tests {
         // A has highest permeability AND is the barrier module.
         assert_eq!(modules[0], a);
         let rec = &plan.erm[0];
-        assert!(rec.rationales.iter().any(|r| matches!(r, Rationale::HighPermeability { .. })));
+        assert!(rec
+            .rationales
+            .iter()
+            .any(|r| matches!(r, Rationale::HighPermeability { .. })));
         assert!(rec.rationales.contains(&Rationale::BarrierModule));
     }
 
@@ -356,7 +374,11 @@ mod tests {
         let g = chain_graph();
         let plan = PlacementAdvisor::with_options(
             &g,
-            AdvisorOptions { max_edm_signals: 1, max_modules: 1, ..Default::default() },
+            AdvisorOptions {
+                max_edm_signals: 1,
+                max_modules: 1,
+                ..Default::default()
+            },
         )
         .unwrap()
         .plan();
@@ -370,7 +392,11 @@ mod tests {
         let g = chain_graph();
         let plan = PlacementAdvisor::with_options(
             &g,
-            AdvisorOptions { exclude_system_outputs: false, max_edm_signals: 10, ..Default::default() },
+            AdvisorOptions {
+                exclude_system_outputs: false,
+                max_edm_signals: 10,
+                ..Default::default()
+            },
         )
         .unwrap()
         .plan();

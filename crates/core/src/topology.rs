@@ -194,7 +194,10 @@ impl SystemTopology {
     ///
     /// For the paper's arrestment target this is 25.
     pub fn pair_count(&self) -> usize {
-        self.modules.iter().map(|m| m.inputs.len() * m.outputs.len()).sum()
+        self.modules
+            .iter()
+            .map(|m| m.inputs.len() * m.outputs.len())
+            .sum()
     }
 
     /// Returns the modules that read at least one system input — the
@@ -272,7 +275,10 @@ pub struct TopologyBuilder {
 impl TopologyBuilder {
     /// Creates a builder for a system called `name`.
     pub fn new(name: impl Into<String>) -> Self {
-        TopologyBuilder { name: name.into(), ..Default::default() }
+        TopologyBuilder {
+            name: name.into(),
+            ..Default::default()
+        }
     }
 
     /// Declares an external (system input) signal and returns its id.
@@ -306,8 +312,14 @@ impl TopologyBuilder {
     /// only obtainable from builder methods, so this indicates misuse across
     /// builders.)
     pub fn bind_input(&mut self, m: ModuleId, s: SignalId) -> InPortRef {
-        assert!(m.0 < self.modules.len(), "module id from a different builder");
-        assert!(s.0 < self.signals.len(), "signal id from a different builder");
+        assert!(
+            m.0 < self.modules.len(),
+            "module id from a different builder"
+        );
+        assert!(
+            s.0 < self.signals.len(),
+            "signal id from a different builder"
+        );
         let input = self.modules[m.0].inputs.len();
         self.modules[m.0].inputs.push(s);
         let port = InPortRef { module: m, input };
@@ -322,7 +334,10 @@ impl TopologyBuilder {
     ///
     /// Panics if `m` was not created by this builder.
     pub fn add_output(&mut self, m: ModuleId, name: impl Into<String>) -> SignalId {
-        assert!(m.0 < self.modules.len(), "module id from a different builder");
+        assert!(
+            m.0 < self.modules.len(),
+            "module id from a different builder"
+        );
         let output = self.modules[m.0].outputs.len();
         let id = SignalId(self.signals.len());
         self.signals.push(SignalNode {
@@ -338,7 +353,10 @@ impl TopologyBuilder {
     /// internally and be a system output. Designating the same signal twice
     /// is idempotent.
     pub fn mark_system_output(&mut self, s: SignalId) {
-        assert!(s.0 < self.signals.len(), "signal id from a different builder");
+        assert!(
+            s.0 < self.signals.len(),
+            "signal id from a different builder"
+        );
         if !self.system_outputs.contains(&s) {
             self.system_outputs.push(s);
         }
@@ -462,7 +480,10 @@ mod tests {
         b.bind_input(a2, s1);
         let s2 = b.add_output(a2, "s2");
         b.mark_system_output(s2);
-        assert_eq!(b.build().unwrap_err(), TopologyError::DuplicateModuleName("A".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::DuplicateModuleName("A".into())
+        );
     }
 
     #[test]
@@ -473,7 +494,10 @@ mod tests {
         b.bind_input(a, x);
         let s = b.add_output(a, "x"); // collides with external
         b.mark_system_output(s);
-        assert_eq!(b.build().unwrap_err(), TopologyError::DuplicateSignalName("x".into()));
+        assert_eq!(
+            b.build().unwrap_err(),
+            TopologyError::DuplicateSignalName("x".into())
+        );
     }
 
     #[test]

@@ -245,7 +245,12 @@ impl TraceTree {
                 TraceNodeKind::DeadEndLeaf => PathTerminal::DeadEnd,
                 _ => PathTerminal::DeadEnd,
             };
-            out.push(PropagationPath { signals, arcs, weight, terminal });
+            out.push(PropagationPath {
+                signals,
+                arcs,
+                weight,
+                terminal,
+            });
         }
         out
     }
@@ -348,7 +353,9 @@ mod tests {
         // ext -> s -> {fb, out}; fb -> {fb omitted, out}; leaves: out, out.
         let paths = tree.paths();
         assert_eq!(paths.len(), 2);
-        assert!(paths.iter().all(|p| p.terminal == PathTerminal::SystemOutput));
+        assert!(paths
+            .iter()
+            .all(|p| p.terminal == PathTerminal::SystemOutput));
         let mut w: Vec<f64> = paths.iter().map(|p| p.weight).collect();
         w.sort_by(f64::total_cmp);
         // ext->s->out: 0.5*0.2 = 0.10; ext->s->fb->out: 0.5*0.1*0.4 = 0.02
@@ -364,13 +371,18 @@ mod tests {
         let tree = TraceTree::build_with(
             &g,
             ext,
-            TraceOptions { keep_feedback_leaves: true },
+            TraceOptions {
+                keep_feedback_leaves: true,
+            },
         )
         .unwrap();
         let paths = tree.paths();
         assert_eq!(paths.len(), 3);
         assert_eq!(
-            paths.iter().filter(|p| p.terminal == PathTerminal::Feedback).count(),
+            paths
+                .iter()
+                .filter(|p| p.terminal == PathTerminal::Feedback)
+                .count(),
             1
         );
     }
@@ -393,8 +405,10 @@ mod tests {
         let tree = TraceTree::build(&g, x).unwrap();
         let paths = tree.paths();
         assert_eq!(paths.len(), 2);
-        let dead: Vec<_> =
-            paths.iter().filter(|p| p.terminal == PathTerminal::DeadEnd).collect();
+        let dead: Vec<_> = paths
+            .iter()
+            .filter(|p| p.terminal == PathTerminal::DeadEnd)
+            .collect();
         assert_eq!(dead.len(), 1);
         assert_eq!(dead[0].leaf(), unused);
     }

@@ -74,7 +74,8 @@ pub fn contained_matrix(
     for i in 0..topology.input_count(containment.module) {
         for k in 0..topology.output_count(containment.module) {
             let v = matrix.get(containment.module, i, k) * containment.factor;
-            out.set(containment.module, i, k, v).expect("scaled value stays a probability");
+            out.set(containment.module, i, k, v)
+                .expect("scaled value stays a probability");
         }
     }
     Ok(out)
@@ -172,7 +173,15 @@ mod tests {
         let (t, pm) = fixture();
         let a = t.module_by_name("A").unwrap();
         let bm = t.module_by_name("B").unwrap();
-        let scaled = contained_matrix(&t, &pm, Containment { module: a, factor: 0.25 }).unwrap();
+        let scaled = contained_matrix(
+            &t,
+            &pm,
+            Containment {
+                module: a,
+                factor: 0.25,
+            },
+        )
+        .unwrap();
         assert_eq!(scaled.get(a, 0, 0), 0.2);
         assert_eq!(scaled.get(bm, 0, 0), 0.5);
     }
@@ -181,8 +190,15 @@ mod tests {
     fn effects_report_reduction() {
         let (t, pm) = fixture();
         let a = t.module_by_name("A").unwrap();
-        let effects =
-            containment_effects(&t, &pm, Containment { module: a, factor: 0.5 }).unwrap();
+        let effects = containment_effects(
+            &t,
+            &pm,
+            Containment {
+                module: a,
+                factor: 0.5,
+            },
+        )
+        .unwrap();
         assert_eq!(effects.len(), 1);
         let e = effects[0];
         assert!((e.before - 0.4).abs() < 1e-12);
@@ -194,8 +210,15 @@ mod tests {
     fn perfect_containment_blocks_everything() {
         let (t, pm) = fixture();
         let bm = t.module_by_name("B").unwrap();
-        let effects =
-            containment_effects(&t, &pm, Containment { module: bm, factor: 0.0 }).unwrap();
+        let effects = containment_effects(
+            &t,
+            &pm,
+            Containment {
+                module: bm,
+                factor: 0.0,
+            },
+        )
+        .unwrap();
         assert_eq!(effects[0].after, 0.0);
         assert_eq!(effects[0].reduction(), 1.0);
     }
@@ -245,7 +268,14 @@ mod tests {
     fn bad_factor_panics() {
         let (t, pm) = fixture();
         let a = t.module_by_name("A").unwrap();
-        let _ = contained_matrix(&t, &pm, Containment { module: a, factor: 1.5 });
+        let _ = contained_matrix(
+            &t,
+            &pm,
+            Containment {
+                module: a,
+                factor: 1.5,
+            },
+        );
     }
 
     #[test]
@@ -254,7 +284,10 @@ mod tests {
         assert!(contained_matrix(
             &t,
             &pm,
-            Containment { module: ModuleId(9), factor: 0.5 }
+            Containment {
+                module: ModuleId(9),
+                factor: 0.5
+            }
         )
         .is_err());
     }

@@ -7,17 +7,43 @@
 //! environment refreshed the sensors for that tick, *before* any module
 //! reads them — and afterwards compares each output trace of the targeted
 //! module against the Golden Run. One error per run, as in the paper.
+//!
+//! # Fast-forward
+//!
+//! With [`CampaignConfig::fast_forward`] enabled (the default), the golden
+//! run additionally captures a [`SimSnapshot`] at every injection instant
+//! plus a periodic checkpoint cadence, collected in a [`GoldenBundle`].
+//! Injection runs then
+//!
+//! * **fork**: restore the snapshot taken at the injection instant instead
+//!   of replaying the prefix — the prefix is identical by determinism — and
+//! * **early-exit**: once the injected state reconverges with a golden
+//!   checkpoint (same tick, same signal values, caches and serialised
+//!   module/environment state, no live corruption), the remainder of the
+//!   run is provably identical to the golden run and is not simulated.
+//!
+//! Both shortcuts are exact: estimates, divergences and records are
+//! bit-identical to the replay-from-zero path, which is kept (set
+//! `fast_forward: false`) for differential testing.
 
 use crate::error::FiError;
 use crate::golden::GoldenRun;
 use crate::results::{CampaignResult, PairStat, RunRecord};
 use crate::spec::{CampaignSpec, InjectionScope};
-use permea_runtime::sim::Simulation;
+use permea_runtime::sim::{SimSnapshot, Simulation};
 use permea_runtime::time::SimTime;
+use permea_runtime::tracing::TraceSet;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// Spacing of the periodic golden checkpoints used for convergence
+/// early-exit. Denser checkpoints detect reconvergence sooner at the cost
+/// of snapshot memory and comparison work.
+const CHECKPOINT_CADENCE_MS: u64 = 100;
 
 /// Builds fresh simulations of the system under test, one per run.
 ///
@@ -59,7 +85,11 @@ where
 {
     /// Wraps `build` with the given case count and run-length cap.
     pub fn new(cases: usize, max_run_ms: u64, build: F) -> Self {
-        FnSystemFactory { cases, max_run_ms, build }
+        FnSystemFactory {
+            cases,
+            max_run_ms,
+            build,
+        }
     }
 }
 
@@ -93,11 +123,52 @@ pub struct CampaignConfig {
     /// ending at 5 000 ms) gives the same divergence verdicts at a fraction
     /// of the cost and is used by the fast configurations.
     pub horizon_ms: Option<u64>,
+    /// Fork injection runs from golden snapshots and early-exit once they
+    /// reconverge with the golden run (see the module docs). Results are
+    /// bit-identical either way; disable only for differential testing.
+    pub fast_forward: bool,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { threads: 0, master_seed: 0x5EED, keep_records: true, horizon_ms: None }
+        CampaignConfig {
+            threads: 0,
+            master_seed: 0x5EED,
+            keep_records: true,
+            horizon_ms: None,
+            fast_forward: true,
+        }
+    }
+}
+
+/// A [`GoldenRun`] plus the snapshots that let injection runs fast-forward:
+/// one at every injection instant (fork points) and one every
+/// [`CHECKPOINT_CADENCE_MS`] (convergence checkpoints).
+#[derive(Debug, Clone)]
+pub struct GoldenBundle {
+    /// The reference run.
+    pub run: GoldenRun,
+    snapshots: BTreeMap<u64, SimSnapshot>,
+}
+
+impl GoldenBundle {
+    /// Wraps a golden run with no snapshots: every injection run replays
+    /// from tick zero (the `fast_forward: false` path).
+    pub fn bare(run: GoldenRun) -> Self {
+        GoldenBundle {
+            run,
+            snapshots: BTreeMap::new(),
+        }
+    }
+
+    /// The snapshot captured at the boundary of tick `time_ms`, if any.
+    pub fn snapshot_at(&self, time_ms: u64) -> Option<&SimSnapshot> {
+        self.snapshots.get(&time_ms)
+    }
+
+    /// Number of captured snapshots.
+    pub fn snapshot_count(&self) -> usize {
+        self.snapshots.len()
     }
 }
 
@@ -109,6 +180,33 @@ struct ResolvedTarget {
     module_idx: permea_runtime::sim::ModuleIdx,
     input_port: usize,
     output_signals: Vec<String>,
+}
+
+/// The outcome of one (possibly fast-forwarded) injection run: the trace
+/// window actually simulated, covering ticks `[start_ms, start_ms + window
+/// ticks)` of the run, and the injected values.
+struct InjectedWindow {
+    window: TraceSet,
+    start_ms: u64,
+    converged_ms: Option<u64>,
+    original: u16,
+    corrupted: u16,
+}
+
+impl InjectedWindow {
+    /// First tick at which `signal` deviates from the golden run, across the
+    /// *whole* run. Ticks before the window are identical by determinism
+    /// (no injection happened yet) and ticks after it are identical by
+    /// convergence, so comparing the window against the golden samples at
+    /// `start_ms + i` is exact.
+    fn window_divergence(&self, golden: &GoldenRun, signal: &str) -> Option<usize> {
+        let g = &golden.traces.trace(signal)?.samples;
+        let w = &self.window.trace(signal)?.samples;
+        let start = self.start_ms as usize;
+        (0..w.len())
+            .find(|&i| w[i] != g[start + i])
+            .map(|i| start + i)
+    }
 }
 
 /// A ready-to-run campaign binding a factory to a configuration.
@@ -128,25 +226,52 @@ impl<'f> Campaign<'f> {
         &self.config
     }
 
+    /// The effective run-length cap: the horizon, clipped to the factory's
+    /// cap.
+    fn cap_ms(&self) -> u64 {
+        self.config
+            .horizon_ms
+            .map_or(self.factory.max_run_ms(), |h| {
+                h.min(self.factory.max_run_ms())
+            })
+    }
+
+    /// Checks that a golden run ending in the given state is acceptable:
+    /// a natural finish always is; a truncated run is only acceptable when
+    /// the configured horizon itself (not the factory cap) cut it.
+    fn check_termination(&self, finished: bool, case: usize) -> Result<(), FiError> {
+        if finished {
+            return Ok(());
+        }
+        match self.config.horizon_ms {
+            None => Err(FiError::GoldenRunDidNotTerminate { case }),
+            Some(h) if h > self.factory.max_run_ms() => Err(FiError::HorizonExceedsCap {
+                horizon_ms: h,
+                max_run_ms: self.factory.max_run_ms(),
+            }),
+            Some(_) => Ok(()),
+        }
+    }
+
     /// Records the Golden Run for one case.
     ///
     /// # Errors
     ///
     /// [`FiError::GoldenRunDidNotTerminate`] if the scenario neither
-    /// finishes nor hits the configured horizon within the factory's cap.
+    /// finishes nor hits the configured horizon within the factory's cap;
+    /// [`FiError::HorizonExceedsCap`] if the horizon lies beyond the cap and
+    /// the run would have been silently truncated at the cap.
     pub fn golden(&self, case: usize) -> Result<GoldenRun, FiError> {
         let mut sim = self.factory.build(case);
-        let cap = self
-            .config
-            .horizon_ms
-            .map_or(self.factory.max_run_ms(), |h| h.min(self.factory.max_run_ms()));
-        sim.run_until(SimTime::from_millis(cap));
-        if !sim.finished() && self.config.horizon_ms.is_none() {
-            return Err(FiError::GoldenRunDidNotTerminate { case });
-        }
+        sim.run_until(SimTime::from_millis(self.cap_ms()));
+        self.check_termination(sim.finished(), case)?;
         let ticks = sim.now().as_millis();
         let traces = sim.take_traces().expect("factory must enable tracing");
-        Ok(GoldenRun { case, ticks, traces })
+        Ok(GoldenRun {
+            case,
+            ticks,
+            traces,
+        })
     }
 
     /// Records Golden Runs for all cases of a spec.
@@ -156,6 +281,63 @@ impl<'f> Campaign<'f> {
     /// Propagates the first golden-run failure.
     pub fn goldens(&self, cases: usize) -> Result<Vec<GoldenRun>, FiError> {
         (0..cases).map(|c| self.golden(c)).collect()
+    }
+
+    /// Records the Golden Run for one case together with the fast-forward
+    /// snapshots: one at each of `instants` (fork points, normally the
+    /// spec's injection instants) and one every [`CHECKPOINT_CADENCE_MS`]
+    /// (convergence checkpoints). With `fast_forward` disabled this is just
+    /// [`Campaign::golden`] wrapped snapshot-free.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Campaign::golden`].
+    pub fn golden_bundle(&self, case: usize, instants: &[u64]) -> Result<GoldenBundle, FiError> {
+        if !self.config.fast_forward {
+            return Ok(GoldenBundle::bare(self.golden(case)?));
+        }
+        let cap = self.cap_ms();
+        let mut wanted: BTreeSet<u64> = instants.iter().copied().filter(|&t| t < cap).collect();
+        let mut t = CHECKPOINT_CADENCE_MS;
+        while t < cap {
+            wanted.insert(t);
+            t += CHECKPOINT_CADENCE_MS;
+        }
+
+        let mut sim = self.factory.build(case);
+        let mut snapshots = BTreeMap::new();
+        while sim.now() < SimTime::from_millis(cap) && !sim.finished() {
+            let now = sim.now().as_millis();
+            if wanted.contains(&now) {
+                snapshots.insert(now, sim.snapshot());
+            }
+            sim.step();
+        }
+        self.check_termination(sim.finished(), case)?;
+        let ticks = sim.now().as_millis();
+        // Checkpoints at or beyond the end are useless (runs stop there).
+        snapshots.retain(|&t, _| t < ticks);
+        let traces = sim.take_traces().expect("factory must enable tracing");
+        Ok(GoldenBundle {
+            run: GoldenRun {
+                case,
+                ticks,
+                traces,
+            },
+            snapshots,
+        })
+    }
+
+    /// Records golden bundles for every case of `spec`, with fork points at
+    /// the spec's injection instants.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first golden-run failure.
+    pub fn golden_bundles(&self, spec: &CampaignSpec) -> Result<Vec<GoldenBundle>, FiError> {
+        (0..spec.cases)
+            .map(|c| self.golden_bundle(c, &spec.times_ms))
+            .collect()
     }
 
     /// Validates every target of `spec` against a probe simulation.
@@ -169,7 +351,6 @@ impl<'f> Campaign<'f> {
                     .ok_or_else(|| FiError::UnknownModule(t.module.clone()))?;
                 let (module_idx, input_port) = probe
                     .find_input_port(&t.module, &t.input_signal)
-                    .map(|(m, p)| (m, p))
                     .ok_or_else(|| FiError::UnknownInputPort {
                         module: t.module.clone(),
                         signal: t.input_signal.clone(),
@@ -194,80 +375,44 @@ impl<'f> Campaign<'f> {
             .collect()
     }
 
-    /// Executes one injection run and returns the per-output first
-    /// divergences.
-    fn run_one(
+    /// The shared core of every injection run. Forks from the golden
+    /// snapshot at `time_ms` when the bundle has one (otherwise replays
+    /// from tick zero), injects, and stops early once the run reconverges
+    /// with a golden checkpoint. Returns the recorded trace window — ticks
+    /// `[start_ms, end_ms)` of the run — plus the injected values.
+    fn run_injected(
         &self,
-        spec: &CampaignSpec,
         target: &ResolvedTarget,
-        model: crate::model::ErrorModel,
-        time_ms: u64,
-        golden: &GoldenRun,
-        seed: u64,
-    ) -> (u16, u16, Vec<Option<u32>>) {
-        let mut sim = self.factory.build(golden.case);
-        let mut rng = SmallRng::seed_from_u64(seed);
-        let mut original = 0u16;
-        let mut corrupted = 0u16;
-        for _ in 0..golden.ticks {
-            sim.begin_tick();
-            if sim.now().as_millis() == time_ms {
-                original = sim.peek_module_input(target.module_idx, target.input_port);
-                corrupted = model.apply(original, &mut rng);
-                match spec.scope {
-                    InjectionScope::Port => {
-                        sim.corrupt_module_input(target.module_idx, target.input_port, corrupted);
-                    }
-                    InjectionScope::Signal => {
-                        let sig = sim.module_inputs(target.module_idx)[target.input_port];
-                        sim.bus_mut().corrupt_signal(sig, corrupted);
-                    }
-                }
-            }
-            sim.run_modules();
-        }
-        let traces = sim.take_traces().expect("factory must enable tracing");
-        let divergences = target
-            .output_signals
-            .iter()
-            .map(|name| golden.first_divergence(&traces, name).map(|t| t as u32))
-            .collect();
-        (original, corrupted, divergences)
-    }
-
-    /// Runs a single injection and returns the **full trace set** of the
-    /// injected run alongside the (original, corrupted) values — the hook
-    /// used by detector-placement studies that need to replay assertions
-    /// over injected traces.
-    ///
-    /// # Errors
-    ///
-    /// Returns target-resolution errors.
-    pub fn run_traced(
-        &self,
-        target: &crate::spec::PortTarget,
         scope: InjectionScope,
         model: crate::model::ErrorModel,
         time_ms: u64,
-        golden: &GoldenRun,
+        golden: &GoldenBundle,
         seed: u64,
-    ) -> Result<(permea_runtime::tracing::TraceSet, u16, u16), FiError> {
-        let spec = CampaignSpec {
-            targets: vec![target.clone()],
-            models: vec![model],
-            times_ms: vec![time_ms],
-            cases: golden.case + 1,
-            scope,
-        };
-        let resolved = self.resolve_targets(&spec)?;
-        let target = &resolved[0];
-        let mut sim = self.factory.build(golden.case);
+    ) -> InjectedWindow {
+        let mut sim = self.factory.build(golden.run.case);
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut original = 0u16;
         let mut corrupted = 0u16;
-        for _ in 0..golden.ticks {
+        let start_ms = match golden.snapshot_at(time_ms) {
+            Some(snap) => {
+                sim.restore(snap);
+                time_ms
+            }
+            None => 0,
+        };
+        let mut converged_ms = None;
+        while sim.now().as_millis() < golden.run.ticks {
+            let now = sim.now().as_millis();
+            if now > time_ms {
+                if let Some(cp) = golden.snapshot_at(now) {
+                    if sim.converged_with(cp) {
+                        converged_ms = Some(now);
+                        break;
+                    }
+                }
+            }
             sim.begin_tick();
-            if sim.now().as_millis() == time_ms {
+            if now == time_ms {
                 original = sim.peek_module_input(target.module_idx, target.input_port);
                 corrupted = model.apply(original, &mut rng);
                 match scope {
@@ -282,24 +427,103 @@ impl<'f> Campaign<'f> {
             }
             sim.run_modules();
         }
-        let traces = sim.take_traces().expect("factory must enable tracing");
-        Ok((traces, original, corrupted))
+        let window = sim.take_traces().expect("factory must enable tracing");
+        InjectedWindow {
+            window,
+            start_ms,
+            converged_ms,
+            original,
+            corrupted,
+        }
+    }
+
+    /// Executes one injection run and returns the per-output first
+    /// divergences.
+    fn run_one(
+        &self,
+        spec: &CampaignSpec,
+        target: &ResolvedTarget,
+        model: crate::model::ErrorModel,
+        time_ms: u64,
+        golden: &GoldenBundle,
+        seed: u64,
+    ) -> (u16, u16, Vec<Option<u32>>) {
+        let run = self.run_injected(target, spec.scope, model, time_ms, golden, seed);
+        let divergences = target
+            .output_signals
+            .iter()
+            .map(|name| run.window_divergence(&golden.run, name).map(|t| t as u32))
+            .collect();
+        (run.original, run.corrupted, divergences)
+    }
+
+    /// Runs a single injection and returns the **full trace set** of the
+    /// injected run alongside the (original, corrupted) values — the hook
+    /// used by detector-placement studies that need to replay assertions
+    /// over injected traces.
+    ///
+    /// When the run was fast-forwarded, the full trace is reassembled from
+    /// the golden prefix (identical by determinism), the recorded window,
+    /// and the golden tail (identical by convergence).
+    ///
+    /// # Errors
+    ///
+    /// Returns target-resolution errors.
+    pub fn run_traced(
+        &self,
+        target: &crate::spec::PortTarget,
+        scope: InjectionScope,
+        model: crate::model::ErrorModel,
+        time_ms: u64,
+        golden: &GoldenBundle,
+        seed: u64,
+    ) -> Result<(TraceSet, u16, u16), FiError> {
+        let spec = CampaignSpec {
+            targets: vec![target.clone()],
+            models: vec![model],
+            times_ms: vec![time_ms],
+            cases: golden.run.case + 1,
+            scope,
+        };
+        let resolved = self.resolve_targets(&spec)?;
+        let run = self.run_injected(&resolved[0], scope, model, time_ms, golden, seed);
+        let start = run.start_ms as usize;
+        let traces = if start == 0 && run.converged_ms.is_none() {
+            run.window
+        } else {
+            let mut full = golden.run.traces.truncated(start);
+            full.extend_from_window(&run.window, 0, run.window.ticks());
+            if let Some(conv) = run.converged_ms {
+                full.extend_from_window(
+                    &golden.run.traces,
+                    conv as usize,
+                    golden.run.ticks as usize,
+                );
+            }
+            full
+        };
+        Ok((traces, run.original, run.corrupted))
     }
 
     /// Runs the full campaign.
     ///
     /// # Errors
     ///
-    /// Fails fast on spec validation, target resolution or golden-run
-    /// problems; [`FiError::WorkerPanicked`] if an injection worker dies.
+    /// Fails fast on spec validation (including injection instants no run
+    /// can reach), target resolution or golden-run problems;
+    /// [`FiError::WorkerPanicked`] if an injection worker dies.
     pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignResult, FiError> {
         spec.validate()?;
         let targets = self.resolve_targets(spec)?;
-        let goldens = self.goldens(spec.cases)?;
+        let goldens = self.golden_bundles(spec)?;
+        let golden_ticks: Vec<u64> = goldens.iter().map(|g| g.run.ticks).collect();
+        spec.validate_instants(self.config.horizon_ms, &golden_ticks)?;
 
         let run_count = spec.run_count();
         let threads = if self.config.threads == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
         } else {
             self.config.threads
         };
@@ -310,7 +534,11 @@ impl<'f> Campaign<'f> {
         // Per-pair error counters, indexed [target][output].
         let counters: Vec<Vec<AtomicUsize>> = targets
             .iter()
-            .map(|t| (0..t.output_signals.len()).map(|_| AtomicUsize::new(0)).collect())
+            .map(|t| {
+                (0..t.output_signals.len())
+                    .map(|_| AtomicUsize::new(0))
+                    .collect()
+            })
             .collect();
         let records: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::new());
         let panicked = AtomicUsize::new(0);
@@ -324,10 +552,20 @@ impl<'f> Campaign<'f> {
             let target = &targets[ti];
             let model = spec.models[mi];
             let time_ms = spec.times_ms[wi];
-            let seed =
-                self.config.master_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            let (original, corrupted, divergences) =
-                self.run_one(spec, target, model, time_ms, &goldens[ci], seed);
+            let seed = self.config.master_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            // A panicking run (a buggy module crashing on a corrupted
+            // input, say) must not kill the campaign silently: count it and
+            // surface `WorkerPanicked` instead of unwinding through scope.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                self.run_one(spec, target, model, time_ms, &goldens[ci], seed)
+            }));
+            let (original, corrupted, divergences) = match outcome {
+                Ok(r) => r,
+                Err(_) => {
+                    panicked.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+            };
             for (out_idx, div) in divergences.iter().enumerate() {
                 if div.is_some() {
                     counters[ti][out_idx].fetch_add(1, Ordering::Relaxed);
@@ -344,7 +582,13 @@ impl<'f> Campaign<'f> {
                     corrupted_value: corrupted,
                     first_divergence: divergences,
                 };
-                records.lock().expect("records mutex poisoned").push((k, record));
+                match records.lock() {
+                    Ok(mut recs) => recs.push((k, record)),
+                    Err(_) => {
+                        panicked.fetch_add(1, Ordering::Relaxed);
+                        break;
+                    }
+                }
             }
         };
 
@@ -352,15 +596,14 @@ impl<'f> Campaign<'f> {
             worker(0);
         } else {
             let worker_ref = &worker;
-            let ok = crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for w in 0..threads {
-                    s.spawn(move |_| worker_ref(w));
+                    s.spawn(move || worker_ref(w));
                 }
-            })
-            .is_ok();
-            if !ok || panicked.load(Ordering::Relaxed) > 0 {
-                return Err(FiError::WorkerPanicked);
-            }
+            });
+        }
+        if panicked.load(Ordering::Relaxed) > 0 {
+            return Err(FiError::WorkerPanicked);
         }
 
         // Assemble deterministic output.
@@ -379,12 +622,12 @@ impl<'f> Campaign<'f> {
                 });
             }
         }
-        let mut recs = records.into_inner().expect("records mutex poisoned");
+        let mut recs = records.into_inner().map_err(|_| FiError::WorkerPanicked)?;
         recs.sort_by_key(|&(k, _)| k);
         Ok(CampaignResult {
             pairs,
             records: recs.into_iter().map(|(_, r)| r).collect(),
-            golden_ticks: goldens.iter().map(|g| g.ticks).collect(),
+            golden_ticks,
             total_runs: run_count as u64,
         })
     }
@@ -437,7 +680,10 @@ mod tests {
             &[sensor],
             &[out, konst],
         );
-        let mut sim = b.build(Box::new(RampEnv { sensor, limit: 100 + case as u64 }));
+        let mut sim = b.build(Box::new(RampEnv {
+            sensor,
+            limit: 100 + case as u64,
+        }));
         sim.enable_tracing_all();
         sim
     }
@@ -459,7 +705,13 @@ mod tests {
     #[test]
     fn golden_run_has_expected_length() {
         let f = factory();
-        let c = Campaign::new(&f, CampaignConfig { threads: 1, ..Default::default() });
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
         let g = c.golden(0).unwrap();
         assert_eq!(g.ticks, 100);
         let g1 = c.golden(1).unwrap();
@@ -469,7 +721,13 @@ mod tests {
     #[test]
     fn copy_module_has_full_permeability_on_copy_and_zero_on_const() {
         let f = factory();
-        let c = Campaign::new(&f, CampaignConfig { threads: 1, ..Default::default() });
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
         let res = c.run(&spec()).unwrap();
         let copy = res.pair("COPY", "sensor", "out").unwrap();
         assert_eq!(copy.injections, 16 * 2 * 2);
@@ -483,13 +741,28 @@ mod tests {
     #[test]
     fn parallel_and_sequential_agree() {
         let f = factory();
-        let seq = Campaign::new(&f, CampaignConfig { threads: 1, ..Default::default() })
-            .run(&spec())
-            .unwrap();
-        let par = Campaign::new(&f, CampaignConfig { threads: 4, ..Default::default() })
-            .run(&spec())
-            .unwrap();
-        assert_eq!(seq, par, "campaigns must be deterministic regardless of threads");
+        let seq = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .run(&spec())
+        .unwrap();
+        let par = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .run(&spec())
+        .unwrap();
+        assert_eq!(
+            seq, par,
+            "campaigns must be deterministic regardless of threads"
+        );
     }
 
     #[test]
@@ -497,7 +770,11 @@ mod tests {
         let f = factory();
         let c = Campaign::new(
             &f,
-            CampaignConfig { threads: 1, horizon_ms: Some(30), ..Default::default() },
+            CampaignConfig {
+                threads: 1,
+                horizon_ms: Some(30),
+                ..Default::default()
+            },
         );
         let g = c.golden(0).unwrap();
         assert_eq!(g.ticks, 30);
@@ -506,19 +783,37 @@ mod tests {
     #[test]
     fn unknown_targets_are_rejected() {
         let f = factory();
-        let c = Campaign::new(&f, CampaignConfig { threads: 1, ..Default::default() });
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
         let mut s = spec();
         s.targets = vec![PortTarget::new("NOPE", "sensor")];
-        assert_eq!(c.run(&s).unwrap_err(), FiError::UnknownModule("NOPE".into()));
+        assert_eq!(
+            c.run(&s).unwrap_err(),
+            FiError::UnknownModule("NOPE".into())
+        );
         let mut s = spec();
         s.targets = vec![PortTarget::new("COPY", "nope")];
-        assert!(matches!(c.run(&s).unwrap_err(), FiError::UnknownInputPort { .. }));
+        assert!(matches!(
+            c.run(&s).unwrap_err(),
+            FiError::UnknownInputPort { .. }
+        ));
     }
 
     #[test]
     fn signal_scope_also_corrupts() {
         let f = factory();
-        let c = Campaign::new(&f, CampaignConfig { threads: 1, ..Default::default() });
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
         let mut s = spec();
         s.scope = InjectionScope::Signal;
         let res = c.run(&s).unwrap();
@@ -528,7 +823,13 @@ mod tests {
     #[test]
     fn records_capture_injection_details() {
         let f = factory();
-        let c = Campaign::new(&f, CampaignConfig { threads: 1, ..Default::default() });
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
         let res = c.run(&spec()).unwrap();
         let r = &res.records[0];
         assert_eq!(r.module, "COPY");
@@ -539,11 +840,201 @@ mod tests {
     }
 
     #[test]
+    fn fast_forward_and_replay_agree_bit_for_bit() {
+        let f = factory();
+        let fast = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .run(&spec())
+        .unwrap();
+        let replay = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                fast_forward: false,
+                ..Default::default()
+            },
+        )
+        .run(&spec())
+        .unwrap();
+        assert_eq!(fast, replay, "fast-forward must not change any result bit");
+    }
+
+    #[test]
+    fn golden_bundle_captures_fork_points_and_checkpoints() {
+        let f = factory();
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let b = c.golden_bundle(0, &[10, 50]).unwrap();
+        assert_eq!(b.run.ticks, 100);
+        assert!(
+            b.snapshot_at(10).is_some(),
+            "fork point at each injection instant"
+        );
+        assert!(b.snapshot_at(50).is_some());
+        assert_eq!(b.snapshot_at(10).unwrap().now().as_millis(), 10);
+        // 100-tick run: no 250 ms cadence checkpoint fits.
+        assert_eq!(b.snapshot_count(), 2);
+        let bare = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                fast_forward: false,
+                ..Default::default()
+            },
+        )
+        .golden_bundle(0, &[10, 50])
+        .unwrap();
+        assert_eq!(bare.snapshot_count(), 0);
+        assert_eq!(
+            bare.run, b.run,
+            "snapshot capture must not perturb the golden run"
+        );
+    }
+
+    #[test]
+    fn unreachable_instants_fail_validation() {
+        let f = factory();
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        // Case 0's golden run is 100 ticks; an instant at its end can never
+        // fire.
+        let mut s = spec();
+        s.times_ms = vec![10, 100];
+        assert_eq!(
+            c.run(&s).unwrap_err(),
+            FiError::UnreachableInstant {
+                time_ms: 100,
+                limit_ms: 100,
+                case: Some(0)
+            }
+        );
+        // Against an explicit horizon the horizon wins the error message.
+        let ch = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                horizon_ms: Some(40),
+                ..Default::default()
+            },
+        );
+        let mut s = spec();
+        s.times_ms = vec![10, 50];
+        assert_eq!(
+            ch.run(&s).unwrap_err(),
+            FiError::UnreachableInstant {
+                time_ms: 50,
+                limit_ms: 40,
+                case: None
+            }
+        );
+    }
+
+    #[test]
+    fn horizon_beyond_factory_cap_is_an_error() {
+        // The scenario never finishes on its own within the cap, and the
+        // configured horizon cannot be honoured either: refuse instead of
+        // silently truncating at the cap.
+        let f = FnSystemFactory::new(1, 50, build_sim as fn(usize) -> Simulation);
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                horizon_ms: Some(200),
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            c.golden(0).unwrap_err(),
+            FiError::HorizonExceedsCap {
+                horizon_ms: 200,
+                max_run_ms: 50
+            }
+        );
+        // A horizon the cap can honour still truncates as configured.
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                horizon_ms: Some(40),
+                ..Default::default()
+            },
+        );
+        assert_eq!(c.golden(0).unwrap().ticks, 40);
+    }
+
+    /// Panics when its input exceeds a threshold — only corrupted runs die.
+    struct Fragile;
+    impl SoftwareModule for Fragile {
+        fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+            let v = ctx.read(0);
+            assert!(v < 0x4000, "fragile module crashed on corrupted input");
+            ctx.write(0, v);
+        }
+    }
+
+    fn fragile_sim(_case: usize) -> Simulation {
+        let mut b = SimulationBuilder::new();
+        let sensor = b.define_signal("sensor");
+        let out = b.define_signal("out");
+        b.add_module(
+            "FRAGILE",
+            Box::new(Fragile),
+            Schedule::every_ms(),
+            &[sensor],
+            &[out],
+        );
+        let mut sim = b.build(Box::new(RampEnv { sensor, limit: 100 }));
+        sim.enable_tracing_all();
+        sim
+    }
+
+    #[test]
+    fn panicking_run_surfaces_worker_panicked() {
+        let f = FnSystemFactory::new(1, 10_000, fragile_sim as fn(usize) -> Simulation);
+        let s = CampaignSpec {
+            targets: vec![PortTarget::new("FRAGILE", "sensor")],
+            models: vec![ErrorModel::BitFlip { bit: 15 }],
+            times_ms: vec![10],
+            cases: 1,
+            scope: InjectionScope::Port,
+        };
+        for threads in [1, 4] {
+            let c = Campaign::new(
+                &f,
+                CampaignConfig {
+                    threads,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(c.run(&s).unwrap_err(), FiError::WorkerPanicked);
+        }
+    }
+
+    #[test]
     fn keep_records_false_drops_details() {
         let f = factory();
         let c = Campaign::new(
             &f,
-            CampaignConfig { threads: 1, keep_records: false, ..Default::default() },
+            CampaignConfig {
+                threads: 1,
+                keep_records: false,
+                ..Default::default()
+            },
         );
         let res = c.run(&spec()).unwrap();
         assert!(res.records.is_empty());

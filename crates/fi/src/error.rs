@@ -25,6 +25,27 @@ pub enum FiError {
         /// Workload case index.
         case: usize,
     },
+    /// The configured horizon exceeds the factory's run-length cap, so the
+    /// horizon could never be honoured — the run would be silently truncated
+    /// at the cap instead.
+    HorizonExceedsCap {
+        /// The configured horizon, in milliseconds.
+        horizon_ms: u64,
+        /// The factory's [`crate::campaign::SystemFactory::max_run_ms`].
+        max_run_ms: u64,
+    },
+    /// An injection instant lies at or beyond the end of every run it would
+    /// be part of, so the injection could never fire.
+    UnreachableInstant {
+        /// The offending injection instant, in milliseconds.
+        time_ms: u64,
+        /// The limit the instant collides with: the configured horizon, or
+        /// the golden-run length of `case`.
+        limit_ms: u64,
+        /// The workload case whose golden run ends too early, or `None` when
+        /// the campaign-wide horizon is the limit.
+        case: Option<usize>,
+    },
     /// A worker thread panicked.
     WorkerPanicked,
 }
@@ -39,8 +60,37 @@ impl fmt::Display for FiError {
             FiError::UnknownSignal(s) => write!(f, "no signal named `{s}` on the bus"),
             FiError::EmptySpec(axis) => write!(f, "campaign spec has no {axis}"),
             FiError::GoldenRunDidNotTerminate { case } => {
-                write!(f, "golden run for case {case} did not terminate within the cap")
+                write!(
+                    f,
+                    "golden run for case {case} did not terminate within the cap"
+                )
             }
+            FiError::HorizonExceedsCap {
+                horizon_ms,
+                max_run_ms,
+            } => write!(
+                f,
+                "horizon of {horizon_ms} ms exceeds the factory cap of {max_run_ms} ms; \
+                 the run would be silently truncated at the cap"
+            ),
+            FiError::UnreachableInstant {
+                time_ms,
+                limit_ms,
+                case: Some(case),
+            } => write!(
+                f,
+                "injection instant {time_ms} ms is unreachable: the golden run of case \
+                 {case} ends after {limit_ms} ms"
+            ),
+            FiError::UnreachableInstant {
+                time_ms,
+                limit_ms,
+                case: None,
+            } => write!(
+                f,
+                "injection instant {time_ms} ms is unreachable: it lies at or beyond the \
+                 campaign horizon of {limit_ms} ms"
+            ),
             FiError::WorkerPanicked => write!(f, "an injection worker thread panicked"),
         }
     }
@@ -54,11 +104,38 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        assert!(FiError::UnknownModule("CALC".into()).to_string().contains("CALC"));
-        assert!(FiError::UnknownInputPort { module: "A".into(), signal: "s".into() }
+        assert!(FiError::UnknownModule("CALC".into())
             .to_string()
-            .contains("input signal"));
-        assert!(FiError::EmptySpec("targets").to_string().contains("targets"));
+            .contains("CALC"));
+        assert!(FiError::UnknownInputPort {
+            module: "A".into(),
+            signal: "s".into()
+        }
+        .to_string()
+        .contains("input signal"));
+        assert!(FiError::EmptySpec("targets")
+            .to_string()
+            .contains("targets"));
+        assert!(FiError::HorizonExceedsCap {
+            horizon_ms: 90_000,
+            max_run_ms: 60_000
+        }
+        .to_string()
+        .contains("90000"));
+        let against_horizon = FiError::UnreachableInstant {
+            time_ms: 50_000,
+            limit_ms: 6_000,
+            case: None,
+        };
+        assert!(against_horizon.to_string().contains("50000"));
+        assert!(against_horizon.to_string().contains("horizon"));
+        let against_golden = FiError::UnreachableInstant {
+            time_ms: 7_000,
+            limit_ms: 6_400,
+            case: Some(3),
+        };
+        assert!(against_golden.to_string().contains("case"));
+        assert!(against_golden.to_string().contains("6400"));
     }
 
     #[test]

@@ -87,10 +87,12 @@ pub fn estimate_matrix(
             &pair.output_signal,
             pair.estimate(),
         )
-        .map_err(|_| FiError::UnknownModule(format!(
-            "{}:{}→{}",
-            pair.module, pair.input_signal, pair.output_signal
-        )))?;
+        .map_err(|_| {
+            FiError::UnknownModule(format!(
+                "{}:{}→{}",
+                pair.module, pair.input_signal, pair.output_signal
+            ))
+        })?;
     }
     Ok(pm)
 }

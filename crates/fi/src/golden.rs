@@ -52,7 +52,11 @@ mod tests {
 
     #[test]
     fn divergence_detection() {
-        let golden = GoldenRun { case: 0, ticks: 3, traces: traces(&[1, 2, 3]) };
+        let golden = GoldenRun {
+            case: 0,
+            ticks: 3,
+            traces: traces(&[1, 2, 3]),
+        };
         let same = traces(&[1, 2, 3]);
         let diff = traces(&[1, 9, 3]);
         assert!(!golden.diverged(&same, "out"));
@@ -62,7 +66,11 @@ mod tests {
 
     #[test]
     fn unknown_signal_never_diverges() {
-        let golden = GoldenRun { case: 0, ticks: 3, traces: traces(&[1, 2, 3]) };
+        let golden = GoldenRun {
+            case: 0,
+            ticks: 3,
+            traces: traces(&[1, 2, 3]),
+        };
         let ir = traces(&[1, 2, 3]);
         assert!(!golden.diverged(&ir, "nope"));
     }

@@ -70,7 +70,10 @@ pub fn latency_summaries(result: &CampaignResult) -> Vec<LatencySummary> {
         .collect()
 }
 
-fn collect(r: &RunRecord, buckets: &mut std::collections::BTreeMap<(String, String, usize), Vec<u64>>) {
+fn collect(
+    r: &RunRecord,
+    buckets: &mut std::collections::BTreeMap<(String, String, usize), Vec<u64>>,
+) {
     for (output, div) in r.first_divergence.iter().enumerate() {
         let key = (r.module.clone(), r.input_signal.clone(), output);
         let bucket = buckets.entry(key).or_default();
@@ -84,19 +87,30 @@ fn collect(r: &RunRecord, buckets: &mut std::collections::BTreeMap<(String, Stri
 pub fn render_latencies(summaries: &[LatencySummary]) -> String {
     use std::fmt::Write as _;
     let mut s = String::new();
-    let _ = writeln!(s, "Propagation latency from injection to first output divergence (ticks)");
+    let _ = writeln!(
+        s,
+        "Propagation latency from injection to first output divergence (ticks)"
+    );
     let _ = writeln!(
         s,
         "{:<8} {:<12} {:>4} {:>7} {:>6} {:>7} {:>6} {:>7} {:>8}",
         "Module", "Input", "out", "samples", "min", "median", "p95", "max", "mean"
     );
     let mut rows = summaries.to_vec();
-    rows.sort_by(|a, b| b.median.cmp(&a.median));
+    rows.sort_by_key(|r| std::cmp::Reverse(r.median));
     for r in rows {
         let _ = writeln!(
             s,
             "{:<8} {:<12} {:>4} {:>7} {:>6} {:>7} {:>6} {:>7} {:>8.1}",
-            r.module, r.input_signal, r.output + 1, r.samples, r.min, r.median, r.p95, r.max, r.mean
+            r.module,
+            r.input_signal,
+            r.output + 1,
+            r.samples,
+            r.min,
+            r.median,
+            r.p95,
+            r.max,
+            r.mean
         );
     }
     s
@@ -121,7 +135,12 @@ mod tests {
     }
 
     fn result(records: Vec<RunRecord>) -> CampaignResult {
-        CampaignResult { pairs: vec![], records, golden_ticks: vec![], total_runs: 0 }
+        CampaignResult {
+            pairs: vec![],
+            records,
+            golden_ticks: vec![],
+            total_runs: 0,
+        }
     }
 
     #[test]
@@ -168,6 +187,9 @@ mod tests {
         let s = latency_summaries(&res);
         let table = render_latencies(&s);
         let first_data = table.lines().nth(2).unwrap();
-        assert!(first_data.contains(" 2 "), "slowest output (index 2, 1-based) first: {first_data}");
+        assert!(
+            first_data.contains(" 2 "),
+            "slowest output (index 2, 1-based) first: {first_data}"
+        );
     }
 }

@@ -35,7 +35,9 @@ pub mod spec;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
-    pub use crate::campaign::{Campaign, CampaignConfig, FnSystemFactory, SystemFactory};
+    pub use crate::campaign::{
+        Campaign, CampaignConfig, FnSystemFactory, GoldenBundle, SystemFactory,
+    };
     pub use crate::error::FiError;
     pub use crate::estimate::{estimate_matrix, wilson_interval, PairEstimate};
     pub use crate::golden::GoldenRun;

@@ -126,7 +126,10 @@ impl CampaignResult {
                 cell.0 += 1;
             }
         }
-        cells.into_iter().map(|((t, c), (e, n))| (t, c, e, n)).collect()
+        cells
+            .into_iter()
+            .map(|((t, c), (e, n))| (t, c, e, n))
+            .collect()
     }
 }
 
@@ -197,11 +200,7 @@ mod tests {
         };
         let res = CampaignResult {
             pairs: vec![],
-            records: vec![
-                mk(500, 0, Some(501)),
-                mk(500, 0, None),
-                mk(1000, 1, None),
-            ],
+            records: vec![mk(500, 0, Some(501)), mk(500, 0, None), mk(1000, 1, None)],
             golden_ticks: vec![],
             total_runs: 3,
         };

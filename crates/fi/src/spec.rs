@@ -5,20 +5,15 @@ use crate::model::ErrorModel;
 use serde::{Deserialize, Serialize};
 
 /// Where a single injection lands.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum InjectionScope {
     /// Corrupt the value as seen by one module input port only (the default;
     /// implements the paper's "direct errors only" accounting exactly).
+    #[default]
     Port,
     /// Corrupt the stored signal value so every consumer observes it (kept
     /// as an ablation mode).
     Signal,
-}
-
-impl Default for InjectionScope {
-    fn default() -> Self {
-        InjectionScope::Port
-    }
 }
 
 /// One injection target: a module input port, addressed by names.
@@ -33,7 +28,10 @@ pub struct PortTarget {
 impl PortTarget {
     /// Creates a target from names.
     pub fn new(module: impl Into<String>, input_signal: impl Into<String>) -> Self {
-        PortTarget { module: module.into(), input_signal: input_signal.into() }
+        PortTarget {
+            module: module.into(),
+            input_signal: input_signal.into(),
+        }
     }
 }
 
@@ -103,6 +101,45 @@ impl CampaignSpec {
         Ok(())
     }
 
+    /// Validates that every injection instant can actually fire: an instant
+    /// at or beyond the campaign horizon, or at or beyond the end of some
+    /// case's golden run, would silently produce a clean no-injection run
+    /// and dilute the permeability estimate.
+    ///
+    /// `golden_ticks[case]` is the recorded golden-run length of each case.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError::UnreachableInstant`] naming the first offending
+    /// instant and the limit it collides with.
+    pub fn validate_instants(
+        &self,
+        horizon_ms: Option<u64>,
+        golden_ticks: &[u64],
+    ) -> Result<(), FiError> {
+        for &t in &self.times_ms {
+            if let Some(h) = horizon_ms {
+                if t >= h {
+                    return Err(FiError::UnreachableInstant {
+                        time_ms: t,
+                        limit_ms: h,
+                        case: None,
+                    });
+                }
+            }
+            for (case, &ticks) in golden_ticks.iter().enumerate() {
+                if t >= ticks {
+                    return Err(FiError::UnreachableInstant {
+                        time_ms: t,
+                        limit_ms: ticks,
+                        case: Some(case),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
     /// Enumerates all run coordinates in a deterministic order:
     /// `(target_idx, model_idx, time_idx, case_idx)`.
     pub fn coordinates(&self) -> impl Iterator<Item = (usize, usize, usize, usize)> + '_ {
@@ -123,7 +160,10 @@ mod tests {
 
     fn spec() -> CampaignSpec {
         CampaignSpec::paper_style(
-            vec![PortTarget::new("CALC", "pulscnt"), PortTarget::new("V_REG", "SetValue")],
+            vec![
+                PortTarget::new("CALC", "pulscnt"),
+                PortTarget::new("V_REG", "SetValue"),
+            ],
             25,
         )
     }
@@ -155,6 +195,34 @@ mod tests {
         s.cases = 0;
         assert_eq!(s.validate(), Err(FiError::EmptySpec("cases")));
         assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn instants_beyond_horizon_or_golden_end_are_rejected() {
+        let s = spec();
+        // All paper instants fit a 6 s horizon over 5.5 s golden runs.
+        assert!(s.validate_instants(Some(6_000), &[5_500; 25]).is_ok());
+        assert!(s.validate_instants(None, &[5_001; 25]).is_ok());
+        // Horizon at the last instant: `t >= horizon` can never fire.
+        assert_eq!(
+            s.validate_instants(Some(5_000), &[5_500; 25]),
+            Err(FiError::UnreachableInstant {
+                time_ms: 5_000,
+                limit_ms: 5_000,
+                case: None
+            })
+        );
+        // One short golden run is enough to reject.
+        let mut ticks = vec![5_500u64; 25];
+        ticks[7] = 4_800;
+        assert_eq!(
+            s.validate_instants(None, &ticks),
+            Err(FiError::UnreachableInstant {
+                time_ms: 5_000,
+                limit_ms: 4_800,
+                case: Some(7)
+            })
+        );
     }
 
     #[test]

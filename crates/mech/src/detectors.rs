@@ -7,6 +7,7 @@
 //! golden behaviour permits (plus a configurable margin), making the
 //! detector false-positive-free on golden data by construction.
 
+use permea_runtime::state::{StateReader, StateWriter};
 use permea_runtime::tracing::SignalTrace;
 use serde::{Deserialize, Serialize};
 
@@ -18,6 +19,20 @@ pub trait Detector: Send {
 
     /// Resets internal state between runs.
     fn reset(&mut self);
+
+    /// Appends the detector's *dynamic* state to `w` for snapshot/restore
+    /// fast-forward. Configuration (bounds, windows) is reconstructed by the
+    /// factory, so stateless detectors keep the no-op default. Stateful
+    /// detectors must write a canonical encoding (equal logical state, equal
+    /// bytes) and read it back in [`Detector::load_state`] in the same order.
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Restores dynamic state appended by [`Detector::save_state`].
+    fn load_state(&mut self, r: &mut StateReader<'_>) {
+        let _ = r;
+    }
 }
 
 /// Asserts `min <= value <= max`.
@@ -52,7 +67,10 @@ impl RangeDetector {
     pub fn calibrated(golden: &SignalTrace, margin: u16) -> Self {
         let lo = golden.samples.iter().copied().min().unwrap_or(0);
         let hi = golden.samples.iter().copied().max().unwrap_or(u16::MAX);
-        RangeDetector { min: lo.saturating_sub(margin), max: hi.saturating_add(margin) }
+        RangeDetector {
+            min: lo.saturating_sub(margin),
+            max: hi.saturating_add(margin),
+        }
     }
 
     /// The asserted bounds.
@@ -79,7 +97,10 @@ pub struct RateDetector {
 impl RateDetector {
     /// Creates a rate-of-change assertion.
     pub fn new(max_delta: u16) -> Self {
-        RateDetector { max_delta, previous: None }
+        RateDetector {
+            max_delta,
+            previous: None,
+        }
     }
 
     /// Calibrates from a golden trace: the largest golden step plus margin.
@@ -111,6 +132,15 @@ impl Detector for RateDetector {
     fn reset(&mut self) {
         self.previous = None;
     }
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_bool(self.previous.is_some())
+            .put_u16(self.previous.unwrap_or(0));
+    }
+    fn load_state(&mut self, r: &mut StateReader<'_>) {
+        let some = r.bool();
+        let v = r.u16();
+        self.previous = some.then_some(v);
+    }
 }
 
 /// Asserts the signal does not stay bit-identical for more than
@@ -132,7 +162,11 @@ impl FrozenDetector {
     /// Panics if `max_unchanged` is zero.
     pub fn new(max_unchanged: u32) -> Self {
         assert!(max_unchanged > 0, "watchdog window must be positive");
-        FrozenDetector { max_unchanged, previous: None, unchanged: 0 }
+        FrozenDetector {
+            max_unchanged,
+            previous: None,
+            unchanged: 0,
+        }
     }
 
     /// Calibrates from a golden trace: the longest golden plateau plus
@@ -167,6 +201,17 @@ impl Detector for FrozenDetector {
         self.previous = None;
         self.unchanged = 0;
     }
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_bool(self.previous.is_some())
+            .put_u16(self.previous.unwrap_or(0))
+            .put_u64(u64::from(self.unchanged));
+    }
+    fn load_state(&mut self, r: &mut StateReader<'_>) {
+        let some = r.bool();
+        let v = r.u16();
+        self.previous = some.then_some(v);
+        self.unchanged = r.u64() as u32;
+    }
 }
 
 /// Combines several detectors; triggers when any member triggers.
@@ -177,7 +222,9 @@ pub struct CompositeDetector {
 
 impl std::fmt::Debug for CompositeDetector {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("CompositeDetector").field("members", &self.members.len()).finish()
+        f.debug_struct("CompositeDetector")
+            .field("members", &self.members.len())
+            .finish()
     }
 }
 
@@ -229,6 +276,16 @@ impl Detector for CompositeDetector {
             d.reset();
         }
     }
+    fn save_state(&self, w: &mut StateWriter) {
+        for d in &self.members {
+            d.save_state(w);
+        }
+    }
+    fn load_state(&mut self, r: &mut StateReader<'_>) {
+        for d in &mut self.members {
+            d.load_state(r);
+        }
+    }
 }
 
 /// Replays a detector over a full trace, returning the first detection tick.
@@ -247,7 +304,10 @@ mod tests {
     use super::*;
 
     fn trace(samples: Vec<u16>) -> SignalTrace {
-        SignalTrace { name: "s".into(), samples }
+        SignalTrace {
+            name: "s".into(),
+            samples,
+        }
     }
 
     #[test]

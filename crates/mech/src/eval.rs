@@ -13,9 +13,8 @@
 //! spliced in, under an identical signal-scoped injection campaign.
 
 use crate::detectors::{first_detection, CompositeDetector};
-use permea_fi::campaign::{Campaign, CampaignConfig, SystemFactory};
+use permea_fi::campaign::{Campaign, CampaignConfig, GoldenBundle, SystemFactory};
 use permea_fi::error::FiError;
-use permea_fi::golden::GoldenRun;
 use permea_fi::spec::{CampaignSpec, InjectionScope};
 use serde::{Deserialize, Serialize};
 
@@ -105,7 +104,7 @@ impl<'f> DetectionStudy<'f> {
     ) -> Result<Vec<PlacementCoverage>, FiError> {
         spec.validate()?;
         let campaign = Campaign::new(self.factory, self.config.clone());
-        let goldens: Vec<GoldenRun> = campaign.goldens(spec.cases)?;
+        let goldens: Vec<GoldenBundle> = campaign.golden_bundles(spec)?;
         let mut coverages: Vec<PlacementCoverage> = placements
             .iter()
             .map(|s| PlacementCoverage {
@@ -130,14 +129,14 @@ impl<'f> DetectionStudy<'f> {
                 campaign.run_traced(target, spec.scope, model, time_ms, golden, seed)?;
             let failure_tick = system_outputs
                 .iter()
-                .filter_map(|out| golden.first_divergence(&traces, out))
+                .filter_map(|out| golden.run.first_divergence(&traces, out))
                 .min();
             for cov in coverages.iter_mut() {
                 cov.runs += 1;
                 if failure_tick.is_some() {
                     cov.system_failures += 1;
                 }
-                let golden_trace = match golden.traces.trace(&cov.signal) {
+                let golden_trace = match golden.run.traces.trace(&cov.signal) {
                     Some(t) => t,
                     None => continue,
                 };
@@ -201,7 +200,11 @@ impl<'a> RecoveryStudy<'a> {
         guarded: &'a dyn SystemFactory,
         config: CampaignConfig,
     ) -> Self {
-        RecoveryStudy { baseline, guarded, config }
+        RecoveryStudy {
+            baseline,
+            guarded,
+            config,
+        }
     }
 
     fn failures(
@@ -211,7 +214,7 @@ impl<'a> RecoveryStudy<'a> {
         system_outputs: &[String],
     ) -> Result<u64, FiError> {
         let campaign = Campaign::new(factory, config.clone());
-        let goldens = campaign.goldens(spec.cases)?;
+        let goldens = campaign.golden_bundles(spec)?;
         let mut failures = 0;
         for (k, (ti, mi, wi, ci)) in spec.coordinates().enumerate() {
             let seed = config.master_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
@@ -225,7 +228,7 @@ impl<'a> RecoveryStudy<'a> {
             )?;
             if system_outputs
                 .iter()
-                .any(|out| goldens[ci].first_divergence(&traces, out).is_some())
+                .any(|out| goldens[ci].run.first_divergence(&traces, out).is_some())
             {
                 failures += 1;
             }
@@ -250,8 +253,7 @@ impl<'a> RecoveryStudy<'a> {
             InjectionScope::Signal,
             "recovery guards act on stored signals"
         );
-        let baseline_failures =
-            Self::failures(self.baseline, &self.config, spec, system_outputs)?;
+        let baseline_failures = Self::failures(self.baseline, &self.config, spec, system_outputs)?;
         let guarded_failures = Self::failures(self.guarded, &self.config, spec, system_outputs)?;
         Ok(RecoveryOutcome {
             runs: spec.run_count() as u64,
@@ -304,7 +306,13 @@ mod tests {
             let sensor = b.define_signal("sensor");
             let mid = b.define_signal("mid");
             let out = b.define_signal("out");
-            b.add_module("S1", Box::new(Scale), Schedule::every_ms(), &[sensor], &[mid]);
+            b.add_module(
+                "S1",
+                Box::new(Scale),
+                Schedule::every_ms(),
+                &[sensor],
+                &[mid],
+            );
             if guarded {
                 // Guard corrects `mid` in place before S2 consumes it. The
                 // assertion window is tight around the golden value (200).
@@ -342,7 +350,10 @@ mod tests {
         let f = FnSystemFactory::new(1, 10_000, build(false));
         let study = DetectionStudy::new(
             &f,
-            CampaignConfig { threads: 1, ..Default::default() },
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
         );
         let cov = study
             .run(
@@ -370,9 +381,14 @@ mod tests {
         let study = RecoveryStudy::new(
             &baseline,
             &guarded,
-            CampaignConfig { threads: 1, ..Default::default() },
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
         );
-        let outcome = study.run(&spec(InjectionScope::Signal), &["out".to_owned()]).unwrap();
+        let outcome = study
+            .run(&spec(InjectionScope::Signal), &["out".to_owned()])
+            .unwrap();
         assert!(outcome.baseline_failures > 0);
         assert!(
             outcome.guarded_failures < outcome.baseline_failures,
@@ -396,7 +412,11 @@ mod tests {
         assert_eq!(c.coverage(), 0.0);
         assert_eq!(c.preemptive_coverage(), 0.0);
         assert!(c.mean_latency().is_none());
-        let o = RecoveryOutcome { runs: 0, baseline_failures: 0, guarded_failures: 0 };
+        let o = RecoveryOutcome {
+            runs: 0,
+            baseline_failures: 0,
+            guarded_failures: 0,
+        };
         assert_eq!(o.failure_reduction(), 0.0);
     }
 }

@@ -9,6 +9,7 @@
 use crate::detectors::Detector;
 use crate::recovery::Recovery;
 use permea_runtime::module::{ModuleCtx, SoftwareModule};
+use permea_runtime::state::{StateReader, StateWriter};
 
 /// A detector paired with a recovery policy.
 pub struct SignalGuard {
@@ -19,14 +20,20 @@ pub struct SignalGuard {
 
 impl std::fmt::Debug for SignalGuard {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("SignalGuard").field("detections", &self.detections).finish()
+        f.debug_struct("SignalGuard")
+            .field("detections", &self.detections)
+            .finish()
     }
 }
 
 impl SignalGuard {
     /// Creates a guard.
     pub fn new(detector: Box<dyn Detector>, recovery: Box<dyn Recovery>) -> Self {
-        SignalGuard { detector, recovery, detections: 0 }
+        SignalGuard {
+            detector,
+            recovery,
+            detections: 0,
+        }
     }
 
     /// Processes one sample: returns `(output, detected)`. On detection the
@@ -51,6 +58,21 @@ impl SignalGuard {
         self.detector.reset();
         self.recovery.reset();
         self.detections = 0;
+    }
+
+    /// Appends the guard's dynamic state (counter, detector, recovery) to
+    /// `w` for snapshot/restore fast-forward.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u64(self.detections);
+        self.detector.save_state(w);
+        self.recovery.save_state(w);
+    }
+
+    /// Restores state appended by [`SignalGuard::save_state`].
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) {
+        self.detections = r.u64();
+        self.detector.load_state(r);
+        self.recovery.load_state(r);
     }
 }
 
@@ -84,6 +106,18 @@ impl SoftwareModule for GuardModule {
     fn reset(&mut self) {
         self.guard.reset();
     }
+
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        self.guard.save_state(&mut w);
+        w.finish()
+    }
+
+    fn load_state(&mut self, state: &[u8]) {
+        let mut r = StateReader::new(state);
+        self.guard.load_state(&mut r);
+        r.finish();
+    }
 }
 
 #[cfg(test)]
@@ -95,7 +129,10 @@ mod tests {
     use permea_runtime::time::SimTime;
 
     fn guard(max: u16) -> SignalGuard {
-        SignalGuard::new(Box::new(RangeDetector::new(0, max)), Box::new(HoldLastGood::new()))
+        SignalGuard::new(
+            Box::new(RangeDetector::new(0, max)),
+            Box::new(HoldLastGood::new()),
+        )
     }
 
     #[test]
@@ -121,13 +158,14 @@ mod tests {
         bus.corrupt_port((9, 0), s, 7); // witness corruption on another consumer
         let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &ports, &ports, &mut cache);
         m.step(&mut ctx);
-        drop(ctx);
-        assert!(bus.port_corruption_active((9, 0)), "silent guard must not write");
+        assert!(
+            bus.port_corruption_active((9, 0)),
+            "silent guard must not write"
+        );
         // Bad sample: corrected in place.
         bus.corrupt_signal(s, 5000);
         let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &ports, &ports, &mut cache);
         m.step(&mut ctx);
-        drop(ctx);
         assert_eq!(bus.read(s), 42, "corrupted signal restored to last good");
     }
 
@@ -141,7 +179,6 @@ mod tests {
         let mut cache = vec![None; 1];
         let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &ports, &ports, &mut cache);
         m.step(&mut ctx); // detection (99 > 10)
-        drop(ctx);
         m.reset();
         assert_eq!(m.guard.detections(), 0);
     }

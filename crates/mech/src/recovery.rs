@@ -1,5 +1,6 @@
 //! Recovery policies: what an ERM writes back once an error is detected.
 
+use permea_runtime::state::{StateReader, StateWriter};
 use serde::{Deserialize, Serialize};
 
 /// A recovery policy: given a detected-bad sample, produce a replacement.
@@ -12,6 +13,18 @@ pub trait Recovery: Send {
 
     /// Resets internal state between runs.
     fn reset(&mut self);
+
+    /// Appends the policy's *dynamic* state to `w` for snapshot/restore
+    /// fast-forward (canonical encoding; stateless policies keep the no-op
+    /// default, see [`permea_runtime::module::SoftwareModule::save_state`]).
+    fn save_state(&self, w: &mut StateWriter) {
+        let _ = w;
+    }
+
+    /// Restores dynamic state appended by [`Recovery::save_state`].
+    fn load_state(&mut self, r: &mut StateReader<'_>) {
+        let _ = r;
+    }
 }
 
 /// Replaces a bad sample with the last known-good one (zero before any good
@@ -46,6 +59,12 @@ impl Recovery for HoldLastGood {
     }
     fn reset(&mut self) {
         self.last = 0;
+    }
+    fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16(self.last);
+    }
+    fn load_state(&mut self, r: &mut StateReader<'_>) {
+        self.last = r.u16();
     }
 }
 

@@ -9,6 +9,7 @@
 //! All counters wrap modulo 2¹⁶ exactly like the real free-running counters
 //! of the era's microcontrollers.
 
+use crate::state::{StateReader, StateWriter};
 use serde::{Deserialize, Serialize};
 
 /// A free-running 16-bit counter (the target's `TCNT`): increments by a fixed
@@ -32,7 +33,10 @@ pub struct FreeRunningCounter {
 impl FreeRunningCounter {
     /// Creates a counter advancing `counts_per_ms` per millisecond.
     pub fn new(counts_per_ms: u16) -> Self {
-        FreeRunningCounter { counts_per_ms, value: 0 }
+        FreeRunningCounter {
+            counts_per_ms,
+            value: 0,
+        }
     }
 
     /// Advances one millisecond.
@@ -48,6 +52,17 @@ impl FreeRunningCounter {
     /// Resets to zero.
     pub fn reset(&mut self) {
         self.value = 0;
+    }
+
+    /// Appends the register's mutable state (the count; the rate is
+    /// construction config) for snapshot fast-forward.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16(self.value);
+    }
+
+    /// Restores state appended by [`FreeRunningCounter::save_state`].
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) {
+        self.value = r.u16();
     }
 }
 
@@ -80,7 +95,10 @@ impl PulseAccumulator {
     ///
     /// Panics if `pulses` is negative or not finite.
     pub fn add_rate(&mut self, pulses: f64) -> u16 {
-        assert!(pulses.is_finite() && pulses >= 0.0, "pulse count must be non-negative");
+        assert!(
+            pulses.is_finite() && pulses >= 0.0,
+            "pulse count must be non-negative"
+        );
         self.carry += pulses;
         let whole = self.carry.floor();
         self.carry -= whole;
@@ -98,6 +116,18 @@ impl PulseAccumulator {
     pub fn reset(&mut self) {
         self.value = 0;
         self.carry = 0.0;
+    }
+
+    /// Appends the register's mutable state (count and fractional carry,
+    /// the latter bit-exact) for snapshot fast-forward.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16(self.value).put_f64(self.carry);
+    }
+
+    /// Restores state appended by [`PulseAccumulator::save_state`].
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) {
+        self.value = r.u16();
+        self.carry = r.f64();
     }
 }
 
@@ -127,6 +157,16 @@ impl InputCapture {
     /// Resets to zero.
     pub fn reset(&mut self) {
         self.value = 0;
+    }
+
+    /// Appends the register's mutable state for snapshot fast-forward.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        w.put_u16(self.value);
+    }
+
+    /// Restores state appended by [`InputCapture::save_state`].
+    pub fn load_state(&mut self, r: &mut StateReader<'_>) {
+        self.value = r.u16();
     }
 }
 
@@ -160,7 +200,10 @@ impl AdcChannel {
     /// Panics if `bits` is 0 or greater than 16, or `full_scale` is not a
     /// positive finite number.
     pub fn new(bits: u8, full_scale: f64) -> Self {
-        assert!((1..=16).contains(&bits), "ADC resolution must be 1..=16 bits");
+        assert!(
+            (1..=16).contains(&bits),
+            "ADC resolution must be 1..=16 bits"
+        );
         assert!(
             full_scale.is_finite() && full_scale > 0.0,
             "full scale must be positive and finite"

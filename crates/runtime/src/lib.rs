@@ -31,6 +31,7 @@ pub mod module;
 pub mod scheduler;
 pub mod signals;
 pub mod sim;
+pub mod state;
 pub mod time;
 pub mod tracing;
 
@@ -40,7 +41,8 @@ pub mod prelude {
     pub use crate::module::{ModuleCtx, SoftwareModule};
     pub use crate::scheduler::{Schedule, SlotPlan};
     pub use crate::signals::{SignalBus, SignalRef};
-    pub use crate::sim::{Environment, ModuleIdx, Simulation, SimulationBuilder};
+    pub use crate::sim::{Environment, ModuleIdx, SimSnapshot, Simulation, SimulationBuilder};
+    pub use crate::state::{StateReader, StateWriter};
     pub use crate::time::SimTime;
     pub use crate::tracing::{SignalTrace, TraceSet};
 }

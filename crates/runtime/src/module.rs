@@ -46,8 +46,19 @@ impl<'a> ModuleCtx<'a> {
         outputs: &'a [SignalRef],
         out_cache: &'a mut [Option<u16>],
     ) -> Self {
-        assert_eq!(out_cache.len(), outputs.len(), "one cache slot per output port");
-        ModuleCtx { bus, module_idx, now, inputs, outputs, out_cache }
+        assert_eq!(
+            out_cache.len(),
+            outputs.len(),
+            "one cache slot per output port"
+        );
+        ModuleCtx {
+            bus,
+            module_idx,
+            now,
+            inputs,
+            outputs,
+            out_cache,
+        }
     }
 
     /// Current simulated time.
@@ -185,6 +196,23 @@ pub trait SoftwareModule: Send {
     /// runs when a module instance is reused). The default is a no-op for
     /// stateless modules.
     fn reset(&mut self) {}
+
+    /// Serialises the module's internal state into a canonical byte buffer
+    /// for snapshot/restore fast-forward (see [`crate::sim::SimSnapshot`]).
+    ///
+    /// The default returns an empty buffer, which is correct only for
+    /// stateless modules. Stateful modules must override this together with
+    /// [`SoftwareModule::load_state`] so that `load_state(&save_state())`
+    /// reproduces behaviourally identical state, and so that equal logical
+    /// states produce equal buffers (convergence checks compare the bytes).
+    /// [`crate::state::StateWriter`] provides a suitable canonical encoding.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores internal state captured by [`SoftwareModule::save_state`].
+    /// The default is a no-op for stateless modules.
+    fn load_state(&mut self, _state: &[u8]) {}
 }
 
 #[cfg(test)]
@@ -248,7 +276,6 @@ mod tests {
         // Module index 5 sees the corruption...
         let ctx = ModuleCtx::detached(&mut bus, 5, SimTime::ZERO, &inputs, &outputs, &mut cache);
         assert_eq!(ctx.read(0), 1000);
-        drop(ctx);
         // ...module index 4 does not.
         let ctx = ModuleCtx::detached(&mut bus, 4, SimTime::ZERO, &inputs, &outputs, &mut cache);
         assert_eq!(ctx.read(0), 10);
@@ -268,22 +295,30 @@ mod tests {
         let inputs = [i];
         let outputs = [o];
         let mut cache = vec![None; 1];
-        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
+        let mut ctx =
+            ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
         assert!(ctx.write_on_change(0, 5), "first write always happens");
-        drop(ctx);
         // A consumer of `o` carries a corruption; a redundant write must not
         // expire it, a real write must.
         bus.corrupt_port((9, 0), o, 77);
-        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
+        let mut ctx =
+            ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
         assert!(!ctx.write_on_change(0, 5), "same value: skipped");
-        drop(ctx);
-        assert_eq!(bus.read_port((9, 0), o), 77, "corruption survives the skipped write");
-        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
+        assert_eq!(
+            bus.read_port((9, 0), o),
+            77,
+            "corruption survives the skipped write"
+        );
+        let mut ctx =
+            ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
         assert!(ctx.write_on_change(0, 6), "new value: written");
         assert!(ctx.write_bool_on_change(0, true), "6 != 1: written");
-        drop(ctx);
         assert_eq!(bus.read(o), 1, "write_bool_on_change(true) wrote 1");
-        assert_eq!(bus.read_port((9, 0), o), 1, "real write expired the corruption");
+        assert_eq!(
+            bus.read_port((9, 0), o),
+            1,
+            "real write expired the corruption"
+        );
     }
 
     #[test]
@@ -297,13 +332,13 @@ mod tests {
         let inputs = [i];
         let outputs = [o];
         let mut cache = vec![None; 1];
-        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
+        let mut ctx =
+            ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
         ctx.write_on_change(0, 200);
-        drop(ctx);
         bus.corrupt_signal(o, 999);
-        let mut ctx = ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
+        let mut ctx =
+            ModuleCtx::detached(&mut bus, 0, SimTime::ZERO, &inputs, &outputs, &mut cache);
         assert!(!ctx.write_on_change(0, 200), "cache says unchanged");
-        drop(ctx);
         assert_eq!(bus.read(o), 999, "corruption not silently repaired");
     }
 }

@@ -29,18 +29,27 @@ pub enum Schedule {
 impl Schedule {
     /// A task running every millisecond.
     pub const fn every_ms() -> Self {
-        Schedule::Periodic { phase_ms: 0, period_ms: 1 }
+        Schedule::Periodic {
+            phase_ms: 0,
+            period_ms: 1,
+        }
     }
 
     /// A task running once per `period_ms`, in slot `phase_ms`.
     pub const fn in_slot(phase_ms: u64, period_ms: u64) -> Self {
-        Schedule::Periodic { phase_ms, period_ms }
+        Schedule::Periodic {
+            phase_ms,
+            period_ms,
+        }
     }
 
     /// `true` if the task fires at `t` during the periodic phase.
     pub fn fires_at(self, t: SimTime) -> bool {
         match self {
-            Schedule::Periodic { phase_ms, period_ms } => t.matches(phase_ms, period_ms),
+            Schedule::Periodic {
+                phase_ms,
+                period_ms,
+            } => t.matches(phase_ms, period_ms),
             Schedule::Background => false,
         }
     }
@@ -107,10 +116,10 @@ mod tests {
     #[test]
     fn plan_orders_periodic_then_background() {
         let schedules = vec![
-            Schedule::Background,       // 0 (CALC-like)
-            Schedule::every_ms(),       // 1 (CLOCK-like)
-            Schedule::in_slot(0, 7),    // 2 (fires at t=0, 7, ...)
-            Schedule::in_slot(3, 7),    // 3
+            Schedule::Background,    // 0 (CALC-like)
+            Schedule::every_ms(),    // 1 (CLOCK-like)
+            Schedule::in_slot(0, 7), // 2 (fires at t=0, 7, ...)
+            Schedule::in_slot(3, 7), // 3
         ];
         let plan = SlotPlan::for_tick(SimTime::ZERO, &schedules);
         assert_eq!(plan.order(), &[1, 2, 0]);

@@ -110,7 +110,11 @@ impl SignalBus {
             "signal `{name}` defined twice"
         );
         let r = SignalRef(self.signals.len());
-        self.signals.push(SignalState { name: name.clone(), value: 0, version: 0 });
+        self.signals.push(SignalState {
+            name: name.clone(),
+            value: 0,
+            version: 0,
+        });
         self.by_name.insert(name, r);
         r
     }
@@ -185,8 +189,14 @@ impl SignalBus {
     /// Panics if `s` does not belong to this bus.
     pub fn corrupt_port(&mut self, port: PortKey, s: SignalRef, corrupted_value: u16) {
         let version = self.signals[s.0].version;
-        self.port_corruptions
-            .insert(port, PortCorruption { signal: s, applied_version: version, corrupted_value });
+        self.port_corruptions.insert(
+            port,
+            PortCorruption {
+                signal: s,
+                applied_version: version,
+                corrupted_value,
+            },
+        );
     }
 
     /// Applies a signal-scoped corruption: the stored value itself is
@@ -213,6 +223,27 @@ impl SignalBus {
             .get(&port)
             .map(|c| c.applied_version == self.signals[c.signal.0].version)
             .unwrap_or(false)
+    }
+
+    /// `true` while *any* port corruption on the bus is still observable.
+    /// Expired entries (whose signal has since been rewritten) do not count;
+    /// they can never become observable again because versions only grow.
+    pub fn any_port_corruption_active(&self) -> bool {
+        self.port_corruptions
+            .values()
+            .any(|c| c.applied_version == self.signals[c.signal.0].version)
+    }
+
+    /// `true` when both buses define the same signals (names, in order) with
+    /// the same stored values. Versions and corruption tables are ignored —
+    /// with no corruption active they cannot influence any future read.
+    pub fn values_equal(&self, other: &SignalBus) -> bool {
+        self.signals.len() == other.signals.len()
+            && self
+                .signals
+                .iter()
+                .zip(&other.signals)
+                .all(|(a, b)| a.value == b.value && a.name == b.name)
     }
 
     /// Iterates `(ref, name, value)` over all signals in definition order.

@@ -33,6 +33,23 @@ pub trait Environment: Send {
     fn finished(&self, _now: SimTime) -> bool {
         false
     }
+
+    /// Serialises the environment's state into a canonical byte buffer for
+    /// snapshot/restore fast-forward (see [`SimSnapshot`]).
+    ///
+    /// The default returns an empty buffer, correct only for stateless
+    /// environments. Stateful environments must override this together with
+    /// [`Environment::load_state`] so that `load_state(&save_state())`
+    /// reproduces behaviourally identical state and equal logical states
+    /// produce equal buffers. [`crate::state::StateWriter`] provides a
+    /// suitable canonical encoding.
+    fn save_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restores state captured by [`Environment::save_state`]. The default
+    /// is a no-op for stateless environments.
+    fn load_state(&mut self, _state: &[u8]) {}
 }
 
 /// Index of a registered module within a [`Simulation`].
@@ -164,6 +181,32 @@ enum Phase {
     AfterBegin,
 }
 
+/// A point-in-time capture of a [`Simulation`], taken at a tick boundary.
+///
+/// Holds everything needed to resume execution bit-identically: the tick
+/// clock, the full signal bus (values, versions and corruption table — so a
+/// restored run expires corruptions at exactly the same ticks as a replay
+/// from zero), each module's `write_on_change` cache and serialised internal
+/// state, and the environment's serialised state. Traces are deliberately
+/// *not* captured: a fault-injection campaign reconstructs the trace prefix
+/// from the golden run instead of paying to store it per snapshot.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    now: SimTime,
+    bus: SignalBus,
+    out_caches: Vec<Vec<Option<u16>>>,
+    module_states: Vec<Vec<u8>>,
+    env_state: Vec<u8>,
+}
+
+impl SimSnapshot {
+    /// The simulated time the snapshot was taken at (the tick about to
+    /// execute when it is restored).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+}
+
 /// A running simulation.
 pub struct Simulation {
     bus: SignalBus,
@@ -228,7 +271,11 @@ impl Simulation {
     /// Panics if called twice without [`Simulation::run_modules`] /
     /// [`Simulation::run_modules`] in between.
     pub fn begin_tick(&mut self) {
-        assert_eq!(self.phase, Phase::BeforeBegin, "begin_tick called out of order");
+        assert_eq!(
+            self.phase,
+            Phase::BeforeBegin,
+            "begin_tick called out of order"
+        );
         self.env.pre_tick(self.now, &mut self.bus);
         self.phase = Phase::AfterBegin;
     }
@@ -240,7 +287,11 @@ impl Simulation {
     ///
     /// Panics if called before [`Simulation::begin_tick`].
     pub fn run_modules(&mut self) {
-        assert_eq!(self.phase, Phase::AfterBegin, "run_modules before begin_tick");
+        assert_eq!(
+            self.phase,
+            Phase::AfterBegin,
+            "run_modules before begin_tick"
+        );
         let schedules: Vec<Schedule> = self.modules.iter().map(|m| m.schedule).collect();
         let plan = SlotPlan::for_tick(self.now, &schedules);
         for &idx in plan.order() {
@@ -261,6 +312,92 @@ impl Simulation {
         }
         self.now = self.now.next();
         self.phase = Phase::BeforeBegin;
+    }
+
+    /// Captures the complete restorable state at the current tick boundary.
+    ///
+    /// Restoring the snapshot onto a freshly built simulation of the same
+    /// system and stepping it produces exactly the ticks this simulation
+    /// would produce — the foundation of campaign fast-forward.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called between [`Simulation::begin_tick`] and
+    /// [`Simulation::run_modules`]: snapshots are only meaningful at tick
+    /// boundaries.
+    pub fn snapshot(&self) -> SimSnapshot {
+        assert_eq!(self.phase, Phase::BeforeBegin, "snapshot taken mid-tick");
+        SimSnapshot {
+            now: self.now,
+            bus: self.bus.clone(),
+            out_caches: self.modules.iter().map(|m| m.out_cache.clone()).collect(),
+            module_states: self.modules.iter().map(|m| m.module.save_state()).collect(),
+            env_state: self.env.save_state(),
+        }
+    }
+
+    /// Restores state captured by [`Simulation::snapshot`]. Only *state* is
+    /// overwritten — module and environment code stays whatever this
+    /// simulation was built with, so the snapshot must come from an
+    /// identically built system.
+    ///
+    /// # Panics
+    ///
+    /// Panics mid-tick, or if the snapshot's shape (module count, port
+    /// counts, signal set) does not match this simulation.
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        assert_eq!(self.phase, Phase::BeforeBegin, "restore mid-tick");
+        assert_eq!(
+            self.modules.len(),
+            snap.module_states.len(),
+            "snapshot from a different system (module count)"
+        );
+        assert_eq!(
+            self.bus.len(),
+            snap.bus.len(),
+            "snapshot from a different system (signal set)"
+        );
+        self.now = snap.now;
+        self.bus = snap.bus.clone();
+        for (entry, (cache, state)) in self
+            .modules
+            .iter_mut()
+            .zip(snap.out_caches.iter().zip(&snap.module_states))
+        {
+            assert_eq!(
+                entry.out_cache.len(),
+                cache.len(),
+                "snapshot from a different system (port count)"
+            );
+            entry.out_cache.copy_from_slice(cache);
+            entry.module.load_state(state);
+        }
+        self.env.load_state(&snap.env_state);
+    }
+
+    /// `true` when this simulation's future-relevant state at the current
+    /// tick boundary equals the snapshot's: same tick, same signal values,
+    /// same module caches and serialised module/environment state, and *no
+    /// observable port corruption*. Signal versions are ignored — with no
+    /// corruption live they cannot influence any future read — which is what
+    /// lets an injection run whose transient error has died out be declared
+    /// convergent with the golden run and fast-forwarded to its end.
+    pub fn converged_with(&self, snap: &SimSnapshot) -> bool {
+        self.phase == Phase::BeforeBegin
+            && self.now == snap.now
+            && !self.bus.any_port_corruption_active()
+            && self.bus.values_equal(&snap.bus)
+            && self
+                .modules
+                .iter()
+                .zip(&snap.out_caches)
+                .all(|(m, c)| m.out_cache == *c)
+            && self
+                .modules
+                .iter()
+                .zip(&snap.module_states)
+                .all(|(m, s)| m.module.save_state() == *s)
+            && self.env.save_state() == snap.env_state
     }
 
     /// Runs one complete tick (both phases, no injection window).
@@ -287,7 +424,10 @@ impl Simulation {
 
     /// Looks a module up by name.
     pub fn module_by_name(&self, name: &str) -> Option<ModuleIdx> {
-        self.modules.iter().position(|m| m.name == name).map(ModuleIdx)
+        self.modules
+            .iter()
+            .position(|m| m.name == name)
+            .map(ModuleIdx)
     }
 
     /// The registered name of a module.
@@ -353,6 +493,8 @@ impl Simulation {
 mod tests {
     use super::*;
 
+    use crate::state::{StateReader, StateWriter};
+
     /// Counts its own invocations into output 0.
     struct Counter {
         n: u16,
@@ -364,6 +506,16 @@ mod tests {
         }
         fn reset(&mut self) {
             self.n = 0;
+        }
+        fn save_state(&self) -> Vec<u8> {
+            let mut w = StateWriter::new();
+            w.put_u16(self.n);
+            w.finish()
+        }
+        fn load_state(&mut self, state: &[u8]) {
+            let mut r = StateReader::new(state);
+            self.n = r.u16();
+            r.finish();
         }
     }
 
@@ -402,8 +554,20 @@ mod tests {
         let dummy = b.define_signal("dummy");
         let c = b.define_signal("count");
         let copied = b.define_signal("copied");
-        b.add_module("CNT", Box::new(Counter { n: 0 }), Schedule::every_ms(), &[dummy], &[c]);
-        b.add_module("CPY", Box::new(Copy), Schedule::in_slot(0, 2), &[c], &[copied]);
+        b.add_module(
+            "CNT",
+            Box::new(Counter { n: 0 }),
+            Schedule::every_ms(),
+            &[dummy],
+            &[c],
+        );
+        b.add_module(
+            "CPY",
+            Box::new(Copy),
+            Schedule::in_slot(0, 2),
+            &[c],
+            &[copied],
+        );
         let sim = b.build(Box::new(NullEnv));
         (sim, c, copied)
     }
@@ -427,7 +591,13 @@ mod tests {
         let mut b = SimulationBuilder::new();
         let sensor = b.define_signal("sensor");
         let out = b.define_signal("out");
-        b.add_module("CPY", Box::new(Copy), Schedule::every_ms(), &[sensor], &[out]);
+        b.add_module(
+            "CPY",
+            Box::new(Copy),
+            Schedule::every_ms(),
+            &[sensor],
+            &[out],
+        );
         let mut sim = b.build(Box::new(TimedEnv { limit: 5, sensor }));
         let ticks = sim.run_until(SimTime::from_millis(100));
         assert_eq!(ticks, 5);
@@ -449,7 +619,13 @@ mod tests {
         let mut b = SimulationBuilder::new();
         let sensor = b.define_signal("sensor");
         let out = b.define_signal("out");
-        let m = b.add_module("CPY", Box::new(Copy), Schedule::every_ms(), &[sensor], &[out]);
+        let m = b.add_module(
+            "CPY",
+            Box::new(Copy),
+            Schedule::every_ms(),
+            &[sensor],
+            &[out],
+        );
         let mut sim = b.build(Box::new(TimedEnv { limit: 10, sensor }));
         // tick 0-2 clean
         for _ in 0..3 {
@@ -481,6 +657,119 @@ mod tests {
         assert!(sim.find_input_port("CPY", "dummy").is_none());
         assert_eq!(sim.module_inputs(cnt).len(), 1);
         assert_eq!(sim.module_outputs(cnt).len(), 1);
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_identically() {
+        // Reference: run 8 ticks straight through.
+        let (mut reference, c, copied) = counter_sim();
+        let (mut original, _, _) = counter_sim();
+        for _ in 0..3 {
+            reference.step();
+            original.step();
+        }
+        let snap = original.snapshot();
+        assert_eq!(snap.now().as_millis(), 3);
+        for _ in 0..5 {
+            reference.step();
+        }
+        // Fork: restore onto a *fresh* build and run the remaining ticks.
+        let (mut fork, _, _) = counter_sim();
+        fork.restore(&snap);
+        assert_eq!(fork.now().as_millis(), 3);
+        for _ in 0..5 {
+            fork.step();
+        }
+        assert_eq!(fork.now(), reference.now());
+        assert_eq!(fork.bus().read(c), reference.bus().read(c));
+        assert_eq!(fork.bus().read(copied), reference.bus().read(copied));
+        assert!(fork.converged_with(&reference.snapshot()));
+    }
+
+    #[test]
+    fn restore_preserves_corruption_expiry_timing() {
+        // A live port corruption captured in a snapshot must stay live after
+        // restore for exactly as long as in the original run. The producer
+        // uses write_on_change, so its redundant writes never expire it.
+        struct ConstOnChange;
+        impl SoftwareModule for ConstOnChange {
+            fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+                ctx.write_on_change(0, 7);
+            }
+        }
+        let build = || {
+            let mut b = SimulationBuilder::new();
+            let dummy = b.define_signal("dummy");
+            let v = b.define_signal("v");
+            let copied = b.define_signal("copied");
+            b.add_module(
+                "SRC",
+                Box::new(ConstOnChange),
+                Schedule::every_ms(),
+                &[dummy],
+                &[v],
+            );
+            b.add_module("CPY", Box::new(Copy), Schedule::every_ms(), &[v], &[copied]);
+            (b.build(Box::new(NullEnv)), copied)
+        };
+        let (mut original, copied) = build();
+        original.step(); // t=0: v=7, copied=7
+        original.begin_tick();
+        let m = original.module_by_name("CPY").unwrap();
+        original.corrupt_module_input(m, 0, 0xBEEF);
+        original.run_modules(); // t=1: CPY sees the corruption
+        assert_eq!(original.bus().read(copied), 0xBEEF);
+        let snap = original.snapshot();
+
+        let (mut fork, _) = build();
+        fork.restore(&snap);
+        original.step();
+        fork.step(); // t=2: SRC skips its redundant write -> corruption live
+        assert_eq!(fork.bus().read(copied), 0xBEEF);
+        assert_eq!(original.bus().read(copied), fork.bus().read(copied));
+        assert!(fork.bus().port_corruption_active((m.index(), 0)));
+    }
+
+    #[test]
+    fn converged_with_rejects_live_corruption_and_state_drift() {
+        let (mut sim, _, _) = counter_sim();
+        for _ in 0..4 {
+            sim.step();
+        }
+        let snap = sim.snapshot();
+        assert!(sim.converged_with(&snap));
+        // Different tick count -> module state differs.
+        let (mut other, _, _) = counter_sim();
+        for _ in 0..2 {
+            other.step();
+        }
+        let mut drifted = other.snapshot();
+        drifted.now = snap.now();
+        assert!(!sim.converged_with(&drifted));
+        // A live corruption blocks convergence even with equal values.
+        let m = sim.module_by_name("CPY").unwrap();
+        let seen = sim.peek_module_input(m, 0);
+        sim.corrupt_module_input(m, 0, seen); // same value, still "live"
+        assert!(!sim.converged_with(&snap));
+    }
+
+    #[test]
+    #[should_panic(expected = "mid-tick")]
+    fn snapshot_mid_tick_panics() {
+        let (mut sim, _, _) = counter_sim();
+        sim.begin_tick();
+        let _ = sim.snapshot();
+    }
+
+    #[test]
+    #[should_panic(expected = "different system")]
+    fn restore_rejects_mismatched_shape() {
+        let (sim, _, _) = counter_sim();
+        let snap = sim.snapshot();
+        let mut b = SimulationBuilder::new();
+        b.define_signal("only");
+        let mut other = b.build(Box::new(NullEnv));
+        other.restore(&snap);
     }
 
     #[test]

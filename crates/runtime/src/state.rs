@@ -1,0 +1,185 @@
+//! Tiny byte codec backing `save_state`/`load_state` implementations.
+//!
+//! Snapshot fast-forward (see [`crate::sim::SimSnapshot`]) serialises module
+//! and environment state into opaque byte buffers. The encoding must be
+//! *canonical* — the same logical state always produces the same bytes —
+//! because snapshot convergence checks compare the buffers for equality.
+//! [`StateWriter`] and [`StateReader`] provide a fixed little-endian layout
+//! that satisfies this: integers via `to_le_bytes`, `f64` via its exact bit
+//! pattern (so restored physics are bit-identical), booleans as one byte.
+
+/// Appends fields to a canonical little-endian state buffer.
+///
+/// # Examples
+///
+/// ```
+/// use permea_runtime::state::{StateReader, StateWriter};
+///
+/// let mut w = StateWriter::new();
+/// w.put_u16(41).put_bool(true).put_f64(0.5);
+/// let buf = w.finish();
+///
+/// let mut r = StateReader::new(&buf);
+/// assert_eq!(r.u16(), 41);
+/// assert!(r.bool());
+/// assert_eq!(r.f64(), 0.5);
+/// r.finish();
+/// ```
+#[derive(Debug, Default)]
+pub struct StateWriter {
+    buf: Vec<u8>,
+}
+
+impl StateWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        StateWriter::default()
+    }
+
+    /// Appends a `u16`.
+    pub fn put_u16(&mut self, v: u16) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends an `i32`.
+    pub fn put_i32(&mut self, v: i32) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a `u64`.
+    pub fn put_u64(&mut self, v: u64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+
+    /// Appends a boolean as a single `0`/`1` byte.
+    pub fn put_bool(&mut self, v: bool) -> &mut Self {
+        self.buf.push(v as u8);
+        self
+    }
+
+    /// Appends an `f64` as its exact IEEE-754 bit pattern, preserving the
+    /// value bit-for-bit (including negative zero and NaN payloads).
+    pub fn put_f64(&mut self, v: f64) -> &mut Self {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Consumes the writer, returning the buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Reads fields back from a buffer produced by [`StateWriter`].
+///
+/// All accessors panic on underrun and [`StateReader::finish`] panics on
+/// leftover bytes: a shape mismatch means the buffer came from a different
+/// state layout, which is a programming error, not a recoverable condition.
+#[derive(Debug)]
+pub struct StateReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> StateReader<'a> {
+    /// Creates a reader over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        StateReader { buf, pos: 0 }
+    }
+
+    fn take<const N: usize>(&mut self) -> [u8; N] {
+        let end = self.pos + N;
+        assert!(end <= self.buf.len(), "state buffer underrun");
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.pos..end]);
+        self.pos = end;
+        out
+    }
+
+    /// Reads a `u16`.
+    pub fn u16(&mut self) -> u16 {
+        u16::from_le_bytes(self.take())
+    }
+
+    /// Reads an `i32`.
+    pub fn i32(&mut self) -> i32 {
+        i32::from_le_bytes(self.take())
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> u64 {
+        u64::from_le_bytes(self.take())
+    }
+
+    /// Reads a boolean.
+    pub fn bool(&mut self) -> bool {
+        self.take::<1>()[0] != 0
+    }
+
+    /// Reads an `f64` from its exact bit pattern.
+    pub fn f64(&mut self) -> f64 {
+        f64::from_bits(u64::from_le_bytes(self.take()))
+    }
+
+    /// Asserts the buffer was fully consumed.
+    pub fn finish(self) {
+        assert_eq!(self.pos, self.buf.len(), "state buffer has trailing bytes");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_kinds() {
+        let mut w = StateWriter::new();
+        w.put_u16(u16::MAX)
+            .put_i32(-5)
+            .put_u64(1 << 40)
+            .put_bool(false)
+            .put_f64(-0.0);
+        let buf = w.finish();
+        let mut r = StateReader::new(&buf);
+        assert_eq!(r.u16(), u16::MAX);
+        assert_eq!(r.i32(), -5);
+        assert_eq!(r.u64(), 1 << 40);
+        assert!(!r.bool());
+        assert_eq!(r.f64().to_bits(), (-0.0f64).to_bits());
+        r.finish();
+    }
+
+    #[test]
+    fn f64_bits_survive_nan() {
+        let mut w = StateWriter::new();
+        w.put_f64(f64::NAN);
+        let buf = w.finish();
+        assert_eq!(StateReader::new(&buf).f64().to_bits(), f64::NAN.to_bits());
+    }
+
+    #[test]
+    fn same_state_same_bytes() {
+        let enc = |x: f64| {
+            let mut w = StateWriter::new();
+            w.put_f64(x).put_u16(3);
+            w.finish()
+        };
+        assert_eq!(enc(1.25), enc(1.25));
+        assert_ne!(enc(1.25), enc(1.250000001));
+    }
+
+    #[test]
+    #[should_panic(expected = "underrun")]
+    fn underrun_panics() {
+        StateReader::new(&[1]).u16();
+    }
+
+    #[test]
+    #[should_panic(expected = "trailing")]
+    fn trailing_bytes_panic() {
+        StateReader::new(&[1]).finish();
+    }
+}

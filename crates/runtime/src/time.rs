@@ -39,7 +39,10 @@ impl SimTime {
     ///
     /// Panics if `secs` is negative or not finite.
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs.is_finite() && secs >= 0.0, "time must be finite and non-negative");
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "time must be finite and non-negative"
+        );
         SimTime((secs * 1000.0).round() as u64)
     }
 

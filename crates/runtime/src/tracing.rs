@@ -68,7 +68,10 @@ impl TraceSet {
             refs: signals.to_vec(),
             traces: signals
                 .iter()
-                .map(|&s| SignalTrace { name: bus.name(s).to_owned(), samples: Vec::new() })
+                .map(|&s| SignalTrace {
+                    name: bus.name(s).to_owned(),
+                    samples: Vec::new(),
+                })
                 .collect(),
             ticks: 0,
         }
@@ -117,6 +120,47 @@ impl TraceSet {
         let theirs = golden.trace(name)?;
         mine.first_divergence(theirs)
     }
+
+    /// A copy containing only the first `ticks` ticks of every trace
+    /// (saturating when `ticks` exceeds the recorded length).
+    pub fn truncated(&self, ticks: usize) -> TraceSet {
+        TraceSet {
+            refs: self.refs.clone(),
+            traces: self
+                .traces
+                .iter()
+                .map(|t| SignalTrace {
+                    name: t.name.clone(),
+                    samples: t.samples[..ticks.min(t.samples.len())].to_vec(),
+                })
+                .collect(),
+            ticks: ticks.min(self.ticks),
+        }
+    }
+
+    /// Appends ticks `[from, to)` of `other` to this set — the splice used
+    /// to reassemble a full trace from a fast-forwarded run's window plus
+    /// the golden prefix and tail.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the two sets monitor different signal lists or the window
+    /// exceeds `other`'s recorded length.
+    pub fn extend_from_window(&mut self, other: &TraceSet, from: usize, to: usize) {
+        assert_eq!(
+            self.traces.len(),
+            other.traces.len(),
+            "trace sets monitor different signals"
+        );
+        for (mine, theirs) in self.traces.iter_mut().zip(&other.traces) {
+            debug_assert_eq!(
+                mine.name, theirs.name,
+                "trace sets monitor different signals"
+            );
+            mine.samples.extend_from_slice(&theirs.samples[from..to]);
+        }
+        self.ticks += to - from;
+    }
 }
 
 #[cfg(test)]
@@ -156,16 +200,28 @@ mod tests {
 
     #[test]
     fn first_divergence_finds_first_difference() {
-        let x = SignalTrace { name: "x".into(), samples: vec![1, 2, 3, 4] };
-        let y = SignalTrace { name: "x".into(), samples: vec![1, 2, 9, 4] };
+        let x = SignalTrace {
+            name: "x".into(),
+            samples: vec![1, 2, 3, 4],
+        };
+        let y = SignalTrace {
+            name: "x".into(),
+            samples: vec![1, 2, 9, 4],
+        };
         assert_eq!(x.first_divergence(&y), Some(2));
         assert_eq!(x.first_divergence(&x.clone()), None);
     }
 
     #[test]
     fn length_mismatch_is_divergence_at_shorter_end() {
-        let x = SignalTrace { name: "x".into(), samples: vec![1, 2] };
-        let y = SignalTrace { name: "x".into(), samples: vec![1, 2, 3] };
+        let x = SignalTrace {
+            name: "x".into(),
+            samples: vec![1, 2],
+        };
+        let y = SignalTrace {
+            name: "x".into(),
+            samples: vec![1, 2, 3],
+        };
         assert_eq!(x.first_divergence(&y), Some(2));
         assert_eq!(y.first_divergence(&x), Some(2));
     }
@@ -185,6 +241,34 @@ mod tests {
         assert_eq!(ir.first_divergence(&golden, "a"), Some(1));
         assert_eq!(ir.first_divergence(&golden, "b"), None);
         assert_eq!(ir.first_divergence(&golden, "zz"), None);
+    }
+
+    #[test]
+    fn truncate_and_splice_reassemble_a_run() {
+        let (mut bus, refs) = bus3();
+        let mut full = TraceSet::for_signals(&bus, &refs);
+        for v in 0..10u16 {
+            bus.write(refs[0], v);
+            bus.write(refs[1], 100 + v);
+            full.record(&bus);
+        }
+        // Rebuild [0..4) + [4..7) + [7..10) and compare with the original.
+        let mut spliced = full.truncated(4);
+        assert_eq!(spliced.ticks(), 4);
+        spliced.extend_from_window(&full, 4, 7);
+        spliced.extend_from_window(&full, 7, 10);
+        assert_eq!(spliced, full);
+        // Truncation beyond the recorded length saturates.
+        assert_eq!(full.truncated(99), full);
+    }
+
+    #[test]
+    #[should_panic(expected = "different signals")]
+    fn splice_rejects_mismatched_signal_sets() {
+        let (bus, refs) = bus3();
+        let mut two = TraceSet::for_signals(&bus, &refs[..2]);
+        let three = TraceSet::for_signals(&bus, &refs);
+        two.extend_from_window(&three, 0, 0);
     }
 
     #[test]

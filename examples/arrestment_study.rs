@@ -14,11 +14,17 @@ use permea::analysis::tables;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = std::env::args().any(|a| a == "--full");
-    let config = if full { StudyConfig::paper() } else { StudyConfig::quick() };
+    let config = if full {
+        StudyConfig::paper()
+    } else {
+        StudyConfig::quick()
+    };
     eprintln!(
         "running the {} study ({} injections)...",
         if full { "full paper" } else { "quick" },
-        config.spec(&permea::arrestment::ArrestmentSystem::topology()).run_count()
+        config
+            .spec(&permea::arrestment::ArrestmentSystem::topology())
+            .run_count()
     );
 
     let out = Study::new(config).run()?;
@@ -29,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
     print!("{}", tables::render_table3(&out.topology, &out.measures));
     println!();
-    print!("{}", tables::render_table4(&out.topology, &out.toc2_paths, true));
+    print!(
+        "{}",
+        tables::render_table4(&out.topology, &out.toc2_paths, true)
+    );
     println!();
     print!("{}", render_checks(&run_shape_checks(&out)));
     Ok(())

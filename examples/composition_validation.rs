@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     print!("{}", render_validation(&rows));
     println!(
         "\nrelative orderings agree: {}",
-        if orderings_agree(&rows, 0.1) { "yes" } else { "NO" }
+        if orderings_agree(&rows, 0.1) {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     println!(
         "(exact agreement is not expected: path composition assumes\n\

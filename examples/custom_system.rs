@@ -79,9 +79,26 @@ fn build_sim(_case: usize) -> permea::runtime::sim::Simulation {
     let temp_raw = b.define_signal("temp_raw");
     let temp = b.define_signal("temp");
     let heater = b.define_signal("heater");
-    b.add_module("FILTER", Box::new(Filter { state: 0 }), Schedule::every_ms(), &[temp_raw], &[temp]);
-    b.add_module("CONTROL", Box::new(Control { heating: false }), Schedule::in_slot(1, 5), &[temp], &[heater]);
-    let mut sim = b.build(Box::new(ThermalEnv { temp: 1500.0, temp_raw, heater, limit: 4_000 }));
+    b.add_module(
+        "FILTER",
+        Box::new(Filter { state: 0 }),
+        Schedule::every_ms(),
+        &[temp_raw],
+        &[temp],
+    );
+    b.add_module(
+        "CONTROL",
+        Box::new(Control { heating: false }),
+        Schedule::in_slot(1, 5),
+        &[temp],
+        &[heater],
+    );
+    let mut sim = b.build(Box::new(ThermalEnv {
+        temp: 1500.0,
+        temp_raw,
+        heater,
+        limit: 4_000,
+    }));
     sim.enable_tracing_all();
     sim
 }
@@ -101,15 +118,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Estimate permeability with a bit-flip campaign.
     let factory = FnSystemFactory::new(1, 10_000, build_sim);
-    let campaign = Campaign::new(&factory, CampaignConfig { threads: 1, ..Default::default() });
+    let campaign = Campaign::new(
+        &factory,
+        CampaignConfig {
+            threads: 1,
+            ..Default::default()
+        },
+    );
     let spec = CampaignSpec::paper_style(
-        vec![PortTarget::new("FILTER", "temp_raw"), PortTarget::new("CONTROL", "temp")],
+        vec![
+            PortTarget::new("FILTER", "temp_raw"),
+            PortTarget::new("CONTROL", "temp"),
+        ],
         1,
     );
     let result = campaign.run(&spec)?;
     let matrix = estimate_matrix(&topology, &result)?;
 
-    println!("estimated permeabilities ({} injections per input):", spec.injections_per_target());
+    println!(
+        "estimated permeabilities ({} injections per input):",
+        spec.injections_per_target()
+    );
     for (m, i, k, v) in matrix.iter() {
         println!(
             "  P({} -> {}) = {:.3}",
@@ -125,7 +154,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ranked = measures.ranked_by_signal_exposure();
     println!("\nsignals by error exposure:");
     for se in ranked.iter().filter(|se| se.exposure > 0.0) {
-        println!("  {:<10} X = {:.3}", topology.signal_name(se.signal), se.exposure);
+        println!(
+            "  {:<10} X = {:.3}",
+            topology.signal_name(se.signal),
+            se.exposure
+        );
     }
     let plan = PlacementAdvisor::new(&graph)?.plan();
     println!(

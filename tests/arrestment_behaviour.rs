@@ -35,12 +35,18 @@ fn pulscnt_is_monotone_and_matches_distance() {
     let (traces, snap) = run(TestCase::new(14_000.0, 60.0));
     let pulscnt = &traces.trace("pulscnt").unwrap().samples;
     for w in pulscnt.windows(2) {
-        assert!(w[1] >= w[0], "pulse count must be monotone (no wrap expected here)");
+        assert!(
+            w[1] >= w[0],
+            "pulse count must be monotone (no wrap expected here)"
+        );
     }
     let final_pulses = *pulscnt.last().unwrap() as f64;
     let expected = snap.position_m * PULSES_PER_METRE;
     let err = (final_pulses - expected).abs() / expected;
-    assert!(err < 0.02, "pulse count {final_pulses} vs distance-derived {expected}");
+    assert!(
+        err < 0.02,
+        "pulse count {final_pulses} vs distance-derived {expected}"
+    );
 }
 
 #[test]
@@ -48,7 +54,10 @@ fn checkpoint_index_is_monotone_and_setvalue_follows_table() {
     let (traces, _) = run(TestCase::new(11_000.0, 70.0));
     let i = &traces.trace("i").unwrap().samples;
     for w in i.windows(2) {
-        assert!(w[1] >= w[0] && w[1] - w[0] <= 1, "i advances one checkpoint at a time");
+        assert!(
+            w[1] >= w[0] && w[1] - w[0] <= 1,
+            "i advances one checkpoint at a time"
+        );
     }
     assert!(*i.last().unwrap() >= 3, "several checkpoints crossed");
     // SetValue stays within encoding bounds and is non-zero mid-arrestment.
@@ -102,7 +111,10 @@ fn stopped_asserts_only_at_the_end() {
     // shortly after the first assertion.)
     assert_ne!(*stopped.last().unwrap(), 0, "stopped holds at scenario end");
     let total_true = stopped[t..].iter().filter(|&&v| v != 0).count();
-    assert!(total_true >= 250, "stopped asserted for only {total_true} ms");
+    assert!(
+        total_true >= 250,
+        "stopped asserted for only {total_true} ms"
+    );
 }
 
 #[test]
@@ -110,9 +122,18 @@ fn slow_speed_precedes_stopped() {
     let (traces, _) = run(TestCase::new(8_000.0, 40.0));
     let slow = &traces.trace("slow_speed").unwrap().samples;
     let stopped = &traces.trace("stopped").unwrap().samples;
-    let slow_at = slow.iter().position(|&v| v != 0).expect("slow_speed asserts");
-    let stop_at = stopped.iter().position(|&v| v != 0).expect("stopped asserts");
-    assert!(slow_at < stop_at, "slow_speed ({slow_at}) before stopped ({stop_at})");
+    let slow_at = slow
+        .iter()
+        .position(|&v| v != 0)
+        .expect("slow_speed asserts");
+    let stop_at = stopped
+        .iter()
+        .position(|&v| v != 0)
+        .expect("stopped asserts");
+    assert!(
+        slow_at < stop_at,
+        "slow_speed ({slow_at}) before stopped ({stop_at})"
+    );
 }
 
 #[test]
@@ -122,7 +143,12 @@ fn toc2_never_exceeds_command_range_and_slews_gently() {
     assert!(toc2.iter().all(|&v| v <= VALVE_CMD_MAX));
     for w in toc2.windows(2) {
         let step = w[0].abs_diff(w[1]);
-        assert!(step <= PREG_SLEW_PER_STEP, "slew violation: {} -> {}", w[0], w[1]);
+        assert!(
+            step <= PREG_SLEW_PER_STEP,
+            "slew violation: {} -> {}",
+            w[0],
+            w[1]
+        );
     }
 }
 
@@ -152,7 +178,14 @@ fn heavier_aircraft_needs_longer_distance_at_same_speed() {
 fn faster_engagement_commands_higher_pressure() {
     let peak = |case| {
         let (traces, _) = run(case);
-        traces.trace("SetValue").unwrap().samples.iter().copied().max().unwrap()
+        traces
+            .trace("SetValue")
+            .unwrap()
+            .samples
+            .iter()
+            .copied()
+            .max()
+            .unwrap()
     };
     let slow = peak(TestCase::new(14_000.0, 40.0));
     let fast = peak(TestCase::new(14_000.0, 80.0));

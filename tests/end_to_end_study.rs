@@ -86,7 +86,12 @@ fn report_covers_every_table_and_figure() {
         assert!(names.contains(&expected), "missing artifact {expected}");
     }
     // Table 4 lists 22 paths in the unfiltered variant.
-    let t4 = &report.files.iter().find(|(n, _)| n == "table4_all.txt").unwrap().1;
+    let t4 = &report
+        .files
+        .iter()
+        .find(|(n, _)| n == "table4_all.txt")
+        .unwrap()
+        .1;
     assert!(t4.contains("22 of 22"));
 }
 

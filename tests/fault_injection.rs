@@ -33,6 +33,7 @@ fn config(threads: usize) -> CampaignConfig {
         master_seed: 0xBEEF,
         keep_records: true,
         horizon_ms: Some(6_000),
+        fast_forward: true,
     }
 }
 
@@ -89,7 +90,7 @@ fn port_scope_isolates_the_targeted_consumer() {
     // published: the pulscnt trace itself stays golden.
     let f = factory();
     let c = Campaign::new(&f, config(1));
-    let golden = c.golden(0).unwrap();
+    let golden = c.golden_bundle(0, &[2_000]).unwrap();
     let (traces, original, corrupted) = c
         .run_traced(
             &PortTarget::new("CALC", "pulscnt"),
@@ -102,7 +103,7 @@ fn port_scope_isolates_the_targeted_consumer() {
         .unwrap();
     assert_eq!(original ^ corrupted, 1 << 13);
     assert_eq!(
-        golden.first_divergence(&traces, "pulscnt"),
+        golden.run.first_divergence(&traces, "pulscnt"),
         None,
         "port-scoped corruption must not appear on the signal itself"
     );
@@ -116,7 +117,7 @@ fn signal_scope_shows_on_the_signal_trace() {
     // same tick — which the port-scope test above exploits.)
     let f = factory();
     let c = Campaign::new(&f, config(1));
-    let golden = c.golden(0).unwrap();
+    let golden = c.golden_bundle(0, &[2_000]).unwrap();
     let (traces, _, _) = c
         .run_traced(
             &PortTarget::new("V_REG", "SetValue"),
@@ -128,7 +129,7 @@ fn signal_scope_shows_on_the_signal_trace() {
         )
         .unwrap();
     assert_eq!(
-        golden.first_divergence(&traces, "SetValue"),
+        golden.run.first_divergence(&traces, "SetValue"),
         Some(2_000),
         "signal-scoped corruption is visible on the stored signal"
     );
@@ -145,7 +146,10 @@ fn estimates_flow_into_matrix_and_graph() {
     assert_eq!(matrix.get(calc, 0, 0), 0.0);
     // Targeted pairs carry the campaign estimate.
     let vreg = topo.module_by_name("V_REG").unwrap();
-    let p = res.pair("V_REG", "SetValue", "OutValue").unwrap().estimate();
+    let p = res
+        .pair("V_REG", "SetValue", "OutValue")
+        .unwrap()
+        .estimate();
     assert_eq!(matrix.get(vreg, 0, 0), p);
     // And the graph accepts the matrix.
     let graph = permea::core::PermeabilityGraph::new(&topo, &matrix).unwrap();
@@ -153,7 +157,9 @@ fn estimates_flow_into_matrix_and_graph() {
 }
 
 #[test]
-fn injection_after_horizon_is_a_clean_no_error_run() {
+fn injection_after_horizon_is_rejected() {
+    // An instant beyond the horizon could never fire; the run would be a
+    // silent no-injection run diluting the estimate, so it is an error.
     let f = factory();
     let c = Campaign::new(&f, config(1));
     let spec = CampaignSpec {
@@ -163,6 +169,77 @@ fn injection_after_horizon_is_a_clean_no_error_run() {
         cases: 1,
         scope: InjectionScope::Port,
     };
-    let res = c.run(&spec).unwrap();
-    assert_eq!(res.pair("V_REG", "SetValue", "OutValue").unwrap().errors, 0);
+    assert_eq!(
+        c.run(&spec).unwrap_err(),
+        FiError::UnreachableInstant {
+            time_ms: 50_000,
+            limit_ms: 6_000,
+            case: None
+        }
+    );
+}
+
+#[test]
+fn fast_forward_matches_replay_on_the_arrestment_system() {
+    // The differential guarantee on the real target: snapshot fork plus
+    // convergence early-exit must reproduce the replay-from-zero campaign
+    // byte for byte, records included.
+    let f = factory();
+    let fast = Campaign::new(&f, config(0)).run(&small_spec()).unwrap();
+    let replay = Campaign::new(
+        &f,
+        CampaignConfig {
+            fast_forward: false,
+            ..config(0)
+        },
+    )
+    .run(&small_spec())
+    .unwrap();
+    assert_eq!(fast, replay);
+}
+
+#[test]
+fn traced_fast_forward_matches_replay_traces() {
+    // run_traced reassembles a full trace from golden prefix + simulated
+    // window + golden tail; it must equal the replayed full trace.
+    let f = factory();
+    let fast = Campaign::new(&f, config(1));
+    let replay = Campaign::new(
+        &f,
+        CampaignConfig {
+            fast_forward: false,
+            ..config(1)
+        },
+    );
+    let fast_bundle = fast.golden_bundle(0, &[900, 2_600]).unwrap();
+    let replay_bundle = replay.golden_bundle(0, &[900, 2_600]).unwrap();
+    for (target, scope) in [
+        (PortTarget::new("DIST_S", "PACNT"), InjectionScope::Port),
+        (PortTarget::new("V_REG", "SetValue"), InjectionScope::Signal),
+    ] {
+        for time_ms in [900, 2_600] {
+            let (ft, fo, fc) = fast
+                .run_traced(
+                    &target,
+                    scope,
+                    ErrorModel::BitFlip { bit: 14 },
+                    time_ms,
+                    &fast_bundle,
+                    7,
+                )
+                .unwrap();
+            let (rt, ro, rc) = replay
+                .run_traced(
+                    &target,
+                    scope,
+                    ErrorModel::BitFlip { bit: 14 },
+                    time_ms,
+                    &replay_bundle,
+                    7,
+                )
+                .unwrap();
+            assert_eq!((fo, fc), (ro, rc));
+            assert_eq!(ft, rt, "traces differ for {target:?} at {time_ms} ms");
+        }
+    }
 }

@@ -30,10 +30,17 @@ fn backtrack_tree_path_inventory() {
     let sorted = paths.sorted_by_weight();
     let expected = [0.25, 0.189, 0.105, 0.0756, 0.072, 0.042, 0.03024, 0.0168];
     for (p, e) in sorted.iter().zip(expected) {
-        assert!((p.weight - e).abs() < 1e-12, "expected {e}, got {}", p.weight);
+        assert!(
+            (p.weight - e).abs() < 1e-12,
+            "expected {e}, got {}",
+            p.weight
+        );
     }
     assert_eq!(
-        sorted.iter().filter(|p| p.terminal == permea::core::paths::PathTerminal::Feedback).count(),
+        sorted
+            .iter()
+            .filter(|p| p.terminal == permea::core::paths::PathTerminal::Feedback)
+            .count(),
         2
     );
 }
@@ -97,8 +104,7 @@ fn end_to_end_estimates_by_hand() {
     let set = tree.into_path_set();
     // extA: four parallel paths 0.189, 0.03024, 0.105, 0.0168.
     let ext_a = topo.signal_by_name("extA").unwrap();
-    let expected =
-        1.0 - (1.0 - 0.189) * (1.0 - 0.03024) * (1.0 - 0.105) * (1.0 - 0.0168);
+    let expected = 1.0 - (1.0 - 0.189) * (1.0 - 0.03024) * (1.0 - 0.105) * (1.0 - 0.0168);
     assert!((set.end_to_end_estimate(ext_a) - expected).abs() < 1e-12);
     // extE: single path 0.25.
     let ext_e = topo.signal_by_name("extE").unwrap();
@@ -112,7 +118,15 @@ fn end_to_end_estimates_by_hand() {
 fn whatif_containment_of_b_blocks_exta_paths() {
     let (topo, pm) = five_module_system();
     let b = topo.module_by_name("B").unwrap();
-    let effects = containment_effects(&topo, &pm, Containment { module: b, factor: 0.0 }).unwrap();
+    let effects = containment_effects(
+        &topo,
+        &pm,
+        Containment {
+            module: b,
+            factor: 0.0,
+        },
+    )
+    .unwrap();
     let ext_a = topo.signal_by_name("extA").unwrap();
     let ext_e = topo.signal_by_name("extE").unwrap();
     let ea = effects.iter().find(|e| e.input == ext_a).unwrap();

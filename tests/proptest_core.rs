@@ -25,12 +25,14 @@ fn description() -> impl Strategy<Value = SystemDescription> {
         prop::collection::vec(0usize..1000, 20),
         prop::collection::vec(0u32..=1000, 40),
     )
-        .prop_map(|(externals, shapes, input_selectors, values)| SystemDescription {
-            externals,
-            shapes,
-            input_selectors,
-            values,
-        })
+        .prop_map(
+            |(externals, shapes, input_selectors, values)| SystemDescription {
+                externals,
+                shapes,
+                input_selectors,
+                values,
+            },
+        )
 }
 
 /// Builds a valid topology + matrix from a description. Outputs are declared

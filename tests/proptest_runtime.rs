@@ -151,3 +151,97 @@ proptest! {
         prop_assert_eq!(b.first_divergence(&a), Some(pos));
     }
 }
+
+// Snapshot/restore equivalence: restoring a snapshot into a freshly built
+// system and stepping must be indistinguishable from never interrupting the
+// original run. These are the load-bearing properties behind campaign
+// fast-forward.
+mod snapshot_equivalence {
+    use super::*;
+    use permea::arrestment::system::ArrestmentSystem;
+    use permea::arrestment::testcase::TestCase;
+    use permea::runtime::hw::{FreeRunningCounter, InputCapture, PulseAccumulator};
+    use permea::runtime::state::{StateReader, StateWriter};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn arrestment_snapshot_restore_step_equals_uninterrupted_step(
+            mass in 8_000.0f64..20_000.0,
+            velocity in 40.0f64..80.0,
+            prefix in 0u64..400,
+            tail in 1u64..200,
+        ) {
+            let case = TestCase::new(mass, velocity);
+            let mut original = ArrestmentSystem::new(case).into_sim();
+            for _ in 0..prefix {
+                original.step();
+            }
+            let snap = original.snapshot();
+
+            let mut forked = ArrestmentSystem::new(case).into_sim();
+            forked.restore(&snap);
+            prop_assert!(forked.converged_with(&snap), "restore reproduces the snapshot");
+
+            for _ in 0..tail {
+                original.step();
+                forked.step();
+            }
+            // converged_with compares tick, bus values, out-caches and the
+            // serialised module + environment state — full future-relevant
+            // state equality, not just a sampled signal.
+            prop_assert!(
+                forked.converged_with(&original.snapshot()),
+                "forked run diverged from the uninterrupted one after {tail} ticks"
+            );
+        }
+
+        #[test]
+        fn hw_register_state_roundtrips_mid_run(
+            rate in 1u16..=u16::MAX,
+            prefix in 0u32..300,
+            tail in 1u32..300,
+            pulses in prop::collection::vec(0.0f64..5.0, 1..40),
+            captured in any::<u16>(),
+        ) {
+            let mut counter = FreeRunningCounter::new(rate);
+            let mut accum = PulseAccumulator::new();
+            let mut capture = InputCapture::new();
+            for _ in 0..prefix {
+                counter.tick_ms();
+            }
+            for &p in &pulses {
+                accum.add_rate(p);
+            }
+            capture.capture(captured);
+
+            let mut w = StateWriter::new();
+            counter.save_state(&mut w);
+            accum.save_state(&mut w);
+            capture.save_state(&mut w);
+            let bytes = w.finish();
+
+            let mut counter2 = FreeRunningCounter::new(rate);
+            let mut accum2 = PulseAccumulator::new();
+            let mut capture2 = InputCapture::new();
+            let mut r = StateReader::new(&bytes);
+            counter2.load_state(&mut r);
+            accum2.load_state(&mut r);
+            capture2.load_state(&mut r);
+            r.finish();
+
+            for _ in 0..tail {
+                counter.tick_ms();
+                counter2.tick_ms();
+            }
+            for &p in &pulses {
+                accum.add_rate(p);
+                accum2.add_rate(p);
+            }
+            prop_assert_eq!(counter.value(), counter2.value());
+            prop_assert_eq!(accum.value(), accum2.value());
+            prop_assert_eq!(capture.value(), capture2.value());
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `Bencher::iter`
+//! / `iter_batched`, `Throughput`, `BatchSize`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros — backed by a simple
+//! wall-clock timer instead of criterion's statistical machinery.
+//!
+//! When invoked by `cargo test` (which passes `--test` to `harness = false`
+//! bench targets), each benchmark body runs exactly once as a smoke check.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// How batched inputs are grouped (ignored; kept for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Throughput annotation (recorded for display only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    /// Measured mean time per iteration of the last `iter` call.
+    elapsed: Option<Duration>,
+    iters_done: u64,
+}
+
+impl Bencher {
+    fn run<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        if self.test_mode {
+            std::hint::black_box(routine());
+            self.elapsed = Some(Duration::ZERO);
+            self.iters_done = 1;
+            return;
+        }
+        // Warm-up and calibration: run once to gauge the per-iteration cost.
+        let t0 = Instant::now();
+        std::hint::black_box(routine());
+        let once = t0.elapsed();
+        // Aim for ~1 s of measurement, capped to keep long benches usable.
+        let target = Duration::from_secs(1);
+        let iters = if once.is_zero() {
+            1000
+        } else {
+            (target.as_nanos() / once.as_nanos().max(1)).clamp(1, 10_000) as u64
+        };
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = Some(t1.elapsed() / iters as u32);
+        self.iters_done = iters;
+    }
+
+    pub fn iter<O, F: FnMut() -> O>(&mut self, routine: F) {
+        self.run(routine);
+    }
+
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            self.elapsed = Some(Duration::ZERO);
+            self.iters_done = 1;
+            return;
+        }
+        let iters = 10u64;
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t.elapsed();
+        }
+        self.elapsed = Some(total / iters as u32);
+        self.iters_done = iters;
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark manager.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        let mut b = Bencher {
+            test_mode: self.test_mode,
+            elapsed: None,
+            iters_done: 0,
+        };
+        f(&mut b);
+        match b.elapsed {
+            Some(d) if !self.test_mode => {
+                println!(
+                    "{name:<50} {:>12}/iter ({} iters)",
+                    format_duration(d),
+                    b.iters_done
+                );
+            }
+            _ => println!("{name:<50} ok (test mode)"),
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Called by `criterion_main!` after all groups have run.
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        self.criterion.run_one(&full, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

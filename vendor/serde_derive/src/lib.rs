@@ -1,0 +1,493 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the stand-in `serde::Serialize` / `serde::Deserialize`
+//! traits (value-tree based) by hand-parsing the item's `TokenStream` — no
+//! `syn`/`quote`, since external crates cannot be fetched in this build
+//! environment. Supports non-generic structs (named, tuple, unit) and enums
+//! (unit, tuple, struct variants), plus the `#[serde(skip)]` attribute.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_serialize(&item);
+    code.parse()
+        .expect("serde_derive: generated Serialize impl failed to parse")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = gen_deserialize(&item);
+    code.parse()
+        .expect("serde_derive: generated Deserialize impl failed to parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Field {
+    name: Option<String>,
+    ty: String,
+    skip: bool,
+}
+
+enum Shape {
+    Unit,
+    Tuple(Vec<Field>),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        shape: Shape,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+fn is_ident(t: &TokenTree, s: &str) -> bool {
+    matches!(t, TokenTree::Ident(i) if i.to_string() == s)
+}
+
+/// Consumes leading attributes; returns whether `#[serde(skip)]` was seen.
+fn eat_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while *i + 1 < tokens.len() && is_punct(&tokens[*i], '#') {
+        if let TokenTree::Group(g) = &tokens[*i + 1] {
+            if g.delimiter() == Delimiter::Bracket {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                if !inner.is_empty() && is_ident(&inner[0], "serde") {
+                    if let Some(TokenTree::Group(args)) = inner.get(1) {
+                        for t in args.stream() {
+                            if is_ident(&t, "skip") {
+                                skip = true;
+                            }
+                        }
+                    }
+                }
+                *i += 2;
+                continue;
+            }
+        }
+        break;
+    }
+    skip
+}
+
+/// Consumes a visibility qualifier if present.
+fn eat_vis(tokens: &[TokenTree], i: &mut usize) {
+    if *i < tokens.len() && is_ident(&tokens[*i], "pub") {
+        *i += 1;
+        if *i < tokens.len() {
+            if let TokenTree::Group(g) = &tokens[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Collects tokens up to (not including) a top-level `,`, tracking `<...>`
+/// nesting so commas inside generic arguments are not split points.
+fn take_until_comma(tokens: &[TokenTree], i: &mut usize) -> String {
+    let mut depth = 0i32;
+    let mut out = String::new();
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+        out.push_str(&tokens[*i].to_string());
+        out.push(' ');
+        *i += 1;
+    }
+    out.trim().to_string()
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = eat_attrs(&tokens, &mut i);
+        eat_vis(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found `{other}`"),
+        };
+        i += 1;
+        assert!(
+            is_punct(&tokens[i], ':'),
+            "serde_derive: expected `:` after field name"
+        );
+        i += 1;
+        let ty = take_until_comma(&tokens, &mut i);
+        if i < tokens.len() {
+            i += 1; // skip comma
+        }
+        fields.push(Field {
+            name: Some(name),
+            ty,
+            skip,
+        });
+    }
+    fields
+}
+
+fn parse_tuple_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let skip = eat_attrs(&tokens, &mut i);
+        eat_vis(&tokens, &mut i);
+        let ty = take_until_comma(&tokens, &mut i);
+        if i < tokens.len() {
+            i += 1;
+        }
+        if !ty.is_empty() {
+            fields.push(Field {
+                name: None,
+                ty,
+                skip,
+            });
+        }
+    }
+    fields
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        eat_attrs(&tokens, &mut i);
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive: expected variant name, found `{other}`"),
+        };
+        i += 1;
+        let shape = if i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let f = parse_named_fields(g.stream());
+                    i += 1;
+                    Shape::Named(f)
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let f = parse_tuple_fields(g.stream());
+                    i += 1;
+                    Shape::Tuple(f)
+                }
+                _ => Shape::Unit,
+            }
+        } else {
+            Shape::Unit
+        };
+        // Skip any discriminant and the trailing comma.
+        let _ = take_until_comma(&tokens, &mut i);
+        if i < tokens.len() {
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Item-level attributes and visibility.
+    eat_attrs(&tokens, &mut i);
+    eat_vis(&tokens, &mut i);
+    let is_enum = if is_ident(&tokens[i], "struct") {
+        false
+    } else if is_ident(&tokens[i], "enum") {
+        true
+    } else {
+        panic!(
+            "serde_derive: expected `struct` or `enum`, found `{}`",
+            tokens[i]
+        );
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, found `{other}`"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde_derive stand-in: generic type `{name}` is not supported");
+    }
+    if is_enum {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive: expected enum body, found `{other}`"),
+        }
+    } else {
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(parse_tuple_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        Item::Struct { name, shape }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation (as strings, re-parsed into a TokenStream)
+// ---------------------------------------------------------------------------
+
+const HEAD: &str =
+    "#[automatically_derived]\n#[allow(unused_mut, unused_variables, clippy::all)]\n";
+
+fn ser_named_fields(fields: &[Field], accessor: impl Fn(&str) -> String) -> String {
+    let mut out = String::from(
+        "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+         ::std::vec::Vec::new();\n",
+    );
+    for f in fields.iter().filter(|f| !f.skip) {
+        let name = f.name.as_deref().unwrap();
+        out.push_str(&format!(
+            "__m.push((::std::string::String::from(\"{name}\"), \
+             ::serde::Serialize::to_value({})));\n",
+            accessor(name)
+        ));
+    }
+    out.push_str("::serde::Value::Map(__m)\n");
+    out
+}
+
+fn de_named_fields(fields: &[Field], type_name: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let name = f.name.as_deref().unwrap();
+        if f.skip {
+            out.push_str(&format!("{name}: ::std::default::Default::default(),\n"));
+        } else {
+            out.push_str(&format!(
+                "{name}: match ::serde::value::map_get(__m, \"{name}\") {{\n\
+                 ::std::option::Option::Some(__x) => \
+                 <{ty} as ::serde::Deserialize>::from_value(__x)?,\n\
+                 ::std::option::Option::None => \
+                 <{ty} as ::serde::Deserialize>::when_missing(\"{name}\")?,\n}},\n",
+                ty = f.ty
+            ));
+        }
+    }
+    let _ = type_name;
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => "::serde::Value::Null".to_string(),
+                Shape::Tuple(fields) if fields.len() == 1 => {
+                    "::serde::Serialize::to_value(&self.0)".to_string()
+                }
+                Shape::Tuple(fields) => {
+                    let items: Vec<String> = (0..fields.len())
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                }
+                Shape::Named(fields) => ser_named_fields(fields, |n| format!("&self.{n}")),
+            };
+            format!(
+                "{HEAD}impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n{{ {body} }}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut all_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => all_arms.push_str(&format!(
+                        "{name}::{vn} => \
+                         ::serde::Value::Str(::std::string::String::from(\"{vn}\")),\n"
+                    )),
+                    Shape::Tuple(fields) => {
+                        let binds: Vec<String> =
+                            (0..fields.len()).map(|k| format!("__f{k}")).collect();
+                        let payload = if fields.len() == 1 {
+                            "::serde::Serialize::to_value(&*__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value(&*{b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        all_arms.push_str(&format!(
+                            "{name}::{vn}({}) => \
+                             ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from(\"{vn}\"), {payload})]),\n",
+                            binds.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone().unwrap()).collect();
+                        let body = ser_named_fields(fields, |n| format!("&*{n}")).replace(
+                            "::serde::Value::Map(__m)\n",
+                            &format!(
+                                "::serde::Value::Map(::std::vec![(\
+                                 ::std::string::String::from(\"{vn}\"), \
+                                 ::serde::Value::Map(__m))])\n"
+                            ),
+                        );
+                        all_arms.push_str(&format!(
+                            "{name}::{vn} {{ {} }} => {{\n{body}}},\n",
+                            binds.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{HEAD}impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{all_arms}}}\n}}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, shape } => {
+            let body = match shape {
+                Shape::Unit => format!("::std::result::Result::Ok({name})"),
+                Shape::Tuple(fields) if fields.len() == 1 => format!(
+                    "::std::result::Result::Ok({name}(\
+                     <{ty} as ::serde::Deserialize>::from_value(__v)?))",
+                    ty = fields[0].ty
+                ),
+                Shape::Tuple(fields) => {
+                    let n = fields.len();
+                    let items: Vec<String> = fields
+                        .iter()
+                        .enumerate()
+                        .map(|(k, f)| {
+                            format!(
+                                "<{ty} as ::serde::Deserialize>::from_value(&__s[{k}])?",
+                                ty = f.ty
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "let __s = __v.as_seq().ok_or_else(|| \
+                         ::serde::DeError::custom(\"{name}: expected array\"))?;\n\
+                         if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                         ::serde::DeError::custom(\"{name}: tuple length mismatch\")); }}\n\
+                         ::std::result::Result::Ok({name}({}))",
+                        items.join(", ")
+                    )
+                }
+                Shape::Named(fields) => format!(
+                    "let __m = __v.as_map().ok_or_else(|| \
+                     ::serde::DeError::custom(\"{name}: expected object\"))?;\n\
+                     ::std::result::Result::Ok({name} {{\n{}}})",
+                    de_named_fields(fields, name)
+                ),
+            };
+            format!(
+                "{HEAD}impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n{body}\n}}\n}}\n"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut data_arms = String::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.shape {
+                    Shape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n"
+                    )),
+                    Shape::Tuple(fields) if fields.len() == 1 => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                             <{ty} as ::serde::Deserialize>::from_value(__payload)?)),\n",
+                            ty = fields[0].ty
+                        ));
+                    }
+                    Shape::Tuple(fields) => {
+                        let n = fields.len();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .enumerate()
+                            .map(|(k, f)| {
+                                format!(
+                                    "<{ty} as ::serde::Deserialize>::from_value(&__s[{k}])?",
+                                    ty = f.ty
+                                )
+                            })
+                            .collect();
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet __s = __payload.as_seq().ok_or_else(|| \
+                             ::serde::DeError::custom(\"{name}::{vn}: expected array\"))?;\n\
+                             if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                             ::serde::DeError::custom(\
+                             \"{name}::{vn}: tuple length mismatch\")); }}\n\
+                             ::std::result::Result::Ok({name}::{vn}({}))\n}},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        data_arms.push_str(&format!(
+                            "\"{vn}\" => {{\nlet __m = __payload.as_map().ok_or_else(|| \
+                             ::serde::DeError::custom(\"{name}::{vn}: expected object\"))?;\n\
+                             ::std::result::Result::Ok({name}::{vn} {{\n{}}})\n}},\n",
+                            de_named_fields(fields, name)
+                        ));
+                    }
+                }
+            }
+            format!(
+                "{HEAD}impl ::serde::Deserialize for {name} {{\n\
+                 fn from_value(__v: &::serde::Value) -> \
+                 ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 match __v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{\n{unit_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}},\n\
+                 ::serde::Value::Map(__entries) if __entries.len() == 1 => {{\n\
+                 let (__k, __payload) = &__entries[0];\n\
+                 match __k.as_str() {{\n{data_arms}\
+                 __other => ::std::result::Result::Err(::serde::DeError::custom(\
+                 ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n}}\n}},\n\
+                 _ => ::std::result::Result::Err(::serde::DeError::custom(\
+                 \"{name}: expected variant\")),\n}}\n}}\n}}\n"
+            )
+        }
+    }
+}
