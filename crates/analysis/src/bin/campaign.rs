@@ -108,6 +108,7 @@ fn main() -> ExitCode {
             keep_records: true,
             horizon_ms: Some(horizon),
             fast_forward: true,
+            ..CampaignConfig::default()
         },
     );
     eprintln!("running {} injection runs...", spec.run_count());
@@ -120,6 +121,14 @@ fn main() -> ExitCode {
         }
     };
     eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+    if result.outcomes.quarantined() > 0 {
+        eprintln!(
+            "warning: {} run(s) quarantined ({} panicked, {} hung)",
+            result.outcomes.quarantined(),
+            result.outcomes.panicked,
+            result.outcomes.hung
+        );
+    }
 
     println!(
         "{:<8} {:<14} {:<14} {:>8} {:>8} {:>8}",

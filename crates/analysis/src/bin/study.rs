@@ -3,23 +3,73 @@
 //!
 //! ```text
 //! study [--quick | --full] [--out DIR] [--threads N] [--seed S]
-//!       [--replay] [--compare-paths]
+//!       [--replay] [--compare-paths] [--journal] [--resume DIR]
 //! ```
 //!
 //! `--quick` (default) runs the reduced configuration (seconds);
 //! `--full` runs the paper's 52 000-injection campaign (minutes).
 //! `--replay` disables snapshot fast-forward (replay every run from tick 0);
 //! `--compare-paths` times the campaign both ways and reports the speedup.
+//!
+//! `--journal` makes the campaign durable: every finished injection run is
+//! appended to `DIR/journal.jsonl` as write-ahead state. `--resume DIR`
+//! (shorthand for `--out DIR --journal`) picks a killed or interrupted
+//! campaign back up from its journal — already-journaled runs are not
+//! re-executed, and the final artifacts are byte-identical to an
+//! uninterrupted run. SIGINT/SIGTERM stop the campaign cleanly: the journal
+//! is synced and resume instructions are printed. The journal records the
+//! spec, seed and horizon, so resuming with a different configuration is
+//! rejected instead of silently mixing campaigns (thread count and
+//! `--replay` may differ freely — they do not affect results).
 
 use permea_analysis::report::Report;
 use permea_analysis::study::{Study, StudyConfig};
+use permea_fi::error::FiError;
+use permea_fi::journal::RunJournal;
 use std::path::PathBuf;
 use std::process::ExitCode;
+
+/// SIGINT/SIGTERM latch. Installed via a minimal `signal(2)` FFI shim —
+/// the build environment is offline, so no `libc`/`ctrlc` crates.
+#[cfg(unix)]
+mod interrupt {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn latch(_sig: i32) {
+        // Only an atomic store: async-signal-safe.
+        REQUESTED.store(true, Ordering::Release);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, latch);
+            signal(SIGTERM, latch);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod interrupt {
+    use std::sync::atomic::AtomicBool;
+
+    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+    pub fn install() {}
+}
 
 fn usage() -> ! {
     eprintln!(
         "usage: study [--quick | --full] [--out DIR] [--threads N] [--seed S] \
-         [--replay] [--compare-paths]"
+         [--replay] [--compare-paths] [--journal] [--resume DIR]"
     );
     std::process::exit(2);
 }
@@ -29,6 +79,7 @@ fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("artifacts/study");
     let mut replay = false;
     let mut compare_paths = false;
+    let mut journal_runs = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -36,8 +87,16 @@ fn main() -> ExitCode {
             "--full" => config = StudyConfig::paper(),
             "--replay" => replay = true,
             "--compare-paths" => compare_paths = true,
+            "--journal" => journal_runs = true,
             "--out" => match args.next() {
                 Some(d) => out_dir = PathBuf::from(d),
+                None => usage(),
+            },
+            "--resume" => match args.next() {
+                Some(d) => {
+                    out_dir = PathBuf::from(d);
+                    journal_runs = true;
+                }
                 None => usage(),
             },
             "--threads" => match args.next().and_then(|v| v.parse().ok()) {
@@ -63,9 +122,56 @@ fn main() -> ExitCode {
         spec_preview.run_count()
     );
 
+    let study = Study::new(config.clone());
+    let mut journal = if journal_runs {
+        if let Err(e) = std::fs::create_dir_all(&out_dir) {
+            eprintln!("cannot create {}: {e}", out_dir.display());
+            return ExitCode::FAILURE;
+        }
+        let path = out_dir.join("journal.jsonl");
+        match RunJournal::open_or_create(&path, &study.journal_header()) {
+            Ok((j, loaded)) => {
+                if loaded.recovered > 0 {
+                    eprintln!(
+                        "journal {}: {} run(s) already recorded{}, resuming",
+                        path.display(),
+                        loaded.recovered,
+                        if loaded.truncated_tail {
+                            " (torn tail truncated)"
+                        } else {
+                            ""
+                        }
+                    );
+                }
+                Some(j)
+            }
+            Err(e) => {
+                eprintln!("cannot open journal {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+
+    interrupt::install();
     let started = std::time::Instant::now();
-    let output = match Study::new(config.clone()).run() {
+    let output = match study.run_resumable(journal.as_mut(), Some(&interrupt::REQUESTED)) {
         Ok(o) => o,
+        Err(FiError::Interrupted { completed, total }) => {
+            eprintln!("interrupted: {completed} of {total} runs journaled");
+            eprintln!(
+                "resume with: study {} --resume {}{}",
+                if config.masses >= 5 {
+                    "--full"
+                } else {
+                    "--quick"
+                },
+                out_dir.display(),
+                if replay { " --replay" } else { "" },
+            );
+            return ExitCode::from(130);
+        }
         Err(e) => {
             eprintln!("study failed: {e}");
             return ExitCode::FAILURE;
@@ -73,13 +179,22 @@ fn main() -> ExitCode {
     };
     let first_secs = started.elapsed().as_secs_f64();
     eprintln!(
-        "campaign finished in {first_secs:.1}s ({})",
+        "campaign finished in {first_secs:.1}s ({}{})",
         if config.fast_forward {
             "fast-forward"
         } else {
             "replay-from-zero"
-        }
+        },
+        if journal_runs { ", journaled" } else { "" }
     );
+    if output.result.outcomes.quarantined() > 0 {
+        eprintln!(
+            "warning: {} run(s) quarantined ({} panicked, {} hung) — see outcomes.txt",
+            output.result.outcomes.quarantined(),
+            output.result.outcomes.panicked,
+            output.result.outcomes.hung
+        );
+    }
 
     if compare_paths {
         let mut other = config.clone();
@@ -107,6 +222,20 @@ fn main() -> ExitCode {
     if let Err(e) = report.write_to(&out_dir) {
         eprintln!("failed to write artifacts to {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
+    }
+    // The raw campaign result as machine-readable data; also what the
+    // kill/resume smoke test diffs for byte-identical recovery.
+    match serde_json::to_string(&output.result) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(out_dir.join("result.json"), json) {
+                eprintln!("failed to write result.json: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to serialise result.json: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     eprintln!("artifacts written to {}", out_dir.display());
 

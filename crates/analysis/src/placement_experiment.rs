@@ -80,6 +80,7 @@ impl PlacementConfig {
             keep_records: false,
             horizon_ms: Some(self.horizon_ms),
             fast_forward: true,
+            ..CampaignConfig::default()
         }
     }
 

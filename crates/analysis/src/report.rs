@@ -101,6 +101,7 @@ impl Report {
                 )),
             ));
         }
+        files.push(("outcomes.txt".to_owned(), render_outcomes(out)));
         files.push(("checks.txt".to_owned(), render_checks(&checks)));
         files.push(("placement.txt".to_owned(), render_placement(out)));
         files.push((
@@ -136,6 +137,50 @@ impl Report {
         }
         Ok(())
     }
+}
+
+/// Renders the campaign's run-outcome tally: how many injection runs
+/// completed versus were quarantined (panicked / hung), with the worst
+/// offenders when any run was quarantined.
+pub fn render_outcomes(out: &StudyOutput) -> String {
+    use permea_fi::outcome::RunOutcome;
+    let t = &out.result.outcomes;
+    let mut s = String::new();
+    let _ = writeln!(s, "Run outcomes (sandboxed campaign execution)");
+    let _ = writeln!(s, "  completed:   {:>8}", t.completed);
+    let _ = writeln!(s, "  panicked:    {:>8}", t.panicked);
+    let _ = writeln!(s, "  hung:        {:>8}", t.hung);
+    let _ = writeln!(
+        s,
+        "  quarantined: {:>8}  ({:.2}% of {})",
+        t.quarantined(),
+        t.quarantined_fraction() * 100.0,
+        t.total()
+    );
+    if t.quarantined() > 0 {
+        let _ = writeln!(s, "-- quarantined runs --");
+        for r in out
+            .result
+            .records
+            .iter()
+            .filter(|r| r.outcome.is_quarantined())
+            .take(50)
+        {
+            let what = match &r.outcome {
+                RunOutcome::Panicked { message } => format!("panicked: {message}"),
+                RunOutcome::Hung { last_tick_ms } => {
+                    format!("hung (clock stalled at {last_tick_ms} ms)")
+                }
+                RunOutcome::Completed => continue,
+            };
+            let _ = writeln!(
+                s,
+                "  {} <- {} {} @ {} ms case {}: {what}",
+                r.module, r.input_signal, r.model, r.time_ms, r.case
+            );
+        }
+    }
+    s
 }
 
 /// Renders the EDM/ERM placement plan with rationales.
@@ -193,6 +238,7 @@ mod tests {
         let summary = report.summary();
         assert!(summary.contains("Table 1"));
         assert!(summary.contains("Shape checks"));
+        assert!(summary.contains("Run outcomes"));
         let dir = std::env::temp_dir().join("permea_report_test");
         report.write_to(&dir).unwrap();
         assert!(dir.join("table1.txt").exists());

@@ -90,6 +90,7 @@ pub fn workload_sweep(
                 keep_records: false,
                 horizon_ms: Some(config.horizon_ms),
                 fast_forward: true,
+                ..CampaignConfig::default()
             },
         );
         let spec = CampaignSpec {

@@ -14,9 +14,11 @@ use permea_core::topology::SystemTopology;
 use permea_core::trace::TraceForest;
 use permea_fi::campaign::{Campaign, CampaignConfig};
 use permea_fi::error::FiError;
+use permea_fi::journal::{JournalHeader, RunJournal};
 use permea_fi::results::CampaignResult;
 use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::AtomicBool;
 
 /// Configuration of the reproduction study.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -165,6 +167,26 @@ impl Study {
         &self.config
     }
 
+    /// The campaign configuration this study runs with.
+    fn campaign_config(&self) -> CampaignConfig {
+        CampaignConfig {
+            threads: self.config.threads,
+            master_seed: self.config.seed,
+            keep_records: self.config.keep_records,
+            horizon_ms: self.config.horizon_ms,
+            fast_forward: self.config.fast_forward,
+            ..CampaignConfig::default()
+        }
+    }
+
+    /// The journal header identifying this study's campaign — what a
+    /// [`RunJournal`] must be opened against to journal or resume it.
+    pub fn journal_header(&self) -> JournalHeader {
+        let topology = ArrestmentSystem::topology();
+        let spec = self.config.spec(&topology);
+        JournalHeader::new(&spec, self.config.seed, self.config.horizon_ms)
+    }
+
     /// Runs the complete pipeline.
     ///
     /// # Errors
@@ -173,23 +195,32 @@ impl Study {
     /// a boxed error for the analysis stages, which cannot fail for a valid
     /// topology).
     pub fn run(&self) -> Result<StudyOutput, FiError> {
+        self.run_resumable(None, None)
+    }
+
+    /// Runs the pipeline with optional campaign durability and
+    /// cancellation: finished injection runs are appended to `journal` (and
+    /// journaled runs are not re-executed), and raising `cancel` stops the
+    /// campaign with [`FiError::Interrupted`] after syncing the journal.
+    /// The journal must have been opened against [`Study::journal_header`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Study::run`], plus [`FiError::Interrupted`] and journal I/O
+    /// failures.
+    pub fn run_resumable(
+        &self,
+        journal: Option<&mut RunJournal>,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<StudyOutput, FiError> {
         let topology = ArrestmentSystem::topology();
         let spec = self.config.spec(&topology);
         let factory = ArrestmentFactory::with_cases(TestCase::grid(
             self.config.masses,
             self.config.velocities,
         ));
-        let campaign = Campaign::new(
-            &factory,
-            CampaignConfig {
-                threads: self.config.threads,
-                master_seed: self.config.seed,
-                keep_records: self.config.keep_records,
-                horizon_ms: self.config.horizon_ms,
-                fast_forward: self.config.fast_forward,
-            },
-        );
-        let result = campaign.run(&spec)?;
+        let campaign = Campaign::new(&factory, self.campaign_config());
+        let result = campaign.run_resumable(&spec, journal, cancel)?;
         let matrix = permea_fi::estimate::estimate_matrix(&topology, &result)?;
         let graph = PermeabilityGraph::new(&topology, &matrix)
             .expect("matrix was shaped from this topology");
@@ -242,6 +273,30 @@ mod tests {
         assert_eq!(spec.models.len(), 16);
         assert_eq!(spec.times_ms.len(), 10);
         assert_eq!(spec.cases, 25);
+    }
+
+    #[test]
+    fn journaled_smoke_study_resumes_identically() {
+        let study = Study::new(StudyConfig::smoke());
+        let baseline = study.run().unwrap();
+
+        let dir = std::env::temp_dir().join(format!("permea-study-journal-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("journal.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let header = study.journal_header();
+        let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+        let journaled = study.run_resumable(Some(&mut j), None).unwrap();
+        assert_eq!(journaled.result, baseline.result);
+        drop(j);
+
+        // Reopen the complete journal: the resumed study re-executes no
+        // runs and reproduces the result bit for bit.
+        let (mut j, loaded) = RunJournal::open_or_create(&path, &header).unwrap();
+        assert_eq!(loaded.recovered as u64, baseline.result.total_runs);
+        let resumed = study.run_resumable(Some(&mut j), None).unwrap();
+        assert_eq!(resumed.result, baseline.result);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -90,6 +90,7 @@ pub fn validate_composition(
             keep_records: false,
             horizon_ms: Some(config.horizon_ms),
             fast_forward: true,
+            ..CampaignConfig::default()
         },
     );
     let golden = campaign.golden_bundle(0, &config.times_ms)?;

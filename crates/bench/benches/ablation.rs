@@ -40,6 +40,7 @@ fn run(
             keep_records: false,
             horizon_ms: Some(horizon),
             fast_forward: true,
+            ..CampaignConfig::default()
         },
     );
     let spec = CampaignSpec {

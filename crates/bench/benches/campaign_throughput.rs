@@ -90,6 +90,39 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
+    // Journaling overhead: the same 32-run campaign with and without the
+    // write-ahead run journal (flush per record, fsync batched).
+    let mut group = c.benchmark_group("campaign/journal");
+    group.sample_size(10);
+    for (label, journal_on) in [("off", false), ("on", true)] {
+        group.bench_function(label, |b| {
+            let campaign = Campaign::new(
+                &factory,
+                CampaignConfig {
+                    threads: 1,
+                    horizon_ms: Some(3_000),
+                    keep_records: false,
+                    ..Default::default()
+                },
+            );
+            let path = std::env::temp_dir()
+                .join(format!("permea-bench-journal-{}.jsonl", std::process::id()));
+            b.iter(|| {
+                if journal_on {
+                    let _ = std::fs::remove_file(&path);
+                    let header = campaign.journal_header(&spec);
+                    let (mut j, _) =
+                        permea_fi::journal::RunJournal::open_or_create(&path, &header).unwrap();
+                    black_box(campaign.run_resumable(&spec, Some(&mut j), None).unwrap())
+                } else {
+                    black_box(campaign.run(&spec).unwrap())
+                }
+            });
+            let _ = std::fs::remove_file(&path);
+        });
+    }
+    group.finish();
+
     // Factory construction overhead (per-run allocation cost).
     c.bench_function("campaign/factory_build", |b| {
         b.iter(|| black_box(factory.build(0)))

@@ -28,16 +28,19 @@
 
 use crate::error::FiError;
 use crate::golden::GoldenRun;
+use crate::journal::{JournalHeader, RunJournal};
+use crate::outcome::{classify_unwind, OutcomeTally, RunOutcome};
 use crate::results::{CampaignResult, PairStat, RunRecord};
 use crate::spec::{CampaignSpec, InjectionScope};
 use permea_runtime::sim::{SimSnapshot, Simulation};
 use permea_runtime::time::SimTime;
 use permea_runtime::tracing::TraceSet;
+use permea_runtime::watchdog::WatchdogConfig;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Spacing of the periodic golden checkpoints used for convergence
@@ -109,7 +112,9 @@ where
 }
 
 /// Execution options for a campaign.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Not `Eq` because `max_quarantined_fraction` is an `f64`.
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignConfig {
     /// Worker threads (0 ⇒ use available parallelism).
     pub threads: usize,
@@ -127,6 +132,18 @@ pub struct CampaignConfig {
     /// reconverge with the golden run (see the module docs). Results are
     /// bit-identical either way; disable only for differential testing.
     pub fast_forward: bool,
+    /// Watchdog budgets armed on every *injection* run (golden runs are
+    /// never armed — an un-injected scenario that hangs is a
+    /// [`FiError::GoldenRunDidNotTerminate`] bug, not data). `None`
+    /// disables hang detection entirely.
+    pub watchdog: Option<WatchdogConfig>,
+    /// Largest tolerable fraction of quarantined (panicked or hung) runs.
+    /// Individual quarantined runs are data — a brittle module meeting a
+    /// corrupted value — but when more than this fraction of the whole
+    /// campaign dies, the breakage is systematic and the permeability
+    /// estimates would rest on a biased sample, so the campaign returns
+    /// [`FiError::QuarantineThresholdExceeded`] instead of a result.
+    pub max_quarantined_fraction: f64,
 }
 
 impl Default for CampaignConfig {
@@ -137,6 +154,8 @@ impl Default for CampaignConfig {
             keep_records: true,
             horizon_ms: None,
             fast_forward: true,
+            watchdog: Some(WatchdogConfig::default()),
+            max_quarantined_fraction: 0.25,
         }
     }
 }
@@ -260,13 +279,15 @@ impl<'f> Campaign<'f> {
     /// [`FiError::GoldenRunDidNotTerminate`] if the scenario neither
     /// finishes nor hits the configured horizon within the factory's cap;
     /// [`FiError::HorizonExceedsCap`] if the horizon lies beyond the cap and
-    /// the run would have been silently truncated at the cap.
+    /// the run would have been silently truncated at the cap;
+    /// [`FiError::TracingDisabled`] if the factory built the simulation
+    /// without tracing.
     pub fn golden(&self, case: usize) -> Result<GoldenRun, FiError> {
         let mut sim = self.factory.build(case);
         sim.run_until(SimTime::from_millis(self.cap_ms()));
         self.check_termination(sim.finished(), case)?;
         let ticks = sim.now().as_millis();
-        let traces = sim.take_traces().expect("factory must enable tracing");
+        let traces = sim.take_traces().ok_or(FiError::TracingDisabled { case })?;
         Ok(GoldenRun {
             case,
             ticks,
@@ -317,7 +338,7 @@ impl<'f> Campaign<'f> {
         let ticks = sim.now().as_millis();
         // Checkpoints at or beyond the end are useless (runs stop there).
         snapshots.retain(|&t, _| t < ticks);
-        let traces = sim.take_traces().expect("factory must enable tracing");
+        let traces = sim.take_traces().ok_or(FiError::TracingDisabled { case })?;
         Ok(GoldenBundle {
             run: GoldenRun {
                 case,
@@ -380,6 +401,11 @@ impl<'f> Campaign<'f> {
     /// from tick zero), injects, and stops early once the run reconverges
     /// with a golden checkpoint. Returns the recorded trace window — ticks
     /// `[start_ms, end_ms)` of the run — plus the injected values.
+    ///
+    /// The configured watchdog is armed on the simulation, so this call may
+    /// unwind with a [`permea_runtime::watchdog::StalledClock`] payload when
+    /// the injected error stalls the simulated clock; the campaign loop
+    /// catches and classifies that.
     fn run_injected(
         &self,
         target: &ResolvedTarget,
@@ -388,8 +414,11 @@ impl<'f> Campaign<'f> {
         time_ms: u64,
         golden: &GoldenBundle,
         seed: u64,
-    ) -> InjectedWindow {
+    ) -> Result<InjectedWindow, FiError> {
         let mut sim = self.factory.build(golden.run.case);
+        if let Some(wd) = self.config.watchdog {
+            sim.arm_watchdog(wd);
+        }
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut original = 0u16;
         let mut corrupted = 0u16;
@@ -427,14 +456,16 @@ impl<'f> Campaign<'f> {
             }
             sim.run_modules();
         }
-        let window = sim.take_traces().expect("factory must enable tracing");
-        InjectedWindow {
+        let window = sim.take_traces().ok_or(FiError::TracingDisabled {
+            case: golden.run.case,
+        })?;
+        Ok(InjectedWindow {
             window,
             start_ms,
             converged_ms,
             original,
             corrupted,
-        }
+        })
     }
 
     /// Executes one injection run and returns the per-output first
@@ -447,14 +478,14 @@ impl<'f> Campaign<'f> {
         time_ms: u64,
         golden: &GoldenBundle,
         seed: u64,
-    ) -> (u16, u16, Vec<Option<u32>>) {
-        let run = self.run_injected(target, spec.scope, model, time_ms, golden, seed);
+    ) -> Result<(u16, u16, Vec<Option<u32>>), FiError> {
+        let run = self.run_injected(target, spec.scope, model, time_ms, golden, seed)?;
         let divergences = target
             .output_signals
             .iter()
             .map(|name| run.window_divergence(&golden.run, name).map(|t| t as u32))
             .collect();
-        (run.original, run.corrupted, divergences)
+        Ok((run.original, run.corrupted, divergences))
     }
 
     /// Runs a single injection and returns the **full trace set** of the
@@ -468,7 +499,7 @@ impl<'f> Campaign<'f> {
     ///
     /// # Errors
     ///
-    /// Returns target-resolution errors.
+    /// Returns target-resolution errors and [`FiError::TracingDisabled`].
     pub fn run_traced(
         &self,
         target: &crate::spec::PortTarget,
@@ -486,7 +517,7 @@ impl<'f> Campaign<'f> {
             scope,
         };
         let resolved = self.resolve_targets(&spec)?;
-        let run = self.run_injected(&resolved[0], scope, model, time_ms, golden, seed);
+        let run = self.run_injected(&resolved[0], scope, model, time_ms, golden, seed)?;
         let start = run.start_ms as usize;
         let traces = if start == 0 && run.converged_ms.is_none() {
             run.window
@@ -505,14 +536,60 @@ impl<'f> Campaign<'f> {
         Ok((traces, run.original, run.corrupted))
     }
 
+    /// The journal header identifying this campaign: the spec plus the
+    /// seed and horizon of this configuration. This is what
+    /// [`RunJournal::open_or_create`] verifies before resuming.
+    pub fn journal_header(&self, spec: &CampaignSpec) -> JournalHeader {
+        JournalHeader::new(spec, self.config.master_seed, self.config.horizon_ms)
+    }
+
     /// Runs the full campaign.
+    ///
+    /// Equivalent to [`Campaign::run_resumable`] with no journal and no
+    /// cancellation flag.
     ///
     /// # Errors
     ///
     /// Fails fast on spec validation (including injection instants no run
     /// can reach), target resolution or golden-run problems;
-    /// [`FiError::WorkerPanicked`] if an injection worker dies.
+    /// [`FiError::TracingDisabled`] when the factory builds untraced
+    /// simulations; [`FiError::QuarantineThresholdExceeded`] when more than
+    /// [`CampaignConfig::max_quarantined_fraction`] of the runs panicked or
+    /// hung; [`FiError::WorkerPanicked`] only if campaign *infrastructure*
+    /// (not a simulated run) dies.
     pub fn run(&self, spec: &CampaignSpec) -> Result<CampaignResult, FiError> {
+        self.run_resumable(spec, None, None)
+    }
+
+    /// Runs the campaign with optional durability and cancellation.
+    ///
+    /// Every injection run executes under `catch_unwind`: a panicking or
+    /// hanging run is *quarantined* — recorded with its classified
+    /// [`RunOutcome`] and excluded from the estimates — and the campaign
+    /// carries on.
+    ///
+    /// With a `journal`, every finished run is appended as write-ahead
+    /// state, runs already present in the journal are **not** re-executed,
+    /// and the final result is assembled from the union. Because per-run
+    /// seeds derive from the coordinate index alone, a resumed campaign is
+    /// byte-identical to an uninterrupted one. The caller must have opened
+    /// the journal against [`Campaign::journal_header`] so stale journals
+    /// are rejected up front.
+    ///
+    /// With a `cancel` flag, workers stop claiming new runs once the flag
+    /// is raised; finished runs are synced to the journal and the campaign
+    /// returns [`FiError::Interrupted`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Campaign::run`], plus [`FiError::Interrupted`] on
+    /// cancellation and [`FiError::Journal`] on journal I/O failures.
+    pub fn run_resumable(
+        &self,
+        spec: &CampaignSpec,
+        journal: Option<&mut RunJournal>,
+        cancel: Option<&AtomicBool>,
+    ) -> Result<CampaignResult, FiError> {
         spec.validate()?;
         let targets = self.resolve_targets(spec)?;
         let goldens = self.golden_bundles(spec)?;
@@ -528,51 +605,55 @@ impl<'f> Campaign<'f> {
             self.config.threads
         };
 
+        // Runs already journaled by an earlier (interrupted) execution; the
+        // journal header was verified against this campaign on open, so the
+        // coordinate indices are directly comparable.
+        let done: HashMap<u64, RunRecord> = journal
+            .as_ref()
+            .map(|j| j.entries().clone())
+            .unwrap_or_default();
+        debug_assert!(done.keys().all(|&k| (k as usize) < run_count));
+        let journal = journal.map(Mutex::new);
+
         // Shared work queue over coordinate indices.
         let next = AtomicUsize::new(0);
         let coords: Vec<(usize, usize, usize, usize)> = spec.coordinates().collect();
-        // Per-pair error counters, indexed [target][output].
-        let counters: Vec<Vec<AtomicUsize>> = targets
-            .iter()
-            .map(|t| {
-                (0..t.output_signals.len())
-                    .map(|_| AtomicUsize::new(0))
-                    .collect()
-            })
-            .collect();
-        let records: Mutex<Vec<(usize, RunRecord)>> = Mutex::new(Vec::new());
-        let panicked = AtomicUsize::new(0);
+        let executed: Mutex<Vec<(u64, RunRecord)>> = Mutex::new(Vec::new());
+        // First infrastructure failure (journal I/O, poisoned lock, ...);
+        // quarantined runs never land here.
+        let fail: Mutex<Option<FiError>> = Mutex::new(None);
+        let set_fail = |e: FiError| {
+            if let Ok(mut slot) = fail.lock() {
+                slot.get_or_insert(e);
+            }
+        };
 
         let worker = |_: usize| loop {
+            if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+                break;
+            }
+            if fail.lock().map(|slot| slot.is_some()).unwrap_or(true) {
+                break;
+            }
             let k = next.fetch_add(1, Ordering::Relaxed);
             if k >= run_count {
                 break;
+            }
+            if done.contains_key(&(k as u64)) {
+                continue;
             }
             let (ti, mi, wi, ci) = coords[k];
             let target = &targets[ti];
             let model = spec.models[mi];
             let time_ms = spec.times_ms[wi];
             let seed = self.config.master_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            // A panicking run (a buggy module crashing on a corrupted
-            // input, say) must not kill the campaign silently: count it and
-            // surface `WorkerPanicked` instead of unwinding through scope.
-            let outcome = catch_unwind(AssertUnwindSafe(|| {
+            // Sandbox the run: a panicking or hanging simulation is
+            // quarantined as a classified outcome, not a dead campaign.
+            let sandboxed = catch_unwind(AssertUnwindSafe(|| {
                 self.run_one(spec, target, model, time_ms, &goldens[ci], seed)
             }));
-            let (original, corrupted, divergences) = match outcome {
-                Ok(r) => r,
-                Err(_) => {
-                    panicked.fetch_add(1, Ordering::Relaxed);
-                    break;
-                }
-            };
-            for (out_idx, div) in divergences.iter().enumerate() {
-                if div.is_some() {
-                    counters[ti][out_idx].fetch_add(1, Ordering::Relaxed);
-                }
-            }
-            if self.config.keep_records {
-                let record = RunRecord {
+            let record = match sandboxed {
+                Ok(Ok((original, corrupted, divergences))) => RunRecord {
                     module: target.module_name.clone(),
                     input_signal: target.input_signal.clone(),
                     model,
@@ -581,13 +662,39 @@ impl<'f> Campaign<'f> {
                     original_value: original,
                     corrupted_value: corrupted,
                     first_divergence: divergences,
-                };
-                match records.lock() {
-                    Ok(mut recs) => recs.push((k, record)),
-                    Err(_) => {
-                        panicked.fetch_add(1, Ordering::Relaxed);
-                        break;
-                    }
+                    outcome: RunOutcome::Completed,
+                },
+                Ok(Err(e)) => {
+                    set_fail(e);
+                    break;
+                }
+                Err(payload) => RunRecord {
+                    module: target.module_name.clone(),
+                    input_signal: target.input_signal.clone(),
+                    model,
+                    time_ms,
+                    case: ci,
+                    original_value: 0,
+                    corrupted_value: 0,
+                    first_divergence: Vec::new(),
+                    outcome: classify_unwind(payload),
+                },
+            };
+            if let Some(j) = &journal {
+                let appended = j
+                    .lock()
+                    .map_err(|_| FiError::WorkerPanicked)
+                    .and_then(|mut g| g.append(k as u64, &record));
+                if let Err(e) = appended {
+                    set_fail(e);
+                    break;
+                }
+            }
+            match executed.lock() {
+                Ok(mut recs) => recs.push((k as u64, record)),
+                Err(_) => {
+                    set_fail(FiError::WorkerPanicked);
+                    break;
                 }
             }
         };
@@ -602,12 +709,58 @@ impl<'f> Campaign<'f> {
                 }
             });
         }
-        if panicked.load(Ordering::Relaxed) > 0 {
-            return Err(FiError::WorkerPanicked);
+
+        // Whatever the exit path, leave the journal durable first.
+        if let Some(j) = &journal {
+            j.lock().map_err(|_| FiError::WorkerPanicked)?.sync()?;
+        }
+        if let Some(e) = fail.into_inner().map_err(|_| FiError::WorkerPanicked)? {
+            return Err(e);
         }
 
-        // Assemble deterministic output.
-        let per_target_inj = spec.injections_per_target() as u64;
+        let executed = executed.into_inner().map_err(|_| FiError::WorkerPanicked)?;
+        let mut merged: Vec<(u64, RunRecord)> = done.into_iter().collect();
+        merged.extend(executed);
+        merged.sort_by_key(|&(k, _)| k);
+
+        if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+            return Err(FiError::Interrupted {
+                completed: merged.len() as u64,
+                total: run_count as u64,
+            });
+        }
+        debug_assert_eq!(merged.len(), run_count);
+
+        // Assemble the result purely from the merged record set, in
+        // coordinate order — the same bytes whether the records were just
+        // executed, recovered from a journal, or any mix of the two.
+        let per_target = spec.injections_per_target();
+        let mut outcomes = OutcomeTally::default();
+        let mut completed_per_target = vec![0u64; targets.len()];
+        let mut errors: Vec<Vec<u64>> = targets
+            .iter()
+            .map(|t| vec![0u64; t.output_signals.len()])
+            .collect();
+        for (k, record) in &merged {
+            let ti = (*k as usize) / per_target;
+            outcomes.record(&record.outcome);
+            if record.outcome.is_completed() {
+                completed_per_target[ti] += 1;
+                for (out_idx, div) in record.first_divergence.iter().enumerate() {
+                    if div.is_some() {
+                        errors[ti][out_idx] += 1;
+                    }
+                }
+            }
+        }
+        if outcomes.quarantined_fraction() > self.config.max_quarantined_fraction {
+            return Err(FiError::QuarantineThresholdExceeded {
+                quarantined: outcomes.quarantined(),
+                total: outcomes.total(),
+                max_fraction: self.config.max_quarantined_fraction,
+            });
+        }
+
         let mut pairs = Vec::new();
         for (ti, target) in targets.iter().enumerate() {
             for (out_idx, out_name) in target.output_signals.iter().enumerate() {
@@ -617,18 +770,24 @@ impl<'f> Campaign<'f> {
                     output_signal: out_name.clone(),
                     input: target.input_port,
                     output: out_idx,
-                    injections: per_target_inj,
-                    errors: counters[ti][out_idx].load(Ordering::Relaxed) as u64,
+                    // `n_inj` counts only runs that produced a comparison;
+                    // equals `injections_per_target` when nothing was
+                    // quarantined.
+                    injections: completed_per_target[ti],
+                    errors: errors[ti][out_idx],
                 });
             }
         }
-        let mut recs = records.into_inner().map_err(|_| FiError::WorkerPanicked)?;
-        recs.sort_by_key(|&(k, _)| k);
         Ok(CampaignResult {
             pairs,
-            records: recs.into_iter().map(|(_, r)| r).collect(),
+            records: if self.config.keep_records {
+                merged.into_iter().map(|(_, r)| r).collect()
+            } else {
+                Vec::new()
+            },
             golden_ticks,
             total_runs: run_count as u64,
+            outcomes,
         })
     }
 }
@@ -1003,26 +1162,280 @@ mod tests {
         sim
     }
 
-    #[test]
-    fn panicking_run_surfaces_worker_panicked() {
-        let f = FnSystemFactory::new(1, 10_000, fragile_sim as fn(usize) -> Simulation);
-        let s = CampaignSpec {
+    fn fragile_spec() -> CampaignSpec {
+        CampaignSpec {
             targets: vec![PortTarget::new("FRAGILE", "sensor")],
             models: vec![ErrorModel::BitFlip { bit: 15 }],
             times_ms: vec![10],
             cases: 1,
             scope: InjectionScope::Port,
-        };
+        }
+    }
+
+    #[test]
+    fn panicking_run_is_quarantined_and_campaign_completes() {
+        let f = FnSystemFactory::new(1, 10_000, fragile_sim as fn(usize) -> Simulation);
         for threads in [1, 4] {
             let c = Campaign::new(
                 &f,
                 CampaignConfig {
                     threads,
+                    // Every run of this spec dies; accept that for the test.
+                    max_quarantined_fraction: 1.0,
                     ..Default::default()
                 },
             );
-            assert_eq!(c.run(&s).unwrap_err(), FiError::WorkerPanicked);
+            let res = c.run(&fragile_spec()).unwrap();
+            assert_eq!(res.total_runs, 1);
+            assert_eq!(res.outcomes.panicked, 1);
+            assert_eq!(res.outcomes.completed, 0);
+            assert_eq!(res.records.len(), 1);
+            match &res.records[0].outcome {
+                RunOutcome::Panicked { message } => {
+                    assert!(
+                        message.contains("fragile module crashed"),
+                        "panic message should be preserved, got: {message}"
+                    );
+                }
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+            assert!(res.records[0].first_divergence.is_empty());
+            // Quarantined runs are excluded from n_inj.
+            assert_eq!(res.pair("FRAGILE", "sensor", "out").unwrap().injections, 0);
         }
+    }
+
+    #[test]
+    fn systematic_breakage_exceeds_quarantine_threshold() {
+        let f = FnSystemFactory::new(1, 10_000, fragile_sim as fn(usize) -> Simulation);
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        // 1 of 1 runs quarantined blows through the default 25 % ceiling.
+        assert_eq!(
+            c.run(&fragile_spec()).unwrap_err(),
+            FiError::QuarantineThresholdExceeded {
+                quarantined: 1,
+                total: 1,
+                max_fraction: 0.25,
+            }
+        );
+    }
+
+    /// Loops as many times as its input value says — an injected high bit
+    /// turns the loop pathological and stalls the simulated clock.
+    struct InputBoundedLoop;
+    impl SoftwareModule for InputBoundedLoop {
+        fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+            let v = ctx.read(0);
+            let mut acc: u16 = 0;
+            for _ in 0..v {
+                ctx.work(1);
+                acc = acc.wrapping_add(3);
+            }
+            ctx.write(0, acc);
+        }
+    }
+
+    fn looping_sim(_case: usize) -> Simulation {
+        let mut b = SimulationBuilder::new();
+        let sensor = b.define_signal("sensor");
+        let out = b.define_signal("out");
+        b.add_module(
+            "LOOPER",
+            Box::new(InputBoundedLoop),
+            Schedule::every_ms(),
+            &[sensor],
+            &[out],
+        );
+        let mut sim = b.build(Box::new(RampEnv { sensor, limit: 100 }));
+        sim.enable_tracing_all();
+        sim
+    }
+
+    #[test]
+    fn hanging_run_is_quarantined_as_hung() {
+        let f = FnSystemFactory::new(1, 10_000, looping_sim as fn(usize) -> Simulation);
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                // Golden runs do < 100 units/tick; a bit-15 flip forces
+                // ≥ 32 768 and must trip.
+                watchdog: Some(WatchdogConfig {
+                    max_work_per_tick: Some(4_096),
+                    max_wall_ms: None,
+                }),
+                max_quarantined_fraction: 1.0,
+                ..Default::default()
+            },
+        );
+        let s = CampaignSpec {
+            targets: vec![PortTarget::new("LOOPER", "sensor")],
+            models: vec![ErrorModel::BitFlip { bit: 15 }],
+            times_ms: vec![10],
+            cases: 1,
+            scope: InjectionScope::Port,
+        };
+        let res = c.run(&s).unwrap();
+        assert_eq!(res.outcomes.hung, 1);
+        assert_eq!(
+            res.records[0].outcome,
+            RunOutcome::Hung { last_tick_ms: 10 },
+            "the clock stalled at the injection instant"
+        );
+        // Without a work budget the same run must complete: the loop is
+        // long, not unbounded.
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                watchdog: None,
+                ..Default::default()
+            },
+        );
+        let res = c.run(&s).unwrap();
+        assert_eq!(res.outcomes.hung, 0);
+        assert_eq!(res.outcomes.completed, 1);
+    }
+
+    #[test]
+    fn untraced_factory_is_a_typed_error() {
+        fn untraced(_case: usize) -> Simulation {
+            let mut b = SimulationBuilder::new();
+            let sensor = b.define_signal("sensor");
+            let out = b.define_signal("out");
+            let konst = b.define_signal("konst");
+            b.add_module(
+                "COPY",
+                Box::new(CopyAndConst),
+                Schedule::every_ms(),
+                &[sensor],
+                &[out, konst],
+            );
+            b.build(Box::new(RampEnv { sensor, limit: 100 }))
+        }
+        let f = FnSystemFactory::new(1, 10_000, untraced as fn(usize) -> Simulation);
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            c.golden(0).unwrap_err(),
+            FiError::TracingDisabled { case: 0 }
+        );
+        let mut s = spec();
+        s.cases = 1;
+        assert_eq!(c.run(&s).unwrap_err(), FiError::TracingDisabled { case: 0 });
+    }
+
+    fn journal_path(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("permea-campaign-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.jsonl")
+    }
+
+    #[test]
+    fn journaled_campaign_matches_plain_run() {
+        let f = factory();
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let baseline = c.run(&spec()).unwrap();
+
+        let path = journal_path("full");
+        let _ = std::fs::remove_file(&path);
+        let header = c.journal_header(&spec());
+        let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+        let journaled = c.run_resumable(&spec(), Some(&mut j), None).unwrap();
+        assert_eq!(journaled, baseline);
+        assert_eq!(j.len(), spec().run_count());
+
+        // A second pass over the now-complete journal re-executes nothing
+        // and still reproduces the result bit for bit.
+        let (mut j, loaded) = RunJournal::open_or_create(&path, &header).unwrap();
+        assert_eq!(loaded.recovered, spec().run_count());
+        let resumed = c.run_resumable(&spec(), Some(&mut j), None).unwrap();
+        assert_eq!(resumed, baseline);
+    }
+
+    #[test]
+    fn resume_after_truncation_is_byte_identical() {
+        let f = factory();
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let baseline = c.run(&spec()).unwrap();
+
+        let path = journal_path("truncated");
+        let _ = std::fs::remove_file(&path);
+        let header = c.journal_header(&spec());
+        let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+        c.run_resumable(&spec(), Some(&mut j), None).unwrap();
+        drop(j);
+
+        // Chop the journal mid-way — keep the header plus 20 records and a
+        // torn half-line, as a kill -9 would leave it.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut kept: String = lines[..21].join("\n");
+        kept.push('\n');
+        kept.push_str(&lines[21][..lines[21].len() / 2]);
+        std::fs::write(&path, kept).unwrap();
+
+        let (mut j, loaded) = RunJournal::open_or_create(&path, &header).unwrap();
+        assert_eq!(loaded.recovered, 20);
+        assert!(loaded.truncated_tail);
+        let resumed = c.run_resumable(&spec(), Some(&mut j), None).unwrap();
+        assert_eq!(resumed, baseline, "resume must be byte-identical");
+    }
+
+    #[test]
+    fn cancelled_campaign_reports_interrupted_and_resumes() {
+        let f = factory();
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let baseline = c.run(&spec()).unwrap();
+
+        let path = journal_path("cancelled");
+        let _ = std::fs::remove_file(&path);
+        let header = c.journal_header(&spec());
+        let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+        let cancel = AtomicBool::new(true); // raised before any run starts
+        assert_eq!(
+            c.run_resumable(&spec(), Some(&mut j), Some(&cancel))
+                .unwrap_err(),
+            FiError::Interrupted {
+                completed: 0,
+                total: spec().run_count() as u64,
+            }
+        );
+        drop(j);
+
+        let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+        let resumed = c.run_resumable(&spec(), Some(&mut j), None).unwrap();
+        assert_eq!(resumed, baseline);
     }
 
     #[test]

@@ -4,7 +4,10 @@ use std::error::Error;
 use std::fmt;
 
 /// Error produced while preparing or executing an injection campaign.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Not `Eq` because [`FiError::QuarantineThresholdExceeded`] carries the
+/// configured `f64` fraction.
+#[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
 pub enum FiError {
     /// A target's module name did not resolve in the simulation.
@@ -46,8 +49,47 @@ pub enum FiError {
         /// the campaign-wide horizon is the limit.
         case: Option<usize>,
     },
-    /// A worker thread panicked.
+    /// A worker thread panicked outside any injection run — i.e. the
+    /// campaign *infrastructure* died, not the simulated software. Panics
+    /// raised inside an injection run are quarantined as
+    /// [`crate::outcome::RunOutcome::Panicked`] instead.
     WorkerPanicked,
+    /// The system factory built a simulation without tracing enabled, so no
+    /// Golden Run Comparison is possible.
+    TracingDisabled {
+        /// Workload case index whose simulation lacked traces.
+        case: usize,
+    },
+    /// Too many runs were quarantined (panicked or hung): the breakage is
+    /// systematic, not incidental, and the permeability estimates would be
+    /// built on a biased sample.
+    QuarantineThresholdExceeded {
+        /// Number of quarantined runs.
+        quarantined: u64,
+        /// Total runs executed so far.
+        total: u64,
+        /// The configured [`crate::campaign::CampaignConfig::max_quarantined_fraction`].
+        max_fraction: f64,
+    },
+    /// The campaign was interrupted by a cancellation request (e.g. SIGINT);
+    /// completed runs are preserved in the journal.
+    Interrupted {
+        /// Runs finished (and journaled) before the interruption.
+        completed: u64,
+        /// Total runs the spec expands to.
+        total: u64,
+    },
+    /// Reading or writing the run journal failed.
+    Journal {
+        /// Description of the underlying I/O or parse failure.
+        message: String,
+    },
+    /// An existing journal was written by a different campaign — its header
+    /// does not match the spec, seed or horizon being resumed.
+    JournalMismatch {
+        /// The header field that disagreed.
+        field: &'static str,
+    },
 }
 
 impl fmt::Display for FiError {
@@ -91,7 +133,35 @@ impl fmt::Display for FiError {
                 "injection instant {time_ms} ms is unreachable: it lies at or beyond the \
                  campaign horizon of {limit_ms} ms"
             ),
-            FiError::WorkerPanicked => write!(f, "an injection worker thread panicked"),
+            FiError::WorkerPanicked => write!(
+                f,
+                "an injection worker thread panicked outside any injection run"
+            ),
+            FiError::TracingDisabled { case } => write!(
+                f,
+                "the factory built case {case} without tracing enabled; \
+                 golden-run comparison is impossible"
+            ),
+            FiError::QuarantineThresholdExceeded {
+                quarantined,
+                total,
+                max_fraction,
+            } => write!(
+                f,
+                "{quarantined} of {total} runs were quarantined (panicked or hung), \
+                 exceeding the configured maximum fraction of {max_fraction}"
+            ),
+            FiError::Interrupted { completed, total } => write!(
+                f,
+                "campaign interrupted after {completed} of {total} runs; completed \
+                 runs are preserved in the journal"
+            ),
+            FiError::Journal { message } => write!(f, "run journal failure: {message}"),
+            FiError::JournalMismatch { field } => write!(
+                f,
+                "existing journal belongs to a different campaign ({field} differs); \
+                 refusing to resume"
+            ),
         }
     }
 }
@@ -136,6 +206,32 @@ mod tests {
         };
         assert!(against_golden.to_string().contains("case"));
         assert!(against_golden.to_string().contains("6400"));
+        assert!(FiError::TracingDisabled { case: 4 }
+            .to_string()
+            .contains("4"));
+        let threshold = FiError::QuarantineThresholdExceeded {
+            quarantined: 30,
+            total: 100,
+            max_fraction: 0.25,
+        };
+        assert!(threshold.to_string().contains("30"));
+        assert!(threshold.to_string().contains("0.25"));
+        let interrupted = FiError::Interrupted {
+            completed: 12,
+            total: 8_000,
+        };
+        assert!(interrupted.to_string().contains("12"));
+        assert!(interrupted.to_string().contains("journal"));
+        assert!(FiError::Journal {
+            message: "disk full".into()
+        }
+        .to_string()
+        .contains("disk full"));
+        assert!(FiError::JournalMismatch {
+            field: "master_seed"
+        }
+        .to_string()
+        .contains("master_seed"));
     }
 
     #[test]

@@ -147,6 +147,7 @@ mod tests {
             records: vec![],
             golden_ticks: vec![],
             total_runs: 4000,
+            outcomes: crate::outcome::OutcomeTally::default(),
         }
     }
 

@@ -1,0 +1,469 @@
+//! Write-ahead run journal: append-only JSONL persistence for campaigns.
+//!
+//! A full paper-scale campaign executes tens of thousands of injection runs
+//! over minutes of wall-clock time; a crash, OOM kill or `kill -9` halfway
+//! through should not throw that work away. The journal records every
+//! finished run as one JSON line, keyed by its coordinate index `k` in the
+//! spec's deterministic [`crate::spec::CampaignSpec::coordinates`]
+//! enumeration. Because per-run seeds are derived from `k` alone, replaying
+//! journaled records and re-executing the missing coordinates reconstructs
+//! the uninterrupted [`crate::results::CampaignResult`] *byte for byte*.
+//!
+//! Layout:
+//!
+//! * line 1 — a [`JournalHeader`]: format version, campaign spec, master
+//!   seed and horizon. On resume the header is compared against the
+//!   campaign being run; any disagreement is a typed
+//!   [`FiError::JournalMismatch`] — a journal never silently contaminates a
+//!   different campaign.
+//! * lines 2.. — one [`JournalEntry`] per finished run.
+//!
+//! Durability: every appended record is flushed to the OS immediately (so a
+//! process kill loses nothing), and `fsync`ed in batches of
+//! [`FSYNC_BATCH`] (bounding loss on power failure). A torn final line —
+//! the signature of `kill -9` mid-write — is detected on open, reported via
+//! [`LoadedJournal::truncated_tail`], and truncated away before appending
+//! resumes so the file stays parseable.
+
+use crate::error::FiError;
+use crate::results::RunRecord;
+use crate::spec::CampaignSpec;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Journal format version; bumped on any incompatible layout change.
+pub const JOURNAL_VERSION: u32 = 1;
+
+/// Records are `fsync`ed every this many appends (each append is still
+/// flushed to the OS immediately).
+pub const FSYNC_BATCH: usize = 64;
+
+/// First line of a journal: identifies the campaign the records belong to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalHeader {
+    /// Format version ([`JOURNAL_VERSION`]).
+    pub version: u32,
+    /// The campaign spec whose coordinate enumeration keys the records.
+    pub spec: CampaignSpec,
+    /// Master seed the per-run seeds derive from.
+    pub master_seed: u64,
+    /// Campaign horizon, when one was configured.
+    pub horizon_ms: Option<u64>,
+}
+
+impl JournalHeader {
+    /// Builds the header for a campaign.
+    pub fn new(spec: &CampaignSpec, master_seed: u64, horizon_ms: Option<u64>) -> Self {
+        JournalHeader {
+            version: JOURNAL_VERSION,
+            spec: spec.clone(),
+            master_seed,
+            horizon_ms,
+        }
+    }
+
+    /// Checks this header against another, returning the first disagreeing
+    /// field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError::JournalMismatch`] naming the field.
+    pub fn ensure_matches(&self, other: &JournalHeader) -> Result<(), FiError> {
+        if self.version != other.version {
+            return Err(FiError::JournalMismatch { field: "version" });
+        }
+        if self.master_seed != other.master_seed {
+            return Err(FiError::JournalMismatch {
+                field: "master_seed",
+            });
+        }
+        if self.horizon_ms != other.horizon_ms {
+            return Err(FiError::JournalMismatch {
+                field: "horizon_ms",
+            });
+        }
+        if self.spec != other.spec {
+            return Err(FiError::JournalMismatch { field: "spec" });
+        }
+        Ok(())
+    }
+}
+
+/// One journaled run: the coordinate index and the finished record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JournalEntry {
+    /// Coordinate index in [`CampaignSpec::coordinates`] order; also the
+    /// input to per-run seed derivation.
+    pub k: u64,
+    /// The finished run record, including its outcome.
+    pub record: RunRecord,
+}
+
+/// What [`RunJournal::open_or_create`] found on disk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoadedJournal {
+    /// Number of complete records recovered.
+    pub recovered: usize,
+    /// `true` when the file ended in a torn (incomplete or unparseable)
+    /// line that was truncated away — the signature of a hard kill
+    /// mid-write.
+    pub truncated_tail: bool,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> FiError {
+    FiError::Journal {
+        message: format!("{context}: {e}"),
+    }
+}
+
+/// An append-only JSONL run journal bound to one campaign.
+#[derive(Debug)]
+pub struct RunJournal {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    entries: HashMap<u64, RunRecord>,
+    unsynced: usize,
+}
+
+impl RunJournal {
+    /// Creates a fresh journal at `path`, writing (and syncing) the header.
+    /// Any existing file at `path` is overwritten.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError::Journal`] on I/O failure.
+    pub fn create(path: impl AsRef<Path>, header: &JournalHeader) -> Result<Self, FiError> {
+        let path = path.as_ref().to_path_buf();
+        let file = File::create(&path).map_err(|e| io_err("creating journal", e))?;
+        let mut writer = BufWriter::new(file);
+        let line = serde_json::to_string(header).map_err(|e| FiError::Journal {
+            message: format!("serialising journal header: {e}"),
+        })?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .and_then(|()| writer.flush())
+            .map_err(|e| io_err("writing journal header", e))?;
+        writer
+            .get_ref()
+            .sync_data()
+            .map_err(|e| io_err("syncing journal header", e))?;
+        Ok(RunJournal {
+            path,
+            writer,
+            entries: HashMap::new(),
+            unsynced: 0,
+        })
+    }
+
+    /// Opens an existing journal for resumption — verifying its header
+    /// against `header`, recovering all complete records and truncating any
+    /// torn final line — or creates a fresh one when `path` does not exist.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError::JournalMismatch`] when the on-disk header belongs
+    /// to a different campaign, and [`FiError::Journal`] on I/O or parse
+    /// failures that corruption cannot explain (e.g. an unreadable header).
+    pub fn open_or_create(
+        path: impl AsRef<Path>,
+        header: &JournalHeader,
+    ) -> Result<(Self, LoadedJournal), FiError> {
+        let path = path.as_ref().to_path_buf();
+        if !path.exists() {
+            let journal = Self::create(&path, header)?;
+            return Ok((
+                journal,
+                LoadedJournal {
+                    recovered: 0,
+                    truncated_tail: false,
+                },
+            ));
+        }
+
+        let data = std::fs::read(&path).map_err(|e| io_err("reading journal", e))?;
+        // Collect the byte ranges of complete (newline-terminated) lines; an
+        // unterminated tail is a torn write and is discarded.
+        let mut line_ranges: Vec<(usize, usize)> = Vec::new();
+        let mut start = 0usize;
+        for (i, &b) in data.iter().enumerate() {
+            if b == b'\n' {
+                line_ranges.push((start, i));
+                start = i + 1;
+            }
+        }
+        let mut truncated_tail = start < data.len();
+
+        let mut ranges = line_ranges.into_iter();
+        let (hs, he) = ranges.next().ok_or(FiError::Journal {
+            message: "journal exists but holds no complete header line".into(),
+        })?;
+        let header_line = std::str::from_utf8(&data[hs..he]).map_err(|_| FiError::Journal {
+            message: "journal header is not valid UTF-8".into(),
+        })?;
+        let on_disk: JournalHeader =
+            serde_json::from_str(header_line).map_err(|e| FiError::Journal {
+                message: format!("parsing journal header: {e}"),
+            })?;
+        header.ensure_matches(&on_disk)?;
+
+        let mut entries = HashMap::new();
+        let mut valid_end = he + 1;
+        for (s, e) in ranges {
+            let parsed = std::str::from_utf8(&data[s..e])
+                .ok()
+                .and_then(|line| serde_json::from_str::<JournalEntry>(line).ok());
+            match parsed {
+                Some(entry) => {
+                    entries.insert(entry.k, entry.record);
+                    valid_end = e + 1;
+                }
+                None => {
+                    // A complete-but-unparseable line can only be a torn
+                    // write that happened to contain a newline; nothing
+                    // after it is trustworthy.
+                    truncated_tail = true;
+                    break;
+                }
+            }
+        }
+
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .map_err(|e| io_err("reopening journal", e))?;
+        if valid_end < data.len() {
+            file.set_len(valid_end as u64)
+                .map_err(|e| io_err("truncating torn journal tail", e))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seeking journal end", e))?;
+        let recovered = entries.len();
+        Ok((
+            RunJournal {
+                path,
+                writer: BufWriter::new(file),
+                entries,
+                unsynced: 0,
+            },
+            LoadedJournal {
+                recovered,
+                truncated_tail,
+            },
+        ))
+    }
+
+    /// Appends one finished run. The line is flushed to the OS immediately
+    /// and `fsync`ed every [`FSYNC_BATCH`] appends.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError::Journal`] on I/O failure.
+    pub fn append(&mut self, k: u64, record: &RunRecord) -> Result<(), FiError> {
+        let entry = JournalEntry {
+            k,
+            record: record.clone(),
+        };
+        let line = serde_json::to_string(&entry).map_err(|e| FiError::Journal {
+            message: format!("serialising journal entry: {e}"),
+        })?;
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| io_err("appending journal entry", e))?;
+        self.entries.insert(k, entry.record);
+        self.unsynced += 1;
+        if self.unsynced >= FSYNC_BATCH {
+            self.sync()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes buffered data and `fsync`s the file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError::Journal`] on I/O failure.
+    pub fn sync(&mut self) -> Result<(), FiError> {
+        self.writer
+            .flush()
+            .map_err(|e| io_err("flushing journal", e))?;
+        self.writer
+            .get_ref()
+            .sync_data()
+            .map_err(|e| io_err("syncing journal", e))?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Records recovered from disk plus those appended this session, keyed
+    /// by coordinate index.
+    pub fn entries(&self) -> &HashMap<u64, RunRecord> {
+        &self.entries
+    }
+
+    /// Number of journaled runs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no runs are journaled yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ErrorModel;
+    use crate::outcome::RunOutcome;
+    use crate::spec::PortTarget;
+
+    fn header() -> JournalHeader {
+        let spec = CampaignSpec::paper_style(vec![PortTarget::new("CALC", "pulscnt")], 2);
+        JournalHeader::new(&spec, 42, Some(6_000))
+    }
+
+    fn record(time_ms: u64) -> RunRecord {
+        RunRecord {
+            module: "CALC".into(),
+            input_signal: "pulscnt".into(),
+            model: ErrorModel::BitFlip { bit: 3 },
+            time_ms,
+            case: 0,
+            original_value: 7,
+            corrupted_value: 15,
+            first_divergence: vec![Some(510), None],
+            outcome: RunOutcome::Completed,
+        }
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("permea-journal-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("journal.jsonl")
+    }
+
+    #[test]
+    fn create_append_reload_roundtrip() {
+        let path = tmp("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.append(0, &record(500)).unwrap();
+        j.append(7, &record(1_000)).unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        let (j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(loaded.recovered, 2);
+        assert!(!loaded.truncated_tail);
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.entries()[&0], record(500));
+        assert_eq!(j.entries()[&7], record(1_000));
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_append_continues() {
+        let path = tmp("torn");
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.append(0, &record(500)).unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        // Simulate kill -9 mid-write: a partial JSON line with no newline.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"k\":1,\"record\":{\"modu").unwrap();
+        }
+
+        let (mut j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(loaded.recovered, 1);
+        assert!(loaded.truncated_tail);
+        j.append(1, &record(1_500)).unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        let (j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(loaded.recovered, 2);
+        assert!(!loaded.truncated_tail);
+        assert_eq!(j.entries()[&1], record(1_500));
+    }
+
+    #[test]
+    fn mismatched_header_is_rejected() {
+        let path = tmp("mismatch");
+        let _ = std::fs::remove_file(&path);
+        let j = RunJournal::create(&path, &header()).unwrap();
+        drop(j);
+
+        let mut other = header();
+        other.master_seed = 43;
+        assert_eq!(
+            RunJournal::open_or_create(&path, &other).unwrap_err(),
+            FiError::JournalMismatch {
+                field: "master_seed"
+            }
+        );
+        let mut other = header();
+        other.horizon_ms = None;
+        assert_eq!(
+            RunJournal::open_or_create(&path, &other).unwrap_err(),
+            FiError::JournalMismatch {
+                field: "horizon_ms"
+            }
+        );
+        let mut other = header();
+        other.spec.cases = 99;
+        assert_eq!(
+            RunJournal::open_or_create(&path, &other).unwrap_err(),
+            FiError::JournalMismatch { field: "spec" }
+        );
+    }
+
+    #[test]
+    fn open_or_create_makes_fresh_journal() {
+        let path = tmp("fresh");
+        let _ = std::fs::remove_file(&path);
+        let (j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(loaded.recovered, 0);
+        assert!(!loaded.truncated_tail);
+        assert!(j.is_empty());
+        assert!(path.exists());
+    }
+
+    #[test]
+    fn quarantined_outcomes_roundtrip_through_journal() {
+        let path = tmp("quarantine");
+        let _ = std::fs::remove_file(&path);
+        let mut hung = record(500);
+        hung.outcome = RunOutcome::Hung { last_tick_ms: 498 };
+        hung.first_divergence = vec![];
+        let mut panicked = record(1_000);
+        panicked.outcome = RunOutcome::Panicked {
+            message: "attempt to add with overflow".into(),
+        };
+        panicked.first_divergence = vec![];
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.append(3, &hung).unwrap();
+        j.append(4, &panicked).unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        let (j, _) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(j.entries()[&3], hung);
+        assert_eq!(j.entries()[&4], panicked);
+    }
+}

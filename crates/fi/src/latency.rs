@@ -131,6 +131,7 @@ mod tests {
             original_value: 0,
             corrupted_value: 1,
             first_divergence: divs,
+            outcome: crate::outcome::RunOutcome::Completed,
         }
     }
 
@@ -140,6 +141,7 @@ mod tests {
             records,
             golden_ticks: vec![],
             total_runs: 0,
+            outcomes: crate::outcome::OutcomeTally::default(),
         }
     }
 

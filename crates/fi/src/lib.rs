@@ -20,6 +20,12 @@
 //!
 //! Everything is deterministic: per-run RNGs are derived from the campaign
 //! master seed and the run coordinates.
+//!
+//! Campaigns are also **crash- and hang-tolerant**: every injection run is
+//! sandboxed (`catch_unwind` plus a cooperative stalled-clock watchdog) and
+//! classified with an [`outcome::RunOutcome`], and the executor can write
+//! every finished run into an append-only [`journal::RunJournal`] so an
+//! interrupted campaign resumes — byte-identically — instead of restarting.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,8 +34,10 @@ pub mod campaign;
 pub mod error;
 pub mod estimate;
 pub mod golden;
+pub mod journal;
 pub mod latency;
 pub mod model;
+pub mod outcome;
 pub mod results;
 pub mod spec;
 
@@ -41,8 +49,10 @@ pub mod prelude {
     pub use crate::error::FiError;
     pub use crate::estimate::{estimate_matrix, wilson_interval, PairEstimate};
     pub use crate::golden::GoldenRun;
+    pub use crate::journal::{JournalHeader, LoadedJournal, RunJournal};
     pub use crate::latency::{latency_summaries, render_latencies, LatencySummary};
     pub use crate::model::ErrorModel;
+    pub use crate::outcome::{OutcomeTally, RunOutcome};
     pub use crate::results::{CampaignResult, PairStat, RunRecord};
     pub use crate::spec::{CampaignSpec, InjectionScope, PortTarget};
 }

@@ -1,0 +1,189 @@
+//! Classified outcomes of injection runs.
+//!
+//! A SWIFI campaign deliberately feeds software values it was never built
+//! to handle, so individual runs *will* sometimes die: a module panics on a
+//! corrupted input, or an injected error pushes a computation into a loop
+//! that never lets simulated time advance. Following the
+//! failures-are-data principle, the campaign executor does not abort on
+//! such runs — it quarantines them, records a classified [`RunOutcome`] and
+//! carries on, so one brittle module variant cannot take down a
+//! 52 000-run campaign.
+
+use serde::{Deserialize, Serialize};
+use std::any::Any;
+
+/// How one injection run ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// The run executed to the golden horizon and was compared normally.
+    Completed,
+    /// The run unwound with a panic (e.g. a module crashed on the corrupted
+    /// input). The run is quarantined: no divergence data exists for it.
+    Panicked {
+        /// The panic message, when one could be extracted from the payload.
+        message: String,
+    },
+    /// The run tripped the stalled-clock watchdog: simulated time stopped
+    /// making progress (typically an injected value made a module-internal
+    /// loop unbounded). The run is quarantined.
+    Hung {
+        /// The last simulated tick at which progress was observed, in ms.
+        last_tick_ms: u64,
+    },
+}
+
+impl RunOutcome {
+    /// `true` for [`RunOutcome::Completed`].
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+
+    /// `true` for any outcome other than [`RunOutcome::Completed`]: the run
+    /// produced no usable comparison and is excluded from estimates.
+    pub fn is_quarantined(&self) -> bool {
+        !self.is_completed()
+    }
+}
+
+/// Classifies the payload of an unwound injection run: a typed
+/// [`permea_runtime::watchdog::StalledClock`] payload means the watchdog
+/// declared the run hung; anything else is an ordinary panic, with the
+/// message recovered when the payload is a string.
+pub fn classify_unwind(payload: Box<dyn Any + Send>) -> RunOutcome {
+    match payload.downcast::<permea_runtime::watchdog::StalledClock>() {
+        Ok(stalled) => RunOutcome::Hung {
+            last_tick_ms: stalled.last_tick_ms,
+        },
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                (*s).to_owned()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_owned()
+            };
+            RunOutcome::Panicked { message }
+        }
+    }
+}
+
+/// Per-class run counts for a whole campaign.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OutcomeTally {
+    /// Runs that completed and entered the estimates.
+    pub completed: u64,
+    /// Runs quarantined because they panicked.
+    pub panicked: u64,
+    /// Runs quarantined because the stalled-clock watchdog tripped.
+    pub hung: u64,
+}
+
+impl OutcomeTally {
+    /// Counts one outcome.
+    pub fn record(&mut self, outcome: &RunOutcome) {
+        match outcome {
+            RunOutcome::Completed => self.completed += 1,
+            RunOutcome::Panicked { .. } => self.panicked += 1,
+            RunOutcome::Hung { .. } => self.hung += 1,
+        }
+    }
+
+    /// Total runs tallied.
+    pub fn total(&self) -> u64 {
+        self.completed + self.panicked + self.hung
+    }
+
+    /// Runs that produced no usable comparison.
+    pub fn quarantined(&self) -> u64 {
+        self.panicked + self.hung
+    }
+
+    /// Quarantined fraction of all tallied runs (0 when nothing ran).
+    pub fn quarantined_fraction(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.quarantined() as f64 / self.total() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::catch_unwind;
+
+    #[test]
+    fn outcome_predicates() {
+        assert!(RunOutcome::Completed.is_completed());
+        assert!(!RunOutcome::Completed.is_quarantined());
+        assert!(RunOutcome::Panicked {
+            message: "x".into()
+        }
+        .is_quarantined());
+        assert!(RunOutcome::Hung { last_tick_ms: 3 }.is_quarantined());
+    }
+
+    #[test]
+    fn classify_recovers_panic_messages() {
+        let static_payload = catch_unwind(|| panic!("plain static message")).unwrap_err();
+        assert_eq!(
+            classify_unwind(static_payload),
+            RunOutcome::Panicked {
+                message: "plain static message".into()
+            }
+        );
+        let formatted = catch_unwind(|| panic!("value was {}", 17)).unwrap_err();
+        assert_eq!(
+            classify_unwind(formatted),
+            RunOutcome::Panicked {
+                message: "value was 17".into()
+            }
+        );
+    }
+
+    #[test]
+    fn classify_spots_stalled_clock_payloads() {
+        let payload = catch_unwind(|| {
+            std::panic::panic_any(permea_runtime::watchdog::StalledClock { last_tick_ms: 812 })
+        })
+        .unwrap_err();
+        assert_eq!(
+            classify_unwind(payload),
+            RunOutcome::Hung { last_tick_ms: 812 }
+        );
+    }
+
+    #[test]
+    fn tally_counts_and_fraction() {
+        let mut t = OutcomeTally::default();
+        assert_eq!(t.quarantined_fraction(), 0.0);
+        t.record(&RunOutcome::Completed);
+        t.record(&RunOutcome::Completed);
+        t.record(&RunOutcome::Completed);
+        t.record(&RunOutcome::Panicked {
+            message: "m".into(),
+        });
+        assert_eq!(t.total(), 4);
+        assert_eq!(t.quarantined(), 1);
+        assert_eq!(t.quarantined_fraction(), 0.25);
+        t.record(&RunOutcome::Hung { last_tick_ms: 9 });
+        assert_eq!(t.quarantined(), 2);
+        assert_eq!(t.total(), 5);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        for o in [
+            RunOutcome::Completed,
+            RunOutcome::Panicked {
+                message: "assertion failed".into(),
+            },
+            RunOutcome::Hung { last_tick_ms: 123 },
+        ] {
+            let json = serde_json::to_string(&o).unwrap();
+            let back: RunOutcome = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, o);
+        }
+    }
+}

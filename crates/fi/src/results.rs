@@ -1,6 +1,7 @@
 //! Campaign results: per-pair counts and optional per-run records.
 
 use crate::model::ErrorModel;
+use crate::outcome::{OutcomeTally, RunOutcome};
 use serde::{Deserialize, Serialize};
 
 /// Injection/error counts for one (module, input, output) pair — the raw
@@ -54,8 +55,12 @@ pub struct RunRecord {
     /// Value installed by the error model.
     pub corrupted_value: u16,
     /// For each output port of the module (port order): the first tick at
-    /// which its trace deviated from the Golden Run, if any.
+    /// which its trace deviated from the Golden Run, if any. Empty for
+    /// quarantined runs — no comparison exists for them.
     pub first_divergence: Vec<Option<u32>>,
+    /// How the run ended. Quarantined runs (panicked or hung) carry zeroed
+    /// value fields and an empty `first_divergence`.
+    pub outcome: RunOutcome,
 }
 
 impl RunRecord {
@@ -88,6 +93,8 @@ pub struct CampaignResult {
     pub golden_ticks: Vec<u64>,
     /// Total injection runs executed.
     pub total_runs: u64,
+    /// Per-class run counts: completed vs quarantined (panicked / hung).
+    pub outcomes: OutcomeTally,
 }
 
 impl CampaignResult {
@@ -119,6 +126,7 @@ impl CampaignResult {
             .records
             .iter()
             .filter(|r| r.module == module && r.input_signal == input_signal)
+            .filter(|r| r.outcome.is_completed())
         {
             let cell = cells.entry((r.time_ms, r.case)).or_insert((0, 0));
             cell.1 += 1;
@@ -166,6 +174,7 @@ mod tests {
             original_value: 10,
             corrupted_value: 2,
             first_divergence: vec![None, Some(520)],
+            outcome: RunOutcome::Completed,
         };
         assert!(r.any_error());
         assert_eq!(r.latency_ticks(0), None);
@@ -180,6 +189,7 @@ mod tests {
             records: vec![],
             golden_ticks: vec![100],
             total_runs: 10,
+            outcomes: OutcomeTally::default(),
         };
         assert!(res.pair("M", "in", "out").is_some());
         assert!(res.pair("M", "in", "nope").is_none());
@@ -197,14 +207,54 @@ mod tests {
             original_value: 0,
             corrupted_value: 1,
             first_divergence: vec![div],
+            outcome: RunOutcome::Completed,
         };
         let res = CampaignResult {
             pairs: vec![],
             records: vec![mk(500, 0, Some(501)), mk(500, 0, None), mk(1000, 1, None)],
             golden_ticks: vec![],
             total_runs: 3,
+            outcomes: OutcomeTally::default(),
         };
         let cells = res.propagation_cells("M", "in", 0);
         assert_eq!(cells, vec![(500, 0, 1, 2), (1000, 1, 0, 1)]);
+    }
+
+    #[test]
+    fn propagation_cells_skip_quarantined_records() {
+        let mk = |outcome: RunOutcome| RunRecord {
+            module: "M".into(),
+            input_signal: "in".into(),
+            model: ErrorModel::BitFlip { bit: 0 },
+            time_ms: 500,
+            case: 0,
+            original_value: 0,
+            corrupted_value: 1,
+            first_divergence: if outcome.is_completed() {
+                vec![Some(501)]
+            } else {
+                vec![]
+            },
+            outcome,
+        };
+        let res = CampaignResult {
+            pairs: vec![],
+            records: vec![
+                mk(RunOutcome::Completed),
+                mk(RunOutcome::Panicked {
+                    message: "boom".into(),
+                }),
+                mk(RunOutcome::Hung { last_tick_ms: 499 }),
+            ],
+            golden_ticks: vec![],
+            total_runs: 3,
+            outcomes: OutcomeTally {
+                completed: 1,
+                panicked: 1,
+                hung: 1,
+            },
+        };
+        // Only the completed run contributes to the cell's injection count.
+        assert_eq!(res.propagation_cells("M", "in", 0), vec![(500, 0, 1, 1)]);
     }
 }

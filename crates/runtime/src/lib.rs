@@ -18,10 +18,13 @@
 //!   accumulators, input capture, A/D converters, PWM output compare,
 //! * [`tracing`] — per-tick signal traces, the raw material of Golden Run
 //!   Comparison,
+//! * [`watchdog`] — cooperative stalled-clock detection, turning injected
+//!   hangs into classifiable events instead of frozen worker threads,
 //! * [`sim`] — [`sim::Simulation`], which wires everything together.
 //!
-//! The runtime contains no randomness and no wall-clock access: a simulation
-//! stepped twice from the same initial state produces bit-identical traces.
+//! The runtime contains no randomness, and no wall-clock access outside the
+//! opt-in watchdog deadline: a simulation stepped twice from the same
+//! initial state produces bit-identical traces.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +37,7 @@ pub mod sim;
 pub mod state;
 pub mod time;
 pub mod tracing;
+pub mod watchdog;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
@@ -45,6 +49,7 @@ pub mod prelude {
     pub use crate::state::{StateReader, StateWriter};
     pub use crate::time::SimTime;
     pub use crate::tracing::{SignalTrace, TraceSet};
+    pub use crate::watchdog::{StalledClock, Watchdog, WatchdogConfig};
 }
 
 pub use prelude::*;

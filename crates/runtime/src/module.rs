@@ -8,6 +8,7 @@
 
 use crate::signals::{SignalBus, SignalRef};
 use crate::time::SimTime;
+use crate::watchdog::Watchdog;
 
 /// Execution context handed to a module on each invocation.
 ///
@@ -27,6 +28,9 @@ pub struct ModuleCtx<'a> {
     /// signal, so an externally corrupted signal is never silently
     /// "repaired" by a skipped write.
     pub(crate) out_cache: &'a mut [Option<u16>],
+    /// Stalled-clock watchdog armed on the owning simulation, if any; spent
+    /// through [`ModuleCtx::work`].
+    pub(crate) watchdog: Option<&'a Watchdog>,
 }
 
 impl<'a> ModuleCtx<'a> {
@@ -58,6 +62,26 @@ impl<'a> ModuleCtx<'a> {
             inputs,
             outputs,
             out_cache,
+            watchdog: None,
+        }
+    }
+
+    /// Spends `units` of the armed watchdog's per-tick work budget.
+    ///
+    /// Modules whose `step` contains data-dependent internal iteration — a
+    /// convergence loop, a search, a retry — call this once per iteration so
+    /// a corrupted input that makes the loop unbounded trips the watchdog
+    /// (classifying the run as *hung*) instead of freezing the campaign
+    /// worker forever. Free when no watchdog is armed.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a [`crate::watchdog::StalledClock`] payload when the
+    /// armed watchdog's work budget for this tick is exhausted or its
+    /// wall-clock deadline has passed.
+    pub fn work(&self, units: u64) {
+        if let Some(w) = self.watchdog {
+            w.work(units);
         }
     }
 

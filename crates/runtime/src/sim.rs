@@ -19,6 +19,7 @@ use crate::scheduler::{Schedule, SlotPlan};
 use crate::signals::{SignalBus, SignalRef};
 use crate::time::SimTime;
 use crate::tracing::TraceSet;
+use crate::watchdog::{Watchdog, WatchdogConfig};
 
 /// The world outside the software: sensors, actuators and physics.
 pub trait Environment: Send {
@@ -171,6 +172,7 @@ impl SimulationBuilder {
             now: SimTime::ZERO,
             traces: None,
             phase: Phase::BeforeBegin,
+            watchdog: None,
         }
     }
 }
@@ -215,6 +217,7 @@ pub struct Simulation {
     now: SimTime,
     traces: Option<TraceSet>,
     phase: Phase,
+    watchdog: Option<Watchdog>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -264,6 +267,21 @@ impl Simulation {
         self.env.finished(self.now)
     }
 
+    /// Arms a stalled-clock watchdog over all subsequent ticks: the
+    /// wall-clock deadline starts counting immediately and every tick grants
+    /// module-internal loops the configured work budget (spent through
+    /// [`ModuleCtx::work`]). When a budget is blown the run panics with a
+    /// typed [`crate::watchdog::StalledClock`] payload, which fault-injection
+    /// campaigns catch and classify as a *hung* run.
+    pub fn arm_watchdog(&mut self, config: WatchdogConfig) {
+        self.watchdog = Some(Watchdog::new(config));
+    }
+
+    /// Disarms the watchdog armed by [`Simulation::arm_watchdog`].
+    pub fn disarm_watchdog(&mut self) {
+        self.watchdog = None;
+    }
+
     /// Phase 1: the environment refreshes sensor signals for this tick.
     ///
     /// # Panics
@@ -292,6 +310,9 @@ impl Simulation {
             Phase::AfterBegin,
             "run_modules before begin_tick"
         );
+        if let Some(w) = &self.watchdog {
+            w.begin_tick(self.now);
+        }
         let schedules: Vec<Schedule> = self.modules.iter().map(|m| m.schedule).collect();
         let plan = SlotPlan::for_tick(self.now, &schedules);
         for &idx in plan.order() {
@@ -304,6 +325,7 @@ impl Simulation {
                 &entry.outputs,
                 &mut entry.out_cache,
             );
+            ctx.watchdog = self.watchdog.as_ref();
             entry.module.step(&mut ctx);
         }
         self.env.post_tick(self.now, &mut self.bus);

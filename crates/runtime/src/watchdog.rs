@@ -1,0 +1,201 @@
+//! Cooperative hang detection: a per-run watchdog that trips when simulated
+//! time stops making progress.
+//!
+//! An injected error can push a module into a computation that never
+//! terminates — an iteration that no longer converges, a busy-wait on a
+//! condition the corruption made unreachable. In a deterministic simulation
+//! such a run would hang its worker thread forever and take the whole
+//! campaign down with it. The watchdog turns that hang into a *classifiable
+//! event*: it panics with a typed [`StalledClock`] payload that the campaign
+//! executor catches and records as a `Hung` run outcome.
+//!
+//! Two budgets are enforced, both optional:
+//!
+//! * **tick work budget** — every tick grants [`WatchdogConfig::max_work_per_tick`]
+//!   work units; module-internal loops spend them via
+//!   [`crate::module::ModuleCtx::work`]. Exhausting the budget within one
+//!   tick means the clock cannot advance — the run is stalled. This check is
+//!   fully deterministic (no wall-clock involved) and is the one campaigns
+//!   rely on for reproducible classification.
+//! * **wall-clock deadline** — an absolute ceiling on the real time a run
+//!   may consume, checked at every tick boundary and at every `work` call.
+//!   A safety net for stalls the work budget cannot see (e.g. pathological
+//!   but budget-free module code); not deterministic, off by default.
+//!
+//! The watchdog is *cooperative*: a module that spins without ever calling
+//! `work` and without letting the tick finish cannot be interrupted from
+//! within its own thread. The paper's module model (short, slot-scheduled
+//! steps) makes the tick boundary check cover everything but unbounded
+//! loops *inside* one `step`, which is exactly what `work` is for.
+
+use crate::time::SimTime;
+use std::cell::Cell;
+use std::time::Instant;
+
+/// Budgets for a [`Watchdog`]. Constructed by campaigns (one per injected
+/// run) and armed with [`crate::sim::Simulation::arm_watchdog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WatchdogConfig {
+    /// Work units granted per tick to module-internal loops (via
+    /// [`crate::module::ModuleCtx::work`]); `None` disables the budget.
+    pub max_work_per_tick: Option<u64>,
+    /// Wall-clock ceiling for the whole run, in milliseconds; `None`
+    /// disables the deadline.
+    pub max_wall_ms: Option<u64>,
+}
+
+impl Default for WatchdogConfig {
+    /// A deterministic default: a generous 65 536-unit work budget per tick
+    /// and no wall-clock deadline.
+    fn default() -> Self {
+        WatchdogConfig {
+            max_work_per_tick: Some(1 << 16),
+            max_wall_ms: None,
+        }
+    }
+}
+
+/// The panic payload thrown when a watchdog trips. Campaign executors
+/// downcast unwind payloads to this type to classify a run as *hung* rather
+/// than *panicked*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StalledClock {
+    /// The last simulated tick at which progress was observed, in ms.
+    pub last_tick_ms: u64,
+}
+
+/// A cooperative stalled-clock detector for one simulation run.
+///
+/// Uses interior mutability so the immutable [`crate::module::ModuleCtx`]
+/// read path can spend work units without threading `&mut` through every
+/// module signature.
+#[derive(Debug)]
+pub struct Watchdog {
+    config: WatchdogConfig,
+    started: Instant,
+    work_left: Cell<u64>,
+    last_tick_ms: Cell<u64>,
+}
+
+impl Watchdog {
+    /// Creates a watchdog; the wall-clock deadline starts counting now.
+    pub fn new(config: WatchdogConfig) -> Self {
+        Watchdog {
+            config,
+            started: Instant::now(),
+            work_left: Cell::new(config.max_work_per_tick.unwrap_or(u64::MAX)),
+            last_tick_ms: Cell::new(0),
+        }
+    }
+
+    /// The configured budgets.
+    pub fn config(&self) -> &WatchdogConfig {
+        &self.config
+    }
+
+    fn trip(&self) -> ! {
+        std::panic::panic_any(StalledClock {
+            last_tick_ms: self.last_tick_ms.get(),
+        })
+    }
+
+    fn check_wall(&self) {
+        if let Some(ms) = self.config.max_wall_ms {
+            if self.started.elapsed().as_millis() as u64 > ms {
+                self.trip();
+            }
+        }
+    }
+
+    /// Called by the simulation at every tick boundary: records progress,
+    /// refills the per-tick work budget and checks the wall-clock deadline.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a [`StalledClock`] payload when the wall-clock deadline
+    /// has passed.
+    pub fn begin_tick(&self, now: SimTime) {
+        self.last_tick_ms.set(now.as_millis());
+        self.work_left
+            .set(self.config.max_work_per_tick.unwrap_or(u64::MAX));
+        self.check_wall();
+    }
+
+    /// Spends `units` of the current tick's work budget (and re-checks the
+    /// wall-clock deadline). Module-internal loops call this — through
+    /// [`crate::module::ModuleCtx::work`] — once per iteration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a [`StalledClock`] payload when the budget is exhausted:
+    /// the module is doing unbounded work within a single tick, so simulated
+    /// time has stalled.
+    pub fn work(&self, units: u64) {
+        let left = self.work_left.get();
+        if left < units {
+            self.trip();
+        }
+        self.work_left.set(left - units);
+        self.check_wall();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    #[test]
+    fn budget_refills_each_tick() {
+        let w = Watchdog::new(WatchdogConfig {
+            max_work_per_tick: Some(3),
+            max_wall_ms: None,
+        });
+        w.begin_tick(SimTime::from_millis(7));
+        w.work(1);
+        w.work(2);
+        w.begin_tick(SimTime::from_millis(8));
+        w.work(3); // fresh budget
+    }
+
+    #[test]
+    fn exhausted_budget_trips_with_last_tick() {
+        let w = Watchdog::new(WatchdogConfig {
+            max_work_per_tick: Some(2),
+            max_wall_ms: None,
+        });
+        w.begin_tick(SimTime::from_millis(41));
+        let err = catch_unwind(AssertUnwindSafe(|| loop {
+            w.work(1);
+        }))
+        .unwrap_err();
+        let stalled = err.downcast::<StalledClock>().expect("typed payload");
+        assert_eq!(stalled.last_tick_ms, 41);
+    }
+
+    #[test]
+    fn disabled_budget_never_trips_on_work() {
+        let w = Watchdog::new(WatchdogConfig {
+            max_work_per_tick: None,
+            max_wall_ms: None,
+        });
+        w.begin_tick(SimTime::ZERO);
+        for _ in 0..1_000_000 {
+            w.work(1);
+        }
+    }
+
+    #[test]
+    fn wall_deadline_trips_at_tick_boundary() {
+        let w = Watchdog::new(WatchdogConfig {
+            max_work_per_tick: None,
+            max_wall_ms: Some(0),
+        });
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            w.begin_tick(SimTime::from_millis(5));
+        }))
+        .unwrap_err();
+        assert!(err.downcast::<StalledClock>().is_ok());
+    }
+}

@@ -34,6 +34,7 @@ fn config(threads: usize) -> CampaignConfig {
         keep_records: true,
         horizon_ms: Some(6_000),
         fast_forward: true,
+        ..CampaignConfig::default()
     }
 }
 
@@ -43,6 +44,40 @@ fn campaign_is_thread_count_invariant() {
     let seq = Campaign::new(&f, config(1)).run(&small_spec()).unwrap();
     let par = Campaign::new(&f, config(4)).run(&small_spec()).unwrap();
     assert_eq!(seq, par);
+}
+
+#[test]
+fn journaled_resume_is_thread_count_invariant() {
+    // Interrupt a single-threaded journaled campaign partway (simulated by
+    // truncating the journal), then resume it on 4 threads: per-run seeds
+    // derive from the coordinate index alone, so the schedule — and even
+    // which runs came from the journal — must not change a single byte.
+    let f = factory();
+    let spec = small_spec();
+    let baseline = Campaign::new(&f, config(1)).run(&spec).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("permea-it-journal-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("journal.jsonl");
+    let _ = std::fs::remove_file(&path);
+
+    let seq = Campaign::new(&f, config(1));
+    let header = seq.journal_header(&spec);
+    let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+    seq.run_resumable(&spec, Some(&mut j), None).unwrap();
+    drop(j);
+
+    // Keep the header plus the first 7 records, as if killed mid-campaign.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let kept: String = text.lines().take(8).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&path, kept).unwrap();
+
+    let par = Campaign::new(&f, config(4));
+    let (mut j, loaded) = RunJournal::open_or_create(&path, &header).unwrap();
+    assert_eq!(loaded.recovered, 7);
+    let resumed = par.run_resumable(&spec, Some(&mut j), None).unwrap();
+    assert_eq!(resumed, baseline);
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

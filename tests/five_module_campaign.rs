@@ -185,6 +185,200 @@ fn config(fast_forward: bool) -> CampaignConfig {
     }
 }
 
+/// Overflow-paranoid consumer of sC: golden values stay well below the
+/// guard (extC ramps cap sC at 660), but an injected high bit breaks the
+/// assumption and the module dies mid-step.
+struct GuardedDoubler;
+impl SoftwareModule for GuardedDoubler {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let v = ctx.read(0);
+        assert!(v < 0x1000, "guarded doubler overflowed on input {v}");
+        ctx.write(0, v.wrapping_mul(2));
+    }
+}
+
+/// Scans as many elements as sC says — fine for golden values (≤ 660 work
+/// units per tick), pathological once an injected bit 15 makes the bound
+/// ≥ 32 768. Spends watchdog work units cooperatively.
+struct BoundedScan;
+impl SoftwareModule for BoundedScan {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let v = ctx.read(0);
+        let mut sum = 0u16;
+        for _ in 0..v {
+            ctx.work(1);
+            sum = sum.wrapping_add(7);
+        }
+        ctx.write(0, sum);
+    }
+}
+
+/// The five-module system plus two deliberately brittle consumers of sC.
+fn build_brittle(case: usize) -> Simulation {
+    let mut b = SimulationBuilder::new();
+    let ext_a = b.define_signal("extA");
+    let ext_c = b.define_signal("extC");
+    let ext_e = b.define_signal("extE");
+    let s_a = b.define_signal("sA");
+    let fb_b = b.define_signal("fbB");
+    let s_b = b.define_signal("sB");
+    let s_c = b.define_signal("sC");
+    let s_d = b.define_signal("sD");
+    let out = b.define_signal("OUT");
+    let g_out = b.define_signal("gOUT");
+    let scan_out = b.define_signal("scanOUT");
+    b.add_module("A", Box::new(ModA), Schedule::every_ms(), &[ext_a], &[s_a]);
+    b.add_module(
+        "B",
+        Box::new(ModB { acc: 0 }),
+        Schedule::every_ms(),
+        &[s_a, fb_b],
+        &[fb_b, s_b],
+    );
+    // GUARD and SCAN must run *before* C: port corruptions expire when the
+    // producer rewrites the signal, so a consumer scheduled after C would
+    // only ever see golden sC values.
+    b.add_module(
+        "GUARD",
+        Box::new(GuardedDoubler),
+        Schedule::every_ms(),
+        &[s_c],
+        &[g_out],
+    );
+    b.add_module(
+        "SCAN",
+        Box::new(BoundedScan),
+        Schedule::every_ms(),
+        &[s_c],
+        &[scan_out],
+    );
+    b.add_module("C", Box::new(ModC), Schedule::every_ms(), &[ext_c], &[s_c]);
+    b.add_module(
+        "D",
+        Box::new(ModD),
+        Schedule::in_slot(0, 2),
+        &[s_b, s_c],
+        &[s_d],
+    );
+    b.add_module(
+        "E",
+        Box::new(ModE),
+        Schedule::every_ms(),
+        &[ext_e, s_d, s_b],
+        &[out],
+    );
+    let mut sim = b.build(Box::new(FiveEnv {
+        ext_a,
+        ext_c,
+        ext_e,
+        base: 0x1234u16.wrapping_mul(case as u16 + 1),
+        limit: 600 + 50 * case as u64,
+    }));
+    sim.enable_tracing_all();
+    sim
+}
+
+fn brittle_factory() -> FnSystemFactory<fn(usize) -> Simulation> {
+    FnSystemFactory::new(2, 10_000, build_brittle as fn(usize) -> Simulation)
+}
+
+fn brittle_spec(target: PortTarget) -> CampaignSpec {
+    CampaignSpec {
+        // Bit 15 always trips the brittle module (golden sC < 0x1000);
+        // bit 0 never does — so the campaign mixes both outcome classes.
+        targets: vec![target],
+        models: vec![
+            ErrorModel::BitFlip { bit: 0 },
+            ErrorModel::BitFlip { bit: 15 },
+        ],
+        times_ms: vec![51, 300],
+        cases: 2,
+        scope: InjectionScope::Port,
+    }
+}
+
+#[test]
+fn overflowing_module_is_quarantined_while_campaign_completes() {
+    let f = brittle_factory();
+    let c = Campaign::new(
+        &f,
+        CampaignConfig {
+            threads: 1,
+            master_seed: 0xF1FE,
+            max_quarantined_fraction: 1.0,
+            ..Default::default()
+        },
+    );
+    let res = c
+        .run(&brittle_spec(PortTarget::new("GUARD", "sC")))
+        .unwrap();
+    assert_eq!(res.total_runs, 8);
+    assert_eq!(res.outcomes.completed, 4, "bit-0 runs survive");
+    assert_eq!(res.outcomes.panicked, 4, "bit-15 runs crash the guard");
+    assert_eq!(res.outcomes.hung, 0);
+    for r in &res.records {
+        match (&r.model, &r.outcome) {
+            (ErrorModel::BitFlip { bit: 15 }, RunOutcome::Panicked { message }) => {
+                assert!(message.contains("guarded doubler overflowed"), "{message}");
+            }
+            (ErrorModel::BitFlip { bit: 0 }, RunOutcome::Completed) => {}
+            other => panic!("unexpected (model, outcome): {other:?}"),
+        }
+    }
+    // Only completed runs enter n_inj.
+    assert_eq!(res.pair("GUARD", "sC", "gOUT").unwrap().injections, 4);
+}
+
+#[test]
+fn hanging_module_is_quarantined_as_hung() {
+    let f = brittle_factory();
+    let c = Campaign::new(
+        &f,
+        CampaignConfig {
+            threads: 1,
+            master_seed: 0xF1FE,
+            watchdog: Some(permea::runtime::watchdog::WatchdogConfig {
+                max_work_per_tick: Some(4_096),
+                max_wall_ms: None,
+            }),
+            max_quarantined_fraction: 1.0,
+            ..Default::default()
+        },
+    );
+    let res = c.run(&brittle_spec(PortTarget::new("SCAN", "sC"))).unwrap();
+    assert_eq!(res.outcomes.completed, 4);
+    assert_eq!(res.outcomes.hung, 4, "bit-15 runs stall the clock");
+    assert_eq!(res.outcomes.panicked, 0);
+    for r in res.records.iter().filter(|r| r.outcome.is_quarantined()) {
+        assert_eq!(
+            r.outcome,
+            RunOutcome::Hung {
+                last_tick_ms: r.time_ms
+            },
+            "the clock stalls at the injection instant"
+        );
+    }
+}
+
+#[test]
+fn quarantined_campaign_is_thread_count_invariant() {
+    // Schedule independence must hold even when some runs die: quarantined
+    // records (including their panic messages) are derived per-coordinate,
+    // never from worker identity or ordering.
+    let f = brittle_factory();
+    let config = |threads| CampaignConfig {
+        threads,
+        master_seed: 0xF1FE,
+        max_quarantined_fraction: 1.0,
+        ..Default::default()
+    };
+    let spec = brittle_spec(PortTarget::new("GUARD", "sC"));
+    let seq = Campaign::new(&f, config(1)).run(&spec).unwrap();
+    let par = Campaign::new(&f, config(4)).run(&spec).unwrap();
+    assert_eq!(seq, par);
+    assert_eq!(seq.outcomes.panicked, 4, "quarantine actually happened");
+}
+
 #[test]
 fn fast_forward_matches_replay_port_scope() {
     let f = factory();

@@ -1,9 +1,74 @@
 //! Property-based tests for the fault-injection machinery.
 
+use permea::fi::campaign::{Campaign, CampaignConfig, FnSystemFactory};
 use permea::fi::prelude::*;
+use permea::runtime::module::{ModuleCtx, SoftwareModule};
+use permea::runtime::scheduler::Schedule;
+use permea::runtime::signals::{SignalBus, SignalRef};
+use permea::runtime::sim::{Environment, Simulation, SimulationBuilder};
+use permea::runtime::time::SimTime;
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+
+/// Minimal one-module system for journal round-trip properties: the
+/// environment ramps `src`, `MIX` scrambles it into `out`.
+struct Mixer;
+impl SoftwareModule for Mixer {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let v = ctx.read(0);
+        ctx.write(0, v.rotate_left(3) ^ 0x5A5A);
+    }
+}
+
+struct RampEnv {
+    src: SignalRef,
+    base: u16,
+    limit: u64,
+}
+impl Environment for RampEnv {
+    fn pre_tick(&mut self, now: SimTime, bus: &mut SignalBus) {
+        let t = now.as_millis();
+        bus.write(self.src, self.base.wrapping_add(t as u16).wrapping_mul(13));
+    }
+    fn post_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
+    fn finished(&self, now: SimTime) -> bool {
+        now.as_millis() >= self.limit
+    }
+}
+
+fn tiny_build(case: usize) -> Simulation {
+    let mut b = SimulationBuilder::new();
+    let src = b.define_signal("src");
+    let out = b.define_signal("out");
+    b.add_module("MIX", Box::new(Mixer), Schedule::every_ms(), &[src], &[out]);
+    let mut sim = b.build(Box::new(RampEnv {
+        src,
+        base: 0x7AB1u16.wrapping_mul(case as u16 + 1),
+        limit: 120 + 10 * case as u64,
+    }));
+    sim.enable_tracing_all();
+    sim
+}
+
+fn tiny_factory() -> FnSystemFactory<fn(usize) -> Simulation> {
+    FnSystemFactory::new(2, 1_000, tiny_build as fn(usize) -> Simulation)
+}
+
+fn tiny_spec() -> CampaignSpec {
+    CampaignSpec {
+        targets: vec![PortTarget::new("MIX", "src")],
+        models: vec![
+            ErrorModel::BitFlip { bit: 0 },
+            ErrorModel::BitFlip { bit: 5 },
+            ErrorModel::BitFlip { bit: 9 },
+            ErrorModel::BitFlip { bit: 15 },
+        ],
+        times_ms: vec![13, 77],
+        cases: 2,
+        scope: InjectionScope::Port,
+    }
+}
 
 fn arbitrary_model() -> impl Strategy<Value = ErrorModel> {
     prop_oneof![
@@ -97,6 +162,64 @@ proptest! {
         let (lo1, hi1) = wilson_interval(errors, trials, 1.96);
         let (lo2, hi2) = wilson_interval(errors * scale, trials * scale, 1.96);
         prop_assert!(hi2 - lo2 <= hi1 - lo1 + 1e-12);
+    }
+
+    #[test]
+    fn journal_resume_after_truncation_is_exact(
+        keep in 0usize..=16,
+        torn_len in 0usize..40,
+        torn_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        // Pseudo-random torn-tail bytes from a plain LCG (the vendored
+        // proptest has no `collection::vec` strategy).
+        let mut x = torn_seed;
+        let torn: Vec<u8> = (0..torn_len)
+            .map(|_| {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 56) as u8
+            })
+            .collect();
+        // Kill -9 at an arbitrary point leaves the journal with some prefix
+        // of complete records plus possibly a torn tail of garbage bytes.
+        // Resuming from any such journal must reproduce the uninterrupted
+        // campaign bit for bit.
+        let f = tiny_factory();
+        let config = CampaignConfig {
+            threads: 1,
+            master_seed: seed,
+            ..CampaignConfig::default()
+        };
+        let spec = tiny_spec();
+        let baseline = Campaign::new(&f, config.clone()).run(&spec).unwrap();
+
+        let path = std::env::temp_dir()
+            .join(format!("permea-prop-journal-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let c = Campaign::new(&f, config);
+        let header = c.journal_header(&spec);
+        let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+        c.run_resumable(&spec, Some(&mut j), None).unwrap();
+        drop(j);
+
+        // Keep the header plus `keep` records, then splice in torn bytes.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut kept: Vec<u8> = text
+            .lines()
+            .take(1 + keep)
+            .flat_map(|l| format!("{l}\n").into_bytes())
+            .collect();
+        kept.extend_from_slice(&torn);
+        std::fs::write(&path, kept).unwrap();
+
+        let (mut j, loaded) = RunJournal::open_or_create(&path, &header).unwrap();
+        prop_assert_eq!(loaded.recovered, keep);
+        let resumed = c.run_resumable(&spec, Some(&mut j), None).unwrap();
+        drop(j);
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(resumed, baseline);
     }
 
     #[test]
