@@ -6,10 +6,13 @@
 //! campaign --spec spec.json [options]    # run it
 //!
 //! options:
-//!   --grid MxV       workload grid (default 3x3)
-//!   --horizon MS     comparison horizon in ms (default 9000)
-//!   --seed S         master seed (default 0x5EED)
-//!   --out FILE       write the full CampaignResult as JSON
+//!   --grid MxV         workload grid (default 3x3)
+//!   --horizon MS       comparison horizon in ms (default 9000)
+//!   --seed S           master seed (default 0x5EED)
+//!   --out FILE         write the full CampaignResult as JSON
+//!   --progress         live progress line (runs/s, quarantine, ETA)
+//!   --metrics-out FILE write campaign metrics as JSON
+//!   --events FILE      append every telemetry event as JSONL
 //! ```
 
 use permea_analysis::factory::ArrestmentFactory;
@@ -18,7 +21,9 @@ use permea_fi::campaign::{Campaign, CampaignConfig};
 use permea_fi::latency::{latency_summaries, render_latencies};
 use permea_fi::model::ErrorModel;
 use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
+use permea_obs::{JsonlSink, Obs, ProgressSink, Sink, StderrSink};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn example_spec() -> CampaignSpec {
     CampaignSpec {
@@ -41,7 +46,8 @@ fn example_spec() -> CampaignSpec {
 fn usage() -> ! {
     eprintln!(
         "usage: campaign --example-spec | campaign --spec FILE \
-         [--grid MxV] [--horizon MS] [--seed S] [--out FILE]"
+         [--grid MxV] [--horizon MS] [--seed S] [--out FILE] \
+         [--progress] [--metrics-out FILE] [--events FILE]"
     );
     std::process::exit(2);
 }
@@ -49,6 +55,9 @@ fn usage() -> ! {
 fn main() -> ExitCode {
     let mut spec_path = None;
     let mut out_path = None;
+    let mut metrics_out = None;
+    let mut events_out = None;
+    let mut progress = false;
     let mut grid = (3usize, 3usize);
     let mut horizon = 9_000u64;
     let mut seed = 0x5EEDu64;
@@ -64,6 +73,9 @@ fn main() -> ExitCode {
             }
             "--spec" => spec_path = args.next(),
             "--out" => out_path = args.next(),
+            "--metrics-out" => metrics_out = args.next(),
+            "--events" => events_out = args.next(),
+            "--progress" => progress = true,
             "--grid" => match args.next().and_then(|v| {
                 let (m, vel) = v.split_once('x')?;
                 Some((m.parse().ok()?, vel.parse().ok()?))
@@ -83,17 +95,33 @@ fn main() -> ExitCode {
         }
     }
     let Some(spec_path) = spec_path else { usage() };
+
+    let mut sinks: Vec<Arc<dyn Sink>> = vec![Arc::new(StderrSink)];
+    if progress {
+        sinks.push(Arc::new(ProgressSink::new()));
+    }
+    if let Some(path) = &events_out {
+        match JsonlSink::create(std::path::Path::new(path)) {
+            Ok(s) => sinks.push(Arc::new(s)),
+            Err(e) => {
+                eprintln!("cannot create event log {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let obs = Obs::with_sinks(sinks);
+
     let spec_text = match std::fs::read_to_string(&spec_path) {
         Ok(t) => t,
         Err(e) => {
-            eprintln!("cannot read {spec_path}: {e}");
+            obs.error(format!("cannot read {spec_path}: {e}"));
             return ExitCode::FAILURE;
         }
     };
     let mut spec: CampaignSpec = match serde_json::from_str(&spec_text) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("invalid spec: {e}");
+            obs.error(format!("invalid spec: {e}"));
             return ExitCode::FAILURE;
         }
     };
@@ -110,24 +138,25 @@ fn main() -> ExitCode {
             fast_forward: true,
             ..CampaignConfig::default()
         },
-    );
-    eprintln!("running {} injection runs...", spec.run_count());
+    )
+    .with_obs(obs.clone());
+    obs.info(format!("running {} injection runs...", spec.run_count()));
     let started = std::time::Instant::now();
     let result = match campaign.run(&spec) {
         Ok(r) => r,
         Err(e) => {
-            eprintln!("campaign failed: {e}");
+            obs.error(format!("campaign failed: {e}"));
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("done in {:.1}s", started.elapsed().as_secs_f64());
+    obs.info(format!("done in {:.1}s", started.elapsed().as_secs_f64()));
     if result.outcomes.quarantined() > 0 {
-        eprintln!(
-            "warning: {} run(s) quarantined ({} panicked, {} hung)",
+        obs.warn(format!(
+            "{} run(s) quarantined ({} panicked, {} hung)",
             result.outcomes.quarantined(),
             result.outcomes.panicked,
             result.outcomes.hung
-        );
+        ));
     }
 
     println!(
@@ -152,15 +181,24 @@ fn main() -> ExitCode {
         match serde_json::to_string(&result) {
             Ok(json) => {
                 if let Err(e) = std::fs::write(&out_path, json) {
-                    eprintln!("cannot write {out_path}: {e}");
+                    obs.error(format!("cannot write {out_path}: {e}"));
                     return ExitCode::FAILURE;
                 }
-                eprintln!("results written to {out_path}");
+                obs.info(format!("results written to {out_path}"));
             }
             Err(e) => {
-                eprintln!("serialisation failed: {e}");
+                obs.error(format!("serialisation failed: {e}"));
                 return ExitCode::FAILURE;
             }
+        }
+    }
+    if let Some(metrics_path) = metrics_out {
+        if let Some(snap) = obs.snapshot() {
+            if let Err(e) = std::fs::write(&metrics_path, snap.to_json_pretty()) {
+                obs.error(format!("cannot write {metrics_path}: {e}"));
+                return ExitCode::FAILURE;
+            }
+            obs.info(format!("metrics written to {metrics_path}"));
         }
     }
     ExitCode::SUCCESS

@@ -4,12 +4,25 @@
 //! ```text
 //! study [--quick | --full] [--out DIR] [--threads N] [--seed S]
 //!       [--replay] [--compare-paths] [--journal] [--resume DIR]
+//!       [--progress] [--metrics-out PATH] [--events PATH]
+//!       [--fsync-interval N]
 //! ```
 //!
 //! `--quick` (default) runs the reduced configuration (seconds);
 //! `--full` runs the paper's 52 000-injection campaign (minutes).
 //! `--replay` disables snapshot fast-forward (replay every run from tick 0);
 //! `--compare-paths` times the campaign both ways and reports the speedup.
+//!
+//! Telemetry: the campaign always collects metrics (counters, phase spans,
+//! fsync latency) and writes them as `metrics.json` next to `result.json`
+//! (`--metrics-out PATH` overrides the location). `--progress` adds a live
+//! progress line (runs/s, quarantine count, fast-forward rate, ETA);
+//! `--events PATH` appends every telemetry event as JSONL. The `campaign`
+//! section of `metrics.json` is deterministic — a resumed campaign merges
+//! journaled run statistics so its totals equal an uninterrupted run's —
+//! while the `process` section describes this invocation (wall-clock,
+//! work actually executed here). `--fsync-interval N` tunes journal
+//! fsync batching (default 64, must be > 0).
 //!
 //! `--journal` makes the campaign durable: every finished injection run is
 //! appended to `DIR/journal.jsonl` as write-ahead state. `--resume DIR`
@@ -26,8 +39,10 @@ use permea_analysis::report::Report;
 use permea_analysis::study::{Study, StudyConfig};
 use permea_fi::error::FiError;
 use permea_fi::journal::RunJournal;
+use permea_obs::{JsonlSink, Obs, ProgressSink, Sink, StderrSink};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// SIGINT/SIGTERM latch. Installed via a minimal `signal(2)` FFI shim —
 /// the build environment is offline, so no `libc`/`ctrlc` crates.
@@ -69,7 +84,8 @@ mod interrupt {
 fn usage() -> ! {
     eprintln!(
         "usage: study [--quick | --full] [--out DIR] [--threads N] [--seed S] \
-         [--replay] [--compare-paths] [--journal] [--resume DIR]"
+         [--replay] [--compare-paths] [--journal] [--resume DIR] \
+         [--progress] [--metrics-out PATH] [--events PATH] [--fsync-interval N]"
     );
     std::process::exit(2);
 }
@@ -80,6 +96,10 @@ fn main() -> ExitCode {
     let mut replay = false;
     let mut compare_paths = false;
     let mut journal_runs = false;
+    let mut progress = false;
+    let mut metrics_out: Option<PathBuf> = None;
+    let mut events_out: Option<PathBuf> = None;
+    let mut fsync_interval: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -88,6 +108,7 @@ fn main() -> ExitCode {
             "--replay" => replay = true,
             "--compare-paths" => compare_paths = true,
             "--journal" => journal_runs = true,
+            "--progress" => progress = true,
             "--out" => match args.next() {
                 Some(d) => out_dir = PathBuf::from(d),
                 None => usage(),
@@ -97,6 +118,18 @@ fn main() -> ExitCode {
                     out_dir = PathBuf::from(d);
                     journal_runs = true;
                 }
+                None => usage(),
+            },
+            "--metrics-out" => match args.next() {
+                Some(p) => metrics_out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--events" => match args.next() {
+                Some(p) => events_out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--fsync-interval" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => fsync_interval = Some(n),
                 None => usage(),
             },
             "--threads" => match args.next().and_then(|v| v.parse().ok()) {
@@ -112,27 +145,47 @@ fn main() -> ExitCode {
     }
     config.fast_forward = !replay;
 
+    // Telemetry: messages route through the stderr sink (same output as the
+    // old eprintln! path); --progress and --events add their sinks.
+    let mut sinks: Vec<Arc<dyn Sink>> = vec![Arc::new(StderrSink)];
+    if progress {
+        sinks.push(Arc::new(ProgressSink::new()));
+    }
+    if let Some(path) = &events_out {
+        match JsonlSink::create(path) {
+            Ok(s) => sinks.push(Arc::new(s)),
+            Err(e) => {
+                eprintln!("cannot create event log {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let obs = Obs::with_sinks(sinks);
+
     let spec_preview = config.spec(&permea_arrestment::system::ArrestmentSystem::topology());
-    eprintln!(
+    obs.info(format!(
         "running study: {} targets x {} models x {} times x {} cases = {} injection runs",
         spec_preview.targets.len(),
         spec_preview.models.len(),
         spec_preview.times_ms.len(),
         spec_preview.cases,
         spec_preview.run_count()
-    );
+    ));
 
-    let study = Study::new(config.clone());
+    let mut study = Study::new(config.clone()).with_obs(obs.clone());
+    if let Some(interval) = fsync_interval {
+        study = study.with_fsync_interval(interval);
+    }
     let mut journal = if journal_runs {
         if let Err(e) = std::fs::create_dir_all(&out_dir) {
-            eprintln!("cannot create {}: {e}", out_dir.display());
+            obs.error(format!("cannot create {}: {e}", out_dir.display()));
             return ExitCode::FAILURE;
         }
         let path = out_dir.join("journal.jsonl");
         match RunJournal::open_or_create(&path, &study.journal_header()) {
             Ok((j, loaded)) => {
                 if loaded.recovered > 0 {
-                    eprintln!(
+                    obs.info(format!(
                         "journal {}: {} run(s) already recorded{}, resuming",
                         path.display(),
                         loaded.recovered,
@@ -141,12 +194,12 @@ fn main() -> ExitCode {
                         } else {
                             ""
                         }
-                    );
+                    ));
                 }
                 Some(j)
             }
             Err(e) => {
-                eprintln!("cannot open journal {}: {e}", path.display());
+                obs.error(format!("cannot open journal {}: {e}", path.display()));
                 return ExitCode::FAILURE;
             }
         }
@@ -159,8 +212,10 @@ fn main() -> ExitCode {
     let output = match study.run_resumable(journal.as_mut(), Some(&interrupt::REQUESTED)) {
         Ok(o) => o,
         Err(FiError::Interrupted { completed, total }) => {
-            eprintln!("interrupted: {completed} of {total} runs journaled");
-            eprintln!(
+            obs.info(format!(
+                "interrupted: {completed} of {total} runs journaled"
+            ));
+            obs.info(format!(
                 "resume with: study {} --resume {}{}",
                 if config.masses >= 5 {
                     "--full"
@@ -169,16 +224,16 @@ fn main() -> ExitCode {
                 },
                 out_dir.display(),
                 if replay { " --replay" } else { "" },
-            );
+            ));
             return ExitCode::from(130);
         }
         Err(e) => {
-            eprintln!("study failed: {e}");
+            obs.error(format!("study failed: {e}"));
             return ExitCode::FAILURE;
         }
     };
     let first_secs = started.elapsed().as_secs_f64();
-    eprintln!(
+    obs.info(format!(
         "campaign finished in {first_secs:.1}s ({}{})",
         if config.fast_forward {
             "fast-forward"
@@ -186,14 +241,14 @@ fn main() -> ExitCode {
             "replay-from-zero"
         },
         if journal_runs { ", journaled" } else { "" }
-    );
+    ));
     if output.result.outcomes.quarantined() > 0 {
-        eprintln!(
-            "warning: {} run(s) quarantined ({} panicked, {} hung) — see outcomes.txt",
+        obs.warn(format!(
+            "{} run(s) quarantined ({} panicked, {} hung) — see outcomes.txt",
             output.result.outcomes.quarantined(),
             output.result.outcomes.panicked,
             output.result.outcomes.hung
-        );
+        ));
     }
 
     if compare_paths {
@@ -201,7 +256,7 @@ fn main() -> ExitCode {
         other.fast_forward = !config.fast_forward;
         let started = std::time::Instant::now();
         if let Err(e) = Study::new(other).run() {
-            eprintln!("comparison path failed: {e}");
+            obs.error(format!("comparison path failed: {e}"));
             return ExitCode::FAILURE;
         }
         let other_secs = started.elapsed().as_secs_f64();
@@ -210,17 +265,26 @@ fn main() -> ExitCode {
         } else {
             (other_secs, first_secs)
         };
-        eprintln!(
+        obs.info(format!(
             "path comparison: fast-forward {fast:.1}s vs replay-from-zero {slow:.1}s \
              ({:.1}x speedup)",
             slow / fast
-        );
+        ));
     }
 
-    let report = Report::from_study(&output);
+    let metrics = obs.snapshot();
+    let mut report = Report::from_study(&output);
+    if let Some(snap) = &metrics {
+        report
+            .files
+            .push(("telemetry.txt".to_owned(), snap.render_summary()));
+    }
     print!("{}", report.summary());
     if let Err(e) = report.write_to(&out_dir) {
-        eprintln!("failed to write artifacts to {}: {e}", out_dir.display());
+        obs.error(format!(
+            "failed to write artifacts to {}: {e}",
+            out_dir.display()
+        ));
         return ExitCode::FAILURE;
     }
     // The raw campaign result as machine-readable data; also what the
@@ -228,20 +292,28 @@ fn main() -> ExitCode {
     match serde_json::to_string(&output.result) {
         Ok(json) => {
             if let Err(e) = std::fs::write(out_dir.join("result.json"), json) {
-                eprintln!("failed to write result.json: {e}");
+                obs.error(format!("failed to write result.json: {e}"));
                 return ExitCode::FAILURE;
             }
         }
         Err(e) => {
-            eprintln!("failed to serialise result.json: {e}");
+            obs.error(format!("failed to serialise result.json: {e}"));
             return ExitCode::FAILURE;
         }
     }
-    eprintln!("artifacts written to {}", out_dir.display());
+    // The machine-readable metrics artifact, next to result.json by default.
+    if let Some(snap) = &metrics {
+        let path = metrics_out.unwrap_or_else(|| out_dir.join("metrics.json"));
+        if let Err(e) = std::fs::write(&path, snap.to_json_pretty()) {
+            obs.error(format!("failed to write {}: {e}", path.display()));
+            return ExitCode::FAILURE;
+        }
+    }
+    obs.info(format!("artifacts written to {}", out_dir.display()));
 
     let failed = report.checks.iter().filter(|c| !c.pass).count();
     if failed > 0 {
-        eprintln!("{failed} shape check(s) did not reproduce");
+        obs.warn(format!("{failed} shape check(s) did not reproduce"));
     }
     ExitCode::SUCCESS
 }

@@ -14,9 +14,10 @@ use permea_core::topology::SystemTopology;
 use permea_core::trace::TraceForest;
 use permea_fi::campaign::{Campaign, CampaignConfig};
 use permea_fi::error::FiError;
-use permea_fi::journal::{JournalHeader, RunJournal};
+use permea_fi::journal::{JournalHeader, RunJournal, DEFAULT_FSYNC_INTERVAL};
 use permea_fi::results::CampaignResult;
 use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
+use permea_obs::Obs;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::AtomicBool;
 
@@ -154,12 +155,37 @@ pub struct StudyOutput {
 #[derive(Debug, Clone)]
 pub struct Study {
     config: StudyConfig,
+    obs: Obs,
+    fsync_interval: usize,
 }
 
 impl Study {
-    /// Creates a study from a configuration.
+    /// Creates a study from a configuration, with telemetry disabled.
     pub fn new(config: StudyConfig) -> Self {
-        Study { config }
+        Study {
+            config,
+            obs: Obs::disabled(),
+            fsync_interval: DEFAULT_FSYNC_INTERVAL,
+        }
+    }
+
+    /// Attaches a telemetry handle; the campaign's counters, phase spans and
+    /// progress events flow through it.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// Overrides the journal fsync batching interval (must be greater than
+    /// zero; validated when the campaign runs).
+    pub fn with_fsync_interval(mut self, interval: usize) -> Self {
+        self.fsync_interval = interval;
+        self
+    }
+
+    /// The telemetry handle in use.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The configuration.
@@ -175,6 +201,7 @@ impl Study {
             keep_records: self.config.keep_records,
             horizon_ms: self.config.horizon_ms,
             fast_forward: self.config.fast_forward,
+            journal_fsync_interval: self.fsync_interval,
             ..CampaignConfig::default()
         }
     }
@@ -219,7 +246,7 @@ impl Study {
             self.config.masses,
             self.config.velocities,
         ));
-        let campaign = Campaign::new(&factory, self.campaign_config());
+        let campaign = Campaign::new(&factory, self.campaign_config()).with_obs(self.obs.clone());
         let result = campaign.run_resumable(&spec, journal, cancel)?;
         let matrix = permea_fi::estimate::estimate_matrix(&topology, &result)?;
         let graph = PermeabilityGraph::new(&topology, &matrix)
@@ -297,6 +324,22 @@ mod tests {
         let resumed = study.run_resumable(Some(&mut j), None).unwrap();
         assert_eq!(resumed.result, baseline.result);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn study_with_obs_collects_campaign_metrics() {
+        let obs = Obs::with_sinks(Vec::new());
+        let study = Study::new(StudyConfig::smoke()).with_obs(obs.clone());
+        let out = study.run().unwrap();
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(
+            snap.counter("campaign.runs_total"),
+            Some(out.result.total_runs)
+        );
+        assert_eq!(
+            snap.counter("campaign.golden_runs"),
+            Some(out.result.golden_ticks.len() as u64)
+        );
     }
 
     #[test]

@@ -123,6 +123,41 @@ fn bench(c: &mut Criterion) {
     }
     group.finish();
 
+    // Telemetry overhead: the same 32-run campaign with no telemetry (the
+    // disabled-handle fast path that every plain `Campaign::new` takes),
+    // with live instruments aggregating into the in-memory registry, and
+    // with the JSONL event log attached. "disabled" must stay within noise
+    // of `campaign/32_runs/threads_1` — instrumentation is free when off.
+    let mut group = c.benchmark_group("campaign/obs");
+    group.sample_size(10);
+    for label in ["disabled", "registry", "jsonl"] {
+        group.bench_function(label, |b| {
+            let obs = match label {
+                "disabled" => permea_obs::Obs::disabled(),
+                "registry" => permea_obs::Obs::with_sinks(Vec::new()),
+                _ => {
+                    let path = std::env::temp_dir()
+                        .join(format!("permea-bench-events-{}.jsonl", std::process::id()));
+                    permea_obs::Obs::with_sinks(vec![std::sync::Arc::new(
+                        permea_obs::JsonlSink::create(&path).unwrap(),
+                    )])
+                }
+            };
+            let campaign = Campaign::new(
+                &factory,
+                CampaignConfig {
+                    threads: 1,
+                    horizon_ms: Some(3_000),
+                    keep_records: false,
+                    ..Default::default()
+                },
+            )
+            .with_obs(obs);
+            b.iter(|| black_box(campaign.run(&spec).unwrap()))
+        });
+    }
+    group.finish();
+
     // Factory construction overhead (per-run allocation cost).
     c.bench_function("campaign/factory_build", |b| {
         b.iter(|| black_box(factory.build(0)))

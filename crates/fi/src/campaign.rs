@@ -28,11 +28,12 @@
 
 use crate::error::FiError;
 use crate::golden::GoldenRun;
-use crate::journal::{JournalHeader, RunJournal};
+use crate::journal::{JournalHeader, RunJournal, DEFAULT_FSYNC_INTERVAL};
 use crate::outcome::{classify_unwind, OutcomeTally, RunOutcome};
-use crate::results::{CampaignResult, PairStat, RunRecord};
+use crate::results::{CampaignResult, PairStat, RunRecord, RunStats};
 use crate::spec::{CampaignSpec, InjectionScope};
-use permea_runtime::sim::{SimSnapshot, Simulation};
+use permea_obs::{Counter, Histogram, Obs, Progress};
+use permea_runtime::sim::{SimInstruments, SimSnapshot, Simulation};
 use permea_runtime::time::SimTime;
 use permea_runtime::tracing::TraceSet;
 use permea_runtime::watchdog::WatchdogConfig;
@@ -40,8 +41,9 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 /// Spacing of the periodic golden checkpoints used for convergence
 /// early-exit. Denser checkpoints detect reconvergence sooner at the cost
@@ -144,6 +146,14 @@ pub struct CampaignConfig {
     /// estimates would rest on a biased sample, so the campaign returns
     /// [`FiError::QuarantineThresholdExceeded`] instead of a result.
     pub max_quarantined_fraction: f64,
+    /// Journal fsync batching: the run journal `fsync`s after every this
+    /// many appended records (each append is still flushed to the OS
+    /// immediately, so a process kill loses nothing either way). Must be
+    /// greater than zero — validated by [`Campaign::run_resumable`], which
+    /// returns [`FiError::InvalidFsyncInterval`] otherwise. Smaller values
+    /// bound power-failure loss tighter at the cost of fsync latency per
+    /// run (measured by the `process.journal_fsync_micros` histogram).
+    pub journal_fsync_interval: usize,
 }
 
 impl Default for CampaignConfig {
@@ -156,6 +166,7 @@ impl Default for CampaignConfig {
             fast_forward: true,
             watchdog: Some(WatchdogConfig::default()),
             max_quarantined_fraction: 0.25,
+            journal_fsync_interval: DEFAULT_FSYNC_INTERVAL,
         }
     }
 }
@@ -201,12 +212,18 @@ struct ResolvedTarget {
     output_signals: Vec<String>,
 }
 
+/// What `run_one` yields per injection: the original and corrupted signal
+/// values, the per-output first divergences, and the run's deterministic
+/// execution statistics.
+type RunOneOutput = (u16, u16, Vec<Option<u32>>, RunStats);
+
 /// The outcome of one (possibly fast-forwarded) injection run: the trace
 /// window actually simulated, covering ticks `[start_ms, start_ms + window
 /// ticks)` of the run, and the injected values.
 struct InjectedWindow {
     window: TraceSet,
     start_ms: u64,
+    forked: bool,
     converged_ms: Option<u64>,
     original: u16,
     corrupted: u16,
@@ -228,16 +245,98 @@ impl InjectedWindow {
     }
 }
 
+/// Telemetry instruments a campaign resolves once up front and bumps per
+/// run. `campaign.*` names hold deterministic facts (identical between a
+/// resumed and an uninterrupted execution); `process.*` names describe this
+/// process's work. All handles are no-ops for a disabled [`Obs`].
+struct Instruments {
+    runs_total: Counter,
+    runs_completed: Counter,
+    runs_panicked: Counter,
+    runs_hung: Counter,
+    ff_forked: Counter,
+    ff_reconverged: Counter,
+    run_ticks: Counter,
+    ticks_saved: Counter,
+    golden_runs: Counter,
+    golden_ticks: Counter,
+    snapshots: Counter,
+    runs_executed: Counter,
+    runs_recovered: Counter,
+    run_micros: Histogram,
+}
+
+impl Instruments {
+    fn resolve(obs: &Obs) -> Self {
+        Instruments {
+            runs_total: obs.counter("campaign.runs_total"),
+            runs_completed: obs.counter("campaign.runs_completed"),
+            runs_panicked: obs.counter("campaign.runs_panicked"),
+            runs_hung: obs.counter("campaign.runs_hung"),
+            ff_forked: obs.counter("campaign.ff_forked"),
+            ff_reconverged: obs.counter("campaign.ff_reconverged"),
+            run_ticks: obs.counter("campaign.run_ticks"),
+            ticks_saved: obs.counter("campaign.ticks_saved"),
+            golden_runs: obs.counter("campaign.golden_runs"),
+            golden_ticks: obs.counter("campaign.golden_ticks"),
+            snapshots: obs.counter("campaign.snapshots"),
+            runs_executed: obs.counter("process.runs_executed"),
+            runs_recovered: obs.counter("process.runs_recovered"),
+            run_micros: obs.histogram("process.run_micros"),
+        }
+    }
+
+    /// Accounts one finished run — executed just now or recovered from the
+    /// journal — into the deterministic `campaign.*` totals. `golden_ticks`
+    /// is the golden-run length of the run's case, needed to credit the
+    /// tail skipped by a reconvergence exit.
+    fn account(&self, record: &RunRecord, stats: &RunStats, golden_ticks: u64) {
+        self.runs_total.inc();
+        match &record.outcome {
+            RunOutcome::Completed => self.runs_completed.inc(),
+            RunOutcome::Panicked { .. } => self.runs_panicked.inc(),
+            RunOutcome::Hung { .. } => self.runs_hung.inc(),
+        }
+        self.run_ticks.add(stats.sim_ticks);
+        if stats.forked {
+            self.ff_forked.inc();
+            self.ticks_saved.add(record.time_ms);
+        }
+        if let Some(converged) = stats.converged_ms {
+            self.ff_reconverged.inc();
+            self.ticks_saved.add(golden_ticks.saturating_sub(converged));
+        }
+    }
+}
+
 /// A ready-to-run campaign binding a factory to a configuration.
 pub struct Campaign<'f> {
     factory: &'f dyn SystemFactory,
     config: CampaignConfig,
+    obs: Obs,
 }
 
 impl<'f> Campaign<'f> {
-    /// Creates a campaign.
+    /// Creates a campaign with telemetry disabled.
     pub fn new(factory: &'f dyn SystemFactory, config: CampaignConfig) -> Self {
-        Campaign { factory, config }
+        Campaign {
+            factory,
+            config,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry handle: campaign phases, per-run counters and
+    /// progress events flow through it. With the default disabled handle
+    /// every instrument is a branch-and-skip no-op.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The telemetry handle in use.
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// The configuration in use.
@@ -416,18 +515,27 @@ impl<'f> Campaign<'f> {
         seed: u64,
     ) -> Result<InjectedWindow, FiError> {
         let mut sim = self.factory.build(golden.run.case);
+        if self.obs.enabled() {
+            // Before `arm_watchdog`, which clones the trip counter into the
+            // armed watchdog.
+            sim.set_instruments(SimInstruments {
+                ticks: self.obs.counter("process.sim_ticks"),
+                module_steps: self.obs.counter("process.module_steps"),
+                watchdog_trips: self.obs.counter("process.watchdog_trips"),
+            });
+        }
         if let Some(wd) = self.config.watchdog {
             sim.arm_watchdog(wd);
         }
         let mut rng = SmallRng::seed_from_u64(seed);
         let mut original = 0u16;
         let mut corrupted = 0u16;
-        let start_ms = match golden.snapshot_at(time_ms) {
+        let (start_ms, forked) = match golden.snapshot_at(time_ms) {
             Some(snap) => {
                 sim.restore(snap);
-                time_ms
+                (time_ms, true)
             }
-            None => 0,
+            None => (0, false),
         };
         let mut converged_ms = None;
         while sim.now().as_millis() < golden.run.ticks {
@@ -462,6 +570,7 @@ impl<'f> Campaign<'f> {
         Ok(InjectedWindow {
             window,
             start_ms,
+            forked,
             converged_ms,
             original,
             corrupted,
@@ -469,7 +578,7 @@ impl<'f> Campaign<'f> {
     }
 
     /// Executes one injection run and returns the per-output first
-    /// divergences.
+    /// divergences plus the run's deterministic execution statistics.
     fn run_one(
         &self,
         spec: &CampaignSpec,
@@ -478,14 +587,19 @@ impl<'f> Campaign<'f> {
         time_ms: u64,
         golden: &GoldenBundle,
         seed: u64,
-    ) -> Result<(u16, u16, Vec<Option<u32>>), FiError> {
+    ) -> Result<RunOneOutput, FiError> {
         let run = self.run_injected(target, spec.scope, model, time_ms, golden, seed)?;
         let divergences = target
             .output_signals
             .iter()
             .map(|name| run.window_divergence(&golden.run, name).map(|t| t as u32))
             .collect();
-        Ok((run.original, run.corrupted, divergences))
+        let stats = RunStats {
+            sim_ticks: run.window.ticks() as u64,
+            forked: run.forked,
+            converged_ms: run.converged_ms,
+        };
+        Ok((run.original, run.corrupted, divergences, stats))
     }
 
     /// Runs a single injection and returns the **full trace set** of the
@@ -590,11 +704,26 @@ impl<'f> Campaign<'f> {
         journal: Option<&mut RunJournal>,
         cancel: Option<&AtomicBool>,
     ) -> Result<CampaignResult, FiError> {
+        if self.config.journal_fsync_interval == 0 {
+            return Err(FiError::InvalidFsyncInterval);
+        }
+        let obs = &self.obs;
+        let ins = Instruments::resolve(obs);
+        let _campaign_span = obs.span("campaign");
+        let campaign_started = Instant::now();
+
         spec.validate()?;
         let targets = self.resolve_targets(spec)?;
-        let goldens = self.golden_bundles(spec)?;
+        let goldens = {
+            let _golden_span = obs.span("golden");
+            self.golden_bundles(spec)?
+        };
         let golden_ticks: Vec<u64> = goldens.iter().map(|g| g.run.ticks).collect();
         spec.validate_instants(self.config.horizon_ms, &golden_ticks)?;
+        ins.golden_runs.add(goldens.len() as u64);
+        ins.golden_ticks.add(golden_ticks.iter().sum());
+        ins.snapshots
+            .add(goldens.iter().map(|g| g.snapshot_count() as u64).sum());
 
         let run_count = spec.run_count();
         let threads = if self.config.threads == 0 {
@@ -608,12 +737,34 @@ impl<'f> Campaign<'f> {
         // Runs already journaled by an earlier (interrupted) execution; the
         // journal header was verified against this campaign on open, so the
         // coordinate indices are directly comparable.
-        let done: HashMap<u64, RunRecord> = journal
+        let done: HashMap<u64, (RunRecord, RunStats)> = journal
             .as_ref()
             .map(|j| j.entries().clone())
             .unwrap_or_default();
         debug_assert!(done.keys().all(|&k| (k as usize) < run_count));
-        let journal = journal.map(Mutex::new);
+        // Recovered runs merge into the deterministic totals exactly as if
+        // they had been executed here — that is what makes a resumed
+        // campaign's `campaign.*` metrics equal an uninterrupted one's.
+        ins.runs_recovered.add(done.len() as u64);
+        for (record, stats) in done.values() {
+            ins.account(record, stats, golden_ticks[record.case]);
+        }
+        let journal = journal.map(|j| {
+            j.set_fsync_interval(self.config.journal_fsync_interval);
+            j.attach_obs(obs);
+            Mutex::new(j)
+        });
+
+        // Progress bookkeeping, only ever touched when telemetry is enabled.
+        let recovered = done.len() as u64;
+        let progress_done = AtomicU64::new(recovered);
+        let progress_quarantined = AtomicU64::new(
+            done.values()
+                .filter(|(r, _)| !r.outcome.is_completed())
+                .count() as u64,
+        );
+        let progress_forked = AtomicU64::new(0);
+        let progress_executed = AtomicU64::new(0);
 
         // Shared work queue over coordinate indices.
         let next = AtomicUsize::new(0);
@@ -649,53 +800,96 @@ impl<'f> Campaign<'f> {
             let seed = self.config.master_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
             // Sandbox the run: a panicking or hanging simulation is
             // quarantined as a classified outcome, not a dead campaign.
+            let run_started = obs.enabled().then(Instant::now);
             let sandboxed = catch_unwind(AssertUnwindSafe(|| {
                 self.run_one(spec, target, model, time_ms, &goldens[ci], seed)
             }));
-            let record = match sandboxed {
-                Ok(Ok((original, corrupted, divergences))) => RunRecord {
-                    module: target.module_name.clone(),
-                    input_signal: target.input_signal.clone(),
-                    model,
-                    time_ms,
-                    case: ci,
-                    original_value: original,
-                    corrupted_value: corrupted,
-                    first_divergence: divergences,
-                    outcome: RunOutcome::Completed,
-                },
+            if let Some(t0) = run_started {
+                ins.run_micros.observe(t0.elapsed().as_micros() as u64);
+            }
+            let (record, stats) = match sandboxed {
+                Ok(Ok((original, corrupted, divergences, stats))) => (
+                    RunRecord {
+                        module: target.module_name.clone(),
+                        input_signal: target.input_signal.clone(),
+                        model,
+                        time_ms,
+                        case: ci,
+                        original_value: original,
+                        corrupted_value: corrupted,
+                        first_divergence: divergences,
+                        outcome: RunOutcome::Completed,
+                    },
+                    stats,
+                ),
                 Ok(Err(e)) => {
                     set_fail(e);
                     break;
                 }
-                Err(payload) => RunRecord {
-                    module: target.module_name.clone(),
-                    input_signal: target.input_signal.clone(),
-                    model,
-                    time_ms,
-                    case: ci,
-                    original_value: 0,
-                    corrupted_value: 0,
-                    first_divergence: Vec::new(),
-                    outcome: classify_unwind(payload),
-                },
+                Err(payload) => (
+                    RunRecord {
+                        module: target.module_name.clone(),
+                        input_signal: target.input_signal.clone(),
+                        model,
+                        time_ms,
+                        case: ci,
+                        original_value: 0,
+                        corrupted_value: 0,
+                        first_divergence: Vec::new(),
+                        outcome: classify_unwind(payload),
+                    },
+                    // The window is lost to the unwind; whether the run
+                    // forked is still deterministic from the bundle.
+                    RunStats {
+                        sim_ticks: 0,
+                        forked: goldens[ci].snapshot_at(time_ms).is_some(),
+                        converged_ms: None,
+                    },
+                ),
             };
+            ins.account(&record, &stats, golden_ticks[ci]);
+            ins.runs_executed.inc();
             if let Some(j) = &journal {
                 let appended = j
                     .lock()
                     .map_err(|_| FiError::WorkerPanicked)
-                    .and_then(|mut g| g.append(k as u64, &record));
+                    .and_then(|mut g| g.append(k as u64, &record, &stats));
                 if let Err(e) = appended {
                     set_fail(e);
                     break;
                 }
             }
+            let quarantined_run = !record.outcome.is_completed();
             match executed.lock() {
                 Ok(mut recs) => recs.push((k as u64, record)),
                 Err(_) => {
                     set_fail(FiError::WorkerPanicked);
                     break;
                 }
+            }
+            if obs.enabled() {
+                let done_now = progress_done.fetch_add(1, Ordering::Relaxed) + 1;
+                let executed_now = progress_executed.fetch_add(1, Ordering::Relaxed) + 1;
+                let forked_now = if stats.forked {
+                    progress_forked.fetch_add(1, Ordering::Relaxed) + 1
+                } else {
+                    progress_forked.load(Ordering::Relaxed)
+                };
+                let quarantined_now = if quarantined_run {
+                    progress_quarantined.fetch_add(1, Ordering::Relaxed) + 1
+                } else {
+                    progress_quarantined.load(Ordering::Relaxed)
+                };
+                obs.progress(&Progress {
+                    done: done_now,
+                    total: run_count as u64,
+                    recovered,
+                    quarantined: quarantined_now,
+                    forked: forked_now,
+                    executed: executed_now,
+                    elapsed_micros: obs.now_micros(),
+                    finished: false,
+                });
             }
         };
 
@@ -719,21 +913,42 @@ impl<'f> Campaign<'f> {
         }
 
         let executed = executed.into_inner().map_err(|_| FiError::WorkerPanicked)?;
-        let mut merged: Vec<(u64, RunRecord)> = done.into_iter().collect();
+        let mut merged: Vec<(u64, RunRecord)> =
+            done.into_iter().map(|(k, (r, _))| (k, r)).collect();
         merged.extend(executed);
         merged.sort_by_key(|&(k, _)| k);
 
+        let emit_final_progress = || {
+            if obs.enabled() {
+                obs.progress(&Progress {
+                    done: progress_done.load(Ordering::Relaxed),
+                    total: run_count as u64,
+                    recovered,
+                    quarantined: progress_quarantined.load(Ordering::Relaxed),
+                    forked: progress_forked.load(Ordering::Relaxed),
+                    executed: progress_executed.load(Ordering::Relaxed),
+                    elapsed_micros: obs.now_micros(),
+                    finished: true,
+                });
+            }
+        };
+        obs.gauge("process.campaign_wall_ms")
+            .set(campaign_started.elapsed().as_millis() as u64);
+
         if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+            emit_final_progress();
             return Err(FiError::Interrupted {
                 completed: merged.len() as u64,
                 total: run_count as u64,
             });
         }
         debug_assert_eq!(merged.len(), run_count);
+        emit_final_progress();
 
         // Assemble the result purely from the merged record set, in
         // coordinate order — the same bytes whether the records were just
         // executed, recovered from a journal, or any mix of the two.
+        let _merge_span = obs.span("merge");
         let per_target = spec.injections_per_target();
         let mut outcomes = OutcomeTally::default();
         let mut completed_per_target = vec![0u64; targets.len()];
@@ -1452,5 +1667,206 @@ mod tests {
         let res = c.run(&spec()).unwrap();
         assert!(res.records.is_empty());
         assert_eq!(res.pairs.len(), 2);
+    }
+
+    #[test]
+    fn zero_fsync_interval_is_rejected() {
+        let f = factory();
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                journal_fsync_interval: 0,
+                ..Default::default()
+            },
+        );
+        assert_eq!(c.run(&spec()).unwrap_err(), FiError::InvalidFsyncInterval);
+    }
+
+    /// Arms a time bomb: an injected high bit does not stall the module at
+    /// the injection tick — it schedules an unbounded loop five ticks later.
+    /// Distinguishes "hung at the injection instant" from "hung where the
+    /// clock actually stopped".
+    struct DelayedStall {
+        stall_at: Option<u64>,
+    }
+    impl SoftwareModule for DelayedStall {
+        fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+            let v = ctx.read(0);
+            let now = ctx.now().as_millis();
+            if self.stall_at.is_none() && v >= 0x8000 {
+                self.stall_at = Some(now + 5);
+            }
+            if self.stall_at == Some(now) {
+                loop {
+                    ctx.work(1);
+                }
+            }
+            ctx.write(0, v.wrapping_add(1));
+        }
+        fn reset(&mut self) {
+            self.stall_at = None;
+        }
+        fn save_state(&self) -> Vec<u8> {
+            let mut w = permea_runtime::state::StateWriter::new();
+            w.put_bool(self.stall_at.is_some());
+            w.put_u64(self.stall_at.unwrap_or(0));
+            w.finish()
+        }
+        fn load_state(&mut self, state: &[u8]) {
+            let mut r = permea_runtime::state::StateReader::new(state);
+            let armed = r.bool();
+            let at = r.u64();
+            r.finish();
+            self.stall_at = armed.then_some(at);
+        }
+    }
+
+    fn delayed_stall_sim(_case: usize) -> Simulation {
+        let mut b = SimulationBuilder::new();
+        let sensor = b.define_signal("sensor");
+        let out = b.define_signal("out");
+        b.add_module(
+            "BOMB",
+            Box::new(DelayedStall { stall_at: None }),
+            Schedule::every_ms(),
+            &[sensor],
+            &[out],
+        );
+        let mut sim = b.build(Box::new(RampEnv { sensor, limit: 100 }));
+        sim.enable_tracing_all();
+        sim
+    }
+
+    #[test]
+    fn hung_outcome_records_the_watchdogs_last_observed_tick() {
+        let f = FnSystemFactory::new(1, 10_000, delayed_stall_sim as fn(usize) -> Simulation);
+        let s = CampaignSpec {
+            targets: vec![PortTarget::new("BOMB", "sensor")],
+            models: vec![ErrorModel::BitFlip { bit: 15 }],
+            times_ms: vec![10],
+            cases: 1,
+            scope: InjectionScope::Port,
+        };
+        for fast_forward in [true, false] {
+            let c = Campaign::new(
+                &f,
+                CampaignConfig {
+                    threads: 1,
+                    fast_forward,
+                    watchdog: Some(WatchdogConfig {
+                        max_work_per_tick: Some(4_096),
+                        max_wall_ms: None,
+                    }),
+                    max_quarantined_fraction: 1.0,
+                    ..Default::default()
+                },
+            );
+            let res = c.run(&s).unwrap();
+            assert_eq!(res.outcomes.hung, 1);
+            assert_eq!(
+                res.records[0].outcome,
+                RunOutcome::Hung { last_tick_ms: 15 },
+                "the clock stalled 5 ticks after the injection at 10 \
+                 (fast_forward = {fast_forward})"
+            );
+        }
+    }
+
+    #[test]
+    fn telemetry_counters_match_campaign_facts() {
+        let f = factory();
+        let obs = Obs::with_sinks(Vec::new());
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .with_obs(obs.clone());
+        let res = c.run(&spec()).unwrap();
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counter("campaign.runs_total"), Some(64));
+        assert_eq!(snap.counter("campaign.runs_completed"), Some(64));
+        assert_eq!(snap.counter("campaign.golden_runs"), Some(2));
+        assert_eq!(
+            snap.counter("campaign.golden_ticks"),
+            Some(res.golden_ticks.iter().sum::<u64>())
+        );
+        // Every injection instant has a fork snapshot, so every run forks.
+        assert_eq!(snap.counter("campaign.ff_forked"), Some(64));
+        assert!(snap.counter("campaign.snapshots").unwrap() > 0);
+        assert_eq!(snap.counter("process.runs_executed"), Some(64));
+        assert_eq!(snap.counter("process.runs_recovered"), Some(0));
+        assert_eq!(
+            snap.histograms.get("process.run_micros").map(|h| h.count),
+            Some(64)
+        );
+        assert!(snap.spans.contains_key("campaign"));
+        assert!(snap.spans.contains_key("golden"));
+    }
+
+    #[test]
+    fn resumed_campaign_merges_metrics_to_uninterrupted_totals() {
+        let f = factory();
+        let obs_full = Obs::with_sinks(Vec::new());
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .with_obs(obs_full.clone());
+        let baseline = c.run(&spec()).unwrap();
+        let full_snapshot = obs_full.snapshot().unwrap();
+        let full = full_snapshot.campaign_section();
+
+        // Journal a complete campaign, then chop it to 20 records as an
+        // interruption would have left it.
+        let path = journal_path("metrics-merge");
+        let _ = std::fs::remove_file(&path);
+        let header = c.journal_header(&spec());
+        let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+        Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .run_resumable(&spec(), Some(&mut j), None)
+        .unwrap();
+        drop(j);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        let mut kept = lines[..21].join("\n");
+        kept.push('\n');
+        std::fs::write(&path, kept).unwrap();
+
+        let obs_resumed = Obs::with_sinks(Vec::new());
+        let c2 = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .with_obs(obs_resumed.clone());
+        let (mut j, loaded) = RunJournal::open_or_create(&path, &header).unwrap();
+        assert_eq!(loaded.recovered, 20);
+        let resumed = c2.run_resumable(&spec(), Some(&mut j), None).unwrap();
+        assert_eq!(resumed, baseline);
+
+        let snap = obs_resumed.snapshot().unwrap();
+        assert_eq!(
+            snap.campaign_section(),
+            full,
+            "deterministic campaign.* totals must merge to the uninterrupted values"
+        );
+        // ... while the process-local view shows the split honestly.
+        assert_eq!(snap.counter("process.runs_executed"), Some(44));
+        assert_eq!(snap.counter("process.runs_recovered"), Some(20));
     }
 }

@@ -79,6 +79,9 @@ pub enum FiError {
         /// Total runs the spec expands to.
         total: u64,
     },
+    /// The configured journal fsync interval is zero: the journal would
+    /// never be made durable.
+    InvalidFsyncInterval,
     /// Reading or writing the run journal failed.
     Journal {
         /// Description of the underlying I/O or parse failure.
@@ -156,6 +159,11 @@ impl fmt::Display for FiError {
                 "campaign interrupted after {completed} of {total} runs; completed \
                  runs are preserved in the journal"
             ),
+            FiError::InvalidFsyncInterval => write!(
+                f,
+                "journal_fsync_interval must be greater than zero; an interval of 0 \
+                 would never fsync the journal"
+            ),
             FiError::Journal { message } => write!(f, "run journal failure: {message}"),
             FiError::JournalMismatch { field } => write!(
                 f,
@@ -227,6 +235,7 @@ mod tests {
         }
         .to_string()
         .contains("disk full"));
+        assert!(FiError::InvalidFsyncInterval.to_string().contains("fsync"));
         assert!(FiError::JournalMismatch {
             field: "master_seed"
         }

@@ -19,15 +19,22 @@
 //! * lines 2.. — one [`JournalEntry`] per finished run.
 //!
 //! Durability: every appended record is flushed to the OS immediately (so a
-//! process kill loses nothing), and `fsync`ed in batches of
-//! [`FSYNC_BATCH`] (bounding loss on power failure). A torn final line —
-//! the signature of `kill -9` mid-write — is detected on open, reported via
+//! process kill loses nothing), and `fsync`ed in configurable batches
+//! (default [`DEFAULT_FSYNC_INTERVAL`], see [`RunJournal::set_fsync_interval`])
+//! bounding loss on power failure. A torn final line — the signature of
+//! `kill -9` mid-write — is detected on open, reported via
 //! [`LoadedJournal::truncated_tail`], and truncated away before appending
 //! resumes so the file stays parseable.
+//!
+//! Each entry also carries the run's deterministic
+//! [`RunStats`] (ticks simulated, fast-forward shortcuts taken), which is
+//! what lets a resumed campaign's telemetry totals merge to exactly the
+//! uninterrupted values.
 
 use crate::error::FiError;
-use crate::results::RunRecord;
+use crate::results::{RunRecord, RunStats};
 use crate::spec::CampaignSpec;
+use permea_obs::{Counter, Histogram, Obs};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
@@ -35,11 +42,13 @@ use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Journal format version; bumped on any incompatible layout change.
-pub const JOURNAL_VERSION: u32 = 1;
+/// Version 2 added per-entry [`RunStats`].
+pub const JOURNAL_VERSION: u32 = 2;
 
-/// Records are `fsync`ed every this many appends (each append is still
-/// flushed to the OS immediately).
-pub const FSYNC_BATCH: usize = 64;
+/// Default fsync batching: records are `fsync`ed every this many appends
+/// (each append is still flushed to the OS immediately). Campaigns override
+/// it through [`crate::campaign::CampaignConfig::journal_fsync_interval`].
+pub const DEFAULT_FSYNC_INTERVAL: usize = 64;
 
 /// First line of a journal: identifies the campaign the records belong to.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -92,7 +101,8 @@ impl JournalHeader {
     }
 }
 
-/// One journaled run: the coordinate index and the finished record.
+/// One journaled run: the coordinate index, the finished record and the
+/// run's deterministic execution statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JournalEntry {
     /// Coordinate index in [`CampaignSpec::coordinates`] order; also the
@@ -100,6 +110,10 @@ pub struct JournalEntry {
     pub k: u64,
     /// The finished run record, including its outcome.
     pub record: RunRecord,
+    /// Deterministic per-run execution statistics, merged into campaign
+    /// telemetry on resume.
+    #[serde(default)]
+    pub stats: RunStats,
 }
 
 /// What [`RunJournal::open_or_create`] found on disk.
@@ -124,8 +138,12 @@ fn io_err(context: &str, e: std::io::Error) -> FiError {
 pub struct RunJournal {
     path: PathBuf,
     writer: BufWriter<File>,
-    entries: HashMap<u64, RunRecord>,
+    entries: HashMap<u64, (RunRecord, RunStats)>,
     unsynced: usize,
+    fsync_interval: usize,
+    appends: Counter,
+    fsyncs: Counter,
+    fsync_micros: Histogram,
 }
 
 impl RunJournal {
@@ -156,6 +174,10 @@ impl RunJournal {
             writer,
             entries: HashMap::new(),
             unsynced: 0,
+            fsync_interval: DEFAULT_FSYNC_INTERVAL,
+            appends: Counter::noop(),
+            fsyncs: Counter::noop(),
+            fsync_micros: Histogram::noop(),
         })
     }
 
@@ -218,7 +240,7 @@ impl RunJournal {
                 .and_then(|line| serde_json::from_str::<JournalEntry>(line).ok());
             match parsed {
                 Some(entry) => {
-                    entries.insert(entry.k, entry.record);
+                    entries.insert(entry.k, (entry.record, entry.stats));
                     valid_end = e + 1;
                 }
                 None => {
@@ -248,6 +270,10 @@ impl RunJournal {
                 writer: BufWriter::new(file),
                 entries,
                 unsynced: 0,
+                fsync_interval: DEFAULT_FSYNC_INTERVAL,
+                appends: Counter::noop(),
+                fsyncs: Counter::noop(),
+                fsync_micros: Histogram::noop(),
             },
             LoadedJournal {
                 recovered,
@@ -256,16 +282,41 @@ impl RunJournal {
         ))
     }
 
-    /// Appends one finished run. The line is flushed to the OS immediately
-    /// and `fsync`ed every [`FSYNC_BATCH`] appends.
+    /// Sets the fsync batching interval: the journal `fsync`s after every
+    /// `interval` appends. Campaigns configure this from
+    /// [`crate::campaign::CampaignConfig::journal_fsync_interval`] (already
+    /// validated > 0); values are clamped to at least 1 here as a backstop.
+    pub fn set_fsync_interval(&mut self, interval: usize) {
+        self.fsync_interval = interval.max(1);
+    }
+
+    /// The active fsync batching interval.
+    pub fn fsync_interval(&self) -> usize {
+        self.fsync_interval
+    }
+
+    /// Attaches telemetry: an append counter, an fsync counter and an
+    /// fsync-latency histogram (`process.journal_appends`,
+    /// `process.journal_fsyncs`, `process.journal_fsync_micros`). No-op
+    /// when `obs` is disabled.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.appends = obs.counter("process.journal_appends");
+        self.fsyncs = obs.counter("process.journal_fsyncs");
+        self.fsync_micros = obs.histogram("process.journal_fsync_micros");
+    }
+
+    /// Appends one finished run with its execution statistics. The line is
+    /// flushed to the OS immediately and `fsync`ed every
+    /// [`RunJournal::fsync_interval`] appends.
     ///
     /// # Errors
     ///
     /// Returns [`FiError::Journal`] on I/O failure.
-    pub fn append(&mut self, k: u64, record: &RunRecord) -> Result<(), FiError> {
+    pub fn append(&mut self, k: u64, record: &RunRecord, stats: &RunStats) -> Result<(), FiError> {
         let entry = JournalEntry {
             k,
             record: record.clone(),
+            stats: *stats,
         };
         let line = serde_json::to_string(&entry).map_err(|e| FiError::Journal {
             message: format!("serialising journal entry: {e}"),
@@ -275,9 +326,10 @@ impl RunJournal {
             .and_then(|()| self.writer.write_all(b"\n"))
             .and_then(|()| self.writer.flush())
             .map_err(|e| io_err("appending journal entry", e))?;
-        self.entries.insert(k, entry.record);
+        self.appends.inc();
+        self.entries.insert(k, (entry.record, entry.stats));
         self.unsynced += 1;
-        if self.unsynced >= FSYNC_BATCH {
+        if self.unsynced >= self.fsync_interval {
             self.sync()?;
         }
         Ok(())
@@ -289,6 +341,7 @@ impl RunJournal {
     ///
     /// Returns [`FiError::Journal`] on I/O failure.
     pub fn sync(&mut self) -> Result<(), FiError> {
+        let started = std::time::Instant::now();
         self.writer
             .flush()
             .map_err(|e| io_err("flushing journal", e))?;
@@ -296,13 +349,16 @@ impl RunJournal {
             .get_ref()
             .sync_data()
             .map_err(|e| io_err("syncing journal", e))?;
+        self.fsyncs.inc();
+        self.fsync_micros
+            .observe(started.elapsed().as_micros() as u64);
         self.unsynced = 0;
         Ok(())
     }
 
-    /// Records recovered from disk plus those appended this session, keyed
-    /// by coordinate index.
-    pub fn entries(&self) -> &HashMap<u64, RunRecord> {
+    /// Records and statistics recovered from disk plus those appended this
+    /// session, keyed by coordinate index.
+    pub fn entries(&self) -> &HashMap<u64, (RunRecord, RunStats)> {
         &self.entries
     }
 
@@ -348,6 +404,14 @@ mod tests {
         }
     }
 
+    fn stats(ticks: u64) -> RunStats {
+        RunStats {
+            sim_ticks: ticks,
+            forked: true,
+            converged_ms: Some(ticks + 50),
+        }
+    }
+
     fn tmp(name: &str) -> PathBuf {
         let dir =
             std::env::temp_dir().join(format!("permea-journal-{}-{name}", std::process::id()));
@@ -360,8 +424,8 @@ mod tests {
         let path = tmp("roundtrip");
         let _ = std::fs::remove_file(&path);
         let mut j = RunJournal::create(&path, &header()).unwrap();
-        j.append(0, &record(500)).unwrap();
-        j.append(7, &record(1_000)).unwrap();
+        j.append(0, &record(500), &stats(40)).unwrap();
+        j.append(7, &record(1_000), &RunStats::default()).unwrap();
         j.sync().unwrap();
         drop(j);
 
@@ -369,8 +433,8 @@ mod tests {
         assert_eq!(loaded.recovered, 2);
         assert!(!loaded.truncated_tail);
         assert_eq!(j.len(), 2);
-        assert_eq!(j.entries()[&0], record(500));
-        assert_eq!(j.entries()[&7], record(1_000));
+        assert_eq!(j.entries()[&0], (record(500), stats(40)));
+        assert_eq!(j.entries()[&7], (record(1_000), RunStats::default()));
     }
 
     #[test]
@@ -378,7 +442,7 @@ mod tests {
         let path = tmp("torn");
         let _ = std::fs::remove_file(&path);
         let mut j = RunJournal::create(&path, &header()).unwrap();
-        j.append(0, &record(500)).unwrap();
+        j.append(0, &record(500), &stats(40)).unwrap();
         j.sync().unwrap();
         drop(j);
 
@@ -392,14 +456,14 @@ mod tests {
         let (mut j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
         assert_eq!(loaded.recovered, 1);
         assert!(loaded.truncated_tail);
-        j.append(1, &record(1_500)).unwrap();
+        j.append(1, &record(1_500), &stats(99)).unwrap();
         j.sync().unwrap();
         drop(j);
 
         let (j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
         assert_eq!(loaded.recovered, 2);
         assert!(!loaded.truncated_tail);
-        assert_eq!(j.entries()[&1], record(1_500));
+        assert_eq!(j.entries()[&1], (record(1_500), stats(99)));
     }
 
     #[test]
@@ -456,14 +520,51 @@ mod tests {
             message: "attempt to add with overflow".into(),
         };
         panicked.first_divergence = vec![];
+        let quarantined = RunStats::default();
         let mut j = RunJournal::create(&path, &header()).unwrap();
-        j.append(3, &hung).unwrap();
-        j.append(4, &panicked).unwrap();
+        j.append(3, &hung, &quarantined).unwrap();
+        j.append(4, &panicked, &quarantined).unwrap();
         j.sync().unwrap();
         drop(j);
 
         let (j, _) = RunJournal::open_or_create(&path, &header()).unwrap();
-        assert_eq!(j.entries()[&3], hung);
-        assert_eq!(j.entries()[&4], panicked);
+        assert_eq!(j.entries()[&3], (hung, quarantined));
+        assert_eq!(j.entries()[&4], (panicked, quarantined));
+    }
+
+    #[test]
+    fn version_1_journal_is_rejected_on_resume() {
+        let path = tmp("version");
+        let _ = std::fs::remove_file(&path);
+        let mut old = header();
+        old.version = 1;
+        let line = serde_json::to_string(&old).unwrap();
+        std::fs::write(&path, format!("{line}\n")).unwrap();
+        assert_eq!(
+            RunJournal::open_or_create(&path, &header()).unwrap_err(),
+            FiError::JournalMismatch { field: "version" }
+        );
+    }
+
+    #[test]
+    fn fsync_interval_batches_syncs_and_records_latency() {
+        let path = tmp("fsync");
+        let _ = std::fs::remove_file(&path);
+        let obs = Obs::with_sinks(vec![]);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        assert_eq!(j.fsync_interval(), DEFAULT_FSYNC_INTERVAL);
+        j.set_fsync_interval(2);
+        j.attach_obs(&obs);
+        for k in 0..5 {
+            j.append(k, &record(500), &stats(10)).unwrap();
+        }
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.counter("process.journal_appends"), Some(5));
+        // 5 appends at interval 2 -> syncs after the 2nd and 4th append.
+        assert_eq!(snap.counter("process.journal_fsyncs"), Some(2));
+        assert_eq!(snap.histograms["process.journal_fsync_micros"].count, 2);
+        // The backstop clamp: interval 0 behaves as 1.
+        j.set_fsync_interval(0);
+        assert_eq!(j.fsync_interval(), 1);
     }
 }

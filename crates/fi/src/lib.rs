@@ -53,7 +53,7 @@ pub mod prelude {
     pub use crate::latency::{latency_summaries, render_latencies, LatencySummary};
     pub use crate::model::ErrorModel;
     pub use crate::outcome::{OutcomeTally, RunOutcome};
-    pub use crate::results::{CampaignResult, PairStat, RunRecord};
+    pub use crate::results::{CampaignResult, PairStat, RunRecord, RunStats};
     pub use crate::spec::{CampaignSpec, InjectionScope, PortTarget};
 }
 

@@ -36,6 +36,28 @@ impl PairStat {
     }
 }
 
+/// Deterministic execution statistics of one injection run — what the run
+/// cost and which fast-forward shortcuts it took.
+///
+/// Kept *outside* [`RunRecord`] deliberately: records are the scientific
+/// result (byte-identical across the fast-forward and replay-from-zero
+/// paths, and across resume boundaries), while these statistics describe
+/// *how* the configured executor got there. They are journaled next to
+/// each record so a resumed campaign can merge telemetry totals exactly;
+/// for a fixed configuration they are fully deterministic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Ticks actually simulated inside the injection window (0 for
+    /// quarantined runs — their window is lost to the unwind).
+    pub sim_ticks: u64,
+    /// `true` when the run forked from a golden snapshot at the injection
+    /// instant instead of replaying the prefix from tick zero.
+    pub forked: bool,
+    /// The tick at which the run reconverged with a golden checkpoint and
+    /// exited early, when it did.
+    pub converged_ms: Option<u64>,
+}
+
 /// Detailed record of one injection run (kept when
 /// [`crate::campaign::CampaignConfig::keep_records`] is set).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]

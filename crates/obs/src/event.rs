@@ -1,0 +1,150 @@
+//! Telemetry events dispatched to [`crate::Sink`]s.
+
+/// Severity of a [`Event::Message`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// Routine operator feedback.
+    Info,
+    /// Something surprising but survivable (e.g. quarantined runs).
+    Warn,
+    /// A failure the caller is about to act on.
+    Error,
+}
+
+impl Level {
+    /// Lower-case label used by the JSONL sink.
+    pub fn label(self) -> &'static str {
+        match self {
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+}
+
+/// A point-in-time view of campaign execution, emitted once per finished
+/// run (and once more, `finished`, when the campaign ends). Sinks decide
+/// how often to surface it.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Progress {
+    /// Runs accounted for so far (executed this process + recovered from
+    /// a journal).
+    pub done: u64,
+    /// Total runs the campaign expands to.
+    pub total: u64,
+    /// Runs recovered from a write-ahead journal instead of executed.
+    pub recovered: u64,
+    /// Runs quarantined so far (panicked or hung).
+    pub quarantined: u64,
+    /// Runs that forked from a golden snapshot (fast-forward hits).
+    pub forked: u64,
+    /// Runs executed by this process so far.
+    pub executed: u64,
+    /// Microseconds since campaign start.
+    pub elapsed_micros: u64,
+    /// `true` on the campaign's final progress event.
+    pub finished: bool,
+}
+
+impl Progress {
+    /// Runs per second achieved by this process (executed runs over
+    /// elapsed time; 0 before any time has passed).
+    pub fn runs_per_sec(&self) -> f64 {
+        if self.elapsed_micros == 0 {
+            0.0
+        } else {
+            self.executed as f64 / (self.elapsed_micros as f64 / 1e6)
+        }
+    }
+
+    /// Estimated seconds to completion at the current rate (`None` until
+    /// a rate exists or when already done).
+    pub fn eta_secs(&self) -> Option<f64> {
+        let rate = self.runs_per_sec();
+        if rate <= 0.0 || self.done >= self.total {
+            None
+        } else {
+            Some((self.total - self.done) as f64 / rate)
+        }
+    }
+
+    /// Fast-forward hit rate over executed runs (`None` before any run).
+    pub fn fork_rate(&self) -> Option<f64> {
+        if self.executed == 0 {
+            None
+        } else {
+            Some(self.forked as f64 / self.executed as f64)
+        }
+    }
+}
+
+/// One telemetry event. Borrowed so emission never allocates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event<'a> {
+    /// A phase span opened.
+    SpanBegin {
+        /// Span name (e.g. `"golden"`).
+        name: &'a str,
+    },
+    /// A phase span closed after `micros` microseconds.
+    SpanEnd {
+        /// Span name.
+        name: &'a str,
+        /// Measured duration, µs.
+        micros: u64,
+    },
+    /// A human-readable message (the replacement for ad-hoc `eprintln!`).
+    Message {
+        /// Severity.
+        level: Level,
+        /// Message text.
+        text: &'a str,
+    },
+    /// Campaign progress (see [`Progress`]).
+    Progress(&'a Progress),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn progress_rates() {
+        let p = Progress {
+            done: 50,
+            total: 100,
+            recovered: 10,
+            quarantined: 2,
+            forked: 30,
+            executed: 40,
+            elapsed_micros: 2_000_000,
+            finished: false,
+        };
+        assert_eq!(p.runs_per_sec(), 20.0);
+        assert_eq!(p.eta_secs(), Some(2.5));
+        assert_eq!(p.fork_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn progress_edge_cases() {
+        let p = Progress::default();
+        assert_eq!(p.runs_per_sec(), 0.0);
+        assert_eq!(p.eta_secs(), None);
+        assert_eq!(p.fork_rate(), None);
+        let done = Progress {
+            done: 5,
+            total: 5,
+            executed: 5,
+            elapsed_micros: 1,
+            ..Progress::default()
+        };
+        assert_eq!(done.eta_secs(), None);
+    }
+
+    #[test]
+    fn level_labels() {
+        assert_eq!(Level::Info.label(), "info");
+        assert_eq!(Level::Warn.label(), "warn");
+        assert_eq!(Level::Error.label(), "error");
+    }
+}

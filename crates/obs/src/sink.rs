@@ -1,0 +1,324 @@
+//! Event sinks: where telemetry events go.
+
+use crate::event::{Event, Level, Progress};
+use crate::metrics::json_escape;
+use std::fs::File;
+use std::io::{BufWriter, IsTerminal, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A consumer of telemetry [`Event`]s.
+///
+/// Implementations must tolerate concurrent calls from campaign worker
+/// threads; `now_micros` is the emitting handle's monotonic clock, so
+/// sinks never read wall-clock themselves.
+pub trait Sink: Send + Sync + std::fmt::Debug {
+    /// Handles one event.
+    fn event(&self, now_micros: u64, event: &Event<'_>);
+}
+
+/// Routes [`Event::Message`]s to stderr, one line each — preserving the
+/// executor's historical `eprintln!` output now that messages flow
+/// through the sink layer.
+#[derive(Debug, Default)]
+pub struct StderrSink;
+
+impl Sink for StderrSink {
+    fn event(&self, _now_micros: u64, event: &Event<'_>) {
+        if let Event::Message { level, text } = event {
+            match level {
+                Level::Info => eprintln!("{text}"),
+                Level::Warn => eprintln!("warning: {text}"),
+                Level::Error => eprintln!("error: {text}"),
+            }
+        }
+    }
+}
+
+/// Minimum spacing between logged progress events, µs. Progress fires
+/// once per finished run; at thousands of runs/s that would dominate the
+/// log for no information gain.
+const JSONL_PROGRESS_INTERVAL_MICROS: u64 = 50_000;
+
+/// Appends every event as one JSON object per line — the machine-readable
+/// event log (`--events PATH`). Progress events are throttled to one per
+/// 50 ms (the final `finished` one always lands).
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    last_progress_micros: AtomicU64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the event log at `path`.
+    pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+            last_progress_micros: AtomicU64::new(u64::MAX),
+        })
+    }
+
+    fn render(now_micros: u64, event: &Event<'_>) -> String {
+        match event {
+            Event::SpanBegin { name } => format!(
+                "{{\"t_us\": {now_micros}, \"type\": \"span_begin\", \"name\": \"{}\"}}",
+                json_escape(name)
+            ),
+            Event::SpanEnd { name, micros } => format!(
+                "{{\"t_us\": {now_micros}, \"type\": \"span_end\", \"name\": \"{}\", \"micros\": {micros}}}",
+                json_escape(name)
+            ),
+            Event::Message { level, text } => format!(
+                "{{\"t_us\": {now_micros}, \"type\": \"message\", \"level\": \"{}\", \"text\": \"{}\"}}",
+                level.label(),
+                json_escape(text)
+            ),
+            Event::Progress(p) => format!(
+                "{{\"t_us\": {now_micros}, \"type\": \"progress\", \"done\": {}, \"total\": {}, \"recovered\": {}, \"quarantined\": {}, \"forked\": {}, \"executed\": {}, \"elapsed_micros\": {}, \"finished\": {}}}",
+                p.done, p.total, p.recovered, p.quarantined, p.forked, p.executed,
+                p.elapsed_micros, p.finished
+            ),
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn event(&self, now_micros: u64, event: &Event<'_>) {
+        if let Event::Progress(p) = event {
+            if !p.finished
+                && !claim_slot(
+                    &self.last_progress_micros,
+                    now_micros,
+                    JSONL_PROGRESS_INTERVAL_MICROS,
+                )
+            {
+                return;
+            }
+        }
+        let line = Self::render(now_micros, event);
+        let mut writer = self.writer.lock().expect("jsonl sink lock");
+        let _ = writeln!(writer, "{line}");
+        if matches!(event, Event::Progress(Progress { finished: true, .. })) {
+            let _ = writer.flush();
+        }
+    }
+}
+
+/// Atomically claims an emission slot: returns `true` (and advances the
+/// stamp) when at least `interval` µs passed since the last claim, or on
+/// the very first call.
+fn claim_slot(last: &AtomicU64, now: u64, interval: u64) -> bool {
+    let prev = last.load(Ordering::Relaxed);
+    if prev != u64::MAX && now.saturating_sub(prev) < interval {
+        return false;
+    }
+    last.compare_exchange(prev, now, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+}
+
+/// Minimum spacing between displayed progress lines, µs.
+const PROGRESS_DISPLAY_INTERVAL_MICROS: u64 = 200_000;
+
+/// Renders a throttled human progress line to stderr:
+///
+/// ```text
+/// runs 128/512 (25.0%) | 431.0 runs/s | eta 1s | quarantined 2 | ff 96.9% | resumed 64
+/// ```
+///
+/// On a terminal the line rewrites in place (`\r`); piped output gets one
+/// plain line per update. At most one line per 200 ms, plus a final
+/// newline-terminated line when the campaign finishes.
+#[derive(Debug)]
+pub struct ProgressSink {
+    last_display_micros: AtomicU64,
+    wrote_carriage: AtomicBool,
+    is_tty: bool,
+}
+
+impl Default for ProgressSink {
+    fn default() -> Self {
+        ProgressSink {
+            last_display_micros: AtomicU64::new(u64::MAX),
+            wrote_carriage: AtomicBool::new(false),
+            is_tty: std::io::stderr().is_terminal(),
+        }
+    }
+}
+
+impl ProgressSink {
+    /// A progress sink writing to stderr.
+    pub fn new() -> ProgressSink {
+        ProgressSink::default()
+    }
+
+    fn render(p: &Progress) -> String {
+        let pct = if p.total == 0 {
+            100.0
+        } else {
+            100.0 * p.done as f64 / p.total as f64
+        };
+        let mut line = format!(
+            "runs {}/{} ({pct:.1}%) | {:.1} runs/s",
+            p.done,
+            p.total,
+            p.runs_per_sec()
+        );
+        match p.eta_secs() {
+            Some(eta) => line.push_str(&format!(" | eta {}s", eta.ceil() as u64)),
+            None if !p.finished => line.push_str(" | eta ?"),
+            None => {}
+        }
+        line.push_str(&format!(" | quarantined {}", p.quarantined));
+        if let Some(rate) = p.fork_rate() {
+            line.push_str(&format!(" | ff {:.1}%", 100.0 * rate));
+        }
+        if p.recovered > 0 {
+            line.push_str(&format!(" | resumed {}", p.recovered));
+        }
+        line
+    }
+}
+
+impl Sink for ProgressSink {
+    fn event(&self, now_micros: u64, event: &Event<'_>) {
+        let Event::Progress(p) = event else { return };
+        if !p.finished
+            && !claim_slot(
+                &self.last_display_micros,
+                now_micros,
+                PROGRESS_DISPLAY_INTERVAL_MICROS,
+            )
+        {
+            return;
+        }
+        let line = Self::render(p);
+        let mut err = std::io::stderr().lock();
+        if self.is_tty {
+            // Rewrite in place; pad so a shrinking line leaves no residue.
+            let _ = write!(err, "\r{line:<100}");
+            self.wrote_carriage.store(true, Ordering::Relaxed);
+            if p.finished {
+                let _ = writeln!(err);
+                self.wrote_carriage.store(false, Ordering::Relaxed);
+            }
+            let _ = err.flush();
+        } else {
+            let _ = writeln!(err, "{line}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_slot_throttles() {
+        let last = AtomicU64::new(u64::MAX);
+        assert!(claim_slot(&last, 1_000, 50_000), "first claim always wins");
+        assert!(!claim_slot(&last, 10_000, 50_000));
+        assert!(claim_slot(&last, 51_001, 50_000));
+        assert!(!claim_slot(&last, 52_000, 50_000));
+    }
+
+    #[test]
+    fn progress_line_contents() {
+        let p = Progress {
+            done: 128,
+            total: 512,
+            recovered: 64,
+            quarantined: 2,
+            forked: 62,
+            executed: 64,
+            elapsed_micros: 1_000_000,
+            finished: false,
+        };
+        let line = ProgressSink::render(&p);
+        assert!(line.contains("runs 128/512 (25.0%)"));
+        assert!(line.contains("64.0 runs/s"));
+        assert!(line.contains("eta 6s"));
+        assert!(line.contains("quarantined 2"));
+        assert!(line.contains("ff 96.9%"));
+        assert!(line.contains("resumed 64"));
+    }
+
+    #[test]
+    fn progress_line_before_any_run() {
+        let line = ProgressSink::render(&Progress {
+            total: 10,
+            ..Progress::default()
+        });
+        assert!(line.contains("runs 0/10 (0.0%)"));
+        assert!(line.contains("eta ?"));
+        assert!(
+            !line.contains("ff "),
+            "no fork rate before any executed run"
+        );
+    }
+
+    #[test]
+    fn jsonl_lines_are_valid_shape() {
+        let dir = std::env::temp_dir().join(format!("permea-obs-jsonl-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            sink.event(10, &Event::SpanBegin { name: "golden" });
+            sink.event(
+                20,
+                &Event::Message {
+                    level: Level::Warn,
+                    text: "q \"x\"",
+                },
+            );
+            let p = Progress {
+                done: 1,
+                total: 2,
+                finished: true,
+                ..Progress::default()
+            };
+            sink.event(30, &Event::Progress(&p));
+            sink.event(
+                40,
+                &Event::SpanEnd {
+                    name: "golden",
+                    micros: 30,
+                },
+            );
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"type\": \"span_begin\""));
+        assert!(lines[1].contains("\\\"x\\\""));
+        assert!(lines[2].contains("\"finished\": true"));
+        assert!(lines[3].contains("\"micros\": 30"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_throttles_unfinished_progress() {
+        let dir = std::env::temp_dir().join(format!("permea-obs-thr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        {
+            let sink = JsonlSink::create(&path).unwrap();
+            let p = Progress {
+                total: 100,
+                ..Progress::default()
+            };
+            sink.event(0, &Event::Progress(&p)); // first: logged
+            sink.event(10_000, &Event::Progress(&p)); // 10ms later: dropped
+            sink.event(60_000, &Event::Progress(&p)); // 60ms later: logged
+            let done = Progress {
+                finished: true,
+                ..p
+            };
+            sink.event(61_000, &Event::Progress(&done)); // finished: always logged
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,60 @@
+//! RAII phase-span guards.
+
+use crate::event::Event;
+use crate::Obs;
+use std::time::Instant;
+
+/// A running (or inert) phase span. Created by [`Obs::span`]; emits
+/// [`Event::SpanEnd`] with the measured duration on drop. Spans nest
+/// naturally — inner guards drop first — and the guard is `#[must_use]`
+/// because an immediately-dropped span measures nothing.
+#[derive(Debug)]
+#[must_use = "a span measures the scope it lives in; bind it with `let _span = ...`"]
+pub struct Span {
+    state: Option<(Obs, &'static str, Instant)>,
+}
+
+impl Span {
+    /// A span that records nothing (from a disabled [`Obs`]).
+    pub(crate) fn inert() -> Span {
+        Span { state: None }
+    }
+
+    /// A live span started now.
+    pub(crate) fn running(obs: Obs, name: &'static str) -> Span {
+        Span {
+            state: Some((obs, name, Instant::now())),
+        }
+    }
+
+    /// Closes the span early (equivalent to dropping it).
+    pub fn end(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((obs, name, started)) = self.state.take() {
+            let micros = started.elapsed().as_micros() as u64;
+            obs.emit(&Event::SpanEnd { name, micros });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inert_span_is_silent() {
+        let s = Span::inert();
+        s.end(); // must not panic or emit
+    }
+
+    #[test]
+    fn early_end_records_once() {
+        let obs = Obs::with_sinks(vec![]);
+        obs.span("merge").end();
+        let snap = obs.snapshot().unwrap();
+        assert_eq!(snap.spans["merge"].count, 1);
+    }
+}

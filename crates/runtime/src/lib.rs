@@ -45,7 +45,9 @@ pub mod prelude {
     pub use crate::module::{ModuleCtx, SoftwareModule};
     pub use crate::scheduler::{Schedule, SlotPlan};
     pub use crate::signals::{SignalBus, SignalRef};
-    pub use crate::sim::{Environment, ModuleIdx, SimSnapshot, Simulation, SimulationBuilder};
+    pub use crate::sim::{
+        Environment, ModuleIdx, SimInstruments, SimSnapshot, Simulation, SimulationBuilder,
+    };
     pub use crate::state::{StateReader, StateWriter};
     pub use crate::time::SimTime;
     pub use crate::tracing::{SignalTrace, TraceSet};

@@ -20,6 +20,22 @@ use crate::signals::{SignalBus, SignalRef};
 use crate::time::SimTime;
 use crate::tracing::TraceSet;
 use crate::watchdog::{Watchdog, WatchdogConfig};
+use permea_obs::Counter;
+
+/// Telemetry counters a simulation bumps as it executes. All counters
+/// default to no-ops, so an uninstrumented simulation pays one branch per
+/// tick; callers choose the metric names by resolving counters themselves
+/// (golden runs and injected runs account ticks differently).
+#[derive(Debug, Clone, Default)]
+pub struct SimInstruments {
+    /// Bumped once per completed tick.
+    pub ticks: Counter,
+    /// Bumped once per module step (scheduled module executions).
+    pub module_steps: Counter,
+    /// Bumped once per watchdog trip (wired into watchdogs armed after
+    /// [`Simulation::set_instruments`]).
+    pub watchdog_trips: Counter,
+}
 
 /// The world outside the software: sensors, actuators and physics.
 pub trait Environment: Send {
@@ -173,6 +189,7 @@ impl SimulationBuilder {
             traces: None,
             phase: Phase::BeforeBegin,
             watchdog: None,
+            instruments: SimInstruments::default(),
         }
     }
 }
@@ -218,6 +235,7 @@ pub struct Simulation {
     traces: Option<TraceSet>,
     phase: Phase,
     watchdog: Option<Watchdog>,
+    instruments: SimInstruments,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -274,7 +292,16 @@ impl Simulation {
     /// typed [`crate::watchdog::StalledClock`] payload, which fault-injection
     /// campaigns catch and classify as a *hung* run.
     pub fn arm_watchdog(&mut self, config: WatchdogConfig) {
-        self.watchdog = Some(Watchdog::new(config));
+        let mut watchdog = Watchdog::new(config);
+        watchdog.set_trip_counter(self.instruments.watchdog_trips.clone());
+        self.watchdog = Some(watchdog);
+    }
+
+    /// Attaches telemetry counters bumped by subsequent ticks (and wired
+    /// into subsequently armed watchdogs). The default instruments are
+    /// no-ops; see [`SimInstruments`].
+    pub fn set_instruments(&mut self, instruments: SimInstruments) {
+        self.instruments = instruments;
     }
 
     /// Disarms the watchdog armed by [`Simulation::arm_watchdog`].
@@ -315,6 +342,8 @@ impl Simulation {
         }
         let schedules: Vec<Schedule> = self.modules.iter().map(|m| m.schedule).collect();
         let plan = SlotPlan::for_tick(self.now, &schedules);
+        self.instruments.ticks.inc();
+        self.instruments.module_steps.add(plan.order().len() as u64);
         for &idx in plan.order() {
             let entry = &mut self.modules[idx];
             let mut ctx = ModuleCtx::detached(
@@ -606,6 +635,61 @@ mod tests {
         sim.step(); // t=2: CNT -> 3, CPY copies 3
         assert_eq!(sim.bus().read(copied), 3);
         assert_eq!(sim.now().as_millis(), 3);
+    }
+
+    #[test]
+    fn instruments_count_ticks_and_module_steps() {
+        let registry = permea_obs::Registry::default();
+        let (mut sim, _, _) = counter_sim();
+        sim.set_instruments(SimInstruments {
+            ticks: registry.counter("campaign.golden_ticks"),
+            module_steps: registry.counter("process.module_steps"),
+            watchdog_trips: registry.counter("process.watchdog_trips"),
+        });
+        sim.run_until(SimTime::from_millis(4));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("campaign.golden_ticks"), Some(4));
+        // CNT runs every tick, CPY every other tick (t=0 and t=2).
+        assert_eq!(snap.counter("process.module_steps"), Some(6));
+        assert_eq!(snap.counter("process.watchdog_trips"), Some(0));
+    }
+
+    #[test]
+    fn armed_watchdog_inherits_trip_counter() {
+        struct Spinner;
+        impl SoftwareModule for Spinner {
+            fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+                loop {
+                    ctx.work(1);
+                }
+            }
+        }
+        let registry = permea_obs::Registry::default();
+        let mut b = SimulationBuilder::new();
+        let a = b.define_signal("a");
+        let out = b.define_signal("out");
+        b.add_module(
+            "SPIN",
+            Box::new(Spinner),
+            Schedule::every_ms(),
+            &[a],
+            &[out],
+        );
+        let mut sim = b.build(Box::new(NullEnv));
+        sim.set_instruments(SimInstruments {
+            watchdog_trips: registry.counter("process.watchdog_trips"),
+            ..SimInstruments::default()
+        });
+        sim.arm_watchdog(WatchdogConfig {
+            max_work_per_tick: Some(64),
+            max_wall_ms: None,
+        });
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| sim.step()));
+        assert!(err.is_err());
+        assert_eq!(
+            registry.snapshot().counter("process.watchdog_trips"),
+            Some(1)
+        );
     }
 
     #[test]

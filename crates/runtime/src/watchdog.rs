@@ -29,6 +29,7 @@
 //! loops *inside* one `step`, which is exactly what `work` is for.
 
 use crate::time::SimTime;
+use permea_obs::Counter;
 use std::cell::Cell;
 use std::time::Instant;
 
@@ -75,6 +76,7 @@ pub struct Watchdog {
     started: Instant,
     work_left: Cell<u64>,
     last_tick_ms: Cell<u64>,
+    trips: Counter,
 }
 
 impl Watchdog {
@@ -85,6 +87,7 @@ impl Watchdog {
             started: Instant::now(),
             work_left: Cell::new(config.max_work_per_tick.unwrap_or(u64::MAX)),
             last_tick_ms: Cell::new(0),
+            trips: Counter::noop(),
         }
     }
 
@@ -93,7 +96,14 @@ impl Watchdog {
         &self.config
     }
 
+    /// Attaches a telemetry counter bumped once per trip (a no-op counter
+    /// by default) — campaigns use it to count watchdog fires across runs.
+    pub fn set_trip_counter(&mut self, trips: Counter) {
+        self.trips = trips;
+    }
+
     fn trip(&self) -> ! {
+        self.trips.inc();
         std::panic::panic_any(StalledClock {
             last_tick_ms: self.last_tick_ms.get(),
         })
@@ -183,6 +193,22 @@ mod tests {
         for _ in 0..1_000_000 {
             w.work(1);
         }
+    }
+
+    #[test]
+    fn trip_counter_counts_fires() {
+        let registry = permea_obs::Registry::default();
+        let mut w = Watchdog::new(WatchdogConfig {
+            max_work_per_tick: Some(1),
+            max_wall_ms: None,
+        });
+        w.set_trip_counter(registry.counter("process.watchdog_trips"));
+        w.begin_tick(SimTime::ZERO);
+        let _ = catch_unwind(AssertUnwindSafe(|| w.work(5)));
+        assert_eq!(
+            registry.snapshot().counter("process.watchdog_trips"),
+            Some(1)
+        );
     }
 
     #[test]

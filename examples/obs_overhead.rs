@@ -1,0 +1,47 @@
+//! Measures telemetry overhead on the quick study: the identical campaign
+//! with the disabled `Obs` handle (every instrument a branch-and-skip
+//! no-op), with live instruments aggregating into the in-memory registry,
+//! and with the JSONL event log attached. Results must be identical; only
+//! wall-clock may differ. The numbers land in EXPERIMENTS.md.
+//!
+//! ```sh
+//! cargo run --release --example obs_overhead
+//! ```
+
+use permea_analysis::study::{Study, StudyConfig};
+use permea_obs::{JsonlSink, Obs, Sink};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let mut config = StudyConfig::quick();
+    config.threads = 1;
+    let events_path =
+        std::env::temp_dir().join(format!("permea-obs-overhead-{}.jsonl", std::process::id()));
+
+    let mut baseline = None;
+    for label in ["disabled", "registry", "jsonl events"] {
+        let obs = match label {
+            "disabled" => Obs::disabled(),
+            "registry" => Obs::with_sinks(Vec::new()),
+            _ => {
+                let sink: Arc<dyn Sink> =
+                    Arc::new(JsonlSink::create(&events_path).expect("temp event log"));
+                Obs::with_sinks(vec![sink])
+            }
+        };
+        let study = Study::new(config.clone()).with_obs(obs);
+        let started = Instant::now();
+        let out = study.run().expect("quick study runs");
+        let secs = started.elapsed().as_secs_f64();
+        let overhead = baseline
+            .map(|b: f64| format!("{:+.1}% vs disabled", (secs / b - 1.0) * 100.0))
+            .unwrap_or_else(|| "baseline".to_owned());
+        baseline.get_or_insert(secs);
+        println!(
+            "{label:<13} {secs:>6.1}s  ({} runs)  {overhead}",
+            out.result.total_runs
+        );
+    }
+    let _ = std::fs::remove_file(&events_path);
+}

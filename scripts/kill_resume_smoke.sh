@@ -4,7 +4,10 @@
 # Starts `study --quick` with a journal, SIGKILLs it mid-campaign, resumes
 # from the journal, and checks the final artifacts are byte-identical to an
 # uninterrupted run. Exercises the whole durability path: write-ahead
-# journal, torn-tail recovery, and coordinate-keyed resume.
+# journal, torn-tail recovery, and coordinate-keyed resume — plus the
+# telemetry merge: the resumed run's deterministic `campaign` metrics must
+# equal the uninterrupted run's, and its run total must equal the journal's
+# record count.
 #
 # Usage: scripts/kill_resume_smoke.sh [path-to-study-binary]
 
@@ -47,17 +50,44 @@ JOURNALED=$(($(wc -l <"$INTERRUPTED/journal.jsonl") - 1))
 echo "killed with $JOURNALED run(s) journaled"
 
 echo "== resume from the journal =="
-"$STUDY" --quick --resume "$INTERRUPTED" --threads 1 >"$WORK/resume.log" 2>&1
+"$STUDY" --quick --resume "$INTERRUPTED" --threads 1 \
+    --metrics-out "$INTERRUPTED/metrics.json" >"$WORK/resume.log" 2>&1
 
 echo "== uninterrupted reference run =="
-"$STUDY" --quick --journal --out "$CLEAN" --threads 1 >"$WORK/clean.log" 2>&1
+"$STUDY" --quick --journal --out "$CLEAN" --threads 1 \
+    --metrics-out "$CLEAN/metrics.json" >"$WORK/clean.log" 2>&1
 
 echo "== compare artifacts =="
 # journal.jsonl legitimately differs (record order reflects execution
-# order); every derived artifact must match byte for byte.
-if ! diff -r --exclude=journal.jsonl "$INTERRUPTED" "$CLEAN"; then
+# order), and metrics.json / telemetry.txt carry process-local wall-clock
+# figures; every derived artifact must match byte for byte.
+if ! diff -r --exclude=journal.jsonl --exclude=metrics.json \
+        --exclude=telemetry.txt "$INTERRUPTED" "$CLEAN"; then
     echo "FAIL: resumed artifacts differ from the uninterrupted run" >&2
     exit 1
 fi
 cmp "$INTERRUPTED/result.json" "$CLEAN/result.json"
-echo "PASS: resumed run is byte-identical ($JOURNALED runs recovered)"
+
+echo "== compare deterministic campaign metrics =="
+# The `campaign` section of metrics.json is deterministic: the resumed
+# run merges journaled run statistics, so its totals must equal the
+# uninterrupted run's exactly (only the `process` section may differ).
+extract_campaign() {
+    sed -n '/^  "campaign": {$/,/^  },$/p' "$1"
+}
+if ! diff <(extract_campaign "$INTERRUPTED/metrics.json") \
+          <(extract_campaign "$CLEAN/metrics.json"); then
+    echo "FAIL: resumed campaign metrics differ from the uninterrupted run" >&2
+    exit 1
+fi
+
+# The merged run total must equal the journal's record count (all lines
+# after the header).
+RUNS_TOTAL=$(grep -m1 '"runs_total"' "$INTERRUPTED/metrics.json" | tr -dc '0-9')
+RECORDS=$(($(wc -l <"$INTERRUPTED/journal.jsonl") - 1))
+if [[ "$RUNS_TOTAL" != "$RECORDS" ]]; then
+    echo "FAIL: metrics runs_total ($RUNS_TOTAL) != journal records ($RECORDS)" >&2
+    exit 1
+fi
+echo "PASS: resumed run is byte-identical ($JOURNALED runs recovered," \
+     "$RUNS_TOTAL runs in merged metrics)"
