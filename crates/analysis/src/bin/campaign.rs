@@ -13,13 +13,22 @@
 //!   --progress         live progress line (runs/s, quarantine, ETA)
 //!   --metrics-out FILE write campaign metrics as JSON
 //!   --events FILE      append every telemetry event as JSONL
+//!   --isolation MODE   process | in-process (default): where runs execute
+//!   --workers N        worker processes / supervisor threads (0 = cores)
+//!   --run-timeout MS   hard per-run wall-clock deadline (process mode)
+//!   --max-retries N    retries for runs that kill their worker (default 2)
 //! ```
+//!
+//! Exit codes: 0 success, 1 failure, 2 usage error, 3 quarantine threshold
+//! exceeded (systematic target breakage).
 
 use permea_analysis::factory::ArrestmentFactory;
 use permea_arrestment::testcase::TestCase;
-use permea_fi::campaign::{Campaign, CampaignConfig};
+use permea_fi::campaign::{Campaign, CampaignConfig, SystemFactory};
+use permea_fi::error::FiError;
 use permea_fi::latency::{latency_summaries, render_latencies};
 use permea_fi::model::ErrorModel;
+use permea_fi::process::{run_worker, IsolationMode, ProcessIsolation, WorkerCommand};
 use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
 use permea_obs::{JsonlSink, Obs, ProgressSink, Sink, StderrSink};
 use std::process::ExitCode;
@@ -47,12 +56,25 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign --example-spec | campaign --spec FILE \
          [--grid MxV] [--horizon MS] [--seed S] [--out FILE] \
-         [--progress] [--metrics-out FILE] [--events FILE]"
+         [--progress] [--metrics-out FILE] [--events FILE] \
+         [--isolation process|in-process] [--workers N] [--run-timeout MS] \
+         [--max-retries N]\n\
+         exit codes: 0 success, 1 failure, 2 usage, \
+         3 quarantine threshold exceeded"
     );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
+    // Worker mode: this process is a pool member re-exec'd by a supervising
+    // `campaign --isolation process`; it speaks framed IPC on stdin/stdout.
+    if std::env::args().nth(1).as_deref() == Some("--worker") {
+        let code = run_worker(|payload| {
+            ArrestmentFactory::from_payload(payload).map(|f| Box::new(f) as Box<dyn SystemFactory>)
+        });
+        std::process::exit(i32::from(code));
+    }
+
     let mut spec_path = None;
     let mut out_path = None;
     let mut metrics_out = None;
@@ -61,6 +83,10 @@ fn main() -> ExitCode {
     let mut grid = (3usize, 3usize);
     let mut horizon = 9_000u64;
     let mut seed = 0x5EEDu64;
+    let mut process_isolation = false;
+    let mut workers = 0usize;
+    let mut run_timeout_ms: Option<u64> = None;
+    let mut max_retries: Option<u32> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -89,6 +115,23 @@ fn main() -> ExitCode {
             },
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(s) => seed = s,
+                None => usage(),
+            },
+            "--isolation" => match args.next().as_deref() {
+                Some("process") => process_isolation = true,
+                Some("in-process") => process_isolation = false,
+                _ => usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => workers = n,
+                None => usage(),
+            },
+            "--run-timeout" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => run_timeout_ms = Some(ms),
+                None => usage(),
+            },
+            "--max-retries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_retries = Some(n),
                 None => usage(),
             },
             _ => usage(),
@@ -128,22 +171,42 @@ fn main() -> ExitCode {
     let cases = TestCase::grid(grid.0, grid.1);
     spec.cases = cases.len();
     let factory = ArrestmentFactory::with_cases(cases);
-    let campaign = Campaign::new(
-        &factory,
-        CampaignConfig {
-            threads: 0,
-            master_seed: seed,
-            keep_records: true,
-            horizon_ms: Some(horizon),
-            fast_forward: true,
-            ..CampaignConfig::default()
-        },
-    )
-    .with_obs(obs.clone());
+    let mut campaign_config = CampaignConfig {
+        threads: 0,
+        master_seed: seed,
+        keep_records: true,
+        horizon_ms: Some(horizon),
+        fast_forward: true,
+        ..CampaignConfig::default()
+    };
+    if let Some(n) = max_retries {
+        campaign_config.max_retries = n;
+    }
+    if process_isolation {
+        let command = match WorkerCommand::current_exe(vec!["--worker".to_owned()]) {
+            Ok(c) => c,
+            Err(e) => {
+                obs.error(format!("cannot set up worker processes: {e}"));
+                return ExitCode::FAILURE;
+            }
+        };
+        let payload = ArrestmentFactory::grid_payload(grid.0, grid.1);
+        let mut pool = ProcessIsolation::new(command, payload);
+        pool.workers = workers;
+        if let Some(ms) = run_timeout_ms {
+            pool.run_timeout_ms = ms;
+        }
+        campaign_config.isolation = IsolationMode::Process(pool);
+    }
+    let campaign = Campaign::new(&factory, campaign_config).with_obs(obs.clone());
     obs.info(format!("running {} injection runs...", spec.run_count()));
     let started = std::time::Instant::now();
     let result = match campaign.run(&spec) {
         Ok(r) => r,
+        Err(e @ FiError::QuarantineThresholdExceeded { .. }) => {
+            obs.error(format!("campaign aborted: {e}"));
+            return ExitCode::from(3);
+        }
         Err(e) => {
             obs.error(format!("campaign failed: {e}"));
             return ExitCode::FAILURE;
@@ -152,10 +215,11 @@ fn main() -> ExitCode {
     obs.info(format!("done in {:.1}s", started.elapsed().as_secs_f64()));
     if result.outcomes.quarantined() > 0 {
         obs.warn(format!(
-            "{} run(s) quarantined ({} panicked, {} hung)",
+            "{} run(s) quarantined ({} panicked, {} hung, {} crashed)",
             result.outcomes.quarantined(),
             result.outcomes.panicked,
-            result.outcomes.hung
+            result.outcomes.hung,
+            result.outcomes.crashed
         ));
     }
 

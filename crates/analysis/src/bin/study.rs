@@ -5,7 +5,8 @@
 //! study [--quick | --full] [--out DIR] [--threads N] [--seed S]
 //!       [--replay] [--compare-paths] [--journal] [--resume DIR]
 //!       [--progress] [--metrics-out PATH] [--events PATH]
-//!       [--fsync-interval N]
+//!       [--fsync-interval N] [--isolation process|in-process]
+//!       [--workers N] [--run-timeout MS] [--max-retries N]
 //! ```
 //!
 //! `--quick` (default) runs the reduced configuration (seconds);
@@ -34,11 +35,26 @@
 //! spec, seed and horizon, so resuming with a different configuration is
 //! rejected instead of silently mixing campaigns (thread count and
 //! `--replay` may differ freely — they do not affect results).
+//!
+//! `--isolation process` executes injection runs in a supervised pool of
+//! worker processes (re-execs of this binary in `--worker` mode) instead of
+//! in-process sandboxes: runs that `abort()` or deadlock without polling the
+//! cooperative watchdog only kill their worker, are classified
+//! (crashed/hung), retried up to `--max-retries` times and then
+//! quarantined. `--workers N` sizes the pool (0 = all cores, and doubles as
+//! the supervisor thread count), `--run-timeout MS` sets the hard per-run
+//! wall-clock deadline. Results are byte-identical to in-process execution.
+//!
+//! Exit codes: 0 success, 1 failure, 2 usage error, 3 quarantine threshold
+//! exceeded (systematic target breakage), 130 interrupted (resumable).
 
+use permea_analysis::factory::ArrestmentFactory;
 use permea_analysis::report::Report;
 use permea_analysis::study::{Study, StudyConfig};
+use permea_fi::campaign::SystemFactory;
 use permea_fi::error::FiError;
 use permea_fi::journal::RunJournal;
+use permea_fi::process::{run_worker, IsolationMode, ProcessIsolation, WorkerCommand};
 use permea_obs::{JsonlSink, Obs, ProgressSink, Sink, StderrSink};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -85,12 +101,26 @@ fn usage() -> ! {
     eprintln!(
         "usage: study [--quick | --full] [--out DIR] [--threads N] [--seed S] \
          [--replay] [--compare-paths] [--journal] [--resume DIR] \
-         [--progress] [--metrics-out PATH] [--events PATH] [--fsync-interval N]"
+         [--progress] [--metrics-out PATH] [--events PATH] [--fsync-interval N] \
+         [--isolation process|in-process] [--workers N] [--run-timeout MS] \
+         [--max-retries N]\n\
+         exit codes: 0 success, 1 failure, 2 usage, \
+         3 quarantine threshold exceeded, 130 interrupted"
     );
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
+    // Worker mode: this process is a pool member re-exec'd by a supervising
+    // `study --isolation process`. It speaks the framed IPC protocol on
+    // stdin/stdout and never parses the normal CLI.
+    if std::env::args().nth(1).as_deref() == Some("--worker") {
+        let code = run_worker(|payload| {
+            ArrestmentFactory::from_payload(payload).map(|f| Box::new(f) as Box<dyn SystemFactory>)
+        });
+        std::process::exit(i32::from(code));
+    }
+
     let mut config = StudyConfig::quick();
     let mut out_dir = PathBuf::from("artifacts/study");
     let mut replay = false;
@@ -100,6 +130,10 @@ fn main() -> ExitCode {
     let mut metrics_out: Option<PathBuf> = None;
     let mut events_out: Option<PathBuf> = None;
     let mut fsync_interval: Option<usize> = None;
+    let mut process_isolation = false;
+    let mut workers = 0usize;
+    let mut run_timeout_ms: Option<u64> = None;
+    let mut max_retries: Option<u32> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -134,6 +168,23 @@ fn main() -> ExitCode {
             },
             "--threads" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => config.threads = n,
+                None => usage(),
+            },
+            "--isolation" => match args.next().as_deref() {
+                Some("process") => process_isolation = true,
+                Some("in-process") => process_isolation = false,
+                _ => usage(),
+            },
+            "--workers" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => workers = n,
+                None => usage(),
+            },
+            "--run-timeout" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => run_timeout_ms = Some(ms),
+                None => usage(),
+            },
+            "--max-retries" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => max_retries = Some(n),
                 None => usage(),
             },
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
@@ -175,6 +226,34 @@ fn main() -> ExitCode {
     let mut study = Study::new(config.clone()).with_obs(obs.clone());
     if let Some(interval) = fsync_interval {
         study = study.with_fsync_interval(interval);
+    }
+    if let Some(n) = max_retries {
+        study = study.with_max_retries(n);
+    }
+    if process_isolation {
+        let command = match WorkerCommand::current_exe(vec!["--worker".to_owned()]) {
+            Ok(c) => c,
+            Err(e) => {
+                obs.error(format!("cannot set up worker processes: {e}"));
+                return ExitCode::FAILURE;
+            }
+        };
+        let payload = ArrestmentFactory::grid_payload(config.masses, config.velocities);
+        let mut pool = ProcessIsolation::new(command, payload);
+        pool.workers = workers;
+        if let Some(ms) = run_timeout_ms {
+            pool.run_timeout_ms = ms;
+        }
+        obs.info(format!(
+            "process isolation: {} worker(s), {} ms run deadline",
+            if workers == 0 {
+                "per-core".to_owned()
+            } else {
+                workers.to_string()
+            },
+            pool.run_timeout_ms
+        ));
+        study = study.with_isolation(IsolationMode::Process(pool));
     }
     let mut journal = if journal_runs {
         if let Err(e) = std::fs::create_dir_all(&out_dir) {
@@ -227,6 +306,10 @@ fn main() -> ExitCode {
             ));
             return ExitCode::from(130);
         }
+        Err(e @ FiError::QuarantineThresholdExceeded { .. }) => {
+            obs.error(format!("study aborted: {e}"));
+            return ExitCode::from(3);
+        }
         Err(e) => {
             obs.error(format!("study failed: {e}"));
             return ExitCode::FAILURE;
@@ -244,10 +327,11 @@ fn main() -> ExitCode {
     ));
     if output.result.outcomes.quarantined() > 0 {
         obs.warn(format!(
-            "{} run(s) quarantined ({} panicked, {} hung) — see outcomes.txt",
+            "{} run(s) quarantined ({} panicked, {} hung, {} crashed) — see outcomes.txt",
             output.result.outcomes.quarantined(),
             output.result.outcomes.panicked,
-            output.result.outcomes.hung
+            output.result.outcomes.hung,
+            output.result.outcomes.crashed
         ));
     }
 

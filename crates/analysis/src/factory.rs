@@ -5,6 +5,16 @@ use permea_arrestment::system::ArrestmentSystem;
 use permea_arrestment::testcase::TestCase;
 use permea_fi::campaign::SystemFactory;
 use permea_runtime::sim::Simulation;
+use serde::{Deserialize, Serialize};
+
+/// Wire form of a workload grid, used as the worker-process setup payload
+/// (see [`permea_fi::process`]): the supervisor serialises the grid shape,
+/// each worker rebuilds the identical factory from it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+struct GridPayload {
+    masses: usize,
+    velocities: usize,
+}
 
 /// Builds one [`ArrestmentSystem`] simulation per workload case.
 #[derive(Debug, Clone)]
@@ -33,6 +43,33 @@ impl ArrestmentFactory {
     /// The workload cases.
     pub fn cases(&self) -> &[TestCase] {
         &self.cases
+    }
+
+    /// Serialises a `masses × velocities` grid as a worker setup payload
+    /// for [`from_payload`](Self::from_payload).
+    pub fn grid_payload(masses: usize, velocities: usize) -> String {
+        serde_json::to_string(&GridPayload { masses, velocities }).expect("payload serialises")
+    }
+
+    /// Rebuilds the factory from a [`grid_payload`](Self::grid_payload)
+    /// string — the worker half of the process-isolation handshake.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the malformed payload.
+    pub fn from_payload(payload: &str) -> Result<Self, String> {
+        let grid: GridPayload =
+            serde_json::from_str(payload).map_err(|e| format!("malformed factory payload: {e}"))?;
+        if grid.masses == 0 || grid.velocities == 0 {
+            return Err(format!(
+                "factory payload describes an empty {}x{} grid",
+                grid.masses, grid.velocities
+            ));
+        }
+        Ok(ArrestmentFactory::with_cases(TestCase::grid(
+            grid.masses,
+            grid.velocities,
+        )))
     }
 }
 
@@ -73,5 +110,18 @@ mod tests {
     #[should_panic(expected = "at least one case")]
     fn empty_cases_panics() {
         ArrestmentFactory::with_cases(vec![]);
+    }
+
+    #[test]
+    fn payload_roundtrips_the_grid() {
+        let payload = ArrestmentFactory::grid_payload(3, 3);
+        let f = ArrestmentFactory::from_payload(&payload).unwrap();
+        assert_eq!(f.cases(), TestCase::grid(3, 3).as_slice());
+    }
+
+    #[test]
+    fn malformed_and_empty_payloads_are_rejected() {
+        assert!(ArrestmentFactory::from_payload("not json").is_err());
+        assert!(ArrestmentFactory::from_payload(&ArrestmentFactory::grid_payload(0, 3)).is_err());
     }
 }

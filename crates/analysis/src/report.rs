@@ -150,6 +150,7 @@ pub fn render_outcomes(out: &StudyOutput) -> String {
     let _ = writeln!(s, "  completed:   {:>8}", t.completed);
     let _ = writeln!(s, "  panicked:    {:>8}", t.panicked);
     let _ = writeln!(s, "  hung:        {:>8}", t.hung);
+    let _ = writeln!(s, "  crashed:     {:>8}", t.crashed);
     let _ = writeln!(
         s,
         "  quarantined: {:>8}  ({:.2}% of {})",
@@ -171,6 +172,11 @@ pub fn render_outcomes(out: &StudyOutput) -> String {
                 RunOutcome::Hung { last_tick_ms } => {
                     format!("hung (clock stalled at {last_tick_ms} ms)")
                 }
+                RunOutcome::Crashed { signal, exit_code } => match (signal, exit_code) {
+                    (Some(sig), _) => format!("crashed (worker killed by signal {sig})"),
+                    (None, Some(code)) => format!("crashed (worker exited with code {code})"),
+                    (None, None) => "crashed (worker died)".to_owned(),
+                },
                 RunOutcome::Completed => continue,
             };
             let _ = writeln!(

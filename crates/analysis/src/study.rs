@@ -15,6 +15,7 @@ use permea_core::trace::TraceForest;
 use permea_fi::campaign::{Campaign, CampaignConfig};
 use permea_fi::error::FiError;
 use permea_fi::journal::{JournalHeader, RunJournal, DEFAULT_FSYNC_INTERVAL};
+use permea_fi::process::IsolationMode;
 use permea_fi::results::CampaignResult;
 use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
 use permea_obs::Obs;
@@ -157,6 +158,8 @@ pub struct Study {
     config: StudyConfig,
     obs: Obs,
     fsync_interval: usize,
+    isolation: IsolationMode,
+    max_retries: Option<u32>,
 }
 
 impl Study {
@@ -166,6 +169,8 @@ impl Study {
             config,
             obs: Obs::disabled(),
             fsync_interval: DEFAULT_FSYNC_INTERVAL,
+            isolation: IsolationMode::InProcess,
+            max_retries: None,
         }
     }
 
@@ -183,6 +188,21 @@ impl Study {
         self
     }
 
+    /// Selects where injection runs execute: in-process sandboxes (the
+    /// default) or a supervised worker-process pool (kept off [`StudyConfig`]
+    /// so the serialized configuration shape is unchanged).
+    pub fn with_isolation(mut self, isolation: IsolationMode) -> Self {
+        self.isolation = isolation;
+        self
+    }
+
+    /// Overrides the retry budget for runs that kill their worker process
+    /// (only meaningful with [`IsolationMode::Process`]).
+    pub fn with_max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = Some(max_retries);
+        self
+    }
+
     /// The telemetry handle in use.
     pub fn obs(&self) -> &Obs {
         &self.obs
@@ -195,15 +215,20 @@ impl Study {
 
     /// The campaign configuration this study runs with.
     fn campaign_config(&self) -> CampaignConfig {
-        CampaignConfig {
+        let mut config = CampaignConfig {
             threads: self.config.threads,
             master_seed: self.config.seed,
             keep_records: self.config.keep_records,
             horizon_ms: self.config.horizon_ms,
             fast_forward: self.config.fast_forward,
             journal_fsync_interval: self.fsync_interval,
+            isolation: self.isolation.clone(),
             ..CampaignConfig::default()
+        };
+        if let Some(max_retries) = self.max_retries {
+            config.max_retries = max_retries;
         }
+        config
     }
 
     /// The journal header identifying this study's campaign — what a

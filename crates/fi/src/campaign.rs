@@ -30,6 +30,7 @@ use crate::error::FiError;
 use crate::golden::GoldenRun;
 use crate::journal::{JournalHeader, RunJournal, DEFAULT_FSYNC_INTERVAL};
 use crate::outcome::{classify_unwind, OutcomeTally, RunOutcome};
+use crate::process::{Attempt, IsolationMode, ProcessIsolation, ToWorker, WorkerClient};
 use crate::results::{CampaignResult, PairStat, RunRecord, RunStats};
 use crate::spec::{CampaignSpec, InjectionScope};
 use permea_obs::{Counter, Histogram, Obs, Progress};
@@ -41,14 +42,21 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Spacing of the periodic golden checkpoints used for convergence
 /// early-exit. Denser checkpoints detect reconvergence sooner at the cost
 /// of snapshot memory and comparison work.
 const CHECKPOINT_CADENCE_MS: u64 = 100;
+
+/// Exponential retry/respawn backoff: `base × 2^(attempt−1)`, with the
+/// exponent capped so a long crash storm cannot overflow into hour-long
+/// sleeps.
+fn backoff(base_ms: u64, attempt: u32) -> Duration {
+    Duration::from_millis(base_ms.saturating_mul(1 << attempt.saturating_sub(1).min(6)))
+}
 
 /// Builds fresh simulations of the system under test, one per run.
 ///
@@ -154,6 +162,19 @@ pub struct CampaignConfig {
     /// bound power-failure loss tighter at the cost of fsync latency per
     /// run (measured by the `process.journal_fsync_micros` histogram).
     pub journal_fsync_interval: usize,
+    /// Where injection runs execute: in this process (the default) or in a
+    /// supervised pool of worker processes that survives hard faults (see
+    /// [`IsolationMode`]).
+    pub isolation: IsolationMode,
+    /// Under [`IsolationMode::Process`], how many times a coordinate whose
+    /// worker *died* (crash or hard-deadline kill) is re-dispatched before
+    /// the death is quarantined as its classified outcome. Retries separate
+    /// transient infrastructure failures (an OOM kill under memory
+    /// pressure) from deterministic faults; a death that reproduces with
+    /// the identical classification on consecutive attempts is quarantined
+    /// early without spending the remaining budget. Ignored in-process,
+    /// where every run is deterministic by construction.
+    pub max_retries: u32,
 }
 
 impl Default for CampaignConfig {
@@ -167,6 +188,8 @@ impl Default for CampaignConfig {
             watchdog: Some(WatchdogConfig::default()),
             max_quarantined_fraction: 0.25,
             journal_fsync_interval: DEFAULT_FSYNC_INTERVAL,
+            isolation: IsolationMode::InProcess,
+            max_retries: 2,
         }
     }
 }
@@ -202,9 +225,13 @@ impl GoldenBundle {
     }
 }
 
+/// What [`Campaign::prepare`] yields: the resolved targets, the golden
+/// bundles and the per-case golden tick counts.
+pub(crate) type Prepared = (Vec<ResolvedTarget>, Vec<GoldenBundle>, Vec<u64>);
+
 /// Resolved, immutable description of one target (probe-validated once).
 #[derive(Debug, Clone)]
-struct ResolvedTarget {
+pub(crate) struct ResolvedTarget {
     module_name: String,
     input_signal: String,
     module_idx: permea_runtime::sim::ModuleIdx,
@@ -254,6 +281,7 @@ struct Instruments {
     runs_completed: Counter,
     runs_panicked: Counter,
     runs_hung: Counter,
+    runs_crashed: Counter,
     ff_forked: Counter,
     ff_reconverged: Counter,
     run_ticks: Counter,
@@ -264,6 +292,11 @@ struct Instruments {
     runs_executed: Counter,
     runs_recovered: Counter,
     run_micros: Histogram,
+    worker_spawns: Counter,
+    worker_respawns: Counter,
+    worker_kills: Counter,
+    run_retries: Counter,
+    attempt_micros: Histogram,
 }
 
 impl Instruments {
@@ -273,6 +306,7 @@ impl Instruments {
             runs_completed: obs.counter("campaign.runs_completed"),
             runs_panicked: obs.counter("campaign.runs_panicked"),
             runs_hung: obs.counter("campaign.runs_hung"),
+            runs_crashed: obs.counter("campaign.runs_crashed"),
             ff_forked: obs.counter("campaign.ff_forked"),
             ff_reconverged: obs.counter("campaign.ff_reconverged"),
             run_ticks: obs.counter("campaign.run_ticks"),
@@ -283,6 +317,11 @@ impl Instruments {
             runs_executed: obs.counter("process.runs_executed"),
             runs_recovered: obs.counter("process.runs_recovered"),
             run_micros: obs.histogram("process.run_micros"),
+            worker_spawns: obs.counter("process.worker_spawns"),
+            worker_respawns: obs.counter("process.worker_respawns"),
+            worker_kills: obs.counter("process.worker_kills"),
+            run_retries: obs.counter("process.run_retries"),
+            attempt_micros: obs.histogram("process.attempt_micros"),
         }
     }
 
@@ -296,6 +335,7 @@ impl Instruments {
             RunOutcome::Completed => self.runs_completed.inc(),
             RunOutcome::Panicked { .. } => self.runs_panicked.inc(),
             RunOutcome::Hung { .. } => self.runs_hung.inc(),
+            RunOutcome::Crashed { .. } => self.runs_crashed.inc(),
         }
         self.run_ticks.add(stats.sim_ticks);
         if stats.forked {
@@ -657,6 +697,123 @@ impl<'f> Campaign<'f> {
         JournalHeader::new(spec, self.config.master_seed, self.config.horizon_ms)
     }
 
+    /// Validates the spec, resolves its targets and records the golden
+    /// bundles — the deterministic preamble both an in-process campaign and
+    /// a worker process perform before any injection run. Returns the
+    /// resolved targets, the golden bundles and the per-case golden tick
+    /// counts.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Campaign::run`]'s validation phase.
+    pub(crate) fn prepare(&self, spec: &CampaignSpec) -> Result<Prepared, FiError> {
+        spec.validate()?;
+        let targets = self.resolve_targets(spec)?;
+        let goldens = self.golden_bundles(spec)?;
+        let golden_ticks: Vec<u64> = goldens.iter().map(|g| g.run.ticks).collect();
+        spec.validate_instants(self.config.horizon_ms, &golden_ticks)?;
+        Ok((targets, goldens, golden_ticks))
+    }
+
+    /// Executes coordinate `k` under the in-process sandbox
+    /// (`catch_unwind` + cooperative watchdog) and returns its record: a
+    /// completed comparison, or a quarantined `Panicked`/`Hung` outcome.
+    /// The per-run seed derives from `k` and the master seed alone, which
+    /// is what makes the record identical no matter which process (or
+    /// attempt) executes it.
+    ///
+    /// # Errors
+    ///
+    /// Returns infrastructure failures (e.g. [`FiError::TracingDisabled`])
+    /// — never run deaths, which unwind into the quarantined record.
+    pub(crate) fn execute_sandboxed(
+        &self,
+        spec: &CampaignSpec,
+        targets: &[ResolvedTarget],
+        goldens: &[GoldenBundle],
+        k: usize,
+    ) -> Result<(RunRecord, RunStats), FiError> {
+        let (ti, mi, wi, ci) = spec.coordinate(k);
+        let target = &targets[ti];
+        let model = spec.models[mi];
+        let time_ms = spec.times_ms[wi];
+        let seed = self.config.master_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        // Sandbox the run: a panicking or hanging simulation is quarantined
+        // as a classified outcome, not a dead campaign.
+        let sandboxed = catch_unwind(AssertUnwindSafe(|| {
+            self.run_one(spec, target, model, time_ms, &goldens[ci], seed)
+        }));
+        match sandboxed {
+            Ok(Ok((original, corrupted, divergences, stats))) => Ok((
+                RunRecord {
+                    module: target.module_name.clone(),
+                    input_signal: target.input_signal.clone(),
+                    model,
+                    time_ms,
+                    case: ci,
+                    original_value: original,
+                    corrupted_value: corrupted,
+                    first_divergence: divergences,
+                    outcome: RunOutcome::Completed,
+                },
+                stats,
+            )),
+            Ok(Err(e)) => Err(e),
+            Err(payload) => Ok((
+                RunRecord {
+                    module: target.module_name.clone(),
+                    input_signal: target.input_signal.clone(),
+                    model,
+                    time_ms,
+                    case: ci,
+                    original_value: 0,
+                    corrupted_value: 0,
+                    first_divergence: Vec::new(),
+                    outcome: classify_unwind(payload),
+                },
+                // The window is lost to the unwind; whether the run forked
+                // is still deterministic from the bundle.
+                RunStats {
+                    sim_ticks: 0,
+                    forked: goldens[ci].snapshot_at(time_ms).is_some(),
+                    converged_ms: None,
+                },
+            )),
+        }
+    }
+
+    /// The quarantined record for a coordinate whose worker *process* died:
+    /// the supervisor never saw a window, so values and divergences are
+    /// zeroed and the stats are empty — deterministically, so journals and
+    /// resumed campaigns agree.
+    fn death_record(
+        &self,
+        spec: &CampaignSpec,
+        targets: &[ResolvedTarget],
+        k: usize,
+        outcome: RunOutcome,
+    ) -> (RunRecord, RunStats) {
+        let (ti, mi, wi, ci) = spec.coordinate(k);
+        (
+            RunRecord {
+                module: targets[ti].module_name.clone(),
+                input_signal: targets[ti].input_signal.clone(),
+                model: spec.models[mi],
+                time_ms: spec.times_ms[wi],
+                case: ci,
+                original_value: 0,
+                corrupted_value: 0,
+                first_divergence: Vec::new(),
+                outcome,
+            },
+            RunStats {
+                sim_ticks: 0,
+                forked: false,
+                converged_ms: None,
+            },
+        )
+    }
+
     /// Runs the full campaign.
     ///
     /// Equivalent to [`Campaign::run_resumable`] with no journal and no
@@ -712,11 +869,27 @@ impl<'f> Campaign<'f> {
         let _campaign_span = obs.span("campaign");
         let campaign_started = Instant::now();
 
+        let process_cfg = match &self.config.isolation {
+            IsolationMode::Process(p) => Some(p),
+            IsolationMode::InProcess => None,
+        };
+
         spec.validate()?;
         let targets = self.resolve_targets(spec)?;
         let goldens = {
             let _golden_span = obs.span("golden");
-            self.golden_bundles(spec)?
+            if process_cfg.is_some() {
+                // Workers record their own snapshot-bearing bundles; the
+                // supervisor needs golden lengths only for validation,
+                // accounting and the circuit-breaker fallback, so it skips
+                // the snapshot capture.
+                self.goldens(spec.cases)?
+                    .into_iter()
+                    .map(GoldenBundle::bare)
+                    .collect::<Vec<_>>()
+            } else {
+                self.golden_bundles(spec)?
+            }
         };
         let golden_ticks: Vec<u64> = goldens.iter().map(|g| g.run.ticks).collect();
         spec.validate_instants(self.config.horizon_ms, &golden_ticks)?;
@@ -726,12 +899,13 @@ impl<'f> Campaign<'f> {
             .add(goldens.iter().map(|g| g.snapshot_count() as u64).sum());
 
         let run_count = spec.run_count();
-        let threads = if self.config.threads == 0 {
+        let configured_threads = process_cfg.map_or(self.config.threads, |p| p.workers);
+        let threads = if configured_threads == 0 {
             std::thread::available_parallelism()
                 .map(|n| n.get())
                 .unwrap_or(1)
         } else {
-            self.config.threads
+            configured_threads
         };
 
         // Runs already journaled by an earlier (interrupted) execution; the
@@ -768,7 +942,6 @@ impl<'f> Campaign<'f> {
 
         // Shared work queue over coordinate indices.
         let next = AtomicUsize::new(0);
-        let coords: Vec<(usize, usize, usize, usize)> = spec.coordinates().collect();
         let executed: Mutex<Vec<(u64, RunRecord)>> = Mutex::new(Vec::new());
         // First infrastructure failure (journal I/O, poisoned lock, ...);
         // quarantined runs never land here.
@@ -779,98 +952,51 @@ impl<'f> Campaign<'f> {
             }
         };
 
-        let worker = |_: usize| loop {
+        // Claiming a coordinate and committing its finished record are
+        // shared between the in-process executor and the process-pool
+        // supervisors.
+        let claim = || loop {
             if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
-                break;
+                return None;
             }
             if fail.lock().map(|slot| slot.is_some()).unwrap_or(true) {
-                break;
+                return None;
             }
             let k = next.fetch_add(1, Ordering::Relaxed);
             if k >= run_count {
-                break;
+                return None;
             }
             if done.contains_key(&(k as u64)) {
                 continue;
             }
-            let (ti, mi, wi, ci) = coords[k];
-            let target = &targets[ti];
-            let model = spec.models[mi];
-            let time_ms = spec.times_ms[wi];
-            let seed = self.config.master_seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-            // Sandbox the run: a panicking or hanging simulation is
-            // quarantined as a classified outcome, not a dead campaign.
-            let run_started = obs.enabled().then(Instant::now);
-            let sandboxed = catch_unwind(AssertUnwindSafe(|| {
-                self.run_one(spec, target, model, time_ms, &goldens[ci], seed)
-            }));
-            if let Some(t0) = run_started {
-                ins.run_micros.observe(t0.elapsed().as_micros() as u64);
-            }
-            let (record, stats) = match sandboxed {
-                Ok(Ok((original, corrupted, divergences, stats))) => (
-                    RunRecord {
-                        module: target.module_name.clone(),
-                        input_signal: target.input_signal.clone(),
-                        model,
-                        time_ms,
-                        case: ci,
-                        original_value: original,
-                        corrupted_value: corrupted,
-                        first_divergence: divergences,
-                        outcome: RunOutcome::Completed,
-                    },
-                    stats,
-                ),
-                Ok(Err(e)) => {
-                    set_fail(e);
-                    break;
-                }
-                Err(payload) => (
-                    RunRecord {
-                        module: target.module_name.clone(),
-                        input_signal: target.input_signal.clone(),
-                        model,
-                        time_ms,
-                        case: ci,
-                        original_value: 0,
-                        corrupted_value: 0,
-                        first_divergence: Vec::new(),
-                        outcome: classify_unwind(payload),
-                    },
-                    // The window is lost to the unwind; whether the run
-                    // forked is still deterministic from the bundle.
-                    RunStats {
-                        sim_ticks: 0,
-                        forked: goldens[ci].snapshot_at(time_ms).is_some(),
-                        converged_ms: None,
-                    },
-                ),
-            };
-            ins.account(&record, &stats, golden_ticks[ci]);
+            return Some(k);
+        };
+        let commit = |k: usize, record: RunRecord, stats: RunStats, attempts: u32| -> bool {
+            ins.account(&record, &stats, golden_ticks[record.case]);
             ins.runs_executed.inc();
             if let Some(j) = &journal {
                 let appended = j
                     .lock()
                     .map_err(|_| FiError::WorkerPanicked)
-                    .and_then(|mut g| g.append(k as u64, &record, &stats));
+                    .and_then(|mut g| g.append(k as u64, &record, &stats, attempts));
                 if let Err(e) = appended {
                     set_fail(e);
-                    break;
+                    return false;
                 }
             }
             let quarantined_run = !record.outcome.is_completed();
+            let forked = stats.forked;
             match executed.lock() {
                 Ok(mut recs) => recs.push((k as u64, record)),
                 Err(_) => {
                     set_fail(FiError::WorkerPanicked);
-                    break;
+                    return false;
                 }
             }
             if obs.enabled() {
                 let done_now = progress_done.fetch_add(1, Ordering::Relaxed) + 1;
                 let executed_now = progress_executed.fetch_add(1, Ordering::Relaxed) + 1;
-                let forked_now = if stats.forked {
+                let forked_now = if forked {
                     progress_forked.fetch_add(1, Ordering::Relaxed) + 1
                 } else {
                     progress_forked.load(Ordering::Relaxed)
@@ -891,9 +1017,177 @@ impl<'f> Campaign<'f> {
                     finished: false,
                 });
             }
+            true
         };
 
-        if threads <= 1 {
+        let worker = |_: usize| {
+            while let Some(k) = claim() {
+                let run_started = obs.enabled().then(Instant::now);
+                let sandboxed = self.execute_sandboxed(spec, &targets, &goldens, k);
+                if let Some(t0) = run_started {
+                    ins.run_micros.observe(t0.elapsed().as_micros() as u64);
+                }
+                match sandboxed {
+                    Ok((record, stats)) => {
+                        if !commit(k, record, stats, 1) {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        set_fail(e);
+                        break;
+                    }
+                }
+            }
+        };
+
+        // Process-pool shared state: the respawn budget every thread draws
+        // on after its first (free) spawn, and the crash-storm circuit
+        // breaker that degrades the rest of the campaign to the in-process
+        // executor once the budget is exhausted.
+        let respawn_budget = AtomicI64::new(
+            process_cfg.map_or(0, |p| p.max_worker_respawns.min(i64::MAX as u64) as i64),
+        );
+        let breaker = AtomicBool::new(false);
+        let setup_frame: Vec<u8> = match process_cfg {
+            Some(p) => {
+                let wd = self.config.watchdog;
+                let setup = ToWorker::Setup {
+                    spec: spec.clone(),
+                    master_seed: self.config.master_seed,
+                    horizon_ms: self.config.horizon_ms,
+                    fast_forward: self.config.fast_forward,
+                    wd_enabled: wd.is_some(),
+                    wd_work_per_tick: wd.and_then(|w| w.max_work_per_tick),
+                    wd_wall_ms: wd.and_then(|w| w.max_wall_ms),
+                    payload: p.factory_payload.clone(),
+                };
+                let json = serde_json::to_string(&setup).map_err(|e| FiError::WorkerProcess {
+                    message: format!("serialising worker setup: {e}"),
+                })?;
+                crate::process::encode_frame(&json)
+            }
+            None => Vec::new(),
+        };
+
+        let supervisor = |p: &ProcessIsolation| {
+            let run_timeout = Duration::from_millis(p.run_timeout_ms.max(1));
+            let setup_timeout = Duration::from_millis(p.setup_timeout_ms.max(1));
+            let mut client: Option<WorkerClient> = None;
+            let mut ever_spawned = false;
+            'coords: while let Some(k) = claim() {
+                // Attempts actually dispatched for this coordinate; the
+                // journal records it so resumed campaigns keep the count.
+                let mut attempts: u32 = 0;
+                let mut last_death: Option<RunOutcome> = None;
+                let (record, stats) = loop {
+                    if breaker.load(Ordering::Acquire) {
+                        // Degraded mode: execute on the supervisor's bare
+                        // bundles — records are bit-identical (fast-forward
+                        // never changes a result bit), just slower.
+                        client = None;
+                        match self.execute_sandboxed(spec, &targets, &goldens, k) {
+                            Ok(pair) => break pair,
+                            Err(e) => {
+                                set_fail(e);
+                                break 'coords;
+                            }
+                        }
+                    }
+                    if client.is_none() {
+                        if ever_spawned {
+                            if respawn_budget.fetch_sub(1, Ordering::AcqRel) <= 0 {
+                                breaker.store(true, Ordering::Release);
+                                continue;
+                            }
+                            ins.worker_respawns.inc();
+                        }
+                        match WorkerClient::spawn(&p.command) {
+                            Ok(mut fresh) => {
+                                ever_spawned = true;
+                                ins.worker_spawns.inc();
+                                match fresh.setup(&setup_frame, setup_timeout) {
+                                    Ok(()) => client = Some(fresh),
+                                    Err(_) => {
+                                        // Setup failures draw on the budget
+                                        // like crashes do; back off and let
+                                        // the loop respawn or trip the
+                                        // breaker.
+                                        std::thread::sleep(backoff(p.retry_backoff_ms, attempts));
+                                        continue;
+                                    }
+                                }
+                            }
+                            Err(_) => {
+                                ever_spawned = true;
+                                std::thread::sleep(backoff(p.retry_backoff_ms, attempts));
+                                continue;
+                            }
+                        }
+                    }
+                    let live = client.as_mut().expect("worker ensured above");
+                    attempts += 1;
+                    let attempt_started = obs.enabled().then(Instant::now);
+                    let attempt = live.run(k as u64, run_timeout);
+                    if let Some(t0) = attempt_started {
+                        ins.attempt_micros.observe(t0.elapsed().as_micros() as u64);
+                    }
+                    match attempt {
+                        Ok(Attempt::Done { record, stats }) => break (record, stats),
+                        Ok(Attempt::Died {
+                            deadline,
+                            signal,
+                            exit_code,
+                        }) => {
+                            client = None;
+                            if deadline {
+                                ins.worker_kills.inc();
+                            }
+                            // A hard-deadline kill means the run never let
+                            // its own clock be observed; any other death is
+                            // classified from the exit status.
+                            let outcome = if deadline {
+                                RunOutcome::Hung { last_tick_ms: 0 }
+                            } else {
+                                RunOutcome::Crashed { signal, exit_code }
+                            };
+                            let reproduced = last_death.as_ref() == Some(&outcome);
+                            let budget_spent = attempts > self.config.max_retries;
+                            if reproduced || budget_spent {
+                                break self.death_record(spec, &targets, k, outcome);
+                            }
+                            last_death = Some(outcome);
+                            ins.run_retries.inc();
+                            std::thread::sleep(backoff(p.retry_backoff_ms, attempts));
+                        }
+                        Ok(Attempt::Protocol(message)) => {
+                            set_fail(FiError::WorkerProcess { message });
+                            break 'coords;
+                        }
+                        Err(e) => {
+                            set_fail(e);
+                            break 'coords;
+                        }
+                    }
+                };
+                if !commit(k, record, stats, attempts.max(1)) {
+                    break;
+                }
+            }
+        };
+
+        if let Some(p) = process_cfg {
+            if threads <= 1 {
+                supervisor(p);
+            } else {
+                let supervisor_ref = &supervisor;
+                std::thread::scope(|s| {
+                    for _ in 0..threads {
+                        s.spawn(move || supervisor_ref(p));
+                    }
+                });
+            }
+        } else if threads <= 1 {
             worker(0);
         } else {
             let worker_ref = &worker;

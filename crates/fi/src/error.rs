@@ -82,10 +82,28 @@ pub enum FiError {
     /// The configured journal fsync interval is zero: the journal would
     /// never be made durable.
     InvalidFsyncInterval,
+    /// The worker-process pool failed as *infrastructure*: a worker broke
+    /// the IPC protocol, or setup failed in a way retries and the in-process
+    /// fallback could not absorb. Deaths of individual injection runs are
+    /// never this error — they are classified as
+    /// [`crate::outcome::RunOutcome::Crashed`] instead.
+    WorkerProcess {
+        /// Description of the infrastructure failure.
+        message: String,
+    },
     /// Reading or writing the run journal failed.
     Journal {
         /// Description of the underlying I/O or parse failure.
         message: String,
+    },
+    /// A journal record failed its CRC32 (or did not parse) *mid-file* —
+    /// with intact records after it, so this is silent corruption (bit rot,
+    /// a bad copy), not the torn tail of an interrupted write. The journal
+    /// is rejected rather than silently resumed over a hole.
+    JournalCorrupt {
+        /// 1-based line number of the first corrupt record in the file
+        /// (line 1 is the header).
+        line: usize,
     },
     /// An existing journal was written by a different campaign — its header
     /// does not match the spec, seed or horizon being resumed.
@@ -164,7 +182,15 @@ impl fmt::Display for FiError {
                 "journal_fsync_interval must be greater than zero; an interval of 0 \
                  would never fsync the journal"
             ),
+            FiError::WorkerProcess { message } => {
+                write!(f, "worker process pool failure: {message}")
+            }
             FiError::Journal { message } => write!(f, "run journal failure: {message}"),
+            FiError::JournalCorrupt { line } => write!(
+                f,
+                "journal record at line {line} is corrupt (CRC or parse failure) but \
+                 intact records follow it; refusing to resume over silent corruption"
+            ),
             FiError::JournalMismatch { field } => write!(
                 f,
                 "existing journal belongs to a different campaign ({field} differs); \
@@ -236,6 +262,14 @@ mod tests {
         .to_string()
         .contains("disk full"));
         assert!(FiError::InvalidFsyncInterval.to_string().contains("fsync"));
+        assert!(FiError::WorkerProcess {
+            message: "worker replied to the wrong coordinate".into()
+        }
+        .to_string()
+        .contains("wrong coordinate"));
+        let corrupt = FiError::JournalCorrupt { line: 17 };
+        assert!(corrupt.to_string().contains("17"));
+        assert!(corrupt.to_string().contains("corrupt"));
         assert!(FiError::JournalMismatch {
             field: "master_seed"
         }

@@ -29,7 +29,24 @@
 //! Each entry also carries the run's deterministic
 //! [`RunStats`] (ticks simulated, fast-forward shortcuts taken), which is
 //! what lets a resumed campaign's telemetry totals merge to exactly the
-//! uninterrupted values.
+//! uninterrupted values, plus the number of *attempts* the executor needed
+//! (always 1 in-process; retries under process isolation push it higher).
+//!
+//! # Integrity (format v3)
+//!
+//! Every record line is prefixed with the CRC32 (IEEE) of its JSON payload,
+//! as eight lowercase hex digits and a space:
+//!
+//! ```text
+//! 89abcdef {"k":17,"attempts":1,"record":{...},"stats":{...}}
+//! ```
+//!
+//! A record that fails its CRC (or does not parse) at the **end** of the
+//! file is the torn tail of an interrupted write and is truncated away as
+//! before. The same failure **mid-file** — with intact records after it —
+//! can only be silent corruption (bit rot, a bad copy, a buggy tool), and
+//! resuming over it would quietly drop a run, so the journal is rejected
+//! with [`FiError::JournalCorrupt`] naming the first corrupt line.
 
 use crate::error::FiError;
 use crate::results::{RunRecord, RunStats};
@@ -42,8 +59,24 @@ use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
 /// Journal format version; bumped on any incompatible layout change.
-/// Version 2 added per-entry [`RunStats`].
-pub const JOURNAL_VERSION: u32 = 2;
+/// Version 2 added per-entry [`RunStats`]; version 3 added the per-record
+/// CRC32 prefix and the per-coordinate attempt count.
+pub const JOURNAL_VERSION: u32 = 3;
+
+/// CRC32 (IEEE 802.3, reflected) of `data` — the checksum prefixed to every
+/// v3 record line. Computed bitwise; journal lines are short enough that a
+/// lookup table would buy nothing.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
 
 /// Default fsync batching: records are `fsync`ed every this many appends
 /// (each append is still flushed to the OS immediately). Campaigns override
@@ -101,18 +134,21 @@ impl JournalHeader {
     }
 }
 
-/// One journaled run: the coordinate index, the finished record and the
-/// run's deterministic execution statistics.
+/// One journaled run: the coordinate index, the number of attempts the
+/// executor needed, the finished record and the run's deterministic
+/// execution statistics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct JournalEntry {
     /// Coordinate index in [`CampaignSpec::coordinates`] order; also the
     /// input to per-run seed derivation.
     pub k: u64,
+    /// Execution attempts this coordinate took (1 unless process isolation
+    /// retried it after a worker death).
+    pub attempts: u32,
     /// The finished run record, including its outcome.
     pub record: RunRecord,
     /// Deterministic per-run execution statistics, merged into campaign
     /// telemetry on resume.
-    #[serde(default)]
     pub stats: RunStats,
 }
 
@@ -133,12 +169,29 @@ fn io_err(context: &str, e: std::io::Error) -> FiError {
     }
 }
 
+/// Parses one v3 record line: eight lowercase hex CRC digits, a space, the
+/// JSON entry. Returns `None` on any framing, checksum or parse failure —
+/// the caller decides whether that means a torn tail or corruption.
+fn parse_entry_line(bytes: &[u8]) -> Option<JournalEntry> {
+    let line = std::str::from_utf8(bytes).ok()?;
+    let (crc_hex, json) = line.split_once(' ')?;
+    if crc_hex.len() != 8 {
+        return None;
+    }
+    let expected = u32::from_str_radix(crc_hex, 16).ok()?;
+    if crc32(json.as_bytes()) != expected {
+        return None;
+    }
+    serde_json::from_str::<JournalEntry>(json).ok()
+}
+
 /// An append-only JSONL run journal bound to one campaign.
 #[derive(Debug)]
 pub struct RunJournal {
     path: PathBuf,
     writer: BufWriter<File>,
     entries: HashMap<u64, (RunRecord, RunStats)>,
+    attempts: HashMap<u64, u32>,
     unsynced: usize,
     fsync_interval: usize,
     appends: Counter,
@@ -173,6 +226,7 @@ impl RunJournal {
             path,
             writer,
             entries: HashMap::new(),
+            attempts: HashMap::new(),
             unsynced: 0,
             fsync_interval: DEFAULT_FSYNC_INTERVAL,
             appends: Counter::noop(),
@@ -233,25 +287,40 @@ impl RunJournal {
         header.ensure_matches(&on_disk)?;
 
         let mut entries = HashMap::new();
+        let mut attempts = HashMap::new();
         let mut valid_end = he + 1;
-        for (s, e) in ranges {
-            let parsed = std::str::from_utf8(&data[s..e])
-                .ok()
-                .and_then(|line| serde_json::from_str::<JournalEntry>(line).ok());
-            match parsed {
+        // 1-based physical line number of the first invalid record, if any.
+        // Invalid lines at the very end of the file are a torn tail (the
+        // write was interrupted); an invalid line *followed by a valid one*
+        // is silent corruption and poisons the whole journal.
+        let mut corrupt_line: Option<usize> = None;
+        for (idx, (s, e)) in ranges.enumerate() {
+            match parse_entry_line(&data[s..e]) {
                 Some(entry) => {
-                    entries.insert(entry.k, (entry.record, entry.stats));
+                    if let Some(line) = corrupt_line {
+                        return Err(FiError::JournalCorrupt { line });
+                    }
+                    entries.insert(entry.k, entry);
                     valid_end = e + 1;
                 }
                 None => {
-                    // A complete-but-unparseable line can only be a torn
-                    // write that happened to contain a newline; nothing
-                    // after it is trustworthy.
-                    truncated_tail = true;
-                    break;
+                    // Line 1 is the header; entry `idx` sits on line idx+2.
+                    corrupt_line.get_or_insert(idx + 2);
                 }
             }
         }
+        if corrupt_line.is_some() {
+            // Only trailing lines were invalid: the torn tail of an
+            // interrupted write. Truncate it away below.
+            truncated_tail = true;
+        }
+        for entry in entries.values() {
+            attempts.insert(entry.k, entry.attempts);
+        }
+        let entries: HashMap<u64, (RunRecord, RunStats)> = entries
+            .into_iter()
+            .map(|(k, entry)| (k, (entry.record, entry.stats)))
+            .collect();
 
         let mut file = OpenOptions::new()
             .write(true)
@@ -269,6 +338,7 @@ impl RunJournal {
                 path,
                 writer: BufWriter::new(file),
                 entries,
+                attempts,
                 unsynced: 0,
                 fsync_interval: DEFAULT_FSYNC_INTERVAL,
                 appends: Counter::noop(),
@@ -305,22 +375,31 @@ impl RunJournal {
         self.fsync_micros = obs.histogram("process.journal_fsync_micros");
     }
 
-    /// Appends one finished run with its execution statistics. The line is
-    /// flushed to the OS immediately and `fsync`ed every
+    /// Appends one finished run with its execution statistics and the number
+    /// of attempts it took (1 unless process isolation retried it). The line
+    /// is CRC32-prefixed, flushed to the OS immediately and `fsync`ed every
     /// [`RunJournal::fsync_interval`] appends.
     ///
     /// # Errors
     ///
     /// Returns [`FiError::Journal`] on I/O failure.
-    pub fn append(&mut self, k: u64, record: &RunRecord, stats: &RunStats) -> Result<(), FiError> {
+    pub fn append(
+        &mut self,
+        k: u64,
+        record: &RunRecord,
+        stats: &RunStats,
+        attempts: u32,
+    ) -> Result<(), FiError> {
         let entry = JournalEntry {
             k,
+            attempts,
             record: record.clone(),
             stats: *stats,
         };
-        let line = serde_json::to_string(&entry).map_err(|e| FiError::Journal {
+        let json = serde_json::to_string(&entry).map_err(|e| FiError::Journal {
             message: format!("serialising journal entry: {e}"),
         })?;
+        let line = format!("{:08x} {json}", crc32(json.as_bytes()));
         self.writer
             .write_all(line.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
@@ -328,6 +407,7 @@ impl RunJournal {
             .map_err(|e| io_err("appending journal entry", e))?;
         self.appends.inc();
         self.entries.insert(k, (entry.record, entry.stats));
+        self.attempts.insert(k, attempts);
         self.unsynced += 1;
         if self.unsynced >= self.fsync_interval {
             self.sync()?;
@@ -360,6 +440,12 @@ impl RunJournal {
     /// session, keyed by coordinate index.
     pub fn entries(&self) -> &HashMap<u64, (RunRecord, RunStats)> {
         &self.entries
+    }
+
+    /// Per-coordinate attempt counts recovered from disk plus those appended
+    /// this session.
+    pub fn attempts(&self) -> &HashMap<u64, u32> {
+        &self.attempts
     }
 
     /// Number of journaled runs.
@@ -424,8 +510,9 @@ mod tests {
         let path = tmp("roundtrip");
         let _ = std::fs::remove_file(&path);
         let mut j = RunJournal::create(&path, &header()).unwrap();
-        j.append(0, &record(500), &stats(40)).unwrap();
-        j.append(7, &record(1_000), &RunStats::default()).unwrap();
+        j.append(0, &record(500), &stats(40), 1).unwrap();
+        j.append(7, &record(1_000), &RunStats::default(), 3)
+            .unwrap();
         j.sync().unwrap();
         drop(j);
 
@@ -442,7 +529,7 @@ mod tests {
         let path = tmp("torn");
         let _ = std::fs::remove_file(&path);
         let mut j = RunJournal::create(&path, &header()).unwrap();
-        j.append(0, &record(500), &stats(40)).unwrap();
+        j.append(0, &record(500), &stats(40), 1).unwrap();
         j.sync().unwrap();
         drop(j);
 
@@ -456,7 +543,7 @@ mod tests {
         let (mut j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
         assert_eq!(loaded.recovered, 1);
         assert!(loaded.truncated_tail);
-        j.append(1, &record(1_500), &stats(99)).unwrap();
+        j.append(1, &record(1_500), &stats(99), 1).unwrap();
         j.sync().unwrap();
         drop(j);
 
@@ -522,8 +609,8 @@ mod tests {
         panicked.first_divergence = vec![];
         let quarantined = RunStats::default();
         let mut j = RunJournal::create(&path, &header()).unwrap();
-        j.append(3, &hung, &quarantined).unwrap();
-        j.append(4, &panicked, &quarantined).unwrap();
+        j.append(3, &hung, &quarantined, 1).unwrap();
+        j.append(4, &panicked, &quarantined, 2).unwrap();
         j.sync().unwrap();
         drop(j);
 
@@ -556,7 +643,7 @@ mod tests {
         j.set_fsync_interval(2);
         j.attach_obs(&obs);
         for k in 0..5 {
-            j.append(k, &record(500), &stats(10)).unwrap();
+            j.append(k, &record(500), &stats(10), 1).unwrap();
         }
         let snap = obs.snapshot().unwrap();
         assert_eq!(snap.counter("process.journal_appends"), Some(5));
@@ -566,5 +653,115 @@ mod tests {
         // The backstop clamp: interval 0 behaves as 1.
         j.set_fsync_interval(0);
         assert_eq!(j.fsync_interval(), 1);
+    }
+
+    #[test]
+    fn record_lines_carry_verifiable_crc_prefix() {
+        let path = tmp("crcformat");
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.append(0, &record(500), &stats(40), 1).unwrap();
+        j.append(1, &record(1_000), &stats(41), 2).unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        for line in &lines[1..] {
+            let (crc_hex, json) = line.split_once(' ').unwrap();
+            assert_eq!(crc_hex.len(), 8);
+            assert!(crc_hex.chars().all(|c| c.is_ascii_hexdigit()));
+            assert_eq!(crc_hex, &crc_hex.to_lowercase());
+            let expected = u32::from_str_radix(crc_hex, 16).unwrap();
+            assert_eq!(crc32(json.as_bytes()), expected);
+            let entry: JournalEntry = serde_json::from_str(json).unwrap();
+            assert!(entry.k < 2);
+        }
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE 802.3 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn attempts_roundtrip_through_reload() {
+        let path = tmp("attempts");
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.append(0, &record(500), &stats(40), 1).unwrap();
+        j.append(5, &record(1_000), &stats(41), 3).unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        let (j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(loaded.recovered, 2);
+        assert_eq!(j.attempts()[&0], 1);
+        assert_eq!(j.attempts()[&5], 3);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_rejected_with_line_number() {
+        let path = tmp("midcorrupt");
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        for k in 0..4 {
+            j.append(k, &record(500 * (k + 1)), &stats(10 + k), 1)
+                .unwrap();
+        }
+        j.sync().unwrap();
+        drop(j);
+
+        // Flip one bit inside the *second* record (physical line 3), leaving
+        // intact records after it.
+        let mut data = std::fs::read(&path).unwrap();
+        let mut newlines = data
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i);
+        let line3_start = newlines.nth(1).unwrap() + 1;
+        data[line3_start + 20] ^= 0x04;
+        std::fs::write(&path, &data).unwrap();
+
+        assert_eq!(
+            RunJournal::open_or_create(&path, &header()).unwrap_err(),
+            FiError::JournalCorrupt { line: 3 }
+        );
+    }
+
+    #[test]
+    fn complete_but_corrupt_final_line_is_truncated_as_torn_tail() {
+        let path = tmp("corrupttail");
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.append(0, &record(500), &stats(40), 1).unwrap();
+        j.append(1, &record(1_000), &stats(41), 1).unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        // Corrupt the *last* record only: with nothing intact after it, this
+        // is indistinguishable from a torn write and must truncate, not
+        // error.
+        let mut data = std::fs::read(&path).unwrap();
+        let last_line_start = {
+            let trimmed = &data[..data.len() - 1];
+            trimmed.iter().rposition(|&b| b == b'\n').unwrap() + 1
+        };
+        data[last_line_start + 15] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+
+        let (j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(loaded.recovered, 1);
+        assert!(loaded.truncated_tail);
+        assert!(j.entries().contains_key(&0));
+        assert!(!j.entries().contains_key(&1));
     }
 }

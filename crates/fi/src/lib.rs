@@ -26,6 +26,11 @@
 //! classified with an [`outcome::RunOutcome`], and the executor can write
 //! every finished run into an append-only [`journal::RunJournal`] so an
 //! interrupted campaign resumes — byte-identically — instead of restarting.
+//! For runs that can take the whole process down (`abort()`, stack
+//! overflow, hard deadlocks), [`process::IsolationMode::Process`] moves
+//! execution into a supervised pool of worker processes with hard
+//! wall-clock deadlines, crash classification
+//! ([`outcome::RunOutcome::Crashed`]) and bounded retry — see [`process`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +43,7 @@ pub mod journal;
 pub mod latency;
 pub mod model;
 pub mod outcome;
+pub mod process;
 pub mod results;
 pub mod spec;
 
@@ -53,6 +59,7 @@ pub mod prelude {
     pub use crate::latency::{latency_summaries, render_latencies, LatencySummary};
     pub use crate::model::ErrorModel;
     pub use crate::outcome::{OutcomeTally, RunOutcome};
+    pub use crate::process::{run_worker, IsolationMode, ProcessIsolation, WorkerCommand};
     pub use crate::results::{CampaignResult, PairStat, RunRecord, RunStats};
     pub use crate::spec::{CampaignSpec, InjectionScope, PortTarget};
 }

@@ -26,9 +26,27 @@ pub enum RunOutcome {
     /// The run tripped the stalled-clock watchdog: simulated time stopped
     /// making progress (typically an injected value made a module-internal
     /// loop unbounded). The run is quarantined.
+    ///
+    /// Under process isolation a run killed at the supervisor's *hard*
+    /// wall-clock deadline is also classified `Hung` — the worker never got
+    /// a chance to observe its own clock, so `last_tick_ms` is 0.
     Hung {
-        /// The last simulated tick at which progress was observed, in ms.
+        /// The last simulated tick at which progress was observed, in ms
+        /// (0 when the supervisor killed the run at the hard deadline).
         last_tick_ms: u64,
+    },
+    /// The run took its whole worker *process* down — `abort()`, a stack
+    /// overflow, an OOM kill — and the death was reproducible (or the retry
+    /// budget ran out). Only produced under
+    /// [`crate::process::IsolationMode::Process`]; in-process campaigns die
+    /// with the run instead. The run is quarantined.
+    Crashed {
+        /// The signal that terminated the worker (e.g. 6 for SIGABRT), when
+        /// the platform reports one.
+        signal: Option<i32>,
+        /// The worker's exit code, when it exited rather than being
+        /// signalled.
+        exit_code: Option<i32>,
     },
 }
 
@@ -74,8 +92,11 @@ pub struct OutcomeTally {
     pub completed: u64,
     /// Runs quarantined because they panicked.
     pub panicked: u64,
-    /// Runs quarantined because the stalled-clock watchdog tripped.
+    /// Runs quarantined because the stalled-clock watchdog tripped (or the
+    /// process-isolation supervisor killed them at the hard deadline).
     pub hung: u64,
+    /// Runs quarantined because they took their worker process down.
+    pub crashed: u64,
 }
 
 impl OutcomeTally {
@@ -85,17 +106,18 @@ impl OutcomeTally {
             RunOutcome::Completed => self.completed += 1,
             RunOutcome::Panicked { .. } => self.panicked += 1,
             RunOutcome::Hung { .. } => self.hung += 1,
+            RunOutcome::Crashed { .. } => self.crashed += 1,
         }
     }
 
     /// Total runs tallied.
     pub fn total(&self) -> u64 {
-        self.completed + self.panicked + self.hung
+        self.completed + self.panicked + self.hung + self.crashed
     }
 
     /// Runs that produced no usable comparison.
     pub fn quarantined(&self) -> u64 {
-        self.panicked + self.hung
+        self.panicked + self.hung + self.crashed
     }
 
     /// Quarantined fraction of all tallied runs (0 when nothing ran).
@@ -122,6 +144,11 @@ mod tests {
         }
         .is_quarantined());
         assert!(RunOutcome::Hung { last_tick_ms: 3 }.is_quarantined());
+        assert!(RunOutcome::Crashed {
+            signal: Some(9),
+            exit_code: None
+        }
+        .is_quarantined());
     }
 
     #[test]
@@ -170,6 +197,14 @@ mod tests {
         t.record(&RunOutcome::Hung { last_tick_ms: 9 });
         assert_eq!(t.quarantined(), 2);
         assert_eq!(t.total(), 5);
+        t.record(&RunOutcome::Crashed {
+            signal: Some(6),
+            exit_code: None,
+        });
+        assert_eq!(t.crashed, 1);
+        assert_eq!(t.quarantined(), 3);
+        assert_eq!(t.total(), 6);
+        assert_eq!(t.quarantined_fraction(), 0.5);
     }
 
     #[test]
@@ -180,6 +215,14 @@ mod tests {
                 message: "assertion failed".into(),
             },
             RunOutcome::Hung { last_tick_ms: 123 },
+            RunOutcome::Crashed {
+                signal: Some(9),
+                exit_code: None,
+            },
+            RunOutcome::Crashed {
+                signal: None,
+                exit_code: Some(134),
+            },
         ] {
             let json = serde_json::to_string(&o).unwrap();
             let back: RunOutcome = serde_json::from_str(&json).unwrap();

@@ -274,6 +274,7 @@ mod tests {
                 completed: 1,
                 panicked: 1,
                 hung: 1,
+                crashed: 0,
             },
         };
         // Only the completed run contributes to the cell's injection count.

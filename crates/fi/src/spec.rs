@@ -140,17 +140,24 @@ impl CampaignSpec {
         Ok(())
     }
 
+    /// Decodes coordinate index `k` into
+    /// `(target_idx, model_idx, time_idx, case_idx)` — the inverse of the
+    /// [`CampaignSpec::coordinates`] enumeration. Because the decoding
+    /// depends only on the spec, a supervisor and its worker processes agree
+    /// on what run `k` means without shipping the tuple itself.
+    pub fn coordinate(&self, k: usize) -> (usize, usize, usize, usize) {
+        let (nm, nt, nc) = (self.models.len(), self.times_ms.len(), self.cases);
+        let case = k % nc;
+        let time = (k / nc) % nt;
+        let model = (k / (nc * nt)) % nm;
+        let target = k / (nc * nt * nm);
+        (target, model, time, case)
+    }
+
     /// Enumerates all run coordinates in a deterministic order:
     /// `(target_idx, model_idx, time_idx, case_idx)`.
     pub fn coordinates(&self) -> impl Iterator<Item = (usize, usize, usize, usize)> + '_ {
-        let (nm, nt, nc) = (self.models.len(), self.times_ms.len(), self.cases);
-        (0..self.run_count()).map(move |k| {
-            let case = k % nc;
-            let time = (k / nc) % nt;
-            let model = (k / (nc * nt)) % nm;
-            let target = k / (nc * nt * nm);
-            (target, model, time, case)
-        })
+        (0..self.run_count()).map(move |k| self.coordinate(k))
     }
 }
 

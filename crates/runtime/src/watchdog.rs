@@ -26,7 +26,13 @@
 //! `work` and without letting the tick finish cannot be interrupted from
 //! within its own thread. The paper's module model (short, slot-scheduled
 //! steps) makes the tick boundary check cover everything but unbounded
-//! loops *inside* one `step`, which is exactly what `work` is for.
+//! loops *inside* one `step`, which is exactly what `work` is for. For
+//! stalls that never cooperate at all — and for faults that abort the whole
+//! process — the fault-injection campaign's process-isolation mode
+//! (`permea-fi`'s `IsolationMode::Process`) complements this watchdog with
+//! a hard per-run wall-clock deadline enforced from *outside* the run: the
+//! supervisor SIGKILLs the worker process at the deadline, no cooperation
+//! required.
 
 use crate::time::SimTime;
 use permea_obs::Counter;

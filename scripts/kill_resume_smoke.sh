@@ -21,7 +21,11 @@ if [[ ! -x "$STUDY" ]]; then
 fi
 
 WORK="$(mktemp -d)"
-trap 'rm -rf "$WORK"' EXIT
+PID=""
+# Also reap the background study if the script dies before killing it
+# itself — otherwise a failed run leaks a campaign writing into the
+# (removed) work directory.
+trap 'if [[ -n "$PID" ]]; then kill -9 "$PID" 2>/dev/null || true; fi; rm -rf "$WORK"' EXIT
 INTERRUPTED="$WORK/interrupted"
 CLEAN="$WORK/clean"
 

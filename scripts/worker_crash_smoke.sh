@@ -1,0 +1,78 @@
+#!/usr/bin/env bash
+# Worker-crash smoke test for the process-isolated study campaign.
+#
+# Starts `study --quick --isolation process`, SIGKILLs worker processes
+# mid-campaign (twice, spaced out), and checks that:
+#   * the supervisor absorbs the deaths (respawn + retry) and exits 0,
+#   * result.json is byte-identical to a clean in-process run — killed
+#     attempts change no result bit,
+#   * metrics.json records the respawns (`process.worker_respawns` >= 1).
+#
+# Usage: scripts/worker_crash_smoke.sh [path-to-study-binary]
+
+set -euo pipefail
+
+STUDY="${1:-target/release/study}"
+if [[ ! -x "$STUDY" ]]; then
+    echo "building study binary..."
+    cargo build --release -p permea-analysis --bin study
+    STUDY=target/release/study
+fi
+
+WORK="$(mktemp -d)"
+PID=""
+trap 'if [[ -n "$PID" ]]; then kill -9 "$PID" 2>/dev/null || true; fi; rm -rf "$WORK"' EXIT
+PROC="$WORK/process"
+CLEAN="$WORK/clean"
+
+echo "== start a process-isolated quick study =="
+"$STUDY" --quick --isolation process --workers 2 --max-retries 5 \
+    --out "$PROC" --metrics-out "$PROC/metrics.json" \
+    >"$WORK/process.log" 2>&1 &
+PID=$!
+
+# SIGKILL a worker process (a child of the supervisor) twice while the
+# campaign runs, with a pause in between so the first death's retry has
+# long finished before the second one lands.
+KILLS=0
+for _ in $(seq 1 600); do
+    if ! kill -0 "$PID" 2>/dev/null; then
+        break
+    fi
+    if [[ "$KILLS" -lt 2 ]]; then
+        VICTIM=$(pgrep -P "$PID" | head -n1 || true)
+        if [[ -n "$VICTIM" ]] && kill -9 "$VICTIM" 2>/dev/null; then
+            KILLS=$((KILLS + 1))
+            echo "SIGKILLed worker $VICTIM (kill $KILLS)"
+            sleep 1
+            continue
+        fi
+    fi
+    sleep 0.05
+done
+
+if [[ "$KILLS" -lt 1 ]]; then
+    echo "FAIL: the campaign finished before any worker could be killed" >&2
+    exit 1
+fi
+if ! wait "$PID"; then
+    echo "FAIL: supervisor did not survive the worker kills" >&2
+    tail -n 40 "$WORK/process.log" >&2
+    exit 1
+fi
+PID=""
+echo "supervisor exited 0 after $KILLS worker kill(s)"
+
+echo "== clean in-process reference run =="
+"$STUDY" --quick --threads 1 --out "$CLEAN" >"$WORK/clean.log" 2>&1
+
+echo "== compare results =="
+cmp "$PROC/result.json" "$CLEAN/result.json"
+
+RESPAWNS=$(grep -m1 '"process.worker_respawns"' "$PROC/metrics.json" | tr -dc '0-9')
+if [[ -z "$RESPAWNS" || "$RESPAWNS" -lt 1 ]]; then
+    echo "FAIL: expected at least one recorded worker respawn, got '$RESPAWNS'" >&2
+    exit 1
+fi
+echo "PASS: process-mode result is byte-identical to in-process" \
+     "($KILLS kills absorbed, $RESPAWNS respawn(s) recorded)"

@@ -1,0 +1,436 @@
+//! End-to-end tests of the supervised worker-process pool
+//! (`IsolationMode::Process`): hard faults that would kill an in-process
+//! campaign — `abort()`, non-cooperative spins — only kill their worker,
+//! get classified, retried and quarantined, and the campaign completes
+//! with results byte-identical to in-process execution.
+//!
+//! The worker processes are re-execs of this very test binary: the
+//! supervisor launches it filtered down to [`ipc_worker_entry`] with
+//! `PERMEA_TEST_WORKER=1`, which drops straight into
+//! [`permea::fi::process::run_worker`]. Companion probe tests demonstrate
+//! that the same faults are fatal under `IsolationMode::InProcess` — the
+//! behaviour this subsystem exists to fix.
+#![cfg(unix)]
+
+use permea::fi::campaign::{Campaign, CampaignConfig, FnSystemFactory, SystemFactory};
+use permea::fi::journal::RunJournal;
+use permea::fi::model::ErrorModel;
+use permea::fi::outcome::RunOutcome;
+use permea::fi::process::{run_worker, IsolationMode, ProcessIsolation, WorkerCommand};
+use permea::fi::spec::{CampaignSpec, InjectionScope, PortTarget};
+use permea::runtime::module::{ModuleCtx, SoftwareModule};
+use permea::runtime::scheduler::Schedule;
+use permea::runtime::signals::{SignalBus, SignalRef};
+use permea::runtime::sim::{Environment, Simulation, SimulationBuilder};
+use permea::runtime::time::SimTime;
+use permea_obs::Obs;
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// What the `DUT` module does when it observes an injected value (any
+/// value with bit 15 set — the un-injected environment never produces one).
+#[derive(Debug, Clone)]
+enum FaultMode {
+    /// Plain copy: the injected value propagates, nothing breaks.
+    Benign,
+    /// `abort()` — takes the whole process down with SIGABRT.
+    Abort,
+    /// A non-cooperative spin: never calls `work`, never finishes the
+    /// tick, so the cooperative watchdog cannot see it. Only a hard
+    /// wall-clock deadline from outside the process bounds it.
+    Hang,
+    /// Transient crash: aborts once (dropping a marker file), behaves
+    /// benignly on every later attempt — an OOM-kill/cosmic-ray stand-in
+    /// that a retry absorbs.
+    AbortOnce(PathBuf),
+}
+
+impl FaultMode {
+    fn to_payload(&self) -> String {
+        match self {
+            FaultMode::Benign => "benign".to_owned(),
+            FaultMode::Abort => "abort".to_owned(),
+            FaultMode::Hang => "hang".to_owned(),
+            FaultMode::AbortOnce(marker) => format!("abort-once:{}", marker.display()),
+        }
+    }
+
+    fn from_payload(payload: &str) -> Result<Self, String> {
+        match payload {
+            "benign" => Ok(FaultMode::Benign),
+            "abort" => Ok(FaultMode::Abort),
+            "hang" => Ok(FaultMode::Hang),
+            other => other
+                .strip_prefix("abort-once:")
+                .map(|p| FaultMode::AbortOnce(PathBuf::from(p)))
+                .ok_or_else(|| format!("unknown fault mode `{other}`")),
+        }
+    }
+}
+
+struct FaultyCopy {
+    mode: FaultMode,
+}
+
+impl SoftwareModule for FaultyCopy {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let v = ctx.read(0);
+        if v & 0x8000 != 0 {
+            match &self.mode {
+                FaultMode::Benign => {}
+                FaultMode::Abort => std::process::abort(),
+                FaultMode::Hang => loop {
+                    std::hint::spin_loop();
+                },
+                FaultMode::AbortOnce(marker) => {
+                    if !marker.exists() {
+                        let _ = std::fs::write(marker, b"tripped");
+                        std::process::abort();
+                    }
+                }
+            }
+        }
+        ctx.write(0, v);
+    }
+}
+
+struct ConstEnv {
+    sensor: SignalRef,
+    limit: u64,
+}
+
+impl Environment for ConstEnv {
+    fn pre_tick(&mut self, _: SimTime, bus: &mut SignalBus) {
+        // Always below 0x8000: only an injected bit-15 flip can trigger
+        // the fault, so golden runs (supervisor- and worker-side) and
+        // non-triggering injections are always safe.
+        bus.write(self.sensor, 100);
+    }
+    fn post_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
+    fn finished(&self, now: SimTime) -> bool {
+        now.as_millis() >= self.limit
+    }
+}
+
+fn build_sim(_case: usize, mode: FaultMode) -> Simulation {
+    let mut b = SimulationBuilder::new();
+    let sensor = b.define_signal("sensor");
+    let out = b.define_signal("out");
+    b.add_module(
+        "DUT",
+        Box::new(FaultyCopy { mode }),
+        Schedule::every_ms(),
+        &[sensor],
+        &[out],
+    );
+    let mut sim = b.build(Box::new(ConstEnv { sensor, limit: 80 }));
+    sim.enable_tracing_all();
+    sim
+}
+
+fn factory_for(mode: FaultMode) -> FnSystemFactory<impl Fn(usize) -> Simulation + Sync> {
+    FnSystemFactory::new(1, 10_000, move |case| build_sim(case, mode.clone()))
+}
+
+fn spec(bits: &[u8], times_ms: Vec<u64>) -> CampaignSpec {
+    CampaignSpec {
+        targets: vec![PortTarget::new("DUT", "sensor")],
+        models: bits
+            .iter()
+            .map(|&bit| ErrorModel::BitFlip { bit })
+            .collect(),
+        times_ms,
+        cases: 1,
+        scope: InjectionScope::Port,
+    }
+}
+
+/// A worker command that re-execs this test binary straight into
+/// [`ipc_worker_entry`].
+fn worker_command() -> WorkerCommand {
+    let mut command = WorkerCommand::current_exe(vec![
+        "ipc_worker_entry".to_owned(),
+        "--exact".to_owned(),
+        "--nocapture".to_owned(),
+    ])
+    .expect("current test binary resolves");
+    command
+        .envs
+        .push(("PERMEA_TEST_WORKER".to_owned(), "1".to_owned()));
+    command
+}
+
+/// Not a test of anything by itself: when `PERMEA_TEST_WORKER=1`, this is
+/// the main loop of a worker process spawned by the supervisor tests
+/// below. In a normal test-suite invocation it is a no-op.
+#[test]
+fn ipc_worker_entry() {
+    if std::env::var("PERMEA_TEST_WORKER").as_deref() != Ok("1") {
+        return;
+    }
+    let code = run_worker(|payload| {
+        FaultMode::from_payload(payload)
+            .map(|mode| Box::new(factory_for(mode)) as Box<dyn SystemFactory>)
+    });
+    std::process::exit(i32::from(code));
+}
+
+#[test]
+fn deterministic_abort_is_classified_crashed_and_the_campaign_survives() {
+    let mut pool = ProcessIsolation::new(worker_command(), FaultMode::Abort.to_payload());
+    pool.workers = 1;
+    pool.retry_backoff_ms = 1;
+    let factory = factory_for(FaultMode::Abort);
+    let obs = Obs::with_sinks(Vec::new());
+    let campaign = Campaign::new(
+        &factory,
+        CampaignConfig {
+            threads: 1,
+            max_quarantined_fraction: 1.0,
+            isolation: IsolationMode::Process(pool),
+            ..CampaignConfig::default()
+        },
+    )
+    .with_obs(obs.clone());
+    let s = spec(&[15], vec![10]);
+
+    let path =
+        std::env::temp_dir().join(format!("permea-process-abort-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let header = campaign.journal_header(&s);
+    let (mut journal, _) = RunJournal::open_or_create(&path, &header).unwrap();
+    let result = campaign
+        .run_resumable(&s, Some(&mut journal), None)
+        .unwrap();
+
+    assert_eq!(result.total_runs, 1);
+    assert_eq!(result.outcomes.crashed, 1);
+    match &result.records[0].outcome {
+        RunOutcome::Crashed { signal, .. } => {
+            assert_eq!(*signal, Some(6), "abort() dies by SIGABRT")
+        }
+        other => panic!("expected Crashed, got {other:?}"),
+    }
+    // The identical SIGABRT on the retry quarantines the coordinate after
+    // exactly two attempts, and the journal records the count.
+    assert_eq!(journal.attempts().get(&0).copied(), Some(2));
+    let snap = obs.snapshot().unwrap();
+    assert_eq!(snap.counter("campaign.runs_crashed"), Some(1));
+    drop(journal);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn hard_hang_is_killed_at_the_wall_clock_deadline() {
+    let mut pool = ProcessIsolation::new(worker_command(), FaultMode::Hang.to_payload());
+    pool.workers = 1;
+    pool.run_timeout_ms = 800;
+    pool.retry_backoff_ms = 1;
+    let factory = factory_for(FaultMode::Hang);
+    let obs = Obs::with_sinks(Vec::new());
+    let campaign = Campaign::new(
+        &factory,
+        CampaignConfig {
+            threads: 1,
+            max_quarantined_fraction: 1.0,
+            max_retries: 0,
+            isolation: IsolationMode::Process(pool),
+            ..CampaignConfig::default()
+        },
+    )
+    .with_obs(obs.clone());
+    let started = Instant::now();
+    let result = campaign.run(&spec(&[15], vec![10])).unwrap();
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "a non-cooperative spin must be bounded by the hard deadline"
+    );
+    assert_eq!(result.outcomes.hung, 1);
+    assert!(matches!(
+        result.records[0].outcome,
+        RunOutcome::Hung { last_tick_ms: 0 }
+    ));
+    let snap = obs.snapshot().unwrap();
+    assert!(snap.counter("process.worker_kills").unwrap_or(0) >= 1);
+}
+
+#[test]
+fn transient_worker_death_is_retried_and_matches_the_in_process_result() {
+    let marker =
+        std::env::temp_dir().join(format!("permea-process-once-{}.marker", std::process::id()));
+    let _ = std::fs::remove_file(&marker);
+    let mut pool = ProcessIsolation::new(
+        worker_command(),
+        FaultMode::AbortOnce(marker.clone()).to_payload(),
+    );
+    pool.workers = 1;
+    pool.retry_backoff_ms = 1;
+    let factory = factory_for(FaultMode::Benign);
+    let obs = Obs::with_sinks(Vec::new());
+    let s = spec(&[15], vec![10]);
+    let result = Campaign::new(
+        &factory,
+        CampaignConfig {
+            threads: 1,
+            isolation: IsolationMode::Process(pool),
+            ..CampaignConfig::default()
+        },
+    )
+    .with_obs(obs.clone())
+    .run(&s)
+    .unwrap();
+    let _ = std::fs::remove_file(&marker);
+
+    let baseline = Campaign::new(
+        &factory,
+        CampaignConfig {
+            threads: 1,
+            ..CampaignConfig::default()
+        },
+    )
+    .run(&s)
+    .unwrap();
+    assert_eq!(
+        result, baseline,
+        "a retried transient crash must not change any result bit"
+    );
+    assert_eq!(result.outcomes.completed, 1);
+    let snap = obs.snapshot().unwrap();
+    assert!(snap.counter("process.worker_respawns").unwrap_or(0) >= 1);
+    assert!(snap.counter("process.run_retries").unwrap_or(0) >= 1);
+}
+
+#[test]
+fn crash_storm_trips_the_breaker_and_completes_in_process() {
+    // A worker command that can never spawn, with a zero respawn budget:
+    // the circuit breaker trips immediately and the whole campaign
+    // degrades to the in-process executor.
+    let command = WorkerCommand {
+        program: "/nonexistent/permea-worker".to_owned(),
+        args: Vec::new(),
+        envs: Vec::new(),
+    };
+    let mut pool = ProcessIsolation::new(command, FaultMode::Benign.to_payload());
+    pool.workers = 1;
+    pool.retry_backoff_ms = 1;
+    pool.max_worker_respawns = 0;
+    let factory = factory_for(FaultMode::Benign);
+    let s = spec(&[0, 1], vec![10]);
+    let result = Campaign::new(
+        &factory,
+        CampaignConfig {
+            threads: 1,
+            isolation: IsolationMode::Process(pool),
+            ..CampaignConfig::default()
+        },
+    )
+    .run(&s)
+    .unwrap();
+    let baseline = Campaign::new(
+        &factory,
+        CampaignConfig {
+            threads: 1,
+            ..CampaignConfig::default()
+        },
+    )
+    .run(&s)
+    .unwrap();
+    assert_eq!(result, baseline);
+    assert_eq!(result.outcomes.completed, 2);
+}
+
+/// Probe body (env-gated): runs the abort campaign under
+/// `IsolationMode::InProcess`. The abort is expected to take this whole
+/// process down; exiting 0 means it survived.
+#[test]
+fn inprocess_abort_probe() {
+    if std::env::var("PERMEA_TEST_INPROCESS_ABORT").as_deref() != Ok("1") {
+        return;
+    }
+    let factory = factory_for(FaultMode::Abort);
+    let campaign = Campaign::new(
+        &factory,
+        CampaignConfig {
+            threads: 1,
+            max_quarantined_fraction: 1.0,
+            ..CampaignConfig::default()
+        },
+    );
+    let _ = campaign.run(&spec(&[15], vec![10]));
+    std::process::exit(0);
+}
+
+/// The in-process executor cannot survive `abort()` — exactly what
+/// process isolation fixes. Runs the probe above in a child process and
+/// asserts the child dies by SIGABRT instead of completing the campaign.
+#[test]
+fn abort_kills_the_campaign_without_process_isolation() {
+    use std::os::unix::process::ExitStatusExt;
+    let exe = std::env::current_exe().unwrap();
+    let status = Command::new(exe)
+        .args(["inprocess_abort_probe", "--exact", "--nocapture"])
+        .env("PERMEA_TEST_INPROCESS_ABORT", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .status()
+        .unwrap();
+    assert_eq!(
+        status.signal(),
+        Some(6),
+        "the in-process campaign must die with the aborting run"
+    );
+}
+
+/// Probe body (env-gated): runs the non-cooperative-spin campaign under
+/// `IsolationMode::InProcess`. The spin never polls the cooperative
+/// watchdog, so this process is expected to hang forever.
+#[test]
+fn inprocess_hang_probe() {
+    if std::env::var("PERMEA_TEST_INPROCESS_HANG").as_deref() != Ok("1") {
+        return;
+    }
+    let factory = factory_for(FaultMode::Hang);
+    let campaign = Campaign::new(
+        &factory,
+        CampaignConfig {
+            threads: 1,
+            max_quarantined_fraction: 1.0,
+            ..CampaignConfig::default()
+        },
+    );
+    let _ = campaign.run(&spec(&[15], vec![10]));
+    std::process::exit(0);
+}
+
+/// The cooperative watchdog cannot bound a spin that never cooperates:
+/// in-process, the campaign hangs indefinitely (we give it two seconds,
+/// then kill it). The process-mode counterpart above finishes the same
+/// campaign in under its 800 ms deadline plus overhead.
+#[test]
+fn hard_hang_outlives_the_in_process_watchdog() {
+    let exe = std::env::current_exe().unwrap();
+    let mut child = Command::new(exe)
+        .args(["inprocess_hang_probe", "--exact", "--nocapture"])
+        .env("PERMEA_TEST_INPROCESS_HANG", "1")
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .unwrap();
+    let deadline = Instant::now() + Duration::from_secs(2);
+    let mut exited = None;
+    while Instant::now() < deadline {
+        if let Some(status) = child.try_wait().unwrap() {
+            exited = Some(status);
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+    assert!(
+        exited.is_none(),
+        "the in-process campaign was expected to hang on the spin, \
+         but exited with {exited:?}"
+    );
+}

@@ -223,6 +223,69 @@ proptest! {
     }
 
     #[test]
+    fn journal_bit_flips_are_rejected_with_the_line_number(
+        entry in 0usize..15,
+        byte_pick in any::<u64>(),
+        bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        // Flip one bit anywhere inside a non-final record line (CRC
+        // prefix, separator or JSON payload — everything but the
+        // newline): reopening must reject the journal as corrupt and
+        // name the physical line, never silently resume over the hole.
+        let f = tiny_factory();
+        let config = CampaignConfig {
+            threads: 1,
+            master_seed: seed,
+            ..CampaignConfig::default()
+        };
+        let spec = tiny_spec();
+        let path = std::env::temp_dir()
+            .join(format!("permea-prop-crc-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let c = Campaign::new(&f, config);
+        let header = c.journal_header(&spec);
+        let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+        c.run_resumable(&spec, Some(&mut j), None).unwrap();
+        drop(j);
+
+        let mut data = std::fs::read(&path).unwrap();
+        // Byte offsets of each line start; line 0 is the header, so the
+        // targeted record line is at index `entry + 1` (1-based physical
+        // line `entry + 2`).
+        let mut starts = vec![0usize];
+        for (i, &b) in data.iter().enumerate() {
+            if b == b'\n' && i + 1 < data.len() {
+                starts.push(i + 1);
+            }
+        }
+        prop_assert!(starts.len() >= 17, "expected 16 record lines");
+        let line_start = starts[entry + 1];
+        let line_len = data[line_start..]
+            .iter()
+            .position(|&b| b == b'\n')
+            .unwrap();
+        let target = line_start + (byte_pick as usize % line_len);
+        let mut flip = 1u8 << bit;
+        // One flip is value-preserving: bit 5 of a hex letter in the CRC
+        // prefix only changes its case, which `from_str_radix` accepts.
+        // Redirect that single combination to a value-changing bit.
+        if target < line_start + 8 && flip == 0x20 && data[target].is_ascii_alphabetic() {
+            flip = 0x01;
+        }
+        data[target] ^= flip;
+        std::fs::write(&path, &data).unwrap();
+
+        let reopened = RunJournal::open_or_create(&path, &header);
+        let _ = std::fs::remove_file(&path);
+        match reopened {
+            Err(FiError::JournalCorrupt { line }) => prop_assert_eq!(line, entry + 2),
+            Err(other) => prop_assert!(false, "expected JournalCorrupt, got {:?}", other),
+            Ok(_) => prop_assert!(false, "corrupt journal was accepted"),
+        }
+    }
+
+    #[test]
     fn pair_stat_estimate_is_a_probability(errors_raw in any::<u64>(), injections in 1u64..1_000_000) {
         let errors = errors_raw % (injections + 1);
         let stat = PairStat {
