@@ -17,15 +17,23 @@
 //!   --workers N        worker processes / supervisor threads (0 = cores)
 //!   --run-timeout MS   hard per-run wall-clock deadline (process mode)
 //!   --max-retries N    retries for runs that kill their worker (default 2)
+//!   --adaptive         sequential sampling instead of the dense grid
+//!   --target-ci W      CI half-width stopping goal (implies --adaptive)
+//!   --batch-size N     planner batch per stratum (implies --adaptive)
 //! ```
+//!
+//! The adaptive flags override (or install) the spec's own `adaptive`
+//! plan, so a dense spec file can be re-run adaptively without editing it.
 //!
 //! Exit codes: 0 success, 1 failure, 2 usage error, 3 quarantine threshold
 //! exceeded (systematic target breakage).
 
 use permea_analysis::factory::ArrestmentFactory;
 use permea_arrestment::testcase::TestCase;
+use permea_fi::adaptive::AdaptivePlan;
 use permea_fi::campaign::{Campaign, CampaignConfig, SystemFactory};
 use permea_fi::error::FiError;
+use permea_fi::estimate::{render_target_summaries, target_summaries};
 use permea_fi::latency::{latency_summaries, render_latencies};
 use permea_fi::model::ErrorModel;
 use permea_fi::process::{run_worker, IsolationMode, ProcessIsolation, WorkerCommand};
@@ -49,6 +57,7 @@ fn example_spec() -> CampaignSpec {
         times_ms: vec![800, 2400, 4000],
         cases: 9,
         scope: InjectionScope::Port,
+        adaptive: None,
     }
 }
 
@@ -58,7 +67,7 @@ fn usage() -> ! {
          [--grid MxV] [--horizon MS] [--seed S] [--out FILE] \
          [--progress] [--metrics-out FILE] [--events FILE] \
          [--isolation process|in-process] [--workers N] [--run-timeout MS] \
-         [--max-retries N]\n\
+         [--max-retries N] [--adaptive] [--target-ci W] [--batch-size N]\n\
          exit codes: 0 success, 1 failure, 2 usage, \
          3 quarantine threshold exceeded"
     );
@@ -87,6 +96,9 @@ fn main() -> ExitCode {
     let mut workers = 0usize;
     let mut run_timeout_ms: Option<u64> = None;
     let mut max_retries: Option<u32> = None;
+    let mut adaptive = false;
+    let mut target_ci: Option<f64> = None;
+    let mut batch_size: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -134,6 +146,21 @@ fn main() -> ExitCode {
                 Some(n) => max_retries = Some(n),
                 None => usage(),
             },
+            "--adaptive" => adaptive = true,
+            "--target-ci" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(w) => {
+                    adaptive = true;
+                    target_ci = Some(w);
+                }
+                None => usage(),
+            },
+            "--batch-size" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    adaptive = true;
+                    batch_size = Some(n);
+                }
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -170,6 +197,15 @@ fn main() -> ExitCode {
     };
     let cases = TestCase::grid(grid.0, grid.1);
     spec.cases = cases.len();
+    if adaptive {
+        let plan = spec.adaptive.get_or_insert_with(AdaptivePlan::default);
+        if let Some(w) = target_ci {
+            plan.target_ci = w;
+        }
+        if let Some(n) = batch_size {
+            plan.batch_size = n;
+        }
+    }
     let factory = ArrestmentFactory::with_cases(cases);
     let mut campaign_config = CampaignConfig {
         threads: 0,
@@ -239,6 +275,13 @@ fn main() -> ExitCode {
         );
     }
     println!();
+    if spec.adaptive.is_some() {
+        print!(
+            "{}",
+            render_target_summaries(&target_summaries(&spec, &result))
+        );
+        println!();
+    }
     print!("{}", render_latencies(&latency_summaries(&result)));
 
     if let Some(out_path) = out_path {

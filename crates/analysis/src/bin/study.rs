@@ -7,6 +7,7 @@
 //!       [--progress] [--metrics-out PATH] [--events PATH]
 //!       [--fsync-interval N] [--isolation process|in-process]
 //!       [--workers N] [--run-timeout MS] [--max-retries N]
+//!       [--adaptive] [--target-ci W] [--batch-size N]
 //! ```
 //!
 //! `--quick` (default) runs the reduced configuration (seconds);
@@ -45,14 +46,27 @@
 //! the supervisor thread count), `--run-timeout MS` sets the hard per-run
 //! wall-clock deadline. Results are byte-identical to in-process execution.
 //!
+//! `--adaptive` replaces the dense injection grid with the sequential
+//! sampling planner: each target's stratum stops as soon as every Wilson
+//! interval half-width drops below the target precision, and the freed
+//! budget flows to the least-converged targets. `--target-ci W` sets that
+//! half-width goal (default 0.05) and `--batch-size N` the per-stratum
+//! batch between interval recomputations (default 50); both imply
+//! `--adaptive`. The sampled coordinates are journaled, so `--resume`
+//! replays the planner's decisions byte-identically. `precision.txt` in
+//! the artifact directory reports per-target achieved precision and
+//! runs saved versus the dense grid.
+//!
 //! Exit codes: 0 success, 1 failure, 2 usage error, 3 quarantine threshold
 //! exceeded (systematic target breakage), 130 interrupted (resumable).
 
 use permea_analysis::factory::ArrestmentFactory;
 use permea_analysis::report::Report;
 use permea_analysis::study::{Study, StudyConfig};
+use permea_fi::adaptive::AdaptivePlan;
 use permea_fi::campaign::SystemFactory;
 use permea_fi::error::FiError;
+use permea_fi::estimate::{render_target_summaries, target_summaries};
 use permea_fi::journal::RunJournal;
 use permea_fi::process::{run_worker, IsolationMode, ProcessIsolation, WorkerCommand};
 use permea_obs::{JsonlSink, Obs, ProgressSink, Sink, StderrSink};
@@ -103,7 +117,7 @@ fn usage() -> ! {
          [--replay] [--compare-paths] [--journal] [--resume DIR] \
          [--progress] [--metrics-out PATH] [--events PATH] [--fsync-interval N] \
          [--isolation process|in-process] [--workers N] [--run-timeout MS] \
-         [--max-retries N]\n\
+         [--max-retries N] [--adaptive] [--target-ci W] [--batch-size N]\n\
          exit codes: 0 success, 1 failure, 2 usage, \
          3 quarantine threshold exceeded, 130 interrupted"
     );
@@ -191,6 +205,27 @@ fn main() -> ExitCode {
                 Some(s) => config.seed = s,
                 None => usage(),
             },
+            "--adaptive" => {
+                config.adaptive.get_or_insert_with(AdaptivePlan::default);
+            }
+            "--target-ci" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(w) => {
+                    config
+                        .adaptive
+                        .get_or_insert_with(AdaptivePlan::default)
+                        .target_ci = w;
+                }
+                None => usage(),
+            },
+            "--batch-size" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => {
+                    config
+                        .adaptive
+                        .get_or_insert_with(AdaptivePlan::default)
+                        .batch_size = n;
+                }
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -222,6 +257,13 @@ fn main() -> ExitCode {
         spec_preview.cases,
         spec_preview.run_count()
     ));
+    if let Some(plan) = &config.adaptive {
+        obs.info(format!(
+            "adaptive sampling: target CI half-width {}, batches of {} per stratum \
+             (dense grid is the budget ceiling)",
+            plan.target_ci, plan.batch_size
+        ));
+    }
 
     let mut study = Study::new(config.clone()).with_obs(obs.clone());
     if let Some(interval) = fsync_interval {
@@ -294,8 +336,15 @@ fn main() -> ExitCode {
             obs.info(format!(
                 "interrupted: {completed} of {total} runs journaled"
             ));
+            let adaptive_hint = match &config.adaptive {
+                Some(plan) => format!(
+                    " --adaptive --target-ci {} --batch-size {}",
+                    plan.target_ci, plan.batch_size
+                ),
+                None => String::new(),
+            };
             obs.info(format!(
-                "resume with: study {} --resume {}{}",
+                "resume with: study {} --resume {}{}{}",
                 if config.masses >= 5 {
                     "--full"
                 } else {
@@ -303,6 +352,7 @@ fn main() -> ExitCode {
                 },
                 out_dir.display(),
                 if replay { " --replay" } else { "" },
+                adaptive_hint,
             ));
             return ExitCode::from(130);
         }
@@ -316,6 +366,15 @@ fn main() -> ExitCode {
         }
     };
     let first_secs = started.elapsed().as_secs_f64();
+    if config.adaptive.is_some() {
+        let dense = output.spec.run_count() as u64;
+        let sampled = output.result.total_runs;
+        obs.info(format!(
+            "adaptive sampling: {sampled} of {dense} dense-grid runs executed \
+             ({:.1}% saved)",
+            100.0 * dense.saturating_sub(sampled) as f64 / dense.max(1) as f64
+        ));
+    }
     obs.info(format!(
         "campaign finished in {first_secs:.1}s ({}{})",
         if config.fast_forward {
@@ -358,6 +417,12 @@ fn main() -> ExitCode {
 
     let metrics = obs.snapshot();
     let mut report = Report::from_study(&output);
+    // Per-target achieved precision and runs saved; for a dense campaign
+    // the same table audits the achieved CI widths.
+    report.files.push((
+        "precision.txt".to_owned(),
+        render_target_summaries(&target_summaries(&output.spec, &output.result)),
+    ));
     if let Some(snap) = &metrics {
         report
             .files

@@ -104,6 +104,7 @@ impl PlacementConfig {
             times_ms: self.times_ms.clone(),
             cases: self.masses * self.velocities,
             scope: InjectionScope::Signal,
+            adaptive: None,
         }
     }
 }

@@ -103,6 +103,7 @@ pub fn workload_sweep(
             times_ms: config.times_ms.clone(),
             cases: 1,
             scope: InjectionScope::Port,
+            adaptive: None,
         };
         let result = campaign.run(&spec)?;
         let matrix = estimate_matrix(&topology, &result)?;

@@ -12,6 +12,7 @@ use permea_core::paths::PathSet;
 use permea_core::placement::{PlacementAdvisor, PlacementPlan};
 use permea_core::topology::SystemTopology;
 use permea_core::trace::TraceForest;
+use permea_fi::adaptive::AdaptivePlan;
 use permea_fi::campaign::{Campaign, CampaignConfig};
 use permea_fi::error::FiError;
 use permea_fi::journal::{JournalHeader, RunJournal, DEFAULT_FSYNC_INTERVAL};
@@ -47,6 +48,11 @@ pub struct StudyConfig {
     /// reconvergence (bit-identical results; off only for differential
     /// timing).
     pub fast_forward: bool,
+    /// Adaptive sampling plan: `None` runs the paper's dense grid, `Some`
+    /// lets the sequential planner stop each target's stratum once its
+    /// Wilson intervals are tight enough (see
+    /// [`permea_fi::adaptive::AdaptivePlan`]).
+    pub adaptive: Option<AdaptivePlan>,
 }
 
 impl StudyConfig {
@@ -65,6 +71,7 @@ impl StudyConfig {
             keep_records: true,
             scope: InjectionScope::Port,
             fast_forward: true,
+            adaptive: None,
         }
     }
 
@@ -83,6 +90,7 @@ impl StudyConfig {
             keep_records: true,
             scope: InjectionScope::Port,
             fast_forward: true,
+            adaptive: None,
         }
     }
 
@@ -99,6 +107,7 @@ impl StudyConfig {
             keep_records: true,
             scope: InjectionScope::Port,
             fast_forward: true,
+            adaptive: None,
         }
     }
 
@@ -124,6 +133,7 @@ impl StudyConfig {
             times_ms: self.times_ms.clone(),
             cases: self.masses * self.velocities,
             scope: self.scope,
+            adaptive: self.adaptive.clone(),
         }
     }
 }

@@ -49,6 +49,7 @@ fn run(
         times_ms: vec![700, 1600, 2800, 4100],
         cases: factory.cases().len(),
         scope,
+        adaptive: None,
     };
     campaign.run(&spec).expect("ablation campaign runs")
 }

@@ -51,6 +51,7 @@ fn bench(c: &mut Criterion) {
         times_ms: vec![800, 1900],
         cases: 1,
         scope: InjectionScope::Port,
+        adaptive: None,
     };
     let mut group = c.benchmark_group("campaign/32_runs");
     group.sample_size(10);

@@ -1,0 +1,715 @@
+//! Adaptive sampling: a confidence-driven campaign planner with sequential
+//! early stopping.
+//!
+//! The paper estimates every permeability `P̂_{i,k}` from a fixed dense grid
+//! — 4 000 injections per target in the full experiment — even when the
+//! Wilson interval around an estimate is already tight after a few hundred
+//! runs. The [`AdaptivePlanner`] replaces that enumeration with sequential
+//! batches: per injection target it maintains streaming error counts,
+//! recomputes the Wilson intervals after every batch, and *closes* a
+//! target's stratum once every interval half-width has fallen below the
+//! configured [`AdaptivePlan::target_ci`] (or the per-target run cap is
+//! hit). The budget of each round is re-allocated to the still-open strata
+//! in proportion to their widest interval — successive-elimination style —
+//! so the hardest-to-pin-down targets soak up the runs the easy ones no
+//! longer need.
+//!
+//! Determinism is preserved end to end: each stratum samples its local
+//! coordinates in a fixed permutation derived from the campaign master
+//! seed, every decision the planner takes is a pure function of the records
+//! it has been fed, and records themselves are deterministic per
+//! coordinate. A resumed campaign therefore replays the planner's decisions
+//! byte-identically from the journal, and thread count cannot change the
+//! result because batches are barriers: allocation for round *r + 1* only
+//! ever sees the completed records of rounds *1..=r*.
+
+use crate::error::FiError;
+use crate::estimate::wilson_interval;
+use crate::results::RunRecord;
+use crate::spec::CampaignSpec;
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Mixing constant decorrelating per-stratum permutation seeds from the
+/// per-run seeds (which use the golden-ratio constant).
+const STRATUM_SEED_MIX: u64 = 0xD1B5_4A32_D192_ED03;
+
+/// Configuration of the adaptive sampling subsystem, carried on
+/// [`CampaignSpec::adaptive`]. A spec without a plan enumerates the dense
+/// grid exactly as before.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdaptivePlan {
+    /// Runs allocated per target per round. The round budget is
+    /// `batch_size × targets`; as strata close, their share flows to the
+    /// widest remaining intervals.
+    pub batch_size: usize,
+    /// Stop threshold: a stratum closes once every Wilson half-width of its
+    /// (input, output) pairs is at or below this value. Must lie in (0, 1).
+    pub target_ci: f64,
+    /// Standard normal quantile for the Wilson intervals (1.96 for 95 %).
+    pub z: f64,
+    /// Runs a stratum must execute before it may close on a tight interval
+    /// (guards against closing on the vacuous certainty of tiny samples).
+    pub min_runs: u64,
+    /// Per-target run cap; a stratum closes unconditionally when it is
+    /// reached. `0` means the dense per-target grid size — the adaptive
+    /// campaign then never exceeds the paper's budget.
+    pub max_runs: u64,
+    /// Ranking-stability stop rule: when greater than zero, the whole
+    /// campaign stops once the relative ordering of all pair estimates has
+    /// been identical for this many consecutive rounds (and every stratum
+    /// has at least [`AdaptivePlan::min_runs`]). `0` disables the rule.
+    pub stable_rounds: u32,
+}
+
+impl Default for AdaptivePlan {
+    fn default() -> Self {
+        AdaptivePlan {
+            batch_size: 50,
+            target_ci: 0.05,
+            z: 1.96,
+            min_runs: 50,
+            max_runs: 0,
+            stable_rounds: 0,
+        }
+    }
+}
+
+impl AdaptivePlan {
+    /// The effective per-target cap: `max_runs` clipped to the dense grid
+    /// (`0` means the full grid).
+    pub fn effective_max_runs(&self, per_target: usize) -> u64 {
+        let dense = per_target as u64;
+        if self.max_runs == 0 {
+            dense
+        } else {
+            self.max_runs.min(dense)
+        }
+    }
+
+    /// Validates the plan against the spec's per-target grid size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError::InvalidAdaptivePlan`] naming the offending field.
+    pub fn validate(&self, per_target: usize) -> Result<(), FiError> {
+        if self.batch_size == 0 {
+            return Err(FiError::InvalidAdaptivePlan {
+                reason: "batch_size must be greater than zero",
+            });
+        }
+        if !self.target_ci.is_finite() || self.target_ci <= 0.0 || self.target_ci >= 1.0 {
+            return Err(FiError::InvalidAdaptivePlan {
+                reason: "target_ci must lie strictly between 0 and 1",
+            });
+        }
+        if !self.z.is_finite() || self.z <= 0.0 {
+            return Err(FiError::InvalidAdaptivePlan {
+                reason: "z must be positive and finite",
+            });
+        }
+        if self.min_runs > self.effective_max_runs(per_target) {
+            return Err(FiError::InvalidAdaptivePlan {
+                reason: "min_runs exceeds the effective per-target run cap",
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Why a stratum stopped drawing budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopReason {
+    /// Every Wilson half-width fell to or below the target.
+    CiReached,
+    /// The per-target run cap was exhausted.
+    BudgetExhausted,
+    /// The campaign-wide ranking-stability rule fired.
+    RankingStable,
+}
+
+/// Per-target sampling state: the fixed coordinate permutation, the cursor
+/// into it, and the streaming error counts per output.
+#[derive(Debug)]
+struct Stratum {
+    /// Local coordinates `0..per_target` in sampling order.
+    order: Vec<u32>,
+    /// Coordinates handed out so far (equals recorded runs at every batch
+    /// boundary — batches are barriers).
+    issued: usize,
+    /// Runs recorded, including quarantined ones (they consume budget but
+    /// produce no comparison).
+    executed: u64,
+    /// Completed runs — the Wilson `n`.
+    trials: u64,
+    /// Per-output error counts — the Wilson `n_err`.
+    errors: Vec<u64>,
+    closed: Option<StopReason>,
+}
+
+impl Stratum {
+    /// Widest Wilson half-width across this target's outputs. `0.5` before
+    /// any trial completed (the vacuous `(0, 1)` interval), `0.0` for a
+    /// target with no outputs.
+    fn max_half_width(&self, z: f64) -> f64 {
+        self.errors
+            .iter()
+            .map(|&e| {
+                let (lo, hi) = wilson_interval(e, self.trials, z);
+                (hi - lo) / 2.0
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Snapshot of one stratum's progress, for reporting and telemetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StratumStatus {
+    /// Target index in spec order.
+    pub target: usize,
+    /// Runs recorded (including quarantined).
+    pub executed: u64,
+    /// Completed runs feeding the estimates.
+    pub trials: u64,
+    /// Widest Wilson half-width across the target's outputs.
+    pub max_half_width: f64,
+    /// Why the stratum closed, if it has.
+    pub closed: Option<StopReason>,
+}
+
+/// The sequential sampling planner driving an adaptive campaign.
+///
+/// Feed it every finished [`RunRecord`] via [`AdaptivePlanner::record`] and
+/// ask for the next coordinates with [`AdaptivePlanner::next_batch`]; an
+/// empty batch means every stratum has closed. All decisions are pure
+/// functions of the plan, the master seed and the records seen so far.
+#[derive(Debug)]
+pub struct AdaptivePlanner {
+    plan: AdaptivePlan,
+    per_target: usize,
+    strata: Vec<Stratum>,
+    rounds: u64,
+    ranking_streak: u32,
+    last_ranking: Option<Vec<(usize, usize)>>,
+}
+
+impl AdaptivePlanner {
+    /// Builds the planner for a spec. `outputs_per_target[t]` is the number
+    /// of output signals of target `t` (in spec order) — the pairs whose
+    /// intervals gate that stratum. The sampling permutations derive from
+    /// `master_seed` alone, so two planners with equal inputs make equal
+    /// decisions.
+    pub fn new(
+        spec: &CampaignSpec,
+        plan: AdaptivePlan,
+        outputs_per_target: &[usize],
+        master_seed: u64,
+    ) -> Self {
+        debug_assert_eq!(outputs_per_target.len(), spec.targets.len());
+        let per_target = spec.injections_per_target();
+        let strata = outputs_per_target
+            .iter()
+            .enumerate()
+            .map(|(t, &outputs)| Stratum {
+                order: permutation(per_target, stratum_seed(master_seed, t)),
+                issued: 0,
+                executed: 0,
+                trials: 0,
+                errors: vec![0; outputs],
+                closed: None,
+            })
+            .collect();
+        AdaptivePlanner {
+            plan,
+            per_target,
+            strata,
+            rounds: 0,
+            ranking_streak: 0,
+            last_ranking: None,
+        }
+    }
+
+    /// Records one finished run. `k` is the global coordinate index; the
+    /// record may be quarantined (it then consumes budget without adding a
+    /// trial).
+    pub fn record(&mut self, k: usize, record: &RunRecord) {
+        let stratum = &mut self.strata[k / self.per_target];
+        stratum.executed += 1;
+        if record.outcome.is_completed() {
+            stratum.trials += 1;
+            for (out, div) in record.first_divergence.iter().enumerate() {
+                if div.is_some() {
+                    stratum.errors[out] += 1;
+                }
+            }
+        }
+    }
+
+    /// Plans the next round: closes strata whose stop condition now holds,
+    /// applies the ranking-stability rule, and distributes the round budget
+    /// (`batch_size × targets`) over the open strata in proportion to their
+    /// widest Wilson half-width. Returns global coordinate indices in
+    /// ascending order; an empty batch means the campaign is finished.
+    ///
+    /// Every coordinate of the previous batch must have been fed back via
+    /// [`AdaptivePlanner::record`] first — batches are barriers, which is
+    /// what makes the plan independent of executor thread count.
+    pub fn next_batch(&mut self) -> Vec<usize> {
+        let z = self.plan.z;
+        let cap = self.plan.effective_max_runs(self.per_target);
+        for stratum in &mut self.strata {
+            debug_assert_eq!(stratum.issued as u64, stratum.executed);
+            if stratum.closed.is_some() {
+                continue;
+            }
+            if stratum.executed >= cap {
+                stratum.closed = Some(StopReason::BudgetExhausted);
+            } else if stratum.executed >= self.plan.min_runs
+                && stratum.max_half_width(z) <= self.plan.target_ci
+            {
+                stratum.closed = Some(StopReason::CiReached);
+            }
+        }
+        self.apply_ranking_rule();
+
+        let open: Vec<usize> = (0..self.strata.len())
+            .filter(|&t| self.strata[t].closed.is_none())
+            .collect();
+        if open.is_empty() {
+            return Vec::new();
+        }
+
+        let budget = self.plan.batch_size * self.strata.len();
+        let widths: Vec<f64> = open
+            .iter()
+            .map(|&t| self.strata[t].max_half_width(z))
+            .collect();
+        let capacities: Vec<usize> = open
+            .iter()
+            .map(|&t| (cap - self.strata[t].executed) as usize)
+            .collect();
+        let alloc = allocate(budget, &widths, &capacities);
+
+        let mut batch = Vec::new();
+        for (slot, &t) in open.iter().enumerate() {
+            let stratum = &mut self.strata[t];
+            for &local in &stratum.order[stratum.issued..stratum.issued + alloc[slot]] {
+                batch.push(t * self.per_target + local as usize);
+            }
+            stratum.issued += alloc[slot];
+        }
+        debug_assert!(!batch.is_empty(), "open strata always have capacity");
+        batch.sort_unstable();
+        self.rounds += 1;
+        batch
+    }
+
+    /// Closes every open stratum once the pair-estimate ranking has been
+    /// stable for [`AdaptivePlan::stable_rounds`] consecutive rounds and
+    /// every stratum meets `min_runs`. The ranking orders all (target,
+    /// output) pairs by descending point estimate with the pair index as a
+    /// deterministic tie-break, mirroring how the study ranks propagation
+    /// paths.
+    fn apply_ranking_rule(&mut self) {
+        if self.plan.stable_rounds == 0 {
+            return;
+        }
+        let mut ranking: Vec<(usize, usize)> = self
+            .strata
+            .iter()
+            .enumerate()
+            .flat_map(|(t, s)| (0..s.errors.len()).map(move |o| (t, o)))
+            .collect();
+        ranking.sort_by(|&(ta, oa), &(tb, ob)| {
+            let ea = estimate(&self.strata[ta], oa);
+            let eb = estimate(&self.strata[tb], ob);
+            eb.partial_cmp(&ea)
+                .expect("estimates are finite")
+                .then((ta, oa).cmp(&(tb, ob)))
+        });
+        if self.last_ranking.as_ref() == Some(&ranking) {
+            self.ranking_streak += 1;
+        } else {
+            self.ranking_streak = 0;
+            self.last_ranking = Some(ranking);
+        }
+        if self.ranking_streak >= self.plan.stable_rounds
+            && self.strata.iter().all(|s| s.executed >= self.plan.min_runs)
+        {
+            for stratum in &mut self.strata {
+                if stratum.closed.is_none() {
+                    stratum.closed = Some(StopReason::RankingStable);
+                }
+            }
+        }
+    }
+
+    /// Rounds planned so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Number of strata that have closed.
+    pub fn strata_closed(&self) -> usize {
+        self.strata.iter().filter(|s| s.closed.is_some()).count()
+    }
+
+    /// Progress snapshot per stratum, in target order.
+    pub fn status(&self) -> Vec<StratumStatus> {
+        self.strata
+            .iter()
+            .enumerate()
+            .map(|(target, s)| StratumStatus {
+                target,
+                executed: s.executed,
+                trials: s.trials,
+                max_half_width: s.max_half_width(self.plan.z),
+                closed: s.closed,
+            })
+            .collect()
+    }
+}
+
+/// Point estimate of pair (stratum, output): `n_err / n` (0 before any
+/// trial).
+fn estimate(stratum: &Stratum, output: usize) -> f64 {
+    if stratum.trials == 0 {
+        0.0
+    } else {
+        stratum.errors[output] as f64 / stratum.trials as f64
+    }
+}
+
+/// Per-stratum permutation seed, mixed so neighbouring targets get
+/// unrelated streams.
+fn stratum_seed(master_seed: u64, target: usize) -> u64 {
+    master_seed ^ (target as u64 + 1).wrapping_mul(STRATUM_SEED_MIX)
+}
+
+/// Deterministic Fisher–Yates permutation of `0..n` under the given seed.
+fn permutation(n: usize, seed: u64) -> Vec<u32> {
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for i in (1..n).rev() {
+        // Modulo bias is irrelevant here: only determinism matters.
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    order
+}
+
+/// Largest-remainder proportional allocation of `budget` over strata with
+/// the given `weights`, each clipped to its remaining `capacity`. Spare
+/// budget freed by a clipped stratum spills over to the widest unclipped
+/// ones; every open stratum with capacity receives at least one run so no
+/// stratum can be starved below `min_runs` indefinitely. Fully
+/// deterministic: ties break on the lower index.
+fn allocate(budget: usize, weights: &[f64], capacities: &[usize]) -> Vec<usize> {
+    let n = weights.len();
+    let mut alloc = vec![0usize; n];
+    let total: f64 = weights.iter().sum();
+    let mut remaining = budget;
+    if total > 0.0 {
+        // Integer shares plus remainders, largest remainder first.
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(n);
+        for i in 0..n {
+            let exact = budget as f64 * weights[i] / total;
+            let floor = exact.floor() as usize;
+            alloc[i] = floor.min(capacities[i]);
+            remainders.push((i, exact - floor as f64));
+        }
+        remaining = budget.saturating_sub(alloc.iter().sum());
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite").then(a.0.cmp(&b.0)));
+        for &(i, _) in &remainders {
+            if remaining == 0 {
+                break;
+            }
+            if alloc[i] < capacities[i] {
+                alloc[i] += 1;
+                remaining -= 1;
+            }
+        }
+    }
+    // Spill whatever is left (clipped shares, zero-weight rounds) to the
+    // widest strata with spare capacity, round-robin.
+    while remaining > 0 {
+        let next = (0..n)
+            .filter(|&i| alloc[i] < capacities[i])
+            .max_by(|&a, &b| {
+                weights[a]
+                    .partial_cmp(&weights[b])
+                    .expect("finite")
+                    .then(b.cmp(&a))
+            });
+        match next {
+            Some(i) => {
+                alloc[i] += 1;
+                remaining -= 1;
+            }
+            None => break,
+        }
+    }
+    // Progress floor: never leave an open stratum at zero while others got
+    // more than one run.
+    for i in 0..n {
+        if alloc[i] == 0 && capacities[i] > 0 {
+            if let Some(donor) = (0..n).filter(|&d| alloc[d] > 1).max_by_key(|&d| alloc[d]) {
+                alloc[donor] -= 1;
+                alloc[i] += 1;
+            }
+        }
+    }
+    alloc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ErrorModel;
+    use crate::outcome::RunOutcome;
+    use crate::spec::{InjectionScope, PortTarget};
+
+    fn spec(targets: usize, plan: AdaptivePlan) -> CampaignSpec {
+        CampaignSpec {
+            targets: (0..targets)
+                .map(|t| PortTarget::new(format!("M{t}"), "in"))
+                .collect(),
+            models: ErrorModel::all_bit_flips(),
+            times_ms: vec![10, 20],
+            cases: 4,
+            scope: InjectionScope::Port,
+            adaptive: Some(plan),
+        }
+    }
+
+    fn record(target: &PortTarget, diverged: bool) -> RunRecord {
+        RunRecord {
+            module: target.module.clone(),
+            input_signal: target.input_signal.clone(),
+            model: ErrorModel::BitFlip { bit: 0 },
+            time_ms: 10,
+            case: 0,
+            original_value: 1,
+            corrupted_value: 0,
+            first_divergence: vec![if diverged { Some(10) } else { None }],
+            outcome: RunOutcome::Completed,
+        }
+    }
+
+    /// Drives a planner to completion with a fixed per-target divergence
+    /// rule, returning every batch it planned.
+    fn drive(spec: &CampaignSpec, diverges: impl Fn(usize) -> bool) -> Vec<Vec<usize>> {
+        let outputs = vec![1; spec.targets.len()];
+        let mut planner =
+            AdaptivePlanner::new(spec, spec.adaptive.clone().unwrap(), &outputs, 0x5EED);
+        let per_target = spec.injections_per_target();
+        let mut batches = Vec::new();
+        loop {
+            let batch = planner.next_batch();
+            if batch.is_empty() {
+                break;
+            }
+            for &k in &batch {
+                let t = k / per_target;
+                planner.record(k, &record(&spec.targets[t], diverges(t)));
+            }
+            batches.push(batch);
+        }
+        batches
+    }
+
+    #[test]
+    fn plan_validation_rejects_nonsense() {
+        let per_target = 128;
+        let ok = AdaptivePlan::default();
+        assert!(ok.validate(per_target).is_ok());
+        let bad = AdaptivePlan {
+            batch_size: 0,
+            ..ok.clone()
+        };
+        assert!(matches!(
+            bad.validate(per_target),
+            Err(FiError::InvalidAdaptivePlan { .. })
+        ));
+        let bad = AdaptivePlan {
+            target_ci: 0.0,
+            ..ok.clone()
+        };
+        assert!(bad.validate(per_target).is_err());
+        let bad = AdaptivePlan {
+            target_ci: 1.5,
+            ..ok.clone()
+        };
+        assert!(bad.validate(per_target).is_err());
+        let bad = AdaptivePlan {
+            z: f64::NAN,
+            ..ok.clone()
+        };
+        assert!(bad.validate(per_target).is_err());
+        let bad = AdaptivePlan {
+            min_runs: 4_001,
+            max_runs: 0,
+            ..ok.clone()
+        };
+        assert!(bad.validate(per_target).is_err());
+        // max_runs of 0 means the dense grid size.
+        assert_eq!(ok.effective_max_runs(per_target), 128);
+        let capped = AdaptivePlan { max_runs: 64, ..ok };
+        assert_eq!(capped.effective_max_runs(per_target), 64);
+    }
+
+    #[test]
+    fn deterministic_degenerate_pairs_close_at_min_runs() {
+        // Both targets are fully deterministic (always / never diverges):
+        // their intervals tighten fast, so each stratum should close well
+        // before the 128-run dense grid.
+        let plan = AdaptivePlan {
+            batch_size: 8,
+            target_ci: 0.1,
+            min_runs: 16,
+            ..AdaptivePlan::default()
+        };
+        let s = spec(2, plan);
+        let batches = drive(&s, |t| t == 0);
+        let sampled: usize = batches.iter().map(Vec::len).sum();
+        assert!(
+            sampled < s.run_count() / 2,
+            "deterministic pairs must close early: sampled {sampled} of {}",
+            s.run_count()
+        );
+    }
+
+    #[test]
+    fn batches_are_deterministic_and_disjoint() {
+        let plan = AdaptivePlan {
+            batch_size: 8,
+            target_ci: 0.1,
+            min_runs: 16,
+            ..AdaptivePlan::default()
+        };
+        let s = spec(3, plan);
+        let a = drive(&s, |t| t == 1);
+        let b = drive(&s, |t| t == 1);
+        assert_eq!(a, b, "identical inputs must replay identical batches");
+        let mut seen = std::collections::HashSet::new();
+        for k in a.into_iter().flatten() {
+            assert!(k < s.run_count());
+            assert!(seen.insert(k), "coordinate {k} issued twice");
+        }
+    }
+
+    #[test]
+    fn budget_cap_bounds_every_stratum() {
+        let plan = AdaptivePlan {
+            batch_size: 8,
+            target_ci: 0.001, // effectively unreachable
+            min_runs: 8,
+            max_runs: 40,
+            ..AdaptivePlan::default()
+        };
+        let s = spec(2, plan);
+        let batches = drive(&s, |_| true);
+        let per_target = s.injections_per_target();
+        let mut per = vec![0usize; 2];
+        for k in batches.into_iter().flatten() {
+            per[k / per_target] += 1;
+        }
+        assert!(per.iter().all(|&n| n <= 40), "cap violated: {per:?}");
+        assert!(per.iter().all(|&n| n > 0));
+    }
+
+    #[test]
+    fn ranking_stability_rule_stops_whole_campaign() {
+        let no_rule = AdaptivePlan {
+            batch_size: 8,
+            target_ci: 0.0001,
+            min_runs: 8,
+            stable_rounds: 0,
+            ..AdaptivePlan::default()
+        };
+        let with_rule = AdaptivePlan {
+            stable_rounds: 3,
+            ..no_rule.clone()
+        };
+        let dense: usize = drive(&spec(2, no_rule), |t| t == 0)
+            .iter()
+            .map(Vec::len)
+            .sum();
+        let stopped: usize = drive(&spec(2, with_rule), |t| t == 0)
+            .iter()
+            .map(Vec::len)
+            .sum();
+        assert!(
+            stopped < dense,
+            "a stable ranking must stop earlier: {stopped} vs {dense}"
+        );
+    }
+
+    #[test]
+    fn quarantined_runs_consume_budget_without_trials() {
+        let plan = AdaptivePlan {
+            batch_size: 8,
+            target_ci: 0.1,
+            min_runs: 8,
+            max_runs: 24,
+            ..AdaptivePlan::default()
+        };
+        let s = spec(1, plan);
+        let outputs = vec![1usize];
+        let mut planner = AdaptivePlanner::new(&s, s.adaptive.clone().unwrap(), &outputs, 0x5EED);
+        let mut total = 0;
+        loop {
+            let batch = planner.next_batch();
+            if batch.is_empty() {
+                break;
+            }
+            total += batch.len();
+            for &k in &batch {
+                let mut r = record(&s.targets[0], false);
+                r.outcome = RunOutcome::Panicked {
+                    message: "boom".into(),
+                };
+                r.first_divergence = vec![];
+                planner.record(k, &r);
+            }
+        }
+        // All runs quarantined: trials never accumulate, the interval stays
+        // vacuous, and only the run cap can close the stratum.
+        assert_eq!(total, 24);
+        let status = planner.status();
+        assert_eq!(status[0].closed, Some(StopReason::BudgetExhausted));
+        assert_eq!(status[0].trials, 0);
+        assert_eq!(status[0].executed, 24);
+    }
+
+    #[test]
+    fn allocation_is_proportional_and_capacity_clipped() {
+        // Twice the width should draw roughly twice the budget.
+        let alloc = allocate(30, &[0.2, 0.1], &[100, 100]);
+        assert_eq!(alloc.iter().sum::<usize>(), 30);
+        assert!(alloc[0] > alloc[1]);
+        // Clipped stratum spills its share to the other.
+        let alloc = allocate(30, &[0.2, 0.1], &[5, 100]);
+        assert_eq!(alloc, vec![5, 25]);
+        // Zero weights still drain the budget (first round has no data).
+        let alloc = allocate(10, &[0.0, 0.0], &[4, 100]);
+        assert_eq!(alloc.iter().sum::<usize>(), 10);
+        // Nothing fits: budget is simply not spent.
+        let alloc = allocate(10, &[0.5], &[0]);
+        assert_eq!(alloc, vec![0]);
+    }
+
+    #[test]
+    fn permutations_cover_all_coordinates() {
+        let p = permutation(257, 42);
+        let mut seen: Vec<bool> = vec![false; 257];
+        for &x in &p {
+            assert!(!seen[x as usize]);
+            seen[x as usize] = true;
+        }
+        assert!(seen.into_iter().all(|b| b));
+        assert_ne!(p, permutation(257, 43), "seeds must decorrelate");
+        assert_eq!(p, permutation(257, 42), "same seed, same order");
+    }
+}

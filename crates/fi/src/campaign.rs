@@ -26,6 +26,7 @@
 //! bit-identical to the replay-from-zero path, which is kept (set
 //! `fast_forward: false`) for differential testing.
 
+use crate::adaptive::AdaptivePlanner;
 use crate::error::FiError;
 use crate::golden::GoldenRun;
 use crate::journal::{JournalHeader, RunJournal, DEFAULT_FSYNC_INTERVAL};
@@ -43,7 +44,7 @@ use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Spacing of the periodic golden checkpoints used for convergence
@@ -297,6 +298,9 @@ struct Instruments {
     worker_kills: Counter,
     run_retries: Counter,
     attempt_micros: Histogram,
+    adaptive_batches: Counter,
+    adaptive_strata_closed: Counter,
+    adaptive_runs_saved: Counter,
 }
 
 impl Instruments {
@@ -322,6 +326,9 @@ impl Instruments {
             worker_kills: obs.counter("process.worker_kills"),
             run_retries: obs.counter("process.run_retries"),
             attempt_micros: obs.histogram("process.attempt_micros"),
+            adaptive_batches: obs.counter("adaptive.batches"),
+            adaptive_strata_closed: obs.counter("adaptive.strata_closed"),
+            adaptive_runs_saved: obs.counter("adaptive.runs_saved"),
         }
     }
 
@@ -347,6 +354,31 @@ impl Instruments {
             self.ticks_saved.add(golden_ticks.saturating_sub(converged));
         }
     }
+}
+
+/// Shared planner state of an adaptive campaign: the current batch's
+/// still-unclaimed coordinates, the number in flight, and every coordinate
+/// sampled so far. Guarded by one mutex so batch planning is a barrier —
+/// round *r + 1* is only ever computed from the complete records of rounds
+/// *1..=r*, which is what keeps adaptive campaigns independent of executor
+/// thread count.
+struct AdaptiveState {
+    planner: AdaptivePlanner,
+    /// Unclaimed coordinates of the current batch, served from the back.
+    pending: Vec<usize>,
+    /// Claimed-but-uncommitted coordinates of the current batch.
+    outstanding: usize,
+    /// The planner returned an empty batch: the campaign is complete.
+    finished: bool,
+    /// Every coordinate the planner has issued, in issue order.
+    sampled: Vec<u64>,
+}
+
+/// Where worker threads claim coordinates from: the dense grid cursor, or
+/// the adaptive planner with its batch condvar.
+enum WorkSource {
+    Dense(AtomicUsize),
+    Adaptive(Mutex<AdaptiveState>, Condvar),
 }
 
 /// A ready-to-run campaign binding a factory to a configuration.
@@ -669,6 +701,7 @@ impl<'f> Campaign<'f> {
             times_ms: vec![time_ms],
             cases: golden.run.case + 1,
             scope,
+            adaptive: None,
         };
         let resolved = self.resolve_targets(&spec)?;
         let run = self.run_injected(&resolved[0], scope, model, time_ms, golden, seed)?;
@@ -916,12 +949,18 @@ impl<'f> Campaign<'f> {
             .map(|j| j.entries().clone())
             .unwrap_or_default();
         debug_assert!(done.keys().all(|&k| (k as usize) < run_count));
+        let adaptive_mode = spec.adaptive.is_some();
         // Recovered runs merge into the deterministic totals exactly as if
         // they had been executed here — that is what makes a resumed
         // campaign's `campaign.*` metrics equal an uninterrupted one's.
-        ins.runs_recovered.add(done.len() as u64);
-        for (record, stats) in done.values() {
-            ins.account(record, stats, golden_ticks[record.case]);
+        // Under an adaptive plan a journaled run only counts once the
+        // planner re-issues its coordinate, so accounting happens at replay
+        // time in `claim` instead.
+        if !adaptive_mode {
+            ins.runs_recovered.add(done.len() as u64);
+            for (record, stats) in done.values() {
+                ins.account(record, stats, golden_ticks[record.case]);
+            }
         }
         let journal = journal.map(|j| {
             j.set_fsync_interval(self.config.journal_fsync_interval);
@@ -930,18 +969,42 @@ impl<'f> Campaign<'f> {
         });
 
         // Progress bookkeeping, only ever touched when telemetry is enabled.
+        // Adaptive replays count journaled runs as they are re-issued.
         let recovered = done.len() as u64;
-        let progress_done = AtomicU64::new(recovered);
-        let progress_quarantined = AtomicU64::new(
+        let progress_done = AtomicU64::new(if adaptive_mode { 0 } else { recovered });
+        let progress_quarantined = AtomicU64::new(if adaptive_mode {
+            0
+        } else {
             done.values()
                 .filter(|(r, _)| !r.outcome.is_completed())
-                .count() as u64,
-        );
+                .count() as u64
+        });
         let progress_forked = AtomicU64::new(0);
         let progress_executed = AtomicU64::new(0);
 
-        // Shared work queue over coordinate indices.
-        let next = AtomicUsize::new(0);
+        // Shared work source over coordinate indices: the dense cursor, or
+        // the adaptive planner seeded so its decisions replay on resume.
+        let source = match &spec.adaptive {
+            Some(plan) => {
+                let outputs: Vec<usize> = targets.iter().map(|t| t.output_signals.len()).collect();
+                WorkSource::Adaptive(
+                    Mutex::new(AdaptiveState {
+                        planner: AdaptivePlanner::new(
+                            spec,
+                            plan.clone(),
+                            &outputs,
+                            self.config.master_seed,
+                        ),
+                        pending: Vec::new(),
+                        outstanding: 0,
+                        finished: false,
+                        sampled: Vec::new(),
+                    }),
+                    Condvar::new(),
+                )
+            }
+            None => WorkSource::Dense(AtomicUsize::new(0)),
+        };
         let executed: Mutex<Vec<(u64, RunRecord)>> = Mutex::new(Vec::new());
         // First infrastructure failure (journal I/O, poisoned lock, ...);
         // quarantined runs never land here.
@@ -962,18 +1025,96 @@ impl<'f> Campaign<'f> {
             if fail.lock().map(|slot| slot.is_some()).unwrap_or(true) {
                 return None;
             }
-            let k = next.fetch_add(1, Ordering::Relaxed);
-            if k >= run_count {
-                return None;
+            match &source {
+                WorkSource::Dense(next) => {
+                    let k = next.fetch_add(1, Ordering::Relaxed);
+                    if k >= run_count {
+                        return None;
+                    }
+                    if done.contains_key(&(k as u64)) {
+                        continue;
+                    }
+                    return Some(k);
+                }
+                WorkSource::Adaptive(state, batch_done) => {
+                    let Ok(mut s) = state.lock() else {
+                        set_fail(FiError::WorkerPanicked);
+                        return None;
+                    };
+                    loop {
+                        if s.finished || cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+                            return None;
+                        }
+                        if let Some(k) = s.pending.pop() {
+                            if let Some((record, stats)) = done.get(&(k as u64)) {
+                                // Journal replay: the planner re-issued a
+                                // coordinate an earlier execution already
+                                // ran, so feed it the journaled record
+                                // instead of executing. Accounting matches
+                                // the dense path's upfront merge.
+                                ins.runs_recovered.inc();
+                                ins.account(record, stats, golden_ticks[record.case]);
+                                s.planner.record(k, record);
+                                if obs.enabled() {
+                                    progress_done.fetch_add(1, Ordering::Relaxed);
+                                    if !record.outcome.is_completed() {
+                                        progress_quarantined.fetch_add(1, Ordering::Relaxed);
+                                    }
+                                }
+                                continue;
+                            }
+                            s.outstanding += 1;
+                            return Some(k);
+                        }
+                        if s.outstanding > 0 {
+                            // The batch tail is still in flight on other
+                            // threads; wake on commit (or time out to
+                            // re-check the cancel and fail flags).
+                            match batch_done.wait_timeout(s, Duration::from_millis(20)) {
+                                Ok((guard, _)) => s = guard,
+                                Err(_) => {
+                                    set_fail(FiError::WorkerPanicked);
+                                    return None;
+                                }
+                            }
+                            if fail.lock().map(|slot| slot.is_some()).unwrap_or(true) {
+                                return None;
+                            }
+                            continue;
+                        }
+                        // Batch barrier reached: every issued coordinate is
+                        // recorded, so the planner may allocate the next
+                        // round.
+                        let batch = s.planner.next_batch();
+                        if batch.is_empty() {
+                            s.finished = true;
+                            batch_done.notify_all();
+                            return None;
+                        }
+                        s.sampled.extend(batch.iter().map(|&k| k as u64));
+                        // `pop` from the back serves ascending coordinates.
+                        s.pending = batch;
+                        s.pending.reverse();
+                    }
+                }
             }
-            if done.contains_key(&(k as u64)) {
-                continue;
-            }
-            return Some(k);
         };
         let commit = |k: usize, record: RunRecord, stats: RunStats, attempts: u32| -> bool {
             ins.account(&record, &stats, golden_ticks[record.case]);
             ins.runs_executed.inc();
+            if let WorkSource::Adaptive(state, batch_done) = &source {
+                match state.lock() {
+                    Ok(mut s) => {
+                        s.planner.record(k, &record);
+                        s.outstanding -= 1;
+                        batch_done.notify_all();
+                    }
+                    Err(_) => {
+                        set_fail(FiError::WorkerPanicked);
+                        return false;
+                    }
+                }
+            }
             if let Some(j) = &journal {
                 let appended = j
                     .lock()
@@ -1207,8 +1348,28 @@ impl<'f> Campaign<'f> {
         }
 
         let executed = executed.into_inner().map_err(|_| FiError::WorkerPanicked)?;
-        let mut merged: Vec<(u64, RunRecord)> =
-            done.into_iter().map(|(k, (r, _))| (k, r)).collect();
+        let (sampled, planner) = match source {
+            WorkSource::Dense(_) => (None, None),
+            WorkSource::Adaptive(state, _) => {
+                let s = state.into_inner().map_err(|_| FiError::WorkerPanicked)?;
+                (Some(s.sampled), Some(s.planner))
+            }
+        };
+        // Dense campaigns merge every journaled record; adaptive campaigns
+        // merge exactly the coordinates the planner sampled (a journaled
+        // run whose batch was never re-issued — possible only after a
+        // cancellation — stays out, matching its skipped accounting).
+        let mut merged: Vec<(u64, RunRecord)> = match &sampled {
+            None => done.into_iter().map(|(k, (r, _))| (k, r)).collect(),
+            Some(sampled_ks) => {
+                let sampled_set: std::collections::HashSet<u64> =
+                    sampled_ks.iter().copied().collect();
+                done.into_iter()
+                    .filter(|(k, _)| sampled_set.contains(k))
+                    .map(|(k, (r, _))| (k, r))
+                    .collect()
+            }
+        };
         merged.extend(executed);
         merged.sort_by_key(|&(k, _)| k);
 
@@ -1236,7 +1397,20 @@ impl<'f> Campaign<'f> {
                 total: run_count as u64,
             });
         }
-        debug_assert_eq!(merged.len(), run_count);
+        match &sampled {
+            None => debug_assert_eq!(merged.len(), run_count),
+            Some(s) => debug_assert_eq!(merged.len(), s.len()),
+        }
+        // Adaptive totals are deterministic facts of the finished plan: a
+        // resumed campaign replays the same rounds and closes the same
+        // strata, so these merge to the uninterrupted values just like the
+        // `campaign.*` counters.
+        if let (Some(p), Some(s)) = (&planner, &sampled) {
+            ins.adaptive_batches.add(p.rounds());
+            ins.adaptive_strata_closed.add(p.strata_closed() as u64);
+            ins.adaptive_runs_saved
+                .add(run_count.saturating_sub(s.len()) as u64);
+        }
         emit_final_progress();
 
         // Assemble the result purely from the merged record set, in
@@ -1246,12 +1420,14 @@ impl<'f> Campaign<'f> {
         let per_target = spec.injections_per_target();
         let mut outcomes = OutcomeTally::default();
         let mut completed_per_target = vec![0u64; targets.len()];
+        let mut runs_per_target = vec![0u64; targets.len()];
         let mut errors: Vec<Vec<u64>> = targets
             .iter()
             .map(|t| vec![0u64; t.output_signals.len()])
             .collect();
         for (k, record) in &merged {
             let ti = (*k as usize) / per_target;
+            runs_per_target[ti] += 1;
             outcomes.record(&record.outcome);
             if record.outcome.is_completed() {
                 completed_per_target[ti] += 1;
@@ -1287,6 +1463,7 @@ impl<'f> Campaign<'f> {
                 });
             }
         }
+        let total_runs = merged.len() as u64;
         Ok(CampaignResult {
             pairs,
             records: if self.config.keep_records {
@@ -1295,7 +1472,8 @@ impl<'f> Campaign<'f> {
                 Vec::new()
             },
             golden_ticks,
-            total_runs: run_count as u64,
+            total_runs,
+            runs_per_target,
             outcomes,
         })
     }
@@ -1367,6 +1545,7 @@ mod tests {
             times_ms: vec![10, 50],
             cases: 2,
             scope: InjectionScope::Port,
+            adaptive: None,
         }
     }
 
@@ -1678,6 +1857,7 @@ mod tests {
             times_ms: vec![10],
             cases: 1,
             scope: InjectionScope::Port,
+            adaptive: None,
         }
     }
 
@@ -1789,6 +1969,7 @@ mod tests {
             times_ms: vec![10],
             cases: 1,
             scope: InjectionScope::Port,
+            adaptive: None,
         };
         let res = c.run(&s).unwrap();
         assert_eq!(res.outcomes.hung, 1);
@@ -2041,6 +2222,7 @@ mod tests {
             times_ms: vec![10],
             cases: 1,
             scope: InjectionScope::Port,
+            adaptive: None,
         };
         for fast_forward in [true, false] {
             let c = Campaign::new(

@@ -23,6 +23,27 @@ pub enum FiError {
     UnknownSignal(String),
     /// The campaign spec is empty along some axis.
     EmptySpec(&'static str),
+    /// The same (module, input signal) target appears twice in the spec;
+    /// its runs would be double-counted, silently inflating `n_inj`.
+    DuplicateTarget {
+        /// Module name of the repeated target.
+        module: String,
+        /// Input-signal name of the repeated target.
+        signal: String,
+    },
+    /// The same injection instant appears twice in `times_ms`; its runs
+    /// would be double-counted, silently inflating `n_inj`.
+    DuplicateInstant {
+        /// The repeated instant, in milliseconds.
+        time_ms: u64,
+    },
+    /// The spec carries an adaptive sampling plan whose parameters are
+    /// unusable (zero batch, a confidence target outside (0, 1), a
+    /// non-finite z, or a run floor above the run cap).
+    InvalidAdaptivePlan {
+        /// Which constraint the plan violates.
+        reason: &'static str,
+    },
     /// The Golden Run never terminated within the configured cap.
     GoldenRunDidNotTerminate {
         /// Workload case index.
@@ -122,6 +143,19 @@ impl fmt::Display for FiError {
             }
             FiError::UnknownSignal(s) => write!(f, "no signal named `{s}` on the bus"),
             FiError::EmptySpec(axis) => write!(f, "campaign spec has no {axis}"),
+            FiError::DuplicateTarget { module, signal } => write!(
+                f,
+                "target `{module}:{signal}` appears more than once in the spec; \
+                 duplicated targets double-count injections and bias n_inj"
+            ),
+            FiError::DuplicateInstant { time_ms } => write!(
+                f,
+                "injection instant {time_ms} ms appears more than once in the spec; \
+                 duplicated instants double-count injections and bias n_inj"
+            ),
+            FiError::InvalidAdaptivePlan { reason } => {
+                write!(f, "invalid adaptive sampling plan: {reason}")
+            }
             FiError::GoldenRunDidNotTerminate { case } => {
                 write!(
                     f,
@@ -220,6 +254,19 @@ mod tests {
         assert!(FiError::EmptySpec("targets")
             .to_string()
             .contains("targets"));
+        let dup_target = FiError::DuplicateTarget {
+            module: "CALC".into(),
+            signal: "pulscnt".into(),
+        };
+        assert!(dup_target.to_string().contains("CALC:pulscnt"));
+        assert!(FiError::DuplicateInstant { time_ms: 500 }
+            .to_string()
+            .contains("500"));
+        assert!(FiError::InvalidAdaptivePlan {
+            reason: "batch_size must be greater than zero"
+        }
+        .to_string()
+        .contains("batch_size"));
         assert!(FiError::HorizonExceedsCap {
             horizon_ms: 90_000,
             max_run_ms: 60_000

@@ -8,6 +8,7 @@
 
 use crate::error::FiError;
 use crate::results::CampaignResult;
+use crate::spec::CampaignSpec;
 use permea_core::matrix::PermeabilityMatrix;
 use permea_core::topology::SystemTopology;
 use serde::{Deserialize, Serialize};
@@ -31,14 +32,30 @@ pub struct PairEstimate {
     pub injections: u64,
 }
 
+impl PairEstimate {
+    /// Half the interval width — the achieved precision an adaptive
+    /// campaign compares against its
+    /// [`crate::adaptive::AdaptivePlan::target_ci`].
+    pub fn half_width(&self) -> f64 {
+        (self.upper - self.lower) / 2.0
+    }
+}
+
 /// Wilson score interval for a binomial proportion.
 ///
 /// Returns `(lower, upper)`; both are probabilities. `z` is the standard
-/// normal quantile (1.96 for 95 %).
+/// normal quantile (1.96 for 95 %). With `trials == 0` there is no data to
+/// narrow anything, so the **vacuous interval `(0.0, 1.0)`** is returned —
+/// every proportion is still possible; callers that need to distinguish
+/// "no data" from "wide interval" must check the trial count themselves.
 ///
 /// # Panics
 ///
-/// Panics if `errors > trials` or `z` is not finite/positive.
+/// Panics if `errors > trials` — such counts cannot come from a binomial
+/// experiment and always indicate an accounting bug upstream (the executor
+/// can never record more diverged runs than completed runs), so the
+/// impossibility is surfaced loudly instead of being clamped into a
+/// plausible-looking interval. Also panics if `z` is not finite/positive.
 ///
 /// # Examples
 ///
@@ -47,6 +64,7 @@ pub struct PairEstimate {
 /// let (lo, hi) = wilson_interval(500, 4000, 1.96);
 /// assert!(lo < 0.125 && 0.125 < hi);
 /// assert!(hi - lo < 0.025, "4000 trials give a tight interval");
+/// assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0), "no data: vacuous");
 /// ```
 pub fn wilson_interval(errors: u64, trials: u64, z: f64) -> (f64, f64) {
     assert!(errors <= trials, "errors cannot exceed trials");
@@ -60,7 +78,20 @@ pub fn wilson_interval(errors: u64, trials: u64, z: f64) -> (f64, f64) {
     let denom = 1.0 + z2 / n;
     let centre = (p + z2 / (2.0 * n)) / denom;
     let half = (z / denom) * ((p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt());
-    ((centre - half).max(0.0), (centre + half).min(1.0))
+    // At p = 0 the lower bound and at p = 1 the upper bound are exactly
+    // 0 and 1 (the half-width cancels the centre offset); pin them so
+    // rounding cannot leave them at 0.999… and break exact comparisons.
+    let lower = if errors == 0 {
+        0.0
+    } else {
+        (centre - half).max(0.0)
+    };
+    let upper = if errors == trials {
+        1.0
+    } else {
+        (centre + half).min(1.0)
+    };
+    (lower, upper)
 }
 
 /// Builds a [`PermeabilityMatrix`] for `topology` from campaign results.
@@ -117,6 +148,91 @@ pub fn estimates_with_ci(result: &CampaignResult) -> Vec<PairEstimate> {
         .collect()
 }
 
+/// Per-target precision and budget accounting: what the campaign achieved
+/// and what the adaptive planner saved against the dense grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetSummary {
+    /// Module name.
+    pub module: String,
+    /// Input-port signal name.
+    pub input_signal: String,
+    /// Runs executed for this target, including quarantined ones.
+    pub runs: u64,
+    /// Runs the dense grid would have spent
+    /// ([`CampaignSpec::injections_per_target`]).
+    pub dense_runs: u64,
+    /// `dense_runs − runs` — what sequential early stopping saved.
+    pub runs_saved: u64,
+    /// Widest achieved Wilson half-width across the target's output pairs
+    /// (`0.5` when every run was quarantined and no interval tightened).
+    pub max_half_width: f64,
+}
+
+/// Per-target achieved-precision and runs-saved report, in spec target
+/// order. Uses the adaptive plan's `z` when the spec carries one, 1.96
+/// otherwise; for a dense campaign every `runs_saved` is zero, so the same
+/// report doubles as the CI-width audit of a grid campaign.
+pub fn target_summaries(spec: &CampaignSpec, result: &CampaignResult) -> Vec<TargetSummary> {
+    let z = spec.adaptive.as_ref().map_or(1.96, |p| p.z);
+    let dense_runs = spec.injections_per_target() as u64;
+    spec.targets
+        .iter()
+        .enumerate()
+        .map(|(ti, target)| {
+            let runs = result.runs_per_target.get(ti).copied().unwrap_or(0);
+            let max_half_width = result
+                .pairs
+                .iter()
+                .filter(|p| p.module == target.module && p.input_signal == target.input_signal)
+                .map(|p| {
+                    let (lo, hi) = wilson_interval(p.errors, p.injections, z);
+                    (hi - lo) / 2.0
+                })
+                .fold(0.0, f64::max);
+            TargetSummary {
+                module: target.module.clone(),
+                input_signal: target.input_signal.clone(),
+                runs,
+                dense_runs,
+                runs_saved: dense_runs.saturating_sub(runs),
+                max_half_width,
+            }
+        })
+        .collect()
+}
+
+/// Renders [`target_summaries`] as an aligned text table (one row per
+/// target, totals row last) for the study's artifact directory.
+pub fn render_target_summaries(summaries: &[TargetSummary]) -> String {
+    let mut out =
+        String::from("target                      runs    dense    saved   max CI half-width\n");
+    let mut runs = 0u64;
+    let mut dense = 0u64;
+    for s in summaries {
+        runs += s.runs;
+        dense += s.dense_runs;
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>8} {:>8}   {:.4}\n",
+            format!("{}.{}", s.module, s.input_signal),
+            s.runs,
+            s.dense_runs,
+            s.runs_saved,
+            s.max_half_width,
+        ));
+    }
+    let saved = dense.saturating_sub(runs);
+    let pct = if dense > 0 {
+        100.0 * saved as f64 / dense as f64
+    } else {
+        0.0
+    };
+    out.push_str(&format!(
+        "{:<24} {runs:>8} {dense:>8} {saved:>8}   ({pct:.1}% of the dense grid saved)\n",
+        "total"
+    ));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -134,6 +250,10 @@ mod tests {
     }
 
     fn result(errors: u64) -> CampaignResult {
+        result_with(errors, 4000)
+    }
+
+    fn result_with(errors: u64, injections: u64) -> CampaignResult {
         CampaignResult {
             pairs: vec![PairStat {
                 module: "M".into(),
@@ -141,12 +261,13 @@ mod tests {
                 output_signal: "y".into(),
                 input: 0,
                 output: 0,
-                injections: 4000,
+                injections,
                 errors,
             }],
             records: vec![],
             golden_ticks: vec![],
-            total_runs: 4000,
+            total_runs: injections,
+            runs_per_target: vec![injections],
             outcomes: crate::outcome::OutcomeTally::default(),
         }
     }
@@ -198,5 +319,65 @@ mod tests {
         assert_eq!(est.len(), 1);
         assert_eq!(est[0].estimate, 0.5);
         assert!(est[0].lower < 0.5 && 0.5 < est[0].upper);
+        assert!((est[0].half_width() - (est[0].upper - est[0].lower) / 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn zero_error_stratum_pins_lower_bound_to_zero() {
+        let est = estimates_with_ci(&result(0));
+        assert_eq!(est[0].estimate, 0.0);
+        assert_eq!(est[0].lower, 0.0);
+        assert!(est[0].upper > 0.0 && est[0].upper < 0.01);
+    }
+
+    #[test]
+    fn all_error_stratum_pins_upper_bound_to_one() {
+        let est = estimates_with_ci(&result(4000));
+        assert_eq!(est[0].estimate, 1.0);
+        assert_eq!(est[0].upper, 1.0);
+        assert!(est[0].lower > 0.99 && est[0].lower < 1.0);
+    }
+
+    #[test]
+    fn single_trial_stratum_keeps_a_wide_but_bracketing_interval() {
+        for errors in [0u64, 1] {
+            let est = estimates_with_ci(&result_with(errors, 1));
+            let p = errors as f64;
+            assert_eq!(est[0].estimate, p);
+            assert!(est[0].lower <= p && p <= est[0].upper);
+            // One trial proves next to nothing: the interval must stay wide.
+            assert!(est[0].half_width() > 0.3, "n = 1 cannot be tight");
+        }
+        let (lo, hi) = wilson_interval(1, 1, 1.96);
+        assert!(lo > 0.0 && hi == 1.0);
+    }
+
+    #[test]
+    fn target_summaries_report_precision_and_savings() {
+        let spec = CampaignSpec::paper_style(vec![crate::spec::PortTarget::new("M", "x")], 25);
+        // Dense campaign: full budget spent, nothing saved.
+        let dense = target_summaries(&spec, &result(1000));
+        assert_eq!(dense.len(), 1);
+        assert_eq!(dense[0].dense_runs, 4000);
+        assert_eq!(dense[0].runs, 4000);
+        assert_eq!(dense[0].runs_saved, 0);
+        assert!(dense[0].max_half_width < 0.02);
+        // Adaptive campaign that stopped the stratum after 400 runs.
+        let mut adaptive_spec = spec.clone();
+        adaptive_spec.adaptive = Some(crate::adaptive::AdaptivePlan::default());
+        let early = target_summaries(&adaptive_spec, &result_with(100, 400));
+        assert_eq!(early[0].runs, 400);
+        assert_eq!(early[0].runs_saved, 3600);
+        assert!(early[0].max_half_width > dense[0].max_half_width);
+    }
+
+    #[test]
+    fn rendered_summaries_total_the_savings() {
+        let mut spec = CampaignSpec::paper_style(vec![crate::spec::PortTarget::new("M", "x")], 25);
+        spec.adaptive = Some(crate::adaptive::AdaptivePlan::default());
+        let text = render_target_summaries(&target_summaries(&spec, &result_with(100, 400)));
+        assert!(text.contains("M.x"), "{text}");
+        assert!(text.contains("3600"), "{text}");
+        assert!(text.contains("(90.0% of the dense grid saved)"), "{text}");
     }
 }

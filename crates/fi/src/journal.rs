@@ -60,8 +60,11 @@ use std::path::{Path, PathBuf};
 
 /// Journal format version; bumped on any incompatible layout change.
 /// Version 2 added per-entry [`RunStats`]; version 3 added the per-record
-/// CRC32 prefix and the per-coordinate attempt count.
-pub const JOURNAL_VERSION: u32 = 3;
+/// CRC32 prefix and the per-coordinate attempt count; version 4 carries
+/// the adaptive sampling plan inside the header's spec, so a journal can
+/// replay the planner's coordinate stream (dense and adaptive journals can
+/// never silently resume each other).
+pub const JOURNAL_VERSION: u32 = 4;
 
 /// CRC32 (IEEE 802.3, reflected) of `data` — the checksum prefixed to every
 /// v3 record line. Computed bitwise; journal lines are short enough that a

@@ -141,6 +141,7 @@ mod tests {
             records,
             golden_ticks: vec![],
             total_runs: 0,
+            runs_per_target: vec![],
             outcomes: crate::outcome::OutcomeTally::default(),
         }
     }

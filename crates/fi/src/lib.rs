@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod campaign;
 pub mod error;
 pub mod estimate;
@@ -49,11 +50,15 @@ pub mod spec;
 
 /// Convenient re-exports of the most commonly used items.
 pub mod prelude {
+    pub use crate::adaptive::{AdaptivePlan, AdaptivePlanner, StopReason, StratumStatus};
     pub use crate::campaign::{
         Campaign, CampaignConfig, FnSystemFactory, GoldenBundle, SystemFactory,
     };
     pub use crate::error::FiError;
-    pub use crate::estimate::{estimate_matrix, wilson_interval, PairEstimate};
+    pub use crate::estimate::{
+        estimate_matrix, render_target_summaries, target_summaries, wilson_interval, PairEstimate,
+        TargetSummary,
+    };
     pub use crate::golden::GoldenRun;
     pub use crate::journal::{JournalHeader, LoadedJournal, RunJournal};
     pub use crate::latency::{latency_summaries, render_latencies, LatencySummary};

@@ -55,6 +55,9 @@ const FRAME_MAGIC: [u8; 8] = [0xF1, b'P', b'F', b'I', 0x01, 0xA7, 0x5C, 0x0A];
 const MAX_FRAME_LEN: usize = 64 * 1024 * 1024;
 
 /// Supervisor → worker messages.
+// `Setup` dwarfs `Run`, but it is built exactly once per worker lifetime
+// and never stored, so boxing it would only complicate the wire format.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(crate) enum ToWorker {
     /// First message on every worker's stdin: everything needed to rebuild

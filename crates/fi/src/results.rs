@@ -113,8 +113,17 @@ pub struct CampaignResult {
     pub records: Vec<RunRecord>,
     /// Golden-run tick counts per case (the comparison horizons).
     pub golden_ticks: Vec<u64>,
-    /// Total injection runs executed.
+    /// Total injection runs executed. Equals the spec's dense
+    /// [`crate::spec::CampaignSpec::run_count`] for a grid campaign; under
+    /// an adaptive plan it is the number of coordinates the planner
+    /// actually sampled.
     pub total_runs: u64,
+    /// Runs executed per target (spec order), including quarantined ones.
+    /// Uniformly [`crate::spec::CampaignSpec::injections_per_target`] for a
+    /// dense campaign; under an adaptive plan each entry is what the
+    /// stratum cost before it closed — the raw material of the runs-saved
+    /// accounting in [`crate::estimate::target_summaries`].
+    pub runs_per_target: Vec<u64>,
     /// Per-class run counts: completed vs quarantined (panicked / hung).
     pub outcomes: OutcomeTally,
 }
@@ -211,6 +220,7 @@ mod tests {
             records: vec![],
             golden_ticks: vec![100],
             total_runs: 10,
+            runs_per_target: vec![10],
             outcomes: OutcomeTally::default(),
         };
         assert!(res.pair("M", "in", "out").is_some());
@@ -236,6 +246,7 @@ mod tests {
             records: vec![mk(500, 0, Some(501)), mk(500, 0, None), mk(1000, 1, None)],
             golden_ticks: vec![],
             total_runs: 3,
+            runs_per_target: vec![3],
             outcomes: OutcomeTally::default(),
         };
         let cells = res.propagation_cells("M", "in", 0);
@@ -270,6 +281,7 @@ mod tests {
             ],
             golden_ticks: vec![],
             total_runs: 3,
+            runs_per_target: vec![3],
             outcomes: OutcomeTally {
                 completed: 1,
                 panicked: 1,

@@ -1,5 +1,6 @@
 //! Campaign specification: what to inject, where, and when.
 
+use crate::adaptive::AdaptivePlan;
 use crate::error::FiError;
 use crate::model::ErrorModel;
 use serde::{Deserialize, Serialize};
@@ -54,6 +55,11 @@ pub struct CampaignSpec {
     pub cases: usize,
     /// Injection scope (port by default).
     pub scope: InjectionScope,
+    /// Adaptive sampling plan. `None` (the default, and what older
+    /// serialised specs deserialise to) enumerates the dense grid; `Some`
+    /// lets an [`crate::adaptive::AdaptivePlanner`] draw a confidence-driven
+    /// subset of the coordinates instead.
+    pub adaptive: Option<AdaptivePlan>,
 }
 
 impl CampaignSpec {
@@ -66,6 +72,7 @@ impl CampaignSpec {
             times_ms: (1..=10).map(|k| k * 500).collect(),
             cases,
             scope: InjectionScope::Port,
+            adaptive: None,
         }
     }
 
@@ -80,11 +87,16 @@ impl CampaignSpec {
         self.models.len() * self.times_ms.len() * self.cases
     }
 
-    /// Validates that every axis is non-empty.
+    /// Validates that every axis is non-empty, that no axis double-counts
+    /// (a duplicated target or injection instant would silently inflate
+    /// `n_inj` and bias every estimate built on it), and that any adaptive
+    /// plan is well-formed.
     ///
     /// # Errors
     ///
-    /// Returns [`FiError::EmptySpec`] naming the empty axis.
+    /// Returns [`FiError::EmptySpec`] naming the empty axis,
+    /// [`FiError::DuplicateTarget`] / [`FiError::DuplicateInstant`] naming
+    /// the first repeated entry, or [`FiError::InvalidAdaptivePlan`].
     pub fn validate(&self) -> Result<(), FiError> {
         if self.targets.is_empty() {
             return Err(FiError::EmptySpec("targets"));
@@ -97,6 +109,24 @@ impl CampaignSpec {
         }
         if self.cases == 0 {
             return Err(FiError::EmptySpec("cases"));
+        }
+        let mut seen_targets = std::collections::HashSet::new();
+        for t in &self.targets {
+            if !seen_targets.insert((t.module.as_str(), t.input_signal.as_str())) {
+                return Err(FiError::DuplicateTarget {
+                    module: t.module.clone(),
+                    signal: t.input_signal.clone(),
+                });
+            }
+        }
+        let mut seen_times = std::collections::HashSet::new();
+        for &t in &self.times_ms {
+            if !seen_times.insert(t) {
+                return Err(FiError::DuplicateInstant { time_ms: t });
+            }
+        }
+        if let Some(plan) = &self.adaptive {
+            plan.validate(self.injections_per_target())?;
         }
         Ok(())
     }
@@ -202,6 +232,44 @@ mod tests {
         s.cases = 0;
         assert_eq!(s.validate(), Err(FiError::EmptySpec("cases")));
         assert!(spec().validate().is_ok());
+    }
+
+    #[test]
+    fn duplicate_targets_and_instants_are_rejected() {
+        let mut s = spec();
+        s.targets.push(PortTarget::new("CALC", "pulscnt"));
+        assert_eq!(
+            s.validate(),
+            Err(FiError::DuplicateTarget {
+                module: "CALC".into(),
+                signal: "pulscnt".into()
+            })
+        );
+        // Same module with a different input port is fine.
+        let mut s = spec();
+        s.targets.push(PortTarget::new("CALC", "other"));
+        assert!(s.validate().is_ok());
+        let mut s = spec();
+        s.times_ms.push(500);
+        assert_eq!(
+            s.validate(),
+            Err(FiError::DuplicateInstant { time_ms: 500 })
+        );
+    }
+
+    #[test]
+    fn invalid_adaptive_plan_is_rejected_by_validate() {
+        let mut s = spec();
+        s.adaptive = Some(crate::adaptive::AdaptivePlan::default());
+        assert!(s.validate().is_ok());
+        s.adaptive = Some(crate::adaptive::AdaptivePlan {
+            batch_size: 0,
+            ..Default::default()
+        });
+        assert!(matches!(
+            s.validate(),
+            Err(FiError::InvalidAdaptivePlan { .. })
+        ));
     }
 
     #[test]

@@ -342,6 +342,7 @@ mod tests {
             times_ms: vec![20, 40],
             cases: 1,
             scope,
+            adaptive: None,
         }
     }
 

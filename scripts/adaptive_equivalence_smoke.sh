@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Adaptive/dense equivalence smoke test for the sequential sampling planner.
+#
+# Runs the quick study twice — once over the dense injection grid, once with
+# `--adaptive` — and checks that the adaptive campaign (1) executes
+# meaningfully fewer runs (the acceptance bar is >= 40% saved), (2) ranks
+# the TOC2 propagation paths in exactly the same order (weights may shift
+# within their confidence intervals, the ordering may not), and (3) reports
+# per-target precision within the planner's CI goal. A third run repeats the
+# adaptive campaign under `--isolation process` and must be byte-identical
+# to the in-process adaptive run.
+#
+# Usage: scripts/adaptive_equivalence_smoke.sh [path-to-study-binary]
+
+set -euo pipefail
+
+STUDY="${1:-target/release/study}"
+if [[ ! -x "$STUDY" ]]; then
+    echo "building study binary..."
+    cargo build --release -p permea-analysis --bin study
+    STUDY=target/release/study
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+DENSE="$WORK/dense"
+ADAPTIVE="$WORK/adaptive"
+ISOLATED="$WORK/adaptive-process"
+
+echo "== dense quick study =="
+"$STUDY" --quick --out "$DENSE" >"$WORK/dense.log" 2>&1
+
+echo "== adaptive quick study =="
+"$STUDY" --quick --adaptive --out "$ADAPTIVE" >"$WORK/adaptive.log" 2>&1
+
+echo "== compare run budgets =="
+total_runs() {
+    # The totals row of precision.txt: "total  <runs>  <dense>  <saved> ..."
+    awk '$1 == "total" {print $2}' "$1/precision.txt"
+}
+DENSE_RUNS=$(total_runs "$DENSE")
+ADAPTIVE_RUNS=$(total_runs "$ADAPTIVE")
+if [[ -z "$DENSE_RUNS" || -z "$ADAPTIVE_RUNS" ]]; then
+    echo "FAIL: could not read run totals from precision.txt" >&2
+    exit 1
+fi
+if (( ADAPTIVE_RUNS * 100 > DENSE_RUNS * 60 )); then
+    echo "FAIL: adaptive spent $ADAPTIVE_RUNS of $DENSE_RUNS dense runs" \
+         "— less than 40% saved" >&2
+    exit 1
+fi
+echo "adaptive spent $ADAPTIVE_RUNS of $DENSE_RUNS runs" \
+     "($(( (DENSE_RUNS - ADAPTIVE_RUNS) * 100 / DENSE_RUNS ))% saved)"
+
+echo "== compare ranked propagation paths =="
+# Strip the weight column: the *ordering* of TOC2 propagation paths must be
+# identical; the weights themselves legitimately move within their CIs.
+paths_only() {
+    awk 'NR > 2 {$2 = ""; print}' "$1"
+}
+if ! diff <(paths_only "$DENSE/table4_all.txt") \
+          <(paths_only "$ADAPTIVE/table4_all.txt"); then
+    echo "FAIL: adaptive sampling reordered the propagation paths" >&2
+    exit 1
+fi
+
+echo "== check the planner met its precision goal =="
+# Every non-total row's max CI half-width (last column) must be within the
+# default target of 0.05 (plus binomial-boundary slack: a stratum can close
+# only at a batch boundary, so widths sit just under the goal).
+if awk '$1 != "total" && NR > 1 && $5 + 0 > 0.05 {bad = 1; print}
+        END {exit bad}' "$ADAPTIVE/precision.txt"; then
+    :
+else
+    echo "FAIL: a stratum stopped above the 0.05 CI half-width goal" >&2
+    exit 1
+fi
+
+echo "== adaptive quick study under process isolation =="
+"$STUDY" --quick --adaptive --isolation process --out "$ISOLATED" \
+    >"$WORK/isolated.log" 2>&1
+
+# metrics.json and telemetry.txt carry process-local wall-clock figures;
+# every derived artifact must match byte for byte.
+if ! diff -r --exclude=metrics.json --exclude=telemetry.txt \
+        "$ADAPTIVE" "$ISOLATED"; then
+    echo "FAIL: process-isolated adaptive run differs from in-process" >&2
+    exit 1
+fi
+cmp "$ADAPTIVE/result.json" "$ISOLATED/result.json"
+
+echo "PASS: adaptive run preserved the dense path ranking with" \
+     "$(( (DENSE_RUNS - ADAPTIVE_RUNS) * 100 / DENSE_RUNS ))% fewer runs," \
+     "byte-identical under process isolation"

@@ -1,0 +1,323 @@
+//! Acceptance regression for the adaptive sampling subsystem: on the
+//! executable five-module system (the paper's Fig. 2), a confidence-driven
+//! campaign must reproduce the dense grid's permeability ranking (same
+//! relative ordering of `P^M` and `X^M`) while spending at least 40 % fewer
+//! runs, stay thread-count invariant, and resume byte-identically from a
+//! truncated journal.
+//!
+//! The module fixture mirrors `tests/five_module_campaign.rs` (modules A–E
+//! with B's stateful self-feedback loop); the topology for the analysis side
+//! comes from `permea::analysis::fivemod`, which uses the same names.
+
+use permea::analysis::fivemod::five_module_system;
+use permea::core::graph::PermeabilityGraph;
+use permea::core::measures::SystemMeasures;
+use permea::core::topology::SystemTopology;
+use permea::fi::adaptive::AdaptivePlan;
+use permea::fi::campaign::{Campaign, CampaignConfig, FnSystemFactory};
+use permea::fi::prelude::*;
+use permea::runtime::module::{ModuleCtx, SoftwareModule};
+use permea::runtime::scheduler::Schedule;
+use permea::runtime::signals::{SignalBus, SignalRef};
+use permea::runtime::sim::{Environment, Simulation, SimulationBuilder};
+use permea::runtime::state::{StateReader, StateWriter};
+use permea::runtime::time::SimTime;
+
+struct ModA;
+impl SoftwareModule for ModA {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let v = ctx.read(0);
+        ctx.write(0, v.rotate_left(1));
+    }
+}
+
+struct ModB {
+    acc: u16,
+}
+impl SoftwareModule for ModB {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let s_a = ctx.read(0);
+        let fb_in = ctx.read(1);
+        self.acc = self.acc.wrapping_add(s_a) ^ (fb_in >> 3);
+        ctx.write(0, self.acc.rotate_right(2));
+        ctx.write(1, s_a.wrapping_add(self.acc));
+    }
+    fn reset(&mut self) {
+        self.acc = 0;
+    }
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_u16(self.acc);
+        w.finish()
+    }
+    fn load_state(&mut self, state: &[u8]) {
+        let mut r = StateReader::new(state);
+        self.acc = r.u16();
+        r.finish();
+    }
+}
+
+struct ModC;
+impl SoftwareModule for ModC {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let v = ctx.read(0);
+        ctx.write(0, (v / 3).wrapping_mul(2));
+    }
+}
+
+struct ModD;
+impl SoftwareModule for ModD {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let s_b = ctx.read(0);
+        let s_c = ctx.read(1);
+        ctx.write_on_change(0, s_b ^ s_c.wrapping_mul(5));
+    }
+}
+
+struct ModE;
+impl SoftwareModule for ModE {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let ext_e = ctx.read(0);
+        let s_d = ctx.read(1);
+        let s_b = ctx.read(2);
+        ctx.write(0, s_d.wrapping_add(s_b ^ ext_e));
+    }
+}
+
+struct FiveEnv {
+    ext_a: SignalRef,
+    ext_c: SignalRef,
+    ext_e: SignalRef,
+    base: u16,
+    limit: u64,
+}
+impl Environment for FiveEnv {
+    fn pre_tick(&mut self, now: SimTime, bus: &mut SignalBus) {
+        let t = now.as_millis();
+        bus.write(self.ext_a, self.base.wrapping_add((t % 809) as u16 * 7));
+        bus.write(self.ext_c, (t % 331) as u16 * 3);
+        bus.write(self.ext_e, self.base ^ (t % 97) as u16);
+    }
+    fn post_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
+    fn finished(&self, now: SimTime) -> bool {
+        now.as_millis() >= self.limit
+    }
+}
+
+fn build(case: usize) -> Simulation {
+    let mut b = SimulationBuilder::new();
+    let ext_a = b.define_signal("extA");
+    let ext_c = b.define_signal("extC");
+    let ext_e = b.define_signal("extE");
+    let s_a = b.define_signal("sA");
+    let fb_b = b.define_signal("fbB");
+    let s_b = b.define_signal("sB");
+    let s_c = b.define_signal("sC");
+    let s_d = b.define_signal("sD");
+    let out = b.define_signal("OUT");
+    b.add_module("A", Box::new(ModA), Schedule::every_ms(), &[ext_a], &[s_a]);
+    b.add_module(
+        "B",
+        Box::new(ModB { acc: 0 }),
+        Schedule::every_ms(),
+        &[s_a, fb_b],
+        &[fb_b, s_b],
+    );
+    b.add_module("C", Box::new(ModC), Schedule::every_ms(), &[ext_c], &[s_c]);
+    b.add_module(
+        "D",
+        Box::new(ModD),
+        Schedule::in_slot(0, 2),
+        &[s_b, s_c],
+        &[s_d],
+    );
+    b.add_module(
+        "E",
+        Box::new(ModE),
+        Schedule::every_ms(),
+        &[ext_e, s_d, s_b],
+        &[out],
+    );
+    let mut sim = b.build(Box::new(FiveEnv {
+        ext_a,
+        ext_c,
+        ext_e,
+        base: 0x1234u16.wrapping_mul(case as u16 + 1),
+        limit: 600 + 50 * case as u64,
+    }));
+    sim.enable_tracing_all();
+    sim
+}
+
+fn factory() -> FnSystemFactory<fn(usize) -> Simulation> {
+    FnSystemFactory::new(2, 10_000, build as fn(usize) -> Simulation)
+}
+
+/// Per-target half-widths converge fast here (two of the four targets sit
+/// near 0 or 1), so a 0.15 half-width goal with 50-run batches closes every
+/// stratum well under the 128-run dense budget.
+fn plan() -> AdaptivePlan {
+    AdaptivePlan {
+        target_ci: 0.15,
+        ..AdaptivePlan::default()
+    }
+}
+
+/// A dense grid of 16 bit positions × 2 instants × 4 cases = 128 injections
+/// per target, 512 in total over the four targeted input ports.
+fn spec(adaptive: Option<AdaptivePlan>) -> CampaignSpec {
+    CampaignSpec {
+        targets: vec![
+            PortTarget::new("B", "sA"),
+            PortTarget::new("B", "fbB"),
+            PortTarget::new("D", "sB"),
+            PortTarget::new("E", "sD"),
+        ],
+        models: (0..16).map(|bit| ErrorModel::BitFlip { bit }).collect(),
+        times_ms: vec![51, 300],
+        cases: 4,
+        scope: InjectionScope::Port,
+        adaptive,
+    }
+}
+
+fn config(threads: usize) -> CampaignConfig {
+    CampaignConfig {
+        threads,
+        master_seed: 0xF1FE,
+        ..Default::default()
+    }
+}
+
+/// Modules ranked by a measure, highest first; ties break by name so the
+/// comparison is deterministic on both sides.
+fn module_ranking(
+    topo: &SystemTopology,
+    measures: &SystemMeasures,
+    key: impl Fn(&permea::core::measures::ModuleMeasures) -> f64,
+) -> Vec<String> {
+    let mut rows: Vec<(String, f64)> = topo
+        .modules()
+        .map(|m| (topo.module_name(m).to_owned(), key(measures.module(m))))
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    rows.into_iter().map(|(name, _)| name).collect()
+}
+
+fn measures_of(result: &CampaignResult) -> (SystemTopology, SystemMeasures) {
+    let (topo, _) = five_module_system();
+    let pm = permea::fi::estimate::estimate_matrix(&topo, result).unwrap();
+    let graph = PermeabilityGraph::new(&topo, &pm).unwrap();
+    let measures = SystemMeasures::compute(&graph).unwrap();
+    (topo, measures)
+}
+
+#[test]
+fn adaptive_reproduces_dense_ranking_with_40_percent_fewer_runs() {
+    let f = factory();
+    let dense = Campaign::new(&f, config(0)).run(&spec(None)).unwrap();
+    let adaptive = Campaign::new(&f, config(0))
+        .run(&spec(Some(plan())))
+        .unwrap();
+
+    assert_eq!(dense.total_runs, 512);
+    assert!(
+        adaptive.total_runs * 100 <= dense.total_runs * 60,
+        "adaptive spent {} of {} dense runs — less than 40% saved",
+        adaptive.total_runs,
+        dense.total_runs
+    );
+    assert_eq!(
+        adaptive.runs_per_target.iter().sum::<u64>(),
+        adaptive.total_runs
+    );
+
+    // Same relative ordering of P^M (relative permeability) and X^M
+    // (exposure) as the dense grid.
+    let (topo_d, dense_m) = measures_of(&dense);
+    let (_, adaptive_m) = measures_of(&adaptive);
+    assert_eq!(
+        module_ranking(&topo_d, &dense_m, |m| m.relative_permeability),
+        module_ranking(&topo_d, &adaptive_m, |m| m.relative_permeability),
+        "P^M ranking diverged"
+    );
+    assert_eq!(
+        module_ranking(&topo_d, &dense_m, |m| m.non_weighted_exposure),
+        module_ranking(&topo_d, &adaptive_m, |m| m.non_weighted_exposure),
+        "X^M ranking diverged"
+    );
+
+    // Every stratum met the precision goal it stopped at.
+    let summaries = target_summaries(&spec(Some(plan())), &adaptive);
+    for s in &summaries {
+        assert!(
+            s.max_half_width <= plan().target_ci + 1e-12,
+            "{}.{} stopped at half-width {}",
+            s.module,
+            s.input_signal,
+            s.max_half_width
+        );
+        assert!(
+            s.runs_saved > 0,
+            "{}.{} saved nothing",
+            s.module,
+            s.input_signal
+        );
+    }
+}
+
+#[test]
+fn adaptive_campaign_is_thread_count_invariant() {
+    // The planner only recomputes batches at batch barriers, so the sampled
+    // coordinate set — and with it every downstream estimate — must not
+    // depend on worker scheduling.
+    let f = factory();
+    let seq = Campaign::new(&f, config(1))
+        .run(&spec(Some(plan())))
+        .unwrap();
+    let par = Campaign::new(&f, config(4))
+        .run(&spec(Some(plan())))
+        .unwrap();
+    assert_eq!(seq, par);
+}
+
+#[test]
+fn interrupted_adaptive_campaign_resumes_byte_identically() {
+    let f = factory();
+    let c = Campaign::new(&f, config(0));
+    let spec = spec(Some(plan()));
+    let header = c.journal_header(&spec);
+
+    let path = std::env::temp_dir().join(format!(
+        "permea-adaptive-resume-{}.jsonl",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+    let baseline = c.run_resumable(&spec, Some(&mut j), None).unwrap();
+    drop(j);
+
+    // Simulate a kill partway through: keep the header and a prefix of the
+    // journaled runs, then resume. The planner must replay its own recorded
+    // decisions and land on the identical result.
+    let text = std::fs::read_to_string(&path).unwrap();
+    for keep in [0, 1, 37, baseline.total_runs as usize - 1] {
+        let kept: String = text
+            .lines()
+            .take(1 + keep)
+            .map(|l| format!("{l}\n"))
+            .collect();
+        std::fs::write(&path, kept).unwrap();
+        let (mut j, loaded) = RunJournal::open_or_create(&path, &header).unwrap();
+        assert_eq!(loaded.recovered, keep);
+        let resumed = c.run_resumable(&spec, Some(&mut j), None).unwrap();
+        drop(j);
+        assert_eq!(resumed, baseline, "diverged after resuming {keep} runs");
+        assert_eq!(
+            serde_json::to_string(&resumed).unwrap(),
+            serde_json::to_string(&baseline).unwrap(),
+            "serialised artifacts differ after resuming {keep} runs"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}

@@ -20,6 +20,7 @@ fn small_spec() -> CampaignSpec {
         times_ms: vec![900, 2600],
         cases: 1,
         scope: InjectionScope::Port,
+        adaptive: None,
     }
 }
 
@@ -203,6 +204,7 @@ fn injection_after_horizon_is_rejected() {
         times_ms: vec![50_000], // beyond the 6 s horizon: never fires
         cases: 1,
         scope: InjectionScope::Port,
+        adaptive: None,
     };
     assert_eq!(
         c.run(&spec).unwrap_err(),

@@ -173,6 +173,7 @@ fn spec(scope: InjectionScope) -> CampaignSpec {
         times_ms: vec![51, 300],
         cases: 2,
         scope,
+        adaptive: None,
     }
 }
 
@@ -294,6 +295,7 @@ fn brittle_spec(target: PortTarget) -> CampaignSpec {
         times_ms: vec![51, 300],
         cases: 2,
         scope: InjectionScope::Port,
+        adaptive: None,
     }
 }
 

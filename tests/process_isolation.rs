@@ -143,6 +143,7 @@ fn spec(bits: &[u8], times_ms: Vec<u64>) -> CampaignSpec {
         times_ms,
         cases: 1,
         scope: InjectionScope::Port,
+        adaptive: None,
     }
 }
 

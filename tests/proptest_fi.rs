@@ -67,6 +67,7 @@ fn tiny_spec() -> CampaignSpec {
         times_ms: vec![13, 77],
         cases: 2,
         scope: InjectionScope::Port,
+        adaptive: None,
     }
 }
 
@@ -134,6 +135,7 @@ proptest! {
             times_ms: (0..times as u64).map(|k| 100 * (k + 1)).collect(),
             cases,
             scope: InjectionScope::Port,
+            adaptive: None,
         };
         let coords: Vec<_> = spec.coordinates().collect();
         prop_assert_eq!(coords.len(), spec.run_count());
