@@ -20,6 +20,8 @@
 //!   --adaptive         sequential sampling instead of the dense grid
 //!   --target-ci W      CI half-width stopping goal (implies --adaptive)
 //!   --batch-size N     planner batch per stratum (implies --adaptive)
+//!   --shard I/N        run only shard I's deterministic slice of the
+//!                      coordinate space (see `study --shard`)
 //! ```
 //!
 //! The adaptive flags override (or install) the spec's own `adaptive`
@@ -37,6 +39,7 @@ use permea_fi::estimate::{render_target_summaries, target_summaries};
 use permea_fi::latency::{latency_summaries, render_latencies};
 use permea_fi::model::ErrorModel;
 use permea_fi::process::{run_worker, IsolationMode, ProcessIsolation, WorkerCommand};
+use permea_fi::shard::Shard;
 use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
 use permea_obs::{JsonlSink, Obs, ProgressSink, Sink, StderrSink};
 use std::process::ExitCode;
@@ -67,7 +70,8 @@ fn usage() -> ! {
          [--grid MxV] [--horizon MS] [--seed S] [--out FILE] \
          [--progress] [--metrics-out FILE] [--events FILE] \
          [--isolation process|in-process] [--workers N] [--run-timeout MS] \
-         [--max-retries N] [--adaptive] [--target-ci W] [--batch-size N]\n\
+         [--max-retries N] [--adaptive] [--target-ci W] [--batch-size N] \
+         [--shard I/N]\n\
          exit codes: 0 success, 1 failure, 2 usage, \
          3 quarantine threshold exceeded"
     );
@@ -99,6 +103,7 @@ fn main() -> ExitCode {
     let mut adaptive = false;
     let mut target_ci: Option<f64> = None;
     let mut batch_size: Option<usize> = None;
+    let mut shard: Option<Shard> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -161,6 +166,14 @@ fn main() -> ExitCode {
                 }
                 None => usage(),
             },
+            "--shard" => match args.next().map(|v| Shard::parse(&v)) {
+                Some(Ok(s)) => shard = Some(s),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    usage();
+                }
+                None => usage(),
+            },
             _ => usage(),
         }
     }
@@ -213,6 +226,7 @@ fn main() -> ExitCode {
         keep_records: true,
         horizon_ms: Some(horizon),
         fast_forward: true,
+        shard,
         ..CampaignConfig::default()
     };
     if let Some(n) = max_retries {
@@ -235,7 +249,13 @@ fn main() -> ExitCode {
         campaign_config.isolation = IsolationMode::Process(pool);
     }
     let campaign = Campaign::new(&factory, campaign_config).with_obs(obs.clone());
-    obs.info(format!("running {} injection runs...", spec.run_count()));
+    match shard {
+        Some(s) => obs.info(format!(
+            "running shard {s} of {} injection runs...",
+            spec.run_count()
+        )),
+        None => obs.info(format!("running {} injection runs...", spec.run_count())),
+    }
     let started = std::time::Instant::now();
     let result = match campaign.run(&spec) {
         Ok(r) => r,

@@ -46,6 +46,22 @@
 //! the supervisor thread count), `--run-timeout MS` sets the hard per-run
 //! wall-clock deadline. Results are byte-identical to in-process execution.
 //!
+//! `--shard i/n` scales a campaign out over machines: shard `i` of `n`
+//! executes only its deterministic slice of the coordinate space (dense
+//! positions — or adaptive permutation positions — congruent to `i` mod
+//! `n`) and journals it under the *unsharded* campaign header. The
+//! companion subcommand
+//!
+//! ```text
+//! study journal merge --out PATH IN...
+//! ```
+//!
+//! combines shard journals into one resumable journal, rejecting
+//! conflicting records for the same coordinate; `--resume` on the merged
+//! journal re-executes nothing and writes artifacts byte-identical to an
+//! unsharded run. Note a sharded invocation's own artifacts cover only its
+//! slice — merge and resume for the real estimates.
+//!
 //! `--adaptive` replaces the dense injection grid with the sequential
 //! sampling planner: each target's stratum stops as soon as every Wilson
 //! interval half-width drops below the target precision, and the freed
@@ -69,6 +85,7 @@ use permea_fi::error::FiError;
 use permea_fi::estimate::{render_target_summaries, target_summaries};
 use permea_fi::journal::RunJournal;
 use permea_fi::process::{run_worker, IsolationMode, ProcessIsolation, WorkerCommand};
+use permea_fi::shard::Shard;
 use permea_obs::{JsonlSink, Obs, ProgressSink, Sink, StderrSink};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -117,11 +134,58 @@ fn usage() -> ! {
          [--replay] [--compare-paths] [--journal] [--resume DIR] \
          [--progress] [--metrics-out PATH] [--events PATH] [--fsync-interval N] \
          [--isolation process|in-process] [--workers N] [--run-timeout MS] \
-         [--max-retries N] [--adaptive] [--target-ci W] [--batch-size N]\n\
+         [--max-retries N] [--adaptive] [--target-ci W] [--batch-size N] \
+         [--shard I/N]\n\
+         \x20      study journal merge --out PATH IN...\n\
          exit codes: 0 success, 1 failure, 2 usage, \
          3 quarantine threshold exceeded, 130 interrupted"
     );
     std::process::exit(2);
+}
+
+/// The `study journal merge --out PATH IN...` subcommand: combines shard
+/// journals into one resumable journal, refusing conflicting records.
+fn journal_command() -> ExitCode {
+    let mut args = std::env::args().skip(2);
+    if args.next().as_deref() != Some("merge") {
+        usage();
+    }
+    let mut out: Option<PathBuf> = None;
+    let mut inputs: Vec<PathBuf> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            _ => inputs.push(PathBuf::from(arg)),
+        }
+    }
+    let Some(out) = out else { usage() };
+    if inputs.is_empty() {
+        usage();
+    }
+    match permea_fi::journal::merge_journals(&out, &inputs) {
+        Ok(s) => {
+            eprintln!(
+                "merged {} journal(s) into {}: {} record(s), {} duplicate(s) collapsed{}",
+                s.inputs,
+                out.display(),
+                s.records,
+                s.duplicates,
+                if s.torn_tails > 0 {
+                    format!(", {} torn tail(s) skipped", s.torn_tails)
+                } else {
+                    String::new()
+                }
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("journal merge failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn main() -> ExitCode {
@@ -133,6 +197,9 @@ fn main() -> ExitCode {
             ArrestmentFactory::from_payload(payload).map(|f| Box::new(f) as Box<dyn SystemFactory>)
         });
         std::process::exit(i32::from(code));
+    }
+    if std::env::args().nth(1).as_deref() == Some("journal") {
+        return journal_command();
     }
 
     let mut config = StudyConfig::quick();
@@ -148,6 +215,7 @@ fn main() -> ExitCode {
     let mut workers = 0usize;
     let mut run_timeout_ms: Option<u64> = None;
     let mut max_retries: Option<u32> = None;
+    let mut shard: Option<Shard> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -199,6 +267,14 @@ fn main() -> ExitCode {
             },
             "--max-retries" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => max_retries = Some(n),
+                None => usage(),
+            },
+            "--shard" => match args.next().map(|v| Shard::parse(&v)) {
+                Some(Ok(s)) => shard = Some(s),
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    usage();
+                }
                 None => usage(),
             },
             "--seed" => match args.next().and_then(|v| v.parse().ok()) {
@@ -265,7 +341,15 @@ fn main() -> ExitCode {
         ));
     }
 
-    let mut study = Study::new(config.clone()).with_obs(obs.clone());
+    if let Some(s) = shard {
+        obs.info(format!(
+            "shard {s}: executing only coordinates owned by this shard; \
+             merge the shard journals and --resume for full-campaign artifacts"
+        ));
+    }
+    let mut study = Study::new(config.clone())
+        .with_obs(obs.clone())
+        .with_shard(shard);
     if let Some(interval) = fsync_interval {
         study = study.with_fsync_interval(interval);
     }
@@ -344,7 +428,7 @@ fn main() -> ExitCode {
                 None => String::new(),
             };
             obs.info(format!(
-                "resume with: study {} --resume {}{}{}",
+                "resume with: study {} --resume {}{}{}{}",
                 if config.masses >= 5 {
                     "--full"
                 } else {
@@ -353,6 +437,7 @@ fn main() -> ExitCode {
                 out_dir.display(),
                 if replay { " --replay" } else { "" },
                 adaptive_hint,
+                shard.map_or(String::new(), |s| format!(" --shard {s}")),
             ));
             return ExitCode::from(130);
         }

@@ -18,6 +18,7 @@ use permea_fi::error::FiError;
 use permea_fi::journal::{JournalHeader, RunJournal, DEFAULT_FSYNC_INTERVAL};
 use permea_fi::process::IsolationMode;
 use permea_fi::results::CampaignResult;
+use permea_fi::shard::Shard;
 use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
 use permea_obs::Obs;
 use serde::{Deserialize, Serialize};
@@ -170,6 +171,7 @@ pub struct Study {
     fsync_interval: usize,
     isolation: IsolationMode,
     max_retries: Option<u32>,
+    shard: Option<Shard>,
 }
 
 impl Study {
@@ -181,6 +183,7 @@ impl Study {
             fsync_interval: DEFAULT_FSYNC_INTERVAL,
             isolation: IsolationMode::InProcess,
             max_retries: None,
+            shard: None,
         }
     }
 
@@ -213,6 +216,17 @@ impl Study {
         self
     }
 
+    /// Restricts the campaign to one shard's deterministic slice of the
+    /// coordinate space (`--shard i/n`). Shard journals share the unsharded
+    /// header and merge back with
+    /// [`permea_fi::journal::merge_journals`]. Note the *analysis* stages
+    /// of a sharded study see only this shard's runs — merge journals and
+    /// resume unsharded for the real estimates.
+    pub fn with_shard(mut self, shard: Option<Shard>) -> Self {
+        self.shard = shard;
+        self
+    }
+
     /// The telemetry handle in use.
     pub fn obs(&self) -> &Obs {
         &self.obs
@@ -233,6 +247,7 @@ impl Study {
             fast_forward: self.config.fast_forward,
             journal_fsync_interval: self.fsync_interval,
             isolation: self.isolation.clone(),
+            shard: self.shard,
             ..CampaignConfig::default()
         };
         if let Some(max_retries) = self.max_retries {
@@ -355,6 +370,57 @@ mod tests {
         // Reopen the complete journal: the resumed study re-executes no
         // runs and reproduces the result bit for bit.
         let (mut j, loaded) = RunJournal::open_or_create(&path, &header).unwrap();
+        assert_eq!(loaded.recovered as u64, baseline.result.total_runs);
+        let resumed = study.run_resumable(Some(&mut j), None).unwrap();
+        assert_eq!(resumed.result, baseline.result);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_smoke_studies_merge_to_the_unsharded_journal() {
+        // One thread everywhere: journal byte-identity needs ascending
+        // append order on both sides.
+        let config = StudyConfig {
+            threads: 1,
+            ..StudyConfig::smoke()
+        };
+        let study = Study::new(config.clone());
+        let baseline = study.run().unwrap();
+        let dir = std::env::temp_dir().join(format!("permea-study-shard-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let header = study.journal_header();
+
+        let full_path = dir.join("full.jsonl");
+        let _ = std::fs::remove_file(&full_path);
+        let (mut j, _) = RunJournal::open_or_create(&full_path, &header).unwrap();
+        study.run_resumable(Some(&mut j), None).unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        let mut shard_paths = Vec::new();
+        for i in 0..2 {
+            let sharded = Study::new(config.clone()).with_shard(Some(Shard::new(i, 2).unwrap()));
+            let path = dir.join(format!("shard{i}.jsonl"));
+            let _ = std::fs::remove_file(&path);
+            let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+            sharded.run_resumable(Some(&mut j), None).unwrap();
+            j.sync().unwrap();
+            drop(j);
+            shard_paths.push(path);
+        }
+
+        let merged = dir.join("merged.jsonl");
+        let _ = std::fs::remove_file(&merged);
+        permea_fi::journal::merge_journals(&merged, &shard_paths).unwrap();
+        assert_eq!(
+            std::fs::read(&merged).unwrap(),
+            std::fs::read(&full_path).unwrap(),
+            "merged shard journals must equal the unsharded journal byte for byte"
+        );
+
+        // Resuming from the merged journal re-executes nothing and yields
+        // the baseline result.
+        let (mut j, loaded) = RunJournal::open_or_create(&merged, &header).unwrap();
         assert_eq!(loaded.recovered as u64, baseline.result.total_runs);
         let resumed = study.run_resumable(Some(&mut j), None).unwrap();
         assert_eq!(resumed.result, baseline.result);

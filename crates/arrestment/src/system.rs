@@ -370,10 +370,10 @@ mod tests {
         assert!(traces.ticks() > 5_000);
         // The controller actually applied pressure.
         let toc2 = traces.trace("TOC2").unwrap();
-        assert!(toc2.samples.iter().any(|&v| v > 0));
+        assert!(toc2.iter().any(|&v| v > 0));
         // Checkpoints were crossed.
         let i_trace = traces.trace("i").unwrap();
-        assert!(*i_trace.samples.last().unwrap() >= 2);
+        assert!(*i_trace.last().unwrap() >= 2);
     }
 
     #[test]
@@ -388,10 +388,7 @@ mod tests {
     fn different_cases_produce_different_traces() {
         let t1 = ArrestmentSystem::new(TestCase::new(8_000.0, 40.0)).run_to_completion();
         let t2 = ArrestmentSystem::new(TestCase::new(20_000.0, 80.0)).run_to_completion();
-        assert_ne!(
-            t1.trace("pulscnt").unwrap().samples,
-            t2.trace("pulscnt").unwrap().samples
-        );
+        assert_ne!(t1.trace("pulscnt").unwrap(), t2.trace("pulscnt").unwrap());
     }
 
     #[test]

@@ -8,7 +8,6 @@ use permea_analysis::placement_experiment::{
     detection_comparison, recovery_comparison, render_coverage, PlacementConfig,
 };
 use permea_mech::detectors::{CompositeDetector, Detector};
-use permea_runtime::tracing::SignalTrace;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -39,17 +38,14 @@ fn bench(c: &mut Criterion) {
     );
 
     // Detector throughput on a long trace.
-    let golden = SignalTrace {
-        name: "s".into(),
-        samples: (0..30_000u32)
-            .map(|i| (1000 + (i % 97) * 3) as u16)
-            .collect(),
-    };
+    let golden: Vec<u16> = (0..30_000u32)
+        .map(|i| (1000 + (i % 97) * 3) as u16)
+        .collect();
     c.bench_function("placement/detector_stack_30k_samples", |b| {
         b.iter(|| {
             let mut d = CompositeDetector::calibrated_standard(&golden);
             let mut hits = 0u32;
-            for &v in &golden.samples {
+            for &v in &golden {
                 hits += d.observe(black_box(v)) as u32;
             }
             black_box(hits)

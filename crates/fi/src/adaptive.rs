@@ -26,6 +26,7 @@
 use crate::error::FiError;
 use crate::estimate::wilson_interval;
 use crate::results::RunRecord;
+use crate::shard::Shard;
 use crate::spec::CampaignSpec;
 use rand::rngs::SmallRng;
 use rand::{RngCore, SeedableRng};
@@ -161,6 +162,13 @@ impl Stratum {
             })
             .fold(0.0, f64::max)
     }
+
+    /// The stratum's effective run budget: the plan cap, clipped to the
+    /// coordinates this stratum actually holds (a shard keeps only its
+    /// slice of the permutation).
+    fn budget_limit(&self, cap: u64) -> u64 {
+        cap.min(self.order.len() as u64)
+    }
 }
 
 /// Snapshot of one stratum's progress, for reporting and telemetry.
@@ -195,39 +203,60 @@ pub struct AdaptivePlanner {
 }
 
 impl AdaptivePlanner {
-    /// Builds the planner for a spec. `outputs_per_target[t]` is the number
-    /// of output signals of target `t` (in spec order) — the pairs whose
-    /// intervals gate that stratum. The sampling permutations derive from
-    /// `master_seed` alone, so two planners with equal inputs make equal
-    /// decisions.
+    /// Builds the planner from a spec's adaptive plan. `outputs_per_target[t]`
+    /// is the number of output signals of target `t` (in spec order) — the
+    /// pairs whose intervals gate that stratum. The sampling permutations
+    /// derive from `master_seed` alone, so two planners with equal inputs
+    /// make equal decisions. When a [`Shard`] is given, each stratum keeps
+    /// only the permutation *positions* the shard owns — a partition that is
+    /// identical on every machine because the permutation itself never
+    /// depends on thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FiError::AdaptivePlanMissing`] when `spec.adaptive` is
+    /// `None` — adaptive execution was requested without a plan to execute.
     pub fn new(
         spec: &CampaignSpec,
-        plan: AdaptivePlan,
         outputs_per_target: &[usize],
         master_seed: u64,
-    ) -> Self {
+        shard: Option<Shard>,
+    ) -> Result<Self, FiError> {
         debug_assert_eq!(outputs_per_target.len(), spec.targets.len());
+        let plan = spec.adaptive.clone().ok_or(FiError::AdaptivePlanMissing)?;
         let per_target = spec.injections_per_target();
         let strata = outputs_per_target
             .iter()
             .enumerate()
-            .map(|(t, &outputs)| Stratum {
-                order: permutation(per_target, stratum_seed(master_seed, t)),
-                issued: 0,
-                executed: 0,
-                trials: 0,
-                errors: vec![0; outputs],
-                closed: None,
+            .map(|(t, &outputs)| {
+                let full = permutation(per_target, stratum_seed(master_seed, t));
+                let order: Vec<u32> = match shard {
+                    None => full,
+                    Some(s) => full
+                        .into_iter()
+                        .enumerate()
+                        .filter(|(pos, _)| s.owns(*pos as u64))
+                        .map(|(_, local)| local)
+                        .collect(),
+                };
+                Stratum {
+                    order,
+                    issued: 0,
+                    executed: 0,
+                    trials: 0,
+                    errors: vec![0; outputs],
+                    closed: None,
+                }
             })
             .collect();
-        AdaptivePlanner {
+        Ok(AdaptivePlanner {
             plan,
             per_target,
             strata,
             rounds: 0,
             ranking_streak: 0,
             last_ranking: None,
-        }
+        })
     }
 
     /// Records one finished run. `k` is the global coordinate index; the
@@ -263,7 +292,9 @@ impl AdaptivePlanner {
             if stratum.closed.is_some() {
                 continue;
             }
-            if stratum.executed >= cap {
+            // A shard-filtered stratum exhausts its budget once its slice of
+            // the permutation runs out, even below the nominal cap.
+            if stratum.executed >= stratum.budget_limit(cap) {
                 stratum.closed = Some(StopReason::BudgetExhausted);
             } else if stratum.executed >= self.plan.min_runs
                 && stratum.max_half_width(z) <= self.plan.target_ci
@@ -287,7 +318,10 @@ impl AdaptivePlanner {
             .collect();
         let capacities: Vec<usize> = open
             .iter()
-            .map(|&t| (cap - self.strata[t].executed) as usize)
+            .map(|&t| {
+                let s = &self.strata[t];
+                (s.budget_limit(cap) - s.executed) as usize
+            })
             .collect();
         let alloc = allocate(budget, &widths, &capacities);
 
@@ -501,8 +535,7 @@ mod tests {
     /// rule, returning every batch it planned.
     fn drive(spec: &CampaignSpec, diverges: impl Fn(usize) -> bool) -> Vec<Vec<usize>> {
         let outputs = vec![1; spec.targets.len()];
-        let mut planner =
-            AdaptivePlanner::new(spec, spec.adaptive.clone().unwrap(), &outputs, 0x5EED);
+        let mut planner = AdaptivePlanner::new(spec, &outputs, 0x5EED, None).unwrap();
         let per_target = spec.injections_per_target();
         let mut batches = Vec::new();
         loop {
@@ -657,7 +690,7 @@ mod tests {
         };
         let s = spec(1, plan);
         let outputs = vec![1usize];
-        let mut planner = AdaptivePlanner::new(&s, s.adaptive.clone().unwrap(), &outputs, 0x5EED);
+        let mut planner = AdaptivePlanner::new(&s, &outputs, 0x5EED, None).unwrap();
         let mut total = 0;
         loop {
             let batch = planner.next_batch();
@@ -698,6 +731,62 @@ mod tests {
         // Nothing fits: budget is simply not spent.
         let alloc = allocate(10, &[0.5], &[0]);
         assert_eq!(alloc, vec![0]);
+    }
+
+    #[test]
+    fn missing_plan_is_a_typed_error() {
+        let mut s = spec(2, AdaptivePlan::default());
+        s.adaptive = None;
+        let outputs = vec![1; 2];
+        assert_eq!(
+            AdaptivePlanner::new(&s, &outputs, 0x5EED, None).unwrap_err(),
+            FiError::AdaptivePlanMissing
+        );
+    }
+
+    /// Drives one shard's planner to exhaustion, returning the coordinates
+    /// it issued.
+    fn drive_shard(s: &CampaignSpec, shard: Option<Shard>) -> Vec<usize> {
+        let outputs = vec![1; s.targets.len()];
+        let mut planner = AdaptivePlanner::new(s, &outputs, 0x5EED, shard).unwrap();
+        let per_target = s.injections_per_target();
+        let mut issued = Vec::new();
+        loop {
+            let batch = planner.next_batch();
+            if batch.is_empty() {
+                break;
+            }
+            for &k in &batch {
+                let t = k / per_target;
+                planner.record(k, &record(&s.targets[t], true));
+                issued.push(k);
+            }
+        }
+        issued
+    }
+
+    #[test]
+    fn shards_partition_the_adaptive_order() {
+        // An unreachable CI target forces every stratum to its budget, so
+        // each shard must issue exactly its slice of the permutation.
+        let plan = AdaptivePlan {
+            batch_size: 8,
+            target_ci: 0.0001,
+            min_runs: 8,
+            ..AdaptivePlan::default()
+        };
+        let s = spec(2, plan);
+        let full: std::collections::BTreeSet<usize> = drive_shard(&s, None).into_iter().collect();
+        assert_eq!(full.len(), s.run_count(), "unsharded run covers the grid");
+
+        let mut union = std::collections::BTreeSet::new();
+        for i in 0..3 {
+            let shard = Shard::new(i, 3).unwrap();
+            for k in drive_shard(&s, Some(shard)) {
+                assert!(union.insert(k), "coordinate {k} issued by two shards");
+            }
+        }
+        assert_eq!(union, full, "shards must partition the unsharded order");
     }
 
     #[test]

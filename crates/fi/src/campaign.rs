@@ -31,8 +31,9 @@ use crate::error::FiError;
 use crate::golden::GoldenRun;
 use crate::journal::{JournalHeader, RunJournal, DEFAULT_FSYNC_INTERVAL};
 use crate::outcome::{classify_unwind, OutcomeTally, RunOutcome};
-use crate::process::{Attempt, IsolationMode, ProcessIsolation, ToWorker, WorkerClient};
+use crate::process::{backoff, Attempt, IsolationMode, ProcessIsolation, ToWorker, WorkerClient};
 use crate::results::{CampaignResult, PairStat, RunRecord, RunStats};
+use crate::shard::Shard;
 use crate::spec::{CampaignSpec, InjectionScope};
 use permea_obs::{Counter, Histogram, Obs, Progress};
 use permea_runtime::sim::{SimInstruments, SimSnapshot, Simulation};
@@ -51,13 +52,6 @@ use std::time::{Duration, Instant};
 /// early-exit. Denser checkpoints detect reconvergence sooner at the cost
 /// of snapshot memory and comparison work.
 const CHECKPOINT_CADENCE_MS: u64 = 100;
-
-/// Exponential retry/respawn backoff: `base × 2^(attempt−1)`, with the
-/// exponent capped so a long crash storm cannot overflow into hour-long
-/// sleeps.
-fn backoff(base_ms: u64, attempt: u32) -> Duration {
-    Duration::from_millis(base_ms.saturating_mul(1 << attempt.saturating_sub(1).min(6)))
-}
 
 /// Builds fresh simulations of the system under test, one per run.
 ///
@@ -176,6 +170,13 @@ pub struct CampaignConfig {
     /// early without spending the remaining budget. Ignored in-process,
     /// where every run is deterministic by construction.
     pub max_retries: u32,
+    /// Execute only this shard's deterministic slice of the campaign:
+    /// positions of the dense enumeration (or of each adaptive stratum's
+    /// sampling permutation) congruent to the shard index modulo the shard
+    /// count. Shard journals share the unsharded campaign's header, so
+    /// [`crate::journal::merge_journals`] combines them into one journal
+    /// that is byte-identical to an unsharded single-threaded run's.
+    pub shard: Option<Shard>,
 }
 
 impl Default for CampaignConfig {
@@ -191,6 +192,7 @@ impl Default for CampaignConfig {
             journal_fsync_interval: DEFAULT_FSYNC_INTERVAL,
             isolation: IsolationMode::InProcess,
             max_retries: 2,
+            shard: None,
         }
     }
 }
@@ -264,12 +266,12 @@ impl InjectedWindow {
     /// convergence, so comparing the window against the golden samples at
     /// `start_ms + i` is exact.
     fn window_divergence(&self, golden: &GoldenRun, signal: &str) -> Option<usize> {
-        let g = &golden.traces.trace(signal)?.samples;
-        let w = &self.window.trace(signal)?.samples;
+        let g = golden.traces.trace(signal)?;
+        let w = self.window.trace(signal)?;
         let start = self.start_ms as usize;
-        (0..w.len())
-            .find(|&i| w[i] != g[start + i])
-            .map(|i| start + i)
+        debug_assert!(start + w.len() <= g.len(), "window overruns golden trace");
+        let n = w.len().min(g.len().saturating_sub(start));
+        permea_runtime::tracing::first_mismatch(&w[..n], &g[start..start + n]).map(|i| start + i)
     }
 }
 
@@ -577,6 +579,7 @@ impl<'f> Campaign<'f> {
     /// unwind with a [`permea_runtime::watchdog::StalledClock`] payload when
     /// the injected error stalls the simulated clock; the campaign loop
     /// catches and classifies that.
+    #[allow(clippy::too_many_arguments)] // one coordinate axis per parameter
     fn run_injected(
         &self,
         target: &ResolvedTarget,
@@ -585,8 +588,14 @@ impl<'f> Campaign<'f> {
         time_ms: u64,
         golden: &GoldenBundle,
         seed: u64,
+        arena: &mut Option<TraceSet>,
     ) -> Result<InjectedWindow, FiError> {
         let mut sim = self.factory.build(golden.run.case);
+        if let Some(spare) = arena.take() {
+            // Recycle the previous run's sample arena instead of letting the
+            // freshly built simulation record into new allocations.
+            sim.reuse_trace_arena(spare);
+        }
         if self.obs.enabled() {
             // Before `arm_watchdog`, which clones the trip counter into the
             // armed watchdog.
@@ -651,6 +660,7 @@ impl<'f> Campaign<'f> {
 
     /// Executes one injection run and returns the per-output first
     /// divergences plus the run's deterministic execution statistics.
+    #[allow(clippy::too_many_arguments)] // one coordinate axis per parameter
     fn run_one(
         &self,
         spec: &CampaignSpec,
@@ -659,8 +669,9 @@ impl<'f> Campaign<'f> {
         time_ms: u64,
         golden: &GoldenBundle,
         seed: u64,
+        arena: &mut Option<TraceSet>,
     ) -> Result<RunOneOutput, FiError> {
-        let run = self.run_injected(target, spec.scope, model, time_ms, golden, seed)?;
+        let run = self.run_injected(target, spec.scope, model, time_ms, golden, seed, arena)?;
         let divergences = target
             .output_signals
             .iter()
@@ -671,6 +682,8 @@ impl<'f> Campaign<'f> {
             forked: run.forked,
             converged_ms: run.converged_ms,
         };
+        // Hand the window's storage back for the next run.
+        *arena = Some(run.window);
         Ok((run.original, run.corrupted, divergences, stats))
     }
 
@@ -704,7 +717,8 @@ impl<'f> Campaign<'f> {
             adaptive: None,
         };
         let resolved = self.resolve_targets(&spec)?;
-        let run = self.run_injected(&resolved[0], scope, model, time_ms, golden, seed)?;
+        let run =
+            self.run_injected(&resolved[0], scope, model, time_ms, golden, seed, &mut None)?;
         let start = run.start_ms as usize;
         let traces = if start == 0 && run.converged_ms.is_none() {
             run.window
@@ -765,6 +779,7 @@ impl<'f> Campaign<'f> {
         targets: &[ResolvedTarget],
         goldens: &[GoldenBundle],
         k: usize,
+        arena: &mut Option<TraceSet>,
     ) -> Result<(RunRecord, RunStats), FiError> {
         let (ti, mi, wi, ci) = spec.coordinate(k);
         let target = &targets[ti];
@@ -774,7 +789,7 @@ impl<'f> Campaign<'f> {
         // Sandbox the run: a panicking or hanging simulation is quarantined
         // as a classified outcome, not a dead campaign.
         let sandboxed = catch_unwind(AssertUnwindSafe(|| {
-            self.run_one(spec, target, model, time_ms, &goldens[ci], seed)
+            self.run_one(spec, target, model, time_ms, &goldens[ci], seed, arena)
         }));
         match sandboxed {
             Ok(Ok((original, corrupted, divergences, stats))) => Ok((
@@ -932,6 +947,15 @@ impl<'f> Campaign<'f> {
             .add(goldens.iter().map(|g| g.snapshot_count() as u64).sum());
 
         let run_count = spec.run_count();
+        let shard = self.config.shard;
+        // Maps the dense cursor's position `j` to the coordinate this shard
+        // executes: the j-th owned position of the ascending enumeration.
+        // With no shard this is the identity.
+        let dense_coord = move |j: usize| {
+            let (index, count) = shard.map_or((0, 1), |s| (s.index(), s.count()));
+            let k = index + j * count;
+            (k < run_count).then_some(k)
+        };
         let configured_threads = process_cfg.map_or(self.config.threads, |p| p.workers);
         let threads = if configured_threads == 0 {
             std::thread::available_parallelism()
@@ -950,6 +974,14 @@ impl<'f> Campaign<'f> {
             .unwrap_or_default();
         debug_assert!(done.keys().all(|&k| (k as usize) < run_count));
         let adaptive_mode = spec.adaptive.is_some();
+        // What "all done" means for the progress display: a dense shard owns
+        // only its slice of the grid; adaptive campaigns report against the
+        // dense total (an upper bound the planner usually undercuts).
+        let progress_total = if adaptive_mode {
+            run_count as u64
+        } else {
+            shard.map_or(run_count as u64, |s| s.len(run_count as u64))
+        };
         // Recovered runs merge into the deterministic totals exactly as if
         // they had been executed here — that is what makes a resumed
         // campaign's `campaign.*` metrics equal an uninterrupted one's.
@@ -985,16 +1017,16 @@ impl<'f> Campaign<'f> {
         // Shared work source over coordinate indices: the dense cursor, or
         // the adaptive planner seeded so its decisions replay on resume.
         let source = match &spec.adaptive {
-            Some(plan) => {
+            Some(_) => {
                 let outputs: Vec<usize> = targets.iter().map(|t| t.output_signals.len()).collect();
                 WorkSource::Adaptive(
                     Mutex::new(AdaptiveState {
                         planner: AdaptivePlanner::new(
                             spec,
-                            plan.clone(),
                             &outputs,
                             self.config.master_seed,
-                        ),
+                            shard,
+                        )?,
                         pending: Vec::new(),
                         outstanding: 0,
                         finished: false,
@@ -1027,10 +1059,8 @@ impl<'f> Campaign<'f> {
             }
             match &source {
                 WorkSource::Dense(next) => {
-                    let k = next.fetch_add(1, Ordering::Relaxed);
-                    if k >= run_count {
-                        return None;
-                    }
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    let k = dense_coord(j)?;
                     if done.contains_key(&(k as u64)) {
                         continue;
                     }
@@ -1099,6 +1129,51 @@ impl<'f> Campaign<'f> {
                 }
             }
         };
+        // Non-blocking claim used to fill an IPC dispatch batch behind a
+        // blocking first claim. It never waits at the adaptive batch
+        // barrier and never replays journaled records (a replayed
+        // coordinate is pushed back for `claim` to handle), so a dispatch
+        // batch cannot span planner rounds and the barrier stays intact.
+        let try_claim = || {
+            if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+                return None;
+            }
+            if fail.lock().map(|slot| slot.is_some()).unwrap_or(true) {
+                return None;
+            }
+            match &source {
+                WorkSource::Dense(next) => loop {
+                    let j = next.fetch_add(1, Ordering::Relaxed);
+                    let k = dense_coord(j)?;
+                    if done.contains_key(&(k as u64)) {
+                        continue;
+                    }
+                    return Some(k);
+                },
+                WorkSource::Adaptive(state, _) => {
+                    let Ok(mut s) = state.lock() else {
+                        set_fail(FiError::WorkerPanicked);
+                        return None;
+                    };
+                    if s.finished {
+                        return None;
+                    }
+                    match s.pending.pop() {
+                        Some(k) if done.contains_key(&(k as u64)) => {
+                            // Journal replay belongs to `claim`; restore the
+                            // coordinate and stop filling this batch.
+                            s.pending.push(k);
+                            None
+                        }
+                        Some(k) => {
+                            s.outstanding += 1;
+                            Some(k)
+                        }
+                        None => None,
+                    }
+                }
+            }
+        };
         let commit = |k: usize, record: RunRecord, stats: RunStats, attempts: u32| -> bool {
             ins.account(&record, &stats, golden_ticks[record.case]);
             ins.runs_executed.inc();
@@ -1149,7 +1224,7 @@ impl<'f> Campaign<'f> {
                 };
                 obs.progress(&Progress {
                     done: done_now,
-                    total: run_count as u64,
+                    total: progress_total,
                     recovered,
                     quarantined: quarantined_now,
                     forked: forked_now,
@@ -1162,9 +1237,12 @@ impl<'f> Campaign<'f> {
         };
 
         let worker = |_: usize| {
+            // Worker-owned sample arena, recycled across every run this
+            // thread executes.
+            let mut arena: Option<TraceSet> = None;
             while let Some(k) = claim() {
                 let run_started = obs.enabled().then(Instant::now);
-                let sandboxed = self.execute_sandboxed(spec, &targets, &goldens, k);
+                let sandboxed = self.execute_sandboxed(spec, &targets, &goldens, k, &mut arena);
                 if let Some(t0) = run_started {
                     ins.run_micros.observe(t0.elapsed().as_micros() as u64);
                 }
@@ -1214,92 +1292,54 @@ impl<'f> Campaign<'f> {
         let supervisor = |p: &ProcessIsolation| {
             let run_timeout = Duration::from_millis(p.run_timeout_ms.max(1));
             let setup_timeout = Duration::from_millis(p.setup_timeout_ms.max(1));
+            let batch_limit = p.dispatch_batch.max(1);
             let mut client: Option<WorkerClient> = None;
             let mut ever_spawned = false;
-            'coords: while let Some(k) = claim() {
-                // Attempts actually dispatched for this coordinate; the
-                // journal records it so resumed campaigns keep the count.
-                let mut attempts: u32 = 0;
-                let mut last_death: Option<RunOutcome> = None;
-                let (record, stats) = loop {
-                    if breaker.load(Ordering::Acquire) {
-                        // Degraded mode: execute on the supervisor's bare
-                        // bundles — records are bit-identical (fast-forward
-                        // never changes a result bit), just slower.
-                        client = None;
-                        match self.execute_sandboxed(spec, &targets, &goldens, k) {
-                            Ok(pair) => break pair,
-                            Err(e) => {
-                                set_fail(e);
-                                break 'coords;
-                            }
+            // Arena for the degraded in-process fallback path.
+            let mut arena: Option<TraceSet> = None;
+            'coords: while let Some(first) = claim() {
+                // Fill the dispatch batch behind the blocking first claim
+                // without waiting, then try to ship the whole batch in one
+                // frame. Any worker death degrades the batch to the
+                // single-coordinate path below, whose retry loop owns death
+                // classification; coordinates re-run deterministically, so
+                // the records are identical either way.
+                let mut batch = vec![first];
+                if client.is_some() && !breaker.load(Ordering::Acquire) {
+                    while batch.len() < batch_limit {
+                        match try_claim() {
+                            Some(k) => batch.push(k),
+                            None => break,
                         }
                     }
-                    if client.is_none() {
-                        if ever_spawned {
-                            if respawn_budget.fetch_sub(1, Ordering::AcqRel) <= 0 {
-                                breaker.store(true, Ordering::Release);
-                                continue;
-                            }
-                            ins.worker_respawns.inc();
-                        }
-                        match WorkerClient::spawn(&p.command) {
-                            Ok(mut fresh) => {
-                                ever_spawned = true;
-                                ins.worker_spawns.inc();
-                                match fresh.setup(&setup_frame, setup_timeout) {
-                                    Ok(()) => client = Some(fresh),
-                                    Err(_) => {
-                                        // Setup failures draw on the budget
-                                        // like crashes do; back off and let
-                                        // the loop respawn or trip the
-                                        // breaker.
-                                        std::thread::sleep(backoff(p.retry_backoff_ms, attempts));
-                                        continue;
-                                    }
-                                }
-                            }
-                            Err(_) => {
-                                ever_spawned = true;
-                                std::thread::sleep(backoff(p.retry_backoff_ms, attempts));
-                                continue;
-                            }
-                        }
-                    }
-                    let live = client.as_mut().expect("worker ensured above");
-                    attempts += 1;
+                }
+                if batch.len() > 1 {
+                    let live = client.as_mut().expect("batched only with a live worker");
+                    let ks: Vec<u64> = batch.iter().map(|&k| k as u64).collect();
                     let attempt_started = obs.enabled().then(Instant::now);
-                    let attempt = live.run(k as u64, run_timeout);
+                    let attempt = live.run_batch(&ks, run_timeout);
                     if let Some(t0) = attempt_started {
                         ins.attempt_micros.observe(t0.elapsed().as_micros() as u64);
                     }
                     match attempt {
-                        Ok(Attempt::Done { record, stats }) => break (record, stats),
-                        Ok(Attempt::Died {
-                            deadline,
-                            signal,
-                            exit_code,
-                        }) => {
+                        Ok(Attempt::Done { results }) => {
+                            for done_run in results {
+                                if !commit(done_run.k as usize, done_run.record, done_run.stats, 1)
+                                {
+                                    break 'coords;
+                                }
+                            }
+                            continue 'coords;
+                        }
+                        Ok(Attempt::Died { deadline, .. }) => {
+                            // The guilty coordinate is unknown from a batch
+                            // death; fall through and re-dispatch each
+                            // coordinate singly so classification is exact.
                             client = None;
                             if deadline {
                                 ins.worker_kills.inc();
                             }
-                            // A hard-deadline kill means the run never let
-                            // its own clock be observed; any other death is
-                            // classified from the exit status.
-                            let outcome = if deadline {
-                                RunOutcome::Hung { last_tick_ms: 0 }
-                            } else {
-                                RunOutcome::Crashed { signal, exit_code }
-                            };
-                            let reproduced = last_death.as_ref() == Some(&outcome);
-                            let budget_spent = attempts > self.config.max_retries;
-                            if reproduced || budget_spent {
-                                break self.death_record(spec, &targets, k, outcome);
-                            }
-                            last_death = Some(outcome);
                             ins.run_retries.inc();
-                            std::thread::sleep(backoff(p.retry_backoff_ms, attempts));
                         }
                         Ok(Attempt::Protocol(message)) => {
                             set_fail(FiError::WorkerProcess { message });
@@ -1310,9 +1350,112 @@ impl<'f> Campaign<'f> {
                             break 'coords;
                         }
                     }
-                };
-                if !commit(k, record, stats, attempts.max(1)) {
-                    break;
+                }
+                for k in batch {
+                    // Attempts actually dispatched for this coordinate; the
+                    // journal records it so resumed campaigns keep the count.
+                    let mut attempts: u32 = 0;
+                    let mut last_death: Option<RunOutcome> = None;
+                    let (record, stats) = loop {
+                        if breaker.load(Ordering::Acquire) {
+                            // Degraded mode: execute on the supervisor's bare
+                            // bundles — records are bit-identical (fast-forward
+                            // never changes a result bit), just slower.
+                            client = None;
+                            match self.execute_sandboxed(spec, &targets, &goldens, k, &mut arena) {
+                                Ok(pair) => break pair,
+                                Err(e) => {
+                                    set_fail(e);
+                                    break 'coords;
+                                }
+                            }
+                        }
+                        if client.is_none() {
+                            if ever_spawned {
+                                if respawn_budget.fetch_sub(1, Ordering::AcqRel) <= 0 {
+                                    breaker.store(true, Ordering::Release);
+                                    continue;
+                                }
+                                ins.worker_respawns.inc();
+                            }
+                            match WorkerClient::spawn(&p.command) {
+                                Ok(mut fresh) => {
+                                    ever_spawned = true;
+                                    ins.worker_spawns.inc();
+                                    match fresh.setup(&setup_frame, setup_timeout) {
+                                        Ok(()) => client = Some(fresh),
+                                        Err(_) => {
+                                            // Setup failures draw on the budget
+                                            // like crashes do; back off and let
+                                            // the loop respawn or trip the
+                                            // breaker.
+                                            std::thread::sleep(backoff(
+                                                p.retry_backoff_ms,
+                                                attempts,
+                                            ));
+                                            continue;
+                                        }
+                                    }
+                                }
+                                Err(_) => {
+                                    ever_spawned = true;
+                                    std::thread::sleep(backoff(p.retry_backoff_ms, attempts));
+                                    continue;
+                                }
+                            }
+                        }
+                        let live = client.as_mut().expect("worker ensured above");
+                        attempts += 1;
+                        let attempt_started = obs.enabled().then(Instant::now);
+                        let attempt = live.run_batch(&[k as u64], run_timeout);
+                        if let Some(t0) = attempt_started {
+                            ins.attempt_micros.observe(t0.elapsed().as_micros() as u64);
+                        }
+                        match attempt {
+                            Ok(Attempt::Done { mut results }) => {
+                                let done_run =
+                                    results.pop().expect("batch of one verified by client");
+                                break (done_run.record, done_run.stats);
+                            }
+                            Ok(Attempt::Died {
+                                deadline,
+                                signal,
+                                exit_code,
+                            }) => {
+                                client = None;
+                                if deadline {
+                                    ins.worker_kills.inc();
+                                }
+                                // A hard-deadline kill means the run never let
+                                // its own clock be observed; any other death is
+                                // classified from the exit status.
+                                let outcome = if deadline {
+                                    RunOutcome::Hung { last_tick_ms: 0 }
+                                } else {
+                                    RunOutcome::Crashed { signal, exit_code }
+                                };
+                                let reproduced = last_death.as_ref() == Some(&outcome);
+                                let budget_spent = attempts > self.config.max_retries;
+                                if reproduced || budget_spent {
+                                    break self.death_record(spec, &targets, k, outcome);
+                                }
+                                last_death = Some(outcome);
+                                ins.run_retries.inc();
+                                std::thread::sleep(backoff(p.retry_backoff_ms, attempts));
+                            }
+                            Ok(Attempt::Protocol(message)) => {
+                                set_fail(FiError::WorkerProcess { message });
+                                break 'coords;
+                            }
+                            Err(e) => {
+                                set_fail(e);
+                                break 'coords;
+                            }
+                        }
+                    };
+                    if !commit(k, record, stats, attempts.max(1)) {
+                        break 'coords;
+                    }
                 }
             }
         };
@@ -1359,6 +1502,15 @@ impl<'f> Campaign<'f> {
         // merge exactly the coordinates the planner sampled (a journaled
         // run whose batch was never re-issued — possible only after a
         // cancellation — stays out, matching its skipped accounting).
+        // Expected dense total: every journaled record plus every
+        // shard-owned coordinate that was not journaled. Without a shard
+        // this is simply the spec's run count.
+        let dense_expected = shard.map_or(run_count, |s| {
+            done.len()
+                + s.positions(run_count as u64)
+                    .filter(|k| !done.contains_key(k))
+                    .count()
+        });
         let mut merged: Vec<(u64, RunRecord)> = match &sampled {
             None => done.into_iter().map(|(k, (r, _))| (k, r)).collect(),
             Some(sampled_ks) => {
@@ -1377,7 +1529,7 @@ impl<'f> Campaign<'f> {
             if obs.enabled() {
                 obs.progress(&Progress {
                     done: progress_done.load(Ordering::Relaxed),
-                    total: run_count as u64,
+                    total: progress_total,
                     recovered,
                     quarantined: progress_quarantined.load(Ordering::Relaxed),
                     forked: progress_forked.load(Ordering::Relaxed),
@@ -1398,7 +1550,7 @@ impl<'f> Campaign<'f> {
             });
         }
         match &sampled {
-            None => debug_assert_eq!(merged.len(), run_count),
+            None => debug_assert_eq!(merged.len(), dense_expected),
             Some(s) => debug_assert_eq!(merged.len(), s.len()),
         }
         // Adaptive totals are deterministic facts of the finished plan: a
@@ -2058,6 +2210,73 @@ mod tests {
         let (mut j, loaded) = RunJournal::open_or_create(&path, &header).unwrap();
         assert_eq!(loaded.recovered, spec().run_count());
         let resumed = c.run_resumable(&spec(), Some(&mut j), None).unwrap();
+        assert_eq!(resumed, baseline);
+    }
+
+    #[test]
+    fn sharded_journals_merge_to_the_unsharded_journal() {
+        let f = factory();
+        let unsharded = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let baseline = unsharded.run(&spec()).unwrap();
+        let full_path = journal_path("shard-full");
+        let _ = std::fs::remove_file(&full_path);
+        let header = unsharded.journal_header(&spec());
+        let (mut j, _) = RunJournal::open_or_create(&full_path, &header).unwrap();
+        unsharded
+            .run_resumable(&spec(), Some(&mut j), None)
+            .unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        // Each shard runs its slice into its own journal; shard totals
+        // partition the grid.
+        let mut shard_paths = Vec::new();
+        for i in 0..2 {
+            let c = Campaign::new(
+                &f,
+                CampaignConfig {
+                    threads: 1,
+                    shard: Some(Shard::new(i, 2).unwrap()),
+                    ..Default::default()
+                },
+            );
+            let path = journal_path(&format!("shard-{i}"));
+            let _ = std::fs::remove_file(&path);
+            let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+            let partial = c.run_resumable(&spec(), Some(&mut j), None).unwrap();
+            assert_eq!(
+                partial.total_runs,
+                Shard::new(i, 2).unwrap().len(spec().run_count() as u64),
+                "shard {i} must run exactly its slice"
+            );
+            j.sync().unwrap();
+            drop(j);
+            shard_paths.push(path);
+        }
+
+        let merged_path = journal_path("shard-merged");
+        let _ = std::fs::remove_file(&merged_path);
+        let summary = crate::journal::merge_journals(&merged_path, &shard_paths).unwrap();
+        assert_eq!(summary.records, spec().run_count());
+        assert_eq!(
+            std::fs::read(&merged_path).unwrap(),
+            std::fs::read(&full_path).unwrap(),
+            "merged shard journals must be byte-identical to the unsharded journal"
+        );
+
+        // The merged journal resumes the unsharded campaign: nothing
+        // re-executes and the result is bit-identical.
+        let (mut j, loaded) = RunJournal::open_or_create(&merged_path, &header).unwrap();
+        assert_eq!(loaded.recovered, spec().run_count());
+        let resumed = unsharded
+            .run_resumable(&spec(), Some(&mut j), None)
+            .unwrap();
         assert_eq!(resumed, baseline);
     }
 

@@ -132,6 +132,21 @@ pub enum FiError {
         /// The header field that disagreed.
         field: &'static str,
     },
+    /// Adaptive execution was requested but the campaign spec carries no
+    /// adaptive sampling plan to execute.
+    AdaptivePlanMissing,
+    /// A `--shard i/n` specification could not be parsed or is out of range.
+    InvalidShard {
+        /// Which constraint the shard specification violates.
+        reason: String,
+    },
+    /// Two journals being merged carry *different* records for the same
+    /// coordinate — they came from campaigns that disagree, so a merged
+    /// journal would silently mix incompatible results.
+    JournalMergeConflict {
+        /// The flat coordinate index both journals claim with different data.
+        k: u64,
+    },
 }
 
 impl fmt::Display for FiError {
@@ -230,6 +245,17 @@ impl fmt::Display for FiError {
                 "existing journal belongs to a different campaign ({field} differs); \
                  refusing to resume"
             ),
+            FiError::AdaptivePlanMissing => write!(
+                f,
+                "adaptive execution requested but the campaign spec has no \
+                 adaptive sampling plan"
+            ),
+            FiError::InvalidShard { reason } => write!(f, "invalid shard spec: {reason}"),
+            FiError::JournalMergeConflict { k } => write!(
+                f,
+                "journals disagree about coordinate {k}: both carry a record for it \
+                 with different contents; refusing to merge campaigns that conflict"
+            ),
         }
     }
 }
@@ -322,6 +348,17 @@ mod tests {
         }
         .to_string()
         .contains("master_seed"));
+        assert!(FiError::AdaptivePlanMissing
+            .to_string()
+            .contains("adaptive"));
+        assert!(FiError::InvalidShard {
+            reason: "shard index 3 is out of range for 2 shards".into()
+        }
+        .to_string()
+        .contains("out of range"));
+        let conflict = FiError::JournalMergeConflict { k: 42 };
+        assert!(conflict.to_string().contains("42"));
+        assert!(conflict.to_string().contains("merge"));
     }
 
     #[test]

@@ -188,6 +188,196 @@ fn parse_entry_line(bytes: &[u8]) -> Option<JournalEntry> {
     serde_json::from_str::<JournalEntry>(json).ok()
 }
 
+/// Serialises one journal entry into its on-disk line (without the trailing
+/// newline): eight lowercase hex CRC32 digits, a space, the JSON payload.
+/// Shared by [`RunJournal::append`] and [`merge_journals`] so both write the
+/// exact same bytes for the same entry.
+fn entry_line(entry: &JournalEntry) -> Result<String, FiError> {
+    let json = serde_json::to_string(entry).map_err(|e| FiError::Journal {
+        message: format!("serialising journal entry: {e}"),
+    })?;
+    Ok(format!("{:08x} {json}", crc32(json.as_bytes())))
+}
+
+/// A journal read without opening it for appending: the parsed header, the
+/// surviving entries keyed by coordinate, and whether the file ended in a
+/// torn tail.
+#[derive(Debug, Clone)]
+pub struct ReadJournal {
+    /// The campaign header on line 1.
+    pub header: JournalHeader,
+    /// All complete records, keyed by coordinate index.
+    pub entries: HashMap<u64, JournalEntry>,
+    /// `true` when the file ended in a torn (incomplete or unparseable)
+    /// line. Read-only access never truncates the file.
+    pub truncated_tail: bool,
+}
+
+/// Reads a journal without modifying it: parses the header, recovers every
+/// complete record and *reports* (rather than truncates) a torn tail. The
+/// shard-merge path uses this so merging never mutates its inputs.
+///
+/// # Errors
+///
+/// Returns [`FiError::Journal`] when the file is missing or its header is
+/// unreadable, and [`FiError::JournalCorrupt`] when a record fails its CRC
+/// mid-file with intact records after it.
+pub fn read_journal(path: impl AsRef<Path>) -> Result<ReadJournal, FiError> {
+    let path = path.as_ref();
+    let data =
+        std::fs::read(path).map_err(|e| io_err(&format!("reading {}", path.display()), e))?;
+    let mut line_ranges: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            line_ranges.push((start, i));
+            start = i + 1;
+        }
+    }
+    let mut truncated_tail = start < data.len();
+
+    let mut ranges = line_ranges.into_iter();
+    let (hs, he) = ranges.next().ok_or(FiError::Journal {
+        message: format!("{} holds no complete header line", path.display()),
+    })?;
+    let header_line = std::str::from_utf8(&data[hs..he]).map_err(|_| FiError::Journal {
+        message: format!("{}: header is not valid UTF-8", path.display()),
+    })?;
+    let header: JournalHeader =
+        serde_json::from_str(header_line).map_err(|e| FiError::Journal {
+            message: format!("parsing header of {}: {e}", path.display()),
+        })?;
+
+    let mut entries = HashMap::new();
+    let mut corrupt_line: Option<usize> = None;
+    for (idx, (s, e)) in ranges.enumerate() {
+        match parse_entry_line(&data[s..e]) {
+            Some(entry) => {
+                if let Some(line) = corrupt_line {
+                    return Err(FiError::JournalCorrupt { line });
+                }
+                entries.insert(entry.k, entry);
+            }
+            None => {
+                corrupt_line.get_or_insert(idx + 2);
+            }
+        }
+    }
+    if corrupt_line.is_some() {
+        truncated_tail = true;
+    }
+    Ok(ReadJournal {
+        header,
+        entries,
+        truncated_tail,
+    })
+}
+
+/// Outcome of [`merge_journals`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeSummary {
+    /// Journals read.
+    pub inputs: usize,
+    /// Distinct coordinates written to the merged journal.
+    pub records: usize,
+    /// Duplicate records (same coordinate, identical contents) collapsed;
+    /// the merged entry keeps the *maximum* attempt count.
+    pub duplicates: usize,
+    /// Input journals whose torn tail was skipped (their complete records
+    /// were still merged).
+    pub torn_tails: usize,
+}
+
+/// Merges shard journals into one resumable journal at `out`.
+///
+/// All inputs must carry the same campaign header (the first input is the
+/// reference). Records are united by coordinate: a coordinate present in
+/// several inputs must carry an identical record and stats everywhere —
+/// the merged entry keeps the maximum attempt count — and any disagreement
+/// aborts the merge. The output is written header-first, then entries in
+/// ascending coordinate order, so merging the shards of a dense campaign
+/// reproduces the unsharded single-threaded journal byte for byte. Inputs
+/// are never modified; a torn tail in an input only drops the torn line.
+///
+/// # Errors
+///
+/// Returns [`FiError::JournalMismatch`] when input headers disagree,
+/// [`FiError::JournalMergeConflict`] when two inputs carry different
+/// records for one coordinate, and [`FiError::Journal`] on I/O failure.
+pub fn merge_journals(out: impl AsRef<Path>, inputs: &[PathBuf]) -> Result<MergeSummary, FiError> {
+    let out = out.as_ref();
+    if inputs.is_empty() {
+        return Err(FiError::Journal {
+            message: "journal merge needs at least one input".into(),
+        });
+    }
+
+    let mut reference: Option<JournalHeader> = None;
+    let mut merged: HashMap<u64, JournalEntry> = HashMap::new();
+    let mut duplicates = 0usize;
+    let mut torn_tails = 0usize;
+    for path in inputs {
+        let shard = read_journal(path)?;
+        match &reference {
+            None => reference = Some(shard.header),
+            Some(first) => first.ensure_matches(&shard.header)?,
+        }
+        if shard.truncated_tail {
+            torn_tails += 1;
+        }
+        for (k, entry) in shard.entries {
+            match merged.entry(k) {
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    slot.insert(entry);
+                }
+                std::collections::hash_map::Entry::Occupied(mut slot) => {
+                    let existing = slot.get_mut();
+                    if existing.record != entry.record || existing.stats != entry.stats {
+                        return Err(FiError::JournalMergeConflict { k });
+                    }
+                    existing.attempts = existing.attempts.max(entry.attempts);
+                    duplicates += 1;
+                }
+            }
+        }
+    }
+    let header = reference.expect("at least one input was read");
+
+    let file = File::create(out)
+        .map_err(|e| io_err(&format!("creating merged journal {}", out.display()), e))?;
+    let mut writer = BufWriter::new(file);
+    let header_json = serde_json::to_string(&header).map_err(|e| FiError::Journal {
+        message: format!("serialising merged journal header: {e}"),
+    })?;
+    writer
+        .write_all(header_json.as_bytes())
+        .and_then(|()| writer.write_all(b"\n"))
+        .map_err(|e| io_err("writing merged journal header", e))?;
+    let mut ks: Vec<u64> = merged.keys().copied().collect();
+    ks.sort_unstable();
+    let records = ks.len();
+    for k in &ks {
+        let line = entry_line(&merged[k])?;
+        writer
+            .write_all(line.as_bytes())
+            .and_then(|()| writer.write_all(b"\n"))
+            .map_err(|e| io_err("writing merged journal entry", e))?;
+    }
+    writer
+        .flush()
+        .map_err(|e| io_err("flushing merged journal", e))?;
+    writer
+        .get_ref()
+        .sync_data()
+        .map_err(|e| io_err("syncing merged journal", e))?;
+    Ok(MergeSummary {
+        inputs: inputs.len(),
+        records,
+        duplicates,
+        torn_tails,
+    })
+}
+
 /// An append-only JSONL run journal bound to one campaign.
 #[derive(Debug)]
 pub struct RunJournal {
@@ -399,10 +589,7 @@ impl RunJournal {
             record: record.clone(),
             stats: *stats,
         };
-        let json = serde_json::to_string(&entry).map_err(|e| FiError::Journal {
-            message: format!("serialising journal entry: {e}"),
-        })?;
-        let line = format!("{:08x} {json}", crc32(json.as_bytes()));
+        let line = entry_line(&entry)?;
         self.writer
             .write_all(line.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
@@ -736,6 +923,182 @@ mod tests {
 
         assert_eq!(
             RunJournal::open_or_create(&path, &header()).unwrap_err(),
+            FiError::JournalCorrupt { line: 3 }
+        );
+    }
+
+    /// Writes a shard journal holding `entries` and returns its path.
+    fn shard_file(name: &str, entries: &[(u64, RunRecord, RunStats, u32)]) -> PathBuf {
+        let path = tmp(name);
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        for (k, record, stats, attempts) in entries {
+            j.append(*k, record, stats, *attempts).unwrap();
+        }
+        j.sync().unwrap();
+        path
+    }
+
+    #[test]
+    fn merge_of_disjoint_shards_matches_sequential_journal() {
+        // Shard 0/2 owns even coordinates, shard 1/2 odd ones.
+        let a = shard_file(
+            "merge-a",
+            &[
+                (0, record(500), stats(40), 1),
+                (2, record(1_500), stats(42), 1),
+            ],
+        );
+        let b = shard_file(
+            "merge-b",
+            &[
+                (1, record(1_000), stats(41), 1),
+                (3, record(2_000), stats(43), 1),
+            ],
+        );
+        // The reference: one journal appending every coordinate in order.
+        let full = shard_file(
+            "merge-full",
+            &[
+                (0, record(500), stats(40), 1),
+                (1, record(1_000), stats(41), 1),
+                (2, record(1_500), stats(42), 1),
+                (3, record(2_000), stats(43), 1),
+            ],
+        );
+
+        let out = tmp("merge-out");
+        let _ = std::fs::remove_file(&out);
+        let summary = merge_journals(&out, &[a, b]).unwrap();
+        assert_eq!(summary.inputs, 2);
+        assert_eq!(summary.records, 4);
+        assert_eq!(summary.duplicates, 0);
+        assert_eq!(summary.torn_tails, 0);
+        assert_eq!(
+            std::fs::read(&out).unwrap(),
+            std::fs::read(&full).unwrap(),
+            "merged journal is not byte-identical to the sequential journal"
+        );
+
+        // The merged journal resumes like any other.
+        let (j, loaded) = RunJournal::open_or_create(&out, &header()).unwrap();
+        assert_eq!(loaded.recovered, 4);
+        assert_eq!(j.attempts()[&3], 1);
+    }
+
+    #[test]
+    fn merge_collapses_identical_duplicates_keeping_max_attempts() {
+        let a = shard_file("dup-a", &[(0, record(500), stats(40), 1)]);
+        let b = shard_file(
+            "dup-b",
+            &[
+                (0, record(500), stats(40), 3),
+                (1, record(1_000), stats(41), 1),
+            ],
+        );
+        let out = tmp("dup-out");
+        let _ = std::fs::remove_file(&out);
+        let summary = merge_journals(&out, &[a, b]).unwrap();
+        assert_eq!(summary.records, 2);
+        assert_eq!(summary.duplicates, 1);
+        let merged = read_journal(&out).unwrap();
+        assert_eq!(merged.entries[&0].attempts, 3);
+    }
+
+    #[test]
+    fn merge_rejects_conflicting_records() {
+        let a = shard_file("conflict-a", &[(7, record(500), stats(40), 1)]);
+        let b = shard_file("conflict-b", &[(7, record(999), stats(40), 1)]);
+        let out = tmp("conflict-out");
+        let _ = std::fs::remove_file(&out);
+        assert_eq!(
+            merge_journals(&out, &[a, b]).unwrap_err(),
+            FiError::JournalMergeConflict { k: 7 }
+        );
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_headers() {
+        let a = shard_file("hdr-a", &[(0, record(500), stats(40), 1)]);
+        let path = tmp("hdr-b");
+        let _ = std::fs::remove_file(&path);
+        let mut other = header();
+        other.master_seed = 43;
+        let mut j = RunJournal::create(&path, &other).unwrap();
+        j.append(1, &record(1_000), &stats(41), 1).unwrap();
+        j.sync().unwrap();
+        drop(j);
+        let out = tmp("hdr-out");
+        let _ = std::fs::remove_file(&out);
+        assert_eq!(
+            merge_journals(&out, &[a, path]).unwrap_err(),
+            FiError::JournalMismatch {
+                field: "master_seed"
+            }
+        );
+    }
+
+    #[test]
+    fn merge_tolerates_torn_tail_without_mutating_input() {
+        let a = shard_file(
+            "torn-a",
+            &[
+                (0, record(500), stats(40), 1),
+                (2, record(1_500), stats(42), 1),
+            ],
+        );
+        let b = shard_file("torn-b", &[(1, record(1_000), stats(41), 1)]);
+        // Tear shard b mid-write.
+        {
+            use std::io::Write as _;
+            let mut f = OpenOptions::new().append(true).open(&b).unwrap();
+            f.write_all(b"{\"k\":3,\"record\":{\"modu").unwrap();
+        }
+        let before = std::fs::read(&b).unwrap();
+
+        let out = tmp("torn-out");
+        let _ = std::fs::remove_file(&out);
+        let summary = merge_journals(&out, &[a, b.clone()]).unwrap();
+        assert_eq!(summary.records, 3);
+        assert_eq!(summary.torn_tails, 1);
+        // Read-only: the torn input is untouched.
+        assert_eq!(std::fs::read(&b).unwrap(), before);
+        let merged = read_journal(&out).unwrap();
+        assert!(!merged.truncated_tail);
+        assert_eq!(merged.entries.len(), 3);
+    }
+
+    #[test]
+    fn merge_requires_at_least_one_input() {
+        let out = tmp("empty-out");
+        let _ = std::fs::remove_file(&out);
+        assert!(matches!(
+            merge_journals(&out, &[]).unwrap_err(),
+            FiError::Journal { .. }
+        ));
+    }
+
+    #[test]
+    fn read_journal_rejects_mid_file_corruption() {
+        let path = shard_file(
+            "ro-midcorrupt",
+            &[
+                (0, record(500), stats(40), 1),
+                (1, record(1_000), stats(41), 1),
+                (2, record(1_500), stats(42), 1),
+            ],
+        );
+        let mut data = std::fs::read(&path).unwrap();
+        let mut newlines = data
+            .iter()
+            .enumerate()
+            .filter(|(_, &b)| b == b'\n')
+            .map(|(i, _)| i);
+        let line3_start = newlines.nth(1).unwrap() + 1;
+        data[line3_start + 20] ^= 0x04;
+        std::fs::write(&path, &data).unwrap();
+        assert_eq!(
+            read_journal(&path).unwrap_err(),
             FiError::JournalCorrupt { line: 3 }
         );
     }

@@ -46,6 +46,7 @@ pub mod model;
 pub mod outcome;
 pub mod process;
 pub mod results;
+pub mod shard;
 pub mod spec;
 
 /// Convenient re-exports of the most commonly used items.
@@ -60,12 +61,16 @@ pub mod prelude {
         TargetSummary,
     };
     pub use crate::golden::GoldenRun;
-    pub use crate::journal::{JournalHeader, LoadedJournal, RunJournal};
+    pub use crate::journal::{
+        merge_journals, read_journal, JournalHeader, LoadedJournal, MergeSummary, ReadJournal,
+        RunJournal,
+    };
     pub use crate::latency::{latency_summaries, render_latencies, LatencySummary};
     pub use crate::model::ErrorModel;
     pub use crate::outcome::{OutcomeTally, RunOutcome};
     pub use crate::process::{run_worker, IsolationMode, ProcessIsolation, WorkerCommand};
     pub use crate::results::{CampaignResult, PairStat, RunRecord, RunStats};
+    pub use crate::shard::Shard;
     pub use crate::spec::{CampaignSpec, InjectionScope, PortTarget};
 }
 

@@ -27,16 +27,19 @@
 //! than assuming frame alignment, so chatter from the hosting binary (a
 //! test harness banner, a stray `println!`) interleaved on the pipe is
 //! skipped instead of poisoning the stream. The supervisor sends
-//! [`ToWorker`] frames (one `Setup`, then `Run` per coordinate); the worker
-//! answers with [`FromWorker`] frames (`Ready`, then one `Done` per run).
+//! [`ToWorker`] frames (one `Setup`, then `RunBatch` per dispatch — up to
+//! [`ProcessIsolation::dispatch_batch`] coordinates per frame, amortising
+//! the per-message syscall/serialisation cost); the worker answers with
+//! [`FromWorker`] frames (`Ready`, then one `DoneBatch` per dispatch).
 //! Anything else the supervisor observes — a truncated frame, an answer for
-//! the wrong coordinate — is an infrastructure failure
+//! the wrong coordinates — is an infrastructure failure
 //! ([`crate::error::FiError::WorkerProcess`]), never a quarantined run.
 
 use crate::campaign::{Campaign, CampaignConfig, SystemFactory};
 use crate::error::FiError;
 use crate::results::{RunRecord, RunStats};
 use crate::spec::CampaignSpec;
+use permea_runtime::tracing::TraceSet;
 use permea_runtime::watchdog::WatchdogConfig;
 use serde::{Deserialize, Serialize};
 use std::io::{BufReader, Read, Write};
@@ -75,10 +78,19 @@ pub(crate) enum ToWorker {
         wd_wall_ms: Option<u64>,
         payload: String,
     },
-    /// Execute coordinate `k` of the spec's enumeration.
-    Run { k: u64 },
+    /// Execute the listed coordinates of the spec's enumeration, in
+    /// order, answering one `DoneBatch` for the lot.
+    RunBatch { ks: Vec<u64> },
     /// Exit cleanly (closing the worker's stdin has the same effect).
     Shutdown,
+}
+
+/// One finished coordinate inside a [`FromWorker::DoneBatch`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct DoneRun {
+    pub(crate) k: u64,
+    pub(crate) record: RunRecord,
+    pub(crate) stats: RunStats,
 }
 
 /// Worker → supervisor messages.
@@ -86,19 +98,29 @@ pub(crate) enum ToWorker {
 pub(crate) enum FromWorker {
     /// Setup succeeded; golden runs are recorded and runs can be dispatched.
     Ready,
-    /// Coordinate `k` finished (completed *or* quarantined in-process — a
-    /// worker still classifies panics and cooperative-watchdog trips
-    /// itself; only process death is left to the supervisor).
-    Done {
-        k: u64,
-        record: RunRecord,
-        stats: RunStats,
-    },
+    /// Every coordinate of the preceding `RunBatch` finished (completed
+    /// *or* quarantined in-process — a worker still classifies panics and
+    /// cooperative-watchdog trips itself; only process death is left to
+    /// the supervisor), in dispatch order.
+    DoneBatch { results: Vec<DoneRun> },
     /// Setup or a run failed as infrastructure (not as a sandboxed
     /// outcome); the message is propagated into
     /// [`FiError::WorkerProcess`].
     Fail { message: String },
 }
+
+/// Exponential retry/respawn backoff: `base × 2^(attempt−1)`, with the
+/// exponent capped at [`MAX_BACKOFF_SHIFT`] so a long crash storm (or a
+/// huge `--max-retries`) cannot overflow the shift into a zero — or
+/// hour-long — delay.
+pub(crate) fn backoff(base_ms: u64, attempt: u32) -> Duration {
+    Duration::from_millis(
+        base_ms.saturating_mul(1 << attempt.saturating_sub(1).min(MAX_BACKOFF_SHIFT)),
+    )
+}
+
+/// Cap on the backoff doubling: 2⁶ × base is the longest sleep.
+pub(crate) const MAX_BACKOFF_SHIFT: u32 = 6;
 
 /// Encodes one frame: magic, length, payload.
 pub(crate) fn encode_frame(payload: &str) -> Vec<u8> {
@@ -202,6 +224,11 @@ pub struct ProcessIsolation {
     /// executor for its remaining coordinates (each thread's *first* spawn
     /// is free).
     pub max_worker_respawns: u64,
+    /// Coordinates dispatched per `RunBatch` frame (minimum 1). Batching
+    /// amortises framing and syscalls; the per-run deadline scales with the
+    /// batch, and any worker death degrades the affected batch to
+    /// single-coordinate dispatch so retry classification stays exact.
+    pub dispatch_batch: usize,
     /// How to launch a worker.
     pub command: WorkerCommand,
     /// Opaque payload forwarded to the worker's factory builder.
@@ -210,7 +237,8 @@ pub struct ProcessIsolation {
 
 impl ProcessIsolation {
     /// Pool defaults: one worker per core, a 30 s per-run deadline, a two
-    /// minute setup deadline, 50 ms backoff base and 16 respawns.
+    /// minute setup deadline, 50 ms backoff base, 16 respawns and 16
+    /// coordinates per dispatch frame.
     pub fn new(command: WorkerCommand, factory_payload: impl Into<String>) -> Self {
         ProcessIsolation {
             workers: 0,
@@ -218,6 +246,7 @@ impl ProcessIsolation {
             setup_timeout_ms: 120_000,
             retry_backoff_ms: 50,
             max_worker_respawns: 16,
+            dispatch_batch: 16,
             command,
             factory_payload: factory_payload.into(),
         }
@@ -246,12 +275,12 @@ enum KillerMsg {
     Exit,
 }
 
-/// One run attempt as the supervisor saw it.
+/// One dispatch attempt as the supervisor saw it.
 #[derive(Debug)]
 pub(crate) enum Attempt {
-    /// The worker answered; the record may still be a quarantined outcome
-    /// the worker classified itself.
-    Done { record: RunRecord, stats: RunStats },
+    /// The worker answered every dispatched coordinate, in order; a record
+    /// may still be a quarantined outcome the worker classified itself.
+    Done { results: Vec<DoneRun> },
     /// The worker process died under this run. `deadline` is `true` when
     /// this supervisor's hard deadline fired (classified `Hung`); otherwise
     /// the death is classified `Crashed` from the signal / exit code.
@@ -407,20 +436,23 @@ impl WorkerClient {
         }
     }
 
-    /// Dispatches coordinate `k` and waits for the reply, killing the
-    /// worker at `timeout`.
+    /// Dispatches the coordinates in one `RunBatch` frame and waits for
+    /// the batched reply, killing the worker after `timeout × ks.len()`
+    /// (every run gets its full per-run budget).
     ///
     /// # Errors
     ///
     /// Returns [`FiError::WorkerProcess`] only on serialisation failure;
     /// worker deaths and protocol violations come back as [`Attempt`]
     /// variants so the caller owns the retry policy.
-    pub(crate) fn run(&mut self, k: u64, timeout: Duration) -> Result<Attempt, FiError> {
-        let json =
-            serde_json::to_string(&ToWorker::Run { k }).map_err(|e| FiError::WorkerProcess {
+    pub(crate) fn run_batch(&mut self, ks: &[u64], timeout: Duration) -> Result<Attempt, FiError> {
+        let json = serde_json::to_string(&ToWorker::RunBatch { ks: ks.to_vec() }).map_err(|e| {
+            FiError::WorkerProcess {
                 message: format!("serialising run command: {e}"),
-            })?;
+            }
+        })?;
         let frame = encode_frame(&json);
+        let deadline = timeout.saturating_mul(ks.len().clamp(1, 4096) as u32);
         self.deadline_fired.store(false, Ordering::SeqCst);
         if self
             .stdin
@@ -434,21 +466,20 @@ impl WorkerClient {
         }
         let _ = self
             .killer_tx
-            .send(KillerMsg::Arm(Instant::now() + timeout));
+            .send(KillerMsg::Arm(Instant::now() + deadline));
         let reply = read_frame(&mut self.stdout);
         let _ = self.killer_tx.send(KillerMsg::Disarm);
         match reply {
             Ok(Some(json)) => match serde_json::from_str::<FromWorker>(&json) {
-                Ok(FromWorker::Done {
-                    k: answered,
-                    record,
-                    stats,
-                }) => {
-                    if answered == k {
-                        Ok(Attempt::Done { record, stats })
+                Ok(FromWorker::DoneBatch { results }) => {
+                    let answered_in_order =
+                        results.len() == ks.len() && results.iter().zip(ks).all(|(r, &k)| r.k == k);
+                    if answered_in_order {
+                        Ok(Attempt::Done { results })
                     } else {
                         Ok(Attempt::Protocol(format!(
-                            "worker answered coordinate {answered} when asked for {k}"
+                            "worker answered coordinates {:?} when asked for {ks:?}",
+                            results.iter().map(|r| r.k).collect::<Vec<_>>()
                         )))
                     }
                 }
@@ -576,17 +607,26 @@ where
         return 1;
     }
 
+    // One sample arena for the worker's whole lifetime: every run of every
+    // batch records into the same storage.
+    let mut arena: Option<TraceSet> = None;
     loop {
         match read_frame(&mut input) {
             Ok(Some(json)) => match serde_json::from_str::<ToWorker>(&json) {
-                Ok(ToWorker::Run { k }) => {
-                    match campaign.execute_sandboxed(&spec, &targets, &goldens, k as usize) {
-                        Ok((record, stats)) => {
-                            if write_frame_stdout(&FromWorker::Done { k, record, stats }).is_err() {
-                                return 1;
+                Ok(ToWorker::RunBatch { ks }) => {
+                    let mut results = Vec::with_capacity(ks.len());
+                    for &k in &ks {
+                        match campaign
+                            .execute_sandboxed(&spec, &targets, &goldens, k as usize, &mut arena)
+                        {
+                            Ok((record, stats)) => results.push(DoneRun { k, record, stats }),
+                            Err(e) => {
+                                return fail(format!("run {k} failed as infrastructure: {e}"))
                             }
                         }
-                        Err(e) => return fail(format!("run {k} failed as infrastructure: {e}")),
+                    }
+                    if write_frame_stdout(&FromWorker::DoneBatch { results }).is_err() {
+                        return 1;
                     }
                 }
                 Ok(ToWorker::Shutdown) => return 0,
@@ -669,29 +709,36 @@ mod tests {
         let json = serde_json::to_string(&setup).unwrap();
         assert_eq!(serde_json::from_str::<ToWorker>(&json).unwrap(), setup);
 
-        for msg in [ToWorker::Run { k: 17 }, ToWorker::Shutdown] {
+        for msg in [
+            ToWorker::RunBatch {
+                ks: vec![17, 18, 40],
+            },
+            ToWorker::Shutdown,
+        ] {
             let json = serde_json::to_string(&msg).unwrap();
             assert_eq!(serde_json::from_str::<ToWorker>(&json).unwrap(), msg);
         }
 
-        let done = FromWorker::Done {
-            k: 3,
-            record: RunRecord {
-                module: "CALC".into(),
-                input_signal: "pulscnt".into(),
-                model: crate::model::ErrorModel::BitFlip { bit: 3 },
-                time_ms: 500,
-                case: 0,
-                original_value: 7,
-                corrupted_value: 15,
-                first_divergence: vec![Some(510), None],
-                outcome: crate::outcome::RunOutcome::Completed,
-            },
-            stats: RunStats {
-                sim_ticks: 40,
-                forked: true,
-                converged_ms: Some(90),
-            },
+        let done = FromWorker::DoneBatch {
+            results: vec![DoneRun {
+                k: 3,
+                record: RunRecord {
+                    module: "CALC".into(),
+                    input_signal: "pulscnt".into(),
+                    model: crate::model::ErrorModel::BitFlip { bit: 3 },
+                    time_ms: 500,
+                    case: 0,
+                    original_value: 7,
+                    corrupted_value: 15,
+                    first_divergence: vec![Some(510), None],
+                    outcome: crate::outcome::RunOutcome::Completed,
+                },
+                stats: RunStats {
+                    sim_ticks: 40,
+                    forked: true,
+                    converged_ms: Some(90),
+                },
+            }],
         };
         for msg in [
             FromWorker::Ready,
@@ -721,6 +768,30 @@ mod tests {
         assert_eq!(p.workers, 0);
         assert_eq!(p.run_timeout_ms, 30_000);
         assert_eq!(p.max_worker_respawns, 16);
+        assert_eq!(p.dispatch_batch, 16);
         assert_eq!(p.command, command);
+    }
+
+    #[test]
+    fn backoff_shift_is_clamped() {
+        // Doubling stops at 2^MAX_BACKOFF_SHIFT: a huge retry budget (or a
+        // u32-sized attempt counter) must not shift past 64 bits.
+        assert_eq!(backoff(50, 0), Duration::from_millis(50));
+        assert_eq!(backoff(50, 1), Duration::from_millis(50));
+        assert_eq!(backoff(50, 2), Duration::from_millis(100));
+        assert_eq!(
+            backoff(50, MAX_BACKOFF_SHIFT + 1),
+            Duration::from_millis(50 << MAX_BACKOFF_SHIFT)
+        );
+        assert_eq!(
+            backoff(50, 1_000),
+            Duration::from_millis(50 << MAX_BACKOFF_SHIFT)
+        );
+        assert_eq!(
+            backoff(50, u32::MAX),
+            Duration::from_millis(50 << MAX_BACKOFF_SHIFT)
+        );
+        // Saturating, not wrapping, when the base itself is huge.
+        assert_eq!(backoff(u64::MAX, u32::MAX), Duration::from_millis(u64::MAX));
     }
 }

@@ -1,0 +1,162 @@
+//! Deterministic coordinate sharding for scale-out campaigns.
+//!
+//! A campaign expands to a flat coordinate space `0..total` (see
+//! [`crate::spec::CampaignSpec`]); a [`Shard`] claims the deterministic
+//! subset of that space whose *position* in the execution order is
+//! congruent to the shard index modulo the shard count:
+//!
+//! * **dense grids** execute coordinates in ascending order, so shard
+//!   `i/n` owns exactly `{k | k ≡ i (mod n)}`;
+//! * **adaptive campaigns** execute each stratum's Fisher–Yates
+//!   permutation, so shard `i/n` owns every permutation *position*
+//!   `≡ i (mod n)` within each stratum — the permutation itself is a pure
+//!   function of the master seed, so the partition is identical on every
+//!   machine regardless of thread count.
+//!
+//! Shards are disjoint and cover the space, so the union of `n` shard
+//! journals — combined with [`crate::journal::merge_journals`] — is
+//! byte-identical to the journal of an unsharded single-threaded run.
+
+use crate::error::FiError;
+
+/// One slice of a campaign's coordinate space: shard `index` of `count`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    index: usize,
+    count: usize,
+}
+
+impl Shard {
+    /// Build a shard, validating `index < count` and `count >= 1`.
+    pub fn new(index: usize, count: usize) -> Result<Self, FiError> {
+        if count == 0 {
+            return Err(FiError::InvalidShard {
+                reason: "shard count must be at least 1".into(),
+            });
+        }
+        if index >= count {
+            return Err(FiError::InvalidShard {
+                reason: format!("shard index {index} is out of range for {count} shards"),
+            });
+        }
+        Ok(Shard { index, count })
+    }
+
+    /// Parse an `i/n` shard specification, e.g. `0/4`.
+    ///
+    /// Indices are zero-based: valid shards of a four-way split are
+    /// `0/4`, `1/4`, `2/4` and `3/4`.
+    pub fn parse(s: &str) -> Result<Self, FiError> {
+        let bad = |detail: &str| FiError::InvalidShard {
+            reason: format!("`{s}` is not a valid `i/n` shard spec ({detail})"),
+        };
+        let (i, n) = s.split_once('/').ok_or_else(|| bad("missing `/`"))?;
+        let index: usize = i
+            .trim()
+            .parse()
+            .map_err(|_| bad("index is not an unsigned integer"))?;
+        let count: usize = n
+            .trim()
+            .parse()
+            .map_err(|_| bad("count is not an unsigned integer"))?;
+        Shard::new(index, count)
+    }
+
+    /// Zero-based index of this shard.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Total number of shards in the partition.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Does this shard own execution-order position `pos`?
+    pub fn owns(&self, pos: u64) -> bool {
+        pos % self.count as u64 == self.index as u64
+    }
+
+    /// The positions this shard owns inside `0..total`, ascending.
+    pub fn positions(&self, total: u64) -> impl Iterator<Item = u64> + '_ {
+        (self.index as u64..total).step_by(self.count)
+    }
+
+    /// How many of the positions in `0..total` this shard owns.
+    pub fn len(&self, total: u64) -> u64 {
+        let count = self.count as u64;
+        let index = self.index as u64;
+        if index >= total {
+            0
+        } else {
+            (total - index).div_ceil(count)
+        }
+    }
+
+    /// True when this shard owns none of `0..total`.
+    pub fn is_empty(&self, total: u64) -> bool {
+        self.len(total) == 0
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_valid_specs() {
+        let s = Shard::parse("0/1").unwrap();
+        assert_eq!((s.index(), s.count()), (0, 1));
+        let s = Shard::parse("3/8").unwrap();
+        assert_eq!((s.index(), s.count()), (3, 8));
+        assert_eq!(s.to_string(), "3/8");
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in ["", "3", "a/b", "1/", "/2", "-1/2", "2/2", "5/3", "0/0"] {
+            let err = Shard::parse(bad).unwrap_err();
+            assert!(
+                matches!(err, FiError::InvalidShard { .. }),
+                "{bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn partition_is_disjoint_and_covering() {
+        for count in 1..=5usize {
+            let shards: Vec<Shard> = (0..count).map(|i| Shard::new(i, count).unwrap()).collect();
+            for total in [0u64, 1, 7, 100] {
+                let mut seen = vec![0u32; total as usize];
+                for s in &shards {
+                    let mut produced = 0;
+                    for pos in s.positions(total) {
+                        assert!(s.owns(pos));
+                        seen[pos as usize] += 1;
+                        produced += 1;
+                    }
+                    assert_eq!(produced, s.len(total), "len() disagrees with positions()");
+                    assert_eq!(s.is_empty(total), produced == 0);
+                }
+                assert!(
+                    seen.iter().all(|&c| c == 1),
+                    "count={count} total={total}: positions not a partition"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let s = Shard::new(0, 1).unwrap();
+        assert_eq!(s.positions(5).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(s.len(5), 5);
+    }
+}

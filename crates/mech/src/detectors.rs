@@ -8,7 +8,6 @@
 //! detector false-positive-free on golden data by construction.
 
 use permea_runtime::state::{StateReader, StateWriter};
-use permea_runtime::tracing::SignalTrace;
 use serde::{Deserialize, Serialize};
 
 /// A streaming detector: observes one sample per tick and reports whether
@@ -64,9 +63,9 @@ impl RangeDetector {
 
     /// Calibrates from a golden trace: `[min - margin, max + margin]`
     /// (saturating).
-    pub fn calibrated(golden: &SignalTrace, margin: u16) -> Self {
-        let lo = golden.samples.iter().copied().min().unwrap_or(0);
-        let hi = golden.samples.iter().copied().max().unwrap_or(u16::MAX);
+    pub fn calibrated(golden: &[u16], margin: u16) -> Self {
+        let lo = golden.iter().copied().min().unwrap_or(0);
+        let hi = golden.iter().copied().max().unwrap_or(u16::MAX);
         RangeDetector {
             min: lo.saturating_sub(margin),
             max: hi.saturating_add(margin),
@@ -104,9 +103,8 @@ impl RateDetector {
     }
 
     /// Calibrates from a golden trace: the largest golden step plus margin.
-    pub fn calibrated(golden: &SignalTrace, margin: u16) -> Self {
+    pub fn calibrated(golden: &[u16], margin: u16) -> Self {
         let max_step = golden
-            .samples
             .windows(2)
             .map(|w| w[0].abs_diff(w[1]))
             .max()
@@ -171,10 +169,10 @@ impl FrozenDetector {
 
     /// Calibrates from a golden trace: the longest golden plateau plus
     /// margin.
-    pub fn calibrated(golden: &SignalTrace, margin: u32) -> Self {
+    pub fn calibrated(golden: &[u16], margin: u32) -> Self {
         let mut longest = 0u32;
         let mut run = 0u32;
-        for w in golden.samples.windows(2) {
+        for w in golden.windows(2) {
             if w[0] == w[1] {
                 run += 1;
                 longest = longest.max(run);
@@ -243,7 +241,7 @@ impl CompositeDetector {
 
     /// The standard calibrated assertion stack for a signal: range + rate +
     /// frozen watchdog, each derived from the golden trace.
-    pub fn calibrated_standard(golden: &SignalTrace) -> Self {
+    pub fn calibrated_standard(golden: &[u16]) -> Self {
         CompositeDetector::new()
             .with(Box::new(RangeDetector::calibrated(golden, 1)))
             .with(Box::new(RateDetector::calibrated(golden, 1)))
@@ -289,9 +287,9 @@ impl Detector for CompositeDetector {
 }
 
 /// Replays a detector over a full trace, returning the first detection tick.
-pub fn first_detection(detector: &mut dyn Detector, trace: &SignalTrace) -> Option<usize> {
+pub fn first_detection(detector: &mut dyn Detector, trace: &[u16]) -> Option<usize> {
     detector.reset();
-    for (tick, &v) in trace.samples.iter().enumerate() {
+    for (tick, &v) in trace.iter().enumerate() {
         if detector.observe(v) {
             return Some(tick);
         }
@@ -303,11 +301,9 @@ pub fn first_detection(detector: &mut dyn Detector, trace: &SignalTrace) -> Opti
 mod tests {
     use super::*;
 
-    fn trace(samples: Vec<u16>) -> SignalTrace {
-        SignalTrace {
-            name: "s".into(),
-            samples,
-        }
+    // Identity helper: pins the `u16` element type of trace literals.
+    fn trace(samples: Vec<u16>) -> Vec<u16> {
+        samples
     }
 
     #[test]
@@ -383,7 +379,7 @@ mod tests {
         let mut d = CompositeDetector::calibrated_standard(&g);
         assert_eq!(first_detection(&mut d, &g), None, "no false positives");
         let mut corrupted = g.clone();
-        corrupted.samples[50] ^= 0x2000;
+        corrupted[50] ^= 0x2000;
         let mut d = CompositeDetector::calibrated_standard(&g);
         assert_eq!(first_detection(&mut d, &corrupted), Some(50));
     }

@@ -153,24 +153,24 @@ impl ProgressSink {
     }
 
     fn render(p: &Progress) -> String {
+        // An already-complete `--resume` reaches here with zero executed
+        // runs and (near-)zero elapsed time; clamp every derived quantity
+        // so the line never shows `NaN`, `inf`, or percentages past 100.
         let pct = if p.total == 0 {
             100.0
         } else {
-            100.0 * p.done as f64 / p.total as f64
+            (100.0 * p.done as f64 / p.total as f64).clamp(0.0, 100.0)
         };
-        let mut line = format!(
-            "runs {}/{} ({pct:.1}%) | {:.1} runs/s",
-            p.done,
-            p.total,
-            p.runs_per_sec()
-        );
-        match p.eta_secs() {
+        let rate = p.runs_per_sec();
+        let rate = if rate.is_finite() { rate } else { 0.0 };
+        let mut line = format!("runs {}/{} ({pct:.1}%) | {rate:.1} runs/s", p.done, p.total);
+        match p.eta_secs().filter(|eta| eta.is_finite()) {
             Some(eta) => line.push_str(&format!(" | eta {}s", eta.ceil() as u64)),
             None if !p.finished => line.push_str(" | eta ?"),
             None => {}
         }
         line.push_str(&format!(" | quarantined {}", p.quarantined));
-        if let Some(rate) = p.fork_rate() {
+        if let Some(rate) = p.fork_rate().filter(|rate| rate.is_finite()) {
             line.push_str(&format!(" | ff {:.1}%", 100.0 * rate));
         }
         if p.recovered > 0 {
@@ -254,6 +254,54 @@ mod tests {
         assert!(
             !line.contains("ff "),
             "no fork rate before any executed run"
+        );
+    }
+
+    #[test]
+    fn progress_line_for_completed_resume_has_no_nan() {
+        // `--progress --resume` on a finished campaign: every run is
+        // recovered from the journal, nothing executes, and the final
+        // event can fire with zero elapsed time.
+        let p = Progress {
+            done: 81,
+            total: 81,
+            recovered: 81,
+            executed: 0,
+            elapsed_micros: 0,
+            finished: true,
+            ..Progress::default()
+        };
+        let line = ProgressSink::render(&p);
+        assert!(line.contains("runs 81/81 (100.0%)"), "line: {line}");
+        assert!(line.contains("0.0 runs/s"), "line: {line}");
+        assert!(
+            !line.contains("NaN") && !line.contains("inf"),
+            "line: {line}"
+        );
+        assert!(
+            !line.contains("eta"),
+            "finished line carries no eta: {line}"
+        );
+    }
+
+    #[test]
+    fn progress_line_clamps_done_past_total() {
+        // A merged journal can carry more recovered records than the
+        // shard-local total; the bar caps at 100% instead of overshooting.
+        let p = Progress {
+            done: 12,
+            total: 10,
+            recovered: 12,
+            executed: 0,
+            elapsed_micros: 5,
+            finished: true,
+            ..Progress::default()
+        };
+        let line = ProgressSink::render(&p);
+        assert!(line.contains("(100.0%)"), "line: {line}");
+        assert!(
+            !line.contains("NaN") && !line.contains("inf"),
+            "line: {line}"
         );
     }
 

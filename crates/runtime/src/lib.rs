@@ -50,7 +50,7 @@ pub mod prelude {
     };
     pub use crate::state::{StateReader, StateWriter};
     pub use crate::time::SimTime;
-    pub use crate::tracing::{SignalTrace, TraceSet};
+    pub use crate::tracing::{first_divergence, first_mismatch, TraceSet};
     pub use crate::watchdog::{StalledClock, Watchdog, WatchdogConfig};
 }
 

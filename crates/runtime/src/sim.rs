@@ -280,6 +280,18 @@ impl Simulation {
         self.traces.take()
     }
 
+    /// Swaps `arena`'s storage in as the recording trace set, monitoring the
+    /// same signals tracing is currently enabled for. A no-op when tracing is
+    /// disabled. Steady-state (the arena last recorded the same signal list)
+    /// this allocates nothing — it is how campaign workers reuse one sample
+    /// arena across thousands of injection runs.
+    pub fn reuse_trace_arena(&mut self, mut arena: TraceSet) {
+        if let Some(current) = &self.traces {
+            arena.reset_from(current);
+            self.traces = Some(arena);
+        }
+    }
+
     /// `true` once the environment reports the scenario finished.
     pub fn finished(&self) -> bool {
         self.env.finished(self.now)
@@ -716,8 +728,29 @@ mod tests {
         sim.enable_tracing(&[c]);
         sim.run_until(SimTime::from_millis(3));
         let traces = sim.take_traces().unwrap();
-        assert_eq!(traces.trace("count").unwrap().samples, vec![1, 2, 3]);
+        assert_eq!(traces.trace("count").unwrap(), vec![1, 2, 3]);
         assert!(sim.take_traces().is_none());
+    }
+
+    #[test]
+    fn reused_trace_arena_matches_fresh_allocation() {
+        let (mut sim, c, _) = counter_sim();
+        sim.enable_tracing(&[c]);
+        sim.run_until(SimTime::from_millis(3));
+        let arena = sim.take_traces().unwrap();
+
+        let (mut sim2, c2, _) = counter_sim();
+        sim2.enable_tracing(&[c2]);
+        sim2.reuse_trace_arena(arena);
+        sim2.run_until(SimTime::from_millis(2));
+        let traces = sim2.take_traces().unwrap();
+        assert_eq!(traces.ticks(), 2);
+        assert_eq!(traces.trace("count").unwrap(), vec![1, 2]);
+
+        // With tracing disabled the arena is simply dropped.
+        let (mut sim3, _, _) = counter_sim();
+        sim3.reuse_trace_arena(traces);
+        assert!(sim3.take_traces().is_none());
     }
 
     #[test]

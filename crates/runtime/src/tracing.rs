@@ -5,34 +5,60 @@
 //! Golden Run's, and the comparison stops at the first difference. The
 //! [`TraceSet`] here records one `u16` sample per signal per tick and offers
 //! exactly that first-divergence query.
+//!
+//! # Storage layout
+//!
+//! Samples live in one flat signal-major arena: signal `i` owns the
+//! contiguous words `data[i*cap .. i*cap + ticks]`, where `cap` is the
+//! per-signal tick capacity. Recording appends one word per signal per
+//! tick at each signal's own cursor, and golden-run comparison walks one
+//! signal's samples as a single contiguous slice in cache-line-sized
+//! chunks ([`first_divergence`]) with an early exit at the first
+//! mismatching chunk. The arena is reusable: [`TraceSet::reset_from`] /
+//! [`TraceSet::reset_for`] rewind a set for the next run without
+//! releasing its capacity, so a campaign worker pays the sample
+//! allocations once instead of once per injection run.
 
 use crate::signals::{SignalBus, SignalRef};
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
 
-/// The recorded samples of one signal.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
-pub struct SignalTrace {
-    /// Signal name (names, not bus indices, survive across runs).
-    pub name: String,
-    /// One sample per tick, recorded at end of tick.
-    pub samples: Vec<u16>,
+/// Words compared per chunk: 32 × `u16` = one 64-byte cache line.
+const CHUNK_WORDS: usize = 32;
+
+/// Initial per-signal tick capacity when a set grows from empty.
+const MIN_CAP: usize = 64;
+
+/// Index of the first position where equal-length prefixes of `a` and `b`
+/// differ, comparing `0..min(len)` only — extra ticks on either side are
+/// ignored. The walk proceeds in cache-line-sized chunks (a wide equality
+/// test per chunk, which the compiler lowers to a vectorised compare) and
+/// only a mismatching chunk pays a scalar scan.
+pub fn first_mismatch(a: &[u16], b: &[u16]) -> Option<usize> {
+    let n = a.len().min(b.len());
+    let (a, b) = (&a[..n], &b[..n]);
+    let mut i = 0;
+    while i < n {
+        let end = (i + CHUNK_WORDS).min(n);
+        if a[i..end] == b[i..end] {
+            i = end;
+            continue;
+        }
+        return (i..end).find(|&j| a[j] != b[j]);
+    }
+    None
 }
 
-impl SignalTrace {
-    /// Index of the first tick where `self` and `other` differ, also
-    /// reporting a divergence if one trace is a prefix of the other.
-    pub fn first_divergence(&self, other: &SignalTrace) -> Option<usize> {
-        let n = self.samples.len().min(other.samples.len());
-        for i in 0..n {
-            if self.samples[i] != other.samples[i] {
-                return Some(i);
-            }
-        }
-        if self.samples.len() != other.samples.len() {
-            Some(n)
-        } else {
-            None
-        }
+/// Index of the first tick where `a` and `b` differ, also reporting a
+/// divergence at the shorter length when one trace is a prefix of the
+/// other. Chunked like [`first_mismatch`].
+pub fn first_divergence(a: &[u16], b: &[u16]) -> Option<usize> {
+    if let Some(i) = first_mismatch(a, b) {
+        return Some(i);
+    }
+    if a.len() != b.len() {
+        Some(a.len().min(b.len()))
+    } else {
+        None
     }
 }
 
@@ -51,30 +77,93 @@ impl SignalTrace {
 /// traces.record(&bus);
 /// bus.write(s, 2);
 /// traces.record(&bus);
-/// assert_eq!(traces.trace("s").unwrap().samples, vec![1, 2]);
+/// assert_eq!(traces.trace("s").unwrap(), vec![1, 2]);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TraceSet {
-    #[serde(skip)]
+    /// Bus references of the monitored signals (meaningless after
+    /// deserialisation — names, not indices, survive across runs).
     refs: Vec<SignalRef>,
-    traces: Vec<SignalTrace>,
+    /// Names of the monitored signals, in monitoring order.
+    names: Vec<String>,
+    /// Signal-major sample arena: signal `i` owns
+    /// `data[i*cap .. i*cap + ticks]`.
+    data: Vec<u16>,
+    /// Per-signal stride (tick capacity) of the arena.
+    cap: usize,
     ticks: usize,
+}
+
+/// Two sets are equal when they monitor the same signal names in the same
+/// order and recorded the same samples; arena capacity and bus references
+/// are ignored.
+impl PartialEq for TraceSet {
+    fn eq(&self, other: &TraceSet) -> bool {
+        self.ticks == other.ticks
+            && self.names == other.names
+            && (0..self.names.len()).all(|i| self.samples(i) == other.samples(i))
+    }
+}
+
+impl Eq for TraceSet {}
+
+/// The serialised shape of one signal's trace — pinned to the historical
+/// array-of-structs JSON layout `{"name": ..., "samples": [...]}` so
+/// artifacts and golden fixtures survive the arena refactor unchanged.
+#[derive(Serialize, Deserialize)]
+struct TraceSerde {
+    name: String,
+    samples: Vec<u16>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SetSerde {
+    traces: Vec<TraceSerde>,
+    ticks: usize,
+}
+
+impl Serialize for TraceSet {
+    fn to_value(&self) -> Value {
+        SetSerde {
+            traces: self
+                .iter_traces()
+                .map(|(name, samples)| TraceSerde {
+                    name: name.to_string(),
+                    samples: samples.to_vec(),
+                })
+                .collect(),
+            ticks: self.ticks,
+        }
+        .to_value()
+    }
+}
+
+impl Deserialize for TraceSet {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let raw = SetSerde::from_value(v)?;
+        let cap = raw.ticks;
+        let mut set = TraceSet {
+            refs: Vec::new(),
+            names: Vec::with_capacity(raw.traces.len()),
+            data: vec![0; raw.traces.len() * cap],
+            cap,
+            ticks: raw.ticks,
+        };
+        for (i, t) in raw.traces.into_iter().enumerate() {
+            let n = t.samples.len().min(cap);
+            set.data[i * cap..i * cap + n].copy_from_slice(&t.samples[..n]);
+            set.names.push(t.name);
+        }
+        Ok(set)
+    }
 }
 
 impl TraceSet {
     /// Creates a trace set monitoring the given signals of `bus`.
     pub fn for_signals(bus: &SignalBus, signals: &[SignalRef]) -> Self {
-        TraceSet {
-            refs: signals.to_vec(),
-            traces: signals
-                .iter()
-                .map(|&s| SignalTrace {
-                    name: bus.name(s).to_owned(),
-                    samples: Vec::new(),
-                })
-                .collect(),
-            ticks: 0,
-        }
+        let mut set = TraceSet::default();
+        set.reset_for(bus, signals);
+        set
     }
 
     /// Creates a trace set monitoring every signal of `bus`.
@@ -83,13 +172,84 @@ impl TraceSet {
         Self::for_signals(bus, &refs)
     }
 
+    /// Rewinds this set for a fresh run monitoring `signals` of `bus`,
+    /// reusing the sample arena (and, when the signal list is unchanged,
+    /// the name strings) instead of reallocating.
+    pub fn reset_for(&mut self, bus: &SignalBus, signals: &[SignalRef]) {
+        let unchanged = self.refs == signals
+            && self.names.len() == signals.len()
+            && self
+                .refs
+                .iter()
+                .zip(&self.names)
+                .all(|(&r, n)| bus.name(r) == n);
+        if !unchanged {
+            self.refs.clear();
+            self.refs.extend_from_slice(signals);
+            self.names.clear();
+            self.names
+                .extend(signals.iter().map(|&s| bus.name(s).to_owned()));
+            self.fit_arena();
+        }
+        self.ticks = 0;
+    }
+
+    /// Rewinds this set for a fresh run monitoring the same signals as
+    /// `other`, reusing the sample arena. This is the per-run reset of a
+    /// worker-owned arena: steady-state (same factory, hence the same
+    /// signal list every run) it allocates nothing.
+    pub fn reset_from(&mut self, other: &TraceSet) {
+        if self.refs != other.refs || self.names != other.names {
+            self.refs.clear();
+            self.refs.extend_from_slice(&other.refs);
+            self.names.clear();
+            self.names.extend(other.names.iter().cloned());
+            self.fit_arena();
+        }
+        self.ticks = 0;
+    }
+
+    /// Grows the arena to `ticks` per-signal capacity up front, so a run
+    /// of known length records without intermediate regrowth.
+    pub fn reserve_ticks(&mut self, ticks: usize) {
+        if ticks > self.cap {
+            self.regrow(ticks);
+        }
+    }
+
+    /// Ensures the arena covers the current signal count at the current
+    /// stride (called after the signal list changed).
+    fn fit_arena(&mut self) {
+        let need = self.names.len() * self.cap;
+        if need > self.data.len() {
+            self.data.resize(need, 0);
+        }
+    }
+
+    /// Widens the per-signal stride to `new_cap`, moving each signal's
+    /// recorded prefix into its new slot.
+    fn regrow(&mut self, new_cap: usize) {
+        let n = self.names.len();
+        let mut data = vec![0u16; n * new_cap];
+        for i in 0..n {
+            data[i * new_cap..i * new_cap + self.ticks]
+                .copy_from_slice(&self.data[i * self.cap..i * self.cap + self.ticks]);
+        }
+        self.data = data;
+        self.cap = new_cap;
+    }
+
     /// Records the current value of every monitored signal (call once per
     /// tick).
     pub fn record(&mut self, bus: &SignalBus) {
-        for (i, &r) in self.refs.iter().enumerate() {
-            self.traces[i].samples.push(bus.read(r));
+        if self.ticks == self.cap {
+            self.regrow((self.cap * 2).max(MIN_CAP));
         }
-        self.ticks += 1;
+        let t = self.ticks;
+        for (i, &r) in self.refs.iter().enumerate() {
+            self.data[i * self.cap + t] = bus.read(r);
+        }
+        self.ticks = t + 1;
     }
 
     /// Number of recorded ticks.
@@ -99,17 +259,29 @@ impl TraceSet {
 
     /// Number of monitored signals.
     pub fn signal_count(&self) -> usize {
-        self.traces.len()
+        self.names.len()
     }
 
-    /// All traces, in monitoring order.
-    pub fn traces(&self) -> &[SignalTrace] {
-        &self.traces
+    /// The recorded samples of signal `i` (monitoring order), as one
+    /// contiguous slice.
+    fn samples(&self, i: usize) -> &[u16] {
+        &self.data[i * self.cap..i * self.cap + self.ticks]
     }
 
-    /// The trace of the signal named `name`, if monitored.
-    pub fn trace(&self, name: &str) -> Option<&SignalTrace> {
-        self.traces.iter().find(|t| t.name == name)
+    /// Iterates `(name, samples)` over all traces in monitoring order.
+    pub fn iter_traces(&self) -> impl Iterator<Item = (&str, &[u16])> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (n.as_str(), self.samples(i)))
+    }
+
+    /// The recorded samples of the signal named `name`, if monitored.
+    pub fn trace(&self, name: &str) -> Option<&[u16]> {
+        self.names
+            .iter()
+            .position(|n| n == name)
+            .map(|i| self.samples(i))
     }
 
     /// First tick at which the named signal diverges from the same signal in
@@ -118,23 +290,24 @@ impl TraceSet {
     pub fn first_divergence(&self, golden: &TraceSet, name: &str) -> Option<usize> {
         let mine = self.trace(name)?;
         let theirs = golden.trace(name)?;
-        mine.first_divergence(theirs)
+        first_divergence(mine, theirs)
     }
 
     /// A copy containing only the first `ticks` ticks of every trace
     /// (saturating when `ticks` exceeds the recorded length).
     pub fn truncated(&self, ticks: usize) -> TraceSet {
+        let keep = ticks.min(self.ticks);
+        let n = self.names.len();
+        let mut data = vec![0u16; n * keep];
+        for i in 0..n {
+            data[i * keep..(i + 1) * keep].copy_from_slice(&self.samples(i)[..keep]);
+        }
         TraceSet {
             refs: self.refs.clone(),
-            traces: self
-                .traces
-                .iter()
-                .map(|t| SignalTrace {
-                    name: t.name.clone(),
-                    samples: t.samples[..ticks.min(t.samples.len())].to_vec(),
-                })
-                .collect(),
-            ticks: ticks.min(self.ticks),
+            names: self.names.clone(),
+            data,
+            cap: keep,
+            ticks: keep,
         }
     }
 
@@ -148,18 +321,23 @@ impl TraceSet {
     /// exceeds `other`'s recorded length.
     pub fn extend_from_window(&mut self, other: &TraceSet, from: usize, to: usize) {
         assert_eq!(
-            self.traces.len(),
-            other.traces.len(),
+            self.names.len(),
+            other.names.len(),
             "trace sets monitor different signals"
         );
-        for (mine, theirs) in self.traces.iter_mut().zip(&other.traces) {
-            debug_assert_eq!(
-                mine.name, theirs.name,
-                "trace sets monitor different signals"
-            );
-            mine.samples.extend_from_slice(&theirs.samples[from..to]);
+        debug_assert_eq!(
+            self.names, other.names,
+            "trace sets monitor different signals"
+        );
+        assert!(to <= other.ticks, "window exceeds the recorded length");
+        let extra = to - from;
+        self.reserve_ticks(self.ticks + extra);
+        for i in 0..self.names.len() {
+            let dst = i * self.cap + self.ticks;
+            let src = &other.data[i * other.cap + from..i * other.cap + to];
+            self.data[dst..dst + extra].copy_from_slice(src);
         }
-        self.ticks += to - from;
+        self.ticks += extra;
     }
 }
 
@@ -186,8 +364,8 @@ mod tests {
         ts.record(&bus);
         assert_eq!(ts.ticks(), 2);
         assert_eq!(ts.signal_count(), 2);
-        assert_eq!(ts.trace("a").unwrap().samples, vec![1, 2]);
-        assert_eq!(ts.trace("b").unwrap().samples, vec![0, 0]);
+        assert_eq!(ts.trace("a").unwrap(), vec![1, 2]);
+        assert_eq!(ts.trace("b").unwrap(), vec![0, 0]);
         assert!(ts.trace("c").is_none());
     }
 
@@ -200,30 +378,48 @@ mod tests {
 
     #[test]
     fn first_divergence_finds_first_difference() {
-        let x = SignalTrace {
-            name: "x".into(),
-            samples: vec![1, 2, 3, 4],
-        };
-        let y = SignalTrace {
-            name: "x".into(),
-            samples: vec![1, 2, 9, 4],
-        };
-        assert_eq!(x.first_divergence(&y), Some(2));
-        assert_eq!(x.first_divergence(&x.clone()), None);
+        let x: Vec<u16> = vec![1, 2, 3, 4];
+        let y: Vec<u16> = vec![1, 2, 9, 4];
+        assert_eq!(first_divergence(&x, &y), Some(2));
+        assert_eq!(first_divergence(&x, &x.clone()), None);
     }
 
     #[test]
     fn length_mismatch_is_divergence_at_shorter_end() {
-        let x = SignalTrace {
-            name: "x".into(),
-            samples: vec![1, 2],
-        };
-        let y = SignalTrace {
-            name: "x".into(),
-            samples: vec![1, 2, 3],
-        };
-        assert_eq!(x.first_divergence(&y), Some(2));
-        assert_eq!(y.first_divergence(&x), Some(2));
+        let x: Vec<u16> = vec![1, 2];
+        let y: Vec<u16> = vec![1, 2, 3];
+        assert_eq!(first_divergence(&x, &y), Some(2));
+        assert_eq!(first_divergence(&y, &x), Some(2));
+        // The prefix-only compare ignores the extra tick.
+        assert_eq!(first_mismatch(&x, &y), None);
+    }
+
+    #[test]
+    fn chunked_compare_agrees_with_scalar_reference() {
+        // Cover every alignment around the chunk width, including inside
+        // the first chunk, on a chunk boundary, and in the ragged tail.
+        let n = 5 * CHUNK_WORDS + 7;
+        let base: Vec<u16> = (0..n as u16).map(|v| v.wrapping_mul(31)).collect();
+        assert_eq!(first_divergence(&base, &base.clone()), None);
+        for at in [
+            0,
+            1,
+            CHUNK_WORDS - 1,
+            CHUNK_WORDS,
+            CHUNK_WORDS + 1,
+            3 * CHUNK_WORDS + 5,
+            n - 1,
+        ] {
+            let mut mutated = base.clone();
+            mutated[at] ^= 0x4000;
+            assert_eq!(first_divergence(&base, &mutated), Some(at), "at {at}");
+            assert_eq!(first_mismatch(&base, &mutated), Some(at), "at {at}");
+        }
+        // An earlier divergence wins even with later ones present.
+        let mut mutated = base.clone();
+        mutated[2] ^= 1;
+        mutated[4 * CHUNK_WORDS] ^= 1;
+        assert_eq!(first_divergence(&base, &mutated), Some(2));
     }
 
     #[test]
@@ -278,7 +474,55 @@ mod tests {
         bus.write(refs[1], 7);
         ts.record(&bus);
         let json = serde_json::to_string(&ts).unwrap();
+        // The historical array-of-structs JSON shape is pinned: traces as
+        // {name, samples} objects, then the tick count.
+        assert_eq!(
+            json,
+            "{\"traces\":[{\"name\":\"a\",\"samples\":[0]},\
+             {\"name\":\"b\",\"samples\":[7]},\
+             {\"name\":\"c\",\"samples\":[0]}],\"ticks\":1}"
+        );
         let back: TraceSet = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.trace("b").unwrap().samples, vec![7]);
+        assert_eq!(back.trace("b").unwrap(), vec![7]);
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn arena_reset_reuses_capacity() {
+        let (mut bus, refs) = bus3();
+        let mut arena = TraceSet::for_signals(&bus, &refs);
+        arena.reserve_ticks(256);
+        for v in 0..100u16 {
+            bus.write(refs[0], v);
+            arena.record(&bus);
+        }
+        let first: Vec<u16> = arena.trace("a").unwrap().to_vec();
+        assert_eq!(first.len(), 100);
+
+        // Reset and re-record: same signals, no stale samples.
+        let template = TraceSet::for_signals(&bus, &refs);
+        arena.reset_from(&template);
+        assert_eq!(arena.ticks(), 0);
+        bus.write(refs[0], 7);
+        arena.record(&bus);
+        assert_eq!(arena.trace("a").unwrap(), vec![7]);
+        assert_eq!(arena, {
+            let mut fresh = TraceSet::for_signals(&bus, &refs);
+            fresh.record(&bus);
+            fresh
+        });
+    }
+
+    #[test]
+    fn reset_for_handles_changed_signal_lists() {
+        let (mut bus, refs) = bus3();
+        let mut arena = TraceSet::for_signals(&bus, &refs[..2]);
+        bus.write(refs[0], 3);
+        arena.record(&bus);
+        arena.reset_for(&bus, &refs);
+        assert_eq!(arena.signal_count(), 3);
+        assert_eq!(arena.ticks(), 0);
+        arena.record(&bus);
+        assert_eq!(arena.trace("c").unwrap(), vec![0]);
     }
 }

@@ -33,7 +33,7 @@ fn arrests_every_grid_corner_inside_the_cap() {
 #[test]
 fn pulscnt_is_monotone_and_matches_distance() {
     let (traces, snap) = run(TestCase::new(14_000.0, 60.0));
-    let pulscnt = &traces.trace("pulscnt").unwrap().samples;
+    let pulscnt = &traces.trace("pulscnt").unwrap();
     for w in pulscnt.windows(2) {
         assert!(
             w[1] >= w[0],
@@ -52,7 +52,7 @@ fn pulscnt_is_monotone_and_matches_distance() {
 #[test]
 fn checkpoint_index_is_monotone_and_setvalue_follows_table() {
     let (traces, _) = run(TestCase::new(11_000.0, 70.0));
-    let i = &traces.trace("i").unwrap().samples;
+    let i = &traces.trace("i").unwrap();
     for w in i.windows(2) {
         assert!(
             w[1] >= w[0] && w[1] - w[0] <= 1,
@@ -61,7 +61,7 @@ fn checkpoint_index_is_monotone_and_setvalue_follows_table() {
     }
     assert!(*i.last().unwrap() >= 3, "several checkpoints crossed");
     // SetValue stays within encoding bounds and is non-zero mid-arrestment.
-    let set = &traces.trace("SetValue").unwrap().samples;
+    let set = &traces.trace("SetValue").unwrap();
     assert!(set.iter().all(|&v| v <= SET_VALUE_MAX_CBAR));
     assert!(set[3_000] > 0, "pressure commanded during the stroke");
 }
@@ -69,8 +69,8 @@ fn checkpoint_index_is_monotone_and_setvalue_follows_table() {
 #[test]
 fn pressure_tracking_is_sane() {
     let (traces, _) = run(TestCase::new(14_000.0, 60.0));
-    let set = &traces.trace("SetValue").unwrap().samples;
-    let is = &traces.trace("IsValue").unwrap().samples;
+    let set = &traces.trace("SetValue").unwrap();
+    let is = &traces.trace("IsValue").unwrap();
     // Mid-stroke, measured pressure should track the set-point within 20%.
     for &t in &[6_000usize, 10_000, 14_000] {
         let (s, m) = (set[t] as f64, is[t] as f64);
@@ -86,7 +86,7 @@ fn pressure_tracking_is_sane() {
 #[test]
 fn slot_counter_cycles_through_all_slots() {
     let (traces, _) = run(TestCase::new(8_000.0, 40.0));
-    let slots = &traces.trace("ms_slot_nbr").unwrap().samples;
+    let slots = &traces.trace("ms_slot_nbr").unwrap();
     let distinct: std::collections::HashSet<u16> = slots.iter().copied().collect();
     assert_eq!(distinct.len(), SLOTS_PER_CYCLE as usize);
     // The cycle is exact: slot(t+7) == slot(t).
@@ -98,7 +98,7 @@ fn slot_counter_cycles_through_all_slots() {
 #[test]
 fn stopped_asserts_only_at_the_end() {
     let (traces, snap) = run(TestCase::new(14_000.0, 60.0));
-    let stopped = &traces.trace("stopped").unwrap().samples;
+    let stopped = &traces.trace("stopped").unwrap();
     let first_true = stopped.iter().position(|&v| v != 0);
     let t = first_true.expect("stopped eventually asserts");
     assert!(
@@ -120,8 +120,8 @@ fn stopped_asserts_only_at_the_end() {
 #[test]
 fn slow_speed_precedes_stopped() {
     let (traces, _) = run(TestCase::new(8_000.0, 40.0));
-    let slow = &traces.trace("slow_speed").unwrap().samples;
-    let stopped = &traces.trace("stopped").unwrap().samples;
+    let slow = &traces.trace("slow_speed").unwrap();
+    let stopped = &traces.trace("stopped").unwrap();
     let slow_at = slow
         .iter()
         .position(|&v| v != 0)
@@ -139,7 +139,7 @@ fn slow_speed_precedes_stopped() {
 #[test]
 fn toc2_never_exceeds_command_range_and_slews_gently() {
     let (traces, _) = run(TestCase::new(20_000.0, 80.0));
-    let toc2 = &traces.trace("TOC2").unwrap().samples;
+    let toc2 = &traces.trace("TOC2").unwrap();
     assert!(toc2.iter().all(|&v| v <= VALVE_CMD_MAX));
     for w in toc2.windows(2) {
         let step = w[0].abs_diff(w[1]);
@@ -181,7 +181,6 @@ fn faster_engagement_commands_higher_pressure() {
         traces
             .trace("SetValue")
             .unwrap()
-            .samples
             .iter()
             .copied()
             .max()

@@ -74,8 +74,8 @@ fn silent_guard_does_not_perturb_golden_behaviour() {
     let guarded = guarded_sys.run_to_completion();
     for name in ["SetValue", "OutValue", "TOC2", "pulscnt", "i"] {
         assert_eq!(
-            baseline.trace(name).unwrap().samples,
-            guarded.trace(name).unwrap().samples,
+            baseline.trace(name).unwrap(),
+            guarded.trace(name).unwrap(),
             "guard must be transparent on {name}"
         );
     }
@@ -103,8 +103,8 @@ fn guarded_golden_equals_baseline_golden() {
     let mut baseline = ArrestmentSystem::new(TestCase::grid(1, 1)[0]);
     let base_traces = baseline.run_ticks(cfg.horizon_ms);
     assert_eq!(
-        base_traces.trace("TOC2").unwrap().samples,
-        guarded_traces.trace("TOC2").unwrap().samples
+        base_traces.trace("TOC2").unwrap(),
+        guarded_traces.trace("TOC2").unwrap()
     );
 }
 

@@ -288,6 +288,32 @@ proptest! {
     }
 
     #[test]
+    fn shard_partitions_are_disjoint_and_covering(count in 1usize..8, total in 0u64..300) {
+        let shards: Vec<Shard> = (0..count)
+            .map(|i| Shard::new(i, count).unwrap())
+            .collect();
+        let mut seen = vec![0u32; total as usize];
+        for s in &shards {
+            let mut expected = 0u64;
+            for pos in s.positions(total) {
+                prop_assert!(pos < total);
+                prop_assert!(s.owns(pos), "{s} yielded {pos} it does not own");
+                seen[pos as usize] += 1;
+                expected += 1;
+            }
+            prop_assert_eq!(expected, s.len(total), "{}", s);
+            prop_assert_eq!(s.is_empty(total), expected == 0);
+        }
+        // Every position is owned by exactly one shard.
+        prop_assert!(seen.iter().all(|&n| n == 1));
+        // Ownership is a pure function of the position, independent of
+        // enumeration order or how work is claimed across threads.
+        for pos in 0..total {
+            prop_assert_eq!(shards.iter().filter(|s| s.owns(pos)).count(), 1);
+        }
+    }
+
+    #[test]
     fn pair_stat_estimate_is_a_probability(errors_raw in any::<u64>(), injections in 1u64..1_000_000) {
         let errors = errors_raw % (injections + 1);
         let stat = PairStat {
@@ -300,5 +326,42 @@ proptest! {
             errors,
         };
         prop_assert!((0.0..=1.0).contains(&stat.estimate()));
+    }
+}
+
+proptest! {
+    // Each case runs ~3(count+1) tiny campaigns; keep the count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn sharded_campaigns_are_thread_invariant_and_cover_the_grid(
+        seed in any::<u64>(),
+        count in 1usize..4,
+    ) {
+        // A shard's result set depends only on (index, count) and the
+        // master seed — never on the thread count — and the shards
+        // together execute exactly the unsharded grid.
+        let f = tiny_factory();
+        let spec = tiny_spec();
+        let config = |threads: usize, shard: Option<Shard>| CampaignConfig {
+            threads,
+            master_seed: seed,
+            shard,
+            ..CampaignConfig::default()
+        };
+        let baseline = Campaign::new(&f, config(1, None)).run(&spec).unwrap();
+        let mut union: Vec<String> = Vec::new();
+        for i in 0..count {
+            let shard = Some(Shard::new(i, count).unwrap());
+            let solo = Campaign::new(&f, config(1, shard)).run(&spec).unwrap();
+            let threaded = Campaign::new(&f, config(3, shard)).run(&spec).unwrap();
+            prop_assert_eq!(&solo, &threaded, "shard {}/{} varies with threads", i, count);
+            union.extend(solo.records.iter().map(|r| format!("{r:?}")));
+        }
+        let mut expected: Vec<String> =
+            baseline.records.iter().map(|r| format!("{r:?}")).collect();
+        union.sort();
+        expected.sort();
+        prop_assert_eq!(union, expected);
     }
 }

@@ -132,7 +132,7 @@ proptest! {
             bus.write(s, v);
             ts.record(&bus);
         }
-        prop_assert_eq!(&ts.trace("s").unwrap().samples, &values);
+        prop_assert_eq!(ts.trace("s").unwrap(), &values[..]);
         prop_assert_eq!(ts.ticks(), values.len());
     }
 
@@ -145,10 +145,8 @@ proptest! {
         let pos = pos_raw % base.len();
         let mut other = base.clone();
         other[pos] = other[pos].wrapping_add(delta);
-        let a = permea::runtime::tracing::SignalTrace { name: "x".into(), samples: base };
-        let b = permea::runtime::tracing::SignalTrace { name: "x".into(), samples: other };
-        prop_assert_eq!(a.first_divergence(&b), Some(pos));
-        prop_assert_eq!(b.first_divergence(&a), Some(pos));
+        prop_assert_eq!(permea::runtime::tracing::first_divergence(&base, &other), Some(pos));
+        prop_assert_eq!(permea::runtime::tracing::first_divergence(&other, &base), Some(pos));
     }
 }
 
