@@ -22,19 +22,23 @@
 //!   --batch-size N     planner batch per stratum (implies --adaptive)
 //!   --shard I/N        run only shard I's deterministic slice of the
 //!                      coordinate space (see `study --shard`)
+//!   --chaos-plan SPEC  arm the deterministic chaos harness (see
+//!                      `permea_fi::chaos` for the plan grammar)
 //! ```
 //!
 //! The adaptive flags override (or install) the spec's own `adaptive`
 //! plan, so a dense spec file can be re-run adaptively without editing it.
 //!
-//! Exit codes: 0 success, 1 failure, 2 usage error, 3 quarantine threshold
-//! exceeded (systematic target breakage).
+//! Exit codes (pinned in `permea_analysis::exit`): 0 success, 1 failure,
+//! 2 usage error, 3 quarantine threshold exceeded (systematic target
+//! breakage), 4 environment failure (disk full, journal or artifact I/O).
 
+use permea_analysis::exit;
 use permea_analysis::factory::ArrestmentFactory;
 use permea_arrestment::testcase::TestCase;
 use permea_fi::adaptive::AdaptivePlan;
 use permea_fi::campaign::{Campaign, CampaignConfig, SystemFactory};
-use permea_fi::error::FiError;
+use permea_fi::chaos::{ChaosInjector, ChaosPlan};
 use permea_fi::estimate::{render_target_summaries, target_summaries};
 use permea_fi::latency::{latency_summaries, render_latencies};
 use permea_fi::model::ErrorModel;
@@ -71,11 +75,11 @@ fn usage() -> ! {
          [--progress] [--metrics-out FILE] [--events FILE] \
          [--isolation process|in-process] [--workers N] [--run-timeout MS] \
          [--max-retries N] [--adaptive] [--target-ci W] [--batch-size N] \
-         [--shard I/N]\n\
+         [--shard I/N] [--chaos-plan SPEC]\n\
          exit codes: 0 success, 1 failure, 2 usage, \
-         3 quarantine threshold exceeded"
+         3 quarantine threshold exceeded, 4 environment failure"
     );
-    std::process::exit(2);
+    std::process::exit(i32::from(exit::EXIT_USAGE));
 }
 
 fn main() -> ExitCode {
@@ -104,6 +108,7 @@ fn main() -> ExitCode {
     let mut target_ci: Option<f64> = None;
     let mut batch_size: Option<usize> = None;
     let mut shard: Option<Shard> = None;
+    let mut chaos_plan: Option<ChaosPlan> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -170,6 +175,14 @@ fn main() -> ExitCode {
                 Some(Ok(s)) => shard = Some(s),
                 Some(Err(e)) => {
                     eprintln!("{e}");
+                    usage();
+                }
+                None => usage(),
+            },
+            "--chaos-plan" => match args.next().map(|v| ChaosPlan::parse(&v)) {
+                Some(Ok(p)) => chaos_plan = Some(p),
+                Some(Err(e)) => {
+                    eprintln!("invalid --chaos-plan: {e}");
                     usage();
                 }
                 None => usage(),
@@ -248,7 +261,19 @@ fn main() -> ExitCode {
         }
         campaign_config.isolation = IsolationMode::Process(pool);
     }
-    let campaign = Campaign::new(&factory, campaign_config).with_obs(obs.clone());
+    let chaos = chaos_plan.map(|plan| {
+        obs.warn(format!(
+            "chaos plan armed ({} fault(s)): {plan}",
+            plan.len()
+        ));
+        let mut injector = ChaosInjector::new(plan);
+        injector.attach_obs(&obs);
+        Arc::new(injector)
+    });
+    let mut campaign = Campaign::new(&factory, campaign_config).with_obs(obs.clone());
+    if let Some(chaos) = &chaos {
+        campaign = campaign.with_chaos(chaos.clone());
+    }
     match shard {
         Some(s) => obs.info(format!(
             "running shard {s} of {} injection runs...",
@@ -259,13 +284,14 @@ fn main() -> ExitCode {
     let started = std::time::Instant::now();
     let result = match campaign.run(&spec) {
         Ok(r) => r,
-        Err(e @ FiError::QuarantineThresholdExceeded { .. }) => {
-            obs.error(format!("campaign aborted: {e}"));
-            return ExitCode::from(3);
-        }
         Err(e) => {
-            obs.error(format!("campaign failed: {e}"));
-            return ExitCode::FAILURE;
+            let code = exit::classify_error(&e);
+            if code == exit::EXIT_ENVIRONMENT {
+                obs.error(format!("campaign aborted by environment failure: {e}"));
+            } else {
+                obs.error(format!("campaign failed: {e}"));
+            }
+            return ExitCode::from(code);
         }
     };
     obs.info(format!("done in {:.1}s", started.elapsed().as_secs_f64()));
@@ -307,9 +333,13 @@ fn main() -> ExitCode {
     if let Some(out_path) = out_path {
         match serde_json::to_string(&result) {
             Ok(json) => {
-                if let Err(e) = std::fs::write(&out_path, json) {
+                if let Err(e) = permea_fi::env::atomic_write_chaos(
+                    std::path::Path::new(&out_path),
+                    json.as_bytes(),
+                    chaos.as_deref(),
+                ) {
                     obs.error(format!("cannot write {out_path}: {e}"));
-                    return ExitCode::FAILURE;
+                    return ExitCode::from(exit::classify_error(&e));
                 }
                 obs.info(format!("results written to {out_path}"));
             }
@@ -321,9 +351,13 @@ fn main() -> ExitCode {
     }
     if let Some(metrics_path) = metrics_out {
         if let Some(snap) = obs.snapshot() {
-            if let Err(e) = std::fs::write(&metrics_path, snap.to_json_pretty()) {
+            if let Err(e) = permea_fi::env::atomic_write_chaos(
+                std::path::Path::new(&metrics_path),
+                snap.to_json_pretty().as_bytes(),
+                chaos.as_deref(),
+            ) {
                 obs.error(format!("cannot write {metrics_path}: {e}"));
-                return ExitCode::FAILURE;
+                return ExitCode::from(exit::classify_error(&e));
             }
             obs.info(format!("metrics written to {metrics_path}"));
         }

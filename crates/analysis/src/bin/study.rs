@@ -2,16 +2,18 @@
 //! every table, figure and shape check to an artifact directory.
 //!
 //! ```text
-//! study [--quick | --full] [--out DIR] [--threads N] [--seed S]
+//! study [--quick | --full | --smoke] [--out DIR] [--threads N] [--seed S]
 //!       [--replay] [--compare-paths] [--journal] [--resume DIR]
 //!       [--progress] [--metrics-out PATH] [--events PATH]
 //!       [--fsync-interval N] [--isolation process|in-process]
 //!       [--workers N] [--run-timeout MS] [--max-retries N]
-//!       [--adaptive] [--target-ci W] [--batch-size N]
+//!       [--max-quarantined F] [--adaptive] [--target-ci W]
+//!       [--batch-size N] [--chaos-plan SPEC]
 //! ```
 //!
 //! `--quick` (default) runs the reduced configuration (seconds);
-//! `--full` runs the paper's 52 000-injection campaign (minutes).
+//! `--full` runs the paper's 52 000-injection campaign (minutes);
+//! `--smoke` an even smaller configuration for CI smoke tests.
 //! `--replay` disables snapshot fast-forward (replay every run from tick 0);
 //! `--compare-paths` times the campaign both ways and reports the speedup.
 //!
@@ -73,14 +75,26 @@
 //! the artifact directory reports per-target achieved precision and
 //! runs saved versus the dense grid.
 //!
-//! Exit codes: 0 success, 1 failure, 2 usage error, 3 quarantine threshold
-//! exceeded (systematic target breakage), 130 interrupted (resumable).
+//! `--chaos-plan SPEC` arms the deterministic chaos harness: environment
+//! faults (journal write/fsync errors, scheduled worker SIGKILLs, IPC frame
+//! corruption, artifact-write failures, a faked free-disk reading) are
+//! injected at the exact points the plan names, so recovery paths can be
+//! exercised reproducibly. See `permea_fi::chaos` for the plan grammar.
+//! With no plan the chaos layer is entirely absent — zero overhead.
+//! `--max-quarantined F` overrides the quarantine abort threshold.
+//!
+//! Exit codes (pinned in `permea_analysis::exit`): 0 success, 1 failure,
+//! 2 usage error, 3 quarantine threshold exceeded (systematic target
+//! breakage), 4 environment failure (disk full, journal or artifact I/O —
+//! fix the environment and `--resume`), 130 interrupted (resumable).
 
+use permea_analysis::exit;
 use permea_analysis::factory::ArrestmentFactory;
 use permea_analysis::report::Report;
 use permea_analysis::study::{Study, StudyConfig};
 use permea_fi::adaptive::AdaptivePlan;
 use permea_fi::campaign::SystemFactory;
+use permea_fi::chaos::{ChaosInjector, ChaosPlan};
 use permea_fi::error::FiError;
 use permea_fi::estimate::{render_target_summaries, target_summaries};
 use permea_fi::journal::RunJournal;
@@ -130,17 +144,17 @@ mod interrupt {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: study [--quick | --full] [--out DIR] [--threads N] [--seed S] \
+        "usage: study [--quick | --full | --smoke] [--out DIR] [--threads N] [--seed S] \
          [--replay] [--compare-paths] [--journal] [--resume DIR] \
          [--progress] [--metrics-out PATH] [--events PATH] [--fsync-interval N] \
          [--isolation process|in-process] [--workers N] [--run-timeout MS] \
-         [--max-retries N] [--adaptive] [--target-ci W] [--batch-size N] \
-         [--shard I/N]\n\
+         [--max-retries N] [--max-quarantined F] [--adaptive] [--target-ci W] \
+         [--batch-size N] [--shard I/N] [--chaos-plan SPEC]\n\
          \x20      study journal merge --out PATH IN...\n\
          exit codes: 0 success, 1 failure, 2 usage, \
-         3 quarantine threshold exceeded, 130 interrupted"
+         3 quarantine threshold exceeded, 4 environment failure, 130 interrupted"
     );
-    std::process::exit(2);
+    std::process::exit(i32::from(permea_analysis::exit::EXIT_USAGE));
 }
 
 /// The `study journal merge --out PATH IN...` subcommand: combines shard
@@ -215,12 +229,15 @@ fn main() -> ExitCode {
     let mut workers = 0usize;
     let mut run_timeout_ms: Option<u64> = None;
     let mut max_retries: Option<u32> = None;
+    let mut max_quarantined: Option<f64> = None;
     let mut shard: Option<Shard> = None;
+    let mut chaos_plan: Option<ChaosPlan> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => config = StudyConfig::quick(),
             "--full" => config = StudyConfig::paper(),
+            "--smoke" => config = StudyConfig::smoke(),
             "--replay" => replay = true,
             "--compare-paths" => compare_paths = true,
             "--journal" => journal_runs = true,
@@ -267,6 +284,18 @@ fn main() -> ExitCode {
             },
             "--max-retries" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(n) => max_retries = Some(n),
+                None => usage(),
+            },
+            "--max-quarantined" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(f) => max_quarantined = Some(f),
+                None => usage(),
+            },
+            "--chaos-plan" => match args.next().map(|v| ChaosPlan::parse(&v)) {
+                Some(Ok(p)) => chaos_plan = Some(p),
+                Some(Err(e)) => {
+                    eprintln!("invalid --chaos-plan: {e}");
+                    usage();
+                }
                 None => usage(),
             },
             "--shard" => match args.next().map(|v| Shard::parse(&v)) {
@@ -347,6 +376,18 @@ fn main() -> ExitCode {
              merge the shard journals and --resume for full-campaign artifacts"
         ));
     }
+    // The chaos harness is armed only when a plan was given; with no plan
+    // the campaign carries no injector at all (zero overhead).
+    let chaos = chaos_plan.map(|plan| {
+        obs.warn(format!(
+            "chaos plan armed ({} fault(s)): {plan}",
+            plan.len()
+        ));
+        let mut injector = ChaosInjector::new(plan);
+        injector.attach_obs(&obs);
+        Arc::new(injector)
+    });
+
     let mut study = Study::new(config.clone())
         .with_obs(obs.clone())
         .with_shard(shard);
@@ -355,6 +396,12 @@ fn main() -> ExitCode {
     }
     if let Some(n) = max_retries {
         study = study.with_max_retries(n);
+    }
+    if let Some(f) = max_quarantined {
+        study = study.with_max_quarantined(f);
+    }
+    if let Some(chaos) = &chaos {
+        study = study.with_chaos(chaos.clone());
     }
     if process_isolation {
         let command = match WorkerCommand::current_exe(vec!["--worker".to_owned()]) {
@@ -439,15 +486,19 @@ fn main() -> ExitCode {
                 adaptive_hint,
                 shard.map_or(String::new(), |s| format!(" --shard {s}")),
             ));
-            return ExitCode::from(130);
-        }
-        Err(e @ FiError::QuarantineThresholdExceeded { .. }) => {
-            obs.error(format!("study aborted: {e}"));
-            return ExitCode::from(3);
+            return ExitCode::from(exit::EXIT_INTERRUPTED);
         }
         Err(e) => {
-            obs.error(format!("study failed: {e}"));
-            return ExitCode::FAILURE;
+            let code = exit::classify_error(&e);
+            if code == exit::EXIT_ENVIRONMENT {
+                obs.error(format!(
+                    "study aborted by environment failure: {e} \
+                     (campaign state is intact — fix the environment and --resume)"
+                ));
+            } else {
+                obs.error(format!("study failed: {e}"));
+            }
+            return ExitCode::from(code);
         }
     };
     let first_secs = started.elapsed().as_secs_f64();
@@ -522,12 +573,18 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     // The raw campaign result as machine-readable data; also what the
-    // kill/resume smoke test diffs for byte-identical recovery.
+    // kill/resume smoke test diffs for byte-identical recovery. Written
+    // atomically (tmp + fsync + rename) so a crash mid-write can never
+    // leave a torn artifact behind.
     match serde_json::to_string(&output.result) {
         Ok(json) => {
-            if let Err(e) = std::fs::write(out_dir.join("result.json"), json) {
+            if let Err(e) = permea_fi::env::atomic_write_chaos(
+                out_dir.join("result.json"),
+                json.as_bytes(),
+                chaos.as_deref(),
+            ) {
                 obs.error(format!("failed to write result.json: {e}"));
-                return ExitCode::FAILURE;
+                return ExitCode::from(exit::classify_error(&e));
             }
         }
         Err(e) => {
@@ -538,12 +595,22 @@ fn main() -> ExitCode {
     // The machine-readable metrics artifact, next to result.json by default.
     if let Some(snap) = &metrics {
         let path = metrics_out.unwrap_or_else(|| out_dir.join("metrics.json"));
-        if let Err(e) = std::fs::write(&path, snap.to_json_pretty()) {
+        if let Err(e) = permea_fi::env::atomic_write_chaos(
+            &path,
+            snap.to_json_pretty().as_bytes(),
+            chaos.as_deref(),
+        ) {
             obs.error(format!("failed to write {}: {e}", path.display()));
-            return ExitCode::FAILURE;
+            return ExitCode::from(exit::classify_error(&e));
         }
     }
     obs.info(format!("artifacts written to {}", out_dir.display()));
+    if let Some(chaos) = &chaos {
+        obs.info(format!(
+            "chaos: {} environment fault(s) were injected and absorbed",
+            chaos.injected()
+        ));
+    }
 
     let failed = report.checks.iter().filter(|c| !c.pass).count();
     if failed > 0 {

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod checks;
+pub mod exit;
 pub mod factory;
 pub mod figures;
 pub mod fivemod;

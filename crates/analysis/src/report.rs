@@ -133,7 +133,8 @@ impl Report {
     pub fn write_to(&self, dir: &Path) -> io::Result<()> {
         std::fs::create_dir_all(dir)?;
         for (name, contents) in &self.files {
-            std::fs::write(dir.join(name), contents)?;
+            permea_fi::env::atomic_write(dir.join(name), contents.as_bytes())
+                .map_err(|e| io::Error::other(e.to_string()))?;
         }
         Ok(())
     }
@@ -172,11 +173,22 @@ pub fn render_outcomes(out: &StudyOutput) -> String {
                 RunOutcome::Hung { last_tick_ms } => {
                     format!("hung (clock stalled at {last_tick_ms} ms)")
                 }
-                RunOutcome::Crashed { signal, exit_code } => match (signal, exit_code) {
-                    (Some(sig), _) => format!("crashed (worker killed by signal {sig})"),
-                    (None, Some(code)) => format!("crashed (worker exited with code {code})"),
-                    (None, None) => "crashed (worker died)".to_owned(),
-                },
+                RunOutcome::Crashed { signal, exit_code } => {
+                    let cause = r
+                        .outcome
+                        .crash_cause()
+                        .map(|c| format!(", cause: {}", c.label()))
+                        .unwrap_or_default();
+                    match (signal, exit_code) {
+                        (Some(sig), _) => {
+                            format!("crashed (worker killed by signal {sig}{cause})")
+                        }
+                        (None, Some(code)) => {
+                            format!("crashed (worker exited with code {code}{cause})")
+                        }
+                        (None, None) => format!("crashed (worker died{cause})"),
+                    }
+                }
                 RunOutcome::Completed => continue,
             };
             let _ = writeln!(

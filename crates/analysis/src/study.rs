@@ -14,6 +14,7 @@ use permea_core::topology::SystemTopology;
 use permea_core::trace::TraceForest;
 use permea_fi::adaptive::AdaptivePlan;
 use permea_fi::campaign::{Campaign, CampaignConfig};
+use permea_fi::chaos::ChaosInjector;
 use permea_fi::error::FiError;
 use permea_fi::journal::{JournalHeader, RunJournal, DEFAULT_FSYNC_INTERVAL};
 use permea_fi::process::IsolationMode;
@@ -23,6 +24,7 @@ use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
 use permea_obs::Obs;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 /// Configuration of the reproduction study.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -172,6 +174,8 @@ pub struct Study {
     isolation: IsolationMode,
     max_retries: Option<u32>,
     shard: Option<Shard>,
+    max_quarantined: Option<f64>,
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl Study {
@@ -184,6 +188,8 @@ impl Study {
             isolation: IsolationMode::InProcess,
             max_retries: None,
             shard: None,
+            max_quarantined: None,
+            chaos: None,
         }
     }
 
@@ -227,6 +233,22 @@ impl Study {
         self
     }
 
+    /// Overrides the quarantine abort threshold
+    /// ([`CampaignConfig::max_quarantined_fraction`]): the campaign aborts
+    /// with exit-code-3 semantics once more than this fraction of runs is
+    /// quarantined.
+    pub fn with_max_quarantined(mut self, fraction: f64) -> Self {
+        self.max_quarantined = Some(fraction);
+        self
+    }
+
+    /// Attaches a chaos injector (see [`permea_fi::chaos`]): its
+    /// environment-fault plan is replayed against the study's campaign.
+    pub fn with_chaos(mut self, chaos: Arc<ChaosInjector>) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+
     /// The telemetry handle in use.
     pub fn obs(&self) -> &Obs {
         &self.obs
@@ -252,6 +274,9 @@ impl Study {
         };
         if let Some(max_retries) = self.max_retries {
             config.max_retries = max_retries;
+        }
+        if let Some(fraction) = self.max_quarantined {
+            config.max_quarantined_fraction = fraction;
         }
         config
     }
@@ -296,7 +321,11 @@ impl Study {
             self.config.masses,
             self.config.velocities,
         ));
-        let campaign = Campaign::new(&factory, self.campaign_config()).with_obs(self.obs.clone());
+        let mut campaign =
+            Campaign::new(&factory, self.campaign_config()).with_obs(self.obs.clone());
+        if let Some(chaos) = &self.chaos {
+            campaign = campaign.with_chaos(chaos.clone());
+        }
         let result = campaign.run_resumable(&spec, journal, cancel)?;
         let matrix = permea_fi::estimate::estimate_matrix(&topology, &result)?;
         let graph = PermeabilityGraph::new(&topology, &matrix)

@@ -27,6 +27,7 @@
 //! `fast_forward: false`) for differential testing.
 
 use crate::adaptive::AdaptivePlanner;
+use crate::chaos::ChaosInjector;
 use crate::error::FiError;
 use crate::golden::GoldenRun;
 use crate::journal::{JournalHeader, RunJournal, DEFAULT_FSYNC_INTERVAL};
@@ -45,13 +46,22 @@ use rand::SeedableRng;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// Spacing of the periodic golden checkpoints used for convergence
 /// early-exit. Denser checkpoints detect reconvergence sooner at the cost
 /// of snapshot memory and comparison work.
 const CHECKPOINT_CADENCE_MS: u64 = 100;
+
+/// Preflight floor: a journaled campaign refuses to start (with the typed
+/// [`FiError::DiskSpaceLow`]) when the journal's filesystem has fewer free
+/// bytes than this — it would almost certainly abort mid-run on ENOSPC.
+pub const MIN_FREE_DISK_BYTES: u64 = 8 * 1024 * 1024;
+
+/// Preflight warning threshold: below this much free space the campaign
+/// still runs but emits a warning event.
+pub const WARN_FREE_DISK_BYTES: u64 = 64 * 1024 * 1024;
 
 /// Builds fresh simulations of the system under test, one per run.
 ///
@@ -388,6 +398,7 @@ pub struct Campaign<'f> {
     factory: &'f dyn SystemFactory,
     config: CampaignConfig,
     obs: Obs,
+    chaos: Option<Arc<ChaosInjector>>,
 }
 
 impl<'f> Campaign<'f> {
@@ -397,6 +408,7 @@ impl<'f> Campaign<'f> {
             factory,
             config,
             obs: Obs::disabled(),
+            chaos: None,
         }
     }
 
@@ -405,6 +417,15 @@ impl<'f> Campaign<'f> {
     /// every instrument is a branch-and-skip no-op.
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
+        self
+    }
+
+    /// Attaches a [`crate::chaos`] injector: its fault plan is replayed
+    /// against this campaign's journal, worker pool and preflight checks.
+    /// Production campaigns never call this; without an injector every
+    /// chaos hook is a single `Option` branch.
+    pub fn with_chaos(mut self, chaos: Arc<ChaosInjector>) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 
@@ -994,9 +1015,37 @@ impl<'f> Campaign<'f> {
                 ins.account(record, stats, golden_ticks[record.case]);
             }
         }
+        // Preflight: refuse to start a journaled campaign on a filesystem
+        // that is about to run out of space — aborting up front with a
+        // typed error beats dying mid-run on ENOSPC. An unknown reading
+        // (exotic platform, statvfs failure) proceeds as before.
+        if let Some(j) = &journal {
+            let free = self
+                .chaos
+                .as_ref()
+                .and_then(|c| c.free_disk_override())
+                .or_else(|| crate::env::free_disk_bytes(j.path()));
+            if let Some(free) = free {
+                if free < MIN_FREE_DISK_BYTES {
+                    return Err(FiError::DiskSpaceLow {
+                        free_bytes: free,
+                        needed_bytes: MIN_FREE_DISK_BYTES,
+                    });
+                }
+                if free < WARN_FREE_DISK_BYTES {
+                    obs.warn(format!(
+                        "journal filesystem has only {free} bytes free (warning \
+                         threshold {WARN_FREE_DISK_BYTES}); the campaign may abort on ENOSPC"
+                    ));
+                }
+            }
+        }
         let journal = journal.map(|j| {
             j.set_fsync_interval(self.config.journal_fsync_interval);
             j.attach_obs(obs);
+            if let Some(chaos) = &self.chaos {
+                j.set_chaos(chaos.clone());
+            }
             Mutex::new(j)
         });
 
@@ -1267,6 +1316,11 @@ impl<'f> Campaign<'f> {
         let respawn_budget = AtomicI64::new(
             process_cfg.map_or(0, |p| p.max_worker_respawns.min(i64::MAX as u64) as i64),
         );
+        // Pool-collapse refill waves still available: when the budget runs
+        // dry, one wave re-arms a full budget before the breaker may trip.
+        let respawn_waves = AtomicI64::new(
+            process_cfg.map_or(0, |p| p.pool_respawn_waves.min(i64::MAX as u64) as i64),
+        );
         let breaker = AtomicBool::new(false);
         let setup_frame: Vec<u8> = match process_cfg {
             Some(p) => {
@@ -1293,6 +1347,10 @@ impl<'f> Campaign<'f> {
             let run_timeout = Duration::from_millis(p.run_timeout_ms.max(1));
             let setup_timeout = Duration::from_millis(p.setup_timeout_ms.max(1));
             let batch_limit = p.dispatch_batch.max(1);
+            // The launch command with RLIMIT_AS/RLIMIT_CPU environment
+            // variables applied (identical to `p.command` when uncapped).
+            let worker_command = p.effective_command();
+            let chaos = self.chaos.as_deref();
             let mut client: Option<WorkerClient> = None;
             let mut ever_spawned = false;
             // Arena for the degraded in-process fallback path.
@@ -1316,8 +1374,13 @@ impl<'f> Campaign<'f> {
                 if batch.len() > 1 {
                     let live = client.as_mut().expect("batched only with a live worker");
                     let ks: Vec<u64> = batch.iter().map(|&k| k as u64).collect();
+                    if let Some(c) = chaos {
+                        if c.should_kill_worker(&ks) {
+                            live.chaos_kill();
+                        }
+                    }
                     let attempt_started = obs.enabled().then(Instant::now);
-                    let attempt = live.run_batch(&ks, run_timeout);
+                    let attempt = live.run_batch(&ks, run_timeout, chaos);
                     if let Some(t0) = attempt_started {
                         ins.attempt_micros.observe(t0.elapsed().as_micros() as u64);
                     }
@@ -1373,12 +1436,30 @@ impl<'f> Campaign<'f> {
                         if client.is_none() {
                             if ever_spawned {
                                 if respawn_budget.fetch_sub(1, Ordering::AcqRel) <= 0 {
+                                    // Pool collapse: spend one refill wave
+                                    // (re-arming a full respawn budget)
+                                    // before the breaker may trip and
+                                    // degrade the campaign in-process.
+                                    if p.max_worker_respawns > 0
+                                        && respawn_waves.fetch_sub(1, Ordering::AcqRel) > 0
+                                    {
+                                        respawn_budget.store(
+                                            p.max_worker_respawns.min(i64::MAX as u64) as i64,
+                                            Ordering::Release,
+                                        );
+                                        obs.warn(format!(
+                                            "worker pool collapsed; spending a respawn wave \
+                                             ({} fresh respawns)",
+                                            p.max_worker_respawns
+                                        ));
+                                        continue;
+                                    }
                                     breaker.store(true, Ordering::Release);
                                     continue;
                                 }
                                 ins.worker_respawns.inc();
                             }
-                            match WorkerClient::spawn(&p.command) {
+                            match WorkerClient::spawn(&worker_command) {
                                 Ok(mut fresh) => {
                                     ever_spawned = true;
                                     ins.worker_spawns.inc();
@@ -1405,9 +1486,14 @@ impl<'f> Campaign<'f> {
                             }
                         }
                         let live = client.as_mut().expect("worker ensured above");
+                        if let Some(c) = chaos {
+                            if c.should_kill_worker(&[k as u64]) {
+                                live.chaos_kill();
+                            }
+                        }
                         attempts += 1;
                         let attempt_started = obs.enabled().then(Instant::now);
-                        let attempt = live.run_batch(&[k as u64], run_timeout);
+                        let attempt = live.run_batch(&[k as u64], run_timeout, chaos);
                         if let Some(t0) = attempt_started {
                             ins.attempt_micros.observe(t0.elapsed().as_micros() as u64);
                         }

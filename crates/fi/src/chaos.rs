@@ -1,0 +1,453 @@
+//! Deterministic environment-fault injection for the executor itself.
+//!
+//! The paper's method is to *measure* error propagation rather than assume
+//! it; this module turns the same discipline on the campaign executor. A
+//! [`ChaosPlan`] is a seeded, fully explicit schedule of *environment*
+//! faults — journal write/fsync errors, worker SIGKILLs at chosen
+//! coordinates, IPC frame corruption, artifact-write failures, a faked
+//! free-disk reading — and a [`ChaosInjector`] replays that schedule
+//! deterministically while a campaign executes. Because the schedule is
+//! data, every failure it provokes is reproducible bit for bit, which is
+//! what lets the test-suite assert the executor's core contract: after
+//! *any* injected schedule, a resumed campaign completes byte-identically
+//! to an undisturbed one.
+//!
+//! The injector is threaded through [`crate::campaign`], [`crate::journal`]
+//! and [`crate::process`] as an `Option<Arc<ChaosInjector>>` attached via
+//! builder methods ([`crate::campaign::Campaign::with_chaos`]). With no
+//! plan attached every hook is a `None` branch — zero overhead on the
+//! production path.
+//!
+//! # Plan grammar
+//!
+//! A plan is a comma-separated list of fault tokens (the `--chaos-plan`
+//! flag of the analysis binaries):
+//!
+//! ```text
+//! seed=7,journal-write=enospc@3,kill-run@5,frame-corrupt@2,artifact-fail=result.json
+//! ```
+//!
+//! | token | fault |
+//! |---|---|
+//! | `seed=N` | records the schedule's seed (reporting only) |
+//! | `journal-write=KIND@N` | the `N`-th journal append fails with `KIND` |
+//! | `journal-fsync=KIND@N` | the `N`-th journal fsync fails with `KIND` |
+//! | `kill-run@K` | SIGKILL the worker once, before coordinate `K` runs |
+//! | `kill-always@K` | SIGKILL the worker on *every* dispatch of `K` |
+//! | `frame-corrupt@N` | truncate the `N`-th IPC dispatch frame |
+//! | `artifact-fail=NAME` | the next write of artifact `NAME` fails |
+//! | `free-disk=N` | the preflight disk check sees `N` free bytes |
+//!
+//! `KIND` is one of `enospc` (persistent — exhausts the bounded retry),
+//! `enospc-once` (transient — the retry succeeds), `eio`, or `short` (a
+//! torn partial write). Indices `N` count from 0 within one process.
+//!
+//! One-shot faults (`kill-run`, `artifact-fail`) are *consumed*: the retry
+//! or resume that follows them sees a healthy environment, so the campaign
+//! converges to the undisturbed result. Persistent faults (`kill-always`,
+//! `enospc`) instead drive the executor's typed abort paths — quarantine
+//! (exit 3) and environment failure (exit 4).
+
+use permea_obs::{Counter, Obs};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How an injected I/O operation fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFaultKind {
+    /// `ENOSPC` on every attempt, including the bounded retries — drives
+    /// the [`crate::error::FiError::JournalDiskFull`] abort path.
+    Enospc,
+    /// `ENOSPC` on the first attempt only — the bounded retry absorbs it.
+    EnospcOnce,
+    /// A hard `EIO`: the operation fails before any byte reaches the file.
+    Eio,
+    /// A short write: a torn prefix of the data reaches the file, then the
+    /// operation fails — the signature of a device filling mid-write.
+    Short,
+}
+
+impl IoFaultKind {
+    fn parse(s: &str) -> Option<Self> {
+        match s {
+            "enospc" => Some(IoFaultKind::Enospc),
+            "enospc-once" => Some(IoFaultKind::EnospcOnce),
+            "eio" => Some(IoFaultKind::Eio),
+            "short" => Some(IoFaultKind::Short),
+            _ => None,
+        }
+    }
+
+    fn token(self) -> &'static str {
+        match self {
+            IoFaultKind::Enospc => "enospc",
+            IoFaultKind::EnospcOnce => "enospc-once",
+            IoFaultKind::Eio => "eio",
+            IoFaultKind::Short => "short",
+        }
+    }
+}
+
+/// A deterministic schedule of environment faults. See the module docs for
+/// the textual grammar; [`ChaosPlan::parse`] and [`fmt::Display`] round-trip
+/// it.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosPlan {
+    /// Seed the schedule was generated from (reporting only — the plan
+    /// itself is the explicit schedule).
+    pub seed: u64,
+    /// Journal append index → injected write fault.
+    pub journal_write: HashMap<u64, IoFaultKind>,
+    /// Journal fsync index → injected fsync fault.
+    pub journal_fsync: HashMap<u64, IoFaultKind>,
+    /// Coordinates whose worker is SIGKILLed once before dispatch.
+    pub kill_runs: HashSet<u64>,
+    /// Coordinates whose worker is SIGKILLed on every dispatch.
+    pub kill_always: HashSet<u64>,
+    /// IPC dispatch indices whose frame is truncated mid-write.
+    pub frame_corrupt: HashSet<u64>,
+    /// Artifact file names whose next write fails (consumed per name).
+    pub artifact_fail: HashSet<String>,
+    /// Faked free-disk bytes for the campaign's preflight check.
+    pub free_disk: Option<u64>,
+}
+
+impl ChaosPlan {
+    /// Parses the comma-separated plan grammar (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first malformed token —
+    /// the binaries treat that as a usage error.
+    pub fn parse(spec: &str) -> Result<ChaosPlan, String> {
+        let mut plan = ChaosPlan::default();
+        for token in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+            let (key, rest) = token.split_once(['=', '@']).ok_or_else(|| {
+                format!("chaos token `{token}` has no `=` or `@` (expected e.g. `kill-run@5`)")
+            })?;
+            match key {
+                "seed" => {
+                    plan.seed = rest
+                        .parse()
+                        .map_err(|_| format!("chaos seed `{rest}` is not a number"))?;
+                }
+                "journal-write" | "journal-fsync" => {
+                    let (kind, idx) = rest.split_once('@').ok_or_else(|| {
+                        format!("chaos token `{token}` needs KIND@INDEX (e.g. `enospc@3`)")
+                    })?;
+                    let kind = IoFaultKind::parse(kind).ok_or_else(|| {
+                        format!(
+                            "unknown I/O fault kind `{kind}` (expected enospc, \
+                             enospc-once, eio or short)"
+                        )
+                    })?;
+                    let idx: u64 = idx
+                        .parse()
+                        .map_err(|_| format!("chaos index `{idx}` is not a number"))?;
+                    if key == "journal-write" {
+                        plan.journal_write.insert(idx, kind);
+                    } else {
+                        plan.journal_fsync.insert(idx, kind);
+                    }
+                }
+                "kill-run" | "kill-always" | "frame-corrupt" => {
+                    let idx: u64 = rest
+                        .parse()
+                        .map_err(|_| format!("chaos index `{rest}` is not a number"))?;
+                    match key {
+                        "kill-run" => plan.kill_runs.insert(idx),
+                        "kill-always" => plan.kill_always.insert(idx),
+                        _ => plan.frame_corrupt.insert(idx),
+                    };
+                }
+                "artifact-fail" => {
+                    plan.artifact_fail.insert(rest.to_owned());
+                }
+                "free-disk" => {
+                    plan.free_disk = Some(
+                        rest.parse()
+                            .map_err(|_| format!("chaos free-disk `{rest}` is not a number"))?,
+                    );
+                }
+                _ => return Err(format!("unknown chaos fault `{key}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// `true` when the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.journal_write.is_empty()
+            && self.journal_fsync.is_empty()
+            && self.kill_runs.is_empty()
+            && self.kill_always.is_empty()
+            && self.frame_corrupt.is_empty()
+            && self.artifact_fail.is_empty()
+            && self.free_disk.is_none()
+    }
+
+    /// Total scheduled faults.
+    pub fn len(&self) -> usize {
+        self.journal_write.len()
+            + self.journal_fsync.len()
+            + self.kill_runs.len()
+            + self.kill_always.len()
+            + self.frame_corrupt.len()
+            + self.artifact_fail.len()
+            + usize::from(self.free_disk.is_some())
+    }
+}
+
+impl fmt::Display for ChaosPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut tokens = vec![format!("seed={}", self.seed)];
+        let sorted = |m: &HashMap<u64, IoFaultKind>, name: &str| {
+            let mut ks: Vec<_> = m.iter().map(|(&i, &k)| (i, k)).collect();
+            ks.sort_unstable_by_key(|&(i, _)| i);
+            ks.into_iter()
+                .map(|(i, k)| format!("{name}={}@{i}", k.token()))
+                .collect::<Vec<_>>()
+        };
+        tokens.extend(sorted(&self.journal_write, "journal-write"));
+        tokens.extend(sorted(&self.journal_fsync, "journal-fsync"));
+        let indexed = |s: &HashSet<u64>, name: &str| {
+            let mut ks: Vec<_> = s.iter().copied().collect();
+            ks.sort_unstable();
+            ks.into_iter()
+                .map(|i| format!("{name}@{i}"))
+                .collect::<Vec<_>>()
+        };
+        tokens.extend(indexed(&self.kill_runs, "kill-run"));
+        tokens.extend(indexed(&self.kill_always, "kill-always"));
+        tokens.extend(indexed(&self.frame_corrupt, "frame-corrupt"));
+        let mut names: Vec<_> = self.artifact_fail.iter().cloned().collect();
+        names.sort_unstable();
+        tokens.extend(names.into_iter().map(|n| format!("artifact-fail={n}")));
+        if let Some(free) = self.free_disk {
+            tokens.push(format!("free-disk={free}"));
+        }
+        write!(f, "{}", tokens.join(","))
+    }
+}
+
+/// Replays a [`ChaosPlan`] deterministically while a campaign executes:
+/// every hook consults the schedule against a monotonic event counter (or
+/// the run coordinate) and reports whether to inject. Shared across the
+/// executor's threads as an `Arc`; all state is atomic or mutexed.
+#[derive(Debug)]
+pub struct ChaosInjector {
+    plan: ChaosPlan,
+    journal_writes: AtomicU64,
+    journal_fsyncs: AtomicU64,
+    dispatches: AtomicU64,
+    injected: AtomicU64,
+    consumed_kills: Mutex<HashSet<u64>>,
+    consumed_artifacts: Mutex<HashSet<String>>,
+    c_journal_write: Counter,
+    c_journal_fsync: Counter,
+    c_worker_kill: Counter,
+    c_frame_corrupt: Counter,
+    c_artifact_fail: Counter,
+}
+
+impl ChaosInjector {
+    /// Wraps a plan in a fresh injector with all event counters at zero.
+    pub fn new(plan: ChaosPlan) -> Self {
+        ChaosInjector {
+            plan,
+            journal_writes: AtomicU64::new(0),
+            journal_fsyncs: AtomicU64::new(0),
+            dispatches: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            consumed_kills: Mutex::new(HashSet::new()),
+            consumed_artifacts: Mutex::new(HashSet::new()),
+            c_journal_write: Counter::noop(),
+            c_journal_fsync: Counter::noop(),
+            c_worker_kill: Counter::noop(),
+            c_frame_corrupt: Counter::noop(),
+            c_artifact_fail: Counter::noop(),
+        }
+    }
+
+    /// Attaches telemetry: one `chaos.*` counter per fault family
+    /// (`chaos.journal_write_faults`, `chaos.journal_fsync_faults`,
+    /// `chaos.worker_kills`, `chaos.frame_corruptions`,
+    /// `chaos.artifact_failures`). Call before sharing the injector.
+    pub fn attach_obs(&mut self, obs: &Obs) {
+        self.c_journal_write = obs.counter("chaos.journal_write_faults");
+        self.c_journal_fsync = obs.counter("chaos.journal_fsync_faults");
+        self.c_worker_kill = obs.counter("chaos.worker_kills");
+        self.c_frame_corrupt = obs.counter("chaos.frame_corruptions");
+        self.c_artifact_fail = obs.counter("chaos.artifact_failures");
+    }
+
+    /// The schedule being replayed.
+    pub fn plan(&self) -> &ChaosPlan {
+        &self.plan
+    }
+
+    /// Total faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Journal-append hook: advances the append counter and returns the
+    /// fault scheduled for this append, if any.
+    pub fn on_journal_append(&self) -> Option<IoFaultKind> {
+        let idx = self.journal_writes.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.journal_write.get(&idx).copied();
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.c_journal_write.inc();
+        }
+        fault
+    }
+
+    /// Journal-fsync hook: advances the fsync counter and returns the fault
+    /// scheduled for this fsync, if any.
+    pub fn on_journal_fsync(&self) -> Option<IoFaultKind> {
+        let idx = self.journal_fsyncs.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.journal_fsync.get(&idx).copied();
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.c_journal_fsync.inc();
+        }
+        fault
+    }
+
+    /// Worker-dispatch hook: `true` when the worker about to run one of
+    /// `ks` should be SIGKILLed first. `kill-run` faults are consumed (the
+    /// retry sees a healthy pool); `kill-always` faults fire every time.
+    pub fn should_kill_worker(&self, ks: &[u64]) -> bool {
+        for &k in ks {
+            if self.plan.kill_always.contains(&k) {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                self.c_worker_kill.inc();
+                return true;
+            }
+            if self.plan.kill_runs.contains(&k) {
+                let mut consumed = self.consumed_kills.lock().expect("chaos state poisoned");
+                if consumed.insert(k) {
+                    self.injected.fetch_add(1, Ordering::Relaxed);
+                    self.c_worker_kill.inc();
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// IPC-dispatch hook: advances the dispatch counter and reports whether
+    /// this dispatch's frame should be truncated mid-write.
+    pub fn corrupt_dispatch(&self) -> bool {
+        let idx = self.dispatches.fetch_add(1, Ordering::Relaxed);
+        let hit = self.plan.frame_corrupt.contains(&idx);
+        if hit {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.c_frame_corrupt.inc();
+        }
+        hit
+    }
+
+    /// Artifact-write hook: `true` when the write of the artifact named
+    /// `name` (file name, not path) should fail. Consumed per name, so a
+    /// re-run writes successfully.
+    pub fn fail_artifact(&self, name: &str) -> bool {
+        if !self.plan.artifact_fail.contains(name) {
+            return false;
+        }
+        let mut consumed = self
+            .consumed_artifacts
+            .lock()
+            .expect("chaos state poisoned");
+        if consumed.insert(name.to_owned()) {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.c_artifact_fail.inc();
+            return true;
+        }
+        false
+    }
+
+    /// Preflight hook: the faked free-disk reading, if the plan sets one.
+    pub fn free_disk_override(&self) -> Option<u64> {
+        self.plan.free_disk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_parses_and_round_trips() {
+        let spec = "seed=7,journal-write=enospc@3,journal-fsync=eio@1,kill-run@5,\
+                    kill-always@9,frame-corrupt@2,artifact-fail=result.json,free-disk=1024";
+        let plan = ChaosPlan::parse(spec).expect("plan parses");
+        assert_eq!(plan.seed, 7);
+        assert_eq!(plan.journal_write.get(&3), Some(&IoFaultKind::Enospc));
+        assert_eq!(plan.journal_fsync.get(&1), Some(&IoFaultKind::Eio));
+        assert!(plan.kill_runs.contains(&5));
+        assert!(plan.kill_always.contains(&9));
+        assert!(plan.frame_corrupt.contains(&2));
+        assert!(plan.artifact_fail.contains("result.json"));
+        assert_eq!(plan.free_disk, Some(1024));
+        assert_eq!(plan.len(), 7);
+        let reparsed = ChaosPlan::parse(&plan.to_string()).expect("round-trips");
+        assert_eq!(reparsed, plan);
+    }
+
+    #[test]
+    fn plan_rejects_malformed_tokens() {
+        assert!(ChaosPlan::parse("nonsense").is_err());
+        assert!(ChaosPlan::parse("journal-write=sigsegv@1").is_err());
+        assert!(ChaosPlan::parse("kill-run@many").is_err());
+        assert!(ChaosPlan::parse("unknown-fault=1").is_err());
+        assert!(ChaosPlan::parse("journal-write=enospc").is_err());
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let inj = ChaosInjector::new(ChaosPlan::default());
+        assert!(inj.plan().is_empty());
+        for _ in 0..100 {
+            assert_eq!(inj.on_journal_append(), None);
+            assert_eq!(inj.on_journal_fsync(), None);
+            assert!(!inj.should_kill_worker(&[0, 1, 2]));
+            assert!(!inj.corrupt_dispatch());
+            assert!(!inj.fail_artifact("result.json"));
+        }
+        assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn scheduled_faults_fire_at_their_index_and_one_shots_consume() {
+        let plan = ChaosPlan::parse("journal-write=eio@2,kill-run@4,artifact-fail=metrics.json")
+            .expect("plan parses");
+        let inj = ChaosInjector::new(plan);
+        assert_eq!(inj.on_journal_append(), None);
+        assert_eq!(inj.on_journal_append(), None);
+        assert_eq!(inj.on_journal_append(), Some(IoFaultKind::Eio));
+        assert_eq!(inj.on_journal_append(), None);
+        assert!(inj.should_kill_worker(&[3, 4]));
+        assert!(!inj.should_kill_worker(&[4]), "kill-run is one-shot");
+        assert!(inj.fail_artifact("metrics.json"));
+        assert!(
+            !inj.fail_artifact("metrics.json"),
+            "artifact fault consumed"
+        );
+        assert!(!inj.fail_artifact("result.json"));
+        assert_eq!(inj.injected(), 3);
+    }
+
+    #[test]
+    fn kill_always_fires_every_dispatch() {
+        let plan = ChaosPlan::parse("kill-always@7").expect("plan parses");
+        let inj = ChaosInjector::new(plan);
+        for _ in 0..5 {
+            assert!(inj.should_kill_worker(&[7]));
+        }
+        assert!(!inj.should_kill_worker(&[6]));
+    }
+}

@@ -147,6 +147,51 @@ pub enum FiError {
         /// The flat coordinate index both journals claim with different data.
         k: u64,
     },
+    /// `merge_journals` was handed an empty input list: there is no header
+    /// to copy and nothing to merge.
+    JournalMergeEmpty,
+    /// A journal append kept failing with `ENOSPC` after the bounded retry
+    /// budget was spent: the disk is full. The journal's on-disk tail stays
+    /// parseable (at worst torn), so the campaign can resume once space is
+    /// freed.
+    JournalDiskFull {
+        /// Append retries performed before giving up.
+        retries: u32,
+    },
+    /// Writing a result artifact (result.json, metrics.json, a report file)
+    /// failed. The write is atomic (temp + rename), so the previous artifact
+    /// — if any — is still intact.
+    ArtifactWrite {
+        /// Path of the artifact that could not be written.
+        path: String,
+        /// Description of the underlying I/O failure.
+        message: String,
+    },
+    /// The preflight free-disk-space check failed before the campaign
+    /// started: running would likely abort mid-journal on `ENOSPC`.
+    DiskSpaceLow {
+        /// Free bytes available on the journal's filesystem.
+        free_bytes: u64,
+        /// The minimum the campaign insists on before starting.
+        needed_bytes: u64,
+    },
+}
+
+impl FiError {
+    /// `true` for failures of the *environment* the executor runs in — a
+    /// full or failing disk, an unwritable artifact — rather than of the
+    /// campaign or the system under test. Binaries map these to exit code 4
+    /// (see the exit-code contract in `permea-analysis`): the campaign state
+    /// is intact and resumable once the environment is fixed.
+    pub fn is_environment_failure(&self) -> bool {
+        matches!(
+            self,
+            FiError::Journal { .. }
+                | FiError::JournalDiskFull { .. }
+                | FiError::ArtifactWrite { .. }
+                | FiError::DiskSpaceLow { .. }
+        )
+    }
 }
 
 impl fmt::Display for FiError {
@@ -256,6 +301,29 @@ impl fmt::Display for FiError {
                 "journals disagree about coordinate {k}: both carry a record for it \
                  with different contents; refusing to merge campaigns that conflict"
             ),
+            FiError::JournalMergeEmpty => write!(
+                f,
+                "journal merge needs at least one input journal; none were given"
+            ),
+            FiError::JournalDiskFull { retries } => write!(
+                f,
+                "journal append failed with ENOSPC after {retries} retries: the disk \
+                 is full; free space and resume — journaled runs are preserved"
+            ),
+            FiError::ArtifactWrite { path, message } => write!(
+                f,
+                "cannot write artifact {path}: {message}; any previous version \
+                 is intact (writes are atomic)"
+            ),
+            FiError::DiskSpaceLow {
+                free_bytes,
+                needed_bytes,
+            } => write!(
+                f,
+                "only {free_bytes} bytes free on the journal filesystem, below the \
+                 {needed_bytes}-byte preflight minimum; refusing to start a campaign \
+                 that would abort on ENOSPC"
+            ),
         }
     }
 }
@@ -359,6 +427,49 @@ mod tests {
         let conflict = FiError::JournalMergeConflict { k: 42 };
         assert!(conflict.to_string().contains("42"));
         assert!(conflict.to_string().contains("merge"));
+        assert!(FiError::JournalMergeEmpty.to_string().contains("input"));
+        let disk_full = FiError::JournalDiskFull { retries: 3 };
+        assert!(disk_full.to_string().contains("3"));
+        assert!(disk_full.to_string().contains("ENOSPC"));
+        let artifact = FiError::ArtifactWrite {
+            path: "out/result.json".into(),
+            message: "permission denied".into(),
+        };
+        assert!(artifact.to_string().contains("out/result.json"));
+        assert!(artifact.to_string().contains("permission denied"));
+        let low = FiError::DiskSpaceLow {
+            free_bytes: 4096,
+            needed_bytes: 8_388_608,
+        };
+        assert!(low.to_string().contains("4096"));
+        assert!(low.to_string().contains("8388608"));
+    }
+
+    #[test]
+    fn environment_failures_are_classified() {
+        assert!(FiError::JournalDiskFull { retries: 3 }.is_environment_failure());
+        assert!(FiError::Journal {
+            message: "fsync failed".into()
+        }
+        .is_environment_failure());
+        assert!(FiError::ArtifactWrite {
+            path: "x".into(),
+            message: "y".into()
+        }
+        .is_environment_failure());
+        assert!(FiError::DiskSpaceLow {
+            free_bytes: 0,
+            needed_bytes: 1
+        }
+        .is_environment_failure());
+        assert!(!FiError::JournalMergeEmpty.is_environment_failure());
+        assert!(!FiError::WorkerPanicked.is_environment_failure());
+        assert!(!FiError::QuarantineThresholdExceeded {
+            quarantined: 1,
+            total: 2,
+            max_fraction: 0.1
+        }
+        .is_environment_failure());
     }
 
     #[test]

@@ -48,6 +48,7 @@
 //! resuming over it would quietly drop a run, so the journal is rejected
 //! with [`FiError::JournalCorrupt`] naming the first corrupt line.
 
+use crate::chaos::{ChaosInjector, IoFaultKind};
 use crate::error::FiError;
 use crate::results::{RunRecord, RunStats};
 use crate::spec::CampaignSpec;
@@ -57,6 +58,7 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Journal format version; bumped on any incompatible layout change.
 /// Version 2 added per-entry [`RunStats`]; version 3 added the per-record
@@ -307,9 +309,7 @@ pub struct MergeSummary {
 pub fn merge_journals(out: impl AsRef<Path>, inputs: &[PathBuf]) -> Result<MergeSummary, FiError> {
     let out = out.as_ref();
     if inputs.is_empty() {
-        return Err(FiError::Journal {
-            message: "journal merge needs at least one input".into(),
-        });
+        return Err(FiError::JournalMergeEmpty);
     }
 
     let mut reference: Option<JournalHeader> = None;
@@ -341,10 +341,16 @@ pub fn merge_journals(out: impl AsRef<Path>, inputs: &[PathBuf]) -> Result<Merge
             }
         }
     }
-    let header = reference.expect("at least one input was read");
+    let header = reference.ok_or(FiError::JournalMergeEmpty)?;
 
-    let file = File::create(out)
-        .map_err(|e| io_err(&format!("creating merged journal {}", out.display()), e))?;
+    // The merged journal is written atomically: everything goes to a
+    // sibling `*.tmp` which replaces `out` only after a successful fsync,
+    // so a crash mid-merge can never leave a torn journal at `out`.
+    let mut tmp = out.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = PathBuf::from(tmp);
+    let file = File::create(&tmp)
+        .map_err(|e| io_err(&format!("creating merged journal {}", tmp.display()), e))?;
     let mut writer = BufWriter::new(file);
     let header_json = serde_json::to_string(&header).map_err(|e| FiError::Journal {
         message: format!("serialising merged journal header: {e}"),
@@ -370,11 +376,128 @@ pub fn merge_journals(out: impl AsRef<Path>, inputs: &[PathBuf]) -> Result<Merge
         .get_ref()
         .sync_data()
         .map_err(|e| io_err("syncing merged journal", e))?;
+    drop(writer);
+    std::fs::rename(&tmp, out).map_err(|e| {
+        io_err(
+            &format!("renaming merged journal into {}", out.display()),
+            e,
+        )
+    })?;
     Ok(MergeSummary {
         inputs: inputs.len(),
         records,
         duplicates,
         torn_tails,
+    })
+}
+
+/// The result of a raw-line [`audit_journal`] pass: the executor's journal
+/// invariants, measured rather than assumed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalAudit {
+    /// Complete record lines in the file (before any de-duplication).
+    pub records: usize,
+    /// Distinct coordinates among them.
+    pub distinct: usize,
+    /// Lines whose coordinate appeared before with *identical* content.
+    /// A healthy journal has none: a coordinate is appended exactly once.
+    pub identical_duplicates: usize,
+    /// Coordinates that appear more than once with *different* content —
+    /// the one shape resume could silently mis-replay. Always fatal.
+    pub conflicts: Vec<u64>,
+    /// The file ended in a torn (incomplete) line — legitimate after a
+    /// crash mid-append; resume truncates it.
+    pub truncated_tail: bool,
+}
+
+impl JournalAudit {
+    /// `true` when the journal upholds the executor's append invariants:
+    /// no coordinate recorded twice, no conflicting records.
+    pub fn is_clean(&self) -> bool {
+        self.conflicts.is_empty() && self.identical_duplicates == 0
+    }
+}
+
+/// Audits a journal file line by line, without collapsing records into a
+/// map first the way [`read_journal`] does: every physical record line is
+/// checked, so double-appends and conflicting re-appends are visible. The
+/// chaos test-suite runs this after every injected fault schedule.
+///
+/// # Errors
+///
+/// Returns [`FiError::Journal`] when the file or its header is unreadable
+/// and [`FiError::JournalCorrupt`] on a mid-file CRC/parse failure.
+pub fn audit_journal(path: impl AsRef<Path>) -> Result<JournalAudit, FiError> {
+    let path = path.as_ref();
+    let data =
+        std::fs::read(path).map_err(|e| io_err(&format!("reading {}", path.display()), e))?;
+    let mut line_ranges: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    for (i, &b) in data.iter().enumerate() {
+        if b == b'\n' {
+            line_ranges.push((start, i));
+            start = i + 1;
+        }
+    }
+    let mut truncated_tail = start < data.len();
+
+    let mut ranges = line_ranges.into_iter();
+    let (hs, he) = ranges.next().ok_or(FiError::Journal {
+        message: format!("{} holds no complete header line", path.display()),
+    })?;
+    let header_line = std::str::from_utf8(&data[hs..he]).map_err(|_| FiError::Journal {
+        message: "journal header is not valid UTF-8".into(),
+    })?;
+    let _: JournalHeader = serde_json::from_str(header_line).map_err(|e| FiError::Journal {
+        message: format!("parsing journal header: {e}"),
+    })?;
+
+    let mut seen: HashMap<u64, JournalEntry> = HashMap::new();
+    let mut records = 0usize;
+    let mut identical_duplicates = 0usize;
+    let mut conflicts: Vec<u64> = Vec::new();
+    let mut corrupt_line: Option<usize> = None;
+    for (idx, (s, e)) in ranges.enumerate() {
+        match parse_entry_line(&data[s..e]) {
+            Some(entry) => {
+                if let Some(line) = corrupt_line {
+                    return Err(FiError::JournalCorrupt { line });
+                }
+                records += 1;
+                match seen.entry(entry.k) {
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(entry);
+                    }
+                    std::collections::hash_map::Entry::Occupied(slot) => {
+                        let first = slot.get();
+                        if first.record == entry.record
+                            && first.stats == entry.stats
+                            && first.attempts == entry.attempts
+                        {
+                            identical_duplicates += 1;
+                        } else {
+                            conflicts.push(entry.k);
+                        }
+                    }
+                }
+            }
+            None => {
+                // Line 1 is the header; entry `idx` sits on line idx+2.
+                corrupt_line.get_or_insert(idx + 2);
+            }
+        }
+    }
+    if corrupt_line.is_some() {
+        truncated_tail = true;
+    }
+    conflicts.sort_unstable();
+    conflicts.dedup();
+    Ok(JournalAudit {
+        records,
+        distinct: seen.len(),
+        identical_duplicates,
+        conflicts,
+        truncated_tail,
     })
 }
 
@@ -390,6 +513,21 @@ pub struct RunJournal {
     appends: Counter,
     fsyncs: Counter,
     fsync_micros: Histogram,
+    chaos: Option<Arc<ChaosInjector>>,
+}
+
+/// How many times an append retries a flush that failed with `ENOSPC`
+/// before aborting with [`FiError::JournalDiskFull`]. Retries are spaced by
+/// a short growing sleep — enough for log rotation or tmp-reaping to free
+/// space, short enough that a genuinely full disk fails within a second.
+pub const ENOSPC_APPEND_RETRIES: u32 = 3;
+
+fn is_enospc(e: &std::io::Error) -> bool {
+    e.raw_os_error() == Some(28) // ENOSPC on every unix we run on
+}
+
+fn enospc_error() -> std::io::Error {
+    std::io::Error::from_raw_os_error(28)
 }
 
 impl RunJournal {
@@ -425,6 +563,7 @@ impl RunJournal {
             appends: Counter::noop(),
             fsyncs: Counter::noop(),
             fsync_micros: Histogram::noop(),
+            chaos: None,
         })
     }
 
@@ -537,6 +676,7 @@ impl RunJournal {
                 appends: Counter::noop(),
                 fsyncs: Counter::noop(),
                 fsync_micros: Histogram::noop(),
+                chaos: None,
             },
             LoadedJournal {
                 recovered,
@@ -568,6 +708,14 @@ impl RunJournal {
         self.fsync_micros = obs.histogram("process.journal_fsync_micros");
     }
 
+    /// Attaches a chaos injector: scheduled `journal-write` / `journal-fsync`
+    /// faults from its plan are injected into [`RunJournal::append`] and
+    /// [`RunJournal::sync`]. Production journals never call this; with no
+    /// injector the hooks cost one `Option` branch.
+    pub fn set_chaos(&mut self, chaos: Arc<ChaosInjector>) {
+        self.chaos = Some(chaos);
+    }
+
     /// Appends one finished run with its execution statistics and the number
     /// of attempts it took (1 unless process isolation retried it). The line
     /// is CRC32-prefixed, flushed to the OS immediately and `fsync`ed every
@@ -590,11 +738,65 @@ impl RunJournal {
             stats: *stats,
         };
         let line = entry_line(&entry)?;
+        let fault = self.chaos.as_ref().and_then(|c| c.on_journal_append());
+        let mut retries: u32 = 0;
+        match fault {
+            Some(IoFaultKind::Eio) => {
+                return Err(io_err(
+                    "appending journal entry",
+                    std::io::Error::from_raw_os_error(5), // EIO
+                ));
+            }
+            Some(IoFaultKind::Short) => {
+                // A torn partial write: a prefix of the line reaches the
+                // file with no newline, then the device fails — exactly the
+                // tail shape `open_or_create` truncates away on resume.
+                let cut = line.len() / 2;
+                let _ = self
+                    .writer
+                    .write_all(&line.as_bytes()[..cut])
+                    .and_then(|()| self.writer.flush());
+                return Err(io_err("appending journal entry", enospc_error()));
+            }
+            Some(IoFaultKind::Enospc | IoFaultKind::EnospcOnce) => loop {
+                let still_failing = fault == Some(IoFaultKind::Enospc) || retries == 0;
+                if !still_failing {
+                    break;
+                }
+                if retries >= ENOSPC_APPEND_RETRIES {
+                    return Err(FiError::JournalDiskFull { retries });
+                }
+                retries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(5 * u64::from(retries)));
+            },
+            None => {}
+        }
+        // Stage the full line in the writer's buffer (memory only, unless
+        // the buffer spills), then make the flush durable under a bounded
+        // ENOSPC retry: transient pressure (log rotation, tmp reaping)
+        // often clears within milliseconds, while a genuinely full disk
+        // aborts with the typed, resumable `JournalDiskFull`.
         self.writer
             .write_all(line.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
-            .and_then(|()| self.writer.flush())
-            .map_err(|e| io_err("appending journal entry", e))?;
+            .map_err(|e| {
+                if is_enospc(&e) {
+                    FiError::JournalDiskFull { retries }
+                } else {
+                    io_err("appending journal entry", e)
+                }
+            })?;
+        loop {
+            match self.writer.flush() {
+                Ok(()) => break,
+                Err(e) if is_enospc(&e) && retries < ENOSPC_APPEND_RETRIES => {
+                    retries += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(5 * u64::from(retries)));
+                }
+                Err(e) if is_enospc(&e) => return Err(FiError::JournalDiskFull { retries }),
+                Err(e) => return Err(io_err("appending journal entry", e)),
+            }
+        }
         self.appends.inc();
         self.entries.insert(k, (entry.record, entry.stats));
         self.attempts.insert(k, attempts);
@@ -612,13 +814,43 @@ impl RunJournal {
     /// Returns [`FiError::Journal`] on I/O failure.
     pub fn sync(&mut self) -> Result<(), FiError> {
         let started = std::time::Instant::now();
+        let fault = self.chaos.as_ref().and_then(|c| c.on_journal_fsync());
+        let mut retries: u32 = 0;
+        match fault {
+            // fsync has no "short" shape; both map to a hard I/O error.
+            Some(IoFaultKind::Eio | IoFaultKind::Short) => {
+                return Err(io_err(
+                    "syncing journal",
+                    std::io::Error::from_raw_os_error(5), // EIO
+                ));
+            }
+            Some(IoFaultKind::Enospc | IoFaultKind::EnospcOnce) => loop {
+                let still_failing = fault == Some(IoFaultKind::Enospc) || retries == 0;
+                if !still_failing {
+                    break;
+                }
+                if retries >= ENOSPC_APPEND_RETRIES {
+                    return Err(FiError::JournalDiskFull { retries });
+                }
+                retries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(5 * u64::from(retries)));
+            },
+            None => {}
+        }
         self.writer
             .flush()
             .map_err(|e| io_err("flushing journal", e))?;
-        self.writer
-            .get_ref()
-            .sync_data()
-            .map_err(|e| io_err("syncing journal", e))?;
+        loop {
+            match self.writer.get_ref().sync_data() {
+                Ok(()) => break,
+                Err(e) if is_enospc(&e) && retries < ENOSPC_APPEND_RETRIES => {
+                    retries += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(5 * u64::from(retries)));
+                }
+                Err(e) if is_enospc(&e) => return Err(FiError::JournalDiskFull { retries }),
+                Err(e) => return Err(io_err("syncing journal", e)),
+            }
+        }
         self.fsyncs.inc();
         self.fsync_micros
             .observe(started.elapsed().as_micros() as u64);
@@ -741,6 +973,155 @@ mod tests {
         assert_eq!(loaded.recovered, 2);
         assert!(!loaded.truncated_tail);
         assert_eq!(j.entries()[&1], (record(1_500), stats(99)));
+    }
+
+    fn chaos(spec: &str) -> Arc<ChaosInjector> {
+        Arc::new(ChaosInjector::new(
+            crate::chaos::ChaosPlan::parse(spec).expect("chaos spec parses"),
+        ))
+    }
+
+    #[test]
+    fn injected_eio_surfaces_typed_and_leaves_tail_parseable() {
+        let path = tmp("chaos-eio");
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.set_chaos(chaos("journal-write=eio@1"));
+        j.append(0, &record(500), &stats(40), 1).unwrap();
+        let err = j.append(1, &record(1_000), &stats(41), 1).unwrap_err();
+        assert!(matches!(err, FiError::Journal { .. }));
+        j.sync().unwrap();
+        drop(j);
+
+        // The failed append wrote nothing: record 0 survives, the file is
+        // clean, and resuming appends exactly where the failure struck.
+        let (mut j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(loaded.recovered, 1);
+        assert!(!loaded.truncated_tail);
+        j.append(1, &record(1_000), &stats(41), 1).unwrap();
+        j.sync().unwrap();
+        drop(j);
+        let audit = audit_journal(&path).unwrap();
+        assert!(audit.is_clean());
+        assert_eq!(audit.records, 2);
+    }
+
+    #[test]
+    fn injected_short_write_tears_the_tail_and_resume_recovers() {
+        let path = tmp("chaos-short");
+        let _ = std::fs::remove_file(&path);
+        let clean = tmp("chaos-short-clean");
+        let _ = std::fs::remove_file(&clean);
+
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.set_chaos(chaos("journal-write=short@1"));
+        j.append(0, &record(500), &stats(40), 1).unwrap();
+        let err = j.append(1, &record(1_000), &stats(41), 1).unwrap_err();
+        assert!(matches!(err, FiError::Journal { .. }));
+        drop(j);
+
+        // The torn prefix is on disk; resume truncates it and re-appends.
+        let (mut j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(loaded.recovered, 1);
+        assert!(loaded.truncated_tail, "short write left a torn tail");
+        j.append(1, &record(1_000), &stats(41), 1).unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        // Byte-identical to a journal that never saw the fault.
+        let mut u = RunJournal::create(&clean, &header()).unwrap();
+        u.append(0, &record(500), &stats(40), 1).unwrap();
+        u.append(1, &record(1_000), &stats(41), 1).unwrap();
+        u.sync().unwrap();
+        drop(u);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&clean).unwrap()
+        );
+        assert!(audit_journal(&path).unwrap().is_clean());
+    }
+
+    #[test]
+    fn persistent_enospc_exhausts_retries_into_disk_full() {
+        let path = tmp("chaos-enospc");
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.set_chaos(chaos("journal-write=enospc@0"));
+        let err = j.append(0, &record(500), &stats(40), 1).unwrap_err();
+        assert!(
+            matches!(err, FiError::JournalDiskFull { retries } if retries == ENOSPC_APPEND_RETRIES)
+        );
+        // The journal is still usable once "space is freed" (the fault was
+        // scheduled only for append 0's index).
+        j.append(0, &record(500), &stats(40), 1).unwrap();
+        j.sync().unwrap();
+        drop(j);
+        let audit = audit_journal(&path).unwrap();
+        assert!(audit.is_clean());
+        assert_eq!(audit.records, 1);
+    }
+
+    #[test]
+    fn transient_enospc_is_absorbed_by_the_bounded_retry() {
+        let path = tmp("chaos-enospc-once");
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.set_chaos(chaos(
+            "journal-write=enospc-once@0,journal-fsync=enospc-once@0",
+        ));
+        j.append(0, &record(500), &stats(40), 1)
+            .expect("transient ENOSPC is retried away");
+        j.sync().expect("transient fsync ENOSPC is retried away");
+        drop(j);
+        let (j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(loaded.recovered, 1);
+        assert!(!loaded.truncated_tail);
+        drop(j);
+    }
+
+    #[test]
+    fn injected_fsync_eio_surfaces_typed() {
+        let path = tmp("chaos-fsync");
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.set_chaos(chaos("journal-fsync=eio@0"));
+        j.append(0, &record(500), &stats(40), 1).unwrap();
+        let err = j.sync().unwrap_err();
+        assert!(matches!(err, FiError::Journal { .. }));
+        // The data was flushed to the OS before fsync failed; a reopen
+        // still recovers it.
+        drop(j);
+        let (j, loaded) = RunJournal::open_or_create(&path, &header()).unwrap();
+        assert_eq!(loaded.recovered, 1);
+        drop(j);
+    }
+
+    #[test]
+    fn audit_flags_conflicting_records() {
+        let path = tmp("audit-conflict");
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.append(0, &record(500), &stats(40), 1).unwrap();
+        j.sync().unwrap();
+        drop(j);
+        // Forge a second, different record for the same coordinate.
+        {
+            use std::io::Write as _;
+            let entry = JournalEntry {
+                k: 0,
+                attempts: 1,
+                record: record(999),
+                stats: stats(41),
+            };
+            let line = entry_line(&entry).unwrap();
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "{line}").unwrap();
+        }
+        let audit = audit_journal(&path).unwrap();
+        assert!(!audit.is_clean());
+        assert_eq!(audit.conflicts, vec![0]);
+        assert_eq!(audit.records, 2);
+        assert_eq!(audit.distinct, 1);
     }
 
     #[test]
@@ -1074,8 +1455,9 @@ mod tests {
         let _ = std::fs::remove_file(&out);
         assert!(matches!(
             merge_journals(&out, &[]).unwrap_err(),
-            FiError::Journal { .. }
+            FiError::JournalMergeEmpty
         ));
+        assert!(!out.exists(), "no output is created for an empty merge");
     }
 
     #[test]

@@ -32,11 +32,16 @@
 //! wall-clock deadlines, crash classification
 //! ([`outcome::RunOutcome::Crashed`]) and bounded retry — see [`process`].
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the only exemption is the scoped
+// `allow(unsafe_code)` on `env`'s private libc FFI shims (statvfs,
+// setrlimit); everything else still refuses unsafe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod campaign;
+pub mod chaos;
+pub mod env;
 pub mod error;
 pub mod estimate;
 pub mod golden;
@@ -55,6 +60,8 @@ pub mod prelude {
     pub use crate::campaign::{
         Campaign, CampaignConfig, FnSystemFactory, GoldenBundle, SystemFactory,
     };
+    pub use crate::chaos::{ChaosInjector, ChaosPlan, IoFaultKind};
+    pub use crate::env::{atomic_write, atomic_write_chaos, free_disk_bytes};
     pub use crate::error::FiError;
     pub use crate::estimate::{
         estimate_matrix, render_target_summaries, target_summaries, wilson_interval, PairEstimate,
@@ -62,12 +69,12 @@ pub mod prelude {
     };
     pub use crate::golden::GoldenRun;
     pub use crate::journal::{
-        merge_journals, read_journal, JournalHeader, LoadedJournal, MergeSummary, ReadJournal,
-        RunJournal,
+        audit_journal, merge_journals, read_journal, JournalAudit, JournalHeader, LoadedJournal,
+        MergeSummary, ReadJournal, RunJournal,
     };
     pub use crate::latency::{latency_summaries, render_latencies, LatencySummary};
     pub use crate::model::ErrorModel;
-    pub use crate::outcome::{OutcomeTally, RunOutcome};
+    pub use crate::outcome::{CrashCause, OutcomeTally, RunOutcome};
     pub use crate::process::{run_worker, IsolationMode, ProcessIsolation, WorkerCommand};
     pub use crate::results::{CampaignResult, PairStat, RunRecord, RunStats};
     pub use crate::shard::Shard;

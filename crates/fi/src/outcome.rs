@@ -50,6 +50,42 @@ pub enum RunOutcome {
     },
 }
 
+/// Derived cause of a [`RunOutcome::Crashed`] worker death, classified from
+/// the recorded signal and exit code. Deliberately *not* serialised: the
+/// wire format of `RunOutcome` is pinned by the byte-identical-resume
+/// contract, so the cause is recomputed from the stored fields instead of
+/// stored alongside them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashCause {
+    /// SIGKILL that was *not* the supervisor's deadline (deadline kills are
+    /// classified [`RunOutcome::Hung`] first): the kernel OOM killer, an
+    /// `RLIMIT_AS`-driven kill, or an external `kill -9`.
+    OomKilled,
+    /// SIGXCPU: the worker exhausted its `RLIMIT_CPU` budget.
+    CpuLimit,
+    /// SIGABRT: `abort()` — including Rust's allocation-failure abort when
+    /// `RLIMIT_AS` refuses an allocation.
+    Aborted,
+    /// SIGSEGV or SIGBUS: a memory fault (e.g. a stack overflow hitting the
+    /// guard page).
+    MemoryFault,
+    /// Any other signal or a plain non-zero exit.
+    Other,
+}
+
+impl CrashCause {
+    /// A short human-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            CrashCause::OomKilled => "oom-killed",
+            CrashCause::CpuLimit => "cpu-limit",
+            CrashCause::Aborted => "aborted",
+            CrashCause::MemoryFault => "memory-fault",
+            CrashCause::Other => "other",
+        }
+    }
+}
+
 impl RunOutcome {
     /// `true` for [`RunOutcome::Completed`].
     pub fn is_completed(&self) -> bool {
@@ -60,6 +96,21 @@ impl RunOutcome {
     /// produced no usable comparison and is excluded from estimates.
     pub fn is_quarantined(&self) -> bool {
         !self.is_completed()
+    }
+
+    /// Classifies a [`RunOutcome::Crashed`] death into a [`CrashCause`];
+    /// `None` for every other outcome.
+    pub fn crash_cause(&self) -> Option<CrashCause> {
+        let RunOutcome::Crashed { signal, .. } = self else {
+            return None;
+        };
+        Some(match signal {
+            Some(9) => CrashCause::OomKilled,
+            Some(24) => CrashCause::CpuLimit,
+            Some(6) => CrashCause::Aborted,
+            Some(7) | Some(11) => CrashCause::MemoryFault,
+            _ => CrashCause::Other,
+        })
     }
 }
 
@@ -205,6 +256,30 @@ mod tests {
         assert_eq!(t.quarantined(), 3);
         assert_eq!(t.total(), 6);
         assert_eq!(t.quarantined_fraction(), 0.5);
+    }
+
+    #[test]
+    fn crash_causes_classify_from_signals() {
+        let crashed = |signal| RunOutcome::Crashed {
+            signal,
+            exit_code: None,
+        };
+        assert_eq!(crashed(Some(9)).crash_cause(), Some(CrashCause::OomKilled));
+        assert_eq!(crashed(Some(24)).crash_cause(), Some(CrashCause::CpuLimit));
+        assert_eq!(crashed(Some(6)).crash_cause(), Some(CrashCause::Aborted));
+        assert_eq!(
+            crashed(Some(11)).crash_cause(),
+            Some(CrashCause::MemoryFault)
+        );
+        assert_eq!(crashed(Some(15)).crash_cause(), Some(CrashCause::Other));
+        assert_eq!(crashed(None).crash_cause(), Some(CrashCause::Other));
+        assert_eq!(RunOutcome::Completed.crash_cause(), None);
+        assert_eq!(
+            RunOutcome::Hung { last_tick_ms: 0 }.crash_cause(),
+            None,
+            "deadline kills stay Hung, never a crash cause"
+        );
+        assert_eq!(CrashCause::OomKilled.label(), "oom-killed");
     }
 
     #[test]

@@ -233,12 +233,30 @@ pub struct ProcessIsolation {
     pub command: WorkerCommand,
     /// Opaque payload forwarded to the worker's factory builder.
     pub factory_payload: String,
+    /// Address-space cap applied inside each worker (`RLIMIT_AS`, bytes).
+    /// A run that leaks unboundedly is refused memory by the kernel —
+    /// aborting or being OOM-killed — instead of taking the host down; the
+    /// death is classified via
+    /// [`crate::outcome::RunOutcome::crash_cause`]. `None` (the default)
+    /// leaves the worker uncapped.
+    pub rlimit_as_bytes: Option<u64>,
+    /// CPU-time cap applied inside each worker (`RLIMIT_CPU`, seconds).
+    /// Backs up the wall-clock deadline for runs that spin without
+    /// blocking. `None` (the default) leaves the worker uncapped.
+    pub rlimit_cpu_secs: Option<u64>,
+    /// Extra full respawn-budget refills the supervisor may spend when the
+    /// pool collapses (the budget hits zero). A refill re-arms
+    /// `max_worker_respawns` fresh respawns; only after every wave is spent
+    /// does the crash-storm breaker trip and degrade the campaign to the
+    /// in-process executor. 0 keeps the historical single-budget behaviour.
+    pub pool_respawn_waves: u64,
 }
 
 impl ProcessIsolation {
     /// Pool defaults: one worker per core, a 30 s per-run deadline, a two
-    /// minute setup deadline, 50 ms backoff base, 16 respawns and 16
-    /// coordinates per dispatch frame.
+    /// minute setup deadline, 50 ms backoff base, 16 respawns (plus one
+    /// pool-collapse refill wave), 16 coordinates per dispatch frame, and
+    /// no worker resource limits.
     pub fn new(command: WorkerCommand, factory_payload: impl Into<String>) -> Self {
         ProcessIsolation {
             workers: 0,
@@ -249,7 +267,30 @@ impl ProcessIsolation {
             dispatch_batch: 16,
             command,
             factory_payload: factory_payload.into(),
+            rlimit_as_bytes: None,
+            rlimit_cpu_secs: None,
+            pool_respawn_waves: 1,
         }
+    }
+
+    /// The worker launch command with this pool's resource-limit
+    /// environment variables applied (see
+    /// [`crate::env::apply_rlimits_from_env`], which the worker calls on
+    /// entry). Identical to [`ProcessIsolation::command`] when no limit is
+    /// configured.
+    pub fn effective_command(&self) -> WorkerCommand {
+        let mut command = self.command.clone();
+        if let Some(bytes) = self.rlimit_as_bytes {
+            command
+                .envs
+                .push((crate::env::RLIMIT_AS_ENV.to_owned(), bytes.to_string()));
+        }
+        if let Some(secs) = self.rlimit_cpu_secs {
+            command
+                .envs
+                .push((crate::env::RLIMIT_CPU_ENV.to_owned(), secs.to_string()));
+        }
+        command
     }
 }
 
@@ -445,18 +486,31 @@ impl WorkerClient {
     /// Returns [`FiError::WorkerProcess`] only on serialisation failure;
     /// worker deaths and protocol violations come back as [`Attempt`]
     /// variants so the caller owns the retry policy.
-    pub(crate) fn run_batch(&mut self, ks: &[u64], timeout: Duration) -> Result<Attempt, FiError> {
+    pub(crate) fn run_batch(
+        &mut self,
+        ks: &[u64],
+        timeout: Duration,
+        chaos: Option<&crate::chaos::ChaosInjector>,
+    ) -> Result<Attempt, FiError> {
         let json = serde_json::to_string(&ToWorker::RunBatch { ks: ks.to_vec() }).map_err(|e| {
             FiError::WorkerProcess {
                 message: format!("serialising run command: {e}"),
             }
         })?;
         let frame = encode_frame(&json);
+        // An injected frame corruption truncates the dispatch mid-write —
+        // the shape a dying supervisor-side pipe produces. The worker
+        // blocks on the incomplete frame, the deadline kill reaps it, and
+        // the ordinary retry path re-dispatches the coordinates.
+        let send = match chaos {
+            Some(c) if c.corrupt_dispatch() => &frame[..frame.len() / 2],
+            _ => &frame[..],
+        };
         let deadline = timeout.saturating_mul(ks.len().clamp(1, 4096) as u32);
         self.deadline_fired.store(false, Ordering::SeqCst);
         if self
             .stdin
-            .write_all(&frame)
+            .write_all(send)
             .and_then(|()| self.stdin.flush())
             .is_err()
         {
@@ -490,6 +544,18 @@ impl WorkerClient {
                 Err(e) => Ok(Attempt::Protocol(format!("unparseable worker reply: {e}"))),
             },
             Ok(None) | Err(_) => Ok(self.collect_death()),
+        }
+    }
+
+    /// SIGKILLs the worker *without* marking the supervisor deadline — the
+    /// chaos harness's stand-in for an external `kill -9` (OOM killer,
+    /// operator). The next dispatch hits the dead pipe and the death is
+    /// classified [`Attempt::Died`] with `deadline: false`, i.e. a
+    /// [`crate::outcome::RunOutcome::Crashed`] on the retry path.
+    pub(crate) fn chaos_kill(&mut self) {
+        if let Ok(mut child) = self.child.lock() {
+            let _ = child.kill();
+            let _ = child.wait();
         }
     }
 
@@ -553,6 +619,11 @@ pub fn run_worker<F>(build_factory: F) -> u8
 where
     F: FnOnce(&str) -> Result<Box<dyn SystemFactory>, String>,
 {
+    // Apply the supervisor's resource caps (RLIMIT_AS / RLIMIT_CPU from
+    // the pool's environment variables) before touching any input: a
+    // leaking or spinning run dies inside this process's limits instead of
+    // destabilising the host.
+    let _ = crate::env::apply_rlimits_from_env();
     let stdin = std::io::stdin();
     let mut input = stdin.lock();
     let fail = |message: String| -> u8 {

@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Chaos-harness smoke test: a seeded fault plan (worker SIGKILL + journal
+# EIO + artifact-write failure) is injected into the quick study in both
+# isolation modes, and the recovered campaign is checked against the clean
+# baseline:
+#   * injected journal EIO aborts with the environment-failure exit code
+#     (4) and leaves a resumable journal,
+#   * an injected artifact-write failure also exits 4 and leaves no torn
+#     result.json behind,
+#   * a scheduled worker SIGKILL is absorbed by the retry path,
+#   * after resume, result.json is sha256-identical to the undisturbed
+#     baseline in both modes.
+#
+# Usage: scripts/chaos_smoke.sh [path-to-study-binary]
+
+set -euo pipefail
+
+STUDY="${1:-target/release/study}"
+if [[ ! -x "$STUDY" ]]; then
+    echo "building study binary..."
+    cargo build --release -p permea-analysis --bin study
+    STUDY=target/release/study
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+BASE="$WORK/baseline"
+INPROC="$WORK/inproc"
+PROC="$WORK/process"
+
+# Runs the study expecting a specific exit code; fails loudly otherwise.
+expect_exit() {
+    local want="$1" log="$2"
+    shift 2
+    local got=0
+    "$STUDY" "$@" >"$log" 2>&1 || got=$?
+    if [[ "$got" -ne "$want" ]]; then
+        echo "FAIL: expected exit $want, got $got for: $*" >&2
+        tail -n 40 "$log" >&2
+        exit 1
+    fi
+}
+
+echo "== clean baseline (chaos off) =="
+expect_exit 0 "$WORK/baseline.log" --quick --out "$BASE"
+BASELINE_SHA=$(sha256sum "$BASE/result.json" | cut -d' ' -f1)
+echo "baseline result.json sha256: $BASELINE_SHA"
+
+echo "== in-process: journal EIO aborts with exit 4 =="
+expect_exit 4 "$WORK/inproc-eio.log" \
+    --quick --journal --out "$INPROC" \
+    --chaos-plan "seed=7, journal-write=eio@5"
+grep -q "environment failure" "$WORK/inproc-eio.log"
+
+echo "== in-process: resume under an artifact-write failure exits 4 =="
+expect_exit 4 "$WORK/inproc-artifact.log" \
+    --quick --resume "$INPROC" \
+    --chaos-plan "seed=7, artifact-fail=result.json"
+if [[ -e "$INPROC/result.json" ]]; then
+    echo "FAIL: failed artifact write left a result.json behind" >&2
+    exit 1
+fi
+
+echo "== in-process: final resume recovers byte-identically =="
+expect_exit 0 "$WORK/inproc-resume.log" --quick --resume "$INPROC"
+echo "$BASELINE_SHA  $INPROC/result.json" | sha256sum -c - >/dev/null
+echo "in-process recovery matches the baseline"
+
+echo "== process mode: worker kill absorbed, journal EIO aborts with exit 4 =="
+expect_exit 4 "$WORK/proc-chaos.log" \
+    --quick --isolation process --workers 2 --journal --out "$PROC" \
+    --chaos-plan "seed=7, kill-run@3, journal-write=eio@20"
+grep -q "environment failure" "$WORK/proc-chaos.log"
+
+echo "== process mode: resume recovers byte-identically =="
+expect_exit 0 "$WORK/proc-resume.log" \
+    --quick --isolation process --workers 2 --resume "$PROC"
+echo "$BASELINE_SHA  $PROC/result.json" | sha256sum -c - >/dev/null
+echo "process-mode recovery matches the baseline"
+
+echo "PASS: chaos smoke — EIO/artifact failures exit 4 and stay resumable," \
+     "worker kills are absorbed, and recovery is sha256-identical in both modes"
