@@ -13,6 +13,9 @@
 //!   --progress         live progress line (runs/s, quarantine, ETA)
 //!   --metrics-out FILE write campaign metrics as JSON
 //!   --events FILE      append every telemetry event as JSONL
+//!   --html-out FILE    write the self-contained explorer page (outcome
+//!                      tables, metrics digest, and — with --events —
+//!                      convergence curves and the campaign timeline)
 //!   --isolation MODE   process | in-process (default): where runs execute
 //!   --workers N        worker processes / supervisor threads (0 = cores)
 //!   --run-timeout MS   hard per-run wall-clock deadline (process mode)
@@ -72,7 +75,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: campaign --example-spec | campaign --spec FILE \
          [--grid MxV] [--horizon MS] [--seed S] [--out FILE] \
-         [--progress] [--metrics-out FILE] [--events FILE] \
+         [--progress] [--metrics-out FILE] [--events FILE] [--html-out FILE] \
          [--isolation process|in-process] [--workers N] [--run-timeout MS] \
          [--max-retries N] [--adaptive] [--target-ci W] [--batch-size N] \
          [--shard I/N] [--chaos-plan SPEC]\n\
@@ -96,6 +99,7 @@ fn main() -> ExitCode {
     let mut out_path = None;
     let mut metrics_out = None;
     let mut events_out = None;
+    let mut html_out: Option<String> = None;
     let mut progress = false;
     let mut grid = (3usize, 3usize);
     let mut horizon = 9_000u64;
@@ -123,6 +127,7 @@ fn main() -> ExitCode {
             "--out" => out_path = args.next(),
             "--metrics-out" => metrics_out = args.next(),
             "--events" => events_out = args.next(),
+            "--html-out" => html_out = args.next(),
             "--progress" => progress = true,
             "--grid" => match args.next().and_then(|v| {
                 let (m, vel) = v.split_once('x')?;
@@ -361,6 +366,33 @@ fn main() -> ExitCode {
             }
             obs.info(format!("metrics written to {metrics_path}"));
         }
+    }
+    if let Some(html_path) = html_out {
+        use permea_explorer::{render_html, ExplorerData, HtmlOptions, TimelineData};
+        obs.flush();
+        let mut data = ExplorerData::new("permea campaign explorer").with_campaign(&result);
+        if let Some(log) = events_out
+            .as_ref()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+        {
+            data = data.with_timeline(TimelineData::parse_logs([log.as_str()]));
+        }
+        if let Some(v) = obs
+            .snapshot()
+            .and_then(|snap| serde_json::from_str(&snap.to_json_pretty()).ok())
+        {
+            data = data.with_metrics(v);
+        }
+        let html = render_html(&data, &[], &HtmlOptions::default());
+        if let Err(e) = permea_fi::env::atomic_write_chaos(
+            std::path::Path::new(&html_path),
+            html.as_bytes(),
+            chaos.as_deref(),
+        ) {
+            obs.error(format!("cannot write {html_path}: {e}"));
+            return ExitCode::from(exit::classify_error(&e));
+        }
+        obs.info(format!("explorer page written to {html_path}"));
     }
     ExitCode::SUCCESS
 }

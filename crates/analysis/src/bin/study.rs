@@ -5,7 +5,8 @@
 //! study [--quick | --full | --smoke] [--out DIR] [--threads N] [--seed S]
 //!       [--replay] [--compare-paths] [--journal] [--resume DIR]
 //!       [--progress] [--metrics-out PATH] [--events PATH]
-//!       [--fsync-interval N] [--isolation process|in-process]
+//!       [--html-out PATH] [--fsync-interval N]
+//!       [--isolation process|in-process]
 //!       [--workers N] [--run-timeout MS] [--max-retries N]
 //!       [--max-quarantined F] [--adaptive] [--target-ci W]
 //!       [--batch-size N] [--chaos-plan SPEC]
@@ -27,6 +28,13 @@
 //! while the `process` section describes this invocation (wall-clock,
 //! work actually executed here). `--fsync-interval N` tunes journal
 //! fsync batching (default 64, must be > 0).
+//!
+//! `--html-out PATH` additionally writes the self-contained interactive
+//! explorer page (see `permea-explorer`): permeability graph heatmap,
+//! backtrack path explorer, client-side what-if containment panel, and —
+//! when `--events` is also given — convergence curves and the campaign
+//! timeline stitched from the event log. One file, no network, opens from
+//! `file://`.
 //!
 //! `--journal` makes the campaign durable: every finished injection run is
 //! appended to `DIR/journal.jsonl` as write-ahead state. `--resume DIR`
@@ -146,7 +154,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: study [--quick | --full | --smoke] [--out DIR] [--threads N] [--seed S] \
          [--replay] [--compare-paths] [--journal] [--resume DIR] \
-         [--progress] [--metrics-out PATH] [--events PATH] [--fsync-interval N] \
+         [--progress] [--metrics-out PATH] [--events PATH] [--html-out PATH] \
+         [--fsync-interval N] \
          [--isolation process|in-process] [--workers N] [--run-timeout MS] \
          [--max-retries N] [--max-quarantined F] [--adaptive] [--target-ci W] \
          [--batch-size N] [--shard I/N] [--chaos-plan SPEC]\n\
@@ -224,6 +233,7 @@ fn main() -> ExitCode {
     let mut progress = false;
     let mut metrics_out: Option<PathBuf> = None;
     let mut events_out: Option<PathBuf> = None;
+    let mut html_out: Option<PathBuf> = None;
     let mut fsync_interval: Option<usize> = None;
     let mut process_isolation = false;
     let mut workers = 0usize;
@@ -259,6 +269,10 @@ fn main() -> ExitCode {
             },
             "--events" => match args.next() {
                 Some(p) => events_out = Some(PathBuf::from(p)),
+                None => usage(),
+            },
+            "--html-out" => match args.next() {
+                Some(p) => html_out = Some(PathBuf::from(p)),
                 None => usage(),
             },
             "--fsync-interval" => match args.next().and_then(|v| v.parse().ok()) {
@@ -603,6 +617,37 @@ fn main() -> ExitCode {
             obs.error(format!("failed to write {}: {e}", path.display()));
             return ExitCode::from(exit::classify_error(&e));
         }
+    }
+    // The interactive explorer page: one self-contained HTML file carrying
+    // the analysis, the campaign outcome, the raw matrix (byte-identical to
+    // matrix.json) and — when --events was given — the stitched timeline.
+    if let Some(path) = &html_out {
+        // Flush the JSONL sink so the re-read log includes every event
+        // emitted so far (the analysis-phase spans land after this, which
+        // is fine — the timeline covers the campaign).
+        obs.flush();
+        let logs: Vec<String> = events_out
+            .iter()
+            .filter_map(|p| std::fs::read_to_string(p).ok())
+            .collect();
+        let metrics_value = metrics
+            .as_ref()
+            .and_then(|snap| serde_json::from_str(&snap.to_json_pretty()).ok());
+        let html = permea_analysis::explorer::explorer_html(
+            &output,
+            "permea study explorer",
+            metrics_value,
+            &logs,
+        );
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        if let Err(e) = permea_fi::env::atomic_write_chaos(path, html.as_bytes(), chaos.as_deref())
+        {
+            obs.error(format!("failed to write {}: {e}", path.display()));
+            return ExitCode::from(exit::classify_error(&e));
+        }
+        obs.info(format!("explorer page written to {}", path.display()));
     }
     obs.info(format!("artifacts written to {}", out_dir.display()));
     if let Some(chaos) = &chaos {

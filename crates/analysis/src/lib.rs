@@ -13,7 +13,9 @@
 //! * [`checks`] — machine-checkable versions of observations OB1–OB6 and
 //!   the path census, comparing this reproduction's *shape* against the
 //!   paper,
-//! * [`report`] — writes everything to an artifact directory.
+//! * [`report`] — writes everything to an artifact directory,
+//! * [`explorer`] — assembles the self-contained interactive
+//!   `explorer.html` page (`--html-out`).
 //!
 //! The `study` binary (`cargo run -p permea-analysis --bin study`) runs the
 //! whole pipeline.
@@ -23,6 +25,7 @@
 
 pub mod checks;
 pub mod exit;
+pub mod explorer;
 pub mod factory;
 pub mod figures;
 pub mod fivemod;

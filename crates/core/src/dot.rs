@@ -250,6 +250,53 @@ mod tests {
         assert!(ascii.contains("[system output]"));
     }
 
+    /// Byte-pins the DOT emitters: artifacts (`fig9_graph.dot`,
+    /// `fig10_backtrack_toc2.dot`) must be byte-diffable across runs, so
+    /// node and edge ordering — module order, then per-module (input,
+    /// output) arc order; tree nodes in build order — is part of the
+    /// contract, not an accident of iteration.
+    #[test]
+    fn dot_output_is_byte_pinned() {
+        let g = graph();
+        assert_eq!(
+            graph_to_dot(&g),
+            "digraph \"dot\" {\n\
+             \x20 rankdir=LR;\n\
+             \x20 node [shape=box];\n\
+             \x20 m0 [label=\"A\"];\n\
+             \x20 m1 [label=\"C\"];\n\
+             \x20 in0 [label=\"ext\", shape=plaintext];\n\
+             \x20 out2 [label=\"out\", shape=plaintext];\n\
+             \x20 in0 -> m0 [label=\"P^A_{1,1}=0.500\"];\n\
+             \x20 m0 -> m1 [label=\"P^C_{1,1}=0.000\", style=dashed];\n\
+             \x20 m1 -> out2 [style=bold];\n\
+             }\n"
+        );
+        let out = g.topology().signal_by_name("out").unwrap();
+        let tree = BacktrackTree::build(&g, out).unwrap();
+        assert_eq!(
+            backtrack_to_dot(&g, &tree),
+            "digraph \"backtrack_out\" {\n\
+             \x20 n0 [label=\"out\", shape=doubleoctagon];\n\
+             \x20 n1 [label=\"s\"];\n\
+             \x20 n0 -> n1 [label=\"P^C_{1,1}=0.000\"];\n\
+             \x20 n2 [label=\"ext\", shape=box];\n\
+             \x20 n1 -> n2 [label=\"P^A_{1,1}=0.500\"];\n\
+             }\n"
+        );
+        // Rebuilding from scratch (fresh topology, fresh matrix, fresh
+        // trees) reproduces the identical bytes.
+        let g2 = graph();
+        assert_eq!(graph_to_dot(&g), graph_to_dot(&g2));
+        let tree2 = BacktrackTree::build(&g2, out).unwrap();
+        assert_eq!(backtrack_to_dot(&g, &tree), backtrack_to_dot(&g2, &tree2));
+        let ext = g.topology().signal_by_name("ext").unwrap();
+        assert_eq!(
+            trace_to_dot(&g, &TraceTree::build(&g, ext).unwrap()),
+            trace_to_dot(&g2, &TraceTree::build(&g2, ext).unwrap())
+        );
+    }
+
     #[test]
     fn tree_dot_renders_every_node_once() {
         let g = graph();

@@ -264,6 +264,114 @@ mod tests {
     }
 
     #[test]
+    fn empty_matrix_yields_zero_effects_and_id_ordered_ranking() {
+        // Edge case the JS port must reproduce: an all-zero ("empty")
+        // matrix has zero end-to-end estimates everywhere, every
+        // containment is a no-op, and the ranking degenerates to pure
+        // tie-breaking — ascending module id.
+        let (t, _) = fixture();
+        let pm = PermeabilityMatrix::zeroed(&t);
+        let a = t.module_by_name("A").unwrap();
+        let effects = containment_effects(
+            &t,
+            &pm,
+            Containment {
+                module: a,
+                factor: 0.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(effects.len(), 1);
+        assert_eq!(effects[0].before, 0.0);
+        assert_eq!(effects[0].after, 0.0);
+        assert_eq!(effects[0].reduction(), 0.0, "0/0 reduction pins to 0");
+        let ranked = rank_containment_candidates(&t, &pm, 0.0).unwrap();
+        assert_eq!(ranked.len(), 2);
+        for (i, &(m, total)) in ranked.iter().enumerate() {
+            assert_eq!(total, 0.0);
+            assert_eq!(m.index(), i, "all-tie ranking must be ascending id");
+        }
+    }
+
+    #[test]
+    fn containing_a_zero_permeability_module_changes_nothing() {
+        // A "detector covering zero arcs": module C's permeabilities are
+        // all zero, so containing it cannot move any estimate and it must
+        // rank strictly last.
+        let mut b = TopologyBuilder::new("zero");
+        let e1 = b.external("e1");
+        let e2 = b.external("e2");
+        let a = b.add_module("A");
+        b.bind_input(a, e1);
+        let sa = b.add_output(a, "sa");
+        let c = b.add_module("C");
+        b.bind_input(c, e2);
+        let sc = b.add_output(c, "sc");
+        let d = b.add_module("D");
+        b.bind_input(d, sa);
+        b.bind_input(d, sc);
+        let out = b.add_output(d, "out");
+        b.mark_system_output(out);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        pm.set(t.module_by_name("A").unwrap(), 0, 0, 0.9).unwrap();
+        pm.set(t.module_by_name("D").unwrap(), 0, 0, 0.8).unwrap();
+        pm.set(t.module_by_name("D").unwrap(), 1, 0, 0.8).unwrap();
+        let c_id = t.module_by_name("C").unwrap();
+        let effects = containment_effects(
+            &t,
+            &pm,
+            Containment {
+                module: c_id,
+                factor: 0.0,
+            },
+        )
+        .unwrap();
+        for e in &effects {
+            assert_eq!(e.before, e.after, "zero-arc module moved an estimate");
+        }
+        let ranked = rank_containment_candidates(&t, &pm, 0.0).unwrap();
+        let last = ranked.last().unwrap();
+        assert_eq!(last.0, c_id);
+        assert_eq!(last.1, 0.0);
+    }
+
+    #[test]
+    fn ranking_tie_break_is_ascending_module_id() {
+        // Two perfectly symmetric parallel chains: A/B and C/D tie
+        // pairwise. The pinned order — descending total, ties by
+        // ascending module id — is the contract the explorer's JS port
+        // must reproduce exactly.
+        let mut b = TopologyBuilder::new("sym");
+        let e1 = b.external("e1");
+        let e2 = b.external("e2");
+        let a = b.add_module("A");
+        b.bind_input(a, e1);
+        let sa = b.add_output(a, "sa");
+        let c = b.add_module("C");
+        b.bind_input(c, e2);
+        let sc = b.add_output(c, "sc");
+        let outm1 = b.add_module("OUT1");
+        b.bind_input(outm1, sa);
+        let o1 = b.add_output(outm1, "o1");
+        b.mark_system_output(o1);
+        let outm2 = b.add_module("OUT2");
+        b.bind_input(outm2, sc);
+        let o2 = b.add_output(outm2, "o2");
+        b.mark_system_output(o2);
+        let t = b.build().unwrap();
+        let mut pm = PermeabilityMatrix::zeroed(&t);
+        for name in ["A", "C", "OUT1", "OUT2"] {
+            pm.set(t.module_by_name(name).unwrap(), 0, 0, 0.6).unwrap();
+        }
+        let ranked = rank_containment_candidates(&t, &pm, 0.5).unwrap();
+        let names: Vec<&str> = ranked.iter().map(|&(m, _)| t.module_name(m)).collect();
+        assert_eq!(names, ["A", "C", "OUT1", "OUT2"]);
+        assert!((ranked[0].1 - ranked[1].1).abs() < 1e-15, "A ties C");
+        assert!((ranked[2].1 - ranked[3].1).abs() < 1e-15, "OUT1 ties OUT2");
+    }
+
+    #[test]
     #[should_panic(expected = "factor must be in")]
     fn bad_factor_panics() {
         let (t, pm) = fixture();

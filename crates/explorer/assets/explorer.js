@@ -1,0 +1,897 @@
+/* permea explorer — hand-written, dependency-free.
+ *
+ * Runs in two modes:
+ *  - inlined in explorer.html: PermeaExplorer.boot(document) renders the
+ *    interactive panels from the embedded JSON;
+ *  - loaded under Node (scripts/explorer_smoke.sh): the pure compute core
+ *    is exported so CI can cross-check the JavaScript port of
+ *    permea_core::whatif against the Rust-computed fixture.
+ *
+ * The compute core is a line-faithful port of the Rust analyses. Operation
+ * order matters: path weights multiply arc weights root-to-leaf, end-to-end
+ * estimates fold survival factors in path enumeration order, and ranking
+ * totals sum effects in (output-major, input-minor) order — exactly as the
+ * Rust does — so both sides produce bit-identical doubles.
+ */
+'use strict';
+
+var PermeaExplorer = (function () {
+  // ---------------------------------------------------------------------
+  // Compute core (port of permea_core: backtrack, paths, whatif)
+  // ---------------------------------------------------------------------
+
+  /* Arc weights as a plain array, with one module's weights scaled by a
+   * containment factor (port of whatif::contained_matrix + graph rebuild). */
+  function scaledWeights(system, moduleIdx, factor) {
+    var out = new Array(system.arcs.length);
+    for (var i = 0; i < system.arcs.length; i++) {
+      var a = system.arcs[i];
+      out[i] = a.module === moduleIdx ? a.weight * factor : a.weight;
+    }
+    return out;
+  }
+
+  /* Builds the backtrack tree rooted at `root` and returns its root-to-leaf
+   * paths (port of BacktrackTree::build + BacktrackTree::paths; same arena
+   * order, same single-pass feedback cut, same leaf enumeration order). */
+  function backtrackPaths(system, weights, root) {
+    var nodes = [{ signal: root, arcFrom: null, kind: 'root', parent: null, children: [], depth: 0 }];
+    var onPath = [root];
+    function expand(idx) {
+      var sig = nodes[idx].signal;
+      var source = system.signals[sig].source;
+      if (source === null) {
+        if (nodes[idx].kind !== 'root') nodes[idx].kind = 'system_input';
+        return;
+      }
+      var pm = source[0];
+      var pout = source[1];
+      for (var ai = 0; ai < system.arcs.length; ai++) {
+        var a = system.arcs[ai];
+        if (a.output_signal !== sig || a.module !== pm || a.output !== pout) continue;
+        var child = a.input_signal;
+        var feedback = onPath.indexOf(child) !== -1;
+        var ci = nodes.length;
+        nodes.push({
+          signal: child,
+          arcFrom: ai,
+          kind: feedback ? 'feedback' : 'internal',
+          parent: idx,
+          children: [],
+          depth: nodes[idx].depth + 1,
+        });
+        nodes[idx].children.push(ci);
+        if (!feedback) {
+          onPath.push(child);
+          expand(ci);
+          onPath.pop();
+        }
+      }
+    }
+    expand(0);
+    var paths = [];
+    for (var i = 0; i < nodes.length; i++) {
+      var n = nodes[i];
+      var isLeaf = n.children.length === 0;
+      if (!isLeaf) continue;
+      var signals = [];
+      var arcs = [];
+      var cur = i;
+      while (cur !== null) {
+        var node = nodes[cur];
+        signals.push(node.signal);
+        if (node.arcFrom !== null) arcs.push(node.arcFrom);
+        cur = node.parent;
+      }
+      signals.reverse();
+      arcs.reverse();
+      var w = 1.0;
+      for (var k = 0; k < arcs.length; k++) w *= weights[arcs[k]];
+      paths.push({
+        signals: signals,
+        arcs: arcs,
+        weight: w,
+        terminal: n.kind === 'feedback' ? 'feedback' : 'system_input',
+      });
+    }
+    return paths;
+  }
+
+  /* 1 - prod(1 - w_p) over paths whose leaf is `from`, in path order
+   * (port of PathSet::end_to_end_estimate). */
+  function endToEnd(paths, from) {
+    var survive = 1.0;
+    for (var i = 0; i < paths.length; i++) {
+      var p = paths[i];
+      if (p.signals[p.signals.length - 1] === from) survive *= 1.0 - p.weight;
+    }
+    return 1.0 - survive;
+  }
+
+  /* Port of whatif::containment_effects: per (system output, system input)
+   * end-to-end estimates before and after containing one module. */
+  function containmentEffects(system, moduleIdx, factor) {
+    var before = scaledWeights(system, -1, 1.0);
+    var after = scaledWeights(system, moduleIdx, factor);
+    var out = [];
+    for (var o = 0; o < system.system_outputs.length; o++) {
+      var output = system.system_outputs[o];
+      var beforePaths = backtrackPaths(system, before, output);
+      var afterPaths = backtrackPaths(system, after, output);
+      for (var s = 0; s < system.system_inputs.length; s++) {
+        var input = system.system_inputs[s];
+        out.push({
+          input: input,
+          output: output,
+          before: endToEnd(beforePaths, input),
+          after: endToEnd(afterPaths, input),
+        });
+      }
+    }
+    return out;
+  }
+
+  /* Port of whatif::rank_containment_candidates: descending total blocked
+   * propagation, ties broken by ascending module index. */
+  function rankContainment(system, factor) {
+    var ranked = [];
+    for (var m = 0; m < system.modules.length; m++) {
+      var fx = containmentEffects(system, m, factor);
+      var total = 0.0;
+      for (var i = 0; i < fx.length; i++) total += fx[i].before - fx[i].after;
+      ranked.push({ module: m, total: total });
+    }
+    ranked.sort(function (a, b) {
+      return b.total - a.total || a.module - b.module;
+    });
+    return ranked;
+  }
+
+  /* Recomputes the embedded Rust what-if fixture with the JS port and
+   * reports the worst disagreement. A faithful port yields maxAbsDiff 0
+   * and an identical ranking order. */
+  function selfCheck(data) {
+    if (!data.system || !data.whatif) {
+      return { ok: true, skipped: true, maxAbsDiff: 0, rankingMatches: true };
+    }
+    var system = data.system;
+    var factor = data.whatif.factor;
+    var maxAbsDiff = 0;
+    var shapeOk = true;
+    for (var e = 0; e < data.whatif.effects.length; e++) {
+      var fixture = data.whatif.effects[e];
+      var fx = containmentEffects(system, fixture.module, factor);
+      if (fx.length !== fixture.effects.length) {
+        shapeOk = false;
+        continue;
+      }
+      var total = 0.0;
+      for (var i = 0; i < fx.length; i++) {
+        var got = fx[i];
+        var want = fixture.effects[i];
+        if (got.input !== want.input || got.output !== want.output) shapeOk = false;
+        maxAbsDiff = Math.max(
+          maxAbsDiff,
+          Math.abs(got.before - want.before),
+          Math.abs(got.after - want.after)
+        );
+        total += got.before - got.after;
+      }
+      maxAbsDiff = Math.max(maxAbsDiff, Math.abs(total - fixture.total));
+    }
+    var rank = rankContainment(system, factor);
+    var rankingMatches = rank.length === data.whatif.ranking.length;
+    for (var r = 0; rankingMatches && r < rank.length; r++) {
+      if (rank[r].module !== data.whatif.ranking[r][0]) rankingMatches = false;
+      else maxAbsDiff = Math.max(maxAbsDiff, Math.abs(rank[r].total - data.whatif.ranking[r][1]));
+    }
+    return {
+      ok: shapeOk && rankingMatches && maxAbsDiff === 0,
+      skipped: false,
+      maxAbsDiff: maxAbsDiff,
+      rankingMatches: rankingMatches && shapeOk,
+    };
+  }
+
+  // ---------------------------------------------------------------------
+  // Small DOM + formatting helpers
+  // ---------------------------------------------------------------------
+
+  var SVG_NS = 'http://www.w3.org/2000/svg';
+
+  function el(doc, tag, attrs, text) {
+    var node = doc.createElement(tag);
+    if (attrs) for (var k in attrs) node.setAttribute(k, attrs[k]);
+    if (text !== undefined) node.textContent = text;
+    return node;
+  }
+
+  function svgEl(doc, tag, attrs, text) {
+    var node = doc.createElementNS(SVG_NS, tag);
+    if (attrs) for (var k in attrs) node.setAttribute(k, attrs[k]);
+    if (text !== undefined) node.textContent = text;
+    return node;
+  }
+
+  function fmt(x, digits) {
+    if (x === null || x === undefined || typeof x !== 'number' || !isFinite(x)) return '—';
+    return x.toFixed(digits === undefined ? 4 : digits);
+  }
+
+  function fmtMicros(us) {
+    if (us < 1e3) return us + 'µs';
+    if (us < 1e6) return (us / 1e3).toFixed(1) + 'ms';
+    return (us / 1e6).toFixed(1) + 's';
+  }
+
+  /* Heat colour for a permeability in [0, 1]: cold steel to hot red. */
+  function heat(w) {
+    var t = Math.max(0, Math.min(1, w));
+    var hue = 210 - 210 * t;
+    var light = 72 - 34 * t;
+    return 'hsl(' + hue.toFixed(0) + ',80%,' + light.toFixed(0) + '%)';
+  }
+
+  function panel(doc, root, title, cls) {
+    var section = el(doc, 'section', { class: 'panel ' + (cls || '') });
+    section.appendChild(el(doc, 'h2', null, title));
+    root.appendChild(section);
+    return section;
+  }
+
+  // ---------------------------------------------------------------------
+  // Graph panel: the permeability graph as a layered SVG heatmap
+  // ---------------------------------------------------------------------
+
+  /* Module layer = longest producer chain feeding it (cycle-safe). */
+  function moduleLayers(system) {
+    var depth = new Array(system.modules.length).fill(0);
+    for (var round = 0; round < system.modules.length + 1; round++) {
+      var changed = false;
+      for (var m = 0; m < system.modules.length; m++) {
+        var d = 0;
+        var inputs = system.modules[m].inputs;
+        for (var i = 0; i < inputs.length; i++) {
+          var source = system.signals[inputs[i]].source;
+          if (source !== null && depth[source[0]] + 1 > d && depth[source[0]] + 1 <= system.modules.length) {
+            d = depth[source[0]] + 1;
+          }
+        }
+        if (d > depth[m]) {
+          depth[m] = d;
+          changed = true;
+        }
+      }
+      if (!changed) break;
+    }
+    return depth;
+  }
+
+  function renderGraph(doc, root, data, state) {
+    var system = data.system;
+    var section = panel(doc, root, 'Permeability graph', 'graph-panel');
+    section.appendChild(
+      el(doc, 'p', { class: 'hint' },
+        'Arcs run through a module from a bound input signal to a produced output; ' +
+        'colour and width encode P^M_{i,k}. Click an arc to filter the path explorer.')
+    );
+
+    var layers = moduleLayers(system);
+    var maxLayer = 0;
+    for (var i = 0; i < layers.length; i++) maxLayer = Math.max(maxLayer, layers[i]);
+
+    // Node positions: external signals in column 0, each module in its
+    // layer column, signals sit at their producer's column + 0.5.
+    var colW = 170;
+    var rowH = 64;
+    var pad = 40;
+    var perColumn = [];
+    function place(col) {
+      perColumn[col] = (perColumn[col] || 0) + 1;
+      return { x: pad + col * colW, y: pad + (perColumn[col] - 1) * rowH };
+    }
+    var signalPos = new Array(system.signals.length);
+    var modulePos = new Array(system.modules.length);
+    var s;
+    for (s = 0; s < system.signals.length; s++) {
+      if (system.signals[s].source === null) signalPos[s] = place(0);
+    }
+    for (var layer = 1; layer <= maxLayer + 1; layer++) {
+      for (var m = 0; m < system.modules.length; m++) {
+        if (layers[m] + 1 !== layer) continue;
+        modulePos[m] = place(2 * layer - 1);
+        var outs = system.modules[m].outputs;
+        for (var o = 0; o < outs.length; o++) signalPos[outs[o]] = place(2 * layer);
+      }
+    }
+    var rows = 1;
+    for (i = 0; i < perColumn.length; i++) if (perColumn[i]) rows = Math.max(rows, perColumn[i]);
+    var width = pad * 2 + (2 * (maxLayer + 1) + 1) * colW;
+    var height = pad * 2 + rows * rowH;
+
+    var svg = svgEl(doc, 'svg', {
+      viewBox: '0 0 ' + width + ' ' + height,
+      class: 'graph-svg',
+      role: 'img',
+    });
+
+    // Arcs first (under the nodes): input_signal -> output_signal.
+    for (i = 0; i < system.arcs.length; i++) {
+      var a = system.arcs[i];
+      var p0 = signalPos[a.input_signal];
+      var p1 = signalPos[a.output_signal];
+      if (!p0 || !p1) continue;
+      var mid = modulePos[a.module] || { x: (p0.x + p1.x) / 2, y: (p0.y + p1.y) / 2 };
+      var d =
+        'M' + p0.x + ' ' + p0.y +
+        ' Q' + mid.x + ' ' + mid.y + ' ' + p1.x + ' ' + p1.y;
+      var path = svgEl(doc, 'path', {
+        d: d,
+        fill: 'none',
+        stroke: heat(a.weight),
+        'stroke-width': (1 + 5 * a.weight).toFixed(2),
+        'stroke-dasharray': a.weight === 0 ? '4 4' : 'none',
+        class: 'arc',
+        'data-arc': i,
+      });
+      var label = system.modules[a.module].name + ': ' +
+        system.signals[a.input_signal].name + ' -> ' +
+        system.signals[a.output_signal].name + '  P=' + fmt(a.weight, 4);
+      path.appendChild(svgEl(doc, 'title', null, label));
+      (function (arcIdx) {
+        path.addEventListener('click', function () {
+          state.selectArc(arcIdx);
+        });
+      })(i);
+      svg.appendChild(path);
+    }
+
+    // Module boxes.
+    for (var mi = 0; mi < system.modules.length; mi++) {
+      var mp = modulePos[mi];
+      if (!mp) continue;
+      var g = svgEl(doc, 'g', { class: 'module' });
+      g.appendChild(svgEl(doc, 'rect', {
+        x: mp.x - 44, y: mp.y - 16, width: 88, height: 32, rx: 6,
+      }));
+      g.appendChild(svgEl(doc, 'text', { x: mp.x, y: mp.y + 5 }, system.modules[mi].name));
+      svg.appendChild(g);
+    }
+
+    // Signal dots.
+    for (s = 0; s < system.signals.length; s++) {
+      var sp = signalPos[s];
+      if (!sp) continue;
+      var sig = system.signals[s];
+      var cls = sig.source === null ? 'signal external' : sig.system_output ? 'signal output' : 'signal';
+      var dot = svgEl(doc, 'g', { class: cls });
+      dot.appendChild(svgEl(doc, 'circle', { cx: sp.x, cy: sp.y, r: 6 }));
+      dot.appendChild(svgEl(doc, 'text', { x: sp.x, y: sp.y - 11 }, sig.name));
+      svg.appendChild(dot);
+    }
+
+    section.appendChild(svg);
+    state.graphSvg = svg;
+  }
+
+  // ---------------------------------------------------------------------
+  // Path explorer: backtrack paths ranked by weight
+  // ---------------------------------------------------------------------
+
+  function renderPaths(doc, root, data, state) {
+    var system = data.system;
+    var section = panel(doc, root, 'Backtrack path explorer', 'paths-panel');
+    var info = el(doc, 'p', { class: 'hint' },
+      'Root-to-leaf propagation paths per system output, ranked by weight ' +
+      '(product of arc permeabilities). Click a path to highlight its arcs.');
+    section.appendChild(info);
+
+    var filterNote = el(doc, 'p', { class: 'filter-note', hidden: 'hidden' });
+    section.appendChild(filterNote);
+
+    var list = el(doc, 'div', { class: 'tree-list' });
+    section.appendChild(list);
+
+    function render() {
+      list.textContent = '';
+      for (var t = 0; t < data.backtrack.length; t++) {
+        var tree = data.backtrack[t];
+        var box = el(doc, 'div', { class: 'tree' });
+        box.appendChild(el(doc, 'h3', null,
+          'output ' + system.signals[tree.root].name + ' — ' + tree.paths.length + ' paths'));
+        // Rank by weight, descending; stable on enumeration order.
+        var order = tree.paths.map(function (_, i) { return i; });
+        order.sort(function (x, y) {
+          return tree.paths[y].weight - tree.paths[x].weight || x - y;
+        });
+        var table = el(doc, 'table', { class: 'paths' });
+        for (var oi = 0; oi < order.length; oi++) {
+          var p = tree.paths[order[oi]];
+          if (state.arcFilter !== null && p.arcs.indexOf(state.arcFilter) === -1) continue;
+          var tr = el(doc, 'tr', { class: 'path-row' });
+          tr.appendChild(el(doc, 'td', { class: 'w' }, fmt(p.weight, 4)));
+          var chain = p.signals
+            .map(function (sidx) { return system.signals[sidx].name; })
+            .join(' ← ');
+          tr.appendChild(el(doc, 'td', null, chain));
+          tr.appendChild(el(doc, 'td', { class: 'terminal ' + p.terminal }, p.terminal));
+          (function (pathRef, row) {
+            row.addEventListener('click', function () {
+              state.highlightPath(pathRef, row);
+            });
+          })(p, tr);
+          table.appendChild(tr);
+        }
+        box.appendChild(table);
+        list.appendChild(box);
+      }
+      if (state.arcFilter !== null) {
+        var a = system.arcs[state.arcFilter];
+        filterNote.removeAttribute('hidden');
+        filterNote.textContent = '';
+        filterNote.appendChild(doc.createTextNode(
+          'showing only paths through ' + system.modules[a.module].name + ' (' +
+          system.signals[a.input_signal].name + ' → ' +
+          system.signals[a.output_signal].name + ')  '));
+        var clear = el(doc, 'button', { type: 'button' }, 'clear filter');
+        clear.addEventListener('click', function () { state.selectArc(null); });
+        filterNote.appendChild(clear);
+      } else {
+        filterNote.setAttribute('hidden', 'hidden');
+      }
+    }
+    state.renderPaths = render;
+    render();
+  }
+
+  // ---------------------------------------------------------------------
+  // What-if panel: client-side containment recomputation + self-check
+  // ---------------------------------------------------------------------
+
+  function renderWhatIf(doc, root, data) {
+    var system = data.system;
+    var section = panel(doc, root, 'What-if containment', 'whatif-panel');
+    section.appendChild(el(doc, 'p', { class: 'hint' },
+      'Scales one module’s permeabilities by the containment factor and ' +
+      'recomputes every end-to-end propagation estimate client-side — a ' +
+      'JavaScript port of permea_core::whatif.'));
+
+    var check = selfCheck(data);
+    var badge = el(doc, 'p', {
+      class: 'badge ' + (check.ok ? 'ok' : 'fail'),
+      id: 'whatif-selfcheck',
+      'data-ok': String(check.ok),
+      'data-max-abs-diff': String(check.maxAbsDiff),
+    }, check.ok
+      ? 'port verified against embedded Rust fixture (max |Δ| = 0)'
+      : 'PORT MISMATCH vs Rust fixture: max |Δ| = ' + check.maxAbsDiff +
+        (check.rankingMatches ? '' : ', ranking differs'));
+    section.appendChild(badge);
+
+    var controls = el(doc, 'div', { class: 'controls' });
+    var select = el(doc, 'select', { id: 'whatif-module' });
+    for (var m = 0; m < system.modules.length; m++) {
+      select.appendChild(el(doc, 'option', { value: m }, system.modules[m].name));
+    }
+    var slider = el(doc, 'input', {
+      type: 'range', min: '0', max: '1', step: '0.05',
+      value: String(data.whatif ? data.whatif.factor : 0.5),
+      id: 'whatif-factor',
+    });
+    var factorLabel = el(doc, 'span', { class: 'factor' });
+    controls.appendChild(el(doc, 'label', null, 'module '));
+    controls.appendChild(select);
+    controls.appendChild(el(doc, 'label', null, ' factor '));
+    controls.appendChild(slider);
+    controls.appendChild(factorLabel);
+    section.appendChild(controls);
+
+    var effectsTable = el(doc, 'table', { class: 'effects' });
+    var rankTable = el(doc, 'table', { class: 'ranking', id: 'whatif-ranking' });
+    section.appendChild(effectsTable);
+    section.appendChild(el(doc, 'h3', null, 'containment ranking at this factor'));
+    section.appendChild(rankTable);
+
+    function update() {
+      var mi = parseInt(select.value, 10) || 0;
+      var factor = parseFloat(slider.value);
+      factorLabel.textContent = ' ' + fmt(factor, 2);
+      effectsTable.textContent = '';
+      var head = el(doc, 'tr');
+      ['input', 'output', 'before', 'after', 'reduction'].forEach(function (h) {
+        head.appendChild(el(doc, 'th', null, h));
+      });
+      effectsTable.appendChild(head);
+      var fx = containmentEffects(system, mi, factor);
+      for (var i = 0; i < fx.length; i++) {
+        var e = fx[i];
+        var tr = el(doc, 'tr');
+        tr.appendChild(el(doc, 'td', null, system.signals[e.input].name));
+        tr.appendChild(el(doc, 'td', null, system.signals[e.output].name));
+        tr.appendChild(el(doc, 'td', { class: 'num' }, fmt(e.before, 4)));
+        tr.appendChild(el(doc, 'td', { class: 'num' }, fmt(e.after, 4)));
+        var red = e.before <= 0 ? 0 : 1 - e.after / e.before;
+        tr.appendChild(el(doc, 'td', { class: 'num' }, fmt(100 * red, 1) + '%'));
+        effectsTable.appendChild(tr);
+      }
+      rankTable.textContent = '';
+      var rhead = el(doc, 'tr');
+      ['#', 'module', 'total blocked propagation'].forEach(function (h) {
+        rhead.appendChild(el(doc, 'th', null, h));
+      });
+      rankTable.appendChild(rhead);
+      var rank = rankContainment(system, factor);
+      for (var r = 0; r < rank.length; r++) {
+        var row = el(doc, 'tr', rank[r].module === mi ? { class: 'selected' } : null);
+        row.appendChild(el(doc, 'td', null, String(r + 1)));
+        row.appendChild(el(doc, 'td', null, system.modules[rank[r].module].name));
+        row.appendChild(el(doc, 'td', { class: 'num' }, fmt(rank[r].total, 4)));
+        rankTable.appendChild(row);
+      }
+    }
+    select.addEventListener('change', update);
+    slider.addEventListener('input', update);
+    update();
+  }
+
+  // ---------------------------------------------------------------------
+  // Convergence panel: per-stratum Wilson half-width curves
+  // ---------------------------------------------------------------------
+
+  function renderConvergence(doc, root, data) {
+    var tl = data.timeline;
+    if (!tl || tl.batches.length === 0) return;
+    var section = panel(doc, root, 'Adaptive convergence (Wilson CI half-width)', 'ci-panel');
+
+    // Collect per-target series from batch snapshots.
+    var series = {};
+    var tMax = 1;
+    var b, s;
+    for (b = 0; b < tl.batches.length; b++) {
+      var batch = tl.batches[b];
+      tMax = Math.max(tMax, batch.t);
+      for (s = 0; s < batch.strata.length; s++) {
+        var st = batch.strata[s];
+        if (!series[st.target]) series[st.target] = [];
+        series[st.target].push({ t: batch.t, hw: st.half_width, closed: st.closed });
+      }
+    }
+    var names = {};
+    for (var c = 0; c < tl.closes.length; c++) {
+      names[tl.closes[c].target] = tl.closes[c].module + '.' + tl.closes[c].input_signal;
+    }
+
+    var width = 640, height = 240, padL = 52, padB = 26, padT = 10, padR = 10;
+    var hwMax = 0.5;
+    var svg = svgEl(doc, 'svg', { viewBox: '0 0 ' + width + ' ' + height, class: 'chart' });
+    function x(t) { return padL + (width - padL - padR) * (t / tMax); }
+    function y(hw) { return padT + (height - padT - padB) * (1 - hw / hwMax); }
+    // Axes and gridlines.
+    [0, 0.1, 0.2, 0.3, 0.4, 0.5].forEach(function (g) {
+      svg.appendChild(svgEl(doc, 'line', {
+        x1: padL, y1: y(g), x2: width - padR, y2: y(g), class: 'grid',
+      }));
+      svg.appendChild(svgEl(doc, 'text', { x: padL - 6, y: y(g) + 4, class: 'tick' }, g.toFixed(1)));
+    });
+    svg.appendChild(svgEl(doc, 'text', {
+      x: width / 2, y: height - 4, class: 'tick',
+    }, 'campaign time → ' + fmtMicros(tMax)));
+
+    var targets = Object.keys(series).sort(function (p, q) { return p - q; });
+    var legend = el(doc, 'div', { class: 'legend' });
+    for (var i = 0; i < targets.length; i++) {
+      var pts = series[targets[i]];
+      var colour = 'hsl(' + ((i * 67) % 360) + ',70%,55%)';
+      var d = '';
+      for (var p = 0; p < pts.length; p++) {
+        d += (p === 0 ? 'M' : 'L') + x(pts[p].t).toFixed(1) + ' ' + y(Math.min(pts[p].hw, hwMax)).toFixed(1);
+      }
+      svg.appendChild(svgEl(doc, 'path', { d: d, fill: 'none', stroke: colour, 'stroke-width': 2 }));
+      var last = pts[pts.length - 1];
+      if (last.closed) {
+        svg.appendChild(svgEl(doc, 'circle', {
+          cx: x(last.t), cy: y(Math.min(last.hw, hwMax)), r: 4, fill: colour, class: 'closed-dot',
+        }));
+      }
+      var label = names[targets[i]] || ('target ' + targets[i]);
+      var item = el(doc, 'span', { class: 'legend-item' }, label + (last.closed ? ' ✓' : ''));
+      item.style.borderColor = colour;
+      legend.appendChild(item);
+    }
+    section.appendChild(svg);
+    section.appendChild(legend);
+  }
+
+  // ---------------------------------------------------------------------
+  // Timeline panel: progress, incidents, stratum closes
+  // ---------------------------------------------------------------------
+
+  var INCIDENT_COLOURS = {
+    panicked: '#e05555',
+    hung: '#e09a3c',
+    crashed: '#b05ce0',
+    retried: '#5c9ce0',
+  };
+
+  function renderTimeline(doc, root, data) {
+    var tl = data.timeline;
+    if (!tl || (tl.progress.length === 0 && tl.incidents.length === 0)) return;
+    var section = panel(doc, root, 'Campaign timeline', 'timeline-panel');
+    var meta = 'sessions: ' + tl.sessions;
+    var last = tl.progress.length ? tl.progress[tl.progress.length - 1] : null;
+    if (last) {
+      var rps = last.t > 0 ? last.executed / (last.t / 1e6) : 0;
+      meta += ' · ' + last.done + '/' + last.total + ' runs · ' +
+        fmt(rps, 0) + ' runs/s · quarantined ' + last.quarantined +
+        (last.finished ? ' · finished' : ' · in flight');
+    }
+    section.appendChild(el(doc, 'p', { class: 'hint' }, meta));
+
+    var width = 640, height = 160, padL = 52, padB = 24, padT = 8, padR = 10;
+    var tMax = 1, total = 1;
+    var i;
+    for (i = 0; i < tl.progress.length; i++) {
+      tMax = Math.max(tMax, tl.progress[i].t);
+      total = Math.max(total, tl.progress[i].total);
+    }
+    for (i = 0; i < tl.incidents.length; i++) tMax = Math.max(tMax, tl.incidents[i].t);
+    var svg = svgEl(doc, 'svg', { viewBox: '0 0 ' + width + ' ' + height, class: 'chart' });
+    function x(t) { return padL + (width - padL - padR) * (t / tMax); }
+    function y(frac) { return padT + (height - padT - padB) * (1 - frac); }
+
+    // done/total progress area.
+    if (tl.progress.length) {
+      var d = 'M' + x(0).toFixed(1) + ' ' + y(0).toFixed(1);
+      for (i = 0; i < tl.progress.length; i++) {
+        var p = tl.progress[i];
+        d += 'L' + x(p.t).toFixed(1) + ' ' + y(p.done / total).toFixed(1);
+      }
+      d += 'L' + x(tl.progress[tl.progress.length - 1].t).toFixed(1) + ' ' + y(0).toFixed(1) + 'Z';
+      svg.appendChild(svgEl(doc, 'path', { d: d, class: 'progress-area' }));
+    }
+    [0, 0.5, 1].forEach(function (g) {
+      svg.appendChild(svgEl(doc, 'text', {
+        x: padL - 6, y: y(g) + 4, class: 'tick',
+      }, Math.round(g * total)));
+    });
+    // Stratum closes: green ticks on the baseline.
+    for (i = 0; i < tl.closes.length; i++) {
+      var cl = tl.closes[i];
+      var tick = svgEl(doc, 'line', {
+        x1: x(cl.t), y1: y(0) - 8, x2: x(cl.t), y2: y(0) + 4, class: 'close-tick',
+      });
+      tick.appendChild(svgEl(doc, 'title', null,
+        'stratum closed: ' + cl.module + '.' + cl.input_signal + ' (' + cl.reason +
+        ') after ' + cl.executed + ' runs, half-width ' + fmt(cl.half_width, 4)));
+      svg.appendChild(tick);
+    }
+    // Incidents: coloured markers above the baseline.
+    for (i = 0; i < tl.incidents.length; i++) {
+      var inc = tl.incidents[i];
+      var dot = svgEl(doc, 'circle', {
+        cx: x(inc.t), cy: y(1) + 10, r: 4,
+        fill: INCIDENT_COLOURS[inc.kind] || '#999',
+        class: 'incident',
+      });
+      dot.appendChild(svgEl(doc, 'title', null,
+        inc.kind + ' @ k=' + inc.k + ' (' + fmtMicros(inc.t) + '): ' + inc.detail));
+      svg.appendChild(dot);
+    }
+    section.appendChild(svg);
+
+    if (tl.incidents.length) {
+      var listTitle = el(doc, 'h3', null, 'incidents (' + tl.incidents.length + ')');
+      section.appendChild(listTitle);
+      var table = el(doc, 'table', { class: 'incidents' });
+      var shown = tl.incidents.slice(-50);
+      for (i = 0; i < shown.length; i++) {
+        var row = el(doc, 'tr');
+        row.appendChild(el(doc, 'td', null, fmtMicros(shown[i].t)));
+        row.appendChild(el(doc, 'td', { class: 'kind ' + shown[i].kind }, shown[i].kind));
+        row.appendChild(el(doc, 'td', null, 'k=' + shown[i].k));
+        row.appendChild(el(doc, 'td', null, shown[i].detail));
+        table.appendChild(row);
+      }
+      section.appendChild(table);
+      if (tl.incidents.length > shown.length) {
+        section.appendChild(el(doc, 'p', { class: 'hint' },
+          'showing last ' + shown.length + ' of ' + tl.incidents.length));
+      }
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Outcome + metrics panels
+  // ---------------------------------------------------------------------
+
+  function renderCampaign(doc, root, data) {
+    var c = data.campaign;
+    if (!c) return;
+    var section = panel(doc, root, 'Campaign outcome', 'outcome-panel');
+    var cards = el(doc, 'div', { class: 'cards' });
+    [
+      ['total runs', c.total_runs],
+      ['completed', c.completed],
+      ['panicked', c.panicked],
+      ['hung', c.hung],
+      ['crashed', c.crashed],
+    ].forEach(function (pair) {
+      var card = el(doc, 'div', { class: 'card' });
+      card.appendChild(el(doc, 'div', { class: 'card-value' }, String(pair[1])));
+      card.appendChild(el(doc, 'div', { class: 'card-label' }, pair[0]));
+      cards.appendChild(card);
+    });
+    section.appendChild(cards);
+
+    if (c.pairs.length) {
+      var table = el(doc, 'table', { class: 'pairs' });
+      var head = el(doc, 'tr');
+      ['module', 'input', 'output', 'injections', 'errors', 'P̂'].forEach(function (h) {
+        head.appendChild(el(doc, 'th', null, h));
+      });
+      table.appendChild(head);
+      for (var i = 0; i < c.pairs.length; i++) {
+        var p = c.pairs[i];
+        var tr = el(doc, 'tr');
+        tr.appendChild(el(doc, 'td', null, p.module));
+        tr.appendChild(el(doc, 'td', null, p.input_signal));
+        tr.appendChild(el(doc, 'td', null, p.output_signal));
+        tr.appendChild(el(doc, 'td', { class: 'num' }, String(p.injections)));
+        tr.appendChild(el(doc, 'td', { class: 'num' }, String(p.errors)));
+        var est = p.injections > 0 ? p.errors / p.injections : 0;
+        var td = el(doc, 'td', { class: 'num' }, fmt(est, 4));
+        td.style.background = heat(est);
+        tr.appendChild(td);
+        table.appendChild(tr);
+      }
+      section.appendChild(table);
+    }
+  }
+
+  function renderPlacement(doc, root, data) {
+    var pl = data.placement;
+    if (!pl || !data.system) return;
+    var system = data.system;
+    var section = panel(doc, root, 'EDM / ERM placement', 'placement-panel');
+    function block(title, recs, nameOf) {
+      var box = el(doc, 'div', { class: 'placement-block' });
+      box.appendChild(el(doc, 'h3', null, title));
+      var table = el(doc, 'table');
+      for (var i = 0; i < recs.length; i++) {
+        var tr = el(doc, 'tr');
+        tr.appendChild(el(doc, 'td', null, String(i + 1)));
+        tr.appendChild(el(doc, 'td', null, nameOf(recs[i].location)));
+        tr.appendChild(el(doc, 'td', { class: 'num' }, fmt(recs[i].score, 3)));
+        tr.appendChild(el(doc, 'td', { class: 'rationale' }, recs[i].rationales.join(', ')));
+        table.appendChild(tr);
+      }
+      box.appendChild(table);
+      return box;
+    }
+    section.appendChild(block('error detection (signals)', pl.edm, function (s) {
+      return system.signals[s].name;
+    }));
+    section.appendChild(block('error recovery (modules)', pl.erm, function (m) {
+      return system.modules[m].name;
+    }));
+  }
+
+  function renderMetrics(doc, root, data) {
+    if (!data.metrics) return;
+    var section = panel(doc, root, 'Metrics digest', 'metrics-panel');
+    function numericTable(obj) {
+      var table = el(doc, 'table', { class: 'metrics' });
+      var keys = Object.keys(obj);
+      for (var i = 0; i < keys.length; i++) {
+        var v = obj[keys[i]];
+        if (typeof v !== 'number') continue;
+        var tr = el(doc, 'tr');
+        tr.appendChild(el(doc, 'td', null, keys[i]));
+        tr.appendChild(el(doc, 'td', { class: 'num' }, String(v)));
+        table.appendChild(tr);
+      }
+      return table;
+    }
+    ['campaign', 'process'].forEach(function (sectionName) {
+      var m = data.metrics[sectionName];
+      if (!m || typeof m !== 'object') return;
+      section.appendChild(el(doc, 'h3', null, sectionName));
+      // Counters live either directly in the section or under .counters.
+      var counters = m.counters && typeof m.counters === 'object' ? m.counters : m;
+      section.appendChild(numericTable(counters));
+    });
+  }
+
+  // ---------------------------------------------------------------------
+  // Boot
+  // ---------------------------------------------------------------------
+
+  function parseEmbedded(doc) {
+    var node = doc.getElementById('permea-data');
+    if (!node) return null;
+    return JSON.parse(node.textContent);
+  }
+
+  function boot(doc) {
+    var data = parseEmbedded(doc);
+    var root = doc.getElementById('permea-root');
+    if (!root) return;
+    root.textContent = '';
+    if (!data || typeof data.schema !== 'number' || data.schema > 1) {
+      root.appendChild(el(doc, 'p', { class: 'badge fail' },
+        'unsupported explorer data schema'));
+      return;
+    }
+    var header = el(doc, 'header');
+    header.appendChild(el(doc, 'h1', null, data.title));
+    header.appendChild(el(doc, 'p', { class: 'subtitle' },
+      'error-permeability explorer · schema v' + data.schema +
+      ' · self-contained, renders offline'));
+    root.appendChild(header);
+
+    // Shared UI state for cross-panel interactions.
+    var state = {
+      arcFilter: null,
+      graphSvg: null,
+      renderPaths: null,
+      selectArc: function (arcIdx) {
+        state.arcFilter = arcIdx;
+        if (state.renderPaths) state.renderPaths();
+        state.paintArcs(arcIdx === null ? [] : [arcIdx]);
+      },
+      highlightPath: function (path, row) {
+        var rows = row.parentNode ? row.parentNode.querySelectorAll('.path-row') : [];
+        for (var i = 0; i < rows.length; i++) rows[i].classList.remove('selected');
+        row.classList.add('selected');
+        state.paintArcs(path.arcs);
+      },
+      paintArcs: function (arcIdxs) {
+        if (!state.graphSvg) return;
+        var arcs = state.graphSvg.querySelectorAll('.arc');
+        for (var i = 0; i < arcs.length; i++) {
+          var idx = parseInt(arcs[i].getAttribute('data-arc'), 10);
+          if (arcIdxs.length === 0) arcs[i].classList.remove('lit', 'dim');
+          else if (arcIdxs.indexOf(idx) !== -1) {
+            arcs[i].classList.add('lit');
+            arcs[i].classList.remove('dim');
+          } else {
+            arcs[i].classList.add('dim');
+            arcs[i].classList.remove('lit');
+          }
+        }
+      },
+    };
+
+    renderCampaign(doc, root, data);
+    if (data.system) {
+      renderGraph(doc, root, data, state);
+      renderPaths(doc, root, data, state);
+      renderWhatIf(doc, root, data);
+      renderPlacement(doc, root, data);
+    }
+    renderConvergence(doc, root, data);
+    renderTimeline(doc, root, data);
+    renderMetrics(doc, root, data);
+
+    if (!data.system && (!data.timeline || data.timeline.progress.length === 0)) {
+      root.appendChild(el(doc, 'p', { class: 'hint' },
+        'no analytic sections embedded yet — waiting for events'));
+    }
+  }
+
+  return {
+    boot: boot,
+    parseEmbedded: parseEmbedded,
+    scaledWeights: scaledWeights,
+    backtrackPaths: backtrackPaths,
+    endToEnd: endToEnd,
+    containmentEffects: containmentEffects,
+    rankContainment: rankContainment,
+    selfCheck: selfCheck,
+  };
+})();
+
+/* Node mode: expose the compute core for the CI cross-check harness. */
+if (typeof module !== 'undefined' && module.exports) {
+  module.exports = PermeaExplorer;
+}

@@ -1,0 +1,194 @@
+//! The standalone explorer generator: renders `explorer.html` from study
+//! artifact files, optionally re-rendering on an interval while a campaign
+//! is still running (`--follow` live mode).
+//!
+//! ```text
+//! permea-explorer [--events FILE]... [--result FILE] [--matrix FILE]
+//!                 [--metrics FILE] [--out FILE] [--title S]
+//!                 [--follow] [--interval-ms N] [--max-refreshes N]
+//! ```
+//!
+//! * `--events FILE` — a `study --events` JSONL log; repeatable. Files are
+//!   stitched in the order given, and appended sessions inside one file
+//!   (a resumed campaign) are stitched too, so the timeline of a killed
+//!   and resumed campaign renders contiguously.
+//! * `--result FILE` — `result.json` for the campaign outcome section.
+//! * `--matrix FILE` — `matrix.json`, embedded verbatim for tooling.
+//! * `--metrics FILE` — `metrics.json` for the metrics digest.
+//! * `--follow` — keep re-reading the inputs and atomically rewriting the
+//!   page every `--interval-ms` (default 2000); the page carries a matching
+//!   `<meta refresh>` so an open browser tab follows along. Torn trailing
+//!   JSONL lines are expected and skipped. `--max-refreshes N` bounds the
+//!   loop (0 = run until interrupted) — mainly a test hook.
+//!
+//! Exit codes: 0 success, 1 I/O failure, 2 usage error.
+
+use permea_explorer::{render_html, ExplorerData, HtmlOptions, TimelineData};
+use permea_fi::results::CampaignResult;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    events: Vec<PathBuf>,
+    result: Option<PathBuf>,
+    matrix: Option<PathBuf>,
+    metrics: Option<PathBuf>,
+    out: PathBuf,
+    title: String,
+    follow: bool,
+    interval_ms: u64,
+    max_refreshes: u64,
+}
+
+fn usage() -> &'static str {
+    "usage: permea-explorer [--events FILE]... [--result FILE] [--matrix FILE]\n\
+     \x20                      [--metrics FILE] [--out FILE] [--title S]\n\
+     \x20                      [--follow] [--interval-ms N] [--max-refreshes N]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        events: Vec::new(),
+        result: None,
+        matrix: None,
+        metrics: None,
+        out: PathBuf::from("explorer.html"),
+        title: "permea explorer".to_owned(),
+        follow: false,
+        interval_ms: 2000,
+        max_refreshes: 0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--events" => args.events.push(PathBuf::from(value("--events")?)),
+            "--result" => args.result = Some(PathBuf::from(value("--result")?)),
+            "--matrix" => args.matrix = Some(PathBuf::from(value("--matrix")?)),
+            "--metrics" => args.metrics = Some(PathBuf::from(value("--metrics")?)),
+            "--out" => args.out = PathBuf::from(value("--out")?),
+            "--title" => args.title = value("--title")?,
+            "--follow" => args.follow = true,
+            "--interval-ms" => {
+                args.interval_ms = value("--interval-ms")?
+                    .parse()
+                    .map_err(|_| "--interval-ms expects an integer".to_owned())?;
+                if args.interval_ms == 0 {
+                    return Err("--interval-ms must be > 0".to_owned());
+                }
+            }
+            "--max-refreshes" => {
+                args.max_refreshes = value("--max-refreshes")?
+                    .parse()
+                    .map_err(|_| "--max-refreshes expects an integer".to_owned())?;
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// One generation pass: read whatever inputs exist right now, render, write.
+///
+/// In follow mode inputs may be mid-write (torn JSONL tails, a result.json
+/// not yet renamed into place); missing or unparseable optional inputs
+/// degrade to an emptier page instead of failing the loop.
+fn generate(args: &Args, strict: bool) -> Result<(), String> {
+    let mut data = ExplorerData::new(&args.title);
+
+    let mut logs = Vec::new();
+    for path in &args.events {
+        match std::fs::read_to_string(path) {
+            Ok(text) => logs.push(text),
+            Err(e) if strict => return Err(format!("read {}: {e}", path.display())),
+            Err(_) => {}
+        }
+    }
+    if !logs.is_empty() {
+        data = data.with_timeline(TimelineData::parse_logs(logs.iter().map(String::as_str)));
+    }
+
+    if let Some(path) = &args.result {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match serde_json::from_str::<CampaignResult>(&text) {
+                Ok(result) => data = data.with_campaign(&result),
+                Err(e) if strict => return Err(format!("parse {}: {e}", path.display())),
+                Err(_) => {}
+            },
+            Err(e) if strict => return Err(format!("read {}: {e}", path.display())),
+            Err(_) => {}
+        }
+    }
+
+    if let Some(path) = &args.metrics {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match serde_json::from_str::<serde_json::Value>(&text) {
+                Ok(v) => data = data.with_metrics(v),
+                Err(e) if strict => return Err(format!("parse {}: {e}", path.display())),
+                Err(_) => {}
+            },
+            Err(e) if strict => return Err(format!("read {}: {e}", path.display())),
+            Err(_) => {}
+        }
+    }
+
+    let matrix_text = match &args.matrix {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => Some(text),
+            Err(e) if strict => return Err(format!("read {}: {e}", path.display())),
+            Err(_) => None,
+        },
+        None => None,
+    };
+    let raw: Vec<(&str, &str)> = matrix_text
+        .as_deref()
+        .map(|t| ("matrix", t))
+        .into_iter()
+        .collect();
+
+    let options = HtmlOptions {
+        refresh_secs: args
+            .follow
+            .then(|| (args.interval_ms / 1000).clamp(1, 3600) as u32),
+    };
+    let html = render_html(&data, &raw, &options);
+    permea_fi::env::atomic_write(&args.out, html.as_bytes())
+        .map_err(|e| format!("write {}: {e}", args.out.display()))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("permea-explorer: {msg}\n{}", usage());
+            return ExitCode::from(2);
+        }
+    };
+    if !args.follow {
+        return match generate(&args, true) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("permea-explorer: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    // Live mode: inputs are growing; regenerate on the interval, atomically,
+    // so a browser tab pointed at --out always sees a complete page.
+    let mut refreshes = 0u64;
+    loop {
+        if let Err(msg) = generate(&args, false) {
+            eprintln!("permea-explorer: {msg}");
+            return ExitCode::FAILURE;
+        }
+        refreshes += 1;
+        if args.max_refreshes != 0 && refreshes >= args.max_refreshes {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+    }
+}

@@ -1,0 +1,435 @@
+//! The explorer's embedded data model.
+//!
+//! [`ExplorerData`] is a flat, name-resolved JSON view of a study: every
+//! cross-reference is an index into a sibling array rather than an opaque
+//! id, so the hand-written JavaScript in `assets/explorer.js` can walk it
+//! without reimplementing the Rust id machinery. The shape is versioned
+//! ([`EXPLORER_SCHEMA_VERSION`]) and pinned by tests because the JS is a
+//! *port* of the Rust analyses — both sides must agree on field names and,
+//! for the what-if panel, on the exact floating-point operation order.
+
+use permea_core::backtrack::BacktrackForest;
+use permea_core::graph::{ArcId, PermeabilityGraph};
+use permea_core::matrix::PermeabilityMatrix;
+use permea_core::paths::{PathSet, PathTerminal};
+use permea_core::placement::{Location, PlacementPlan};
+use permea_core::topology::{SignalSource, SystemTopology};
+use permea_core::whatif::{containment_effects, rank_containment_candidates, Containment};
+use permea_fi::results::CampaignResult;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+use crate::events::TimelineData;
+
+/// Version of the embedded JSON shape. Bump when renaming or removing
+/// fields; the JS refuses to render data with a newer major shape.
+pub const EXPLORER_SCHEMA_VERSION: u32 = 1;
+
+/// The complete bundle embedded into `explorer.html` as one JSON document.
+///
+/// Every section is optional except the schema/title header: the standalone
+/// `permea-explorer` binary can render a live dashboard from an event log
+/// alone (no topology), and the full study report embeds everything.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExplorerData {
+    /// Shape version ([`EXPLORER_SCHEMA_VERSION`]).
+    pub schema: u32,
+    /// Page title.
+    pub title: String,
+    /// Topology + permeability graph, when a study output is available.
+    pub system: Option<SystemView>,
+    /// One backtrack tree per system output (paths ranked by weight in JS).
+    pub backtrack: Vec<TreeView>,
+    /// EDM/ERM placement recommendations.
+    pub placement: Option<PlacementView>,
+    /// Rust-computed what-if fixture the JS port cross-checks against.
+    pub whatif: Option<WhatIfView>,
+    /// Campaign outcome tally and per-pair estimate provenance.
+    pub campaign: Option<CampaignView>,
+    /// Timeline parsed from one or more `--events` JSONL logs.
+    pub timeline: Option<TimelineData>,
+    /// Verbatim parsed `metrics.json`, when available.
+    pub metrics: Option<serde_json::Value>,
+}
+
+impl ExplorerData {
+    /// An empty bundle with the current schema version and a title.
+    pub fn new(title: impl Into<String>) -> Self {
+        ExplorerData {
+            schema: EXPLORER_SCHEMA_VERSION,
+            title: title.into(),
+            ..ExplorerData::default()
+        }
+    }
+
+    /// Builds the full analytic view from typed study structures.
+    ///
+    /// `whatif_factor` is the containment factor of the embedded what-if
+    /// fixture (the report uses 0.5, matching `whatif.txt`).
+    pub fn with_analysis(
+        mut self,
+        topology: &SystemTopology,
+        matrix: &PermeabilityMatrix,
+        graph: &PermeabilityGraph,
+        backtrack: &BacktrackForest,
+        placement: &PlacementPlan,
+        whatif_factor: f64,
+    ) -> Self {
+        let system = SystemView::build(topology, graph);
+        let arc_index: HashMap<ArcId, usize> =
+            graph.arcs().enumerate().map(|(i, a)| (a.id, i)).collect();
+        self.backtrack = backtrack
+            .trees()
+            .iter()
+            .map(|t| TreeView {
+                root: t.root_signal().index(),
+                paths: PathView::from_set(&t.clone().into_path_set(), &arc_index),
+            })
+            .collect();
+        self.placement = Some(PlacementView::build(placement));
+        self.whatif = Some(WhatIfView::build(topology, matrix, whatif_factor));
+        self.system = Some(system);
+        self
+    }
+
+    /// Attaches the campaign outcome section.
+    pub fn with_campaign(mut self, result: &CampaignResult) -> Self {
+        self.campaign = Some(CampaignView::build(result));
+        self
+    }
+
+    /// Attaches a parsed event timeline.
+    pub fn with_timeline(mut self, timeline: TimelineData) -> Self {
+        self.timeline = Some(timeline);
+        self
+    }
+
+    /// Attaches verbatim `metrics.json` contents.
+    pub fn with_metrics(mut self, metrics: serde_json::Value) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+}
+
+/// Name-resolved topology plus the weighted arc list, in the deterministic
+/// `PermeabilityGraph` vec order (module → input → output).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemView {
+    /// Topology name.
+    pub name: String,
+    /// Modules, indexed by `ModuleId`.
+    pub modules: Vec<ModuleView>,
+    /// Signals, indexed by `SignalId`.
+    pub signals: Vec<SignalView>,
+    /// System input signal indices, in topology order.
+    pub system_inputs: Vec<usize>,
+    /// System output signal indices, in topology order.
+    pub system_outputs: Vec<usize>,
+    /// Weighted arcs in graph vec order.
+    pub arcs: Vec<ArcView>,
+}
+
+impl SystemView {
+    /// Builds the view from a topology joined with its graph.
+    pub fn build(topology: &SystemTopology, graph: &PermeabilityGraph) -> Self {
+        let modules = topology
+            .modules()
+            .map(|m| ModuleView {
+                name: topology.module_name(m).to_owned(),
+                inputs: topology.inputs_of(m).iter().map(|s| s.index()).collect(),
+                outputs: topology.outputs_of(m).iter().map(|s| s.index()).collect(),
+            })
+            .collect();
+        let signals = topology
+            .signals()
+            .map(|s| SignalView {
+                name: topology.signal_name(s).to_owned(),
+                source: match topology.source_of(s) {
+                    SignalSource::External => None,
+                    SignalSource::Produced(p) => Some((p.module.index(), p.output)),
+                },
+                system_output: topology.is_system_output(s),
+            })
+            .collect();
+        SystemView {
+            name: topology.name().to_owned(),
+            modules,
+            signals,
+            system_inputs: topology.system_inputs().iter().map(|s| s.index()).collect(),
+            system_outputs: topology
+                .system_outputs()
+                .iter()
+                .map(|s| s.index())
+                .collect(),
+            arcs: graph
+                .arcs()
+                .map(|a| ArcView {
+                    module: a.id.module.index(),
+                    input: a.id.input,
+                    output: a.id.output,
+                    input_signal: a.input_signal.index(),
+                    output_signal: a.output_signal.index(),
+                    weight: a.weight,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// One module: name plus bound signal indices in port order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleView {
+    /// Module name.
+    pub name: String,
+    /// Signal index bound at each input port.
+    pub inputs: Vec<usize>,
+    /// Signal index produced at each output port.
+    pub outputs: Vec<usize>,
+}
+
+/// One signal: name, producer (if any) and boundary role.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SignalView {
+    /// Signal name.
+    pub name: String,
+    /// `(module index, output port)` producing the signal, or `None` for an
+    /// external (environment) signal.
+    pub source: Option<(usize, usize)>,
+    /// `true` if the signal is marked as a system output.
+    pub system_output: bool,
+}
+
+/// One weighted permeability arc.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ArcView {
+    /// Module index.
+    pub module: usize,
+    /// Input port index.
+    pub input: usize,
+    /// Output port index.
+    pub output: usize,
+    /// Signal index at the input side.
+    pub input_signal: usize,
+    /// Signal index at the output side.
+    pub output_signal: usize,
+    /// Permeability `P^M_{i,k}`.
+    pub weight: f64,
+}
+
+/// A backtrack tree flattened to its propagation paths.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TreeView {
+    /// Root (system output) signal index.
+    pub root: usize,
+    /// Root-to-leaf paths in tree enumeration order.
+    pub paths: Vec<PathView>,
+}
+
+/// One propagation path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PathView {
+    /// Signal indices from root to leaf.
+    pub signals: Vec<usize>,
+    /// Index into [`SystemView::arcs`] for each step (`signals.len() - 1`).
+    pub arcs: Vec<usize>,
+    /// Product of arc weights.
+    pub weight: f64,
+    /// `"system_input"`, `"feedback"`, `"system_output"` or `"dead_end"`.
+    pub terminal: String,
+}
+
+impl PathView {
+    /// Converts a [`PathSet`] using a prebuilt arc index.
+    pub fn from_set(set: &PathSet, arc_index: &HashMap<ArcId, usize>) -> Vec<PathView> {
+        set.iter()
+            .map(|p| PathView {
+                signals: p.signals.iter().map(|s| s.index()).collect(),
+                arcs: p
+                    .arcs
+                    .iter()
+                    .map(|(id, _)| *arc_index.get(id).expect("path arc exists in graph"))
+                    .collect(),
+                weight: p.weight,
+                terminal: match p.terminal {
+                    PathTerminal::SystemInput => "system_input",
+                    PathTerminal::SystemOutput => "system_output",
+                    PathTerminal::Feedback => "feedback",
+                    PathTerminal::DeadEnd => "dead_end",
+                }
+                .to_owned(),
+            })
+            .collect()
+    }
+}
+
+/// EDM/ERM placement recommendations, name-free (indices only).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlacementView {
+    /// Signal recommendations for error-detection mechanisms.
+    pub edm: Vec<RecommendationView>,
+    /// Module recommendations for error-recovery mechanisms.
+    pub erm: Vec<RecommendationView>,
+}
+
+impl PlacementView {
+    fn build(plan: &PlacementPlan) -> Self {
+        let conv = |recs: &[permea_core::placement::Recommendation]| {
+            recs.iter()
+                .map(|r| RecommendationView {
+                    location: match r.location {
+                        Location::Signal(s) => s.index(),
+                        Location::Module(m) => m.index(),
+                    },
+                    score: r.score,
+                    rationales: r.rationales.iter().map(|x| format!("{x:?}")).collect(),
+                })
+                .collect()
+        };
+        PlacementView {
+            edm: conv(&plan.edm),
+            erm: conv(&plan.erm),
+        }
+    }
+}
+
+/// One placement recommendation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecommendationView {
+    /// Signal index (EDM) or module index (ERM).
+    pub location: usize,
+    /// Advisor score (higher = place here first).
+    pub score: f64,
+    /// Debug-rendered rationales.
+    pub rationales: Vec<String>,
+}
+
+/// The Rust-computed what-if fixture. The JS panel recomputes all of this
+/// client-side from [`SystemView::arcs`] and asserts agreement — a live
+/// cross-check that the port is faithful.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WhatIfView {
+    /// Containment factor used for the fixture (report default 0.5).
+    pub factor: f64,
+    /// Per-module end-to-end effects, module index order.
+    pub effects: Vec<ModuleEffectsView>,
+    /// `rank_containment_candidates` output: `(module index, total)` in
+    /// ranked order (descending total, ties by ascending module index).
+    pub ranking: Vec<(usize, f64)>,
+}
+
+impl WhatIfView {
+    /// Computes the fixture with `permea_core::whatif`.
+    pub fn build(topology: &SystemTopology, matrix: &PermeabilityMatrix, factor: f64) -> Self {
+        let effects = topology
+            .modules()
+            .map(|m| {
+                let fx = containment_effects(topology, matrix, Containment { module: m, factor })
+                    .expect("module comes from this topology");
+                ModuleEffectsView {
+                    module: m.index(),
+                    effects: fx
+                        .iter()
+                        .map(|e| EffectView {
+                            input: e.input.index(),
+                            output: e.output.index(),
+                            before: e.before,
+                            after: e.after,
+                        })
+                        .collect(),
+                    total: fx.iter().map(|e| e.before - e.after).sum(),
+                }
+            })
+            .collect();
+        let ranking = rank_containment_candidates(topology, matrix, factor)
+            .expect("topology is self-consistent")
+            .into_iter()
+            .map(|(m, t)| (m.index(), t))
+            .collect();
+        WhatIfView {
+            factor,
+            effects,
+            ranking,
+        }
+    }
+}
+
+/// All (system input, system output) effects of containing one module.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModuleEffectsView {
+    /// Module index.
+    pub module: usize,
+    /// Effects in system-output-major, system-input-minor order — the
+    /// iteration order of `containment_effects`.
+    pub effects: Vec<EffectView>,
+    /// `Σ (before − after)` in effects order (the ranking total).
+    pub total: f64,
+}
+
+/// One end-to-end effect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EffectView {
+    /// System input signal index.
+    pub input: usize,
+    /// System output signal index.
+    pub output: usize,
+    /// End-to-end estimate before containment.
+    pub before: f64,
+    /// End-to-end estimate after containment.
+    pub after: f64,
+}
+
+/// Campaign outcome tally plus per-pair estimate provenance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignView {
+    /// Total injection runs executed.
+    pub total_runs: u64,
+    /// Runs that completed and entered the estimates.
+    pub completed: u64,
+    /// Runs quarantined after panicking.
+    pub panicked: u64,
+    /// Runs quarantined by the watchdog.
+    pub hung: u64,
+    /// Runs that took a worker process down.
+    pub crashed: u64,
+    /// Per-(module, input, output) injection/error counts, in campaign
+    /// pair order.
+    pub pairs: Vec<PairView>,
+}
+
+impl CampaignView {
+    fn build(result: &CampaignResult) -> Self {
+        CampaignView {
+            total_runs: result.total_runs,
+            completed: result.outcomes.completed,
+            panicked: result.outcomes.panicked,
+            hung: result.outcomes.hung,
+            crashed: result.outcomes.crashed,
+            pairs: result
+                .pairs
+                .iter()
+                .map(|p| PairView {
+                    module: p.module.clone(),
+                    input_signal: p.input_signal.clone(),
+                    output_signal: p.output_signal.clone(),
+                    injections: p.injections,
+                    errors: p.errors,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// Estimate provenance for one pair: `errors / injections ≈ P^M_{i,k}`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PairView {
+    /// Module name.
+    pub module: String,
+    /// Input-side signal name.
+    pub input_signal: String,
+    /// Output-side signal name.
+    pub output_signal: String,
+    /// Injections performed on the pair's stratum.
+    pub injections: u64,
+    /// Runs whose output diverged from the golden run.
+    pub errors: u64,
+}

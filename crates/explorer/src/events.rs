@@ -1,0 +1,402 @@
+//! Parsing and stitching of `--events` JSONL logs.
+//!
+//! Every campaign session writes events whose `elapsed_micros` is a
+//! *campaign-relative* monotonic clock restarting at zero per session (see
+//! `permea_obs::Progress::elapsed_micros`). A resumed campaign therefore
+//! produces several zero-based segments — possibly in one appended file,
+//! possibly across files passed in order. This module stitches them into a
+//! single contiguous timeline by rebasing each session onto the maximum
+//! rebased time seen before it.
+//!
+//! The parser is deliberately forgiving: a live log being tailed can end in
+//! a torn line, and future schema versions may add event types. Unparseable
+//! or unknown lines are counted, never fatal.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// One progress sample on the stitched timeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ProgressPoint {
+    /// Stitched campaign-relative time, µs.
+    pub t: u64,
+    /// Runs accounted for (executed + recovered).
+    pub done: u64,
+    /// Total runs the campaign expands to.
+    pub total: u64,
+    /// Runs recovered from a journal.
+    pub recovered: u64,
+    /// Runs quarantined so far.
+    pub quarantined: u64,
+    /// Snapshot fast-forward hits.
+    pub forked: u64,
+    /// Runs executed by the emitting session.
+    pub executed: u64,
+    /// `true` on a session's final progress event.
+    pub finished: bool,
+}
+
+/// One run incident (panic, hang, crash, retry) on the timeline.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IncidentPoint {
+    /// Stitched campaign-relative time, µs.
+    pub t: u64,
+    /// Run coordinate.
+    pub k: u64,
+    /// `"panicked"`, `"hung"`, `"crashed"` or `"retried"`.
+    pub kind: String,
+    /// Human-readable detail.
+    pub detail: String,
+}
+
+/// One adaptive-planner batch snapshot: per-stratum Wilson CI state.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BatchPoint {
+    /// Stitched campaign-relative time, µs.
+    pub t: u64,
+    /// Planner round that allocated the batch.
+    pub round: u64,
+    /// Runs in the batch (0 for the closing snapshot).
+    pub batch_runs: u64,
+    /// Per-stratum state, target order.
+    pub strata: Vec<StratumPoint>,
+}
+
+/// CI state of one stratum at a batch barrier.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct StratumPoint {
+    /// Target index (spec order).
+    pub target: u64,
+    /// Runs executed in the stratum.
+    pub executed: u64,
+    /// Completed trials entering the estimate.
+    pub trials: u64,
+    /// Worst Wilson half-width across the stratum's outputs.
+    pub half_width: f64,
+    /// `true` once the stratum stopped sampling.
+    pub closed: bool,
+}
+
+/// A stratum-close event.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ClosePoint {
+    /// Stitched campaign-relative time, µs.
+    pub t: u64,
+    /// Target index (spec order).
+    pub target: u64,
+    /// Target module name.
+    pub module: String,
+    /// Targeted input signal name.
+    pub input_signal: String,
+    /// Runs the stratum cost.
+    pub executed: u64,
+    /// Completed trials.
+    pub trials: u64,
+    /// Achieved worst half-width.
+    pub half_width: f64,
+    /// `"ci_reached"`, `"budget_exhausted"` or `"ranking_stable"`.
+    pub reason: String,
+}
+
+/// The stitched timeline extracted from one or more event logs.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimelineData {
+    /// Number of campaign sessions stitched together.
+    pub sessions: u64,
+    /// Lines that failed to parse or carried no recognised event.
+    pub skipped_lines: u64,
+    /// Distinct schema versions seen in stream headers, in order.
+    pub schema_versions: Vec<u64>,
+    /// Progress samples, stitched order.
+    pub progress: Vec<ProgressPoint>,
+    /// Run incidents, stitched order.
+    pub incidents: Vec<IncidentPoint>,
+    /// Adaptive batch snapshots, stitched order.
+    pub batches: Vec<BatchPoint>,
+    /// Stratum closes, stitched order.
+    pub closes: Vec<ClosePoint>,
+}
+
+impl TimelineData {
+    /// `true` when no timeline content was found at all.
+    pub fn is_empty(&self) -> bool {
+        self.progress.is_empty()
+            && self.incidents.is_empty()
+            && self.batches.is_empty()
+            && self.closes.is_empty()
+    }
+
+    /// Parses and stitches logs, in the order given.
+    ///
+    /// Each log may itself contain several sessions (a resumed campaign
+    /// appending to one file): a new stream header — or a backwards jump of
+    /// the campaign clock — starts a new session. Each new session is
+    /// rebased onto the latest stitched time seen so far.
+    pub fn parse_logs<'a, I>(logs: I) -> TimelineData
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        let mut out = TimelineData::default();
+        // Rebase offset of the current session and the high-water mark the
+        // *next* session will be rebased onto.
+        let mut base = 0u64;
+        let mut high = 0u64;
+        let mut last_raw: Option<u64> = None;
+        let mut in_session;
+
+        let new_session =
+            |out: &mut TimelineData, base: &mut u64, high: u64, last_raw: &mut Option<u64>| {
+                out.sessions += 1;
+                *base = high;
+                *last_raw = None;
+            };
+
+        for text in logs {
+            // A file boundary always separates sessions.
+            in_session = false;
+            for line in text.lines() {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                let Ok(v) = serde_json::from_str::<Value>(line) else {
+                    out.skipped_lines += 1;
+                    continue;
+                };
+                let Some(entries) = v.as_map() else {
+                    out.skipped_lines += 1;
+                    continue;
+                };
+                let ty = get_str(entries, "type").unwrap_or_default();
+                if ty == "schema" {
+                    let ver = get_u64(entries, "v").unwrap_or(0);
+                    if !out.schema_versions.contains(&ver) {
+                        out.schema_versions.push(ver);
+                    }
+                    // A header inside an ongoing session means the log was
+                    // appended to by a new session.
+                    if in_session {
+                        in_session = false;
+                    }
+                    continue;
+                }
+                let Some(raw_t) = get_u64(entries, "elapsed_micros") else {
+                    // span/message/other events carry no campaign clock.
+                    out.skipped_lines += 1;
+                    continue;
+                };
+                // The campaign clock running backwards also signals a new
+                // session (headerless append of an old-format log).
+                if in_session && last_raw.is_some_and(|prev| raw_t < prev) {
+                    in_session = false;
+                }
+                if !in_session {
+                    new_session(&mut out, &mut base, high, &mut last_raw);
+                    in_session = true;
+                }
+                last_raw = Some(raw_t);
+                let t = base + raw_t;
+                high = high.max(t);
+                match ty {
+                    "progress" => out.progress.push(ProgressPoint {
+                        t,
+                        done: get_u64(entries, "done").unwrap_or(0),
+                        total: get_u64(entries, "total").unwrap_or(0),
+                        recovered: get_u64(entries, "recovered").unwrap_or(0),
+                        quarantined: get_u64(entries, "quarantined").unwrap_or(0),
+                        forked: get_u64(entries, "forked").unwrap_or(0),
+                        executed: get_u64(entries, "executed").unwrap_or(0),
+                        finished: get_bool(entries, "finished").unwrap_or(false),
+                    }),
+                    "run_incident" => out.incidents.push(IncidentPoint {
+                        t,
+                        k: get_u64(entries, "k").unwrap_or(0),
+                        kind: get_str(entries, "kind").unwrap_or_default().to_owned(),
+                        detail: get_str(entries, "detail").unwrap_or_default().to_owned(),
+                    }),
+                    "adaptive_batch" => out.batches.push(BatchPoint {
+                        t,
+                        round: get_u64(entries, "round").unwrap_or(0),
+                        batch_runs: get_u64(entries, "batch_runs").unwrap_or(0),
+                        strata: entries
+                            .iter()
+                            .find(|(k, _)| k == "strata")
+                            .and_then(|(_, v)| v.as_seq())
+                            .map(|seq| {
+                                seq.iter()
+                                    .filter_map(|s| {
+                                        let e = s.as_map()?;
+                                        Some(StratumPoint {
+                                            target: get_u64(e, "target").unwrap_or(0),
+                                            executed: get_u64(e, "executed").unwrap_or(0),
+                                            trials: get_u64(e, "trials").unwrap_or(0),
+                                            half_width: get_f64(e, "half_width").unwrap_or(0.0),
+                                            closed: get_bool(e, "closed").unwrap_or(false),
+                                        })
+                                    })
+                                    .collect()
+                            })
+                            .unwrap_or_default(),
+                    }),
+                    "stratum_closed" => out.closes.push(ClosePoint {
+                        t,
+                        target: get_u64(entries, "target").unwrap_or(0),
+                        module: get_str(entries, "module").unwrap_or_default().to_owned(),
+                        input_signal: get_str(entries, "input_signal")
+                            .unwrap_or_default()
+                            .to_owned(),
+                        executed: get_u64(entries, "executed").unwrap_or(0),
+                        trials: get_u64(entries, "trials").unwrap_or(0),
+                        half_width: get_f64(entries, "half_width").unwrap_or(0.0),
+                        reason: get_str(entries, "reason").unwrap_or_default().to_owned(),
+                    }),
+                    _ => out.skipped_lines += 1,
+                }
+            }
+        }
+        out
+    }
+}
+
+fn get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+    entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(entries: &[(String, Value)], key: &str) -> Option<u64> {
+    match get(entries, key)? {
+        Value::U64(n) => Some(*n),
+        Value::I64(n) if *n >= 0 => Some(*n as u64),
+        Value::F64(x) if *x >= 0.0 => Some(*x as u64),
+        _ => None,
+    }
+}
+
+fn get_f64(entries: &[(String, Value)], key: &str) -> Option<f64> {
+    match get(entries, key)? {
+        Value::F64(x) => Some(*x),
+        Value::U64(n) => Some(*n as f64),
+        Value::I64(n) => Some(*n as f64),
+        _ => None,
+    }
+}
+
+fn get_bool(entries: &[(String, Value)], key: &str) -> Option<bool> {
+    match get(entries, key)? {
+        Value::Bool(b) => Some(*b),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a str> {
+    get(entries, key)?.as_str()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HEADER: &str = r#"{"t_us": 0, "type": "schema", "v": 1, "stream": "permea-events"}"#;
+
+    fn progress_line(t_us: u64, elapsed: u64, done: u64, finished: bool) -> String {
+        format!(
+            "{{\"t_us\": {t_us}, \"type\": \"progress\", \"done\": {done}, \"total\": 100, \
+             \"recovered\": 0, \"quarantined\": 1, \"forked\": 2, \"executed\": {done}, \
+             \"elapsed_micros\": {elapsed}, \"finished\": {finished}}}"
+        )
+    }
+
+    #[test]
+    fn single_session_is_not_rebased() {
+        let log = format!(
+            "{HEADER}\n{}\n{}\n",
+            progress_line(50_000, 1000, 10, false),
+            progress_line(90_000, 2000, 100, true)
+        );
+        let tl = TimelineData::parse_logs([log.as_str()]);
+        assert_eq!(tl.sessions, 1);
+        assert_eq!(tl.schema_versions, vec![1]);
+        assert_eq!(tl.skipped_lines, 0);
+        assert_eq!(tl.progress.len(), 2);
+        assert_eq!(tl.progress[0].t, 1000);
+        assert_eq!(tl.progress[1].t, 2000);
+        assert!(tl.progress[1].finished);
+    }
+
+    #[test]
+    fn appended_sessions_are_rebased_contiguously() {
+        // One file, two sessions separated by a fresh stream header: the
+        // second session's clock restarts at zero and must be rebased onto
+        // the first session's high-water mark.
+        let log = format!(
+            "{HEADER}\n{}\n{}\n{HEADER}\n{}\n",
+            progress_line(10, 5000, 10, false),
+            progress_line(20, 9000, 40, false),
+            progress_line(30, 1000, 100, true)
+        );
+        let tl = TimelineData::parse_logs([log.as_str()]);
+        assert_eq!(tl.sessions, 2);
+        assert_eq!(tl.progress[2].t, 9000 + 1000);
+        // Stitched time never runs backwards.
+        assert!(tl.progress.windows(2).all(|w| w[0].t <= w[1].t));
+    }
+
+    #[test]
+    fn file_boundaries_and_clock_jumps_start_sessions() {
+        // Two files without headers; the second file's clock restarts, and
+        // a backwards jump *inside* a file also splits sessions.
+        let a = format!(
+            "{}\n{}\n",
+            progress_line(1, 100, 1, false),
+            progress_line(2, 300, 2, false)
+        );
+        let b = format!(
+            "{}\n{}\n",
+            progress_line(3, 50, 3, false),
+            progress_line(4, 20, 4, true) // backwards: third session
+        );
+        let tl = TimelineData::parse_logs([a.as_str(), b.as_str()]);
+        assert_eq!(tl.sessions, 3);
+        assert_eq!(tl.progress[2].t, 300 + 50);
+        assert_eq!(tl.progress[3].t, 350 + 20);
+    }
+
+    #[test]
+    fn torn_and_unknown_lines_are_counted_not_fatal() {
+        let log = format!(
+            "{HEADER}\n{}\nnot json at all\n{{\"t_us\": 9, \"type\": \"mystery\", \
+             \"elapsed_micros\": 500}}\n{{\"t_us\": 9, \"type\": \"message\", \"level\": \
+             \"info\", \"text\": \"hi\"}}\n{{\"t_us\": 10, \"type\": \"progre",
+            progress_line(5, 100, 1, false)
+        );
+        let tl = TimelineData::parse_logs([log.as_str()]);
+        assert_eq!(tl.progress.len(), 1);
+        // torn line + unknown typed event + clock-less message line.
+        assert_eq!(tl.skipped_lines, 4);
+    }
+
+    #[test]
+    fn adaptive_and_incident_events_parse() {
+        let log = format!(
+            "{HEADER}\n\
+             {{\"t_us\": 100, \"type\": \"adaptive_batch\", \"round\": 3, \"batch_runs\": 96, \
+             \"elapsed_micros\": 1234, \"strata\": [{{\"target\": 0, \"executed\": 128, \
+             \"trials\": 120, \"half_width\": 0.041234, \"closed\": false}}]}}\n\
+             {{\"t_us\": 200, \"type\": \"stratum_closed\", \"target\": 1, \"module\": \"B\", \
+             \"input_signal\": \"sA\", \"executed\": 96, \"trials\": 96, \
+             \"half_width\": 0.048000, \"reason\": \"ci_reached\", \"elapsed_micros\": 2000}}\n\
+             {{\"t_us\": 300, \"type\": \"run_incident\", \"k\": 42, \"kind\": \"panicked\", \
+             \"detail\": \"boom\", \"elapsed_micros\": 2500}}\n"
+        );
+        let tl = TimelineData::parse_logs([log.as_str()]);
+        assert_eq!(tl.sessions, 1);
+        assert_eq!(tl.batches.len(), 1);
+        assert_eq!(tl.batches[0].round, 3);
+        assert_eq!(tl.batches[0].strata.len(), 1);
+        assert!((tl.batches[0].strata[0].half_width - 0.041234).abs() < 1e-12);
+        assert_eq!(tl.closes.len(), 1);
+        assert_eq!(tl.closes[0].module, "B");
+        assert_eq!(tl.closes[0].reason, "ci_reached");
+        assert_eq!(tl.incidents.len(), 1);
+        assert_eq!(tl.incidents[0].kind, "panicked");
+        assert_eq!(tl.incidents[0].t, 2500);
+    }
+}

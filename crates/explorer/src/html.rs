@@ -1,0 +1,179 @@
+//! Rendering [`ExplorerData`] into one self-contained HTML file.
+//!
+//! The page carries no external references at all — the stylesheet and the
+//! hand-written JavaScript are inlined from `assets/`, and the data is
+//! embedded as inert `<script type="application/json">` blocks. It renders
+//! from `file://` with no network access.
+//!
+//! JSON is embedded with every `<` escaped as `\u003c`. In JSON text a `<`
+//! can only occur inside a string literal, where the `\u003c` escape is
+//! exactly equivalent — so the escaped text parses to the same document
+//! while being inert to the HTML parser (`</script>`, `<!--` and friends
+//! cannot appear).
+
+use crate::data::ExplorerData;
+
+/// The inlined stylesheet.
+pub const EXPLORER_CSS: &str = include_str!("../assets/explorer.css");
+
+/// The inlined explorer script (also loadable under Node for the port
+/// cross-checks — see `scripts/explorer_smoke.sh`).
+pub const EXPLORER_JS: &str = include_str!("../assets/explorer.js");
+
+/// Options controlling the page chrome.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct HtmlOptions {
+    /// When set, the page self-refreshes every `n` seconds (`--follow`
+    /// live mode) via a `<meta http-equiv="refresh">` tag.
+    pub refresh_secs: Option<u32>,
+}
+
+/// Escapes JSON text for embedding inside a `<script>` element.
+///
+/// Replaces every `<` with the equivalent JSON string escape `\u003c`.
+/// The output parses to the identical document.
+pub fn embed_json_escape(json: &str) -> String {
+    json.replace('<', "\\u003c")
+}
+
+/// Escapes text interpolated into HTML content or attribute positions.
+fn html_escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the complete self-contained page.
+///
+/// `raw_documents` are extra verbatim JSON artifacts embedded under
+/// `<script id="permea-raw-{name}">` — the report embeds `matrix.json`
+/// this way so external tooling can extract and diff it byte-for-byte
+/// (it contains no `<`, so the embedding escape leaves it untouched).
+pub fn render_html(
+    data: &ExplorerData,
+    raw_documents: &[(&str, &str)],
+    options: &HtmlOptions,
+) -> String {
+    let json = serde_json::to_string(data).expect("ExplorerData serialises infallibly");
+    let title = html_escape(&data.title);
+    let refresh = match options.refresh_secs {
+        Some(n) => format!("<meta http-equiv=\"refresh\" content=\"{n}\">\n"),
+        None => String::new(),
+    };
+    let mut raw = String::new();
+    for (name, doc) in raw_documents {
+        assert!(
+            name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-'),
+            "raw document name must be a plain slug"
+        );
+        raw.push_str(&format!(
+            "<script id=\"permea-raw-{name}\" type=\"application/json\">{}</script>\n",
+            embed_json_escape(doc)
+        ));
+    }
+    format!(
+        "<!DOCTYPE html>\n\
+         <html lang=\"en\">\n\
+         <head>\n\
+         <meta charset=\"utf-8\">\n\
+         <meta name=\"viewport\" content=\"width=device-width, initial-scale=1\">\n\
+         {refresh}\
+         <title>{title}</title>\n\
+         <style>\n{css}</style>\n\
+         </head>\n\
+         <body>\n\
+         <div id=\"permea-root\"></div>\n\
+         <script id=\"permea-data\" type=\"application/json\">{json}</script>\n\
+         {raw}\
+         <script>\n{js}</script>\n\
+         <script>PermeaExplorer.boot(document);</script>\n\
+         </body>\n\
+         </html>\n",
+        css = EXPLORER_CSS,
+        js = EXPLORER_JS,
+        json = embed_json_escape(&json),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn embedded_json_is_inert_and_roundtrips() {
+        let mut data = ExplorerData::new("sneaky </script><!-- title");
+        data.title.push_str(" &amp;");
+        let html = render_html(&data, &[], &HtmlOptions::default());
+        // No live closing tag or comment opener can appear inside the
+        // embedded JSON (the real closing tags of the page are fine).
+        let json_block = html
+            .split("<script id=\"permea-data\" type=\"application/json\">")
+            .nth(1)
+            .unwrap()
+            .split("</script>")
+            .next()
+            .unwrap();
+        assert!(!json_block.contains('<'));
+        let parsed: ExplorerData = serde_json::from_str(json_block).unwrap();
+        assert_eq!(parsed, data);
+    }
+
+    #[test]
+    fn page_is_self_contained() {
+        let html = render_html(&ExplorerData::new("t"), &[], &HtmlOptions::default());
+        // No fetched resources of any kind. (The SVG namespace *identifier*
+        // inside the script is not a reference and is explicitly allowed.)
+        assert!(!html.contains("src="));
+        assert!(!html.contains("href="));
+        assert!(!html.contains("@import"));
+        assert!(!html.contains("url("));
+        assert!(!html.contains("fetch("));
+        assert!(!html.contains("XMLHttpRequest"));
+        assert!(html.contains("PermeaExplorer.boot"));
+    }
+
+    #[test]
+    fn title_is_html_escaped_and_refresh_opt_in() {
+        let html = render_html(
+            &ExplorerData::new("a<b & \"c\""),
+            &[],
+            &HtmlOptions::default(),
+        );
+        assert!(html.contains("<title>a&lt;b &amp; &quot;c&quot;</title>"));
+        assert!(!html.contains("http-equiv"));
+        let live = render_html(
+            &ExplorerData::new("t"),
+            &[],
+            &HtmlOptions {
+                refresh_secs: Some(2),
+            },
+        );
+        assert!(live.contains("<meta http-equiv=\"refresh\" content=\"2\">"));
+    }
+
+    #[test]
+    fn raw_documents_embed_verbatim_when_angle_free() {
+        let doc = "{\n  \"topology_name\": \"arrestment\"\n}";
+        let html = render_html(
+            &ExplorerData::new("t"),
+            &[("matrix", doc)],
+            &HtmlOptions::default(),
+        );
+        let block = html
+            .split("<script id=\"permea-raw-matrix\" type=\"application/json\">")
+            .nth(1)
+            .unwrap()
+            .split("</script>")
+            .next()
+            .unwrap();
+        assert_eq!(block, doc);
+    }
+}

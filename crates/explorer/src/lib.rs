@@ -1,0 +1,49 @@
+//! # permea-explorer — the interactive study explorer
+//!
+//! Turns study artifacts into **one self-contained HTML file**: no external
+//! scripts, stylesheets, fonts or network access — the page renders from
+//! `file://` on an air-gapped machine, which is where fault-injection rigs
+//! tend to live. Everything interactive is hand-written JavaScript inlined
+//! at generation time; the data rides along as inert
+//! `<script type="application/json">` blocks.
+//!
+//! The page offers:
+//!
+//! * a clickable **permeability graph** with an arc-weight heatmap, sharing
+//!   the topology conventions of `permea_core::dot`;
+//! * a **backtrack path explorer** ranking root-to-leaf propagation paths
+//!   by weight, cross-filtered by clicking graph arcs;
+//! * a **what-if containment panel** that recomputes end-to-end propagation
+//!   client-side — a line-faithful JavaScript port of
+//!   `permea_core::whatif`, self-checked on load against a Rust-computed
+//!   fixture embedded next to it;
+//! * **convergence curves** (per-stratum Wilson CI half-widths) and a
+//!   **campaign timeline** (progress, incidents, stratum closes) stitched
+//!   from `--events` JSONL logs, including across kill/resume sessions;
+//! * EDM/ERM **placement** recommendations and a metrics digest.
+//!
+//! The `permea-explorer` binary regenerates the page from artifact files
+//! and, with `--follow`, re-renders on an interval while a campaign is
+//! still appending events — a self-refreshing live dashboard.
+//!
+//! Layering: this crate sits above `permea-core` and `permea-fi` (it
+//! consumes their types) and below `permea-analysis` (which embeds full
+//! study outputs).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod data;
+pub mod events;
+pub mod html;
+
+pub use data::{ExplorerData, SystemView, WhatIfView, EXPLORER_SCHEMA_VERSION};
+pub use events::TimelineData;
+pub use html::{embed_json_escape, render_html, HtmlOptions, EXPLORER_CSS, EXPLORER_JS};
+
+/// Everything needed to build and render explorer pages.
+pub mod prelude {
+    pub use crate::data::{ExplorerData, EXPLORER_SCHEMA_VERSION};
+    pub use crate::events::TimelineData;
+    pub use crate::html::{render_html, HtmlOptions};
+}

@@ -26,7 +26,7 @@
 //! bit-identical to the replay-from-zero path, which is kept (set
 //! `fast_forward: false`) for differential testing.
 
-use crate::adaptive::AdaptivePlanner;
+use crate::adaptive::{AdaptivePlanner, StopReason};
 use crate::chaos::ChaosInjector;
 use crate::error::FiError;
 use crate::golden::GoldenRun;
@@ -36,7 +36,7 @@ use crate::process::{backoff, Attempt, IsolationMode, ProcessIsolation, ToWorker
 use crate::results::{CampaignResult, PairStat, RunRecord, RunStats};
 use crate::shard::Shard;
 use crate::spec::{CampaignSpec, InjectionScope};
-use permea_obs::{Counter, Histogram, Obs, Progress};
+use permea_obs::{Counter, Event, Histogram, Obs, Progress, StratumCi};
 use permea_runtime::sim::{SimInstruments, SimSnapshot, Simulation};
 use permea_runtime::time::SimTime;
 use permea_runtime::tracing::TraceSet;
@@ -384,13 +384,18 @@ struct AdaptiveState {
     finished: bool,
     /// Every coordinate the planner has issued, in issue order.
     sampled: Vec<u64>,
+    /// Per-target flag: a [`permea_obs::Event::StratumClosed`] event was
+    /// already emitted for this stratum (closes are detected at batch
+    /// barriers, so without the flag every later barrier would repeat
+    /// them).
+    closed_reported: Vec<bool>,
 }
 
 /// Where worker threads claim coordinates from: the dense grid cursor, or
 /// the adaptive planner with its batch condvar.
 enum WorkSource {
     Dense(AtomicUsize),
-    Adaptive(Mutex<AdaptiveState>, Condvar),
+    Adaptive(Box<Mutex<AdaptiveState>>, Condvar),
 }
 
 /// A ready-to-run campaign binding a factory to a configuration.
@@ -937,6 +942,27 @@ impl<'f> Campaign<'f> {
         let ins = Instruments::resolve(obs);
         let _campaign_span = obs.span("campaign");
         let campaign_started = Instant::now();
+        // Campaign-relative monotonic clock stamped into every timeline
+        // event (`Progress::elapsed_micros`, adaptive snapshots, run
+        // incidents). Deliberately *not* `obs.now_micros()`: the telemetry
+        // epoch starts at handle creation and would fold per-process setup
+        // time into the timeline, and each session of a resumed campaign
+        // must restart this clock at zero so consumers can stitch sessions
+        // contiguously.
+        let campaign_elapsed = move || campaign_started.elapsed().as_micros() as u64;
+        // Quarantined outcomes and worker-death retries land on the event
+        // timeline as run incidents; completed runs stay off it so the
+        // event rate tracks trouble, not campaign size.
+        let emit_incident = |k: u64, kind: &str, detail: &str| {
+            if obs.enabled() {
+                obs.emit(&Event::RunIncident {
+                    k,
+                    kind,
+                    detail,
+                    elapsed_micros: campaign_elapsed(),
+                });
+            }
+        };
 
         let process_cfg = match &self.config.isolation {
             IsolationMode::Process(p) => Some(p),
@@ -1069,7 +1095,7 @@ impl<'f> Campaign<'f> {
             Some(_) => {
                 let outputs: Vec<usize> = targets.iter().map(|t| t.output_signals.len()).collect();
                 WorkSource::Adaptive(
-                    Mutex::new(AdaptiveState {
+                    Box::new(Mutex::new(AdaptiveState {
                         planner: AdaptivePlanner::new(
                             spec,
                             &outputs,
@@ -1080,7 +1106,8 @@ impl<'f> Campaign<'f> {
                         outstanding: 0,
                         finished: false,
                         sampled: Vec::new(),
-                    }),
+                        closed_reported: vec![false; targets.len()],
+                    })),
                     Condvar::new(),
                 )
             }
@@ -1165,6 +1192,53 @@ impl<'f> Campaign<'f> {
                         // recorded, so the planner may allocate the next
                         // round.
                         let batch = s.planner.next_batch();
+                        if obs.enabled() {
+                            // Snapshot the planner's confidence state at
+                            // the barrier — the data points of the
+                            // explorer's convergence curves. The final
+                            // (empty) batch still snapshots, closing the
+                            // curves, and newly-closed strata get one
+                            // `stratum_closed` event each.
+                            let elapsed = campaign_elapsed();
+                            let status = s.planner.status();
+                            let strata: Vec<StratumCi> = status
+                                .iter()
+                                .map(|st| StratumCi {
+                                    target: st.target as u32,
+                                    executed: st.executed,
+                                    trials: st.trials,
+                                    half_width: st.max_half_width,
+                                    closed: st.closed.is_some(),
+                                })
+                                .collect();
+                            obs.emit(&Event::AdaptiveBatch {
+                                round: s.planner.rounds(),
+                                batch_runs: batch.len() as u64,
+                                elapsed_micros: elapsed,
+                                strata: &strata,
+                            });
+                            for st in &status {
+                                let Some(stop) = st.closed else { continue };
+                                if std::mem::replace(&mut s.closed_reported[st.target], true) {
+                                    continue;
+                                }
+                                let reason = match stop {
+                                    StopReason::CiReached => "ci_reached",
+                                    StopReason::BudgetExhausted => "budget_exhausted",
+                                    StopReason::RankingStable => "ranking_stable",
+                                };
+                                obs.emit(&Event::StratumClosed {
+                                    target: st.target as u32,
+                                    module: &targets[st.target].module_name,
+                                    input_signal: &targets[st.target].input_signal,
+                                    executed: st.executed,
+                                    trials: st.trials,
+                                    half_width: st.max_half_width,
+                                    reason,
+                                    elapsed_micros: elapsed,
+                                });
+                            }
+                        }
                         if batch.is_empty() {
                             s.finished = true;
                             batch_done.notify_all();
@@ -1251,6 +1325,26 @@ impl<'f> Campaign<'f> {
             }
             let quarantined_run = !record.outcome.is_completed();
             let forked = stats.forked;
+            let incident: Option<(&'static str, String)> = if obs.enabled() {
+                match &record.outcome {
+                    RunOutcome::Completed => None,
+                    RunOutcome::Panicked { message } => Some(("panicked", message.clone())),
+                    RunOutcome::Hung { last_tick_ms } => Some((
+                        "hung",
+                        format!("clock stalled; last observed tick {last_tick_ms} ms"),
+                    )),
+                    RunOutcome::Crashed { signal, exit_code } => Some((
+                        "crashed",
+                        match (signal, exit_code) {
+                            (Some(sig), _) => format!("worker killed by signal {sig}"),
+                            (None, Some(code)) => format!("worker exited with code {code}"),
+                            (None, None) => "worker died".to_owned(),
+                        },
+                    )),
+                }
+            } else {
+                None
+            };
             match executed.lock() {
                 Ok(mut recs) => recs.push((k as u64, record)),
                 Err(_) => {
@@ -1271,6 +1365,9 @@ impl<'f> Campaign<'f> {
                 } else {
                     progress_quarantined.load(Ordering::Relaxed)
                 };
+                if let Some((kind, detail)) = &incident {
+                    emit_incident(k as u64, kind, detail);
+                }
                 obs.progress(&Progress {
                     done: done_now,
                     total: progress_total,
@@ -1278,7 +1375,7 @@ impl<'f> Campaign<'f> {
                     quarantined: quarantined_now,
                     forked: forked_now,
                     executed: executed_now,
-                    elapsed_micros: obs.now_micros(),
+                    elapsed_micros: campaign_elapsed(),
                     finished: false,
                 });
             }
@@ -1403,6 +1500,15 @@ impl<'f> Campaign<'f> {
                                 ins.worker_kills.inc();
                             }
                             ins.run_retries.inc();
+                            emit_incident(
+                                ks[0],
+                                "retried",
+                                &format!(
+                                    "worker died running a dispatch batch of {}; \
+                                     re-dispatching singly",
+                                    ks.len()
+                                ),
+                            );
                         }
                         Ok(Attempt::Protocol(message)) => {
                             set_fail(FiError::WorkerProcess { message });
@@ -1527,6 +1633,11 @@ impl<'f> Campaign<'f> {
                                 }
                                 last_death = Some(outcome);
                                 ins.run_retries.inc();
+                                emit_incident(
+                                    k as u64,
+                                    "retried",
+                                    &format!("worker death on attempt {attempts}; backing off"),
+                                );
                                 std::thread::sleep(backoff(p.retry_backoff_ms, attempts));
                             }
                             Ok(Attempt::Protocol(message)) => {
@@ -1620,7 +1731,7 @@ impl<'f> Campaign<'f> {
                     quarantined: progress_quarantined.load(Ordering::Relaxed),
                     forked: progress_forked.load(Ordering::Relaxed),
                     executed: progress_executed.load(Ordering::Relaxed),
-                    elapsed_micros: obs.now_micros(),
+                    elapsed_micros: campaign_elapsed(),
                     finished: true,
                 });
             }
@@ -2649,5 +2760,111 @@ mod tests {
         // ... while the process-local view shows the split honestly.
         assert_eq!(snap.counter("process.runs_executed"), Some(44));
         assert_eq!(snap.counter("process.runs_recovered"), Some(20));
+    }
+
+    /// Records every progress event's sink clock / campaign clock pair and
+    /// optionally raises a cancel flag after a fixed number of them.
+    #[derive(Debug)]
+    struct TimelineSink {
+        /// `(t_us, elapsed_micros, finished)` per progress event.
+        points: Mutex<Vec<(u64, u64, bool)>>,
+        cancel_after: Option<(usize, Arc<AtomicBool>)>,
+    }
+    impl permea_obs::Sink for TimelineSink {
+        fn event(&self, now_micros: u64, event: &permea_obs::Event<'_>) {
+            if let permea_obs::Event::Progress(p) = event {
+                let mut pts = self.points.lock().unwrap();
+                pts.push((now_micros, p.elapsed_micros, p.finished));
+                if let Some((after, flag)) = &self.cancel_after {
+                    if pts.len() >= *after {
+                        flag.store(true, Ordering::Release);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Regression for the resumed-campaign timeline: progress events must
+    /// carry *campaign-relative* timestamps (each session restarting at
+    /// zero), not the telemetry handle's epoch clock — the epoch starts at
+    /// handle creation and would fold per-process setup time into the
+    /// timeline, breaking contiguous stitching of kill/resume sessions.
+    #[test]
+    fn timeline_events_are_campaign_relative_across_kill_and_resume() {
+        // Deliberate gap between telemetry-handle creation and campaign
+        // start. An event stamped with the epoch clock carries this gap;
+        // a campaign-relative one does not.
+        const SETUP_GAP: Duration = Duration::from_millis(50);
+        const MIN_GAP_MICROS: u64 = 40_000;
+
+        let f = factory();
+        let path = journal_path("timeline-resume");
+        let _ = std::fs::remove_file(&path);
+        let header = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        )
+        .journal_header(&spec());
+
+        let run_session = |cancel_after: Option<usize>| {
+            let cancel = Arc::new(AtomicBool::new(false));
+            let sink = Arc::new(TimelineSink {
+                points: Mutex::new(Vec::new()),
+                cancel_after: cancel_after.map(|n| (n, cancel.clone())),
+            });
+            let obs = Obs::with_sinks(vec![sink.clone()]);
+            std::thread::sleep(SETUP_GAP);
+            let c = Campaign::new(
+                &f,
+                CampaignConfig {
+                    threads: 1,
+                    ..Default::default()
+                },
+            )
+            .with_obs(obs);
+            let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+            let result = c.run_resumable(&spec(), Some(&mut j), Some(&cancel));
+            let points = sink.points.lock().unwrap().clone();
+            (points, result)
+        };
+
+        let assert_session = |points: &[(u64, u64, bool)], label: &str| {
+            assert!(!points.is_empty(), "{label}: no progress events");
+            let mut prev = 0u64;
+            for &(t_us, elapsed, _) in points {
+                assert!(
+                    t_us >= elapsed + MIN_GAP_MICROS,
+                    "{label}: elapsed_micros {elapsed} is epoch-relative \
+                     (sink clock {t_us})"
+                );
+                assert!(
+                    elapsed >= prev,
+                    "{label}: campaign clock went backwards ({prev} -> {elapsed})"
+                );
+                prev = elapsed;
+            }
+        };
+
+        // Session 1: killed after 20 progress events.
+        let (first, result) = run_session(Some(20));
+        assert!(
+            matches!(result, Err(FiError::Interrupted { .. })),
+            "session 1 should be interrupted, got {result:?}"
+        );
+        assert_session(&first, "session 1");
+
+        // Session 2: resumes the journal and finishes. Its campaign clock
+        // restarts at zero — still bounded away from the epoch clock.
+        let (second, result) = run_session(None);
+        result.expect("resume completes");
+        assert_session(&second, "session 2");
+        assert!(
+            second.last().is_some_and(|&(_, _, finished)| finished),
+            "resumed session must emit the final progress event"
+        );
+        let _ = std::fs::remove_file(&path);
     }
 }

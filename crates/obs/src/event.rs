@@ -1,5 +1,15 @@
 //! Telemetry events dispatched to [`crate::Sink`]s.
 
+/// Version of the JSONL event stream written by [`crate::JsonlSink`].
+///
+/// The sink emits one header line `{"t_us": 0, "type": "schema", "v": N,
+/// "stream": "permea-events"}` before any event, so downstream consumers
+/// (the explorer, future servers) can reject streams they do not
+/// understand. Bump this whenever an existing event type changes shape or
+/// meaning; adding a new event type is backwards-compatible and does not
+/// require a bump.
+pub const EVENTS_SCHEMA_VERSION: u32 = 1;
+
 /// Severity of a [`Event::Message`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Level {
@@ -40,7 +50,11 @@ pub struct Progress {
     pub forked: u64,
     /// Runs executed by this process so far.
     pub executed: u64,
-    /// Microseconds since campaign start.
+    /// Microseconds since *campaign* start — a monotonic campaign-relative
+    /// clock, not wall-clock and not the telemetry handle's epoch. Every
+    /// session of a resumed campaign restarts this clock at zero, which is
+    /// what lets a consumer stitch per-session event logs into one
+    /// contiguous timeline by rebasing each session.
     pub elapsed_micros: u64,
     /// `true` on the campaign's final progress event.
     pub finished: bool,
@@ -78,6 +92,23 @@ impl Progress {
     }
 }
 
+/// One stratum's confidence state inside an [`Event::AdaptiveBatch`]
+/// snapshot: how tightly the Wilson intervals of one injection target are
+/// pinned down at a batch barrier.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StratumCi {
+    /// Target index in spec order.
+    pub target: u32,
+    /// Runs recorded for the stratum (including quarantined).
+    pub executed: u64,
+    /// Completed runs feeding the estimates (the Wilson `n`).
+    pub trials: u64,
+    /// Widest Wilson half-width across the target's outputs.
+    pub half_width: f64,
+    /// Whether the stratum has closed.
+    pub closed: bool,
+}
+
 /// One telemetry event. Borrowed so emission never allocates.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Event<'a> {
@@ -102,6 +133,56 @@ pub enum Event<'a> {
     },
     /// Campaign progress (see [`Progress`]).
     Progress(&'a Progress),
+    /// Adaptive planner batch barrier: the per-stratum Wilson-CI snapshot
+    /// taken right after round `round` was allocated. The convergence
+    /// curves of the explorer are drawn from these.
+    AdaptiveBatch {
+        /// Planner round just allocated (1-based).
+        round: u64,
+        /// Coordinates issued in this round.
+        batch_runs: u64,
+        /// Microseconds since campaign start (campaign-relative, like
+        /// [`Progress::elapsed_micros`]).
+        elapsed_micros: u64,
+        /// Per-stratum confidence state, in target order.
+        strata: &'a [StratumCi],
+    },
+    /// An adaptive stratum stopped drawing budget.
+    StratumClosed {
+        /// Target index in spec order.
+        target: u32,
+        /// Module name of the target.
+        module: &'a str,
+        /// Input-signal name of the target.
+        input_signal: &'a str,
+        /// Runs recorded for the stratum (including quarantined).
+        executed: u64,
+        /// Completed runs feeding the estimates.
+        trials: u64,
+        /// Widest Wilson half-width at close time.
+        half_width: f64,
+        /// Stop reason label: `ci_reached`, `budget_exhausted` or
+        /// `ranking_stable`.
+        reason: &'a str,
+        /// Microseconds since campaign start (campaign-relative).
+        elapsed_micros: u64,
+    },
+    /// A run whose execution was eventful enough for the campaign
+    /// timeline: quarantined outcomes (panicked / hung / crashed) and
+    /// worker-death retries. Completed runs are *not* reported here —
+    /// their rate is visible through the throttled [`Event::Progress`]
+    /// stream — so the event rate stays proportional to trouble, not to
+    /// campaign size.
+    RunIncident {
+        /// Global coordinate index of the run.
+        k: u64,
+        /// Incident class: `panicked`, `hung`, `crashed` or `retried`.
+        kind: &'a str,
+        /// Free-form detail (panic message, signal number, ...).
+        detail: &'a str,
+        /// Microseconds since campaign start (campaign-relative).
+        elapsed_micros: u64,
+    },
 }
 
 #[cfg(test)]

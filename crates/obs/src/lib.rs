@@ -52,9 +52,10 @@ pub mod metrics;
 pub mod sink;
 pub mod span;
 
-pub use event::{Event, Level, Progress};
+pub use event::{Event, Level, Progress, StratumCi, EVENTS_SCHEMA_VERSION};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot, Registry, SpanStat,
+    METRICS_SCHEMA_VERSION,
 };
 pub use sink::{JsonlSink, ProgressSink, Sink, StderrSink};
 pub use span::Span;
@@ -201,6 +202,16 @@ impl Obs {
     pub fn progress(&self, progress: &Progress) {
         if self.enabled() {
             self.emit(&Event::Progress(progress));
+        }
+    }
+
+    /// Flushes every attached sink's buffered output. Call before reading
+    /// back a sink-written file (an `--events` log) in the same process.
+    pub fn flush(&self) {
+        if let Some(s) = &self.shared {
+            for sink in &s.sinks {
+                sink.flush();
+            }
         }
     }
 

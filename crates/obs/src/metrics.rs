@@ -308,6 +308,13 @@ pub struct MetricsSnapshot {
 /// execution facts (see the crate docs).
 pub const CAMPAIGN_PREFIX: &str = "campaign.";
 
+/// Version of the `metrics.json` layout rendered by
+/// [`MetricsSnapshot::to_json_pretty`], emitted as the artifact's
+/// top-level `"schema"` key. Bump when a top-level section is renamed,
+/// removed or restructured; adding metric names inside a section is
+/// backwards-compatible and does not require a bump.
+pub const METRICS_SCHEMA_VERSION: u32 = 1;
+
 impl MetricsSnapshot {
     /// Convenience counter lookup.
     pub fn counter(&self, name: &str) -> Option<u64> {
@@ -328,6 +335,7 @@ impl MetricsSnapshot {
     ///
     /// ```json
     /// {
+    ///   "schema": 1,
     ///   "campaign": { "<counter>": N, ... },
     ///   "process": {
     ///     "counters": { ... }, "gauges": { ... },
@@ -337,11 +345,12 @@ impl MetricsSnapshot {
     /// }
     /// ```
     ///
-    /// Keys are sorted; the `"campaign"` object is byte-stable across
-    /// resume boundaries. Hand-rolled (this crate is dependency-free) but
-    /// valid JSON, including string escaping.
+    /// `"schema"` is [`METRICS_SCHEMA_VERSION`]; keys are sorted; the
+    /// `"campaign"` object is byte-stable across resume boundaries.
+    /// Hand-rolled (this crate is dependency-free) but valid JSON,
+    /// including string escaping.
     pub fn to_json_pretty(&self) -> String {
-        let mut out = String::from("{\n  \"campaign\": {");
+        let mut out = format!("{{\n  \"schema\": {METRICS_SCHEMA_VERSION},\n  \"campaign\": {{");
         write_u64_object(&mut out, 4, self.campaign_section().into_iter());
         out.push_str("  \"process\": {\n    \"counters\": {");
         write_u64_object(
@@ -619,8 +628,55 @@ mod tests {
     fn empty_snapshot_renders_valid_shape() {
         let r = Registry::default();
         let json = r.snapshot().to_json_pretty();
+        assert!(json.starts_with("{\n  \"schema\": 1,\n"));
         assert!(json.contains("\"campaign\": {}"));
         assert!(json.ends_with("}\n"));
+    }
+
+    /// Downstream consumers (the explorer, a future server) key off the
+    /// exact top-level layout of `metrics.json`: the schema version, the
+    /// `"campaign"` / `"process"` split, and the four fixed process
+    /// sections. This snapshot pins that key set.
+    #[test]
+    fn metrics_json_schema_key_set() {
+        let r = Registry::default();
+        r.counter("campaign.runs_total").add(3);
+        r.counter("process.runs_executed").add(3);
+        r.gauge("process.campaign_wall_ms").set(10);
+        r.histogram("process.run_micros").observe(5);
+        r.event(
+            0,
+            &Event::SpanEnd {
+                name: "golden",
+                micros: 7,
+            },
+        );
+        let json = r.snapshot().to_json_pretty();
+        // Top-level keys, in order: schema, campaign, process.
+        let top: Vec<&str> = json
+            .lines()
+            .filter(|l| l.starts_with("  \"") || l == &"  },")
+            .filter_map(|l| l.trim().strip_prefix('"')?.split('"').next())
+            .collect();
+        assert_eq!(top, ["schema", "campaign", "process"]);
+        assert!(json.contains(&format!("\"schema\": {METRICS_SCHEMA_VERSION},")));
+        // Process sections, in order.
+        for section in ["counters", "gauges", "histograms", "spans"] {
+            assert!(
+                json.contains(&format!("    \"{section}\": {{")),
+                "missing process section {section}"
+            );
+        }
+        let idx = |s: &str| json.find(&format!("    \"{s}\": {{")).unwrap();
+        assert!(idx("counters") < idx("gauges"));
+        assert!(idx("gauges") < idx("histograms"));
+        assert!(idx("histograms") < idx("spans"));
+        // Histogram entry key set is fixed.
+        assert!(json.contains(
+            "{\"count\": 1, \"sum\": 5, \"mean\": 5.0, \"p50\": 7, \"p90\": 7, \"p99\": 7, \"max\": 5}"
+        ));
+        // Span entry key set is fixed.
+        assert!(json.contains("{\"count\": 1, \"total_micros\": 7}"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Event sinks: where telemetry events go.
 
-use crate::event::{Event, Level, Progress};
+use crate::event::{Event, Level, Progress, EVENTS_SCHEMA_VERSION};
 use crate::metrics::json_escape;
 use std::fs::File;
 use std::io::{BufWriter, IsTerminal, Write};
@@ -16,6 +16,11 @@ use std::sync::Mutex;
 pub trait Sink: Send + Sync + std::fmt::Debug {
     /// Handles one event.
     fn event(&self, now_micros: u64, event: &Event<'_>);
+
+    /// Pushes any buffered output to its destination. Called before a
+    /// consumer reads back what a sink wrote (e.g. `study --html-out`
+    /// re-reading its own `--events` log); the default is a no-op.
+    fn flush(&self) {}
 }
 
 /// Routes [`Event::Message`]s to stderr, one line each — preserving the
@@ -42,8 +47,10 @@ impl Sink for StderrSink {
 const JSONL_PROGRESS_INTERVAL_MICROS: u64 = 50_000;
 
 /// Appends every event as one JSON object per line — the machine-readable
-/// event log (`--events PATH`). Progress events are throttled to one per
-/// 50 ms (the final `finished` one always lands).
+/// event log (`--events PATH`). The first line is a schema header
+/// (`"type": "schema"`, version [`EVENTS_SCHEMA_VERSION`]); progress
+/// events are throttled to one per 50 ms (the final `finished` one always
+/// lands).
 #[derive(Debug)]
 pub struct JsonlSink {
     writer: Mutex<BufWriter<File>>,
@@ -51,10 +58,17 @@ pub struct JsonlSink {
 }
 
 impl JsonlSink {
-    /// Creates (truncating) the event log at `path`.
+    /// Creates (truncating) the event log at `path` and writes the schema
+    /// header line.
     pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
+        let mut writer = BufWriter::new(File::create(path)?);
+        writeln!(
+            writer,
+            "{{\"t_us\": 0, \"type\": \"schema\", \"v\": {EVENTS_SCHEMA_VERSION}, \
+             \"stream\": \"permea-events\"}}"
+        )?;
         Ok(JsonlSink {
-            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+            writer: Mutex::new(writer),
             last_progress_micros: AtomicU64::new(u64::MAX),
         })
     }
@@ -79,7 +93,68 @@ impl JsonlSink {
                 p.done, p.total, p.recovered, p.quarantined, p.forked, p.executed,
                 p.elapsed_micros, p.finished
             ),
+            Event::AdaptiveBatch {
+                round,
+                batch_runs,
+                elapsed_micros,
+                strata,
+            } => {
+                let mut line = format!(
+                    "{{\"t_us\": {now_micros}, \"type\": \"adaptive_batch\", \"round\": {round}, \"batch_runs\": {batch_runs}, \"elapsed_micros\": {elapsed_micros}, \"strata\": ["
+                );
+                for (i, s) in strata.iter().enumerate() {
+                    if i > 0 {
+                        line.push_str(", ");
+                    }
+                    line.push_str(&format!(
+                        "{{\"target\": {}, \"executed\": {}, \"trials\": {}, \"half_width\": {}, \"closed\": {}}}",
+                        s.target,
+                        s.executed,
+                        s.trials,
+                        json_f64(s.half_width),
+                        s.closed
+                    ));
+                }
+                line.push_str("]}");
+                line
+            }
+            Event::StratumClosed {
+                target,
+                module,
+                input_signal,
+                executed,
+                trials,
+                half_width,
+                reason,
+                elapsed_micros,
+            } => format!(
+                "{{\"t_us\": {now_micros}, \"type\": \"stratum_closed\", \"target\": {target}, \"module\": \"{}\", \"input_signal\": \"{}\", \"executed\": {executed}, \"trials\": {trials}, \"half_width\": {}, \"reason\": \"{}\", \"elapsed_micros\": {elapsed_micros}}}",
+                json_escape(module),
+                json_escape(input_signal),
+                json_f64(*half_width),
+                json_escape(reason)
+            ),
+            Event::RunIncident {
+                k,
+                kind,
+                detail,
+                elapsed_micros,
+            } => format!(
+                "{{\"t_us\": {now_micros}, \"type\": \"run_incident\", \"k\": {k}, \"kind\": \"{}\", \"detail\": \"{}\", \"elapsed_micros\": {elapsed_micros}}}",
+                json_escape(kind),
+                json_escape(detail)
+            ),
         }
+    }
+}
+
+/// Renders an `f64` as a valid JSON number: finite values keep six decimal
+/// places (deterministic across platforms), non-finite values degrade to 0.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "0".to_owned()
     }
 }
 
@@ -102,6 +177,11 @@ impl Sink for JsonlSink {
         if matches!(event, Event::Progress(Progress { finished: true, .. })) {
             let _ = writer.flush();
         }
+    }
+
+    fn flush(&self) {
+        let mut writer = self.writer.lock().expect("jsonl sink lock");
+        let _ = writer.flush();
     }
 }
 
@@ -337,12 +417,86 @@ mod tests {
         }
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        assert_eq!(lines.len(), 4);
-        assert!(lines[0].contains("\"type\": \"span_begin\""));
-        assert!(lines[1].contains("\\\"x\\\""));
-        assert!(lines[2].contains("\"finished\": true"));
-        assert!(lines[3].contains("\"micros\": 30"));
+        assert_eq!(lines.len(), 5);
+        assert_eq!(
+            lines[0],
+            "{\"t_us\": 0, \"type\": \"schema\", \"v\": 1, \"stream\": \"permea-events\"}"
+        );
+        assert!(lines[1].contains("\"type\": \"span_begin\""));
+        assert!(lines[2].contains("\\\"x\\\""));
+        assert!(lines[3].contains("\"finished\": true"));
+        assert!(lines[4].contains("\"micros\": 30"));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn jsonl_renders_adaptive_and_incident_events() {
+        use crate::event::StratumCi;
+        let strata = [
+            StratumCi {
+                target: 0,
+                executed: 32,
+                trials: 30,
+                half_width: 0.0525,
+                closed: false,
+            },
+            StratumCi {
+                target: 1,
+                executed: 64,
+                trials: 64,
+                half_width: f64::NAN,
+                closed: true,
+            },
+        ];
+        let batch = JsonlSink::render(
+            100,
+            &Event::AdaptiveBatch {
+                round: 3,
+                batch_runs: 96,
+                elapsed_micros: 90,
+                strata: &strata,
+            },
+        );
+        assert_eq!(
+            batch,
+            "{\"t_us\": 100, \"type\": \"adaptive_batch\", \"round\": 3, \"batch_runs\": 96, \
+             \"elapsed_micros\": 90, \"strata\": [\
+             {\"target\": 0, \"executed\": 32, \"trials\": 30, \"half_width\": 0.052500, \"closed\": false}, \
+             {\"target\": 1, \"executed\": 64, \"trials\": 64, \"half_width\": 0, \"closed\": true}]}"
+        );
+        let closed = JsonlSink::render(
+            200,
+            &Event::StratumClosed {
+                target: 1,
+                module: "B",
+                input_signal: "sig_b_in",
+                executed: 64,
+                trials: 64,
+                half_width: 0.04,
+                reason: "ci_reached",
+                elapsed_micros: 190,
+            },
+        );
+        assert_eq!(
+            closed,
+            "{\"t_us\": 200, \"type\": \"stratum_closed\", \"target\": 1, \"module\": \"B\", \
+             \"input_signal\": \"sig_b_in\", \"executed\": 64, \"trials\": 64, \
+             \"half_width\": 0.040000, \"reason\": \"ci_reached\", \"elapsed_micros\": 190}"
+        );
+        let incident = JsonlSink::render(
+            300,
+            &Event::RunIncident {
+                k: 42,
+                kind: "panicked",
+                detail: "index out of \"bounds\"",
+                elapsed_micros: 290,
+            },
+        );
+        assert_eq!(
+            incident,
+            "{\"t_us\": 300, \"type\": \"run_incident\", \"k\": 42, \"kind\": \"panicked\", \
+             \"detail\": \"index out of \\\"bounds\\\"\", \"elapsed_micros\": 290}"
+        );
     }
 
     #[test]
@@ -366,7 +520,8 @@ mod tests {
             sink.event(61_000, &Event::Progress(&done)); // finished: always logged
         }
         let text = std::fs::read_to_string(&path).unwrap();
-        assert_eq!(text.lines().count(), 3);
+        // Schema header + first progress + 60ms progress + finished.
+        assert_eq!(text.lines().count(), 4);
         std::fs::remove_dir_all(&dir).ok();
     }
 }

@@ -1,0 +1,112 @@
+#!/usr/bin/env bash
+# Explorer smoke test: a quick study writes the self-contained explorer
+# page alongside its artifacts, and the page is validated end to end:
+#   * the page fetches nothing (no src=/href=/@import/url()/fetch()),
+#   * both embedded JSON blocks extract and parse,
+#   * the embedded raw matrix block is byte-identical to matrix.json,
+#   * the JavaScript what-if port, run under node against the embedded
+#     data, reproduces the Rust-computed fixture bit for bit
+#     (selfCheck: ok, maxAbsDiff == 0, ranking order identical),
+#   * the stitched timeline carries progress and stratum-close points,
+#   * `permea-explorer --follow` renders a self-refreshing page from the
+#     same artifacts.
+#
+# Usage: scripts/explorer_smoke.sh [path-to-study-binary]
+
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+STUDY="${1:-target/release/study}"
+if [[ ! -x "$STUDY" ]]; then
+    echo "building study binary..."
+    cargo build --release -p permea-analysis --bin study
+    STUDY=target/release/study
+fi
+if [[ ! -x target/release/permea-explorer ]]; then
+    echo "building permea-explorer binary..."
+    cargo build --release -p permea-explorer --bin permea-explorer
+fi
+
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+mkdir -p "$WORK/study"
+PAGE="$WORK/explorer.html"
+
+echo "== quick study with --events --metrics-out --html-out =="
+"$STUDY" --quick --adaptive --out "$WORK/study" \
+    --events "$WORK/study/events.jsonl" \
+    --metrics-out "$WORK/study/metrics.json" \
+    --html-out "$PAGE" >"$WORK/study.log" 2>&1
+[[ -s "$PAGE" ]] || { echo "FAIL: no explorer.html produced" >&2; exit 1; }
+echo "page: $(wc -c <"$PAGE") bytes"
+
+echo "== page is self-contained (no fetched resources) =="
+if grep -qE 'src=|href=|@import|url\(|fetch\(|XMLHttpRequest' "$PAGE"; then
+    echo "FAIL: page references external resources" >&2
+    grep -nE 'src=|href=|@import|url\(|fetch\(|XMLHttpRequest' "$PAGE" | head -5 >&2
+    exit 1
+fi
+
+echo "== embedded JSON blocks extract and parse =="
+python3 - "$PAGE" "$WORK/data.json" "$WORK/matrix-embedded.json" <<'PY'
+import sys
+html = open(sys.argv[1]).read()
+def block(block_id):
+    marker = '<script id="%s" type="application/json">' % block_id
+    assert marker in html, "missing block " + block_id
+    return html.split(marker, 1)[1].split('</script>', 1)[0]
+open(sys.argv[2], 'w').write(block('permea-data'))
+open(sys.argv[3], 'w').write(block('permea-raw-matrix'))
+PY
+if command -v jq >/dev/null; then
+    jq empty "$WORK/data.json"
+    jq empty "$WORK/matrix-embedded.json"
+    jq empty "$WORK/study/metrics.json"
+else
+    python3 -m json.tool "$WORK/data.json" >/dev/null
+    python3 -m json.tool "$WORK/matrix-embedded.json" >/dev/null
+fi
+
+echo "== embedded matrix block is byte-identical to matrix.json =="
+cmp "$WORK/matrix-embedded.json" "$WORK/study/matrix.json"
+
+echo "== timeline carries progress and stratum-close points =="
+python3 - "$WORK/data.json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))
+tl = data["timeline"]
+assert tl and len(tl["progress"]) > 0, "no progress points"
+assert len(tl["closes"]) > 0, "no stratum-close points (adaptive run)"
+assert data["campaign"]["total_runs"] > 0
+assert data["system"] and data["whatif"] and data["placement"]
+PY
+
+if command -v node >/dev/null; then
+    echo "== JS what-if port matches the Rust fixture bit for bit =="
+    node - "$ROOT/crates/explorer/assets/explorer.js" "$WORK/data.json" <<'JS'
+const ex = require(process.argv[2]);
+const data = JSON.parse(require('fs').readFileSync(process.argv[3], 'utf8'));
+const check = ex.selfCheck(data);
+console.log(JSON.stringify(check));
+if (!check.ok || check.maxAbsDiff !== 0 || !check.rankingMatches) {
+    console.error('FAIL: JS port disagrees with the embedded Rust fixture');
+    process.exit(1);
+}
+JS
+else
+    echo "warning: node not found, skipping the JS port cross-check" >&2
+fi
+
+echo "== --follow renders a self-refreshing page =="
+target/release/permea-explorer \
+    --events "$WORK/study/events.jsonl" \
+    --result "$WORK/study/result.json" \
+    --matrix "$WORK/study/matrix.json" \
+    --metrics "$WORK/study/metrics.json" \
+    --follow --interval-ms 1000 --max-refreshes 2 \
+    --out "$WORK/live.html"
+grep -q 'http-equiv="refresh"' "$WORK/live.html"
+grep -q 'id="permea-raw-matrix"' "$WORK/live.html"
+
+echo "PASS: explorer smoke — self-contained page, byte-identical matrix," \
+     "bit-identical JS what-if port, live follow mode"

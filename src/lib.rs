@@ -12,6 +12,7 @@
 //! | [`arrestment`] (`permea-arrestment`) | the paper's aircraft-arrestment target system and its environment physics |
 //! | [`mech`] (`permea-mech`) | executable assertions, recovery guards, placement evaluation |
 //! | [`analysis`] (`permea-analysis`) | the end-to-end study regenerating every table and figure |
+//! | [`explorer`] (`permea-explorer`) | self-contained interactive HTML explorer for study artifacts |
 //!
 //! # Quick start
 //!
@@ -54,8 +55,10 @@
 pub use permea_analysis as analysis;
 pub use permea_arrestment as arrestment;
 pub use permea_core as core;
+pub use permea_explorer as explorer;
 pub use permea_fi as fi;
 pub use permea_mech as mech;
+pub use permea_obs as obs;
 pub use permea_runtime as runtime;
 
 /// One-stop prelude re-exporting each crate's prelude.

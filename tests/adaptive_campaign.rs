@@ -321,3 +321,94 @@ fn interrupted_adaptive_campaign_resumes_byte_identically() {
     }
     let _ = std::fs::remove_file(&path);
 }
+
+/// Owned copy of the adaptive telemetry an [`permea::obs::Sink`] sees —
+/// the borrowed `StratumCi` slices in events cannot outlive the emit call.
+#[derive(Debug, Default)]
+struct AdaptiveEventLog {
+    /// `(round, batch_runs, strata snapshots)` per batch barrier.
+    batches: std::sync::Mutex<Vec<(u64, u64, Vec<permea::obs::StratumCi>)>>,
+    /// `(target, module, reason)` per stratum close.
+    closes: std::sync::Mutex<Vec<(u32, String, String)>>,
+}
+
+impl permea::obs::Sink for AdaptiveEventLog {
+    fn event(&self, _now: u64, event: &permea::obs::Event<'_>) {
+        match event {
+            permea::obs::Event::AdaptiveBatch {
+                round,
+                batch_runs,
+                strata,
+                ..
+            } => self
+                .batches
+                .lock()
+                .unwrap()
+                .push((*round, *batch_runs, strata.to_vec())),
+            permea::obs::Event::StratumClosed {
+                target,
+                module,
+                reason,
+                ..
+            } => self.closes.lock().unwrap().push((
+                *target,
+                (*module).to_owned(),
+                (*reason).to_owned(),
+            )),
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn adaptive_campaign_emits_batch_snapshots_and_close_events() {
+    let f = factory();
+    let log = std::sync::Arc::new(AdaptiveEventLog::default());
+    let obs = permea::obs::Obs::with_sinks(vec![log.clone()]);
+    Campaign::new(&f, config(0))
+        .with_obs(obs.clone())
+        .run(&spec(Some(plan())))
+        .unwrap();
+
+    let batches = log.batches.lock().unwrap();
+    let snap = obs.snapshot().unwrap();
+    let rounds = snap.counter("adaptive.batches").unwrap();
+    // One snapshot per allocated round plus the final empty batch that
+    // closes the convergence curves.
+    assert_eq!(batches.len() as u64, rounds + 1);
+    let (_, final_runs, final_strata) = batches.last().unwrap();
+    assert_eq!(*final_runs, 0, "final barrier allocates nothing");
+    assert_eq!(final_strata.len(), 4, "one stratum per target");
+    assert!(final_strata.iter().all(|s| s.closed));
+    for window in batches.windows(2) {
+        assert!(
+            window[0].0 <= window[1].0,
+            "rounds must not go backwards (the final empty batch repeats \
+             the last allocated round)"
+        );
+        for (a, b) in window[0].2.iter().zip(&window[1].2) {
+            assert!(
+                b.executed >= a.executed && b.trials >= a.trials,
+                "per-stratum counts must be cumulative"
+            );
+        }
+    }
+    // Half-widths start vacuous (0.5 at n=0 under Wilson) and end at or
+    // below the plan's goal for CI-closed strata.
+    for s in final_strata {
+        assert!(s.half_width.is_finite() && s.half_width <= 0.5 + 1e-12);
+    }
+
+    let closes = log.closes.lock().unwrap();
+    assert_eq!(closes.len(), 4, "every stratum closes exactly once");
+    let mut targets: Vec<u32> = closes.iter().map(|(t, _, _)| *t).collect();
+    targets.sort_unstable();
+    assert_eq!(targets, [0, 1, 2, 3]);
+    for (_, module, reason) in closes.iter() {
+        assert!(["B", "D", "E"].contains(&module.as_str()));
+        assert!(
+            ["ci_reached", "budget_exhausted", "ranking_stable"].contains(&reason.as_str()),
+            "unexpected close reason {reason}"
+        );
+    }
+}

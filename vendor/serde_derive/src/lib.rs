@@ -6,7 +6,7 @@
 //! environment. Supports non-generic structs (named, tuple, unit) and enums
 //! (unit, tuple, struct variants), plus the `#[serde(skip)]` attribute.
 
-use proc_macro::{Delimiter, TokenStream, TokenTree};
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
 
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
@@ -105,18 +105,31 @@ fn eat_vis(tokens: &[TokenTree], i: &mut usize) {
 
 /// Collects tokens up to (not including) a top-level `,`, tracking `<...>`
 /// nesting so commas inside generic arguments are not split points.
+///
+/// Joint punctuation (the first `:` of `::`, etc.) is emitted without a
+/// trailing space so multi-character separators survive re-parsing.
 fn take_until_comma(tokens: &[TokenTree], i: &mut usize) -> String {
     let mut depth = 0i32;
     let mut out = String::new();
     while *i < tokens.len() {
         match &tokens[*i] {
-            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
-            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
             TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
-            _ => {}
+            TokenTree::Punct(p) => {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    _ => {}
+                }
+                out.push(p.as_char());
+                if p.spacing() == Spacing::Alone {
+                    out.push(' ');
+                }
+            }
+            other => {
+                out.push_str(&other.to_string());
+                out.push(' ');
+            }
         }
-        out.push_str(&tokens[*i].to_string());
-        out.push(' ');
         *i += 1;
     }
     out.trim().to_string()

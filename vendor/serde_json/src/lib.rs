@@ -3,8 +3,10 @@
 //! Supports exactly the workspace's surface: [`to_string`],
 //! [`to_string_pretty`] and [`from_str`].
 
-use serde::{DeError, Deserialize, Serialize, Value};
+use serde::{DeError, Deserialize, Serialize};
 use std::fmt;
+
+pub use serde::Value;
 
 /// JSON serialisation/deserialisation error.
 #[derive(Debug, Clone, PartialEq, Eq)]
