@@ -34,7 +34,9 @@
 //!
 //! Exit codes (pinned in `permea_analysis::exit`): 0 success, 1 failure,
 //! 2 usage error, 3 quarantine threshold exceeded (systematic target
-//! breakage), 4 environment failure (disk full, journal or artifact I/O).
+//! breakage), 4 environment failure (disk full, journal or artifact I/O),
+//! 130 interrupted — SIGINT/SIGTERM latch and drain the in-flight batch,
+//! then metrics and telemetry sinks flush before the process exits.
 
 use permea_analysis::exit;
 use permea_analysis::factory::ArrestmentFactory;
@@ -49,6 +51,7 @@ use permea_fi::process::{run_worker, IsolationMode, ProcessIsolation, WorkerComm
 use permea_fi::shard::Shard;
 use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
 use permea_obs::{JsonlSink, Obs, ProgressSink, Sink, StderrSink};
+use permea_server::signal as interrupt;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -80,7 +83,7 @@ fn usage() -> ! {
          [--max-retries N] [--adaptive] [--target-ci W] [--batch-size N] \
          [--shard I/N] [--chaos-plan SPEC]\n\
          exit codes: 0 success, 1 failure, 2 usage, \
-         3 quarantine threshold exceeded, 4 environment failure"
+         3 quarantine threshold exceeded, 4 environment failure, 130 interrupted"
     );
     std::process::exit(i32::from(exit::EXIT_USAGE));
 }
@@ -286,16 +289,30 @@ fn main() -> ExitCode {
         )),
         None => obs.info(format!("running {} injection runs...", spec.run_count())),
     }
+    interrupt::install();
     let started = std::time::Instant::now();
-    let result = match campaign.run(&spec) {
+    let result = match campaign.run_resumable(&spec, None, Some(interrupt::latch())) {
         Ok(r) => r,
         Err(e) => {
             let code = exit::classify_error(&e);
-            if code == exit::EXIT_ENVIRONMENT {
+            if code == exit::EXIT_INTERRUPTED {
+                // Graceful shutdown: the in-flight batch has drained.
+                // Preserve this invocation's telemetry before exiting —
+                // the metrics artifact and every sink flush first.
+                obs.info(format!("interrupted: {e}"));
+                if let (Some(path), Some(snap)) = (&metrics_out, obs.snapshot()) {
+                    let _ = permea_fi::env::atomic_write_chaos(
+                        std::path::Path::new(path),
+                        snap.to_json_pretty().as_bytes(),
+                        chaos.as_deref(),
+                    );
+                }
+            } else if code == exit::EXIT_ENVIRONMENT {
                 obs.error(format!("campaign aborted by environment failure: {e}"));
             } else {
                 obs.error(format!("campaign failed: {e}"));
             }
+            obs.flush();
             return ExitCode::from(code);
         }
     };

@@ -1,0 +1,254 @@
+//! The `permea-cli` binary: thin client for the campaign daemon.
+//!
+//! ```text
+//! permea-cli --socket PATH submit --tenant NAME --preset smoke|quick|full
+//!            [--seed S] [--threads N] [--watch]
+//! permea-cli --socket PATH status
+//! permea-cli --socket PATH watch ID
+//! permea-cli --socket PATH cancel ID
+//! permea-cli --socket PATH shutdown
+//! ```
+//!
+//! `submit` prints the daemon-assigned campaign id on stdout; with
+//! `--watch` it then streams state changes until the campaign is
+//! terminal. `status` prints the daemon health snapshot (slots, degraded
+//! flag, per-campaign rows). `shutdown` asks the daemon to drain
+//! gracefully and exit 0.
+//!
+//! Exit codes (pinned in `permea_analysis::exit`): 0 success, 1 failure
+//! (including a watched campaign ending failed or cancelled), 2 usage,
+//! 5 submission rejected (typed back-pressure — queue full, tenant
+//! quota, draining, invalid payload), 6 service unavailable (daemon not
+//! running or socket unreachable).
+
+use permea_analysis::exit;
+use permea_server::{CampaignState, Client, Response, ServerError, ServerStatus};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: permea-cli --socket PATH <verb>\n\
+         verbs:\n\
+         \x20 submit --tenant NAME --preset smoke|quick|full [--seed S] [--threads N] [--watch]\n\
+         \x20 status\n\
+         \x20 watch ID\n\
+         \x20 cancel ID\n\
+         \x20 shutdown\n\
+         exit codes: 0 success, 1 failure, 2 usage, 5 rejected, 6 service unavailable"
+    );
+    std::process::exit(i32::from(exit::EXIT_USAGE));
+}
+
+fn connect(socket: &Path) -> Result<Client, ExitCode> {
+    Client::connect(socket).map_err(|e| {
+        eprintln!("cannot reach the campaign daemon: {e}");
+        ExitCode::from(exit::EXIT_UNAVAILABLE)
+    })
+}
+
+/// Transport failures mid-conversation mean the daemon went away.
+fn transport(e: &ServerError) -> ExitCode {
+    eprintln!("{e}");
+    match e {
+        ServerError::Io { .. } | ServerError::Disconnected => {
+            ExitCode::from(exit::EXIT_UNAVAILABLE)
+        }
+        _ => ExitCode::FAILURE,
+    }
+}
+
+fn terminal_code(state: CampaignState) -> ExitCode {
+    if state == CampaignState::Completed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn watch_until_terminal(client: &mut Client, id: u64) -> ExitCode {
+    match client.watch(id, |state, detail| {
+        if detail.is_empty() {
+            eprintln!("campaign {id}: {}", state.label());
+        } else {
+            eprintln!("campaign {id}: {} ({detail})", state.label());
+        }
+    }) {
+        Ok((state, _)) => terminal_code(state),
+        Err(e) => transport(&e),
+    }
+}
+
+fn render_status(status: &ServerStatus) {
+    println!(
+        "accepting={} draining={} slots={}/{}{} queued={} running={} completed={} \
+         failed={} cancelled={}",
+        status.accepting,
+        status.draining,
+        status.slots_healthy,
+        status.slots_total,
+        if status.degraded { " DEGRADED" } else { "" },
+        status.queued,
+        status.running,
+        status.completed,
+        status.failed,
+        status.cancelled
+    );
+    for c in &status.campaigns {
+        println!(
+            "{:>6}  {:<12} {:<10} {}",
+            c.id,
+            c.tenant,
+            c.state.label(),
+            c.detail
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let mut socket: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.peek() {
+        if arg == "--socket" {
+            args.next();
+            match args.next() {
+                Some(p) => socket = Some(PathBuf::from(p)),
+                None => usage(),
+            }
+        } else {
+            break;
+        }
+    }
+    let Some(socket) = socket else { usage() };
+    let Some(verb) = args.next() else { usage() };
+
+    match verb.as_str() {
+        "submit" => {
+            let mut tenant: Option<String> = None;
+            let mut preset: Option<String> = None;
+            let mut seed: Option<u64> = None;
+            let mut threads: Option<usize> = None;
+            let mut watch = false;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--tenant" => tenant = args.next(),
+                    "--preset" => preset = args.next(),
+                    "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                        Some(s) => seed = Some(s),
+                        None => usage(),
+                    },
+                    "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                        Some(n) => threads = Some(n),
+                        None => usage(),
+                    },
+                    "--watch" => watch = true,
+                    _ => usage(),
+                }
+            }
+            let (Some(tenant), Some(preset)) = (tenant, preset) else {
+                usage()
+            };
+            let mut payload = format!("{{\"preset\":{preset:?}");
+            if let Some(s) = seed {
+                payload.push_str(&format!(",\"seed\":{s}"));
+            }
+            if let Some(n) = threads {
+                payload.push_str(&format!(",\"threads\":{n}"));
+            }
+            payload.push('}');
+
+            let mut client = match connect(&socket) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.submit(&tenant, &payload) {
+                Ok(Response::Submitted { id }) => {
+                    println!("{id}");
+                    if watch {
+                        // One connection per verb: reconnect to stream.
+                        let mut client = match connect(&socket) {
+                            Ok(c) => c,
+                            Err(code) => return code,
+                        };
+                        return watch_until_terminal(&mut client, id);
+                    }
+                    ExitCode::SUCCESS
+                }
+                Ok(Response::Rejected { reason }) => {
+                    eprintln!("submission rejected: {reason}");
+                    ExitCode::from(exit::EXIT_REJECTED)
+                }
+                Ok(other) => {
+                    eprintln!("unexpected response: {other:?}");
+                    ExitCode::FAILURE
+                }
+                Err(e) => transport(&e),
+            }
+        }
+        "status" => {
+            let mut client = match connect(&socket) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.status() {
+                Ok(status) => {
+                    render_status(&status);
+                    ExitCode::SUCCESS
+                }
+                Err(e) => transport(&e),
+            }
+        }
+        "watch" => {
+            let Some(id) = args.next().and_then(|v| v.parse().ok()) else {
+                usage()
+            };
+            let mut client = match connect(&socket) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            watch_until_terminal(&mut client, id)
+        }
+        "cancel" => {
+            let Some(id) = args.next().and_then(|v| v.parse().ok()) else {
+                usage()
+            };
+            let mut client = match connect(&socket) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.cancel(id) {
+                Ok(Response::Cancelled { id }) => {
+                    eprintln!("campaign {id} cancelled");
+                    ExitCode::SUCCESS
+                }
+                Ok(Response::NotFound { id }) => {
+                    eprintln!("campaign {id} is unknown to the daemon");
+                    ExitCode::FAILURE
+                }
+                Ok(other) => {
+                    eprintln!("unexpected response: {other:?}");
+                    ExitCode::FAILURE
+                }
+                Err(e) => transport(&e),
+            }
+        }
+        "shutdown" => {
+            let mut client = match connect(&socket) {
+                Ok(c) => c,
+                Err(code) => return code,
+            };
+            match client.shutdown() {
+                Ok(Response::ShuttingDown) => {
+                    eprintln!("daemon is draining");
+                    ExitCode::SUCCESS
+                }
+                Ok(other) => {
+                    eprintln!("unexpected response: {other:?}");
+                    ExitCode::FAILURE
+                }
+                Err(e) => transport(&e),
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -10,6 +10,7 @@
 //!       [--workers N] [--run-timeout MS] [--max-retries N]
 //!       [--max-quarantined F] [--adaptive] [--target-ci W]
 //!       [--batch-size N] [--chaos-plan SPEC]
+//! study --serve DIR
 //! ```
 //!
 //! `--quick` (default) runs the reduced configuration (seconds);
@@ -83,6 +84,12 @@
 //! the artifact directory reports per-target achieved precision and
 //! runs saved versus the dense grid.
 //!
+//! `--serve DIR` hosts the campaign daemon with default knobs: campaign
+//! submissions arrive over a Unix socket under `DIR`, are write-ahead
+//! recorded in `DIR/ledger.jsonl` and fair-share scheduled across
+//! tenants. See the `permea-server` binary for the tunable version and
+//! `permea-cli` for the client verbs.
+//!
 //! `--chaos-plan SPEC` arms the deterministic chaos harness: environment
 //! faults (journal write/fsync errors, scheduled worker SIGKILLs, IPC frame
 //! corruption, artifact-write failures, a faked free-disk reading) are
@@ -109,46 +116,10 @@ use permea_fi::journal::RunJournal;
 use permea_fi::process::{run_worker, IsolationMode, ProcessIsolation, WorkerCommand};
 use permea_fi::shard::Shard;
 use permea_obs::{JsonlSink, Obs, ProgressSink, Sink, StderrSink};
+use permea_server::signal as interrupt;
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
-
-/// SIGINT/SIGTERM latch. Installed via a minimal `signal(2)` FFI shim —
-/// the build environment is offline, so no `libc`/`ctrlc` crates.
-#[cfg(unix)]
-mod interrupt {
-    use std::sync::atomic::{AtomicBool, Ordering};
-
-    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
-
-    const SIGINT: i32 = 2;
-    const SIGTERM: i32 = 15;
-
-    extern "C" fn latch(_sig: i32) {
-        // Only an atomic store: async-signal-safe.
-        REQUESTED.store(true, Ordering::Release);
-    }
-
-    extern "C" {
-        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
-    }
-
-    pub fn install() {
-        unsafe {
-            signal(SIGINT, latch);
-            signal(SIGTERM, latch);
-        }
-    }
-}
-
-#[cfg(not(unix))]
-mod interrupt {
-    use std::sync::atomic::AtomicBool;
-
-    pub static REQUESTED: AtomicBool = AtomicBool::new(false);
-
-    pub fn install() {}
-}
 
 fn usage() -> ! {
     eprintln!(
@@ -160,6 +131,7 @@ fn usage() -> ! {
          [--max-retries N] [--max-quarantined F] [--adaptive] [--target-ci W] \
          [--batch-size N] [--shard I/N] [--chaos-plan SPEC]\n\
          \x20      study journal merge --out PATH IN...\n\
+         \x20      study --serve DIR    (host the campaign daemon, see permea-server)\n\
          exit codes: 0 success, 1 failure, 2 usage, \
          3 quarantine threshold exceeded, 4 environment failure, 130 interrupted"
     );
@@ -223,6 +195,25 @@ fn main() -> ExitCode {
     }
     if std::env::args().nth(1).as_deref() == Some("journal") {
         return journal_command();
+    }
+    // Service mode: host the campaign daemon (state, ledger, socket under
+    // DIR) with the study-preset runner. Equivalent to `permea-server
+    // --state DIR` with default knobs; submit work with `permea-cli`.
+    if std::env::args().nth(1).as_deref() == Some("--serve") {
+        let Some(dir) = std::env::args().nth(2) else {
+            usage()
+        };
+        let obs = Obs::with_sinks(vec![Arc::new(StderrSink) as Arc<dyn Sink>]);
+        return match permea_analysis::service::serve(
+            permea_server::ServerConfig::new(dir),
+            obs.clone(),
+        ) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                obs.error(format!("serve failed: {e}"));
+                ExitCode::FAILURE
+            }
+        };
     }
 
     let mut config = StudyConfig::quick();
@@ -475,7 +466,7 @@ fn main() -> ExitCode {
 
     interrupt::install();
     let started = std::time::Instant::now();
-    let output = match study.run_resumable(journal.as_mut(), Some(&interrupt::REQUESTED)) {
+    let output = match study.run_resumable(journal.as_mut(), Some(interrupt::latch())) {
         Ok(o) => o,
         Err(FiError::Interrupted { completed, total }) => {
             obs.info(format!(
@@ -500,6 +491,22 @@ fn main() -> ExitCode {
                 adaptive_hint,
                 shard.map_or(String::new(), |s| format!(" --shard {s}")),
             ));
+            // A latched signal is a graceful shutdown, not an abort: the
+            // in-flight batch has drained into the journal above, so the
+            // telemetry of the work done here must also survive — write
+            // the metrics snapshot and flush every sink before exiting.
+            if let Some(snap) = obs.snapshot() {
+                let path = metrics_out.unwrap_or_else(|| out_dir.join("metrics.json"));
+                let _ = std::fs::create_dir_all(&out_dir);
+                if let Err(e) = permea_fi::env::atomic_write_chaos(
+                    &path,
+                    snap.to_json_pretty().as_bytes(),
+                    chaos.as_deref(),
+                ) {
+                    obs.warn(format!("failed to write {}: {e}", path.display()));
+                }
+            }
+            obs.flush();
             return ExitCode::from(exit::EXIT_INTERRUPTED);
         }
         Err(e) => {
@@ -512,6 +519,7 @@ fn main() -> ExitCode {
             } else {
                 obs.error(format!("study failed: {e}"));
             }
+            obs.flush();
             return ExitCode::from(code);
         }
     };

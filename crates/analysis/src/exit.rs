@@ -12,6 +12,10 @@
 //! | 3 | quarantine threshold exceeded — systematic target breakage |
 //! | 4 | environment failure — disk full, journal I/O, artifact write; |
 //! |   | campaign state is intact and resumable once the environment heals |
+//! | 5 | submission rejected by the campaign daemon (back-pressure or |
+//! |   | quota) — nothing was recorded; retry later or fix the request |
+//! | 6 | campaign service unavailable — daemon not running or its socket |
+//! |   | unreachable |
 //! | 130 | interrupted (SIGINT); journaled runs are preserved |
 
 use permea_fi::error::FiError;
@@ -28,6 +32,12 @@ pub const EXIT_QUARANTINE: u8 = 3;
 /// An environment failure ([`FiError::is_environment_failure`]): the
 /// process environment — not the campaign — broke. Resume after fixing it.
 pub const EXIT_ENVIRONMENT: u8 = 4;
+/// The campaign daemon rejected a submission (queue full, tenant quota,
+/// draining, invalid payload) — typed back-pressure, nothing recorded.
+pub const EXIT_REJECTED: u8 = 5;
+/// The campaign service is unavailable: the daemon is not running, or
+/// its socket cannot be reached.
+pub const EXIT_UNAVAILABLE: u8 = 6;
 /// Interrupted by SIGINT (128 + 2, the shell convention).
 pub const EXIT_INTERRUPTED: u8 = 130;
 

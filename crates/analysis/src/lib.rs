@@ -32,6 +32,7 @@ pub mod fivemod;
 pub mod placement_experiment;
 pub mod report;
 pub mod sensitivity;
+pub mod service;
 pub mod study;
 pub mod tables;
 pub mod validation;

@@ -1,0 +1,244 @@
+//! The study-preset campaign runner and serve entry for the daemon.
+//!
+//! `permea-server` (and `study --serve`) host the generic
+//! [`permea_server::Daemon`] with this crate's [`StudyRunner`] plugged in:
+//! a submission payload is a small JSON descriptor naming a study preset,
+//! and each dispatched slice advances that study by a bounded number of
+//! injection runs through [`Study::run_resumable_budgeted`]. All campaign
+//! state lives in the daemon-assigned per-campaign directory — the run
+//! journal carries the execution, so slices, daemon restarts after
+//! SIGKILL, and a standalone `study --resume` all converge to
+//! byte-identical artifacts.
+//!
+//! Payload grammar (JSON object):
+//!
+//! ```json
+//! {"preset": "smoke", "seed": 24029, "threads": 1}
+//! ```
+//!
+//! `preset` is `smoke`, `quick` or `full` (required); `seed` and
+//! `threads` are optional overrides. Unknown presets are rejected at
+//! admission, before anything is recorded.
+
+use crate::study::{Study, StudyConfig};
+use permea_obs::{JsonlSink, Obs, Sink};
+use permea_server::runner::{CampaignRunner, SliceOutcome, SliceRequest};
+use permea_server::signal;
+use permea_server::{Daemon, ServerConfig, ServerError};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// A parsed submission payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StudyPayload {
+    /// Study preset: `smoke`, `quick` or `full`.
+    pub preset: String,
+    /// Master-seed override.
+    pub seed: Option<u64>,
+    /// Thread-count override (0 = all cores).
+    pub threads: Option<usize>,
+}
+
+impl StudyPayload {
+    /// Parses and validates a payload descriptor.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the first problem found.
+    pub fn parse(payload: &str) -> Result<StudyPayload, String> {
+        let value: serde::Value =
+            serde_json::from_str(payload).map_err(|e| format!("payload is not JSON: {e}"))?;
+        let map = value
+            .as_map()
+            .ok_or_else(|| "payload must be a JSON object".to_string())?;
+        let uint = |name: &str| -> Result<Option<u64>, String> {
+            match serde::value::map_get(map, name) {
+                None | Some(serde::Value::Null) => Ok(None),
+                Some(serde::Value::U64(n)) => Ok(Some(*n)),
+                Some(_) => Err(format!("\"{name}\" must be a non-negative integer")),
+            }
+        };
+        let preset = serde::value::map_get(map, "preset")
+            .and_then(serde::Value::as_str)
+            .ok_or_else(|| "payload needs a \"preset\" string".to_string())?
+            .to_string();
+        if !matches!(preset.as_str(), "smoke" | "quick" | "full") {
+            return Err(format!(
+                "unknown preset {preset:?} (expected smoke, quick or full)"
+            ));
+        }
+        let seed = uint("seed")?;
+        let threads = uint("threads")?.map(|n| n as usize);
+        Ok(StudyPayload {
+            preset,
+            seed,
+            threads,
+        })
+    }
+
+    /// The study configuration this payload describes.
+    pub fn config(&self) -> StudyConfig {
+        let mut config = match self.preset.as_str() {
+            "smoke" => StudyConfig::smoke(),
+            "full" => StudyConfig::paper(),
+            _ => StudyConfig::quick(),
+        };
+        if let Some(seed) = self.seed {
+            config.seed = seed;
+        }
+        if let Some(threads) = self.threads {
+            config.threads = threads;
+        }
+        config
+    }
+}
+
+/// Runs study presets as daemon campaigns.
+#[derive(Debug, Default)]
+pub struct StudyRunner;
+
+impl CampaignRunner for StudyRunner {
+    fn validate(&self, payload: &str) -> Result<(), String> {
+        StudyPayload::parse(payload).map(|_| ())
+    }
+
+    fn run_slice(&self, req: &SliceRequest<'_>) -> SliceOutcome {
+        let payload = match StudyPayload::parse(req.payload) {
+            Ok(p) => p,
+            // validate() gates admission, so this is a ledger from a
+            // future format — fail rather than guess.
+            Err(e) => return SliceOutcome::Failed { message: e },
+        };
+        let study = Study::new(payload.config()).with_obs(slice_obs(req));
+
+        let journal_path = req.dir.join("journal.jsonl");
+        let (mut journal, loaded) = match permea_fi::journal::RunJournal::open_or_create(
+            &journal_path,
+            &study.journal_header(),
+        ) {
+            Ok(j) => j,
+            Err(e) => {
+                return SliceOutcome::Failed {
+                    message: format!("opening journal {}: {e}", journal_path.display()),
+                }
+            }
+        };
+        if loaded.recovered > 0 {
+            req.obs.emit(&permea_obs::Event::Service {
+                tenant: req.tenant,
+                campaign: req.id,
+                kind: "recovered",
+                detail: "resuming from run journal",
+            });
+        }
+
+        let output = match study.run_resumable_budgeted(
+            Some(&mut journal),
+            Some(req.cancel),
+            req.slice_runs,
+        ) {
+            Ok(output) => output,
+            Err(permea_fi::error::FiError::Interrupted { .. }) => {
+                // Budget exhaustion and cancellation share a typed
+                // error; the flag distinguishes them.
+                return if req.cancel.load(Ordering::Acquire) {
+                    SliceOutcome::Cancelled
+                } else {
+                    SliceOutcome::Yielded
+                };
+            }
+            Err(e) => {
+                return SliceOutcome::Failed {
+                    message: e.to_string(),
+                }
+            }
+        };
+
+        // The campaign completed within this slice: write the result
+        // artifact. Byte-identical to a standalone `study` run's
+        // result.json by construction (same serialisation of the same
+        // deterministic result), which is what the server smoke test
+        // hashes.
+        let json = match serde_json::to_string(&output.result) {
+            Ok(json) => json,
+            Err(e) => {
+                return SliceOutcome::Failed {
+                    message: format!("serialising result.json: {e}"),
+                }
+            }
+        };
+        if let Err(e) = permea_fi::env::atomic_write(req.dir.join("result.json"), json.as_bytes()) {
+            return SliceOutcome::Failed {
+                message: format!("writing result.json: {e}"),
+            };
+        }
+        SliceOutcome::Finished
+    }
+}
+
+/// Telemetry for one slice: the study's events append to the campaign's
+/// own `events.jsonl` (one schema header per slice-session — the
+/// campaign-relative clock restarts with each slice, and the stacked
+/// stream survives daemon restarts).
+fn slice_obs(req: &SliceRequest<'_>) -> Obs {
+    match JsonlSink::append_session(&req.dir.join("events.jsonl")) {
+        Ok(sink) => Obs::with_sinks(vec![Arc::new(sink) as Arc<dyn Sink>]),
+        Err(_) => Obs::disabled(),
+    }
+}
+
+/// Hosts the daemon with the [`StudyRunner`]: installs the SIGINT/SIGTERM
+/// latch, serves until signalled (or a client sends the `Shutdown` verb),
+/// then drains gracefully — in-flight slices finish, ledger and metrics
+/// flush, the socket is removed — and returns.
+///
+/// # Errors
+///
+/// [`ServerError`] when startup or the final flushes fail.
+pub fn serve(config: ServerConfig, obs: Obs) -> Result<(), ServerError> {
+    signal::install();
+    let daemon = Daemon::start(config, Arc::new(StudyRunner), obs)?;
+    daemon.run(signal::latch())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_parses_presets_and_overrides() {
+        let p = StudyPayload::parse(r#"{"preset":"smoke","seed":7,"threads":1}"#).unwrap();
+        assert_eq!(p.preset, "smoke");
+        assert_eq!(p.seed, Some(7));
+        assert_eq!(p.threads, Some(1));
+        assert_eq!(p.config().seed, 7);
+        assert_eq!(p.config().threads, 1);
+
+        let q = StudyPayload::parse(r#"{"preset":"quick"}"#).unwrap();
+        assert_eq!(q.config().seed, StudyConfig::quick().seed);
+    }
+
+    #[test]
+    fn payload_rejects_garbage_with_reasons() {
+        assert!(StudyPayload::parse("not json")
+            .unwrap_err()
+            .contains("JSON"));
+        assert!(StudyPayload::parse("[1,2]").unwrap_err().contains("object"));
+        assert!(StudyPayload::parse(r#"{"seed":1}"#)
+            .unwrap_err()
+            .contains("preset"));
+        assert!(StudyPayload::parse(r#"{"preset":"mega"}"#)
+            .unwrap_err()
+            .contains("mega"));
+        assert!(StudyPayload::parse(r#"{"preset":"smoke","seed":"x"}"#)
+            .unwrap_err()
+            .contains("seed"));
+    }
+
+    #[test]
+    fn runner_validate_matches_parse() {
+        let runner = StudyRunner;
+        assert!(runner.validate(r#"{"preset":"smoke"}"#).is_ok());
+        assert!(runner.validate(r#"{"preset":"nope"}"#).is_err());
+    }
+}

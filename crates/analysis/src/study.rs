@@ -315,6 +315,27 @@ impl Study {
         journal: Option<&mut RunJournal>,
         cancel: Option<&AtomicBool>,
     ) -> Result<StudyOutput, FiError> {
+        self.run_resumable_budgeted(journal, cancel, None)
+    }
+
+    /// As [`Study::run_resumable`], but additionally bounded to at most
+    /// `max_new_runs` freshly executed injection runs — journal replays
+    /// are free. Budget exhaustion surfaces as [`FiError::Interrupted`],
+    /// exactly like cancellation; re-invoking against the same journal
+    /// continues where the slice stopped and the final artifacts are
+    /// byte-identical to an unsliced run. This is the scheduling quantum
+    /// the campaign daemon uses to fair-share one executor fleet across
+    /// tenants.
+    ///
+    /// # Errors
+    ///
+    /// As [`Study::run_resumable`].
+    pub fn run_resumable_budgeted(
+        &self,
+        journal: Option<&mut RunJournal>,
+        cancel: Option<&AtomicBool>,
+        max_new_runs: Option<u64>,
+    ) -> Result<StudyOutput, FiError> {
         let topology = ArrestmentSystem::topology();
         let spec = self.config.spec(&topology);
         let factory = ArrestmentFactory::with_cases(TestCase::grid(
@@ -326,7 +347,7 @@ impl Study {
         if let Some(chaos) = &self.chaos {
             campaign = campaign.with_chaos(chaos.clone());
         }
-        let result = campaign.run_resumable(&spec, journal, cancel)?;
+        let result = campaign.run_resumable_budgeted(&spec, journal, cancel, max_new_runs)?;
         let matrix = permea_fi::estimate::estimate_matrix(&topology, &result)?;
         let graph = PermeabilityGraph::new(&topology, &matrix)
             .expect("matrix was shaped from this topology");

@@ -1,0 +1,94 @@
+//! Property test: kill a sliced study at any run budget — and tear the
+//! journal tail like `kill -9` mid-append would — and the resumed study
+//! produces a byte-identical result with a clean journal audit.
+//!
+//! This is the study-level guarantee the campaign daemon's recovery story
+//! rests on: the submission ledger re-queues the campaign, but it is the
+//! run journal that makes the re-execution converge on exactly the bytes
+//! an uninterrupted run would have produced.
+
+use permea_analysis::study::{Study, StudyConfig};
+use permea_fi::error::FiError;
+use permea_fi::journal::{audit_journal, RunJournal};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+fn tmp_journal(case: u64) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("permea-killpoint-eq-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!("journal-{case}.jsonl"));
+    let _ = std::fs::remove_file(&path);
+    path
+}
+
+fn result_bytes(output: &permea_analysis::study::StudyOutput) -> String {
+    serde_json::to_string(&output.result).unwrap()
+}
+
+/// The uninterrupted smoke result, computed once for all cases.
+fn reference() -> &'static str {
+    static REFERENCE: std::sync::OnceLock<String> = std::sync::OnceLock::new();
+    REFERENCE.get_or_init(|| result_bytes(&Study::new(StudyConfig::smoke()).run().unwrap()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn killed_and_resumed_study_is_byte_identical(
+        budget_pick in any::<u64>(),
+        tear in 0u64..48,
+        case in any::<u64>(),
+    ) {
+        let config = StudyConfig::smoke();
+
+        // The smoke grid is 13 ports x 4 bits x 2 times x 1 case = 104
+        // runs; kill somewhere strictly inside it.
+        let budget = 1 + budget_pick % 103;
+        let path = tmp_journal(case);
+        let study = Study::new(config.clone());
+
+        // Phase 1: run until the budget "kills" the process mid-campaign.
+        let (mut journal, _) =
+            RunJournal::open_or_create(&path, &study.journal_header()).unwrap();
+        let interrupted = study.run_resumable_budgeted(Some(&mut journal), None, Some(budget));
+        prop_assert!(
+            matches!(interrupted, Err(FiError::Interrupted { .. })),
+            "budget {} must interrupt the 104-run smoke grid", budget
+        );
+        drop(journal);
+
+        // A hard kill can also tear the final append: chop a few bytes off
+        // the tail (never into the header).
+        let data = std::fs::read(&path).unwrap();
+        let header_end = data.iter().position(|&b| b == b'\n').unwrap() as u64 + 1;
+        let torn_len = (data.len() as u64 - tear).max(header_end);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&path)
+            .unwrap()
+            .set_len(torn_len)
+            .unwrap();
+
+        // Phase 2: "restart" — reopen the journal and run to completion.
+        let study = Study::new(config);
+        let (mut journal, _) =
+            RunJournal::open_or_create(&path, &study.journal_header()).unwrap();
+        let output = study
+            .run_resumable_budgeted(Some(&mut journal), None, None)
+            .unwrap();
+        drop(journal);
+
+        let resumed = result_bytes(&output);
+        prop_assert_eq!(
+            resumed.as_str(),
+            reference(),
+            "resumed result diverged at budget {} tear {}", budget, tear
+        );
+        let audit = audit_journal(&path).unwrap();
+        prop_assert!(
+            audit.is_clean(),
+            "journal audit after resume: {:?}", audit
+        );
+        prop_assert_eq!(audit.distinct, 104);
+    }
+}

@@ -935,6 +935,33 @@ impl<'f> Campaign<'f> {
         journal: Option<&mut RunJournal>,
         cancel: Option<&AtomicBool>,
     ) -> Result<CampaignResult, FiError> {
+        self.run_resumable_budgeted(spec, journal, cancel, None)
+    }
+
+    /// [`Campaign::run_resumable`] with a cooperative work budget: at most
+    /// `max_new_runs` coordinates are *issued* this invocation (journal
+    /// replays and golden runs are free), after which the campaign stops
+    /// exactly as if cancelled — in-flight runs commit, the journal syncs,
+    /// and [`FiError::Interrupted`] is returned. Because resume replays
+    /// the journal, slicing a campaign into any sequence of budgeted
+    /// invocations yields a final result byte-identical to one
+    /// uninterrupted run; this is what lets a multiplexing scheduler
+    /// time-share one executor across concurrent campaigns.
+    ///
+    /// `max_new_runs == None` is unlimited (identical to
+    /// [`Campaign::run_resumable`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Campaign::run_resumable`]; budget exhaustion before
+    /// completion surfaces as [`FiError::Interrupted`].
+    pub fn run_resumable_budgeted(
+        &self,
+        spec: &CampaignSpec,
+        journal: Option<&mut RunJournal>,
+        cancel: Option<&AtomicBool>,
+        max_new_runs: Option<u64>,
+    ) -> Result<CampaignResult, FiError> {
         if self.config.journal_fsync_interval == 0 {
             return Err(FiError::InvalidFsyncInterval);
         }
@@ -1123,11 +1150,34 @@ impl<'f> Campaign<'f> {
             }
         };
 
+        // Work budget: decremented only when a coordinate is actually
+        // issued (journal replays are free). Exhaustion raises a flag that
+        // every stop check treats exactly like cancellation, so in-flight
+        // runs still commit and the journal still syncs.
+        let budget: Option<AtomicI64> =
+            max_new_runs.map(|n| AtomicI64::new(n.min(i64::MAX as u64) as i64));
+        let budget_exhausted = AtomicBool::new(false);
+        let take_budget = || match &budget {
+            None => true,
+            Some(b) => {
+                if b.fetch_sub(1, Ordering::AcqRel) > 0 {
+                    true
+                } else {
+                    budget_exhausted.store(true, Ordering::Release);
+                    false
+                }
+            }
+        };
+        let stop_requested = || {
+            cancel.is_some_and(|c| c.load(Ordering::Acquire))
+                || budget_exhausted.load(Ordering::Acquire)
+        };
+
         // Claiming a coordinate and committing its finished record are
         // shared between the in-process executor and the process-pool
         // supervisors.
         let claim = || loop {
-            if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+            if stop_requested() {
                 return None;
             }
             if fail.lock().map(|slot| slot.is_some()).unwrap_or(true) {
@@ -1140,6 +1190,9 @@ impl<'f> Campaign<'f> {
                     if done.contains_key(&(k as u64)) {
                         continue;
                     }
+                    if !take_budget() {
+                        return None;
+                    }
                     return Some(k);
                 }
                 WorkSource::Adaptive(state, batch_done) => {
@@ -1148,7 +1201,7 @@ impl<'f> Campaign<'f> {
                         return None;
                     };
                     loop {
-                        if s.finished || cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+                        if s.finished || stop_requested() {
                             return None;
                         }
                         if let Some(k) = s.pending.pop() {
@@ -1168,6 +1221,13 @@ impl<'f> Campaign<'f> {
                                     }
                                 }
                                 continue;
+                            }
+                            if !take_budget() {
+                                // Restore the coordinate so the pending
+                                // queue stays coherent; resume's replay
+                                // re-issues it next invocation.
+                                s.pending.push(k);
+                                return None;
                             }
                             s.outstanding += 1;
                             return Some(k);
@@ -1258,7 +1318,7 @@ impl<'f> Campaign<'f> {
         // coordinate is pushed back for `claim` to handle), so a dispatch
         // batch cannot span planner rounds and the barrier stays intact.
         let try_claim = || {
-            if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+            if stop_requested() {
                 return None;
             }
             if fail.lock().map(|slot| slot.is_some()).unwrap_or(true) {
@@ -1270,6 +1330,9 @@ impl<'f> Campaign<'f> {
                     let k = dense_coord(j)?;
                     if done.contains_key(&(k as u64)) {
                         continue;
+                    }
+                    if !take_budget() {
+                        return None;
                     }
                     return Some(k);
                 },
@@ -1285,6 +1348,10 @@ impl<'f> Campaign<'f> {
                         Some(k) if done.contains_key(&(k as u64)) => {
                             // Journal replay belongs to `claim`; restore the
                             // coordinate and stop filling this batch.
+                            s.pending.push(k);
+                            None
+                        }
+                        Some(k) if !take_budget() => {
                             s.pending.push(k);
                             None
                         }
@@ -1739,7 +1806,12 @@ impl<'f> Campaign<'f> {
         obs.gauge("process.campaign_wall_ms")
             .set(campaign_started.elapsed().as_millis() as u64);
 
-        if cancel.is_some_and(|c| c.load(Ordering::Acquire)) {
+        // Budget exhaustion implies at least one claimed coordinate was
+        // denied, so the campaign is necessarily incomplete — it reports
+        // as interrupted exactly like an external cancellation.
+        if cancel.is_some_and(|c| c.load(Ordering::Acquire))
+            || budget_exhausted.load(Ordering::Acquire)
+        {
             emit_final_progress();
             return Err(FiError::Interrupted {
                 completed: merged.len() as u64,
@@ -2542,6 +2614,81 @@ mod tests {
         let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
         let resumed = c.run_resumable(&spec(), Some(&mut j), None).unwrap();
         assert_eq!(resumed, baseline);
+    }
+
+    #[test]
+    fn budgeted_slices_converge_to_the_unbudgeted_result() {
+        let f = factory();
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let baseline = c.run(&spec()).unwrap();
+        let total = spec().run_count() as u64;
+
+        // Reference journal: one unbudgeted journaled run.
+        let full_path = journal_path("budget-full");
+        let _ = std::fs::remove_file(&full_path);
+        let header = c.journal_header(&spec());
+        let (mut j, _) = RunJournal::open_or_create(&full_path, &header).unwrap();
+        c.run_resumable(&spec(), Some(&mut j), None).unwrap();
+        j.sync().unwrap();
+        drop(j);
+
+        // The same campaign in slices of 10 new runs per invocation: every
+        // slice but the last reports Interrupted, and the union converges
+        // to the identical result and the identical journal bytes.
+        let path = journal_path("budget-sliced");
+        let _ = std::fs::remove_file(&path);
+        let mut slices = 0u64;
+        let result = loop {
+            slices += 1;
+            assert!(slices <= total, "budgeted loop failed to converge");
+            let (mut j, _) = RunJournal::open_or_create(&path, &header).unwrap();
+            match c.run_resumable_budgeted(&spec(), Some(&mut j), None, Some(10)) {
+                Ok(result) => break result,
+                Err(FiError::Interrupted {
+                    completed,
+                    total: t,
+                }) => {
+                    assert_eq!(t, total);
+                    assert!(completed < total, "interrupted slice must be partial");
+                }
+                Err(e) => panic!("unexpected slice failure: {e:?}"),
+            }
+        };
+        assert_eq!(result, baseline);
+        assert_eq!(slices, total.div_ceil(10), "64 runs in 10-run slices");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            std::fs::read(&full_path).unwrap(),
+            "sliced journal must be byte-identical to the unbudgeted journal"
+        );
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(&full_path);
+    }
+
+    #[test]
+    fn zero_budget_interrupts_without_issuing_work() {
+        let f = factory();
+        let c = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            c.run_resumable_budgeted(&spec(), None, None, Some(0))
+                .unwrap_err(),
+            FiError::Interrupted {
+                completed: 0,
+                total: spec().run_count() as u64,
+            }
+        );
     }
 
     #[test]

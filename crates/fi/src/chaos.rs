@@ -37,6 +37,8 @@
 //! | `frame-corrupt@N` | truncate the `N`-th IPC dispatch frame |
 //! | `artifact-fail=NAME` | the next write of artifact `NAME` fails |
 //! | `free-disk=N` | the preflight disk check sees `N` free bytes |
+//! | `ledger-write=KIND@N` | the `N`-th submission-ledger append fails with `KIND` |
+//! | `client-disconnect@N` | the `N`-th accepted client connection is dropped |
 //!
 //! `KIND` is one of `enospc` (persistent — exhausts the bounded retry),
 //! `enospc-once` (transient — the retry succeeds), `eio`, or `short` (a
@@ -112,6 +114,13 @@ pub struct ChaosPlan {
     pub artifact_fail: HashSet<String>,
     /// Faked free-disk bytes for the campaign's preflight check.
     pub free_disk: Option<u64>,
+    /// Submission-ledger append index → injected write fault (the daemon's
+    /// write-ahead ledger, distinct from the per-campaign run journal).
+    pub ledger_write: HashMap<u64, IoFaultKind>,
+    /// Accepted-connection indices whose client socket is dropped before a
+    /// response is written — exercises the daemon's tolerance of clients
+    /// that vanish mid-conversation.
+    pub client_disconnect: HashSet<u64>,
 }
 
 impl ChaosPlan {
@@ -133,7 +142,7 @@ impl ChaosPlan {
                         .parse()
                         .map_err(|_| format!("chaos seed `{rest}` is not a number"))?;
                 }
-                "journal-write" | "journal-fsync" => {
+                "journal-write" | "journal-fsync" | "ledger-write" => {
                     let (kind, idx) = rest.split_once('@').ok_or_else(|| {
                         format!("chaos token `{token}` needs KIND@INDEX (e.g. `enospc@3`)")
                     })?;
@@ -146,20 +155,21 @@ impl ChaosPlan {
                     let idx: u64 = idx
                         .parse()
                         .map_err(|_| format!("chaos index `{idx}` is not a number"))?;
-                    if key == "journal-write" {
-                        plan.journal_write.insert(idx, kind);
-                    } else {
-                        plan.journal_fsync.insert(idx, kind);
-                    }
+                    match key {
+                        "journal-write" => plan.journal_write.insert(idx, kind),
+                        "journal-fsync" => plan.journal_fsync.insert(idx, kind),
+                        _ => plan.ledger_write.insert(idx, kind),
+                    };
                 }
-                "kill-run" | "kill-always" | "frame-corrupt" => {
+                "kill-run" | "kill-always" | "frame-corrupt" | "client-disconnect" => {
                     let idx: u64 = rest
                         .parse()
                         .map_err(|_| format!("chaos index `{rest}` is not a number"))?;
                     match key {
                         "kill-run" => plan.kill_runs.insert(idx),
                         "kill-always" => plan.kill_always.insert(idx),
-                        _ => plan.frame_corrupt.insert(idx),
+                        "frame-corrupt" => plan.frame_corrupt.insert(idx),
+                        _ => plan.client_disconnect.insert(idx),
                     };
                 }
                 "artifact-fail" => {
@@ -186,6 +196,8 @@ impl ChaosPlan {
             && self.frame_corrupt.is_empty()
             && self.artifact_fail.is_empty()
             && self.free_disk.is_none()
+            && self.ledger_write.is_empty()
+            && self.client_disconnect.is_empty()
     }
 
     /// Total scheduled faults.
@@ -197,6 +209,8 @@ impl ChaosPlan {
             + self.frame_corrupt.len()
             + self.artifact_fail.len()
             + usize::from(self.free_disk.is_some())
+            + self.ledger_write.len()
+            + self.client_disconnect.len()
     }
 }
 
@@ -212,6 +226,7 @@ impl fmt::Display for ChaosPlan {
         };
         tokens.extend(sorted(&self.journal_write, "journal-write"));
         tokens.extend(sorted(&self.journal_fsync, "journal-fsync"));
+        tokens.extend(sorted(&self.ledger_write, "ledger-write"));
         let indexed = |s: &HashSet<u64>, name: &str| {
             let mut ks: Vec<_> = s.iter().copied().collect();
             ks.sort_unstable();
@@ -222,6 +237,7 @@ impl fmt::Display for ChaosPlan {
         tokens.extend(indexed(&self.kill_runs, "kill-run"));
         tokens.extend(indexed(&self.kill_always, "kill-always"));
         tokens.extend(indexed(&self.frame_corrupt, "frame-corrupt"));
+        tokens.extend(indexed(&self.client_disconnect, "client-disconnect"));
         let mut names: Vec<_> = self.artifact_fail.iter().cloned().collect();
         names.sort_unstable();
         tokens.extend(names.into_iter().map(|n| format!("artifact-fail={n}")));
@@ -242,6 +258,8 @@ pub struct ChaosInjector {
     journal_writes: AtomicU64,
     journal_fsyncs: AtomicU64,
     dispatches: AtomicU64,
+    ledger_writes: AtomicU64,
+    client_accepts: AtomicU64,
     injected: AtomicU64,
     consumed_kills: Mutex<HashSet<u64>>,
     consumed_artifacts: Mutex<HashSet<String>>,
@@ -250,6 +268,8 @@ pub struct ChaosInjector {
     c_worker_kill: Counter,
     c_frame_corrupt: Counter,
     c_artifact_fail: Counter,
+    c_ledger_write: Counter,
+    c_client_disconnect: Counter,
 }
 
 impl ChaosInjector {
@@ -260,6 +280,8 @@ impl ChaosInjector {
             journal_writes: AtomicU64::new(0),
             journal_fsyncs: AtomicU64::new(0),
             dispatches: AtomicU64::new(0),
+            ledger_writes: AtomicU64::new(0),
+            client_accepts: AtomicU64::new(0),
             injected: AtomicU64::new(0),
             consumed_kills: Mutex::new(HashSet::new()),
             consumed_artifacts: Mutex::new(HashSet::new()),
@@ -268,19 +290,24 @@ impl ChaosInjector {
             c_worker_kill: Counter::noop(),
             c_frame_corrupt: Counter::noop(),
             c_artifact_fail: Counter::noop(),
+            c_ledger_write: Counter::noop(),
+            c_client_disconnect: Counter::noop(),
         }
     }
 
     /// Attaches telemetry: one `chaos.*` counter per fault family
     /// (`chaos.journal_write_faults`, `chaos.journal_fsync_faults`,
     /// `chaos.worker_kills`, `chaos.frame_corruptions`,
-    /// `chaos.artifact_failures`). Call before sharing the injector.
+    /// `chaos.artifact_failures`, `chaos.ledger_write_faults`,
+    /// `chaos.client_disconnects`). Call before sharing the injector.
     pub fn attach_obs(&mut self, obs: &Obs) {
         self.c_journal_write = obs.counter("chaos.journal_write_faults");
         self.c_journal_fsync = obs.counter("chaos.journal_fsync_faults");
         self.c_worker_kill = obs.counter("chaos.worker_kills");
         self.c_frame_corrupt = obs.counter("chaos.frame_corruptions");
         self.c_artifact_fail = obs.counter("chaos.artifact_failures");
+        self.c_ledger_write = obs.counter("chaos.ledger_write_faults");
+        self.c_client_disconnect = obs.counter("chaos.client_disconnects");
     }
 
     /// The schedule being replayed.
@@ -374,6 +401,33 @@ impl ChaosInjector {
     pub fn free_disk_override(&self) -> Option<u64> {
         self.plan.free_disk
     }
+
+    /// Submission-ledger append hook: advances the ledger-append counter
+    /// and returns the fault scheduled for this append, if any. Separate
+    /// from [`ChaosInjector::on_journal_append`] so a plan can target the
+    /// daemon's write-ahead ledger without disturbing run journals.
+    pub fn on_ledger_append(&self) -> Option<IoFaultKind> {
+        let idx = self.ledger_writes.fetch_add(1, Ordering::Relaxed);
+        let fault = self.plan.ledger_write.get(&idx).copied();
+        if fault.is_some() {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.c_ledger_write.inc();
+        }
+        fault
+    }
+
+    /// Client-accept hook: advances the accepted-connection counter and
+    /// reports whether this connection should be dropped before any
+    /// response is written.
+    pub fn on_client_accept(&self) -> bool {
+        let idx = self.client_accepts.fetch_add(1, Ordering::Relaxed);
+        let hit = self.plan.client_disconnect.contains(&idx);
+        if hit {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+            self.c_client_disconnect.inc();
+        }
+        hit
+    }
 }
 
 #[cfg(test)]
@@ -383,7 +437,8 @@ mod tests {
     #[test]
     fn plan_parses_and_round_trips() {
         let spec = "seed=7,journal-write=enospc@3,journal-fsync=eio@1,kill-run@5,\
-                    kill-always@9,frame-corrupt@2,artifact-fail=result.json,free-disk=1024";
+                    kill-always@9,frame-corrupt@2,artifact-fail=result.json,free-disk=1024,\
+                    ledger-write=short@0,client-disconnect@4";
         let plan = ChaosPlan::parse(spec).expect("plan parses");
         assert_eq!(plan.seed, 7);
         assert_eq!(plan.journal_write.get(&3), Some(&IoFaultKind::Enospc));
@@ -393,7 +448,9 @@ mod tests {
         assert!(plan.frame_corrupt.contains(&2));
         assert!(plan.artifact_fail.contains("result.json"));
         assert_eq!(plan.free_disk, Some(1024));
-        assert_eq!(plan.len(), 7);
+        assert_eq!(plan.ledger_write.get(&0), Some(&IoFaultKind::Short));
+        assert!(plan.client_disconnect.contains(&4));
+        assert_eq!(plan.len(), 9);
         let reparsed = ChaosPlan::parse(&plan.to_string()).expect("round-trips");
         assert_eq!(reparsed, plan);
     }
@@ -405,6 +462,8 @@ mod tests {
         assert!(ChaosPlan::parse("kill-run@many").is_err());
         assert!(ChaosPlan::parse("unknown-fault=1").is_err());
         assert!(ChaosPlan::parse("journal-write=enospc").is_err());
+        assert!(ChaosPlan::parse("ledger-write=sigsegv@1").is_err());
+        assert!(ChaosPlan::parse("client-disconnect@soon").is_err());
     }
 
     #[test]
@@ -417,8 +476,25 @@ mod tests {
             assert!(!inj.should_kill_worker(&[0, 1, 2]));
             assert!(!inj.corrupt_dispatch());
             assert!(!inj.fail_artifact("result.json"));
+            assert_eq!(inj.on_ledger_append(), None);
+            assert!(!inj.on_client_accept());
         }
         assert_eq!(inj.injected(), 0);
+    }
+
+    #[test]
+    fn daemon_boundary_faults_fire_at_their_index() {
+        let plan = ChaosPlan::parse("ledger-write=enospc-once@1,client-disconnect@2")
+            .expect("plan parses");
+        let inj = ChaosInjector::new(plan);
+        assert_eq!(inj.on_ledger_append(), None);
+        assert_eq!(inj.on_ledger_append(), Some(IoFaultKind::EnospcOnce));
+        assert_eq!(inj.on_ledger_append(), None);
+        assert!(!inj.on_client_accept());
+        assert!(!inj.on_client_accept());
+        assert!(inj.on_client_accept());
+        assert!(!inj.on_client_accept());
+        assert_eq!(inj.injected(), 2);
     }
 
     #[test]

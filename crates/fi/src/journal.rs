@@ -402,6 +402,14 @@ pub struct JournalAudit {
     /// Lines whose coordinate appeared before with *identical* content.
     /// A healthy journal has none: a coordinate is appended exactly once.
     pub identical_duplicates: usize,
+    /// Lines whose coordinate appeared before with the same record and
+    /// stats but a *different* attempt count. A single-writer journal never
+    /// produces these, but [`merge_journals`] legitimately does: when two
+    /// shards finished the same coordinate identically it keeps the max
+    /// attempts, so an audit of a merged journal's *inputs* (or of a
+    /// journal re-merged over itself) sees attempt-only repeats. Resume is
+    /// unaffected — the record content is identical either way.
+    pub attempt_upgrades: usize,
     /// Coordinates that appear more than once with *different* content —
     /// the one shape resume could silently mis-replay. Always fatal.
     pub conflicts: Vec<u64>,
@@ -412,9 +420,19 @@ pub struct JournalAudit {
 
 impl JournalAudit {
     /// `true` when the journal upholds the executor's append invariants:
-    /// no coordinate recorded twice, no conflicting records.
+    /// no coordinate recorded twice, no conflicting records. Strict — an
+    /// attempt-only repeat also fails, because a single writer never
+    /// produces one.
     pub fn is_clean(&self) -> bool {
-        self.conflicts.is_empty() && self.identical_duplicates == 0
+        self.conflicts.is_empty() && self.identical_duplicates == 0 && self.attempt_upgrades == 0
+    }
+
+    /// `true` when the journal is safe to *resume or merge from*: no
+    /// coordinate carries two different results. Identical duplicates and
+    /// attempt-only repeats are tolerated — they replay to the same state —
+    /// which is the right bar for journals assembled by [`merge_journals`].
+    pub fn is_clean_merged(&self) -> bool {
+        self.conflicts.is_empty()
     }
 }
 
@@ -455,6 +473,7 @@ pub fn audit_journal(path: impl AsRef<Path>) -> Result<JournalAudit, FiError> {
     let mut seen: HashMap<u64, JournalEntry> = HashMap::new();
     let mut records = 0usize;
     let mut identical_duplicates = 0usize;
+    let mut attempt_upgrades = 0usize;
     let mut conflicts: Vec<u64> = Vec::new();
     let mut corrupt_line: Option<usize> = None;
     for (idx, (s, e)) in ranges.enumerate() {
@@ -470,13 +489,12 @@ pub fn audit_journal(path: impl AsRef<Path>) -> Result<JournalAudit, FiError> {
                     }
                     std::collections::hash_map::Entry::Occupied(slot) => {
                         let first = slot.get();
-                        if first.record == entry.record
-                            && first.stats == entry.stats
-                            && first.attempts == entry.attempts
-                        {
+                        if first.record != entry.record || first.stats != entry.stats {
+                            conflicts.push(entry.k);
+                        } else if first.attempts == entry.attempts {
                             identical_duplicates += 1;
                         } else {
-                            conflicts.push(entry.k);
+                            attempt_upgrades += 1;
                         }
                     }
                 }
@@ -496,6 +514,7 @@ pub fn audit_journal(path: impl AsRef<Path>) -> Result<JournalAudit, FiError> {
         records,
         distinct: seen.len(),
         identical_duplicates,
+        attempt_upgrades,
         conflicts,
         truncated_tail,
     })
@@ -1119,9 +1138,71 @@ mod tests {
         }
         let audit = audit_journal(&path).unwrap();
         assert!(!audit.is_clean());
+        assert!(
+            !audit.is_clean_merged(),
+            "a true content conflict fails even the merged bar"
+        );
         assert_eq!(audit.conflicts, vec![0]);
         assert_eq!(audit.records, 2);
         assert_eq!(audit.distinct, 1);
+    }
+
+    #[test]
+    fn audit_classifies_attempt_only_repeats_as_upgrades_not_conflicts() {
+        // The shape merge_journals legitimately produces when it keeps the
+        // max-attempts record: same coordinate, same record and stats,
+        // differing attempt counts.
+        let path = tmp("audit-upgrade");
+        let _ = std::fs::remove_file(&path);
+        let mut j = RunJournal::create(&path, &header()).unwrap();
+        j.append(0, &record(500), &stats(40), 1).unwrap();
+        j.sync().unwrap();
+        drop(j);
+        {
+            use std::io::Write as _;
+            let entry = JournalEntry {
+                k: 0,
+                attempts: 3,
+                record: record(500),
+                stats: stats(40),
+            };
+            let line = entry_line(&entry).unwrap();
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            writeln!(f, "{line}").unwrap();
+        }
+        let audit = audit_journal(&path).unwrap();
+        assert_eq!(audit.attempt_upgrades, 1);
+        assert_eq!(audit.identical_duplicates, 0);
+        assert!(audit.conflicts.is_empty());
+        assert!(!audit.is_clean(), "strict bar still refuses double-appends");
+        assert!(
+            audit.is_clean_merged(),
+            "merged bar accepts attempt-only repeats"
+        );
+    }
+
+    #[test]
+    fn audit_accepts_output_of_a_max_attempts_merge() {
+        // End-to-end over the real merge: two shards finished coordinate 0
+        // identically with different attempt counts; the merged journal must
+        // audit clean on both bars (merge collapses the duplicate into one
+        // line, keeping max attempts).
+        let a = shard_file("audit-merge-a", &[(0, record(500), stats(40), 1)]);
+        let b = shard_file(
+            "audit-merge-b",
+            &[
+                (0, record(500), stats(40), 3),
+                (1, record(1_000), stats(41), 1),
+            ],
+        );
+        let out = tmp("audit-merge-out");
+        let _ = std::fs::remove_file(&out);
+        merge_journals(&out, &[a, b]).unwrap();
+        let audit = audit_journal(&out).unwrap();
+        assert!(audit.is_clean());
+        assert!(audit.is_clean_merged());
+        assert_eq!(audit.records, 2);
+        assert_eq!(audit.distinct, 2);
     }
 
     #[test]

@@ -75,7 +75,9 @@ pub mod prelude {
     pub use crate::latency::{latency_summaries, render_latencies, LatencySummary};
     pub use crate::model::ErrorModel;
     pub use crate::outcome::{CrashCause, OutcomeTally, RunOutcome};
-    pub use crate::process::{run_worker, IsolationMode, ProcessIsolation, WorkerCommand};
+    pub use crate::process::{
+        encode_frame, read_frame, run_worker, IsolationMode, ProcessIsolation, WorkerCommand,
+    };
     pub use crate::results::{CampaignResult, PairStat, RunRecord, RunStats};
     pub use crate::shard::Shard;
     pub use crate::spec::{CampaignSpec, InjectionScope, PortTarget};

@@ -123,7 +123,11 @@ pub(crate) fn backoff(base_ms: u64, attempt: u32) -> Duration {
 pub(crate) const MAX_BACKOFF_SHIFT: u32 = 6;
 
 /// Encodes one frame: magic, length, payload.
-pub(crate) fn encode_frame(payload: &str) -> Vec<u8> {
+///
+/// Public so other transports (e.g. the campaign daemon's Unix-socket
+/// protocol) can speak the same self-synchronising wire format as the
+/// worker pipes; [`read_frame`] is the matching decoder.
+pub fn encode_frame(payload: &str) -> Vec<u8> {
     let bytes = payload.as_bytes();
     let mut frame = Vec::with_capacity(FRAME_MAGIC.len() + 4 + bytes.len());
     frame.extend_from_slice(&FRAME_MAGIC);
@@ -134,7 +138,7 @@ pub(crate) fn encode_frame(payload: &str) -> Vec<u8> {
 
 /// Reads the next frame, scanning past any non-frame noise. Returns
 /// `Ok(None)` on a clean EOF (stream closed before another frame started).
-pub(crate) fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<String>> {
+pub fn read_frame<R: Read>(r: &mut R) -> std::io::Result<Option<String>> {
     let mut matched = 0usize;
     let mut byte = [0u8; 1];
     loop {

@@ -183,6 +183,22 @@ pub enum Event<'a> {
         /// Microseconds since campaign start (campaign-relative).
         elapsed_micros: u64,
     },
+    /// A campaign-service lifecycle event, emitted by the daemon into its
+    /// own stream and into the per-campaign event files its clients and
+    /// the explorer's `--follow` mode tail. Adding this type is
+    /// backwards-compatible (see [`EVENTS_SCHEMA_VERSION`]).
+    Service {
+        /// Tenant that owns the campaign (empty for daemon-wide events).
+        tenant: &'a str,
+        /// Daemon-assigned campaign id (0 for daemon-wide events).
+        campaign: u64,
+        /// Lifecycle class: `submitted`, `started`, `sliced`, `completed`,
+        /// `failed`, `cancelled`, `rejected`, `recovered`, `draining`,
+        /// `degraded`.
+        kind: &'a str,
+        /// Free-form detail (rejection reason, failure text, ...).
+        detail: &'a str,
+    },
 }
 
 #[cfg(test)]

@@ -61,12 +61,27 @@ impl JsonlSink {
     /// Creates (truncating) the event log at `path` and writes the schema
     /// header line.
     pub fn create(path: &Path) -> std::io::Result<JsonlSink> {
-        let mut writer = BufWriter::new(File::create(path)?);
+        Self::with_file(File::create(path)?)
+    }
+
+    /// Opens the event log at `path` for appending (creating it if
+    /// absent) and writes a fresh schema header line. Each daemon session
+    /// of a long-lived per-campaign stream starts with its own header, so
+    /// a consumer tailing the file can rebase campaign-relative clocks at
+    /// every session boundary — the same stitching contract as resumed
+    /// `--events` logs, kept inside one file across daemon restarts.
+    pub fn append_session(path: &Path) -> std::io::Result<JsonlSink> {
+        Self::with_file(File::options().create(true).append(true).open(path)?)
+    }
+
+    fn with_file(file: File) -> std::io::Result<JsonlSink> {
+        let mut writer = BufWriter::new(file);
         writeln!(
             writer,
             "{{\"t_us\": 0, \"type\": \"schema\", \"v\": {EVENTS_SCHEMA_VERSION}, \
              \"stream\": \"permea-events\"}}"
         )?;
+        writer.flush()?;
         Ok(JsonlSink {
             writer: Mutex::new(writer),
             last_progress_micros: AtomicU64::new(u64::MAX),
@@ -141,6 +156,17 @@ impl JsonlSink {
                 elapsed_micros,
             } => format!(
                 "{{\"t_us\": {now_micros}, \"type\": \"run_incident\", \"k\": {k}, \"kind\": \"{}\", \"detail\": \"{}\", \"elapsed_micros\": {elapsed_micros}}}",
+                json_escape(kind),
+                json_escape(detail)
+            ),
+            Event::Service {
+                tenant,
+                campaign,
+                kind,
+                detail,
+            } => format!(
+                "{{\"t_us\": {now_micros}, \"type\": \"service\", \"tenant\": \"{}\", \"campaign\": {campaign}, \"kind\": \"{}\", \"detail\": \"{}\"}}",
+                json_escape(tenant),
                 json_escape(kind),
                 json_escape(detail)
             ),
@@ -497,6 +523,59 @@ mod tests {
             "{\"t_us\": 300, \"type\": \"run_incident\", \"k\": 42, \"kind\": \"panicked\", \
              \"detail\": \"index out of \\\"bounds\\\"\", \"elapsed_micros\": 290}"
         );
+    }
+
+    #[test]
+    fn jsonl_renders_service_events() {
+        let line = JsonlSink::render(
+            400,
+            &Event::Service {
+                tenant: "alice",
+                campaign: 7,
+                kind: "rejected",
+                detail: "queue \"full\"",
+            },
+        );
+        assert_eq!(
+            line,
+            "{\"t_us\": 400, \"type\": \"service\", \"tenant\": \"alice\", \"campaign\": 7, \
+             \"kind\": \"rejected\", \"detail\": \"queue \\\"full\\\"\"}"
+        );
+    }
+
+    #[test]
+    fn append_session_stacks_schema_headers_and_keeps_prior_events() {
+        let dir = std::env::temp_dir().join(format!("permea-obs-append-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.jsonl");
+        {
+            let sink = JsonlSink::append_session(&path).unwrap();
+            sink.event(10, &Event::SpanBegin { name: "golden" });
+        }
+        {
+            // A second session (daemon restart) appends after the first.
+            let sink = JsonlSink::append_session(&path).unwrap();
+            sink.event(
+                20,
+                &Event::Service {
+                    tenant: "bob",
+                    campaign: 2,
+                    kind: "recovered",
+                    detail: "",
+                },
+            );
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("\"type\": \"schema\""));
+        assert!(lines[1].contains("\"type\": \"span_begin\""));
+        assert!(
+            lines[2].contains("\"type\": \"schema\""),
+            "each session rebases with its own header"
+        );
+        assert!(lines[3].contains("\"type\": \"service\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

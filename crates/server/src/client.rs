@@ -1,0 +1,136 @@
+//! Thin synchronous client for the daemon's Unix-socket protocol.
+//!
+//! One [`Client`] wraps one connection and speaks exactly one verb — the
+//! protocol is connection-per-request — so the `permea-cli` subcommands
+//! map one-to-one onto constructors here.
+
+use crate::error::ServerError;
+use crate::protocol::{
+    read_message, write_message, CampaignState, Request, Response, ServerStatus, PROTOCOL_VERSION,
+};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+/// A single-verb connection to the daemon.
+pub struct Client {
+    stream: UnixStream,
+}
+
+impl Client {
+    /// Connects to the daemon socket.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Io`] when the socket is absent or refuses — the
+    /// daemon is not running (or not yet listening).
+    pub fn connect(socket: &Path) -> Result<Client, ServerError> {
+        let stream = UnixStream::connect(socket)
+            .map_err(|e| ServerError::io(&format!("connecting to {}", socket.display()), e))?;
+        Ok(Client { stream })
+    }
+
+    fn call(&mut self, request: &Request) -> Result<Response, ServerError> {
+        write_message(&mut self.stream, request)?;
+        read_message(&mut self.stream)?.ok_or(ServerError::Disconnected)
+    }
+
+    /// Submits a campaign, returning the daemon's full answer (accepted
+    /// with an id, or a typed rejection).
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError`] on transport or protocol failure.
+    pub fn submit(&mut self, tenant: &str, payload: &str) -> Result<Response, ServerError> {
+        self.call(&Request::Submit {
+            version: PROTOCOL_VERSION,
+            tenant: tenant.to_string(),
+            payload: payload.to_string(),
+        })
+    }
+
+    /// Fetches the daemon health snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError`] on transport failure or a non-status answer.
+    pub fn status(&mut self) -> Result<ServerStatus, ServerError> {
+        match self.call(&Request::Status {
+            version: PROTOCOL_VERSION,
+        })? {
+            Response::Status(status) => Ok(status),
+            other => Err(ServerError::Protocol {
+                message: format!("expected a status response, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Streams state updates for campaign `id`, invoking `on_update` per
+    /// update, until the campaign reaches a terminal state (returned) or
+    /// the daemon reports it unknown.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError`] on transport failure, an unknown id, or the stream
+    /// ending before a terminal state.
+    pub fn watch(
+        &mut self,
+        id: u64,
+        mut on_update: impl FnMut(CampaignState, &str),
+    ) -> Result<(CampaignState, String), ServerError> {
+        write_message(
+            &mut self.stream,
+            &Request::Watch {
+                version: PROTOCOL_VERSION,
+                id,
+            },
+        )?;
+        loop {
+            match read_message::<_, Response>(&mut self.stream)? {
+                None => return Err(ServerError::Disconnected),
+                Some(Response::Update {
+                    id: _,
+                    state,
+                    detail,
+                }) => {
+                    on_update(state, &detail);
+                    if state.is_terminal() {
+                        return Ok((state, detail));
+                    }
+                }
+                Some(Response::NotFound { id }) => {
+                    return Err(ServerError::Protocol {
+                        message: format!("campaign {id} is unknown to the daemon"),
+                    })
+                }
+                Some(other) => {
+                    return Err(ServerError::Protocol {
+                        message: format!("unexpected watch-stream message: {other:?}"),
+                    })
+                }
+            }
+        }
+    }
+
+    /// Cancels campaign `id`.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError`] on transport failure.
+    pub fn cancel(&mut self, id: u64) -> Result<Response, ServerError> {
+        self.call(&Request::Cancel {
+            version: PROTOCOL_VERSION,
+            id,
+        })
+    }
+
+    /// Asks the daemon to drain gracefully and exit.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError`] on transport failure.
+    pub fn shutdown(&mut self) -> Result<Response, ServerError> {
+        self.call(&Request::Shutdown {
+            version: PROTOCOL_VERSION,
+        })
+    }
+}

@@ -1,0 +1,60 @@
+//! Typed daemon errors.
+
+use std::fmt;
+
+/// Everything that can go wrong inside the daemon or its client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// Socket / stream I/O failure, with context.
+    Io {
+        /// What was being attempted.
+        message: String,
+    },
+    /// The submission ledger could not be read or written.
+    Ledger {
+        /// What was being attempted.
+        message: String,
+    },
+    /// The ledger append hit `ENOSPC` and exhausted its bounded retries.
+    LedgerDiskFull {
+        /// Retries spent before giving up.
+        retries: u32,
+    },
+    /// A peer spoke something that is not the protocol (bad frame payload,
+    /// unexpected response type).
+    Protocol {
+        /// What was malformed.
+        message: String,
+    },
+    /// The daemon closed the connection before answering — it is draining,
+    /// crashed, or a chaos plan dropped the connection.
+    Disconnected,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Io { message } => write!(f, "i/o error: {message}"),
+            ServerError::Ledger { message } => write!(f, "submission ledger: {message}"),
+            ServerError::LedgerDiskFull { retries } => write!(
+                f,
+                "submission ledger append failed with ENOSPC after {retries} retries"
+            ),
+            ServerError::Protocol { message } => write!(f, "protocol error: {message}"),
+            ServerError::Disconnected => {
+                write!(f, "connection closed before the daemon answered")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl ServerError {
+    /// Wraps an [`std::io::Error`] with context into [`ServerError::Io`].
+    pub fn io(context: &str, e: std::io::Error) -> ServerError {
+        ServerError::Io {
+            message: format!("{context}: {e}"),
+        }
+    }
+}

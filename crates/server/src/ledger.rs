@@ -1,0 +1,525 @@
+//! Write-ahead submission ledger: append-only JSONL persistence for the
+//! daemon's campaign registry.
+//!
+//! Every accepted submission is durably recorded *before* the client sees
+//! `Submitted`; every terminal transition (completed / failed / cancelled)
+//! is recorded when it happens. A SIGKILLed daemon restarts by replaying
+//! the ledger: campaigns with no `Closed` record are re-registered and
+//! re-queued, and their per-campaign run journals make the resumed
+//! execution byte-identical to the uninterrupted one.
+//!
+//! The file format deliberately mirrors [`permea_fi::journal`]: line 1 is
+//! a header (format version), every following line is the CRC32 (IEEE) of
+//! its JSON payload as eight lowercase hex digits, a space, and the
+//! payload:
+//!
+//! ```text
+//! {"version":1}
+//! 89abcdef {"Submitted":{"id":1,"tenant":"alice","payload":"..."}}
+//! 01234567 {"Closed":{"id":1,"state":"Completed","detail":""}}
+//! ```
+//!
+//! A line that fails its CRC (or does not parse) at the **end** of the
+//! file is the torn tail of an interrupted write and is truncated away on
+//! open; the same failure **mid-file** can only be silent corruption and
+//! poisons the ledger with a typed error rather than quietly dropping a
+//! tenant's campaign.
+//!
+//! Durability is stricter than the run journal's: the ledger sees a few
+//! records per campaign (not tens of thousands), so every append is
+//! `fsync`ed before it returns. An `ENOSPC` append is retried a bounded
+//! number of times (transient pressure clears; a full disk becomes the
+//! typed [`ServerError::LedgerDiskFull`]).
+
+use crate::error::ServerError;
+use crate::protocol::CampaignState;
+use permea_fi::chaos::{ChaosInjector, IoFaultKind};
+use permea_fi::journal::crc32;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Ledger format version; bumped on any incompatible layout change.
+pub const LEDGER_VERSION: u32 = 1;
+
+/// Bounded retries for an `ENOSPC` append before giving up.
+const ENOSPC_APPEND_RETRIES: u32 = 3;
+
+/// First line of the ledger.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct LedgerHeader {
+    version: u32,
+}
+
+/// One ledger line: a submission or a terminal transition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LedgerRecord {
+    /// A campaign was admitted. Written (and fsynced) *before* the client
+    /// receives its acknowledgement — the write-ahead invariant.
+    Submitted {
+        /// Daemon-assigned id.
+        id: u64,
+        /// Owning tenant.
+        tenant: String,
+        /// Opaque campaign descriptor for the runner.
+        payload: String,
+    },
+    /// A campaign reached a terminal state.
+    Closed {
+        /// Daemon-assigned id.
+        id: u64,
+        /// The terminal state.
+        state: CampaignState,
+        /// Free-form detail (failure message, cancellation note).
+        detail: String,
+    },
+}
+
+/// One campaign reconstructed by [`Ledger::open`]'s replay.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayedCampaign {
+    /// Daemon-assigned id.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Opaque campaign descriptor.
+    pub payload: String,
+    /// Terminal state and detail if the campaign closed before the
+    /// previous daemon died; `None` means it must be re-queued.
+    pub closed: Option<(CampaignState, String)>,
+}
+
+/// The append-only submission ledger.
+#[derive(Debug)]
+pub struct Ledger {
+    path: PathBuf,
+    writer: BufWriter<File>,
+    chaos: Option<Arc<ChaosInjector>>,
+}
+
+fn io_err(context: &str, e: std::io::Error) -> ServerError {
+    ServerError::Ledger {
+        message: format!("{context}: {e}"),
+    }
+}
+
+fn is_enospc(e: &std::io::Error) -> bool {
+    e.raw_os_error() == Some(28) // ENOSPC
+}
+
+fn enospc_error() -> std::io::Error {
+    std::io::Error::from_raw_os_error(28)
+}
+
+fn record_line(record: &LedgerRecord) -> Result<String, ServerError> {
+    let json = serde_json::to_string(record).map_err(|e| ServerError::Ledger {
+        message: format!("serialising ledger record: {e}"),
+    })?;
+    Ok(format!("{:08x} {json}", crc32(json.as_bytes())))
+}
+
+fn parse_record_line(line: &[u8]) -> Option<LedgerRecord> {
+    let line = std::str::from_utf8(line).ok()?;
+    let (crc_hex, json) = line.split_once(' ')?;
+    if crc_hex.len() != 8 {
+        return None;
+    }
+    let expected = u32::from_str_radix(crc_hex, 16).ok()?;
+    if crc32(json.as_bytes()) != expected {
+        return None;
+    }
+    serde_json::from_str(json).ok()
+}
+
+impl Ledger {
+    /// Opens the ledger at `path`, creating it (with its header) if absent,
+    /// and replays every recorded campaign.
+    ///
+    /// A torn final line — the signature of `kill -9` mid-append — is
+    /// truncated away; the replay sees everything that was durably
+    /// acknowledged. Returns the reopened ledger, the replayed campaigns in
+    /// id order, and the next free campaign id.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Ledger`] on I/O failure, header mismatch, or a
+    /// corrupt record followed by valid ones (silent mid-file corruption).
+    pub fn open(path: &Path) -> Result<(Ledger, Vec<ReplayedCampaign>, u64), ServerError> {
+        if !path.exists() {
+            let mut file = File::create(path).map_err(|e| io_err("creating ledger", e))?;
+            let header = serde_json::to_string(&LedgerHeader {
+                version: LEDGER_VERSION,
+            })
+            .map_err(|e| ServerError::Ledger {
+                message: format!("serialising ledger header: {e}"),
+            })?;
+            file.write_all(header.as_bytes())
+                .and_then(|()| file.write_all(b"\n"))
+                .and_then(|()| file.sync_data())
+                .map_err(|e| io_err("writing ledger header", e))?;
+            return Ok((
+                Ledger {
+                    path: path.to_path_buf(),
+                    writer: BufWriter::new(file),
+                    chaos: None,
+                },
+                Vec::new(),
+                1,
+            ));
+        }
+
+        let data = std::fs::read(path).map_err(|e| io_err("reading ledger", e))?;
+        let mut line_ranges = Vec::new();
+        let mut start = 0usize;
+        for (i, &b) in data.iter().enumerate() {
+            if b == b'\n' {
+                line_ranges.push((start, i));
+                start = i + 1;
+            }
+        }
+
+        let mut ranges = line_ranges.into_iter();
+        let (hs, he) = ranges.next().ok_or(ServerError::Ledger {
+            message: "ledger exists but holds no complete header line".into(),
+        })?;
+        let header_line = std::str::from_utf8(&data[hs..he]).map_err(|_| ServerError::Ledger {
+            message: "ledger header is not valid UTF-8".into(),
+        })?;
+        let header: LedgerHeader =
+            serde_json::from_str(header_line).map_err(|e| ServerError::Ledger {
+                message: format!("parsing ledger header: {e}"),
+            })?;
+        if header.version != LEDGER_VERSION {
+            return Err(ServerError::Ledger {
+                message: format!(
+                    "ledger format version {} but this daemon speaks {LEDGER_VERSION}",
+                    header.version
+                ),
+            });
+        }
+
+        let mut campaigns: BTreeMap<u64, ReplayedCampaign> = BTreeMap::new();
+        let mut valid_end = he + 1;
+        // 1-based physical line of the first invalid record, if any; an
+        // invalid line followed by a valid one is silent corruption, not a
+        // torn tail.
+        let mut corrupt_line: Option<usize> = None;
+        for (idx, (s, e)) in ranges.enumerate() {
+            match parse_record_line(&data[s..e]) {
+                Some(record) => {
+                    if let Some(line) = corrupt_line {
+                        return Err(ServerError::Ledger {
+                            message: format!(
+                                "ledger line {line} is corrupt but later records are intact"
+                            ),
+                        });
+                    }
+                    match record {
+                        LedgerRecord::Submitted {
+                            id,
+                            tenant,
+                            payload,
+                        } => {
+                            campaigns.insert(
+                                id,
+                                ReplayedCampaign {
+                                    id,
+                                    tenant,
+                                    payload,
+                                    closed: None,
+                                },
+                            );
+                        }
+                        LedgerRecord::Closed { id, state, detail } => {
+                            if let Some(c) = campaigns.get_mut(&id) {
+                                c.closed = Some((state, detail));
+                            }
+                        }
+                    }
+                    valid_end = e + 1;
+                }
+                None => {
+                    // Line 1 is the header; record `idx` sits on line idx+2.
+                    corrupt_line.get_or_insert(idx + 2);
+                }
+            }
+        }
+
+        let mut file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err("reopening ledger", e))?;
+        if valid_end < data.len() {
+            file.set_len(valid_end as u64)
+                .map_err(|e| io_err("truncating torn ledger tail", e))?;
+        }
+        file.seek(SeekFrom::End(0))
+            .map_err(|e| io_err("seeking ledger end", e))?;
+
+        let next_id = campaigns.keys().next_back().map_or(1, |max| max + 1);
+        let replayed = campaigns.into_values().collect();
+        Ok((
+            Ledger {
+                path: path.to_path_buf(),
+                writer: BufWriter::new(file),
+                chaos: None,
+            },
+            replayed,
+            next_id,
+        ))
+    }
+
+    /// Attaches a chaos injector: scheduled `ledger-write` faults from its
+    /// plan are injected into [`Ledger::append`]. Production daemons never
+    /// call this.
+    pub fn set_chaos(&mut self, chaos: Arc<ChaosInjector>) {
+        self.chaos = Some(chaos);
+    }
+
+    /// The file this ledger persists to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record, CRC32-prefixed, flushed and `fsync`ed before
+    /// returning — the record is durable when this succeeds.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::LedgerDiskFull`] when `ENOSPC` persists past the
+    /// bounded retries; [`ServerError::Ledger`] on any other I/O failure.
+    pub fn append(&mut self, record: &LedgerRecord) -> Result<(), ServerError> {
+        let line = record_line(record)?;
+        let fault = self.chaos.as_ref().and_then(|c| c.on_ledger_append());
+        let mut retries: u32 = 0;
+        match fault {
+            Some(IoFaultKind::Eio) => {
+                return Err(io_err(
+                    "appending ledger record",
+                    std::io::Error::from_raw_os_error(5), // EIO
+                ));
+            }
+            Some(IoFaultKind::Short) => {
+                // A torn partial write: a prefix of the line reaches the
+                // file with no newline, then the device fails — exactly
+                // the tail shape `open` truncates away on restart.
+                let cut = line.len() / 2;
+                let _ = self
+                    .writer
+                    .write_all(&line.as_bytes()[..cut])
+                    .and_then(|()| self.writer.flush());
+                return Err(io_err("appending ledger record", enospc_error()));
+            }
+            Some(IoFaultKind::Enospc | IoFaultKind::EnospcOnce) => loop {
+                let still_failing = fault == Some(IoFaultKind::Enospc) || retries == 0;
+                if !still_failing {
+                    break;
+                }
+                if retries >= ENOSPC_APPEND_RETRIES {
+                    return Err(ServerError::LedgerDiskFull { retries });
+                }
+                retries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(5 * u64::from(retries)));
+            },
+            None => {}
+        }
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| {
+                if is_enospc(&e) {
+                    ServerError::LedgerDiskFull { retries }
+                } else {
+                    io_err("appending ledger record", e)
+                }
+            })?;
+        self.writer
+            .get_ref()
+            .sync_data()
+            .map_err(|e| io_err("fsyncing ledger", e))
+    }
+
+    /// Flushes and `fsync`s any buffered state. Appends already sync, so
+    /// this is a cheap belt-and-braces call on the drain path.
+    ///
+    /// # Errors
+    ///
+    /// [`ServerError::Ledger`] on I/O failure.
+    pub fn sync(&mut self) -> Result<(), ServerError> {
+        self.writer
+            .flush()
+            .and_then(|()| self.writer.get_ref().sync_data())
+            .map_err(|e| io_err("syncing ledger", e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("permea-ledger-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("ledger.jsonl")
+    }
+
+    fn submitted(id: u64, tenant: &str) -> LedgerRecord {
+        LedgerRecord::Submitted {
+            id,
+            tenant: tenant.into(),
+            payload: format!("{{\"preset\":\"smoke\",\"n\":{id}}}"),
+        }
+    }
+
+    #[test]
+    fn replay_reconstructs_open_and_closed_campaigns() {
+        let path = tmp("replay");
+        {
+            let (mut ledger, replayed, next_id) = Ledger::open(&path).unwrap();
+            assert!(replayed.is_empty());
+            assert_eq!(next_id, 1);
+            ledger.append(&submitted(1, "alice")).unwrap();
+            ledger.append(&submitted(2, "bob")).unwrap();
+            ledger
+                .append(&LedgerRecord::Closed {
+                    id: 1,
+                    state: CampaignState::Completed,
+                    detail: String::new(),
+                })
+                .unwrap();
+        }
+        let (_ledger, replayed, next_id) = Ledger::open(&path).unwrap();
+        assert_eq!(next_id, 3);
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(
+            replayed[0].closed,
+            Some((CampaignState::Completed, String::new()))
+        );
+        assert_eq!(replayed[1].id, 2);
+        assert_eq!(replayed[1].tenant, "bob");
+        assert_eq!(replayed[1].closed, None);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_replay_survives() {
+        let path = tmp("torn");
+        {
+            let (mut ledger, _, _) = Ledger::open(&path).unwrap();
+            ledger.append(&submitted(1, "alice")).unwrap();
+        }
+        // Simulate kill -9 mid-append: half a record, no newline.
+        let full = record_line(&submitted(2, "bob")).unwrap();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&full.as_bytes()[..full.len() / 2]).unwrap();
+        drop(f);
+
+        let (mut ledger, replayed, next_id) = Ledger::open(&path).unwrap();
+        assert_eq!(replayed.len(), 1, "torn record must not replay");
+        assert_eq!(next_id, 2);
+        // Appending after truncation keeps the file parseable.
+        ledger.append(&submitted(2, "bob")).unwrap();
+        drop(ledger);
+        let (_l, replayed, next_id) = Ledger::open(&path).unwrap();
+        assert_eq!(replayed.len(), 2);
+        assert_eq!(next_id, 3);
+    }
+
+    #[test]
+    fn mid_file_corruption_is_rejected_not_dropped() {
+        let path = tmp("midfile");
+        {
+            let (mut ledger, _, _) = Ledger::open(&path).unwrap();
+            ledger.append(&submitted(1, "alice")).unwrap();
+            ledger.append(&submitted(2, "bob")).unwrap();
+        }
+        // Flip a byte inside the FIRST record's payload, leaving the
+        // second intact: silent corruption, not a torn tail.
+        let mut data = std::fs::read(&path).unwrap();
+        let header_end = data.iter().position(|&b| b == b'\n').unwrap();
+        let target = header_end + 20;
+        data[target] ^= 0x01;
+        std::fs::write(&path, &data).unwrap();
+
+        let err = Ledger::open(&path).unwrap_err();
+        assert!(
+            matches!(&err, ServerError::Ledger { message } if message.contains("line 2")),
+            "unexpected error: {err}"
+        );
+    }
+
+    #[test]
+    fn chaos_faults_map_to_typed_errors_and_recoverable_files() {
+        use permea_fi::chaos::ChaosPlan;
+
+        // enospc-once: the retry loop absorbs it.
+        let path = tmp("chaos-once");
+        let (mut ledger, _, _) = Ledger::open(&path).unwrap();
+        let plan = ChaosPlan::parse("ledger-write=enospc-once@0").unwrap();
+        let chaos = Arc::new(ChaosInjector::new(plan));
+        ledger.set_chaos(Arc::clone(&chaos));
+        ledger.append(&submitted(1, "alice")).unwrap();
+        assert_eq!(chaos.injected(), 1);
+
+        // enospc: bounded retries, then the typed disk-full error.
+        let path = tmp("chaos-full");
+        let (mut ledger, _, _) = Ledger::open(&path).unwrap();
+        let plan = ChaosPlan::parse("ledger-write=enospc@0").unwrap();
+        ledger.set_chaos(Arc::new(ChaosInjector::new(plan)));
+        let err = ledger.append(&submitted(1, "alice")).unwrap_err();
+        assert_eq!(
+            err,
+            ServerError::LedgerDiskFull {
+                retries: ENOSPC_APPEND_RETRIES
+            }
+        );
+
+        // short: a torn prefix lands in the file, then the fault surfaces;
+        // reopening truncates the tear and the record is simply absent.
+        let path = tmp("chaos-short");
+        let (mut ledger, _, _) = Ledger::open(&path).unwrap();
+        let plan = ChaosPlan::parse("ledger-write=short@0").unwrap();
+        ledger.set_chaos(Arc::new(ChaosInjector::new(plan)));
+        assert!(ledger.append(&submitted(1, "alice")).is_err());
+        drop(ledger);
+        let mut raw = String::new();
+        File::open(&path).unwrap().read_to_string(&mut raw).unwrap();
+        assert!(!raw.ends_with('\n'), "short fault must leave a torn tail");
+        let (_l, replayed, next_id) = Ledger::open(&path).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(next_id, 1);
+
+        // eio: fails before any byte reaches the file.
+        let path = tmp("chaos-eio");
+        let (mut ledger, _, _) = Ledger::open(&path).unwrap();
+        let plan = ChaosPlan::parse("ledger-write=eio@0").unwrap();
+        ledger.set_chaos(Arc::new(ChaosInjector::new(plan)));
+        assert!(matches!(
+            ledger.append(&submitted(1, "alice")),
+            Err(ServerError::Ledger { .. })
+        ));
+    }
+
+    #[test]
+    fn closed_record_for_unknown_id_is_ignored_on_replay() {
+        let path = tmp("orphan-close");
+        {
+            let (mut ledger, _, _) = Ledger::open(&path).unwrap();
+            ledger
+                .append(&LedgerRecord::Closed {
+                    id: 42,
+                    state: CampaignState::Failed,
+                    detail: "orphan".into(),
+                })
+                .unwrap();
+        }
+        let (_l, replayed, next_id) = Ledger::open(&path).unwrap();
+        assert!(replayed.is_empty());
+        assert_eq!(next_id, 1);
+    }
+}

@@ -1,0 +1,65 @@
+//! # permea-server — a crash-recoverable campaign daemon
+//!
+//! The paper's propagation analysis is campaign-heavy, and incremental
+//! re-analysis multiplies one monolithic study into *many concurrent small
+//! campaigns*. This crate provides the service layer that schedules them:
+//! a long-running daemon accepting campaign submissions over framed IPC on
+//! a Unix socket (the same self-synchronising wire format as
+//! [`permea_fi::process`] worker pipes), multiplexing runs from multiple
+//! tenants onto one shared executor fleet.
+//!
+//! The daemon is engineered to survive everything the chaos harness can
+//! throw at it:
+//!
+//! * **Write-ahead submission ledger** ([`ledger`]) — every accepted
+//!   campaign is durably recorded *before* it is acknowledged; a SIGKILLed
+//!   daemon restarts, replays the ledger, and resumes every in-flight
+//!   campaign byte-identically from its per-campaign run journal.
+//! * **Admission control** ([`quota`]) — bounded queue depth and typed
+//!   back-pressure rejections instead of unbounded memory growth.
+//! * **Tenant quotas with fair-share scheduling** ([`scheduler`]) — one
+//!   tenant's 52k-run study cannot starve another's smoke test: campaigns
+//!   execute in budgeted slices (see
+//!   [`permea_fi::campaign::Campaign::run_resumable_budgeted`]) and the
+//!   scheduler round-robins slices across tenants.
+//! * **Graceful drain vs hard kill, proven equivalent** ([`daemon`]) — on
+//!   SIGTERM the daemon stops dispatching, finishes in-flight slices,
+//!   flushes ledger/journals/metrics and exits 0; on SIGKILL the ledger
+//!   replay produces the same final state.
+//! * **Degraded-mode operation** — executor slots that keep failing retire
+//!   instead of taking the daemon down; health surfaces over the `status`
+//!   verb.
+//!
+//! Campaign *content* is decoupled from the service: the daemon runs any
+//! [`runner::CampaignRunner`], so this crate depends only on the fault
+//! injection executor and telemetry layers, and the analysis crate plugs
+//! its study presets in from above.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod error;
+pub mod ledger;
+pub mod protocol;
+pub mod quota;
+pub mod runner;
+pub mod scheduler;
+pub mod signal;
+
+/// Convenient re-exports of the most commonly used items.
+pub mod prelude {
+    pub use crate::client::Client;
+    pub use crate::daemon::{Daemon, ServerConfig};
+    pub use crate::error::ServerError;
+    pub use crate::ledger::{Ledger, LedgerRecord, ReplayedCampaign};
+    pub use crate::protocol::{
+        CampaignState, CampaignStatus, RejectReason, Request, Response, ServerStatus,
+    };
+    pub use crate::quota::QuotaConfig;
+    pub use crate::runner::{CampaignRunner, SliceOutcome, SliceRequest};
+    pub use crate::scheduler::Scheduler;
+}
+
+pub use prelude::*;

@@ -1,0 +1,355 @@
+//! The client ↔ daemon wire protocol.
+//!
+//! Messages are JSON payloads inside the self-synchronising frames of
+//! [`permea_fi::process`] (magic + length + payload), written over a Unix
+//! stream socket. Reusing the worker-pipe framing means a noisy or torn
+//! stream never desynchronises the conversation: the reader scans to the
+//! next magic and a clean EOF is a typed `None`, exactly the properties
+//! the chaos harness exercises at this boundary.
+//!
+//! One connection carries one request and its response(s): every verb
+//! answers a single [`Response`] frame, except `Watch`, which streams
+//! [`Response::Update`] frames until the campaign reaches a terminal
+//! state. The daemon tolerates clients that vanish at any point.
+
+use crate::error::ServerError;
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+
+/// Protocol version, carried in every request so a daemon can refuse a
+/// client from a different era instead of mis-parsing it.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A client request. One per connection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Submit a campaign for `tenant`; `payload` is an opaque string the
+    /// daemon's [`crate::runner::CampaignRunner`] validates and executes
+    /// (e.g. a study preset descriptor).
+    Submit {
+        /// Protocol version of the client.
+        version: u32,
+        /// Tenant the campaign is accounted against.
+        tenant: String,
+        /// Opaque campaign descriptor for the runner.
+        payload: String,
+    },
+    /// Report daemon health and every known campaign.
+    Status {
+        /// Protocol version of the client.
+        version: u32,
+    },
+    /// Stream state updates for one campaign until it is terminal.
+    Watch {
+        /// Protocol version of the client.
+        version: u32,
+        /// Daemon-assigned campaign id.
+        id: u64,
+    },
+    /// Cancel a queued or running campaign.
+    Cancel {
+        /// Protocol version of the client.
+        version: u32,
+        /// Daemon-assigned campaign id.
+        id: u64,
+    },
+    /// Ask the daemon to drain gracefully and exit 0 (the verb form of
+    /// SIGTERM).
+    Shutdown {
+        /// Protocol version of the client.
+        version: u32,
+    },
+}
+
+/// Why a submission was refused. Typed so clients can distinguish
+/// back-pressure (retry later) from rejection (fix the request).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The global submission queue is full — back-pressure, retry later.
+    QueueFull {
+        /// Campaigns currently queued.
+        depth: usize,
+        /// Configured ceiling.
+        max: usize,
+    },
+    /// This tenant already has its maximum queued campaigns.
+    TenantQueueFull {
+        /// Campaigns this tenant has queued.
+        queued: usize,
+        /// Configured per-tenant ceiling.
+        max: usize,
+    },
+    /// The daemon is draining and accepts no new work.
+    Draining,
+    /// The runner refused the campaign descriptor.
+    InvalidPayload {
+        /// The runner's explanation.
+        message: String,
+    },
+    /// The client speaks a different protocol version.
+    VersionMismatch {
+        /// The daemon's version.
+        server: u32,
+        /// The client's version.
+        client: u32,
+    },
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::QueueFull { depth, max } => {
+                write!(f, "queue full ({depth}/{max} campaigns queued)")
+            }
+            RejectReason::TenantQueueFull { queued, max } => {
+                write!(f, "tenant queue full ({queued}/{max} campaigns queued)")
+            }
+            RejectReason::Draining => write!(f, "daemon is draining"),
+            RejectReason::InvalidPayload { message } => {
+                write!(f, "invalid campaign payload: {message}")
+            }
+            RejectReason::VersionMismatch { server, client } => {
+                write!(
+                    f,
+                    "protocol version mismatch (server {server}, client {client})"
+                )
+            }
+        }
+    }
+}
+
+/// Lifecycle state of a submitted campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CampaignState {
+    /// Accepted and waiting for an executor slot.
+    Queued,
+    /// At least one slice has been dispatched and the campaign is not
+    /// done; between slices it still reports `Running`.
+    Running,
+    /// Finished; result artifacts are on disk in the campaign directory.
+    Completed,
+    /// The runner reported an unrecoverable failure.
+    Failed,
+    /// Cancelled by a client before completion.
+    Cancelled,
+}
+
+impl CampaignState {
+    /// `true` for states no further transition can leave.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            CampaignState::Completed | CampaignState::Failed | CampaignState::Cancelled
+        )
+    }
+
+    /// Lower-case label used in status output and service events.
+    pub fn label(self) -> &'static str {
+        match self {
+            CampaignState::Queued => "queued",
+            CampaignState::Running => "running",
+            CampaignState::Completed => "completed",
+            CampaignState::Failed => "failed",
+            CampaignState::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One campaign's row in a [`ServerStatus`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignStatus {
+    /// Daemon-assigned id.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Current lifecycle state.
+    pub state: CampaignState,
+    /// Free-form detail (failure message, cancellation note, ...).
+    pub detail: String,
+}
+
+/// Daemon health snapshot answered to the `status` verb.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServerStatus {
+    /// `false` once draining begins.
+    pub accepting: bool,
+    /// `true` while a graceful shutdown is in progress.
+    pub draining: bool,
+    /// Executor slots the daemon started with.
+    pub slots_total: usize,
+    /// Slots still healthy (not retired by the failure budget).
+    pub slots_healthy: usize,
+    /// `true` when at least one slot has retired — the daemon still
+    /// schedules onto the survivors.
+    pub degraded: bool,
+    /// Campaigns waiting for a slot.
+    pub queued: u64,
+    /// Campaigns currently holding a slot or between slices.
+    pub running: u64,
+    /// Campaigns finished successfully since the daemon started
+    /// (including recovered ones).
+    pub completed: u64,
+    /// Campaigns failed.
+    pub failed: u64,
+    /// Campaigns cancelled.
+    pub cancelled: u64,
+    /// Every campaign the daemon knows, in id order.
+    pub campaigns: Vec<CampaignStatus>,
+}
+
+/// A daemon response frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// The submission was accepted and durably recorded under `id`.
+    Submitted {
+        /// Daemon-assigned campaign id.
+        id: u64,
+    },
+    /// The submission was refused; nothing was recorded.
+    Rejected {
+        /// Why.
+        reason: RejectReason,
+    },
+    /// Answer to `Status`.
+    Status(ServerStatus),
+    /// One `Watch` stream element; the stream ends after the first update
+    /// whose state is terminal.
+    Update {
+        /// Campaign id being watched.
+        id: u64,
+        /// State at this update.
+        state: CampaignState,
+        /// Free-form detail.
+        detail: String,
+    },
+    /// The cancel verb took effect (or the campaign was already
+    /// cancelled).
+    Cancelled {
+        /// Campaign id.
+        id: u64,
+    },
+    /// The id names no known campaign.
+    NotFound {
+        /// The offending id.
+        id: u64,
+    },
+    /// The daemon acknowledged a shutdown request and is draining.
+    ShuttingDown,
+    /// A server-side failure answering the request.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// Writes one protocol message as a frame.
+///
+/// # Errors
+///
+/// [`ServerError::Io`] on stream failure, [`ServerError::Protocol`] if the
+/// message cannot be serialised (unreachable for these types in practice).
+pub fn write_message<W: Write, T: Serialize>(w: &mut W, message: &T) -> Result<(), ServerError> {
+    let json = serde_json::to_string(message).map_err(|e| ServerError::Protocol {
+        message: format!("serialising message: {e}"),
+    })?;
+    let frame = permea_fi::process::encode_frame(&json);
+    w.write_all(&frame)
+        .and_then(|()| w.flush())
+        .map_err(|e| ServerError::io("writing frame", e))
+}
+
+/// Reads the next protocol message, scanning past stream noise. Returns
+/// `Ok(None)` on a clean EOF before another frame started.
+///
+/// # Errors
+///
+/// [`ServerError::Io`] on stream failure and [`ServerError::Protocol`] when
+/// a complete frame's payload is not the expected message type.
+pub fn read_message<R: Read, T: serde::Deserialize>(r: &mut R) -> Result<Option<T>, ServerError> {
+    let payload =
+        permea_fi::process::read_frame(r).map_err(|e| ServerError::io("reading frame", e))?;
+    match payload {
+        None => Ok(None),
+        Some(json) => serde_json::from_str(&json)
+            .map(Some)
+            .map_err(|e| ServerError::Protocol {
+                message: format!("parsing message: {e}"),
+            }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_round_trip_through_frames() {
+        let requests = vec![
+            Request::Submit {
+                version: PROTOCOL_VERSION,
+                tenant: "alice".into(),
+                payload: "{\"preset\":\"smoke\"}".into(),
+            },
+            Request::Status {
+                version: PROTOCOL_VERSION,
+            },
+            Request::Watch {
+                version: PROTOCOL_VERSION,
+                id: 7,
+            },
+            Request::Cancel {
+                version: PROTOCOL_VERSION,
+                id: 7,
+            },
+            Request::Shutdown {
+                version: PROTOCOL_VERSION,
+            },
+        ];
+        let mut buf = Vec::new();
+        for r in &requests {
+            write_message(&mut buf, r).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        for expected in &requests {
+            let got: Request = read_message(&mut cursor).unwrap().unwrap();
+            assert_eq!(&got, expected);
+        }
+        assert_eq!(read_message::<_, Request>(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn responses_round_trip_and_tolerate_noise() {
+        let response = Response::Rejected {
+            reason: RejectReason::QueueFull { depth: 64, max: 64 },
+        };
+        let mut buf = b"log noise before the frame\n".to_vec();
+        write_message(&mut buf, &response).unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let got: Response = read_message(&mut cursor).unwrap().unwrap();
+        assert_eq!(got, response);
+    }
+
+    #[test]
+    fn wrong_message_type_is_a_protocol_error() {
+        let mut buf = Vec::new();
+        write_message(
+            &mut buf,
+            &Request::Status {
+                version: PROTOCOL_VERSION,
+            },
+        )
+        .unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let got = read_message::<_, Response>(&mut cursor);
+        assert!(matches!(got, Err(ServerError::Protocol { .. })));
+    }
+
+    #[test]
+    fn terminal_states() {
+        assert!(!CampaignState::Queued.is_terminal());
+        assert!(!CampaignState::Running.is_terminal());
+        assert!(CampaignState::Completed.is_terminal());
+        assert!(CampaignState::Failed.is_terminal());
+        assert!(CampaignState::Cancelled.is_terminal());
+    }
+}

@@ -1,0 +1,90 @@
+//! Admission control: bounded queues and per-tenant quotas.
+//!
+//! The daemon refuses work it cannot hold instead of growing without
+//! bound: a full global queue or a tenant over its per-tenant ceiling is
+//! answered with a typed [`RejectReason`] the client can act on (retry
+//! later vs fix the request). Quotas also feed the fair-share scheduler:
+//! `tenant_max_running` caps how many executor slots one tenant can hold
+//! at once, so a tenant with a 52k-run study cannot starve everyone else.
+
+use crate::protocol::RejectReason;
+
+/// Admission-control and fair-share limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaConfig {
+    /// Maximum campaigns queued across all tenants; submissions past this
+    /// are rejected with [`RejectReason::QueueFull`].
+    pub max_queue_depth: usize,
+    /// Maximum campaigns one tenant may have queued; past this the tenant
+    /// is rejected with [`RejectReason::TenantQueueFull`].
+    pub tenant_max_queued: usize,
+    /// Maximum executor slots one tenant's campaigns may hold at once.
+    /// The scheduler skips a tenant at this ceiling; it is never a
+    /// rejection.
+    pub tenant_max_running: usize,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        QuotaConfig {
+            max_queue_depth: 64,
+            tenant_max_queued: 8,
+            tenant_max_running: 2,
+        }
+    }
+}
+
+impl QuotaConfig {
+    /// Checks whether a submission from a tenant with `tenant_queued`
+    /// campaigns already waiting can be admitted when `total_queued`
+    /// campaigns are queued overall. `Err` carries the typed rejection.
+    ///
+    /// # Errors
+    ///
+    /// [`RejectReason::QueueFull`] or [`RejectReason::TenantQueueFull`].
+    pub fn admit(&self, total_queued: usize, tenant_queued: usize) -> Result<(), RejectReason> {
+        if total_queued >= self.max_queue_depth {
+            return Err(RejectReason::QueueFull {
+                depth: total_queued,
+                max: self.max_queue_depth,
+            });
+        }
+        if tenant_queued >= self.tenant_max_queued {
+            return Err(RejectReason::TenantQueueFull {
+                queued: tenant_queued,
+                max: self.tenant_max_queued,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_quota_admits_until_either_bound() {
+        let q = QuotaConfig::default();
+        assert_eq!(q.admit(0, 0), Ok(()));
+        assert_eq!(q.admit(63, 7), Ok(()));
+        assert_eq!(
+            q.admit(64, 0),
+            Err(RejectReason::QueueFull { depth: 64, max: 64 })
+        );
+        assert_eq!(
+            q.admit(10, 8),
+            Err(RejectReason::TenantQueueFull { queued: 8, max: 8 })
+        );
+    }
+
+    #[test]
+    fn global_bound_wins_when_both_trip() {
+        let q = QuotaConfig {
+            max_queue_depth: 4,
+            tenant_max_queued: 2,
+            tenant_max_running: 1,
+        };
+        assert!(matches!(q.admit(4, 2), Err(RejectReason::QueueFull { .. })));
+    }
+}

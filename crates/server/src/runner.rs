@@ -1,0 +1,68 @@
+//! The campaign-execution plug-in point.
+//!
+//! The daemon knows how to persist, schedule, and supervise campaigns; it
+//! does not know what a campaign *is*. A [`CampaignRunner`] supplies that:
+//! the analysis crate plugs in its study presets, tests plug in toy
+//! runners with scripted failures. The contract is slice-oriented — a
+//! runner executes a *bounded* amount of new work per call and reports
+//! whether the campaign finished, yielded with work remaining, honoured a
+//! cancellation, or failed — which is what lets the scheduler fair-share
+//! one executor fleet across tenants.
+
+use permea_obs::Obs;
+use std::path::Path;
+use std::sync::atomic::AtomicBool;
+
+/// One slice-dispatch handed to a runner.
+pub struct SliceRequest<'a> {
+    /// Daemon-assigned campaign id.
+    pub id: u64,
+    /// Owning tenant.
+    pub tenant: &'a str,
+    /// The opaque descriptor the tenant submitted.
+    pub payload: &'a str,
+    /// Per-campaign state directory: the runner keeps its journal and
+    /// result artifacts here, and resumes from them across slices and
+    /// daemon restarts.
+    pub dir: &'a Path,
+    /// Budget: at most this many *new* runs this slice (journal replays
+    /// are free). `None` lifts the cap (single-tenant fast path).
+    pub slice_runs: Option<u64>,
+    /// Cooperative cancellation flag; the runner must observe it promptly.
+    pub cancel: &'a AtomicBool,
+    /// Daemon telemetry for the runner to record into.
+    pub obs: &'a Obs,
+}
+
+/// What a slice did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SliceOutcome {
+    /// The campaign is complete; result artifacts are in the directory.
+    Finished,
+    /// The slice budget ran out with work remaining — re-queue for
+    /// another slice.
+    Yielded,
+    /// The cancellation flag was honoured mid-campaign.
+    Cancelled,
+    /// Unrecoverable failure; the campaign will not be retried.
+    Failed {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+/// Executes campaign slices. Implementations must be shareable across the
+/// daemon's executor slots.
+pub trait CampaignRunner: Send + Sync {
+    /// Validates a submission payload *before* it is admitted; `Err` is
+    /// surfaced to the client as
+    /// [`crate::protocol::RejectReason::InvalidPayload`].
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of what is wrong with the payload.
+    fn validate(&self, payload: &str) -> Result<(), String>;
+
+    /// Runs one bounded slice of the campaign described by `req`.
+    fn run_slice(&self, req: &SliceRequest<'_>) -> SliceOutcome;
+}

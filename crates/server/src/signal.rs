@@ -1,0 +1,58 @@
+//! Shared SIGINT/SIGTERM latch for daemon and CLI binaries.
+//!
+//! The build environment is offline — no `libc`/`ctrlc`/`signal-hook`
+//! crates — so this is a minimal `signal(2)` FFI shim. The handler does
+//! exactly one async-signal-safe thing: an atomic store. Hosts poll
+//! [`requested`] (or pass [`latch`] as a cancellation flag) and run their
+//! graceful-drain path: finish the in-flight batch, flush journals and
+//! telemetry, exit cleanly.
+//!
+//! This module is the one `unsafe` exception in an otherwise
+//! `deny(unsafe_code)` crate; the scope is two `signal` calls.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn handler(_sig: i32) {
+        // Only an atomic store: async-signal-safe.
+        super::REQUESTED.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, handler);
+            signal(SIGTERM, handler);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent).
+pub fn install() {
+    imp::install();
+}
+
+/// `true` once a termination signal has been received.
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::Acquire)
+}
+
+/// The latch itself, for APIs that accept a cancellation flag.
+pub fn latch() -> &'static AtomicBool {
+    &REQUESTED
+}
