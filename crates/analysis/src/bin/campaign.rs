@@ -39,10 +39,8 @@
 //! then metrics and telemetry sinks flush before the process exits.
 
 use permea_analysis::exit;
-use permea_analysis::factory::ArrestmentFactory;
-use permea_arrestment::testcase::TestCase;
 use permea_fi::adaptive::AdaptivePlan;
-use permea_fi::campaign::{Campaign, CampaignConfig, SystemFactory};
+use permea_fi::campaign::{Campaign, CampaignConfig};
 use permea_fi::chaos::{ChaosInjector, ChaosPlan};
 use permea_fi::estimate::{render_target_summaries, target_summaries};
 use permea_fi::latency::{latency_summaries, render_latencies};
@@ -52,6 +50,8 @@ use permea_fi::shard::Shard;
 use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
 use permea_obs::{JsonlSink, Obs, ProgressSink, Sink, StderrSink};
 use permea_server::signal as interrupt;
+use permea_target::registry;
+use permea_target::workload::Workload;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -92,9 +92,7 @@ fn main() -> ExitCode {
     // Worker mode: this process is a pool member re-exec'd by a supervising
     // `campaign --isolation process`; it speaks framed IPC on stdin/stdout.
     if std::env::args().nth(1).as_deref() == Some("--worker") {
-        let code = run_worker(|payload| {
-            ArrestmentFactory::from_payload(payload).map(|f| Box::new(f) as Box<dyn SystemFactory>)
-        });
+        let code = run_worker(registry::factory_from_payload);
         std::process::exit(i32::from(code));
     }
 
@@ -229,8 +227,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let cases = TestCase::grid(grid.0, grid.1);
-    spec.cases = cases.len();
+    let workload = Workload::new()
+        .with_int("masses", grid.0 as i64)
+        .with_int("velocities", grid.1 as i64);
+    let factory =
+        match registry::factory_from_payload(&registry::worker_payload("arrestment", &workload)) {
+            Ok(f) => f,
+            Err(e) => {
+                obs.error(format!("cannot build the arrestment workload: {e}"));
+                return ExitCode::FAILURE;
+            }
+        };
+    spec.cases = factory.case_count();
     if adaptive {
         let plan = spec.adaptive.get_or_insert_with(AdaptivePlan::default);
         if let Some(w) = target_ci {
@@ -240,7 +248,6 @@ fn main() -> ExitCode {
             plan.batch_size = n;
         }
     }
-    let factory = ArrestmentFactory::with_cases(cases);
     let mut campaign_config = CampaignConfig {
         threads: 0,
         master_seed: seed,
@@ -261,7 +268,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let payload = ArrestmentFactory::grid_payload(grid.0, grid.1);
+        let payload = registry::worker_payload("arrestment", &workload);
         let mut pool = ProcessIsolation::new(command, payload);
         pool.workers = workers;
         if let Some(ms) = run_timeout_ms {
@@ -278,7 +285,7 @@ fn main() -> ExitCode {
         injector.attach_obs(&obs);
         Arc::new(injector)
     });
-    let mut campaign = Campaign::new(&factory, campaign_config).with_obs(obs.clone());
+    let mut campaign = Campaign::new(factory.as_ref(), campaign_config).with_obs(obs.clone());
     if let Some(chaos) = &chaos {
         campaign = campaign.with_chaos(chaos.clone());
     }

@@ -1,14 +1,20 @@
 //! The `permea-cli` binary: thin client for the campaign daemon.
 //!
 //! ```text
-//! permea-cli --socket PATH submit --tenant NAME --preset smoke|quick|full
-//!            [--seed S] [--threads N] [--watch]
+//! permea-cli --socket PATH submit --tenant NAME
+//!            (--preset smoke|quick|full [--seed S] | --scenario FILE)
+//!            [--threads N] [--watch]
 //! permea-cli --socket PATH status
 //! permea-cli --socket PATH watch ID
 //! permea-cli --socket PATH cancel ID
 //! permea-cli --socket PATH shutdown
 //! ```
 //!
+//! `submit` names a study preset or a declarative scenario file (see
+//! `crates/target`): the file's TOML text is embedded in the submission
+//! payload, so the daemon validates it against its own target registry
+//! at admission — an unknown target or invalid campaign section comes
+//! back as a typed rejection (exit 5) naming the offending key path.
 //! `submit` prints the daemon-assigned campaign id on stdout; with
 //! `--watch` it then streams state changes until the campaign is
 //! terminal. `status` prints the daemon health snapshot (slots, degraded
@@ -30,7 +36,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: permea-cli --socket PATH <verb>\n\
          verbs:\n\
-         \x20 submit --tenant NAME --preset smoke|quick|full [--seed S] [--threads N] [--watch]\n\
+         \x20 submit --tenant NAME (--preset smoke|quick|full [--seed S] | --scenario FILE)\n\
+         \x20        [--threads N] [--watch]\n\
          \x20 status\n\
          \x20 watch ID\n\
          \x20 cancel ID\n\
@@ -126,6 +133,7 @@ fn main() -> ExitCode {
         "submit" => {
             let mut tenant: Option<String> = None;
             let mut preset: Option<String> = None;
+            let mut scenario: Option<PathBuf> = None;
             let mut seed: Option<u64> = None;
             let mut threads: Option<usize> = None;
             let mut watch = false;
@@ -133,6 +141,10 @@ fn main() -> ExitCode {
                 match arg.as_str() {
                     "--tenant" => tenant = args.next(),
                     "--preset" => preset = args.next(),
+                    "--scenario" => match args.next() {
+                        Some(p) => scenario = Some(PathBuf::from(p)),
+                        None => usage(),
+                    },
                     "--seed" => match args.next().and_then(|v| v.parse().ok()) {
                         Some(s) => seed = Some(s),
                         None => usage(),
@@ -145,13 +157,35 @@ fn main() -> ExitCode {
                     _ => usage(),
                 }
             }
-            let (Some(tenant), Some(preset)) = (tenant, preset) else {
-                usage()
+            let Some(tenant) = tenant else { usage() };
+            // Exactly one job descriptor; a scenario carries its own seed.
+            let mut payload = match (preset, scenario) {
+                (Some(preset), None) => {
+                    let mut p = format!("{{\"preset\":{preset:?}");
+                    if let Some(s) = seed {
+                        p.push_str(&format!(",\"seed\":{s}"));
+                    }
+                    p
+                }
+                (None, Some(path)) => {
+                    if seed.is_some() {
+                        usage()
+                    }
+                    let text = match std::fs::read_to_string(&path) {
+                        Ok(text) => text,
+                        Err(e) => {
+                            eprintln!("cannot read scenario {}: {e}", path.display());
+                            return ExitCode::from(exit::EXIT_USAGE);
+                        }
+                    };
+                    // JSON-escape the TOML text for the payload.
+                    format!(
+                        "{{\"scenario\":{}",
+                        serde_json::to_string(&text).expect("strings serialise")
+                    )
+                }
+                _ => usage(),
             };
-            let mut payload = format!("{{\"preset\":{preset:?}");
-            if let Some(s) = seed {
-                payload.push_str(&format!(",\"seed\":{s}"));
-            }
             if let Some(n) = threads {
                 payload.push_str(&format!(",\"threads\":{n}"));
             }

@@ -10,8 +10,20 @@
 //!       [--workers N] [--run-timeout MS] [--max-retries N]
 //!       [--max-quarantined F] [--adaptive] [--target-ci W]
 //!       [--batch-size N] [--chaos-plan SPEC]
+//! study suite DIR [--out DIR] [--isolation process|in-process] [--threads N]
 //! study --serve DIR
 //! ```
+//!
+//! `study suite DIR` runs every `*.toml` scenario file in `DIR` (see
+//! `permea_target::scenario` for the format): each scenario names a
+//! registered target (`arrestment`, `five-module`, `mask-pipeline`),
+//! optional workload overrides, campaign drive parameters, error models
+//! and `[expect]` assertions. The suite prints a per-scenario pass/fail
+//! table (runs, quarantined, failed-error-propagation rate) and, with
+//! `--out DIR`, writes `suite.json`, `suite.txt` and each scenario's
+//! `result.json`. Exit codes: 0 all pass, 1 a scenario failed its
+//! expectations, 2 a scenario file is invalid (the error names the
+//! offending TOML key path).
 //!
 //! `--quick` (default) runs the reduced configuration (seconds);
 //! `--full` runs the paper's 52 000-injection campaign (minutes);
@@ -104,11 +116,9 @@
 //! fix the environment and `--resume`), 130 interrupted (resumable).
 
 use permea_analysis::exit;
-use permea_analysis::factory::ArrestmentFactory;
 use permea_analysis::report::Report;
 use permea_analysis::study::{Study, StudyConfig};
 use permea_fi::adaptive::AdaptivePlan;
-use permea_fi::campaign::SystemFactory;
 use permea_fi::chaos::{ChaosInjector, ChaosPlan};
 use permea_fi::error::FiError;
 use permea_fi::estimate::{render_target_summaries, target_summaries};
@@ -117,6 +127,8 @@ use permea_fi::process::{run_worker, IsolationMode, ProcessIsolation, WorkerComm
 use permea_fi::shard::Shard;
 use permea_obs::{JsonlSink, Obs, ProgressSink, Sink, StderrSink};
 use permea_server::signal as interrupt;
+use permea_target::registry;
+use permea_target::suite::{run_suite, SuiteOptions};
 use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -131,6 +143,7 @@ fn usage() -> ! {
          [--max-retries N] [--max-quarantined F] [--adaptive] [--target-ci W] \
          [--batch-size N] [--shard I/N] [--chaos-plan SPEC]\n\
          \x20      study journal merge --out PATH IN...\n\
+         \x20      study suite DIR [--out DIR] [--isolation process|in-process] [--threads N]\n\
          \x20      study --serve DIR    (host the campaign daemon, see permea-server)\n\
          exit codes: 0 success, 1 failure, 2 usage, \
          3 quarantine threshold exceeded, 4 environment failure, 130 interrupted"
@@ -183,18 +196,71 @@ fn journal_command() -> ExitCode {
     }
 }
 
+/// The `study suite DIR [--out DIR] [--isolation process|in-process]
+/// [--threads N]` subcommand: runs every `*.toml` scenario in `DIR`
+/// against the target registry and summarises pass/fail per scenario.
+fn suite_command() -> ExitCode {
+    let mut dir: Option<PathBuf> = None;
+    let mut out_dir: Option<PathBuf> = None;
+    let mut options = SuiteOptions {
+        obs: Obs::with_sinks(vec![Arc::new(StderrSink) as Arc<dyn Sink>]),
+        ..SuiteOptions::default()
+    };
+    let mut args = std::env::args().skip(2);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => match args.next() {
+                Some(d) => out_dir = Some(PathBuf::from(d)),
+                None => usage(),
+            },
+            "--isolation" => match args.next().as_deref() {
+                Some("process") => options.process_isolation = true,
+                Some("in-process") => options.process_isolation = false,
+                _ => usage(),
+            },
+            "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => options.threads = Some(n),
+                None => usage(),
+            },
+            _ if dir.is_none() && !arg.starts_with('-') => dir = Some(PathBuf::from(arg)),
+            _ => usage(),
+        }
+    }
+    let Some(dir) = dir else { usage() };
+    // A non-directory argument is a usage error (2), not an environment
+    // failure: nothing has started running yet.
+    if !dir.is_dir() {
+        eprintln!(
+            "scenario suite: `{}` is not a readable directory",
+            dir.display()
+        );
+        return ExitCode::from(exit::EXIT_USAGE);
+    }
+    match run_suite(&dir, out_dir.as_deref(), &options) {
+        Ok(report) => {
+            print!("{}", report.render());
+            ExitCode::from(report.exit_code())
+        }
+        Err(e) => {
+            eprintln!("scenario suite failed: {e}");
+            ExitCode::from(exit::classify_error(&e))
+        }
+    }
+}
+
 fn main() -> ExitCode {
     // Worker mode: this process is a pool member re-exec'd by a supervising
     // `study --isolation process`. It speaks the framed IPC protocol on
     // stdin/stdout and never parses the normal CLI.
     if std::env::args().nth(1).as_deref() == Some("--worker") {
-        let code = run_worker(|payload| {
-            ArrestmentFactory::from_payload(payload).map(|f| Box::new(f) as Box<dyn SystemFactory>)
-        });
+        let code = run_worker(registry::factory_from_payload);
         std::process::exit(i32::from(code));
     }
     if std::env::args().nth(1).as_deref() == Some("journal") {
         return journal_command();
+    }
+    if std::env::args().nth(1).as_deref() == Some("suite") {
+        return suite_command();
     }
     // Service mode: host the campaign daemon (state, ledger, socket under
     // DIR) with the study-preset runner. Equivalent to `permea-server
@@ -358,7 +424,7 @@ fn main() -> ExitCode {
     }
     let obs = Obs::with_sinks(sinks);
 
-    let spec_preview = config.spec(&permea_arrestment::system::ArrestmentSystem::topology());
+    let spec_preview = config.spec(&StudyConfig::target().topology());
     obs.info(format!(
         "running study: {} targets x {} models x {} times x {} cases = {} injection runs",
         spec_preview.targets.len(),
@@ -416,7 +482,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         };
-        let payload = ArrestmentFactory::grid_payload(config.masses, config.velocities);
+        let payload = registry::worker_payload("arrestment", &config.workload());
         let mut pool = ProcessIsolation::new(command, payload);
         pool.workers = workers;
         if let Some(ms) = run_timeout_ms {

@@ -1,127 +1,10 @@
 //! Adapter: the arrestment system as a fault-injection target.
+//!
+//! The factory itself lives with the registered `arrestment` target in
+//! [`permea_target::arrestment`]; this module re-exports it so existing
+//! `permea_analysis::factory` users keep compiling. New code should resolve
+//! targets by name through [`permea_target::registry::Registry`] and build
+//! worker payloads with [`permea_target::registry::worker_payload`] instead
+//! of naming the concrete type.
 
-use permea_arrestment::constants::SCENARIO_CAP_MS;
-use permea_arrestment::system::ArrestmentSystem;
-use permea_arrestment::testcase::TestCase;
-use permea_fi::campaign::SystemFactory;
-use permea_runtime::sim::Simulation;
-use serde::{Deserialize, Serialize};
-
-/// Wire form of a workload grid, used as the worker-process setup payload
-/// (see [`permea_fi::process`]): the supervisor serialises the grid shape,
-/// each worker rebuilds the identical factory from it.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-struct GridPayload {
-    masses: usize,
-    velocities: usize,
-}
-
-/// Builds one [`ArrestmentSystem`] simulation per workload case.
-#[derive(Debug, Clone)]
-pub struct ArrestmentFactory {
-    cases: Vec<TestCase>,
-}
-
-impl ArrestmentFactory {
-    /// Uses the paper's 25-case grid.
-    pub fn paper() -> Self {
-        ArrestmentFactory {
-            cases: TestCase::paper_grid(),
-        }
-    }
-
-    /// Uses an explicit case list.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `cases` is empty.
-    pub fn with_cases(cases: Vec<TestCase>) -> Self {
-        assert!(!cases.is_empty(), "factory needs at least one case");
-        ArrestmentFactory { cases }
-    }
-
-    /// The workload cases.
-    pub fn cases(&self) -> &[TestCase] {
-        &self.cases
-    }
-
-    /// Serialises a `masses × velocities` grid as a worker setup payload
-    /// for [`from_payload`](Self::from_payload).
-    pub fn grid_payload(masses: usize, velocities: usize) -> String {
-        serde_json::to_string(&GridPayload { masses, velocities }).expect("payload serialises")
-    }
-
-    /// Rebuilds the factory from a [`grid_payload`](Self::grid_payload)
-    /// string — the worker half of the process-isolation handshake.
-    ///
-    /// # Errors
-    ///
-    /// Returns a description of the malformed payload.
-    pub fn from_payload(payload: &str) -> Result<Self, String> {
-        let grid: GridPayload =
-            serde_json::from_str(payload).map_err(|e| format!("malformed factory payload: {e}"))?;
-        if grid.masses == 0 || grid.velocities == 0 {
-            return Err(format!(
-                "factory payload describes an empty {}x{} grid",
-                grid.masses, grid.velocities
-            ));
-        }
-        Ok(ArrestmentFactory::with_cases(TestCase::grid(
-            grid.masses,
-            grid.velocities,
-        )))
-    }
-}
-
-impl SystemFactory for ArrestmentFactory {
-    fn build(&self, case: usize) -> Simulation {
-        ArrestmentSystem::new(self.cases[case]).into_sim()
-    }
-
-    fn case_count(&self) -> usize {
-        self.cases.len()
-    }
-
-    fn max_run_ms(&self) -> u64 {
-        SCENARIO_CAP_MS + 300
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn paper_factory_has_25_cases() {
-        let f = ArrestmentFactory::paper();
-        assert_eq!(f.case_count(), 25);
-        assert!(f.max_run_ms() > SCENARIO_CAP_MS);
-    }
-
-    #[test]
-    fn built_simulations_have_the_six_modules() {
-        let f = ArrestmentFactory::with_cases(vec![TestCase::new(14_000.0, 60.0)]);
-        let sim = f.build(0);
-        assert_eq!(sim.module_count(), 6);
-        assert!(sim.module_by_name("CALC").is_some());
-    }
-
-    #[test]
-    #[should_panic(expected = "at least one case")]
-    fn empty_cases_panics() {
-        ArrestmentFactory::with_cases(vec![]);
-    }
-
-    #[test]
-    fn payload_roundtrips_the_grid() {
-        let payload = ArrestmentFactory::grid_payload(3, 3);
-        let f = ArrestmentFactory::from_payload(&payload).unwrap();
-        assert_eq!(f.cases(), TestCase::grid(3, 3).as_slice());
-    }
-
-    #[test]
-    fn malformed_and_empty_payloads_are_rejected() {
-        assert!(ArrestmentFactory::from_payload("not json").is_err());
-        assert!(ArrestmentFactory::from_payload(&ArrestmentFactory::grid_payload(0, 3)).is_err());
-    }
-}
+pub use permea_target::arrestment::ArrestmentFactory;

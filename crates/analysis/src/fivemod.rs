@@ -8,9 +8,15 @@
 //! Figs. 4–5.
 
 use permea_core::matrix::PermeabilityMatrix;
-use permea_core::topology::{SystemTopology, TopologyBuilder};
+use permea_core::topology::SystemTopology;
 
 /// Builds the example topology and an illustrative permeability matrix.
+///
+/// The topology is the registered `five-module` target's
+/// ([`permea_target::fivemod::topology`]) — one definition serves the
+/// runnable simulations, the scenario suite and these illustrative
+/// analyses. The matrix values below are the pedagogical ones used for
+/// the tree walk-throughs, not measured estimates.
 ///
 /// Wiring:
 ///
@@ -20,38 +26,7 @@ use permea_core::topology::{SystemTopology, TopologyBuilder};
 ///                                        sB ---------------> [E]
 /// ```
 pub fn five_module_system() -> (SystemTopology, PermeabilityMatrix) {
-    let mut b = TopologyBuilder::new("five-module-example");
-    let ext_a = b.external("extA");
-    let ext_c = b.external("extC");
-    let ext_e = b.external("extE");
-
-    let a = b.add_module("A");
-    b.bind_input(a, ext_a);
-    let s_a = b.add_output(a, "sA");
-
-    let bm = b.add_module("B");
-    let fb_b = b.add_output(bm, "fbB");
-    let s_b = b.add_output(bm, "sB");
-    b.bind_input(bm, s_a);
-    b.bind_input(bm, fb_b);
-
-    let c = b.add_module("C");
-    b.bind_input(c, ext_c);
-    let s_c = b.add_output(c, "sC");
-
-    let d = b.add_module("D");
-    b.bind_input(d, s_b);
-    b.bind_input(d, s_c);
-    let s_d = b.add_output(d, "sD");
-
-    let e = b.add_module("E");
-    b.bind_input(e, ext_e);
-    b.bind_input(e, s_d);
-    b.bind_input(e, s_b);
-    let out = b.add_output(e, "OUT");
-    b.mark_system_output(out);
-
-    let topo = b.build().expect("example wiring is valid");
+    let topo = permea_target::fivemod::topology();
     let mut pm = PermeabilityMatrix::zeroed(&topo);
     let set = |pm: &mut PermeabilityMatrix, m: &str, i: &str, o: &str, p: f64| {
         pm.set_named(&topo, m, i, o, p)

@@ -10,37 +10,58 @@
 //! SIGKILL, and a standalone `study --resume` all converge to
 //! byte-identical artifacts.
 //!
-//! Payload grammar (JSON object):
+//! Payload grammar (JSON object), one of:
 //!
 //! ```json
 //! {"preset": "smoke", "seed": 24029, "threads": 1}
+//! {"scenario": "<TOML scenario text>", "threads": 1}
 //! ```
 //!
-//! `preset` is `smoke`, `quick` or `full` (required); `seed` and
-//! `threads` are optional overrides. Unknown presets are rejected at
-//! admission, before anything is recorded.
+//! `preset` is `smoke`, `quick` or `full`; `scenario` embeds the full
+//! text of a declarative scenario file (`permea-cli submit --scenario
+//! FILE` reads and escapes it). Exactly one of the two is required;
+//! `seed` (preset-only) and `threads` are optional overrides. Unknown
+//! presets, unknown target names and invalid scenarios are rejected at
+//! admission — a typed `Rejected { InvalidPayload }` response carrying
+//! the offending TOML key path, before anything is recorded.
 
 use crate::study::{Study, StudyConfig};
 use permea_obs::{JsonlSink, Obs, Sink};
 use permea_server::runner::{CampaignRunner, SliceOutcome, SliceRequest};
 use permea_server::signal;
 use permea_server::{Daemon, ServerConfig, ServerError};
+use permea_target::scenario::ScenarioSpec;
+use permea_target::suite::{ScenarioStudy, SuiteOptions};
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-/// A parsed submission payload.
+/// A parsed submission payload: a named study preset of the arrestment
+/// target, or an inline declarative scenario for any registered target.
 #[derive(Debug, Clone, PartialEq)]
-pub struct StudyPayload {
-    /// Study preset: `smoke`, `quick` or `full`.
-    pub preset: String,
-    /// Master-seed override.
-    pub seed: Option<u64>,
-    /// Thread-count override (0 = all cores).
-    pub threads: Option<usize>,
+pub enum StudyPayload {
+    /// `{"preset": ...}` — a study preset.
+    Preset {
+        /// Study preset: `smoke`, `quick` or `full`.
+        preset: String,
+        /// Master-seed override.
+        seed: Option<u64>,
+        /// Thread-count override (0 = all cores).
+        threads: Option<usize>,
+    },
+    /// `{"scenario": ...}` — the embedded text of a scenario TOML file.
+    Scenario {
+        /// The scenario file text (seed and targets live inside it).
+        toml: String,
+        /// Thread-count override (0 = all cores).
+        threads: Option<usize>,
+    },
 }
 
 impl StudyPayload {
-    /// Parses and validates a payload descriptor.
+    /// Parses and validates a payload descriptor. Scenario payloads are
+    /// resolved against the target registry here, so an unknown target
+    /// name or out-of-range campaign key is an admission-time rejection
+    /// with the offending TOML key path, never a slice panic.
     ///
     /// # Errors
     ///
@@ -58,38 +79,72 @@ impl StudyPayload {
                 Some(_) => Err(format!("\"{name}\" must be a non-negative integer")),
             }
         };
-        let preset = serde::value::map_get(map, "preset")
-            .and_then(serde::Value::as_str)
-            .ok_or_else(|| "payload needs a \"preset\" string".to_string())?
-            .to_string();
-        if !matches!(preset.as_str(), "smoke" | "quick" | "full") {
-            return Err(format!(
-                "unknown preset {preset:?} (expected smoke, quick or full)"
-            ));
-        }
         let seed = uint("seed")?;
         let threads = uint("threads")?.map(|n| n as usize);
-        Ok(StudyPayload {
+
+        let preset = serde::value::map_get(map, "preset").and_then(serde::Value::as_str);
+        let scenario = serde::value::map_get(map, "scenario").and_then(serde::Value::as_str);
+        match (preset, scenario) {
+            (Some(_), Some(_)) => {
+                Err("payload must name either \"preset\" or \"scenario\", not both".to_string())
+            }
+            (None, None) => Err("payload needs a \"preset\" or \"scenario\" string".to_string()),
+            (Some(preset), None) => {
+                if !matches!(preset, "smoke" | "quick" | "full") {
+                    return Err(format!(
+                        "unknown preset {preset:?} (expected smoke, quick or full)"
+                    ));
+                }
+                Ok(StudyPayload::Preset {
+                    preset: preset.to_string(),
+                    seed,
+                    threads,
+                })
+            }
+            (None, Some(toml)) => {
+                if seed.is_some() {
+                    return Err(
+                        "\"seed\" cannot override a scenario (set [campaign] seed in the file)"
+                            .to_string(),
+                    );
+                }
+                // Full resolve — registry lookup, workload overlay,
+                // campaign validation — so rejection reasons carry the
+                // offending key path.
+                let spec =
+                    ScenarioSpec::parse(toml, "submitted").map_err(|e| format!("scenario: {e}"))?;
+                ScenarioStudy::resolve(spec).map_err(|e| format!("scenario: {e}"))?;
+                Ok(StudyPayload::Scenario {
+                    toml: toml.to_string(),
+                    threads,
+                })
+            }
+        }
+    }
+
+    /// The study configuration a preset payload describes (`None` for
+    /// scenario payloads, which carry their own campaign section).
+    pub fn config(&self) -> Option<StudyConfig> {
+        let StudyPayload::Preset {
             preset,
             seed,
             threads,
-        })
-    }
-
-    /// The study configuration this payload describes.
-    pub fn config(&self) -> StudyConfig {
-        let mut config = match self.preset.as_str() {
+        } = self
+        else {
+            return None;
+        };
+        let mut config = match preset.as_str() {
             "smoke" => StudyConfig::smoke(),
             "full" => StudyConfig::paper(),
             _ => StudyConfig::quick(),
         };
-        if let Some(seed) = self.seed {
+        if let Some(seed) = *seed {
             config.seed = seed;
         }
-        if let Some(threads) = self.threads {
+        if let Some(threads) = *threads {
             config.threads = threads;
         }
-        config
+        Some(config)
     }
 }
 
@@ -109,71 +164,122 @@ impl CampaignRunner for StudyRunner {
             // future format — fail rather than guess.
             Err(e) => return SliceOutcome::Failed { message: e },
         };
-        let study = Study::new(payload.config()).with_obs(slice_obs(req));
-
-        let journal_path = req.dir.join("journal.jsonl");
-        let (mut journal, loaded) = match permea_fi::journal::RunJournal::open_or_create(
-            &journal_path,
-            &study.journal_header(),
-        ) {
-            Ok(j) => j,
-            Err(e) => {
-                return SliceOutcome::Failed {
-                    message: format!("opening journal {}: {e}", journal_path.display()),
-                }
+        match payload {
+            StudyPayload::Preset { .. } => {
+                let config = payload.config().expect("preset payloads have a config");
+                run_preset_slice(req, config)
             }
-        };
-        if loaded.recovered > 0 {
-            req.obs.emit(&permea_obs::Event::Service {
-                tenant: req.tenant,
-                campaign: req.id,
-                kind: "recovered",
-                detail: "resuming from run journal",
-            });
+            StudyPayload::Scenario { toml, threads } => run_scenario_slice(req, &toml, threads),
         }
-
-        let output = match study.run_resumable_budgeted(
-            Some(&mut journal),
-            Some(req.cancel),
-            req.slice_runs,
-        ) {
-            Ok(output) => output,
-            Err(permea_fi::error::FiError::Interrupted { .. }) => {
-                // Budget exhaustion and cancellation share a typed
-                // error; the flag distinguishes them.
-                return if req.cancel.load(Ordering::Acquire) {
-                    SliceOutcome::Cancelled
-                } else {
-                    SliceOutcome::Yielded
-                };
-            }
-            Err(e) => {
-                return SliceOutcome::Failed {
-                    message: e.to_string(),
-                }
-            }
-        };
-
-        // The campaign completed within this slice: write the result
-        // artifact. Byte-identical to a standalone `study` run's
-        // result.json by construction (same serialisation of the same
-        // deterministic result), which is what the server smoke test
-        // hashes.
-        let json = match serde_json::to_string(&output.result) {
-            Ok(json) => json,
-            Err(e) => {
-                return SliceOutcome::Failed {
-                    message: format!("serialising result.json: {e}"),
-                }
-            }
-        };
-        if let Err(e) = permea_fi::env::atomic_write(req.dir.join("result.json"), json.as_bytes()) {
-            return SliceOutcome::Failed {
-                message: format!("writing result.json: {e}"),
-            };
-        }
-        SliceOutcome::Finished
     }
+}
+
+/// Opens (or resumes) the campaign's journal and emits the recovery event.
+fn open_journal(
+    req: &SliceRequest<'_>,
+    header: &permea_fi::journal::JournalHeader,
+) -> Result<permea_fi::journal::RunJournal, SliceOutcome> {
+    let journal_path = req.dir.join("journal.jsonl");
+    let (journal, loaded) = permea_fi::journal::RunJournal::open_or_create(&journal_path, header)
+        .map_err(|e| SliceOutcome::Failed {
+        message: format!("opening journal {}: {e}", journal_path.display()),
+    })?;
+    if loaded.recovered > 0 {
+        req.obs.emit(&permea_obs::Event::Service {
+            tenant: req.tenant,
+            campaign: req.id,
+            kind: "recovered",
+            detail: "resuming from run journal",
+        });
+    }
+    Ok(journal)
+}
+
+/// Maps an interrupted run to yield/cancel, anything else to failure.
+fn interrupted(req: &SliceRequest<'_>, e: permea_fi::error::FiError) -> SliceOutcome {
+    match e {
+        permea_fi::error::FiError::Interrupted { .. } => {
+            // Budget exhaustion and cancellation share a typed error;
+            // the flag distinguishes them.
+            if req.cancel.load(Ordering::Acquire) {
+                SliceOutcome::Cancelled
+            } else {
+                SliceOutcome::Yielded
+            }
+        }
+        e => SliceOutcome::Failed {
+            message: e.to_string(),
+        },
+    }
+}
+
+/// Writes the completed campaign's `result.json` artifact.
+fn write_result(
+    req: &SliceRequest<'_>,
+    result: &permea_fi::results::CampaignResult,
+) -> SliceOutcome {
+    // Byte-identical to a standalone `study` / `study suite` run's
+    // result.json by construction (same serialisation of the same
+    // deterministic result), which is what the server smoke test hashes.
+    let json = match serde_json::to_string(result) {
+        Ok(json) => json,
+        Err(e) => {
+            return SliceOutcome::Failed {
+                message: format!("serialising result.json: {e}"),
+            }
+        }
+    };
+    if let Err(e) = permea_fi::env::atomic_write(req.dir.join("result.json"), json.as_bytes()) {
+        return SliceOutcome::Failed {
+            message: format!("writing result.json: {e}"),
+        };
+    }
+    SliceOutcome::Finished
+}
+
+fn run_preset_slice(req: &SliceRequest<'_>, config: StudyConfig) -> SliceOutcome {
+    let study = Study::new(config).with_obs(slice_obs(req));
+    let mut journal = match open_journal(req, &study.journal_header()) {
+        Ok(j) => j,
+        Err(outcome) => return outcome,
+    };
+    let output =
+        match study.run_resumable_budgeted(Some(&mut journal), Some(req.cancel), req.slice_runs) {
+            Ok(output) => output,
+            Err(e) => return interrupted(req, e),
+        };
+    write_result(req, &output.result)
+}
+
+fn run_scenario_slice(req: &SliceRequest<'_>, toml: &str, threads: Option<usize>) -> SliceOutcome {
+    let study = ScenarioSpec::parse(toml, "submitted")
+        .map_err(|e| e.to_string())
+        .and_then(|spec| ScenarioStudy::resolve(spec).map_err(|e| e.to_string()));
+    let study = match study {
+        Ok(study) => study,
+        // validate() resolved this at admission; a failure here is a
+        // ledger from a future registry — fail rather than guess.
+        Err(e) => return SliceOutcome::Failed { message: e },
+    };
+    let options = SuiteOptions {
+        process_isolation: false,
+        threads,
+        obs: slice_obs(req),
+    };
+    let mut journal = match open_journal(req, &study.journal_header()) {
+        Ok(j) => j,
+        Err(outcome) => return outcome,
+    };
+    let result = match study.run_resumable_budgeted(
+        &options,
+        Some(&mut journal),
+        Some(req.cancel),
+        req.slice_runs,
+    ) {
+        Ok(result) => result,
+        Err(e) => return interrupted(req, e),
+    };
+    write_result(req, &result)
 }
 
 /// Telemetry for one slice: the study's events append to the campaign's
@@ -208,14 +314,19 @@ mod tests {
     #[test]
     fn payload_parses_presets_and_overrides() {
         let p = StudyPayload::parse(r#"{"preset":"smoke","seed":7,"threads":1}"#).unwrap();
-        assert_eq!(p.preset, "smoke");
-        assert_eq!(p.seed, Some(7));
-        assert_eq!(p.threads, Some(1));
-        assert_eq!(p.config().seed, 7);
-        assert_eq!(p.config().threads, 1);
+        assert_eq!(
+            p,
+            StudyPayload::Preset {
+                preset: "smoke".to_string(),
+                seed: Some(7),
+                threads: Some(1),
+            }
+        );
+        assert_eq!(p.config().unwrap().seed, 7);
+        assert_eq!(p.config().unwrap().threads, 1);
 
         let q = StudyPayload::parse(r#"{"preset":"quick"}"#).unwrap();
-        assert_eq!(q.config().seed, StudyConfig::quick().seed);
+        assert_eq!(q.config().unwrap().seed, StudyConfig::quick().seed);
     }
 
     #[test]
@@ -235,10 +346,81 @@ mod tests {
             .contains("seed"));
     }
 
+    const SCENARIO: &str = "[target]\nname = \"five-module\"\n\n[campaign]\nseed = 7\ntimes_ms = [100]\ntargets = [\"B.fbB\"]\n\n[error-model]\nkind = \"zero\"\n";
+
+    fn scenario_payload(toml: &str) -> String {
+        format!(
+            "{{\"scenario\":{}}}",
+            serde_json::to_string(&toml.to_string()).unwrap()
+        )
+    }
+
+    #[test]
+    fn scenario_payloads_resolve_at_admission() {
+        let p = StudyPayload::parse(&scenario_payload(SCENARIO)).unwrap();
+        assert!(matches!(p, StudyPayload::Scenario { ref toml, .. } if toml == SCENARIO));
+        assert!(p.config().is_none());
+
+        // Unknown target: the typed rejection carries the registry's
+        // known-target list and the offending key path, no panic.
+        let bad = SCENARIO.replace("five-module", "warp-drive");
+        let e = StudyPayload::parse(&scenario_payload(&bad)).unwrap_err();
+        assert!(e.contains("target.name"), "{e}");
+        assert!(e.contains("unknown target `warp-drive`"), "{e}");
+        assert!(e.contains("known targets"), "{e}");
+
+        // Mutually exclusive with presets; seed lives inside the file.
+        assert!(StudyPayload::parse(r#"{"preset":"smoke","scenario":"x"}"#)
+            .unwrap_err()
+            .contains("not both"));
+        let e = StudyPayload::parse(&format!(
+            "{{\"scenario\":{},\"seed\":3}}",
+            serde_json::to_string(&SCENARIO.to_string()).unwrap()
+        ))
+        .unwrap_err();
+        assert!(e.contains("seed"), "{e}");
+    }
+
     #[test]
     fn runner_validate_matches_parse() {
         let runner = StudyRunner;
         assert!(runner.validate(r#"{"preset":"smoke"}"#).is_ok());
         assert!(runner.validate(r#"{"preset":"nope"}"#).is_err());
+        assert!(runner.validate(&scenario_payload(SCENARIO)).is_ok());
+        assert!(runner
+            .validate(&scenario_payload(&SCENARIO.replace("five-module", "nope")))
+            .err()
+            .unwrap()
+            .contains("unknown target"));
+    }
+
+    #[test]
+    fn scenario_slice_runs_yield_resume_and_finish() {
+        use permea_server::runner::CampaignRunner as _;
+        use std::sync::atomic::AtomicBool;
+
+        let dir =
+            std::env::temp_dir().join(format!("permea-service-scenario-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let payload = scenario_payload(SCENARIO);
+        let cancel = AtomicBool::new(false);
+        let obs = permea_obs::Obs::disabled();
+        let req = |budget: Option<u64>| SliceRequest {
+            id: 1,
+            tenant: "t",
+            payload: &payload,
+            dir: &dir,
+            slice_runs: budget,
+            cancel: &cancel,
+            obs: &obs,
+        };
+        let runner = StudyRunner;
+        // 1 time x 1 target x 16 zero-model expansions... zero expands to
+        // a single model, so 2 cases x 1 x 1 = 2 runs; budget 1 yields.
+        assert_eq!(runner.run_slice(&req(Some(1))), SliceOutcome::Yielded);
+        assert_eq!(runner.run_slice(&req(None)), SliceOutcome::Finished);
+        assert!(dir.join("result.json").is_file());
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

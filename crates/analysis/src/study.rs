@@ -1,9 +1,6 @@
 //! The full experimental study: campaign → estimates → measures → trees →
 //! paths → placement.
 
-use crate::factory::ArrestmentFactory;
-use permea_arrestment::system::ArrestmentSystem;
-use permea_arrestment::testcase::TestCase;
 use permea_core::backtrack::BacktrackForest;
 use permea_core::graph::PermeabilityGraph;
 use permea_core::matrix::PermeabilityMatrix;
@@ -22,6 +19,9 @@ use permea_fi::results::CampaignResult;
 use permea_fi::shard::Shard;
 use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
 use permea_obs::Obs;
+use permea_target::registry::Registry;
+use permea_target::target::Target;
+use permea_target::workload::Workload;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
@@ -112,6 +112,23 @@ impl StudyConfig {
             fast_forward: true,
             adaptive: None,
         }
+    }
+
+    /// The registered [`Target`] the study drives: the paper's arrestment
+    /// system, resolved through [`Registry::builtin`] like any other
+    /// target so the study exercises the same seam the scenario suite and
+    /// the worker processes use.
+    pub fn target() -> &'static dyn Target {
+        Registry::builtin()
+            .get("arrestment")
+            .expect("arrestment is a built-in target")
+    }
+
+    /// The grid shape as the target's workload parameters.
+    pub fn workload(&self) -> Workload {
+        Workload::new()
+            .with_int("masses", self.masses as i64)
+            .with_int("velocities", self.velocities as i64)
     }
 
     /// Expands the campaign spec: every input port of every module is a
@@ -284,7 +301,7 @@ impl Study {
     /// The journal header identifying this study's campaign — what a
     /// [`RunJournal`] must be opened against to journal or resume it.
     pub fn journal_header(&self) -> JournalHeader {
-        let topology = ArrestmentSystem::topology();
+        let topology = StudyConfig::target().topology();
         let spec = self.config.spec(&topology);
         JournalHeader::new(&spec, self.config.seed, self.config.horizon_ms)
     }
@@ -336,14 +353,14 @@ impl Study {
         cancel: Option<&AtomicBool>,
         max_new_runs: Option<u64>,
     ) -> Result<StudyOutput, FiError> {
-        let topology = ArrestmentSystem::topology();
+        let target = StudyConfig::target();
+        let topology = target.topology();
         let spec = self.config.spec(&topology);
-        let factory = ArrestmentFactory::with_cases(TestCase::grid(
-            self.config.masses,
-            self.config.velocities,
-        ));
+        let factory = target
+            .factory(&self.config.workload())
+            .unwrap_or_else(|e| panic!("study grid rejected by the target: {e}"));
         let mut campaign =
-            Campaign::new(&factory, self.campaign_config()).with_obs(self.obs.clone());
+            Campaign::new(factory.as_ref(), self.campaign_config()).with_obs(self.obs.clone());
         if let Some(chaos) = &self.chaos {
             campaign = campaign.with_chaos(chaos.clone());
         }
@@ -355,10 +372,16 @@ impl Study {
         let backtrack =
             BacktrackForest::build(&graph).expect("validated topology yields backtrack trees");
         let trace = TraceForest::build(&graph).expect("validated topology yields trace trees");
-        let toc2 = topology.signal_by_name("TOC2").expect("TOC2 exists");
+        // The arrestment target's single system output is TOC2; going
+        // through the topology keeps this stage working for any target
+        // with at least one declared output.
+        let output = *topology
+            .system_outputs()
+            .first()
+            .expect("target topology declares a system output");
         let toc2_paths = backtrack
-            .tree_for(toc2)
-            .expect("TOC2 is a system output")
+            .tree_for(output)
+            .expect("system outputs root backtrack trees")
             .clone()
             .into_path_set()
             .sorted_by_weight();
@@ -386,7 +409,7 @@ mod tests {
 
     #[test]
     fn spec_targets_all_13_input_ports() {
-        let topo = ArrestmentSystem::topology();
+        let topo = StudyConfig::target().topology();
         let spec = StudyConfig::paper().spec(&topo);
         // CLOCK 1 + DIST_S 3 + PRES_S 1 + CALC 5 + V_REG 2 + PREG 1
         assert_eq!(spec.targets.len(), 13);
@@ -394,7 +417,7 @@ mod tests {
 
     #[test]
     fn paper_config_matches_section_7_3() {
-        let topo = ArrestmentSystem::topology();
+        let topo = StudyConfig::target().topology();
         let spec = StudyConfig::paper().spec(&topo);
         assert_eq!(spec.injections_per_target(), 4_000);
         assert_eq!(spec.models.len(), 16);

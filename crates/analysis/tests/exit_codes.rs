@@ -56,6 +56,80 @@ fn usage_error_exits_two() {
 }
 
 #[test]
+fn suite_with_invalid_scenario_exits_two_with_key_path() {
+    // A scenario directory containing a broken file is a usage error:
+    // exit 2, and the report names the offending TOML key path.
+    let dir = scratch("suite_invalid");
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("broken.toml"),
+        "[target]\nname = \"arrestment\"\n\n[campaign]\ntimes_ms = [700]\ntyop = 1\n\n[error-model]\nkind = \"zero\"\n",
+    )
+    .unwrap();
+    let status = study().arg("suite").arg(&dir).output().expect("study runs");
+    assert_eq!(
+        status.status.code(),
+        Some(2),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&status.stdout),
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(
+        stdout.contains("campaign.tyop"),
+        "report must name the offending key path:\n{stdout}"
+    );
+
+    // An unknown target name is the same class: typed, path-anchored, 2.
+    std::fs::write(
+        dir.join("broken.toml"),
+        "[target]\nname = \"warp-drive\"\n\n[campaign]\ntimes_ms = [700]\n\n[error-model]\nkind = \"zero\"\n",
+    )
+    .unwrap();
+    let status = study().arg("suite").arg(&dir).output().expect("study runs");
+    assert_eq!(status.status.code(), Some(2));
+    let stdout = String::from_utf8_lossy(&status.stdout);
+    assert!(stdout.contains("target.name"), "{stdout}");
+    assert!(stdout.contains("unknown target `warp-drive`"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn suite_with_missing_directory_exits_two() {
+    let status = study()
+        .args(["suite", "/definitely/not/a/directory"])
+        .output()
+        .expect("study runs");
+    assert_eq!(
+        status.status.code(),
+        Some(2),
+        "stderr: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+}
+
+#[test]
+fn suite_with_failing_expectation_exits_one() {
+    let dir = scratch("suite_fail");
+    std::fs::create_dir_all(&dir).unwrap();
+    // Valid scenario, impossible expectation: FEP floor of 1.0.
+    std::fs::write(
+        dir.join("impossible.toml"),
+        "[target]\nname = \"five-module\"\n\n[campaign]\nseed = 0xF1FE\ntimes_ms = [51]\ntargets = [\"B.fbB\"]\n\n[error-model]\nkind = \"bit-flip\"\nbits = [5]\n\n[expect]\nmin_fep = 1.0\n",
+    )
+    .unwrap();
+    let status = study().arg("suite").arg(&dir).output().expect("study runs");
+    assert_eq!(
+        status.status.code(),
+        Some(1),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&status.stdout),
+        String::from_utf8_lossy(&status.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn quarantine_threshold_exits_three() {
     // kill-always@5 SIGKILLs every worker that picks up coordinate 5, so
     // the run reproduces its crash through every retry and is quarantined;

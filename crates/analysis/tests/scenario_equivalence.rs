@@ -1,0 +1,83 @@
+//! The declarative scenario path must be a *re-spelling* of the legacy
+//! preset path, not a parallel implementation: a scenario file encoding
+//! `StudyConfig::smoke()` has to produce a `CampaignResult` whose JSON
+//! serialisation is byte-identical to the one `Study` computes. (The
+//! suite smoke script asserts the same for `--quick` against the pinned
+//! artifact hash; this test keeps the equivalence under `cargo test`.)
+
+use permea_analysis::study::{Study, StudyConfig};
+use permea_target::scenario::ScenarioSpec;
+use permea_target::suite::{ScenarioStudy, SuiteOptions};
+
+/// `StudyConfig::smoke()`, spelled as a scenario file.
+const SMOKE_SCENARIO: &str = r#"
+[scenario]
+name = "arrestment-smoke"
+
+[target]
+name = "arrestment"
+
+[workload]
+masses = 1
+velocities = 1
+
+[campaign]
+seed = 0x5EED
+times_ms = [700, 2100]
+horizon_ms = 4000
+
+[error-model]
+kind = "bit-flip"
+bits = [0, 3, 9, 14]
+"#;
+
+#[test]
+fn scenario_smoke_study_matches_legacy_result_bytes() {
+    let legacy = Study::new(StudyConfig::smoke()).run().unwrap();
+
+    let spec = ScenarioSpec::parse(SMOKE_SCENARIO, "arrestment-smoke").unwrap();
+    let study = ScenarioStudy::resolve(spec).unwrap();
+    let scenario = study.run(&SuiteOptions::default()).unwrap();
+
+    assert_eq!(scenario, legacy.result);
+    assert_eq!(
+        serde_json::to_string(&scenario).unwrap(),
+        serde_json::to_string(&legacy.result).unwrap(),
+        "scenario and preset result.json bytes diverged"
+    );
+}
+
+#[test]
+fn scenario_expansion_matches_the_study_spec() {
+    // Structural half of the equivalence: with no explicit targets the
+    // scenario expands to every input port in topology order — exactly
+    // the spec the study builds.
+    let config = StudyConfig::quick();
+    let topology = StudyConfig::target().topology();
+    let legacy_spec = config.spec(&topology);
+
+    let spec = ScenarioSpec::parse(
+        r#"
+[target]
+name = "arrestment"
+
+[workload]
+masses = 3
+velocities = 3
+
+[campaign]
+seed = 0x5EED
+times_ms = [500, 1500, 2500, 3500, 4500]
+horizon_ms = 9000
+
+[error-model]
+kind = "bit-flip"
+bits = [0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15]
+"#,
+        "arrestment-quick",
+    )
+    .unwrap();
+    let study = ScenarioStudy::resolve(spec).unwrap();
+    assert_eq!(study.campaign_spec(), &legacy_spec);
+    assert_eq!(study.campaign_spec().run_count(), legacy_spec.run_count());
+}

@@ -20,6 +20,7 @@ use permea_fi::campaign::{Campaign, CampaignConfig};
 use permea_fi::model::ErrorModel;
 use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
 use permea_runtime::tracing::first_mismatch;
+use permea_target::registry::Registry;
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -97,6 +98,9 @@ fn main() {
 
     // 3. End-to-end throughput: a 32-run single-threaded campaign
     //    (1 target × 16 bit flips × 2 times × 1 case), records discarded.
+    // The benchmarked system is the registered `arrestment` target; take
+    // the name from the registry so the artifact can't drift from it.
+    let target = Registry::builtin().resolve("arrestment").unwrap().name();
     let factory = ArrestmentFactory::with_cases(vec![TestCase::new(14_000.0, 60.0)]);
     let spec = CampaignSpec {
         targets: vec![PortTarget::new("V_REG", "SetValue")],
@@ -123,7 +127,7 @@ fn main() {
     let runs_per_sec = 1e9 / ns_per_run;
 
     let json = format!(
-        "{{\n  \"bench\": \"inner_loop\",\n  \"runs\": {runs},\n  \
+        "{{\n  \"bench\": \"inner_loop\",\n  \"target\": {target:?},\n  \"runs\": {runs},\n  \
          \"runs_per_sec\": {runs_per_sec:.1},\n  \"ns_per_run\": {ns_per_run:.0},\n  \
          \"ns_per_tick\": {ns_per_tick:.1},\n  \"trace_words\": {TRACE_WORDS},\n  \
          \"ns_per_compare_chunked\": {ns_chunked:.0},\n  \

@@ -644,10 +644,15 @@ impl<'f> Campaign<'f> {
             }
             None => (0, false),
         };
+        // One-shot models fire exactly at `time_ms`; an intermittent model
+        // re-fires on its schedule, and convergence early-exit must wait
+        // until the last fire — the run cannot have durably reconverged
+        // while the error source is still live.
+        let last_fire_ms = model.last_instant(time_ms);
         let mut converged_ms = None;
         while sim.now().as_millis() < golden.run.ticks {
             let now = sim.now().as_millis();
-            if now > time_ms {
+            if now > last_fire_ms {
                 if let Some(cp) = golden.snapshot_at(now) {
                     if sim.converged_with(cp) {
                         converged_ms = Some(now);
@@ -656,16 +661,23 @@ impl<'f> Campaign<'f> {
                 }
             }
             sim.begin_tick();
-            if now == time_ms {
-                original = sim.peek_module_input(target.module_idx, target.input_port);
-                corrupted = model.apply(original, &mut rng);
+            if model.fires_at(time_ms, now) {
+                let seen = sim.peek_module_input(target.module_idx, target.input_port);
+                let value = model.apply(seen, &mut rng);
+                if now == time_ms {
+                    // The record carries the first fire's (original,
+                    // corrupted) pair; re-fires corrupt whatever the port
+                    // holds by then.
+                    original = seen;
+                    corrupted = value;
+                }
                 match scope {
                     InjectionScope::Port => {
-                        sim.corrupt_module_input(target.module_idx, target.input_port, corrupted);
+                        sim.corrupt_module_input(target.module_idx, target.input_port, value);
                     }
                     InjectionScope::Signal => {
                         let sig = sim.module_inputs(target.module_idx)[target.input_port];
-                        sim.bus_mut().corrupt_signal(sig, corrupted);
+                        sim.bus_mut().corrupt_signal(sig, value);
                     }
                 }
             }

@@ -37,6 +37,17 @@ pub enum FiError {
         /// The repeated instant, in milliseconds.
         time_ms: u64,
     },
+    /// An error model in the spec carries unusable parameters (a bit
+    /// position outside the 16-bit word, a zero-width burst, an identity
+    /// mask, a dead intermittent schedule).
+    InvalidErrorModel {
+        /// Index of the offending model in `models`.
+        index: usize,
+        /// Display form of the offending model.
+        model: String,
+        /// Which constraint the model violates.
+        reason: &'static str,
+    },
     /// The spec carries an adaptive sampling plan whose parameters are
     /// unusable (zero batch, a confidence target outside (0, 1), a
     /// non-finite z, or a run floor above the run cap).
@@ -213,6 +224,11 @@ impl fmt::Display for FiError {
                 "injection instant {time_ms} ms appears more than once in the spec; \
                  duplicated instants double-count injections and bias n_inj"
             ),
+            FiError::InvalidErrorModel {
+                index,
+                model,
+                reason,
+            } => write!(f, "error model #{index} (`{model}`) is invalid: {reason}"),
             FiError::InvalidAdaptivePlan { reason } => {
                 write!(f, "invalid adaptive sampling plan: {reason}")
             }
@@ -361,6 +377,13 @@ mod tests {
         }
         .to_string()
         .contains("batch_size"));
+        let bad_model = FiError::InvalidErrorModel {
+            index: 2,
+            model: "burst15+4".into(),
+            reason: "burst start + width must not exceed 16",
+        };
+        assert!(bad_model.to_string().contains("burst15+4"));
+        assert!(bad_model.to_string().contains("#2"));
         assert!(FiError::HorizonExceedsCap {
             horizon_ms: 90_000,
             max_run_ms: 60_000

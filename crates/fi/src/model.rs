@@ -40,6 +40,32 @@ pub enum ErrorModel {
     Zero,
     /// Replace the value with all ones (0xFFFF).
     Saturate,
+    /// Flip a contiguous burst of bits — the multi-bit upsets of adjacent
+    /// cells that single-event effects produce in real memories.
+    Burst {
+        /// Lowest bit of the burst, `0..16`.
+        start: u8,
+        /// Number of bits flipped; `start + width` must not exceed 16.
+        width: u8,
+    },
+    /// Flip every bit set in an explicit mask (arbitrary multi-bit upset).
+    MultiBit {
+        /// XOR mask; must be non-zero or the model would be the identity.
+        mask: u16,
+    },
+    /// Re-flip one bit periodically: the error fires at the injection
+    /// instant `t0` and again at `t0 + i·period_ms` for `i < count` — an
+    /// intermittent contact or marginal cell rather than a one-shot upset.
+    /// Fires past the end of a run are dropped (the error source dies with
+    /// the run).
+    Intermittent {
+        /// Bit position, `0..16`.
+        bit: u8,
+        /// Milliseconds between consecutive fires; must be non-zero.
+        period_ms: u16,
+        /// Total number of fires, including the first; must be non-zero.
+        count: u8,
+    },
 }
 
 impl ErrorModel {
@@ -73,14 +99,118 @@ impl ErrorModel {
             ErrorModel::RandomValue => rng.gen(),
             ErrorModel::Zero => 0,
             ErrorModel::Saturate => u16::MAX,
+            ErrorModel::Burst { start, width } => {
+                assert!(width >= 1, "burst width must be at least one bit");
+                assert!(
+                    start as u32 + width as u32 <= 16,
+                    "burst exceeds the 16-bit word"
+                );
+                let mask = (((1u32 << width) - 1) << start) as u16;
+                value ^ mask
+            }
+            ErrorModel::MultiBit { mask } => value ^ mask,
+            ErrorModel::Intermittent { bit, .. } => {
+                assert!(bit < 16, "bit position out of range");
+                value ^ (1 << bit)
+            }
         }
     }
 
     /// `true` if the model can leave the value unchanged (stuck-at on an
-    /// already-matching bit, zero offset, random collision, …). Bit flips
-    /// always change the value.
+    /// already-matching bit, zero offset, random collision, …). Bit flips —
+    /// single, burst, masked or intermittent — always change the value
+    /// (a zero mask is rejected by [`ErrorModel::validate`]).
     pub fn may_be_identity(self) -> bool {
-        !matches!(self, ErrorModel::BitFlip { .. })
+        !matches!(
+            self,
+            ErrorModel::BitFlip { .. }
+                | ErrorModel::Burst { .. }
+                | ErrorModel::MultiBit { .. }
+                | ErrorModel::Intermittent { .. }
+        )
+    }
+
+    /// Checks the model's parameters (bit positions inside the 16-bit word,
+    /// non-degenerate bursts, a non-identity mask, a live intermittent
+    /// schedule). [`crate::spec::CampaignSpec::validate`] calls this for
+    /// every model so malformed parameters are typed errors at admission,
+    /// not panics mid-campaign.
+    ///
+    /// # Errors
+    ///
+    /// A static description of the violated constraint.
+    pub fn validate(self) -> Result<(), &'static str> {
+        match self {
+            ErrorModel::BitFlip { bit }
+            | ErrorModel::StuckAtOne { bit }
+            | ErrorModel::StuckAtZero { bit } => {
+                if bit >= 16 {
+                    return Err("bit position must be below 16");
+                }
+            }
+            ErrorModel::Burst { start, width } => {
+                if width == 0 {
+                    return Err("burst width must be at least one bit");
+                }
+                if start as u32 + width as u32 > 16 {
+                    return Err("burst start + width must not exceed 16");
+                }
+            }
+            ErrorModel::MultiBit { mask } => {
+                if mask == 0 {
+                    return Err("multi-bit mask must be non-zero (zero is the identity)");
+                }
+            }
+            ErrorModel::Intermittent {
+                bit,
+                period_ms,
+                count,
+            } => {
+                if bit >= 16 {
+                    return Err("bit position must be below 16");
+                }
+                if period_ms == 0 {
+                    return Err("intermittent period must be at least 1 ms");
+                }
+                if count == 0 {
+                    return Err("intermittent count must be at least 1");
+                }
+            }
+            ErrorModel::Offset { .. }
+            | ErrorModel::RandomValue
+            | ErrorModel::Zero
+            | ErrorModel::Saturate => {}
+        }
+        Ok(())
+    }
+
+    /// `true` when the model fires at tick `now` of a run whose injection
+    /// instant is `t0`. Every model fires at `t0`; only
+    /// [`ErrorModel::Intermittent`] re-fires after it.
+    pub fn fires_at(self, t0: u64, now: u64) -> bool {
+        match self {
+            ErrorModel::Intermittent {
+                period_ms, count, ..
+            } => {
+                now >= t0
+                    && (now - t0).is_multiple_of(u64::from(period_ms.max(1)))
+                    && (now - t0) / u64::from(period_ms.max(1)) < u64::from(count)
+            }
+            _ => now == t0,
+        }
+    }
+
+    /// The last tick at which the model fires for injection instant `t0` —
+    /// `t0` itself for every one-shot model. Convergence early-exit must not
+    /// engage before this instant: the system cannot have durably
+    /// reconverged while the error source is still live.
+    pub fn last_instant(self, t0: u64) -> u64 {
+        match self {
+            ErrorModel::Intermittent {
+                period_ms, count, ..
+            } => t0 + u64::from(period_ms) * u64::from(count.saturating_sub(1)),
+            _ => t0,
+        }
     }
 }
 
@@ -94,6 +224,13 @@ impl fmt::Display for ErrorModel {
             ErrorModel::RandomValue => write!(f, "random"),
             ErrorModel::Zero => write!(f, "zero"),
             ErrorModel::Saturate => write!(f, "saturate"),
+            ErrorModel::Burst { start, width } => write!(f, "burst{start}+{width}"),
+            ErrorModel::MultiBit { mask } => write!(f, "mask{mask:#06x}"),
+            ErrorModel::Intermittent {
+                bit,
+                period_ms,
+                count,
+            } => write!(f, "int{bit}x{count}@{period_ms}ms"),
         }
     }
 }
@@ -170,5 +307,144 @@ mod tests {
     fn display_is_compact() {
         assert_eq!(ErrorModel::BitFlip { bit: 5 }.to_string(), "flip5");
         assert_eq!(ErrorModel::Offset { delta: -4 }.to_string(), "offset-4");
+        assert_eq!(
+            ErrorModel::Burst { start: 3, width: 4 }.to_string(),
+            "burst3+4"
+        );
+        assert_eq!(
+            ErrorModel::MultiBit { mask: 0x8001 }.to_string(),
+            "mask0x8001"
+        );
+        assert_eq!(
+            ErrorModel::Intermittent {
+                bit: 2,
+                period_ms: 40,
+                count: 3
+            }
+            .to_string(),
+            "int2x3@40ms"
+        );
+    }
+
+    #[test]
+    fn burst_flips_the_contiguous_range() {
+        let mut r = rng();
+        let m = ErrorModel::Burst { start: 4, width: 3 };
+        assert_eq!(m.apply(0, &mut r), 0b0111_0000);
+        assert_eq!(m.apply(0b0111_0000, &mut r), 0);
+        // The full word is a legal burst.
+        let full = ErrorModel::Burst {
+            start: 0,
+            width: 16,
+        };
+        assert_eq!(full.apply(0x1234, &mut r), !0x1234);
+    }
+
+    #[test]
+    fn multi_bit_xors_the_mask() {
+        let mut r = rng();
+        let m = ErrorModel::MultiBit { mask: 0x8001 };
+        assert_eq!(m.apply(0, &mut r), 0x8001);
+        assert_eq!(m.apply(0xFFFF, &mut r), 0x7FFE);
+    }
+
+    #[test]
+    fn intermittent_fires_on_its_schedule_only() {
+        let m = ErrorModel::Intermittent {
+            bit: 1,
+            period_ms: 50,
+            count: 3,
+        };
+        assert!(m.fires_at(500, 500));
+        assert!(m.fires_at(500, 550));
+        assert!(m.fires_at(500, 600));
+        assert!(!m.fires_at(500, 650), "count exhausted");
+        assert!(!m.fires_at(500, 525), "off-period tick");
+        assert!(!m.fires_at(500, 450), "before the injection instant");
+        assert_eq!(m.last_instant(500), 600);
+        // One-shot models fire exactly once, at t0.
+        let flip = ErrorModel::BitFlip { bit: 0 };
+        assert!(flip.fires_at(500, 500));
+        assert!(!flip.fires_at(500, 501));
+        assert_eq!(flip.last_instant(500), 500);
+    }
+
+    #[test]
+    fn validate_accepts_good_and_rejects_bad_parameters() {
+        assert!(ErrorModel::BitFlip { bit: 15 }.validate().is_ok());
+        assert!(ErrorModel::BitFlip { bit: 16 }.validate().is_err());
+        assert!(ErrorModel::StuckAtOne { bit: 16 }.validate().is_err());
+        assert!(ErrorModel::Burst {
+            start: 0,
+            width: 16
+        }
+        .validate()
+        .is_ok());
+        assert!(ErrorModel::Burst {
+            start: 1,
+            width: 16
+        }
+        .validate()
+        .is_err());
+        assert!(ErrorModel::Burst { start: 3, width: 0 }.validate().is_err());
+        assert!(ErrorModel::MultiBit { mask: 1 }.validate().is_ok());
+        assert!(ErrorModel::MultiBit { mask: 0 }.validate().is_err());
+        let good = ErrorModel::Intermittent {
+            bit: 3,
+            period_ms: 50,
+            count: 2,
+        };
+        assert!(good.validate().is_ok());
+        assert!(ErrorModel::Intermittent {
+            bit: 16,
+            period_ms: 50,
+            count: 2
+        }
+        .validate()
+        .is_err());
+        assert!(ErrorModel::Intermittent {
+            bit: 3,
+            period_ms: 0,
+            count: 2
+        }
+        .validate()
+        .is_err());
+        assert!(ErrorModel::Intermittent {
+            bit: 3,
+            period_ms: 50,
+            count: 0
+        }
+        .validate()
+        .is_err());
+        assert!(ErrorModel::Offset { delta: 0 }.validate().is_ok());
+    }
+
+    #[test]
+    fn new_models_never_act_as_identity() {
+        assert!(!ErrorModel::Burst { start: 2, width: 2 }.may_be_identity());
+        assert!(!ErrorModel::MultiBit { mask: 5 }.may_be_identity());
+        assert!(!ErrorModel::Intermittent {
+            bit: 0,
+            period_ms: 10,
+            count: 1
+        }
+        .may_be_identity());
+    }
+
+    #[test]
+    fn new_models_serde_roundtrip() {
+        for m in [
+            ErrorModel::Burst { start: 3, width: 4 },
+            ErrorModel::MultiBit { mask: 0x00F0 },
+            ErrorModel::Intermittent {
+                bit: 7,
+                period_ms: 25,
+                count: 4,
+            },
+        ] {
+            let json = serde_json::to_string(&m).unwrap();
+            let back: ErrorModel = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, m);
+        }
     }
 }

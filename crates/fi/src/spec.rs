@@ -89,20 +89,31 @@ impl CampaignSpec {
 
     /// Validates that every axis is non-empty, that no axis double-counts
     /// (a duplicated target or injection instant would silently inflate
-    /// `n_inj` and bias every estimate built on it), and that any adaptive
-    /// plan is well-formed.
+    /// `n_inj` and bias every estimate built on it), that every error
+    /// model's parameters are usable, and that any adaptive plan is
+    /// well-formed.
     ///
     /// # Errors
     ///
     /// Returns [`FiError::EmptySpec`] naming the empty axis,
     /// [`FiError::DuplicateTarget`] / [`FiError::DuplicateInstant`] naming
-    /// the first repeated entry, or [`FiError::InvalidAdaptivePlan`].
+    /// the first repeated entry, [`FiError::InvalidErrorModel`] naming the
+    /// first malformed model, or [`FiError::InvalidAdaptivePlan`].
     pub fn validate(&self) -> Result<(), FiError> {
         if self.targets.is_empty() {
             return Err(FiError::EmptySpec("targets"));
         }
         if self.models.is_empty() {
             return Err(FiError::EmptySpec("models"));
+        }
+        for (index, model) in self.models.iter().enumerate() {
+            model
+                .validate()
+                .map_err(|reason| FiError::InvalidErrorModel {
+                    index,
+                    model: model.to_string(),
+                    reason,
+                })?;
         }
         if self.times_ms.is_empty() {
             return Err(FiError::EmptySpec("times"));
@@ -255,6 +266,39 @@ mod tests {
             s.validate(),
             Err(FiError::DuplicateInstant { time_ms: 500 })
         );
+    }
+
+    #[test]
+    fn malformed_error_models_are_rejected_by_validate() {
+        let mut s = spec();
+        s.models.push(ErrorModel::Burst {
+            start: 15,
+            width: 4,
+        });
+        assert_eq!(
+            s.validate(),
+            Err(FiError::InvalidErrorModel {
+                index: 16,
+                model: "burst15+4".into(),
+                reason: "burst start + width must not exceed 16",
+            })
+        );
+        let mut s = spec();
+        s.models.push(ErrorModel::MultiBit { mask: 0 });
+        assert!(matches!(
+            s.validate(),
+            Err(FiError::InvalidErrorModel { index: 16, .. })
+        ));
+        // Well-formed extended models pass.
+        let mut s = spec();
+        s.models.push(ErrorModel::Burst { start: 4, width: 4 });
+        s.models.push(ErrorModel::MultiBit { mask: 0x0101 });
+        s.models.push(ErrorModel::Intermittent {
+            bit: 3,
+            period_ms: 100,
+            count: 3,
+        });
+        assert!(s.validate().is_ok());
     }
 
     #[test]

@@ -1,0 +1,360 @@
+//! The paper's five-module example (Fig. 2) as an *executable* registered
+//! [`Target`] — the single definition behind `permea_analysis::fivemod`'s
+//! topology and the equivalence-suite campaigns, which used to carry
+//! drifting copies of the same wiring.
+//!
+//! Modules A–E run as real software modules so fault-injection campaigns
+//! can be driven over them. Module B carries internal state across its
+//! self-feedback loop, which makes this system a sharper differential
+//! target than the arrestment one: any snapshot hook that forgets module
+//! state shows up here immediately.
+//!
+//! Wiring:
+//!
+//! ```text
+//! extA -> [A] -sA-> [B (self-loop fbB)] -sB-+-> [D] -sD-> [E] -OUT->
+//! extC -> [C] ------sC-----------------> [D]         extE -> [E]
+//!                                        sB ---------------> [E]
+//! ```
+
+use crate::target::Target;
+use crate::workload::{Workload, WorkloadError};
+use permea_core::topology::{SystemTopology, TopologyBuilder};
+use permea_fi::campaign::SystemFactory;
+use permea_runtime::module::{ModuleCtx, SoftwareModule};
+use permea_runtime::scheduler::Schedule;
+use permea_runtime::signals::{SignalBus, SignalRef};
+use permea_runtime::sim::{Environment, Simulation, SimulationBuilder};
+use permea_runtime::state::{StateReader, StateWriter};
+use permea_runtime::time::SimTime;
+
+/// A: `sA = rot1(extA)` (stateless).
+struct ModA;
+impl SoftwareModule for ModA {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let v = ctx.read(0);
+        ctx.write(0, v.rotate_left(1));
+    }
+}
+
+/// B: the self-feedback module. Its accumulator is genuine internal state —
+/// exactly what `save_state`/`load_state` must carry across a snapshot.
+struct ModB {
+    acc: u16,
+}
+impl SoftwareModule for ModB {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let s_a = ctx.read(0);
+        let fb_in = ctx.read(1);
+        self.acc = self.acc.wrapping_add(s_a) ^ (fb_in >> 3);
+        ctx.write(0, self.acc.rotate_right(2)); // fbB
+        ctx.write(1, s_a.wrapping_add(self.acc)); // sB
+    }
+    fn reset(&mut self) {
+        self.acc = 0;
+    }
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_u16(self.acc);
+        w.finish()
+    }
+    fn load_state(&mut self, state: &[u8]) {
+        let mut r = StateReader::new(state);
+        self.acc = r.u16();
+        r.finish();
+    }
+}
+
+/// C: `sC = (extC / 3) * 2` (stateless).
+struct ModC;
+impl SoftwareModule for ModC {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let v = ctx.read(0);
+        ctx.write(0, (v / 3).wrapping_mul(2));
+    }
+}
+
+/// D: mixes sB and sC; writes on change only, exercising the out-cache part
+/// of the snapshot.
+struct ModD;
+impl SoftwareModule for ModD {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let s_b = ctx.read(0);
+        let s_c = ctx.read(1);
+        ctx.write_on_change(0, s_b ^ s_c.wrapping_mul(5));
+    }
+}
+
+/// E: the output stage (stateless).
+struct ModE;
+impl SoftwareModule for ModE {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let ext_e = ctx.read(0);
+        let s_d = ctx.read(1);
+        let s_b = ctx.read(2);
+        ctx.write(0, s_d.wrapping_add(s_b ^ ext_e));
+    }
+}
+
+/// Drives the three external inputs with case-dependent deterministic ramps.
+struct FiveEnv {
+    ext_a: SignalRef,
+    ext_c: SignalRef,
+    ext_e: SignalRef,
+    base: u16,
+    limit: u64,
+}
+impl Environment for FiveEnv {
+    fn pre_tick(&mut self, now: SimTime, bus: &mut SignalBus) {
+        let t = now.as_millis();
+        bus.write(self.ext_a, self.base.wrapping_add((t % 809) as u16 * 7));
+        bus.write(self.ext_c, (t % 331) as u16 * 3);
+        bus.write(self.ext_e, self.base ^ (t % 97) as u16);
+    }
+    fn post_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
+    fn finished(&self, now: SimTime) -> bool {
+        now.as_millis() >= self.limit
+    }
+}
+
+/// An extra consumer module wired into [`build_with_taps`]: reads one of
+/// the example's signals, writes a fresh output signal. Taps run every
+/// tick, stepped after modules A and B but *before* C, D and E — so a tap
+/// on `sC`, `sD` or `OUT` reads the signal before its producer rewrites
+/// it, keeping port corruptions live for the tap. That is what the
+/// equivalence suite relies on when it attaches deliberately brittle
+/// consumers to `sC`.
+pub struct Tap {
+    /// Module name.
+    pub name: &'static str,
+    /// Name of the existing signal the tap consumes.
+    pub input: &'static str,
+    /// Name of the fresh output signal the tap produces.
+    pub output: &'static str,
+    /// The tap's implementation.
+    pub module: Box<dyn SoftwareModule>,
+}
+
+/// Builds the simulation for workload case `case` with tracing enabled on
+/// every signal. Case `k` shifts the input ramps (`base = 0x1234·(k+1)`)
+/// and lengthens the scenario (`limit = 600 + 50·k` ms).
+pub fn build(case: usize) -> Simulation {
+    build_with_taps(case, Vec::new())
+}
+
+/// [`build`] plus extra [`Tap`] consumers (see there for scheduling).
+///
+/// # Panics
+///
+/// Panics if a tap names a signal the example does not define.
+pub fn build_with_taps(case: usize, taps: Vec<Tap>) -> Simulation {
+    let mut b = SimulationBuilder::new();
+    let ext_a = b.define_signal("extA");
+    let ext_c = b.define_signal("extC");
+    let ext_e = b.define_signal("extE");
+    let s_a = b.define_signal("sA");
+    let fb_b = b.define_signal("fbB");
+    let s_b = b.define_signal("sB");
+    let s_c = b.define_signal("sC");
+    let s_d = b.define_signal("sD");
+    let out = b.define_signal("OUT");
+    b.add_module("A", Box::new(ModA), Schedule::every_ms(), &[ext_a], &[s_a]);
+    b.add_module(
+        "B",
+        Box::new(ModB { acc: 0 }),
+        Schedule::every_ms(),
+        &[s_a, fb_b],
+        &[fb_b, s_b],
+    );
+    for tap in taps {
+        let input = match tap.input {
+            "extA" => ext_a,
+            "extC" => ext_c,
+            "extE" => ext_e,
+            "sA" => s_a,
+            "fbB" => fb_b,
+            "sB" => s_b,
+            "sC" => s_c,
+            "sD" => s_d,
+            "OUT" => out,
+            other => panic!("tap {} reads unknown signal {other}", tap.name),
+        };
+        let tap_out = b.define_signal(tap.output);
+        b.add_module(
+            tap.name,
+            tap.module,
+            Schedule::every_ms(),
+            &[input],
+            &[tap_out],
+        );
+    }
+    b.add_module("C", Box::new(ModC), Schedule::every_ms(), &[ext_c], &[s_c]);
+    b.add_module(
+        "D",
+        Box::new(ModD),
+        Schedule::in_slot(0, 2),
+        &[s_b, s_c],
+        &[s_d],
+    );
+    b.add_module(
+        "E",
+        Box::new(ModE),
+        Schedule::every_ms(),
+        &[ext_e, s_d, s_b],
+        &[out],
+    );
+    let mut sim = b.build(Box::new(FiveEnv {
+        ext_a,
+        ext_c,
+        ext_e,
+        base: 0x1234u16.wrapping_mul(case as u16 + 1),
+        limit: 600 + 50 * case as u64,
+    }));
+    sim.enable_tracing_all();
+    sim
+}
+
+/// The example's static topology, port-for-port identical to the
+/// simulations [`build`] constructs.
+pub fn topology() -> SystemTopology {
+    let mut b = TopologyBuilder::new("five-module-example");
+    let ext_a = b.external("extA");
+    let ext_c = b.external("extC");
+    let ext_e = b.external("extE");
+
+    let a = b.add_module("A");
+    b.bind_input(a, ext_a);
+    let s_a = b.add_output(a, "sA");
+
+    let bm = b.add_module("B");
+    let fb_b = b.add_output(bm, "fbB");
+    let s_b = b.add_output(bm, "sB");
+    b.bind_input(bm, s_a);
+    b.bind_input(bm, fb_b);
+
+    let c = b.add_module("C");
+    b.bind_input(c, ext_c);
+    let s_c = b.add_output(c, "sC");
+
+    let d = b.add_module("D");
+    b.bind_input(d, s_b);
+    b.bind_input(d, s_c);
+    let s_d = b.add_output(d, "sD");
+
+    let e = b.add_module("E");
+    b.bind_input(e, ext_e);
+    b.bind_input(e, s_d);
+    b.bind_input(e, s_b);
+    let out = b.add_output(e, "OUT");
+    b.mark_system_output(out);
+
+    b.build().expect("example wiring is valid")
+}
+
+/// Builds one five-module simulation per workload case.
+#[derive(Debug, Clone)]
+pub struct FiveModuleFactory {
+    cases: usize,
+}
+
+impl FiveModuleFactory {
+    /// A factory spanning `cases` workload cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cases` is zero.
+    pub fn new(cases: usize) -> Self {
+        assert!(cases > 0, "factory needs at least one case");
+        FiveModuleFactory { cases }
+    }
+}
+
+impl SystemFactory for FiveModuleFactory {
+    fn build(&self, case: usize) -> Simulation {
+        build(case)
+    }
+
+    fn case_count(&self) -> usize {
+        self.cases
+    }
+
+    fn max_run_ms(&self) -> u64 {
+        10_000
+    }
+}
+
+/// The five-module example as a [`Target`]: workload key `cases` sets the
+/// number of ramp variants swept.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FiveModuleTarget;
+
+impl Target for FiveModuleTarget {
+    fn name(&self) -> &'static str {
+        "five-module"
+    }
+
+    fn description(&self) -> &'static str {
+        "the paper's five-module example (Fig. 2) with a stateful self-feedback loop in module B"
+    }
+
+    fn topology(&self) -> SystemTopology {
+        topology()
+    }
+
+    fn default_workload(&self) -> Workload {
+        Workload::new().with_int("cases", 2)
+    }
+
+    fn factory(&self, workload: &Workload) -> Result<Box<dyn SystemFactory>, WorkloadError> {
+        let cases = workload.int_in("cases", 1, 64)? as usize;
+        Ok(Box::new(FiveModuleFactory::new(cases)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simulation_and_topology_agree_port_for_port() {
+        let topo = topology();
+        let sim = build(0);
+        assert_eq!(sim.module_count(), topo.module_count());
+        for m in topo.modules() {
+            let name = topo.module_name(m);
+            let idx = sim.module_by_name(name).expect("module exists in sim");
+            let sim_inputs: Vec<&str> = sim
+                .module_inputs(idx)
+                .iter()
+                .map(|&s| sim.bus().name(s))
+                .collect();
+            let topo_inputs: Vec<&str> = topo
+                .inputs_of(m)
+                .iter()
+                .map(|&s| topo.signal_name(s))
+                .collect();
+            assert_eq!(sim_inputs, topo_inputs, "inputs of {name}");
+        }
+    }
+
+    #[test]
+    fn example_has_paper_shape() {
+        let t = topology();
+        assert_eq!(t.module_count(), 5);
+        assert_eq!(t.system_inputs().len(), 3);
+        assert_eq!(t.system_outputs().len(), 1);
+    }
+
+    #[test]
+    fn target_builds_factories() {
+        let t = FiveModuleTarget;
+        let f = t.factory(&t.default_workload()).unwrap();
+        assert_eq!(f.case_count(), 2);
+        assert_eq!(f.build(1).module_count(), 5);
+        let e = t
+            .factory(&Workload::new().with_int("cases", 0))
+            .err()
+            .unwrap();
+        assert!(e.reason.contains("out of range"), "{e}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # permea-target — target-agnostic fault injection
+//!
+//! The paper's method (inject at module ports, compare against golden
+//! traces, estimate permeability, backtrack propagation paths) is
+//! system-agnostic; this crate is the seam that keeps it that way:
+//!
+//! - [`target::Target`] — the trait a system implements to become
+//!   analysable: topology, workload parameters, and a campaign factory
+//!   whose simulations carry the signal-bus wiring, snapshot/restore hooks
+//!   and golden-trace access the runtime provides uniformly;
+//! - [`registry`] — named built-in targets (`arrestment`, `five-module`,
+//!   `mask-pipeline`) plus the worker-process payload both bins resolve
+//!   through;
+//! - [`scenario`] — the declarative TOML scenario format
+//!   (`[target]` + `[workload]` + `[campaign]` + `[error-model]`) with
+//!   key-path-anchored validation errors;
+//! - [`suite`] — the scenario runner: resolve, execute, measure failed
+//!   error propagation, check `[expect]` assertions, summarise a directory;
+//! - [`toml`] — the self-contained TOML subset reader/writer underneath
+//!   (the build environment vendors no TOML crate).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrestment;
+pub mod fivemod;
+pub mod pipeline;
+pub mod registry;
+pub mod scenario;
+pub mod suite;
+pub mod target;
+pub mod toml;
+pub mod workload;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::arrestment::{ArrestmentFactory, ArrestmentTarget};
+    pub use crate::fivemod::{FiveModuleFactory, FiveModuleTarget};
+    pub use crate::pipeline::{MaskPipelineFactory, MaskPipelineTarget};
+    pub use crate::registry::Registry;
+    pub use crate::scenario::{ScenarioError, ScenarioSpec};
+    pub use crate::suite::{run_suite, FepStats, ScenarioStudy, SuiteOptions, SuiteReport};
+    pub use crate::target::Target;
+    pub use crate::workload::{Workload, WorkloadError, WorkloadValue};
+}

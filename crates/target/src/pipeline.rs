@@ -1,0 +1,393 @@
+//! A multi-rate arithmetic pipeline with *deliberate masking* — the third
+//! registered [`Target`], built to measure **failed error propagation**
+//! (FEP): injected errors that corrupt a value yet never reach the system
+//! output.
+//!
+//! The paper's arrestment controller propagates aggressively; real software
+//! is full of constructs that absorb errors instead. This target stacks
+//! four of them along one dataflow chain:
+//!
+//! ```text
+//! extIn  -> [SCALE >>2] -scaled-> [SAT min] -sat-> [CLAMP lo..hi] -clamped->
+//!                                            extGain ----^
+//!           [QUANT & 0xFFF0, write-on-change] -quant-> [FOLD acc, odd ticks] -OUT->
+//! ```
+//!
+//! - **value masking** — `SCALE` discards the two low bits (`>> 2`),
+//!   `QUANT` the low nibble (`& 0xFFF0`), so small corruptions vanish
+//!   arithmetically;
+//! - **rail masking** — `SAT` saturates at `0x0A00` and `CLAMP` pins the
+//!   value into a gain-dependent `[0x0120, 0x0280+g]` window; while the
+//!   golden value sits on a rail, same-direction corruptions are absorbed;
+//! - **dead stores** — `QUANT` writes on change only, so a corrupted input
+//!   that quantises to the unchanged value stores nothing;
+//! - **temporal masking** — `CLAMP` runs on even ticks and `FOLD` samples
+//!   on odd ticks only, so corruptions injected in the wrong phase expire
+//!   (their producer rewrites the signal) before anything downstream looks.
+//!
+//! `FOLD` keeps a decaying accumulator (genuine internal state, snapshot
+//! hooks included), so every error that *does* get through diverges the
+//! output permanently — the completed-run records split cleanly into
+//! effective and masked, which is exactly what the FEP statistic needs.
+
+use crate::target::Target;
+use crate::workload::{Workload, WorkloadError};
+use permea_core::topology::{SystemTopology, TopologyBuilder};
+use permea_fi::campaign::SystemFactory;
+use permea_runtime::module::{ModuleCtx, SoftwareModule};
+use permea_runtime::scheduler::Schedule;
+use permea_runtime::signals::{SignalBus, SignalRef};
+use permea_runtime::sim::{Environment, Simulation, SimulationBuilder};
+use permea_runtime::state::{StateReader, StateWriter};
+use permea_runtime::time::SimTime;
+
+/// SCALE: `scaled = extIn >> 2` — the two low bits never matter.
+struct Scale;
+impl SoftwareModule for Scale {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let v = ctx.read(0);
+        ctx.write(0, v >> 2);
+    }
+}
+
+/// SAT: `sat = min(scaled, 0x0A00)` — an upper rail.
+struct Sat;
+impl SoftwareModule for Sat {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let v = ctx.read(0);
+        ctx.write(0, v.min(0x0A00));
+    }
+}
+
+/// CLAMP: pins `sat` into `[0x0120, 0x0280 + (extGain & 0x7F)]`. Runs on
+/// even ticks only.
+struct Clamp;
+impl SoftwareModule for Clamp {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let v = ctx.read(0);
+        let g = ctx.read(1);
+        let hi = 0x0280 + (g & 0x7F);
+        ctx.write(0, v.clamp(0x0120, hi));
+    }
+}
+
+/// QUANT: `quant = clamped & 0xFFF0`, stored only when it changes — the
+/// dead-store absorber.
+struct Quant;
+impl SoftwareModule for Quant {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let v = ctx.read(0);
+        ctx.write_on_change(0, v & 0xFFF0);
+    }
+}
+
+/// FOLD: `acc = acc/2 + quant`, sampled on odd ticks only. The accumulator
+/// is real internal state carried by the snapshot hooks.
+struct Fold {
+    acc: u16,
+}
+impl SoftwareModule for Fold {
+    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
+        let q = ctx.read(0);
+        self.acc = (self.acc >> 1).wrapping_add(q);
+        ctx.write(0, self.acc);
+    }
+    fn reset(&mut self) {
+        self.acc = 0;
+    }
+    fn save_state(&self) -> Vec<u8> {
+        let mut w = StateWriter::new();
+        w.put_u16(self.acc);
+        w.finish()
+    }
+    fn load_state(&mut self, state: &[u8]) {
+        let mut r = StateReader::new(state);
+        self.acc = r.u16();
+        r.finish();
+    }
+}
+
+/// Drives `extIn` (a case-shifted ramp) and `extGain` (a slow sweep).
+struct PipeEnv {
+    ext_in: SignalRef,
+    ext_gain: SignalRef,
+    base: u16,
+    limit: u64,
+}
+impl Environment for PipeEnv {
+    fn pre_tick(&mut self, now: SimTime, bus: &mut SignalBus) {
+        let t = now.as_millis();
+        bus.write(self.ext_in, self.base.wrapping_add((t % 601) as u16 * 5));
+        bus.write(self.ext_gain, (t % 127) as u16);
+    }
+    fn post_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
+    fn finished(&self, now: SimTime) -> bool {
+        now.as_millis() >= self.limit
+    }
+}
+
+/// Builds the simulation for workload case `case` with tracing enabled on
+/// every signal. Case `k` shifts the input ramp (`base = 0x0400·(k+1)`)
+/// and lengthens the scenario (`limit = 500 + 40·k` ms).
+pub fn build(case: usize) -> Simulation {
+    let mut b = SimulationBuilder::new();
+    let ext_in = b.define_signal("extIn");
+    let ext_gain = b.define_signal("extGain");
+    let scaled = b.define_signal("scaled");
+    let sat = b.define_signal("sat");
+    let clamped = b.define_signal("clamped");
+    let quant = b.define_signal("quant");
+    let out = b.define_signal("OUT");
+    b.add_module(
+        "SCALE",
+        Box::new(Scale),
+        Schedule::every_ms(),
+        &[ext_in],
+        &[scaled],
+    );
+    b.add_module(
+        "SAT",
+        Box::new(Sat),
+        Schedule::every_ms(),
+        &[scaled],
+        &[sat],
+    );
+    b.add_module(
+        "CLAMP",
+        Box::new(Clamp),
+        Schedule::in_slot(0, 2),
+        &[sat, ext_gain],
+        &[clamped],
+    );
+    b.add_module(
+        "QUANT",
+        Box::new(Quant),
+        Schedule::every_ms(),
+        &[clamped],
+        &[quant],
+    );
+    b.add_module(
+        "FOLD",
+        Box::new(Fold { acc: 0 }),
+        Schedule::in_slot(1, 2),
+        &[quant],
+        &[out],
+    );
+    let mut sim = b.build(Box::new(PipeEnv {
+        ext_in,
+        ext_gain,
+        base: 0x0400u16.wrapping_mul(case as u16 + 1),
+        limit: 500 + 40 * case as u64,
+    }));
+    sim.enable_tracing_all();
+    sim
+}
+
+/// The pipeline's static topology, port-for-port identical to the
+/// simulations [`build`] constructs.
+pub fn topology() -> SystemTopology {
+    let mut b = TopologyBuilder::new("mask-pipeline");
+    let ext_in = b.external("extIn");
+    let ext_gain = b.external("extGain");
+
+    let scale = b.add_module("SCALE");
+    b.bind_input(scale, ext_in);
+    let scaled = b.add_output(scale, "scaled");
+
+    let sat_m = b.add_module("SAT");
+    b.bind_input(sat_m, scaled);
+    let sat = b.add_output(sat_m, "sat");
+
+    let clamp = b.add_module("CLAMP");
+    b.bind_input(clamp, sat);
+    b.bind_input(clamp, ext_gain);
+    let clamped = b.add_output(clamp, "clamped");
+
+    let quant_m = b.add_module("QUANT");
+    b.bind_input(quant_m, clamped);
+    let quant = b.add_output(quant_m, "quant");
+
+    let fold = b.add_module("FOLD");
+    b.bind_input(fold, quant);
+    let out = b.add_output(fold, "OUT");
+    b.mark_system_output(out);
+
+    b.build().expect("pipeline wiring is valid")
+}
+
+/// Builds one mask-pipeline simulation per workload case.
+#[derive(Debug, Clone)]
+pub struct MaskPipelineFactory {
+    cases: usize,
+}
+
+impl MaskPipelineFactory {
+    /// A factory spanning `cases` workload cases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cases` is zero.
+    pub fn new(cases: usize) -> Self {
+        assert!(cases > 0, "factory needs at least one case");
+        MaskPipelineFactory { cases }
+    }
+}
+
+impl SystemFactory for MaskPipelineFactory {
+    fn build(&self, case: usize) -> Simulation {
+        build(case)
+    }
+
+    fn case_count(&self) -> usize {
+        self.cases
+    }
+
+    fn max_run_ms(&self) -> u64 {
+        10_000
+    }
+}
+
+/// The masking pipeline as a [`Target`]: workload key `cases` sets the
+/// number of ramp variants swept.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaskPipelineTarget;
+
+impl Target for MaskPipelineTarget {
+    fn name(&self) -> &'static str {
+        "mask-pipeline"
+    }
+
+    fn description(&self) -> &'static str {
+        "a multi-rate arithmetic pipeline whose shifts, rails, dead stores and phase-split schedules deliberately mask errors"
+    }
+
+    fn topology(&self) -> SystemTopology {
+        topology()
+    }
+
+    fn default_workload(&self) -> Workload {
+        Workload::new().with_int("cases", 3)
+    }
+
+    fn factory(&self, workload: &Workload) -> Result<Box<dyn SystemFactory>, WorkloadError> {
+        let cases = workload.int_in("cases", 1, 64)? as usize;
+        Ok(Box::new(MaskPipelineFactory::new(cases)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use permea_fi::campaign::{Campaign, CampaignConfig};
+    use permea_fi::model::ErrorModel;
+    use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
+
+    #[test]
+    fn simulation_and_topology_agree_port_for_port() {
+        let topo = topology();
+        let sim = build(0);
+        assert_eq!(sim.module_count(), topo.module_count());
+        for m in topo.modules() {
+            let name = topo.module_name(m);
+            let idx = sim.module_by_name(name).expect("module exists in sim");
+            let sim_inputs: Vec<&str> = sim
+                .module_inputs(idx)
+                .iter()
+                .map(|&s| sim.bus().name(s))
+                .collect();
+            let topo_inputs: Vec<&str> = topo
+                .inputs_of(m)
+                .iter()
+                .map(|&s| topo.signal_name(s))
+                .collect();
+            assert_eq!(sim_inputs, topo_inputs, "inputs of {name}");
+        }
+    }
+
+    #[test]
+    fn pipeline_masks_some_errors_and_propagates_others() {
+        // Low-bit flips into SCALE die in the `>> 2`; the campaign as a
+        // whole must see both masked and effective completed runs, or the
+        // target fails its purpose.
+        let f = MaskPipelineFactory::new(2);
+        let spec = CampaignSpec {
+            targets: vec![
+                PortTarget::new("SCALE", "extIn"),
+                PortTarget::new("QUANT", "clamped"),
+                PortTarget::new("FOLD", "quant"),
+            ],
+            models: vec![
+                ErrorModel::BitFlip { bit: 0 },
+                ErrorModel::BitFlip { bit: 1 },
+                ErrorModel::BitFlip { bit: 9 },
+                ErrorModel::BitFlip { bit: 13 },
+            ],
+            times_ms: vec![100, 101, 250, 251],
+            cases: 2,
+            scope: InjectionScope::Port,
+            adaptive: None,
+        };
+        let res = Campaign::new(
+            &f,
+            CampaignConfig {
+                threads: 1,
+                master_seed: 0xACED,
+                ..Default::default()
+            },
+        )
+        .run(&spec)
+        .unwrap();
+        let mut masked = 0u64;
+        let mut effective = 0u64;
+        for r in &res.records {
+            if !matches!(r.outcome, permea_fi::outcome::RunOutcome::Completed) {
+                continue;
+            }
+            if r.corrupted_value == r.original_value {
+                continue;
+            }
+            if r.first_divergence.iter().all(Option::is_none) {
+                masked += 1;
+            } else {
+                effective += 1;
+            }
+        }
+        assert!(masked > 0, "no run was masked: {:?}", res.outcomes);
+        assert!(effective > 0, "no run propagated: {:?}", res.outcomes);
+    }
+
+    #[test]
+    fn fast_forward_matches_replay() {
+        // FOLD's accumulator state and QUANT's write-on-change cache ride
+        // the snapshot: fork + early-exit must be exact here too.
+        let f = MaskPipelineFactory::new(2);
+        let spec = CampaignSpec {
+            targets: vec![
+                PortTarget::new("CLAMP", "sat"),
+                PortTarget::new("FOLD", "quant"),
+            ],
+            models: vec![
+                ErrorModel::BitFlip { bit: 3 },
+                ErrorModel::Burst { start: 4, width: 3 },
+                ErrorModel::Intermittent {
+                    bit: 7,
+                    period_ms: 5,
+                    count: 3,
+                },
+            ],
+            times_ms: vec![60, 61],
+            cases: 2,
+            scope: InjectionScope::Port,
+            adaptive: None,
+        };
+        let config = |fast_forward| CampaignConfig {
+            threads: 0,
+            master_seed: 0xACED,
+            fast_forward,
+            ..Default::default()
+        };
+        let fast = Campaign::new(&f, config(true)).run(&spec).unwrap();
+        let replay = Campaign::new(&f, config(false)).run(&spec).unwrap();
+        assert_eq!(fast, replay);
+    }
+}

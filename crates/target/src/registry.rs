@@ -1,0 +1,164 @@
+//! The target registry: the bins, the scenario suite and the server
+//! submission path resolve target *names* here instead of linking against
+//! concrete system types.
+//!
+//! The registry also owns the worker-process setup payload: supervisors
+//! serialise `(target name, workload)` with [`worker_payload`], and worker
+//! processes rebuild the identical factory with [`factory_from_payload`] —
+//! one wire format for every target, so adding a system never touches the
+//! process-isolation plumbing.
+
+use crate::arrestment::ArrestmentTarget;
+use crate::fivemod::FiveModuleTarget;
+use crate::pipeline::MaskPipelineTarget;
+use crate::target::Target;
+use crate::workload::Workload;
+use permea_fi::campaign::SystemFactory;
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+/// A set of named targets.
+pub struct Registry {
+    targets: Vec<Box<dyn Target>>,
+}
+
+impl Registry {
+    /// The built-in targets: `arrestment`, `five-module`, `mask-pipeline`.
+    pub fn builtin() -> &'static Registry {
+        static BUILTIN: OnceLock<Registry> = OnceLock::new();
+        BUILTIN.get_or_init(|| Registry {
+            targets: vec![
+                Box::new(ArrestmentTarget),
+                Box::new(FiveModuleTarget),
+                Box::new(MaskPipelineTarget),
+            ],
+        })
+    }
+
+    /// Looks a target up by name.
+    pub fn get(&self, name: &str) -> Option<&dyn Target> {
+        self.targets
+            .iter()
+            .find(|t| t.name() == name)
+            .map(Box::as_ref)
+    }
+
+    /// Looks a target up, describing the known names on failure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a one-line human-readable reason (used verbatim as the
+    /// server's typed `Rejected` reason).
+    pub fn resolve(&self, name: &str) -> Result<&dyn Target, String> {
+        self.get(name).ok_or_else(|| {
+            format!(
+                "unknown target `{name}` (known targets: {})",
+                self.names().join(", ")
+            )
+        })
+    }
+
+    /// All registered names, in registration order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.targets.iter().map(|t| t.name()).collect()
+    }
+
+    /// All registered targets, in registration order.
+    pub fn targets(&self) -> impl Iterator<Item = &dyn Target> {
+        self.targets.iter().map(Box::as_ref)
+    }
+}
+
+/// Wire form of the worker-process setup payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct WorkerPayload {
+    target: String,
+    workload: Workload,
+}
+
+/// Serialises `(target, workload)` as the worker setup payload for
+/// [`factory_from_payload`]. The workload must already be fully overlaid
+/// on the target's defaults.
+pub fn worker_payload(target: &str, workload: &Workload) -> String {
+    serde_json::to_string(&WorkerPayload {
+        target: target.to_string(),
+        workload: workload.clone(),
+    })
+    .expect("payload serialises")
+}
+
+/// Rebuilds a factory from a [`worker_payload`] string — the worker half
+/// of the process-isolation handshake, resolved through
+/// [`Registry::builtin`].
+///
+/// # Errors
+///
+/// Returns a description of the malformed payload, unknown target or
+/// invalid workload.
+pub fn factory_from_payload(payload: &str) -> Result<Box<dyn SystemFactory>, String> {
+    let wire: WorkerPayload =
+        serde_json::from_str(payload).map_err(|e| format!("malformed factory payload: {e}"))?;
+    let target = Registry::builtin().resolve(&wire.target)?;
+    let workload = target
+        .default_workload()
+        .overlaid(&wire.workload)
+        .map_err(|e| e.to_string())?;
+    target.factory(&workload).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_the_three_targets() {
+        let names = Registry::builtin().names();
+        assert_eq!(names, vec!["arrestment", "five-module", "mask-pipeline"]);
+        for t in Registry::builtin().targets() {
+            assert!(!t.description().is_empty());
+            // Every target's defaults must build a working factory.
+            let f = t.factory(&t.default_workload()).unwrap();
+            assert!(f.case_count() >= 1, "{}", t.name());
+            let topo = t.topology();
+            assert!(topo.module_count() >= 1, "{}", t.name());
+        }
+    }
+
+    #[test]
+    fn resolve_names_known_targets_in_the_error() {
+        let e = Registry::builtin().resolve("warp-drive").err().unwrap();
+        assert!(e.contains("unknown target `warp-drive`"), "{e}");
+        assert!(e.contains("arrestment"), "{e}");
+        assert!(e.contains("mask-pipeline"), "{e}");
+    }
+
+    #[test]
+    fn worker_payload_roundtrips_through_the_registry() {
+        let payload = worker_payload(
+            "arrestment",
+            &Workload::new()
+                .with_int("masses", 3)
+                .with_int("velocities", 2),
+        );
+        let f = factory_from_payload(&payload).unwrap();
+        assert_eq!(f.case_count(), 6);
+    }
+
+    #[test]
+    fn bad_payloads_are_rejected_with_reasons() {
+        assert!(factory_from_payload("not json")
+            .err()
+            .unwrap()
+            .contains("malformed"));
+        let unknown = worker_payload("warp-drive", &Workload::new());
+        assert!(factory_from_payload(&unknown)
+            .err()
+            .unwrap()
+            .contains("unknown target"));
+        let bad_key = worker_payload("five-module", &Workload::new().with_int("masses", 3));
+        assert!(factory_from_payload(&bad_key)
+            .err()
+            .unwrap()
+            .contains("unknown workload key"));
+    }
+}

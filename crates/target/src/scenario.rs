@@ -1,0 +1,1176 @@
+//! Declarative TOML scenarios: one file describes a complete campaign.
+//!
+//! ```toml
+//! [scenario]
+//! name = "arrestment-quick"
+//! description = "the quick study, declaratively"
+//!
+//! [target]
+//! name = "arrestment"
+//!
+//! [workload]
+//! masses = 3
+//! velocities = 3
+//!
+//! [campaign]
+//! seed = 0x5EED
+//! times_ms = [500, 1500, 2500, 3500, 4500]
+//! horizon_ms = 9000
+//!
+//! [error-model]
+//! kind = "bit-flip"
+//! bits = [0, 1, 2, 3]
+//!
+//! [expect]
+//! min_fep = 0.0
+//! ```
+//!
+//! Several `[error-model]` sections may appear (suffix later ones, e.g.
+//! `[error-model.2]`); their models concatenate in file order. Every
+//! validation error names the offending key path (`campaign.times_ms`,
+//! `error-model.bits[2]`, ...) so a bad scenario fails with a pointer into
+//! the file, not a stack trace.
+
+use crate::toml::{write_table, TomlDoc, TomlTable, TomlValue};
+use crate::workload::{Workload, WorkloadValue};
+use permea_core::topology::SystemTopology;
+use permea_fi::error::FiError;
+use permea_fi::model::ErrorModel;
+use permea_fi::spec::{CampaignSpec, InjectionScope, PortTarget};
+use std::fmt;
+use std::path::Path;
+
+/// A scenario-layer error: the offending TOML key path plus the reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioError {
+    /// Dotted key path (`campaign.times_ms`), a section name, or
+    /// `line N` for raw syntax errors.
+    pub path: String,
+    /// What is wrong.
+    pub reason: String,
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario error at `{}`: {}", self.path, self.reason)
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl ScenarioError {
+    /// Creates an error anchored at `path`.
+    pub fn at(path: impl Into<String>, reason: impl Into<String>) -> Self {
+        ScenarioError {
+            path: path.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+/// The `[campaign]` section: how the runs are driven.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioCampaign {
+    /// Master seed (default `0x5EED`).
+    pub seed: u64,
+    /// Worker threads, 0 = all cores (default 0).
+    pub threads: usize,
+    /// Injection instants in ms (required, non-empty).
+    pub times_ms: Vec<u64>,
+    /// Comparison horizon in ms (default: full scenario).
+    pub horizon_ms: Option<u64>,
+    /// Injection scope: `"port"` (default) or `"signal"`.
+    pub scope: InjectionScope,
+    /// Fork from golden snapshots and early-exit on reconvergence
+    /// (default true; bit-identical either way).
+    pub fast_forward: bool,
+    /// Keep per-run records (default true; FEP needs them).
+    pub keep_records: bool,
+    /// Explicit `"MODULE.signal"` injection targets; empty = every input
+    /// port of every module (the paper's experiment).
+    pub targets: Vec<PortTarget>,
+}
+
+impl Default for ScenarioCampaign {
+    fn default() -> Self {
+        ScenarioCampaign {
+            seed: 0x5EED,
+            threads: 0,
+            times_ms: Vec::new(),
+            horizon_ms: None,
+            scope: InjectionScope::Port,
+            fast_forward: true,
+            keep_records: true,
+            targets: Vec::new(),
+        }
+    }
+}
+
+/// The optional `[expect]` section: per-scenario pass/fail assertions the
+/// suite runner checks after the campaign completes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ScenarioExpect {
+    /// Exact total run count.
+    pub runs: Option<u64>,
+    /// Lower bound on the failed-error-propagation rate (masked/effective).
+    pub min_fep: Option<f64>,
+    /// Upper bound on the failed-error-propagation rate.
+    pub max_fep: Option<f64>,
+    /// Upper bound on quarantined (crashed/hung) runs.
+    pub max_quarantined: Option<u64>,
+}
+
+impl ScenarioExpect {
+    fn is_empty(&self) -> bool {
+        *self == ScenarioExpect::default()
+    }
+}
+
+/// A fully parsed scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Scenario name (defaults to the file stem).
+    pub name: String,
+    /// Free-text description.
+    pub description: String,
+    /// Registry name of the target system.
+    pub target: String,
+    /// Workload overrides (overlaid on the target's defaults).
+    pub workload: Workload,
+    /// Campaign drive parameters.
+    pub campaign: ScenarioCampaign,
+    /// Error models, in file order.
+    pub models: Vec<ErrorModel>,
+    /// Optional pass/fail assertions.
+    pub expect: Option<ScenarioExpect>,
+}
+
+const KNOWN_SECTIONS: &[&str] = &["scenario", "target", "workload", "campaign", "expect"];
+
+impl ScenarioSpec {
+    /// Reads and parses a scenario file; the file stem is the fallback
+    /// scenario name.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures surface at path `file`, everything else as
+    /// [`ScenarioSpec::parse`].
+    pub fn load(path: &Path) -> Result<ScenarioSpec, ScenarioError> {
+        let text = std::fs::read_to_string(path).map_err(|e| {
+            ScenarioError::at("file", format!("cannot read {}: {e}", path.display()))
+        })?;
+        let stem = path
+            .file_stem()
+            .map(|s| s.to_string_lossy().into_owned())
+            .unwrap_or_else(|| "scenario".to_string());
+        ScenarioSpec::parse(&text, &stem)
+    }
+
+    /// Parses scenario TOML.
+    ///
+    /// # Errors
+    ///
+    /// Syntax errors carry their line (`line N`); semantic errors carry the
+    /// offending key path.
+    pub fn parse(text: &str, fallback_name: &str) -> Result<ScenarioSpec, ScenarioError> {
+        let doc = TomlDoc::parse(text)
+            .map_err(|e| ScenarioError::at(format!("line {}", e.line), e.message))?;
+
+        for (name, _) in doc.tables() {
+            let known = KNOWN_SECTIONS.contains(&name)
+                || name == "error-model"
+                || name.starts_with("error-model.");
+            if !known {
+                return Err(ScenarioError::at(
+                    name,
+                    format!(
+                        "unknown section (known: {}, error-model)",
+                        KNOWN_SECTIONS.join(", ")
+                    ),
+                ));
+            }
+        }
+
+        let mut spec = ScenarioSpec {
+            name: fallback_name.to_string(),
+            description: String::new(),
+            target: String::new(),
+            workload: Workload::new(),
+            campaign: ScenarioCampaign::default(),
+            models: Vec::new(),
+            expect: None,
+        };
+
+        if let Some(t) = doc.table("scenario") {
+            reject_unknown(t, "scenario", &["name", "description"])?;
+            if let Some(name) = get_str(t, "scenario", "name")? {
+                if name.is_empty() {
+                    return Err(ScenarioError::at("scenario.name", "must not be empty"));
+                }
+                spec.name = name;
+            }
+            if let Some(d) = get_str(t, "scenario", "description")? {
+                spec.description = d;
+            }
+        }
+
+        let target = doc
+            .table("target")
+            .ok_or_else(|| ScenarioError::at("target", "missing required [target] section"))?;
+        reject_unknown(target, "target", &["name"])?;
+        spec.target = get_str(target, "target", "name")?
+            .ok_or_else(|| ScenarioError::at("target.name", "missing required key"))?;
+        if spec.target.is_empty() {
+            return Err(ScenarioError::at("target.name", "must not be empty"));
+        }
+
+        if let Some(w) = doc.table("workload") {
+            for (key, value) in w.iter() {
+                let path = format!("workload.{key}");
+                let v = match value {
+                    TomlValue::Int(i) => WorkloadValue::Int(*i),
+                    TomlValue::Float(f) => WorkloadValue::Float(*f),
+                    TomlValue::Bool(b) => WorkloadValue::Bool(*b),
+                    TomlValue::Str(s) => WorkloadValue::Str(s.clone()),
+                    TomlValue::Array(_) => {
+                        return Err(ScenarioError::at(path, "workload values must be scalars"));
+                    }
+                };
+                spec.workload.set(key, v);
+            }
+        }
+
+        let campaign = doc
+            .table("campaign")
+            .ok_or_else(|| ScenarioError::at("campaign", "missing required [campaign] section"))?;
+        reject_unknown(
+            campaign,
+            "campaign",
+            &[
+                "seed",
+                "threads",
+                "times_ms",
+                "horizon_ms",
+                "scope",
+                "fast_forward",
+                "keep_records",
+                "targets",
+            ],
+        )?;
+        // Seeds are 64-bit patterns, not quantities: a negative literal is
+        // the two's-complement spelling of the upper seed range, mirroring
+        // how `to_toml` has to emit them through the signed TOML integer.
+        match campaign.get("seed") {
+            None => {}
+            Some(TomlValue::Int(i)) => spec.campaign.seed = *i as u64,
+            Some(other) => {
+                return Err(ScenarioError::at(
+                    "campaign.seed",
+                    format!("expected an integer, got {}", other.type_name()),
+                ))
+            }
+        }
+        if let Some(threads) = get_u64(campaign, "campaign", "threads")? {
+            spec.campaign.threads = threads as usize;
+        }
+        spec.campaign.times_ms = get_u64_array(campaign, "campaign", "times_ms")?
+            .ok_or_else(|| ScenarioError::at("campaign.times_ms", "missing required key"))?;
+        if spec.campaign.times_ms.is_empty() {
+            return Err(ScenarioError::at(
+                "campaign.times_ms",
+                "needs at least one injection instant",
+            ));
+        }
+        if let Some(h) = get_u64(campaign, "campaign", "horizon_ms")? {
+            if h == 0 {
+                return Err(ScenarioError::at("campaign.horizon_ms", "must be positive"));
+            }
+            spec.campaign.horizon_ms = Some(h);
+        }
+        if let Some(scope) = get_str(campaign, "campaign", "scope")? {
+            spec.campaign.scope = match scope.as_str() {
+                "port" => InjectionScope::Port,
+                "signal" => InjectionScope::Signal,
+                other => {
+                    return Err(ScenarioError::at(
+                        "campaign.scope",
+                        format!("unknown scope `{other}` (expected \"port\" or \"signal\")"),
+                    ));
+                }
+            };
+        }
+        if let Some(ff) = get_bool(campaign, "campaign", "fast_forward")? {
+            spec.campaign.fast_forward = ff;
+        }
+        if let Some(keep) = get_bool(campaign, "campaign", "keep_records")? {
+            spec.campaign.keep_records = keep;
+        }
+        if let Some(TomlValue::Array(items)) = campaign.get("targets") {
+            for (i, item) in items.iter().enumerate() {
+                let path = format!("campaign.targets[{i}]");
+                let TomlValue::Str(s) = item else {
+                    return Err(ScenarioError::at(
+                        path,
+                        "expected a \"MODULE.signal\" string",
+                    ));
+                };
+                let Some((module, signal)) = s.split_once('.') else {
+                    return Err(ScenarioError::at(
+                        path,
+                        format!("`{s}` is not of the form \"MODULE.signal\""),
+                    ));
+                };
+                if module.is_empty() || signal.is_empty() {
+                    return Err(ScenarioError::at(
+                        path,
+                        format!("`{s}` is not of the form \"MODULE.signal\""),
+                    ));
+                }
+                spec.campaign.targets.push(PortTarget::new(module, signal));
+            }
+        } else if let Some(other) = campaign.get("targets") {
+            return Err(ScenarioError::at(
+                "campaign.targets",
+                format!("expected an array of strings, got {}", other.type_name()),
+            ));
+        }
+
+        for (name, table) in doc.tables() {
+            if name == "error-model" || name.starts_with("error-model.") {
+                parse_models(table, name, &mut spec.models)?;
+            }
+        }
+        if spec.models.is_empty() {
+            return Err(ScenarioError::at(
+                "error-model",
+                "missing required [error-model] section",
+            ));
+        }
+
+        if let Some(e) = doc.table("expect") {
+            reject_unknown(
+                e,
+                "expect",
+                &["runs", "min_fep", "max_fep", "max_quarantined"],
+            )?;
+            let expect = ScenarioExpect {
+                runs: get_u64(e, "expect", "runs")?,
+                min_fep: get_fraction(e, "expect", "min_fep")?,
+                max_fep: get_fraction(e, "expect", "max_fep")?,
+                max_quarantined: get_u64(e, "expect", "max_quarantined")?,
+            };
+            if let (Some(lo), Some(hi)) = (expect.min_fep, expect.max_fep) {
+                if lo > hi {
+                    return Err(ScenarioError::at(
+                        "expect.min_fep",
+                        format!("{lo} exceeds max_fep = {hi}"),
+                    ));
+                }
+            }
+            if !expect.is_empty() {
+                spec.expect = Some(expect);
+            }
+        }
+
+        Ok(spec)
+    }
+
+    /// Serialises the scenario in the canonical subset syntax
+    /// [`ScenarioSpec::parse`] reads back identically.
+    pub fn to_toml(&self) -> String {
+        let mut out = String::new();
+        let mut scenario: Vec<(&str, TomlValue)> =
+            vec![("name", TomlValue::Str(self.name.clone()))];
+        if !self.description.is_empty() {
+            scenario.push(("description", TomlValue::Str(self.description.clone())));
+        }
+        write_table(&mut out, "scenario", scenario);
+        write_table(
+            &mut out,
+            "target",
+            vec![("name", TomlValue::Str(self.target.clone()))],
+        );
+        if !self.workload.is_empty() {
+            let entries: Vec<(&str, TomlValue)> = self
+                .workload
+                .iter()
+                .map(|(k, v)| {
+                    let value = match v {
+                        WorkloadValue::Int(i) => TomlValue::Int(*i),
+                        WorkloadValue::Float(f) => TomlValue::Float(*f),
+                        WorkloadValue::Bool(b) => TomlValue::Bool(*b),
+                        WorkloadValue::Str(s) => TomlValue::Str(s.clone()),
+                    };
+                    (k, value)
+                })
+                .collect();
+            write_table(&mut out, "workload", entries);
+        }
+        let c = &self.campaign;
+        let mut campaign: Vec<(&str, TomlValue)> = vec![
+            ("seed", TomlValue::Int(c.seed as i64)),
+            ("threads", TomlValue::Int(c.threads as i64)),
+            (
+                "times_ms",
+                TomlValue::Array(
+                    c.times_ms
+                        .iter()
+                        .map(|&t| TomlValue::Int(t as i64))
+                        .collect(),
+                ),
+            ),
+        ];
+        if let Some(h) = c.horizon_ms {
+            campaign.push(("horizon_ms", TomlValue::Int(h as i64)));
+        }
+        campaign.push((
+            "scope",
+            TomlValue::Str(
+                match c.scope {
+                    InjectionScope::Port => "port",
+                    InjectionScope::Signal => "signal",
+                }
+                .to_string(),
+            ),
+        ));
+        campaign.push(("fast_forward", TomlValue::Bool(c.fast_forward)));
+        campaign.push(("keep_records", TomlValue::Bool(c.keep_records)));
+        if !c.targets.is_empty() {
+            campaign.push((
+                "targets",
+                TomlValue::Array(
+                    c.targets
+                        .iter()
+                        .map(|t| TomlValue::Str(format!("{}.{}", t.module, t.input_signal)))
+                        .collect(),
+                ),
+            ));
+        }
+        write_table(&mut out, "campaign", campaign);
+
+        for (i, group) in group_models(&self.models).iter().enumerate() {
+            let section = if i == 0 {
+                "error-model".to_string()
+            } else {
+                format!("error-model.{}", i + 1)
+            };
+            write_table(&mut out, &section, group.clone());
+        }
+
+        if let Some(e) = &self.expect {
+            let mut expect: Vec<(&str, TomlValue)> = Vec::new();
+            if let Some(runs) = e.runs {
+                expect.push(("runs", TomlValue::Int(runs as i64)));
+            }
+            if let Some(v) = e.min_fep {
+                expect.push(("min_fep", TomlValue::Float(v)));
+            }
+            if let Some(v) = e.max_fep {
+                expect.push(("max_fep", TomlValue::Float(v)));
+            }
+            if let Some(v) = e.max_quarantined {
+                expect.push(("max_quarantined", TomlValue::Int(v as i64)));
+            }
+            write_table(&mut out, "expect", expect);
+        }
+        out
+    }
+
+    /// Expands the campaign spec against a target's topology: explicit
+    /// `campaign.targets` if given, otherwise every input port of every
+    /// module in topology order (as the paper's experiment does).
+    pub fn campaign_spec(&self, topology: &SystemTopology, cases: usize) -> CampaignSpec {
+        let targets = if self.campaign.targets.is_empty() {
+            let mut all = Vec::new();
+            for m in topology.modules() {
+                for &sig in topology.inputs_of(m) {
+                    all.push(PortTarget::new(
+                        topology.module_name(m),
+                        topology.signal_name(sig),
+                    ));
+                }
+            }
+            all
+        } else {
+            self.campaign.targets.clone()
+        };
+        CampaignSpec {
+            targets,
+            models: self.models.clone(),
+            times_ms: self.campaign.times_ms.clone(),
+            cases,
+            scope: self.campaign.scope,
+            adaptive: None,
+        }
+    }
+
+    /// As [`ScenarioSpec::campaign_spec`], but validated — spec-level
+    /// failures come back anchored at the scenario key that caused them.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CampaignSpec::validate`] failure, re-anchored.
+    pub fn campaign_spec_checked(
+        &self,
+        topology: &SystemTopology,
+        cases: usize,
+    ) -> Result<CampaignSpec, ScenarioError> {
+        let spec = self.campaign_spec(topology, cases);
+        spec.validate().map_err(|e| {
+            let path = match &e {
+                FiError::EmptySpec("times") => "campaign.times_ms",
+                FiError::EmptySpec("targets") | FiError::DuplicateTarget { .. } => {
+                    "campaign.targets"
+                }
+                FiError::EmptySpec("models") | FiError::InvalidErrorModel { .. } => "error-model",
+                FiError::DuplicateInstant { .. } => "campaign.times_ms",
+                FiError::EmptySpec("cases") => "workload",
+                _ => "campaign",
+            };
+            ScenarioError::at(path, e.to_string())
+        })?;
+        for (i, t) in spec.targets.iter().enumerate() {
+            let path = if self.campaign.targets.is_empty() {
+                "campaign.targets".to_string()
+            } else {
+                format!("campaign.targets[{i}]")
+            };
+            let Some(m) = topology.module_by_name(&t.module) else {
+                return Err(ScenarioError::at(
+                    path,
+                    format!("target `{}` has no module `{}`", self.target, t.module),
+                ));
+            };
+            let has_port = topology
+                .inputs_of(m)
+                .iter()
+                .any(|&s| topology.signal_name(s) == t.input_signal);
+            if !has_port {
+                return Err(ScenarioError::at(
+                    path,
+                    format!(
+                        "module `{}` has no input port bound to signal `{}`",
+                        t.module, t.input_signal
+                    ),
+                ));
+            }
+        }
+        Ok(spec)
+    }
+}
+
+fn reject_unknown(table: &TomlTable, section: &str, known: &[&str]) -> Result<(), ScenarioError> {
+    for key in table.keys() {
+        if !known.contains(&key) {
+            return Err(ScenarioError::at(
+                format!("{section}.{key}"),
+                format!("unknown key (known: {})", known.join(", ")),
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn get_str(table: &TomlTable, section: &str, key: &str) -> Result<Option<String>, ScenarioError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(TomlValue::Str(s)) => Ok(Some(s.clone())),
+        Some(other) => Err(ScenarioError::at(
+            format!("{section}.{key}"),
+            format!("expected a string, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn get_bool(table: &TomlTable, section: &str, key: &str) -> Result<Option<bool>, ScenarioError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(TomlValue::Bool(b)) => Ok(Some(*b)),
+        Some(other) => Err(ScenarioError::at(
+            format!("{section}.{key}"),
+            format!("expected a boolean, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn get_u64(table: &TomlTable, section: &str, key: &str) -> Result<Option<u64>, ScenarioError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(TomlValue::Int(i)) if *i >= 0 => Ok(Some(*i as u64)),
+        Some(TomlValue::Int(i)) => Err(ScenarioError::at(
+            format!("{section}.{key}"),
+            format!("{i} must not be negative"),
+        )),
+        Some(other) => Err(ScenarioError::at(
+            format!("{section}.{key}"),
+            format!("expected an integer, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn get_u64_array(
+    table: &TomlTable,
+    section: &str,
+    key: &str,
+) -> Result<Option<Vec<u64>>, ScenarioError> {
+    match table.get(key) {
+        None => Ok(None),
+        Some(TomlValue::Array(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                match item {
+                    TomlValue::Int(v) if *v >= 0 => out.push(*v as u64),
+                    TomlValue::Int(v) => {
+                        return Err(ScenarioError::at(
+                            format!("{section}.{key}[{i}]"),
+                            format!("{v} must not be negative"),
+                        ));
+                    }
+                    other => {
+                        return Err(ScenarioError::at(
+                            format!("{section}.{key}[{i}]"),
+                            format!("expected an integer, got {}", other.type_name()),
+                        ));
+                    }
+                }
+            }
+            Ok(Some(out))
+        }
+        Some(other) => Err(ScenarioError::at(
+            format!("{section}.{key}"),
+            format!("expected an array of integers, got {}", other.type_name()),
+        )),
+    }
+}
+
+fn get_fraction(table: &TomlTable, section: &str, key: &str) -> Result<Option<f64>, ScenarioError> {
+    let v = match table.get(key) {
+        None => return Ok(None),
+        Some(TomlValue::Float(f)) => *f,
+        Some(TomlValue::Int(i)) => *i as f64,
+        Some(other) => {
+            return Err(ScenarioError::at(
+                format!("{section}.{key}"),
+                format!("expected a number, got {}", other.type_name()),
+            ));
+        }
+    };
+    if !(0.0..=1.0).contains(&v) {
+        return Err(ScenarioError::at(
+            format!("{section}.{key}"),
+            format!("{v} is out of range 0.0..=1.0"),
+        ));
+    }
+    Ok(Some(v))
+}
+
+/// Parses one `[error-model*]` section, appending its models in order.
+fn parse_models(
+    table: &TomlTable,
+    section: &str,
+    models: &mut Vec<ErrorModel>,
+) -> Result<(), ScenarioError> {
+    let kind = get_str(table, section, "kind")?
+        .ok_or_else(|| ScenarioError::at(format!("{section}.kind"), "missing required key"))?;
+
+    let bit_list = |key: &str| -> Result<Vec<u8>, ScenarioError> {
+        let raw = get_u64_array(table, section, key)?
+            .ok_or_else(|| ScenarioError::at(format!("{section}.{key}"), "missing required key"))?;
+        if raw.is_empty() {
+            return Err(ScenarioError::at(
+                format!("{section}.{key}"),
+                "needs at least one entry",
+            ));
+        }
+        raw.iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                if b < 16 {
+                    Ok(b as u8)
+                } else {
+                    Err(ScenarioError::at(
+                        format!("{section}.{key}[{i}]"),
+                        format!("bit {b} is out of range 0..16"),
+                    ))
+                }
+            })
+            .collect()
+    };
+    let scalar_u64 = |key: &str, max: u64| -> Result<u64, ScenarioError> {
+        let v = get_u64(table, section, key)?
+            .ok_or_else(|| ScenarioError::at(format!("{section}.{key}"), "missing required key"))?;
+        if v > max {
+            return Err(ScenarioError::at(
+                format!("{section}.{key}"),
+                format!("{v} is out of range 0..={max}"),
+            ));
+        }
+        Ok(v)
+    };
+
+    match kind.as_str() {
+        "bit-flip" => {
+            reject_unknown(table, section, &["kind", "bits"])?;
+            for bit in bit_list("bits")? {
+                models.push(ErrorModel::BitFlip { bit });
+            }
+        }
+        "stuck-at-one" => {
+            reject_unknown(table, section, &["kind", "bits"])?;
+            for bit in bit_list("bits")? {
+                models.push(ErrorModel::StuckAtOne { bit });
+            }
+        }
+        "stuck-at-zero" => {
+            reject_unknown(table, section, &["kind", "bits"])?;
+            for bit in bit_list("bits")? {
+                models.push(ErrorModel::StuckAtZero { bit });
+            }
+        }
+        "offset" => {
+            reject_unknown(table, section, &["kind", "deltas"])?;
+            let Some(TomlValue::Array(items)) = table.get("deltas") else {
+                return Err(ScenarioError::at(
+                    format!("{section}.deltas"),
+                    "missing required key (an array of non-zero integers)",
+                ));
+            };
+            if items.is_empty() {
+                return Err(ScenarioError::at(
+                    format!("{section}.deltas"),
+                    "needs at least one entry",
+                ));
+            }
+            for (i, item) in items.iter().enumerate() {
+                let path = format!("{section}.deltas[{i}]");
+                let TomlValue::Int(v) = item else {
+                    return Err(ScenarioError::at(
+                        path,
+                        format!("expected an integer, got {}", item.type_name()),
+                    ));
+                };
+                let delta = i16::try_from(*v).map_err(|_| {
+                    ScenarioError::at(&path, format!("{v} does not fit in a signed 16-bit offset"))
+                })?;
+                models.push(ErrorModel::Offset { delta });
+            }
+        }
+        "random" => {
+            reject_unknown(table, section, &["kind"])?;
+            models.push(ErrorModel::RandomValue);
+        }
+        "zero" => {
+            reject_unknown(table, section, &["kind"])?;
+            models.push(ErrorModel::Zero);
+        }
+        "saturate" => {
+            reject_unknown(table, section, &["kind"])?;
+            models.push(ErrorModel::Saturate);
+        }
+        "burst" => {
+            reject_unknown(table, section, &["kind", "start", "starts", "width"])?;
+            let width = scalar_u64("width", 16)? as u8;
+            let starts: Vec<u8> = if table.get("starts").is_some() {
+                bit_list("starts")?
+            } else {
+                vec![scalar_u64("start", 15)? as u8]
+            };
+            for (i, &start) in starts.iter().enumerate() {
+                if u32::from(start) + u32::from(width) > 16 || width == 0 {
+                    let path = if table.get("starts").is_some() {
+                        format!("{section}.starts[{i}]")
+                    } else {
+                        format!("{section}.start")
+                    };
+                    return Err(ScenarioError::at(
+                        path,
+                        format!("burst {start}+{width} leaves the 16-bit word"),
+                    ));
+                }
+                models.push(ErrorModel::Burst { start, width });
+            }
+        }
+        "multi-bit" => {
+            reject_unknown(table, section, &["kind", "mask", "masks"])?;
+            let masks: Vec<u64> = if table.get("masks").is_some() {
+                let raw = get_u64_array(table, section, "masks")?.expect("checked present");
+                if raw.is_empty() {
+                    return Err(ScenarioError::at(
+                        format!("{section}.masks"),
+                        "needs at least one entry",
+                    ));
+                }
+                raw
+            } else {
+                vec![scalar_u64("mask", 0xFFFF)?]
+            };
+            for (i, &mask) in masks.iter().enumerate() {
+                let path = if table.get("masks").is_some() {
+                    format!("{section}.masks[{i}]")
+                } else {
+                    format!("{section}.mask")
+                };
+                if mask == 0 || mask > 0xFFFF {
+                    return Err(ScenarioError::at(
+                        path,
+                        format!("mask {mask:#x} must be non-zero and fit in 16 bits"),
+                    ));
+                }
+                models.push(ErrorModel::MultiBit { mask: mask as u16 });
+            }
+        }
+        "intermittent" => {
+            reject_unknown(
+                table,
+                section,
+                &["kind", "bit", "bits", "period_ms", "count"],
+            )?;
+            let period = scalar_u64("period_ms", u64::from(u16::MAX))? as u16;
+            let count = scalar_u64("count", u64::from(u8::MAX))? as u8;
+            if period == 0 {
+                return Err(ScenarioError::at(
+                    format!("{section}.period_ms"),
+                    "must be positive",
+                ));
+            }
+            if count == 0 {
+                return Err(ScenarioError::at(
+                    format!("{section}.count"),
+                    "must be positive",
+                ));
+            }
+            let bits: Vec<u8> = if table.get("bits").is_some() {
+                bit_list("bits")?
+            } else {
+                vec![scalar_u64("bit", 15)? as u8]
+            };
+            for bit in bits {
+                models.push(ErrorModel::Intermittent {
+                    bit,
+                    period_ms: period,
+                    count,
+                });
+            }
+        }
+        other => {
+            return Err(ScenarioError::at(
+                format!("{section}.kind"),
+                format!(
+                    "unknown error-model kind `{other}` (known: bit-flip, stuck-at-one, \
+                     stuck-at-zero, offset, random, zero, saturate, burst, multi-bit, \
+                     intermittent)"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Groups consecutive same-shape models into compact sections, preserving
+/// order: the inverse of [`parse_models`].
+fn group_models(models: &[ErrorModel]) -> Vec<Vec<(&'static str, TomlValue)>> {
+    #[derive(PartialEq)]
+    enum Shape {
+        Bits(&'static str),
+        Deltas,
+        Single(&'static str),
+        Burst(u8),
+        Masks,
+        Intermittent(u16, u8),
+    }
+    fn shape(m: &ErrorModel) -> Shape {
+        match m {
+            ErrorModel::BitFlip { .. } => Shape::Bits("bit-flip"),
+            ErrorModel::StuckAtOne { .. } => Shape::Bits("stuck-at-one"),
+            ErrorModel::StuckAtZero { .. } => Shape::Bits("stuck-at-zero"),
+            ErrorModel::Offset { .. } => Shape::Deltas,
+            ErrorModel::RandomValue => Shape::Single("random"),
+            ErrorModel::Zero => Shape::Single("zero"),
+            ErrorModel::Saturate => Shape::Single("saturate"),
+            ErrorModel::Burst { width, .. } => Shape::Burst(*width),
+            ErrorModel::MultiBit { .. } => Shape::Masks,
+            ErrorModel::Intermittent {
+                period_ms, count, ..
+            } => Shape::Intermittent(*period_ms, *count),
+            // `ErrorModel` is non-exhaustive: a variant this crate does not
+            // know about cannot be expressed in scenario TOML yet.
+            other => unimplemented!("error model {other} has no scenario syntax"),
+        }
+    }
+
+    let mut groups: Vec<Vec<(&'static str, TomlValue)>> = Vec::new();
+    let mut i = 0;
+    while i < models.len() {
+        let s = shape(&models[i]);
+        let mut j = i + 1;
+        // `Single` shapes carry no list key, so each model is its own
+        // section even when consecutive duplicates occur.
+        if !matches!(s, Shape::Single(_)) {
+            while j < models.len() && shape(&models[j]) == s {
+                j += 1;
+            }
+        }
+        let run = &models[i..j];
+        let section: Vec<(&'static str, TomlValue)> = match s {
+            Shape::Bits(kind) => {
+                let bits = run
+                    .iter()
+                    .map(|m| match m {
+                        ErrorModel::BitFlip { bit }
+                        | ErrorModel::StuckAtOne { bit }
+                        | ErrorModel::StuckAtZero { bit } => TomlValue::Int(i64::from(*bit)),
+                        _ => unreachable!("shape grouped"),
+                    })
+                    .collect();
+                vec![
+                    ("kind", TomlValue::Str(kind.to_string())),
+                    ("bits", TomlValue::Array(bits)),
+                ]
+            }
+            Shape::Deltas => {
+                let deltas = run
+                    .iter()
+                    .map(|m| match m {
+                        ErrorModel::Offset { delta } => TomlValue::Int(i64::from(*delta)),
+                        _ => unreachable!("shape grouped"),
+                    })
+                    .collect();
+                vec![
+                    ("kind", TomlValue::Str("offset".to_string())),
+                    ("deltas", TomlValue::Array(deltas)),
+                ]
+            }
+            Shape::Single(kind) => vec![("kind", TomlValue::Str(kind.to_string()))],
+            Shape::Burst(width) => {
+                let starts = run
+                    .iter()
+                    .map(|m| match m {
+                        ErrorModel::Burst { start, .. } => TomlValue::Int(i64::from(*start)),
+                        _ => unreachable!("shape grouped"),
+                    })
+                    .collect();
+                vec![
+                    ("kind", TomlValue::Str("burst".to_string())),
+                    ("starts", TomlValue::Array(starts)),
+                    ("width", TomlValue::Int(i64::from(width))),
+                ]
+            }
+            Shape::Masks => {
+                let masks = run
+                    .iter()
+                    .map(|m| match m {
+                        ErrorModel::MultiBit { mask } => TomlValue::Int(i64::from(*mask)),
+                        _ => unreachable!("shape grouped"),
+                    })
+                    .collect();
+                vec![
+                    ("kind", TomlValue::Str("multi-bit".to_string())),
+                    ("masks", TomlValue::Array(masks)),
+                ]
+            }
+            Shape::Intermittent(period_ms, count) => {
+                let bits = run
+                    .iter()
+                    .map(|m| match m {
+                        ErrorModel::Intermittent { bit, .. } => TomlValue::Int(i64::from(*bit)),
+                        _ => unreachable!("shape grouped"),
+                    })
+                    .collect();
+                vec![
+                    ("kind", TomlValue::Str("intermittent".to_string())),
+                    ("bits", TomlValue::Array(bits)),
+                    ("period_ms", TomlValue::Int(i64::from(period_ms))),
+                    ("count", TomlValue::Int(i64::from(count))),
+                ]
+            }
+        };
+        groups.push(section);
+        i = j;
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GOOD: &str = r#"
+[scenario]
+name = "demo"
+description = "a demo"
+
+[target]
+name = "five-module"
+
+[workload]
+cases = 4
+
+[campaign]
+seed = 0xF1FE
+times_ms = [51, 300]
+scope = "port"
+targets = ["B.sA", "B.fbB", "D.sB", "E.sD"]
+
+[error-model]
+kind = "bit-flip"
+bits = [0, 5, 12, 15]
+
+[error-model.2]
+kind = "burst"
+starts = [4, 8]
+width = 3
+
+[expect]
+runs = 128
+max_quarantined = 0
+"#;
+
+    #[test]
+    fn parses_a_full_scenario() {
+        let spec = ScenarioSpec::parse(GOOD, "fallback").unwrap();
+        assert_eq!(spec.name, "demo");
+        assert_eq!(spec.target, "five-module");
+        assert_eq!(spec.campaign.seed, 0xF1FE);
+        assert_eq!(spec.campaign.times_ms, vec![51, 300]);
+        assert_eq!(spec.campaign.targets.len(), 4);
+        assert_eq!(spec.models.len(), 6);
+        assert_eq!(spec.models[4], ErrorModel::Burst { start: 4, width: 3 });
+        let expect = spec.expect.unwrap();
+        assert_eq!(expect.runs, Some(128));
+        assert_eq!(expect.max_quarantined, Some(0));
+    }
+
+    #[test]
+    fn roundtrips_through_to_toml() {
+        let spec = ScenarioSpec::parse(GOOD, "fallback").unwrap();
+        let back = ScenarioSpec::parse(&spec.to_toml(), "fallback").unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn name_falls_back_to_the_file_stem() {
+        let text = r#"
+[target]
+name = "arrestment"
+[campaign]
+times_ms = [500]
+[error-model]
+kind = "zero"
+"#;
+        let spec = ScenarioSpec::parse(text, "my-file").unwrap();
+        assert_eq!(spec.name, "my-file");
+        assert_eq!(spec.models, vec![ErrorModel::Zero]);
+        assert!(spec.expect.is_none());
+    }
+
+    #[test]
+    fn unknown_keys_sections_and_kinds_are_rejected_with_paths() {
+        let cases: &[(&str, &str, &str)] = &[
+            (
+                "[target]\nname = \"a\"\nextra = 1\n[campaign]\ntimes_ms = [1]\n[error-model]\nkind = \"zero\"\n",
+                "target.extra",
+                "unknown key",
+            ),
+            (
+                "[target]\nname = \"a\"\n[campaign]\ntimes_ms = [1]\ntyop = 2\n[error-model]\nkind = \"zero\"\n",
+                "campaign.tyop",
+                "unknown key",
+            ),
+            (
+                "[mystery]\nx = 1\n[target]\nname = \"a\"\n[campaign]\ntimes_ms = [1]\n[error-model]\nkind = \"zero\"\n",
+                "mystery",
+                "unknown section",
+            ),
+            (
+                "[target]\nname = \"a\"\n[campaign]\ntimes_ms = [1]\n[error-model]\nkind = \"gamma-ray\"\n",
+                "error-model.kind",
+                "unknown error-model kind",
+            ),
+        ];
+        for (text, path, needle) in cases {
+            let e = ScenarioSpec::parse(text, "x").unwrap_err();
+            assert_eq!(e.path, *path, "{e}");
+            assert!(e.reason.contains(needle), "{e}");
+        }
+    }
+
+    #[test]
+    fn bad_ranges_are_rejected_with_paths() {
+        let cases: &[(&str, &str)] = &[
+            (
+                "[target]\nname = \"a\"\n[campaign]\ntimes_ms = [1]\n[error-model]\nkind = \"bit-flip\"\nbits = [0, 16]\n",
+                "error-model.bits[1]",
+            ),
+            (
+                "[target]\nname = \"a\"\n[campaign]\ntimes_ms = [1]\n[error-model]\nkind = \"burst\"\nstart = 15\nwidth = 4\n",
+                "error-model.start",
+            ),
+            (
+                "[target]\nname = \"a\"\n[campaign]\ntimes_ms = [1]\n[error-model]\nkind = \"multi-bit\"\nmask = 0\n",
+                "error-model.mask",
+            ),
+            (
+                "[target]\nname = \"a\"\n[campaign]\ntimes_ms = [1]\n[error-model]\nkind = \"intermittent\"\nbit = 3\nperiod_ms = 0\ncount = 2\n",
+                "error-model.period_ms",
+            ),
+            (
+                "[target]\nname = \"a\"\n[campaign]\ntimes_ms = [-5]\n[error-model]\nkind = \"zero\"\n",
+                "campaign.times_ms[0]",
+            ),
+            (
+                "[target]\nname = \"a\"\n[campaign]\ntimes_ms = [1]\n[error-model]\nkind = \"zero\"\n[expect]\nmin_fep = 1.5\n",
+                "expect.min_fep",
+            ),
+        ];
+        for (text, path) in cases {
+            let e = ScenarioSpec::parse(text, "x").unwrap_err();
+            assert_eq!(e.path, *path, "{e}");
+        }
+    }
+
+    #[test]
+    fn syntax_errors_carry_their_line() {
+        let e = ScenarioSpec::parse("[target]\nname =\n", "x").unwrap_err();
+        assert_eq!(e.path, "line 2");
+    }
+
+    #[test]
+    fn campaign_spec_expands_all_ports_and_checks_explicit_ones() {
+        let topo = crate::fivemod::topology();
+        let text = r#"
+[target]
+name = "five-module"
+[campaign]
+times_ms = [51]
+[error-model]
+kind = "bit-flip"
+bits = [0]
+"#;
+        let spec = ScenarioSpec::parse(text, "x").unwrap();
+        let campaign = spec.campaign_spec_checked(&topo, 2).unwrap();
+        // A 1 + B 2 + C 1 + D 2 + E 3 input ports.
+        assert_eq!(campaign.targets.len(), 9);
+        assert_eq!(campaign.cases, 2);
+
+        let bad = ScenarioSpec {
+            campaign: ScenarioCampaign {
+                targets: vec![PortTarget::new("B", "nope")],
+                ..spec.campaign.clone()
+            },
+            ..spec.clone()
+        };
+        let e = bad.campaign_spec_checked(&topo, 2).unwrap_err();
+        assert_eq!(e.path, "campaign.targets[0]");
+        assert!(e.reason.contains("no input port"), "{e}");
+
+        let dup = ScenarioSpec {
+            campaign: ScenarioCampaign {
+                times_ms: vec![51, 51],
+                ..spec.campaign.clone()
+            },
+            ..spec.clone()
+        };
+        let e = dup.campaign_spec_checked(&topo, 2).unwrap_err();
+        assert_eq!(e.path, "campaign.times_ms");
+    }
+}

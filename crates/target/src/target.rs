@@ -1,0 +1,56 @@
+//! The [`Target`] trait: what a system must provide to be analysable.
+//!
+//! The paper's method is system-agnostic — inject at module input ports,
+//! compare against golden traces, estimate permeability, backtrack
+//! propagation paths. A [`Target`] packages everything that method needs
+//! from a concrete system:
+//!
+//! - **module-graph topology** ([`Target::topology`]) — the static module /
+//!   signal graph the analysis stages run over;
+//! - **signal-bus wiring, snapshot/restore hooks and golden-trace access**
+//!   — all carried by the [`Simulation`](permea_runtime::sim::Simulation)s
+//!   the target's [`SystemFactory`] builds (the runtime's snapshot and
+//!   tracing machinery is uniform across targets, so the campaign needs no
+//!   per-target code);
+//! - **workload generation** ([`Target::default_workload`] +
+//!   [`Target::factory`]) — how scenario parameters become the set of test
+//!   cases a campaign sweeps.
+//!
+//! `permea_fi::campaign` executes against the factory, never against a
+//! concrete system type; registering a new system is implementing this
+//! trait and adding it to [`crate::registry`].
+
+use crate::workload::{Workload, WorkloadError};
+use permea_core::topology::SystemTopology;
+use permea_fi::campaign::SystemFactory;
+
+/// A system under analysis.
+///
+/// Implementations must be deterministic: the same workload must always
+/// produce factories whose simulations tick identically, or golden-run
+/// comparison (and journal resume) breaks.
+pub trait Target: Send + Sync {
+    /// The registry name scenarios refer to (`[target] name = "..."`).
+    fn name(&self) -> &'static str;
+
+    /// One line describing the system.
+    fn description(&self) -> &'static str;
+
+    /// The static module/signal topology the analysis stages run over.
+    /// Module and signal names must match the simulations the factory
+    /// builds, port for port.
+    fn topology(&self) -> SystemTopology;
+
+    /// The accepted workload parameters with their default values. Keys
+    /// absent here are rejected when a scenario's `[workload]` section is
+    /// overlaid.
+    fn default_workload(&self) -> Workload;
+
+    /// Builds the campaign factory for a (fully overlaid) workload.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending key and reason for out-of-range or
+    /// wrongly-typed parameters.
+    fn factory(&self, workload: &Workload) -> Result<Box<dyn SystemFactory>, WorkloadError>;
+}

@@ -1,0 +1,549 @@
+//! A minimal TOML subset parser and serializer for scenario files.
+//!
+//! The build environment vendors no TOML crate, so the scenario layer
+//! carries its own reader for the slice of TOML it actually uses:
+//!
+//! - `[section]` headers (dotted names allowed, e.g. `[error-model.2]`)
+//! - `key = value` pairs with bare keys (`A-Za-z0-9_-`)
+//! - values: basic strings with escapes, integers (decimal or `0x` hex,
+//!   `_` separators), floats, booleans, and flat arrays of those scalars
+//! - `#` comments and blank lines
+//!
+//! Deliberately out of scope: multi-line strings, literal strings, dates,
+//! inline tables, arrays of tables, and nested arrays. Every error carries
+//! the 1-based line number it was found on; callers prepend the key path.
+
+use std::fmt;
+
+/// A scalar or flat-array TOML value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// A basic string.
+    Str(String),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A 64-bit float.
+    Float(f64),
+    /// A boolean.
+    Bool(bool),
+    /// A flat array of scalars.
+    Array(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    /// A short name for error messages ("string", "integer", ...).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::Str(_) => "string",
+            TomlValue::Int(_) => "integer",
+            TomlValue::Float(_) => "float",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::Array(_) => "array",
+        }
+    }
+
+    /// Renders the value in the same subset syntax [`TomlDoc::parse`]
+    /// accepts, so serialize → parse round-trips exactly.
+    pub fn render(&self) -> String {
+        match self {
+            TomlValue::Str(s) => render_string(s),
+            TomlValue::Int(i) => i.to_string(),
+            // `{:?}` prints the shortest representation that parses back to
+            // the identical f64 and always includes a `.` or an exponent,
+            // so the reader re-classifies it as a float.
+            TomlValue::Float(f) => {
+                let s = format!("{f:?}");
+                if s.contains('.') || s.contains('e') || s.contains('E') || s.contains("inf") {
+                    s
+                } else {
+                    format!("{s}.0")
+                }
+            }
+            TomlValue::Bool(b) => b.to_string(),
+            TomlValue::Array(items) => {
+                let inner: Vec<String> = items.iter().map(TomlValue::render).collect();
+                format!("[{}]", inner.join(", "))
+            }
+        }
+    }
+}
+
+fn render_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 || c == '\u{7f}' => {
+                out.push_str(&format!("\\u{:04X}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// One `[section]`: its key/value pairs in file order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TomlTable {
+    entries: Vec<(String, TomlValue, usize)>,
+}
+
+impl TomlTable {
+    /// Looks a key up.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, _)| v)
+    }
+
+    /// The line a key was defined on (1-based).
+    pub fn line_of(&self, key: &str) -> Option<usize> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, _, l)| *l)
+    }
+
+    /// All keys in file order.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|(k, _, _)| k.as_str())
+    }
+
+    /// All `(key, value)` pairs in file order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &TomlValue)> {
+        self.entries.iter().map(|(k, v, _)| (k.as_str(), v))
+    }
+
+    /// Whether the table has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A parsed document: named tables in file order.
+///
+/// Keys before the first `[section]` header are rejected — every scenario
+/// key lives in a named section.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TomlDoc {
+    tables: Vec<(String, TomlTable, usize)>,
+}
+
+/// A parse error with its 1-based source line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TomlError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for TomlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TomlError {}
+
+fn err(line: usize, message: impl Into<String>) -> TomlError {
+    TomlError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn is_bare_key(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+}
+
+/// Strips a trailing `#` comment, honouring quotes.
+fn strip_comment(line: &str) -> &str {
+    let mut in_str = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+            }
+        } else if c == '"' {
+            in_str = true;
+        } else if c == '#' {
+            return &line[..i];
+        }
+    }
+    line
+}
+
+impl TomlDoc {
+    /// Parses a document.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first syntax error (unterminated string, bad number,
+    /// duplicate key or section, key outside a section, ...) with its line.
+    pub fn parse(text: &str) -> Result<TomlDoc, TomlError> {
+        let mut doc = TomlDoc::default();
+        let mut current: Option<usize> = None;
+        for (idx, raw) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let name = rest
+                    .strip_suffix(']')
+                    .ok_or_else(|| err(line_no, "section header is missing its closing `]`"))?
+                    .trim();
+                if !is_bare_key(name) {
+                    return Err(err(line_no, format!("invalid section name `{name}`")));
+                }
+                if doc.tables.iter().any(|(n, _, _)| n == name) {
+                    return Err(err(line_no, format!("duplicate section `[{name}]`")));
+                }
+                doc.tables
+                    .push((name.to_string(), TomlTable::default(), line_no));
+                current = Some(doc.tables.len() - 1);
+                continue;
+            }
+            let eq = line
+                .find('=')
+                .ok_or_else(|| err(line_no, "expected `key = value` or `[section]`"))?;
+            let key = line[..eq].trim();
+            if !is_bare_key(key) || key.contains('.') {
+                return Err(err(line_no, format!("invalid key `{key}`")));
+            }
+            let value = parse_value(line[eq + 1..].trim(), line_no)?;
+            let Some(t) = current else {
+                return Err(err(
+                    line_no,
+                    format!("key `{key}` appears before any [section] header"),
+                ));
+            };
+            let table = &mut doc.tables[t].1;
+            if table.get(key).is_some() {
+                return Err(err(
+                    line_no,
+                    format!("duplicate key `{key}` in section `[{}]`", doc.tables[t].0),
+                ));
+            }
+            table.entries.push((key.to_string(), value, line_no));
+        }
+        Ok(doc)
+    }
+
+    /// Looks a section up by exact name.
+    pub fn table(&self, name: &str) -> Option<&TomlTable> {
+        self.tables
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, t, _)| t)
+    }
+
+    /// All `(name, table)` pairs in file order.
+    pub fn tables(&self) -> impl Iterator<Item = (&str, &TomlTable)> {
+        self.tables.iter().map(|(n, t, _)| (n.as_str(), t))
+    }
+
+    /// The line a section header appeared on (1-based).
+    pub fn line_of(&self, name: &str) -> Option<usize> {
+        self.tables
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, _, l)| *l)
+    }
+}
+
+fn parse_value(s: &str, line: usize) -> Result<TomlValue, TomlError> {
+    if s.is_empty() {
+        return Err(err(line, "missing value after `=`"));
+    }
+    if s.starts_with('"') {
+        let (v, rest) = parse_string(s, line)?;
+        if !rest.trim().is_empty() {
+            return Err(err(line, format!("trailing junk after string: `{rest}`")));
+        }
+        return Ok(TomlValue::Str(v));
+    }
+    if s.starts_with('[') {
+        return parse_array(s, line);
+    }
+    parse_scalar(s, line)
+}
+
+/// Parses a leading basic string, returning it and the unconsumed tail.
+fn parse_string(s: &str, line: usize) -> Result<(String, &str), TomlError> {
+    debug_assert!(s.starts_with('"'));
+    let mut out = String::new();
+    let mut chars = s.char_indices().skip(1);
+    while let Some((i, c)) = chars.next() {
+        match c {
+            '"' => return Ok((out, &s[i + 1..])),
+            '\\' => {
+                let (_, e) = chars
+                    .next()
+                    .ok_or_else(|| err(line, "unterminated escape in string"))?;
+                match e {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    'n' => out.push('\n'),
+                    't' => out.push('\t'),
+                    'r' => out.push('\r'),
+                    'u' | 'U' => {
+                        let n = if e == 'u' { 4 } else { 8 };
+                        let mut code = 0u32;
+                        for _ in 0..n {
+                            let (_, h) = chars
+                                .next()
+                                .ok_or_else(|| err(line, "truncated \\u escape"))?;
+                            let d = h
+                                .to_digit(16)
+                                .ok_or_else(|| err(line, "non-hex digit in \\u escape"))?;
+                            code = code * 16 + d;
+                        }
+                        out.push(
+                            char::from_u32(code)
+                                .ok_or_else(|| err(line, "\\u escape is not a scalar value"))?,
+                        );
+                    }
+                    other => {
+                        return Err(err(line, format!("unsupported escape `\\{other}`")));
+                    }
+                }
+            }
+            c => out.push(c),
+        }
+    }
+    Err(err(line, "unterminated string"))
+}
+
+fn parse_array(s: &str, line: usize) -> Result<TomlValue, TomlError> {
+    debug_assert!(s.starts_with('['));
+    let body = s.strip_suffix(']').ok_or_else(|| {
+        err(
+            line,
+            "array is missing its closing `]` (arrays must be one line)",
+        )
+    })?;
+    let body = &body[1..];
+    let mut items = Vec::new();
+    let mut rest = body.trim_start();
+    while !rest.is_empty() {
+        if rest.starts_with('[') {
+            return Err(err(line, "nested arrays are not supported"));
+        }
+        let (item, tail) = if rest.starts_with('"') {
+            let (v, tail) = parse_string(rest, line)?;
+            (TomlValue::Str(v), tail)
+        } else {
+            let end = rest.find(',').unwrap_or(rest.len());
+            (parse_scalar(rest[..end].trim(), line)?, &rest[end..])
+        };
+        items.push(item);
+        rest = tail.trim_start();
+        if let Some(after) = rest.strip_prefix(',') {
+            rest = after.trim_start();
+        } else if !rest.is_empty() {
+            return Err(err(line, format!("expected `,` or `]` near `{rest}`")));
+        }
+    }
+    Ok(TomlValue::Array(items))
+}
+
+fn parse_scalar(s: &str, line: usize) -> Result<TomlValue, TomlError> {
+    match s {
+        "" => return Err(err(line, "missing value")),
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    let digits: String = s.chars().filter(|&c| c != '_').collect();
+    let unsigned = digits.strip_prefix(['-', '+']).unwrap_or(&digits);
+    if let Some(hex) = unsigned.strip_prefix("0x").or(unsigned.strip_prefix("0X")) {
+        let v = i64::from_str_radix(hex, 16)
+            .map_err(|_| err(line, format!("invalid hex integer `{s}`")))?;
+        return Ok(TomlValue::Int(if digits.starts_with('-') { -v } else { v }));
+    }
+    if let Ok(v) = digits.parse::<i64>() {
+        return Ok(TomlValue::Int(v));
+    }
+    let numeric_shape = unsigned.starts_with(|c: char| c.is_ascii_digit() || c == '.')
+        || unsigned.starts_with("inf")
+        || unsigned.starts_with("nan");
+    if numeric_shape {
+        if let Ok(v) = digits.parse::<f64>() {
+            return Ok(TomlValue::Float(v));
+        }
+    }
+    Err(err(
+        line,
+        format!("invalid value `{s}` (expected a string, integer, float, boolean or array)"),
+    ))
+}
+
+/// Appends a `[name]` section with the given entries to `out`.
+pub fn write_table<'a>(
+    out: &mut String,
+    name: &str,
+    entries: impl IntoIterator<Item = (&'a str, TomlValue)>,
+) {
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out.push('[');
+    out.push_str(name);
+    out.push_str("]\n");
+    for (key, value) in entries {
+        out.push_str(key);
+        out.push_str(" = ");
+        out.push_str(&value.render());
+        out.push('\n');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_scalar_kinds() {
+        let doc = TomlDoc::parse(
+            r##"
+# a scenario
+[scenario]
+name = "demo" # trailing comment
+threads = 4
+seed = 0x5EED
+big = 1_000_000
+ratio = 0.25
+neg = -3
+on = true
+
+[campaign]
+times_ms = [500, 1500, 2500]
+words = ["a", "b,c", "d # not a comment"]
+empty = []
+"##,
+        )
+        .unwrap();
+        let s = doc.table("scenario").unwrap();
+        assert_eq!(s.get("name"), Some(&TomlValue::Str("demo".into())));
+        assert_eq!(s.get("threads"), Some(&TomlValue::Int(4)));
+        assert_eq!(s.get("seed"), Some(&TomlValue::Int(0x5EED)));
+        assert_eq!(s.get("big"), Some(&TomlValue::Int(1_000_000)));
+        assert_eq!(s.get("ratio"), Some(&TomlValue::Float(0.25)));
+        assert_eq!(s.get("neg"), Some(&TomlValue::Int(-3)));
+        assert_eq!(s.get("on"), Some(&TomlValue::Bool(true)));
+        let c = doc.table("campaign").unwrap();
+        assert_eq!(
+            c.get("times_ms"),
+            Some(&TomlValue::Array(vec![
+                TomlValue::Int(500),
+                TomlValue::Int(1500),
+                TomlValue::Int(2500)
+            ]))
+        );
+        assert_eq!(
+            c.get("words"),
+            Some(&TomlValue::Array(vec![
+                TomlValue::Str("a".into()),
+                TomlValue::Str("b,c".into()),
+                TomlValue::Str("d # not a comment".into()),
+            ]))
+        );
+        assert_eq!(c.get("empty"), Some(&TomlValue::Array(vec![])));
+    }
+
+    #[test]
+    fn string_escapes_roundtrip() {
+        for s in [
+            "",
+            "plain",
+            "a\"b\\c",
+            "line\nbreak\ttab\rcr",
+            "\u{1}\u{7f}",
+            "ünïcode ✓",
+        ] {
+            let rendered = render_string(s);
+            let doc = TomlDoc::parse(&format!("[t]\nk = {rendered}\n")).unwrap();
+            assert_eq!(
+                doc.table("t").unwrap().get("k"),
+                Some(&TomlValue::Str(s.to_string())),
+                "roundtrip of {s:?} via {rendered}"
+            );
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let cases: &[(&str, usize, &str)] = &[
+            ("[t]\nk = \"open\n", 2, "unterminated string"),
+            ("[t]\nk =\n", 2, "missing value"),
+            ("k = 1\n", 1, "before any [section]"),
+            ("[t]\nk = 1\nk = 2\n", 3, "duplicate key `k`"),
+            ("[t]\n[t]\n", 2, "duplicate section"),
+            ("[t]\nk = [1, [2]]\n", 2, "nested arrays"),
+            ("[t]\nk = zebra\n", 2, "invalid value `zebra`"),
+            ("[t\nk = 1\n", 1, "closing `]`"),
+            ("[t]\nbad key = 1\n", 2, "invalid key"),
+            ("[t]\nk = 12monkeys\n", 2, "invalid value"),
+            ("[t]\nk = \"x\" y\n", 2, "trailing junk"),
+        ];
+        for (text, line, needle) in cases {
+            let e = TomlDoc::parse(text).unwrap_err();
+            assert_eq!(e.line, *line, "line for {text:?}: {e}");
+            assert!(e.message.contains(needle), "{e} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn write_table_output_parses_back() {
+        let mut out = String::new();
+        write_table(
+            &mut out,
+            "campaign",
+            vec![
+                ("seed", TomlValue::Int(0x5EED)),
+                ("ratio", TomlValue::Float(1.0)),
+                (
+                    "times_ms",
+                    TomlValue::Array(vec![TomlValue::Int(500), TomlValue::Int(1500)]),
+                ),
+                ("label", TomlValue::Str("a \"quoted\" name".into())),
+            ],
+        );
+        let doc = TomlDoc::parse(&out).unwrap();
+        let t = doc.table("campaign").unwrap();
+        assert_eq!(t.get("seed"), Some(&TomlValue::Int(0x5EED)));
+        assert_eq!(t.get("ratio"), Some(&TomlValue::Float(1.0)));
+        assert_eq!(
+            t.get("label"),
+            Some(&TomlValue::Str("a \"quoted\" name".into()))
+        );
+    }
+
+    #[test]
+    fn float_rendering_always_reparses_as_float() {
+        for f in [0.0, 1.0, -2.5, 1e-12, std::f64::consts::PI, 1e300] {
+            let rendered = TomlValue::Float(f).render();
+            match parse_scalar(&rendered, 1).unwrap() {
+                TomlValue::Float(back) => assert_eq!(back.to_bits(), f.to_bits(), "{rendered}"),
+                other => panic!("{rendered} parsed as {other:?}"),
+            }
+        }
+    }
+}

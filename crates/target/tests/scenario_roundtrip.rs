@@ -1,0 +1,264 @@
+//! Property-based round-trip tests: the scenario serializer's canonical
+//! output must parse back to an identical spec, and the TOML subset
+//! writer/reader must agree on arbitrary documents.
+
+use permea_fi::model::ErrorModel;
+use permea_fi::spec::{InjectionScope, PortTarget};
+use permea_target::scenario::{ScenarioCampaign, ScenarioExpect, ScenarioSpec};
+use permea_target::toml::{write_table, TomlDoc, TomlValue};
+use permea_target::workload::{Workload, WorkloadValue};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+use std::collections::BTreeMap;
+
+const IDENT_HEAD: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ";
+const IDENT_TAIL: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-";
+
+/// Bare TOML key / section-safe identifier.
+fn ident() -> impl Strategy<Value = String> {
+    (any::<u64>(), prop::collection::vec(any::<u64>(), 0..8)).prop_map(|(head, tail)| {
+        let mut s = String::new();
+        s.push(IDENT_HEAD[(head % IDENT_HEAD.len() as u64) as usize] as char);
+        for t in tail {
+            s.push(IDENT_TAIL[(t % IDENT_TAIL.len() as u64) as usize] as char);
+        }
+        s
+    })
+}
+
+/// Arbitrary text including quotes, backslashes, newlines and control
+/// characters — the escaping stress case.
+fn text() -> impl Strategy<Value = String> {
+    prop::collection::vec(any::<u32>(), 0..12).prop_map(|codes| {
+        codes
+            .into_iter()
+            .map(|c| char::from_u32(c % 0xD7FF).unwrap_or('\u{FFFD}'))
+            .collect()
+    })
+}
+
+/// Any finite f64 (NaN never compares equal; infinities are replaced too
+/// since the subset renderer only writes finite values).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    any::<u64>().prop_map(|bits| {
+        let f = f64::from_bits(bits);
+        if f.is_finite() {
+            f
+        } else {
+            (bits % 1_000_000) as f64 / 997.0
+        }
+    })
+}
+
+fn scalar() -> impl Strategy<Value = TomlValue> {
+    prop_oneof![
+        text().prop_map(TomlValue::Str),
+        any::<i64>().prop_map(TomlValue::Int),
+        finite_f64().prop_map(TomlValue::Float),
+        any::<bool>().prop_map(TomlValue::Bool),
+    ]
+}
+
+fn toml_value() -> impl Strategy<Value = TomlValue> {
+    prop_oneof![
+        scalar(),
+        scalar(),
+        scalar(),
+        prop::collection::vec(scalar(), 0..5).prop_map(TomlValue::Array),
+    ]
+}
+
+/// `(key, value)` lists deduplicated into an insertion map — the subset
+/// parser rejects duplicate keys, so uniqueness is part of validity.
+fn table_entries() -> impl Strategy<Value = BTreeMap<String, TomlValue>> {
+    prop::collection::vec((ident(), toml_value()), 0..5).prop_map(|kvs| kvs.into_iter().collect())
+}
+
+fn arbitrary_model() -> impl Strategy<Value = ErrorModel> {
+    prop_oneof![
+        (0u8..16).prop_map(|bit| ErrorModel::BitFlip { bit }),
+        (0u8..16).prop_map(|bit| ErrorModel::StuckAtOne { bit }),
+        (0u8..16).prop_map(|bit| ErrorModel::StuckAtZero { bit }),
+        any::<i16>().prop_map(|delta| ErrorModel::Offset { delta }),
+        Just(ErrorModel::RandomValue),
+        Just(ErrorModel::Zero),
+        Just(ErrorModel::Saturate),
+        (0u8..16, any::<u8>()).prop_map(|(start, w)| ErrorModel::Burst {
+            start,
+            width: 1 + w % (16 - start),
+        }),
+        (1u16..=0xFFFF).prop_map(|mask| ErrorModel::MultiBit { mask }),
+        (0u8..16, 1u16..5_000, 1u8..10).prop_map(|(bit, period_ms, count)| {
+            ErrorModel::Intermittent {
+                bit,
+                period_ms,
+                count,
+            }
+        }),
+    ]
+}
+
+fn workload_value() -> impl Strategy<Value = WorkloadValue> {
+    prop_oneof![
+        any::<i64>().prop_map(WorkloadValue::Int),
+        finite_f64().prop_map(WorkloadValue::Float),
+        any::<bool>().prop_map(WorkloadValue::Bool),
+        text().prop_map(WorkloadValue::Str),
+    ]
+}
+
+fn arbitrary_workload() -> impl Strategy<Value = Workload> {
+    prop::collection::vec((ident(), workload_value()), 0..4).prop_map(|kvs| {
+        let mut w = Workload::new();
+        for (k, v) in kvs {
+            w.set(k, v);
+        }
+        w
+    })
+}
+
+/// A thousandth-resolution FEP bound: exact in f64, so it must round-trip
+/// bit-identically through the serializer.
+fn fep() -> impl Strategy<Value = f64> {
+    (0u32..=1_000).prop_map(|n| f64::from(n) / 1_000.0)
+}
+
+fn arbitrary_expect() -> impl Strategy<Value = Option<ScenarioExpect>> {
+    let bounds = prop_oneof![
+        Just((None, None)),
+        fep().prop_map(|v| (Some(v), None)),
+        fep().prop_map(|v| (None, Some(v))),
+        (fep(), fep()).prop_map(|(a, b)| (Some(a.min(b)), Some(a.max(b)))),
+    ];
+    (
+        prop_oneof![Just(None), (1u64..10_000).prop_map(Some)],
+        bounds,
+        prop_oneof![Just(None), (0u64..100).prop_map(Some)],
+    )
+        .prop_map(|(runs, (min_fep, max_fep), max_quarantined)| {
+            let e = ScenarioExpect {
+                runs,
+                min_fep,
+                max_fep,
+                max_quarantined,
+            };
+            // An all-default [expect] section is omitted on write and
+            // parses back as absent; represent it as None up front.
+            if e == ScenarioExpect::default() {
+                None
+            } else {
+                Some(e)
+            }
+        })
+}
+
+fn arbitrary_campaign() -> impl Strategy<Value = ScenarioCampaign> {
+    (
+        (any::<u64>(), 0usize..64),
+        prop::collection::vec(0u64..100_000, 1..6),
+        prop_oneof![Just(None), (1u64..100_000).prop_map(Some)],
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+        prop::collection::vec((ident(), ident()), 0..4),
+    )
+        .prop_map(
+            |(
+                (seed, threads),
+                times,
+                horizon_ms,
+                (signal_scope, fast_forward, keep_records),
+                tgts,
+            )| {
+                // Deduplicate and sort: the parser accepts any order but
+                // duplicate instants are a spec-level validation error.
+                let mut times: Vec<u64> = times;
+                times.sort_unstable();
+                times.dedup();
+                // Duplicate (module, signal) pairs likewise.
+                let mut seen = std::collections::BTreeSet::new();
+                let targets = tgts
+                    .into_iter()
+                    .filter(|t| seen.insert(t.clone()))
+                    .map(|(m, s)| PortTarget::new(m, s))
+                    .collect();
+                ScenarioCampaign {
+                    seed,
+                    threads,
+                    times_ms: times,
+                    horizon_ms,
+                    scope: if signal_scope {
+                        InjectionScope::Signal
+                    } else {
+                        InjectionScope::Port
+                    },
+                    fast_forward,
+                    keep_records,
+                    targets,
+                }
+            },
+        )
+}
+
+fn arbitrary_spec() -> impl Strategy<Value = ScenarioSpec> {
+    (
+        (ident(), text(), ident()),
+        arbitrary_workload(),
+        arbitrary_campaign(),
+        prop::collection::vec(arbitrary_model(), 1..8),
+        arbitrary_expect(),
+    )
+        .prop_map(
+            |((name, description, target), workload, campaign, models, expect)| ScenarioSpec {
+                name,
+                description,
+                target,
+                workload,
+                campaign,
+                models,
+                expect,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn toml_write_parse_roundtrip(
+        sections in prop::collection::vec((ident(), table_entries()), 1..4)
+    ) {
+        let sections: BTreeMap<String, BTreeMap<String, TomlValue>> =
+            sections.into_iter().collect();
+        let mut doctext = String::new();
+        for (name, entries) in &sections {
+            write_table(
+                &mut doctext,
+                name,
+                entries.iter().map(|(k, v)| (k.as_str(), v.clone())),
+            );
+        }
+        let doc = TomlDoc::parse(&doctext)
+            .map_err(|e| TestCaseError::fail(format!("{e} in:\n{doctext}")))?;
+        for (name, entries) in &sections {
+            let table = doc.table(name).expect("section survived");
+            prop_assert_eq!(table.keys().count(), entries.len());
+            for (key, value) in entries {
+                prop_assert_eq!(table.get(key), Some(value));
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_to_toml_parse_roundtrip(spec in arbitrary_spec()) {
+        let scenario_text = spec.to_toml();
+        let reparsed = ScenarioSpec::parse(&scenario_text, "fallback")
+            .map_err(|e| TestCaseError::fail(format!("{e} in:\n{scenario_text}")))?;
+        prop_assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn scenario_to_toml_is_canonical(spec in arbitrary_spec()) {
+        let scenario_text = spec.to_toml();
+        let reparsed = ScenarioSpec::parse(&scenario_text, "fallback").unwrap();
+        prop_assert_eq!(reparsed.to_toml(), scenario_text);
+    }
+}

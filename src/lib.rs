@@ -11,6 +11,7 @@
 //! | [`fi`] (`permea-fi`) | SWIFI fault injection, Golden Run Comparison, permeability estimation |
 //! | [`arrestment`] (`permea-arrestment`) | the paper's aircraft-arrestment target system and its environment physics |
 //! | [`mech`] (`permea-mech`) | executable assertions, recovery guards, placement evaluation |
+//! | [`target`] (`permea-target`) | pluggable FI targets, the built-in registry, declarative TOML scenarios, the suite runner with FEP accounting |
 //! | [`analysis`] (`permea-analysis`) | the end-to-end study regenerating every table and figure |
 //! | [`explorer`] (`permea-explorer`) | self-contained interactive HTML explorer for study artifacts |
 //!
@@ -60,6 +61,7 @@ pub use permea_fi as fi;
 pub use permea_mech as mech;
 pub use permea_obs as obs;
 pub use permea_runtime as runtime;
+pub use permea_target as target;
 
 /// One-stop prelude re-exporting each crate's prelude.
 pub mod prelude {

@@ -1,153 +1,17 @@
-//! Differential fast-forward testing on an *executable* reconstruction of
-//! the paper's five-module example (Fig. 2): modules A–E wired exactly like
-//! `permea::analysis::fivemod`, but running as real software modules so a
-//! fault-injection campaign can be driven over them. Module B carries
-//! internal state across its self-feedback loop, which makes this system a
-//! sharper differential target than the arrestment one: any snapshot hook
-//! that forgets module state shows up here immediately.
+//! Differential fast-forward testing on the *executable* five-module
+//! example (Fig. 2) registered in `permea::target::fivemod` — the single
+//! definition shared with the scenario suite and the topology analyses.
+//! Module B carries internal state across its self-feedback loop, which
+//! makes this system a sharper differential target than the arrestment
+//! one: any snapshot hook that forgets module state shows up here
+//! immediately. This file adds only the deliberately *brittle* consumers
+//! (overflow guard, unbounded scan) used to exercise quarantine.
 
 use permea::fi::campaign::{Campaign, CampaignConfig, FnSystemFactory};
 use permea::fi::prelude::*;
 use permea::runtime::module::{ModuleCtx, SoftwareModule};
-use permea::runtime::scheduler::Schedule;
-use permea::runtime::signals::{SignalBus, SignalRef};
-use permea::runtime::sim::{Environment, Simulation, SimulationBuilder};
-use permea::runtime::state::{StateReader, StateWriter};
-use permea::runtime::time::SimTime;
-
-/// A: `sA = rot1(extA)` (stateless).
-struct ModA;
-impl SoftwareModule for ModA {
-    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
-        let v = ctx.read(0);
-        ctx.write(0, v.rotate_left(1));
-    }
-}
-
-/// B: the self-feedback module. Its accumulator is genuine internal state —
-/// exactly what `save_state`/`load_state` must carry across a snapshot.
-struct ModB {
-    acc: u16,
-}
-impl SoftwareModule for ModB {
-    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
-        let s_a = ctx.read(0);
-        let fb_in = ctx.read(1);
-        self.acc = self.acc.wrapping_add(s_a) ^ (fb_in >> 3);
-        ctx.write(0, self.acc.rotate_right(2)); // fbB
-        ctx.write(1, s_a.wrapping_add(self.acc)); // sB
-    }
-    fn reset(&mut self) {
-        self.acc = 0;
-    }
-    fn save_state(&self) -> Vec<u8> {
-        let mut w = StateWriter::new();
-        w.put_u16(self.acc);
-        w.finish()
-    }
-    fn load_state(&mut self, state: &[u8]) {
-        let mut r = StateReader::new(state);
-        self.acc = r.u16();
-        r.finish();
-    }
-}
-
-/// C: `sC = (extC / 3) * 2` (stateless).
-struct ModC;
-impl SoftwareModule for ModC {
-    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
-        let v = ctx.read(0);
-        ctx.write(0, (v / 3).wrapping_mul(2));
-    }
-}
-
-/// D: mixes sB and sC; writes on change only, exercising the out-cache part
-/// of the snapshot.
-struct ModD;
-impl SoftwareModule for ModD {
-    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
-        let s_b = ctx.read(0);
-        let s_c = ctx.read(1);
-        ctx.write_on_change(0, s_b ^ s_c.wrapping_mul(5));
-    }
-}
-
-/// E: the output stage (stateless).
-struct ModE;
-impl SoftwareModule for ModE {
-    fn step(&mut self, ctx: &mut ModuleCtx<'_>) {
-        let ext_e = ctx.read(0);
-        let s_d = ctx.read(1);
-        let s_b = ctx.read(2);
-        ctx.write(0, s_d.wrapping_add(s_b ^ ext_e));
-    }
-}
-
-/// Drives the three external inputs with case-dependent deterministic ramps.
-struct FiveEnv {
-    ext_a: SignalRef,
-    ext_c: SignalRef,
-    ext_e: SignalRef,
-    base: u16,
-    limit: u64,
-}
-impl Environment for FiveEnv {
-    fn pre_tick(&mut self, now: SimTime, bus: &mut SignalBus) {
-        let t = now.as_millis();
-        bus.write(self.ext_a, self.base.wrapping_add((t % 809) as u16 * 7));
-        bus.write(self.ext_c, (t % 331) as u16 * 3);
-        bus.write(self.ext_e, self.base ^ (t % 97) as u16);
-    }
-    fn post_tick(&mut self, _: SimTime, _: &mut SignalBus) {}
-    fn finished(&self, now: SimTime) -> bool {
-        now.as_millis() >= self.limit
-    }
-}
-
-fn build(case: usize) -> Simulation {
-    let mut b = SimulationBuilder::new();
-    let ext_a = b.define_signal("extA");
-    let ext_c = b.define_signal("extC");
-    let ext_e = b.define_signal("extE");
-    let s_a = b.define_signal("sA");
-    let fb_b = b.define_signal("fbB");
-    let s_b = b.define_signal("sB");
-    let s_c = b.define_signal("sC");
-    let s_d = b.define_signal("sD");
-    let out = b.define_signal("OUT");
-    b.add_module("A", Box::new(ModA), Schedule::every_ms(), &[ext_a], &[s_a]);
-    b.add_module(
-        "B",
-        Box::new(ModB { acc: 0 }),
-        Schedule::every_ms(),
-        &[s_a, fb_b],
-        &[fb_b, s_b],
-    );
-    b.add_module("C", Box::new(ModC), Schedule::every_ms(), &[ext_c], &[s_c]);
-    b.add_module(
-        "D",
-        Box::new(ModD),
-        Schedule::in_slot(0, 2),
-        &[s_b, s_c],
-        &[s_d],
-    );
-    b.add_module(
-        "E",
-        Box::new(ModE),
-        Schedule::every_ms(),
-        &[ext_e, s_d, s_b],
-        &[out],
-    );
-    let mut sim = b.build(Box::new(FiveEnv {
-        ext_a,
-        ext_c,
-        ext_e,
-        base: 0x1234u16.wrapping_mul(case as u16 + 1),
-        limit: 600 + 50 * case as u64,
-    }));
-    sim.enable_tracing_all();
-    sim
-}
+use permea::runtime::sim::Simulation;
+use permea::target::fivemod::{build, build_with_taps, Tap};
 
 fn factory() -> FnSystemFactory<fn(usize) -> Simulation> {
     FnSystemFactory::new(2, 10_000, build as fn(usize) -> Simulation)
@@ -214,69 +78,26 @@ impl SoftwareModule for BoundedScan {
     }
 }
 
-/// The five-module system plus two deliberately brittle consumers of sC.
+/// The five-module system plus two deliberately brittle consumers of sC,
+/// tapped in *before* C so port corruptions are still live when they read.
 fn build_brittle(case: usize) -> Simulation {
-    let mut b = SimulationBuilder::new();
-    let ext_a = b.define_signal("extA");
-    let ext_c = b.define_signal("extC");
-    let ext_e = b.define_signal("extE");
-    let s_a = b.define_signal("sA");
-    let fb_b = b.define_signal("fbB");
-    let s_b = b.define_signal("sB");
-    let s_c = b.define_signal("sC");
-    let s_d = b.define_signal("sD");
-    let out = b.define_signal("OUT");
-    let g_out = b.define_signal("gOUT");
-    let scan_out = b.define_signal("scanOUT");
-    b.add_module("A", Box::new(ModA), Schedule::every_ms(), &[ext_a], &[s_a]);
-    b.add_module(
-        "B",
-        Box::new(ModB { acc: 0 }),
-        Schedule::every_ms(),
-        &[s_a, fb_b],
-        &[fb_b, s_b],
-    );
-    // GUARD and SCAN must run *before* C: port corruptions expire when the
-    // producer rewrites the signal, so a consumer scheduled after C would
-    // only ever see golden sC values.
-    b.add_module(
-        "GUARD",
-        Box::new(GuardedDoubler),
-        Schedule::every_ms(),
-        &[s_c],
-        &[g_out],
-    );
-    b.add_module(
-        "SCAN",
-        Box::new(BoundedScan),
-        Schedule::every_ms(),
-        &[s_c],
-        &[scan_out],
-    );
-    b.add_module("C", Box::new(ModC), Schedule::every_ms(), &[ext_c], &[s_c]);
-    b.add_module(
-        "D",
-        Box::new(ModD),
-        Schedule::in_slot(0, 2),
-        &[s_b, s_c],
-        &[s_d],
-    );
-    b.add_module(
-        "E",
-        Box::new(ModE),
-        Schedule::every_ms(),
-        &[ext_e, s_d, s_b],
-        &[out],
-    );
-    let mut sim = b.build(Box::new(FiveEnv {
-        ext_a,
-        ext_c,
-        ext_e,
-        base: 0x1234u16.wrapping_mul(case as u16 + 1),
-        limit: 600 + 50 * case as u64,
-    }));
-    sim.enable_tracing_all();
-    sim
+    build_with_taps(
+        case,
+        vec![
+            Tap {
+                name: "GUARD",
+                input: "sC",
+                output: "gOUT",
+                module: Box::new(GuardedDoubler),
+            },
+            Tap {
+                name: "SCAN",
+                input: "sC",
+                output: "scanOUT",
+                module: Box::new(BoundedScan),
+            },
+        ],
+    )
 }
 
 fn brittle_factory() -> FnSystemFactory<fn(usize) -> Simulation> {
